@@ -1,0 +1,143 @@
+//! Criterion benchmarks for the substrate itself: interpreter
+//! throughput, timing-model runs, pass-pipeline cost, profiling rates,
+//! and end-to-end campaign trials per technique.
+//!
+//! These complement the `repro` binary (which regenerates the paper's
+//! tables/figures): `cargo bench` answers "how fast is the
+//! reproduction's own machinery", one group per subsystem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softft::{transform, Technique, TransformConfig};
+use softft_campaign::prep::prepare;
+use softft_profile::{ClassifyConfig, OnlineHistogram, ProfileDb, Profiler};
+use softft_vm::interp::{NoopObserver, Vm, VmConfig};
+use softft_vm::timing::{CoreConfig, TimingModel};
+use softft_vm::FaultPlan;
+use softft_workloads::runner::run_workload;
+use softft_workloads::{workload_by_name, InputSet};
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter");
+    for name in ["tiff2bw", "g721dec", "kmeans"] {
+        let w = workload_by_name(name).expect("known workload");
+        let module = w.build_module();
+        let input = w.input(InputSet::Test);
+        group.bench_with_input(BenchmarkId::new("run", name), &module, |b, m| {
+            b.iter(|| {
+                let (r, _) = run_workload(m, &input, VmConfig::default(), &mut NoopObserver, None);
+                assert!(r.completed());
+                r.dyn_insts
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_timing_model(c: &mut Criterion) {
+    let w = workload_by_name("tiff2bw").expect("known workload");
+    let module = w.build_module();
+    let input = w.input(InputSet::Test);
+    c.bench_function("timing_model/tiff2bw", |b| {
+        b.iter(|| {
+            let mut t = TimingModel::new(CoreConfig::default());
+            let (r, _) = run_workload(&module, &input, VmConfig::default(), &mut t, None);
+            assert!(r.completed());
+            t.cycles()
+        })
+    });
+}
+
+fn bench_transform_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform");
+    let w = workload_by_name("jpegdec").expect("known workload");
+    let module = w.build_module();
+    let input = w.input(InputSet::Train);
+    let mut profiler = Profiler::default();
+    run_workload(&module, &input, VmConfig::default(), &mut profiler, None);
+    let profile = ProfileDb::from_profiler(&profiler, &ClassifyConfig::default());
+    for t in [Technique::DupOnly, Technique::DupVal, Technique::FullDup] {
+        group.bench_with_input(
+            BenchmarkId::new("jpegdec", t.label()),
+            &t,
+            |b, &t| {
+                b.iter(|| {
+                    let (m, stats) = transform(&module, &profile, t, &TransformConfig::default());
+                    assert!(stats.insts_after >= stats.insts_before);
+                    m.static_inst_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling");
+    group.bench_function("histogram_insert_10k", |b| {
+        b.iter(|| {
+            let mut h = OnlineHistogram::new(OnlineHistogram::DEFAULT_BINS);
+            for i in 0..10_000u64 {
+                h.insert(((i * 2654435761) % 4099) as f64);
+            }
+            h.total()
+        })
+    });
+    let w = workload_by_name("g721enc").expect("known workload");
+    let module = w.build_module();
+    let input = w.input(InputSet::Train);
+    group.bench_function("profiled_run/g721enc", |b| {
+        b.iter(|| {
+            let mut p = Profiler::default();
+            let (r, _) = run_workload(&module, &input, VmConfig::default(), &mut p, None);
+            assert!(r.completed());
+            p.stats().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_injection_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("injection_trial");
+    let p = prepare(workload_by_name("tiff2bw").expect("known workload"));
+    let input = p.workload.input(InputSet::Test);
+    for t in [Technique::Original, Technique::DupVal] {
+        let module = p.module(t).clone();
+        group.bench_with_input(BenchmarkId::new("tiff2bw", t.label()), &module, |b, m| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let (r, _) = run_workload(
+                    m,
+                    &input,
+                    VmConfig::default(),
+                    &mut NoopObserver,
+                    Some(FaultPlan::register((seed * 9973) % 100_000, seed)),
+                );
+                r.dyn_insts
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_vm_construction(c: &mut Criterion) {
+    let w = workload_by_name("h264dec").expect("known workload");
+    let module = w.build_module();
+    c.bench_function("vm_construction/h264dec", |b| {
+        b.iter(|| Vm::new(&module, VmConfig::default()).mem.len())
+    });
+    c.bench_function("module_build/h264dec", |b| {
+        b.iter(|| w.build_module().static_inst_count())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_interpreter,
+    bench_timing_model,
+    bench_transform_pipeline,
+    bench_profiling,
+    bench_injection_trial,
+    bench_full_vm_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! `repro`: regenerates every table and figure of the paper's
+//! evaluation section.
+//!
+//! ```text
+//! repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c]
+//!
+//! exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13
+//!           detect falsepos crossval all
+//! ```
+
+use softft_bench::{Exhibit, ReproConfig};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c]\n\
+         exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13 detect falsepos crossval ablate cfc recovery all"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(first) = args.first() else {
+        return usage();
+    };
+    let Some(exhibit) = Exhibit::parse(first) else {
+        return usage();
+    };
+    let mut cfg = ReproConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        let flag = &args[i];
+        let Some(value) = args.get(i + 1) else {
+            return usage();
+        };
+        match flag.as_str() {
+            "--trials" => match value.parse() {
+                Ok(v) => cfg.trials = v,
+                Err(_) => return usage(),
+            },
+            "--seed" => match value.parse() {
+                Ok(v) => cfg.seed = v,
+                Err(_) => return usage(),
+            },
+            "--threads" => match value.parse() {
+                Ok(v) => cfg.threads = v,
+                Err(_) => return usage(),
+            },
+            "--benchmarks" => {
+                cfg.benchmarks = value.split(',').map(str::to_string).collect();
+            }
+            _ => return usage(),
+        }
+        i += 2;
+    }
+    let started = std::time::Instant::now();
+    print!("{}", softft_bench::orchestrate::run_exhibit(exhibit, &cfg));
+    eprintln!(
+        "[repro: {} trials/benchmark, seed {}, {:.1}s]",
+        cfg.trials,
+        cfg.seed,
+        started.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! # softft-bench
+//!
+//! Benchmark harness for the soft-ft reproduction:
+//!
+//! * the `repro` binary regenerates every table and figure of the
+//!   paper's evaluation (run `repro all`, or a single exhibit like
+//!   `repro fig11 --trials 1000`);
+//! * criterion benches (`cargo bench`) measure the substrate itself —
+//!   interpreter throughput, timing-model overhead ratios per technique,
+//!   pass pipeline cost, and profiling-histogram insertion rates.
+//!
+//! This crate deliberately contains only orchestration; all measurement
+//! logic lives in `softft-campaign`.
+
+pub mod orchestrate;
+
+pub use orchestrate::{Exhibit, ReproConfig};

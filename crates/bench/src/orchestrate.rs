@@ -1,0 +1,556 @@
+//! Orchestration for the `repro` binary: runs campaigns / timing /
+//! static analyses across benchmarks and feeds the report renderers.
+
+use softft::Technique;
+use softft_campaign::campaign::{run_campaign, CampaignConfig};
+use softft_campaign::crossval::cross_validate;
+use softft_campaign::falsepos::measure_false_positives;
+use softft_campaign::perf::all_overheads;
+use softft_campaign::prep::{prepare, PreparedBenchmark};
+use softft_campaign::report;
+use softft_workloads::{all_workloads, InputSet};
+use std::fmt::Write as _;
+
+/// Which exhibit to regenerate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exhibit {
+    /// Table I: benchmark registry.
+    Table1,
+    /// Table II: core configuration.
+    Table2,
+    /// Fig. 1: example jpegdec injections (none / acceptable / USDC).
+    Fig1,
+    /// Fig. 2: SDC breakdown of unmodified applications.
+    Fig2,
+    /// Fig. 6: check-flavour census.
+    Fig6,
+    /// Fig. 10: static transformation statistics.
+    Fig10,
+    /// Fig. 11: fault classification per technique.
+    Fig11,
+    /// Fig. 12: performance overheads.
+    Fig12,
+    /// Fig. 13: SDC split per technique.
+    Fig13,
+    /// Detection attribution by mechanism.
+    Detect,
+    /// False positives per benchmark.
+    FalsePos,
+    /// Cross-validation (train/test swap).
+    CrossVal,
+    /// Ablation of Optimizations 1 and 2 (static cost + runtime overhead).
+    Ablate,
+    /// Branch-target faults with/without CFCSS signatures (the companion
+    /// mechanism the paper's fault-model section defers to).
+    Cfc,
+    /// Recovery-cost model (Section IV-D economics).
+    Recovery,
+    /// Everything, in paper order.
+    All,
+}
+
+impl Exhibit {
+    /// Parses a subcommand name.
+    pub fn parse(s: &str) -> Option<Exhibit> {
+        Some(match s {
+            "table1" => Exhibit::Table1,
+            "table2" => Exhibit::Table2,
+            "fig1" => Exhibit::Fig1,
+            "fig2" => Exhibit::Fig2,
+            "fig6" => Exhibit::Fig6,
+            "fig10" => Exhibit::Fig10,
+            "fig11" => Exhibit::Fig11,
+            "fig12" => Exhibit::Fig12,
+            "fig13" => Exhibit::Fig13,
+            "detect" => Exhibit::Detect,
+            "falsepos" => Exhibit::FalsePos,
+            "crossval" => Exhibit::CrossVal,
+            "ablate" => Exhibit::Ablate,
+            "cfc" => Exhibit::Cfc,
+            "recovery" => Exhibit::Recovery,
+            "all" => Exhibit::All,
+            _ => return None,
+        })
+    }
+}
+
+/// Reproduction settings.
+#[derive(Clone, Debug)]
+pub struct ReproConfig {
+    /// Injection trials per (benchmark, technique). The paper uses 1000;
+    /// the default keeps a full `repro all` run to a few minutes.
+    pub trials: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Benchmarks to include (empty = all thirteen).
+    pub benchmarks: Vec<String>,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        ReproConfig {
+            trials: 200,
+            seed: 0x5EED,
+            benchmarks: Vec::new(),
+            threads: 0,
+        }
+    }
+}
+
+impl ReproConfig {
+    fn campaign_config(&self) -> CampaignConfig {
+        CampaignConfig {
+            trials: self.trials,
+            seed: self.seed,
+            threads: self.threads,
+            ..CampaignConfig::default()
+        }
+    }
+
+    fn selected(&self) -> Vec<PreparedBenchmark> {
+        all_workloads()
+            .into_iter()
+            .filter(|w| {
+                self.benchmarks.is_empty() || self.benchmarks.iter().any(|b| b == w.name())
+            })
+            .map(prepare)
+            .collect()
+    }
+}
+
+/// Runs one exhibit, returning its textual report.
+pub fn run_exhibit(ex: Exhibit, cfg: &ReproConfig) -> String {
+    match ex {
+        Exhibit::Table1 => report::render_table1(&all_workloads()),
+        Exhibit::Table2 => report::render_table2(),
+        Exhibit::Fig1 => fig1(cfg),
+        Exhibit::Fig2 => fig2(cfg),
+        Exhibit::Fig6 => static_report(cfg, report::render_fig6),
+        Exhibit::Fig10 => static_report(cfg, report::render_fig10),
+        Exhibit::Fig11 => fig11_13(cfg, true),
+        Exhibit::Fig12 => fig12(cfg),
+        Exhibit::Fig13 => fig11_13(cfg, false),
+        Exhibit::Detect => detect(cfg),
+        Exhibit::FalsePos => falsepos(cfg),
+        Exhibit::CrossVal => crossval(cfg),
+        Exhibit::Ablate => ablate(cfg),
+        Exhibit::Cfc => cfc(cfg),
+        Exhibit::Recovery => recovery(cfg),
+        Exhibit::All => {
+            let mut out = String::new();
+            for ex in [
+                Exhibit::Table1,
+                Exhibit::Table2,
+                Exhibit::Fig1,
+                Exhibit::Fig2,
+                Exhibit::Fig6,
+                Exhibit::Fig10,
+                Exhibit::Fig11,
+                Exhibit::Fig12,
+                Exhibit::Fig13,
+                Exhibit::Detect,
+                Exhibit::FalsePos,
+                Exhibit::CrossVal,
+                Exhibit::Ablate,
+                Exhibit::Cfc,
+                Exhibit::Recovery,
+            ] {
+                out.push_str(&run_exhibit(ex, cfg));
+                out.push('\n');
+            }
+            out
+        }
+    }
+}
+
+fn fig1(cfg: &ReproConfig) -> String {
+    use softft_vm::interp::{NoopObserver, VmConfig};
+    use softft_vm::FaultPlan;
+    use softft_workloads::runner::run_workload;
+    use softft_workloads::workload_by_name;
+
+    let w = workload_by_name("jpegdec").expect("jpegdec registered");
+    let module = w.build_module();
+    let input = w.input(InputSet::Test);
+    let (golden_r, golden) =
+        run_workload(&module, &input, VmConfig::default(), &mut NoopObserver, None);
+    let n = golden_r.dyn_insts;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 1: jpegdec outputs under injected faults (PSNR vs fault-free)"
+    );
+    let _ = writeln!(out, "  (a) no fault:            PSNR = inf (identical)");
+    // Scan seeds for one acceptable and one unacceptable completed run.
+    let (mut shown_ok, mut shown_bad) = (false, false);
+    for seed in 0..2000u64 {
+        if shown_ok && shown_bad {
+            break;
+        }
+        let plan = FaultPlan::register((seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(cfg.seed)) % n.max(1), seed);
+        let (r, o) = run_workload(&module, &input, VmConfig::default(), &mut NoopObserver, Some(plan));
+        if !r.completed() || o == golden {
+            continue;
+        }
+        let psnr = w.fidelity(&golden, &o);
+        // Infinite PSNR with differing bytes means only trailing zero
+        // padding changed (e.g. a corrupted length word) — prefer a
+        // case with actual pixel differences for the (b) exhibit.
+        if psnr >= 30.0 && psnr.is_finite() && !shown_ok {
+            let _ = writeln!(
+                out,
+                "  (b) acceptable fault:    PSNR = {psnr:.1} dB (imperceptible; seed {seed})"
+            );
+            shown_ok = true;
+        } else if psnr < 30.0 && !shown_bad {
+            let _ = writeln!(
+                out,
+                "  (c) unacceptable fault:  PSNR = {psnr:.1} dB (visible corruption; seed {seed})"
+            );
+            shown_bad = true;
+        }
+    }
+    if !shown_ok || !shown_bad {
+        let _ = writeln!(out, "  (insufficient seeds scanned to find both cases)");
+    }
+    out
+}
+
+fn fig2(cfg: &ReproConfig) -> String {
+    let ccfg = cfg.campaign_config();
+    let rows: Vec<(String, _)> = cfg
+        .selected()
+        .iter()
+        .map(|p| {
+            let r = run_campaign(&*p.workload, p.module(Technique::Original), &ccfg);
+            (p.workload.name().to_string(), r)
+        })
+        .collect();
+    report::render_fig2(&rows)
+}
+
+fn static_report(
+    cfg: &ReproConfig,
+    render: fn(&[(String, softft::StaticStats)]) -> String,
+) -> String {
+    let rows: Vec<(String, softft::StaticStats)> = cfg
+        .selected()
+        .iter()
+        .map(|p| {
+            (
+                p.workload.name().to_string(),
+                p.static_stats[&Technique::DupVal],
+            )
+        })
+        .collect();
+    render(&rows)
+}
+
+fn fig11_13(cfg: &ReproConfig, fig11: bool) -> String {
+    let ccfg = cfg.campaign_config();
+    let rows: Vec<(String, report::ResultsByTechnique)> = cfg
+        .selected()
+        .iter()
+        .map(|p| {
+            let mut by_t = report::ResultsByTechnique::new();
+            for t in [Technique::Original, Technique::DupOnly, Technique::DupVal] {
+                by_t.insert(t, run_campaign(&*p.workload, p.module(t), &ccfg));
+            }
+            (p.workload.name().to_string(), by_t)
+        })
+        .collect();
+    if fig11 {
+        // Also quote the full-duplication comparator line.
+        let mut out = report::render_fig11(&rows, cfg.trials);
+        let mut usdc = 0.0;
+        let mut count = 0usize;
+        for p in cfg.selected() {
+            let r = run_campaign(&*p.workload, p.module(Technique::FullDup), &ccfg);
+            usdc += r.usdc_frac();
+            count += 1;
+        }
+        let _ = writeln!(
+            out,
+            "full duplication mean USDC: {:.2}% (paper: 1.4% at 57% overhead)",
+            usdc / count.max(1) as f64 * 100.0
+        );
+        out
+    } else {
+        report::render_fig13(&rows)
+    }
+}
+
+fn fig12(cfg: &ReproConfig) -> String {
+    let rows: Vec<(String, Vec<(Technique, f64)>)> = cfg
+        .selected()
+        .iter()
+        .map(|p| {
+            (
+                p.workload.name().to_string(),
+                all_overheads(&*p.workload, &p.modules, InputSet::Test),
+            )
+        })
+        .collect();
+    report::render_fig12(&rows)
+}
+
+fn detect(cfg: &ReproConfig) -> String {
+    let ccfg = cfg.campaign_config();
+    let rows: Vec<(String, _)> = cfg
+        .selected()
+        .iter()
+        .map(|p| {
+            let r = run_campaign(&*p.workload, p.module(Technique::DupVal), &ccfg);
+            (p.workload.name().to_string(), r)
+        })
+        .collect();
+    report::render_detection_split(&rows)
+}
+
+fn falsepos(cfg: &ReproConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "False positives: value-check failures on a fault-free test-input run\n\
+         {:<10} {:>10} {:>12} {:>18}",
+        "benchmark", "failures", "insts", "insts/failure"
+    );
+    let (mut total_f, mut total_i) = (0u64, 0u64);
+    for p in cfg.selected() {
+        let fp = measure_false_positives(&*p.workload, p.module(Technique::DupVal), InputSet::Test);
+        let per = fp
+            .insts_per_failure()
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>12} {:>18}",
+            p.workload.name(),
+            fp.failures,
+            fp.insts,
+            per
+        );
+        total_f += fp.failures;
+        total_i += fp.insts;
+    }
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>12} {:>18}   (paper: ~1 per 235K instructions)",
+        "total",
+        total_f,
+        total_i,
+        total_i
+            .checked_div(total_f)
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".into())
+    );
+    out
+}
+
+fn ablate(cfg: &ReproConfig) -> String {
+    use softft::{transform, TransformConfig};
+    use softft_campaign::perf::time_module;
+    use softft_profile::ClassifyConfig;
+    use softft_workloads::Workload;
+
+    let variants: [(&str, TransformConfig); 4] = [
+        ("opt1+opt2", TransformConfig { opt1: true, opt2: true }),
+        ("opt1 only", TransformConfig { opt1: true, opt2: false }),
+        ("opt2 only", TransformConfig { opt1: false, opt2: true }),
+        ("neither", TransformConfig { opt1: false, opt2: false }),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation: Optimizations 1 (deepest check only) and 2 (check cuts chain)\n\
+         {:<10} {:<10} {:>8} {:>8} {:>9} {:>10}",
+        "benchmark", "variant", "dup'd", "checks", "insts", "overhead"
+    );
+    for p in cfg.selected() {
+        let w: &dyn Workload = &*p.workload;
+        let module = w.build_module();
+        let base = time_module(w, &module, InputSet::Test);
+        // Rebuild the profile exactly as prepare() does.
+        let profile = {
+            use softft_profile::Profiler;
+            use softft_vm::interp::VmConfig;
+            use softft_workloads::runner::run_workload;
+            let mut prof = Profiler::default();
+            run_workload(
+                &module,
+                &w.input(InputSet::Train),
+                VmConfig::default(),
+                &mut prof,
+                None,
+            );
+            softft_profile::ProfileDb::from_profiler(&prof, &ClassifyConfig::default())
+        };
+        for (label, tc) in &variants {
+            let (tm, stats) = transform(&module, &profile, Technique::DupVal, tc);
+            let t = time_module(w, &tm, InputSet::Test);
+            let ov = (t.cycles as f64 - base.cycles as f64) / base.cycles.max(1) as f64;
+            let _ = writeln!(
+                out,
+                "{:<10} {:<10} {:>8} {:>8} {:>9} {:>9.2}%",
+                w.name(),
+                label,
+                stats.duplicated,
+                stats.value_checks(),
+                stats.insts_after,
+                ov * 100.0
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "(both optimizations should reduce checks/instructions vs 'neither')"
+    );
+    out
+}
+
+fn cfc(cfg: &ReproConfig) -> String {
+    use softft::cfcss::insert_cfc_signatures;
+    use softft_campaign::perf::time_module;
+    use softft_vm::fault::FaultKind;
+
+    let mut ccfg = cfg.campaign_config();
+    ccfg.fault_kind = FaultKind::BranchTarget;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Branch-target faults: DupVal alone vs DupVal + CFCSS signatures\n\
+         {:<10} {:<12} {:>9} {:>9} {:>8} {:>7} {:>9}",
+        "benchmark", "variant", "SWDetect", "Failure", "USDC", "Masked", "overhead"
+    );
+    for p in cfg.selected() {
+        let w = &*p.workload;
+        let base = time_module(w, p.module(Technique::Original), InputSet::Test);
+        let plain = p.module(Technique::DupVal).clone();
+        let mut signed = plain.clone();
+        insert_cfc_signatures(&mut signed);
+        for (label, module) in [("plain", &plain), ("+cfcss", &signed)] {
+            let r = run_campaign(w, module, &ccfg);
+            let t = time_module(w, module, InputSet::Test);
+            let ov = (t.cycles as f64 - base.cycles as f64) / base.cycles.max(1) as f64;
+            let _ = writeln!(
+                out,
+                "{:<10} {:<12} {:>8.1}% {:>8.1}% {:>7.1}% {:>6.1}% {:>8.1}%",
+                w.name(),
+                label,
+                r.swdetect_frac() * 100.0,
+                r.failure_frac() * 100.0,
+                r.usdc_frac() * 100.0,
+                r.masked_frac() * 100.0,
+                ov * 100.0
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "(signatures convert silent/failed wild branches into SWDetects; \
+         the paper defers branch-target coverage to exactly this mechanism)"
+    );
+    out
+}
+
+fn recovery(cfg: &ReproConfig) -> String {
+    use softft_campaign::recovery::{model_recovery, RecoveryModel};
+
+    let ccfg = cfg.campaign_config();
+    let model = RecoveryModel::default();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Recovery economics (checkpoint interval {} insts, Section IV-D)\n\
+         {:<10} {:>10} {:>12} {:>14} {:>16}",
+        model.checkpoint_interval,
+        "benchmark",
+        "triggers",
+        "recovered",
+        "rollback insts",
+        "ckpt overhead"
+    );
+    for p in cfg.selected() {
+        let r = run_campaign(&*p.workload, p.module(Technique::DupVal), &ccfg);
+        let cost = model_recovery(&r, &model);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9.1}% {:>11.1}% {:>14.0} {:>15.1}%",
+            p.workload.name(),
+            cost.recovery_trigger_frac * 100.0,
+            cost.recovered_frac * 100.0,
+            cost.mean_rollback_insts,
+            cost.checkpoint_overhead * 100.0
+        );
+    }
+    out
+}
+
+fn crossval(cfg: &ReproConfig) -> String {
+    let ccfg = cfg.campaign_config();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Cross-validation: profile/inject inputs swapped (Dup + val chks)\n\
+         {:<10} {:>16} {:>16} {:>12}",
+        "benchmark", "fwd USDC", "swapped USDC", "max Δ bucket"
+    );
+    for name in ["jpegdec", "kmeans"] {
+        let cv = cross_validate(name, &ccfg);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>15.2}% {:>15.2}% {:>11.2}%",
+            cv.name,
+            cv.forward.usdc_frac() * 100.0,
+            cv.swapped.usdc_frac() * 100.0,
+            cv.max_bucket_delta() * 100.0
+        );
+    }
+    let _ = writeln!(out, "(paper: per-bucket deltas ≤ ~0.5% at 1000 trials)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhibit_parsing() {
+        assert_eq!(Exhibit::parse("fig11"), Some(Exhibit::Fig11));
+        assert_eq!(Exhibit::parse("table1"), Some(Exhibit::Table1));
+        assert_eq!(Exhibit::parse("all"), Some(Exhibit::All));
+        assert_eq!(Exhibit::parse("fig99"), None);
+    }
+
+    #[test]
+    fn cheap_exhibits_render() {
+        let cfg = ReproConfig {
+            trials: 10,
+            benchmarks: vec!["tiff2bw".into()],
+            ..ReproConfig::default()
+        };
+        let t1 = run_exhibit(Exhibit::Table1, &cfg);
+        assert!(t1.contains("tiff2bw"));
+        let t2 = run_exhibit(Exhibit::Table2, &cfg);
+        assert!(t2.contains("issue width"));
+        let f10 = run_exhibit(Exhibit::Fig10, &cfg);
+        assert!(f10.contains("state vars"));
+    }
+
+    #[test]
+    fn small_campaign_exhibit_renders() {
+        let cfg = ReproConfig {
+            trials: 15,
+            benchmarks: vec!["tiff2bw".into()],
+            threads: 2,
+            ..ReproConfig::default()
+        };
+        let f2 = run_exhibit(Exhibit::Fig2, &cfg);
+        assert!(f2.contains("tiff2bw"), "{f2}");
+        let f12 = run_exhibit(Exhibit::Fig12, &cfg);
+        assert!(f12.contains("Dup only"), "{f12}");
+    }
+}

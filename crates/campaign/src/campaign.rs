@@ -1,0 +1,272 @@
+//! The statistical fault-injection loop.
+
+use crate::outcome::{classify_trial, is_large_change, ClassifyParams, Outcome, TrialRecord};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use softft_ir::{CheckKind, Module};
+use softft_vm::interp::{NoopObserver, VmConfig};
+use softft_vm::fault::{FaultKind, FaultPlan};
+use softft_workloads::runner::run_workload;
+use softft_workloads::{InputSet, Workload};
+use std::collections::HashMap;
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Injection trials (the paper runs 1000 per benchmark; scale down
+    /// for quick runs).
+    pub trials: u32,
+    /// Master seed: fault sites and victims derive deterministically.
+    pub seed: u64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// VM configuration for trial runs.
+    pub vm: VmConfig,
+    /// Classification parameters.
+    pub classify: ClassifyParams,
+    /// Input set faults are injected on (the paper uses the test input).
+    pub input: InputSet,
+    /// What the injected faults corrupt (register bits by default; branch
+    /// targets for the control-flow-checking extension).
+    pub fault_kind: FaultKind,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            trials: 200,
+            seed: 0xF00D,
+            threads: 0,
+            vm: VmConfig::default(),
+            classify: ClassifyParams::default(),
+            input: InputSet::Test,
+            fault_kind: FaultKind::Register,
+        }
+    }
+}
+
+/// Aggregated campaign results for one (benchmark, technique) pair.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignResult {
+    /// Trials executed.
+    pub trials: u32,
+    /// Count per outcome class.
+    pub counts: HashMap<Outcome, u32>,
+    /// USDC trials whose injection made a large value change (Fig. 2).
+    pub usdc_large: u32,
+    /// USDC trials with a small value change.
+    pub usdc_small: u32,
+    /// Dynamic instructions of the fault-free run.
+    pub golden_dyn_insts: u64,
+}
+
+impl CampaignResult {
+    fn count(&self, o: Outcome) -> u32 {
+        self.counts.get(&o).copied().unwrap_or(0)
+    }
+
+    /// Fraction of trials in the given outcome.
+    pub fn frac(&self, o: Outcome) -> f64 {
+        self.count(o) as f64 / self.trials.max(1) as f64
+    }
+
+    /// Fraction of trials collapsed to the Fig. 11 *Masked* bucket
+    /// (masked + acceptable SDCs).
+    pub fn masked_frac(&self) -> f64 {
+        self.frac(Outcome::Masked) + self.frac(Outcome::AcceptableSdc)
+    }
+
+    /// Fraction of SWDetect trials (all check kinds).
+    pub fn swdetect_frac(&self) -> f64 {
+        self.counts
+            .iter()
+            .filter(|(o, _)| matches!(o, Outcome::SwDetect(_)))
+            .map(|(_, c)| *c as f64)
+            .sum::<f64>()
+            / self.trials.max(1) as f64
+    }
+
+    /// SWDetect fraction attributable to one check kind.
+    pub fn swdetect_kind_frac(&self, kind: CheckKind) -> f64 {
+        self.frac(Outcome::SwDetect(kind))
+    }
+
+    /// Fraction of HWDetect trials.
+    pub fn hwdetect_frac(&self) -> f64 {
+        self.frac(Outcome::HwDetect)
+    }
+
+    /// Fraction of Failures.
+    pub fn failure_frac(&self) -> f64 {
+        self.frac(Outcome::Failure)
+    }
+
+    /// Fraction of unacceptable SDCs (the USDC column).
+    pub fn usdc_frac(&self) -> f64 {
+        self.frac(Outcome::UnacceptableSdc)
+    }
+
+    /// Fraction of all SDCs (acceptable + unacceptable; Fig. 13 bars).
+    pub fn sdc_frac(&self) -> f64 {
+        self.frac(Outcome::AcceptableSdc) + self.frac(Outcome::UnacceptableSdc)
+    }
+
+    /// Fault coverage as defined in Section V: Masked (incl. acceptable)
+    /// + SWDetect + HWDetect.
+    pub fn coverage(&self) -> f64 {
+        self.masked_frac() + self.swdetect_frac() + self.hwdetect_frac()
+    }
+}
+
+/// Runs one campaign: `trials` injections into `module` running
+/// `workload` on the configured input, classified against the fault-free
+/// golden output.
+///
+/// Deterministic in (`module`, `cfg`): trial *i* derives its fault plan
+/// from `cfg.seed` and `i` regardless of thread scheduling.
+///
+/// # Panics
+///
+/// Panics if the fault-free run does not complete (a workload bug, not a
+/// fault effect).
+pub fn run_campaign(
+    workload: &dyn Workload,
+    module: &Module,
+    cfg: &CampaignConfig,
+) -> CampaignResult {
+    // Steady-state model: checks that fire with no fault on this input
+    // (profile drift between train and test) have exhausted their one
+    // recovery and are suppressed — see the paper's false-positive
+    // discussion and `prep::neutralize_false_positives`.
+    let mut module = module.clone();
+    crate::prep::neutralize_false_positives(&mut module, workload, cfg.input);
+    let module = &module;
+    let input = workload.input(cfg.input);
+    let (golden_result, golden_out) =
+        run_workload(module, &input, cfg.vm, &mut NoopObserver, None);
+    assert!(
+        golden_result.completed(),
+        "fault-free run of {} must complete: {:?}",
+        workload.name(),
+        golden_result.end
+    );
+    let n = golden_result.dyn_insts;
+
+    // Pre-derive all fault plans (deterministic, thread-count agnostic).
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let plans: Vec<FaultPlan> = (0..cfg.trials)
+        .map(|_| FaultPlan {
+            at_dyn: rng.gen_range(0..n.max(1)),
+            seed: rng.gen(),
+            kind: cfg.fault_kind,
+        })
+        .collect();
+
+    let records: Mutex<Vec<TrialRecord>> = Mutex::new(Vec::with_capacity(plans.len()));
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        cfg.threads
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(plans.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= plans.len() {
+                    break;
+                }
+                let (result, out) = run_workload(
+                    module,
+                    &input,
+                    cfg.vm,
+                    &mut NoopObserver,
+                    Some(plans[i]),
+                );
+                let rec = classify_trial(workload, &golden_out, &result, &out, &cfg.classify);
+                records.lock().push(rec);
+            });
+        }
+    });
+
+    let mut result = CampaignResult {
+        trials: cfg.trials,
+        golden_dyn_insts: n,
+        ..CampaignResult::default()
+    };
+    for rec in records.into_inner() {
+        *result.counts.entry(rec.outcome).or_insert(0) += 1;
+        if rec.outcome == Outcome::UnacceptableSdc {
+            match rec.injection {
+                Some(inj) if is_large_change(&inj, &cfg.classify) => result.usdc_large += 1,
+                _ => result.usdc_small += 1,
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::prepare;
+    use softft::Technique;
+    use softft_workloads::workload_by_name;
+
+    fn small_cfg(trials: u32) -> CampaignConfig {
+        CampaignConfig {
+            trials,
+            seed: 7,
+            threads: 2,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_counts_sum_to_trials() {
+        let p = prepare(workload_by_name("tiff2bw").unwrap());
+        let r = run_campaign(&*p.workload, p.module(Technique::Original), &small_cfg(40));
+        let total: u32 = r.counts.values().sum();
+        assert_eq!(total, 40);
+        assert_eq!(r.trials, 40);
+        assert!(r.golden_dyn_insts > 1000);
+        let fracs = r.masked_frac()
+            + r.swdetect_frac()
+            + r.hwdetect_frac()
+            + r.failure_frac()
+            + r.usdc_frac();
+        assert!((fracs - 1.0).abs() < 1e-9, "{fracs}");
+    }
+
+    #[test]
+    fn protection_produces_swdetects() {
+        let p = prepare(workload_by_name("tiff2bw").unwrap());
+        let orig = run_campaign(&*p.workload, p.module(Technique::Original), &small_cfg(60));
+        let dup = run_campaign(&*p.workload, p.module(Technique::DupVal), &small_cfg(60));
+        assert_eq!(orig.swdetect_frac(), 0.0, "no checks in the original");
+        assert!(dup.swdetect_frac() > 0.0, "protected binary never detected");
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let p = prepare(workload_by_name("kmeans").unwrap());
+        let a = run_campaign(&*p.workload, p.module(Technique::DupOnly), &small_cfg(30));
+        let b = run_campaign(&*p.workload, p.module(Technique::DupOnly), &small_cfg(30));
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.usdc_large, b.usdc_large);
+    }
+
+    #[test]
+    fn usdc_split_sums() {
+        let p = prepare(workload_by_name("kmeans").unwrap());
+        let r = run_campaign(&*p.workload, p.module(Technique::Original), &small_cfg(80));
+        assert_eq!(
+            r.usdc_large + r.usdc_small,
+            r.counts.get(&Outcome::UnacceptableSdc).copied().unwrap_or(0)
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Train/test input swap (Section V sensitivity analysis).
+//!
+//! The paper cross-validates on `jpegdec` and `kmeans`: profile on the
+//! test input, inject on the train input, and compare the outcome
+//! distribution against the standard direction.
+
+use crate::campaign::{run_campaign, CampaignConfig, CampaignResult};
+use crate::prep::prepare_with_inputs;
+use softft::{Technique, TransformConfig};
+use softft_profile::ClassifyConfig;
+use softft_workloads::{workload_by_name, InputSet};
+
+/// Outcome fractions for both fold directions of one benchmark.
+#[derive(Clone, Debug)]
+pub struct CrossValidation {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Standard direction: profile on train, inject on test.
+    pub forward: CampaignResult,
+    /// Swapped direction: profile on test, inject on train.
+    pub swapped: CampaignResult,
+}
+
+impl CrossValidation {
+    /// Maximum absolute difference between the two directions across the
+    /// five Fig. 11 buckets (the paper reports ≤ ~0.5% per bucket).
+    pub fn max_bucket_delta(&self) -> f64 {
+        let buckets = |r: &CampaignResult| {
+            [
+                r.masked_frac(),
+                r.swdetect_frac(),
+                r.hwdetect_frac(),
+                r.failure_frac(),
+                r.usdc_frac(),
+            ]
+        };
+        let a = buckets(&self.forward);
+        let b = buckets(&self.swapped);
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs two-fold cross-validation for one benchmark under `DupVal`.
+///
+/// # Panics
+///
+/// Panics if `name` is not a registered workload.
+pub fn cross_validate(name: &str, cfg: &CampaignConfig) -> CrossValidation {
+    let forward = {
+        let p = prepare_with_inputs(
+            workload_by_name(name).expect("known workload"),
+            InputSet::Train,
+            &ClassifyConfig::default(),
+            &TransformConfig::default(),
+        );
+        let mut c = cfg.clone();
+        c.input = InputSet::Test;
+        run_campaign(&*p.workload, p.module(Technique::DupVal), &c)
+    };
+    let swapped = {
+        let p = prepare_with_inputs(
+            workload_by_name(name).expect("known workload"),
+            InputSet::Test,
+            &ClassifyConfig::default(),
+            &TransformConfig::default(),
+        );
+        let mut c = cfg.clone();
+        c.input = InputSet::Train;
+        run_campaign(&*p.workload, p.module(Technique::DupVal), &c)
+    };
+    CrossValidation {
+        name: workload_by_name(name).expect("known workload").name(),
+        forward,
+        swapped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_folds_are_close() {
+        let cfg = CampaignConfig {
+            trials: 60,
+            seed: 11,
+            threads: 2,
+            ..CampaignConfig::default()
+        };
+        let cv = cross_validate("kmeans", &cfg);
+        assert_eq!(cv.name, "kmeans");
+        assert_eq!(cv.forward.trials, 60);
+        assert_eq!(cv.swapped.trials, 60);
+        // With only 60 trials the margin is wide; just require same
+        // ballpark (the repro binary runs bigger campaigns).
+        assert!(
+            cv.max_bucket_delta() < 0.35,
+            "fold delta {}",
+            cv.max_bucket_delta()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "known workload")]
+    fn unknown_name_panics() {
+        let _ = cross_validate("nope", &CampaignConfig::default());
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # softft-campaign
+//!
+//! Statistical fault-injection campaigns and the reproduction of every
+//! table and figure in the paper's evaluation (Section V):
+//!
+//! * [`outcome`] — per-trial classification into the paper's categories
+//!   (Masked / SWDetect / HWDetect / Failure / SDC, with SDC refined into
+//!   acceptable and unacceptable);
+//! * [`prep`] — benchmark preparation: profile on the train input,
+//!   transform under each technique;
+//! * [`campaign`] — the injection loop (randomized in time and space,
+//!   seeded, parallelized across threads);
+//! * [`perf`] — fault-free timing runs for the performance-overhead
+//!   figure;
+//! * [`falsepos`] — value-check failures with no fault injected;
+//! * [`crossval`] — train/test input swap (Section V sensitivity);
+//! * [`stats`] — confidence-interval margins (Leveugle et al.);
+//! * [`report`] — text renderers for each figure/table.
+
+pub mod campaign;
+pub mod crossval;
+pub mod falsepos;
+pub mod outcome;
+pub mod perf;
+pub mod prep;
+pub mod recovery;
+pub mod report;
+pub mod stats;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use outcome::{Outcome, TrialRecord};
+pub use prep::{prepare, PreparedBenchmark};

@@ -1,0 +1,259 @@
+//! Per-trial outcome classification (Section IV-C categories).
+
+use serde::{Deserialize, Serialize};
+use softft_ir::CheckKind;
+use softft_vm::{InjectionRecord, RunEnd, RunResult, TrapKind};
+use softft_workloads::Workload;
+
+/// Fine-grained trial outcome. The paper's Fig. 11 columns fold
+/// [`Outcome::AcceptableSdc`] into *Masked*; Fig. 13 splits the SDCs back
+/// out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Output byte-identical to the fault-free run.
+    Masked,
+    /// Output differs numerically but fidelity is acceptable (ASDC).
+    AcceptableSdc,
+    /// Output differs and fidelity is unacceptable (USDC).
+    UnacceptableSdc,
+    /// A hardware symptom (out-of-bounds, divide-by-zero) fired within
+    /// the detection-latency window after injection.
+    HwDetect,
+    /// A software check fired (duplication mismatch or value check).
+    SwDetect(CheckKind),
+    /// Abnormal termination outside the window: late symptom, watchdog
+    /// (infinite loop), or stack overflow.
+    Failure,
+}
+
+impl Outcome {
+    /// True for the categories counted as *covered* by the paper
+    /// (Masked + acceptable + both detector classes).
+    pub fn is_covered(self) -> bool {
+        !matches!(self, Outcome::UnacceptableSdc | Outcome::Failure)
+    }
+
+    /// True for both SDC flavours (numerically different completed runs).
+    pub fn is_sdc(self) -> bool {
+        matches!(self, Outcome::AcceptableSdc | Outcome::UnacceptableSdc)
+    }
+
+    /// Collapsed label matching the paper's Fig. 11 legend.
+    pub fn fig11_bucket(self) -> &'static str {
+        match self {
+            Outcome::Masked | Outcome::AcceptableSdc => "Masked",
+            Outcome::UnacceptableSdc => "USDC",
+            Outcome::HwDetect => "HWDetect",
+            Outcome::SwDetect(_) => "SWDetect",
+            Outcome::Failure => "Failure",
+        }
+    }
+}
+
+/// One classified injection trial.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// The outcome class.
+    pub outcome: Outcome,
+    /// Fidelity score vs. the golden output (only meaningful for
+    /// completed runs).
+    pub fidelity: Option<f64>,
+    /// What the injection did (absent if the trigger was never reached,
+    /// e.g. the run was shorter than planned — counted as Masked).
+    pub injection: Option<InjectionRecord>,
+}
+
+/// Classification parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ClassifyParams {
+    /// Symptoms within this many dynamic instructions of the injection
+    /// count as `HWDetect` (the paper uses 1000 cycles).
+    pub hw_latency_window: u64,
+    /// Relative value change above which an injection counts as a
+    /// "large instruction output value change" (Fig. 2 split).
+    pub large_change_threshold: f64,
+}
+
+impl Default for ClassifyParams {
+    fn default() -> Self {
+        ClassifyParams {
+            hw_latency_window: 1000,
+            large_change_threshold: 4.0,
+        }
+    }
+}
+
+/// Classifies one run against the golden output.
+pub fn classify_trial(
+    workload: &dyn Workload,
+    golden: &[u8],
+    result: &RunResult,
+    output: &[u8],
+    params: &ClassifyParams,
+) -> TrialRecord {
+    let injection = result.injection;
+    let outcome = match result.end {
+        RunEnd::Completed { .. } => {
+            if output == golden {
+                Outcome::Masked
+            } else {
+                let fidelity = workload.fidelity(golden, output);
+                let acceptable = workload.metric().acceptable(fidelity);
+                return TrialRecord {
+                    outcome: if acceptable {
+                        Outcome::AcceptableSdc
+                    } else {
+                        Outcome::UnacceptableSdc
+                    },
+                    fidelity: Some(fidelity),
+                    injection,
+                };
+            }
+        }
+        RunEnd::Trap { kind, at_dyn } => match kind {
+            TrapKind::SwDetect(k) => Outcome::SwDetect(k),
+            TrapKind::Watchdog => Outcome::Failure,
+            other => {
+                let inj_at = injection.map(|i| i.at_dyn).unwrap_or(0);
+                let latency = at_dyn.saturating_sub(inj_at);
+                if other.is_hw_symptom() && latency <= params.hw_latency_window {
+                    Outcome::HwDetect
+                } else {
+                    Outcome::Failure
+                }
+            }
+        },
+    };
+    TrialRecord {
+        outcome,
+        fidelity: None,
+        injection,
+    }
+}
+
+/// True when the injection changed its victim value by a "large" relative
+/// amount (Fig. 2's USDC split).
+pub fn is_large_change(rec: &InjectionRecord, params: &ClassifyParams) -> bool {
+    rec.relative_change() >= params.large_change_threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_ir::{FuncId, Type, ValueId};
+    use softft_workloads::workload_by_name;
+
+    fn result(end: RunEnd, inj_at: u64) -> RunResult {
+        RunResult {
+            end,
+            dyn_insts: 100,
+            injection: Some(InjectionRecord {
+                at_dyn: inj_at,
+                func: FuncId::new(0),
+                value: ValueId::new(0),
+                ty: Type::I64,
+                bit: 3,
+                old_bits: 1,
+                new_bits: 9,
+            }),
+            check_failures: 0,
+        }
+    }
+
+    #[test]
+    fn identical_output_is_masked() {
+        let w = workload_by_name("kmeans").unwrap();
+        let golden = vec![1u8, 2, 3];
+        let r = result(RunEnd::Completed { ret: Some(0) }, 10);
+        let t = classify_trial(&*w, &golden, &r, &golden, &ClassifyParams::default());
+        assert_eq!(t.outcome, Outcome::Masked);
+        assert!(t.outcome.is_covered());
+    }
+
+    #[test]
+    fn small_label_change_is_acceptable_sdc() {
+        let w = workload_by_name("kmeans").unwrap();
+        let golden = vec![0u8; 100];
+        let mut out = golden.clone();
+        out[0] = 1; // 1% mismatch < 10% threshold
+        let r = result(RunEnd::Completed { ret: Some(0) }, 10);
+        let t = classify_trial(&*w, &golden, &r, &out, &ClassifyParams::default());
+        assert_eq!(t.outcome, Outcome::AcceptableSdc);
+        assert!(t.outcome.is_sdc());
+        assert!(t.outcome.is_covered());
+        assert_eq!(t.outcome.fig11_bucket(), "Masked");
+    }
+
+    #[test]
+    fn big_label_change_is_usdc() {
+        let w = workload_by_name("kmeans").unwrap();
+        let golden = vec![0u8; 100];
+        let out = vec![1u8; 100];
+        let r = result(RunEnd::Completed { ret: Some(0) }, 10);
+        let t = classify_trial(&*w, &golden, &r, &out, &ClassifyParams::default());
+        assert_eq!(t.outcome, Outcome::UnacceptableSdc);
+        assert!(!t.outcome.is_covered());
+    }
+
+    #[test]
+    fn prompt_symptom_is_hwdetect_late_is_failure() {
+        let w = workload_by_name("kmeans").unwrap();
+        let golden = vec![0u8; 4];
+        let oob = TrapKind::OutOfBounds { addr: 1, size: 4 };
+        let prompt = result(RunEnd::Trap { kind: oob, at_dyn: 500 }, 10);
+        let t = classify_trial(&*w, &golden, &prompt, &[], &ClassifyParams::default());
+        assert_eq!(t.outcome, Outcome::HwDetect);
+
+        let late = result(RunEnd::Trap { kind: oob, at_dyn: 50_000 }, 10);
+        let t = classify_trial(&*w, &golden, &late, &[], &ClassifyParams::default());
+        assert_eq!(t.outcome, Outcome::Failure);
+    }
+
+    #[test]
+    fn sw_check_is_swdetect_and_watchdog_is_failure() {
+        let w = workload_by_name("kmeans").unwrap();
+        let golden = vec![0u8; 4];
+        let sw = result(
+            RunEnd::Trap {
+                kind: TrapKind::SwDetect(CheckKind::DupMismatch),
+                at_dyn: 20,
+            },
+            10,
+        );
+        let t = classify_trial(&*w, &golden, &sw, &[], &ClassifyParams::default());
+        assert_eq!(t.outcome, Outcome::SwDetect(CheckKind::DupMismatch));
+        assert_eq!(t.outcome.fig11_bucket(), "SWDetect");
+
+        let wd = result(
+            RunEnd::Trap {
+                kind: TrapKind::Watchdog,
+                at_dyn: 1_000_000,
+            },
+            10,
+        );
+        let t = classify_trial(&*w, &golden, &wd, &[], &ClassifyParams::default());
+        assert_eq!(t.outcome, Outcome::Failure);
+    }
+
+    #[test]
+    fn large_change_detection() {
+        let p = ClassifyParams::default();
+        let rec = InjectionRecord {
+            at_dyn: 0,
+            func: FuncId::new(0),
+            value: ValueId::new(0),
+            ty: Type::I64,
+            bit: 40,
+            old_bits: 1,
+            new_bits: (1i64 + (1 << 40)) as u64,
+        };
+        assert!(is_large_change(&rec, &p));
+        let small = InjectionRecord {
+            bit: 0,
+            old_bits: 1000,
+            new_bits: 1001,
+            ..rec
+        };
+        assert!(!is_large_change(&small, &p));
+    }
+}

@@ -1,0 +1,114 @@
+//! Fault-free timing runs (Fig. 12 performance overheads).
+
+use softft::Technique;
+use softft_ir::Module;
+use softft_vm::interp::VmConfig;
+use softft_vm::timing::{CoreConfig, TimingModel};
+use softft_workloads::runner::run_workload;
+use softft_workloads::{InputSet, Workload};
+
+/// Timing of one fault-free run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PerfSample {
+    /// Modelled cycles.
+    pub cycles: u64,
+    /// Dynamic instructions.
+    pub insts: u64,
+}
+
+impl PerfSample {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.insts as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// Runs `module` fault-free under the timing model.
+///
+/// # Panics
+///
+/// Panics if the run does not complete.
+pub fn time_module(workload: &dyn Workload, module: &Module, input: InputSet) -> PerfSample {
+    let mut timing = TimingModel::new(CoreConfig::default());
+    // Checks run in counting mode: a benign train→test profile drift must
+    // not abort the timing run (the paper's recovery-suppression rule);
+    // the check instructions are still fetched and timed.
+    let vm_cfg = VmConfig {
+        checks_count_only: true,
+        ..VmConfig::default()
+    };
+    let (result, _) = run_workload(module, &workload.input(input), vm_cfg, &mut timing, None);
+    assert!(
+        result.completed(),
+        "timing run of {} failed: {:?}",
+        workload.name(),
+        result.end
+    );
+    PerfSample {
+        cycles: timing.cycles(),
+        insts: timing.instructions(),
+    }
+}
+
+/// Runtime overhead of `technique` relative to the original module, as a
+/// fraction (0.195 = 19.5%).
+pub fn overhead(
+    workload: &dyn Workload,
+    original: &Module,
+    transformed: &Module,
+    input: InputSet,
+) -> f64 {
+    let base = time_module(workload, original, input);
+    let t = time_module(workload, transformed, input);
+    (t.cycles as f64 - base.cycles as f64) / base.cycles.max(1) as f64
+}
+
+/// Overheads for every technique (keyed in [`Technique::ALL`] order,
+/// `Original` omitted — it is the baseline).
+pub fn all_overheads(
+    workload: &dyn Workload,
+    modules: &std::collections::HashMap<Technique, Module>,
+    input: InputSet,
+) -> Vec<(Technique, f64)> {
+    let base = time_module(workload, &modules[&Technique::Original], input);
+    Technique::ALL
+        .iter()
+        .filter(|t| **t != Technique::Original)
+        .map(|&t| {
+            let s = time_module(workload, &modules[&t], input);
+            (
+                t,
+                (s.cycles as f64 - base.cycles as f64) / base.cycles.max(1) as f64,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::prepare;
+    use softft_workloads::workload_by_name;
+
+    #[test]
+    fn overheads_are_ordered_like_the_paper() {
+        let p = prepare(workload_by_name("tiff2bw").unwrap());
+        let ovs = all_overheads(&*p.workload, &p.modules, InputSet::Test);
+        let get = |t: Technique| ovs.iter().find(|(x, _)| *x == t).unwrap().1;
+        let dup = get(Technique::DupOnly);
+        let dv = get(Technique::DupVal);
+        let full = get(Technique::FullDup);
+        assert!(dup >= 0.0, "dup {dup}");
+        assert!(dv >= dup * 0.5, "dup+val {dv} vs dup {dup}");
+        assert!(full > dv, "full {full} !> dup+val {dv}");
+        assert!(full > 0.15, "full duplication suspiciously cheap: {full}");
+    }
+
+    #[test]
+    fn ipc_is_sane() {
+        let p = prepare(workload_by_name("kmeans").unwrap());
+        let s = time_module(&*p.workload, p.module(Technique::Original), InputSet::Test);
+        let ipc = s.ipc();
+        assert!(ipc > 0.2 && ipc <= 2.0, "ipc {ipc}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Benchmark preparation: profile on the train input, transform under
+//! every technique.
+
+use softft::{transform, StaticStats, Technique, TransformConfig};
+use softft_ir::Module;
+use softft_profile::{ClassifyConfig, ProfileDb, Profiler};
+use softft_vm::interp::VmConfig;
+use softft_workloads::runner::run_workload;
+use softft_workloads::{InputSet, Workload};
+use std::collections::HashMap;
+
+/// A benchmark with all its transformed variants.
+pub struct PreparedBenchmark {
+    /// The benchmark.
+    pub workload: Box<dyn Workload>,
+    /// The profile collected on the train input (the paper's offline
+    /// value-profiling step).
+    pub profile: ProfileDb,
+    /// Transformed modules per technique.
+    pub modules: HashMap<Technique, Module>,
+    /// Static statistics per technique (Fig. 10).
+    pub static_stats: HashMap<Technique, StaticStats>,
+}
+
+impl PreparedBenchmark {
+    /// The module for one technique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the technique was not prepared (all four always are).
+    pub fn module(&self, t: Technique) -> &Module {
+        &self.modules[&t]
+    }
+}
+
+/// Profiles `workload` on `profile_input` and builds all four technique
+/// variants.
+pub fn prepare_with_inputs(
+    workload: Box<dyn Workload>,
+    profile_input: InputSet,
+    classify: &ClassifyConfig,
+    config: &TransformConfig,
+) -> PreparedBenchmark {
+    let module = workload.build_module();
+    let input = workload.input(profile_input);
+    let mut profiler = Profiler::default();
+    let (result, _) = run_workload(&module, &input, VmConfig::default(), &mut profiler, None);
+    assert!(
+        result.completed(),
+        "profiling run of {} failed: {:?}",
+        workload.name(),
+        result.end
+    );
+    let profile = ProfileDb::from_profiler(&profiler, classify);
+
+    let mut modules = HashMap::new();
+    let mut static_stats = HashMap::new();
+    for t in Technique::ALL {
+        let (m, s) = transform(&module, &profile, t, config);
+        modules.insert(t, m);
+        static_stats.insert(t, s);
+    }
+    PreparedBenchmark {
+        workload,
+        profile,
+        modules,
+        static_stats,
+    }
+}
+
+/// Standard preparation: profile on [`InputSet::Train`] with default
+/// configurations (the paper's setup).
+pub fn prepare(workload: Box<dyn Workload>) -> PreparedBenchmark {
+    prepare_with_inputs(
+        workload,
+        InputSet::Train,
+        &ClassifyConfig::default(),
+        &TransformConfig::default(),
+    )
+}
+
+/// Observer collecting the static sites of failing checks.
+#[derive(Default)]
+struct CheckFailSites {
+    sites: Vec<(softft_ir::FuncId, softft_ir::InstId)>,
+}
+
+impl softft_vm::interp::Observer for CheckFailSites {
+    fn on_check_fail(
+        &mut self,
+        func: softft_ir::FuncId,
+        _f: &softft_ir::Function,
+        inst: softft_ir::InstId,
+    ) {
+        self.sites.push((func, inst));
+    }
+}
+
+/// Disables check sites that fire on a *fault-free* run of `input` —
+/// the steady-state behaviour the paper describes: a false-positive
+/// check triggers one recovery, fires again after re-execution, and is
+/// then suppressed. Returns the number of sites disabled.
+///
+/// Call this on a transformed module before an injection campaign whose
+/// input differs from the profiling input; otherwise benign profile
+/// drift would be misclassified as detection.
+pub fn neutralize_false_positives(
+    module: &mut Module,
+    workload: &dyn Workload,
+    input: InputSet,
+) -> usize {
+    let cfg = VmConfig {
+        checks_count_only: true,
+        ..VmConfig::default()
+    };
+    let mut sites = CheckFailSites::default();
+    let (result, _) = run_workload(module, &workload.input(input), cfg, &mut sites, None);
+    assert!(
+        result.completed(),
+        "fault-free counting run of {} failed: {:?}",
+        workload.name(),
+        result.end
+    );
+    let mut unique: Vec<_> = sites.sites;
+    unique.sort();
+    unique.dedup();
+    for &(fid, inst) in &unique {
+        let f = module.function_mut(fid);
+        let true_c = f.iconst(softft_ir::Type::I1, 1);
+        if let softft_ir::Op::Check { cond, .. } = &mut f.inst_mut(inst).op {
+            *cond = true_c;
+        }
+    }
+    unique.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_workloads::workload_by_name;
+
+    #[test]
+    fn preparation_builds_all_techniques() {
+        let p = prepare(workload_by_name("tiff2bw").unwrap());
+        assert_eq!(p.modules.len(), 4);
+        for t in Technique::ALL {
+            softft_ir::verify::verify_module(p.module(t)).unwrap();
+        }
+        let dup = p.static_stats[&Technique::DupOnly];
+        assert!(dup.state_vars > 0);
+        assert!(dup.duplicated > 0);
+        let dv = p.static_stats[&Technique::DupVal];
+        // Opt 2 may clone fewer instructions than Dup-only, but checks
+        // must appear and the module must have grown.
+        assert!(dv.insts_after > dv.insts_before);
+        assert!(dv.value_checks() > 0);
+        assert!(p.profile.num_amenable() > 0);
+    }
+
+    #[test]
+    fn transformed_modules_preserve_golden_output() {
+        let p = prepare(workload_by_name("segm").unwrap());
+        let input = p.workload.input(InputSet::Test);
+        let mut outs = Vec::new();
+        for t in Technique::ALL {
+            // Neutralize train→test profile drift (false positives)
+            // exactly as campaigns do.
+            let mut m = p.module(t).clone();
+            neutralize_false_positives(&mut m, &*p.workload, InputSet::Test);
+            let (r, out) = run_workload(
+                &m,
+                &input,
+                VmConfig::default(),
+                &mut softft_vm::interp::NoopObserver,
+                None,
+            );
+            assert!(r.completed(), "{t}: {:?}", r.end);
+            outs.push(out);
+        }
+        for o in &outs[1..] {
+            assert_eq!(o, &outs[0], "technique changed fault-free output");
+        }
+    }
+
+    #[test]
+    fn neutralization_disables_only_firing_checks() {
+        let p = prepare(workload_by_name("kmeans").unwrap());
+        let mut m = p.module(Technique::DupVal).clone();
+        let disabled = neutralize_false_positives(&mut m, &*p.workload, InputSet::Test);
+        // Re-running must now be clean.
+        let again = neutralize_false_positives(&mut m, &*p.workload, InputSet::Test);
+        assert_eq!(again, 0, "neutralization did not converge ({disabled} then {again})");
+    }
+}

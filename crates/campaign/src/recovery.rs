@@ -1,0 +1,160 @@
+//! Recovery-cost modelling (Section IV-D).
+//!
+//! The paper is detection-only and defers recovery to cited mechanisms:
+//! Encore-style software re-execution or checkpoint-based rollback of
+//! roughly 1000 instructions. This module closes that loop analytically:
+//! given a campaign's detections (all of which are transient faults, so
+//! deterministic re-execution from a pre-fault point always succeeds),
+//! it models the *cost* of recovery under a checkpoint interval and the
+//! *net* overhead of detection + recovery at a given fault rate.
+
+use crate::campaign::CampaignResult;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the rollback mechanism.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RecoveryModel {
+    /// Instructions between checkpoints (the paper cites ~1000-instruction
+    /// rollback windows for aggressive speculation support).
+    pub checkpoint_interval: u64,
+    /// Fixed instructions charged per checkpoint creation.
+    pub checkpoint_cost: u64,
+    /// Fixed instructions charged per rollback (state restore).
+    pub rollback_cost: u64,
+}
+
+impl Default for RecoveryModel {
+    fn default() -> Self {
+        RecoveryModel {
+            checkpoint_interval: 1000,
+            checkpoint_cost: 20,
+            rollback_cost: 200,
+        }
+    }
+}
+
+/// Modelled recovery economics for one campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryCost {
+    /// Expected instructions re-executed per recovery (half a checkpoint
+    /// interval on average, plus the restore cost).
+    pub mean_rollback_insts: f64,
+    /// Steady-state checkpointing overhead as a fraction of execution
+    /// (checkpoint cost amortized over the interval).
+    pub checkpoint_overhead: f64,
+    /// Fraction of injected faults that trigger a recovery (software
+    /// detections; hardware symptoms within the window also recover).
+    pub recovery_trigger_frac: f64,
+    /// Fraction of faults that recovery repairs: every detection of a
+    /// transient fault re-executes deterministically to the golden
+    /// output, so this equals the trigger fraction.
+    pub recovered_frac: f64,
+}
+
+impl RecoveryCost {
+    /// Expected extra instructions per *run* at a given per-run fault
+    /// probability (tiny for realistic soft-error rates — the point of
+    /// the paper's low-overhead detection is that the common case pays
+    /// only detection + checkpointing).
+    pub fn expected_recovery_insts_per_run(&self, fault_prob: f64) -> f64 {
+        fault_prob * self.recovery_trigger_frac * self.mean_rollback_insts
+    }
+}
+
+/// Models recovery for `result` under `model`.
+pub fn model_recovery(result: &CampaignResult, model: &RecoveryModel) -> RecoveryCost {
+    let trigger = result.swdetect_frac() + result.hwdetect_frac();
+    RecoveryCost {
+        mean_rollback_insts: model.checkpoint_interval as f64 / 2.0 + model.rollback_cost as f64,
+        checkpoint_overhead: model.checkpoint_cost as f64 / model.checkpoint_interval as f64,
+        recovery_trigger_frac: trigger,
+        recovered_frac: trigger,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+    use crate::prep::prepare;
+    use softft::Technique;
+    use softft_workloads::workload_by_name;
+
+    #[test]
+    fn recovery_cost_is_bounded_by_the_window() {
+        let p = prepare(workload_by_name("tiff2bw").unwrap());
+        let cfg = CampaignConfig {
+            trials: 80,
+            seed: 5,
+            threads: 1,
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(&*p.workload, p.module(Technique::DupVal), &cfg);
+        let model = RecoveryModel::default();
+        let cost = model_recovery(&r, &model);
+        assert!(cost.mean_rollback_insts <= (model.checkpoint_interval + model.rollback_cost) as f64);
+        assert!(cost.checkpoint_overhead < 0.05, "{}", cost.checkpoint_overhead);
+        assert!(cost.recovery_trigger_frac > 0.0, "no detections to recover");
+        assert_eq!(cost.recovered_frac, cost.recovery_trigger_frac);
+    }
+
+    #[test]
+    fn per_run_expected_cost_scales_with_fault_rate() {
+        let cost = RecoveryCost {
+            mean_rollback_insts: 700.0,
+            checkpoint_overhead: 0.02,
+            recovery_trigger_frac: 0.2,
+            recovered_frac: 0.2,
+        };
+        let cheap = cost.expected_recovery_insts_per_run(1e-6);
+        let dear = cost.expected_recovery_insts_per_run(1e-2);
+        assert!(cheap < dear);
+        assert!((dear / cheap - 1e4).abs() < 1.0);
+    }
+
+    #[test]
+    fn detection_plus_reexecution_actually_recovers() {
+        // Dynamic confirmation of the model's premise: re-running a
+        // detected trial without the fault reproduces the golden output
+        // (transient faults are gone on re-execution).
+        use softft_vm::interp::{NoopObserver, VmConfig};
+        use softft_vm::{FaultPlan, RunEnd, TrapKind};
+        use softft_workloads::runner::run_workload;
+        use softft_workloads::InputSet;
+
+        let p = prepare(workload_by_name("g721dec").unwrap());
+        // Suppress train->test profile-drift checks exactly as campaigns
+        // do, so the fault-free golden run completes.
+        let mut module = p.module(Technique::DupVal).clone();
+        crate::prep::neutralize_false_positives(&mut module, &*p.workload, InputSet::Test);
+        let module = &module;
+        let input = p.workload.input(InputSet::Test);
+        let (golden_r, golden) =
+            run_workload(module, &input, VmConfig::default(), &mut NoopObserver, None);
+        assert!(golden_r.completed());
+
+        let mut recovered = 0;
+        let mut detections = 0;
+        for seed in 0..200u64 {
+            let plan = FaultPlan::register((seed * 9973) % golden_r.dyn_insts, seed);
+            let (r, _) = run_workload(
+                module,
+                &input,
+                VmConfig::default(),
+                &mut NoopObserver,
+                Some(plan),
+            );
+            if matches!(r.end, RunEnd::Trap { kind: TrapKind::SwDetect(_), .. }) {
+                detections += 1;
+                // Re-execute without the fault: the transient is gone.
+                let (r2, out2) =
+                    run_workload(module, &input, VmConfig::default(), &mut NoopObserver, None);
+                if r2.completed() && out2 == golden {
+                    recovered += 1;
+                }
+            }
+        }
+        assert!(detections > 0, "no detections in the sweep");
+        assert_eq!(recovered, detections, "re-execution failed to recover");
+    }
+}

@@ -1,0 +1,448 @@
+//! Text renderers for the paper's tables and figures.
+//!
+//! Each `render_*` function takes the data computed by the campaign /
+//! perf / static passes and prints the same rows or series the paper's
+//! corresponding exhibit reports, plus the cross-benchmark means quoted
+//! in the text.
+
+use crate::campaign::CampaignResult;
+use crate::stats::worst_case_margin_95;
+use softft::{StaticStats, Technique};
+use softft_ir::CheckKind;
+use softft_workloads::{FidelityMetric, Workload};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Per-benchmark campaign results for a set of techniques.
+pub type ResultsByTechnique = HashMap<Technique, CampaignResult>;
+
+fn pct(x: f64) -> String {
+    format!("{:6.2}%", x * 100.0)
+}
+
+/// Table I: benchmark registry (name, category, fidelity metric,
+/// threshold).
+pub fn render_table1(workloads: &[Box<dyn Workload>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table I: benchmarks, domains, and fidelity measures\n\
+         {:<10} {:<17} {:<22} threshold",
+        "benchmark", "category", "fidelity metric"
+    );
+    for w in workloads {
+        let (metric, thr) = match w.metric() {
+            FidelityMetric::Psnr { threshold_db } => ("PSNR", format!("{threshold_db} dB")),
+            FidelityMetric::SegmentalSnr { threshold_db } => {
+                ("segmental SNR", format!("{threshold_db} dB"))
+            }
+            FidelityMetric::Mismatch { threshold_frac } => {
+                ("matrix mismatch", format!("{:.0}%", threshold_frac * 100.0))
+            }
+            FidelityMetric::ClassError { threshold_frac } => (
+                "classification error",
+                format!("{:.0}%", threshold_frac * 100.0),
+            ),
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:<17} {:<22} {}",
+            w.name(),
+            w.category().label(),
+            metric,
+            thr
+        );
+    }
+    out
+}
+
+/// Table II: the timing model's core configuration.
+pub fn render_table2() -> String {
+    let cfg = softft_vm::timing::CoreConfig::default();
+    format!(
+        "Table II: simulated core parameters\n\
+         issue width          {}\n\
+         reorder buffer       {} entries\n\
+         L1 load latency      {} cycles\n\
+         integer multiply     {} cycles\n\
+         integer divide       {} cycles\n\
+         FP op                {} cycles\n\
+         FP divide/sqrt       {} cycles\n\
+         call overhead        {} cycles\n",
+        cfg.issue_width,
+        cfg.rob_size,
+        cfg.load_latency,
+        cfg.mul_latency,
+        cfg.div_latency,
+        cfg.fp_latency,
+        cfg.fdiv_latency,
+        cfg.call_overhead,
+    )
+}
+
+/// Fig. 2: SDC breakdown on the *unmodified* application — acceptable
+/// SDCs vs unacceptable, the latter split by large/small injected value
+/// change.
+pub fn render_fig2(rows: &[(String, CampaignResult)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 2: SDC breakdown of unmodified applications (% of injections)\n\
+         {:<10} {:>8} {:>8} {:>12} {:>12}",
+        "benchmark", "SDC", "ASDC", "USDC-large", "USDC-small"
+    );
+    let (mut s_sdc, mut s_asdc, mut s_l, mut s_s) = (0.0, 0.0, 0.0, 0.0);
+    for (name, r) in rows {
+        let asdc = r.frac(crate::outcome::Outcome::AcceptableSdc);
+        let large = r.usdc_large as f64 / r.trials.max(1) as f64;
+        let small = r.usdc_small as f64 / r.trials.max(1) as f64;
+        let sdc = r.sdc_frac();
+        let _ = writeln!(
+            out,
+            "{:<10} {} {} {}  {}",
+            name,
+            pct(sdc),
+            pct(asdc),
+            pct(large),
+            pct(small)
+        );
+        s_sdc += sdc;
+        s_asdc += asdc;
+        s_l += large;
+        s_s += small;
+    }
+    let n = rows.len().max(1) as f64;
+    let _ = writeln!(
+        out,
+        "{:<10} {} {} {}  {}   (paper: ~77% of SDCs acceptable, 14% large-change USDC)",
+        "mean",
+        pct(s_sdc / n),
+        pct(s_asdc / n),
+        pct(s_l / n),
+        pct(s_s / n)
+    );
+    out
+}
+
+/// Fig. 6 companion: check-type census per benchmark.
+pub fn render_fig6(rows: &[(String, StaticStats)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 6: expected-value check flavours inserted (Dup + val chks)\n\
+         {:<10} {:>8} {:>8} {:>8}",
+        "benchmark", "single", "pair", "range"
+    );
+    for (name, s) in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>8} {:>8}",
+            name, s.checks_single, s.checks_pair, s.checks_range
+        );
+    }
+    out
+}
+
+/// Fig. 10: state variables, duplicated instructions, and value checks
+/// as fractions of static IR instructions.
+pub fn render_fig10(rows: &[(String, StaticStats)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 10: static transformation statistics (fraction of static IR instructions)\n\
+         {:<10} {:>8} {:>11} {:>12} {:>12}",
+        "benchmark", "insts", "state vars", "duplicated", "value chks"
+    );
+    let (mut sv, mut dup, mut chk) = (0.0, 0.0, 0.0);
+    for (name, s) in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {} {} {}",
+            name,
+            s.insts_before,
+            pct(s.state_var_frac()),
+            pct(s.duplicated_frac()),
+            pct(s.value_check_frac())
+        );
+        sv += s.state_var_frac();
+        dup += s.duplicated_frac();
+        chk += s.value_check_frac();
+    }
+    let n = rows.len().max(1) as f64;
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {} {} {}   (paper: ≤11.4% duplicated, ≤8.3% value-checked)",
+        "mean",
+        "",
+        pct(sv / n),
+        pct(dup / n),
+        pct(chk / n)
+    );
+    out
+}
+
+/// Fig. 11: fault-outcome classification per benchmark × technique.
+pub fn render_fig11(rows: &[(String, ResultsByTechnique)], trials: u32) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 11: fault classification (% of injections; ±{:.1}% at 95% conf.)\n\
+         {:<10} {:<17} {:>8} {:>9} {:>9} {:>8} {:>7}",
+        worst_case_margin_95(trials) * 100.0,
+        "benchmark",
+        "technique",
+        "Masked",
+        "SWDetect",
+        "HWDetect",
+        "Failure",
+        "USDC"
+    );
+    let techniques = [Technique::Original, Technique::DupOnly, Technique::DupVal];
+    let mut means: HashMap<Technique, [f64; 5]> = HashMap::new();
+    for (name, by_t) in rows {
+        for t in techniques {
+            let Some(r) = by_t.get(&t) else { continue };
+            let vals = [
+                r.masked_frac(),
+                r.swdetect_frac(),
+                r.hwdetect_frac(),
+                r.failure_frac(),
+                r.usdc_frac(),
+            ];
+            let _ = writeln!(
+                out,
+                "{:<10} {:<17} {} {}  {} {} {}",
+                name,
+                t.label(),
+                pct(vals[0]),
+                pct(vals[1]),
+                pct(vals[2]),
+                pct(vals[3]),
+                pct(vals[4])
+            );
+            let e = means.entry(t).or_insert([0.0; 5]);
+            for (i, v) in vals.iter().enumerate() {
+                e[i] += v;
+            }
+        }
+    }
+    let n = rows.len().max(1) as f64;
+    for t in techniques {
+        if let Some(m) = means.get(&t) {
+            let _ = writeln!(
+                out,
+                "{:<10} {:<17} {} {}  {} {} {}",
+                "mean",
+                t.label(),
+                pct(m[0] / n),
+                pct(m[1] / n),
+                pct(m[2] / n),
+                pct(m[3] / n),
+                pct(m[4] / n)
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "(paper means: USDC 3.4% original → 1.8% dup-only → 1.2% dup+val; full dup 1.4%)"
+    );
+    out
+}
+
+/// Fig. 12: runtime overheads per technique.
+pub fn render_fig12(rows: &[(String, Vec<(Technique, f64)>)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 12: performance overhead vs original (modelled cycles)\n\
+         {:<10} {:>10} {:>14} {:>10}",
+        "benchmark", "Dup only", "Dup+val chks", "Full dup"
+    );
+    let mut sums: HashMap<Technique, f64> = HashMap::new();
+    for (name, ovs) in rows {
+        let get = |t: Technique| {
+            ovs.iter()
+                .find(|(x, _)| *x == t)
+                .map(|(_, v)| *v)
+                .unwrap_or(f64::NAN)
+        };
+        let (a, b, c) = (
+            get(Technique::DupOnly),
+            get(Technique::DupVal),
+            get(Technique::FullDup),
+        );
+        let _ = writeln!(out, "{:<10} {:>9} {:>13} {:>9}", name, pct(a), pct(b), pct(c));
+        *sums.entry(Technique::DupOnly).or_default() += a;
+        *sums.entry(Technique::DupVal).or_default() += b;
+        *sums.entry(Technique::FullDup).or_default() += c;
+    }
+    let n = rows.len().max(1) as f64;
+    let _ = writeln!(
+        out,
+        "{:<10} {:>9} {:>13} {:>9}   (paper means: 7.6% / 19.5% / 57%)",
+        "mean",
+        pct(sums.get(&Technique::DupOnly).copied().unwrap_or(0.0) / n),
+        pct(sums.get(&Technique::DupVal).copied().unwrap_or(0.0) / n),
+        pct(sums.get(&Technique::FullDup).copied().unwrap_or(0.0) / n)
+    );
+    out
+}
+
+/// Fig. 13: SDC totals split into acceptable and unacceptable per
+/// technique.
+pub fn render_fig13(rows: &[(String, ResultsByTechnique)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 13: SDC breakdown per technique (% of injections)\n\
+         {:<10} {:<17} {:>8} {:>8} {:>8}",
+        "benchmark", "technique", "SDC", "ASDC", "USDC"
+    );
+    let techniques = [Technique::Original, Technique::DupOnly, Technique::DupVal];
+    let mut means: HashMap<Technique, [f64; 3]> = HashMap::new();
+    for (name, by_t) in rows {
+        for t in techniques {
+            let Some(r) = by_t.get(&t) else { continue };
+            let vals = [
+                r.sdc_frac(),
+                r.frac(crate::outcome::Outcome::AcceptableSdc),
+                r.usdc_frac(),
+            ];
+            let _ = writeln!(
+                out,
+                "{:<10} {:<17} {} {} {}",
+                name,
+                t.label(),
+                pct(vals[0]),
+                pct(vals[1]),
+                pct(vals[2])
+            );
+            let e = means.entry(t).or_insert([0.0; 3]);
+            for (i, v) in vals.iter().enumerate() {
+                e[i] += v;
+            }
+        }
+    }
+    let n = rows.len().max(1) as f64;
+    for t in techniques {
+        if let Some(m) = means.get(&t) {
+            let _ = writeln!(
+                out,
+                "{:<10} {:<17} {} {} {}",
+                "mean",
+                t.label(),
+                pct(m[0] / n),
+                pct(m[1] / n),
+                pct(m[2] / n)
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "(paper means: SDC 15% → 9.5% → 7.3%; USDC 3.4% → 1.8% → 1.2%)"
+    );
+    out
+}
+
+/// SWDetect attribution: how much detection each mechanism contributes
+/// under `Dup + val chks`.
+pub fn render_detection_split(rows: &[(String, CampaignResult)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Detection attribution under Dup + val chks (% of injections)\n\
+         {:<10} {:>10} {:>9} {:>8} {:>8}",
+        "benchmark", "dup-chk", "single", "pair", "range"
+    );
+    for (name, r) in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {} {} {} {}",
+            name,
+            pct(r.swdetect_kind_frac(CheckKind::DupMismatch)),
+            pct(r.swdetect_kind_frac(CheckKind::ValueSingle)),
+            pct(r.swdetect_kind_frac(CheckKind::ValuePair)),
+            pct(r.swdetect_kind_frac(CheckKind::ValueRange))
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Outcome;
+    use softft_workloads::all_workloads;
+
+    fn fake_result(masked: u32, sw: u32, usdc: u32) -> CampaignResult {
+        let mut counts = HashMap::new();
+        counts.insert(Outcome::Masked, masked);
+        counts.insert(Outcome::SwDetect(CheckKind::DupMismatch), sw);
+        counts.insert(Outcome::UnacceptableSdc, usdc);
+        CampaignResult {
+            trials: masked + sw + usdc,
+            counts,
+            usdc_large: usdc / 2,
+            usdc_small: usdc - usdc / 2,
+            golden_dyn_insts: 1000,
+        }
+    }
+
+    #[test]
+    fn table1_lists_all_benchmarks() {
+        let t = render_table1(&all_workloads());
+        for name in ["jpegenc", "svm", "tex_synth", "h264dec"] {
+            assert!(t.contains(name), "{t}");
+        }
+        assert!(t.contains("PSNR"));
+        assert!(t.contains("segmental SNR"));
+    }
+
+    #[test]
+    fn table2_reflects_core_config() {
+        let t = render_table2();
+        assert!(t.contains("issue width          2"));
+        assert!(t.contains("192 entries"));
+    }
+
+    #[test]
+    fn fig11_contains_means() {
+        let mut by_t = ResultsByTechnique::new();
+        by_t.insert(Technique::Original, fake_result(80, 0, 20));
+        by_t.insert(Technique::DupVal, fake_result(80, 15, 5));
+        let rows = vec![("demo".to_string(), by_t)];
+        let t = render_fig11(&rows, 100);
+        assert!(t.contains("demo"));
+        assert!(t.contains("mean"));
+        assert!(t.contains("Dup + val chks"));
+        assert!(t.contains("USDC"));
+    }
+
+    #[test]
+    fn fig12_renders_percentages() {
+        let rows = vec![(
+            "demo".to_string(),
+            vec![
+                (Technique::DupOnly, 0.076),
+                (Technique::DupVal, 0.195),
+                (Technique::FullDup, 0.57),
+            ],
+        )];
+        let t = render_fig12(&rows);
+        assert!(t.contains("7.60%"), "{t}");
+        assert!(t.contains("57.00%"), "{t}");
+    }
+
+    #[test]
+    fn fig2_and_13_render() {
+        let rows = vec![("demo".to_string(), fake_result(70, 0, 30))];
+        let f2 = render_fig2(&rows);
+        assert!(f2.contains("USDC-large"));
+        let mut by_t = ResultsByTechnique::new();
+        by_t.insert(Technique::Original, fake_result(70, 0, 30));
+        let f13 = render_fig13(&[("demo".to_string(), by_t)]);
+        assert!(f13.contains("ASDC"));
+        let ds = render_detection_split(&rows);
+        assert!(ds.contains("dup-chk"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Statistical-significance helpers (Leveugle et al., cited by the
+//! paper for the 95%-confidence ±3.1% margin of its 1000-trial
+//! campaigns).
+
+/// Margin of error at confidence level `z` (e.g. 1.96 for 95%) for an
+/// observed proportion `p` over `n` trials: `z * sqrt(p(1-p)/n)`.
+pub fn margin_of_error(p: f64, n: u32, z: f64) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let p = p.clamp(0.0, 1.0);
+    z * (p * (1.0 - p) / n as f64).sqrt()
+}
+
+/// Worst-case (p = 0.5) margin at 95% confidence — the figure the paper
+/// quotes for its setup.
+pub fn worst_case_margin_95(n: u32) -> f64 {
+    margin_of_error(0.5, n, 1.96)
+}
+
+/// Trials needed for a worst-case margin of `e` at 95% confidence.
+pub fn trials_for_margin_95(e: f64) -> u32 {
+    // n = z² p(1-p) / e² with p = 0.5.
+    let z: f64 = 1.96;
+    ((z * z * 0.25) / (e * e)).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_margin_reproduced() {
+        // 1000 trials/benchmark at 95% confidence → ~3.1% worst case.
+        let m = worst_case_margin_95(1000);
+        assert!((m - 0.031).abs() < 0.001, "{m}");
+    }
+
+    #[test]
+    fn margin_shrinks_with_n() {
+        assert!(worst_case_margin_95(4000) < worst_case_margin_95(1000));
+        assert_eq!(margin_of_error(0.5, 0, 1.96), 1.0);
+    }
+
+    #[test]
+    fn margin_is_zero_at_extremes() {
+        assert_eq!(margin_of_error(0.0, 100, 1.96), 0.0);
+        assert_eq!(margin_of_error(1.0, 100, 1.96), 0.0);
+    }
+
+    #[test]
+    fn trials_roundtrip() {
+        let n = trials_for_margin_95(0.031);
+        assert!((950..=1050).contains(&n), "{n}");
+    }
+}

@@ -1,0 +1,280 @@
+//! Control-flow signature checking (CFCSS-style extension).
+//!
+//! The paper's scheme covers data faults — including faults that change
+//! the *direction* of a data-dependent branch — but explicitly not faults
+//! that corrupt a branch *target*, deferring those to "a previously
+//! proposed signature-based low-cost solution [that] can be used in
+//! conjunction with our proposed approach" (Section IV-C). This module
+//! implements that companion: every basic block is assigned a unique
+//! signature; each block stores its signature to a reserved memory word
+//! before transferring control, and verifies on entry that the stored
+//! signature belongs to one of its CFG predecessors. A branch that lands
+//! on a block it has no edge to leaves a foreign signature behind and the
+//! entry check fires with [`CheckKind::CfcSignature`].
+//!
+//! The classic CFCSS formulation keeps the running signature in a
+//! dedicated register updated by XOR differences; our IR has no reserved
+//! registers, so the signature lives in a module global — same detection
+//! power for single-corruption faults, at one load + one store per block.
+
+use softft_ir::inst::{CheckKind, IntCC, Op};
+use softft_ir::{BlockId, FuncId, Module, Type};
+
+/// Counters from signature insertion.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CfcStats {
+    /// Blocks instrumented (signature stores).
+    pub blocks_signed: usize,
+    /// Entry checks inserted.
+    pub checks: usize,
+    /// Extra IR instructions added.
+    pub added_insts: usize,
+}
+
+/// Unique signature of a block: never zero, distinct across functions by
+/// construction (functions are limited to 2²⁰ blocks, far beyond any
+/// realistic kernel).
+fn signature(func: FuncId, block: BlockId) -> i64 {
+    const BLOCK_SPACE: i64 = 1 << 20;
+    assert!((block.index() as i64) < BLOCK_SPACE, "function too large");
+    (func.index() as i64) * BLOCK_SPACE + block.index() as i64 + 1
+}
+
+/// Instruments every function of `module` with control-flow signatures.
+///
+/// Adds one 8-byte global (`__cfc_sig`) holding the last-executed block's
+/// signature. Each block appends `store sig(B)` before its terminator;
+/// each block with predecessors prepends (after phis) a check that the
+/// loaded signature equals one of its predecessors' signatures. Entry
+/// blocks are seeded by storing their own signature at function start,
+/// so signature state stays consistent across calls.
+pub fn insert_cfc_signatures(module: &mut Module) -> CfcStats {
+    let mut stats = CfcStats::default();
+    let sig_global = module.add_global("__cfc_sig", 8);
+    let sig_addr = module.global(sig_global).addr as i64;
+
+    for fidx in 0..module.functions().len() {
+        let fid = FuncId::new(fidx);
+        let func = module.function_mut(fid);
+        let preds = func.compute_preds();
+        let blocks: Vec<BlockId> = func.block_ids().collect();
+
+        for &b in &blocks {
+            // Entry seeding / predecessor check, inserted after phis in
+            // reverse order (each insert prepends at the same position).
+            let addr = func.iconst(Type::I64, sig_addr);
+            if b == func.entry() {
+                let own = func.iconst(Type::I64, signature(fid, b));
+                let store = func.insert_inst_after_phis(
+                    Op::Store { addr, value: own },
+                    None,
+                    b,
+                );
+                let _ = store;
+                stats.added_insts += 1;
+            } else if !preds[b.index()].is_empty() {
+                // load sig; or-chain of (sig == s_p); check.
+                let load = func.insert_inst_after_phis(Op::Load { addr }, Some(Type::I64), b);
+                let loaded = func.inst(load).result.expect("load result");
+                let mut cond = None;
+                let mut anchor = load;
+                for &p in &preds[b.index()] {
+                    let expect = func.iconst(Type::I64, signature(fid, p));
+                    let cmp = func.insert_inst_after(
+                        Op::Icmp {
+                            pred: IntCC::Eq,
+                            lhs: loaded,
+                            rhs: expect,
+                        },
+                        Some(Type::I1),
+                        anchor,
+                    );
+                    let cv = func.inst(cmp).result.expect("cmp result");
+                    anchor = cmp;
+                    stats.added_insts += 1;
+                    cond = Some(match cond {
+                        None => cv,
+                        Some(prev) => {
+                            let or = func.insert_inst_after(
+                                Op::Bin {
+                                    op: softft_ir::BinOp::Or,
+                                    lhs: prev,
+                                    rhs: cv,
+                                },
+                                Some(Type::I1),
+                                anchor,
+                            );
+                            anchor = or;
+                            stats.added_insts += 1;
+                            func.inst(or).result.expect("or result")
+                        }
+                    });
+                }
+                if let Some(cond) = cond {
+                    func.insert_inst_after(
+                        Op::Check {
+                            cond,
+                            kind: CheckKind::CfcSignature,
+                        },
+                        None,
+                        anchor,
+                    );
+                    stats.checks += 1;
+                    stats.added_insts += 2; // the load + the check
+                }
+            }
+            // Signature store at block end (before the terminator).
+            let addr2 = func.iconst(Type::I64, sig_addr);
+            let own = func.iconst(Type::I64, signature(fid, b));
+            func.insert_inst_at_end(
+                Op::Store {
+                    addr: addr2,
+                    value: own,
+                },
+                None,
+                b,
+            );
+            stats.blocks_signed += 1;
+            stats.added_insts += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_ir::dsl::FunctionDsl;
+    use softft_ir::verify::verify_module;
+    use softft_vm::interp::{NoopObserver, Vm, VmConfig};
+    use softft_vm::{FaultPlan, RunEnd, TrapKind};
+
+    fn looping_module() -> Module {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(64));
+            d.for_range(s, e, |d, i| {
+                let three = d.i64c(3);
+                let v = d.mul(i, three);
+                let a = d.get(acc);
+                let a2 = d.add(a, v);
+                d.set(acc, a2);
+                let zero = d.i64c(0);
+                let c = d.icmp(softft_ir::IntCC::Sgt, a2, zero);
+                d.if_(c, |d| {
+                    let a = d.get(acc);
+                    let one = d.i64c(1);
+                    let a2 = d.add(a, one);
+                    d.set(acc, a2);
+                });
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn signatures_preserve_semantics() {
+        let m0 = looping_module();
+        let fid = m0.function_by_name("main").unwrap();
+        let golden = Vm::new(&m0, VmConfig::default())
+            .run(fid, &[], &mut NoopObserver, None)
+            .return_bits();
+        let mut m = looping_module();
+        let stats = insert_cfc_signatures(&mut m);
+        verify_module(&m).unwrap();
+        assert!(stats.checks > 0);
+        assert!(stats.blocks_signed > 3);
+        let got = Vm::new(&m, VmConfig::default())
+            .run(fid, &[], &mut NoopObserver, None)
+            .return_bits();
+        assert_eq!(got, golden);
+    }
+
+    #[test]
+    fn branch_target_faults_detected_with_signatures() {
+        let mut plain = looping_module();
+        let fid = plain.function_by_name("main").unwrap();
+        let mut signed = looping_module();
+        insert_cfc_signatures(&mut signed);
+        let _ = &mut plain;
+
+        let (mut detected, mut silent_plain, mut trials) = (0, 0, 0);
+        for at in (5..500).step_by(7) {
+            for seed in 0..2 {
+                trials += 1;
+                let plan = Some(FaultPlan::branch_target(at, seed));
+                let r_plain =
+                    Vm::new(&plain, VmConfig::default()).run(fid, &[], &mut NoopObserver, plan);
+                let r_signed =
+                    Vm::new(&signed, VmConfig::default()).run(fid, &[], &mut NoopObserver, plan);
+                if r_plain.completed() {
+                    silent_plain += 1;
+                }
+                if matches!(
+                    r_signed.end,
+                    RunEnd::Trap {
+                        kind: TrapKind::SwDetect(CheckKind::CfcSignature),
+                        ..
+                    }
+                ) {
+                    detected += 1;
+                }
+            }
+        }
+        assert!(
+            silent_plain > 0,
+            "unsigned binary never completed silently under branch faults"
+        );
+        assert!(
+            detected > trials / 3,
+            "signatures detected only {detected}/{trials} branch faults"
+        );
+    }
+
+    #[test]
+    fn register_faults_unaffected_by_signatures() {
+        // Signature checks must not misfire on ordinary data faults in a
+        // fault-free control flow (legal edges always match).
+        let mut m = looping_module();
+        insert_cfc_signatures(&mut m);
+        let fid = m.function_by_name("main").unwrap();
+        for seed in 0..40u64 {
+            let r = Vm::new(&m, VmConfig::default()).run(
+                fid,
+                &[],
+                &mut NoopObserver,
+                Some(FaultPlan::register(seed * 17 % 400, seed)),
+            );
+            assert!(
+                !matches!(
+                    r.end,
+                    RunEnd::Trap {
+                        kind: TrapKind::SwDetect(CheckKind::CfcSignature),
+                        ..
+                    }
+                ) || r.injection.is_some(),
+                "spurious signature firing"
+            );
+        }
+    }
+
+    #[test]
+    fn signatures_are_unique_per_block() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for f in 0..4 {
+            for b in 0..16 {
+                assert!(
+                    seen.insert(signature(FuncId::new(f), BlockId::new(b))),
+                    "collision at f{f} b{b}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! Producer-chain duplication for state variables (Section III-B, Fig. 7)
+//! and Optimization 2 (Fig. 9).
+
+use crate::state_vars::find_state_vars;
+use crate::value_checks::insert_check_after;
+use softft_ir::builder::InstBuilder;
+use softft_ir::function::ValueKind;
+use softft_ir::inst::{CheckKind, FloatCC, IntCC, Op};
+use softft_ir::{FuncId, Function, InstId, Type, ValueId};
+use softft_profile::{InstKey, ProfileDb};
+use std::collections::{HashMap, HashSet};
+
+/// Counters from the duplication pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DupStats {
+    /// State variables found (phis in loop headers).
+    pub state_vars: usize,
+    /// Instructions cloned into shadow chains (including shadow phis).
+    pub cloned: usize,
+    /// Duplication-mismatch checks inserted (compare + check pairs).
+    pub dup_checks: usize,
+    /// Chains terminated early by Optimization 2 (a value check was
+    /// inserted instead of continuing to duplicate).
+    pub opt2_terminations: usize,
+    /// Extra IR instructions added in total.
+    pub added_insts: usize,
+}
+
+/// Duplicates the producer chains of all state variables of `func`.
+///
+/// For each loop-header phi a *shadow phi* is created; each incoming
+/// value's producer chain is cloned (stopping at loads, parameters,
+/// constants, calls, and non-state phis — and, with `opt2`, at
+/// check-amenable instructions per `profile`, where the expected-value
+/// check is inserted instead). On every loop edge whose original and
+/// shadow values can diverge, an equality comparison feeding a
+/// [`CheckKind::DupMismatch`] check is inserted before the edge's source
+/// terminator.
+///
+/// `already_checked` records instructions that received an Opt-2 value
+/// check so the later value-check pass does not insert a second one.
+pub fn duplicate_state_vars(
+    func: &mut Function,
+    fid: FuncId,
+    profile: &ProfileDb,
+    opt2: bool,
+    already_checked: &mut HashSet<InstId>,
+) -> DupStats {
+    let mut stats = DupStats::default();
+    let state_vars = find_state_vars(func);
+    stats.state_vars = state_vars.len();
+    if state_vars.is_empty() {
+        return stats;
+    }
+
+    // Pre-create shadow phis so recursive shadowing of cyclic chains
+    // terminates at them.
+    let mut shadow: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut shadow_phis: Vec<(InstId, InstId)> = Vec::new(); // (orig phi, shadow phi)
+    for sv in &state_vars {
+        let header = func.inst(sv.phi).block;
+        let ty = func.value_type(sv.value);
+        let (sp_inst, sp_val) = {
+            let mut b = InstBuilder::new(func, header);
+            b.empty_phi(ty, header)
+        };
+        shadow.insert(sv.value, sp_val);
+        shadow_phis.push((sv.phi, sp_inst));
+        stats.cloned += 1;
+        stats.added_insts += 1;
+    }
+
+    // Shadow each incoming value of each state phi.
+    let mut edge_checks: Vec<(softft_ir::BlockId, ValueId, ValueId)> = Vec::new();
+    for (orig_phi, shadow_phi) in &shadow_phis {
+        let incomings = match &func.inst(*orig_phi).op {
+            Op::Phi { incomings } => incomings.clone(),
+            _ => unreachable!("state var is a phi"),
+        };
+        let mut shadow_incomings = Vec::with_capacity(incomings.len());
+        for (pred, v) in incomings {
+            let sv = shadow_value(
+                func,
+                fid,
+                v,
+                profile,
+                opt2,
+                already_checked,
+                &mut shadow,
+                &mut stats,
+            );
+            shadow_incomings.push((pred, sv));
+            if sv != v {
+                edge_checks.push((pred, v, sv));
+            }
+        }
+        if let Op::Phi { incomings } = &mut func.inst_mut(*shadow_phi).op {
+            *incomings = shadow_incomings;
+        }
+    }
+
+    // Insert the edge comparisons (original vs shadow) before each edge
+    // source's terminator.
+    edge_checks.sort_by_key(|(b, v, s)| (*b, *v, *s));
+    edge_checks.dedup();
+    for (block, orig, shad) in edge_checks {
+        let ty = func.value_type(orig);
+        let cmp_op = if ty.is_float() {
+            Op::Fcmp {
+                pred: FloatCC::Eq,
+                lhs: orig,
+                rhs: shad,
+            }
+        } else {
+            Op::Icmp {
+                pred: IntCC::Eq,
+                lhs: orig,
+                rhs: shad,
+            }
+        };
+        let cmp = func.insert_inst_at_end(cmp_op, Some(Type::I1), block);
+        let cond = func.inst(cmp).result.expect("cmp result");
+        func.insert_inst_at_end(
+            Op::Check {
+                cond,
+                kind: CheckKind::DupMismatch,
+            },
+            None,
+            block,
+        );
+        stats.dup_checks += 1;
+        stats.added_insts += 2;
+    }
+    stats
+}
+
+/// Number of instructions duplication would clone for `v`'s producer
+/// chain (stopping at the same boundaries as [`shadow_value`]:
+/// constants, parameters, non-duplicable instructions, and values that
+/// already have shadows).
+fn chain_size(
+    func: &Function,
+    v: ValueId,
+    shadow: &HashMap<ValueId, ValueId>,
+    visited: &mut HashSet<ValueId>,
+) -> usize {
+    if shadow.contains_key(&v) || !visited.insert(v) {
+        return 0;
+    }
+    let def = match func.value(v).kind {
+        ValueKind::Const(_) | ValueKind::Param(_) => return 0,
+        ValueKind::Inst(i) => i,
+    };
+    let op = &func.inst(def).op;
+    if !op.is_duplicable() {
+        return 0;
+    }
+    let mut size = 1;
+    for o in op.operand_vec() {
+        size += chain_size(func, o, shadow, visited);
+    }
+    size
+}
+
+/// Returns the shadow of `v`, cloning producer instructions as needed.
+#[allow(clippy::too_many_arguments)]
+fn shadow_value(
+    func: &mut Function,
+    fid: FuncId,
+    v: ValueId,
+    profile: &ProfileDb,
+    opt2: bool,
+    already_checked: &mut HashSet<InstId>,
+    shadow: &mut HashMap<ValueId, ValueId>,
+    stats: &mut DupStats,
+) -> ValueId {
+    if let Some(&s) = shadow.get(&v) {
+        return s;
+    }
+    let def = match func.value(v).kind {
+        // Constants and parameters are their own shadow (immediates /
+        // call-boundary values; the paper duplicates computation only).
+        ValueKind::Const(_) | ValueKind::Param(_) => {
+            shadow.insert(v, v);
+            return v;
+        }
+        ValueKind::Inst(i) => i,
+    };
+    let op = func.inst(def).op.clone();
+
+    // Chain terminators: loads (to save memory traffic; faulty addresses
+    // surface as out-of-bounds symptoms), calls, checks, and phis that are
+    // not state variables (merge phis).
+    if !op.is_duplicable() {
+        shadow.insert(v, v);
+        return v;
+    }
+
+    // Optimization 2: a check-amenable instruction in a *long* producer
+    // chain ends the chain; the expected-value check substitutes for
+    // duplication (Fig. 9). The paper applies this "wherever beneficial
+    // in terms of performance overhead", so the check is only inserted
+    // when the chain it cuts off would cost more clones than the check
+    // costs instructions — otherwise a 1-instruction clone would be
+    // replaced by a 3–4 instruction check, the opposite of a saving.
+    if opt2 {
+        let key = InstKey { func: fid, inst: def };
+        if let Some(spec) = profile.check_for(key) {
+            if already_checked.contains(&def) {
+                stats.opt2_terminations += 1;
+                shadow.insert(v, v);
+                return v;
+            }
+            let remaining = chain_size(func, v, shadow, &mut HashSet::new());
+            if remaining >= spec.static_cost() {
+                let added = insert_check_after(func, def, spec);
+                if added > 0 {
+                    already_checked.insert(def);
+                    stats.opt2_terminations += 1;
+                    stats.added_insts += added;
+                    shadow.insert(v, v);
+                    return v;
+                }
+                // Vacuous check: fall through and duplicate instead.
+            }
+        }
+    }
+
+    // Clone the instruction with shadowed operands.
+    let mut cloned_op = op.clone();
+    let mut operand_shadows: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut ops = Vec::new();
+    op.operands(&mut ops);
+    for o in ops {
+        let s = shadow_value(func, fid, o, profile, opt2, already_checked, shadow, stats);
+        operand_shadows.insert(o, s);
+    }
+    cloned_op.for_each_operand_mut(|o| {
+        if let Some(&s) = operand_shadows.get(o) {
+            *o = s;
+        }
+    });
+    let ty = func.value_type(v);
+    let clone = func.insert_inst_after(cloned_op, Some(ty), def);
+    let clone_val = func.inst(clone).result.expect("clone has result");
+    shadow.insert(v, clone_val);
+    stats.cloned += 1;
+    stats.added_insts += 1;
+    clone_val
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_ir::dsl::FunctionDsl;
+    use softft_ir::verify::verify_function;
+    use softft_ir::Module;
+    use softft_profile::{ClassifyConfig, Profiler};
+    use softft_vm::interp::{NoopObserver, Vm, VmConfig};
+    use softft_vm::outcome::{RunEnd, TrapKind};
+    use softft_vm::FaultPlan;
+
+    fn crc_like_module() -> Module {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let crc = d.declare_var(Type::I64);
+            let seed = d.i64c(0x1D0F);
+            d.set(crc, seed);
+            let (s, e) = (d.i64c(0), d.i64c(200));
+            d.for_range(s, e, |d, i| {
+                let c = d.get(crc);
+                let eight = d.i64c(8);
+                let sh = d.shl(c, eight);
+                let x = d.xor(sh, i);
+                let mask = d.i64c(0xFFFF_FFFF);
+                let nc = d.and_(x, mask);
+                d.set(crc, nc);
+            });
+            let c = d.get(crc);
+            d.ret(Some(c));
+        });
+        m.add_function(f);
+        m
+    }
+
+    fn dup_transform(m: &mut Module, opt2: bool, profile: &ProfileDb) -> DupStats {
+        let fid = m.function_by_name("main").unwrap();
+        let mut already = HashSet::new();
+        let stats = duplicate_state_vars(m.function_mut(fid), fid, profile, opt2, &mut already);
+        verify_function(m.function(fid)).unwrap();
+        stats
+    }
+
+    #[test]
+    fn duplication_preserves_semantics() {
+        let golden = {
+            let m = crc_like_module();
+            let fid = m.function_by_name("main").unwrap();
+            Vm::new(&m, VmConfig::default())
+                .run(fid, &[], &mut NoopObserver, None)
+                .return_bits()
+        };
+        let mut m = crc_like_module();
+        let stats = dup_transform(&mut m, false, &ProfileDb::default());
+        assert!(stats.state_vars >= 2); // crc + induction var
+        assert!(stats.cloned > 0);
+        assert!(stats.dup_checks > 0);
+        let fid = m.function_by_name("main").unwrap();
+        let got = Vm::new(&m, VmConfig::default())
+            .run(fid, &[], &mut NoopObserver, None)
+            .return_bits();
+        assert_eq!(got, golden);
+    }
+
+    #[test]
+    fn corrupting_state_chain_is_detected() {
+        let mut m = crc_like_module();
+        dup_transform(&mut m, false, &ProfileDb::default());
+        let fid = m.function_by_name("main").unwrap();
+        let mut detections = 0;
+        let mut trials = 0;
+        for at in (10..800).step_by(13) {
+            for seed in 0..3 {
+                trials += 1;
+                let r = Vm::new(&m, VmConfig::default()).run(
+                    fid,
+                    &[],
+                    &mut NoopObserver,
+                    Some(FaultPlan::register(at, seed)),
+                );
+                if matches!(
+                    r.end,
+                    RunEnd::Trap {
+                        kind: TrapKind::SwDetect(CheckKind::DupMismatch),
+                        ..
+                    }
+                ) {
+                    detections += 1;
+                }
+            }
+        }
+        // Most flips hit dead register state and are masked (the paper's
+        // Masked rate is ~60-70%); require a meaningful detection share.
+        assert!(
+            detections > trials / 20,
+            "only {detections}/{trials} duplication detections"
+        );
+    }
+
+    #[test]
+    fn unprotected_module_misses_what_duplication_catches() {
+        // Same fault plans on original vs duplicated: duplicated must not
+        // be *worse*, and must convert some corruptions to detections.
+        let m0 = crc_like_module();
+        let fid0 = m0.function_by_name("main").unwrap();
+        let golden = Vm::new(&m0, VmConfig::default())
+            .run(fid0, &[], &mut NoopObserver, None)
+            .return_bits();
+        let mut corrupted_orig = 0;
+        for at in (10..400).step_by(11) {
+            let r = Vm::new(&m0, VmConfig::default()).run(
+                fid0,
+                &[],
+                &mut NoopObserver,
+                Some(FaultPlan::register(at, 1)),
+            );
+            if r.completed() && r.return_bits() != golden {
+                corrupted_orig += 1;
+            }
+        }
+        assert!(corrupted_orig > 0, "baseline never corrupts — test is vacuous");
+    }
+
+    #[test]
+    fn opt2_reduces_cloning_when_checks_available() {
+        // Profile the module so the masked value is check-amenable, then
+        // compare cloning with and without Opt 2.
+        let mk = || {
+            let mut m = Module::new("m");
+            let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+                let acc = d.declare_var(Type::I64);
+                let z = d.i64c(0);
+                d.set(acc, z);
+                let (s, e) = (d.i64c(0), d.i64c(64));
+                d.for_range(s, e, |d, i| {
+                    let m7 = d.i64c(7);
+                    let v = d.and_(i, m7);
+                    let three = d.i64c(3);
+                    let v3 = d.mul(v, three);
+                    let a = d.get(acc);
+                    let a2 = d.add(a, v3);
+                    d.set(acc, a2);
+                });
+                let a = d.get(acc);
+                d.ret(Some(a));
+            });
+            m.add_function(f);
+            m
+        };
+        let base = mk();
+        let fid = base.function_by_name("main").unwrap();
+        let mut prof = Profiler::default();
+        Vm::new(&base, VmConfig::default()).run(fid, &[], &mut prof, None);
+        let profile = ProfileDb::from_profiler(&prof, &ClassifyConfig::default());
+        assert!(profile.num_amenable() > 0);
+
+        let mut no_opt2 = mk();
+        let s1 = dup_transform(&mut no_opt2, false, &profile);
+        let mut with_opt2 = mk();
+        let s2 = dup_transform(&mut with_opt2, true, &profile);
+        assert!(
+            s2.cloned < s1.cloned,
+            "opt2 cloned {} !< plain {}",
+            s2.cloned,
+            s1.cloned
+        );
+        assert!(s2.opt2_terminations > 0);
+
+        // Semantics unchanged either way.
+        let golden = Vm::new(&base, VmConfig::default())
+            .run(fid, &[], &mut NoopObserver, None)
+            .return_bits();
+        for m in [&no_opt2, &with_opt2] {
+            let got = Vm::new(m, VmConfig::default())
+                .run(fid, &[], &mut NoopObserver, None)
+                .return_bits();
+            assert_eq!(got, golden);
+        }
+    }
+
+    #[test]
+    fn function_without_loops_is_untouched() {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[Type::I64], Some(Type::I64), |d| {
+            let p = d.param(0);
+            let q = d.mul(p, p);
+            d.ret(Some(q));
+        });
+        m.add_function(f);
+        let before = m.function_by_name("main").map(|f_| m.function(f_).static_inst_count()).unwrap();
+        let stats = dup_transform(&mut m, true, &ProfileDb::default());
+        assert_eq!(stats.state_vars, 0);
+        assert_eq!(stats.added_insts, 0);
+        let fid = m.function_by_name("main").unwrap();
+        assert_eq!(m.function(fid).static_inst_count(), before);
+    }
+
+    #[test]
+    fn chains_terminate_at_loads() {
+        // State update goes through a load: the load must not be cloned.
+        let mut m = Module::new("m");
+        let g = m.add_global("tab", 64);
+        let base = m.global(g).addr as i64;
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let b = d.i64c(base);
+            let (s0, e0) = (d.i64c(0), d.i64c(8));
+            d.for_range(s0, e0, |d, i| {
+                let v = d.mul(i, i);
+                d.store_elem(b, i, v);
+            });
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            d.for_range(s0, e0, |d, i| {
+                let t = d.load_elem(Type::I64, b, i);
+                let a = d.get(acc);
+                let a2 = d.add(a, t);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        m.add_function(f);
+        let fid = m.function_by_name("main").unwrap();
+        let loads_before = m
+            .function(fid)
+            .live_inst_ids()
+            .filter(|&i| matches!(m.function(fid).inst(i).op, Op::Load { .. }))
+            .count();
+        dup_transform(&mut m, false, &ProfileDb::default());
+        let loads_after = m
+            .function(fid)
+            .live_inst_ids()
+            .filter(|&i| matches!(m.function(fid).inst(i).op, Op::Load { .. }))
+            .count();
+        assert_eq!(loads_before, loads_after, "loads were duplicated");
+        let r = Vm::new(&m, VmConfig::default()).run(fid, &[], &mut NoopObserver, None);
+        assert_eq!(r.return_bits(), Some(140));
+    }
+}

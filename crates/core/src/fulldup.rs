@@ -1,0 +1,307 @@
+//! Full-duplication baseline (SWIFT-style).
+//!
+//! The paper's comparator: every pure computation instruction is
+//! duplicated into a shadow chain (loads and stores are *not* duplicated,
+//! matching the paper's "maximum amount of duplication possible without
+//! duplicating loads/stores"), and the shadows are compared against the
+//! originals at stores (operand + address) and at conditional branches.
+//! Measured there at 57% average runtime overhead with 1.4% residual
+//! USDCs — selective duplication plus value checks beats it on both axes.
+
+use softft_ir::builder::InstBuilder;
+use softft_ir::dom::DomTree;
+use softft_ir::inst::{CheckKind, FloatCC, IntCC, Op};
+use softft_ir::{Function, InstId, Type, ValueId};
+use std::collections::HashMap;
+
+/// Counters from the full-duplication pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FullDupStats {
+    /// Instructions cloned (including shadow phis).
+    pub cloned: usize,
+    /// Store-operand guards inserted.
+    pub store_guards: usize,
+    /// Branch-condition guards inserted.
+    pub branch_guards: usize,
+    /// Extra IR instructions added in total.
+    pub added_insts: usize,
+}
+
+/// Applies SWIFT-style full duplication to `func`.
+pub fn full_duplicate(func: &mut Function) -> FullDupStats {
+    let mut stats = FullDupStats::default();
+    let dom = DomTree::compute(func);
+    let rpo: Vec<_> = dom.reverse_postorder().to_vec();
+
+    let mut shadow: HashMap<ValueId, ValueId> = HashMap::new();
+    let sh = |shadow: &HashMap<ValueId, ValueId>, v: ValueId| -> ValueId {
+        shadow.get(&v).copied().unwrap_or(v)
+    };
+
+    // Pass 1: shadow phis for every live phi (pre-created so backedge
+    // operands resolve).
+    let mut phi_pairs: Vec<(InstId, InstId)> = Vec::new();
+    for &b in &rpo {
+        let phis: Vec<InstId> = func
+            .block(b)
+            .insts
+            .iter()
+            .copied()
+            .take_while(|&i| func.inst(i).op.is_phi())
+            .filter(|&i| !func.inst(i).dead)
+            .collect();
+        for p in phis {
+            let r = func.inst(p).result.expect("phi result");
+            let ty = func.value_type(r);
+            let (sp, spv) = {
+                let mut bld = InstBuilder::new(func, b);
+                bld.empty_phi(ty, b)
+            };
+            shadow.insert(r, spv);
+            phi_pairs.push((p, sp));
+            stats.cloned += 1;
+            stats.added_insts += 1;
+        }
+    }
+
+    // Pass 2: clone duplicable instructions in dominance (RPO) order.
+    // Per-block snapshots are taken before cloning into that block, so
+    // the iteration never visits the clones themselves.
+    for &b in &rpo {
+        let insts: Vec<InstId> = func.block(b).insts.clone();
+        for i in insts {
+            let data = func.inst(i);
+            if data.dead || !data.op.is_duplicable() {
+                continue;
+            }
+            let r = data.result.expect("duplicable op has a result");
+            debug_assert!(!shadow.contains_key(&r), "instruction visited twice");
+            let mut op = data.op.clone();
+            op.for_each_operand_mut(|o| *o = sh(&shadow, *o));
+            let ty = func.value_type(r);
+            let clone = func.insert_inst_after(op, Some(ty), i);
+            let cv = func.inst(clone).result.expect("clone result");
+            shadow.insert(r, cv);
+            stats.cloned += 1;
+            stats.added_insts += 1;
+        }
+    }
+
+    // Pass 3: fill shadow phi operands.
+    for (orig, dup) in phi_pairs {
+        let incomings = match &func.inst(orig).op {
+            Op::Phi { incomings } => incomings.clone(),
+            _ => unreachable!("phi pair"),
+        };
+        let shadowed: Vec<_> = incomings
+            .iter()
+            .map(|(p, v)| (*p, sh(&shadow, *v)))
+            .collect();
+        if let Op::Phi { incomings } = &mut func.inst_mut(dup).op {
+            *incomings = shadowed;
+        }
+    }
+
+    // Pass 4: guards. Compare store value/address and branch conditions
+    // against their shadows where they can diverge.
+    let guard = |func: &mut Function, before: InstId, orig: ValueId, dup: ValueId| {
+        let ty = func.value_type(orig);
+        let cmp_op = if ty.is_float() {
+            Op::Fcmp {
+                pred: FloatCC::Eq,
+                lhs: orig,
+                rhs: dup,
+            }
+        } else {
+            Op::Icmp {
+                pred: IntCC::Eq,
+                lhs: orig,
+                rhs: dup,
+            }
+        };
+        let cmp = func.insert_inst_before(cmp_op, Some(Type::I1), before);
+        let cond = func.inst(cmp).result.expect("cmp result");
+        func.insert_inst_before(
+            Op::Check {
+                cond,
+                kind: CheckKind::StoreGuard,
+            },
+            None,
+            before,
+        );
+    };
+
+    for b in func.block_ids() {
+        let insts: Vec<InstId> = func.block(b).insts.clone();
+        for i in insts {
+            if func.inst(i).dead {
+                continue;
+            }
+            if let Op::Store { addr, value } = func.inst(i).op {
+                for v in [value, addr] {
+                    let s = sh(&shadow, v);
+                    if s != v {
+                        guard(func, i, v, s);
+                        stats.store_guards += 1;
+                        stats.added_insts += 2;
+                    }
+                }
+            }
+        }
+        // Branch-condition guard.
+        let cond = func.block(b).term.as_ref().and_then(|t| t.cond());
+        if let Some(c) = cond {
+            let s = sh(&shadow, c);
+            if s != c {
+                let cmp = func.insert_inst_at_end(
+                    Op::Icmp {
+                        pred: IntCC::Eq,
+                        lhs: c,
+                        rhs: s,
+                    },
+                    Some(Type::I1),
+                    b,
+                );
+                let cv = func.inst(cmp).result.expect("cmp result");
+                func.insert_inst_at_end(
+                    Op::Check {
+                        cond: cv,
+                        kind: CheckKind::BranchGuard,
+                    },
+                    None,
+                    b,
+                );
+                stats.branch_guards += 1;
+                stats.added_insts += 2;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_ir::dsl::FunctionDsl;
+    use softft_ir::verify::verify_function;
+    use softft_ir::Module;
+    use softft_vm::interp::{NoopObserver, Vm, VmConfig};
+    use softft_vm::outcome::{RunEnd, TrapKind};
+    use softft_vm::FaultPlan;
+
+    fn work_module() -> Module {
+        let mut m = Module::new("m");
+        let g = m.add_global("out", 256);
+        let base = m.global(g).addr as i64;
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let b = d.i64c(base);
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(20));
+            d.for_range(s, e, |d, i| {
+                let sq = d.mul(i, i);
+                let a = d.get(acc);
+                let a2 = d.add(a, sq);
+                d.set(acc, a2);
+                d.store_elem(b, i, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn full_duplication_preserves_semantics() {
+        let m0 = work_module();
+        let fid = m0.function_by_name("main").unwrap();
+        let golden = Vm::new(&m0, VmConfig::default())
+            .run(fid, &[], &mut NoopObserver, None)
+            .return_bits();
+
+        let mut m = work_module();
+        let stats = full_duplicate(m.function_mut(fid));
+        verify_function(m.function(fid)).unwrap();
+        assert!(stats.cloned > 0);
+        assert!(stats.store_guards > 0);
+        assert!(stats.branch_guards > 0);
+        let got = Vm::new(&m, VmConfig::default())
+            .run(fid, &[], &mut NoopObserver, None)
+            .return_bits();
+        assert_eq!(got, golden);
+    }
+
+    #[test]
+    fn full_duplication_detects_most_compute_faults() {
+        let mut m = work_module();
+        let fid = m.function_by_name("main").unwrap();
+        full_duplicate(m.function_mut(fid));
+        let mut detected = 0;
+        let mut trials = 0;
+        for at in (5..500).step_by(9) {
+            for seed in 0..3 {
+                trials += 1;
+                let r = Vm::new(&m, VmConfig::default()).run(
+                    fid,
+                    &[],
+                    &mut NoopObserver,
+                    Some(FaultPlan::register(at, seed)),
+                );
+                if matches!(
+                    r.end,
+                    RunEnd::Trap {
+                        kind: TrapKind::SwDetect(
+                            CheckKind::StoreGuard | CheckKind::BranchGuard
+                        ),
+                        ..
+                    }
+                ) {
+                    detected += 1;
+                }
+            }
+        }
+        assert!(
+            detected > trials / 8,
+            "only {detected}/{trials} full-dup detections"
+        );
+    }
+
+    #[test]
+    fn duplication_roughly_doubles_compute() {
+        let mut m = work_module();
+        let fid = m.function_by_name("main").unwrap();
+        let before = m.function(fid).static_inst_count();
+        let stats = full_duplicate(m.function_mut(fid));
+        let after = m.function(fid).static_inst_count();
+        assert_eq!(after, before + stats.added_insts);
+        // Most instructions in this kernel are duplicable.
+        assert!(stats.cloned * 3 > before, "{stats:?} vs {before}");
+    }
+
+    #[test]
+    fn loads_are_not_duplicated() {
+        let mut m = Module::new("m");
+        let g = m.add_global("t", 64);
+        let base = m.global(g).addr as i64;
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let b = d.i64c(base);
+            let i0 = d.i64c(0);
+            let v = d.load_elem(Type::I64, b, i0);
+            let w = d.add(v, v);
+            d.ret(Some(w));
+        });
+        m.add_function(f);
+        let fid = m.function_by_name("main").unwrap();
+        let count_loads = |f: &Function| {
+            f.live_inst_ids()
+                .filter(|&i| matches!(f.inst(i).op, Op::Load { .. }))
+                .count()
+        };
+        let before = count_loads(m.function(fid));
+        full_duplicate(m.function_mut(fid));
+        assert_eq!(count_loads(m.function(fid)), before);
+        verify_function(m.function(fid)).unwrap();
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! # softft
+//!
+//! The primary contribution of *Harnessing Soft Computations for
+//! Low-budget Fault Tolerance* (Khudia & Mahlke, MICRO 2014): a compiler
+//! transformation that partitions computations into
+//!
+//! 1. **state variables** — loop-carried values (phi nodes in loop
+//!    headers) whose corruption snowballs across iterations; their
+//!    producer chains are *duplicated* and compared ([`duplicate`]),
+//! 2. computations with profile-stable outputs, guarded by cheap
+//!    **expected-value checks** ([`value_checks`]; single / two-value /
+//!    range — Fig. 6), and
+//! 3. everything else — left unprotected, because a corruption there is
+//!    unlikely to produce a *user-perceptible* (unacceptable) output
+//!    change.
+//!
+//! Two optimizations couple the mechanisms (Figs. 8 and 9): Opt 1 keeps
+//! only the check deepest in a chain of amenable instructions; Opt 2
+//! terminates producer-chain duplication at check-amenable instructions.
+//! A SWIFT-style [`fulldup`] baseline reproduces the paper's
+//! full-duplication comparator.
+//!
+//! Entry point: [`pipeline::transform`].
+//!
+//! ```
+//! use softft::pipeline::{transform, Technique, TransformConfig};
+//! use softft_ir::dsl::FunctionDsl;
+//! use softft_ir::{Module, Type};
+//! use softft_profile::ProfileDb;
+//!
+//! let mut m = Module::new("demo");
+//! let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+//!     let acc = d.declare_var(Type::I64);
+//!     let z = d.i64c(0);
+//!     d.set(acc, z);
+//!     let (s, e) = (d.i64c(0), d.i64c(16));
+//!     d.for_range(s, e, |d, i| {
+//!         let a = d.get(acc);
+//!         let a2 = d.add(a, i);
+//!         d.set(acc, a2);
+//!     });
+//!     let a = d.get(acc);
+//!     d.ret(Some(a));
+//! });
+//! m.add_function(f);
+//!
+//! let profile = ProfileDb::default(); // no value profile: Dup-only
+//! let (protected, stats) =
+//!     transform(&m, &profile, Technique::DupOnly, &TransformConfig::default());
+//! assert!(stats.state_vars > 0);
+//! softft_ir::verify::verify_module(&protected).unwrap();
+//! ```
+
+pub mod cfcss;
+pub mod duplicate;
+pub mod fulldup;
+pub mod pipeline;
+pub mod state_vars;
+pub mod value_checks;
+
+pub use pipeline::{transform, StaticStats, Technique, TransformConfig};

@@ -1,0 +1,123 @@
+//! State-variable identification.
+//!
+//! Section IV-A of the paper: the IR is in SSA form, so *state variables*
+//! — variables that depend on their own value from previous iterations —
+//! are exactly the phi nodes in loop headers (one incoming definition from
+//! outside the loop, one from the loop updates). Loop induction variables
+//! are state variables too, and are found by the same rule.
+
+use softft_ir::dom::DomTree;
+use softft_ir::loops::LoopForest;
+use softft_ir::{Function, InstId, ValueId};
+
+/// One identified state variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StateVar {
+    /// The phi instruction in a loop header.
+    pub phi: InstId,
+    /// The phi's result value.
+    pub value: ValueId,
+}
+
+/// Finds the state variables of `func`: all phis whose block is a natural
+/// loop header. Returns them in instruction order (deterministic).
+pub fn find_state_vars(func: &Function) -> Vec<StateVar> {
+    let dom = DomTree::compute(func);
+    let loops = LoopForest::compute(func, &dom);
+    let mut out = Vec::new();
+    for b in func.block_ids() {
+        if !loops.is_header(b) {
+            continue;
+        }
+        for &i in &func.block(b).insts {
+            let inst = func.inst(i);
+            if !inst.op.is_phi() {
+                break; // phis form a prefix
+            }
+            if inst.dead {
+                continue;
+            }
+            out.push(StateVar {
+                phi: i,
+                value: inst.result.expect("phi has a result"),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_ir::dsl::FunctionDsl;
+    use softft_ir::Type;
+
+    #[test]
+    fn loop_accumulator_and_index_are_state_vars() {
+        let f = FunctionDsl::build("f", &[], Some(Type::I64), |d| {
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(8));
+            d.for_range(s, e, |d, i| {
+                let a = d.get(acc);
+                let a2 = d.add(a, i);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        let sv = find_state_vars(&f);
+        assert_eq!(sv.len(), 2, "accumulator + induction variable");
+    }
+
+    #[test]
+    fn if_else_merge_phi_is_not_a_state_var() {
+        let f = FunctionDsl::build("f", &[Type::I64], Some(Type::I64), |d| {
+            let x = d.declare_var(Type::I64);
+            let p = d.param(0);
+            let z = d.i64c(0);
+            let c = d.icmp(softft_ir::IntCC::Sgt, p, z);
+            let one = d.i64c(1);
+            let two = d.i64c(2);
+            d.if_else(c, |d| d.set(x, one), |d| d.set(x, two));
+            let xv = d.get(x);
+            d.ret(Some(xv));
+        });
+        assert!(find_state_vars(&f).is_empty());
+    }
+
+    #[test]
+    fn nested_loops_contribute_separately() {
+        let f = FunctionDsl::build("f", &[], Some(Type::I64), |d| {
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(4));
+            d.for_range(s, e, |d, _i| {
+                let (s2, e2) = (d.i64c(0), d.i64c(4));
+                d.for_range(s2, e2, |d, j| {
+                    let a = d.get(acc);
+                    let a2 = d.add(a, j);
+                    d.set(acc, a2);
+                });
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        // Outer: i (+ acc, which lives across the outer loop too).
+        // Inner: j, acc.
+        let sv = find_state_vars(&f);
+        assert!(sv.len() >= 3, "got {}", sv.len());
+    }
+
+    #[test]
+    fn straightline_code_has_none() {
+        let f = FunctionDsl::build("f", &[Type::I64], Some(Type::I64), |d| {
+            let p = d.param(0);
+            let q = d.mul(p, p);
+            d.ret(Some(q));
+        });
+        assert!(find_state_vars(&f).is_empty());
+    }
+}

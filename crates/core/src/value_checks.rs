@@ -1,0 +1,583 @@
+//! Expected-value check insertion (Fig. 6) and Optimization 1 (Fig. 8).
+
+use softft_ir::inst::{BinOp, CheckKind, FloatCC, IntCC, Op};
+use softft_ir::{FuncId, Function, InstId, Type};
+use softft_profile::{CheckSpec, InstKey, ProfileDb};
+use std::collections::{HashMap, HashSet};
+
+/// Counters from the value-check pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ValueCheckStats {
+    /// Single-value checks inserted (Fig. 6a).
+    pub single: usize,
+    /// Two-value checks inserted (Fig. 6b).
+    pub pair: usize,
+    /// Range checks inserted (Fig. 6c).
+    pub range: usize,
+    /// Amenable instructions suppressed by Optimization 1.
+    pub opt1_suppressed: usize,
+    /// Extra IR instructions added.
+    pub added_insts: usize,
+}
+
+impl ValueCheckStats {
+    /// Total check sites inserted.
+    pub fn total_checks(&self) -> usize {
+        self.single + self.pair + self.range
+    }
+}
+
+fn type_bounds(ty: Type) -> (i64, i64) {
+    match ty {
+        Type::I1 => (0, 1),
+        Type::I8 => (i8::MIN as i64, i8::MAX as i64),
+        Type::I16 => (i16::MIN as i64, i16::MAX as i64),
+        Type::I32 => (i32::MIN as i64, i32::MAX as i64),
+        Type::I64 | Type::F64 => (i64::MIN, i64::MAX),
+    }
+}
+
+/// Inserts the IR sequence for `spec` immediately after `anchor` (which
+/// must produce `value`). Returns the number of instructions added; 0
+/// when the check would be vacuous (e.g. a range covering the whole type
+/// domain).
+pub fn insert_check_after(
+    func: &mut Function,
+    anchor: InstId,
+    spec: CheckSpec,
+) -> usize {
+    let value = func
+        .inst(anchor)
+        .result
+        .expect("check anchor produces a value");
+    let ty = func.value_type(value);
+    match spec {
+        CheckSpec::Single { bits } => {
+            let (cmp_op, expected) = if ty.is_float() {
+                let c = func.fconst(f64::from_bits(bits));
+                (
+                    Op::Fcmp {
+                        pred: FloatCC::Eq,
+                        lhs: value,
+                        rhs: c,
+                    },
+                    c,
+                )
+            } else {
+                let c = func.iconst(ty, bits as i64);
+                (
+                    Op::Icmp {
+                        pred: IntCC::Eq,
+                        lhs: value,
+                        rhs: c,
+                    },
+                    c,
+                )
+            };
+            let _ = expected;
+            let cmp = func.insert_inst_after(cmp_op, Some(Type::I1), anchor);
+            let cond = func.inst(cmp).result.expect("icmp result");
+            func.insert_inst_after(
+                Op::Check {
+                    cond,
+                    kind: CheckKind::ValueSingle,
+                },
+                None,
+                cmp,
+            );
+            2
+        }
+        CheckSpec::Pair { a, b } => {
+            let (ca, cb) = if ty.is_float() {
+                (func.fconst(f64::from_bits(a)), func.fconst(f64::from_bits(b)))
+            } else {
+                (func.iconst(ty, a as i64), func.iconst(ty, b as i64))
+            };
+            let mk = |lhs, rhs| {
+                if ty.is_float() {
+                    Op::Fcmp {
+                        pred: FloatCC::Eq,
+                        lhs,
+                        rhs,
+                    }
+                } else {
+                    Op::Icmp {
+                        pred: IntCC::Eq,
+                        lhs,
+                        rhs,
+                    }
+                }
+            };
+            let c1 = func.insert_inst_after(mk(value, ca), Some(Type::I1), anchor);
+            let c2 = func.insert_inst_after(mk(value, cb), Some(Type::I1), c1);
+            let v1 = func.inst(c1).result.expect("cmp result");
+            let v2 = func.inst(c2).result.expect("cmp result");
+            let or = func.insert_inst_after(
+                Op::Bin {
+                    op: BinOp::Or,
+                    lhs: v1,
+                    rhs: v2,
+                },
+                Some(Type::I1),
+                c2,
+            );
+            let cond = func.inst(or).result.expect("or result");
+            func.insert_inst_after(
+                Op::Check {
+                    cond,
+                    kind: CheckKind::ValuePair,
+                },
+                None,
+                or,
+            );
+            4
+        }
+        CheckSpec::IntRange { lo, hi } => {
+            let (tmin, tmax) = type_bounds(ty);
+            let lo = lo.max(tmin);
+            let hi = hi.min(tmax);
+            if lo <= tmin && hi >= tmax {
+                return 0; // vacuous: every representable value passes
+            }
+            // Classic two-in-one bounds test: `lo <= v <= hi` is
+            // `(v - lo) unsigned<= (hi - lo)` — one subtract, one
+            // unsigned compare, one check (the form a compiler would
+            // emit for the paper's Fig. 6c range check).
+            let clo = func.iconst(ty, lo);
+            let cspan = func.iconst(ty, hi.wrapping_sub(lo));
+            let sub = func.insert_inst_after(
+                Op::Bin {
+                    op: BinOp::Sub,
+                    lhs: value,
+                    rhs: clo,
+                },
+                Some(ty),
+                anchor,
+            );
+            let biased = func.inst(sub).result.expect("sub result");
+            let cmp = func.insert_inst_after(
+                Op::Icmp {
+                    pred: IntCC::Ule,
+                    lhs: biased,
+                    rhs: cspan,
+                },
+                Some(Type::I1),
+                sub,
+            );
+            let cond = func.inst(cmp).result.expect("cmp result");
+            func.insert_inst_after(
+                Op::Check {
+                    cond,
+                    kind: CheckKind::ValueRange,
+                },
+                None,
+                cmp,
+            );
+            3
+        }
+        CheckSpec::FloatRange { lo, hi } => {
+            let clo = func.fconst(lo);
+            let chi = func.fconst(hi);
+            let c1 = func.insert_inst_after(
+                Op::Fcmp {
+                    pred: FloatCC::Ge,
+                    lhs: value,
+                    rhs: clo,
+                },
+                Some(Type::I1),
+                anchor,
+            );
+            let c2 = func.insert_inst_after(
+                Op::Fcmp {
+                    pred: FloatCC::Le,
+                    lhs: value,
+                    rhs: chi,
+                },
+                Some(Type::I1),
+                c1,
+            );
+            let v1 = func.inst(c1).result.expect("cmp result");
+            let v2 = func.inst(c2).result.expect("cmp result");
+            let and = func.insert_inst_after(
+                Op::Bin {
+                    op: BinOp::And,
+                    lhs: v1,
+                    rhs: v2,
+                },
+                Some(Type::I1),
+                c2,
+            );
+            let cond = func.inst(and).result.expect("and result");
+            func.insert_inst_after(
+                Op::Check {
+                    cond,
+                    kind: CheckKind::ValueRange,
+                },
+                None,
+                and,
+            );
+            4
+        }
+    }
+}
+
+/// The check kind `spec` will produce (for stats).
+fn kind_of(spec: &CheckSpec) -> CheckKind {
+    match spec {
+        CheckSpec::Single { .. } => CheckKind::ValueSingle,
+        CheckSpec::Pair { .. } => CheckKind::ValuePair,
+        CheckSpec::IntRange { .. } | CheckSpec::FloatRange { .. } => CheckKind::ValueRange,
+    }
+}
+
+/// Computes the Optimization-1 survivors among `amenable`: an amenable
+/// instruction is dropped when another amenable instruction is *strictly
+/// downstream* of it through dataflow (its value feeds, possibly
+/// transitively, a deeper amenable instruction — Fig. 8 keeps only the
+/// check "lower in the producer chain").
+///
+/// Reachability crosses phis, so a check on a loop-carried reduction is
+/// pushed past the loop to the instruction consuming the final
+/// accumulated value — executing once per loop instead of once per
+/// iteration, which is where the optimization's overhead savings come
+/// from. Instructions in the same dependence cycle (mutually reachable)
+/// would otherwise suppress each other; the cycle keeps exactly one
+/// representative (smallest id) unless a strictly-downstream amenable
+/// instruction suppresses the whole cycle.
+pub fn opt1_survivors(func: &Function, amenable: &HashSet<InstId>) -> HashSet<InstId> {
+    // users[v] = instructions consuming v (phis included: reachability
+    // flows through loop-carried dependences).
+    let mut users: HashMap<softft_ir::ValueId, Vec<InstId>> = HashMap::new();
+    let mut ops = Vec::new();
+    for i in func.live_inst_ids() {
+        ops.clear();
+        func.inst(i).op.operands(&mut ops);
+        for &v in &ops {
+            users.entry(v).or_default().push(i);
+        }
+    }
+
+    // Amenable instructions reachable (strictly forward) from each
+    // amenable instruction.
+    let reach_of = |s: InstId| -> HashSet<InstId> {
+        let mut reached = HashSet::new();
+        let mut visited: HashSet<InstId> = HashSet::new();
+        let mut stack: Vec<InstId> = Vec::new();
+        if let Some(r) = func.inst(s).result {
+            if let Some(us) = users.get(&r) {
+                stack.extend(us.iter().copied());
+            }
+        }
+        while let Some(i) = stack.pop() {
+            if !visited.insert(i) {
+                continue;
+            }
+            if amenable.contains(&i) {
+                reached.insert(i);
+                // Keep walking: members beyond this one matter for cycle
+                // detection only through their own reach sets, so we can
+                // stop expanding here.
+                continue;
+            }
+            if let Some(r) = func.inst(i).result {
+                if let Some(us) = users.get(&r) {
+                    stack.extend(us.iter().copied());
+                }
+            }
+        }
+        reached
+    };
+
+    let reach: HashMap<InstId, HashSet<InstId>> =
+        amenable.iter().map(|&s| (s, reach_of(s))).collect();
+    // Transitive closure over amenable members (reach sets above stop at
+    // the first amenable hit, so compose them).
+    let mut closed: HashMap<InstId, HashSet<InstId>> = reach.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let keys: Vec<InstId> = closed.keys().copied().collect();
+        for s in keys {
+            let current: Vec<InstId> = closed[&s].iter().copied().collect();
+            let mut additions: Vec<InstId> = Vec::new();
+            for t in current {
+                for &u in &reach[&t] {
+                    if u != s && !closed[&s].contains(&u) {
+                        additions.push(u);
+                    }
+                }
+            }
+            if !additions.is_empty() {
+                closed.get_mut(&s).expect("present").extend(additions);
+                changed = true;
+            }
+        }
+    }
+
+    let mut survivors = HashSet::new();
+    for &s in amenable {
+        let down = &closed[&s];
+        // Strictly-downstream amenable member (reaches s's targets but s
+        // is not reachable back from it)?
+        let strictly_below = down
+            .iter()
+            .any(|&t| t != s && !closed[&t].contains(&s));
+        if strictly_below {
+            continue; // a deeper check covers this chain
+        }
+        // Members of s's cycle (mutually reachable, including s when it
+        // loops to itself).
+        let cycle_min = down
+            .iter()
+            .copied()
+            .filter(|&t| closed[&t].contains(&s) || t == s)
+            .chain(std::iter::once(s))
+            .min()
+            .expect("at least s");
+        if cycle_min == s {
+            survivors.insert(s);
+        }
+    }
+    survivors
+}
+
+/// Inserts expected-value checks for every amenable instruction of
+/// `func` (per `profile`), applying Optimization 1 when `opt1` is set.
+///
+/// `already_checked` carries instructions whose check was inserted
+/// earlier by Optimization 2 during duplication; they are skipped here
+/// (but still participate in Opt 1 suppression, since their checks exist).
+pub fn insert_value_checks(
+    func: &mut Function,
+    fid: FuncId,
+    profile: &ProfileDb,
+    opt1: bool,
+    already_checked: &mut HashSet<InstId>,
+) -> ValueCheckStats {
+    let mut stats = ValueCheckStats::default();
+
+    // Amenable set: original instructions with a profile-derived check.
+    let amenable: HashSet<InstId> = func
+        .live_inst_ids()
+        .filter(|&i| {
+            func.inst(i).result.is_some()
+                && profile.check_for(InstKey { func: fid, inst: i }).is_some()
+        })
+        .collect();
+    let survivors = if opt1 {
+        let s = opt1_survivors(func, &amenable);
+        stats.opt1_suppressed = amenable.len() - s.len();
+        s
+    } else {
+        amenable.clone()
+    };
+
+    // Deterministic order.
+    let mut targets: Vec<InstId> = survivors.into_iter().collect();
+    targets.sort();
+    for i in targets {
+        if already_checked.contains(&i) {
+            continue;
+        }
+        let spec = profile
+            .check_for(InstKey { func: fid, inst: i })
+            .expect("amenable instruction has a spec");
+        let added = insert_check_after(func, i, spec);
+        if added == 0 {
+            continue; // vacuous
+        }
+        stats.added_insts += added;
+        match kind_of(&spec) {
+            CheckKind::ValueSingle => stats.single += 1,
+            CheckKind::ValuePair => stats.pair += 1,
+            CheckKind::ValueRange => stats.range += 1,
+            _ => unreachable!("value checks only"),
+        }
+        already_checked.insert(i);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_ir::dsl::FunctionDsl;
+    use softft_ir::verify::verify_function;
+    use softft_ir::Module;
+    use softft_profile::{ClassifyConfig, Profiler};
+    use softft_vm::interp::{NoopObserver, Vm, VmConfig};
+    use softft_vm::outcome::{RunEnd, TrapKind};
+
+    /// Builds a module whose loop body computes `i & 7` (range-stable) and
+    /// adds it to an accumulator.
+    fn masked_sum_module() -> Module {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(64));
+            d.for_range(s, e, |d, i| {
+                let mask = d.i64c(7);
+                let v = d.and_(i, mask);
+                let a = d.get(acc);
+                let a2 = d.add(a, v);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        m.add_function(f);
+        m
+    }
+
+    fn profile_of(m: &Module) -> ProfileDb {
+        let main = m.function_by_name("main").unwrap();
+        let mut prof = Profiler::default();
+        Vm::new(m, VmConfig::default()).run(main, &[], &mut prof, None);
+        ProfileDb::from_profiler(&prof, &ClassifyConfig::default())
+    }
+
+    #[test]
+    fn checks_inserted_and_function_still_verifies() {
+        let mut m = masked_sum_module();
+        let profile = profile_of(&m.clone());
+        let fid = m.function_by_name("main").unwrap();
+        let f = m.function_mut(fid);
+        let mut already = HashSet::new();
+        let stats = insert_value_checks(f, fid, &profile, true, &mut already);
+        assert!(stats.total_checks() > 0, "{stats:?}");
+        verify_function(f).unwrap();
+        // Fault-free semantics unchanged.
+        let main = m.function_by_name("main").unwrap();
+        let r = Vm::new(&m, VmConfig::default()).run(main, &[], &mut NoopObserver, None);
+        assert_eq!(r.return_bits(), Some(64 / 8 * 28)); // 8 runs of 0..=7
+    }
+
+    #[test]
+    fn opt1_suppresses_upstream_checks() {
+        // Chain: a = x*3 (amenable), b = a+1 (amenable). Opt 1 keeps only b.
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(32));
+            d.for_range(s, e, |d, i| {
+                let m7 = d.i64c(7);
+                let x = d.and_(i, m7);
+                let three = d.i64c(3);
+                let a = d.mul(x, three);
+                let one = d.i64c(1);
+                let b = d.add(a, one);
+                let acc_v = d.get(acc);
+                let acc2 = d.add(acc_v, b);
+                d.set(acc, acc2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        m.add_function(f);
+        let profile = profile_of(&m.clone());
+        let fid = m.function_by_name("main").unwrap();
+
+        let mut no_opt = m.clone();
+        let mut already = HashSet::new();
+        let s_no =
+            insert_value_checks(no_opt.function_mut(fid), fid, &profile, false, &mut already);
+        let mut with_opt = m.clone();
+        let mut already2 = HashSet::new();
+        let s_yes =
+            insert_value_checks(with_opt.function_mut(fid), fid, &profile, true, &mut already2);
+        assert!(
+            s_yes.total_checks() < s_no.total_checks(),
+            "opt1 {s_yes:?} vs plain {s_no:?}"
+        );
+        assert!(s_yes.opt1_suppressed > 0);
+        verify_function(with_opt.function(fid)).unwrap();
+    }
+
+    #[test]
+    fn corrupting_checked_value_is_detected() {
+        // Build a module with a range-checked computation, then inject a
+        // high-bit flip right after the mask and confirm SwDetect.
+        let mut m = masked_sum_module();
+        let profile = profile_of(&m.clone());
+        let fid = m.function_by_name("main").unwrap();
+        let mut already = HashSet::new();
+        insert_value_checks(m.function_mut(fid), fid, &profile, true, &mut already);
+        verify_function(m.function(fid)).unwrap();
+
+        let mut detected = 0;
+        let mut trials = 0;
+        for at in (5..200).step_by(7) {
+            for seed in 0..4 {
+                trials += 1;
+                let r = Vm::new(&m, VmConfig::default()).run(
+                    fid,
+                    &[],
+                    &mut NoopObserver,
+                    Some(softft_vm::FaultPlan::register(at, seed)),
+                );
+                if matches!(
+                    r.end,
+                    RunEnd::Trap {
+                        kind: TrapKind::SwDetect(k),
+                        ..
+                    } if k.is_value_check()
+                ) {
+                    detected += 1;
+                }
+            }
+        }
+        assert!(detected > 0, "no value-check detections in {trials} trials");
+    }
+
+    #[test]
+    fn vacuous_range_is_skipped() {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I8), |d| {
+            let a = d.iconst(Type::I8, 3);
+            let b = d.add(a, a);
+            d.ret(Some(b));
+        });
+        m.add_function(f);
+        let fid = m.function_by_name("main").unwrap();
+        // A range wider than i8's domain.
+        let anchor = m
+            .function(fid)
+            .live_inst_ids()
+            .next()
+            .expect("the add");
+        let added = insert_check_after(
+            m.function_mut(fid),
+            anchor,
+            CheckSpec::IntRange {
+                lo: i64::MIN,
+                hi: i64::MAX,
+            },
+        );
+        assert_eq!(added, 0);
+        verify_function(m.function(fid)).unwrap();
+    }
+
+    #[test]
+    fn pair_check_passes_for_both_values() {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[Type::I64], Some(Type::I64), |d| {
+            let p = d.param(0);
+            let two = d.i64c(2);
+            let v = d.srem(p, two); // 0 or 1 for non-negative p
+            d.ret(Some(v));
+        });
+        m.add_function(f);
+        let fid = m.function_by_name("main").unwrap();
+        let anchor = m.function(fid).live_inst_ids().next().unwrap();
+        insert_check_after(m.function_mut(fid), anchor, CheckSpec::Pair { a: 0, b: 1 });
+        verify_function(m.function(fid)).unwrap();
+        for arg in [4u64, 7u64] {
+            let r = Vm::new(&m, VmConfig::default()).run(fid, &[arg], &mut NoopObserver, None);
+            assert!(r.completed(), "arg {arg}: {:?}", r.end);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! A low-level, typed instruction builder.
+//!
+//! [`InstBuilder`] wraps a [`Function`] and a current insertion block,
+//! performing type computation and light validation for each instruction.
+//! The structured [`crate::dsl`] frontend builds on top of it.
+
+use crate::entities::{BlockId, FuncId, InstId, ValueId};
+use crate::function::Function;
+use crate::inst::{BinOp, CastKind, CheckKind, FloatCC, IntCC, Op, Term, UnOp};
+use crate::types::Type;
+
+/// Builds instructions into a [`Function`], appending to a current block.
+#[derive(Debug)]
+pub struct InstBuilder<'f> {
+    func: &'f mut Function,
+    block: BlockId,
+}
+
+impl<'f> InstBuilder<'f> {
+    /// Creates a builder positioned at `block`.
+    pub fn new(func: &'f mut Function, block: BlockId) -> Self {
+        InstBuilder { func, block }
+    }
+
+    /// The function being built.
+    pub fn func(&self) -> &Function {
+        self.func
+    }
+
+    /// Mutable access to the function (for uses outside instruction
+    /// building, e.g. adding blocks).
+    pub fn func_mut(&mut self) -> &mut Function {
+        self.func
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.block
+    }
+
+    /// Moves the insertion point to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.block = block;
+    }
+
+    /// Interned integer constant.
+    pub fn iconst(&mut self, ty: Type, v: i64) -> ValueId {
+        self.func.iconst(ty, v)
+    }
+
+    /// Interned float constant.
+    pub fn fconst(&mut self, v: f64) -> ValueId {
+        self.func.fconst(v)
+    }
+
+    fn ty(&self, v: ValueId) -> Type {
+        self.func.value_type(v)
+    }
+
+    fn emit(&mut self, op: Op, result_ty: Option<Type>) -> InstId {
+        self.func.append_inst(op, result_ty, self.block)
+    }
+
+    fn emit_val(&mut self, op: Op, result_ty: Type) -> ValueId {
+        let i = self.emit(op, Some(result_ty));
+        self.func.inst(i).result.expect("result registered")
+    }
+
+    /// Two-operand arithmetic. Result type equals the operand type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand types mismatch or the float/int domain is wrong
+    /// for `op`.
+    pub fn bin(&mut self, op: BinOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let lt = self.ty(lhs);
+        let rt = self.ty(rhs);
+        assert_eq!(lt, rt, "binop operand types differ: {lt} vs {rt}");
+        assert_eq!(
+            op.is_float(),
+            lt.is_float(),
+            "binop {op:?} domain mismatch with operand type {lt}"
+        );
+        self.emit_val(Op::Bin { op, lhs, rhs }, lt)
+    }
+
+    /// Single-operand float math.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand is not `F64`.
+    pub fn un(&mut self, op: UnOp, arg: ValueId) -> ValueId {
+        let ty = self.ty(arg);
+        assert!(ty.is_float(), "unary float op on {ty}");
+        self.emit_val(Op::Un { op, arg }, ty)
+    }
+
+    /// Integer comparison; result is `I1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand types differ or are floats.
+    pub fn icmp(&mut self, pred: IntCC, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let lt = self.ty(lhs);
+        assert_eq!(lt, self.ty(rhs), "icmp operand types differ");
+        assert!(lt.is_int(), "icmp on float operands");
+        self.emit_val(Op::Icmp { pred, lhs, rhs }, Type::I1)
+    }
+
+    /// Float comparison; result is `I1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are not both `F64`.
+    pub fn fcmp(&mut self, pred: FloatCC, lhs: ValueId, rhs: ValueId) -> ValueId {
+        assert!(self.ty(lhs).is_float() && self.ty(rhs).is_float(), "fcmp on ints");
+        self.emit_val(Op::Fcmp { pred, lhs, rhs }, Type::I1)
+    }
+
+    /// Type conversion to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid conversions (e.g. `Trunc` to a wider type).
+    pub fn cast(&mut self, kind: CastKind, arg: ValueId, to: Type) -> ValueId {
+        let from = self.ty(arg);
+        match kind {
+            CastKind::Trunc => {
+                assert!(from.is_int() && to.is_int() && to.bits() < from.bits(), "bad trunc {from}->{to}");
+            }
+            CastKind::ZExt | CastKind::SExt => {
+                assert!(from.is_int() && to.is_int() && to.bits() > from.bits(), "bad ext {from}->{to}");
+            }
+            CastKind::FpToSi => assert!(from.is_float() && to.is_int(), "bad fptosi {from}->{to}"),
+            CastKind::SiToFp => assert!(from.is_int() && to.is_float(), "bad sitofp {from}->{to}"),
+        }
+        self.emit_val(Op::Cast { kind, arg }, to)
+    }
+
+    /// `cond ? on_true : on_false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cond` is not `I1` or arm types differ.
+    pub fn select(&mut self, cond: ValueId, on_true: ValueId, on_false: ValueId) -> ValueId {
+        assert_eq!(self.ty(cond), Type::I1, "select condition must be i1");
+        let tt = self.ty(on_true);
+        assert_eq!(tt, self.ty(on_false), "select arm types differ");
+        self.emit_val(
+            Op::Select {
+                cond,
+                on_true,
+                on_false,
+            },
+            tt,
+        )
+    }
+
+    /// Loads a `ty` value from byte address `addr` (an `I64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not `I64`.
+    pub fn load(&mut self, ty: Type, addr: ValueId) -> ValueId {
+        assert_eq!(self.ty(addr), Type::I64, "load address must be i64");
+        self.emit_val(Op::Load { addr }, ty)
+    }
+
+    /// Stores `value` at byte address `addr` (an `I64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not `I64`.
+    pub fn store(&mut self, addr: ValueId, value: ValueId) {
+        assert_eq!(self.ty(addr), Type::I64, "store address must be i64");
+        self.emit(Op::Store { addr, value }, None);
+    }
+
+    /// Direct call; returns the result value if the callee (as declared by
+    /// `ret`) returns one. The callee's signature is supplied by the caller
+    /// because functions are built one at a time.
+    pub fn call(&mut self, func: FuncId, args: &[ValueId], ret: Option<Type>) -> Option<ValueId> {
+        let op = Op::Call {
+            func,
+            args: args.to_vec(),
+        };
+        match ret {
+            Some(ty) => Some(self.emit_val(op, ty)),
+            None => {
+                self.emit(op, None);
+                None
+            }
+        }
+    }
+
+    /// Inserts a detection check: traps with `SwDetect(kind)` when `cond`
+    /// is 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cond` is not `I1`.
+    pub fn check(&mut self, cond: ValueId, kind: CheckKind) {
+        assert_eq!(self.ty(cond), Type::I1, "check condition must be i1");
+        self.emit(Op::Check { cond, kind }, None);
+    }
+
+    /// Creates an empty phi of type `ty` at the start of `block`; operands
+    /// are filled in later via [`Function::inst_mut`].
+    pub fn empty_phi(&mut self, ty: Type, block: BlockId) -> (InstId, ValueId) {
+        let i = self.func.create_inst(Op::Phi { incomings: Vec::new() }, Some(ty), block);
+        self.func.block_mut(block).insts.insert(0, i);
+        let v = self.func.inst(i).result.expect("phi result");
+        (i, v)
+    }
+
+    /// Sets the current block's terminator to an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.func.set_term(self.block, Term::Br(target));
+    }
+
+    /// Sets the current block's terminator to a conditional branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cond` is not `I1`.
+    pub fn cond_br(&mut self, cond: ValueId, then_bb: BlockId, else_bb: BlockId) {
+        assert_eq!(self.ty(cond), Type::I1, "branch condition must be i1");
+        self.func.set_term(
+            self.block,
+            Term::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            },
+        );
+    }
+
+    /// Sets the current block's terminator to a return.
+    pub fn ret(&mut self, v: Option<ValueId>) {
+        self.func.set_term(self.block, Term::Ret(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_types_propagate() {
+        let mut f = Function::new("f", &[Type::I32, Type::I32], Some(Type::I32));
+        let (a, b) = (f.param(0), f.param(1));
+        let entry = f.entry();
+        let mut bld = InstBuilder::new(&mut f, entry);
+        let s = bld.bin(BinOp::Add, a, b);
+        let c = bld.icmp(IntCC::Slt, s, a);
+        let sel = bld.select(c, s, a);
+        bld.ret(Some(sel));
+        assert_eq!(f.value_type(s), Type::I32);
+        assert_eq!(f.value_type(c), Type::I1);
+        assert_eq!(f.value_type(sel), Type::I32);
+        assert!(matches!(f.block(entry).term, Some(Term::Ret(Some(v))) if v == sel));
+    }
+
+    #[test]
+    #[should_panic(expected = "binop operand types differ")]
+    fn mixed_width_binop_panics() {
+        let mut f = Function::new("f", &[Type::I32, Type::I64], None);
+        let (a, b) = (f.param(0), f.param(1));
+        let entry = f.entry();
+        let mut bld = InstBuilder::new(&mut f, entry);
+        bld.bin(BinOp::Add, a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain mismatch")]
+    fn float_op_on_ints_panics() {
+        let mut f = Function::new("f", &[Type::I32, Type::I32], None);
+        let (a, b) = (f.param(0), f.param(1));
+        let entry = f.entry();
+        let mut bld = InstBuilder::new(&mut f, entry);
+        bld.bin(BinOp::FAdd, a, b);
+    }
+
+    #[test]
+    fn casts_check_widths() {
+        let mut f = Function::new("f", &[Type::I32], None);
+        let a = f.param(0);
+        let entry = f.entry();
+        let mut bld = InstBuilder::new(&mut f, entry);
+        let w = bld.cast(CastKind::SExt, a, Type::I64);
+        let n = bld.cast(CastKind::Trunc, w, Type::I16);
+        let fl = bld.cast(CastKind::SiToFp, n, Type::F64);
+        let back = bld.cast(CastKind::FpToSi, fl, Type::I32);
+        assert_eq!(f.value_type(back), Type::I32);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad trunc")]
+    fn widening_trunc_panics() {
+        let mut f = Function::new("f", &[Type::I16], None);
+        let a = f.param(0);
+        let entry = f.entry();
+        let mut bld = InstBuilder::new(&mut f, entry);
+        bld.cast(CastKind::Trunc, a, Type::I64);
+    }
+
+    #[test]
+    fn memory_ops_require_i64_addresses() {
+        let mut f = Function::new("f", &[Type::I64], None);
+        let addr = f.param(0);
+        let entry = f.entry();
+        let mut bld = InstBuilder::new(&mut f, entry);
+        let v = bld.load(Type::I8, addr);
+        assert_eq!(f.value_type(v), Type::I8);
+    }
+
+    #[test]
+    #[should_panic(expected = "load address must be i64")]
+    fn narrow_address_panics() {
+        let mut f = Function::new("f", &[Type::I32], None);
+        let addr = f.param(0);
+        let entry = f.entry();
+        let mut bld = InstBuilder::new(&mut f, entry);
+        bld.load(Type::I8, addr);
+    }
+
+    #[test]
+    fn empty_phi_prepends() {
+        let mut f = Function::new("f", &[Type::I32], None);
+        let p = f.param(0);
+        let entry = f.entry();
+        let mut bld = InstBuilder::new(&mut f, entry);
+        let x = bld.bin(BinOp::Add, p, p);
+        let (phi_inst, phi_val) = bld.empty_phi(Type::I32, entry);
+        assert_eq!(f.block(entry).insts[0], phi_inst);
+        assert_eq!(f.value_type(phi_val), Type::I32);
+        let _ = x;
+    }
+}

@@ -1,0 +1,232 @@
+//! Dominator tree computation (Cooper–Harvey–Kennedy).
+
+use crate::entities::BlockId;
+use crate::function::Function;
+
+/// A dominator tree over the blocks of one function.
+///
+/// Unreachable blocks have no immediate dominator and are reported as not
+/// dominated by anything (including themselves) except in the trivial
+/// reflexive sense, which [`DomTree::dominates`] still honours.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[b]` — immediate dominator; `None` for the entry and for
+    /// unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    /// Reverse-postorder index per block (`usize::MAX` if unreachable).
+    rpo_index: Vec<usize>,
+    /// Blocks in reverse postorder.
+    rpo: Vec<BlockId>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `func`.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.num_blocks();
+        let entry = func.entry();
+
+        // Postorder DFS from the entry.
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Iterative DFS with an explicit stack of (block, next-successor).
+        let mut stack: Vec<(BlockId, Vec<BlockId>, usize)> = Vec::new();
+        let succs_of = |b: BlockId| -> Vec<BlockId> {
+            func.block(b)
+                .term
+                .as_ref()
+                .map(|t| t.successors())
+                .unwrap_or_default()
+        };
+        visited[entry.index()] = true;
+        stack.push((entry, succs_of(entry), 0));
+        while let Some((b, succs, idx)) = stack.last_mut() {
+            if *idx < succs.len() {
+                let s = succs[*idx];
+                *idx += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    let ss = succs_of(s);
+                    stack.push((s, ss, 0));
+                }
+            } else {
+                post.push(*b);
+                stack.pop();
+            }
+        }
+        let mut rpo = post;
+        rpo.reverse();
+
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+
+        let preds = func.compute_preds();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry); // sentinel during iteration
+
+        let intersect = |idom: &[Option<BlockId>], rpo_index: &[usize], mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while rpo_index[a.index()] > rpo_index[b.index()] {
+                    a = idom[a.index()].expect("processed block has idom");
+                }
+                while rpo_index[b.index()] > rpo_index[a.index()] {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if rpo_index[p.index()] == usize::MAX {
+                        continue; // unreachable predecessor
+                    }
+                    if idom[p.index()].is_none() {
+                        continue; // not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        idom[entry.index()] = None; // entry has no idom
+
+        DomTree {
+            idom,
+            rpo_index,
+            rpo,
+            entry,
+        }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Blocks in reverse postorder (reachable blocks only).
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()] != usize::MAX
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if a == b {
+            return true;
+        }
+        if !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            match self.idom[cur.index()] {
+                Some(i) => {
+                    if i == a {
+                        return true;
+                    }
+                    if i == cur {
+                        return false;
+                    }
+                    cur = i;
+                }
+                None => return cur == self.entry && a == self.entry,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::FunctionDsl;
+    use crate::inst::IntCC;
+    use crate::types::Type;
+    use crate::Term;
+
+    #[test]
+    fn diamond_dominance() {
+        let f = FunctionDsl::build("f", &[Type::I32], Some(Type::I32), |d| {
+            let x = d.declare_var(Type::I32);
+            let p = d.param(0);
+            let z = d.i32c(0);
+            let c = d.icmp(IntCC::Sgt, p, z);
+            let a = d.i32c(1);
+            let b = d.i32c(2);
+            d.if_else(c, |d| d.set(x, a), |d| d.set(x, b));
+            let xv = d.get(x);
+            d.ret(Some(xv));
+        });
+        let dt = DomTree::compute(&f);
+        let entry = f.entry();
+        // Blocks: entry(0), then(1), else(2), merge(3).
+        let then_bb = BlockId::new(1);
+        let else_bb = BlockId::new(2);
+        let merge = BlockId::new(3);
+        assert!(dt.dominates(entry, merge));
+        assert!(dt.dominates(entry, then_bb));
+        assert!(!dt.dominates(then_bb, merge));
+        assert!(!dt.dominates(else_bb, merge));
+        assert_eq!(dt.idom(merge), Some(entry));
+        assert_eq!(dt.idom(entry), None);
+        assert!(dt.dominates(merge, merge));
+    }
+
+    #[test]
+    fn loop_header_dominates_body_and_exit() {
+        let f = FunctionDsl::build("f", &[], Some(Type::I64), |d| {
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(5));
+            d.for_range(s, e, |d, i| {
+                let a = d.get(acc);
+                let a2 = d.add(a, i);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        let dt = DomTree::compute(&f);
+        // header = 1, body = 2, exit = 3 (DSL creation order).
+        let header = BlockId::new(1);
+        let body = BlockId::new(2);
+        let exit = BlockId::new(3);
+        assert!(dt.dominates(header, body));
+        assert!(dt.dominates(header, exit));
+        assert!(!dt.dominates(body, exit));
+        assert_eq!(dt.reverse_postorder().first(), Some(&f.entry()));
+    }
+
+    #[test]
+    fn unreachable_block_reported() {
+        let mut f = crate::Function::new("f", &[], None);
+        let entry = f.entry();
+        let dead = f.add_block();
+        f.set_term(entry, Term::Ret(None));
+        f.set_term(dead, Term::Ret(None));
+        let dt = DomTree::compute(&f);
+        assert!(!dt.is_reachable(dead));
+        assert!(dt.is_reachable(entry));
+        assert!(!dt.dominates(entry, dead));
+    }
+}

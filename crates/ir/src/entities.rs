@@ -1,0 +1,99 @@
+//! Entity references (index newtypes) for IR objects.
+//!
+//! All IR objects live in per-function (or per-module) arenas and are
+//! referenced by small, copyable index types. Indices are only meaningful
+//! relative to the arena that produced them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! entity_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw arena index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect("entity index overflow"))
+            }
+
+            /// Returns the raw arena index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+entity_id!(
+    /// Reference to an SSA value within a [`crate::Function`].
+    ValueId,
+    "v"
+);
+entity_id!(
+    /// Reference to an instruction within a [`crate::Function`].
+    InstId,
+    "i"
+);
+entity_id!(
+    /// Reference to a basic block within a [`crate::Function`].
+    BlockId,
+    "bb"
+);
+entity_id!(
+    /// Reference to a function within a [`crate::Module`].
+    FuncId,
+    "fn"
+);
+entity_id!(
+    /// Reference to a global data region within a [`crate::Module`].
+    GlobalId,
+    "g"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_indices() {
+        let v = ValueId::new(17);
+        assert_eq!(v.index(), 17);
+        assert_eq!(format!("{v}"), "v17");
+        assert_eq!(format!("{v:?}"), "v17");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(BlockId::new(1) < BlockId::new(2));
+        assert_eq!(InstId::new(3), InstId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "entity index overflow")]
+    fn id_overflow_panics() {
+        let _ = ValueId::new(usize::MAX);
+    }
+}

@@ -1,0 +1,464 @@
+//! Functions: arenas of values, instructions and basic blocks.
+
+use crate::entities::{BlockId, InstId, ValueId};
+use crate::inst::{Op, Term};
+use crate::types::{Const, ConstKey, Type};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How an SSA value is defined.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ValueKind {
+    /// The `n`-th function parameter.
+    Param(u32),
+    /// An interned constant.
+    Const(Const),
+    /// The result of an instruction.
+    Inst(InstId),
+}
+
+/// A value table entry: definition plus type.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ValueData {
+    /// How the value is defined.
+    pub kind: ValueKind,
+    /// Scalar type of the value.
+    pub ty: Type,
+}
+
+/// An instruction table entry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InstData {
+    /// The operation.
+    pub op: Op,
+    /// Result value, if the instruction produces one.
+    pub result: Option<ValueId>,
+    /// Enclosing block (kept in sync by insertion APIs).
+    pub block: BlockId,
+    /// True once the instruction has been unlinked (e.g. a removed trivial
+    /// phi). Dead instructions are skipped by analyses and the verifier
+    /// rejects references to their results.
+    pub dead: bool,
+}
+
+/// A basic block: an ordered list of instructions plus one terminator.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlockData {
+    /// Instructions in execution order. Phis must form a prefix.
+    pub insts: Vec<InstId>,
+    /// The terminator; `None` only while the block is under construction.
+    pub term: Option<Term>,
+}
+
+/// A function: SSA values, instructions, and a CFG of basic blocks.
+///
+/// `Function` is a passive arena with mutation helpers; richer construction
+/// goes through [`crate::builder::InstBuilder`] or the structured
+/// [`crate::dsl::FunctionDsl`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Function {
+    /// Symbol name (unique within a module).
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Return type, if any.
+    pub ret: Option<Type>,
+    values: Vec<ValueData>,
+    insts: Vec<InstData>,
+    blocks: Vec<BlockData>,
+    entry: BlockId,
+    #[serde(skip)]
+    const_cache: HashMap<ConstKey, ValueId>,
+    param_values: Vec<ValueId>,
+}
+
+impl Function {
+    /// Creates an empty function with an entry block and one SSA value per
+    /// parameter.
+    pub fn new(name: impl Into<String>, params: &[Type], ret: Option<Type>) -> Self {
+        let mut f = Function {
+            name: name.into(),
+            params: params.to_vec(),
+            ret,
+            values: Vec::new(),
+            insts: Vec::new(),
+            blocks: vec![BlockData::default()],
+            entry: BlockId::new(0),
+            const_cache: HashMap::new(),
+            param_values: Vec::new(),
+        };
+        for (i, &ty) in params.iter().enumerate() {
+            let v = f.push_value(ValueData {
+                kind: ValueKind::Param(i as u32),
+                ty,
+            });
+            f.param_values.push(v);
+        }
+        f
+    }
+
+    /// The entry block.
+    #[inline]
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// SSA value for the `n`-th parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn param(&self, n: usize) -> ValueId {
+        self.param_values[n]
+    }
+
+    /// Number of values in the arena (including dead instruction results).
+    #[inline]
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of instructions in the arena (including dead ones).
+    #[inline]
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of basic blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterates over block ids in creation order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len()).map(BlockId::new)
+    }
+
+    /// Iterates over live (non-dead) instruction ids in arena order.
+    pub fn live_inst_ids(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.insts
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.dead)
+            .map(|(i, _)| InstId::new(i))
+    }
+
+    /// Value table entry.
+    #[inline]
+    pub fn value(&self, v: ValueId) -> &ValueData {
+        &self.values[v.index()]
+    }
+
+    /// Type of a value.
+    #[inline]
+    pub fn value_type(&self, v: ValueId) -> Type {
+        self.values[v.index()].ty
+    }
+
+    /// Instruction table entry.
+    #[inline]
+    pub fn inst(&self, i: InstId) -> &InstData {
+        &self.insts[i.index()]
+    }
+
+    /// Mutable instruction table entry.
+    #[inline]
+    pub fn inst_mut(&mut self, i: InstId) -> &mut InstData {
+        &mut self.insts[i.index()]
+    }
+
+    /// Block data.
+    #[inline]
+    pub fn block(&self, b: BlockId) -> &BlockData {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutable block data.
+    #[inline]
+    pub fn block_mut(&mut self, b: BlockId) -> &mut BlockData {
+        &mut self.blocks[b.index()]
+    }
+
+    /// Appends a fresh, empty basic block.
+    pub fn add_block(&mut self) -> BlockId {
+        self.blocks.push(BlockData::default());
+        BlockId::new(self.blocks.len() - 1)
+    }
+
+    /// Interns a constant, returning its value id.
+    pub fn make_const(&mut self, c: Const) -> ValueId {
+        let key = ConstKey::from(c);
+        if let Some(&v) = self.const_cache.get(&key) {
+            return v;
+        }
+        let v = self.push_value(ValueData {
+            kind: ValueKind::Const(c),
+            ty: c.ty(),
+        });
+        self.const_cache.insert(key, v);
+        v
+    }
+
+    /// Convenience: interned integer constant.
+    pub fn iconst(&mut self, ty: Type, v: i64) -> ValueId {
+        self.make_const(Const::Int(ty.canon(v), ty))
+    }
+
+    /// Convenience: interned float constant.
+    pub fn fconst(&mut self, v: f64) -> ValueId {
+        self.make_const(Const::F64(v))
+    }
+
+    fn push_value(&mut self, data: ValueData) -> ValueId {
+        self.values.push(data);
+        ValueId::new(self.values.len() - 1)
+    }
+
+    /// Creates an instruction (without inserting it into a block) and
+    /// registers its result value if `result_ty` is `Some`.
+    ///
+    /// Most callers want [`Function::append_inst`] or the builder APIs.
+    pub fn create_inst(&mut self, op: Op, result_ty: Option<Type>, block: BlockId) -> InstId {
+        let id = InstId::new(self.insts.len());
+        let result = result_ty.map(|ty| {
+            self.push_value(ValueData {
+                kind: ValueKind::Inst(id),
+                ty,
+            })
+        });
+        self.insts.push(InstData {
+            op,
+            result,
+            block,
+            dead: false,
+        });
+        id
+    }
+
+    /// Creates an instruction and appends it to `block`.
+    pub fn append_inst(&mut self, op: Op, result_ty: Option<Type>, block: BlockId) -> InstId {
+        let id = self.create_inst(op, result_ty, block);
+        self.blocks[block.index()].insts.push(id);
+        id
+    }
+
+    /// Creates an instruction and inserts it immediately after `after`
+    /// within the same block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `after` is not linked into its block.
+    pub fn insert_inst_after(&mut self, op: Op, result_ty: Option<Type>, after: InstId) -> InstId {
+        let block = self.insts[after.index()].block;
+        let id = self.create_inst(op, result_ty, block);
+        let list = &mut self.blocks[block.index()].insts;
+        let pos = list
+            .iter()
+            .position(|&i| i == after)
+            .expect("anchor instruction not linked into its block");
+        list.insert(pos + 1, id);
+        id
+    }
+
+    /// Creates an instruction and inserts it immediately before `before`
+    /// within the same block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `before` is not linked into its block.
+    pub fn insert_inst_before(&mut self, op: Op, result_ty: Option<Type>, before: InstId) -> InstId {
+        let block = self.insts[before.index()].block;
+        let id = self.create_inst(op, result_ty, block);
+        let list = &mut self.blocks[block.index()].insts;
+        let pos = list
+            .iter()
+            .position(|&i| i == before)
+            .expect("anchor instruction not linked into its block");
+        list.insert(pos, id);
+        id
+    }
+
+    /// Creates an instruction and inserts it at the end of `block`, but
+    /// before the terminator (blocks store the terminator separately, so
+    /// this is equivalent to [`Function::append_inst`]).
+    pub fn insert_inst_at_end(&mut self, op: Op, result_ty: Option<Type>, block: BlockId) -> InstId {
+        self.append_inst(op, result_ty, block)
+    }
+
+    /// Creates an instruction and inserts it after the phi prefix of
+    /// `block` (i.e. as the first non-phi instruction).
+    pub fn insert_inst_after_phis(
+        &mut self,
+        op: Op,
+        result_ty: Option<Type>,
+        block: BlockId,
+    ) -> InstId {
+        let id = self.create_inst(op, result_ty, block);
+        let pos = {
+            let list = &self.blocks[block.index()].insts;
+            list.iter()
+                .position(|&i| !self.insts[i.index()].op.is_phi())
+                .unwrap_or(list.len())
+        };
+        self.blocks[block.index()].insts.insert(pos, id);
+        id
+    }
+
+    /// Unlinks an instruction from its block and marks it dead.
+    ///
+    /// The caller is responsible for first rewriting all uses of the
+    /// instruction's result; the verifier will reject dangling references.
+    pub fn remove_inst(&mut self, i: InstId) {
+        let block = self.insts[i.index()].block;
+        self.blocks[block.index()].insts.retain(|&x| x != i);
+        self.insts[i.index()].dead = true;
+    }
+
+    /// The defining instruction of a value, if it is an instruction result.
+    pub fn def_inst(&self, v: ValueId) -> Option<InstId> {
+        match self.values[v.index()].kind {
+            ValueKind::Inst(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Sets the terminator of `block`.
+    pub fn set_term(&mut self, block: BlockId, term: Term) {
+        self.blocks[block.index()].term = Some(term);
+    }
+
+    /// Computes the predecessor lists of every block from the terminators.
+    pub fn compute_preds(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            if let Some(term) = &b.term {
+                for succ in term.successors() {
+                    preds[succ.index()].push(BlockId::new(i));
+                }
+            }
+        }
+        preds
+    }
+
+    /// Counts live static instructions (the paper's "static IR instructions"
+    /// denominator in Fig. 10).
+    pub fn static_inst_count(&self) -> usize {
+        self.insts.iter().filter(|d| !d.dead).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::BinOp;
+
+    fn add_op(f: &mut Function, a: ValueId, b: ValueId) -> Op {
+        let _ = f;
+        Op::Bin {
+            op: BinOp::Add,
+            lhs: a,
+            rhs: b,
+        }
+    }
+
+    #[test]
+    fn params_become_values() {
+        let f = Function::new("f", &[Type::I32, Type::F64], Some(Type::I32));
+        assert_eq!(f.value_type(f.param(0)), Type::I32);
+        assert_eq!(f.value_type(f.param(1)), Type::F64);
+        assert_eq!(f.num_values(), 2);
+        assert_eq!(f.num_blocks(), 1);
+    }
+
+    #[test]
+    fn constants_are_interned() {
+        let mut f = Function::new("f", &[], None);
+        let a = f.iconst(Type::I32, 7);
+        let b = f.iconst(Type::I32, 7);
+        let c = f.iconst(Type::I64, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let x = f.fconst(2.5);
+        let y = f.fconst(2.5);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn insertion_order_is_respected() {
+        let mut f = Function::new("f", &[Type::I32], Some(Type::I32));
+        let p = f.param(0);
+        let entry = f.entry();
+        let i1 = {
+            let op = add_op(&mut f, p, p);
+            f.append_inst(op, Some(Type::I32), entry)
+        };
+        let i2 = {
+            let op = add_op(&mut f, p, p);
+            f.append_inst(op, Some(Type::I32), entry)
+        };
+        let mid = {
+            let op = add_op(&mut f, p, p);
+            f.insert_inst_after(op, Some(Type::I32), i1)
+        };
+        let first = {
+            let op = add_op(&mut f, p, p);
+            f.insert_inst_before(op, Some(Type::I32), i1)
+        };
+        assert_eq!(f.block(entry).insts, vec![first, i1, mid, i2]);
+    }
+
+    #[test]
+    fn remove_marks_dead_and_unlinks() {
+        let mut f = Function::new("f", &[Type::I32], None);
+        let p = f.param(0);
+        let entry = f.entry();
+        let op = add_op(&mut f, p, p);
+        let i = f.append_inst(op, Some(Type::I32), entry);
+        f.remove_inst(i);
+        assert!(f.inst(i).dead);
+        assert!(f.block(entry).insts.is_empty());
+        assert_eq!(f.static_inst_count(), 0);
+        assert_eq!(f.live_inst_ids().count(), 0);
+    }
+
+    #[test]
+    fn preds_follow_terminators() {
+        let mut f = Function::new("f", &[], None);
+        let entry = f.entry();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let cond = f.iconst(Type::I1, 1);
+        f.set_term(
+            entry,
+            Term::CondBr {
+                cond,
+                then_bb: b1,
+                else_bb: b2,
+            },
+        );
+        f.set_term(b1, Term::Br(b2));
+        f.set_term(b2, Term::Ret(None));
+        let preds = f.compute_preds();
+        assert_eq!(preds[b1.index()], vec![entry]);
+        assert_eq!(preds[b2.index()], vec![entry, b1]);
+        assert!(preds[entry.index()].is_empty());
+    }
+
+    #[test]
+    fn insert_after_phis_skips_phi_prefix() {
+        let mut f = Function::new("f", &[Type::I32], None);
+        let p = f.param(0);
+        let entry = f.entry();
+        let phi = f.append_inst(
+            Op::Phi {
+                incomings: vec![(entry, p)],
+            },
+            Some(Type::I32),
+            entry,
+        );
+        let op = add_op(&mut f, p, p);
+        let i = f.insert_inst_after_phis(op, Some(Type::I32), entry);
+        assert_eq!(f.block(entry).insts, vec![phi, i]);
+    }
+}

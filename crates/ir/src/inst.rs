@@ -1,0 +1,538 @@
+//! Instruction opcodes, operands, and terminators.
+
+use crate::entities::{BlockId, FuncId, ValueId};
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Two-operand arithmetic/logic opcodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Wrapping integer add.
+    Add,
+    /// Wrapping integer subtract.
+    Sub,
+    /// Wrapping integer multiply.
+    Mul,
+    /// Signed integer divide (traps on divide-by-zero).
+    SDiv,
+    /// Signed integer remainder (traps on divide-by-zero).
+    SRem,
+    /// Unsigned integer divide (traps on divide-by-zero).
+    UDiv,
+    /// Unsigned integer remainder (traps on divide-by-zero).
+    URem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left (shift amount taken modulo the type width).
+    Shl,
+    /// Logical shift right.
+    LShr,
+    /// Arithmetic shift right.
+    AShr,
+    /// Float add.
+    FAdd,
+    /// Float subtract.
+    FSub,
+    /// Float multiply.
+    FMul,
+    /// Float divide.
+    FDiv,
+}
+
+impl BinOp {
+    /// True for the four float opcodes.
+    pub fn is_float(self) -> bool {
+        matches!(self, BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv)
+    }
+
+    /// True for opcodes that can raise a divide-by-zero trap.
+    pub fn can_trap(self) -> bool {
+        matches!(self, BinOp::SDiv | BinOp::SRem | BinOp::UDiv | BinOp::URem)
+    }
+}
+
+/// Single-operand opcodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Float square root (negative inputs yield NaN).
+    FSqrt,
+    /// Float absolute value.
+    FAbs,
+    /// Round toward negative infinity.
+    FFloor,
+    /// Float negation.
+    FNeg,
+}
+
+/// Width/domain conversions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CastKind {
+    /// Truncate an integer to a narrower integer type.
+    Trunc,
+    /// Zero-extend an integer to a wider integer type.
+    ZExt,
+    /// Sign-extend an integer to a wider integer type.
+    SExt,
+    /// Convert a float to a signed integer (saturating).
+    FpToSi,
+    /// Convert a signed integer to a float.
+    SiToFp,
+}
+
+/// Signed/unsigned integer comparison predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntCC {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less than.
+    Slt,
+    /// Signed less than or equal.
+    Sle,
+    /// Signed greater than.
+    Sgt,
+    /// Signed greater than or equal.
+    Sge,
+    /// Unsigned less than.
+    Ult,
+    /// Unsigned less than or equal.
+    Ule,
+    /// Unsigned greater than.
+    Ugt,
+    /// Unsigned greater than or equal.
+    Uge,
+}
+
+/// Ordered float comparison predicates (NaN compares false).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FloatCC {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// Why a [`Op::Check`] instruction exists — carried into the detection
+/// outcome so campaigns can attribute software detections to a mechanism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CheckKind {
+    /// Producer-chain duplication mismatch on a state variable (hard check).
+    DupMismatch,
+    /// Expected-value check: single frequent value (Fig. 6a).
+    ValueSingle,
+    /// Expected-value check: two frequent values (Fig. 6b).
+    ValuePair,
+    /// Expected-value check: compact range (Fig. 6c).
+    ValueRange,
+    /// Full-duplication baseline: store operand comparison.
+    StoreGuard,
+    /// Full-duplication baseline: branch condition comparison.
+    BranchGuard,
+    /// Control-flow signature mismatch (CFCSS extension: the incoming
+    /// signature does not belong to any CFG predecessor — a corrupted
+    /// branch target).
+    CfcSignature,
+}
+
+impl CheckKind {
+    /// True for the soft expected-value checks (as opposed to duplication
+    /// comparisons).
+    pub fn is_value_check(self) -> bool {
+        matches!(
+            self,
+            CheckKind::ValueSingle | CheckKind::ValuePair | CheckKind::ValueRange
+        )
+    }
+}
+
+/// A non-terminator instruction.
+///
+/// Instructions that produce a value have their result registered in the
+/// enclosing [`crate::Function`]'s value table; see
+/// [`crate::InstData::result`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Two-operand arithmetic/logic.
+    Bin {
+        /// Opcode.
+        op: BinOp,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// Single-operand float math.
+    Un {
+        /// Opcode.
+        op: UnOp,
+        /// Operand.
+        arg: ValueId,
+    },
+    /// Integer comparison producing `I1`.
+    Icmp {
+        /// Predicate.
+        pred: IntCC,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// Float comparison producing `I1`.
+    Fcmp {
+        /// Predicate.
+        pred: FloatCC,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// Type conversion.
+    Cast {
+        /// Conversion kind.
+        kind: CastKind,
+        /// Operand.
+        arg: ValueId,
+    },
+    /// Two-way select: `cond ? on_true : on_false`.
+    Select {
+        /// `I1` condition.
+        cond: ValueId,
+        /// Value when `cond` is 1.
+        on_true: ValueId,
+        /// Value when `cond` is 0.
+        on_false: ValueId,
+    },
+    /// Load a value of the instruction's result type from memory.
+    Load {
+        /// Byte address (`I64`).
+        addr: ValueId,
+    },
+    /// Store `value` at byte address `addr`.
+    Store {
+        /// Byte address (`I64`).
+        addr: ValueId,
+        /// Stored value; its type determines the access width.
+        value: ValueId,
+    },
+    /// Direct call to another function in the module.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Arguments, matching the callee's parameter types.
+        args: Vec<ValueId>,
+    },
+    /// SSA phi; merges one value per predecessor block.
+    Phi {
+        /// `(predecessor, value)` pairs; order is irrelevant.
+        incomings: Vec<(BlockId, ValueId)>,
+    },
+    /// Fault-detection check: traps with `SwDetect(kind)` when `cond` is 0.
+    ///
+    /// This models the compare-and-branch-to-recovery sequence the paper
+    /// inserts; the VM charges it like a branch and the timing model gives
+    /// it unit latency.
+    Check {
+        /// `I1` condition that must hold in a fault-free run.
+        cond: ValueId,
+        /// Which detection mechanism inserted the check.
+        kind: CheckKind,
+    },
+}
+
+impl Op {
+    /// Appends all value operands to `out` (in a fixed order).
+    pub fn operands(&self, out: &mut Vec<ValueId>) {
+        match self {
+            Op::Bin { lhs, rhs, .. } | Op::Icmp { lhs, rhs, .. } | Op::Fcmp { lhs, rhs, .. } => {
+                out.push(*lhs);
+                out.push(*rhs);
+            }
+            Op::Un { arg, .. } | Op::Cast { arg, .. } => out.push(*arg),
+            Op::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                out.push(*cond);
+                out.push(*on_true);
+                out.push(*on_false);
+            }
+            Op::Load { addr } => out.push(*addr),
+            Op::Store { addr, value } => {
+                out.push(*addr);
+                out.push(*value);
+            }
+            Op::Call { args, .. } => out.extend_from_slice(args),
+            Op::Phi { incomings } => out.extend(incomings.iter().map(|(_, v)| *v)),
+            Op::Check { cond, .. } => out.push(*cond),
+        }
+    }
+
+    /// Collects the operands into a fresh vector.
+    pub fn operand_vec(&self) -> Vec<ValueId> {
+        let mut v = Vec::with_capacity(3);
+        self.operands(&mut v);
+        v
+    }
+
+    /// Applies `f` to every value operand in place.
+    pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut ValueId)) {
+        match self {
+            Op::Bin { lhs, rhs, .. } | Op::Icmp { lhs, rhs, .. } | Op::Fcmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Op::Un { arg, .. } | Op::Cast { arg, .. } => f(arg),
+            Op::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                f(cond);
+                f(on_true);
+                f(on_false);
+            }
+            Op::Load { addr } => f(addr),
+            Op::Store { addr, value } => {
+                f(addr);
+                f(value);
+            }
+            Op::Call { args, .. } => args.iter_mut().for_each(&mut f),
+            Op::Phi { incomings } => incomings.iter_mut().for_each(|(_, v)| f(v)),
+            Op::Check { cond, .. } => f(cond),
+        }
+    }
+
+    /// True if this is a phi node.
+    pub fn is_phi(&self) -> bool {
+        matches!(self, Op::Phi { .. })
+    }
+
+    /// True for instructions with side effects (must not be removed or
+    /// duplicated): memory writes, calls, and checks.
+    pub fn has_side_effect(&self) -> bool {
+        matches!(self, Op::Store { .. } | Op::Call { .. } | Op::Check { .. })
+    }
+
+    /// True for pure computation instructions whose producer chain the
+    /// duplication pass may clone (arithmetic, comparisons, casts, selects).
+    ///
+    /// Loads are excluded deliberately: the paper terminates producer-chain
+    /// duplication at loads to save memory traffic, relying on out-of-bounds
+    /// symptoms to cover faulty addresses.
+    pub fn is_duplicable(&self) -> bool {
+        matches!(
+            self,
+            Op::Bin { .. }
+                | Op::Un { .. }
+                | Op::Icmp { .. }
+                | Op::Fcmp { .. }
+                | Op::Cast { .. }
+                | Op::Select { .. }
+        )
+    }
+
+    /// Short mnemonic used by the printer.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Bin { op, .. } => match op {
+                BinOp::Add => "add",
+                BinOp::Sub => "sub",
+                BinOp::Mul => "mul",
+                BinOp::SDiv => "sdiv",
+                BinOp::SRem => "srem",
+                BinOp::UDiv => "udiv",
+                BinOp::URem => "urem",
+                BinOp::And => "and",
+                BinOp::Or => "or",
+                BinOp::Xor => "xor",
+                BinOp::Shl => "shl",
+                BinOp::LShr => "lshr",
+                BinOp::AShr => "ashr",
+                BinOp::FAdd => "fadd",
+                BinOp::FSub => "fsub",
+                BinOp::FMul => "fmul",
+                BinOp::FDiv => "fdiv",
+            },
+            Op::Un { op, .. } => match op {
+                UnOp::FSqrt => "fsqrt",
+                UnOp::FAbs => "fabs",
+                UnOp::FFloor => "ffloor",
+                UnOp::FNeg => "fneg",
+            },
+            Op::Icmp { .. } => "icmp",
+            Op::Fcmp { .. } => "fcmp",
+            Op::Cast { kind, .. } => match kind {
+                CastKind::Trunc => "trunc",
+                CastKind::ZExt => "zext",
+                CastKind::SExt => "sext",
+                CastKind::FpToSi => "fptosi",
+                CastKind::SiToFp => "sitofp",
+            },
+            Op::Select { .. } => "select",
+            Op::Load { .. } => "load",
+            Op::Store { .. } => "store",
+            Op::Call { .. } => "call",
+            Op::Phi { .. } => "phi",
+            Op::Check { .. } => "check",
+        }
+    }
+}
+
+/// Block terminators.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Term {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Two-way conditional branch on an `I1` value.
+    CondBr {
+        /// Condition.
+        cond: ValueId,
+        /// Target when `cond` is 1.
+        then_bb: BlockId,
+        /// Target when `cond` is 0.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Ret(Option<ValueId>),
+}
+
+impl Term {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Term::Br(b) => vec![*b],
+            Term::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Term::Ret(_) => Vec::new(),
+        }
+    }
+
+    /// The condition value, if any.
+    pub fn cond(&self) -> Option<ValueId> {
+        match self {
+            Term::CondBr { cond, .. } => Some(*cond),
+            _ => None,
+        }
+    }
+
+    /// Applies `f` to every value operand in place.
+    pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut ValueId)) {
+        match self {
+            Term::Br(_) => {}
+            Term::CondBr { cond, .. } => f(cond),
+            Term::Ret(Some(v)) => f(v),
+            Term::Ret(None) => {}
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Br(b) => write!(f, "br {b}"),
+            Term::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => write!(f, "condbr {cond}, {then_bb}, {else_bb}"),
+            Term::Ret(Some(v)) => write!(f, "ret {v}"),
+            Term::Ret(None) => write!(f, "ret"),
+        }
+    }
+}
+
+/// The result type of an instruction, given its operand/result context.
+///
+/// Returns `None` for instructions that produce no value.
+pub fn result_type(op: &Op, operand_ty: impl Fn(ValueId) -> Type, ret_of: impl Fn(FuncId) -> Option<Type>) -> Option<Type> {
+    match op {
+        Op::Bin { lhs, .. } => Some(operand_ty(*lhs)),
+        Op::Un { arg, .. } => Some(operand_ty(*arg)),
+        Op::Icmp { .. } | Op::Fcmp { .. } => Some(Type::I1),
+        Op::Cast { .. } => None, // cast result type is explicit; see builder
+        Op::Select { on_true, .. } => Some(operand_ty(*on_true)),
+        Op::Load { .. } => None, // load result type is explicit; see builder
+        Op::Store { .. } | Op::Check { .. } => None,
+        Op::Call { func, .. } => ret_of(*func),
+        Op::Phi { incomings } => incomings.first().map(|(_, v)| operand_ty(*v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_collection_covers_all_variants() {
+        let a = ValueId::new(0);
+        let b = ValueId::new(1);
+        let c = ValueId::new(2);
+        let cases: Vec<(Op, usize)> = vec![
+            (Op::Bin { op: BinOp::Add, lhs: a, rhs: b }, 2),
+            (Op::Un { op: UnOp::FAbs, arg: a }, 1),
+            (Op::Icmp { pred: IntCC::Eq, lhs: a, rhs: b }, 2),
+            (Op::Fcmp { pred: FloatCC::Lt, lhs: a, rhs: b }, 2),
+            (Op::Cast { kind: CastKind::SExt, arg: c }, 1),
+            (Op::Select { cond: a, on_true: b, on_false: c }, 3),
+            (Op::Load { addr: a }, 1),
+            (Op::Store { addr: a, value: b }, 2),
+            (Op::Call { func: FuncId::new(0), args: vec![a, b, c] }, 3),
+            (Op::Phi { incomings: vec![(BlockId::new(0), a), (BlockId::new(1), b)] }, 2),
+            (Op::Check { cond: a, kind: CheckKind::ValueRange }, 1),
+        ];
+        for (op, n) in cases {
+            assert_eq!(op.operand_vec().len(), n, "{}", op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn operand_rewrite_applies_everywhere() {
+        let a = ValueId::new(0);
+        let b = ValueId::new(1);
+        let mut op = Op::Select { cond: a, on_true: a, on_false: a };
+        op.for_each_operand_mut(|v| *v = b);
+        assert_eq!(op.operand_vec(), vec![b, b, b]);
+    }
+
+    #[test]
+    fn classification_predicates() {
+        let a = ValueId::new(0);
+        assert!(Op::Store { addr: a, value: a }.has_side_effect());
+        assert!(!Op::Load { addr: a }.has_side_effect());
+        assert!(!Op::Load { addr: a }.is_duplicable());
+        assert!(Op::Bin { op: BinOp::Mul, lhs: a, rhs: a }.is_duplicable());
+        assert!(BinOp::SDiv.can_trap());
+        assert!(!BinOp::Add.can_trap());
+        assert!(BinOp::FMul.is_float());
+        assert!(CheckKind::ValuePair.is_value_check());
+        assert!(!CheckKind::DupMismatch.is_value_check());
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Term::CondBr {
+            cond: ValueId::new(0),
+            then_bb: BlockId::new(1),
+            else_bb: BlockId::new(2),
+        };
+        assert_eq!(t.successors(), vec![BlockId::new(1), BlockId::new(2)]);
+        assert_eq!(t.cond(), Some(ValueId::new(0)));
+        assert!(Term::Ret(None).successors().is_empty());
+    }
+}

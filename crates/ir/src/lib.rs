@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # softft-ir
+//!
+//! A from-scratch SSA intermediate representation that plays the role LLVM IR
+//! plays in *Harnessing Soft Computations for Low-budget Fault Tolerance*
+//! (Khudia & Mahlke, MICRO 2014).
+//!
+//! The crate provides:
+//!
+//! * typed SSA values, instructions, basic blocks, functions and modules
+//!   ([`Function`], [`Module`]),
+//! * a structured [`dsl`] frontend that performs on-the-fly SSA construction
+//!   (Braun et al.), so that loop-carried variables materialize as phi nodes
+//!   in loop headers — exactly the property the paper's *state variable*
+//!   analysis relies on,
+//! * classic analyses: dominator trees ([`dom`]), natural loops ([`loops`]),
+//!   def-use chains ([`uses`]),
+//! * a structural [`verify`] pass, and a human-readable [`printer`].
+//!
+//! # Example
+//!
+//! ```
+//! use softft_ir::dsl::FunctionDsl;
+//! use softft_ir::{Type, IntCC};
+//!
+//! // sum = Σ i for i in 0..10 — `sum` becomes a phi in the loop header.
+//! let func = FunctionDsl::build("sum", &[], Some(Type::I64), |d| {
+//!     let sum = d.declare_var(Type::I64);
+//!     let zero = d.iconst(Type::I64, 0);
+//!     let ten = d.iconst(Type::I64, 10);
+//!     d.set(sum, zero);
+//!     d.for_range(zero, ten, |d, i| {
+//!         let s = d.get(sum);
+//!         let s2 = d.add(s, i);
+//!         d.set(sum, s2);
+//!     });
+//!     let s = d.get(sum);
+//!     d.ret(Some(s));
+//! });
+//! softft_ir::verify::verify_function(&func).unwrap();
+//! ```
+
+pub mod builder;
+pub mod dom;
+pub mod dsl;
+pub mod entities;
+pub mod function;
+pub mod inst;
+pub mod loops;
+pub mod module;
+pub mod opt;
+pub mod printer;
+pub mod types;
+pub mod uses;
+pub mod verify;
+
+pub use entities::{BlockId, FuncId, GlobalId, InstId, ValueId};
+pub use function::{BlockData, Function, InstData, ValueData, ValueKind};
+pub use inst::{BinOp, CastKind, CheckKind, FloatCC, IntCC, Op, Term, UnOp};
+pub use module::{Global, Module};
+pub use types::{Const, Type};

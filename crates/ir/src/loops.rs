@@ -1,0 +1,208 @@
+//! Natural loop detection.
+//!
+//! The state-variable analysis of the paper identifies *phi nodes in loop
+//! headers*; this module finds the loop headers (targets of back edges in
+//! the dominator-tree sense) and the blocks belonging to each natural loop.
+
+use crate::dom::DomTree;
+use crate::entities::BlockId;
+use crate::function::Function;
+use std::collections::{HashMap, HashSet};
+
+/// One natural loop.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// The loop header (target of one or more back edges).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub blocks: HashSet<BlockId>,
+    /// Source blocks of the back edges (latches).
+    pub latches: Vec<BlockId>,
+    /// Nesting depth (1 = outermost).
+    pub depth: u32,
+}
+
+/// All natural loops of a function.
+#[derive(Clone, Debug)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+    header_set: HashSet<BlockId>,
+    depth_of: HashMap<BlockId, u32>,
+}
+
+impl LoopForest {
+    /// Finds the natural loops of `func` using `dom`.
+    ///
+    /// Back edges `n -> h` where `h` dominates `n` define loops; loops
+    /// sharing a header are merged (as in classic dragon-book analysis).
+    pub fn compute(func: &Function, dom: &DomTree) -> Self {
+        let preds = func.compute_preds();
+        let mut by_header: HashMap<BlockId, (HashSet<BlockId>, Vec<BlockId>)> = HashMap::new();
+
+        for b in func.block_ids() {
+            if !dom.is_reachable(b) {
+                continue;
+            }
+            let succs = func
+                .block(b)
+                .term
+                .as_ref()
+                .map(|t| t.successors())
+                .unwrap_or_default();
+            for s in succs {
+                if dom.dominates(s, b) {
+                    // Back edge b -> s. Collect the loop body by walking
+                    // predecessors backwards from the latch to the header.
+                    let entry = by_header.entry(s).or_insert_with(|| {
+                        let mut set = HashSet::new();
+                        set.insert(s);
+                        (set, Vec::new())
+                    });
+                    entry.1.push(b);
+                    let (body, _) = by_header.get_mut(&s).expect("just inserted");
+                    let mut stack = vec![b];
+                    while let Some(x) = stack.pop() {
+                        if body.insert(x) {
+                            for &p in &preds[x.index()] {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut loops: Vec<Loop> = by_header
+            .into_iter()
+            .map(|(header, (blocks, latches))| Loop {
+                header,
+                blocks,
+                latches,
+                depth: 1,
+            })
+            .collect();
+        // Deterministic order (by header id) and nesting depths.
+        loops.sort_by_key(|l| l.header);
+        let snapshot: Vec<(BlockId, HashSet<BlockId>)> = loops
+            .iter()
+            .map(|l| (l.header, l.blocks.clone()))
+            .collect();
+        for l in &mut loops {
+            l.depth = snapshot
+                .iter()
+                .filter(|(h, blocks)| blocks.contains(&l.header) && *h != l.header)
+                .count() as u32
+                + 1;
+        }
+        let header_set = loops.iter().map(|l| l.header).collect();
+        let mut depth_of: HashMap<BlockId, u32> = HashMap::new();
+        for l in &loops {
+            for &b in &l.blocks {
+                let e = depth_of.entry(b).or_insert(0);
+                *e = (*e).max(l.depth);
+            }
+        }
+        LoopForest {
+            loops,
+            header_set,
+            depth_of,
+        }
+    }
+
+    /// The loops, ordered by header block id.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// True if `b` is a loop header.
+    pub fn is_header(&self, b: BlockId) -> bool {
+        self.header_set.contains(&b)
+    }
+
+    /// Loop-nesting depth of a block (0 if not in any loop).
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth_of.get(&b).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::FunctionDsl;
+    use crate::types::Type;
+
+    fn simple_loop_fn() -> Function {
+        FunctionDsl::build("f", &[], Some(Type::I64), |d| {
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(5));
+            d.for_range(s, e, |d, i| {
+                let a = d.get(acc);
+                let a2 = d.add(a, i);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        })
+    }
+
+    #[test]
+    fn single_loop_detected() {
+        let f = simple_loop_fn();
+        let dom = DomTree::compute(&f);
+        let lf = LoopForest::compute(&f, &dom);
+        assert_eq!(lf.loops().len(), 1);
+        let l = &lf.loops()[0];
+        assert_eq!(l.header, BlockId::new(1)); // DSL creates header first
+        assert_eq!(l.depth, 1);
+        assert!(l.blocks.contains(&BlockId::new(2))); // body
+        assert!(!l.blocks.contains(&BlockId::new(3))); // exit
+        assert!(lf.is_header(BlockId::new(1)));
+        assert!(!lf.is_header(BlockId::new(2)));
+        assert_eq!(lf.depth(BlockId::new(2)), 1);
+        assert_eq!(lf.depth(BlockId::new(3)), 0);
+    }
+
+    #[test]
+    fn nested_loops_have_depths() {
+        let f = FunctionDsl::build("f", &[], Some(Type::I64), |d| {
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(3));
+            d.for_range(s, e, |d, i| {
+                let (s2, e2) = (d.i64c(0), d.i64c(3));
+                d.for_range(s2, e2, |d, j| {
+                    let a = d.get(acc);
+                    let ij = d.mul(i, j);
+                    let a2 = d.add(a, ij);
+                    d.set(acc, a2);
+                });
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        let dom = DomTree::compute(&f);
+        let lf = LoopForest::compute(&f, &dom);
+        assert_eq!(lf.loops().len(), 2);
+        let depths: Vec<u32> = lf.loops().iter().map(|l| l.depth).collect();
+        assert!(depths.contains(&1) && depths.contains(&2));
+        // The inner loop's blocks are inside the outer loop's body set.
+        let outer = lf.loops().iter().find(|l| l.depth == 1).unwrap();
+        let inner = lf.loops().iter().find(|l| l.depth == 2).unwrap();
+        assert!(inner.blocks.iter().all(|b| outer.blocks.contains(b)));
+    }
+
+    #[test]
+    fn straightline_has_no_loops() {
+        let f = FunctionDsl::build("f", &[Type::I32], Some(Type::I32), |d| {
+            let p = d.param(0);
+            let q = d.add(p, p);
+            d.ret(Some(q));
+        });
+        let dom = DomTree::compute(&f);
+        let lf = LoopForest::compute(&f, &dom);
+        assert!(lf.loops().is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Modules: collections of functions plus global data regions.
+
+use crate::entities::{FuncId, GlobalId};
+use crate::function::Function;
+use serde::{Deserialize, Serialize};
+
+/// Base address of the first global; everything below is a guard region so
+/// that small faulty addresses (e.g. a corrupted base pointer of zero)
+/// fault instead of silently reading data — the analogue of a page fault on
+/// a null dereference, which the paper's `HWDetect` category relies on.
+pub const GLOBAL_BASE: u64 = 0x1000;
+
+/// A statically allocated region of linear memory.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Global {
+    /// Symbol name (unique within the module).
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Initial contents; zero-padded to `size` when shorter. Runners may
+    /// overwrite this region before execution (workload inputs).
+    pub init: Vec<u8>,
+    /// Assigned byte address in linear memory.
+    pub addr: u64,
+}
+
+/// A module: functions plus global data, with a trivial linear memory
+/// layout assigned as globals are added.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name (used in reports).
+    pub name: String,
+    funcs: Vec<Function>,
+    globals: Vec<Global>,
+    next_addr: u64,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            funcs: Vec::new(),
+            globals: Vec::new(),
+            next_addr: GLOBAL_BASE,
+        }
+    }
+
+    /// Adds a function, returning its id. The id of a function named
+    /// `main` is conventionally the VM entry point.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        self.funcs.push(f);
+        FuncId::new(self.funcs.len() - 1)
+    }
+
+    /// Replaces the function at `id` (used by transformation passes that
+    /// rebuild functions).
+    pub fn replace_function(&mut self, id: FuncId, f: Function) {
+        self.funcs[id.index()] = f;
+    }
+
+    /// Adds a zero-initialized global of `size` bytes, 8-byte aligned.
+    pub fn add_global(&mut self, name: impl Into<String>, size: u64) -> GlobalId {
+        self.add_global_init(name, size, Vec::new())
+    }
+
+    /// Adds a global with initial contents (`init` may be shorter than
+    /// `size`; the rest is zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init.len() > size`.
+    pub fn add_global_init(&mut self, name: impl Into<String>, size: u64, init: Vec<u8>) -> GlobalId {
+        assert!(
+            init.len() as u64 <= size,
+            "global initializer larger than region"
+        );
+        let addr = self.next_addr;
+        self.next_addr = (self.next_addr + size + 7) & !7;
+        self.globals.push(Global {
+            name: name.into(),
+            size,
+            init,
+            addr,
+        });
+        GlobalId::new(self.globals.len() - 1)
+    }
+
+    /// The function table.
+    pub fn functions(&self) -> &[Function] {
+        &self.funcs
+    }
+
+    /// Mutable access to a function.
+    pub fn function_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// A function by id.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Looks up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId::new)
+    }
+
+    /// The global table.
+    pub fn globals(&self) -> &[Global] {
+        &self.globals
+    }
+
+    /// A global by id.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.index()]
+    }
+
+    /// Looks up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<&Global> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// One-past-the-end address of the highest global: the minimum linear
+    /// memory size a VM must provision.
+    pub fn memory_end(&self) -> u64 {
+        self.next_addr
+    }
+
+    /// Total live static instructions across all functions (Fig. 10
+    /// denominator).
+    pub fn static_inst_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.static_inst_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    #[test]
+    fn globals_are_laid_out_sequentially_aligned() {
+        let mut m = Module::new("m");
+        let a = m.add_global("a", 3);
+        let b = m.add_global_init("b", 16, vec![1, 2, 3]);
+        assert_eq!(m.global(a).addr, GLOBAL_BASE);
+        assert_eq!(m.global(b).addr, GLOBAL_BASE + 8); // 3 rounded up to 8
+        assert_eq!(m.memory_end(), GLOBAL_BASE + 8 + 16);
+        assert_eq!(m.global_by_name("b").unwrap().init, vec![1, 2, 3]);
+        assert!(m.global_by_name("c").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "global initializer larger")]
+    fn oversized_initializer_panics() {
+        let mut m = Module::new("m");
+        m.add_global_init("x", 2, vec![0; 3]);
+    }
+
+    #[test]
+    fn function_lookup_by_name() {
+        let mut m = Module::new("m");
+        let f = Function::new("main", &[], Some(Type::I32));
+        let id = m.add_function(f);
+        assert_eq!(m.function_by_name("main"), Some(id));
+        assert_eq!(m.function(id).name, "main");
+        assert!(m.function_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,610 @@
+//! Classic scalar optimizations: dead-code elimination, constant
+//! folding, and loop-invariant code motion.
+//!
+//! The paper's transformation runs inside an optimizing compiler (LLVM
+//! `-O2`); these passes make the same assumption hold for DSL-built
+//! kernels. LICM matters most for protection quality: an unhoisted
+//! input-dependent "constant" inside a loop profiles as a single value
+//! and would turn into a guaranteed-false-positive check on any other
+//! input (see the `segm` kernel's history in EXPERIMENTS.md).
+
+use crate::dom::DomTree;
+use crate::entities::{InstId, ValueId};
+use crate::function::{Function, ValueKind};
+use crate::inst::{BinOp, CastKind, FloatCC, IntCC, Op, UnOp};
+use crate::loops::LoopForest;
+use crate::module::Module;
+use crate::types::{Const, Type};
+use crate::uses::UseMap;
+use std::collections::{HashMap, HashSet};
+
+/// Counters from one [`optimize`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Instructions removed as dead.
+    pub dce_removed: usize,
+    /// Instructions folded to constants.
+    pub folded: usize,
+    /// Instructions hoisted out of loops.
+    pub hoisted: usize,
+}
+
+impl OptStats {
+    /// Sum of all changes (0 = fixpoint reached).
+    pub fn total(&self) -> usize {
+        self.dce_removed + self.folded + self.hoisted
+    }
+}
+
+/// Runs DCE + constant folding + LICM on every function to a fixpoint
+/// (bounded by a small iteration cap).
+pub fn optimize(module: &mut Module) -> OptStats {
+    let mut total = OptStats::default();
+    for idx in 0..module.functions().len() {
+        let fid = crate::entities::FuncId::new(idx);
+        let f = module.function_mut(fid);
+        for _round in 0..8 {
+            let mut round_stats = OptStats {
+                folded: const_fold(f),
+                hoisted: licm(f),
+                dce_removed: dce(f),
+            };
+            // DCE after folding/hoisting catches newly dead producers.
+            round_stats.dce_removed += dce(f);
+            total.dce_removed += round_stats.dce_removed;
+            total.folded += round_stats.folded;
+            total.hoisted += round_stats.hoisted;
+            if round_stats.total() == 0 {
+                break;
+            }
+        }
+    }
+    total
+}
+
+/// Removes pure instructions whose results are never used. Returns the
+/// number removed.
+pub fn dce(func: &mut Function) -> usize {
+    let mut removed = 0;
+    loop {
+        let uses = UseMap::compute(func);
+        let dead: Vec<InstId> = func
+            .live_inst_ids()
+            .filter(|&i| {
+                let inst = func.inst(i);
+                if inst.op.has_side_effect() {
+                    return false;
+                }
+                match inst.result {
+                    Some(r) => uses.is_unused(r),
+                    None => false, // terminator-less markers don't exist
+                }
+            })
+            .collect();
+        if dead.is_empty() {
+            return removed;
+        }
+        for i in dead {
+            func.remove_inst(i);
+            removed += 1;
+        }
+    }
+}
+
+fn const_of(func: &Function, v: ValueId) -> Option<Const> {
+    match func.value(v).kind {
+        ValueKind::Const(c) => Some(c),
+        _ => None,
+    }
+}
+
+fn fold_int(op: BinOp, ty: Type, a: i64, b: i64) -> Option<i64> {
+    let mask_shift = |s: i64| (s as u64 % ty.bits() as u64) as u32;
+    let width_mask = if ty.bits() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << ty.bits()) - 1
+    };
+    let (ua, ub) = ((a as u64) & width_mask, (b as u64) & width_mask);
+    let r = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::SDiv => {
+            if b == 0 {
+                return None; // preserve the trap
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::SRem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::UDiv => {
+            if ub == 0 {
+                return None;
+            }
+            (ua / ub) as i64
+        }
+        BinOp::URem => {
+            if ub == 0 {
+                return None;
+            }
+            (ua % ub) as i64
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(mask_shift(b)),
+        BinOp::LShr => (ua >> mask_shift(b)) as i64,
+        BinOp::AShr => a.wrapping_shr(mask_shift(b)),
+        _ => return None,
+    };
+    Some(ty.canon(r))
+}
+
+fn fold_float(op: BinOp, a: f64, b: f64) -> Option<f64> {
+    Some(match op {
+        BinOp::FAdd => a + b,
+        BinOp::FSub => a - b,
+        BinOp::FMul => a * b,
+        BinOp::FDiv => a / b,
+        _ => return None,
+    })
+}
+
+/// Folds instructions with all-constant operands (and a few algebraic
+/// identities) by rewriting their uses to interned constants. Returns the
+/// number folded.
+pub fn const_fold(func: &mut Function) -> usize {
+    let mut folded = 0;
+    loop {
+        // One folding opportunity per scan keeps the use-rewriting simple.
+        let mut target: Option<(InstId, Const)> = None;
+        let live: Vec<InstId> = func.live_inst_ids().collect();
+        'scan: for i in live {
+            let inst = func.inst(i);
+            let Some(result) = inst.result else { continue };
+            let ty = func.value_type(result);
+            let c = match &inst.op {
+                Op::Bin { op, lhs, rhs } => {
+                    match (const_of(func, *lhs), const_of(func, *rhs)) {
+                        (Some(Const::Int(a, _)), Some(Const::Int(b, _))) => {
+                            fold_int(*op, ty, a, b).map(|v| Const::Int(v, ty))
+                        }
+                        (Some(Const::F64(a)), Some(Const::F64(b))) => {
+                            fold_float(*op, a, b).map(Const::F64)
+                        }
+                        // Identities: x+0, x*1, x&-1, x|0, x^0, x<<0 …
+                        (None, Some(Const::Int(b, _))) => match (op, b) {
+                            (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor, 0)
+                            | (BinOp::Mul | BinOp::SDiv | BinOp::UDiv, 1)
+                            | (BinOp::Shl | BinOp::LShr | BinOp::AShr, 0) => {
+                                // Replace with the live operand directly.
+                                let lhs = *lhs;
+                                replace_uses(func, result, lhs);
+                                func.remove_inst(i);
+                                folded += 1;
+                                target = None;
+                                continue 'scan;
+                            }
+                            _ => None,
+                        },
+                        _ => None,
+                    }
+                }
+                Op::Un { op, arg } => match const_of(func, *arg) {
+                    Some(Const::F64(a)) => Some(Const::F64(match op {
+                        UnOp::FSqrt => a.sqrt(),
+                        UnOp::FAbs => a.abs(),
+                        UnOp::FFloor => a.floor(),
+                        UnOp::FNeg => -a,
+                    })),
+                    _ => None,
+                },
+                Op::Icmp { pred, lhs, rhs } => {
+                    match (const_of(func, *lhs), const_of(func, *rhs)) {
+                        (Some(Const::Int(a, t)), Some(Const::Int(b, _))) => {
+                            let width_mask = if t.bits() == 64 {
+                                u64::MAX
+                            } else {
+                                (1u64 << t.bits()) - 1
+                            };
+                            let (ua, ub) = ((a as u64) & width_mask, (b as u64) & width_mask);
+                            let r = match pred {
+                                IntCC::Eq => a == b,
+                                IntCC::Ne => a != b,
+                                IntCC::Slt => a < b,
+                                IntCC::Sle => a <= b,
+                                IntCC::Sgt => a > b,
+                                IntCC::Sge => a >= b,
+                                IntCC::Ult => ua < ub,
+                                IntCC::Ule => ua <= ub,
+                                IntCC::Ugt => ua > ub,
+                                IntCC::Uge => ua >= ub,
+                            };
+                            Some(Const::Int(r as i64, Type::I1))
+                        }
+                        _ => None,
+                    }
+                }
+                Op::Fcmp { pred, lhs, rhs } => {
+                    match (const_of(func, *lhs), const_of(func, *rhs)) {
+                        (Some(Const::F64(a)), Some(Const::F64(b))) => {
+                            let r = match pred {
+                                FloatCC::Eq => a == b,
+                                FloatCC::Ne => a != b,
+                                FloatCC::Lt => a < b,
+                                FloatCC::Le => a <= b,
+                                FloatCC::Gt => a > b,
+                                FloatCC::Ge => a >= b,
+                            };
+                            Some(Const::Int(r as i64, Type::I1))
+                        }
+                        _ => None,
+                    }
+                }
+                Op::Cast { kind, arg } => match const_of(func, *arg) {
+                    Some(Const::Int(a, src)) => match kind {
+                        CastKind::Trunc | CastKind::SExt => Some(Const::Int(ty.canon(a), ty)),
+                        CastKind::ZExt => {
+                            let width_mask = if src.bits() == 64 {
+                                u64::MAX
+                            } else {
+                                (1u64 << src.bits()) - 1
+                            };
+                            Some(Const::Int(((a as u64) & width_mask) as i64, ty))
+                        }
+                        CastKind::SiToFp => Some(Const::F64(a as f64)),
+                        CastKind::FpToSi => None,
+                    },
+                    Some(Const::F64(a)) => match kind {
+                        CastKind::FpToSi => Some(Const::Int(ty.canon(a as i64), ty)),
+                        _ => None,
+                    },
+                    None => None,
+                },
+                Op::Select {
+                    cond,
+                    on_true,
+                    on_false,
+                } => match const_of(func, *cond) {
+                    Some(Const::Int(c, _)) => {
+                        let chosen = if c & 1 == 1 { *on_true } else { *on_false };
+                        replace_uses(func, result, chosen);
+                        func.remove_inst(i);
+                        folded += 1;
+                        target = None;
+                        continue 'scan;
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(c) = c {
+                target = Some((i, c));
+                break;
+            }
+        }
+        match target {
+            Some((i, c)) => {
+                let result = func.inst(i).result.expect("folded inst has result");
+                let cv = func.make_const(c);
+                replace_uses(func, result, cv);
+                func.remove_inst(i);
+                folded += 1;
+            }
+            None => return folded,
+        }
+    }
+}
+
+/// Rewrites every use of `old` (operands and terminators) to `new`.
+fn replace_uses(func: &mut Function, old: ValueId, new: ValueId) {
+    for i in 0..func.num_insts() {
+        let id = InstId::new(i);
+        if func.inst(id).dead {
+            continue;
+        }
+        func.inst_mut(id).op.for_each_operand_mut(|v| {
+            if *v == old {
+                *v = new;
+            }
+        });
+    }
+    for b in func.block_ids() {
+        if let Some(term) = &mut func.block_mut(b).term {
+            term.for_each_operand_mut(|v| {
+                if *v == old {
+                    *v = new;
+                }
+            });
+        }
+    }
+}
+
+/// Hoists loop-invariant pure instructions into the loop's preheader.
+/// Returns the number hoisted.
+///
+/// Conservative: only side-effect-free, non-trapping, non-load
+/// instructions whose operands are all defined outside the loop, and
+/// only for loops whose header has exactly one out-of-loop predecessor
+/// (the DSL always produces that shape).
+pub fn licm(func: &mut Function) -> usize {
+    let dom = DomTree::compute(func);
+    let loops = LoopForest::compute(func, &dom);
+    if loops.loops().is_empty() {
+        return 0;
+    }
+    let preds = func.compute_preds();
+    let mut hoisted = 0;
+
+    // Innermost-first (deeper loops first) so invariants bubble outward
+    // across fixpoint rounds.
+    let mut order: Vec<usize> = (0..loops.loops().len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(loops.loops()[i].depth));
+
+    for li in order {
+        let l = &loops.loops()[li];
+        let outside_preds: Vec<_> = preds[l.header.index()]
+            .iter()
+            .copied()
+            .filter(|p| !l.blocks.contains(p))
+            .collect();
+        let [preheader] = outside_preds[..] else { continue };
+
+        // Values defined inside the loop.
+        let mut defined_in: HashSet<ValueId> = HashSet::new();
+        for &b in &l.blocks {
+            for &i in &func.block(b).insts {
+                if let Some(r) = func.inst(i).result {
+                    defined_in.insert(r);
+                }
+            }
+        }
+
+        loop {
+            let mut candidate: Option<InstId> = None;
+            'outer: for &b in &l.blocks {
+                for &i in &func.block(b).insts {
+                    let inst = func.inst(i);
+                    if inst.dead || inst.op.is_phi() || !inst.op.is_duplicable() {
+                        continue;
+                    }
+                    // Never speculate trapping ops out of their guard.
+                    if let Op::Bin { op, .. } = &inst.op {
+                        if op.can_trap() {
+                            continue;
+                        }
+                    }
+                    let invariant = inst
+                        .op
+                        .operand_vec()
+                        .iter()
+                        .all(|v| !defined_in.contains(v));
+                    if invariant {
+                        candidate = Some(i);
+                        break 'outer;
+                    }
+                }
+            }
+            let Some(i) = candidate else { break };
+            // Move: unlink from its block, append to the preheader (before
+            // its terminator).
+            let result = func.inst(i).result;
+            let op = func.inst(i).op.clone();
+            let ty = result.map(|r| func.value_type(r));
+            func.remove_inst(i);
+            let new_inst = func.insert_inst_at_end(op, ty, preheader);
+            if let (Some(old_r), Some(new_r)) = (result, func.inst(new_inst).result) {
+                replace_uses(func, old_r, new_r);
+                defined_in.remove(&old_r);
+            }
+            hoisted += 1;
+        }
+    }
+    let _ = HashMap::<u8, u8>::new();
+    hoisted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::FunctionDsl;
+    use crate::verify::verify_function;
+
+    fn run_i64(m: &Module) -> i64 {
+        // Minimal structural interpreter is in softft-vm; here we only
+        // check structure, so tests that need execution live in the
+        // integration crate. This helper asserts verification instead.
+        let _ = m;
+        0
+    }
+
+    #[test]
+    fn dce_removes_unused_chains() {
+        let mut f = FunctionDsl::build("f", &[Type::I64], Some(Type::I64), |d| {
+            let p = d.param(0);
+            let dead1 = d.mul(p, p);
+            let _dead2 = d.add(dead1, p);
+            d.ret(Some(p));
+        });
+        let before = f.static_inst_count();
+        let removed = dce(&mut f);
+        assert_eq!(removed, 2);
+        assert_eq!(f.static_inst_count(), before - 2);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn dce_keeps_side_effects() {
+        let mut m = Module::new("m");
+        let g = m.add_global("g", 16);
+        let base = m.global(g).addr as i64;
+        let mut f = FunctionDsl::build("f", &[], None, |d| {
+            let b = d.i64c(base);
+            let z = d.i64c(0);
+            let v = d.i64c(7);
+            d.store_elem(b, z, v);
+            d.ret(None);
+        });
+        assert_eq!(dce(&mut f), 0);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn const_fold_collapses_arithmetic() {
+        let mut f = FunctionDsl::build("f", &[], Some(Type::I64), |d| {
+            let a = d.i64c(6);
+            let b = d.i64c(7);
+            let p = d.mul(a, b); // 42
+            let z = d.i64c(0);
+            let q = d.add(p, z); // identity
+            d.ret(Some(q));
+        });
+        let folded = const_fold(&mut f);
+        assert!(folded >= 2, "{folded}");
+        let removed = dce(&mut f);
+        let _ = removed;
+        verify_function(&f).unwrap();
+        // The ret operand should now be the interned 42.
+        let term = f.block(f.entry()).term.clone().unwrap();
+        if let crate::Term::Ret(Some(v)) = term {
+            assert_eq!(
+                f.value(v).kind,
+                ValueKind::Const(Const::Int(42, Type::I64))
+            );
+        } else {
+            panic!("expected ret");
+        }
+    }
+
+    #[test]
+    fn const_fold_preserves_division_traps() {
+        let mut f = FunctionDsl::build("f", &[], Some(Type::I64), |d| {
+            let a = d.i64c(5);
+            let z = d.i64c(0);
+            let q = d.sdiv(a, z); // must stay: traps at run time
+            d.ret(Some(q));
+        });
+        assert_eq!(const_fold(&mut f), 0);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn licm_hoists_invariant_computation() {
+        let mut f = FunctionDsl::build("f", &[Type::I64], Some(Type::I64), |d| {
+            let p = d.param(0);
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(10));
+            d.for_range(s, e, |d, _i| {
+                // Loop-invariant: p * 3 recomputed every iteration.
+                let three = d.i64c(3);
+                let inv = d.mul(p, three);
+                let a = d.get(acc);
+                let a2 = d.add(a, inv);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        let hoisted = licm(&mut f);
+        assert!(hoisted >= 1, "{hoisted}");
+        verify_function(&f).unwrap();
+        // The multiply must now live outside the loop body.
+        let dom = DomTree::compute(&f);
+        let loops = LoopForest::compute(&f, &dom);
+        let l = &loops.loops()[0];
+        for &b in &l.blocks {
+            for &i in &f.block(b).insts {
+                assert!(
+                    !matches!(f.inst(i).op, Op::Bin { op: BinOp::Mul, .. }),
+                    "multiply still inside the loop"
+                );
+            }
+        }
+        let _ = run_i64(&Module::new("unused"));
+    }
+
+    #[test]
+    fn licm_does_not_hoist_loads_or_divisions() {
+        let mut m = Module::new("m");
+        let g = m.add_global("t", 64);
+        let base = m.global(g).addr as i64;
+        let mut f = FunctionDsl::build("f", &[Type::I64], Some(Type::I64), |d| {
+            let p = d.param(0);
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(4));
+            let b = d.i64c(base);
+            d.for_range(s, e, |d, _i| {
+                let z2 = d.i64c(0);
+                let ld = d.load_elem(Type::I64, b, z2); // invariant-looking load
+                let seven = d.i64c(7);
+                let dv = d.sdiv(ld, p); // could trap if p == 0
+                let a = d.get(acc);
+                let t = d.add(dv, seven);
+                let a2 = d.add(a, t);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        licm(&mut f);
+        verify_function(&f).unwrap();
+        let dom = DomTree::compute(&f);
+        let loops = LoopForest::compute(&f, &dom);
+        let l = &loops.loops()[0];
+        let mut has_load = false;
+        let mut has_div = false;
+        for &b in &l.blocks {
+            for &i in &f.block(b).insts {
+                match &f.inst(i).op {
+                    Op::Load { .. } => has_load = true,
+                    Op::Bin { op: BinOp::SDiv, .. } => has_div = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(has_load, "load was unsafely hoisted");
+        assert!(has_div, "division was unsafely hoisted");
+    }
+
+    #[test]
+    fn optimize_reaches_fixpoint() {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[Type::I64], Some(Type::I64), |d| {
+            let p = d.param(0);
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(8));
+            d.for_range(s, e, |d, _| {
+                let two = d.i64c(2);
+                let three = d.i64c(3);
+                let six = d.mul(two, three); // foldable
+                let inv = d.mul(p, six); // then hoistable
+                let _dead = d.add(inv, two); // then dead
+                let a = d.get(acc);
+                let a2 = d.add(a, inv);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        m.add_function(f);
+        let stats = optimize(&mut m);
+        assert!(stats.folded >= 1, "{stats:?}");
+        assert!(stats.hoisted >= 1, "{stats:?}");
+        assert!(stats.dce_removed >= 1, "{stats:?}");
+        crate::verify::verify_module(&m).unwrap();
+        // Second run is a no-op.
+        let again = optimize(&mut m);
+        assert_eq!(again.total(), 0, "{again:?}");
+    }
+}

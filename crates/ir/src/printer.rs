@@ -1,0 +1,166 @@
+//! Human-readable textual dump of functions and modules.
+
+use crate::entities::ValueId;
+use crate::function::{Function, ValueKind};
+use crate::inst::Op;
+use crate::module::Module;
+use std::fmt::Write as _;
+
+fn fmt_value(func: &Function, v: ValueId) -> String {
+    match func.value(v).kind {
+        ValueKind::Const(c) => format!("{c}"),
+        ValueKind::Param(n) => format!("p{n}"),
+        ValueKind::Inst(_) => format!("{v}"),
+    }
+}
+
+/// Renders one function as text.
+///
+/// The format is for humans and tests; there is no parser. Dead
+/// instructions are omitted.
+pub fn print_function(func: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = func
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("p{i}: {t}"))
+        .collect();
+    let ret = func
+        .ret
+        .map(|t| format!(" -> {t}"))
+        .unwrap_or_default();
+    let _ = writeln!(out, "func @{}({}){} {{", func.name, params.join(", "), ret);
+    for b in func.block_ids() {
+        let _ = writeln!(out, "{b}:");
+        for &i in &func.block(b).insts {
+            let inst = func.inst(i);
+            if inst.dead {
+                continue;
+            }
+            let mut rhs = String::new();
+            match &inst.op {
+                Op::Phi { incomings } => {
+                    let parts: Vec<String> = incomings
+                        .iter()
+                        .map(|(p, v)| format!("[{p}: {}]", fmt_value(func, *v)))
+                        .collect();
+                    let _ = write!(rhs, "phi {}", parts.join(", "));
+                }
+                Op::Icmp { pred, lhs, rhs: r } => {
+                    let _ = write!(
+                        rhs,
+                        "icmp.{pred:?} {}, {}",
+                        fmt_value(func, *lhs),
+                        fmt_value(func, *r)
+                    );
+                }
+                Op::Fcmp { pred, lhs, rhs: r } => {
+                    let _ = write!(
+                        rhs,
+                        "fcmp.{pred:?} {}, {}",
+                        fmt_value(func, *lhs),
+                        fmt_value(func, *r)
+                    );
+                }
+                Op::Check { cond, kind } => {
+                    let _ = write!(rhs, "check.{kind:?} {}", fmt_value(func, *cond));
+                }
+                Op::Call { func: fid, args } => {
+                    let a: Vec<String> = args.iter().map(|&v| fmt_value(func, v)).collect();
+                    let _ = write!(rhs, "call {fid}({})", a.join(", "));
+                }
+                op => {
+                    let ops: Vec<String> = op
+                        .operand_vec()
+                        .into_iter()
+                        .map(|v| fmt_value(func, v))
+                        .collect();
+                    let _ = write!(rhs, "{} {}", op.mnemonic(), ops.join(", "));
+                }
+            }
+            match inst.result {
+                Some(r) => {
+                    let ty = func.value_type(r);
+                    let _ = writeln!(out, "  {r}: {ty} = {rhs}");
+                }
+                None => {
+                    let _ = writeln!(out, "  {rhs}");
+                }
+            }
+        }
+        if let Some(t) = &func.block(b).term {
+            let _ = writeln!(out, "  {t}");
+        } else {
+            let _ = writeln!(out, "  <no terminator>");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a whole module (globals then functions).
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module @{} {{", module.name);
+    for g in module.globals() {
+        let _ = writeln!(
+            out,
+            "  global @{} : {} bytes @ {:#x}{}",
+            g.name,
+            g.size,
+            g.addr,
+            if g.init.is_empty() { "" } else { " (initialized)" }
+        );
+    }
+    let _ = writeln!(out, "}}");
+    for f in module.functions() {
+        out.push('\n');
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::FunctionDsl;
+    use crate::types::Type;
+
+    #[test]
+    fn printed_function_contains_structure() {
+        let f = FunctionDsl::build("demo", &[Type::I64], Some(Type::I64), |d| {
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let p = d.param(0);
+            let s = d.i64c(0);
+            d.for_range(s, p, |d, i| {
+                let a = d.get(acc);
+                let a2 = d.add(a, i);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        let text = print_function(&f);
+        assert!(text.contains("func @demo(p0: i64) -> i64 {"), "{text}");
+        assert!(text.contains("phi"), "{text}");
+        assert!(text.contains("condbr"), "{text}");
+        assert!(text.contains("ret"), "{text}");
+        assert!(text.contains("add"), "{text}");
+    }
+
+    #[test]
+    fn printed_module_lists_globals() {
+        let mut m = Module::new("m");
+        m.add_global_init("tab", 32, vec![1, 2]);
+        let f = FunctionDsl::build("main", &[], None, |d| d.ret(None));
+        m.add_function(f);
+        let text = print_module(&m);
+        assert!(text.contains("module @m"), "{text}");
+        assert!(text.contains("global @tab : 32 bytes"), "{text}");
+        assert!(text.contains("(initialized)"), "{text}");
+        assert!(text.contains("func @main"), "{text}");
+    }
+}

@@ -1,0 +1,187 @@
+//! Value types and constants.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The scalar type of an SSA value.
+///
+/// The IR is deliberately small: integers of four widths, a 1-bit boolean,
+/// and IEEE-754 double floats. Addresses are plain `I64` byte offsets into
+/// the module's linear memory, which keeps memory instructions simple and
+/// makes out-of-bounds symptoms (the paper's `HWDetect` category) easy to
+/// model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// 1-bit boolean (comparison results, check conditions).
+    I1,
+    /// 8-bit signed integer.
+    I8,
+    /// 16-bit signed integer.
+    I16,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer; also used for memory addresses.
+    I64,
+    /// 64-bit IEEE-754 float.
+    F64,
+}
+
+impl Type {
+    /// Bit width of the type (64 for `F64`).
+    #[inline]
+    pub fn bits(self) -> u32 {
+        match self {
+            Type::I1 => 1,
+            Type::I8 => 8,
+            Type::I16 => 16,
+            Type::I32 => 32,
+            Type::I64 | Type::F64 => 64,
+        }
+    }
+
+    /// Size in bytes when stored to memory (`I1` stores as one byte).
+    #[inline]
+    pub fn bytes(self) -> u32 {
+        match self {
+            Type::I1 | Type::I8 => 1,
+            Type::I16 => 2,
+            Type::I32 => 4,
+            Type::I64 | Type::F64 => 8,
+        }
+    }
+
+    /// True for all integer types, including `I1`.
+    #[inline]
+    pub fn is_int(self) -> bool {
+        !matches!(self, Type::F64)
+    }
+
+    /// True for `F64`.
+    #[inline]
+    pub fn is_float(self) -> bool {
+        matches!(self, Type::F64)
+    }
+
+    /// Sign-extends `raw` (an `N`-bit pattern in the low bits) to `i64`
+    /// according to this type's width. For `F64` the bits are returned
+    /// unchanged.
+    #[inline]
+    pub fn sign_extend(self, raw: u64) -> i64 {
+        match self {
+            Type::I1 => (raw & 1) as i64,
+            Type::I8 => raw as u8 as i8 as i64,
+            Type::I16 => raw as u16 as i16 as i64,
+            Type::I32 => raw as u32 as i32 as i64,
+            Type::I64 | Type::F64 => raw as i64,
+        }
+    }
+
+    /// Truncates `v` to this type's width, returning the canonical
+    /// sign-extended representation used by the VM.
+    #[inline]
+    pub fn canon(self, v: i64) -> i64 {
+        self.sign_extend(v as u64)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::I1 => "i1",
+            Type::I8 => "i8",
+            Type::I16 => "i16",
+            Type::I32 => "i32",
+            Type::I64 => "i64",
+            Type::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed constant.
+///
+/// Integer payloads are stored canonically sign-extended to `i64`; the
+/// associated [`Type`] records the width.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Const {
+    /// An integer constant of the given type.
+    Int(i64, Type),
+    /// A double-precision float constant.
+    F64(f64),
+}
+
+impl Const {
+    /// The type of this constant.
+    #[inline]
+    pub fn ty(self) -> Type {
+        match self {
+            Const::Int(_, ty) => ty,
+            Const::F64(_) => Type::F64,
+        }
+    }
+
+    /// Raw 64-bit payload as the VM stores it (sign-extended integers,
+    /// float bit patterns).
+    #[inline]
+    pub fn bits(self) -> u64 {
+        match self {
+            Const::Int(v, _) => v as u64,
+            Const::F64(v) => v.to_bits(),
+        }
+    }
+}
+
+/// A key for hashing/interning constants (floats compared by bit pattern).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConstKey(pub u64, pub Type);
+
+impl From<Const> for ConstKey {
+    fn from(c: Const) -> Self {
+        ConstKey(c.bits(), c.ty())
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Int(v, ty) => write!(f, "{v}_{ty}"),
+            Const::F64(v) => write!(f, "{v}_f64"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_sizes() {
+        assert_eq!(Type::I1.bits(), 1);
+        assert_eq!(Type::I8.bytes(), 1);
+        assert_eq!(Type::I16.bytes(), 2);
+        assert_eq!(Type::I32.bits(), 32);
+        assert_eq!(Type::F64.bytes(), 8);
+        assert!(Type::F64.is_float());
+        assert!(Type::I64.is_int());
+        assert!(!Type::F64.is_int());
+    }
+
+    #[test]
+    fn sign_extension_canonicalizes() {
+        assert_eq!(Type::I8.sign_extend(0xFF), -1);
+        assert_eq!(Type::I8.sign_extend(0x7F), 127);
+        assert_eq!(Type::I16.canon(0x1_0000), 0);
+        assert_eq!(Type::I32.canon(-1), -1);
+        assert_eq!(Type::I1.sign_extend(3), 1);
+    }
+
+    #[test]
+    fn const_bits_roundtrip() {
+        let c = Const::Int(-5, Type::I32);
+        assert_eq!(c.ty(), Type::I32);
+        assert_eq!(c.bits() as i64, -5);
+        let f = Const::F64(1.5);
+        assert_eq!(f64::from_bits(f.bits()), 1.5);
+        assert_eq!(ConstKey::from(c), ConstKey((-5i64) as u64, Type::I32));
+    }
+}

@@ -1,0 +1,105 @@
+//! Def-use chains.
+//!
+//! Producer-chain duplication walks *use-def* edges (operands, available
+//! directly from [`crate::Op`]); Optimization 1 of the paper additionally
+//! needs *def-use* edges ("is any transitive consumer of this instruction
+//! also check-amenable?"), which this module provides.
+
+use crate::entities::{BlockId, InstId, ValueId};
+use crate::function::Function;
+use std::collections::HashMap;
+
+/// A single use of a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Use {
+    /// Used as an operand of an instruction.
+    Inst(InstId),
+    /// Used by a block terminator (branch condition or return value).
+    Term(BlockId),
+}
+
+/// Def-use chains for one function.
+#[derive(Clone, Debug, Default)]
+pub struct UseMap {
+    map: HashMap<ValueId, Vec<Use>>,
+}
+
+impl UseMap {
+    /// Builds def-use chains from the live instructions and terminators.
+    pub fn compute(func: &Function) -> Self {
+        let mut map: HashMap<ValueId, Vec<Use>> = HashMap::new();
+        let mut ops = Vec::new();
+        for i in func.live_inst_ids() {
+            ops.clear();
+            func.inst(i).op.operands(&mut ops);
+            for &v in &ops {
+                map.entry(v).or_default().push(Use::Inst(i));
+            }
+        }
+        for b in func.block_ids() {
+            if let Some(term) = &func.block(b).term {
+                let mut t = term.clone();
+                t.for_each_operand_mut(|v| {
+                    map.entry(*v).or_default().push(Use::Term(b));
+                });
+            }
+        }
+        UseMap { map }
+    }
+
+    /// Uses of `v` (empty slice if unused).
+    pub fn uses(&self, v: ValueId) -> &[Use] {
+        self.map.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True if `v` has no uses.
+    pub fn is_unused(&self, v: ValueId) -> bool {
+        self.uses(v).is_empty()
+    }
+
+    /// Instruction consumers of `v` (terminator uses filtered out).
+    pub fn inst_users(&self, v: ValueId) -> impl Iterator<Item = InstId> + '_ {
+        self.uses(v).iter().filter_map(|u| match u {
+            Use::Inst(i) => Some(*i),
+            Use::Term(_) => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::FunctionDsl;
+    use crate::types::Type;
+
+    #[test]
+    fn uses_are_recorded_for_insts_and_terms() {
+        let f = FunctionDsl::build("f", &[Type::I32], Some(Type::I32), |d| {
+            let p = d.param(0);
+            let a = d.add(p, p); // two uses of p
+            d.ret(Some(a)); // term use of a
+        });
+        let um = UseMap::compute(&f);
+        let p = f.param(0);
+        assert_eq!(um.uses(p).len(), 2);
+        let add_inst = f.live_inst_ids().next().unwrap();
+        let a = f.inst(add_inst).result.unwrap();
+        assert_eq!(um.uses(a), &[Use::Term(f.entry())]);
+        assert!(!um.is_unused(a));
+        // `p` appears as both operands of the add: one entry per operand.
+        assert_eq!(um.inst_users(p).count(), 2);
+    }
+
+    #[test]
+    fn unused_value_is_reported() {
+        let f = FunctionDsl::build("f", &[Type::I32], None, |d| {
+            let p = d.param(0);
+            let _dead = d.mul(p, p);
+            d.ret(None);
+        });
+        let um = UseMap::compute(&f);
+        let mul_inst = f.live_inst_ids().next().unwrap();
+        let dead = f.inst(mul_inst).result.unwrap();
+        assert!(um.is_unused(dead));
+    }
+}

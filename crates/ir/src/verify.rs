@@ -1,0 +1,503 @@
+//! Structural and SSA verification.
+
+use crate::dom::DomTree;
+use crate::entities::{BlockId, InstId, ValueId};
+use crate::function::{Function, ValueKind};
+use crate::inst::{Op, Term};
+use crate::module::Module;
+use crate::types::Type;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function name.
+    pub func: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification failed in `{}`: {}", self.func, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+struct Checker<'f> {
+    func: &'f Function,
+    errors: Vec<String>,
+}
+
+impl<'f> Checker<'f> {
+    fn err(&mut self, msg: impl Into<String>) {
+        self.errors.push(msg.into());
+    }
+
+    fn check_value_ref(&mut self, v: ValueId, ctx: &str) {
+        if v.index() >= self.func.num_values() {
+            self.err(format!("{ctx}: value {v} out of range"));
+            return;
+        }
+        if let ValueKind::Inst(i) = self.func.value(v).kind {
+            if self.func.inst(i).dead {
+                self.err(format!("{ctx}: value {v} is the result of dead instruction {i}"));
+            }
+        }
+    }
+
+    fn run(&mut self, callee_sigs: Option<&HashMap<usize, (Vec<Type>, Option<Type>)>>) {
+        let func = self.func;
+
+        // Every block terminated; phis form a prefix; inst.block backlinks.
+        for b in func.block_ids() {
+            let data = func.block(b);
+            if data.term.is_none() {
+                self.err(format!("block {b} has no terminator"));
+            }
+            let mut seen_non_phi = false;
+            for &i in &data.insts {
+                let inst = func.inst(i);
+                if inst.dead {
+                    self.err(format!("dead instruction {i} still linked in {b}"));
+                }
+                if inst.block != b {
+                    self.err(format!("instruction {i} backlink {} != {b}", inst.block));
+                }
+                if inst.op.is_phi() {
+                    if seen_non_phi {
+                        self.err(format!("phi {i} appears after non-phi instructions in {b}"));
+                    }
+                } else {
+                    seen_non_phi = true;
+                }
+            }
+            if let Some(t) = &data.term {
+                for s in t.successors() {
+                    if s.index() >= func.num_blocks() {
+                        self.err(format!("terminator of {b} targets out-of-range {s}"));
+                    }
+                }
+            }
+        }
+
+        // Type checks and operand validity.
+        let mut ops = Vec::new();
+        for i in func.live_inst_ids() {
+            let inst = func.inst(i);
+            ops.clear();
+            inst.op.operands(&mut ops);
+            for &v in &ops {
+                self.check_value_ref(v, &format!("inst {i}"));
+            }
+            self.check_types(i);
+            if let Op::Call { func: callee, args } = &inst.op {
+                if let Some(sigs) = callee_sigs {
+                    match sigs.get(&callee.index()) {
+                        None => self.err(format!("inst {i}: call to unknown function {callee}")),
+                        Some((params, ret)) => {
+                            if params.len() != args.len() {
+                                self.err(format!(
+                                    "inst {i}: call arity {} != {}",
+                                    args.len(),
+                                    params.len()
+                                ));
+                            } else {
+                                for (k, (&a, &p)) in args.iter().zip(params).enumerate() {
+                                    if a.index() < func.num_values()
+                                        && func.value_type(a) != p
+                                    {
+                                        self.err(format!(
+                                            "inst {i}: call arg {k} type {} != param type {p}",
+                                            func.value_type(a)
+                                        ));
+                                    }
+                                }
+                            }
+                            match (inst.result, ret) {
+                                (Some(r), Some(rt)) => {
+                                    if func.value_type(r) != *rt {
+                                        self.err(format!(
+                                            "inst {i}: call result type mismatch"
+                                        ));
+                                    }
+                                }
+                                (Some(_), None) => {
+                                    self.err(format!("inst {i}: call has result but callee returns none"))
+                                }
+                                (None, Some(_)) => { /* discarding a result is allowed */ }
+                                (None, None) => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Terminator operand checks.
+        for b in func.block_ids() {
+            if let Some(term) = &func.block(b).term {
+                match term {
+                    Term::CondBr { cond, .. } => {
+                        self.check_value_ref(*cond, &format!("terminator of {b}"));
+                        if cond.index() < func.num_values()
+                            && func.value_type(*cond) != Type::I1
+                        {
+                            self.err(format!("terminator of {b}: condition is not i1"));
+                        }
+                    }
+                    Term::Ret(Some(v)) => {
+                        self.check_value_ref(*v, &format!("ret of {b}"));
+                        match func.ret {
+                            None => self.err(format!("ret of {b} returns a value but function is void")),
+                            Some(rt) => {
+                                if v.index() < func.num_values() && func.value_type(*v) != rt {
+                                    self.err(format!(
+                                        "ret of {b}: type {} != declared {rt}",
+                                        func.value_type(*v)
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    Term::Ret(None) => {
+                        if func.ret.is_some() {
+                            self.err(format!("ret of {b} returns nothing but function declares a return type"));
+                        }
+                    }
+                    Term::Br(_) => {}
+                }
+            }
+        }
+
+        // Phi incoming blocks match predecessors exactly.
+        let preds = func.compute_preds();
+        for i in func.live_inst_ids() {
+            if let Op::Phi { incomings } = &func.inst(i).op {
+                let b = func.inst(i).block;
+                let expect: HashSet<BlockId> = preds[b.index()].iter().copied().collect();
+                let got: HashSet<BlockId> = incomings.iter().map(|(p, _)| *p).collect();
+                if got != expect {
+                    self.err(format!(
+                        "phi {i} in {b}: incoming blocks {got:?} != predecessors {expect:?}"
+                    ));
+                }
+                if incomings.len() != expect.len() {
+                    self.err(format!("phi {i} in {b}: duplicate incoming blocks"));
+                }
+                if let Some(r) = func.inst(i).result {
+                    let rt = func.value_type(r);
+                    for (p, v) in incomings {
+                        if v.index() < func.num_values() && func.value_type(*v) != rt {
+                            self.err(format!(
+                                "phi {i}: incoming from {p} has type {} != {rt}",
+                                func.value_type(*v)
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // SSA dominance: defs dominate uses.
+        self.check_dominance(&preds);
+    }
+
+    fn check_types(&mut self, i: InstId) {
+        let func = self.func;
+        let inst = func.inst(i);
+        let vt = |v: ValueId| func.value_type(v);
+        match &inst.op {
+            Op::Bin { op, lhs, rhs } => {
+                if vt(*lhs) != vt(*rhs) {
+                    self.err(format!("inst {i}: binop operand types differ"));
+                }
+                if op.is_float() != vt(*lhs).is_float() {
+                    self.err(format!("inst {i}: binop domain mismatch"));
+                }
+                if let Some(r) = inst.result {
+                    if vt(r) != vt(*lhs) {
+                        self.err(format!("inst {i}: binop result type mismatch"));
+                    }
+                }
+            }
+            Op::Un { arg, .. } => {
+                if !vt(*arg).is_float() {
+                    self.err(format!("inst {i}: unary float op on integer"));
+                }
+            }
+            Op::Icmp { lhs, rhs, .. } => {
+                if vt(*lhs) != vt(*rhs) || vt(*lhs).is_float() {
+                    self.err(format!("inst {i}: bad icmp operand types"));
+                }
+            }
+            Op::Fcmp { lhs, rhs, .. } => {
+                if !vt(*lhs).is_float() || !vt(*rhs).is_float() {
+                    self.err(format!("inst {i}: fcmp on integers"));
+                }
+            }
+            Op::Select { cond, on_true, on_false } => {
+                if vt(*cond) != Type::I1 {
+                    self.err(format!("inst {i}: select condition not i1"));
+                }
+                if vt(*on_true) != vt(*on_false) {
+                    self.err(format!("inst {i}: select arm types differ"));
+                }
+            }
+            Op::Load { addr } => {
+                if vt(*addr) != Type::I64 {
+                    self.err(format!("inst {i}: load address not i64"));
+                }
+                if inst.result.is_none() {
+                    self.err(format!("inst {i}: load without result"));
+                }
+            }
+            Op::Store { addr, .. } => {
+                if vt(*addr) != Type::I64 {
+                    self.err(format!("inst {i}: store address not i64"));
+                }
+            }
+            Op::Check { cond, .. } => {
+                if vt(*cond) != Type::I1 {
+                    self.err(format!("inst {i}: check condition not i1"));
+                }
+            }
+            Op::Cast { .. } | Op::Call { .. } | Op::Phi { .. } => {}
+        }
+    }
+
+    fn check_dominance(&mut self, preds: &[Vec<BlockId>]) {
+        let func = self.func;
+        let dom = DomTree::compute(func);
+
+        // Position of each instruction within its block for intra-block order.
+        let mut pos: HashMap<InstId, usize> = HashMap::new();
+        for b in func.block_ids() {
+            for (k, &i) in func.block(b).insts.iter().enumerate() {
+                pos.insert(i, k);
+            }
+        }
+
+        let def_site = |v: ValueId| -> Option<(BlockId, Option<usize>)> {
+            match func.value(v).kind {
+                ValueKind::Param(_) | ValueKind::Const(_) => None, // always available
+                ValueKind::Inst(di) => {
+                    let b = func.inst(di).block;
+                    Some((b, pos.get(&di).copied()))
+                }
+            }
+        };
+
+        let mut ops = Vec::new();
+        for i in func.live_inst_ids() {
+            let b = func.inst(i).block;
+            if !dom.is_reachable(b) {
+                continue;
+            }
+            if let Op::Phi { incomings } = &func.inst(i).op {
+                // Each incoming value must dominate the end of its pred block.
+                for (p, v) in incomings {
+                    if let Some((db, _)) = def_site(*v) {
+                        if !dom.is_reachable(*p) {
+                            continue;
+                        }
+                        if !dom.dominates(db, *p) {
+                            self.err(format!(
+                                "phi {i}: incoming {v} (defined in {db}) does not dominate pred {p}"
+                            ));
+                        }
+                    }
+                }
+                continue;
+            }
+            ops.clear();
+            func.inst(i).op.operands(&mut ops);
+            for &v in &ops {
+                if let Some((db, dpos)) = def_site(v) {
+                    if db == b {
+                        let upos = pos.get(&i).copied().unwrap_or(usize::MAX);
+                        if dpos.is_none_or(|dp| dp >= upos) {
+                            self.err(format!("inst {i}: uses {v} before its definition in {b}"));
+                        }
+                    } else if !dom.dominates(db, b) {
+                        self.err(format!(
+                            "inst {i} in {b}: operand {v} defined in non-dominating {db}"
+                        ));
+                    }
+                }
+            }
+        }
+        let _ = preds;
+    }
+}
+
+/// Verifies one function (no cross-function signature checks).
+///
+/// # Errors
+///
+/// Returns the first batch of violations found.
+pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
+    let mut c = Checker {
+        func,
+        errors: Vec::new(),
+    };
+    c.run(None);
+    if c.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(VerifyError {
+            func: func.name.clone(),
+            message: c.errors.join("; "),
+        })
+    }
+}
+
+/// Verifies a whole module, including call-site signatures.
+///
+/// # Errors
+///
+/// Returns the violations of the first offending function.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    let sigs: HashMap<usize, (Vec<Type>, Option<Type>)> = module
+        .functions()
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (i, (f.params.clone(), f.ret)))
+        .collect();
+    for f in module.functions() {
+        let mut c = Checker {
+            func: f,
+            errors: Vec::new(),
+        };
+        c.run(Some(&sigs));
+        if !c.errors.is_empty() {
+            return Err(VerifyError {
+                func: f.name.clone(),
+                message: c.errors.join("; "),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::FunctionDsl;
+    use crate::inst::{BinOp, IntCC};
+
+    #[test]
+    fn valid_function_passes() {
+        let f = FunctionDsl::build("ok", &[Type::I32], Some(Type::I32), |d| {
+            let p = d.param(0);
+            let one = d.i32c(1);
+            let c = d.icmp(IntCC::Sgt, p, one);
+            let x = d.declare_var(Type::I32);
+            d.if_else(c, |d| d.set(x, one), |d| d.set(x, p));
+            let xv = d.get(x);
+            d.ret(Some(xv));
+        });
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn missing_terminator_detected() {
+        let f = Function::new("bad", &[], None);
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("no terminator"), "{e}");
+    }
+
+    #[test]
+    fn use_before_def_in_block_detected() {
+        let mut f = Function::new("bad", &[Type::I32], None);
+        let p = f.param(0);
+        let entry = f.entry();
+        // Create two adds; make the first use the second's result.
+        let a1 = f.append_inst(
+            Op::Bin { op: BinOp::Add, lhs: p, rhs: p },
+            Some(Type::I32),
+            entry,
+        );
+        let a2 = f.append_inst(
+            Op::Bin { op: BinOp::Add, lhs: p, rhs: p },
+            Some(Type::I32),
+            entry,
+        );
+        let r2 = f.inst(a2).result.unwrap();
+        if let Op::Bin { lhs, .. } = &mut f.inst_mut(a1).op {
+            *lhs = r2;
+        }
+        f.set_term(entry, crate::Term::Ret(None));
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("before its definition"), "{e}");
+    }
+
+    #[test]
+    fn dangling_dead_reference_detected() {
+        let mut f = Function::new("bad", &[Type::I32], None);
+        let p = f.param(0);
+        let entry = f.entry();
+        let a1 = f.append_inst(
+            Op::Bin { op: BinOp::Add, lhs: p, rhs: p },
+            Some(Type::I32),
+            entry,
+        );
+        let r1 = f.inst(a1).result.unwrap();
+        f.append_inst(
+            Op::Bin { op: BinOp::Add, lhs: r1, rhs: r1 },
+            Some(Type::I32),
+            entry,
+        );
+        f.remove_inst(a1);
+        f.set_term(entry, crate::Term::Ret(None));
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("dead instruction"), "{e}");
+    }
+
+    #[test]
+    fn phi_incoming_mismatch_detected() {
+        let mut f = Function::new("bad", &[Type::I32], None);
+        let p = f.param(0);
+        let entry = f.entry();
+        let next = f.add_block();
+        f.set_term(entry, crate::Term::Br(next));
+        // Phi claims an incoming from a non-predecessor (next itself).
+        f.append_inst(
+            Op::Phi { incomings: vec![(next, p)] },
+            Some(Type::I32),
+            next,
+        );
+        f.set_term(next, crate::Term::Ret(None));
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("incoming blocks"), "{e}");
+    }
+
+    #[test]
+    fn ret_type_mismatch_detected() {
+        let mut f = Function::new("bad", &[Type::I32], Some(Type::I64));
+        let p = f.param(0);
+        f.set_term(f.entry(), crate::Term::Ret(Some(p)));
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.message.contains("declared"), "{e}");
+    }
+
+    #[test]
+    fn module_call_signature_checked() {
+        let mut m = Module::new("m");
+        let callee = FunctionDsl::build("callee", &[Type::I64], Some(Type::I64), |d| {
+            let p = d.param(0);
+            d.ret(Some(p));
+        });
+        let callee_id = m.add_function(callee);
+        let caller = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let arg = d.i32c(3); // wrong type: i32 instead of i64
+            let r = d.call(callee_id, &[arg], Some(Type::I64)).unwrap();
+            d.ret(Some(r));
+        });
+        m.add_function(caller);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("call arg"), "{e}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the DSL's on-the-fly SSA construction: randomly
+//! shaped straight-line/branching/looping programs always produce valid
+//! SSA, and structural invariants hold.
+
+use proptest::prelude::*;
+use softft_ir::dom::DomTree;
+use softft_ir::dsl::FunctionDsl;
+use softft_ir::inst::IntCC;
+use softft_ir::loops::LoopForest;
+use softft_ir::verify::verify_function;
+use softft_ir::{Function, Type};
+
+/// A tiny program-shape description drawn by proptest.
+#[derive(Debug, Clone)]
+struct Shape {
+    n_vars: usize,
+    ops: Vec<u8>,
+    loop_trips: i64,
+    nest: bool,
+    branch: bool,
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    (
+        1usize..4,
+        proptest::collection::vec(0u8..6, 1..8),
+        1i64..6,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(n_vars, ops, loop_trips, nest, branch)| Shape {
+            n_vars,
+            ops,
+            loop_trips,
+            nest,
+            branch,
+        })
+}
+
+fn build(shape: &Shape) -> Function {
+    FunctionDsl::build("prop", &[Type::I64], Some(Type::I64), |d| {
+        let p = d.param(0);
+        let vars: Vec<_> = (0..shape.n_vars)
+            .map(|i| {
+                let v = d.declare_var(Type::I64);
+                let init = d.i64c(i as i64 + 1);
+                d.set(v, init);
+                v
+            })
+            .collect();
+        let body = |d: &mut FunctionDsl, shape: &Shape, vars: &[softft_ir::dsl::Var]| {
+            for (k, &op) in shape.ops.iter().enumerate() {
+                let var = vars[k % vars.len()];
+                let cur = d.get(var);
+                let c = d.i64c(op as i64 + 1);
+                let next = match op % 6 {
+                    0 => d.add(cur, c),
+                    1 => d.sub(cur, c),
+                    2 => d.mul(cur, c),
+                    3 => d.xor(cur, c),
+                    4 => d.and_(cur, c),
+                    _ => d.or_(cur, c),
+                };
+                d.set(var, next);
+            }
+            if shape.branch {
+                let var = vars[0];
+                let cur = d.get(var);
+                let z = d.i64c(0);
+                let cond = d.icmp(IntCC::Sgt, cur, z);
+                let one = d.i64c(1);
+                d.if_else(
+                    cond,
+                    |d| {
+                        let c = d.get(var);
+                        let n = d.add(c, one);
+                        d.set(var, n);
+                    },
+                    |d| {
+                        let c = d.get(var);
+                        let n = d.sub(c, one);
+                        d.set(var, n);
+                    },
+                );
+            }
+        };
+        let (s, e) = (d.i64c(0), d.i64c(shape.loop_trips));
+        d.for_range(s, e, |d, _| {
+            body(d, shape, &vars);
+            if shape.nest {
+                let (s2, e2) = (d.i64c(0), d.i64c(2));
+                d.for_range(s2, e2, |d, _| body(d, shape, &vars));
+            }
+        });
+        let mut acc = p;
+        for &v in &vars {
+            let val = d.get(v);
+            acc = d.add(acc, val);
+        }
+        d.ret(Some(acc));
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_functions_verify(shape in shape_strategy()) {
+        let f = build(&shape);
+        verify_function(&f).map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+
+    #[test]
+    fn phis_only_in_join_blocks(shape in shape_strategy()) {
+        let f = build(&shape);
+        let preds = f.compute_preds();
+        for i in f.live_inst_ids() {
+            if f.inst(i).op.is_phi() {
+                let b = f.inst(i).block;
+                prop_assert!(
+                    preds[b.index()].len() >= 2,
+                    "phi {i} in block with {} preds",
+                    preds[b.index()].len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loop_headers_match_loop_count(shape in shape_strategy()) {
+        let f = build(&shape);
+        let dom = DomTree::compute(&f);
+        let lf = LoopForest::compute(&f, &dom);
+        let expect = if shape.nest { 2 } else { 1 };
+        prop_assert_eq!(lf.loops().len(), expect);
+        // Every loop body block is dominated by its header.
+        for l in lf.loops() {
+            for &b in &l.blocks {
+                prop_assert!(dom.dominates(l.header, b));
+            }
+        }
+    }
+
+    #[test]
+    fn no_dead_instructions_linked(shape in shape_strategy()) {
+        let f = build(&shape);
+        for b in f.block_ids() {
+            for &i in &f.block(b).insts {
+                prop_assert!(!f.inst(i).dead, "dead {i} linked in {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn printer_never_panics_and_names_all_blocks(shape in shape_strategy()) {
+        let f = build(&shape);
+        let text = softft_ir::printer::print_function(&f);
+        for b in f.block_ids() {
+            prop_assert!(text.contains(&format!("{b}:")), "missing {b}");
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Classification of value profiles into the three check flavours of
+//! Fig. 6.
+
+use crate::profiler::ValueStats;
+use serde::{Deserialize, Serialize};
+
+/// An expected-value check derived from profiling (Fig. 6).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CheckSpec {
+    /// The instruction always produced this exact value (canonical bits).
+    Single {
+        /// Expected canonical bits.
+        bits: u64,
+    },
+    /// The instruction produced exactly these two values.
+    Pair {
+        /// First expected value (canonical bits).
+        a: u64,
+        /// Second expected value (canonical bits).
+        b: u64,
+    },
+    /// Integer results stayed within `[lo, hi]` (after padding).
+    IntRange {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Float results stayed within `[lo, hi]` (after padding).
+    FloatRange {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl CheckSpec {
+    /// True when a value with the given canonical bits passes the check
+    /// (host-side mirror of the inserted IR; used by tests and the
+    /// false-positive analysis).
+    pub fn passes(&self, bits: u64, is_float: bool) -> bool {
+        match *self {
+            CheckSpec::Single { bits: e } => bits == e,
+            CheckSpec::Pair { a, b } => bits == a || bits == b,
+            CheckSpec::IntRange { lo, hi } => {
+                let v = bits as i64;
+                lo <= v && v <= hi
+            }
+            CheckSpec::FloatRange { lo, hi } => {
+                debug_assert!(is_float);
+                let v = f64::from_bits(bits);
+                lo <= v && v <= hi
+            }
+        }
+    }
+
+    /// Number of extra IR instructions the check costs (comparisons,
+    /// combines, and the check itself) — used by static-overhead stats
+    /// and Optimization 2's cost-benefit decision.
+    pub fn static_cost(&self) -> usize {
+        match self {
+            CheckSpec::Single { .. } => 2, // icmp + check
+            CheckSpec::Pair { .. } => 4,   // 2×icmp + or + check
+            CheckSpec::IntRange { .. } => 3, // sub + unsigned cmp + check
+            CheckSpec::FloatRange { .. } => 4, // 2×fcmp + and + check
+        }
+    }
+}
+
+/// Tunables for classification.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ClassifyConfig {
+    /// Minimum dynamic executions before a check is considered (avoids
+    /// checks on cold code whose profile is not representative).
+    pub min_samples: u64,
+    /// Fraction of profiled mass the trimmed compact range (Algorithm 2)
+    /// must cover to be preferred over the full hull. With the default of
+    /// 0.999 an outlier-free profile keeps its full hull and false
+    /// positives come solely from train/test input differences, as in the
+    /// paper (measured there at ~1 per 235K instructions).
+    pub trim_coverage: f64,
+    /// The range threshold `R_thr` of Algorithm 2, expressed as a
+    /// fraction of the observed value hull (`max - min`).
+    pub range_frac: f64,
+    /// Fractional padding applied to each side of a range check to
+    /// absorb benign input variation.
+    pub pad_frac: f64,
+    /// Maximum hull width for an *integer* range check to be considered
+    /// amenable; a wider spread means the "expected range" constrains
+    /// nothing and the check is dropped.
+    pub max_int_hull: f64,
+    /// Maximum hull width for a *float* range check.
+    pub max_float_hull: f64,
+}
+
+impl Default for ClassifyConfig {
+    fn default() -> Self {
+        ClassifyConfig {
+            min_samples: 16,
+            trim_coverage: 0.999,
+            range_frac: 0.5,
+            pad_frac: 0.25,
+            max_int_hull: (1u64 << 24) as f64,
+            // A float range spanning more than ~1e5 constrains almost
+            // nothing: mantissa flips stay inside it, so the check would
+            // cost two FP compares per execution while catching only
+            // high-exponent-bit flips. Such instructions are treated as
+            // not amenable.
+            max_float_hull: 1e5,
+        }
+    }
+}
+
+/// Classifies one instruction's profile into a check, or `None` if the
+/// instruction is not amenable (Fig. 6 decision).
+///
+/// Order of preference: exact single value, exact two values, compact
+/// range. The range is the Algorithm-2 trim when it covers nearly all of
+/// the mass (dropping outlier bins) and otherwise the full observed hull;
+/// either way it is padded by [`ClassifyConfig::pad_frac`] and only
+/// accepted when narrower than the amenability cap.
+pub fn classify(stats: &ValueStats, cfg: &ClassifyConfig) -> Option<CheckSpec> {
+    if stats.count < cfg.min_samples {
+        return None;
+    }
+    let top = stats.topk.sorted();
+    if !stats.topk.is_approximate() {
+        // Exact census of distinct values.
+        if top.len() == 1 {
+            return Some(CheckSpec::Single { bits: top[0].0 });
+        }
+        if top.len() == 2 {
+            return Some(CheckSpec::Pair {
+                a: top[0].0,
+                b: top[1].0,
+            });
+        }
+    }
+    // Range check via Algorithm 2.
+    let hull = stats.max - stats.min;
+    if !hull.is_finite() {
+        return None;
+    }
+    let r_thr = hull * cfg.range_frac;
+    let compact = stats.hist.compact_range(r_thr)?;
+    let covered = compact.count as f64 / stats.count as f64;
+    let (lo, hi) = if covered >= cfg.trim_coverage {
+        (compact.lo, compact.hi)
+    } else {
+        (stats.min, stats.max)
+    };
+    let max_hull = if stats.is_float {
+        cfg.max_float_hull
+    } else {
+        cfg.max_int_hull
+    };
+    if hi - lo > max_hull {
+        return None;
+    }
+    let pad = (hi - lo).abs() * cfg.pad_frac;
+    if stats.is_float {
+        Some(CheckSpec::FloatRange {
+            lo: lo - pad,
+            hi: hi + pad,
+        })
+    } else {
+        // Integer bounds: widen to the enclosing integers plus at least ±1
+        // so off-by-one input variation does not fire the check.
+        let pad = pad.max(1.0).min(i64::MAX as f64 / 4.0);
+        let lo = (lo - pad).floor();
+        let hi = (hi + pad).ceil();
+        let clamp = |v: f64| v.clamp(i64::MIN as f64, i64::MAX as f64) as i64;
+        Some(CheckSpec::IntRange {
+            lo: clamp(lo),
+            hi: clamp(hi),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::OnlineHistogram;
+    use crate::topk::TopK;
+
+    fn stats_from_ints(values: &[i64]) -> ValueStats {
+        let mut s = ValueStats {
+            count: 0,
+            hist: OnlineHistogram::new(5),
+            topk: TopK::new(4),
+            is_float: false,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        };
+        for &v in values {
+            s.count += 1;
+            s.hist.insert(v as f64);
+            s.topk.observe(v as u64);
+            s.min = s.min.min(v as f64);
+            s.max = s.max.max(v as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn constant_value_yields_single_check() {
+        let s = stats_from_ints(&[9; 50]);
+        let c = classify(&s, &ClassifyConfig::default()).unwrap();
+        assert_eq!(c, CheckSpec::Single { bits: 9 });
+        assert!(c.passes(9, false));
+        assert!(!c.passes(10, false));
+        assert_eq!(c.static_cost(), 2);
+    }
+
+    #[test]
+    fn two_values_yield_pair_check() {
+        let mut vals = vec![3i64; 30];
+        vals.extend_from_slice(&[-7; 20]);
+        let s = stats_from_ints(&vals);
+        let c = classify(&s, &ClassifyConfig::default()).unwrap();
+        match c {
+            CheckSpec::Pair { a, b } => {
+                assert_eq!(a as i64, 3);
+                assert_eq!(b as i64, -7);
+            }
+            other => panic!("expected pair, got {other:?}"),
+        }
+        assert!(c.passes(3, false));
+        assert!(c.passes((-7i64) as u64, false));
+        assert!(!c.passes(0, false));
+    }
+
+    #[test]
+    fn clustered_values_yield_range_check() {
+        let vals: Vec<i64> = (0..200).map(|i| 100 + (i % 17)).collect();
+        let s = stats_from_ints(&vals);
+        let c = classify(&s, &ClassifyConfig::default()).unwrap();
+        match c {
+            CheckSpec::IntRange { lo, hi } => {
+                assert!(lo <= 100 && hi >= 116, "{lo}..{hi}");
+                // Padding is bounded.
+                assert!(lo > 50 && hi < 200, "{lo}..{hi}");
+            }
+            other => panic!("expected range, got {other:?}"),
+        }
+        assert!(c.passes(108, false));
+        assert!(!c.passes(100_000, false));
+    }
+
+    #[test]
+    fn cold_instructions_are_not_amenable() {
+        let s = stats_from_ints(&[1, 2, 3]);
+        assert!(classify(&s, &ClassifyConfig::default()).is_none());
+    }
+
+    #[test]
+    fn scattered_values_are_not_amenable() {
+        // Uniformly scattered across a huge hull with capped coverage.
+        let vals: Vec<i64> = (0..100).map(|i| i * 1_000_000_007).collect();
+        let s = stats_from_ints(&vals);
+        assert!(classify(&s, &ClassifyConfig::default()).is_none());
+    }
+
+    #[test]
+    fn float_range_check() {
+        let mut s = ValueStats {
+            count: 0,
+            hist: OnlineHistogram::new(5),
+            topk: TopK::new(4),
+            is_float: true,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        };
+        for i in 0..100 {
+            let v = 1.0 + (i % 10) as f64 * 0.01;
+            s.count += 1;
+            s.hist.insert(v);
+            s.topk.observe(v.to_bits());
+            s.min = s.min.min(v);
+            s.max = s.max.max(v);
+        }
+        let c = classify(&s, &ClassifyConfig::default()).unwrap();
+        match c {
+            CheckSpec::FloatRange { lo, hi } => {
+                assert!(lo <= 1.0 && hi >= 1.09);
+                assert!(c.passes(1.05f64.to_bits(), true));
+                assert!(!c.passes(9.0f64.to_bits(), true));
+            }
+            other => panic!("expected float range, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pair_and_range_costs() {
+        assert_eq!(CheckSpec::Pair { a: 0, b: 1 }.static_cost(), 4);
+        assert_eq!(CheckSpec::IntRange { lo: 0, hi: 1 }.static_cost(), 3);
+        assert_eq!(CheckSpec::FloatRange { lo: 0.0, hi: 1.0 }.static_cost(), 4);
+    }
+}

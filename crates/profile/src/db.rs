@@ -1,0 +1,165 @@
+//! The serializable profile database.
+//!
+//! Value profiling is an offline, once-per-benchmark step in the paper;
+//! the database is what the profiling pass hands to the transformation
+//! pass (and what would live on disk between the two compiler invocations).
+
+use crate::checks::{classify, CheckSpec, ClassifyConfig};
+use crate::profiler::{Profiler, ValueStats};
+use serde::{Deserialize, Serialize};
+use softft_ir::{FuncId, InstId};
+use std::collections::HashMap;
+
+/// Identifies a static instruction within a module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstKey {
+    /// The function.
+    pub func: FuncId,
+    /// The instruction within the function.
+    pub inst: InstId,
+}
+
+/// Per-instruction check specifications derived from a profiling run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ProfileDb {
+    checks: HashMap<InstKey, CheckSpec>,
+    /// Total dynamic executions observed per instruction (kept for
+    /// reporting and for Optimization 1's tie-breaking).
+    counts: HashMap<InstKey, u64>,
+}
+
+impl ProfileDb {
+    /// Builds the database by classifying every profiled instruction.
+    pub fn from_profiler(prof: &Profiler, cfg: &ClassifyConfig) -> Self {
+        Self::from_stats(prof.stats(), cfg)
+    }
+
+    /// Builds the database from raw statistics.
+    pub fn from_stats(stats: &HashMap<InstKey, ValueStats>, cfg: &ClassifyConfig) -> Self {
+        let mut checks = HashMap::new();
+        let mut counts = HashMap::new();
+        for (k, s) in stats {
+            counts.insert(*k, s.count);
+            if let Some(spec) = classify(s, cfg) {
+                checks.insert(*k, spec);
+            }
+        }
+        ProfileDb { checks, counts }
+    }
+
+    /// The check for an instruction, if it is amenable.
+    pub fn check_for(&self, key: InstKey) -> Option<CheckSpec> {
+        self.checks.get(&key).copied()
+    }
+
+    /// Observed dynamic execution count of an instruction (0 if never
+    /// executed during profiling).
+    pub fn count_of(&self, key: InstKey) -> u64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Number of amenable instructions.
+    pub fn num_amenable(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// Iterates over all (instruction, check) pairs in deterministic
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (InstKey, CheckSpec)> + '_ {
+        let mut keys: Vec<_> = self.checks.keys().copied().collect();
+        keys.sort();
+        keys.into_iter().map(move |k| (k, self.checks[&k]))
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (out-of-memory, effectively).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        // HashMaps with struct keys serialize as seq-of-pairs.
+        let pairs: Vec<(&InstKey, &CheckSpec)> = self.checks.iter().collect();
+        let counts: Vec<(&InstKey, &u64)> = self.counts.iter().collect();
+        serde_json::to_string(&(pairs, counts))
+    }
+
+    /// Deserializes from [`ProfileDb::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        let (pairs, counts): (Vec<(InstKey, CheckSpec)>, Vec<(InstKey, u64)>) =
+            serde_json::from_str(s)?;
+        Ok(ProfileDb {
+            checks: pairs.into_iter().collect(),
+            counts: counts.into_iter().collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_ir::dsl::FunctionDsl;
+    use softft_ir::{Module, Type};
+    use softft_vm::interp::{Vm, VmConfig};
+
+    fn profiled_db() -> ProfileDb {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(64));
+            d.for_range(s, e, |d, i| {
+                let mask = d.i64c(7);
+                let v = d.and_(i, mask); // 0..=7 range
+                let a = d.get(acc);
+                let a2 = d.add(a, v);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        m.add_function(f);
+        let main = m.function_by_name("main").unwrap();
+        let mut prof = Profiler::default();
+        Vm::new(&m, VmConfig::default()).run(main, &[], &mut prof, None);
+        ProfileDb::from_profiler(&prof, &ClassifyConfig::default())
+    }
+
+    #[test]
+    fn db_contains_amenable_instructions() {
+        let db = profiled_db();
+        assert!(db.num_amenable() > 0);
+        let (key, _) = db.iter().next().unwrap();
+        assert!(db.check_for(key).is_some());
+        assert!(db.count_of(key) > 0);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_checks() {
+        let db = profiled_db();
+        let json = db.to_json().unwrap();
+        let back = ProfileDb::from_json(&json).unwrap();
+        assert_eq!(back.num_amenable(), db.num_amenable());
+        for (k, spec) in db.iter() {
+            assert_eq!(back.check_for(k), Some(spec));
+            assert_eq!(back.count_of(k), db.count_of(k));
+        }
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(ProfileDb::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let db = profiled_db();
+        let a: Vec<_> = db.iter().collect();
+        let b: Vec<_> = db.iter().collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,364 @@
+//! On-line histogram (Algorithm 1) and greedy compact-range extraction
+//! (Algorithm 2).
+
+use serde::{Deserialize, Serialize};
+
+/// One histogram bin: inclusive bounds plus a count.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Bin {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+    /// Number of observed values in `[lo, hi]`.
+    pub count: u64,
+}
+
+impl Bin {
+    /// Width of the bin.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// A bounded-size histogram maintained on line (Algorithm 1).
+///
+/// Insertion either increments a containing bin or adds a point bin and
+/// merges the two bins with the smallest gap, keeping at most `capacity`
+/// bins (the paper uses B = 5). Bins are kept sorted and disjoint.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OnlineHistogram {
+    bins: Vec<Bin>,
+    capacity: usize,
+}
+
+impl OnlineHistogram {
+    /// Default bin count used by the paper's experiments.
+    pub const DEFAULT_BINS: usize = 5;
+
+    /// Creates an empty histogram with `capacity` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "histogram needs at least two bins");
+        OnlineHistogram {
+            bins: Vec::with_capacity(capacity + 1),
+            capacity,
+        }
+    }
+
+    /// The current bins, sorted by bound, pairwise disjoint.
+    pub fn bins(&self) -> &[Bin] {
+        &self.bins
+    }
+
+    /// Total count across bins.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().map(|b| b.count).sum()
+    }
+
+    /// True before the first insertion.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Smallest observed value (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        self.bins.first().map(|b| b.lo)
+    }
+
+    /// Largest observed value (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.bins.last().map(|b| b.hi)
+    }
+
+    /// Inserts one value (Algorithm 1). Non-finite values are clamped to
+    /// the largest finite magnitude so a NaN-producing training run cannot
+    /// poison the bounds.
+    pub fn insert(&mut self, v: f64) {
+        self.insert_span(v, v, 1);
+    }
+
+    /// Inserts an interval with a count (used to merge histograms from
+    /// multiple profiling inputs).
+    pub fn insert_span(&mut self, lo: f64, hi: f64, count: u64) {
+        let lo = clamp_finite(lo);
+        let hi = clamp_finite(hi).max(lo);
+        // Containment fast path (single value only).
+        if lo == hi {
+            if let Some(b) = self
+                .bins
+                .iter_mut()
+                .find(|b| b.lo <= lo && lo <= b.hi)
+            {
+                b.count += count;
+                return;
+            }
+        }
+        // Add as a new bin, keep sorted.
+        let pos = self
+            .bins
+            .partition_point(|b| (b.lo, b.hi) < (lo, hi));
+        self.bins.insert(pos, Bin { lo, hi, count });
+        self.normalize();
+        while self.bins.len() > self.capacity {
+            self.merge_closest();
+        }
+    }
+
+    /// Merges overlapping neighbours introduced by span insertion.
+    fn normalize(&mut self) {
+        let mut i = 0;
+        while i + 1 < self.bins.len() {
+            if self.bins[i].hi >= self.bins[i + 1].lo {
+                let b = self.bins.remove(i + 1);
+                self.bins[i].hi = self.bins[i].hi.max(b.hi);
+                self.bins[i].lo = self.bins[i].lo.min(b.lo);
+                self.bins[i].count += b.count;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Finds adjacent bins with the smallest gap and merges them
+    /// (Algorithm 1, steps 6–8).
+    fn merge_closest(&mut self) {
+        debug_assert!(self.bins.len() >= 2);
+        let mut best = 0;
+        let mut best_gap = f64::INFINITY;
+        for i in 0..self.bins.len() - 1 {
+            let gap = self.bins[i + 1].lo - self.bins[i].hi;
+            if gap < best_gap {
+                best_gap = gap;
+                best = i;
+            }
+        }
+        let b = self.bins.remove(best + 1);
+        self.bins[best].hi = b.hi;
+        self.bins[best].count += b.count;
+    }
+
+    /// Greedy compact-range extraction (Algorithm 2).
+    ///
+    /// Starts from the highest-count bin and absorbs the higher-count
+    /// neighbour while the resulting width stays within `r_thr` (the
+    /// paper's pseudocode loops "while wider than R_thr", which would
+    /// grow the range unboundedly; we read it as *extend while the range
+    /// stays compact*, which matches the algorithm's stated goal of a
+    /// tight range holding most of the mass). Returns the range and the
+    /// mass it covers.
+    ///
+    /// Returns `None` when the histogram is empty.
+    pub fn compact_range(&self, r_thr: f64) -> Option<Bin> {
+        if self.bins.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for (i, b) in self.bins.iter().enumerate() {
+            if b.count > self.bins[best].count {
+                best = i;
+            }
+        }
+        let mut left = best; // inclusive
+        let mut right = best; // inclusive
+        let mut ret = self.bins[best];
+        loop {
+            let lcand = left.checked_sub(1).map(|i| &self.bins[i]);
+            let rcand = if right + 1 < self.bins.len() {
+                Some(&self.bins[right + 1])
+            } else {
+                None
+            };
+            // Prefer the higher-count side (Algorithm 2 lines 6–13).
+            let take_left = match (lcand, rcand) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(l), Some(r)) => l.count >= r.count,
+            };
+            let (new_lo, new_hi, add) = if take_left {
+                let l = lcand.expect("checked");
+                (l.lo, ret.hi, l.count)
+            } else {
+                let r = rcand.expect("checked");
+                (ret.lo, r.hi, r.count)
+            };
+            if new_hi - new_lo > r_thr {
+                // Try the other side before giving up.
+                let (alt, alt_is_left) = if take_left {
+                    (rcand, false)
+                } else {
+                    (lcand, true)
+                };
+                match alt {
+                    Some(a) => {
+                        let (alo, ahi) = if alt_is_left {
+                            (a.lo, ret.hi)
+                        } else {
+                            (ret.lo, a.hi)
+                        };
+                        if ahi - alo > r_thr {
+                            break;
+                        }
+                        ret = Bin {
+                            lo: alo,
+                            hi: ahi,
+                            count: ret.count + a.count,
+                        };
+                        if alt_is_left {
+                            left -= 1;
+                        } else {
+                            right += 1;
+                        }
+                    }
+                    None => break,
+                }
+            } else {
+                ret = Bin {
+                    lo: new_lo,
+                    hi: new_hi,
+                    count: ret.count + add,
+                };
+                if take_left {
+                    left -= 1;
+                } else {
+                    right += 1;
+                }
+            }
+        }
+        Some(ret)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &OnlineHistogram) {
+        for b in other.bins() {
+            self.insert_span(b.lo, b.hi, b.count);
+        }
+    }
+}
+
+fn clamp_finite(v: f64) -> f64 {
+    if v.is_nan() {
+        0.0
+    } else {
+        v.clamp(f64::MIN, f64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insertion_respects_capacity() {
+        let mut h = OnlineHistogram::new(5);
+        for i in 0..100 {
+            h.insert((i * 17 % 31) as f64);
+        }
+        assert!(h.bins().len() <= 5);
+        assert_eq!(h.total(), 100);
+    }
+
+    #[test]
+    fn bins_stay_sorted_and_disjoint() {
+        let mut h = OnlineHistogram::new(4);
+        for v in [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 0.0, 6.0, 4.0] {
+            h.insert(v);
+        }
+        let bins = h.bins();
+        for w in bins.windows(2) {
+            assert!(w[0].hi < w[1].lo, "bins overlap: {w:?}");
+        }
+        assert_eq!(h.min(), Some(0.0));
+        assert_eq!(h.max(), Some(9.0));
+    }
+
+    #[test]
+    fn repeated_value_increments_single_bin() {
+        let mut h = OnlineHistogram::new(5);
+        for _ in 0..50 {
+            h.insert(42.0);
+        }
+        assert_eq!(h.bins().len(), 1);
+        assert_eq!(h.bins()[0], Bin { lo: 42.0, hi: 42.0, count: 50 });
+    }
+
+    #[test]
+    fn closest_bins_merge_first() {
+        let mut h = OnlineHistogram::new(2);
+        h.insert(0.0);
+        h.insert(100.0);
+        h.insert(1.0); // closest to 0.0 — merges with it
+        assert_eq!(h.bins().len(), 2);
+        assert_eq!(h.bins()[0], Bin { lo: 0.0, hi: 1.0, count: 2 });
+        assert_eq!(h.bins()[1].lo, 100.0);
+    }
+
+    #[test]
+    fn compact_range_picks_dense_mass() {
+        let mut h = OnlineHistogram::new(5);
+        // Dense cluster around 10..=12, outlier at 1000.
+        for _ in 0..40 {
+            h.insert(10.0);
+        }
+        for _ in 0..30 {
+            h.insert(11.0);
+        }
+        for _ in 0..20 {
+            h.insert(12.0);
+        }
+        h.insert(1000.0);
+        let r = h.compact_range(5.0).unwrap();
+        assert!(r.lo >= 10.0 && r.hi <= 12.0 + 5.0);
+        assert!(r.hi < 1000.0, "outlier absorbed: {r:?}");
+        assert!(r.count >= 90);
+    }
+
+    #[test]
+    fn compact_range_respects_threshold() {
+        let mut h = OnlineHistogram::new(5);
+        for v in [0.0, 10.0, 20.0, 30.0, 40.0] {
+            for _ in 0..10 {
+                h.insert(v);
+            }
+        }
+        let r = h.compact_range(15.0).unwrap();
+        assert!(r.width() <= 15.0, "{r:?}");
+        let wide = h.compact_range(100.0).unwrap();
+        assert_eq!(wide.count, 50); // whole histogram fits
+    }
+
+    #[test]
+    fn compact_range_empty_is_none() {
+        let h = OnlineHistogram::new(5);
+        assert!(h.compact_range(1.0).is_none());
+    }
+
+    #[test]
+    fn non_finite_values_are_clamped() {
+        let mut h = OnlineHistogram::new(5);
+        h.insert(f64::NAN);
+        h.insert(f64::INFINITY);
+        h.insert(f64::NEG_INFINITY);
+        assert_eq!(h.total(), 3);
+        assert!(h.max().unwrap().is_finite());
+        assert!(h.min().unwrap().is_finite());
+    }
+
+    #[test]
+    fn merge_combines_mass() {
+        let mut a = OnlineHistogram::new(5);
+        let mut b = OnlineHistogram::new(5);
+        for i in 0..10 {
+            a.insert(i as f64);
+            b.insert((i + 100) as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), 20);
+        assert!(a.bins().len() <= 5);
+        assert_eq!(a.max(), Some(109.0));
+    }
+}

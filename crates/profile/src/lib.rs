@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # softft-profile
+//!
+//! Value profiling for expected-value checks, reproducing Section III-C of
+//! *Harnessing Soft Computations for Low-budget Fault Tolerance* (MICRO
+//! 2014):
+//!
+//! * [`histogram`] — the on-line histogram of Algorithm 1 (B bins, default
+//!   5) and the greedy compact-range extraction of Algorithm 2;
+//! * [`topk`] — exact tracking of the few most frequent values per
+//!   instruction (for the single-value and two-value checks of Fig. 6);
+//! * [`profiler`] — a VM observer that collects per-instruction value
+//!   statistics during a training run;
+//! * [`checks`] — classification of each instruction's profile into one of
+//!   the three check flavours (single / pair / range) or "not amenable";
+//! * [`db`] — a serializable profile database handed to the
+//!   transformation passes (profiling is an offline, once-per-benchmark
+//!   step in the paper; the on-disk format mirrors that).
+
+pub mod checks;
+pub mod db;
+pub mod histogram;
+pub mod profiler;
+pub mod topk;
+
+pub use checks::{CheckSpec, ClassifyConfig};
+pub use db::{InstKey, ProfileDb};
+pub use histogram::OnlineHistogram;
+pub use profiler::{Profiler, ValueStats};
+pub use topk::TopK;

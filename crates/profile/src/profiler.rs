@@ -1,0 +1,271 @@
+//! A VM observer that collects per-instruction value statistics.
+
+use crate::db::InstKey;
+use crate::histogram::OnlineHistogram;
+use crate::topk::TopK;
+use serde::{Deserialize, Serialize};
+use softft_ir::function::Function;
+use softft_ir::inst::Op;
+use softft_ir::{FuncId, InstId, Type};
+use softft_vm::interp::Observer;
+use std::collections::HashMap;
+
+/// Statistics accumulated for one static instruction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ValueStats {
+    /// Number of dynamic executions observed.
+    pub count: u64,
+    /// On-line histogram of produced values (Algorithm 1).
+    pub hist: OnlineHistogram,
+    /// Exact counts of the most frequent values.
+    pub topk: TopK,
+    /// Whether the result type is floating point.
+    pub is_float: bool,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl ValueStats {
+    fn new(is_float: bool, bins: usize, k: usize) -> Self {
+        ValueStats {
+            count: 0,
+            hist: OnlineHistogram::new(bins),
+            topk: TopK::new(k),
+            is_float,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, bits: u64) {
+        let v = if self.is_float {
+            let f = f64::from_bits(bits);
+            if f.is_finite() {
+                f
+            } else {
+                // Clamp non-finite training values; the histogram clamps
+                // too, keeping bounds finite.
+                if f.is_nan() {
+                    0.0
+                } else if f > 0.0 {
+                    f64::MAX
+                } else {
+                    f64::MIN
+                }
+            }
+        } else {
+            bits as i64 as f64
+        };
+        self.count += 1;
+        self.hist.insert(v);
+        self.topk.observe(bits);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges statistics from another profiling run of the same binary.
+    pub fn merge(&mut self, other: &ValueStats) {
+        self.count += other.count;
+        self.hist.merge(&other.hist);
+        self.topk.merge(&other.topk);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// True if `op` producing a value of `ty` is a candidate for an
+/// expected-value check.
+///
+/// Candidates are pure value-producing instructions *including loads*
+/// (the paper's Fig. 5 checks a table-lookup result) but excluding phis,
+/// calls, and one-bit results (a range check on `i1` is vacuous).
+pub fn is_check_candidate(op: &Op, ty: Type) -> bool {
+    if ty == Type::I1 {
+        return false;
+    }
+    matches!(
+        op,
+        Op::Bin { .. }
+            | Op::Un { .. }
+            | Op::Cast { .. }
+            | Op::Select { .. }
+            | Op::Load { .. }
+    )
+}
+
+/// Collects [`ValueStats`] for every check-candidate instruction during a
+/// training-run interpretation (the paper's separate value-profiling pass).
+#[derive(Debug)]
+pub struct Profiler {
+    stats: HashMap<InstKey, ValueStats>,
+    bins: usize,
+    k: usize,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::new(OnlineHistogram::DEFAULT_BINS, 4)
+    }
+}
+
+impl Profiler {
+    /// Creates a profiler with `bins` histogram bins and `k` exact
+    /// frequent-value slots per instruction.
+    pub fn new(bins: usize, k: usize) -> Self {
+        Profiler {
+            stats: HashMap::new(),
+            bins,
+            k,
+        }
+    }
+
+    /// The collected statistics.
+    pub fn stats(&self) -> &HashMap<InstKey, ValueStats> {
+        &self.stats
+    }
+
+    /// Consumes the profiler, returning the statistics map.
+    pub fn into_stats(self) -> HashMap<InstKey, ValueStats> {
+        self.stats
+    }
+
+    /// Merges another profiler's statistics (multi-input profiling).
+    pub fn merge(&mut self, other: &Profiler) {
+        for (k, s) in &other.stats {
+            match self.stats.get_mut(k) {
+                Some(mine) => mine.merge(s),
+                None => {
+                    self.stats.insert(*k, s.clone());
+                }
+            }
+        }
+    }
+}
+
+impl Observer for Profiler {
+    fn on_result(&mut self, func: FuncId, f: &Function, inst: InstId, ty: Type, bits: u64) {
+        if !is_check_candidate(&f.inst(inst).op, ty) {
+            return;
+        }
+        let key = InstKey { func, inst };
+        let entry = self
+            .stats
+            .entry(key)
+            .or_insert_with(|| ValueStats::new(ty.is_float(), self.bins, self.k));
+        entry.observe(bits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_ir::dsl::FunctionDsl;
+    use softft_ir::Module;
+    use softft_vm::interp::{Vm, VmConfig};
+
+    #[test]
+    fn candidate_filter() {
+        use softft_ir::inst::{BinOp, IntCC};
+        use softft_ir::ValueId;
+        let a = ValueId::new(0);
+        assert!(is_check_candidate(
+            &Op::Bin { op: BinOp::Add, lhs: a, rhs: a },
+            Type::I32
+        ));
+        assert!(is_check_candidate(&Op::Load { addr: a }, Type::I16));
+        assert!(!is_check_candidate(
+            &Op::Icmp { pred: IntCC::Eq, lhs: a, rhs: a },
+            Type::I1
+        ));
+        assert!(!is_check_candidate(
+            &Op::Phi { incomings: vec![] },
+            Type::I32
+        ));
+    }
+
+    #[test]
+    fn profiler_collects_loop_values() {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(100));
+            d.for_range(s, e, |d, i| {
+                let seven = d.i64c(7);
+                let v = d.srem(i, seven); // values 0..=6
+                let a = d.get(acc);
+                let a2 = d.add(a, v);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        m.add_function(f);
+        let main = m.function_by_name("main").unwrap();
+        let mut prof = Profiler::default();
+        let r = Vm::new(&m, VmConfig::default()).run(main, &[], &mut prof, None);
+        assert!(r.completed());
+        // The srem instruction produced 100 values in [0, 6].
+        let srem_stats = prof
+            .stats()
+            .values()
+            .find(|s| s.count == 100 && s.max <= 6.0 && s.min >= 0.0);
+        assert!(srem_stats.is_some(), "{:?}", prof.stats());
+    }
+
+    #[test]
+    fn merge_accumulates_counts() {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let a = d.i64c(21);
+            let b = d.add(a, a);
+            d.ret(Some(b));
+        });
+        m.add_function(f);
+        let main = m.function_by_name("main").unwrap();
+        let mut p1 = Profiler::default();
+        Vm::new(&m, VmConfig::default()).run(main, &[], &mut p1, None);
+        let mut p2 = Profiler::default();
+        Vm::new(&m, VmConfig::default()).run(main, &[], &mut p2, None);
+        p1.merge(&p2);
+        let s = p1.stats().values().next().unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.topk.sorted()[0], (42, 2));
+    }
+
+    #[test]
+    fn float_stats_track_bounds() {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::F64), |d| {
+            let acc = d.declare_var(Type::F64);
+            let z = d.fconst(0.0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(1), d.i64c(11));
+            d.for_range(s, e, |d, i| {
+                let fi = d.sitofp(i);
+                let half = d.fconst(0.5);
+                let v = d.fmul(fi, half); // 0.5 .. 5.0
+                let a = d.get(acc);
+                let a2 = d.fadd(a, v);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        m.add_function(f);
+        let main = m.function_by_name("main").unwrap();
+        let mut prof = Profiler::default();
+        Vm::new(&m, VmConfig::default()).run(main, &[], &mut prof, None);
+        // Among the float-producing instructions (sitofp, fmul, fadd),
+        // the fmul's stats span exactly [0.5, 5.0].
+        let fmul = prof
+            .stats()
+            .values()
+            .find(|s| s.is_float && s.min == 0.5 && s.max == 5.0)
+            .expect("fmul profiled");
+        assert_eq!(fmul.count, 10);
+    }
+}

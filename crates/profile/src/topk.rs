@@ -1,0 +1,156 @@
+//! Exact tracking of the most frequent values per instruction
+//! (space-saving sketch).
+
+use serde::{Deserialize, Serialize};
+
+/// A tiny space-saving counter over canonical value bits.
+///
+/// For streams with at most `k` distinct values the counts are exact —
+/// which is the case that matters for single/two-value checks: those are
+/// only inserted when the profile shows *total* concentration on one or
+/// two values.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopK {
+    entries: Vec<(u64, u64)>, // (bits, count)
+    k: usize,
+    /// True once any eviction happened (counts become upper bounds).
+    approximate: bool,
+}
+
+impl TopK {
+    /// Creates a sketch tracking `k` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        TopK {
+            entries: Vec::with_capacity(k),
+            k,
+            approximate: false,
+        }
+    }
+
+    /// Records one observation of `bits`.
+    pub fn observe(&mut self, bits: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == bits) {
+            e.1 += 1;
+            return;
+        }
+        if self.entries.len() < self.k {
+            self.entries.push((bits, 1));
+            return;
+        }
+        // Space-saving eviction: replace the minimum, inheriting its count.
+        let min = self
+            .entries
+            .iter_mut()
+            .min_by_key(|e| e.1)
+            .expect("k > 0");
+        *min = (bits, min.1 + 1);
+        self.approximate = true;
+    }
+
+    /// Entries sorted by descending count (ties broken by bits for
+    /// determinism).
+    pub fn sorted(&self) -> Vec<(u64, u64)> {
+        let mut v = self.entries.clone();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// True if any eviction happened (counts are then upper bounds and
+    /// "all mass on ≤2 values" can no longer be concluded).
+    pub fn is_approximate(&self) -> bool {
+        self.approximate
+    }
+
+    /// Number of tracked entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True before any observation.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges another sketch (used when combining profiles from several
+    /// training inputs).
+    pub fn merge(&mut self, other: &TopK) {
+        for &(bits, count) in &other.entries {
+            if let Some(e) = self.entries.iter_mut().find(|e| e.0 == bits) {
+                e.1 += count;
+            } else if self.entries.len() < self.k {
+                self.entries.push((bits, count));
+            } else {
+                self.approximate = true;
+            }
+        }
+        self.approximate |= other.approximate;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_few_distinct_values() {
+        let mut t = TopK::new(4);
+        for _ in 0..10 {
+            t.observe(7);
+        }
+        for _ in 0..3 {
+            t.observe(9);
+        }
+        let s = t.sorted();
+        assert_eq!(s, vec![(7, 10), (9, 3)]);
+        assert!(!t.is_approximate());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn eviction_marks_approximate() {
+        let mut t = TopK::new(2);
+        t.observe(1);
+        t.observe(2);
+        t.observe(3); // evicts
+        assert!(t.is_approximate());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn heavy_hitter_survives_noise() {
+        let mut t = TopK::new(4);
+        for i in 0..100u64 {
+            t.observe(42);
+            t.observe(1000 + i); // unique noise
+        }
+        let s = t.sorted();
+        assert_eq!(s[0].0, 42);
+        assert!(s[0].1 >= 100);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = TopK::new(4);
+        let mut b = TopK::new(4);
+        a.observe(5);
+        a.observe(5);
+        b.observe(5);
+        b.observe(6);
+        a.merge(&b);
+        let s = a.sorted();
+        assert_eq!(s[0], (5, 3));
+        assert_eq!(s[1], (6, 1));
+        assert!(!a.is_approximate());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = TopK::new(0);
+    }
+}

@@ -1,0 +1,889 @@
+//! The IR interpreter (functional model).
+
+use crate::fault::{flip_bit, FaultInjector, FaultKind, FaultPlan, InjectionRecord};
+use crate::memory::Memory;
+use crate::outcome::{RunEnd, RunResult, TrapKind};
+use softft_ir::function::{Function, ValueKind};
+use softft_ir::inst::{BinOp, CastKind, FloatCC, IntCC, Op, Term, UnOp};
+use softft_ir::{BlockId, FuncId, InstId, Module, Type, ValueId};
+
+/// Interpreter configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct VmConfig {
+    /// Scratch bytes appended after the last global.
+    pub mem_slack: u64,
+    /// Dynamic-instruction watchdog (models hang detection; the paper
+    /// classifies infinite loops as `Failure`).
+    pub max_dyn_insts: u64,
+    /// Maximum call depth.
+    pub max_call_depth: u32,
+    /// When true, failing [`softft_ir::Op::Check`] instructions are
+    /// *counted* instead of trapping — modelling a detection-plus-recovery
+    /// system that continues after recovering. Used for the paper's
+    /// false-positive measurement (checks firing with no fault present).
+    pub checks_count_only: bool,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            mem_slack: 1 << 20,
+            max_dyn_insts: 400_000_000,
+            max_call_depth: 64,
+            checks_count_only: false,
+        }
+    }
+}
+
+/// Hooks invoked during interpretation. All methods have no-op defaults.
+///
+/// Observers receive *canonical bits* (sign-extended integers, float bit
+/// patterns) — the same representation the fault injector mutates.
+pub trait Observer {
+    /// A frame was pushed for `func`.
+    fn on_enter(&mut self, func: FuncId, f: &Function) {
+        let _ = (func, f);
+    }
+    /// The frame for `func` was popped.
+    fn on_exit(&mut self, func: FuncId) {
+        let _ = func;
+    }
+    /// `inst` in `func` is about to execute (called for non-phi
+    /// instructions only).
+    fn on_exec(&mut self, func: FuncId, f: &Function, inst: InstId) {
+        let _ = (func, f, inst);
+    }
+    /// `inst` produced `bits` of type `ty`.
+    fn on_result(&mut self, func: FuncId, f: &Function, inst: InstId, ty: Type, bits: u64) {
+        let _ = (func, f, inst, ty, bits);
+    }
+    /// The terminator of `block` in `func` is about to execute.
+    fn on_term(&mut self, func: FuncId, f: &Function, block: BlockId) {
+        let _ = (func, f, block);
+    }
+    /// Phi `inst` selected `incoming` on block entry (a register rename;
+    /// timing models propagate readiness through it).
+    fn on_phi(&mut self, func: FuncId, f: &Function, inst: InstId, incoming: ValueId) {
+        let _ = (func, f, inst, incoming);
+    }
+    /// A [`Op::Check`] at `inst` failed (called in both trapping and
+    /// counting modes, before the trap is raised).
+    fn on_check_fail(&mut self, func: FuncId, f: &Function, inst: InstId) {
+        let _ = (func, f, inst);
+    }
+}
+
+/// An observer that does nothing (zero-cost when monomorphized).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {}
+
+struct Frame {
+    func: FuncId,
+    /// One slot per SSA value; `Some` once defined. Constants are never
+    /// materialized here (they are immediates, not register state).
+    slots: Vec<Option<u64>>,
+    /// Set once a branch-target fault corrupted this frame's control
+    /// flow: SSA liveness no longer holds, so reads of never-written
+    /// slots yield stale zeros instead of asserting.
+    lenient: bool,
+}
+
+struct ExecState {
+    dyn_count: u64,
+    fault: Option<(FaultPlan, FaultInjector)>,
+    injection: Option<InjectionRecord>,
+    check_failures: u64,
+    /// Set when a branch-target fault is due: the next executed branch
+    /// jumps to a random block of its function.
+    branch_fault_armed: Option<(FaultPlan, FaultInjector)>,
+    /// Set once control flow was corrupted: reads of never-written SSA
+    /// slots then yield stale zeros instead of asserting (a wrongly
+    /// reached block sees whatever garbage the registers hold).
+    control_corrupted: bool,
+}
+
+impl ExecState {
+    /// If the fault trigger is reached, flip a bit in a random defined
+    /// slot of `frame`.
+    fn maybe_inject(&mut self, frame: &mut Frame, func: &Function) {
+        let due = matches!(&self.fault, Some((plan, _)) if plan.at_dyn == self.dyn_count);
+        if !due {
+            return;
+        }
+        let (plan, mut inj) = self.fault.take().expect("fault present");
+        if plan.kind == FaultKind::BranchTarget {
+            // Corrupt the next branch executed rather than a register.
+            self.branch_fault_armed = Some((plan, inj));
+            return;
+        }
+        let candidates: Vec<usize> = frame
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|_| i))
+            .collect();
+        if let Some(victim) = inj.choose(&candidates) {
+            let vid = ValueId::new(victim);
+            let ty = func.value_type(vid);
+            let bit = inj.choose_bit(ty);
+            let old = frame.slots[victim].expect("candidate is defined");
+            let new = flip_bit(old, ty, bit);
+            frame.slots[victim] = Some(new);
+            self.injection = Some(InjectionRecord {
+                at_dyn: plan.at_dyn,
+                func: frame.func,
+                value: vid,
+                ty,
+                bit,
+                old_bits: old,
+                new_bits: new,
+            });
+        }
+        // If no slot was defined yet the fault hit dead state: masked.
+    }
+}
+
+/// The interpreter.
+///
+/// A `Vm` owns the linear [`Memory`] for one module; [`Vm::run`] executes
+/// an entry function to completion or trap. Memory persists across runs so
+/// harnesses can write inputs before and read outputs after; use
+/// [`Vm::reset_memory`] between independent runs.
+pub struct Vm<'m> {
+    module: &'m Module,
+    /// Linear memory (public: harnesses preload inputs / read outputs).
+    pub mem: Memory,
+    config: VmConfig,
+}
+
+impl<'m> Vm<'m> {
+    /// Creates a VM with fresh memory for `module`.
+    pub fn new(module: &'m Module, config: VmConfig) -> Self {
+        Vm {
+            mem: Memory::for_module(module, config.mem_slack),
+            module,
+            config,
+        }
+    }
+
+    /// The module being executed.
+    pub fn module(&self) -> &Module {
+        self.module
+    }
+
+    /// Reinitializes memory from the module's global initializers.
+    pub fn reset_memory(&mut self) {
+        self.mem = Memory::for_module(self.module, self.config.mem_slack);
+    }
+
+    /// Runs `entry` with integer/float `args` given as canonical bits.
+    ///
+    /// `fault`, when supplied, injects a single bit flip per
+    /// [`FaultPlan`]. The run never panics on guest misbehaviour — all
+    /// guest errors surface as traps in the result.
+    pub fn run<O: Observer>(
+        &mut self,
+        entry: FuncId,
+        args: &[u64],
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+    ) -> RunResult {
+        let mut state = ExecState {
+            dyn_count: 0,
+            fault: fault.map(|p| (p, FaultInjector::new(&p))),
+            injection: None,
+            check_failures: 0,
+            branch_fault_armed: None,
+            control_corrupted: false,
+        };
+        let end = match self.exec_function(entry, args, obs, &mut state, 0) {
+            Ok(ret) => RunEnd::Completed { ret },
+            Err(kind) => RunEnd::Trap {
+                kind,
+                at_dyn: state.dyn_count,
+            },
+        };
+        RunResult {
+            end,
+            dyn_insts: state.dyn_count,
+            injection: state.injection,
+            check_failures: state.check_failures,
+        }
+    }
+
+    fn exec_function<O: Observer>(
+        &mut self,
+        fid: FuncId,
+        args: &[u64],
+        obs: &mut O,
+        state: &mut ExecState,
+        depth: u32,
+    ) -> Result<Option<u64>, TrapKind> {
+        if depth >= self.config.max_call_depth {
+            return Err(TrapKind::CallDepth);
+        }
+        let func = self.module.function(fid);
+        assert_eq!(
+            args.len(),
+            func.params.len(),
+            "arity mismatch calling {}",
+            func.name
+        );
+        let mut frame = Frame {
+            func: fid,
+            slots: vec![None; func.num_values()],
+            lenient: false,
+        };
+        for (i, &a) in args.iter().enumerate() {
+            let p = func.param(i);
+            let ty = func.value_type(p);
+            let canon = if ty.is_float() { a } else { ty.sign_extend(a) as u64 };
+            frame.slots[p.index()] = Some(canon);
+        }
+        obs.on_enter(fid, func);
+
+        let mut block = func.entry();
+        let mut prev_block: Option<BlockId> = None;
+
+        'blocks: loop {
+            // Phis: parallel-copy semantics (read all, then write all).
+            if let Some(prev) = prev_block {
+                let mut writes: Vec<(usize, u64)> = Vec::new();
+                for &i in &func.block(block).insts {
+                    let inst = func.inst(i);
+                    let Op::Phi { incomings } = &inst.op else { break };
+                    let incoming = incomings.iter().find(|(p, _)| *p == prev);
+                    let Some((_, v)) = incoming else {
+                        // Only reachable after a branch-target fault: the
+                        // edge does not exist in the CFG, so the phi's
+                        // "register" keeps its stale value.
+                        assert!(
+                            frame.lenient,
+                            "phi {i} in {block} of {} lacks incoming for {prev}",
+                            func.name
+                        );
+                        continue;
+                    };
+                    let bits = self.value_bits(func, &frame, *v);
+                    let r = inst.result.expect("phi has result");
+                    obs.on_phi(fid, func, i, *v);
+                    writes.push((r.index(), bits));
+                }
+                for (slot, bits) in writes {
+                    frame.slots[slot] = Some(bits);
+                }
+            }
+
+            // Non-phi instructions.
+            let insts = &func.block(block).insts;
+            let first_non_phi = insts
+                .iter()
+                .position(|&i| !func.inst(i).op.is_phi())
+                .unwrap_or(insts.len());
+            for &i in &insts[first_non_phi..] {
+                let inst = func.inst(i);
+                debug_assert!(!inst.dead, "dead instruction linked");
+                state.maybe_inject(&mut frame, func);
+                if state.dyn_count >= self.config.max_dyn_insts {
+                    return Err(TrapKind::Watchdog);
+                }
+                state.dyn_count += 1;
+                obs.on_exec(fid, func, i);
+
+                match &inst.op {
+                    Op::Call { func: callee, args } => {
+                        let argv: Vec<u64> = args
+                            .iter()
+                            .map(|&a| self.value_bits(func, &frame, a))
+                            .collect();
+                        let ret = self.exec_function(*callee, &argv, obs, state, depth + 1)?;
+                        if let Some(r) = inst.result {
+                            let bits = ret.expect("verified call returns a value");
+                            frame.slots[r.index()] = Some(bits);
+                            obs.on_result(fid, func, i, func.value_type(r), bits);
+                        }
+                    }
+                    Op::Store { addr, value } => {
+                        let a = self.value_bits(func, &frame, *addr) as i64;
+                        let v = self.value_bits(func, &frame, *value);
+                        let ty = func.value_type(*value);
+                        self.mem.store(a, ty, v)?;
+                    }
+                    Op::Check { cond, kind } => {
+                        let c = self.value_bits(func, &frame, *cond);
+                        if c & 1 == 0 {
+                            obs.on_check_fail(fid, func, i);
+                            if self.config.checks_count_only {
+                                state.check_failures += 1;
+                            } else {
+                                return Err(TrapKind::SwDetect(*kind));
+                            }
+                        }
+                    }
+                    op => {
+                        let r = inst.result.expect("pure op has a result");
+                        let ty = func.value_type(r);
+                        let bits = self.eval_pure(func, &frame, op, ty)?;
+                        frame.slots[r.index()] = Some(bits);
+                        obs.on_result(fid, func, i, ty, bits);
+                    }
+                }
+            }
+
+            // Terminator.
+            state.maybe_inject(&mut frame, func);
+            if state.dyn_count >= self.config.max_dyn_insts {
+                return Err(TrapKind::Watchdog);
+            }
+            state.dyn_count += 1;
+            obs.on_term(fid, func, block);
+            let term = func
+                .block(block)
+                .term
+                .as_ref()
+                .expect("verified function has terminators");
+            match term {
+                Term::Br(t) => {
+                    prev_block = Some(block);
+                    block = *t;
+                }
+                Term::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = self.value_bits(func, &frame, *cond);
+                    prev_block = Some(block);
+                    block = if c & 1 == 1 { *then_bb } else { *else_bb };
+                }
+                Term::Ret(v) => {
+                    let ret = v.map(|v| self.value_bits(func, &frame, v));
+                    obs.on_exit(fid);
+                    return Ok(ret);
+                }
+            }
+            // A pending branch-target fault corrupts this transfer: the
+            // branch lands on a random block of the function instead.
+            if let Some((plan, mut inj)) = state.branch_fault_armed.take() {
+                let victim = inj.choose_block(func.num_blocks());
+                let intended = block;
+                block = BlockId::new(victim);
+                frame.lenient = true;
+                state.control_corrupted = true;
+                state.injection = Some(InjectionRecord {
+                    at_dyn: plan.at_dyn,
+                    func: fid,
+                    value: ValueId::new(0),
+                    ty: Type::I64,
+                    bit: 0,
+                    old_bits: intended.index() as u64,
+                    new_bits: victim as u64,
+                });
+            }
+            continue 'blocks;
+        }
+    }
+
+    #[inline]
+    fn value_bits(&self, func: &Function, frame: &Frame, v: ValueId) -> u64 {
+        match func.value(v).kind {
+            ValueKind::Const(c) => c.bits(),
+            _ => match frame.slots[v.index()] {
+                Some(bits) => bits,
+                // Reads of never-written slots are only legal after a
+                // branch-target fault tore up SSA liveness; the register
+                // then holds unspecified (modelled as zero) garbage.
+                None => {
+                    assert!(frame.lenient, "SSA: use before def");
+                    0
+                }
+            },
+        }
+    }
+
+    fn eval_pure(
+        &self,
+        func: &Function,
+        frame: &Frame,
+        op: &Op,
+        result_ty: Type,
+    ) -> Result<u64, TrapKind> {
+        let val = |v: ValueId| self.value_bits(func, frame, v);
+        let ity = |v: ValueId| func.value_type(v);
+        Ok(match op {
+            Op::Bin { op, lhs, rhs } => {
+                let ty = ity(*lhs);
+                if op.is_float() {
+                    let a = f64::from_bits(val(*lhs));
+                    let b = f64::from_bits(val(*rhs));
+                    let r = match op {
+                        BinOp::FAdd => a + b,
+                        BinOp::FSub => a - b,
+                        BinOp::FMul => a * b,
+                        BinOp::FDiv => a / b,
+                        _ => unreachable!("float op"),
+                    };
+                    r.to_bits()
+                } else {
+                    let a = val(*lhs) as i64;
+                    let b = val(*rhs) as i64;
+                    let mask = if ty.bits() == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << ty.bits()) - 1
+                    };
+                    let ua = (a as u64) & mask;
+                    let ub = (b as u64) & mask;
+                    let r: i64 = match op {
+                        BinOp::Add => a.wrapping_add(b),
+                        BinOp::Sub => a.wrapping_sub(b),
+                        BinOp::Mul => a.wrapping_mul(b),
+                        BinOp::SDiv => {
+                            if b == 0 {
+                                return Err(TrapKind::DivByZero);
+                            }
+                            a.wrapping_div(b)
+                        }
+                        BinOp::SRem => {
+                            if b == 0 {
+                                return Err(TrapKind::DivByZero);
+                            }
+                            a.wrapping_rem(b)
+                        }
+                        BinOp::UDiv => {
+                            if ub == 0 {
+                                return Err(TrapKind::DivByZero);
+                            }
+                            (ua / ub) as i64
+                        }
+                        BinOp::URem => {
+                            if ub == 0 {
+                                return Err(TrapKind::DivByZero);
+                            }
+                            (ua % ub) as i64
+                        }
+                        BinOp::And => a & b,
+                        BinOp::Or => a | b,
+                        BinOp::Xor => a ^ b,
+                        BinOp::Shl => {
+                            let amt = (b as u64) % ty.bits() as u64;
+                            a.wrapping_shl(amt as u32)
+                        }
+                        BinOp::LShr => {
+                            let amt = (b as u64) % ty.bits() as u64;
+                            (ua >> amt) as i64
+                        }
+                        BinOp::AShr => {
+                            let amt = (b as u64) % ty.bits() as u64;
+                            a.wrapping_shr(amt as u32)
+                        }
+                        _ => unreachable!("int op"),
+                    };
+                    ty.canon(r) as u64
+                }
+            }
+            Op::Un { op, arg } => {
+                let a = f64::from_bits(val(*arg));
+                let r = match op {
+                    UnOp::FSqrt => a.sqrt(),
+                    UnOp::FAbs => a.abs(),
+                    UnOp::FFloor => a.floor(),
+                    UnOp::FNeg => -a,
+                };
+                r.to_bits()
+            }
+            Op::Icmp { pred, lhs, rhs } => {
+                let ty = ity(*lhs);
+                let a = val(*lhs) as i64;
+                let b = val(*rhs) as i64;
+                let mask = if ty.bits() == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << ty.bits()) - 1
+                };
+                let (ua, ub) = ((a as u64) & mask, (b as u64) & mask);
+                let r = match pred {
+                    IntCC::Eq => a == b,
+                    IntCC::Ne => a != b,
+                    IntCC::Slt => a < b,
+                    IntCC::Sle => a <= b,
+                    IntCC::Sgt => a > b,
+                    IntCC::Sge => a >= b,
+                    IntCC::Ult => ua < ub,
+                    IntCC::Ule => ua <= ub,
+                    IntCC::Ugt => ua > ub,
+                    IntCC::Uge => ua >= ub,
+                };
+                r as u64
+            }
+            Op::Fcmp { pred, lhs, rhs } => {
+                let a = f64::from_bits(val(*lhs));
+                let b = f64::from_bits(val(*rhs));
+                let r = match pred {
+                    FloatCC::Eq => a == b,
+                    FloatCC::Ne => a != b,
+                    FloatCC::Lt => a < b,
+                    FloatCC::Le => a <= b,
+                    FloatCC::Gt => a > b,
+                    FloatCC::Ge => a >= b,
+                };
+                r as u64
+            }
+            Op::Cast { kind, arg } => {
+                let src_ty = ity(*arg);
+                let a = val(*arg);
+                match kind {
+                    CastKind::Trunc => result_ty.sign_extend(a) as u64,
+                    CastKind::SExt => a, // canonical form is already extended
+                    CastKind::ZExt => {
+                        let mask = if src_ty.bits() == 64 {
+                            u64::MAX
+                        } else {
+                            (1u64 << src_ty.bits()) - 1
+                        };
+                        a & mask
+                    }
+                    CastKind::FpToSi => {
+                        let f = f64::from_bits(a);
+                        let v = f as i64; // saturating in Rust
+                        result_ty.canon(v) as u64
+                    }
+                    CastKind::SiToFp => ((a as i64) as f64).to_bits(),
+                }
+            }
+            Op::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                if val(*cond) & 1 == 1 {
+                    val(*on_true)
+                } else {
+                    val(*on_false)
+                }
+            }
+            Op::Load { addr } => {
+                let a = val(*addr) as i64;
+                self.mem.load(a, result_ty)?
+            }
+            Op::Store { .. } | Op::Call { .. } | Op::Phi { .. } | Op::Check { .. } => {
+                unreachable!("handled by the main loop")
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_ir::dsl::FunctionDsl;
+    use softft_ir::module::GLOBAL_BASE;
+    use softft_ir::CheckKind;
+
+    fn run_main(m: &Module) -> RunResult {
+        let main = m.function_by_name("main").expect("main exists");
+        let mut vm = Vm::new(m, VmConfig::default());
+        vm.run(main, &[], &mut NoopObserver, None)
+    }
+
+    #[test]
+    fn arithmetic_kernel_returns_sum() {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(1), d.i64c(101));
+            d.for_range(s, e, |d, i| {
+                let a = d.get(acc);
+                let a2 = d.add(a, i);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        m.add_function(f);
+        assert_eq!(run_main(&m).return_bits(), Some(5050));
+    }
+
+    #[test]
+    fn narrow_types_wrap() {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let a = d.iconst(Type::I8, 120);
+            let b = d.iconst(Type::I8, 100);
+            let s = d.add(a, b); // 220 wraps to -36 in i8
+            let w = d.sext(s, Type::I64);
+            d.ret(Some(w));
+        });
+        m.add_function(f);
+        assert_eq!(run_main(&m).return_bits().map(|b| b as i64), Some(-36));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let a = d.i64c(10);
+            let b = d.i64c(0);
+            let q = d.sdiv(a, b);
+            d.ret(Some(q));
+        });
+        m.add_function(f);
+        let r = run_main(&m);
+        assert!(matches!(r.end, RunEnd::Trap { kind: TrapKind::DivByZero, .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let mut m = Module::new("m");
+        m.add_global("buf", 16);
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let a = d.i64c(8); // below GLOBAL_BASE: guard page
+            let v = d.load(Type::I64, a);
+            d.ret(Some(v));
+        });
+        m.add_function(f);
+        let r = run_main(&m);
+        assert!(matches!(
+            r.end,
+            RunEnd::Trap { kind: TrapKind::OutOfBounds { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn watchdog_fires_on_infinite_loop() {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let one = d.iconst(Type::I1, 1);
+            d.while_(|_| one, |_| {});
+            let z = d.i64c(0);
+            d.ret(Some(z));
+        });
+        m.add_function(f);
+        let main = m.function_by_name("main").unwrap();
+        let mut vm = Vm::new(
+            &m,
+            VmConfig {
+                max_dyn_insts: 10_000,
+                ..VmConfig::default()
+            },
+        );
+        let r = vm.run(main, &[], &mut NoopObserver, None);
+        assert!(matches!(r.end, RunEnd::Trap { kind: TrapKind::Watchdog, .. }));
+    }
+
+    #[test]
+    fn check_instruction_traps_when_false() {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let a = d.i64c(5);
+            let b = d.i64c(6);
+            let eq = d.icmp(IntCC::Eq, a, b);
+            d.check(eq, CheckKind::ValueSingle);
+            d.ret(Some(a));
+        });
+        m.add_function(f);
+        let r = run_main(&m);
+        assert!(matches!(
+            r.end,
+            RunEnd::Trap { kind: TrapKind::SwDetect(CheckKind::ValueSingle), .. }
+        ));
+    }
+
+    #[test]
+    fn memory_roundtrip_through_globals() {
+        let mut m = Module::new("m");
+        let g = m.add_global("data", 64);
+        let base = m.global(g).addr as i64;
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let b = d.i64c(base);
+            let (s, e) = (d.i64c(0), d.i64c(8));
+            d.for_range(s, e, |d, i| {
+                let v = d.mul(i, i);
+                d.store_elem(b, i, v);
+            });
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            d.for_range(s, e, |d, i| {
+                let v = d.load_elem(Type::I64, b, i);
+                let a = d.get(acc);
+                let a2 = d.add(a, v);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        m.add_function(f);
+        // Σ i² for 0..8 = 140
+        assert_eq!(run_main(&m).return_bits(), Some(140));
+    }
+
+    #[test]
+    fn calls_pass_arguments_and_return() {
+        let mut m = Module::new("m");
+        let sq = FunctionDsl::build("square", &[Type::I64], Some(Type::I64), |d| {
+            let p = d.param(0);
+            let r = d.mul(p, p);
+            d.ret(Some(r));
+        });
+        let sq_id = m.add_function(sq);
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let x = d.i64c(9);
+            let r = d.call(sq_id, &[x], Some(Type::I64)).unwrap();
+            d.ret(Some(r));
+        });
+        m.add_function(f);
+        assert_eq!(run_main(&m).return_bits(), Some(81));
+    }
+
+    #[test]
+    fn recursion_depth_traps() {
+        let mut m = Module::new("m");
+        // Build a self-recursive function by pre-reserving its id (0).
+        let fid = FuncId::new(0);
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let r = d.call(fid, &[], Some(Type::I64)).unwrap();
+            d.ret(Some(r));
+        });
+        m.add_function(f);
+        let r = run_main(&m);
+        assert!(matches!(r.end, RunEnd::Trap { kind: TrapKind::CallDepth, .. }));
+    }
+
+    #[test]
+    fn float_pipeline() {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::F64), |d| {
+            let a = d.fconst(2.0);
+            let b = d.fconst(0.25);
+            let s = d.fadd(a, b); // 2.25
+            let q = d.fsqrt(s); // 1.5
+            let n = d.fneg(q); // -1.5
+            let ab = d.fabs(n); // 1.5
+            let fl = d.ffloor(ab); // 1.0
+            d.ret(Some(fl));
+        });
+        m.add_function(f);
+        let bits = run_main(&m).return_bits().unwrap();
+        assert_eq!(f64::from_bits(bits), 1.0);
+    }
+
+    #[test]
+    fn fault_injection_flips_a_live_value() {
+        // acc accumulates 1s; a late flip of a high bit in some register
+        // usually changes the result or is masked — but it must never
+        // panic and the record must be present when triggered.
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(50));
+            d.for_range(s, e, |d, _| {
+                let a = d.get(acc);
+                let one = d.i64c(1);
+                let a2 = d.add(a, one);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        m.add_function(f);
+        let main = m.function_by_name("main").unwrap();
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let golden = vm.run(main, &[], &mut NoopObserver, None);
+        assert_eq!(golden.return_bits(), Some(50));
+
+        let mut changed = 0;
+        let mut injected = 0;
+        for seed in 0..20 {
+            let mut vm = Vm::new(&m, VmConfig::default());
+            let r = vm.run(
+                main,
+                &[],
+                &mut NoopObserver,
+                Some(FaultPlan::register(40, seed)),
+            );
+            if let Some(rec) = r.injection {
+                injected += 1;
+                assert_ne!(rec.old_bits, rec.new_bits);
+            }
+            if r.return_bits() != Some(50) {
+                changed += 1;
+            }
+        }
+        assert!(injected > 0, "no injection ever triggered");
+        assert!(changed > 0, "no injection ever altered the output");
+    }
+
+    #[test]
+    fn injection_record_reproducible() {
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let a = d.i64c(3);
+            let b = d.mul(a, a);
+            let c = d.add(b, a);
+            d.ret(Some(c));
+        });
+        m.add_function(f);
+        let main = m.function_by_name("main").unwrap();
+        let plan = FaultPlan::register(2, 7);
+        let r1 = Vm::new(&m, VmConfig::default()).run(main, &[], &mut NoopObserver, Some(plan));
+        let r2 = Vm::new(&m, VmConfig::default()).run(main, &[], &mut NoopObserver, Some(plan));
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn observer_sees_results() {
+        #[derive(Default)]
+        struct Counter {
+            execs: u64,
+            results: u64,
+            enters: u64,
+            terms: u64,
+        }
+        impl Observer for Counter {
+            fn on_enter(&mut self, _: FuncId, _: &Function) {
+                self.enters += 1;
+            }
+            fn on_exec(&mut self, _: FuncId, _: &Function, _: InstId) {
+                self.execs += 1;
+            }
+            fn on_result(&mut self, _: FuncId, _: &Function, _: InstId, _: Type, _: u64) {
+                self.results += 1;
+            }
+            fn on_term(&mut self, _: FuncId, _: &Function, _: BlockId) {
+                self.terms += 1;
+            }
+        }
+        let mut m = Module::new("m");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let a = d.i64c(1);
+            let b = d.add(a, a);
+            let c = d.add(b, b);
+            d.ret(Some(c));
+        });
+        m.add_function(f);
+        let main = m.function_by_name("main").unwrap();
+        let mut obs = Counter::default();
+        let r = Vm::new(&m, VmConfig::default()).run(main, &[], &mut obs, None);
+        assert_eq!(r.return_bits(), Some(4));
+        assert_eq!(obs.enters, 1);
+        assert_eq!(obs.execs, 2);
+        assert_eq!(obs.results, 2);
+        assert_eq!(obs.terms, 1);
+        assert_eq!(r.dyn_insts, 3); // 2 adds + ret
+    }
+
+    #[test]
+    fn guard_region_starts_at_global_base() {
+        let m = Module::new("m");
+        let vm = Vm::new(&m, VmConfig::default());
+        assert!(vm.mem.load(GLOBAL_BASE as i64 - 1, Type::I8).is_err());
+        assert!(vm.mem.load(GLOBAL_BASE as i64, Type::I8).is_ok());
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # softft-vm
+//!
+//! Execution substrate for the soft-ft IR — the role gem5 plays in the
+//! paper (*Harnessing Soft Computations for Low-budget Fault Tolerance*,
+//! MICRO 2014).
+//!
+//! Three pieces:
+//!
+//! * [`interp`] — a functional interpreter with bounds-checked linear
+//!   memory, trap symptoms (out-of-bounds, divide-by-zero, watchdog) and a
+//!   software-check trap, corresponding to the paper's *atomic* simulator
+//!   model used for fault-coverage runs;
+//! * [`fault`] — single-bit-flip injection into a live SSA value slot of
+//!   the active frame (the analogue of the paper's register-file flips);
+//! * [`timing`] — a two-issue out-of-order timing model (issue width,
+//!   ROB, per-op latencies; Table II scaled), corresponding to the paper's
+//!   *out-of-order* model used for performance-overhead runs. Independent
+//!   duplicated chains overlap in the issue slots, which is exactly why
+//!   selective duplication is cheap.
+//!
+//! ```
+//! use softft_ir::dsl::FunctionDsl;
+//! use softft_ir::{Module, Type};
+//! use softft_vm::interp::{NoopObserver, Vm, VmConfig};
+//!
+//! let mut m = Module::new("demo");
+//! let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+//!     let acc = d.declare_var(Type::I64);
+//!     let z = d.i64c(0);
+//!     d.set(acc, z);
+//!     let (s, e) = (d.i64c(0), d.i64c(10));
+//!     d.for_range(s, e, |d, i| {
+//!         let a = d.get(acc);
+//!         let a2 = d.add(a, i);
+//!         d.set(acc, a2);
+//!     });
+//!     let a = d.get(acc);
+//!     d.ret(Some(a));
+//! });
+//! let main = m.add_function(f);
+//! let mut vm = Vm::new(&m, VmConfig::default());
+//! let result = vm.run(main, &[], &mut NoopObserver, None);
+//! assert_eq!(result.return_bits(), Some(45));
+//! ```
+
+pub mod fault;
+pub mod interp;
+pub mod memory;
+pub mod outcome;
+pub mod timing;
+
+pub use fault::{FaultPlan, InjectionRecord};
+pub use interp::{NoopObserver, Observer, Vm, VmConfig};
+pub use memory::Memory;
+pub use outcome::{RunEnd, RunResult, TrapKind};
+pub use timing::{CoreConfig, TimingModel};

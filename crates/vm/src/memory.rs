@@ -1,0 +1,182 @@
+//! Linear, bounds-checked byte memory.
+
+use crate::outcome::TrapKind;
+use softft_ir::module::{Module, GLOBAL_BASE};
+use softft_ir::Type;
+
+/// Byte-addressable memory initialized from a module's global layout.
+///
+/// Addresses below [`GLOBAL_BASE`] are a guard region: accessing them traps
+/// — the analogue of a page fault on a null/corrupted base pointer, which
+/// the paper counts as a hardware-detectable symptom.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocates memory for `module` plus `slack` scratch bytes after the
+    /// last global, and copies global initializers into place.
+    pub fn for_module(module: &Module, slack: u64) -> Self {
+        let size = (module.memory_end() + slack) as usize;
+        let mut bytes = vec![0u8; size];
+        for g in module.globals() {
+            let at = g.addr as usize;
+            bytes[at..at + g.init.len()].copy_from_slice(&g.init);
+        }
+        Memory { bytes }
+    }
+
+    /// Total addressable size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the memory has zero capacity (never the case for
+    /// module-built memories).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    #[inline]
+    fn span(&self, addr: i64, size: u32) -> Result<usize, TrapKind> {
+        let a = addr as u64;
+        if addr < 0
+            || a < GLOBAL_BASE
+            || a.checked_add(size as u64).is_none_or(|end| end > self.bytes.len() as u64)
+        {
+            return Err(TrapKind::OutOfBounds { addr, size });
+        }
+        Ok(a as usize)
+    }
+
+    /// Loads a value of type `ty` from `addr` (little-endian,
+    /// sign-extended to the canonical i64 form for integers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapKind::OutOfBounds`] if the access leaves the valid
+    /// region.
+    pub fn load(&self, addr: i64, ty: Type) -> Result<u64, TrapKind> {
+        let at = self.span(addr, ty.bytes())?;
+        let raw = match ty.bytes() {
+            1 => self.bytes[at] as u64,
+            2 => u16::from_le_bytes(self.bytes[at..at + 2].try_into().expect("span checked")) as u64,
+            4 => u32::from_le_bytes(self.bytes[at..at + 4].try_into().expect("span checked")) as u64,
+            8 => u64::from_le_bytes(self.bytes[at..at + 8].try_into().expect("span checked")),
+            _ => unreachable!("no other widths"),
+        };
+        Ok(if ty.is_float() {
+            raw
+        } else {
+            ty.sign_extend(raw) as u64
+        })
+    }
+
+    /// Stores the low `ty.bytes()` bytes of `bits` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapKind::OutOfBounds`] if the access leaves the valid
+    /// region.
+    pub fn store(&mut self, addr: i64, ty: Type, bits: u64) -> Result<(), TrapKind> {
+        let at = self.span(addr, ty.bytes())?;
+        match ty.bytes() {
+            1 => self.bytes[at] = bits as u8,
+            2 => self.bytes[at..at + 2].copy_from_slice(&(bits as u16).to_le_bytes()),
+            4 => self.bytes[at..at + 4].copy_from_slice(&(bits as u32).to_le_bytes()),
+            8 => self.bytes[at..at + 8].copy_from_slice(&bits.to_le_bytes()),
+            _ => unreachable!("no other widths"),
+        }
+        Ok(())
+    }
+
+    /// Reads `len` raw bytes starting at `addr` (host-side, for harnesses;
+    /// panics rather than traps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> &[u8] {
+        &self.bytes[addr as usize..addr as usize + len]
+    }
+
+    /// Writes raw bytes starting at `addr` (host-side, for loading
+    /// workload inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_ir::Module;
+
+    fn mem() -> Memory {
+        let mut m = Module::new("m");
+        m.add_global_init("g", 64, vec![0xAA, 0xBB]);
+        Memory::for_module(&m, 128)
+    }
+
+    #[test]
+    fn initializers_are_copied() {
+        let m = mem();
+        assert_eq!(m.load(GLOBAL_BASE as i64, Type::I8).unwrap() as i8 as i64, -86); // 0xAA sign-extended
+        assert_eq!(m.read_bytes(GLOBAL_BASE, 2), &[0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut m = mem();
+        let a = GLOBAL_BASE as i64 + 8;
+        for (ty, v) in [
+            (Type::I8, -5i64),
+            (Type::I16, -300),
+            (Type::I32, 1 << 20),
+            (Type::I64, -(1 << 40)),
+        ] {
+            m.store(a, ty, v as u64).unwrap();
+            assert_eq!(m.load(a, ty).unwrap() as i64, v, "{ty}");
+        }
+        m.store(a, Type::F64, 2.5f64.to_bits()).unwrap();
+        assert_eq!(f64::from_bits(m.load(a, Type::F64).unwrap()), 2.5);
+    }
+
+    #[test]
+    fn null_guard_traps() {
+        let m = mem();
+        assert!(matches!(
+            m.load(0, Type::I32),
+            Err(TrapKind::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.load(16, Type::I8),
+            Err(TrapKind::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_and_past_end_trap() {
+        let mut m = mem();
+        assert!(m.load(-8, Type::I64).is_err());
+        let end = m.len() as i64;
+        assert!(m.load(end - 4, Type::I64).is_err()); // straddles the end
+        assert!(m.store(end, Type::I8, 0).is_err());
+        assert!(m.load(i64::MAX - 2, Type::I32).is_err()); // overflow-safe
+    }
+
+    #[test]
+    fn partial_width_store_preserves_neighbors() {
+        let mut m = mem();
+        let a = GLOBAL_BASE as i64 + 16;
+        m.store(a, Type::I64, 0xFFFF_FFFF_FFFF_FFFF).unwrap();
+        m.store(a + 2, Type::I16, 0).unwrap();
+        let got = m.load(a, Type::I64).unwrap();
+        assert_eq!(got, 0xFFFF_FFFF_0000_FFFF);
+    }
+}

@@ -1,0 +1,158 @@
+//! Run outcomes and traps.
+
+use crate::fault::InjectionRecord;
+use serde::{Deserialize, Serialize};
+use softft_ir::CheckKind;
+use std::fmt;
+
+/// Why execution stopped abnormally.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrapKind {
+    /// A memory access left the valid region (includes the sub-
+    /// [`GLOBAL_BASE`](softft_ir::module::GLOBAL_BASE) guard page). The
+    /// paper's analogue is a page fault / out-of-bounds symptom.
+    OutOfBounds {
+        /// Faulting byte address.
+        addr: i64,
+        /// Access width in bytes.
+        size: u32,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// The dynamic-instruction watchdog expired (models a hang /
+    /// infinite loop, classified as `Failure` by campaigns).
+    Watchdog,
+    /// A software detection check fired (duplication mismatch or
+    /// expected-value check).
+    SwDetect(CheckKind),
+    /// Call stack exceeded the configured depth.
+    CallDepth,
+}
+
+impl TrapKind {
+    /// True for symptoms the hardware would report (used for the paper's
+    /// `HWDetect` vs `Failure` split, which additionally depends on the
+    /// detection latency).
+    pub fn is_hw_symptom(self) -> bool {
+        matches!(
+            self,
+            TrapKind::OutOfBounds { .. } | TrapKind::DivByZero | TrapKind::CallDepth
+        )
+    }
+}
+
+impl fmt::Display for TrapKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrapKind::OutOfBounds { addr, size } => {
+                write!(f, "out-of-bounds access of {size} bytes at {addr:#x}")
+            }
+            TrapKind::DivByZero => write!(f, "integer division by zero"),
+            TrapKind::Watchdog => write!(f, "watchdog expired (possible infinite loop)"),
+            TrapKind::SwDetect(k) => write!(f, "software check fired ({k:?})"),
+            TrapKind::CallDepth => write!(f, "call depth exceeded"),
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RunEnd {
+    /// The entry function returned normally.
+    Completed {
+        /// Raw bits of the return value, if the function returns one.
+        ret: Option<u64>,
+    },
+    /// Execution trapped.
+    Trap {
+        /// The trap.
+        kind: TrapKind,
+        /// Dynamic instruction index at which the trap occurred.
+        at_dyn: u64,
+    },
+}
+
+/// Result of one VM run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// How the run ended.
+    pub end: RunEnd,
+    /// Total dynamic instructions executed (non-phi instructions plus
+    /// terminators).
+    pub dyn_insts: u64,
+    /// The injection actually performed, if a fault plan was supplied and
+    /// its trigger point was reached.
+    pub injection: Option<InjectionRecord>,
+    /// Number of failing checks observed when
+    /// [`crate::VmConfig::checks_count_only`] is set (always 0 otherwise —
+    /// the first failing check traps).
+    pub check_failures: u64,
+}
+
+impl RunResult {
+    /// Return-value bits if the run completed with a value.
+    pub fn return_bits(&self) -> Option<u64> {
+        match self.end {
+            RunEnd::Completed { ret } => ret,
+            RunEnd::Trap { .. } => None,
+        }
+    }
+
+    /// True if the run completed normally.
+    pub fn completed(&self) -> bool {
+        matches!(self.end, RunEnd::Completed { .. })
+    }
+
+    /// The trap, if the run trapped.
+    pub fn trap(&self) -> Option<(TrapKind, u64)> {
+        match self.end {
+            RunEnd::Trap { kind, at_dyn } => Some((kind, at_dyn)),
+            RunEnd::Completed { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symptom_classification() {
+        assert!(TrapKind::OutOfBounds { addr: 0, size: 4 }.is_hw_symptom());
+        assert!(TrapKind::DivByZero.is_hw_symptom());
+        assert!(!TrapKind::Watchdog.is_hw_symptom());
+        assert!(!TrapKind::SwDetect(CheckKind::ValueRange).is_hw_symptom());
+    }
+
+    #[test]
+    fn result_accessors() {
+        let r = RunResult {
+            end: RunEnd::Completed { ret: Some(7) },
+            dyn_insts: 10,
+            injection: None,
+            check_failures: 0,
+        };
+        assert_eq!(r.return_bits(), Some(7));
+        assert!(r.completed());
+        assert!(r.trap().is_none());
+
+        let t = RunResult {
+            end: RunEnd::Trap {
+                kind: TrapKind::DivByZero,
+                at_dyn: 5,
+            },
+            dyn_insts: 5,
+            injection: None,
+            check_failures: 0,
+        };
+        assert_eq!(t.trap(), Some((TrapKind::DivByZero, 5)));
+        assert!(t.return_bits().is_none());
+    }
+
+    #[test]
+    fn traps_display() {
+        let s = format!("{}", TrapKind::OutOfBounds { addr: 0x10, size: 4 });
+        assert!(s.contains("out-of-bounds"));
+        assert!(format!("{}", TrapKind::Watchdog).contains("watchdog"));
+    }
+}

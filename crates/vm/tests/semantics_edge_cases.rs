@@ -1,0 +1,215 @@
+//! Edge-case semantics tests for the interpreter: unsigned arithmetic,
+//! shift masking, narrow-type wrapping, float conversions, and the
+//! canonical sign-extended representation.
+
+use softft_ir::dsl::FunctionDsl;
+use softft_ir::inst::IntCC;
+use softft_ir::{Module, Type};
+use softft_vm::interp::{NoopObserver, Vm, VmConfig};
+use softft_vm::{RunEnd, TrapKind};
+
+fn run1(build: impl FnOnce(&mut FunctionDsl)) -> Result<i64, TrapKind> {
+    let mut m = Module::new("t");
+    let f = FunctionDsl::build("main", &[], Some(Type::I64), build);
+    m.add_function(f);
+    let main = m.function_by_name("main").unwrap();
+    let r = Vm::new(&m, VmConfig::default()).run(main, &[], &mut NoopObserver, None);
+    match r.end {
+        RunEnd::Completed { ret } => Ok(ret.unwrap() as i64),
+        RunEnd::Trap { kind, .. } => Err(kind),
+    }
+}
+
+#[test]
+fn unsigned_division_uses_bit_pattern() {
+    // -1 as u64 is huge; udiv by 2 gives 2^63 - 1.
+    let got = run1(|d| {
+        let a = d.i64c(-1);
+        let b = d.i64c(2);
+        let q = d.udiv(a, b);
+        d.ret(Some(q));
+    })
+    .unwrap();
+    assert_eq!(got, i64::MAX);
+}
+
+#[test]
+fn unsigned_remainder_of_narrow_types() {
+    // 0xFF as unsigned i8 is 255; urem 16 = 15.
+    let got = run1(|d| {
+        let a = d.iconst(Type::I8, -1);
+        let b = d.iconst(Type::I8, 16);
+        let r = d.urem(a, b);
+        let w = d.sext(r, Type::I64);
+        d.ret(Some(w));
+    })
+    .unwrap();
+    assert_eq!(got, 15);
+}
+
+#[test]
+fn udiv_by_zero_traps() {
+    let err = run1(|d| {
+        let a = d.i64c(5);
+        let b = d.i64c(0);
+        let q = d.udiv(a, b);
+        d.ret(Some(q));
+    })
+    .unwrap_err();
+    assert_eq!(err, TrapKind::DivByZero);
+}
+
+#[test]
+fn sdiv_min_by_minus_one_wraps_not_panics() {
+    let got = run1(|d| {
+        let a = d.i64c(i64::MIN);
+        let b = d.i64c(-1);
+        let q = d.sdiv(a, b);
+        d.ret(Some(q));
+    })
+    .unwrap();
+    assert_eq!(got, i64::MIN); // wrapping division semantics
+}
+
+#[test]
+fn shift_amounts_wrap_to_type_width() {
+    // Shift by 68 on i64 behaves as shift by 4.
+    let got = run1(|d| {
+        let a = d.i64c(1);
+        let s = d.i64c(68);
+        let v = d.shl(a, s);
+        d.ret(Some(v));
+    })
+    .unwrap();
+    assert_eq!(got, 16);
+    // Shift by 9 on i8 behaves as shift by 1.
+    let got = run1(|d| {
+        let a = d.iconst(Type::I8, 3);
+        let s = d.iconst(Type::I8, 9);
+        let v = d.shl(a, s);
+        let w = d.sext(v, Type::I64);
+        d.ret(Some(w));
+    })
+    .unwrap();
+    assert_eq!(got, 6);
+}
+
+#[test]
+fn lshr_on_negative_narrow_value_zero_fills_at_width() {
+    // i16 -1 (0xFFFF) lshr 4 = 0x0FFF, not sign-filled.
+    let got = run1(|d| {
+        let a = d.iconst(Type::I16, -1);
+        let s = d.iconst(Type::I16, 4);
+        let v = d.lshr(a, s);
+        let w = d.sext(v, Type::I64);
+        d.ret(Some(w));
+    })
+    .unwrap();
+    assert_eq!(got, 0x0FFF);
+}
+
+#[test]
+fn unsigned_compares_respect_width() {
+    // As unsigned i8: 0x80 (=-128 signed) > 0x7F.
+    let got = run1(|d| {
+        let a = d.iconst(Type::I8, -128);
+        let b = d.iconst(Type::I8, 127);
+        let c = d.icmp(IntCC::Ugt, a, b);
+        let one = d.i64c(1);
+        let zero = d.i64c(0);
+        let v = d.select(c, one, zero);
+        d.ret(Some(v));
+    })
+    .unwrap();
+    assert_eq!(got, 1);
+}
+
+#[test]
+fn fptosi_saturates_at_extremes() {
+    let got = run1(|d| {
+        let big = d.fconst(1e300);
+        let v = d.fptosi(big, Type::I64);
+        d.ret(Some(v));
+    })
+    .unwrap();
+    assert_eq!(got, i64::MAX);
+    let got = run1(|d| {
+        let nan = d.fconst(f64::NAN);
+        let v = d.fptosi(nan, Type::I64);
+        d.ret(Some(v));
+    })
+    .unwrap();
+    assert_eq!(got, 0); // Rust `as` semantics: NaN -> 0
+}
+
+#[test]
+fn fptosi_to_narrow_type_canonicalizes() {
+    let got = run1(|d| {
+        let v = d.fconst(1000.0);
+        let n = d.fptosi(v, Type::I8); // 1000 truncated into i8
+        let w = d.sext(n, Type::I64);
+        d.ret(Some(w));
+    })
+    .unwrap();
+    // Canonical i8 of the low bits of 1000 (0x3E8 -> 0xE8 -> -24).
+    assert_eq!(got, (1000i64 << 56 >> 56));
+}
+
+#[test]
+fn zext_uses_unsigned_bits() {
+    let got = run1(|d| {
+        let a = d.iconst(Type::I8, -1); // 0xFF
+        let w = d.zext(a, Type::I64);
+        d.ret(Some(w));
+    })
+    .unwrap();
+    assert_eq!(got, 255);
+}
+
+#[test]
+fn trunc_then_sext_roundtrips_low_bits() {
+    let got = run1(|d| {
+        let a = d.i64c(0x1234_5678_9ABC_DEF0u64 as i64);
+        let t = d.trunc(a, Type::I16);
+        let w = d.sext(t, Type::I64);
+        d.ret(Some(w));
+    })
+    .unwrap();
+    assert_eq!(got, 0xDEF0u16 as i16 as i64);
+}
+
+#[test]
+fn float_compares_are_ordered() {
+    // NaN compares false under every ordered predicate, including Ne.
+    use softft_ir::inst::FloatCC;
+    for (pred, expect) in [
+        (FloatCC::Eq, 0),
+        (FloatCC::Ne, 1), // Rust `!=` on NaN is true; we mirror host semantics
+        (FloatCC::Lt, 0),
+        (FloatCC::Ge, 0),
+    ] {
+        let got = run1(move |d| {
+            let nan = d.fconst(f64::NAN);
+            let one = d.fconst(1.0);
+            let c = d.fcmp(pred, nan, one);
+            let t = d.i64c(1);
+            let z = d.i64c(0);
+            let v = d.select(c, t, z);
+            d.ret(Some(v));
+        })
+        .unwrap();
+        assert_eq!(got, expect, "{pred:?}");
+    }
+}
+
+#[test]
+fn srem_sign_follows_dividend() {
+    let got = run1(|d| {
+        let a = d.i64c(-7);
+        let b = d.i64c(3);
+        let r = d.srem(a, b);
+        d.ret(Some(r));
+    })
+    .unwrap();
+    assert_eq!(got, -1);
+}

@@ -1,0 +1,271 @@
+//! Shared DSL helpers and the kernel module convention.
+
+use softft_ir::dsl::FunctionDsl;
+use softft_ir::inst::IntCC;
+use softft_ir::{Module, Type, ValueId};
+
+/// Addresses of the conventional globals of a kernel module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelIo {
+    /// Base of the `params` global (sixteen `i64` words).
+    pub params: u64,
+    /// Base of the `input` global.
+    pub input: u64,
+    /// Base of the `output` global (a `u64` length word, then data).
+    pub output: u64,
+    /// Base of the zero-initialized `scratch` global (0 when absent).
+    pub scratch: u64,
+}
+
+/// Number of `i64` parameter words every kernel module reserves.
+pub const PARAM_WORDS: u64 = 16;
+
+/// Builds a kernel module with the conventional `params`/`input`/`output`
+/// globals plus any extra named data tables, then constructs `main` with
+/// the DSL.
+pub fn build_kernel(
+    name: &str,
+    input_size: u64,
+    output_size: u64,
+    tables: &[(&str, Vec<u8>)],
+    body: impl FnOnce(&mut FunctionDsl, KernelIo, &[u64]),
+) -> Module {
+    build_kernel_scratch(name, input_size, output_size, 0, tables, body)
+}
+
+/// [`build_kernel`] with an additional zero-initialized scratch region
+/// (working buffers: reconstructed frames, centroid accumulators, …).
+pub fn build_kernel_scratch(
+    name: &str,
+    input_size: u64,
+    output_size: u64,
+    scratch_size: u64,
+    tables: &[(&str, Vec<u8>)],
+    body: impl FnOnce(&mut FunctionDsl, KernelIo, &[u64]),
+) -> Module {
+    let mut m = Module::new(name);
+    let params = m.add_global("params", PARAM_WORDS * 8);
+    let input = m.add_global("input", input_size);
+    let output = m.add_global("output", output_size + 8);
+    let scratch = if scratch_size > 0 {
+        let g = m.add_global("scratch", scratch_size);
+        m.global(g).addr
+    } else {
+        0
+    };
+    let io = KernelIo {
+        params: m.global(params).addr,
+        input: m.global(input).addr,
+        output: m.global(output).addr,
+        scratch,
+    };
+    let mut table_addrs = Vec::new();
+    for (tname, data) in tables {
+        let g = m.add_global_init(*tname, data.len() as u64, data.clone());
+        table_addrs.push(m.global(g).addr);
+    }
+    let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+        body(d, io, &table_addrs);
+    });
+    m.add_function(f);
+    m
+}
+
+/// Loads the `n`-th `i64` parameter word.
+pub fn param(d: &mut FunctionDsl, io: KernelIo, n: u64) -> ValueId {
+    let addr = d.i64c((io.params + n * 8) as i64);
+    d.load(Type::I64, addr)
+}
+
+/// Loads an unsigned byte (0..=255) as an `I64`.
+pub fn load_u8(d: &mut FunctionDsl, base: ValueId, idx: ValueId) -> ValueId {
+    let v = d.load_elem(Type::I8, base, idx);
+    let w = d.sext(v, Type::I64);
+    let mask = d.i64c(0xFF);
+    d.and_(w, mask)
+}
+
+/// Stores the low byte of an `I64`.
+pub fn store_u8(d: &mut FunctionDsl, base: ValueId, idx: ValueId, v: ValueId) {
+    let b = d.trunc(v, Type::I8);
+    d.store_elem(base, idx, b);
+}
+
+/// Loads a signed 16-bit sample as an `I64`.
+pub fn load_i16(d: &mut FunctionDsl, base: ValueId, idx: ValueId) -> ValueId {
+    let v = d.load_elem(Type::I16, base, idx);
+    d.sext(v, Type::I64)
+}
+
+/// Stores the low 16 bits of an `I64`.
+pub fn store_i16(d: &mut FunctionDsl, base: ValueId, idx: ValueId, v: ValueId) {
+    let b = d.trunc(v, Type::I16);
+    d.store_elem(base, idx, b);
+}
+
+/// Loads a signed 32-bit word as an `I64`.
+pub fn load_i32(d: &mut FunctionDsl, base: ValueId, idx: ValueId) -> ValueId {
+    let v = d.load_elem(Type::I32, base, idx);
+    d.sext(v, Type::I64)
+}
+
+/// Stores the low 32 bits of an `I64`.
+pub fn store_i32(d: &mut FunctionDsl, base: ValueId, idx: ValueId, v: ValueId) {
+    let b = d.trunc(v, Type::I32);
+    d.store_elem(base, idx, b);
+}
+
+/// `max(a, b)` on `I64`.
+pub fn imax(d: &mut FunctionDsl, a: ValueId, b: ValueId) -> ValueId {
+    let c = d.icmp(IntCC::Sgt, a, b);
+    d.select(c, a, b)
+}
+
+/// `min(a, b)` on `I64`.
+pub fn imin(d: &mut FunctionDsl, a: ValueId, b: ValueId) -> ValueId {
+    let c = d.icmp(IntCC::Slt, a, b);
+    d.select(c, a, b)
+}
+
+/// `|a|` on `I64`.
+pub fn iabs(d: &mut FunctionDsl, a: ValueId) -> ValueId {
+    let z = d.i64c(0);
+    let neg = d.sub(z, a);
+    let c = d.icmp(IntCC::Slt, a, z);
+    d.select(c, neg, a)
+}
+
+/// Clamps `v` into `[lo, hi]` (constants).
+pub fn clamp(d: &mut FunctionDsl, v: ValueId, lo: i64, hi: i64) -> ValueId {
+    let l = d.i64c(lo);
+    let h = d.i64c(hi);
+    let v = imax(d, v, l);
+    imin(d, v, h)
+}
+
+/// Writes the output length word (bytes of payload after the length
+/// word).
+pub fn set_output_len(d: &mut FunctionDsl, io: KernelIo, len: ValueId) {
+    let addr = d.i64c(io.output as i64);
+    d.store(addr, len);
+}
+
+/// The address of output payload byte `idx` (skipping the length word).
+pub fn output_data_base(d: &mut FunctionDsl, io: KernelIo) -> ValueId {
+    d.i64c((io.output + 8) as i64)
+}
+
+/// The address of input byte 0.
+pub fn input_base(d: &mut FunctionDsl, io: KernelIo) -> ValueId {
+    d.i64c(io.input as i64)
+}
+
+/// Converts a slice of `i16` into little-endian bytes.
+pub fn i16s_to_bytes(v: &[i16]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Converts a slice of `i32` into little-endian bytes.
+pub fn i32s_to_bytes(v: &[i32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Converts little-endian bytes into `i16`s.
+pub fn bytes_to_i16s(b: &[u8]) -> Vec<i16> {
+    b.chunks_exact(2)
+        .map(|c| i16::from_le_bytes([c[0], c[1]]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_vm::interp::{NoopObserver, Vm, VmConfig};
+
+    #[test]
+    fn kernel_scaffold_runs() {
+        let m = build_kernel("t", 64, 64, &[], |d, io, _| {
+            // out[0..8] = len 8; payload = first input byte + param0.
+            let p0 = param(d, io, 0);
+            let inp = input_base(d, io);
+            let z = d.i64c(0);
+            let b = load_u8(d, inp, z);
+            let sum = d.add(b, p0);
+            let out = output_data_base(d, io);
+            store_u8(d, out, z, sum);
+            let eight = d.i64c(1);
+            set_output_len(d, io, eight);
+            let r = d.i64c(0);
+            d.ret(Some(r));
+        });
+        softft_ir::verify::verify_module(&m).unwrap();
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let params_addr = m.global_by_name("params").unwrap().addr;
+        let input_addr = m.global_by_name("input").unwrap().addr;
+        vm.mem.write_bytes(params_addr, &5i64.to_le_bytes());
+        vm.mem.write_bytes(input_addr, &[10]);
+        let main = m.function_by_name("main").unwrap();
+        let r = vm.run(main, &[], &mut NoopObserver, None);
+        assert!(r.completed());
+        let out_addr = m.global_by_name("output").unwrap().addr;
+        assert_eq!(vm.mem.read_bytes(out_addr + 8, 1), &[15]);
+    }
+
+    #[test]
+    fn minmax_abs_clamp_semantics() {
+        let m = build_kernel("t", 8, 64, &[], |d, io, _| {
+            let a = d.i64c(-9);
+            let b = d.i64c(4);
+            let mx = imax(d, a, b); // 4
+            let mn = imin(d, a, b); // -9
+            let ab = iabs(d, mn); // 9
+            let cl = clamp(d, ab, 0, 5); // 5
+            let out = output_data_base(d, io);
+            let i0 = d.i64c(0);
+            let i1 = d.i64c(1);
+            let i2 = d.i64c(2);
+            store_u8(d, out, i0, mx);
+            store_u8(d, out, i1, ab);
+            store_u8(d, out, i2, cl);
+            let r = d.i64c(0);
+            d.ret(Some(r));
+        });
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let main = m.function_by_name("main").unwrap();
+        vm.run(main, &[], &mut NoopObserver, None);
+        let out = m.global_by_name("output").unwrap().addr;
+        assert_eq!(vm.mem.read_bytes(out + 8, 3), &[4, 9, 5]);
+    }
+
+    #[test]
+    fn byte_conversions_roundtrip() {
+        let v = vec![-5i16, 100, i16::MIN];
+        assert_eq!(bytes_to_i16s(&i16s_to_bytes(&v)), v);
+        assert_eq!(i32s_to_bytes(&[1, -1]).len(), 8);
+    }
+
+    #[test]
+    fn u8_load_is_unsigned() {
+        let m = build_kernel("t", 8, 64, &[], |d, io, _| {
+            let inp = input_base(d, io);
+            let z = d.i64c(0);
+            let v = load_u8(d, inp, z); // 0xFF must read as 255
+            let out = output_data_base(d, io);
+            let two55 = d.i64c(255);
+            let eq = d.icmp(IntCC::Eq, v, two55);
+            let one = d.i64c(1);
+            let zero = d.i64c(0);
+            let flag = d.select(eq, one, zero);
+            store_u8(d, out, z, flag);
+            let r = d.i64c(0);
+            d.ret(Some(r));
+        });
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let inp = m.global_by_name("input").unwrap().addr;
+        vm.mem.write_bytes(inp, &[0xFF]);
+        let main = m.function_by_name("main").unwrap();
+        vm.run(main, &[], &mut NoopObserver, None);
+        let out = m.global_by_name("output").unwrap().addr;
+        assert_eq!(vm.mem.read_bytes(out + 8, 1), &[1]);
+    }
+}

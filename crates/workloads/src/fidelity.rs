@@ -1,0 +1,193 @@
+//! Fidelity metrics (Table I, column 4).
+
+/// PSNR in dB between two equal-length byte images (8-bit samples).
+///
+/// Returns positive infinity for identical inputs. Length mismatches —
+/// which can happen when a fault corrupts an encoder's emitted length —
+/// are scored over the shorter prefix with the missing tail counted as
+/// maximal error, so truncated outputs rate poorly instead of panicking.
+pub fn psnr_u8(a: &[u8], b: &[u8]) -> f64 {
+    let n = a.len().max(b.len());
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    let mut se = 0.0f64;
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0) as f64;
+        let y = b.get(i).copied().unwrap_or(255) as f64;
+        // Missing samples are counted as maximal error (|0-255|) by the
+        // asymmetric defaults above.
+        let d = x - y;
+        se += d * d;
+    }
+    let mse = se / n as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+fn as_i16s(bytes: &[u8]) -> Vec<i16> {
+    bytes
+        .chunks_exact(2)
+        .map(|c| i16::from_le_bytes([c[0], c[1]]))
+        .collect()
+}
+
+/// PSNR in dB between two 16-bit little-endian waveforms (the paper
+/// scores mp3 with PSNR).
+pub fn psnr_i16(a: &[u8], b: &[u8]) -> f64 {
+    let xa = as_i16s(a);
+    let xb = as_i16s(b);
+    let n = xa.len().max(xb.len());
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    let mut se = 0.0f64;
+    for i in 0..n {
+        let x = xa.get(i).copied().unwrap_or(0) as f64;
+        let y = xb.get(i).copied().unwrap_or(i16::MAX) as f64;
+        let d = x - y;
+        se += d * d;
+    }
+    let mse = se / n as f64;
+    let peak = 65535.0f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (peak * peak / mse).log10()
+    }
+}
+
+/// Segmental SNR in dB over 16-bit little-endian waveforms: the mean of
+/// per-frame SNRs (frame = 256 samples), each clamped to `[0, 100]` dB
+/// (identical frames contribute the 100 dB cap, so the paper's 80 dB
+/// acceptability threshold demands near-identity).
+pub fn segmental_snr_i16(a: &[u8], b: &[u8]) -> f64 {
+    const FRAME: usize = 256;
+    const CAP: f64 = 100.0;
+    let xa = as_i16s(a);
+    let xb = as_i16s(b);
+    let n = xa.len().max(xb.len());
+    if n == 0 {
+        return CAP;
+    }
+    let mut total = 0.0f64;
+    let mut frames = 0usize;
+    let mut i = 0;
+    while i < n {
+        let end = (i + FRAME).min(n);
+        let mut sig = 0.0f64;
+        let mut noise = 0.0f64;
+        for k in i..end {
+            let x = xa.get(k).copied().unwrap_or(0) as f64;
+            let y = xb.get(k).copied().unwrap_or(i16::MAX) as f64;
+            sig += x * x;
+            noise += (x - y) * (x - y);
+        }
+        let snr = if noise == 0.0 {
+            CAP
+        } else if sig == 0.0 {
+            0.0
+        } else {
+            (10.0 * (sig / noise).log10()).clamp(0.0, CAP)
+        };
+        total += snr;
+        frames += 1;
+        i = end;
+    }
+    total / frames as f64
+}
+
+/// Fraction of mismatching bytes between two outputs (segment matrices,
+/// labels, synthesized textures). Length differences count as mismatches.
+pub fn mismatch_frac(a: &[u8], b: &[u8]) -> f64 {
+    let n = a.len().max(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let mut bad = 0usize;
+    for i in 0..n {
+        if a.get(i) != b.get(i) {
+            bad += 1;
+        }
+    }
+    bad as f64 / n as f64
+}
+
+/// Classification-error deviation: the fraction of examples whose
+/// predicted label differs from the fault-free prediction.
+pub fn class_error(a: &[u8], b: &[u8]) -> f64 {
+    mismatch_frac(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let img = vec![7u8; 64];
+        assert_eq!(psnr_u8(&img, &img), f64::INFINITY);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let a = vec![128u8; 1024];
+        let mut small = a.clone();
+        small[0] = 129; // one LSB
+        let mut big = a.clone();
+        for p in big.iter_mut().step_by(2) {
+            *p = 255;
+        }
+        let p_small = psnr_u8(&a, &small);
+        let p_big = psnr_u8(&a, &big);
+        assert!(p_small > 60.0, "{p_small}");
+        assert!(p_big < 20.0, "{p_big}");
+        assert!(p_small > p_big);
+    }
+
+    #[test]
+    fn truncated_output_scores_poorly() {
+        let a = vec![100u8; 256];
+        let b = vec![100u8; 64]; // truncated
+        assert!(psnr_u8(&a, &b) < 15.0);
+    }
+
+    #[test]
+    fn psnr_i16_identity_and_noise() {
+        let a: Vec<u8> = (0..512i16).flat_map(|v| (v * 50).to_le_bytes()).collect();
+        assert_eq!(psnr_i16(&a, &a), f64::INFINITY);
+        let mut b = a.clone();
+        b[1] ^= 0x40; // corrupt a high byte
+        assert!(psnr_i16(&a, &b) < 80.0);
+    }
+
+    #[test]
+    fn segsnr_caps_and_orders() {
+        let a: Vec<u8> = (0..2048i16)
+            .flat_map(|v| ((v % 100) * 300).to_le_bytes())
+            .collect();
+        assert_eq!(segmental_snr_i16(&a, &a), 100.0);
+        let mut b = a.clone();
+        for i in (0..b.len()).step_by(128) {
+            b[i] ^= 0xFF;
+        }
+        let s = segmental_snr_i16(&a, &b);
+        assert!(s < 80.0, "{s}");
+        assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn mismatch_and_class_error() {
+        let a = vec![1u8, 2, 3, 4];
+        let b = vec![1u8, 9, 3, 4];
+        assert_eq!(mismatch_frac(&a, &b), 0.25);
+        assert_eq!(class_error(&a, &a), 0.0);
+        // Length mismatch counts the tail as wrong.
+        let c = vec![1u8, 2];
+        assert_eq!(mismatch_frac(&a, &c), 0.5);
+        assert_eq!(mismatch_frac(&[], &[]), 0.0);
+    }
+}

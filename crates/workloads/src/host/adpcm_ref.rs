@@ -1,0 +1,176 @@
+//! IMA-style ADPCM codec (the mediabench `g721` stand-in).
+//!
+//! Structurally the same predictor/step-adaptation loop as CCITT G.721:
+//! the encoder and decoder each carry two loop-state variables — the
+//! predicted value and the step-size index — across every sample, which
+//! is precisely the "state variable" shape the paper protects.
+//!
+//! Format: raw 4-bit codes, two per byte (low nibble first). The decoder
+//! needs the sample count from context (our kernels pass it via params).
+
+/// Step-size table (89 entries, standard IMA progression).
+pub const STEP_TABLE: [i32; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// Index adjustment per 4-bit code.
+pub const INDEX_TABLE: [i32; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+
+/// Encoder/decoder state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdpcmState {
+    /// Predicted sample value.
+    pub valpred: i32,
+    /// Index into [`STEP_TABLE`].
+    pub index: i32,
+}
+
+fn encode_sample(state: &mut AdpcmState, sample: i16) -> u8 {
+    let step = STEP_TABLE[state.index as usize];
+    let mut diff = sample as i32 - state.valpred;
+    let sign = if diff < 0 { 8u8 } else { 0 };
+    if diff < 0 {
+        diff = -diff;
+    }
+    let mut code = 0u8;
+    let mut tempstep = step;
+    if diff >= tempstep {
+        code |= 4;
+        diff -= tempstep;
+    }
+    tempstep >>= 1;
+    if diff >= tempstep {
+        code |= 2;
+        diff -= tempstep;
+    }
+    tempstep >>= 1;
+    if diff >= tempstep {
+        code |= 1;
+    }
+    let code = code | sign;
+    decode_step(state, code); // encoder mirrors the decoder's reconstruction
+    code
+}
+
+fn decode_step(state: &mut AdpcmState, code: u8) -> i16 {
+    let step = STEP_TABLE[state.index as usize];
+    let mut diffq = step >> 3;
+    if code & 4 != 0 {
+        diffq += step;
+    }
+    if code & 2 != 0 {
+        diffq += step >> 1;
+    }
+    if code & 1 != 0 {
+        diffq += step >> 2;
+    }
+    if code & 8 != 0 {
+        state.valpred -= diffq;
+    } else {
+        state.valpred += diffq;
+    }
+    state.valpred = state.valpred.clamp(i16::MIN as i32, i16::MAX as i32);
+    state.index = (state.index + INDEX_TABLE[code as usize]).clamp(0, 88);
+    state.valpred as i16
+}
+
+/// Encodes 16-bit samples into packed 4-bit codes (two per byte, low
+/// nibble first).
+pub fn encode(samples: &[i16]) -> Vec<u8> {
+    let mut state = AdpcmState::default();
+    let mut out = Vec::with_capacity(samples.len().div_ceil(2));
+    let mut pending: Option<u8> = None;
+    for &s in samples {
+        let code = encode_sample(&mut state, s);
+        match pending.take() {
+            None => pending = Some(code),
+            Some(lo) => out.push(lo | (code << 4)),
+        }
+    }
+    if let Some(lo) = pending {
+        out.push(lo);
+    }
+    out
+}
+
+/// Decodes `n` samples from packed codes (robust to short input: missing
+/// codes decode as zeros).
+pub fn decode(codes: &[u8], n: usize) -> Vec<i16> {
+    let mut state = AdpcmState::default();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let byte = codes.get(i / 2).copied().unwrap_or(0);
+        let code = if i % 2 == 0 { byte & 0xF } else { byte >> 4 };
+        out.push(decode_step(&mut state, code));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fidelity::segmental_snr_i16;
+    use crate::common::i16s_to_bytes;
+    use crate::inputs::waveform;
+
+    #[test]
+    fn roundtrip_is_close() {
+        let samples = waveform(4096, 1);
+        let codes = encode(&samples);
+        assert_eq!(codes.len(), 2048);
+        let dec = decode(&codes, samples.len());
+        let snr = segmental_snr_i16(&i16s_to_bytes(&samples), &i16s_to_bytes(&dec));
+        assert!(snr > 18.0, "ADPCM roundtrip segSNR {snr}");
+    }
+
+    #[test]
+    fn state_adapts_step_size() {
+        // A loud burst should push the index up.
+        let mut samples = vec![0i16; 64];
+        samples.extend((0..64).map(|i| if i % 2 == 0 { 20000 } else { -20000 }));
+        let mut state = AdpcmState::default();
+        for &s in &samples {
+            encode_sample(&mut state, s);
+        }
+        assert!(state.index > 40, "index {}", state.index);
+    }
+
+    #[test]
+    fn corrupt_codes_decode_without_panic() {
+        let samples = waveform(1024, 2);
+        let mut codes = encode(&samples);
+        for c in codes.iter_mut().step_by(3) {
+            *c ^= 0xFF;
+        }
+        let dec = decode(&codes, 1024);
+        assert_eq!(dec.len(), 1024);
+    }
+
+    #[test]
+    fn short_input_pads_with_silence_codes() {
+        let dec = decode(&[0x11], 8);
+        assert_eq!(dec.len(), 8);
+    }
+
+    #[test]
+    fn encoder_decoder_state_symmetry() {
+        // The encoder's internal reconstruction must equal the decoder's.
+        let samples = waveform(512, 3);
+        let codes = encode(&samples);
+        let dec = decode(&codes, samples.len());
+        // Re-encode the decoded signal: states should track closely
+        // (identical first code sequence up to quantization stability).
+        let codes2 = encode(&dec);
+        let same = codes
+            .iter()
+            .zip(&codes2)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(same * 10 > codes.len() * 5, "{same}/{}", codes.len());
+    }
+}

@@ -1,0 +1,285 @@
+//! "SoftJPEG": a grayscale 8×8 block-transform codec in the shape of the
+//! JPEG baseline path (DCT → quantization → zigzag → DC-delta + AC
+//! run-level coding), small enough to re-express in the IR DSL but with
+//! the same computational skeleton — including the DC predictor, a
+//! loop-carried state variable exactly like the paper's motivating
+//! examples.
+//!
+//! Format:
+//! ```text
+//! u16 width (LE) | u16 height (LE) | blocks in raster order:
+//!   i16 dc_delta (LE) | AC run-level pairs (u8 run, i8 level) | (0,0) EOB
+//! ```
+
+/// Quantization table (luma-like, flattened zigzag order).
+pub const QTABLE: [i32; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Zigzag scan order for an 8×8 block.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+fn dct8_coeff(k: usize, n: usize) -> f64 {
+    let c = if k == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+    c * ((std::f64::consts::PI * (2.0 * n as f64 + 1.0) * k as f64) / 16.0).cos()
+}
+
+/// Forward 8×8 DCT-II on a block of centered samples (`pixel - 128`).
+pub fn fdct8x8(block: &[f64; 64]) -> [f64; 64] {
+    let mut out = [0.0f64; 64];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0.0;
+            for y in 0..8 {
+                for x in 0..8 {
+                    acc += block[y * 8 + x] * dct8_coeff(u, y) * dct8_coeff(v, x);
+                }
+            }
+            out[u * 8 + v] = acc;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT.
+pub fn idct8x8(coef: &[f64; 64]) -> [f64; 64] {
+    let mut out = [0.0f64; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0;
+            for u in 0..8 {
+                for v in 0..8 {
+                    acc += coef[u * 8 + v] * dct8_coeff(u, y) * dct8_coeff(v, x);
+                }
+            }
+            out[y * 8 + x] = acc;
+        }
+    }
+    out
+}
+
+/// Encodes a grayscale image (dimensions must be multiples of 8).
+///
+/// # Panics
+///
+/// Panics if `w`/`h` are not multiples of 8 or `pixels` is mis-sized.
+pub fn encode(pixels: &[u8], w: usize, h: usize) -> Vec<u8> {
+    assert!(w.is_multiple_of(8) && h.is_multiple_of(8), "dimensions must be multiples of 8");
+    assert_eq!(pixels.len(), w * h);
+    let mut out = Vec::new();
+    out.extend_from_slice(&(w as u16).to_le_bytes());
+    out.extend_from_slice(&(h as u16).to_le_bytes());
+    let mut prev_dc: i32 = 0;
+    for by in (0..h).step_by(8) {
+        for bx in (0..w).step_by(8) {
+            let mut block = [0.0f64; 64];
+            for y in 0..8 {
+                for x in 0..8 {
+                    block[y * 8 + x] = pixels[(by + y) * w + bx + x] as f64 - 128.0;
+                }
+            }
+            let coef = fdct8x8(&block);
+            let mut q = [0i32; 64];
+            for i in 0..64 {
+                q[i] = (coef[i] / QTABLE[i] as f64).round() as i32;
+            }
+            // DC delta.
+            let dc = q[0].clamp(-32768, 32767);
+            let delta = (dc - prev_dc).clamp(-32768, 32767) as i16;
+            prev_dc = dc;
+            out.extend_from_slice(&delta.to_le_bytes());
+            // AC run-level in zigzag order (skipping index 0).
+            let mut run = 0u8;
+            for &zi in ZIGZAG.iter().skip(1) {
+                let level = q[zi].clamp(-127, 127) as i8;
+                if level == 0 {
+                    if run == 255 {
+                        // Emit a max-run zero level to reset the counter.
+                        out.push(255);
+                        out.push(1); // level 1 placeholder never happens at run 255 in practice
+                        run = 0;
+                    } else {
+                        run += 1;
+                    }
+                } else {
+                    out.push(run);
+                    out.push(level as u8);
+                    run = 0;
+                }
+            }
+            out.push(0);
+            out.push(0); // EOB
+        }
+    }
+    out
+}
+
+/// Decodes a SoftJPEG stream, returning `(pixels, w, h)`. Corrupt streams
+/// decode to *something* of the header-declared size (clamped to 4096²);
+/// truncated data yields gray blocks.
+pub fn decode(stream: &[u8]) -> (Vec<u8>, usize, usize) {
+    if stream.len() < 4 {
+        return (Vec::new(), 0, 0);
+    }
+    let w = u16::from_le_bytes([stream[0], stream[1]]) as usize;
+    let h = u16::from_le_bytes([stream[2], stream[3]]) as usize;
+    let (w, h) = (w.min(4096), h.min(4096));
+    if w == 0 || h == 0 || w % 8 != 0 || h % 8 != 0 {
+        return (Vec::new(), 0, 0);
+    }
+    let mut pixels = vec![128u8; w * h];
+    let mut pos = 4usize;
+    let mut prev_dc: i32 = 0;
+    'blocks: for by in (0..h).step_by(8) {
+        for bx in (0..w).step_by(8) {
+            if pos + 2 > stream.len() {
+                break 'blocks;
+            }
+            let delta = i16::from_le_bytes([stream[pos], stream[pos + 1]]) as i32;
+            pos += 2;
+            let dc = prev_dc.wrapping_add(delta);
+            prev_dc = dc;
+            let mut q = [0i32; 64];
+            q[0] = dc;
+            let mut zi = 1usize;
+            loop {
+                if pos + 2 > stream.len() {
+                    break 'blocks;
+                }
+                let run = stream[pos] as usize;
+                let level = stream[pos + 1] as i8 as i32;
+                pos += 2;
+                if run == 0 && level == 0 {
+                    break; // EOB
+                }
+                zi += run;
+                if zi >= 64 {
+                    break; // corrupt run — drop the rest of the block
+                }
+                q[ZIGZAG[zi]] = level;
+                zi += 1;
+                if zi >= 64 {
+                    break;
+                }
+            }
+            let mut coef = [0.0f64; 64];
+            for i in 0..64 {
+                // Clamp dequantized coefficients so corrupt DC deltas
+                // cannot produce non-finite pixels.
+                coef[i] = (q[i].clamp(-20000, 20000) * QTABLE[i]) as f64;
+            }
+            let block = idct8x8(&coef);
+            for y in 0..8 {
+                for x in 0..8 {
+                    let v = (block[y * 8 + x] + 128.0).round().clamp(0.0, 255.0) as u8;
+                    pixels[(by + y) * w + bx + x] = v;
+                }
+            }
+        }
+    }
+    (pixels, w, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fidelity::psnr_u8;
+    use crate::inputs::gray_image;
+
+    #[test]
+    fn roundtrip_is_high_fidelity() {
+        let img = gray_image(48, 48, 5);
+        let stream = encode(&img.pixels, 48, 48);
+        let (dec, w, h) = decode(&stream);
+        assert_eq!((w, h), (48, 48));
+        let p = psnr_u8(&img.pixels, &dec);
+        assert!(p > 30.0, "roundtrip PSNR {p}");
+    }
+
+    #[test]
+    fn compression_actually_compresses() {
+        let img = gray_image(64, 64, 6);
+        let stream = encode(&img.pixels, 64, 64);
+        assert!(
+            stream.len() < img.pixels.len(),
+            "{} !< {}",
+            stream.len(),
+            img.pixels.len()
+        );
+    }
+
+    #[test]
+    fn corrupt_stream_decodes_gracefully() {
+        let img = gray_image(32, 32, 7);
+        let mut stream = encode(&img.pixels, 32, 32);
+        for i in (10..stream.len()).step_by(7) {
+            stream[i] ^= 0x55;
+        }
+        let (dec, w, h) = decode(&stream);
+        assert_eq!((w, h), (32, 32));
+        assert_eq!(dec.len(), 32 * 32);
+        // Quality should be visibly worse than a clean roundtrip.
+        let clean = decode(&encode(&img.pixels, 32, 32)).0;
+        assert!(psnr_u8(&clean, &dec) < 40.0);
+    }
+
+    #[test]
+    fn truncated_and_empty_streams() {
+        let img = gray_image(16, 16, 8);
+        let stream = encode(&img.pixels, 16, 16);
+        let (dec, w, h) = decode(&stream[..stream.len() / 3]);
+        assert_eq!((w, h), (16, 16));
+        assert_eq!(dec.len(), 16 * 16);
+        assert_eq!(decode(&[]).1, 0);
+        assert_eq!(decode(&[1, 2, 3]).1, 0);
+    }
+
+    #[test]
+    fn dct_is_invertible() {
+        let mut block = [0.0f64; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = ((i * 37) % 256) as f64 - 128.0;
+        }
+        let back = idct8x8(&fdct8x8(&block));
+        for i in 0..64 {
+            assert!((block[i] - back[i]).abs() < 1e-9, "idx {i}");
+        }
+    }
+
+    #[test]
+    fn dc_delta_coding_carries_state() {
+        // Two blocks with very different means must still roundtrip,
+        // proving the decoder integrates DC deltas correctly.
+        let mut pixels = vec![0u8; 16 * 8];
+        for y in 0..8 {
+            for x in 0..8 {
+                pixels[y * 16 + x] = 20;
+                pixels[y * 16 + 8 + x] = 230;
+            }
+        }
+        let stream = encode(&pixels, 16, 8);
+        let (dec, _, _) = decode(&stream);
+        let dec = &dec;
+        let left_mean: f64 = (0..8)
+            .flat_map(|y| (0..8).map(move |x| dec[y * 16 + x] as f64))
+            .sum::<f64>()
+            / 64.0;
+        let right_mean: f64 = (0..8)
+            .flat_map(|y| (8..16).map(move |x| dec[y * 16 + x] as f64))
+            .sum::<f64>()
+            / 64.0;
+        assert!(left_mean < 60.0, "{left_mean}");
+        assert!(right_mean > 190.0, "{right_mean}");
+    }
+}

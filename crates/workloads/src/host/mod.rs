@@ -1,0 +1,12 @@
+//! Host-side reference codecs.
+//!
+//! Decoder kernels consume bitstreams that these encoders produce;
+//! encoder kernels produce bitstreams that these decoders score
+//! (decode-then-PSNR). All decoders here are hardened against corrupt
+//! streams — a faulty kernel run can emit arbitrary bytes, and scoring
+//! must degrade gracefully rather than panic.
+
+pub mod adpcm_ref;
+pub mod h264_ref;
+pub mod jpeg_ref;
+pub mod subband_ref;

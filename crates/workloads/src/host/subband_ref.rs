@@ -1,0 +1,168 @@
+//! "SoftMP3": a frame-based transform audio codec in the shape of an MP3
+//! granule path — 32-sample frames, a 32-point DCT-II filterbank, a
+//! per-frame global gain (chosen from the frame maximum, a loop-carried
+//! reduction), and 8-bit coefficient quantization.
+//!
+//! Format, per frame:
+//! ```text
+//! u8 exponent | 32 × i8 quantized coefficients
+//! ```
+//! The coefficient scale is `2^exponent / 127`, so reconstruction is
+//! `q * 2^exp / 127` — all integer/shift math in the kernel version.
+
+/// Frame size in samples.
+pub const FRAME: usize = 32;
+
+/// Fixed-point DCT-II basis, Q14: `round(cos(pi*(2n+1)k/64) * 2^14)`,
+/// row-major `k*32 + n`. Shared with the IR kernels as a data table.
+pub fn dct_table_q14() -> Vec<i16> {
+    let mut t = Vec::with_capacity(FRAME * FRAME);
+    for k in 0..FRAME {
+        for n in 0..FRAME {
+            let v = (std::f64::consts::PI * (2.0 * n as f64 + 1.0) * k as f64 / 64.0).cos();
+            t.push((v * 16384.0).round() as i16);
+        }
+    }
+    t
+}
+
+fn dct32(frame: &[i32; FRAME], table: &[i16]) -> [i64; FRAME] {
+    let mut out = [0i64; FRAME];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = 0i64;
+        for n in 0..FRAME {
+            acc += frame[n] as i64 * table[k * FRAME + n] as i64;
+        }
+        *o = acc >> 14;
+    }
+    out
+}
+
+fn idct32(coef: &[i32; FRAME], table: &[i16]) -> [i64; FRAME] {
+    // DCT-III with the k=0 halving, scaled by 2/N.
+    let mut out = [0i64; FRAME];
+    for (n, o) in out.iter_mut().enumerate() {
+        let mut acc = (coef[0] as i64 * 16384) >> 1;
+        for k in 1..FRAME {
+            acc += coef[k] as i64 * table[k * FRAME + n] as i64;
+        }
+        *o = (acc >> 14) * 2 / FRAME as i64;
+    }
+    out
+}
+
+/// Encodes 16-bit samples (length padded up to a frame multiple with
+/// zeros).
+pub fn encode(samples: &[i16]) -> Vec<u8> {
+    let table = dct_table_q14();
+    let frames = samples.len().div_ceil(FRAME);
+    let mut out = Vec::with_capacity(frames * (1 + FRAME));
+    for f in 0..frames {
+        let mut frame = [0i32; FRAME];
+        for (n, slot) in frame.iter_mut().enumerate() {
+            *slot = samples.get(f * FRAME + n).copied().unwrap_or(0) as i32;
+        }
+        let coef = dct32(&frame, &table);
+        let maxmag = coef.iter().map(|c| c.unsigned_abs()).max().unwrap_or(0);
+        // Smallest exponent with 2^exp >= maxmag (loop-carried search in
+        // the kernel version).
+        let mut exp = 0u8;
+        while (1u64 << exp) < maxmag.max(1) && exp < 62 {
+            exp += 1;
+        }
+        out.push(exp);
+        let scale = 1i64 << exp;
+        for c in coef {
+            let q = (c * 127 / scale).clamp(-127, 127) as i8;
+            out.push(q as u8);
+        }
+    }
+    out
+}
+
+/// Decodes to `n` samples (robust to truncated/corrupt streams: missing
+/// frames decode to silence, exponents are clamped).
+pub fn decode(stream: &[u8], n: usize) -> Vec<i16> {
+    let table = dct_table_q14();
+    let frames = n.div_ceil(FRAME);
+    let mut out = Vec::with_capacity(n);
+    for f in 0..frames {
+        let base = f * (1 + FRAME);
+        let exp = stream.get(base).copied().unwrap_or(0).min(62);
+        let scale = 1i64 << exp;
+        let mut coef = [0i32; FRAME];
+        for (k, c) in coef.iter_mut().enumerate() {
+            let q = stream.get(base + 1 + k).copied().unwrap_or(0) as i8 as i128;
+            // Wide arithmetic + clamp: a corrupt exponent must not
+            // overflow, just saturate to a garbage-but-finite frame.
+            let v = (q * scale as i128) / 127;
+            *c = v.clamp(i32::MIN as i128, i32::MAX as i128) as i32;
+        }
+        let frame = idct32(&coef, &table);
+        for v in frame {
+            if out.len() < n {
+                out.push(v.clamp(i16::MIN as i64, i16::MAX as i64) as i16);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::i16s_to_bytes;
+    use crate::fidelity::psnr_i16;
+    use crate::inputs::waveform;
+
+    #[test]
+    fn roundtrip_is_reasonable_quality() {
+        let samples = waveform(2048, 4);
+        let stream = encode(&samples);
+        let dec = decode(&stream, samples.len());
+        let p = psnr_i16(&i16s_to_bytes(&samples), &i16s_to_bytes(&dec));
+        assert!(p > 30.0, "SoftMP3 roundtrip PSNR {p}");
+    }
+
+    #[test]
+    fn silence_encodes_to_zero_coefficients() {
+        let samples = vec![0i16; FRAME * 2];
+        let stream = encode(&samples);
+        let dec = decode(&stream, samples.len());
+        assert!(dec.iter().all(|&v| v.abs() < 4), "{dec:?}");
+    }
+
+    #[test]
+    fn corrupt_exponent_is_clamped() {
+        let samples = waveform(FRAME * 4, 5);
+        let mut stream = encode(&samples);
+        stream[0] = 0xFF; // absurd exponent
+        let dec = decode(&stream, samples.len());
+        assert_eq!(dec.len(), samples.len()); // no panic, silence-ish frame
+    }
+
+    #[test]
+    fn truncated_stream_decodes_padded() {
+        let samples = waveform(FRAME * 4, 6);
+        let stream = encode(&samples);
+        let dec = decode(&stream[..stream.len() / 2], samples.len());
+        assert_eq!(dec.len(), samples.len());
+    }
+
+    #[test]
+    fn dct_identity_on_dc() {
+        let table = dct_table_q14();
+        let frame = [1000i32; FRAME];
+        let coef = dct32(&frame, &table);
+        // Energy concentrates in k=0.
+        assert!(coef[0].abs() > 10 * coef[1].abs().max(1));
+        let mut c32 = [0i32; FRAME];
+        for (i, c) in coef.iter().enumerate() {
+            c32[i] = *c as i32;
+        }
+        let back = idct32(&c32, &table);
+        for v in back {
+            assert!((v - 1000).abs() < 20, "{v}");
+        }
+    }
+}

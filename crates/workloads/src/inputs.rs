@@ -1,0 +1,201 @@
+//! Deterministic synthetic input generators.
+//!
+//! The paper evaluates on real images, audio and video; we synthesize
+//! structured inputs (gradients, shapes, band-limited waveforms, Gaussian
+//! clusters) with a seeded PRNG so every campaign is reproducible and the
+//! *train* (profiling) and *test* (fault-injection) inputs differ — the
+//! same separation the paper maintains in Table I.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A grayscale image with width/height and row-major bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GrayImage {
+    /// Width in pixels.
+    pub w: usize,
+    /// Height in pixels.
+    pub h: usize,
+    /// Row-major 8-bit samples (`w * h` bytes).
+    pub pixels: Vec<u8>,
+}
+
+/// An RGB image (3 bytes per pixel, row major).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RgbImage {
+    /// Width in pixels.
+    pub w: usize,
+    /// Height in pixels.
+    pub h: usize,
+    /// Row-major RGB triples (`3 * w * h` bytes).
+    pub pixels: Vec<u8>,
+}
+
+/// Generates a structured grayscale test card: diagonal gradient, a
+/// bright rectangle, a dark disc, plus mild seeded texture.
+pub fn gray_image(w: usize, h: usize, seed: u64) -> GrayImage {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pixels = vec![0u8; w * h];
+    let (cx, cy) = (w as f64 * 0.65, h as f64 * 0.4);
+    let radius = (w.min(h) as f64) * 0.22;
+    for y in 0..h {
+        for x in 0..w {
+            let mut v = 40.0 + 160.0 * (x + y) as f64 / (w + h) as f64;
+            if x > w / 8 && x < w / 2 && y > h / 2 && y < h * 7 / 8 {
+                v = 220.0; // bright rectangle
+            }
+            let dx = x as f64 - cx;
+            let dy = y as f64 - cy;
+            if (dx * dx + dy * dy).sqrt() < radius {
+                v = 25.0; // dark disc
+            }
+            v += rng.gen_range(-6.0..6.0);
+            pixels[y * w + x] = v.clamp(0.0, 255.0) as u8;
+        }
+    }
+    GrayImage { w, h, pixels }
+}
+
+/// Generates an RGB test card (channel-shifted gradients plus shapes).
+pub fn rgb_image(w: usize, h: usize, seed: u64) -> RgbImage {
+    let g = gray_image(w, h, seed);
+    let mut pixels = vec![0u8; 3 * w * h];
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995);
+    for y in 0..h {
+        for x in 0..w {
+            let base = g.pixels[y * w + x] as i32;
+            let r = (base + (x as i32 % 37) - 18 + rng.gen_range(-4..4)).clamp(0, 255);
+            let gg = (base + (y as i32 % 29) - 14).clamp(0, 255);
+            let b = (255 - base + rng.gen_range(-4..4)).clamp(0, 255);
+            let at = 3 * (y * w + x);
+            pixels[at] = r as u8;
+            pixels[at + 1] = gg as u8;
+            pixels[at + 2] = b as u8;
+        }
+    }
+    RgbImage { w, h, pixels }
+}
+
+/// Generates a band-limited 16-bit waveform: a sum of three sinusoids
+/// with slowly varying amplitude plus low-level noise.
+pub fn waveform(n: usize, seed: u64) -> Vec<i16> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let f1 = rng.gen_range(0.01..0.03);
+    let f2 = rng.gen_range(0.05..0.09);
+    let f3 = rng.gen_range(0.11..0.19);
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let env = 0.6 + 0.4 * (t * 0.001).sin();
+            let s = env
+                * (8000.0 * (t * f1 * std::f64::consts::TAU).sin()
+                    + 4000.0 * (t * f2 * std::f64::consts::TAU).sin()
+                    + 1500.0 * (t * f3 * std::f64::consts::TAU).sin());
+            let noise = rng.gen_range(-120.0..120.0);
+            (s + noise).clamp(i16::MIN as f64, i16::MAX as f64) as i16
+        })
+        .collect()
+}
+
+/// Generates `n` points of `d` integer features drawn from `k` Gaussian
+/// clusters (fixed-point, scaled by 100). Returns `(features, true
+/// labels)`; features are row-major `n × d`.
+pub fn clustered_points(n: usize, d: usize, k: usize, seed: u64) -> (Vec<i32>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..d).map(|_| rng.gen_range(-50.0..50.0)).collect())
+        .collect();
+    let mut feats = Vec::with_capacity(n * d);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % k;
+        labels.push(c as u8);
+        for j in 0..d {
+            let v = centers[c][j] + rng.gen_range(-8.0..8.0);
+            feats.push((v * 100.0) as i32);
+        }
+    }
+    (feats, labels)
+}
+
+/// Generates a linearly separable (with margin noise) binary dataset for
+/// the SVM benchmark: `n × d` fixed-point features (scaled by 1000) and
+/// ±1 labels encoded as `0`/`1`.
+pub fn svm_dataset(n: usize, d: usize, seed: u64) -> (Vec<i32>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let true_w: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut feats = Vec::with_capacity(n * d);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let dot: f64 = x.iter().zip(&true_w).map(|(a, b)| a * b).sum();
+        let noisy = dot + rng.gen_range(-0.1..0.1);
+        labels.push(u8::from(noisy > 0.0));
+        for v in x {
+            feats.push((v * 1000.0) as i32);
+        }
+    }
+    (feats, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_are_deterministic_and_sized() {
+        let a = gray_image(32, 24, 7);
+        let b = gray_image(32, 24, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.pixels.len(), 32 * 24);
+        let c = gray_image(32, 24, 8);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn images_have_structure() {
+        let img = gray_image(64, 64, 1);
+        // Dynamic range should span the gradient + shapes.
+        let min = *img.pixels.iter().min().unwrap();
+        let max = *img.pixels.iter().max().unwrap();
+        assert!(min < 40, "{min}");
+        assert!(max > 200, "{max}");
+    }
+
+    #[test]
+    fn rgb_has_three_channels() {
+        let img = rgb_image(16, 16, 2);
+        assert_eq!(img.pixels.len(), 3 * 16 * 16);
+    }
+
+    #[test]
+    fn waveform_spans_range_without_clipping_everywhere() {
+        let w = waveform(4096, 3);
+        assert_eq!(w.len(), 4096);
+        let max = w.iter().map(|v| v.unsigned_abs()).max().unwrap();
+        assert!(max > 5000, "too quiet: {max}");
+        let clipped = w
+            .iter()
+            .filter(|v| **v == i16::MAX || **v == i16::MIN)
+            .count();
+        assert!(clipped < w.len() / 100, "clipping: {clipped}");
+    }
+
+    #[test]
+    fn clusters_have_k_labels() {
+        let (feats, labels) = clustered_points(60, 5, 4, 9);
+        assert_eq!(feats.len(), 300);
+        assert_eq!(labels.len(), 60);
+        let mut seen: Vec<u8> = labels.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn svm_labels_are_balancedish() {
+        let (_, labels) = svm_dataset(400, 8, 11);
+        let pos = labels.iter().filter(|&&l| l == 1).count();
+        assert!(pos > 100 && pos < 300, "unbalanced: {pos}/400");
+    }
+}

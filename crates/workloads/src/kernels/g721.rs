@@ -1,0 +1,369 @@
+//! `g721enc` / `g721dec`: ADPCM audio codec kernels.
+//!
+//! Direct IR translations of the host reference ([`crate::host::adpcm_ref`]):
+//! every sample updates two loop-carried state variables (`valpred` and
+//! the step-table `index`) — the canonical "state variable" shape from
+//! the paper's motivation. Integer-exact with the host, so encoder output
+//! decodes bit-for-bit.
+
+use crate::common::{
+    build_kernel, i16s_to_bytes, imax, imin, input_base, load_i16, output_data_base, param,
+    set_output_len, store_i16, store_u8,
+};
+use crate::fidelity::segmental_snr_i16;
+use crate::host::adpcm_ref;
+use crate::inputs::waveform;
+use crate::{Category, FidelityMetric, InputSet, Workload, WorkloadInput};
+use softft_ir::dsl::{FunctionDsl, Var};
+use softft_ir::inst::IntCC;
+use softft_ir::{Module, Type, ValueId};
+
+const MAX_SAMPLES: u64 = 4096;
+
+fn step_table_bytes() -> Vec<u8> {
+    adpcm_ref::STEP_TABLE
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect()
+}
+
+fn index_table_bytes() -> Vec<u8> {
+    adpcm_ref::INDEX_TABLE
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect()
+}
+
+/// Shared decode-step: given a 4-bit `code`, update `valpred`/`index`
+/// vars using the step/index tables, returning the reconstructed sample.
+fn emit_decode_step(
+    d: &mut FunctionDsl,
+    step_tab: ValueId,
+    index_tab: ValueId,
+    valpred: Var,
+    index: Var,
+    code: ValueId,
+) -> ValueId {
+    let idx = d.get(index);
+    let step = {
+        let v = d.load_elem(Type::I32, step_tab, idx);
+        d.sext(v, Type::I64)
+    };
+    // diffq = step>>3 (+step if bit2) (+step>>1 if bit1) (+step>>2 if bit0)
+    let three = d.i64c(3);
+    let diffq0 = d.ashr(step, three);
+    let b4 = d.i64c(4);
+    let has4 = {
+        let a = d.and_(code, b4);
+        let z = d.i64c(0);
+        d.icmp(IntCC::Ne, a, z)
+    };
+    let with4 = d.add(diffq0, step);
+    let diffq1 = d.select(has4, with4, diffq0);
+    let b2 = d.i64c(2);
+    let has2 = {
+        let a = d.and_(code, b2);
+        let z = d.i64c(0);
+        d.icmp(IntCC::Ne, a, z)
+    };
+    let one = d.i64c(1);
+    let half = d.ashr(step, one);
+    let with2 = d.add(diffq1, half);
+    let diffq2 = d.select(has2, with2, diffq1);
+    let b1 = d.i64c(1);
+    let has1 = {
+        let a = d.and_(code, b1);
+        let z = d.i64c(0);
+        d.icmp(IntCC::Ne, a, z)
+    };
+    let two = d.i64c(2);
+    let quarter = d.ashr(step, two);
+    let with1 = d.add(diffq2, quarter);
+    let diffq = d.select(has1, with1, diffq2);
+
+    // Sign bit: subtract or add.
+    let b8 = d.i64c(8);
+    let neg = {
+        let a = d.and_(code, b8);
+        let z = d.i64c(0);
+        d.icmp(IntCC::Ne, a, z)
+    };
+    let vp = d.get(valpred);
+    let sub = d.sub(vp, diffq);
+    let add = d.add(vp, diffq);
+    let nv = d.select(neg, sub, add);
+    // Clamp to i16.
+    let lo = d.i64c(-32768);
+    let hi = d.i64c(32767);
+    let nv = imax(d, nv, lo);
+    let nv = imin(d, nv, hi);
+    d.set(valpred, nv);
+
+    // index += INDEX_TABLE[code], clamped to [0, 88].
+    let adj = {
+        let v = d.load_elem(Type::I32, index_tab, code);
+        d.sext(v, Type::I64)
+    };
+    let idx = d.get(index);
+    let ni = d.add(idx, adj);
+    let z = d.i64c(0);
+    let c88 = d.i64c(88);
+    let ni = imax(d, ni, z);
+    let ni = imin(d, ni, c88);
+    d.set(index, ni);
+    d.get(valpred)
+}
+
+/// Encodes one sample (updates state vars), returning the 4-bit code.
+fn emit_encode_sample(
+    d: &mut FunctionDsl,
+    step_tab: ValueId,
+    index_tab: ValueId,
+    valpred: Var,
+    index: Var,
+    sample: ValueId,
+) -> ValueId {
+    let idx = d.get(index);
+    let step = {
+        let v = d.load_elem(Type::I32, step_tab, idx);
+        d.sext(v, Type::I64)
+    };
+    let vp = d.get(valpred);
+    let diff = d.sub(sample, vp);
+    let z = d.i64c(0);
+    let is_neg = d.icmp(IntCC::Slt, diff, z);
+    let eight = d.i64c(8);
+    let sign = d.select(is_neg, eight, z);
+    let neg_diff = d.sub(z, diff);
+    let adiff = d.select(is_neg, neg_diff, diff);
+
+    // Successive approximation against step, step/2, step/4.
+    let ge1 = d.icmp(IntCC::Sge, adiff, step);
+    let four = d.i64c(4);
+    let c0 = d.select(ge1, four, z);
+    let sub1 = d.sub(adiff, step);
+    let rem1 = d.select(ge1, sub1, adiff);
+    let one = d.i64c(1);
+    let half = d.ashr(step, one);
+    let ge2 = d.icmp(IntCC::Sge, rem1, half);
+    let two = d.i64c(2);
+    let c1 = d.select(ge2, two, z);
+    let sub2 = d.sub(rem1, half);
+    let rem2 = d.select(ge2, sub2, rem1);
+    let quarter = d.ashr(step, two);
+    let ge3 = d.icmp(IntCC::Sge, rem2, quarter);
+    let c2 = d.select(ge3, one, z);
+
+    let code01 = d.or_(c0, c1);
+    let code012 = d.or_(code01, c2);
+    let code = d.or_(code012, sign);
+    // Mirror the decoder's reconstruction to keep states in sync.
+    emit_decode_step(d, step_tab, index_tab, valpred, index, code);
+    code
+}
+
+/// The `g721enc` workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct G721Enc;
+
+impl Workload for G721Enc {
+    fn name(&self) -> &'static str {
+        "g721enc"
+    }
+
+    fn category(&self) -> Category {
+        Category::Audio
+    }
+
+    fn metric(&self) -> FidelityMetric {
+        FidelityMetric::SegmentalSnr { threshold_db: 80.0 }
+    }
+
+    fn build_module(&self) -> Module {
+        build_kernel(
+            "g721enc",
+            MAX_SAMPLES * 2,
+            MAX_SAMPLES / 2,
+            &[("step_table", step_table_bytes()), ("index_table", index_table_bytes())],
+            |d, io, tabs| {
+                let (step_tab_a, index_tab_a) = (tabs[0], tabs[1]);
+                let step_tab = d.i64c(step_tab_a as i64);
+                let index_tab = d.i64c(index_tab_a as i64);
+                let n = param(d, io, 0); // sample count (even)
+                let inp = input_base(d, io);
+                let out = output_data_base(d, io);
+                let valpred = d.declare_var(Type::I64);
+                let index = d.declare_var(Type::I64);
+                let z = d.i64c(0);
+                d.set(valpred, z);
+                d.set(index, z);
+                let two = d.i64c(2);
+                let pairs = d.sdiv(n, two);
+                d.for_range(z, pairs, |d, p| {
+                    let two = d.i64c(2);
+                    let i0 = d.mul(p, two);
+                    let s0 = load_i16(d, inp, i0);
+                    let lo = emit_encode_sample(d, step_tab, index_tab, valpred, index, s0);
+                    let one = d.i64c(1);
+                    let i1 = d.add(i0, one);
+                    let s1 = load_i16(d, inp, i1);
+                    let hi = emit_encode_sample(d, step_tab, index_tab, valpred, index, s1);
+                    let four = d.i64c(4);
+                    let hi_shifted = d.shl(hi, four);
+                    let byte = d.or_(lo, hi_shifted);
+                    store_u8(d, out, p, byte);
+                });
+                set_output_len(d, io, pairs);
+                let r = d.i64c(0);
+                d.ret(Some(r));
+            },
+        )
+    }
+
+    fn input(&self, set: InputSet) -> WorkloadInput {
+        let (n, seed) = match set {
+            InputSet::Train => (4096usize, 301),
+            InputSet::Test => (2048usize, 302),
+        };
+        let samples = waveform(n, seed);
+        WorkloadInput {
+            params: vec![n as i64],
+            data: i16s_to_bytes(&samples),
+        }
+    }
+
+    fn fidelity(&self, golden: &[u8], candidate: &[u8]) -> f64 {
+        // Decode both streams with the host decoder, then segmental SNR.
+        let n = golden.len() * 2;
+        let a = adpcm_ref::decode(golden, n);
+        let b = adpcm_ref::decode(candidate, n);
+        segmental_snr_i16(&i16s_to_bytes(&a), &i16s_to_bytes(&b))
+    }
+}
+
+/// The `g721dec` workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct G721Dec;
+
+impl Workload for G721Dec {
+    fn name(&self) -> &'static str {
+        "g721dec"
+    }
+
+    fn category(&self) -> Category {
+        Category::Audio
+    }
+
+    fn metric(&self) -> FidelityMetric {
+        FidelityMetric::SegmentalSnr { threshold_db: 80.0 }
+    }
+
+    fn build_module(&self) -> Module {
+        build_kernel(
+            "g721dec",
+            MAX_SAMPLES / 2,
+            MAX_SAMPLES * 2,
+            &[("step_table", step_table_bytes()), ("index_table", index_table_bytes())],
+            |d, io, tabs| {
+                let (step_tab_a, index_tab_a) = (tabs[0], tabs[1]);
+                let step_tab = d.i64c(step_tab_a as i64);
+                let index_tab = d.i64c(index_tab_a as i64);
+                let n = param(d, io, 0); // sample count
+                let inp = input_base(d, io);
+                let out = output_data_base(d, io);
+                let valpred = d.declare_var(Type::I64);
+                let index = d.declare_var(Type::I64);
+                let z = d.i64c(0);
+                d.set(valpred, z);
+                d.set(index, z);
+                d.for_range(z, n, |d, i| {
+                    let one = d.i64c(1);
+                    let byte_idx = d.ashr(i, one);
+                    let byte = crate::common::load_u8(d, inp, byte_idx);
+                    let is_odd = d.and_(i, one);
+                    let z2 = d.i64c(0);
+                    let odd = d.icmp(IntCC::Ne, is_odd, z2);
+                    let four = d.i64c(4);
+                    let hi = d.lshr(byte, four);
+                    let fifteen = d.i64c(15);
+                    let lo = d.and_(byte, fifteen);
+                    let code = d.select(odd, hi, lo);
+                    let sample =
+                        emit_decode_step(d, step_tab, index_tab, valpred, index, code);
+                    store_i16(d, out, i, sample);
+                });
+                let two = d.i64c(2);
+                let bytes = d.mul(n, two);
+                set_output_len(d, io, bytes);
+                let r = d.i64c(0);
+                d.ret(Some(r));
+            },
+        )
+    }
+
+    fn input(&self, set: InputSet) -> WorkloadInput {
+        let (n, seed) = match set {
+            InputSet::Train => (4096usize, 303),
+            InputSet::Test => (2048usize, 304),
+        };
+        let samples = waveform(n, seed);
+        let codes = adpcm_ref::encode(&samples);
+        WorkloadInput {
+            params: vec![n as i64],
+            data: codes,
+        }
+    }
+
+    fn fidelity(&self, golden: &[u8], candidate: &[u8]) -> f64 {
+        segmental_snr_i16(golden, candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::bytes_to_i16s;
+    use crate::runner::golden_output;
+
+    #[test]
+    fn kernel_encoder_matches_host_encoder() {
+        let w = G721Enc;
+        let m = w.build_module();
+        softft_ir::verify::verify_module(&m).unwrap();
+        let input = w.input(InputSet::Test);
+        let samples = bytes_to_i16s(&input.data);
+        let host = adpcm_ref::encode(&samples);
+        let out = golden_output(&w, &m, InputSet::Test);
+        assert_eq!(out, host, "kernel and host ADPCM encoders diverge");
+    }
+
+    #[test]
+    fn kernel_decoder_matches_host_decoder() {
+        let w = G721Dec;
+        let m = w.build_module();
+        softft_ir::verify::verify_module(&m).unwrap();
+        let input = w.input(InputSet::Test);
+        let host = adpcm_ref::decode(&input.data, 2048);
+        let out = golden_output(&w, &m, InputSet::Test);
+        assert_eq!(bytes_to_i16s(&out), host);
+    }
+
+    #[test]
+    fn decoded_audio_is_close_to_source() {
+        let w = G721Dec;
+        let m = w.build_module();
+        let out = golden_output(&w, &m, InputSet::Test);
+        let orig = waveform(2048, 304);
+        let snr = segmental_snr_i16(&i16s_to_bytes(&orig), &out);
+        assert!(snr > 15.0, "segSNR {snr}");
+    }
+
+    #[test]
+    fn enc_fidelity_scores_identical_streams_at_cap() {
+        let w = G721Enc;
+        let m = w.build_module();
+        let out = golden_output(&w, &m, InputSet::Test);
+        assert_eq!(w.fidelity(&out, &out), 100.0);
+        assert!(w.acceptable(&out, &out));
+    }
+}

@@ -1,0 +1,618 @@
+//! `h264enc` / `h264dec`: intra-only 4×4 block video codec kernels (the
+//! SoftH264 format of [`crate::host::h264_ref`]).
+//!
+//! The reconstructed-frame buffer feeds DC prediction of every later
+//! block — a memory-carried state chain on top of the usual loop-carried
+//! cursors — so corruption early in a frame visibly smears across it,
+//! the video analogue of the paper's Fig. 1.
+
+use crate::common::{
+    build_kernel_scratch, clamp, input_base, load_u8, output_data_base, param, set_output_len,
+    store_u8,
+};
+use crate::fidelity::psnr_u8;
+use crate::host::h264_ref::{self, QSTEP};
+use crate::inputs::gray_image;
+use crate::{Category, FidelityMetric, InputSet, Workload, WorkloadInput};
+use softft_ir::dsl::FunctionDsl;
+use softft_ir::inst::IntCC;
+use softft_ir::{Module, Type, ValueId};
+
+const MAX_W: u64 = 32;
+const MAX_H: u64 = 32;
+const MAX_FRAMES: u64 = 2;
+const MAX_STREAM: u64 = MAX_W * MAX_H * MAX_FRAMES * 3 + 64;
+
+/// Emits the shared DC prediction: mean of available reconstructed
+/// neighbours (top row / left column), 128 when neither exists.
+fn emit_dc_predict(
+    d: &mut FunctionDsl,
+    recon: ValueId,
+    w: ValueId,
+    bx: ValueId,
+    by: ValueId,
+) -> ValueId {
+    let sum = d.declare_var(Type::I64);
+    let count = d.declare_var(Type::I64);
+    let z = d.i64c(0);
+    d.set(sum, z);
+    d.set(count, z);
+    let has_top = d.icmp(IntCC::Sgt, by, z);
+    d.if_(has_top, |d| {
+        let z2 = d.i64c(0);
+        let four = d.i64c(4);
+        d.for_range(z2, four, |d, x| {
+            let one = d.i64c(1);
+            let ym1 = d.sub(by, one);
+            let row = d.mul(ym1, w);
+            let col = d.add(bx, x);
+            let pi = d.add(row, col);
+            let v = load_u8(d, recon, pi);
+            let s = d.get(sum);
+            let s2 = d.add(s, v);
+            d.set(sum, s2);
+            let c = d.get(count);
+            let c2 = d.add(c, one);
+            d.set(count, c2);
+        });
+    });
+    let has_left = d.icmp(IntCC::Sgt, bx, z);
+    d.if_(has_left, |d| {
+        let z2 = d.i64c(0);
+        let four = d.i64c(4);
+        d.for_range(z2, four, |d, y| {
+            let one = d.i64c(1);
+            let yy = d.add(by, y);
+            let row = d.mul(yy, w);
+            let xm1 = d.sub(bx, one);
+            let pi = d.add(row, xm1);
+            let v = load_u8(d, recon, pi);
+            let s = d.get(sum);
+            let s2 = d.add(s, v);
+            d.set(sum, s2);
+            let c = d.get(count);
+            let c2 = d.add(c, one);
+            d.set(count, c2);
+        });
+    });
+    let c = d.get(count);
+    let none = d.icmp(IntCC::Eq, c, z);
+    let s = d.get(sum);
+    let two = d.i64c(2);
+    let halfc = d.sdiv(c, two);
+    let num = d.add(s, halfc);
+    let one = d.i64c(1);
+    let denom = crate::common::imax(d, c, one);
+    let mean = d.sdiv(num, denom);
+    let c128 = d.i64c(128);
+    d.select(none, c128, mean)
+}
+
+/// Emits one WHT butterfly over four loaded values, returning
+/// `(a+b+c+d, a+b-c-d, a-b-c+d, a-b+c-d)`.
+fn emit_wht_butterfly(
+    d: &mut FunctionDsl,
+    a: ValueId,
+    b: ValueId,
+    c: ValueId,
+    e: ValueId,
+) -> (ValueId, ValueId, ValueId, ValueId) {
+    let ab = d.add(a, b);
+    let ce = d.add(c, e);
+    let amb = d.sub(a, b);
+    let cme = d.sub(c, e);
+    let t0 = d.add(ab, ce);
+    let t1 = d.sub(ab, ce);
+    let t2 = d.sub(amb, cme);
+    let t3 = d.add(amb, cme);
+    (t0, t1, t2, t3)
+}
+
+/// Emits the forward 4×4 WHT on `buf` (16 i64 words, via `tmp`) —
+/// mirrors [`h264_ref::fwd4x4`] exactly.
+fn emit_fwd4x4(d: &mut FunctionDsl, buf: ValueId, tmp: ValueId) {
+    emit_wht_passes(d, buf, tmp, false);
+}
+
+/// Emits the inverse 4×4 WHT with the final `(v + 8) >> 4` — mirrors
+/// [`h264_ref::inv4x4`] exactly.
+fn emit_inv4x4(d: &mut FunctionDsl, buf: ValueId, tmp: ValueId) {
+    emit_wht_passes(d, buf, tmp, true);
+}
+
+fn emit_wht_passes(d: &mut FunctionDsl, buf: ValueId, tmp: ValueId, normalize: bool) {
+    let z = d.i64c(0);
+    let four = d.i64c(4);
+    // Rows into tmp.
+    d.for_range(z, four, |d, r| {
+        let four2 = d.i64c(4);
+        let base = d.mul(r, four2);
+        let one = d.i64c(1);
+        let two = d.i64c(2);
+        let three = d.i64c(3);
+        let i0 = base;
+        let i1 = d.add(base, one);
+        let i2 = d.add(base, two);
+        let i3 = d.add(base, three);
+        let a = d.load_elem(Type::I64, buf, i0);
+        let b = d.load_elem(Type::I64, buf, i1);
+        let c = d.load_elem(Type::I64, buf, i2);
+        let e = d.load_elem(Type::I64, buf, i3);
+        let (t0, t1, t2, t3) = emit_wht_butterfly(d, a, b, c, e);
+        d.store_elem(tmp, i0, t0);
+        d.store_elem(tmp, i1, t1);
+        d.store_elem(tmp, i2, t2);
+        d.store_elem(tmp, i3, t3);
+    });
+    // Columns back into buf.
+    d.for_range(z, four, |d, cidx| {
+        let four2 = d.i64c(4);
+        let eight = d.i64c(8);
+        let twelve = d.i64c(12);
+        let i0 = cidx;
+        let i1 = d.add(cidx, four2);
+        let i2 = d.add(cidx, eight);
+        let i3 = d.add(cidx, twelve);
+        let a = d.load_elem(Type::I64, tmp, i0);
+        let b = d.load_elem(Type::I64, tmp, i1);
+        let c = d.load_elem(Type::I64, tmp, i2);
+        let e = d.load_elem(Type::I64, tmp, i3);
+        let (t0, t1, t2, t3) = emit_wht_butterfly(d, a, b, c, e);
+        for (idx, t) in [(i0, t0), (i1, t1), (i2, t2), (i3, t3)] {
+            let v = if normalize {
+                let c8 = d.i64c(8);
+                let fourb = d.i64c(4);
+                let rounded = d.add(t, c8);
+                d.ashr(rounded, fourb)
+            } else {
+                t
+            };
+            d.store_elem(buf, idx, v);
+        }
+    });
+}
+
+/// Dequantize `q` in place, inverse-transform, add `pred`, clamp, and
+/// write the 4×4 block into `recon` at `(bx, by)`.
+#[allow(clippy::too_many_arguments)]
+fn emit_reconstruct(
+    d: &mut FunctionDsl,
+    qbuf: ValueId,
+    tmp: ValueId,
+    recon: ValueId,
+    w: ValueId,
+    bx: ValueId,
+    by: ValueId,
+    pred: ValueId,
+) {
+    let z = d.i64c(0);
+    let sixteen = d.i64c(16);
+    let qstep = d.i64c(QSTEP as i64);
+    d.for_range(z, sixteen, |d, i| {
+        let q = d.load_elem(Type::I64, qbuf, i);
+        let deq = d.mul(q, qstep);
+        d.store_elem(qbuf, i, deq);
+    });
+    emit_inv4x4(d, qbuf, tmp);
+    let four = d.i64c(4);
+    d.for_range(z, four, |d, y| {
+        let four2 = d.i64c(4);
+        let z2 = d.i64c(0);
+        d.for_range(z2, four2, |d, x| {
+            let four3 = d.i64c(4);
+            let bi = {
+                let r = d.mul(y, four3);
+                d.add(r, x)
+            };
+            let rv = d.load_elem(Type::I64, qbuf, bi);
+            let vp = d.add(rv, pred);
+            let v = clamp(d, vp, 0, 255);
+            let yy = d.add(by, y);
+            let xx = d.add(bx, x);
+            let row = d.mul(yy, w);
+            let pi = d.add(row, xx);
+            store_u8(d, recon, pi, v);
+        });
+    });
+}
+
+/// The `h264enc` workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct H264Enc;
+
+impl Workload for H264Enc {
+    fn name(&self) -> &'static str {
+        "h264enc"
+    }
+
+    fn category(&self) -> Category {
+        Category::Video
+    }
+
+    fn metric(&self) -> FidelityMetric {
+        FidelityMetric::Psnr { threshold_db: 30.0 }
+    }
+
+    fn build_module(&self) -> Module {
+        // Scratch: recon frame | block i64[16] | tmp i64[16]
+        let recon_sz = MAX_W * MAX_H;
+        build_kernel_scratch(
+            "h264enc",
+            MAX_W * MAX_H * MAX_FRAMES,
+            MAX_STREAM,
+            recon_sz + 32 * 8,
+            &[],
+            |d, io, _| {
+                let recon = d.i64c(io.scratch as i64);
+                let block = d.i64c((io.scratch + recon_sz) as i64);
+                let tmp = d.i64c((io.scratch + recon_sz + 16 * 8) as i64);
+                let w = param(d, io, 0);
+                let h = param(d, io, 1);
+                let nf = param(d, io, 2);
+                let inp = input_base(d, io);
+                let out = output_data_base(d, io);
+                let z = d.i64c(0);
+                let _one = d.i64c(1);
+                let eight = d.i64c(8);
+                let mask = d.i64c(0xFF);
+
+                // Header: w, h, frames (u16 LE each).
+                let cursor = d.declare_var(Type::I64);
+                let pairs = [(w, 0i64), (h, 2), (nf, 4)];
+                for (v, off) in pairs {
+                    let lo = d.and_(v, mask);
+                    let hi = d.lshr(v, eight);
+                    let o0 = d.i64c(off);
+                    let o1 = d.i64c(off + 1);
+                    store_u8(d, out, o0, lo);
+                    store_u8(d, out, o1, hi);
+                }
+                let six = d.i64c(6);
+                d.set(cursor, six);
+
+                let qstep = d.i64c(QSTEP as i64);
+                d.for_range(z, nf, |d, f| {
+                    // Zero the recon frame.
+                    let z2 = d.i64c(0);
+                    let npix = d.mul(w, h);
+                    d.for_range(z2, npix, |d, i| {
+                        let zz = d.i64c(0);
+                        store_u8(d, recon, i, zz);
+                    });
+                    let frame_off = d.mul(f, npix);
+                    let four = d.i64c(4);
+                    let bh = d.sdiv(h, four);
+                    let bw = d.sdiv(w, four);
+                    d.for_range(z2, bh, |d, byi| {
+                        let z3 = d.i64c(0);
+                        d.for_range(z3, bw, |d, bxi| {
+                            let four2 = d.i64c(4);
+                            let by = d.mul(byi, four2);
+                            let bx = d.mul(bxi, four2);
+                            let pred = emit_dc_predict(d, recon, w, bx, by);
+                            // Residual into block.
+                            let z4 = d.i64c(0);
+                            d.for_range(z4, four2, |d, y| {
+                                let four3 = d.i64c(4);
+                                let z5 = d.i64c(0);
+                                d.for_range(z5, four3, |d, x| {
+                                    let yy = d.add(by, y);
+                                    let xx = d.add(bx, x);
+                                    let row = d.mul(yy, w);
+                                    let pi0 = d.add(row, xx);
+                                    let pi = d.add(frame_off, pi0);
+                                    let px = load_u8(d, inp, pi);
+                                    let r = d.sub(px, pred);
+                                    let four4 = d.i64c(4);
+                                    let bi = {
+                                        let rr = d.mul(y, four4);
+                                        d.add(rr, x)
+                                    };
+                                    d.store_elem(block, bi, r);
+                                });
+                            });
+                            emit_fwd4x4(d, block, tmp);
+                            // Quantize (round-to-nearest, symmetric).
+                            let sixteen = d.i64c(16);
+                            d.for_range(z4, sixteen, |d, i| {
+                                let c = d.load_elem(Type::I64, block, i);
+                                let ac = crate::common::iabs(d, c);
+                                let two = d.i64c(2);
+                                let halfq = d.sdiv(qstep, two);
+                                let num = d.add(ac, halfq);
+                                let q0 = d.sdiv(num, qstep);
+                                let zz = d.i64c(0);
+                                let neg = d.icmp(IntCC::Slt, c, zz);
+                                let nq = d.sub(zz, q0);
+                                let q = d.select(neg, nq, q0);
+                                d.store_elem(block, i, q);
+                            });
+                            // Run-level emit.
+                            let run = d.declare_var(Type::I64);
+                            let z6 = d.i64c(0);
+                            d.set(run, z6);
+                            d.for_range(z6, sixteen, |d, i| {
+                                let v = d.load_elem(Type::I64, block, i);
+                                let lvl = clamp(d, v, -127, 127);
+                                let zz = d.i64c(0);
+                                let is0 = d.icmp(IntCC::Eq, lvl, zz);
+                                d.if_else(
+                                    is0,
+                                    |d| {
+                                        let r = d.get(run);
+                                        let one2 = d.i64c(1);
+                                        let r2 = d.add(r, one2);
+                                        d.set(run, r2);
+                                    },
+                                    |d| {
+                                        let r = d.get(run);
+                                        let cur = d.get(cursor);
+                                        store_u8(d, out, cur, r);
+                                        let one2 = d.i64c(1);
+                                        let cur1 = d.add(cur, one2);
+                                        store_u8(d, out, cur1, lvl);
+                                        let cur2 = d.add(cur1, one2);
+                                        d.set(cursor, cur2);
+                                        let zz2 = d.i64c(0);
+                                        d.set(run, zz2);
+                                    },
+                                );
+                                // Clamp the stored level too (mirror host).
+                                d.store_elem(block, i, lvl);
+                            });
+                            let cur = d.get(cursor);
+                            let zz3 = d.i64c(0);
+                            store_u8(d, out, cur, zz3);
+                            let one5 = d.i64c(1);
+                            let cur1 = d.add(cur, one5);
+                            store_u8(d, out, cur1, zz3);
+                            let cur2 = d.add(cur1, one5);
+                            d.set(cursor, cur2);
+                            // Reconstruct for later predictions.
+                            emit_reconstruct(d, block, tmp, recon, w, bx, by, pred);
+                        });
+                    });
+                });
+                let len = d.get(cursor);
+                set_output_len(d, io, len);
+                let r = d.i64c(0);
+                d.ret(Some(r));
+            },
+        )
+    }
+
+    fn input(&self, set: InputSet) -> WorkloadInput {
+        let (w, h, nf, seed) = match set {
+            InputSet::Train => (32usize, 32usize, 2usize, 1001u64),
+            InputSet::Test => (24usize, 24usize, 2usize, 1002),
+        };
+        let mut data = Vec::new();
+        for k in 0..nf {
+            data.extend_from_slice(&gray_image(w, h, seed + k as u64).pixels);
+        }
+        WorkloadInput {
+            params: vec![w as i64, h as i64, nf as i64],
+            data,
+        }
+    }
+
+    fn fidelity(&self, golden: &[u8], candidate: &[u8]) -> f64 {
+        let (a, _, _) = h264_ref::decode(golden);
+        let (b, _, _) = h264_ref::decode(candidate);
+        let af: Vec<u8> = a.into_iter().flatten().collect();
+        let bf: Vec<u8> = b.into_iter().flatten().collect();
+        psnr_u8(&af, &bf)
+    }
+}
+
+/// The `h264dec` workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct H264Dec;
+
+impl Workload for H264Dec {
+    fn name(&self) -> &'static str {
+        "h264dec"
+    }
+
+    fn category(&self) -> Category {
+        Category::Video
+    }
+
+    fn metric(&self) -> FidelityMetric {
+        FidelityMetric::Psnr { threshold_db: 30.0 }
+    }
+
+    fn build_module(&self) -> Module {
+        // The decoder reconstructs directly into the output region, one
+        // frame after another; scratch holds the block + tmp buffers.
+        build_kernel_scratch(
+            "h264dec",
+            MAX_STREAM,
+            MAX_W * MAX_H * MAX_FRAMES,
+            32 * 8,
+            &[],
+            |d, io, _| {
+                let block = d.i64c(io.scratch as i64);
+                let tmp = d.i64c((io.scratch + 16 * 8) as i64);
+                let inp = input_base(d, io);
+                let out = output_data_base(d, io);
+                let z = d.i64c(0);
+                let _one = d.i64c(1);
+                let eight = d.i64c(8);
+
+                let rd16 = |d: &mut FunctionDsl, off: i64| {
+                    let o0 = d.i64c(off);
+                    let o1 = d.i64c(off + 1);
+                    let lo = load_u8(d, inp, o0);
+                    let hi = load_u8(d, inp, o1);
+                    let hs = d.shl(hi, eight);
+                    d.or_(lo, hs)
+                };
+                let w = rd16(d, 0);
+                let h = rd16(d, 2);
+                let nf = rd16(d, 4);
+                let cursor = d.declare_var(Type::I64);
+                let six = d.i64c(6);
+                d.set(cursor, six);
+                let npix = d.mul(w, h);
+
+                d.for_range(z, nf, |d, f| {
+                    let frame_off = d.mul(f, npix);
+                    let recon = d.add(out, frame_off);
+                    // Zero the frame.
+                    let z2 = d.i64c(0);
+                    d.for_range(z2, npix, |d, i| {
+                        let zz = d.i64c(0);
+                        store_u8(d, recon, i, zz);
+                    });
+                    let four = d.i64c(4);
+                    let bh = d.sdiv(h, four);
+                    let bw = d.sdiv(w, four);
+                    d.for_range(z2, bh, |d, byi| {
+                        let z3 = d.i64c(0);
+                        d.for_range(z3, bw, |d, bxi| {
+                            let four2 = d.i64c(4);
+                            let by = d.mul(byi, four2);
+                            let bx = d.mul(bxi, four2);
+                            // Clear the block.
+                            let sixteen = d.i64c(16);
+                            let z4 = d.i64c(0);
+                            d.for_range(z4, sixteen, |d, i| {
+                                let zz = d.i64c(0);
+                                d.store_elem(block, i, zz);
+                            });
+                            // Run-level parse.
+                            let idx = d.declare_var(Type::I64);
+                            d.set(idx, z4);
+                            let done = d.declare_var(Type::I64);
+                            d.set(done, z4);
+                            d.while_(
+                                |d| {
+                                    let dn = d.get(done);
+                                    let zz = d.i64c(0);
+                                    d.icmp(IntCC::Eq, dn, zz)
+                                },
+                                |d| {
+                                    let cur = d.get(cursor);
+                                    let run = load_u8(d, inp, cur);
+                                    let one2 = d.i64c(1);
+                                    let cur1 = d.add(cur, one2);
+                                    let lvl_u = load_u8(d, inp, cur1);
+                                    let cur2 = d.add(cur1, one2);
+                                    d.set(cursor, cur2);
+                                    let lvl8 = d.trunc(lvl_u, Type::I8);
+                                    let level = d.sext(lvl8, Type::I64);
+                                    let zz = d.i64c(0);
+                                    let r0 = d.icmp(IntCC::Eq, run, zz);
+                                    let l0 = d.icmp(IntCC::Eq, level, zz);
+                                    let eob = d.and_(r0, l0);
+                                    d.if_else(
+                                        eob,
+                                        |d| {
+                                            let one3 = d.i64c(1);
+                                            d.set(done, one3);
+                                        },
+                                        |d| {
+                                            let ix = d.get(idx);
+                                            let nx = d.add(ix, run);
+                                            let c16 = d.i64c(16);
+                                            let ok = d.icmp(IntCC::Slt, nx, c16);
+                                            d.if_else(
+                                                ok,
+                                                |d| {
+                                                    let ix2 = d.get(idx);
+                                                    let nx2 = d.add(ix2, run);
+                                                    d.store_elem(block, nx2, level);
+                                                    let one4 = d.i64c(1);
+                                                    let nxt = d.add(nx2, one4);
+                                                    d.set(idx, nxt);
+                                                },
+                                                |d| {
+                                                    let one4 = d.i64c(1);
+                                                    d.set(done, one4);
+                                                },
+                                            );
+                                        },
+                                    );
+                                },
+                            );
+                            let pred = emit_dc_predict(d, recon, w, bx, by);
+                            emit_reconstruct(d, block, tmp, recon, w, bx, by, pred);
+                        });
+                    });
+                });
+                let total = d.mul(nf, npix);
+                set_output_len(d, io, total);
+                let r = d.i64c(0);
+                d.ret(Some(r));
+            },
+        )
+    }
+
+    fn input(&self, set: InputSet) -> WorkloadInput {
+        let (w, h, nf, seed) = match set {
+            InputSet::Train => (32usize, 32usize, 2usize, 1003u64),
+            InputSet::Test => (24usize, 24usize, 2usize, 1004),
+        };
+        let frames: Vec<Vec<u8>> = (0..nf)
+            .map(|k| gray_image(w, h, seed + k as u64).pixels)
+            .collect();
+        let stream = h264_ref::encode(&frames, w, h);
+        WorkloadInput {
+            params: vec![],
+            data: stream,
+        }
+    }
+
+    fn fidelity(&self, golden: &[u8], candidate: &[u8]) -> f64 {
+        psnr_u8(golden, candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::golden_output;
+
+    #[test]
+    fn kernel_decoder_matches_host_exactly() {
+        let w = H264Dec;
+        let m = w.build_module();
+        softft_ir::verify::verify_module(&m).unwrap();
+        let input = w.input(InputSet::Test);
+        let (host_frames, hw, hh) = h264_ref::decode(&input.data);
+        assert_eq!((hw, hh), (24, 24));
+        let host: Vec<u8> = host_frames.into_iter().flatten().collect();
+        let out = golden_output(&w, &m, InputSet::Test);
+        assert_eq!(out, host, "integer decoders must agree bit-for-bit");
+    }
+
+    #[test]
+    fn kernel_encoder_matches_host_exactly() {
+        let w = H264Enc;
+        let m = w.build_module();
+        softft_ir::verify::verify_module(&m).unwrap();
+        let input = w.input(InputSet::Test);
+        let nf = 2;
+        let frames: Vec<Vec<u8>> = (0..nf)
+            .map(|k| {
+                input.data[k * 24 * 24..(k + 1) * 24 * 24].to_vec()
+            })
+            .collect();
+        let host = h264_ref::encode(&frames, 24, 24);
+        let out = golden_output(&w, &m, InputSet::Test);
+        assert_eq!(out, host, "integer encoders must agree bit-for-bit");
+    }
+
+    #[test]
+    fn decoded_video_resembles_source() {
+        let w = H264Dec;
+        let m = w.build_module();
+        let out = golden_output(&w, &m, InputSet::Test);
+        let src: Vec<u8> = (0..2)
+            .flat_map(|k| gray_image(24, 24, 1004 + k).pixels)
+            .collect();
+        let p = psnr_u8(&src, &out);
+        assert!(p > 26.0, "decode PSNR vs source {p}");
+    }
+}

@@ -1,0 +1,682 @@
+//! `jpegenc` / `jpegdec`: grayscale 8×8 block-transform image codec
+//! kernels (the SoftJPEG format of [`crate::host::jpeg_ref`]).
+//!
+//! Both kernels carry the state the paper's motivation highlights: the
+//! DC predictor chains across blocks, and the bitstream cursor chains
+//! across every emitted/consumed byte — corrupting either corrupts all
+//! subsequent blocks (Fig. 1's unacceptable-output case came from
+//! exactly such a corruption in Huffman-coefficient decoding).
+
+use crate::common::{
+    build_kernel_scratch, clamp, input_base, load_u8, output_data_base, param, set_output_len,
+    store_u8,
+};
+use crate::fidelity::psnr_u8;
+use crate::host::jpeg_ref;
+use crate::inputs::gray_image;
+use crate::{Category, FidelityMetric, InputSet, Workload, WorkloadInput};
+use softft_ir::dsl::FunctionDsl;
+use softft_ir::inst::{FloatCC, IntCC};
+use softft_ir::{Module, Type, ValueId};
+
+const MAX_PIXELS: u64 = 48 * 48;
+const MAX_STREAM: u64 = MAX_PIXELS * 2 + 16;
+
+/// 8×8 DCT-II basis entries as f64 bytes: `table[k*8 + n] = c(k, n)`.
+fn dct_basis_bytes() -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 * 8);
+    for k in 0..8 {
+        for n in 0..8 {
+            let c = if k == 0 {
+                (1.0f64 / 8.0).sqrt()
+            } else {
+                (2.0f64 / 8.0).sqrt()
+            };
+            let v = c * ((std::f64::consts::PI * (2.0 * n as f64 + 1.0) * k as f64) / 16.0).cos();
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn qtable_bytes() -> Vec<u8> {
+    jpeg_ref::QTABLE.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+fn zigzag_bytes() -> Vec<u8> {
+    jpeg_ref::ZIGZAG.iter().map(|&z| z as u8).collect()
+}
+
+/// Rounds an `F64` to the nearest `I64` (ties away from zero):
+/// `round(v) = floor(v + 0.5)` for positives and `-floor(-v + 0.5)` for
+/// negatives, matching Rust's `f64::round` used by the host encoder.
+fn round_to_i64(d: &mut FunctionDsl, v: ValueId) -> ValueId {
+    let half = d.fconst(0.5);
+    let zero = d.fconst(0.0);
+    let pos = d.fcmp(FloatCC::Ge, v, zero);
+    let padj = d.fadd(v, half);
+    let pfl = d.ffloor(padj);
+    let pint = d.fptosi(pfl, Type::I64);
+    let negv = d.fneg(v);
+    let nadj = d.fadd(negv, half);
+    let nfl = d.ffloor(nadj);
+    let nint = d.fptosi(nfl, Type::I64);
+    let zero_i = d.i64c(0);
+    let nneg = d.sub(zero_i, nint);
+    d.select(pos, pint, nneg)
+}
+
+/// The `jpegenc` workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JpegEnc;
+
+impl Workload for JpegEnc {
+    fn name(&self) -> &'static str {
+        "jpegenc"
+    }
+
+    fn category(&self) -> Category {
+        Category::Image
+    }
+
+    fn metric(&self) -> FidelityMetric {
+        FidelityMetric::Psnr { threshold_db: 30.0 }
+    }
+
+    fn build_module(&self) -> Module {
+        // Scratch: block f64[64] | tmp f64[64] | q i64[64]
+        build_kernel_scratch(
+            "jpegenc",
+            MAX_PIXELS,
+            MAX_STREAM,
+            64 * 8 * 3,
+            &[
+                ("dct_basis", dct_basis_bytes()),
+                ("qtable", qtable_bytes()),
+                ("zigzag", zigzag_bytes()),
+            ],
+            |d, io, tabs| {
+                let basis = d.i64c(tabs[0] as i64);
+                let qtab = d.i64c(tabs[1] as i64);
+                let zig = d.i64c(tabs[2] as i64);
+                let blockf = d.i64c(io.scratch as i64);
+                let tmpf = d.i64c((io.scratch + 64 * 8) as i64);
+                let qbuf = d.i64c((io.scratch + 128 * 8) as i64);
+                let w = param(d, io, 0);
+                let h = param(d, io, 1);
+                let inp = input_base(d, io);
+                let out = output_data_base(d, io);
+                let z = d.i64c(0);
+                let one = d.i64c(1);
+                let eight = d.i64c(8);
+
+                // Header: w u16, h u16 (LE).
+                let cursor = d.declare_var(Type::I64);
+                let mask = d.i64c(0xFF);
+                let wl = d.and_(w, mask);
+                let wh = d.lshr(w, eight);
+                let hl = d.and_(h, mask);
+                let hh = d.lshr(h, eight);
+                store_u8(d, out, z, wl);
+                store_u8(d, out, one, wh);
+                let two = d.i64c(2);
+                let three = d.i64c(3);
+                store_u8(d, out, two, hl);
+                store_u8(d, out, three, hh);
+                let four = d.i64c(4);
+                d.set(cursor, four);
+
+                let prev_dc = d.declare_var(Type::I64);
+                d.set(prev_dc, z);
+
+                let bh = d.sdiv(h, eight);
+                let bw = d.sdiv(w, eight);
+                d.for_range(z, bh, |d, byi| {
+                    let z = d.i64c(0);
+                    d.for_range(z, bw, |d, bxi| {
+                        let eight = d.i64c(8);
+                        let by = d.mul(byi, eight);
+                        let bx = d.mul(bxi, eight);
+                        // Load centered block into blockf (f64).
+                        let z2 = d.i64c(0);
+                        d.for_range(z2, eight, |d, y| {
+                            let eight = d.i64c(8);
+                            let z3 = d.i64c(0);
+                            d.for_range(z3, eight, |d, x| {
+                                let yy = d.add(by, y);
+                                let xx = d.add(bx, x);
+                                let row = d.mul(yy, w);
+                                let pi = d.add(row, xx);
+                                let px = load_u8(d, inp, pi);
+                                let c128 = d.i64c(128);
+                                let cent = d.sub(px, c128);
+                                let f = d.sitofp(cent);
+                                let eight2 = d.i64c(8);
+                                let bi = {
+                                    let r = d.mul(y, eight2);
+                                    d.add(r, x)
+                                };
+                                d.store_elem(blockf, bi, f);
+                            });
+                        });
+                        // Separable DCT: tmp[u][x] = Σ_y basis[u][y] blk[y][x]
+                        d.for_range(z2, eight, |d, u| {
+                            let eight = d.i64c(8);
+                            let z3 = d.i64c(0);
+                            d.for_range(z3, eight, |d, x| {
+                                let acc = d.declare_var(Type::F64);
+                                let zf = d.fconst(0.0);
+                                d.set(acc, zf);
+                                let eight2 = d.i64c(8);
+                                let z4 = d.i64c(0);
+                                d.for_range(z4, eight2, |d, y| {
+                                    let eight3 = d.i64c(8);
+                                    let biu = {
+                                        let r = d.mul(u, eight3);
+                                        d.add(r, y)
+                                    };
+                                    let c = d.load_elem(Type::F64, basis, biu);
+                                    let bi = {
+                                        let r = d.mul(y, eight3);
+                                        d.add(r, x)
+                                    };
+                                    let v = d.load_elem(Type::F64, blockf, bi);
+                                    let p = d.fmul(c, v);
+                                    let a = d.get(acc);
+                                    let a2 = d.fadd(a, p);
+                                    d.set(acc, a2);
+                                });
+                                let a = d.get(acc);
+                                let eight3 = d.i64c(8);
+                                let ti = {
+                                    let r = d.mul(u, eight3);
+                                    d.add(r, x)
+                                };
+                                d.store_elem(tmpf, ti, a);
+                            });
+                        });
+                        // out[u][v] = Σ_x tmp[u][x] basis[v][x]; quantize.
+                        d.for_range(z2, eight, |d, u| {
+                            let eight = d.i64c(8);
+                            let z3 = d.i64c(0);
+                            d.for_range(z3, eight, |d, v| {
+                                let acc = d.declare_var(Type::F64);
+                                let zf = d.fconst(0.0);
+                                d.set(acc, zf);
+                                let z4 = d.i64c(0);
+                                let eight2 = d.i64c(8);
+                                d.for_range(z4, eight2, |d, x| {
+                                    let eight3 = d.i64c(8);
+                                    let ti = {
+                                        let r = d.mul(u, eight3);
+                                        d.add(r, x)
+                                    };
+                                    let t = d.load_elem(Type::F64, tmpf, ti);
+                                    let bi = {
+                                        let r = d.mul(v, eight3);
+                                        d.add(r, x)
+                                    };
+                                    let c = d.load_elem(Type::F64, basis, bi);
+                                    let p = d.fmul(t, c);
+                                    let a = d.get(acc);
+                                    let a2 = d.fadd(a, p);
+                                    d.set(acc, a2);
+                                });
+                                let coef = d.get(acc);
+                                let eight3 = d.i64c(8);
+                                let ci = {
+                                    let r = d.mul(u, eight3);
+                                    d.add(r, v)
+                                };
+                                let qv = {
+                                    let q32 = d.load_elem(Type::I32, qtab, ci);
+                                    d.sext(q32, Type::I64)
+                                };
+                                let qf = d.sitofp(qv);
+                                let scaled = d.fdiv(coef, qf);
+                                let qi = round_to_i64(d, scaled);
+                                d.store_elem(qbuf, ci, qi);
+                            });
+                        });
+                        // DC delta (clamped to i16).
+                        let dc = {
+                            let z4 = d.i64c(0);
+                            let v = d.load_elem(Type::I64, qbuf, z4);
+                            clamp(d, v, -32768, 32767)
+                        };
+                        let pd = d.get(prev_dc);
+                        let delta0 = d.sub(dc, pd);
+                        let delta = clamp(d, delta0, -32768, 32767);
+                        d.set(prev_dc, dc);
+                        let cur = d.get(cursor);
+                        let m8 = d.i64c(0xFF);
+                        let dl = d.and_(delta, m8);
+                        store_u8(d, out, cur, dl);
+                        let one2 = d.i64c(1);
+                        let cur1 = d.add(cur, one2);
+                        let eight4 = d.i64c(8);
+                        let dh0 = d.ashr(delta, eight4);
+                        let dh = d.and_(dh0, m8);
+                        store_u8(d, out, cur1, dh);
+                        let cur2 = d.add(cur1, one2);
+                        d.set(cursor, cur2);
+
+                        // AC run-level in zigzag order.
+                        let run = d.declare_var(Type::I64);
+                        let z5 = d.i64c(0);
+                        d.set(run, z5);
+                        let one3 = d.i64c(1);
+                        let c64 = d.i64c(64);
+                        d.for_range(one3, c64, |d, zi入| {
+                            let zi = zi入;
+                            let pos = load_u8(d, zig, zi);
+                            let qv = d.load_elem(Type::I64, qbuf, pos);
+                            let level = clamp(d, qv, -127, 127);
+                            let zz = d.i64c(0);
+                            let is_zero = d.icmp(IntCC::Eq, level, zz);
+                            d.if_else(
+                                is_zero,
+                                |d| {
+                                    let r = d.get(run);
+                                    let one4 = d.i64c(1);
+                                    let r2 = d.add(r, one4);
+                                    d.set(run, r2);
+                                },
+                                |d| {
+                                    let r = d.get(run);
+                                    let cur = d.get(cursor);
+                                    store_u8(d, out, cur, r);
+                                    let one4 = d.i64c(1);
+                                    let cur1 = d.add(cur, one4);
+                                    store_u8(d, out, cur1, level);
+                                    let cur2 = d.add(cur1, one4);
+                                    d.set(cursor, cur2);
+                                    let zz2 = d.i64c(0);
+                                    d.set(run, zz2);
+                                },
+                            );
+                        });
+                        // EOB.
+                        let cur = d.get(cursor);
+                        let zz3 = d.i64c(0);
+                        store_u8(d, out, cur, zz3);
+                        let one5 = d.i64c(1);
+                        let cur1 = d.add(cur, one5);
+                        store_u8(d, out, cur1, zz3);
+                        let cur2 = d.add(cur1, one5);
+                        d.set(cursor, cur2);
+                    });
+                });
+                let len = d.get(cursor);
+                set_output_len(d, io, len);
+                let r = d.i64c(0);
+                d.ret(Some(r));
+            },
+        )
+    }
+
+    fn input(&self, set: InputSet) -> WorkloadInput {
+        let (w, h, seed) = match set {
+            InputSet::Train => (48usize, 48usize, 801),
+            InputSet::Test => (32usize, 32usize, 802),
+        };
+        let img = gray_image(w, h, seed);
+        WorkloadInput {
+            params: vec![w as i64, h as i64],
+            data: img.pixels,
+        }
+    }
+
+    fn fidelity(&self, golden: &[u8], candidate: &[u8]) -> f64 {
+        let (a, _, _) = jpeg_ref::decode(golden);
+        let (b, _, _) = jpeg_ref::decode(candidate);
+        psnr_u8(&a, &b)
+    }
+}
+
+/// The `jpegdec` workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JpegDec;
+
+impl Workload for JpegDec {
+    fn name(&self) -> &'static str {
+        "jpegdec"
+    }
+
+    fn category(&self) -> Category {
+        Category::Image
+    }
+
+    fn metric(&self) -> FidelityMetric {
+        FidelityMetric::Psnr { threshold_db: 30.0 }
+    }
+
+    fn build_module(&self) -> Module {
+        // Scratch: q i64[64] | coef f64[64] | tmp f64[64]
+        build_kernel_scratch(
+            "jpegdec",
+            MAX_STREAM,
+            MAX_PIXELS,
+            64 * 8 * 3,
+            &[
+                ("dct_basis", dct_basis_bytes()),
+                ("qtable", qtable_bytes()),
+                ("zigzag", zigzag_bytes()),
+            ],
+            |d, io, tabs| {
+                let basis = d.i64c(tabs[0] as i64);
+                let qtab = d.i64c(tabs[1] as i64);
+                let zig = d.i64c(tabs[2] as i64);
+                let qbuf = d.i64c(io.scratch as i64);
+                let coeff = d.i64c((io.scratch + 64 * 8) as i64);
+                let tmpf = d.i64c((io.scratch + 128 * 8) as i64);
+                let inp = input_base(d, io);
+                let out = output_data_base(d, io);
+                let z = d.i64c(0);
+                let one = d.i64c(1);
+                let eight = d.i64c(8);
+
+                // Header.
+                let b0 = load_u8(d, inp, z);
+                let b1 = load_u8(d, inp, one);
+                let two = d.i64c(2);
+                let three = d.i64c(3);
+                let b2 = load_u8(d, inp, two);
+                let b3 = load_u8(d, inp, three);
+                let w = {
+                    let hi = d.shl(b1, eight);
+                    d.or_(b0, hi)
+                };
+                let h = {
+                    let hi = d.shl(b3, eight);
+                    d.or_(b2, hi)
+                };
+                let cursor = d.declare_var(Type::I64);
+                let four = d.i64c(4);
+                d.set(cursor, four);
+                let prev_dc = d.declare_var(Type::I64);
+                d.set(prev_dc, z);
+
+                let bh = d.sdiv(h, eight);
+                let bw = d.sdiv(w, eight);
+                d.for_range(z, bh, |d, byi| {
+                    let z = d.i64c(0);
+                    d.for_range(z, bw, |d, bxi| {
+                        let eight = d.i64c(8);
+                        let by = d.mul(byi, eight);
+                        let bx = d.mul(bxi, eight);
+                        // Clear q.
+                        let z2 = d.i64c(0);
+                        let c64 = d.i64c(64);
+                        d.for_range(z2, c64, |d, i| {
+                            let zz = d.i64c(0);
+                            d.store_elem(qbuf, i, zz);
+                        });
+                        // DC delta.
+                        let cur = d.get(cursor);
+                        let lo = load_u8(d, inp, cur);
+                        let one2 = d.i64c(1);
+                        let cur1 = d.add(cur, one2);
+                        let hi = load_u8(d, inp, cur1);
+                        let cur2 = d.add(cur1, one2);
+                        d.set(cursor, cur2);
+                        let eight2 = d.i64c(8);
+                        let hi_sh = d.shl(hi, eight2);
+                        let raw = d.or_(lo, hi_sh);
+                        // Sign-extend 16 bits.
+                        let raw16 = d.trunc(raw, Type::I16);
+                        let delta = d.sext(raw16, Type::I64);
+                        let pd = d.get(prev_dc);
+                        let dc = d.add(pd, delta);
+                        d.set(prev_dc, dc);
+                        let z3 = d.i64c(0);
+                        d.store_elem(qbuf, z3, dc);
+
+                        // AC run-level until EOB.
+                        let zi = d.declare_var(Type::I64);
+                        let one3 = d.i64c(1);
+                        d.set(zi, one3);
+                        let done = d.declare_var(Type::I64);
+                        d.set(done, z3);
+                        d.while_(
+                            |d| {
+                                let dn = d.get(done);
+                                let zz = d.i64c(0);
+                                d.icmp(IntCC::Eq, dn, zz)
+                            },
+                            |d| {
+                                let cur = d.get(cursor);
+                                let run = load_u8(d, inp, cur);
+                                let one4 = d.i64c(1);
+                                let cur1 = d.add(cur, one4);
+                                let lvl_u = load_u8(d, inp, cur1);
+                                let cur2 = d.add(cur1, one4);
+                                d.set(cursor, cur2);
+                                let lvl8 = d.trunc(lvl_u, Type::I8);
+                                let level = d.sext(lvl8, Type::I64);
+                                let zz = d.i64c(0);
+                                let r_is0 = d.icmp(IntCC::Eq, run, zz);
+                                let l_is0 = d.icmp(IntCC::Eq, level, zz);
+                                let eob = d.and_(r_is0, l_is0);
+                                d.if_else(
+                                    eob,
+                                    |d| {
+                                        let one5 = d.i64c(1);
+                                        d.set(done, one5);
+                                    },
+                                    |d| {
+                                        let z4 = d.get(zi);
+                                        let nz = d.add(z4, run);
+                                        let c64 = d.i64c(64);
+                                        let ok = d.icmp(IntCC::Slt, nz, c64);
+                                        d.if_else(
+                                            ok,
+                                            |d| {
+                                                let nz2 = d.get(zi);
+                                                let nz3 = d.add(nz2, run);
+                                                let pos = load_u8(d, zig, nz3);
+                                                d.store_elem(qbuf, pos, level);
+                                                let one6 = d.i64c(1);
+                                                let nxt = d.add(nz3, one6);
+                                                d.set(zi, nxt);
+                                                let c64b = d.i64c(64);
+                                                let past = d.icmp(IntCC::Sge, nxt, c64b);
+                                                let one7 = d.i64c(1);
+                                                let z5 = d.i64c(0);
+                                                let df = d.select(past, one7, z5);
+                                                let cd = d.get(done);
+                                                let nd = d.or_(cd, df);
+                                                d.set(done, nd);
+                                            },
+                                            |d| {
+                                                // Corrupt run: stop block.
+                                                let one6 = d.i64c(1);
+                                                d.set(done, one6);
+                                            },
+                                        );
+                                    },
+                                );
+                            },
+                        );
+
+                        // Dequantize into coeff (f64), clamped like host.
+                        d.for_range(z2, c64, |d, i| {
+                            let q = d.load_elem(Type::I64, qbuf, i);
+                            let qc = clamp(d, q, -20000, 20000);
+                            let qt = {
+                                let q32 = d.load_elem(Type::I32, qtab, i);
+                                d.sext(q32, Type::I64)
+                            };
+                            let v = d.mul(qc, qt);
+                            let f = d.sitofp(v);
+                            d.store_elem(coeff, i, f);
+                        });
+                        // Separable IDCT: tmp[y][v] = Σ_u basis[u][y] coef[u][v]
+                        let eight3 = d.i64c(8);
+                        d.for_range(z2, eight3, |d, y| {
+                            let eight = d.i64c(8);
+                            let z4 = d.i64c(0);
+                            d.for_range(z4, eight, |d, v| {
+                                let acc = d.declare_var(Type::F64);
+                                let zf = d.fconst(0.0);
+                                d.set(acc, zf);
+                                let z5 = d.i64c(0);
+                                let eight2 = d.i64c(8);
+                                d.for_range(z5, eight2, |d, u| {
+                                    let eight4 = d.i64c(8);
+                                    let biu = {
+                                        let r = d.mul(u, eight4);
+                                        d.add(r, y)
+                                    };
+                                    let c = d.load_elem(Type::F64, basis, biu);
+                                    let ci = {
+                                        let r = d.mul(u, eight4);
+                                        d.add(r, v)
+                                    };
+                                    let cf = d.load_elem(Type::F64, coeff, ci);
+                                    let p = d.fmul(c, cf);
+                                    let a = d.get(acc);
+                                    let a2 = d.fadd(a, p);
+                                    d.set(acc, a2);
+                                });
+                                let a = d.get(acc);
+                                let eight4 = d.i64c(8);
+                                let ti = {
+                                    let r = d.mul(y, eight4);
+                                    d.add(r, v)
+                                };
+                                d.store_elem(tmpf, ti, a);
+                            });
+                        });
+                        // px[y][x] = Σ_v tmp[y][v] basis[v][x] + 128
+                        d.for_range(z2, eight3, |d, y| {
+                            let eight = d.i64c(8);
+                            let z4 = d.i64c(0);
+                            d.for_range(z4, eight, |d, x| {
+                                let acc = d.declare_var(Type::F64);
+                                let zf = d.fconst(0.0);
+                                d.set(acc, zf);
+                                let z5 = d.i64c(0);
+                                let eight2 = d.i64c(8);
+                                d.for_range(z5, eight2, |d, v| {
+                                    let eight4 = d.i64c(8);
+                                    let ti = {
+                                        let r = d.mul(y, eight4);
+                                        d.add(r, v)
+                                    };
+                                    let t = d.load_elem(Type::F64, tmpf, ti);
+                                    let bi = {
+                                        let r = d.mul(v, eight4);
+                                        d.add(r, x)
+                                    };
+                                    let c = d.load_elem(Type::F64, basis, bi);
+                                    let p = d.fmul(t, c);
+                                    let a = d.get(acc);
+                                    let a2 = d.fadd(a, p);
+                                    d.set(acc, a2);
+                                });
+                                let a = d.get(acc);
+                                let c128 = d.fconst(128.0);
+                                let shifted = d.fadd(a, c128);
+                                let r = round_to_i64(d, shifted);
+                                let px = clamp(d, r, 0, 255);
+                                let yy = d.add(by, y);
+                                let xx = d.add(bx, x);
+                                let row = d.mul(yy, w);
+                                let oi = d.add(row, xx);
+                                store_u8(d, out, oi, px);
+                            });
+                        });
+                    });
+                });
+                let n = d.mul(w, h);
+                set_output_len(d, io, n);
+                let r = d.i64c(0);
+                d.ret(Some(r));
+            },
+        )
+    }
+
+    fn input(&self, set: InputSet) -> WorkloadInput {
+        let (w, h, seed) = match set {
+            InputSet::Train => (48usize, 48usize, 803),
+            InputSet::Test => (32usize, 32usize, 804),
+        };
+        let img = gray_image(w, h, seed);
+        let stream = jpeg_ref::encode(&img.pixels, w, h);
+        WorkloadInput {
+            params: vec![],
+            data: stream,
+        }
+    }
+
+    fn fidelity(&self, golden: &[u8], candidate: &[u8]) -> f64 {
+        psnr_u8(golden, candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::golden_output;
+
+    #[test]
+    fn decoder_matches_host_decoder_closely() {
+        let w = JpegDec;
+        let m = w.build_module();
+        softft_ir::verify::verify_module(&m).unwrap();
+        let input = w.input(InputSet::Test);
+        let (host_px, hw, hh) = jpeg_ref::decode(&input.data);
+        assert_eq!((hw, hh), (32, 32));
+        let out = golden_output(&w, &m, InputSet::Test);
+        assert_eq!(out.len(), host_px.len());
+        let p = psnr_u8(&host_px, &out);
+        assert!(p > 45.0, "kernel vs host decode PSNR {p}");
+    }
+
+    #[test]
+    fn decoded_image_resembles_source() {
+        let w = JpegDec;
+        let m = w.build_module();
+        let out = golden_output(&w, &m, InputSet::Test);
+        let src = gray_image(32, 32, 804).pixels;
+        let p = psnr_u8(&src, &out);
+        assert!(p > 28.0, "decode vs source PSNR {p}");
+    }
+
+    #[test]
+    fn encoder_stream_decodes_well() {
+        let w = JpegEnc;
+        let m = w.build_module();
+        softft_ir::verify::verify_module(&m).unwrap();
+        let stream = golden_output(&w, &m, InputSet::Test);
+        let (px, dw, dh) = jpeg_ref::decode(&stream);
+        assert_eq!((dw, dh), (32, 32));
+        let src = gray_image(32, 32, 802).pixels;
+        let p = psnr_u8(&src, &px);
+        assert!(p > 28.0, "encode→host-decode PSNR {p}");
+    }
+
+    #[test]
+    fn encoder_compresses() {
+        let w = JpegEnc;
+        let m = w.build_module();
+        let stream = golden_output(&w, &m, InputSet::Train);
+        assert!(stream.len() < 48 * 48, "no compression: {}", stream.len());
+    }
+
+    #[test]
+    fn enc_fidelity_uses_host_decode() {
+        let w = JpegEnc;
+        let m = w.build_module();
+        let stream = golden_output(&w, &m, InputSet::Test);
+        assert_eq!(w.fidelity(&stream, &stream), f64::INFINITY);
+        // A corrupted stream must degrade.
+        let mut bad = stream.clone();
+        for i in (6..bad.len()).step_by(9) {
+            bad[i] ^= 0x41;
+        }
+        let f = w.fidelity(&stream, &bad);
+        assert!(f < 40.0, "{f}");
+    }
+}

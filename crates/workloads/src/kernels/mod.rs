@@ -1,0 +1,18 @@
+//! The thirteen benchmark kernels, written in the soft-ft IR DSL.
+//!
+//! Each module defines one or two [`crate::Workload`] implementations.
+//! The kernels carry the same computational skeletons as the paper's
+//! benchmarks: transform codecs with loop-carried predictors and
+//! bit-cursors, iterative clustering with accumulator state, and
+//! neighbourhood-search synthesis — the structures whose corruption
+//! causes unacceptable output changes.
+
+pub mod g721;
+pub mod h264;
+pub mod jpeg;
+pub mod kmeans;
+pub mod mp3;
+pub mod segm;
+pub mod svm;
+pub mod tex_synth;
+pub mod tiff2bw;

@@ -1,0 +1,352 @@
+//! `mp3enc` / `mp3dec`: frame-based transform audio codec kernels (the
+//! SoftMP3 format of [`crate::host::subband_ref`]).
+//!
+//! Per-frame state abounds: the frame loop's running maximum, the
+//! exponent search counter, and the output cursor are all loop-carried.
+//! All arithmetic is integer-exact with the host reference, so the
+//! kernel encoder's stream decodes bit-for-bit on the host.
+
+use crate::common::{
+    build_kernel_scratch, clamp, i16s_to_bytes, imax, input_base, load_i16, output_data_base,
+    param, set_output_len, store_i16, store_u8,
+};
+use crate::fidelity::psnr_i16;
+use crate::host::subband_ref::{self, FRAME};
+use crate::inputs::waveform;
+use crate::{Category, FidelityMetric, InputSet, Workload, WorkloadInput};
+use softft_ir::inst::IntCC;
+use softft_ir::{Module, Type};
+
+const MAX_SAMPLES: u64 = 2048;
+const MAX_STREAM: u64 = (MAX_SAMPLES / FRAME as u64) * (FRAME as u64 + 1) + 64;
+
+fn dct_table_bytes() -> Vec<u8> {
+    subband_ref::dct_table_q14()
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect()
+}
+
+/// The `mp3enc` workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Mp3Enc;
+
+impl Workload for Mp3Enc {
+    fn name(&self) -> &'static str {
+        "mp3enc"
+    }
+
+    fn category(&self) -> Category {
+        Category::Audio
+    }
+
+    fn metric(&self) -> FidelityMetric {
+        FidelityMetric::Psnr { threshold_db: 30.0 }
+    }
+
+    fn build_module(&self) -> Module {
+        // Scratch: coefficient buffer, FRAME i64 words.
+        build_kernel_scratch(
+            "mp3enc",
+            MAX_SAMPLES * 2,
+            MAX_STREAM,
+            FRAME as u64 * 8,
+            &[("dct_q14", dct_table_bytes())],
+            |d, io, tabs| {
+                let table = d.i64c(tabs[0] as i64);
+                let coefs = d.i64c(io.scratch as i64);
+                let n = param(d, io, 0);
+                let inp = input_base(d, io);
+                let out = output_data_base(d, io);
+                let z = d.i64c(0);
+                let frame_c = d.i64c(FRAME as i64);
+                let frames = d.sdiv(n, frame_c);
+
+                d.for_range(z, frames, |d, f| {
+                    let frame_c = d.i64c(FRAME as i64);
+                    let base = d.mul(f, frame_c);
+                    // DCT-II: coef[k] = (Σ_n x[n] * T[k][n]) >> 14
+                    let z2 = d.i64c(0);
+                    d.for_range(z2, frame_c, |d, k| {
+                        let acc = d.declare_var(Type::I64);
+                        let zz = d.i64c(0);
+                        d.set(acc, zz);
+                        let frame_c2 = d.i64c(FRAME as i64);
+                        d.for_range(zz, frame_c2, |d, nn| {
+                            let si = d.add(base, nn);
+                            let x = load_i16(d, inp, si);
+                            let frame_c3 = d.i64c(FRAME as i64);
+                            let ti = {
+                                let r = d.mul(k, frame_c3);
+                                d.add(r, nn)
+                            };
+                            let c = load_i16(d, table, ti);
+                            let p = d.mul(x, c);
+                            let a = d.get(acc);
+                            let a2 = d.add(a, p);
+                            d.set(acc, a2);
+                        });
+                        let a = d.get(acc);
+                        let c14 = d.i64c(14);
+                        let v = d.ashr(a, c14);
+                        d.store_elem(coefs, k, v);
+                    });
+                    // Frame maximum magnitude (loop-carried max).
+                    let maxmag = d.declare_var(Type::I64);
+                    let one_c = d.i64c(1);
+                    d.set(maxmag, one_c);
+                    d.for_range(z2, frame_c, |d, k| {
+                        let v = d.load_elem(Type::I64, coefs, k);
+                        let av = crate::common::iabs(d, v);
+                        let m = d.get(maxmag);
+                        let nm = imax(d, m, av);
+                        d.set(maxmag, nm);
+                    });
+                    // Exponent search: smallest exp with 2^exp >= maxmag.
+                    let exp = d.declare_var(Type::I64);
+                    let zz2 = d.i64c(0);
+                    d.set(exp, zz2);
+                    d.while_(
+                        |d| {
+                            let e = d.get(exp);
+                            let one = d.i64c(1);
+                            let p2 = d.shl(one, e);
+                            let m = d.get(maxmag);
+                            let below = d.icmp(IntCC::Slt, p2, m);
+                            let c62 = d.i64c(62);
+                            let small = d.icmp(IntCC::Slt, e, c62);
+                            d.and_(below, small)
+                        },
+                        |d| {
+                            let e = d.get(exp);
+                            let one = d.i64c(1);
+                            let e2 = d.add(e, one);
+                            d.set(exp, e2);
+                        },
+                    );
+                    // Emit frame: exp byte + quantized coefficients.
+                    let frame_sz = d.i64c(FRAME as i64 + 1);
+                    let fbase = d.mul(f, frame_sz);
+                    let e = d.get(exp);
+                    store_u8(d, out, fbase, e);
+                    let one2 = d.i64c(1);
+                    let scale = d.shl(one2, e);
+                    d.for_range(z2, frame_c, |d, k| {
+                        let v = d.load_elem(Type::I64, coefs, k);
+                        let c127 = d.i64c(127);
+                        let num = d.mul(v, c127);
+                        let q0 = d.sdiv(num, scale);
+                        let q = clamp(d, q0, -127, 127);
+                        let one3 = d.i64c(1);
+                        let oi0 = d.add(fbase, one3);
+                        let oi = d.add(oi0, k);
+                        store_u8(d, out, oi, q);
+                    });
+                });
+                let frame_sz = d.i64c(FRAME as i64 + 1);
+                let total = d.mul(frames, frame_sz);
+                set_output_len(d, io, total);
+                let r = d.i64c(0);
+                d.ret(Some(r));
+            },
+        )
+    }
+
+    fn input(&self, set: InputSet) -> WorkloadInput {
+        let (n, seed) = match set {
+            InputSet::Train => (2048usize, 901),
+            InputSet::Test => (1024usize, 902),
+        };
+        let samples = waveform(n, seed);
+        WorkloadInput {
+            params: vec![n as i64],
+            data: i16s_to_bytes(&samples),
+        }
+    }
+
+    fn fidelity(&self, golden: &[u8], candidate: &[u8]) -> f64 {
+        // Decode both streams on the host, PSNR on waveforms.
+        let n = (golden.len() / (FRAME + 1)) * FRAME;
+        let a = subband_ref::decode(golden, n);
+        let b = subband_ref::decode(candidate, n);
+        psnr_i16(&i16s_to_bytes(&a), &i16s_to_bytes(&b))
+    }
+}
+
+/// The `mp3dec` workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Mp3Dec;
+
+impl Workload for Mp3Dec {
+    fn name(&self) -> &'static str {
+        "mp3dec"
+    }
+
+    fn category(&self) -> Category {
+        Category::Audio
+    }
+
+    fn metric(&self) -> FidelityMetric {
+        FidelityMetric::Psnr { threshold_db: 30.0 }
+    }
+
+    fn build_module(&self) -> Module {
+        // Scratch: dequantized coefficients, FRAME i64 words.
+        build_kernel_scratch(
+            "mp3dec",
+            MAX_STREAM,
+            MAX_SAMPLES * 2,
+            FRAME as u64 * 8,
+            &[("dct_q14", dct_table_bytes())],
+            |d, io, tabs| {
+                let table = d.i64c(tabs[0] as i64);
+                let coefs = d.i64c(io.scratch as i64);
+                let n = param(d, io, 0); // sample count
+                let inp = input_base(d, io);
+                let out = output_data_base(d, io);
+                let z = d.i64c(0);
+                let frame_c = d.i64c(FRAME as i64);
+                let frames = d.sdiv(n, frame_c);
+
+                d.for_range(z, frames, |d, f| {
+                    let frame_sz = d.i64c(FRAME as i64 + 1);
+                    let fbase = d.mul(f, frame_sz);
+                    let exp0 = crate::common::load_u8(d, inp, fbase);
+                    let exp = clamp(d, exp0, 0, 62);
+                    let one = d.i64c(1);
+                    let scale = d.shl(one, exp);
+                    let frame_c2 = d.i64c(FRAME as i64);
+                    let z2 = d.i64c(0);
+                    d.for_range(z2, frame_c2, |d, k| {
+                        let one2 = d.i64c(1);
+                        let qi0 = d.add(fbase, one2);
+                        let qi = d.add(qi0, k);
+                        let q_u = crate::common::load_u8(d, inp, qi);
+                        let q8 = d.trunc(q_u, Type::I8);
+                        let q = d.sext(q8, Type::I64);
+                        let num = d.mul(q, scale);
+                        let c127 = d.i64c(127);
+                        let c = d.sdiv(num, c127);
+                        d.store_elem(coefs, k, c);
+                    });
+                    // IDCT (DCT-III): out[n] = ((c0*16384)>>1 + Σ_{k≥1} c_k T[k][n]) >> 14, *2/32
+                    let frame_c3 = d.i64c(FRAME as i64);
+                    d.for_range(z2, frame_c3, |d, nn| {
+                        let z3 = d.i64c(0);
+                        let c0 = d.load_elem(Type::I64, coefs, z3);
+                        let c16384 = d.i64c(16384);
+                        let dc0 = d.mul(c0, c16384);
+                        let one3 = d.i64c(1);
+                        let acc0 = d.ashr(dc0, one3);
+                        let acc = d.declare_var(Type::I64);
+                        d.set(acc, acc0);
+                        let one4 = d.i64c(1);
+                        let frame_c4 = d.i64c(FRAME as i64);
+                        d.for_range(one4, frame_c4, |d, k| {
+                            let ck = d.load_elem(Type::I64, coefs, k);
+                            let frame_c5 = d.i64c(FRAME as i64);
+                            let ti = {
+                                let r = d.mul(k, frame_c5);
+                                d.add(r, nn)
+                            };
+                            let t = load_i16(d, table, ti);
+                            let p = d.mul(ck, t);
+                            let a = d.get(acc);
+                            let a2 = d.add(a, p);
+                            d.set(acc, a2);
+                        });
+                        let a = d.get(acc);
+                        let c14 = d.i64c(14);
+                        let sh = d.ashr(a, c14);
+                        let two = d.i64c(2);
+                        let x2 = d.mul(sh, two);
+                        let c32 = d.i64c(FRAME as i64);
+                        let v0 = d.sdiv(x2, c32);
+                        let v = clamp(d, v0, i16::MIN as i64, i16::MAX as i64);
+                        let frame_c6 = d.i64c(FRAME as i64);
+                        let oi = {
+                            let r = d.mul(f, frame_c6);
+                            d.add(r, nn)
+                        };
+                        store_i16(d, out, oi, v);
+                    });
+                });
+                let two = d.i64c(2);
+                let bytes = d.mul(n, two);
+                set_output_len(d, io, bytes);
+                let r = d.i64c(0);
+                d.ret(Some(r));
+            },
+        )
+    }
+
+    fn input(&self, set: InputSet) -> WorkloadInput {
+        let (n, seed) = match set {
+            InputSet::Train => (2048usize, 903),
+            InputSet::Test => (1024usize, 904),
+        };
+        let samples = waveform(n, seed);
+        let stream = subband_ref::encode(&samples);
+        WorkloadInput {
+            params: vec![n as i64],
+            data: stream,
+        }
+    }
+
+    fn fidelity(&self, golden: &[u8], candidate: &[u8]) -> f64 {
+        psnr_i16(golden, candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::bytes_to_i16s;
+    use crate::runner::golden_output;
+
+    #[test]
+    fn kernel_decoder_matches_host() {
+        let w = Mp3Dec;
+        let m = w.build_module();
+        softft_ir::verify::verify_module(&m).unwrap();
+        let input = w.input(InputSet::Test);
+        let host = subband_ref::decode(&input.data, 1024);
+        let out = golden_output(&w, &m, InputSet::Test);
+        assert_eq!(bytes_to_i16s(&out), host, "kernel/host decoder divergence");
+    }
+
+    #[test]
+    fn kernel_encoder_matches_host() {
+        let w = Mp3Enc;
+        let m = w.build_module();
+        softft_ir::verify::verify_module(&m).unwrap();
+        let input = w.input(InputSet::Test);
+        let samples = bytes_to_i16s(&input.data);
+        let host = subband_ref::encode(&samples);
+        let out = golden_output(&w, &m, InputSet::Test);
+        assert_eq!(out, host, "kernel/host encoder divergence");
+    }
+
+    #[test]
+    fn decoded_audio_close_to_source() {
+        let w = Mp3Dec;
+        let m = w.build_module();
+        let out = golden_output(&w, &m, InputSet::Test);
+        let src = waveform(1024, 904);
+        let p = psnr_i16(&i16s_to_bytes(&src), &out);
+        assert!(p > 30.0, "decode PSNR vs source {p}");
+    }
+
+    #[test]
+    fn enc_fidelity_degrades_with_corruption() {
+        let w = Mp3Enc;
+        let m = w.build_module();
+        let stream = golden_output(&w, &m, InputSet::Test);
+        assert_eq!(w.fidelity(&stream, &stream), f64::INFINITY);
+        let mut bad = stream.clone();
+        // Corrupt a frame exponent: large value change.
+        bad[0] = bad[0].wrapping_add(20);
+        let f = w.fidelity(&stream, &bad);
+        assert!(f < 60.0, "{f}");
+    }
+}

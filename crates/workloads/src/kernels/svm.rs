@@ -1,0 +1,271 @@
+//! `svm`: linear support vector machine (Pegasos-style SGD training plus
+//! inference).
+//!
+//! The weight vector lives in scratch memory and is updated across every
+//! training example and epoch — the training loop's epoch counter, the
+//! learning-rate schedule, and the running weight scale are loop-carried
+//! state. Output is the predicted label per test example; fidelity is the
+//! fraction of predictions that differ from the fault-free run.
+
+use crate::common::{
+    build_kernel_scratch, i32s_to_bytes, input_base, load_i32, output_data_base, param,
+    set_output_len, store_u8,
+};
+use crate::fidelity::class_error;
+use crate::inputs::svm_dataset;
+use crate::{Category, FidelityMetric, InputSet, Workload, WorkloadInput};
+use softft_ir::inst::{FloatCC, IntCC};
+use softft_ir::{Module, Type};
+
+const MAX_TRAIN: u64 = 256;
+const MAX_TEST: u64 = 256;
+const MAX_D: u64 = 16;
+
+/// The `svm` workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Svm;
+
+impl Workload for Svm {
+    fn name(&self) -> &'static str {
+        "svm"
+    }
+
+    fn category(&self) -> Category {
+        Category::MachineLearning
+    }
+
+    fn metric(&self) -> FidelityMetric {
+        FidelityMetric::ClassError { threshold_frac: 0.10 }
+    }
+
+    fn build_module(&self) -> Module {
+        // Input layout: train feats (n*d i32) | train labels (n bytes,
+        // 0/1) | test feats (nt*d i32).
+        // Scratch: weight vector (MAX_D f64 words).
+        build_kernel_scratch(
+            "svm",
+            (MAX_TRAIN * MAX_D * 4) + MAX_TRAIN + (MAX_TEST * MAX_D * 4),
+            MAX_TEST,
+            MAX_D * 8,
+            &[],
+            |d, io, _| {
+                let n = param(d, io, 0);
+                let dim = param(d, io, 1);
+                let epochs = param(d, io, 2);
+                let nt = param(d, io, 3);
+                let inp = input_base(d, io);
+                let out = output_data_base(d, io);
+                let wbase = d.i64c(io.scratch as i64);
+                let z = d.i64c(0);
+
+                // Offsets into the input blob.
+                let four = d.i64c(4);
+                let nd = d.mul(n, dim);
+                let train_bytes = d.mul(nd, four);
+                let labels_off = train_bytes;
+                let test_off = d.add(labels_off, n);
+
+                // Zero the weights.
+                d.for_range(z, dim, |d, j| {
+                    let zf = d.fconst(0.0);
+                    d.store_elem(wbase, j, zf);
+                });
+
+                // Pegasos-ish SGD: for t-th update, eta = 1/(lambda * t).
+                let step = d.declare_var(Type::I64); // global update counter
+                let one = d.i64c(1);
+                d.set(step, one);
+                d.for_range(z, epochs, |d, _e| {
+                    let z = d.i64c(0);
+                    d.for_range(z, n, |d, i| {
+                        // margin = y * (w . x); y in {-1, +1}
+                        let acc = d.declare_var(Type::F64);
+                        let zf = d.fconst(0.0);
+                        d.set(acc, zf);
+                        let z2 = d.i64c(0);
+                        d.for_range(z2, dim, |d, j| {
+                            let ii = d.mul(i, dim);
+                            let iij = d.add(ii, j);
+                            let xi = load_i32(d, inp, iij);
+                            let xf0 = d.sitofp(xi);
+                            let scale = d.fconst(1.0 / 1000.0);
+                            let xf = d.fmul(xf0, scale);
+                            let wj = d.load_elem(Type::F64, wbase, j);
+                            let prod = d.fmul(wj, xf);
+                            let a = d.get(acc);
+                            let a2 = d.fadd(a, prod);
+                            d.set(acc, a2);
+                        });
+                        // Label: byte 0/1 -> -1.0 / +1.0
+                        let laddr = d.add(labels_off, i);
+                        let lb = crate::common::load_u8(d, inp, laddr);
+                        let z3 = d.i64c(0);
+                        let is_pos = d.icmp(IntCC::Ne, lb, z3);
+                        let pos = d.fconst(1.0);
+                        let neg = d.fconst(-1.0);
+                        let y = d.select(is_pos, pos, neg);
+                        let dot = d.get(acc);
+                        let margin = d.fmul(y, dot);
+
+                        // eta = 1 / (lambda * t), lambda = 0.01
+                        let t = d.get(step);
+                        let tf = d.sitofp(t);
+                        let lambda = d.fconst(0.01);
+                        let lt = d.fmul(lambda, tf);
+                        let onef = d.fconst(1.0);
+                        let eta = d.fdiv(onef, lt);
+                        // decay = 1 - eta*lambda
+                        let el = d.fmul(eta, lambda);
+                        let decay = d.fsub(onef, el);
+
+                        let hinge = d.fcmp(FloatCC::Lt, margin, onef);
+                        d.if_else(
+                            hinge,
+                            |d| {
+                                // w = decay*w + eta*y*x
+                                let z4 = d.i64c(0);
+                                d.for_range(z4, dim, |d, j| {
+                                    let wj = d.load_elem(Type::F64, wbase, j);
+                                    let wd = d.fmul(wj, decay);
+                                    let ii = d.mul(i, dim);
+                                    let iij = d.add(ii, j);
+                                    let xi = load_i32(d, inp, iij);
+                                    let xf0 = d.sitofp(xi);
+                                    let scale = d.fconst(1.0 / 1000.0);
+                                    let xf = d.fmul(xf0, scale);
+                                    let ey = d.fmul(eta, y);
+                                    let upd = d.fmul(ey, xf);
+                                    let nw = d.fadd(wd, upd);
+                                    d.store_elem(wbase, j, nw);
+                                });
+                            },
+                            |d| {
+                                // w = decay*w
+                                let z4 = d.i64c(0);
+                                d.for_range(z4, dim, |d, j| {
+                                    let wj = d.load_elem(Type::F64, wbase, j);
+                                    let wd = d.fmul(wj, decay);
+                                    d.store_elem(wbase, j, wd);
+                                });
+                            },
+                        );
+                        let t = d.get(step);
+                        let one = d.i64c(1);
+                        let t2 = d.add(t, one);
+                        d.set(step, t2);
+                    });
+                });
+
+                // Inference over the test set.
+                d.for_range(z, nt, |d, i| {
+                    let acc = d.declare_var(Type::F64);
+                    let zf = d.fconst(0.0);
+                    d.set(acc, zf);
+                    let z2 = d.i64c(0);
+                    d.for_range(z2, dim, |d, j| {
+                        let ii = d.mul(i, dim);
+                        let iij = d.add(ii, j);
+                        let fourb = d.i64c(4);
+                        let off4 = d.mul(iij, fourb);
+                        let addr_idx = d.add(test_off, off4);
+                        // test features are i32s starting at test_off bytes
+                        let a = d.add(inp, addr_idx);
+                        let xi0 = d.load(Type::I32, a);
+                        let xi = d.sext(xi0, Type::I64);
+                        let xf0 = d.sitofp(xi);
+                        let scale = d.fconst(1.0 / 1000.0);
+                        let xf = d.fmul(xf0, scale);
+                        let wj = d.load_elem(Type::F64, wbase, j);
+                        let prod = d.fmul(wj, xf);
+                        let acu = d.get(acc);
+                        let a2 = d.fadd(acu, prod);
+                        d.set(acc, a2);
+                    });
+                    let dot = d.get(acc);
+                    let zf2 = d.fconst(0.0);
+                    let pos = d.fcmp(FloatCC::Gt, dot, zf2);
+                    let one = d.i64c(1);
+                    let z3 = d.i64c(0);
+                    let label = d.select(pos, one, z3);
+                    store_u8(d, out, i, label);
+                });
+                set_output_len(d, io, nt);
+                let r = d.i64c(0);
+                d.ret(Some(r));
+            },
+        )
+    }
+
+    fn input(&self, set: InputSet) -> WorkloadInput {
+        // One dataset per input set, split into train and test halves so
+        // both halves share the same underlying separator.
+        let (n, nt, dim, epochs, seed) = match set {
+            InputSet::Train => (200usize, 200usize, 16usize, 6i64, 501),
+            InputSet::Test => (160usize, 160usize, 16usize, 6i64, 502),
+        };
+        let (x, y) = svm_dataset(n + nt, dim, seed);
+        let train_x = &x[..n * dim];
+        let train_y = &y[..n];
+        let test_x = &x[n * dim..];
+        let mut data = i32s_to_bytes(train_x);
+        data.extend_from_slice(train_y);
+        data.extend_from_slice(&i32s_to_bytes(test_x));
+        WorkloadInput {
+            params: vec![n as i64, dim as i64, epochs, nt as i64],
+            data,
+        }
+    }
+
+    fn fidelity(&self, golden: &[u8], candidate: &[u8]) -> f64 {
+        class_error(golden, candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::golden_output;
+
+    #[test]
+    fn trains_a_sensible_classifier() {
+        let w = Svm;
+        let m = w.build_module();
+        softft_ir::verify::verify_module(&m).unwrap();
+        let out = golden_output(&w, &m, InputSet::Test);
+        assert_eq!(out.len(), 160);
+        // The test set comes from a different generator seed, but the
+        // classifier should at least produce both classes.
+        let pos = out.iter().filter(|&&l| l == 1).count();
+        assert!(pos > 10 && pos < 150, "degenerate predictions: {pos}/160");
+    }
+
+    #[test]
+    fn accuracy_against_true_separator() {
+        // The test half shares the training half's separator, so the
+        // trained model must beat chance solidly on the generator labels.
+        let w = Svm;
+        let m = w.build_module();
+        let out = golden_output(&w, &m, InputSet::Train);
+        let (_, labels) = svm_dataset(400, 16, 501);
+        let test_labels = &labels[200..];
+        let agree = out
+            .iter()
+            .zip(test_labels.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            agree * 10 >= test_labels.len() * 8,
+            "accuracy {agree}/{}",
+            test_labels.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = Svm;
+        let m = w.build_module();
+        let a = golden_output(&w, &m, InputSet::Test);
+        let b = golden_output(&w, &m, InputSet::Test);
+        assert_eq!(a, b);
+    }
+}

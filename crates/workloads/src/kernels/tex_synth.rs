@@ -1,0 +1,207 @@
+//! `tex_synth`: non-parametric texture synthesis (Efros–Leung-style
+//! causal neighbourhood matching).
+//!
+//! Each output pixel is chosen by scanning the sample image for the
+//! position whose causal neighbourhood (left, up, up-left, up-right)
+//! best matches what has already been synthesized. The best-so-far
+//! distance and position are loop-carried state across the whole search;
+//! corrupting them derails every subsequent pixel.
+
+use crate::common::{
+    build_kernel, input_base, load_u8, output_data_base, param, set_output_len, store_u8,
+};
+use crate::fidelity::mismatch_frac;
+use crate::inputs::gray_image;
+use crate::{Category, FidelityMetric, InputSet, Workload, WorkloadInput};
+use softft_ir::dsl::FunctionDsl;
+use softft_ir::inst::IntCC;
+use softft_ir::{Module, Type, ValueId};
+
+const MAX_SAMPLE: u64 = 16 * 16;
+const MAX_OUT: u64 = 20 * 20;
+
+/// Squared difference of two `I64` pixel values.
+fn sqdiff(d: &mut FunctionDsl, a: ValueId, b: ValueId) -> ValueId {
+    let diff = d.sub(a, b);
+    d.mul(diff, diff)
+}
+
+/// The `tex_synth` workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TexSynth;
+
+impl Workload for TexSynth {
+    fn name(&self) -> &'static str {
+        "tex_synth"
+    }
+
+    fn category(&self) -> Category {
+        Category::Vision
+    }
+
+    fn metric(&self) -> FidelityMetric {
+        FidelityMetric::Mismatch { threshold_frac: 0.10 }
+    }
+
+    fn build_module(&self) -> Module {
+        build_kernel(
+            "tex_synth",
+            MAX_SAMPLE,
+            MAX_OUT,
+            &[],
+            |d, io, _| {
+                let sw = param(d, io, 0);
+                let sh = param(d, io, 1);
+                let ow = param(d, io, 2);
+                let oh = param(d, io, 3);
+                let inp = input_base(d, io);
+                let out = output_data_base(d, io);
+                let z = d.i64c(0);
+                let one = d.i64c(1);
+
+                // Seed row 0 and column 0 by tiling the sample.
+                d.for_range(z, ow, |d, x| {
+                    let xm = d.srem(x, sw);
+                    let v = load_u8(d, inp, xm);
+                    store_u8(d, out, x, v);
+                });
+                d.for_range(z, oh, |d, y| {
+                    let ym = d.srem(y, sh);
+                    let si = d.mul(ym, sw);
+                    let v = load_u8(d, inp, si);
+                    let oi = d.mul(y, ow);
+                    store_u8(d, out, oi, v);
+                });
+
+                // Synthesize the interior in raster order.
+                d.for_range(one, oh, |d, y| {
+                    let one = d.i64c(1);
+                    d.for_range(one, ow, |d, x| {
+                        let oi = {
+                            let r = d.mul(y, ow);
+                            d.add(r, x)
+                        };
+                        // Causal neighbourhood of the output pixel.
+                        let one = d.i64c(1);
+                        let left_i = d.sub(oi, one);
+                        let up_i = d.sub(oi, ow);
+                        let upl_i = d.sub(up_i, one);
+                        let n_left = load_u8(d, out, left_i);
+                        let n_up = load_u8(d, out, up_i);
+                        let n_upl = load_u8(d, out, upl_i);
+
+                        let best_pos = d.declare_var(Type::I64);
+                        let best_dist = d.declare_var(Type::I64);
+                        let zz = d.i64c(0);
+                        d.set(best_pos, zz);
+                        let big = d.i64c(1 << 40);
+                        d.set(best_dist, big);
+                        // Search sample positions with full causal context.
+                        d.for_range(one, sh, |d, sy| {
+                            let one = d.i64c(1);
+                            d.for_range(one, sw, |d, sx| {
+                                let si = {
+                                    let r = d.mul(sy, sw);
+                                    d.add(r, sx)
+                                };
+                                let one = d.i64c(1);
+                                let s_left = {
+                                    let i = d.sub(si, one);
+                                    load_u8(d, inp, i)
+                                };
+                                let s_up = {
+                                    let i = d.sub(si, sw);
+                                    load_u8(d, inp, i)
+                                };
+                                let s_upl = {
+                                    let i0 = d.sub(si, sw);
+                                    let i = d.sub(i0, one);
+                                    load_u8(d, inp, i)
+                                };
+                                let d1 = sqdiff(d, n_left, s_left);
+                                let d2 = sqdiff(d, n_up, s_up);
+                                let d3 = sqdiff(d, n_upl, s_upl);
+                                let s12 = d.add(d1, d2);
+                                let dist = d.add(s12, d3);
+                                let bd = d.get(best_dist);
+                                let better = d.icmp(IntCC::Slt, dist, bd);
+                                let bp = d.get(best_pos);
+                                let np = d.select(better, si, bp);
+                                let ndist = d.select(better, dist, bd);
+                                d.set(best_pos, np);
+                                d.set(best_dist, ndist);
+                            });
+                        });
+                        let bp = d.get(best_pos);
+                        let v = load_u8(d, inp, bp);
+                        store_u8(d, out, oi, v);
+                    });
+                });
+                let n = d.mul(ow, oh);
+                set_output_len(d, io, n);
+                let r = d.i64c(0);
+                d.ret(Some(r));
+            },
+        )
+    }
+
+    fn input(&self, set: InputSet) -> WorkloadInput {
+        let (sw, sh, ow, oh, seed) = match set {
+            InputSet::Train => (14usize, 14usize, 18usize, 18usize, 701),
+            InputSet::Test => (12usize, 12usize, 16usize, 16usize, 702),
+        };
+        let img = gray_image(sw, sh, seed);
+        WorkloadInput {
+            params: vec![sw as i64, sh as i64, ow as i64, oh as i64],
+            data: img.pixels,
+        }
+    }
+
+    fn fidelity(&self, golden: &[u8], candidate: &[u8]) -> f64 {
+        mismatch_frac(golden, candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::golden_output;
+
+    #[test]
+    fn synthesizes_from_sample_palette() {
+        let w = TexSynth;
+        let m = w.build_module();
+        softft_ir::verify::verify_module(&m).unwrap();
+        let out = golden_output(&w, &m, InputSet::Test);
+        assert_eq!(out.len(), 16 * 16);
+        // Every synthesized pixel must come from the sample image.
+        let sample = gray_image(12, 12, 702).pixels;
+        for (i, px) in out.iter().enumerate() {
+            assert!(
+                sample.contains(px),
+                "pixel {i} value {px} not from sample"
+            );
+        }
+    }
+
+    #[test]
+    fn output_is_not_constant() {
+        let w = TexSynth;
+        let m = w.build_module();
+        let out = golden_output(&w, &m, InputSet::Test);
+        let mut vals = out.clone();
+        vals.sort_unstable();
+        vals.dedup();
+        assert!(vals.len() > 8, "texture collapsed to {} values", vals.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = TexSynth;
+        let m = w.build_module();
+        assert_eq!(
+            golden_output(&w, &m, InputSet::Train),
+            golden_output(&w, &m, InputSet::Train)
+        );
+    }
+}

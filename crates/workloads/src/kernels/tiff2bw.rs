@@ -1,0 +1,171 @@
+//! `tiff2bw`: RGB → grayscale conversion with contrast stretch.
+//!
+//! Pass 1 converts each pixel with integer channel weights while tracking
+//! the running minimum and maximum — two loop-carried state variables.
+//! Pass 2 stretches the gray values to the full 8-bit range, so a
+//! corrupted min/max corrupts *every* output pixel (the snowball effect
+//! the paper protects against).
+
+use crate::common::{
+    build_kernel, clamp, imax, imin, input_base, load_u8, output_data_base, param,
+    set_output_len, store_u8,
+};
+use crate::fidelity::psnr_u8;
+use crate::inputs::rgb_image;
+use crate::{Category, FidelityMetric, InputSet, Workload, WorkloadInput};
+use softft_ir::Module;
+
+const MAX_PIXELS: u64 = 64 * 64;
+
+/// The `tiff2bw` workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tiff2Bw;
+
+impl Workload for Tiff2Bw {
+    fn name(&self) -> &'static str {
+        "tiff2bw"
+    }
+
+    fn category(&self) -> Category {
+        Category::Image
+    }
+
+    fn metric(&self) -> FidelityMetric {
+        FidelityMetric::Psnr { threshold_db: 30.0 }
+    }
+
+    fn build_module(&self) -> Module {
+        build_kernel(
+            "tiff2bw",
+            MAX_PIXELS * 3,
+            MAX_PIXELS,
+            &[],
+            |d, io, _| {
+                let w = param(d, io, 0);
+                let h = param(d, io, 1);
+                let n = d.mul(w, h);
+                let inp = input_base(d, io);
+                let out = output_data_base(d, io);
+
+                // Pass 1: weighted gray + min/max reduction.
+                let minv = d.declare_var(softft_ir::Type::I64);
+                let maxv = d.declare_var(softft_ir::Type::I64);
+                let init_min = d.i64c(255);
+                let init_max = d.i64c(0);
+                d.set(minv, init_min);
+                d.set(maxv, init_max);
+                let z = d.i64c(0);
+                d.for_range(z, n, |d, i| {
+                    let three = d.i64c(3);
+                    let base3 = d.mul(i, three);
+                    let r = load_u8(d, inp, base3);
+                    let one = d.i64c(1);
+                    let gi = d.add(base3, one);
+                    let g = load_u8(d, inp, gi);
+                    let two = d.i64c(2);
+                    let bi = d.add(base3, two);
+                    let b = load_u8(d, inp, bi);
+                    // gray = (77 r + 151 g + 28 b) >> 8
+                    let wr = d.i64c(77);
+                    let wg = d.i64c(151);
+                    let wb = d.i64c(28);
+                    let tr = d.mul(r, wr);
+                    let tg = d.mul(g, wg);
+                    let tb = d.mul(b, wb);
+                    let s1 = d.add(tr, tg);
+                    let s2 = d.add(s1, tb);
+                    let eight = d.i64c(8);
+                    let gray = d.ashr(s2, eight);
+                    store_u8(d, out, i, gray);
+                    let cur_min = d.get(minv);
+                    let nm = imin(d, cur_min, gray);
+                    d.set(minv, nm);
+                    let cur_max = d.get(maxv);
+                    let nx = imax(d, cur_max, gray);
+                    d.set(maxv, nx);
+                });
+
+                // Pass 2: contrast stretch using the reduction results.
+                let lo = d.get(minv);
+                let hi = d.get(maxv);
+                let span = d.sub(hi, lo);
+                let one = d.i64c(1);
+                let span = imax(d, span, one);
+                d.for_range(z, n, |d, i| {
+                    let g = load_u8(d, out, i);
+                    let shifted = d.sub(g, lo);
+                    let c255 = d.i64c(255);
+                    let num = d.mul(shifted, c255);
+                    let v = d.sdiv(num, span);
+                    let v = clamp(d, v, 0, 255);
+                    store_u8(d, out, i, v);
+                });
+                set_output_len(d, io, n);
+                let r = d.i64c(0);
+                d.ret(Some(r));
+            },
+        )
+    }
+
+    fn input(&self, set: InputSet) -> WorkloadInput {
+        let (w, h, seed) = match set {
+            InputSet::Train => (64, 64, 101),
+            InputSet::Test => (48, 48, 202),
+        };
+        let img = rgb_image(w, h, seed);
+        WorkloadInput {
+            params: vec![w as i64, h as i64],
+            data: img.pixels,
+        }
+    }
+
+    fn fidelity(&self, golden: &[u8], candidate: &[u8]) -> f64 {
+        psnr_u8(golden, candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{golden_output, run_workload};
+    use softft_vm::interp::NoopObserver;
+    use softft_vm::VmConfig;
+
+    #[test]
+    fn converts_and_stretches() {
+        let w = Tiff2Bw;
+        let m = w.build_module();
+        softft_ir::verify::verify_module(&m).unwrap();
+        let out = golden_output(&w, &m, InputSet::Test);
+        assert_eq!(out.len(), 48 * 48);
+        // Contrast stretch should reach both ends of the range.
+        assert_eq!(*out.iter().min().unwrap(), 0);
+        assert_eq!(*out.iter().max().unwrap(), 255);
+    }
+
+    #[test]
+    fn train_and_test_differ() {
+        let w = Tiff2Bw;
+        assert_ne!(w.input(InputSet::Train), w.input(InputSet::Test));
+    }
+
+    #[test]
+    fn self_fidelity_is_perfect() {
+        let w = Tiff2Bw;
+        let m = w.build_module();
+        let out = golden_output(&w, &m, InputSet::Test);
+        assert_eq!(w.fidelity(&out, &out), f64::INFINITY);
+        assert!(w.acceptable(&out, &out));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = Tiff2Bw;
+        let m = w.build_module();
+        let input = w.input(InputSet::Train);
+        let (r1, o1) = run_workload(&m, &input, VmConfig::default(), &mut NoopObserver, None);
+        let (r2, o2) = run_workload(&m, &input, VmConfig::default(), &mut NoopObserver, None);
+        assert_eq!(r1, r2);
+        assert_eq!(o1, o2);
+    }
+}

@@ -1,0 +1,228 @@
+#![warn(missing_docs)]
+
+//! # softft-workloads
+//!
+//! Thirteen soft-computing benchmark kernels (Table I of the paper),
+//! re-implemented in the soft-ft IR via the structured DSL, plus the
+//! host-side machinery needed to run and score them:
+//!
+//! * [`kernels`] — the IR programs: `jpegenc`/`jpegdec`, `tiff2bw`,
+//!   `segm`, `tex_synth`, `g721enc`/`g721dec`, `mp3enc`/`mp3dec`,
+//!   `h264enc`/`h264dec`, `kmeans`, `svm`;
+//! * [`host`] — reference codecs used to prepare kernel inputs (e.g. the
+//!   bitstream a decoder kernel consumes) and to score encoder outputs
+//!   (decode-then-PSNR), deliberately robust to corrupt streams;
+//! * [`inputs`] — deterministic synthetic train/test inputs (the paper
+//!   uses different profiling and evaluation inputs — so do we);
+//! * [`fidelity`] — PSNR, segmental SNR, matrix mismatch, and
+//!   classification error with the paper's thresholds;
+//! * [`runner`] — conventions for loading inputs into a module's globals
+//!   and reading back outputs.
+//!
+//! Every kernel follows one convention: three globals named `params`
+//! (sixteen `i64` words), `input` (raw bytes) and `output` (a length
+//! word followed by data). See [`runner`].
+
+pub mod common;
+pub mod fidelity;
+pub mod host;
+pub mod inputs;
+pub mod kernels;
+pub mod runner;
+
+use softft_ir::Module;
+
+/// Benchmark domain (Table I groups).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Image processing (jpegenc, jpegdec, tiff2bw).
+    Image,
+    /// Audio processing (g721enc, g721dec, mp3enc, mp3dec).
+    Audio,
+    /// Video processing (h264enc, h264dec).
+    Video,
+    /// Computer vision (segm, tex_synth).
+    Vision,
+    /// Machine learning (kmeans, svm).
+    MachineLearning,
+}
+
+impl Category {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Image => "image",
+            Category::Audio => "audio",
+            Category::Video => "video",
+            Category::Vision => "computer vision",
+            Category::MachineLearning => "machine learning",
+        }
+    }
+}
+
+/// Which input to use: profiling (train) or evaluation (test).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InputSet {
+    /// The profiling input (the paper profiles on one input…).
+    Train,
+    /// The evaluation input (…and injects faults on another).
+    Test,
+}
+
+/// The fidelity metric a workload is scored with (Table I, column 4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FidelityMetric {
+    /// Peak signal-to-noise ratio in dB; higher is better.
+    Psnr {
+        /// Acceptability threshold (the paper uses 30 dB).
+        threshold_db: f64,
+    },
+    /// Segmental SNR in dB; higher is better.
+    SegmentalSnr {
+        /// Acceptability threshold (the paper uses 80 dB).
+        threshold_db: f64,
+    },
+    /// Fraction of mismatching output elements; lower is better.
+    Mismatch {
+        /// Acceptability threshold (the paper uses 10%).
+        threshold_frac: f64,
+    },
+    /// Fraction of differing classifications; lower is better.
+    ClassError {
+        /// Acceptability threshold (the paper uses 10%).
+        threshold_frac: f64,
+    },
+}
+
+impl FidelityMetric {
+    /// True when `score` (as produced by [`Workload::fidelity`]) is of
+    /// acceptable quality under this metric.
+    pub fn acceptable(&self, score: f64) -> bool {
+        match *self {
+            FidelityMetric::Psnr { threshold_db } => score >= threshold_db,
+            FidelityMetric::SegmentalSnr { threshold_db } => score >= threshold_db,
+            FidelityMetric::Mismatch { threshold_frac } => score <= threshold_frac,
+            FidelityMetric::ClassError { threshold_frac } => score <= threshold_frac,
+        }
+    }
+
+    /// Short unit string for reports.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            FidelityMetric::Psnr { .. } => "dB PSNR",
+            FidelityMetric::SegmentalSnr { .. } => "dB segSNR",
+            FidelityMetric::Mismatch { .. } => "mismatch frac",
+            FidelityMetric::ClassError { .. } => "class-error frac",
+        }
+    }
+}
+
+/// Input payload for one run: the `params` words and the `input` bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkloadInput {
+    /// Values for the `params` global (up to 16 words).
+    pub params: Vec<i64>,
+    /// Bytes for the `input` global.
+    pub data: Vec<u8>,
+}
+
+/// A benchmark: builds its IR module, provides inputs, and scores
+/// outputs.
+pub trait Workload: Send + Sync {
+    /// Benchmark name as in Table I.
+    fn name(&self) -> &'static str;
+
+    /// Benchmark domain.
+    fn category(&self) -> Category;
+
+    /// Fidelity metric and threshold.
+    fn metric(&self) -> FidelityMetric;
+
+    /// Builds the IR module (structure is input-independent; sizes are
+    /// read from the `params` global at run time).
+    fn build_module(&self) -> Module;
+
+    /// The input payload for `set`.
+    fn input(&self, set: InputSet) -> WorkloadInput;
+
+    /// Scores `candidate` output bytes against the fault-free `golden`
+    /// output of the *same* binary (the paper compares against fault-free
+    /// execution, not against an external reference). Returns the metric
+    /// value; interpret with [`FidelityMetric::acceptable`].
+    fn fidelity(&self, golden: &[u8], candidate: &[u8]) -> f64;
+
+    /// Convenience: is `candidate` acceptable relative to `golden`?
+    fn acceptable(&self, golden: &[u8], candidate: &[u8]) -> bool {
+        self.metric().acceptable(self.fidelity(golden, candidate))
+    }
+}
+
+/// All thirteen benchmarks, in Table I order.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(kernels::jpeg::JpegEnc),
+        Box::new(kernels::jpeg::JpegDec),
+        Box::new(kernels::tiff2bw::Tiff2Bw),
+        Box::new(kernels::segm::Segm),
+        Box::new(kernels::tex_synth::TexSynth),
+        Box::new(kernels::g721::G721Enc),
+        Box::new(kernels::g721::G721Dec),
+        Box::new(kernels::mp3::Mp3Enc),
+        Box::new(kernels::mp3::Mp3Dec),
+        Box::new(kernels::h264::H264Enc),
+        Box::new(kernels::h264::H264Dec),
+        Box::new(kernels::kmeans::KMeans),
+        Box::new(kernels::svm::Svm),
+    ]
+}
+
+/// Looks up a workload by name.
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    all_workloads().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_benchmarks_registered() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 13);
+        let names: Vec<_> = all.iter().map(|w| w.name()).collect();
+        for expect in [
+            "jpegenc", "jpegdec", "tiff2bw", "segm", "tex_synth", "g721enc", "g721dec",
+            "mp3enc", "mp3dec", "h264enc", "h264dec", "kmeans", "svm",
+        ] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload_by_name("kmeans").is_some());
+        assert!(workload_by_name("doom").is_none());
+    }
+
+    #[test]
+    fn metric_acceptability() {
+        assert!(FidelityMetric::Psnr { threshold_db: 30.0 }.acceptable(45.0));
+        assert!(!FidelityMetric::Psnr { threshold_db: 30.0 }.acceptable(20.0));
+        assert!(FidelityMetric::Mismatch { threshold_frac: 0.1 }.acceptable(0.05));
+        assert!(!FidelityMetric::Mismatch { threshold_frac: 0.1 }.acceptable(0.2));
+        assert!(FidelityMetric::ClassError { threshold_frac: 0.1 }.acceptable(0.0));
+        assert!(FidelityMetric::SegmentalSnr { threshold_db: 80.0 }.acceptable(100.0));
+    }
+
+    #[test]
+    fn categories_have_two_benchmarks_each_at_least() {
+        use std::collections::HashMap;
+        let mut by_cat: HashMap<&'static str, usize> = HashMap::new();
+        for w in all_workloads() {
+            *by_cat.entry(w.category().label()).or_default() += 1;
+        }
+        for (cat, n) in by_cat {
+            assert!(n >= 2, "category {cat} has only {n} benchmarks");
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Conventions for driving kernel modules: input loading and output
+//! extraction.
+
+use crate::{InputSet, Workload, WorkloadInput};
+use softft_ir::Module;
+use softft_vm::interp::{Observer, Vm, VmConfig};
+use softft_vm::{FaultPlan, RunResult};
+
+/// Writes a [`WorkloadInput`] into a VM's memory (the `params` and
+/// `input` globals).
+///
+/// # Panics
+///
+/// Panics if the module lacks the conventional globals or the payload
+/// exceeds their size.
+pub fn write_input(vm: &mut Vm<'_>, module: &Module, input: &WorkloadInput) {
+    let params = module
+        .global_by_name("params")
+        .expect("kernel module has a `params` global");
+    assert!(
+        input.params.len() as u64 * 8 <= params.size,
+        "too many parameter words"
+    );
+    let mut bytes = Vec::with_capacity(input.params.len() * 8);
+    for p in &input.params {
+        bytes.extend_from_slice(&p.to_le_bytes());
+    }
+    vm.mem.write_bytes(params.addr, &bytes);
+    let inp = module
+        .global_by_name("input")
+        .expect("kernel module has an `input` global");
+    assert!(
+        input.data.len() as u64 <= inp.size,
+        "input payload larger than the input global"
+    );
+    vm.mem.write_bytes(inp.addr, &input.data);
+}
+
+/// Reads the `output` global: a length word followed by payload bytes.
+/// The length is clamped to the region size, so even a corrupted length
+/// word yields a well-defined (if garbage) result.
+pub fn read_output(vm: &Vm<'_>, module: &Module) -> Vec<u8> {
+    let out = module
+        .global_by_name("output")
+        .expect("kernel module has an `output` global");
+    let len_bytes = vm.mem.read_bytes(out.addr, 8);
+    let len = u64::from_le_bytes(len_bytes.try_into().expect("8 bytes"));
+    let cap = out.size.saturating_sub(8);
+    let len = len.min(cap) as usize;
+    vm.mem.read_bytes(out.addr + 8, len).to_vec()
+}
+
+/// Runs `module` (which must contain `main`) on the given input with an
+/// observer and optional fault; returns the run result and the output
+/// bytes (empty for trapped runs that never wrote a length).
+pub fn run_workload<O: Observer>(
+    module: &Module,
+    input: &WorkloadInput,
+    config: VmConfig,
+    obs: &mut O,
+    fault: Option<FaultPlan>,
+) -> (RunResult, Vec<u8>) {
+    let main = module
+        .function_by_name("main")
+        .expect("kernel module has a `main` function");
+    let mut vm = Vm::new(module, config);
+    write_input(&mut vm, module, input);
+    let result = vm.run(main, &[], obs, fault);
+    let out = read_output(&vm, module);
+    (result, out)
+}
+
+/// Convenience: build, load the given input set, run fault-free, and
+/// return the output (the golden reference for fidelity scoring).
+///
+/// # Panics
+///
+/// Panics if the fault-free run does not complete — a workload bug.
+pub fn golden_output(w: &dyn Workload, module: &Module, set: InputSet) -> Vec<u8> {
+    let input = w.input(set);
+    let (r, out) = run_workload(
+        module,
+        &input,
+        VmConfig::default(),
+        &mut softft_vm::interp::NoopObserver,
+        None,
+    );
+    assert!(
+        r.completed(),
+        "fault-free run of {} must complete, got {:?}",
+        w.name(),
+        r.end
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{build_kernel, input_base, load_u8, output_data_base, set_output_len, store_u8};
+
+    fn echo_module() -> Module {
+        // Copies `params[0]` input bytes to the output.
+        build_kernel("echo", 256, 256, &[], |d, io, _| {
+            let n = crate::common::param(d, io, 0);
+            let inp = input_base(d, io);
+            let out = output_data_base(d, io);
+            let z = d.i64c(0);
+            d.for_range(z, n, |d, i| {
+                let b = load_u8(d, inp, i);
+                store_u8(d, out, i, b);
+            });
+            set_output_len(d, io, n);
+            let r = d.i64c(0);
+            d.ret(Some(r));
+        })
+    }
+
+    #[test]
+    fn io_roundtrip() {
+        let m = echo_module();
+        let input = WorkloadInput {
+            params: vec![5],
+            data: vec![9, 8, 7, 6, 5],
+        };
+        let (r, out) = run_workload(
+            &m,
+            &input,
+            VmConfig::default(),
+            &mut softft_vm::interp::NoopObserver,
+            None,
+        );
+        assert!(r.completed());
+        assert_eq!(out, vec![9, 8, 7, 6, 5]);
+    }
+
+    #[test]
+    fn corrupt_length_is_clamped() {
+        let m = echo_module();
+        let main = m.function_by_name("main").unwrap();
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let input = WorkloadInput {
+            params: vec![1],
+            data: vec![42],
+        };
+        write_input(&mut vm, &m, &input);
+        vm.run(main, &[], &mut softft_vm::interp::NoopObserver, None);
+        // Sabotage the length word.
+        let out_g = m.global_by_name("output").unwrap().addr;
+        vm.mem.write_bytes(out_g, &u64::MAX.to_le_bytes());
+        let out = read_output(&vm, &m);
+        assert_eq!(out.len() as u64, m.global_by_name("output").unwrap().size - 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "input payload larger")]
+    fn oversized_input_panics() {
+        let m = echo_module();
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let input = WorkloadInput {
+            params: vec![0],
+            data: vec![0; 10_000],
+        };
+        write_input(&mut vm, &m, &input);
+    }
+}

@@ -1,0 +1,99 @@
+//! Protecting a real decoder: the `jpegdec` benchmark end-to-end.
+//!
+//! Reproduces the story of the paper's Fig. 1 on our SoftJPEG decoder:
+//! inject faults into the unprotected decoder and show outputs that are
+//! (a) identical, (b) numerically different but visually acceptable
+//! (PSNR above the 30 dB threshold), and (c) unacceptably corrupted —
+//! then show that the protected decoder converts most of case (c) into
+//! detections.
+//!
+//! ```text
+//! cargo run --release -p soft-ft-examples --bin image_pipeline
+//! ```
+
+use softft::Technique;
+use softft_campaign::campaign::{run_campaign, CampaignConfig};
+use softft_campaign::outcome::Outcome;
+use softft_campaign::prep::prepare;
+use softft_vm::interp::{NoopObserver, VmConfig};
+use softft_vm::FaultPlan;
+use softft_workloads::runner::run_workload;
+use softft_workloads::{workload_by_name, InputSet};
+
+fn main() {
+    let prepared = prepare(workload_by_name("jpegdec").expect("jpegdec registered"));
+    let w = &*prepared.workload;
+    let input = w.input(InputSet::Test);
+
+    // Fault-free reference.
+    let original = prepared.module(Technique::Original);
+    let (golden_run, golden) = run_workload(
+        original,
+        &input,
+        VmConfig::default(),
+        &mut NoopObserver,
+        None,
+    );
+    println!(
+        "decoded {} pixels fault-free in {} dynamic instructions",
+        golden.len(),
+        golden_run.dyn_insts
+    );
+
+    // Scan for the three Fig. 1 scenarios on the unprotected decoder.
+    let (mut masked, mut acceptable, mut unacceptable) = (None, None, None);
+    for seed in 0..3000u64 {
+        if masked.is_some() && acceptable.is_some() && unacceptable.is_some() {
+            break;
+        }
+        let plan = FaultPlan::register(seed.wrapping_mul(0x9E37_79B9) % golden_run.dyn_insts, seed);
+        let (r, out) = run_workload(
+            original,
+            &input,
+            VmConfig::default(),
+            &mut NoopObserver,
+            Some(plan),
+        );
+        if !r.completed() {
+            continue;
+        }
+        if out == golden {
+            masked.get_or_insert(seed);
+        } else {
+            let psnr = w.fidelity(&golden, &out);
+            if psnr >= 30.0 {
+                acceptable.get_or_insert_with(|| {
+                    println!("fig 1(b): seed {seed} -> PSNR {psnr:.1} dB (imperceptible)");
+                    seed
+                });
+            } else {
+                unacceptable.get_or_insert_with(|| {
+                    println!("fig 1(c): seed {seed} -> PSNR {psnr:.1} dB (visible corruption)");
+                    seed
+                });
+            }
+        }
+    }
+    if let Some(seed) = masked {
+        println!("fig 1(a): seed {seed} -> output identical (masked)");
+    }
+
+    // Campaigns: unprotected vs protected.
+    let cfg = CampaignConfig {
+        trials: 300,
+        seed: 0xBEEF,
+        ..CampaignConfig::default()
+    };
+    for t in [Technique::Original, Technique::DupVal] {
+        let r = run_campaign(w, prepared.module(t), &cfg);
+        println!(
+            "{:<16} masked {:5.1}%  swdetect {:5.1}%  hwdetect {:4.1}%  failure {:4.1}%  USDC {:4.1}%",
+            t.label(),
+            r.masked_frac() * 100.0,
+            r.swdetect_frac() * 100.0,
+            r.hwdetect_frac() * 100.0,
+            r.failure_frac() * 100.0,
+            r.frac(Outcome::UnacceptableSdc) * 100.0,
+        );
+    }
+}

@@ -1,0 +1,1 @@
+// Examples crate; each example is a [[bin]] target.

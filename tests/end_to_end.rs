@@ -1,0 +1,87 @@
+//! End-to-end pipeline tests: every benchmark survives the full
+//! profile → transform → verify → run → score path, and the protection
+//! mechanisms behave as the paper describes.
+
+use softft::Technique;
+use softft_campaign::prep::{neutralize_false_positives, prepare};
+use softft_vm::interp::{NoopObserver, VmConfig};
+use softft_workloads::runner::run_workload;
+use softft_workloads::{all_workloads, InputSet};
+
+#[test]
+fn every_benchmark_pipelines_cleanly() {
+    for w in all_workloads() {
+        let name = w.name();
+        let p = prepare(w);
+        for t in Technique::ALL {
+            softft_ir::verify::verify_module(p.module(t))
+                .unwrap_or_else(|e| panic!("{name}/{t}: {e}"));
+        }
+        // Static stats are self-consistent.
+        let s = p.static_stats[&Technique::DupVal];
+        assert!(s.insts_before > 0, "{name}");
+        assert!(s.insts_after >= s.insts_before, "{name}");
+        assert!(s.state_vars > 0, "{name}: every kernel has loops");
+        let d = p.static_stats[&Technique::DupOnly];
+        assert!(d.duplicated > 0, "{name}: nothing was duplicated");
+        assert!(d.dup_checks > 0, "{name}: no duplication checks");
+        let f = p.static_stats[&Technique::FullDup];
+        assert!(
+            f.duplicated > d.duplicated,
+            "{name}: full duplication must clone more than selective"
+        );
+    }
+}
+
+#[test]
+fn transformations_preserve_fault_free_outputs_on_both_inputs() {
+    for w in all_workloads() {
+        let name = w.name();
+        let p = prepare(w);
+        for set in [InputSet::Train, InputSet::Test] {
+            let input = p.workload.input(set);
+            let mut reference: Option<Vec<u8>> = None;
+            for t in Technique::ALL {
+                let mut m = p.module(t).clone();
+                neutralize_false_positives(&mut m, &*p.workload, set);
+                let (r, out) =
+                    run_workload(&m, &input, VmConfig::default(), &mut NoopObserver, None);
+                assert!(r.completed(), "{name}/{t}/{set:?}: {:?}", r.end);
+                match &reference {
+                    None => reference = Some(out),
+                    Some(golden) => assert_eq!(
+                        &out, golden,
+                        "{name}/{t}/{set:?}: fault-free output changed"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn profiles_find_amenable_instructions_everywhere() {
+    for w in all_workloads() {
+        let name = w.name();
+        let p = prepare(w);
+        assert!(
+            p.profile.num_amenable() > 0,
+            "{name}: no check-amenable instructions at all"
+        );
+    }
+}
+
+#[test]
+fn fidelity_metrics_score_own_golden_as_acceptable() {
+    for w in all_workloads() {
+        let name = w.name();
+        let module = w.build_module();
+        let input = w.input(InputSet::Test);
+        let (r, out) = run_workload(&module, &input, VmConfig::default(), &mut NoopObserver, None);
+        assert!(r.completed(), "{name}");
+        assert!(
+            w.acceptable(&out, &out),
+            "{name}: golden output not acceptable against itself"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Cross-benchmark assertions of the paper's headline shapes, run at
+//! reduced trial counts (the `repro` binary runs the full versions):
+//!
+//! * USDC rate falls Original → Dup-only → Dup+val-chks (means),
+//! * selective protection is much cheaper than full duplication,
+//! * Fig. 10 static fractions stay in the paper's ballpark ordering,
+//! * the false-positive rate is rare,
+//! * cross-validation deltas are bounded.
+
+use softft::Technique;
+use softft_campaign::campaign::{run_campaign, CampaignConfig};
+use softft_campaign::falsepos::measure_false_positives;
+use softft_campaign::perf::all_overheads;
+use softft_campaign::prep::prepare;
+use softft_workloads::{all_workloads, workload_by_name, InputSet};
+
+/// A representative, fast subset (one per category).
+const SUBSET: [&str; 5] = ["tiff2bw", "g721dec", "h264dec", "segm", "kmeans"];
+
+fn cfg(trials: u32) -> CampaignConfig {
+    CampaignConfig {
+        trials,
+        seed: 0xCAFE,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn usdc_means_fall_with_protection() {
+    let c = cfg(150);
+    let (mut orig, mut dup, mut dv) = (0.0, 0.0, 0.0);
+    for name in SUBSET {
+        let p = prepare(workload_by_name(name).expect("known"));
+        orig += run_campaign(&*p.workload, p.module(Technique::Original), &c).usdc_frac();
+        dup += run_campaign(&*p.workload, p.module(Technique::DupOnly), &c).usdc_frac();
+        dv += run_campaign(&*p.workload, p.module(Technique::DupVal), &c).usdc_frac();
+    }
+    let n = SUBSET.len() as f64;
+    let (orig, dup, dv) = (orig / n, dup / n, dv / n);
+    assert!(
+        dup <= orig,
+        "dup-only USDC mean {dup:.3} exceeds original {orig:.3}"
+    );
+    assert!(
+        dv <= orig,
+        "dup+val USDC mean {dv:.3} exceeds original {orig:.3}"
+    );
+    // The protected means must show a real reduction, as in the paper's
+    // 3.4% → 1.8% → 1.2% trend (we allow slack for the small trial count).
+    assert!(
+        dv <= orig * 0.75 + 0.005,
+        "dup+val USDC mean {dv:.3} not clearly below original {orig:.3}"
+    );
+}
+
+#[test]
+fn protection_converts_corruptions_into_detections() {
+    let c = cfg(150);
+    for name in ["tiff2bw", "g721dec"] {
+        let p = prepare(workload_by_name(name).expect("known"));
+        let orig = run_campaign(&*p.workload, p.module(Technique::Original), &c);
+        let dv = run_campaign(&*p.workload, p.module(Technique::DupVal), &c);
+        assert_eq!(orig.swdetect_frac(), 0.0, "{name}: original has no checks");
+        assert!(dv.swdetect_frac() > 0.02, "{name}: almost no detections");
+        assert!(
+            dv.coverage() >= orig.coverage(),
+            "{name}: protection reduced coverage ({} vs {})",
+            dv.coverage(),
+            orig.coverage()
+        );
+    }
+}
+
+#[test]
+fn selective_protection_cheaper_than_full_duplication_on_average() {
+    let mut sel = 0.0;
+    let mut full = 0.0;
+    for name in SUBSET {
+        let p = prepare(workload_by_name(name).expect("known"));
+        let ovs = all_overheads(&*p.workload, &p.modules, InputSet::Test);
+        let get = |t: Technique| ovs.iter().find(|(x, _)| *x == t).map(|(_, v)| *v).unwrap();
+        sel += get(Technique::DupOnly);
+        full += get(Technique::FullDup);
+    }
+    assert!(
+        sel < full,
+        "selective duplication mean {sel:.3} not below full duplication {full:.3}"
+    );
+}
+
+#[test]
+fn fig10_fractions_have_paper_ordering() {
+    // Duplicated fraction bounded; state variables are a small share of
+    // static instructions; every kernel reports sane numbers.
+    for w in all_workloads() {
+        let name = w.name();
+        let p = prepare(w);
+        let s = p.static_stats[&Technique::DupVal];
+        assert!(
+            s.state_var_frac() < 0.25,
+            "{name}: state vars are {:.2} of static insts",
+            s.state_var_frac()
+        );
+        assert!(
+            s.duplicated_frac() < 0.75,
+            "{name}: duplicated {:.2}",
+            s.duplicated_frac()
+        );
+        assert!(s.value_check_frac() < 0.40, "{name}");
+    }
+}
+
+#[test]
+fn false_positives_are_rare_across_the_suite() {
+    let mut failures = 0u64;
+    let mut insts = 0u64;
+    for w in all_workloads() {
+        let p = prepare(w);
+        let fp = measure_false_positives(&*p.workload, p.module(Technique::DupVal), InputSet::Test);
+        failures += fp.failures;
+        insts += fp.insts;
+    }
+    let rate = failures as f64 / insts.max(1) as f64;
+    // The paper reports ~1 per 235K instructions; require the same order.
+    assert!(
+        rate < 1.0 / 50_000.0,
+        "false-positive rate {rate:.2e} ({failures} in {insts})"
+    );
+}
+
+#[test]
+fn full_duplication_leaves_residual_usdcs() {
+    // The paper's point: full duplication is not strictly better — loads
+    // and stores escape it, leaving residual USDCs at much higher cost.
+    let c = cfg(250);
+    let mut fulldup_usdc = 0.0;
+    let mut dv_usdc = 0.0;
+    for name in SUBSET {
+        let p = prepare(workload_by_name(name).expect("known"));
+        fulldup_usdc += run_campaign(&*p.workload, p.module(Technique::FullDup), &c).usdc_frac();
+        dv_usdc += run_campaign(&*p.workload, p.module(Technique::DupVal), &c).usdc_frac();
+    }
+    // Both should be small; dup+val must at least match full duplication
+    // within noise (the paper measures 1.2% vs 1.4%).
+    assert!(
+        dv_usdc <= fulldup_usdc + 0.05 * SUBSET.len() as f64,
+        "dup+val {dv_usdc:.3} far above full dup {fulldup_usdc:.3}"
+    );
+}

@@ -1,0 +1,94 @@
+//! Smoke tests for the `repro` orchestration: every exhibit renders on a
+//! small configuration without panicking and contains its key rows.
+
+use softft_bench::orchestrate::run_exhibit;
+use softft_bench::{Exhibit, ReproConfig};
+
+fn small() -> ReproConfig {
+    ReproConfig {
+        trials: 12,
+        seed: 3,
+        benchmarks: vec!["tiff2bw".into(), "kmeans".into()],
+        threads: 2,
+    }
+}
+
+#[test]
+fn tables_render() {
+    let cfg = small();
+    let t1 = run_exhibit(Exhibit::Table1, &cfg);
+    for name in [
+        "jpegenc", "jpegdec", "tiff2bw", "segm", "tex_synth", "g721enc", "g721dec", "mp3enc",
+        "mp3dec", "h264enc", "h264dec", "kmeans", "svm",
+    ] {
+        assert!(t1.contains(name), "table1 missing {name}:\n{t1}");
+    }
+    let t2 = run_exhibit(Exhibit::Table2, &cfg);
+    assert!(t2.contains("issue width"));
+    assert!(t2.contains("reorder buffer"));
+}
+
+#[test]
+fn static_figures_render() {
+    let cfg = small();
+    let f6 = run_exhibit(Exhibit::Fig6, &cfg);
+    assert!(f6.contains("single") && f6.contains("range"), "{f6}");
+    let f10 = run_exhibit(Exhibit::Fig10, &cfg);
+    assert!(f10.contains("state vars") && f10.contains("mean"), "{f10}");
+}
+
+#[test]
+fn campaign_figures_render() {
+    let cfg = small();
+    let f2 = run_exhibit(Exhibit::Fig2, &cfg);
+    assert!(f2.contains("USDC-large"), "{f2}");
+    let f11 = run_exhibit(Exhibit::Fig11, &cfg);
+    assert!(f11.contains("Dup + val chks"), "{f11}");
+    assert!(f11.contains("full duplication mean USDC"), "{f11}");
+    let f13 = run_exhibit(Exhibit::Fig13, &cfg);
+    assert!(f13.contains("ASDC"), "{f13}");
+}
+
+#[test]
+fn perf_and_analysis_figures_render() {
+    let cfg = small();
+    let f12 = run_exhibit(Exhibit::Fig12, &cfg);
+    assert!(f12.contains("tiff2bw") && f12.contains("mean"), "{f12}");
+    let fp = run_exhibit(Exhibit::FalsePos, &cfg);
+    assert!(fp.contains("insts/failure"), "{fp}");
+    let det = run_exhibit(Exhibit::Detect, &cfg);
+    assert!(det.contains("dup-chk"), "{det}");
+}
+
+#[test]
+fn extension_exhibits_render() {
+    let cfg = ReproConfig {
+        trials: 10,
+        seed: 3,
+        benchmarks: vec!["tiff2bw".into()],
+        threads: 1,
+    };
+    let cfc = run_exhibit(Exhibit::Cfc, &cfg);
+    assert!(cfc.contains("cfcss"), "{cfc}");
+    assert!(cfc.contains("SWDetect"), "{cfc}");
+    let rec = run_exhibit(Exhibit::Recovery, &cfg);
+    assert!(rec.contains("rollback insts"), "{rec}");
+    let abl = run_exhibit(Exhibit::Ablate, &cfg);
+    assert!(abl.contains("opt1+opt2") && abl.contains("neither"), "{abl}");
+}
+
+#[test]
+fn fig1_finds_representative_injections() {
+    let cfg = ReproConfig {
+        trials: 5,
+        ..small()
+    };
+    let f1 = run_exhibit(Exhibit::Fig1, &cfg);
+    assert!(f1.contains("no fault"), "{f1}");
+    // At least one of the fault cases should be found within the scanned
+    // seed budget.
+    assert!(
+        f1.contains("acceptable fault") || f1.contains("unacceptable fault"),
+        "{f1}"
+    );
+}

@@ -1,0 +1,153 @@
+//! Property-based tests: for randomly generated kernels, every
+//! transformation preserves fault-free semantics, the verifier holds,
+//! timing never speeds programs up, and the fault injector is
+//! deterministic.
+
+use proptest::prelude::*;
+use soft_ft_tests::random_module;
+use softft::{transform, Technique, TransformConfig};
+use softft_ir::verify::verify_module;
+use softft_profile::{ClassifyConfig, ProfileDb, Profiler};
+use softft_vm::interp::{NoopObserver, Vm, VmConfig};
+use softft_vm::timing::{CoreConfig, TimingModel};
+use softft_vm::FaultPlan;
+
+fn run_bits(m: &softft_ir::Module) -> Option<u64> {
+    let main = m.function_by_name("main").expect("main exists");
+    let r = Vm::new(m, VmConfig::default()).run(main, &[], &mut NoopObserver, None);
+    assert!(r.completed(), "{:?}", r.end);
+    r.return_bits()
+}
+
+fn profile_of(m: &softft_ir::Module) -> ProfileDb {
+    let main = m.function_by_name("main").expect("main exists");
+    let mut p = Profiler::default();
+    Vm::new(m, VmConfig::default()).run(main, &[], &mut p, None);
+    ProfileDb::from_profiler(&p, &ClassifyConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn transforms_preserve_semantics(seed in 0u64..10_000) {
+        let m = random_module(seed);
+        verify_module(&m).expect("generator produces valid IR");
+        let golden = run_bits(&m);
+        let profile = profile_of(&m);
+        for t in Technique::ALL {
+            let (tm, _) = transform(&m, &profile, t, &TransformConfig::default());
+            verify_module(&tm).unwrap_or_else(|e| panic!("seed {seed}/{t}: {e}"));
+            prop_assert_eq!(run_bits(&tm), golden, "seed {} technique {}", seed, t);
+        }
+    }
+
+    #[test]
+    fn transforms_never_speed_up(seed in 0u64..10_000) {
+        let m = random_module(seed);
+        let profile = profile_of(&m);
+        let main = m.function_by_name("main").expect("main exists");
+        let cycles = |module: &softft_ir::Module| {
+            let mut t = TimingModel::new(CoreConfig::default());
+            let r = Vm::new(module, VmConfig::default()).run(main, &[], &mut t, None);
+            assert!(r.completed());
+            t.cycles()
+        };
+        let base = cycles(&m);
+        for t in [Technique::DupOnly, Technique::DupVal, Technique::FullDup] {
+            let (tm, _) = transform(&m, &profile, t, &TransformConfig::default());
+            prop_assert!(cycles(&tm) >= base, "seed {} technique {} got faster", seed, t);
+        }
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic(seed in 0u64..10_000, at in 1u64..5_000, fseed in 0u64..1_000) {
+        let m = random_module(seed % 50);
+        let main = m.function_by_name("main").expect("main exists");
+        let plan = Some(FaultPlan::register(at, fseed));
+        let r1 = Vm::new(&m, VmConfig::default()).run(main, &[], &mut NoopObserver, plan);
+        let r2 = Vm::new(&m, VmConfig::default()).run(main, &[], &mut NoopObserver, plan);
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn injected_faults_never_panic_the_vm(seed in 0u64..30, at in 1u64..20_000, fseed in 0u64..50) {
+        // Any outcome is fine (masked / corrupt / trap); the VM itself
+        // must stay healthy and report a structured result.
+        let m = random_module(seed);
+        let profile = profile_of(&m);
+        let (tm, _) = transform(&m, &profile, Technique::DupVal, &TransformConfig::default());
+        let main = tm.function_by_name("main").expect("main exists");
+        let r = Vm::new(&tm, VmConfig::default()).run(
+            main,
+            &[],
+            &mut NoopObserver,
+            Some(FaultPlan::register(at, fseed)),
+        );
+        prop_assert!(r.dyn_insts > 0);
+    }
+
+    #[test]
+    fn optimizer_preserves_semantics(seed in 0u64..10_000) {
+        // DCE + constant folding + LICM must not change behaviour, and
+        // protection applied after optimization must still be sound.
+        let m = random_module(seed);
+        let golden = run_bits(&m);
+        let mut opt = m.clone();
+        let stats = softft_ir::opt::optimize(&mut opt);
+        verify_module(&opt).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(run_bits(&opt), golden, "seed {} ({:?})", seed, stats);
+        prop_assert!(opt.static_inst_count() <= m.static_inst_count() ,
+            "optimization grew the program");
+
+        let profile = profile_of(&opt);
+        let (protected, _) = transform(&opt, &profile, Technique::DupVal, &TransformConfig::default());
+        verify_module(&protected).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(run_bits(&protected), golden, "seed {} protected-after-opt", seed);
+    }
+
+    #[test]
+    fn cfc_signatures_preserve_semantics(seed in 0u64..10_000) {
+        // The control-flow-signature pass must be a no-op on fault-free
+        // behaviour for arbitrary programs.
+        let m = random_module(seed);
+        let golden = run_bits(&m);
+        let mut signed = m.clone();
+        let stats = softft::cfcss::insert_cfc_signatures(&mut signed);
+        verify_module(&signed).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(stats.blocks_signed > 0);
+        prop_assert_eq!(run_bits(&signed), golden, "seed {}", seed);
+    }
+
+    #[test]
+    fn branch_faults_never_panic_signed_or_plain(seed in 0u64..30, at in 1u64..20_000, fseed in 0u64..50) {
+        let m = random_module(seed);
+        let mut signed = m.clone();
+        softft::cfcss::insert_cfc_signatures(&mut signed);
+        for module in [&m, &signed] {
+            let main = module.function_by_name("main").expect("main exists");
+            let r = Vm::new(module, VmConfig::default()).run(
+                main,
+                &[],
+                &mut NoopObserver,
+                Some(FaultPlan::branch_target(at, fseed)),
+            );
+            prop_assert!(r.dyn_insts > 0);
+        }
+    }
+
+    #[test]
+    fn static_stats_are_consistent(seed in 0u64..10_000) {
+        let m = random_module(seed);
+        let profile = profile_of(&m);
+        for t in Technique::ALL {
+            let (tm, s) = transform(&m, &profile, t, &TransformConfig::default());
+            prop_assert_eq!(s.insts_before, m.static_inst_count());
+            prop_assert_eq!(s.insts_after, tm.static_inst_count());
+            prop_assert!(s.insts_after >= s.insts_before);
+            if t == Technique::Original {
+                prop_assert_eq!(s.insts_after, s.insts_before);
+            }
+        }
+    }
+}
