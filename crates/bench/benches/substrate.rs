@@ -56,17 +56,13 @@ fn bench_transform_pipeline(c: &mut Criterion) {
     run_workload(&module, &input, VmConfig::default(), &mut profiler, None);
     let profile = ProfileDb::from_profiler(&profiler, &ClassifyConfig::default());
     for t in [Technique::DupOnly, Technique::DupVal, Technique::FullDup] {
-        group.bench_with_input(
-            BenchmarkId::new("jpegdec", t.label()),
-            &t,
-            |b, &t| {
-                b.iter(|| {
-                    let (m, stats) = transform(&module, &profile, t, &TransformConfig::default());
-                    assert!(stats.insts_after >= stats.insts_before);
-                    m.static_inst_count()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("jpegdec", t.label()), &t, |b, &t| {
+            b.iter(|| {
+                let (m, stats) = transform(&module, &profile, t, &TransformConfig::default());
+                assert!(stats.insts_after >= stats.insts_before);
+                m.static_inst_count()
+            })
+        });
     }
     group.finish();
 }

@@ -3,18 +3,21 @@
 //!
 //! ```text
 //! repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c]
+//!                 [--telemetry DIR] [-v|--verbose] [-q|--quiet]
 //!
 //! exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13
-//!           detect falsepos crossval all
+//!           detect latency falsepos crossval all
 //! ```
 
 use softft_bench::{Exhibit, ReproConfig};
+use softft_telemetry::{Logger, Verbosity};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c]\n\
-         exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13 detect falsepos crossval ablate cfc recovery all"
+    // Usage goes out at every verbosity level.
+    Logger::default().error(
+        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [-v|--verbose] [-q|--quiet]\n\
+         exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13 detect latency falsepos crossval ablate cfc recovery all",
     );
     ExitCode::FAILURE
 }
@@ -31,6 +34,20 @@ fn main() -> ExitCode {
     let mut i = 1;
     while i < args.len() {
         let flag = &args[i];
+        // Level flags take no value.
+        match flag.as_str() {
+            "-v" | "--verbose" => {
+                cfg.verbosity = Verbosity::Verbose;
+                i += 1;
+                continue;
+            }
+            "-q" | "--quiet" => {
+                cfg.verbosity = Verbosity::Quiet;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
         let Some(value) = args.get(i + 1) else {
             return usage();
         };
@@ -50,17 +67,21 @@ fn main() -> ExitCode {
             "--benchmarks" => {
                 cfg.benchmarks = value.split(',').map(str::to_string).collect();
             }
+            "--telemetry" => {
+                cfg.telemetry = Some(value.into());
+            }
             _ => return usage(),
         }
         i += 2;
     }
+    let log = Logger::new(cfg.verbosity);
     let started = std::time::Instant::now();
     print!("{}", softft_bench::orchestrate::run_exhibit(exhibit, &cfg));
-    eprintln!(
+    log.info(format!(
         "[repro: {} trials/benchmark, seed {}, {:.1}s]",
         cfg.trials,
         cfg.seed,
         started.elapsed().as_secs_f64()
-    );
+    ));
     ExitCode::SUCCESS
 }

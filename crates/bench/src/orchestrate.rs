@@ -2,14 +2,20 @@
 //! static analyses across benchmarks and feeds the report renderers.
 
 use softft::Technique;
-use softft_campaign::campaign::{run_campaign, CampaignConfig};
+use softft_campaign::campaign::{
+    run_campaign, run_campaign_traced, CampaignConfig, CampaignResult, CampaignTelemetry,
+};
 use softft_campaign::crossval::cross_validate;
 use softft_campaign::falsepos::measure_false_positives;
 use softft_campaign::perf::all_overheads;
 use softft_campaign::prep::{prepare, PreparedBenchmark};
 use softft_campaign::report;
+use softft_telemetry::{Logger, RunManifest, Verbosity, TRIAL_SCHEMA_VERSION};
+use softft_vm::fault::FaultKind;
 use softft_workloads::{all_workloads, InputSet};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Which exhibit to regenerate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,6 +40,8 @@ pub enum Exhibit {
     Fig13,
     /// Detection attribution by mechanism.
     Detect,
+    /// Detection-latency percentiles per technique.
+    Latency,
     /// False positives per benchmark.
     FalsePos,
     /// Cross-validation (train/test swap).
@@ -63,6 +71,7 @@ impl Exhibit {
             "fig12" => Exhibit::Fig12,
             "fig13" => Exhibit::Fig13,
             "detect" => Exhibit::Detect,
+            "latency" => Exhibit::Latency,
             "falsepos" => Exhibit::FalsePos,
             "crossval" => Exhibit::CrossVal,
             "ablate" => Exhibit::Ablate,
@@ -86,6 +95,13 @@ pub struct ReproConfig {
     pub benchmarks: Vec<String>,
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
+    /// Stderr chatter level (`-v` / `-q`).
+    pub verbosity: Verbosity,
+    /// When set, every campaign is traced and writes
+    /// `<bench>.<technique>.{trials.jsonl,manifest.json,metrics.json}`
+    /// into this directory. `None` runs campaigns untraced (the
+    /// zero-cost default).
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Default for ReproConfig {
@@ -95,6 +111,8 @@ impl Default for ReproConfig {
             seed: 0x5EED,
             benchmarks: Vec::new(),
             threads: 0,
+            verbosity: Verbosity::default(),
+            telemetry: None,
         }
     }
 }
@@ -112,9 +130,7 @@ impl ReproConfig {
     fn selected(&self) -> Vec<PreparedBenchmark> {
         all_workloads()
             .into_iter()
-            .filter(|w| {
-                self.benchmarks.is_empty() || self.benchmarks.iter().any(|b| b == w.name())
-            })
+            .filter(|w| self.benchmarks.is_empty() || self.benchmarks.iter().any(|b| b == w.name()))
             .map(prepare)
             .collect()
     }
@@ -133,6 +149,7 @@ pub fn run_exhibit(ex: Exhibit, cfg: &ReproConfig) -> String {
         Exhibit::Fig12 => fig12(cfg),
         Exhibit::Fig13 => fig11_13(cfg, false),
         Exhibit::Detect => detect(cfg),
+        Exhibit::Latency => latency(cfg),
         Exhibit::FalsePos => falsepos(cfg),
         Exhibit::CrossVal => crossval(cfg),
         Exhibit::Ablate => ablate(cfg),
@@ -151,6 +168,7 @@ pub fn run_exhibit(ex: Exhibit, cfg: &ReproConfig) -> String {
                 Exhibit::Fig12,
                 Exhibit::Fig13,
                 Exhibit::Detect,
+                Exhibit::Latency,
                 Exhibit::FalsePos,
                 Exhibit::CrossVal,
                 Exhibit::Ablate,
@@ -165,6 +183,108 @@ pub fn run_exhibit(ex: Exhibit, cfg: &ReproConfig) -> String {
     }
 }
 
+/// File-name slug for a technique (lower-case, no spaces).
+fn tech_slug(t: Technique) -> &'static str {
+    match t {
+        Technique::Original => "original",
+        Technique::DupOnly => "dup-only",
+        Technique::DupVal => "dup-val",
+        Technique::FullDup => "full-dup",
+    }
+}
+
+fn fault_kind_label(k: FaultKind) -> &'static str {
+    match k {
+        FaultKind::Register => "register",
+        FaultKind::BranchTarget => "branch-target",
+    }
+}
+
+/// Runs one campaign through the configured observability: a progress
+/// line at `-v`, and — when `--telemetry <dir>` is set — a traced run
+/// that writes per-trial JSONL, a run manifest, and aggregated metrics
+/// for this (benchmark, technique) pair. Without telemetry this is
+/// exactly [`run_campaign`] (the `NoopObserver` fast path).
+fn campaign_run(
+    cfg: &ReproConfig,
+    ccfg: &CampaignConfig,
+    p: &PreparedBenchmark,
+    t: Technique,
+) -> CampaignResult {
+    let log = Logger::new(cfg.verbosity);
+    let name = p.workload.name();
+    log.debug(format!(
+        "[repro] campaign: {name} x {} ({} trials, {} faults)",
+        t.label(),
+        ccfg.trials,
+        fault_kind_label(ccfg.fault_kind)
+    ));
+    let result = match &cfg.telemetry {
+        None => run_campaign(&*p.workload, p.module(t), ccfg),
+        Some(dir) => {
+            let start = Instant::now();
+            let (result, telemetry) = run_campaign_traced(&*p.workload, p.module(t), ccfg);
+            let wall_ms = start.elapsed().as_millis() as u64;
+            if let Err(e) = write_telemetry(dir, name, t, ccfg, &result, &telemetry, wall_ms) {
+                // Telemetry is a side channel: report the failure, keep the run.
+                log.error(format!(
+                    "[repro] failed to write telemetry for {name}.{}: {e}",
+                    tech_slug(t)
+                ));
+            }
+            result
+        }
+    };
+    if log.is_verbose() {
+        log.debug(report::render_outcome_counts(&result));
+    }
+    result
+}
+
+/// Writes the three telemetry artifacts for one campaign into `dir`.
+fn write_telemetry(
+    dir: &Path,
+    bench: &str,
+    t: Technique,
+    ccfg: &CampaignConfig,
+    result: &CampaignResult,
+    telemetry: &CampaignTelemetry,
+    wall_ms: u64,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let stem = format!("{bench}.{}", tech_slug(t));
+    let io_err = |e: serde_json::Error| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+
+    let mut jsonl = String::new();
+    for e in &telemetry.events {
+        jsonl.push_str(&e.to_jsonl().map_err(io_err)?);
+        jsonl.push('\n');
+    }
+    std::fs::write(dir.join(format!("{stem}.trials.jsonl")), jsonl)?;
+
+    let manifest = RunManifest {
+        schema_version: TRIAL_SCHEMA_VERSION,
+        benchmark: bench.to_string(),
+        technique: t.label().to_string(),
+        fault_kind: fault_kind_label(ccfg.fault_kind).to_string(),
+        trials: ccfg.trials,
+        master_seed: ccfg.seed,
+        threads: ccfg.threads,
+        golden_dyn_insts: result.golden_dyn_insts,
+        wall_ms,
+    };
+    std::fs::write(
+        dir.join(format!("{stem}.manifest.json")),
+        manifest.to_json().map_err(io_err)?,
+    )?;
+
+    std::fs::write(
+        dir.join(format!("{stem}.metrics.json")),
+        telemetry.metrics.to_json(),
+    )?;
+    Ok(())
+}
+
 fn fig1(cfg: &ReproConfig) -> String {
     use softft_vm::interp::{NoopObserver, VmConfig};
     use softft_vm::FaultPlan;
@@ -174,8 +294,13 @@ fn fig1(cfg: &ReproConfig) -> String {
     let w = workload_by_name("jpegdec").expect("jpegdec registered");
     let module = w.build_module();
     let input = w.input(InputSet::Test);
-    let (golden_r, golden) =
-        run_workload(&module, &input, VmConfig::default(), &mut NoopObserver, None);
+    let (golden_r, golden) = run_workload(
+        &module,
+        &input,
+        VmConfig::default(),
+        &mut NoopObserver,
+        None,
+    );
     let n = golden_r.dyn_insts;
 
     let mut out = String::new();
@@ -190,8 +315,20 @@ fn fig1(cfg: &ReproConfig) -> String {
         if shown_ok && shown_bad {
             break;
         }
-        let plan = FaultPlan::register((seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(cfg.seed)) % n.max(1), seed);
-        let (r, o) = run_workload(&module, &input, VmConfig::default(), &mut NoopObserver, Some(plan));
+        let plan = FaultPlan::register(
+            (seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(cfg.seed))
+                % n.max(1),
+            seed,
+        );
+        let (r, o) = run_workload(
+            &module,
+            &input,
+            VmConfig::default(),
+            &mut NoopObserver,
+            Some(plan),
+        );
         if !r.completed() || o == golden {
             continue;
         }
@@ -225,7 +362,7 @@ fn fig2(cfg: &ReproConfig) -> String {
         .selected()
         .iter()
         .map(|p| {
-            let r = run_campaign(&*p.workload, p.module(Technique::Original), &ccfg);
+            let r = campaign_run(cfg, &ccfg, p, Technique::Original);
             (p.workload.name().to_string(), r)
         })
         .collect();
@@ -257,7 +394,7 @@ fn fig11_13(cfg: &ReproConfig, fig11: bool) -> String {
         .map(|p| {
             let mut by_t = report::ResultsByTechnique::new();
             for t in [Technique::Original, Technique::DupOnly, Technique::DupVal] {
-                by_t.insert(t, run_campaign(&*p.workload, p.module(t), &ccfg));
+                by_t.insert(t, campaign_run(cfg, &ccfg, p, t));
             }
             (p.workload.name().to_string(), by_t)
         })
@@ -268,7 +405,7 @@ fn fig11_13(cfg: &ReproConfig, fig11: bool) -> String {
         let mut usdc = 0.0;
         let mut count = 0usize;
         for p in cfg.selected() {
-            let r = run_campaign(&*p.workload, p.module(Technique::FullDup), &ccfg);
+            let r = campaign_run(cfg, &ccfg, &p, Technique::FullDup);
             usdc += r.usdc_frac();
             count += 1;
         }
@@ -303,11 +440,32 @@ fn detect(cfg: &ReproConfig) -> String {
         .selected()
         .iter()
         .map(|p| {
-            let r = run_campaign(&*p.workload, p.module(Technique::DupVal), &ccfg);
+            let r = campaign_run(cfg, &ccfg, p, Technique::DupVal);
             (p.workload.name().to_string(), r)
         })
         .collect();
     report::render_detection_split(&rows)
+}
+
+fn latency(cfg: &ReproConfig) -> String {
+    let ccfg = cfg.campaign_config();
+    let rows: Vec<(String, report::ResultsByTechnique)> = cfg
+        .selected()
+        .iter()
+        .map(|p| {
+            let mut by_t = report::ResultsByTechnique::new();
+            for t in [
+                Technique::Original,
+                Technique::DupOnly,
+                Technique::DupVal,
+                Technique::FullDup,
+            ] {
+                by_t.insert(t, campaign_run(cfg, &ccfg, p, t));
+            }
+            (p.workload.name().to_string(), by_t)
+        })
+        .collect();
+    report::render_latency(&rows)
 }
 
 fn falsepos(cfg: &ReproConfig) -> String {
@@ -357,10 +515,34 @@ fn ablate(cfg: &ReproConfig) -> String {
     use softft_workloads::Workload;
 
     let variants: [(&str, TransformConfig); 4] = [
-        ("opt1+opt2", TransformConfig { opt1: true, opt2: true }),
-        ("opt1 only", TransformConfig { opt1: true, opt2: false }),
-        ("opt2 only", TransformConfig { opt1: false, opt2: true }),
-        ("neither", TransformConfig { opt1: false, opt2: false }),
+        (
+            "opt1+opt2",
+            TransformConfig {
+                opt1: true,
+                opt2: true,
+            },
+        ),
+        (
+            "opt1 only",
+            TransformConfig {
+                opt1: true,
+                opt2: false,
+            },
+        ),
+        (
+            "opt2 only",
+            TransformConfig {
+                opt1: false,
+                opt2: true,
+            },
+        ),
+        (
+            "neither",
+            TransformConfig {
+                opt1: false,
+                opt2: false,
+            },
+        ),
     ];
     let mut out = String::new();
     let _ = writeln!(
@@ -474,7 +656,7 @@ fn recovery(cfg: &ReproConfig) -> String {
         "ckpt overhead"
     );
     for p in cfg.selected() {
-        let r = run_campaign(&*p.workload, p.module(Technique::DupVal), &ccfg);
+        let r = campaign_run(cfg, &ccfg, &p, Technique::DupVal);
         let cost = model_recovery(&r, &model);
         let _ = writeln!(
             out,

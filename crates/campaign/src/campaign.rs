@@ -5,8 +5,12 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use softft_ir::{CheckKind, Module};
-use softft_vm::interp::{NoopObserver, VmConfig};
+use softft_telemetry::{
+    check_kind_label, CheckCounter, CheckKindCounts, Histogram, MetricsRegistry, TraceObserver,
+    TrialEvent,
+};
 use softft_vm::fault::{FaultKind, FaultPlan};
+use softft_vm::interp::{NoopObserver, Observer, VmConfig};
 use softft_workloads::runner::run_workload;
 use softft_workloads::{InputSet, Workload};
 use std::collections::HashMap;
@@ -47,7 +51,7 @@ impl Default for CampaignConfig {
 }
 
 /// Aggregated campaign results for one (benchmark, technique) pair.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CampaignResult {
     /// Trials executed.
     pub trials: u32,
@@ -59,6 +63,11 @@ pub struct CampaignResult {
     pub usdc_small: u32,
     /// Dynamic instructions of the fault-free run.
     pub golden_dyn_insts: u64,
+    /// Detection latency (dynamic instructions from injection to trap)
+    /// over software-detected trials.
+    pub sw_latency: Histogram,
+    /// Detection latency over hardware-detected trials.
+    pub hw_latency: Histogram,
 }
 
 impl CampaignResult {
@@ -117,24 +126,41 @@ impl CampaignResult {
     pub fn coverage(&self) -> f64 {
         self.masked_frac() + self.swdetect_frac() + self.hwdetect_frac()
     }
+
+    /// Outcome counts in [`Outcome::CANONICAL`] order (zero counts
+    /// included), for byte-stable rendering.
+    pub fn ordered_counts(&self) -> impl Iterator<Item = (Outcome, u32)> + '_ {
+        Outcome::CANONICAL.iter().map(|&o| (o, self.count(o)))
+    }
 }
 
-/// Runs one campaign: `trials` injections into `module` running
-/// `workload` on the configured input, classified against the fault-free
-/// golden output.
-///
-/// Deterministic in (`module`, `cfg`): trial *i* derives its fault plan
-/// from `cfg.seed` and `i` regardless of thread scheduling.
-///
-/// # Panics
-///
-/// Panics if the fault-free run does not complete (a workload bug, not a
-/// fault effect).
-pub fn run_campaign(
+/// Per-trial events and aggregated metrics from a traced campaign
+/// ([`run_campaign_traced`]).
+#[derive(Clone, Debug, Default)]
+pub struct CampaignTelemetry {
+    /// One event per trial, in plan order (trial *i* is plan *i*).
+    pub events: Vec<TrialEvent>,
+    /// Total check firings by kind across all trials (every firing, not
+    /// just first detections).
+    pub checks: CheckKindCounts,
+    /// Aggregated counters and histograms: per-opcode dynamic
+    /// instruction counts (`vm.ops.*`), check firings by kind
+    /// (`checks.fired.*`), outcome counts (`outcome.*`), run lengths
+    /// (`vm.dyn_insts`), and detection latencies (`latency.*`).
+    pub metrics: MetricsRegistry,
+}
+
+/// Shared campaign core: golden run, deterministic plan derivation, and
+/// the threaded trial loop. Generic over the per-trial [`Observer`] so
+/// the [`NoopObserver`] path ([`run_campaign`]) monomorphizes to the
+/// untraced loop while [`run_campaign_traced`] gets a full trace per
+/// trial. Returns per-trial `(plan, record, observer)` in plan order.
+fn campaign_core<O: Observer + Send>(
     workload: &dyn Workload,
     module: &Module,
     cfg: &CampaignConfig,
-) -> CampaignResult {
+    make_obs: impl Fn() -> O + Sync,
+) -> (CampaignResult, Vec<(FaultPlan, TrialRecord, O)>) {
     // Steady-state model: checks that fire with no fault on this input
     // (profile drift between train and test) have exhausted their one
     // recovery and are suppressed — see the paper's false-positive
@@ -143,8 +169,7 @@ pub fn run_campaign(
     crate::prep::neutralize_false_positives(&mut module, workload, cfg.input);
     let module = &module;
     let input = workload.input(cfg.input);
-    let (golden_result, golden_out) =
-        run_workload(module, &input, cfg.vm, &mut NoopObserver, None);
+    let (golden_result, golden_out) = run_workload(module, &input, cfg.vm, &mut NoopObserver, None);
     assert!(
         golden_result.completed(),
         "fault-free run of {} must complete: {:?}",
@@ -163,7 +188,7 @@ pub fn run_campaign(
         })
         .collect();
 
-    let records: Mutex<Vec<TrialRecord>> = Mutex::new(Vec::with_capacity(plans.len()));
+    let records: Mutex<Vec<(usize, TrialRecord, O)>> = Mutex::new(Vec::with_capacity(plans.len()));
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism()
@@ -180,25 +205,23 @@ pub fn run_campaign(
                 if i >= plans.len() {
                     break;
                 }
-                let (result, out) = run_workload(
-                    module,
-                    &input,
-                    cfg.vm,
-                    &mut NoopObserver,
-                    Some(plans[i]),
-                );
+                let mut obs = make_obs();
+                let (result, out) = run_workload(module, &input, cfg.vm, &mut obs, Some(plans[i]));
                 let rec = classify_trial(workload, &golden_out, &result, &out, &cfg.classify);
-                records.lock().push(rec);
+                records.lock().push((i, rec, obs));
             });
         }
     });
+
+    let mut per_trial = records.into_inner();
+    per_trial.sort_by_key(|(i, _, _)| *i);
 
     let mut result = CampaignResult {
         trials: cfg.trials,
         golden_dyn_insts: n,
         ..CampaignResult::default()
     };
-    for rec in records.into_inner() {
+    for (_, rec, _) in &per_trial {
         *result.counts.entry(rec.outcome).or_insert(0) += 1;
         if rec.outcome == Outcome::UnacceptableSdc {
             match rec.injection {
@@ -206,8 +229,116 @@ pub fn run_campaign(
                 _ => result.usdc_small += 1,
             }
         }
+        if let Some(lat) = rec.detect_latency {
+            match rec.outcome {
+                Outcome::SwDetect(_) => result.sw_latency.record(lat),
+                Outcome::HwDetect => result.hw_latency.record(lat),
+                _ => {}
+            }
+        }
     }
-    result
+    (
+        result,
+        per_trial
+            .into_iter()
+            .map(|(i, rec, obs)| (plans[i], rec, obs))
+            .collect(),
+    )
+}
+
+/// Runs one campaign: `trials` injections into `module` running
+/// `workload` on the configured input, classified against the fault-free
+/// golden output.
+///
+/// Deterministic in (`module`, `cfg`): trial *i* derives its fault plan
+/// from `cfg.seed` and `i` regardless of thread scheduling.
+///
+/// # Panics
+///
+/// Panics if the fault-free run does not complete (a workload bug, not a
+/// fault effect).
+pub fn run_campaign(
+    workload: &dyn Workload,
+    module: &Module,
+    cfg: &CampaignConfig,
+) -> CampaignResult {
+    campaign_core(workload, module, cfg, || NoopObserver).0
+}
+
+/// Like [`run_campaign`], but counts which [`CheckKind`]s fired across
+/// all trials. Cheaper than [`run_campaign_traced`]: the per-trial
+/// observer only does work when a check fails.
+pub fn run_campaign_counted(
+    workload: &dyn Workload,
+    module: &Module,
+    cfg: &CampaignConfig,
+) -> (CampaignResult, CheckKindCounts) {
+    let (result, per_trial) = campaign_core(workload, module, cfg, CheckCounter::default);
+    let mut checks = CheckKindCounts::new();
+    for (_, _, obs) in &per_trial {
+        checks.merge(&obs.counts);
+    }
+    (result, checks)
+}
+
+/// Like [`run_campaign`], but traces every trial with a
+/// [`TraceObserver`] and additionally returns per-trial events and
+/// aggregated metrics. Trial outcomes are identical to the untraced
+/// run for the same config (observation never perturbs execution).
+pub fn run_campaign_traced(
+    workload: &dyn Workload,
+    module: &Module,
+    cfg: &CampaignConfig,
+) -> (CampaignResult, CampaignTelemetry) {
+    let (result, per_trial) = campaign_core(workload, module, cfg, TraceObserver::new);
+
+    let mut telemetry = CampaignTelemetry::default();
+    for (i, (plan, rec, obs)) in per_trial.iter().enumerate() {
+        telemetry.events.push(TrialEvent {
+            trial: i as u32,
+            at_dyn: plan.at_dyn,
+            fault_seed: plan.seed,
+            injected: rec.injection.is_some(),
+            bit: match (cfg.fault_kind, rec.injection) {
+                (FaultKind::Register, Some(inj)) => Some(inj.bit),
+                _ => None,
+            },
+            outcome: rec.outcome.label().to_string(),
+            detected_by: match rec.outcome {
+                Outcome::SwDetect(k) => Some(check_kind_label(k).to_string()),
+                _ => None,
+            },
+            detect_latency: rec.detect_latency,
+            dyn_insts: rec.dyn_insts,
+            fidelity: rec.fidelity,
+        });
+
+        telemetry.checks.merge(&obs.checks);
+        let m = &mut telemetry.metrics;
+        for (op, n) in &obs.opcodes {
+            m.counter(&format!("vm.ops.{op}")).add(*n);
+        }
+        for (kind, n) in obs.checks.iter() {
+            if n > 0 {
+                m.counter(&format!("checks.fired.{}", check_kind_label(kind)))
+                    .add(n);
+            }
+        }
+        m.counter(&format!("outcome.{}", rec.outcome.label())).inc();
+        m.histogram("vm.dyn_insts").record(rec.dyn_insts);
+        if let Some(lat) = rec.detect_latency {
+            let name = match rec.outcome {
+                Outcome::SwDetect(_) => "latency.swdetect",
+                _ => "latency.hwdetect",
+            };
+            m.histogram(name).record(lat);
+        }
+    }
+    telemetry
+        .metrics
+        .gauge("campaign.golden_dyn_insts")
+        .set(result.golden_dyn_insts as f64);
+    (result, telemetry)
 }
 
 #[cfg(test)]
@@ -266,7 +397,54 @@ mod tests {
         let r = run_campaign(&*p.workload, p.module(Technique::Original), &small_cfg(80));
         assert_eq!(
             r.usdc_large + r.usdc_small,
-            r.counts.get(&Outcome::UnacceptableSdc).copied().unwrap_or(0)
+            r.counts
+                .get(&Outcome::UnacceptableSdc)
+                .copied()
+                .unwrap_or(0)
         );
+    }
+
+    #[test]
+    fn traced_campaign_matches_untraced() {
+        // Tracing must never perturb results: the traced run's
+        // CampaignResult (counts, USDC split, latency histograms) is
+        // identical to the NoopObserver run for the same config.
+        let p = prepare(workload_by_name("tiff2bw").unwrap());
+        let cfg = small_cfg(30);
+        let plain = run_campaign(&*p.workload, p.module(Technique::DupVal), &cfg);
+        let (traced, telemetry) =
+            run_campaign_traced(&*p.workload, p.module(Technique::DupVal), &cfg);
+        assert_eq!(plain, traced);
+
+        // One event per trial, in plan order.
+        assert_eq!(telemetry.events.len(), 30);
+        for (i, e) in telemetry.events.iter().enumerate() {
+            assert_eq!(e.trial, i as u32);
+            assert_eq!(e.detected_by.is_some(), e.outcome.starts_with("swdetect."));
+        }
+        // The trace saw real work: opcode counters and run lengths exist.
+        assert!(telemetry.metrics.get("vm.ops.term").is_some());
+        assert_eq!(
+            telemetry.metrics.clone().histogram("vm.dyn_insts").count(),
+            30
+        );
+        // Event latencies agree with the aggregated histograms.
+        let sw_lat: Vec<u64> = telemetry
+            .events
+            .iter()
+            .filter(|e| e.outcome.starts_with("swdetect."))
+            .filter_map(|e| e.detect_latency)
+            .collect();
+        assert_eq!(sw_lat.len() as u64, traced.sw_latency.count());
+    }
+
+    #[test]
+    fn ordered_counts_cover_all_trials() {
+        let p = prepare(workload_by_name("kmeans").unwrap());
+        let r = run_campaign(&*p.workload, p.module(Technique::DupVal), &small_cfg(25));
+        let ordered: Vec<(Outcome, u32)> = r.ordered_counts().collect();
+        assert_eq!(ordered.len(), Outcome::CANONICAL.len());
+        let total: u32 = ordered.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 25, "canonical order must cover every outcome");
     }
 }

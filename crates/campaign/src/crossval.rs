@@ -4,10 +4,11 @@
 //! test input, inject on the train input, and compare the outcome
 //! distribution against the standard direction.
 
-use crate::campaign::{run_campaign, CampaignConfig, CampaignResult};
+use crate::campaign::{run_campaign_counted, CampaignConfig, CampaignResult};
 use crate::prep::prepare_with_inputs;
 use softft::{Technique, TransformConfig};
 use softft_profile::ClassifyConfig;
+use softft_telemetry::CheckKindCounts;
 use softft_workloads::{workload_by_name, InputSet};
 
 /// Outcome fractions for both fold directions of one benchmark.
@@ -19,6 +20,10 @@ pub struct CrossValidation {
     pub forward: CampaignResult,
     /// Swapped direction: profile on test, inject on train.
     pub swapped: CampaignResult,
+    /// Check firings by kind across the forward campaign's trials.
+    pub forward_checks: CheckKindCounts,
+    /// Check firings by kind across the swapped campaign's trials.
+    pub swapped_checks: CheckKindCounts,
 }
 
 impl CrossValidation {
@@ -49,7 +54,7 @@ impl CrossValidation {
 ///
 /// Panics if `name` is not a registered workload.
 pub fn cross_validate(name: &str, cfg: &CampaignConfig) -> CrossValidation {
-    let forward = {
+    let (forward, forward_checks) = {
         let p = prepare_with_inputs(
             workload_by_name(name).expect("known workload"),
             InputSet::Train,
@@ -58,9 +63,9 @@ pub fn cross_validate(name: &str, cfg: &CampaignConfig) -> CrossValidation {
         );
         let mut c = cfg.clone();
         c.input = InputSet::Test;
-        run_campaign(&*p.workload, p.module(Technique::DupVal), &c)
+        run_campaign_counted(&*p.workload, p.module(Technique::DupVal), &c)
     };
-    let swapped = {
+    let (swapped, swapped_checks) = {
         let p = prepare_with_inputs(
             workload_by_name(name).expect("known workload"),
             InputSet::Test,
@@ -69,12 +74,14 @@ pub fn cross_validate(name: &str, cfg: &CampaignConfig) -> CrossValidation {
         );
         let mut c = cfg.clone();
         c.input = InputSet::Train;
-        run_campaign(&*p.workload, p.module(Technique::DupVal), &c)
+        run_campaign_counted(&*p.workload, p.module(Technique::DupVal), &c)
     };
     CrossValidation {
         name: workload_by_name(name).expect("known workload").name(),
         forward,
         swapped,
+        forward_checks,
+        swapped_checks,
     }
 }
 
@@ -94,6 +101,22 @@ mod tests {
         assert_eq!(cv.name, "kmeans");
         assert_eq!(cv.forward.trials, 60);
         assert_eq!(cv.swapped.trials, 60);
+        // Check attribution is consistent with the outcome counts: a
+        // SWDetect outcome implies at least one firing of that kind.
+        for (dir, checks) in [
+            (&cv.forward, cv.forward_checks),
+            (&cv.swapped, cv.swapped_checks),
+        ] {
+            for (o, n) in dir.ordered_counts() {
+                if let crate::Outcome::SwDetect(k) = o {
+                    assert!(
+                        checks.get(k) >= n as u64,
+                        "{o:?}: {n} outcomes but {} firings",
+                        checks.get(k)
+                    );
+                }
+            }
+        }
         // With only 60 trials the margin is wide; just require same
         // ballpark (the repro binary runs bigger campaigns).
         assert!(

@@ -3,7 +3,8 @@
 //! input.
 
 use softft_ir::Module;
-use softft_vm::interp::{NoopObserver, VmConfig};
+use softft_telemetry::{CheckCounter, CheckKindCounts};
+use softft_vm::interp::VmConfig;
 use softft_workloads::runner::run_workload;
 use softft_workloads::{InputSet, Workload};
 
@@ -14,6 +15,8 @@ pub struct FalsePositives {
     pub failures: u64,
     /// Dynamic instructions executed.
     pub insts: u64,
+    /// Which check kinds fired (attribution of `failures`).
+    pub by_kind: CheckKindCounts,
 }
 
 impl FalsePositives {
@@ -40,7 +43,8 @@ pub fn measure_false_positives(
         checks_count_only: true,
         ..VmConfig::default()
     };
-    let (result, _) = run_workload(module, &workload.input(input), cfg, &mut NoopObserver, None);
+    let mut counter = CheckCounter::default();
+    let (result, _) = run_workload(module, &workload.input(input), cfg, &mut counter, None);
     assert!(
         result.completed(),
         "fault-free counting run of {} failed: {:?}",
@@ -50,6 +54,7 @@ pub fn measure_false_positives(
     FalsePositives {
         failures: result.check_failures,
         insts: result.dyn_insts,
+        by_kind: counter.counts,
     }
 }
 
@@ -66,38 +71,35 @@ mod tests {
         // input again must not fire any (coverage is exact by
         // construction plus padding).
         let p = prepare(workload_by_name("tiff2bw").unwrap());
-        let fp = measure_false_positives(
-            &*p.workload,
-            p.module(Technique::DupVal),
-            InputSet::Train,
-        );
+        let fp =
+            measure_false_positives(&*p.workload, p.module(Technique::DupVal), InputSet::Train);
         assert_eq!(fp.failures, 0, "{fp:?}");
         assert!(fp.insts > 0);
         assert_eq!(fp.insts_per_failure(), None);
+        assert_eq!(fp.by_kind.total(), 0);
     }
 
     #[test]
     fn test_input_false_positives_are_rare() {
         let p = prepare(workload_by_name("g721dec").unwrap());
-        let fp = measure_false_positives(
-            &*p.workload,
-            p.module(Technique::DupVal),
-            InputSet::Test,
-        );
+        let fp = measure_false_positives(&*p.workload, p.module(Technique::DupVal), InputSet::Test);
         // The paper reports ~1 per 235K instructions; demand rarity, not
         // zero (different inputs may step slightly outside ranges).
         let rate = fp.failures as f64 / fp.insts.max(1) as f64;
         assert!(rate < 1.0 / 10_000.0, "false positive rate {rate} ({fp:?})");
+        // Every counted failure is attributed to some check kind, and
+        // false positives can only come from profile-derived value checks.
+        assert_eq!(fp.by_kind.total(), fp.failures, "{fp:?}");
+        for (kind, n) in fp.by_kind.iter() {
+            assert!(n == 0 || kind.is_value_check(), "{kind:?} fired {n}x");
+        }
     }
 
     #[test]
     fn original_module_has_no_checks_to_fire() {
         let p = prepare(workload_by_name("kmeans").unwrap());
-        let fp = measure_false_positives(
-            &*p.workload,
-            p.module(Technique::Original),
-            InputSet::Test,
-        );
+        let fp =
+            measure_false_positives(&*p.workload, p.module(Technique::Original), InputSet::Test);
         assert_eq!(fp.failures, 0);
     }
 }

@@ -29,6 +29,9 @@ pub mod recovery;
 pub mod report;
 pub mod stats;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use campaign::{
+    run_campaign, run_campaign_counted, run_campaign_traced, CampaignConfig, CampaignResult,
+    CampaignTelemetry,
+};
 pub use outcome::{Outcome, TrialRecord};
 pub use prep::{prepare, PreparedBenchmark};

@@ -27,6 +27,48 @@ pub enum Outcome {
 }
 
 impl Outcome {
+    /// All outcome classes in canonical rendering order: masked first,
+    /// then SDCs, then detections (hardware, then software checks in
+    /// [`CheckKind`] declaration order), then failures. Reports and
+    /// telemetry iterate this array so output ordering is byte-stable.
+    pub const CANONICAL: [Outcome; 12] = [
+        Outcome::Masked,
+        Outcome::AcceptableSdc,
+        Outcome::UnacceptableSdc,
+        Outcome::HwDetect,
+        Outcome::SwDetect(CheckKind::DupMismatch),
+        Outcome::SwDetect(CheckKind::ValueSingle),
+        Outcome::SwDetect(CheckKind::ValuePair),
+        Outcome::SwDetect(CheckKind::ValueRange),
+        Outcome::SwDetect(CheckKind::StoreGuard),
+        Outcome::SwDetect(CheckKind::BranchGuard),
+        Outcome::SwDetect(CheckKind::CfcSignature),
+        Outcome::Failure,
+    ];
+
+    /// Stable lower-case label (used in JSONL events and ordered count
+    /// rendering). Software detections carry their check kind as a
+    /// `swdetect.<kind>` suffix, matching
+    /// [`softft_telemetry::check_kind_label`].
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Masked => "masked",
+            Outcome::AcceptableSdc => "acceptable-sdc",
+            Outcome::UnacceptableSdc => "unacceptable-sdc",
+            Outcome::HwDetect => "hwdetect",
+            Outcome::SwDetect(k) => match k {
+                CheckKind::DupMismatch => "swdetect.dup-mismatch",
+                CheckKind::ValueSingle => "swdetect.value-single",
+                CheckKind::ValuePair => "swdetect.value-pair",
+                CheckKind::ValueRange => "swdetect.value-range",
+                CheckKind::StoreGuard => "swdetect.store-guard",
+                CheckKind::BranchGuard => "swdetect.branch-guard",
+                CheckKind::CfcSignature => "swdetect.cfc-signature",
+            },
+            Outcome::Failure => "failure",
+        }
+    }
+
     /// True for the categories counted as *covered* by the paper
     /// (Masked + acceptable + both detector classes).
     pub fn is_covered(self) -> bool {
@@ -61,6 +103,12 @@ pub struct TrialRecord {
     /// What the injection did (absent if the trigger was never reached,
     /// e.g. the run was shorter than planned — counted as Masked).
     pub injection: Option<InjectionRecord>,
+    /// Dynamic instructions from injection to the detecting trap, for
+    /// [`Outcome::HwDetect`] and [`Outcome::SwDetect`] trials.
+    pub detect_latency: Option<u64>,
+    /// Dynamic instructions the run executed before completing or
+    /// trapping.
+    pub dyn_insts: u64,
 }
 
 /// Classification parameters.
@@ -92,10 +140,14 @@ pub fn classify_trial(
     params: &ClassifyParams,
 ) -> TrialRecord {
     let injection = result.injection;
-    let outcome = match result.end {
+    // Latency from injection to the trap, for detected trials. The trap's
+    // `at_dyn` and the injection's are both in the same dynamic-count
+    // convention, so the difference is the detection latency.
+    let trap_latency = |at_dyn: u64| injection.map(|i| at_dyn.saturating_sub(i.at_dyn));
+    let (outcome, detect_latency) = match result.end {
         RunEnd::Completed { .. } => {
             if output == golden {
-                Outcome::Masked
+                (Outcome::Masked, None)
             } else {
                 let fidelity = workload.fidelity(golden, output);
                 let acceptable = workload.metric().acceptable(fidelity);
@@ -107,19 +159,21 @@ pub fn classify_trial(
                     },
                     fidelity: Some(fidelity),
                     injection,
+                    detect_latency: None,
+                    dyn_insts: result.dyn_insts,
                 };
             }
         }
         RunEnd::Trap { kind, at_dyn } => match kind {
-            TrapKind::SwDetect(k) => Outcome::SwDetect(k),
-            TrapKind::Watchdog => Outcome::Failure,
+            TrapKind::SwDetect(k) => (Outcome::SwDetect(k), trap_latency(at_dyn)),
+            TrapKind::Watchdog => (Outcome::Failure, None),
             other => {
                 let inj_at = injection.map(|i| i.at_dyn).unwrap_or(0);
                 let latency = at_dyn.saturating_sub(inj_at);
                 if other.is_hw_symptom() && latency <= params.hw_latency_window {
-                    Outcome::HwDetect
+                    (Outcome::HwDetect, trap_latency(at_dyn))
                 } else {
-                    Outcome::Failure
+                    (Outcome::Failure, None)
                 }
             }
         },
@@ -128,6 +182,8 @@ pub fn classify_trial(
         outcome,
         fidelity: None,
         injection,
+        detect_latency,
+        dyn_insts: result.dyn_insts,
     }
 }
 
@@ -200,11 +256,23 @@ mod tests {
         let w = workload_by_name("kmeans").unwrap();
         let golden = vec![0u8; 4];
         let oob = TrapKind::OutOfBounds { addr: 1, size: 4 };
-        let prompt = result(RunEnd::Trap { kind: oob, at_dyn: 500 }, 10);
+        let prompt = result(
+            RunEnd::Trap {
+                kind: oob,
+                at_dyn: 500,
+            },
+            10,
+        );
         let t = classify_trial(&*w, &golden, &prompt, &[], &ClassifyParams::default());
         assert_eq!(t.outcome, Outcome::HwDetect);
 
-        let late = result(RunEnd::Trap { kind: oob, at_dyn: 50_000 }, 10);
+        let late = result(
+            RunEnd::Trap {
+                kind: oob,
+                at_dyn: 50_000,
+            },
+            10,
+        );
         let t = classify_trial(&*w, &golden, &late, &[], &ClassifyParams::default());
         assert_eq!(t.outcome, Outcome::Failure);
     }
@@ -233,6 +301,59 @@ mod tests {
         );
         let t = classify_trial(&*w, &golden, &wd, &[], &ClassifyParams::default());
         assert_eq!(t.outcome, Outcome::Failure);
+    }
+
+    #[test]
+    fn canonical_order_is_complete_with_unique_labels() {
+        let mut labels: Vec<&str> = Outcome::CANONICAL.iter().map(|o| o.label()).collect();
+        assert_eq!(labels.len(), 12);
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 12, "duplicate outcome labels");
+        assert_eq!(Outcome::CANONICAL[0], Outcome::Masked);
+        assert_eq!(Outcome::CANONICAL[11], Outcome::Failure);
+    }
+
+    #[test]
+    fn detection_latency_is_attributed() {
+        let w = workload_by_name("kmeans").unwrap();
+        let golden = vec![0u8; 4];
+        let sw = result(
+            RunEnd::Trap {
+                kind: TrapKind::SwDetect(CheckKind::ValueRange),
+                at_dyn: 35,
+            },
+            10,
+        );
+        let t = classify_trial(&*w, &golden, &sw, &[], &ClassifyParams::default());
+        assert_eq!(t.detect_latency, Some(25));
+        assert_eq!(t.dyn_insts, 100);
+
+        let oob = TrapKind::OutOfBounds { addr: 1, size: 4 };
+        let hw = result(
+            RunEnd::Trap {
+                kind: oob,
+                at_dyn: 510,
+            },
+            10,
+        );
+        let t = classify_trial(&*w, &golden, &hw, &[], &ClassifyParams::default());
+        assert_eq!(t.outcome, Outcome::HwDetect);
+        assert_eq!(t.detect_latency, Some(500));
+
+        // Completed runs and failures have no detection latency.
+        let ok = result(RunEnd::Completed { ret: Some(0) }, 10);
+        let t = classify_trial(&*w, &golden, &ok, &golden, &ClassifyParams::default());
+        assert_eq!(t.detect_latency, None);
+        let wd = result(
+            RunEnd::Trap {
+                kind: TrapKind::Watchdog,
+                at_dyn: 99,
+            },
+            10,
+        );
+        let t = classify_trial(&*w, &golden, &wd, &[], &ClassifyParams::default());
+        assert_eq!(t.detect_latency, None);
     }
 
     #[test]

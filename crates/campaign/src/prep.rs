@@ -189,6 +189,9 @@ mod tests {
         let disabled = neutralize_false_positives(&mut m, &*p.workload, InputSet::Test);
         // Re-running must now be clean.
         let again = neutralize_false_positives(&mut m, &*p.workload, InputSet::Test);
-        assert_eq!(again, 0, "neutralization did not converge ({disabled} then {again})");
+        assert_eq!(
+            again, 0,
+            "neutralization did not converge ({disabled} then {again})"
+        );
     }
 }

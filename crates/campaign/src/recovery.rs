@@ -92,8 +92,14 @@ mod tests {
         let r = run_campaign(&*p.workload, p.module(Technique::DupVal), &cfg);
         let model = RecoveryModel::default();
         let cost = model_recovery(&r, &model);
-        assert!(cost.mean_rollback_insts <= (model.checkpoint_interval + model.rollback_cost) as f64);
-        assert!(cost.checkpoint_overhead < 0.05, "{}", cost.checkpoint_overhead);
+        assert!(
+            cost.mean_rollback_insts <= (model.checkpoint_interval + model.rollback_cost) as f64
+        );
+        assert!(
+            cost.checkpoint_overhead < 0.05,
+            "{}",
+            cost.checkpoint_overhead
+        );
         assert!(cost.recovery_trigger_frac > 0.0, "no detections to recover");
         assert_eq!(cost.recovered_frac, cost.recovery_trigger_frac);
     }
@@ -144,7 +150,13 @@ mod tests {
                 &mut NoopObserver,
                 Some(plan),
             );
-            if matches!(r.end, RunEnd::Trap { kind: TrapKind::SwDetect(_), .. }) {
+            if matches!(
+                r.end,
+                RunEnd::Trap {
+                    kind: TrapKind::SwDetect(_),
+                    ..
+                }
+            ) {
                 detections += 1;
                 // Re-execute without the fault: the transient is gone.
                 let (r2, out2) =

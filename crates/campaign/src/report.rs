@@ -271,7 +271,14 @@ pub fn render_fig12(rows: &[(String, Vec<(Technique, f64)>)]) -> String {
             get(Technique::DupVal),
             get(Technique::FullDup),
         );
-        let _ = writeln!(out, "{:<10} {:>9} {:>13} {:>9}", name, pct(a), pct(b), pct(c));
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9} {:>13} {:>9}",
+            name,
+            pct(a),
+            pct(b),
+            pct(c)
+        );
         *sums.entry(Technique::DupOnly).or_default() += a;
         *sums.entry(Technique::DupVal).or_default() += b;
         *sums.entry(Technique::FullDup).or_default() += c;
@@ -344,6 +351,67 @@ pub fn render_fig13(rows: &[(String, ResultsByTechnique)]) -> String {
     out
 }
 
+/// Detection-latency percentiles per benchmark × technique: dynamic
+/// instructions from injection to the detecting check (SW) or trap
+/// symptom (HW). Techniques without a result row are skipped; `-`
+/// marks empty histograms (no detections of that class).
+pub fn render_latency(rows: &[(String, ResultsByTechnique)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Detection latency (dynamic instructions from injection to detection)\n\
+         {:<10} {:<17} {:>6} {:>9} {:>9} {:>9} {:>6} {:>9}",
+        "benchmark", "technique", "sw-n", "sw-p50", "sw-p90", "sw-p99", "hw-n", "hw-p50"
+    );
+    let techniques = [
+        Technique::Original,
+        Technique::DupOnly,
+        Technique::DupVal,
+        Technique::FullDup,
+    ];
+    let cell = |h: &softft_telemetry::Histogram, q: f64| {
+        if h.count() == 0 {
+            format!("{:>9}", "-")
+        } else {
+            format!("{:>9}", h.quantile(q))
+        }
+    };
+    for (name, by_t) in rows {
+        for t in techniques {
+            let Some(r) = by_t.get(&t) else { continue };
+            let _ = writeln!(
+                out,
+                "{:<10} {:<17} {:>6} {} {} {} {:>6} {}",
+                name,
+                t.label(),
+                r.sw_latency.count(),
+                cell(&r.sw_latency, 0.50),
+                cell(&r.sw_latency, 0.90),
+                cell(&r.sw_latency, 0.99),
+                r.hw_latency.count(),
+                cell(&r.hw_latency, 0.50),
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "(duplication checks fire within the producer chain; value checks at the\n\
+         next state-variable write — low percentiles justify the paper's short\n\
+         hardware detection window)"
+    );
+    out
+}
+
+/// Outcome counts for one campaign in [`crate::Outcome::CANONICAL`]
+/// order, zero counts included — byte-stable for identical results.
+pub fn render_outcome_counts(r: &CampaignResult) -> String {
+    let mut out = String::new();
+    for (o, n) in r.ordered_counts() {
+        let _ = writeln!(out, "  {:<24} {:>6}", o.label(), n);
+    }
+    out
+}
+
 /// SWDetect attribution: how much detection each mechanism contributes
 /// under `Dup + val chks`.
 pub fn render_detection_split(rows: &[(String, CampaignResult)]) -> String {
@@ -385,6 +453,7 @@ mod tests {
             usdc_large: usdc / 2,
             usdc_small: usdc - usdc / 2,
             golden_dyn_insts: 1000,
+            ..CampaignResult::default()
         }
     }
 
@@ -444,5 +513,35 @@ mod tests {
         assert!(f13.contains("ASDC"));
         let ds = render_detection_split(&rows);
         assert!(ds.contains("dup-chk"));
+    }
+
+    #[test]
+    fn latency_renders_counts_and_dashes() {
+        let mut with_lat = fake_result(50, 10, 0);
+        for v in [8u64, 30, 120] {
+            with_lat.sw_latency.record(v);
+        }
+        let mut by_t = ResultsByTechnique::new();
+        by_t.insert(Technique::Original, fake_result(60, 0, 0));
+        by_t.insert(Technique::DupVal, with_lat);
+        let t = render_latency(&[("demo".to_string(), by_t)]);
+        assert!(t.contains("sw-p50"), "{t}");
+        // Original has no detections: dash cells.
+        assert!(t.contains("-"), "{t}");
+        // DupVal has 3 recorded latencies.
+        assert!(t.contains("Dup + val chks"), "{t}");
+    }
+
+    #[test]
+    fn outcome_counts_are_canonically_ordered_and_stable() {
+        let r = fake_result(5, 3, 2);
+        let a = render_outcome_counts(&r);
+        let b = render_outcome_counts(&r.clone());
+        assert_eq!(a, b, "must be byte-stable");
+        let masked = a.find("masked").unwrap();
+        let sw = a.find("swdetect.dup-mismatch").unwrap();
+        let fail = a.find("failure").unwrap();
+        assert!(masked < sw && sw < fail, "{a}");
+        assert_eq!(a.lines().count(), Outcome::CANONICAL.len());
     }
 }

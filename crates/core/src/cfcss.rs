@@ -65,11 +65,7 @@ pub fn insert_cfc_signatures(module: &mut Module) -> CfcStats {
             let addr = func.iconst(Type::I64, sig_addr);
             if b == func.entry() {
                 let own = func.iconst(Type::I64, signature(fid, b));
-                let store = func.insert_inst_after_phis(
-                    Op::Store { addr, value: own },
-                    None,
-                    b,
-                );
+                let store = func.insert_inst_after_phis(Op::Store { addr, value: own }, None, b);
                 let _ = store;
                 stats.added_insts += 1;
             } else if !preds[b.index()].is_empty() {

@@ -204,7 +204,10 @@ fn shadow_value(
     // costs instructions — otherwise a 1-instruction clone would be
     // replaced by a 3–4 instruction check, the opposite of a saving.
     if opt2 {
-        let key = InstKey { func: fid, inst: def };
+        let key = InstKey {
+            func: fid,
+            inst: def,
+        };
         if let Some(spec) = profile.check_for(key) {
             if already_checked.contains(&def) {
                 stats.opt2_terminations += 1;
@@ -368,7 +371,10 @@ mod tests {
                 corrupted_orig += 1;
             }
         }
-        assert!(corrupted_orig > 0, "baseline never corrupts — test is vacuous");
+        assert!(
+            corrupted_orig > 0,
+            "baseline never corrupts — test is vacuous"
+        );
     }
 
     #[test]
@@ -437,7 +443,10 @@ mod tests {
             d.ret(Some(q));
         });
         m.add_function(f);
-        let before = m.function_by_name("main").map(|f_| m.function(f_).static_inst_count()).unwrap();
+        let before = m
+            .function_by_name("main")
+            .map(|f_| m.function(f_).static_inst_count())
+            .unwrap();
         let stats = dup_transform(&mut m, true, &ProfileDb::default());
         assert_eq!(stats.state_vars, 0);
         assert_eq!(stats.added_insts, 0);

@@ -252,9 +252,7 @@ mod tests {
                 if matches!(
                     r.end,
                     RunEnd::Trap {
-                        kind: TrapKind::SwDetect(
-                            CheckKind::StoreGuard | CheckKind::BranchGuard
-                        ),
+                        kind: TrapKind::SwDetect(CheckKind::StoreGuard | CheckKind::BranchGuard),
                         ..
                     }
                 ) {

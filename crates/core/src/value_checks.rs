@@ -41,11 +41,7 @@ fn type_bounds(ty: Type) -> (i64, i64) {
 /// must produce `value`). Returns the number of instructions added; 0
 /// when the check would be vacuous (e.g. a range covering the whole type
 /// domain).
-pub fn insert_check_after(
-    func: &mut Function,
-    anchor: InstId,
-    spec: CheckSpec,
-) -> usize {
+pub fn insert_check_after(func: &mut Function, anchor: InstId, spec: CheckSpec) -> usize {
     let value = func
         .inst(anchor)
         .result
@@ -89,7 +85,10 @@ pub fn insert_check_after(
         }
         CheckSpec::Pair { a, b } => {
             let (ca, cb) = if ty.is_float() {
-                (func.fconst(f64::from_bits(a)), func.fconst(f64::from_bits(b)))
+                (
+                    func.fconst(f64::from_bits(a)),
+                    func.fconst(f64::from_bits(b)),
+                )
             } else {
                 (func.iconst(ty, a as i64), func.iconst(ty, b as i64))
             };
@@ -319,9 +318,7 @@ pub fn opt1_survivors(func: &Function, amenable: &HashSet<InstId>) -> HashSet<In
         let down = &closed[&s];
         // Strictly-downstream amenable member (reaches s's targets but s
         // is not reachable back from it)?
-        let strictly_below = down
-            .iter()
-            .any(|&t| t != s && !closed[&t].contains(&s));
+        let strictly_below = down.iter().any(|&t| t != s && !closed[&t].contains(&s));
         if strictly_below {
             continue; // a deeper check covers this chain
         }
@@ -487,8 +484,13 @@ mod tests {
             insert_value_checks(no_opt.function_mut(fid), fid, &profile, false, &mut already);
         let mut with_opt = m.clone();
         let mut already2 = HashSet::new();
-        let s_yes =
-            insert_value_checks(with_opt.function_mut(fid), fid, &profile, true, &mut already2);
+        let s_yes = insert_value_checks(
+            with_opt.function_mut(fid),
+            fid,
+            &profile,
+            true,
+            &mut already2,
+        );
         assert!(
             s_yes.total_checks() < s_no.total_checks(),
             "opt1 {s_yes:?} vs plain {s_no:?}"
@@ -544,11 +546,7 @@ mod tests {
         m.add_function(f);
         let fid = m.function_by_name("main").unwrap();
         // A range wider than i8's domain.
-        let anchor = m
-            .function(fid)
-            .live_inst_ids()
-            .next()
-            .expect("the add");
+        let anchor = m.function(fid).live_inst_ids().next().expect("the add");
         let added = insert_check_after(
             m.function_mut(fid),
             anchor,

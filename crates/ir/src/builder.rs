@@ -113,7 +113,10 @@ impl<'f> InstBuilder<'f> {
     ///
     /// Panics if operands are not both `F64`.
     pub fn fcmp(&mut self, pred: FloatCC, lhs: ValueId, rhs: ValueId) -> ValueId {
-        assert!(self.ty(lhs).is_float() && self.ty(rhs).is_float(), "fcmp on ints");
+        assert!(
+            self.ty(lhs).is_float() && self.ty(rhs).is_float(),
+            "fcmp on ints"
+        );
         self.emit_val(Op::Fcmp { pred, lhs, rhs }, Type::I1)
     }
 
@@ -126,10 +129,16 @@ impl<'f> InstBuilder<'f> {
         let from = self.ty(arg);
         match kind {
             CastKind::Trunc => {
-                assert!(from.is_int() && to.is_int() && to.bits() < from.bits(), "bad trunc {from}->{to}");
+                assert!(
+                    from.is_int() && to.is_int() && to.bits() < from.bits(),
+                    "bad trunc {from}->{to}"
+                );
             }
             CastKind::ZExt | CastKind::SExt => {
-                assert!(from.is_int() && to.is_int() && to.bits() > from.bits(), "bad ext {from}->{to}");
+                assert!(
+                    from.is_int() && to.is_int() && to.bits() > from.bits(),
+                    "bad ext {from}->{to}"
+                );
             }
             CastKind::FpToSi => assert!(from.is_float() && to.is_int(), "bad fptosi {from}->{to}"),
             CastKind::SiToFp => assert!(from.is_int() && to.is_float(), "bad sitofp {from}->{to}"),
@@ -207,7 +216,13 @@ impl<'f> InstBuilder<'f> {
     /// Creates an empty phi of type `ty` at the start of `block`; operands
     /// are filled in later via [`Function::inst_mut`].
     pub fn empty_phi(&mut self, ty: Type, block: BlockId) -> (InstId, ValueId) {
-        let i = self.func.create_inst(Op::Phi { incomings: Vec::new() }, Some(ty), block);
+        let i = self.func.create_inst(
+            Op::Phi {
+                incomings: Vec::new(),
+            },
+            Some(ty),
+            block,
+        );
         self.func.block_mut(block).insts.insert(0, i);
         let v = self.func.inst(i).result.expect("phi result");
         (i, v)

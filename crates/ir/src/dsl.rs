@@ -219,7 +219,10 @@ impl FunctionDsl {
                 let mut b = InstBuilder::new(&mut self.func, block);
                 b.empty_phi(ty, block)
             };
-            self.incomplete_phis.entry(block).or_default().push((var, inst));
+            self.incomplete_phis
+                .entry(block)
+                .or_default()
+                .push((var, inst));
             val = v;
         } else if self.preds[block.index()].len() == 1 {
             let pred = self.preds[block.index()][0];
@@ -288,14 +291,11 @@ impl FunctionDsl {
                     if self.func.inst(i).dead || i == phi {
                         continue;
                     }
-                    self.func
-                        .inst_mut(i)
-                        .op
-                        .for_each_operand_mut(|v| {
-                            if *v == phi_val {
-                                *v = same;
-                            }
-                        });
+                    self.func.inst_mut(i).op.for_each_operand_mut(|v| {
+                        if *v == phi_val {
+                            *v = same;
+                        }
+                    });
                     self.note_use(same, UseSite::Inst(i));
                     if self.func.inst(i).op.is_phi() {
                         phi_users.push(i);
@@ -360,7 +360,11 @@ impl FunctionDsl {
         let from = self.cur;
         self.add_edge(from, then_bb);
         self.add_edge(from, else_bb);
-        assert_eq!(self.func.value_type(cond), Type::I1, "branch condition must be i1");
+        assert_eq!(
+            self.func.value_type(cond),
+            Type::I1,
+            "branch condition must be i1"
+        );
         self.func.set_term(
             from,
             Term::CondBr {
@@ -761,9 +765,7 @@ mod tests {
 
     fn loop_header_phis(f: &Function) -> usize {
         // Count phis anywhere (all DSL phis are in loop headers or merges).
-        f.live_inst_ids()
-            .filter(|&i| f.inst(i).op.is_phi())
-            .count()
+        f.live_inst_ids().filter(|&i| f.inst(i).op.is_phi()).count()
     }
 
     #[test]
@@ -832,11 +834,7 @@ mod tests {
             let c = d.icmp(IntCC::Sgt, p, zero);
             let one = d.i32c(1);
             let neg = d.i32c(-1);
-            d.if_else(
-                c,
-                |d| d.set(x, one),
-                |d| d.set(x, neg),
-            );
+            d.if_else(c, |d| d.set(x, one), |d| d.set(x, neg));
             let xv = d.get(x);
             d.ret(Some(xv));
         });
@@ -934,9 +932,7 @@ mod tests {
         verify_function(&f).unwrap();
         // v is loop-invariant: only the induction phi remains.
         assert_eq!(
-            f.live_inst_ids()
-                .filter(|&i| f.inst(i).op.is_phi())
-                .count(),
+            f.live_inst_ids().filter(|&i| f.inst(i).op.is_phi()).count(),
             1
         );
     }

@@ -267,7 +267,12 @@ impl Function {
     /// # Panics
     ///
     /// Panics if `before` is not linked into its block.
-    pub fn insert_inst_before(&mut self, op: Op, result_ty: Option<Type>, before: InstId) -> InstId {
+    pub fn insert_inst_before(
+        &mut self,
+        op: Op,
+        result_ty: Option<Type>,
+        before: InstId,
+    ) -> InstId {
         let block = self.insts[before.index()].block;
         let id = self.create_inst(op, result_ty, block);
         let list = &mut self.blocks[block.index()].insts;
@@ -282,7 +287,12 @@ impl Function {
     /// Creates an instruction and inserts it at the end of `block`, but
     /// before the terminator (blocks store the terminator separately, so
     /// this is equivalent to [`Function::append_inst`]).
-    pub fn insert_inst_at_end(&mut self, op: Op, result_ty: Option<Type>, block: BlockId) -> InstId {
+    pub fn insert_inst_at_end(
+        &mut self,
+        op: Op,
+        result_ty: Option<Type>,
+        block: BlockId,
+    ) -> InstId {
         self.append_inst(op, result_ty, block)
     }
 

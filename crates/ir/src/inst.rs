@@ -460,7 +460,11 @@ impl fmt::Display for Term {
 /// The result type of an instruction, given its operand/result context.
 ///
 /// Returns `None` for instructions that produce no value.
-pub fn result_type(op: &Op, operand_ty: impl Fn(ValueId) -> Type, ret_of: impl Fn(FuncId) -> Option<Type>) -> Option<Type> {
+pub fn result_type(
+    op: &Op,
+    operand_ty: impl Fn(ValueId) -> Type,
+    ret_of: impl Fn(FuncId) -> Option<Type>,
+) -> Option<Type> {
     match op {
         Op::Bin { lhs, .. } => Some(operand_ty(*lhs)),
         Op::Un { arg, .. } => Some(operand_ty(*arg)),
@@ -484,17 +488,74 @@ mod tests {
         let b = ValueId::new(1);
         let c = ValueId::new(2);
         let cases: Vec<(Op, usize)> = vec![
-            (Op::Bin { op: BinOp::Add, lhs: a, rhs: b }, 2),
-            (Op::Un { op: UnOp::FAbs, arg: a }, 1),
-            (Op::Icmp { pred: IntCC::Eq, lhs: a, rhs: b }, 2),
-            (Op::Fcmp { pred: FloatCC::Lt, lhs: a, rhs: b }, 2),
-            (Op::Cast { kind: CastKind::SExt, arg: c }, 1),
-            (Op::Select { cond: a, on_true: b, on_false: c }, 3),
+            (
+                Op::Bin {
+                    op: BinOp::Add,
+                    lhs: a,
+                    rhs: b,
+                },
+                2,
+            ),
+            (
+                Op::Un {
+                    op: UnOp::FAbs,
+                    arg: a,
+                },
+                1,
+            ),
+            (
+                Op::Icmp {
+                    pred: IntCC::Eq,
+                    lhs: a,
+                    rhs: b,
+                },
+                2,
+            ),
+            (
+                Op::Fcmp {
+                    pred: FloatCC::Lt,
+                    lhs: a,
+                    rhs: b,
+                },
+                2,
+            ),
+            (
+                Op::Cast {
+                    kind: CastKind::SExt,
+                    arg: c,
+                },
+                1,
+            ),
+            (
+                Op::Select {
+                    cond: a,
+                    on_true: b,
+                    on_false: c,
+                },
+                3,
+            ),
             (Op::Load { addr: a }, 1),
             (Op::Store { addr: a, value: b }, 2),
-            (Op::Call { func: FuncId::new(0), args: vec![a, b, c] }, 3),
-            (Op::Phi { incomings: vec![(BlockId::new(0), a), (BlockId::new(1), b)] }, 2),
-            (Op::Check { cond: a, kind: CheckKind::ValueRange }, 1),
+            (
+                Op::Call {
+                    func: FuncId::new(0),
+                    args: vec![a, b, c],
+                },
+                3,
+            ),
+            (
+                Op::Phi {
+                    incomings: vec![(BlockId::new(0), a), (BlockId::new(1), b)],
+                },
+                2,
+            ),
+            (
+                Op::Check {
+                    cond: a,
+                    kind: CheckKind::ValueRange,
+                },
+                1,
+            ),
         ];
         for (op, n) in cases {
             assert_eq!(op.operand_vec().len(), n, "{}", op.mnemonic());
@@ -505,7 +566,11 @@ mod tests {
     fn operand_rewrite_applies_everywhere() {
         let a = ValueId::new(0);
         let b = ValueId::new(1);
-        let mut op = Op::Select { cond: a, on_true: a, on_false: a };
+        let mut op = Op::Select {
+            cond: a,
+            on_true: a,
+            on_false: a,
+        };
         op.for_each_operand_mut(|v| *v = b);
         assert_eq!(op.operand_vec(), vec![b, b, b]);
     }
@@ -516,7 +581,12 @@ mod tests {
         assert!(Op::Store { addr: a, value: a }.has_side_effect());
         assert!(!Op::Load { addr: a }.has_side_effect());
         assert!(!Op::Load { addr: a }.is_duplicable());
-        assert!(Op::Bin { op: BinOp::Mul, lhs: a, rhs: a }.is_duplicable());
+        assert!(Op::Bin {
+            op: BinOp::Mul,
+            lhs: a,
+            rhs: a
+        }
+        .is_duplicable());
         assert!(BinOp::SDiv.can_trap());
         assert!(!BinOp::Add.can_trap());
         assert!(BinOp::FMul.is_float());

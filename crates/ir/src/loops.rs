@@ -83,10 +83,8 @@ impl LoopForest {
             .collect();
         // Deterministic order (by header id) and nesting depths.
         loops.sort_by_key(|l| l.header);
-        let snapshot: Vec<(BlockId, HashSet<BlockId>)> = loops
-            .iter()
-            .map(|l| (l.header, l.blocks.clone()))
-            .collect();
+        let snapshot: Vec<(BlockId, HashSet<BlockId>)> =
+            loops.iter().map(|l| (l.header, l.blocks.clone())).collect();
         for l in &mut loops {
             l.depth = snapshot
                 .iter()

@@ -70,7 +70,12 @@ impl Module {
     /// # Panics
     ///
     /// Panics if `init.len() > size`.
-    pub fn add_global_init(&mut self, name: impl Into<String>, size: u64, init: Vec<u8>) -> GlobalId {
+    pub fn add_global_init(
+        &mut self,
+        name: impl Into<String>,
+        size: u64,
+        init: Vec<u8>,
+    ) -> GlobalId {
         assert!(
             init.len() as u64 <= size,
             "global initializer larger than region"

@@ -204,48 +204,44 @@ pub fn const_fold(func: &mut Function) -> usize {
                     })),
                     _ => None,
                 },
-                Op::Icmp { pred, lhs, rhs } => {
-                    match (const_of(func, *lhs), const_of(func, *rhs)) {
-                        (Some(Const::Int(a, t)), Some(Const::Int(b, _))) => {
-                            let width_mask = if t.bits() == 64 {
-                                u64::MAX
-                            } else {
-                                (1u64 << t.bits()) - 1
-                            };
-                            let (ua, ub) = ((a as u64) & width_mask, (b as u64) & width_mask);
-                            let r = match pred {
-                                IntCC::Eq => a == b,
-                                IntCC::Ne => a != b,
-                                IntCC::Slt => a < b,
-                                IntCC::Sle => a <= b,
-                                IntCC::Sgt => a > b,
-                                IntCC::Sge => a >= b,
-                                IntCC::Ult => ua < ub,
-                                IntCC::Ule => ua <= ub,
-                                IntCC::Ugt => ua > ub,
-                                IntCC::Uge => ua >= ub,
-                            };
-                            Some(Const::Int(r as i64, Type::I1))
-                        }
-                        _ => None,
+                Op::Icmp { pred, lhs, rhs } => match (const_of(func, *lhs), const_of(func, *rhs)) {
+                    (Some(Const::Int(a, t)), Some(Const::Int(b, _))) => {
+                        let width_mask = if t.bits() == 64 {
+                            u64::MAX
+                        } else {
+                            (1u64 << t.bits()) - 1
+                        };
+                        let (ua, ub) = ((a as u64) & width_mask, (b as u64) & width_mask);
+                        let r = match pred {
+                            IntCC::Eq => a == b,
+                            IntCC::Ne => a != b,
+                            IntCC::Slt => a < b,
+                            IntCC::Sle => a <= b,
+                            IntCC::Sgt => a > b,
+                            IntCC::Sge => a >= b,
+                            IntCC::Ult => ua < ub,
+                            IntCC::Ule => ua <= ub,
+                            IntCC::Ugt => ua > ub,
+                            IntCC::Uge => ua >= ub,
+                        };
+                        Some(Const::Int(r as i64, Type::I1))
                     }
-                }
-                Op::Fcmp { pred, lhs, rhs } => {
-                    match (const_of(func, *lhs), const_of(func, *rhs)) {
-                        (Some(Const::F64(a)), Some(Const::F64(b))) => {
-                            let r = match pred {
-                                FloatCC::Eq => a == b,
-                                FloatCC::Ne => a != b,
-                                FloatCC::Lt => a < b,
-                                FloatCC::Le => a <= b,
-                                FloatCC::Gt => a > b,
-                                FloatCC::Ge => a >= b,
-                            };
-                            Some(Const::Int(r as i64, Type::I1))
-                        }
-                        _ => None,
+                    _ => None,
+                },
+                Op::Fcmp { pred, lhs, rhs } => match (const_of(func, *lhs), const_of(func, *rhs)) {
+                    (Some(Const::F64(a)), Some(Const::F64(b))) => {
+                        let r = match pred {
+                            FloatCC::Eq => a == b,
+                            FloatCC::Ne => a != b,
+                            FloatCC::Lt => a < b,
+                            FloatCC::Le => a <= b,
+                            FloatCC::Gt => a > b,
+                            FloatCC::Ge => a >= b,
+                        };
+                        Some(Const::Int(r as i64, Type::I1))
                     }
-                }
+                    _ => None,
+                },
                 Op::Cast { kind, arg } => match const_of(func, *arg) {
                     Some(Const::Int(a, src)) => match kind {
                         CastKind::Trunc | CastKind::SExt => Some(Const::Int(ty.canon(a), ty)),
@@ -353,7 +349,9 @@ pub fn licm(func: &mut Function) -> usize {
             .copied()
             .filter(|p| !l.blocks.contains(p))
             .collect();
-        let [preheader] = outside_preds[..] else { continue };
+        let [preheader] = outside_preds[..] else {
+            continue;
+        };
 
         // Values defined inside the loop.
         let mut defined_in: HashSet<ValueId> = HashSet::new();
@@ -472,10 +470,7 @@ mod tests {
         // The ret operand should now be the interned 42.
         let term = f.block(f.entry()).term.clone().unwrap();
         if let crate::Term::Ret(Some(v)) = term {
-            assert_eq!(
-                f.value(v).kind,
-                ValueKind::Const(Const::Int(42, Type::I64))
-            );
+            assert_eq!(f.value(v).kind, ValueKind::Const(Const::Int(42, Type::I64)));
         } else {
             panic!("expected ret");
         }
@@ -566,7 +561,9 @@ mod tests {
             for &i in &f.block(b).insts {
                 match &f.inst(i).op {
                     Op::Load { .. } => has_load = true,
-                    Op::Bin { op: BinOp::SDiv, .. } => has_div = true,
+                    Op::Bin {
+                        op: BinOp::SDiv, ..
+                    } => has_div = true,
                     _ => {}
                 }
             }

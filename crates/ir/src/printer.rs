@@ -26,10 +26,7 @@ pub fn print_function(func: &Function) -> String {
         .enumerate()
         .map(|(i, t)| format!("p{i}: {t}"))
         .collect();
-    let ret = func
-        .ret
-        .map(|t| format!(" -> {t}"))
-        .unwrap_or_default();
+    let ret = func.ret.map(|t| format!(" -> {t}")).unwrap_or_default();
     let _ = writeln!(out, "func @{}({}){} {{", func.name, params.join(", "), ret);
     for b in func.block_ids() {
         let _ = writeln!(out, "{b}:");
@@ -110,7 +107,11 @@ pub fn print_module(module: &Module) -> String {
             g.name,
             g.size,
             g.addr,
-            if g.init.is_empty() { "" } else { " (initialized)" }
+            if g.init.is_empty() {
+                ""
+            } else {
+                " (initialized)"
+            }
         );
     }
     let _ = writeln!(out, "}}");

@@ -20,7 +20,11 @@ pub struct VerifyError {
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verification failed in `{}`: {}", self.func, self.message)
+        write!(
+            f,
+            "verification failed in `{}`: {}",
+            self.func, self.message
+        )
     }
 }
 
@@ -43,7 +47,9 @@ impl<'f> Checker<'f> {
         }
         if let ValueKind::Inst(i) = self.func.value(v).kind {
             if self.func.inst(i).dead {
-                self.err(format!("{ctx}: value {v} is the result of dead instruction {i}"));
+                self.err(format!(
+                    "{ctx}: value {v} is the result of dead instruction {i}"
+                ));
             }
         }
     }
@@ -106,9 +112,7 @@ impl<'f> Checker<'f> {
                                 ));
                             } else {
                                 for (k, (&a, &p)) in args.iter().zip(params).enumerate() {
-                                    if a.index() < func.num_values()
-                                        && func.value_type(a) != p
-                                    {
+                                    if a.index() < func.num_values() && func.value_type(a) != p {
                                         self.err(format!(
                                             "inst {i}: call arg {k} type {} != param type {p}",
                                             func.value_type(a)
@@ -119,14 +123,12 @@ impl<'f> Checker<'f> {
                             match (inst.result, ret) {
                                 (Some(r), Some(rt)) => {
                                     if func.value_type(r) != *rt {
-                                        self.err(format!(
-                                            "inst {i}: call result type mismatch"
-                                        ));
+                                        self.err(format!("inst {i}: call result type mismatch"));
                                     }
                                 }
-                                (Some(_), None) => {
-                                    self.err(format!("inst {i}: call has result but callee returns none"))
-                                }
+                                (Some(_), None) => self.err(format!(
+                                    "inst {i}: call has result but callee returns none"
+                                )),
                                 (None, Some(_)) => { /* discarding a result is allowed */ }
                                 (None, None) => {}
                             }
@@ -142,16 +144,16 @@ impl<'f> Checker<'f> {
                 match term {
                     Term::CondBr { cond, .. } => {
                         self.check_value_ref(*cond, &format!("terminator of {b}"));
-                        if cond.index() < func.num_values()
-                            && func.value_type(*cond) != Type::I1
-                        {
+                        if cond.index() < func.num_values() && func.value_type(*cond) != Type::I1 {
                             self.err(format!("terminator of {b}: condition is not i1"));
                         }
                     }
                     Term::Ret(Some(v)) => {
                         self.check_value_ref(*v, &format!("ret of {b}"));
                         match func.ret {
-                            None => self.err(format!("ret of {b} returns a value but function is void")),
+                            None => {
+                                self.err(format!("ret of {b} returns a value but function is void"))
+                            }
                             Some(rt) => {
                                 if v.index() < func.num_values() && func.value_type(*v) != rt {
                                     self.err(format!(
@@ -164,7 +166,9 @@ impl<'f> Checker<'f> {
                     }
                     Term::Ret(None) => {
                         if func.ret.is_some() {
-                            self.err(format!("ret of {b} returns nothing but function declares a return type"));
+                            self.err(format!(
+                                "ret of {b} returns nothing but function declares a return type"
+                            ));
                         }
                     }
                     Term::Br(_) => {}
@@ -238,7 +242,11 @@ impl<'f> Checker<'f> {
                     self.err(format!("inst {i}: fcmp on integers"));
                 }
             }
-            Op::Select { cond, on_true, on_false } => {
+            Op::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
                 if vt(*cond) != Type::I1 {
                     self.err(format!("inst {i}: select condition not i1"));
                 }
@@ -416,12 +424,20 @@ mod tests {
         let entry = f.entry();
         // Create two adds; make the first use the second's result.
         let a1 = f.append_inst(
-            Op::Bin { op: BinOp::Add, lhs: p, rhs: p },
+            Op::Bin {
+                op: BinOp::Add,
+                lhs: p,
+                rhs: p,
+            },
             Some(Type::I32),
             entry,
         );
         let a2 = f.append_inst(
-            Op::Bin { op: BinOp::Add, lhs: p, rhs: p },
+            Op::Bin {
+                op: BinOp::Add,
+                lhs: p,
+                rhs: p,
+            },
             Some(Type::I32),
             entry,
         );
@@ -440,13 +456,21 @@ mod tests {
         let p = f.param(0);
         let entry = f.entry();
         let a1 = f.append_inst(
-            Op::Bin { op: BinOp::Add, lhs: p, rhs: p },
+            Op::Bin {
+                op: BinOp::Add,
+                lhs: p,
+                rhs: p,
+            },
             Some(Type::I32),
             entry,
         );
         let r1 = f.inst(a1).result.unwrap();
         f.append_inst(
-            Op::Bin { op: BinOp::Add, lhs: r1, rhs: r1 },
+            Op::Bin {
+                op: BinOp::Add,
+                lhs: r1,
+                rhs: r1,
+            },
             Some(Type::I32),
             entry,
         );
@@ -465,7 +489,9 @@ mod tests {
         f.set_term(entry, crate::Term::Br(next));
         // Phi claims an incoming from a non-predecessor (next itself).
         f.append_inst(
-            Op::Phi { incomings: vec![(next, p)] },
+            Op::Phi {
+                incomings: vec![(next, p)],
+            },
             Some(Type::I32),
             next,
         );

@@ -60,9 +60,9 @@ impl CheckSpec {
     /// and Optimization 2's cost-benefit decision.
     pub fn static_cost(&self) -> usize {
         match self {
-            CheckSpec::Single { .. } => 2, // icmp + check
-            CheckSpec::Pair { .. } => 4,   // 2×icmp + or + check
-            CheckSpec::IntRange { .. } => 3, // sub + unsigned cmp + check
+            CheckSpec::Single { .. } => 2,     // icmp + check
+            CheckSpec::Pair { .. } => 4,       // 2×icmp + or + check
+            CheckSpec::IntRange { .. } => 3,   // sub + unsigned cmp + check
             CheckSpec::FloatRange { .. } => 4, // 2×fcmp + and + check
         }
     }

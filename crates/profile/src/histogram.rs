@@ -88,19 +88,13 @@ impl OnlineHistogram {
         let hi = clamp_finite(hi).max(lo);
         // Containment fast path (single value only).
         if lo == hi {
-            if let Some(b) = self
-                .bins
-                .iter_mut()
-                .find(|b| b.lo <= lo && lo <= b.hi)
-            {
+            if let Some(b) = self.bins.iter_mut().find(|b| b.lo <= lo && lo <= b.hi) {
                 b.count += count;
                 return;
             }
         }
         // Add as a new bin, keep sorted.
-        let pos = self
-            .bins
-            .partition_point(|b| (b.lo, b.hi) < (lo, hi));
+        let pos = self.bins.partition_point(|b| (b.lo, b.hi) < (lo, hi));
         self.bins.insert(pos, Bin { lo, hi, count });
         self.normalize();
         while self.bins.len() > self.capacity {
@@ -283,7 +277,14 @@ mod tests {
             h.insert(42.0);
         }
         assert_eq!(h.bins().len(), 1);
-        assert_eq!(h.bins()[0], Bin { lo: 42.0, hi: 42.0, count: 50 });
+        assert_eq!(
+            h.bins()[0],
+            Bin {
+                lo: 42.0,
+                hi: 42.0,
+                count: 50
+            }
+        );
     }
 
     #[test]
@@ -293,7 +294,14 @@ mod tests {
         h.insert(100.0);
         h.insert(1.0); // closest to 0.0 — merges with it
         assert_eq!(h.bins().len(), 2);
-        assert_eq!(h.bins()[0], Bin { lo: 0.0, hi: 1.0, count: 2 });
+        assert_eq!(
+            h.bins()[0],
+            Bin {
+                lo: 0.0,
+                hi: 1.0,
+                count: 2
+            }
+        );
         assert_eq!(h.bins()[1].lo, 100.0);
     }
 

@@ -87,11 +87,7 @@ pub fn is_check_candidate(op: &Op, ty: Type) -> bool {
     }
     matches!(
         op,
-        Op::Bin { .. }
-            | Op::Un { .. }
-            | Op::Cast { .. }
-            | Op::Select { .. }
-            | Op::Load { .. }
+        Op::Bin { .. } | Op::Un { .. } | Op::Cast { .. } | Op::Select { .. } | Op::Load { .. }
     )
 }
 
@@ -171,12 +167,20 @@ mod tests {
         use softft_ir::ValueId;
         let a = ValueId::new(0);
         assert!(is_check_candidate(
-            &Op::Bin { op: BinOp::Add, lhs: a, rhs: a },
+            &Op::Bin {
+                op: BinOp::Add,
+                lhs: a,
+                rhs: a
+            },
             Type::I32
         ));
         assert!(is_check_candidate(&Op::Load { addr: a }, Type::I16));
         assert!(!is_check_candidate(
-            &Op::Icmp { pred: IntCC::Eq, lhs: a, rhs: a },
+            &Op::Icmp {
+                pred: IntCC::Eq,
+                lhs: a,
+                rhs: a
+            },
             Type::I1
         ));
         assert!(!is_check_candidate(

@@ -43,11 +43,7 @@ impl TopK {
             return;
         }
         // Space-saving eviction: replace the minimum, inheriting its count.
-        let min = self
-            .entries
-            .iter_mut()
-            .min_by_key(|e| e.1)
-            .expect("k > 0");
+        let min = self.entries.iter_mut().min_by_key(|e| e.1).expect("k > 0");
         *min = (bits, min.1 + 1);
         self.approximate = true;
     }

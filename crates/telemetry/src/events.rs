@@ -1,0 +1,182 @@
+//! On-disk telemetry schema: one [`TrialEvent`] per JSONL line plus a
+//! [`RunManifest`] per campaign.
+//!
+//! Fields are plain strings/numbers rather than campaign enums so the
+//! schema is self-describing for external tooling and does not tie this crate
+//! to `softft-campaign` (which depends on *us*). Labels come from
+//! [`crate::trace::check_kind_label`] and the campaign's canonical
+//! outcome labels.
+
+use serde::{Deserialize, Serialize};
+
+/// Version stamp written into every [`RunManifest`]; bump on any
+/// backwards-incompatible change to [`TrialEvent`] or the manifest.
+pub const TRIAL_SCHEMA_VERSION: u32 = 1;
+
+/// One fault-injection trial, as one line of a `.trials.jsonl` file.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrialEvent {
+    /// Trial index within the campaign (0-based, in plan order).
+    pub trial: u32,
+    /// Planned injection point (dynamic instruction index).
+    pub at_dyn: u64,
+    /// Per-trial seed derived from the campaign master seed.
+    pub fault_seed: u64,
+    /// Whether the trigger was reached and a fault actually injected.
+    pub injected: bool,
+    /// Flipped bit position, when a register fault was injected.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub bit: Option<u32>,
+    /// Outcome class label (see `Outcome::label` in `softft-campaign`).
+    pub outcome: String,
+    /// Label of the check kind that detected the fault, for software
+    /// detections (see [`crate::trace::check_kind_label`]).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub detected_by: Option<String>,
+    /// Dynamic instructions from injection to detection, for detected
+    /// trials.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub detect_latency: Option<u64>,
+    /// Dynamic instructions the run executed before completing or
+    /// trapping.
+    pub dyn_insts: u64,
+    /// Fidelity score vs. the golden output, for completed runs whose
+    /// output differed.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub fidelity: Option<f64>,
+}
+
+impl TrialEvent {
+    /// Serializes to one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses one JSONL line.
+    pub fn from_jsonl(line: &str) -> serde_json::Result<TrialEvent> {
+        serde_json::from_str(line)
+    }
+}
+
+/// Campaign-level metadata, written once per campaign as
+/// `.manifest.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Schema version of the trial events this manifest accompanies
+    /// ([`TRIAL_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Protection technique label.
+    pub technique: String,
+    /// Fault model ("register" or "branch-target").
+    pub fault_kind: String,
+    /// Number of trials.
+    pub trials: u32,
+    /// Master seed the per-trial plans were derived from.
+    pub master_seed: u64,
+    /// Worker threads used (does not affect results).
+    pub threads: usize,
+    /// Dynamic instructions of the fault-free run.
+    pub golden_dyn_insts: u64,
+    /// Wall-clock milliseconds the campaign took.
+    pub wall_ms: u64,
+}
+
+impl RunManifest {
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a manifest.
+    pub fn from_json(s: &str) -> serde_json::Result<RunManifest> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event() -> TrialEvent {
+        TrialEvent {
+            trial: 7,
+            at_dyn: 12345,
+            fault_seed: 0xDEAD_BEEF,
+            injected: true,
+            bit: Some(17),
+            outcome: "swdetect.dup-mismatch".to_string(),
+            detected_by: Some("dup-mismatch".to_string()),
+            detect_latency: Some(42),
+            dyn_insts: 99999,
+            fidelity: None,
+        }
+    }
+
+    #[test]
+    fn trial_event_round_trips() {
+        let e = event();
+        let line = e.to_jsonl().unwrap();
+        assert!(!line.contains('\n'), "one event = one line");
+        assert_eq!(TrialEvent::from_jsonl(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn absent_options_are_omitted() {
+        let e = TrialEvent {
+            bit: None,
+            detected_by: None,
+            detect_latency: None,
+            fidelity: None,
+            outcome: "masked".to_string(),
+            ..event()
+        };
+        let line = e.to_jsonl().unwrap();
+        assert!(!line.contains("detected_by"), "{line}");
+        assert!(!line.contains("detect_latency"), "{line}");
+        assert!(!line.contains("fidelity"), "{line}");
+        assert_eq!(TrialEvent::from_jsonl(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = RunManifest {
+            schema_version: TRIAL_SCHEMA_VERSION,
+            benchmark: "tiff2bw".to_string(),
+            technique: "DupVal".to_string(),
+            fault_kind: "register".to_string(),
+            trials: 200,
+            master_seed: 0x5EED,
+            threads: 4,
+            golden_dyn_insts: 1_234_567,
+            wall_ms: 890,
+        };
+        let j = m.to_json().unwrap();
+        assert_eq!(RunManifest::from_json(&j).unwrap(), m);
+    }
+
+    #[test]
+    fn jsonl_multi_line_round_trip() {
+        let events: Vec<TrialEvent> = (0..5)
+            .map(|i| TrialEvent {
+                trial: i,
+                detect_latency: if i % 2 == 0 {
+                    Some(i as u64 * 10)
+                } else {
+                    None
+                },
+                ..event()
+            })
+            .collect();
+        let file: String = events
+            .iter()
+            .map(|e| e.to_jsonl().unwrap() + "\n")
+            .collect();
+        let back: Vec<TrialEvent> = file
+            .lines()
+            .map(|l| TrialEvent::from_jsonl(l).unwrap())
+            .collect();
+        assert_eq!(back, events);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # softft-telemetry
+//!
+//! Observability for the soft-ft stack: where `softft-campaign` answers
+//! *how many* faults each technique catches, this crate answers *which*
+//! mechanism caught *which* fault and *how fast* — the per-detector
+//! cost/benefit attribution needed to configure software detectors.
+//!
+//! Four pieces:
+//!
+//! * [`metrics`] — a dependency-free metrics core: counters, gauges, and
+//!   log-bucketed histograms collected in a [`MetricsRegistry`] that
+//!   serializes to JSON (hand-rolled; no serde in the hot path);
+//! * [`trace`] — [`TraceObserver`], an implementation of the VM
+//!   [`Observer`](softft_vm::Observer) trait recording per-opcode dynamic
+//!   instruction counts, per-[`CheckKind`](softft_ir::CheckKind) check
+//!   firings, and *detection latency*: the dynamic-instruction distance
+//!   between the fault-plan injection point and the first failing check;
+//! * [`events`] — the per-trial JSONL event schema ([`TrialEvent`]) and
+//!   the per-campaign [`RunManifest`], both serde round-trippable;
+//! * [`log`] — minimal leveled stderr logging for the `repro` binary
+//!   (`-v` / `-q`).
+//!
+//! The observer is generic plumbing: campaigns that pass
+//! [`NoopObserver`](softft_vm::NoopObserver) monomorphize to the exact
+//! pre-telemetry loop, so the disabled path stays zero-cost.
+
+pub mod events;
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use events::{RunManifest, TrialEvent, TRIAL_SCHEMA_VERSION};
+pub use log::{Logger, Verbosity};
+pub use metrics::{Counter, Gauge, Histogram, Metric, MetricsRegistry};
+pub use trace::{check_kind_label, CheckCounter, CheckKindCounts, TraceObserver, CHECK_KINDS};

@@ -1,0 +1,79 @@
+//! Minimal leveled stderr logging for the `repro` binary.
+//!
+//! Deliberately tiny: three levels, no timestamps, no global state. The
+//! binary owns a [`Logger`] and threads it (or just its [`Verbosity`])
+//! to the code that prints. At the default [`Verbosity::Normal`] level
+//! the output is byte-identical to the previous raw `eprintln!` calls.
+
+/// How much stderr chatter to emit.
+///
+/// Ordered: `Quiet < Normal < Verbose`, so `verbosity >= Verbosity::Normal`
+/// reads naturally.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// Errors only (`-q`).
+    Quiet,
+    /// Errors plus run summaries (the default).
+    #[default]
+    Normal,
+    /// Everything, including per-step progress (`-v`).
+    Verbose,
+}
+
+/// A leveled stderr logger.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Logger {
+    /// The threshold below which messages are dropped.
+    pub verbosity: Verbosity,
+}
+
+impl Logger {
+    /// A logger at the given level.
+    pub fn new(verbosity: Verbosity) -> Self {
+        Logger { verbosity }
+    }
+
+    /// Emits at every level (usage errors, IO failures).
+    pub fn error(&self, msg: impl AsRef<str>) {
+        eprintln!("{}", msg.as_ref());
+    }
+
+    /// Emits at [`Verbosity::Normal`] and above (run summaries).
+    pub fn info(&self, msg: impl AsRef<str>) {
+        if self.verbosity >= Verbosity::Normal {
+            eprintln!("{}", msg.as_ref());
+        }
+    }
+
+    /// Emits at [`Verbosity::Verbose`] only (per-step progress).
+    pub fn debug(&self, msg: impl AsRef<str>) {
+        if self.verbosity >= Verbosity::Verbose {
+            eprintln!("{}", msg.as_ref());
+        }
+    }
+
+    /// True when [`Logger::debug`] output would be emitted; lets callers
+    /// skip building expensive progress strings.
+    pub fn is_verbose(&self) -> bool {
+        self.verbosity >= Verbosity::Verbose
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Verbosity::Quiet < Verbosity::Normal);
+        assert!(Verbosity::Normal < Verbosity::Verbose);
+        assert_eq!(Verbosity::default(), Verbosity::Normal);
+    }
+
+    #[test]
+    fn verbose_gate() {
+        assert!(!Logger::new(Verbosity::Quiet).is_verbose());
+        assert!(!Logger::new(Verbosity::Normal).is_verbose());
+        assert!(Logger::new(Verbosity::Verbose).is_verbose());
+    }
+}

@@ -1,0 +1,565 @@
+//! Dependency-free metrics core: counters, gauges, and log-bucketed
+//! histograms, collected in a [`MetricsRegistry`] that serializes to
+//! JSON.
+//!
+//! Everything here is plain `std`: campaigns record into thread-local
+//! registries and [`MetricsRegistry::merge`] them at the end, so the hot
+//! path never takes a lock.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A monotonically increasing count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Folds another counter in (for cross-thread aggregation).
+    pub fn merge(&mut self, other: &Counter) {
+        self.value += other.value;
+    }
+}
+
+/// A last-write-wins measurement.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Gauge {
+    value: f64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&mut self, value: f64) {
+        self.value = value;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket *i* ≥ 1
+/// holds values in `[2^(i-1), 2^i)`.
+const NUM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Constant memory regardless of range, exact `count`/`sum`/`min`/`max`,
+/// and percentile estimates accurate to within the enclosing
+/// power-of-two bucket (linear interpolation inside the bucket).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a sample: 0 for 0, else `64 - leading_zeros`.
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `(lo, hi)` range of values a bucket covers.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index == 0 {
+        (0, 0)
+    } else {
+        let lo = 1u64 << (index - 1);
+        let hi = if index == 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        };
+        (lo, hi)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`): the value below
+    /// which a fraction `q` of the samples fall. The estimate is exact
+    /// to the enclosing power-of-two bucket and interpolated linearly
+    /// inside it; `min`/`max` clamp the ends so `quantile(0.0)` and
+    /// `quantile(1.0)` are exact.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = q * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let end = seen + n;
+            if rank <= end as f64 {
+                let (lo, hi) = bucket_bounds(i);
+                let lo = lo.max(self.min());
+                let hi = hi.min(self.max);
+                // Position of the target rank within this bucket.
+                let within = (rank - seen as f64) / n as f64;
+                return lo + ((hi - lo) as f64 * within).round() as u64;
+            }
+            seen = end;
+        }
+        self.max
+    }
+
+    /// Folds another histogram in (for cross-thread aggregation).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, n)
+            })
+            .collect()
+    }
+}
+
+/// One named metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Counter),
+    /// A [`Gauge`].
+    Gauge(Gauge),
+    /// A [`Histogram`].
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics with deterministic (sorted) iteration
+/// and JSON serialization.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        let m = self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(Counter::default()));
+        match m {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} is not a counter: {other:?}"),
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn gauge(&mut self, name: &str) -> &mut Gauge {
+        let m = self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Gauge(Gauge::default()));
+        match m {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        let m = self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Histogram(Histogram::default()));
+        match m {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when no metric is registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Iterates metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Folds another registry in: counters and histograms accumulate,
+    /// gauges take the other registry's value (last write wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is registered with different types in the two
+    /// registries.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, m) in &other.metrics {
+            match m {
+                Metric::Counter(c) => self.counter(name).merge(c),
+                Metric::Gauge(g) => self.gauge(name).set(g.get()),
+                Metric::Histogram(h) => self.histogram(name).merge(h),
+            }
+        }
+    }
+
+    /// Serializes the registry to a JSON object keyed by metric name, in
+    /// name order (byte-stable for identical contents).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, m)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push(':');
+            match m {
+                Metric::Counter(c) => {
+                    let _ = write!(out, "{{\"type\":\"counter\",\"value\":{}}}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    out.push_str("{\"type\":\"gauge\",\"value\":");
+                    push_json_f64(&mut out, g.get());
+                    out.push('}');
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                         \"mean\":",
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max()
+                    );
+                    push_json_f64(&mut out, h.mean());
+                    let _ = write!(
+                        out,
+                        ",\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                        h.quantile(0.50),
+                        h.quantile(0.90),
+                        h.quantile(0.99)
+                    );
+                    for (j, (lo, hi, n)) in h.nonzero_buckets().into_iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{lo},{hi},{n}]");
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes, backslashes, and
+/// control characters escaped).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` as a JSON number (`null` for NaN/inf, which JSON
+/// cannot represent).
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_covers_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_of(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_of(hi), i, "hi of bucket {i}");
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn histogram_exact_stats() {
+        let mut h = Histogram::new();
+        for v in [5u64, 10, 0, 1000, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1018);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 203.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_accurate() {
+        // 1..=1000 uniformly: the true p50 is 500, inside bucket
+        // [512, 1023]... no: 500 lies in [256, 511]. Log bucketing must
+        // return an estimate inside the enclosing bucket (factor-2
+        // accuracy), and the extremes must be exact.
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1000);
+        let p50 = h.quantile(0.5);
+        assert!((256..=511).contains(&p50), "p50 estimate {p50}");
+        let p90 = h.quantile(0.9);
+        assert!((512..=1000).contains(&p90), "p90 estimate {p90}");
+        // Single-valued distribution: every quantile is that value.
+        let mut one = Histogram::new();
+        for _ in 0..100 {
+            one.record(42);
+        }
+        for q in [0.0, 0.1, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 42, "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [1u64, 7, 130, 9000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 2, 64, 1 << 40] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn counter_merge_across_worker_threads() {
+        // Each worker counts into its own registry; the main thread
+        // merges. The total must equal the sum of per-thread counts.
+        let partials: Vec<MetricsRegistry> = std::thread::scope(|scope| {
+            (0..4u64)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let mut reg = MetricsRegistry::new();
+                        for i in 0..100 + t {
+                            reg.counter("trials").inc();
+                            reg.histogram("latency").record(i);
+                        }
+                        reg
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().unwrap())
+                .collect()
+        });
+        let mut total = MetricsRegistry::new();
+        for p in &partials {
+            total.merge(p);
+        }
+        let expected: u64 = (0..4).map(|t| 100 + t).sum();
+        assert_eq!(total.counter("trials").get(), expected);
+        assert_eq!(total.histogram("latency").count(), expected);
+    }
+
+    #[test]
+    fn registry_json_is_deterministic_and_wellformed() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("z.count").add(3);
+        reg.gauge("a.gauge").set(1.5);
+        reg.histogram("m.hist").record(7);
+        let j1 = reg.to_json();
+        let j2 = reg.clone().to_json();
+        assert_eq!(j1, j2, "registry JSON must be byte-stable");
+        // Sorted keys: a.gauge before m.hist before z.count.
+        let a = j1.find("a.gauge").unwrap();
+        let m = j1.find("m.hist").unwrap();
+        let z = j1.find("z.count").unwrap();
+        assert!(a < m && m < z, "{j1}");
+        assert!(j1.starts_with('{') && j1.ends_with('}'));
+        assert!(j1.contains("\"type\":\"counter\",\"value\":3"), "{j1}");
+        assert!(j1.contains("\"type\":\"gauge\",\"value\":1.5"), "{j1}");
+        assert!(j1.contains("\"buckets\":[[4,7,1]]"), "{j1}");
+    }
+
+    #[test]
+    fn json_escapes_and_nonfinite() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge("weird\"name\\with\ncontrol").set(f64::INFINITY);
+        let j = reg.to_json();
+        assert!(j.contains("\"weird\\\"name\\\\with\\ncontrol\""), "{j}");
+        assert!(j.contains("\"value\":null"), "{j}");
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn type_confusion_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge("x").set(1.0);
+        reg.counter("x");
+    }
+}

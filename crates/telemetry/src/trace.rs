@@ -1,0 +1,271 @@
+//! Tracing observers for the VM.
+//!
+//! [`TraceObserver`] is a full trace: per-opcode dynamic instruction
+//! counts, per-[`CheckKind`] check firings, and detection latency —
+//! the dynamic-instruction distance between a fault injection and the
+//! first failing check. [`CheckCounter`] is the cheap subset that only
+//! attributes check firings, for false-positive and cross-validation
+//! measurements.
+//!
+//! Both mirror the VM's dynamic-instruction count by replaying its
+//! increment ordering: the interpreter bumps `dyn_count` *before*
+//! calling `on_exec` / `on_term`, so these observers increment at the
+//! top of those hooks. A check failure reported through
+//! [`Observer::on_check_fail`] therefore sees the same post-increment
+//! count the VM would put in a trap, which is the convention the
+//! campaign classifier uses for its hardware-detection window.
+
+use crate::metrics::Histogram;
+use softft_ir::function::Function;
+use softft_ir::inst::{CheckKind, Op};
+use softft_ir::{BlockId, FuncId, InstId};
+use softft_vm::fault::InjectionRecord;
+use softft_vm::Observer;
+use std::collections::BTreeMap;
+
+/// All [`CheckKind`] variants in canonical order (the order used for
+/// reports, JSON, and [`CheckKindCounts`] indexing).
+pub const CHECK_KINDS: [CheckKind; 7] = [
+    CheckKind::DupMismatch,
+    CheckKind::ValueSingle,
+    CheckKind::ValuePair,
+    CheckKind::ValueRange,
+    CheckKind::StoreGuard,
+    CheckKind::BranchGuard,
+    CheckKind::CfcSignature,
+];
+
+fn kind_index(kind: CheckKind) -> usize {
+    match kind {
+        CheckKind::DupMismatch => 0,
+        CheckKind::ValueSingle => 1,
+        CheckKind::ValuePair => 2,
+        CheckKind::ValueRange => 3,
+        CheckKind::StoreGuard => 4,
+        CheckKind::BranchGuard => 5,
+        CheckKind::CfcSignature => 6,
+    }
+}
+
+/// Stable lower-case label for a check kind (used in JSONL events and
+/// report columns).
+pub fn check_kind_label(kind: CheckKind) -> &'static str {
+    match kind {
+        CheckKind::DupMismatch => "dup-mismatch",
+        CheckKind::ValueSingle => "value-single",
+        CheckKind::ValuePair => "value-pair",
+        CheckKind::ValueRange => "value-range",
+        CheckKind::StoreGuard => "store-guard",
+        CheckKind::BranchGuard => "branch-guard",
+        CheckKind::CfcSignature => "cfc-signature",
+    }
+}
+
+/// Per-[`CheckKind`] firing counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckKindCounts {
+    counts: [u64; 7],
+}
+
+impl CheckKindCounts {
+    /// All zero.
+    pub fn new() -> Self {
+        CheckKindCounts::default()
+    }
+
+    /// Adds one firing of `kind`.
+    pub fn inc(&mut self, kind: CheckKind) {
+        self.counts[kind_index(kind)] += 1;
+    }
+
+    /// Firings of `kind`.
+    pub fn get(&self, kind: CheckKind) -> u64 {
+        self.counts[kind_index(kind)]
+    }
+
+    /// Total firings across all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(kind, count)` in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (CheckKind, u64)> + '_ {
+        CHECK_KINDS.iter().map(|&k| (k, self.get(k)))
+    }
+
+    /// Folds another count set in.
+    pub fn merge(&mut self, other: &CheckKindCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// An observer that only attributes check firings to their
+/// [`CheckKind`] — cheap enough for false-positive runs where every
+/// instruction of a clean execution is observed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckCounter {
+    /// Firing counts by kind.
+    pub counts: CheckKindCounts,
+}
+
+impl Observer for CheckCounter {
+    fn on_check_fail(&mut self, _func: FuncId, f: &Function, inst: InstId) {
+        if let Op::Check { kind, .. } = f.inst(inst).op {
+            self.counts.inc(kind);
+        }
+    }
+}
+
+/// A full execution trace for one VM run.
+///
+/// Records per-opcode dynamic instruction counts, check firings by
+/// kind, the injection point (via [`Observer::on_inject`]), and the
+/// first detection event, from which [`TraceObserver::detection_latency`]
+/// derives the dynamic-instruction distance from fault to detection.
+#[derive(Clone, Debug, Default)]
+pub struct TraceObserver {
+    /// Mirror of the VM's dynamic instruction count.
+    dyn_count: u64,
+    /// Dynamic instruction counts by opcode mnemonic (terminators under
+    /// `"term"`).
+    pub opcodes: BTreeMap<&'static str, u64>,
+    /// Check firings by kind.
+    pub checks: CheckKindCounts,
+    /// Dynamic index of the fault injection, if one occurred.
+    inject_at: Option<u64>,
+    /// Dynamic index of the first failing check, if any.
+    first_detect: Option<u64>,
+    /// Which check kind detected first, if any.
+    first_detect_kind: Option<CheckKind>,
+}
+
+impl TraceObserver {
+    /// A fresh trace.
+    pub fn new() -> Self {
+        TraceObserver::default()
+    }
+
+    /// Dynamic instructions observed so far (matches the VM's count).
+    pub fn dyn_count(&self) -> u64 {
+        self.dyn_count
+    }
+
+    /// Dynamic index at which the fault was injected, if one was.
+    pub fn inject_at(&self) -> Option<u64> {
+        self.inject_at
+    }
+
+    /// Dynamic index of the first failing check, if any fired.
+    pub fn first_detect(&self) -> Option<u64> {
+        self.first_detect
+    }
+
+    /// The check kind that fired first, if any.
+    pub fn first_detect_kind(&self) -> Option<CheckKind> {
+        self.first_detect_kind
+    }
+
+    /// Dynamic instructions between injection and the first failing
+    /// check; `None` unless both happened (in that order).
+    pub fn detection_latency(&self) -> Option<u64> {
+        match (self.inject_at, self.first_detect) {
+            (Some(inj), Some(det)) if det >= inj => Some(det - inj),
+            _ => None,
+        }
+    }
+
+    /// Records this trace's detection latency into `hist`, if there is
+    /// one to record.
+    pub fn record_latency_into(&self, hist: &mut Histogram) {
+        if let Some(lat) = self.detection_latency() {
+            hist.record(lat);
+        }
+    }
+}
+
+impl Observer for TraceObserver {
+    fn on_exec(&mut self, _func: FuncId, f: &Function, inst: InstId) {
+        // The VM increments before calling us; mirror that ordering.
+        self.dyn_count += 1;
+        *self.opcodes.entry(f.inst(inst).op.mnemonic()).or_insert(0) += 1;
+    }
+
+    fn on_term(&mut self, _func: FuncId, _f: &Function, _block: BlockId) {
+        self.dyn_count += 1;
+        *self.opcodes.entry("term").or_insert(0) += 1;
+    }
+
+    fn on_check_fail(&mut self, _func: FuncId, f: &Function, inst: InstId) {
+        if let Op::Check { kind, .. } = f.inst(inst).op {
+            self.checks.inc(kind);
+            if self.first_detect.is_none() {
+                // on_check_fail follows on_exec for the same instruction,
+                // so dyn_count here equals the trap's at_dyn convention.
+                self.first_detect = Some(self.dyn_count);
+                self.first_detect_kind = Some(kind);
+            }
+        }
+    }
+
+    fn on_inject(&mut self, rec: &InjectionRecord) {
+        self.inject_at = Some(rec.at_dyn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_index_matches_canonical_order() {
+        for (i, &k) in CHECK_KINDS.iter().enumerate() {
+            assert_eq!(kind_index(k), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_and_kebab() {
+        let labels: Vec<&str> = CHECK_KINDS.iter().map(|&k| check_kind_label(k)).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        for l in labels {
+            assert!(l.chars().all(|c| c.is_ascii_lowercase() || c == '-'), "{l}");
+        }
+    }
+
+    #[test]
+    fn counts_inc_and_merge() {
+        let mut a = CheckKindCounts::new();
+        a.inc(CheckKind::DupMismatch);
+        a.inc(CheckKind::DupMismatch);
+        a.inc(CheckKind::ValueRange);
+        let mut b = CheckKindCounts::new();
+        b.inc(CheckKind::ValueRange);
+        b.inc(CheckKind::CfcSignature);
+        a.merge(&b);
+        assert_eq!(a.get(CheckKind::DupMismatch), 2);
+        assert_eq!(a.get(CheckKind::ValueRange), 2);
+        assert_eq!(a.get(CheckKind::CfcSignature), 1);
+        assert_eq!(a.total(), 5);
+        let in_order: Vec<u64> = a.iter().map(|(_, n)| n).collect();
+        assert_eq!(in_order, vec![2, 0, 0, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn latency_requires_both_endpoints() {
+        let mut t = TraceObserver::new();
+        assert_eq!(t.detection_latency(), None);
+        t.inject_at = Some(100);
+        assert_eq!(t.detection_latency(), None);
+        t.first_detect = Some(140);
+        assert_eq!(t.detection_latency(), Some(40));
+        // A check that fired before the injection (false positive in a
+        // counting run) is not a detection of this fault.
+        t.first_detect = Some(50);
+        assert_eq!(t.detection_latency(), None);
+    }
+}

@@ -71,6 +71,13 @@ pub trait Observer {
     fn on_check_fail(&mut self, func: FuncId, f: &Function, inst: InstId) {
         let _ = (func, f, inst);
     }
+    /// A fault was injected (called right after the architectural state
+    /// was corrupted; `rec` is the same record the [`RunResult`] will
+    /// carry). For register faults this fires at the trigger; for
+    /// branch-target faults, at the corrupted branch.
+    fn on_inject(&mut self, rec: &InjectionRecord) {
+        let _ = rec;
+    }
 }
 
 /// An observer that does nothing (zero-cost when monomorphized).
@@ -107,7 +114,7 @@ struct ExecState {
 impl ExecState {
     /// If the fault trigger is reached, flip a bit in a random defined
     /// slot of `frame`.
-    fn maybe_inject(&mut self, frame: &mut Frame, func: &Function) {
+    fn maybe_inject<O: Observer>(&mut self, frame: &mut Frame, func: &Function, obs: &mut O) {
         let due = matches!(&self.fault, Some((plan, _)) if plan.at_dyn == self.dyn_count);
         if !due {
             return;
@@ -131,7 +138,7 @@ impl ExecState {
             let old = frame.slots[victim].expect("candidate is defined");
             let new = flip_bit(old, ty, bit);
             frame.slots[victim] = Some(new);
-            self.injection = Some(InjectionRecord {
+            let rec = InjectionRecord {
                 at_dyn: plan.at_dyn,
                 func: frame.func,
                 value: vid,
@@ -139,7 +146,9 @@ impl ExecState {
                 bit,
                 old_bits: old,
                 new_bits: new,
-            });
+            };
+            obs.on_inject(&rec);
+            self.injection = Some(rec);
         }
         // If no slot was defined yet the fault hit dead state: masked.
     }
@@ -239,7 +248,11 @@ impl<'m> Vm<'m> {
         for (i, &a) in args.iter().enumerate() {
             let p = func.param(i);
             let ty = func.value_type(p);
-            let canon = if ty.is_float() { a } else { ty.sign_extend(a) as u64 };
+            let canon = if ty.is_float() {
+                a
+            } else {
+                ty.sign_extend(a) as u64
+            };
             frame.slots[p.index()] = Some(canon);
         }
         obs.on_enter(fid, func);
@@ -253,7 +266,9 @@ impl<'m> Vm<'m> {
                 let mut writes: Vec<(usize, u64)> = Vec::new();
                 for &i in &func.block(block).insts {
                     let inst = func.inst(i);
-                    let Op::Phi { incomings } = &inst.op else { break };
+                    let Op::Phi { incomings } = &inst.op else {
+                        break;
+                    };
                     let incoming = incomings.iter().find(|(p, _)| *p == prev);
                     let Some((_, v)) = incoming else {
                         // Only reachable after a branch-target fault: the
@@ -285,7 +300,7 @@ impl<'m> Vm<'m> {
             for &i in &insts[first_non_phi..] {
                 let inst = func.inst(i);
                 debug_assert!(!inst.dead, "dead instruction linked");
-                state.maybe_inject(&mut frame, func);
+                state.maybe_inject(&mut frame, func, obs);
                 if state.dyn_count >= self.config.max_dyn_insts {
                     return Err(TrapKind::Watchdog);
                 }
@@ -333,7 +348,7 @@ impl<'m> Vm<'m> {
             }
 
             // Terminator.
-            state.maybe_inject(&mut frame, func);
+            state.maybe_inject(&mut frame, func, obs);
             if state.dyn_count >= self.config.max_dyn_insts {
                 return Err(TrapKind::Watchdog);
             }
@@ -372,7 +387,7 @@ impl<'m> Vm<'m> {
                 block = BlockId::new(victim);
                 frame.lenient = true;
                 state.control_corrupted = true;
-                state.injection = Some(InjectionRecord {
+                let rec = InjectionRecord {
                     at_dyn: plan.at_dyn,
                     func: fid,
                     value: ValueId::new(0),
@@ -380,7 +395,9 @@ impl<'m> Vm<'m> {
                     bit: 0,
                     old_bits: intended.index() as u64,
                     new_bits: victim as u64,
-                });
+                };
+                obs.on_inject(&rec);
+                state.injection = Some(rec);
             }
             continue 'blocks;
         }
@@ -633,7 +650,13 @@ mod tests {
         });
         m.add_function(f);
         let r = run_main(&m);
-        assert!(matches!(r.end, RunEnd::Trap { kind: TrapKind::DivByZero, .. }));
+        assert!(matches!(
+            r.end,
+            RunEnd::Trap {
+                kind: TrapKind::DivByZero,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -649,7 +672,10 @@ mod tests {
         let r = run_main(&m);
         assert!(matches!(
             r.end,
-            RunEnd::Trap { kind: TrapKind::OutOfBounds { .. }, .. }
+            RunEnd::Trap {
+                kind: TrapKind::OutOfBounds { .. },
+                ..
+            }
         ));
     }
 
@@ -672,7 +698,13 @@ mod tests {
             },
         );
         let r = vm.run(main, &[], &mut NoopObserver, None);
-        assert!(matches!(r.end, RunEnd::Trap { kind: TrapKind::Watchdog, .. }));
+        assert!(matches!(
+            r.end,
+            RunEnd::Trap {
+                kind: TrapKind::Watchdog,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -689,7 +721,10 @@ mod tests {
         let r = run_main(&m);
         assert!(matches!(
             r.end,
-            RunEnd::Trap { kind: TrapKind::SwDetect(CheckKind::ValueSingle), .. }
+            RunEnd::Trap {
+                kind: TrapKind::SwDetect(CheckKind::ValueSingle),
+                ..
+            }
         ));
     }
 
@@ -751,7 +786,13 @@ mod tests {
         });
         m.add_function(f);
         let r = run_main(&m);
-        assert!(matches!(r.end, RunEnd::Trap { kind: TrapKind::CallDepth, .. }));
+        assert!(matches!(
+            r.end,
+            RunEnd::Trap {
+                kind: TrapKind::CallDepth,
+                ..
+            }
+        ));
     }
 
     #[test]

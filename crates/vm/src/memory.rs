@@ -43,7 +43,8 @@ impl Memory {
         let a = addr as u64;
         if addr < 0
             || a < GLOBAL_BASE
-            || a.checked_add(size as u64).is_none_or(|end| end > self.bytes.len() as u64)
+            || a.checked_add(size as u64)
+                .is_none_or(|end| end > self.bytes.len() as u64)
         {
             return Err(TrapKind::OutOfBounds { addr, size });
         }
@@ -59,13 +60,16 @@ impl Memory {
     /// region.
     pub fn load(&self, addr: i64, ty: Type) -> Result<u64, TrapKind> {
         let at = self.span(addr, ty.bytes())?;
-        let raw = match ty.bytes() {
-            1 => self.bytes[at] as u64,
-            2 => u16::from_le_bytes(self.bytes[at..at + 2].try_into().expect("span checked")) as u64,
-            4 => u32::from_le_bytes(self.bytes[at..at + 4].try_into().expect("span checked")) as u64,
-            8 => u64::from_le_bytes(self.bytes[at..at + 8].try_into().expect("span checked")),
-            _ => unreachable!("no other widths"),
-        };
+        let raw =
+            match ty.bytes() {
+                1 => self.bytes[at] as u64,
+                2 => u16::from_le_bytes(self.bytes[at..at + 2].try_into().expect("span checked"))
+                    as u64,
+                4 => u32::from_le_bytes(self.bytes[at..at + 4].try_into().expect("span checked"))
+                    as u64,
+                8 => u64::from_le_bytes(self.bytes[at..at + 8].try_into().expect("span checked")),
+                _ => unreachable!("no other widths"),
+            };
         Ok(if ty.is_float() {
             raw
         } else {
@@ -126,7 +130,10 @@ mod tests {
     #[test]
     fn initializers_are_copied() {
         let m = mem();
-        assert_eq!(m.load(GLOBAL_BASE as i64, Type::I8).unwrap() as i8 as i64, -86); // 0xAA sign-extended
+        assert_eq!(
+            m.load(GLOBAL_BASE as i64, Type::I8).unwrap() as i8 as i64,
+            -86
+        ); // 0xAA sign-extended
         assert_eq!(m.read_bytes(GLOBAL_BASE, 2), &[0xAA, 0xBB]);
     }
 

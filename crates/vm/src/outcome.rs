@@ -151,7 +151,13 @@ mod tests {
 
     #[test]
     fn traps_display() {
-        let s = format!("{}", TrapKind::OutOfBounds { addr: 0x10, size: 4 });
+        let s = format!(
+            "{}",
+            TrapKind::OutOfBounds {
+                addr: 0x10,
+                size: 4
+            }
+        );
         assert!(s.contains("out-of-bounds"));
         assert!(format!("{}", TrapKind::Watchdog).contains("watchdog"));
     }

@@ -107,18 +107,19 @@ impl CoreConfig {
     pub fn port(&self, op: &Op) -> Port {
         match op {
             Op::Load { .. } | Op::Store { .. } => Port::Memory,
-            Op::Bin { op, .. } if matches!(
-                op,
-                BinOp::Mul
-                    | BinOp::SDiv
-                    | BinOp::SRem
-                    | BinOp::UDiv
-                    | BinOp::URem
-                    | BinOp::FAdd
-                    | BinOp::FSub
-                    | BinOp::FMul
-                    | BinOp::FDiv
-            ) =>
+            Op::Bin { op, .. }
+                if matches!(
+                    op,
+                    BinOp::Mul
+                        | BinOp::SDiv
+                        | BinOp::SRem
+                        | BinOp::UDiv
+                        | BinOp::URem
+                        | BinOp::FAdd
+                        | BinOp::FSub
+                        | BinOp::FMul
+                        | BinOp::FDiv
+                ) =>
             {
                 Port::MulFp
             }
@@ -418,14 +419,55 @@ mod tests {
     fn latencies_match_config() {
         let cfg = CoreConfig::default();
         let a = ValueId::new(0);
-        assert_eq!(cfg.latency(&Op::Bin { op: BinOp::Add, lhs: a, rhs: a }), 1);
-        assert_eq!(cfg.latency(&Op::Bin { op: BinOp::Mul, lhs: a, rhs: a }), 1);
-        assert_eq!(cfg.latency(&Op::Bin { op: BinOp::SDiv, lhs: a, rhs: a }), 8);
+        assert_eq!(
+            cfg.latency(&Op::Bin {
+                op: BinOp::Add,
+                lhs: a,
+                rhs: a
+            }),
+            1
+        );
+        assert_eq!(
+            cfg.latency(&Op::Bin {
+                op: BinOp::Mul,
+                lhs: a,
+                rhs: a
+            }),
+            1
+        );
+        assert_eq!(
+            cfg.latency(&Op::Bin {
+                op: BinOp::SDiv,
+                lhs: a,
+                rhs: a
+            }),
+            8
+        );
         assert_eq!(cfg.latency(&Op::Load { addr: a }), 1);
-        assert_eq!(cfg.latency(&Op::Un { op: UnOp::FSqrt, arg: a }), 12);
+        assert_eq!(
+            cfg.latency(&Op::Un {
+                op: UnOp::FSqrt,
+                arg: a
+            }),
+            12
+        );
         assert_eq!(cfg.port(&Op::Load { addr: a }), Port::Memory);
-        assert_eq!(cfg.port(&Op::Bin { op: BinOp::Mul, lhs: a, rhs: a }), Port::MulFp);
-        assert_eq!(cfg.port(&Op::Bin { op: BinOp::Xor, lhs: a, rhs: a }), Port::Simple);
+        assert_eq!(
+            cfg.port(&Op::Bin {
+                op: BinOp::Mul,
+                lhs: a,
+                rhs: a
+            }),
+            Port::MulFp
+        );
+        assert_eq!(
+            cfg.port(&Op::Bin {
+                op: BinOp::Xor,
+                lhs: a,
+                rhs: a
+            }),
+            Port::Simple
+        );
     }
 
     #[test]

@@ -11,11 +11,10 @@
 /// Step-size table (89 entries, standard IMA progression).
 pub const STEP_TABLE: [i32; 89] = [
     7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
-    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
-    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
-    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
-    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
-    32767,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449,
+    494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493,
+    10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
 ];
 
 /// Index adjustment per 4-bit code.
@@ -114,8 +113,8 @@ pub fn decode(codes: &[u8], n: usize) -> Vec<i16> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fidelity::segmental_snr_i16;
     use crate::common::i16s_to_bytes;
+    use crate::fidelity::segmental_snr_i16;
     use crate::inputs::waveform;
 
     #[test]
@@ -166,11 +165,7 @@ mod tests {
         // Re-encode the decoded signal: states should track closely
         // (identical first code sequence up to quantization stability).
         let codes2 = encode(&dec);
-        let same = codes
-            .iter()
-            .zip(&codes2)
-            .filter(|(a, b)| a == b)
-            .count();
+        let same = codes.iter().zip(&codes2).filter(|(a, b)| a == b).count();
         assert!(same * 10 > codes.len() * 5, "{same}/{}", codes.len());
     }
 }

@@ -175,7 +175,14 @@ pub fn decode(stream: &[u8]) -> (Vec<Vec<u8>>, usize, usize) {
     let w = u16::from_le_bytes([stream[0], stream[1]]) as usize;
     let h = u16::from_le_bytes([stream[2], stream[3]]) as usize;
     let nf = u16::from_le_bytes([stream[4], stream[5]]) as usize;
-    if w == 0 || h == 0 || !w.is_multiple_of(4) || !h.is_multiple_of(4) || w > 4096 || h > 4096 || nf > 64 {
+    if w == 0
+        || h == 0
+        || !w.is_multiple_of(4)
+        || !h.is_multiple_of(4)
+        || w > 4096
+        || h > 4096
+        || nf > 64
+    {
         return (Vec::new(), 0, 0);
     }
     let mut frames = Vec::with_capacity(nf);
@@ -237,7 +244,12 @@ mod tests {
         let c = fwd4x4(&b);
         let back = inv4x4(&c);
         for i in 0..16 {
-            assert!((back[i] - b[i]).abs() <= 1, "idx {i}: {} vs {}", back[i], b[i]);
+            assert!(
+                (back[i] - b[i]).abs() <= 1,
+                "idx {i}: {} vs {}",
+                back[i],
+                b[i]
+            );
         }
     }
 

@@ -25,13 +25,17 @@ pub const QTABLE: [i32; 64] = [
 
 /// Zigzag scan order for an 8×8 block.
 pub const ZIGZAG: [usize; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 fn dct8_coeff(k: usize, n: usize) -> f64 {
-    let c = if k == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+    let c = if k == 0 {
+        (1.0f64 / 8.0).sqrt()
+    } else {
+        (2.0f64 / 8.0).sqrt()
+    };
     c * ((std::f64::consts::PI * (2.0 * n as f64 + 1.0) * k as f64) / 16.0).cos()
 }
 
@@ -75,7 +79,10 @@ pub fn idct8x8(coef: &[f64; 64]) -> [f64; 64] {
 ///
 /// Panics if `w`/`h` are not multiples of 8 or `pixels` is mis-sized.
 pub fn encode(pixels: &[u8], w: usize, h: usize) -> Vec<u8> {
-    assert!(w.is_multiple_of(8) && h.is_multiple_of(8), "dimensions must be multiples of 8");
+    assert!(
+        w.is_multiple_of(8) && h.is_multiple_of(8),
+        "dimensions must be multiples of 8"
+    );
     assert_eq!(pixels.len(), w * h);
     let mut out = Vec::new();
     out.extend_from_slice(&(w as u16).to_le_bytes());

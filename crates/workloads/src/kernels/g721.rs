@@ -184,7 +184,10 @@ impl Workload for G721Enc {
             "g721enc",
             MAX_SAMPLES * 2,
             MAX_SAMPLES / 2,
-            &[("step_table", step_table_bytes()), ("index_table", index_table_bytes())],
+            &[
+                ("step_table", step_table_bytes()),
+                ("index_table", index_table_bytes()),
+            ],
             |d, io, tabs| {
                 let (step_tab_a, index_tab_a) = (tabs[0], tabs[1]);
                 let step_tab = d.i64c(step_tab_a as i64);
@@ -263,7 +266,10 @@ impl Workload for G721Dec {
             "g721dec",
             MAX_SAMPLES / 2,
             MAX_SAMPLES * 2,
-            &[("step_table", step_table_bytes()), ("index_table", index_table_bytes())],
+            &[
+                ("step_table", step_table_bytes()),
+                ("index_table", index_table_bytes()),
+            ],
             |d, io, tabs| {
                 let (step_tab_a, index_tab_a) = (tabs[0], tabs[1]);
                 let step_tab = d.i64c(step_tab_a as i64);
@@ -288,8 +294,7 @@ impl Workload for G721Dec {
                     let fifteen = d.i64c(15);
                     let lo = d.and_(byte, fifteen);
                     let code = d.select(odd, hi, lo);
-                    let sample =
-                        emit_decode_step(d, step_tab, index_tab, valpred, index, code);
+                    let sample = emit_decode_step(d, step_tab, index_tab, valpred, index, code);
                     store_i16(d, out, i, sample);
                 });
                 let two = d.i64c(2);

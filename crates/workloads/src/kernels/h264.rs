@@ -595,9 +595,7 @@ mod tests {
         let input = w.input(InputSet::Test);
         let nf = 2;
         let frames: Vec<Vec<u8>> = (0..nf)
-            .map(|k| {
-                input.data[k * 24 * 24..(k + 1) * 24 * 24].to_vec()
-            })
+            .map(|k| input.data[k * 24 * 24..(k + 1) * 24 * 24].to_vec())
             .collect();
         let host = h264_ref::encode(&frames, 24, 24);
         let out = golden_output(&w, &m, InputSet::Test);

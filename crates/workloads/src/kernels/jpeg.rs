@@ -40,7 +40,10 @@ fn dct_basis_bytes() -> Vec<u8> {
 }
 
 fn qtable_bytes() -> Vec<u8> {
-    jpeg_ref::QTABLE.iter().flat_map(|v| v.to_le_bytes()).collect()
+    jpeg_ref::QTABLE
+        .iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect()
 }
 
 fn zigzag_bytes() -> Vec<u8> {

@@ -6,8 +6,7 @@
 //! fraction of points assigned differently from the fault-free run.
 
 use crate::common::{
-    build_kernel_scratch, input_base, load_i32, output_data_base, param, set_output_len,
-    store_u8,
+    build_kernel_scratch, input_base, load_i32, output_data_base, param, set_output_len, store_u8,
 };
 use crate::fidelity::class_error;
 use crate::inputs::clustered_points;
@@ -33,7 +32,9 @@ impl Workload for KMeans {
     }
 
     fn metric(&self) -> FidelityMetric {
-        FidelityMetric::ClassError { threshold_frac: 0.10 }
+        FidelityMetric::ClassError {
+            threshold_frac: 0.10,
+        }
     }
 
     fn build_module(&self) -> Module {

@@ -6,8 +6,7 @@
 //! label matrix. Fidelity is the segment-matrix mismatch fraction.
 
 use crate::common::{
-    build_kernel_scratch, input_base, load_u8, output_data_base, param, set_output_len,
-    store_u8,
+    build_kernel_scratch, input_base, load_u8, output_data_base, param, set_output_len, store_u8,
 };
 use crate::fidelity::mismatch_frac;
 use crate::inputs::gray_image;
@@ -32,7 +31,9 @@ impl Workload for Segm {
     }
 
     fn metric(&self) -> FidelityMetric {
-        FidelityMetric::Mismatch { threshold_frac: 0.10 }
+        FidelityMetric::Mismatch {
+            threshold_frac: 0.10,
+        }
     }
 
     fn build_module(&self) -> Module {

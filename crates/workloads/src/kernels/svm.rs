@@ -35,7 +35,9 @@ impl Workload for Svm {
     }
 
     fn metric(&self) -> FidelityMetric {
-        FidelityMetric::ClassError { threshold_frac: 0.10 }
+        FidelityMetric::ClassError {
+            threshold_frac: 0.10,
+        }
     }
 
     fn build_module(&self) -> Module {

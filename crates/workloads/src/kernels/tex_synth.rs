@@ -40,109 +40,105 @@ impl Workload for TexSynth {
     }
 
     fn metric(&self) -> FidelityMetric {
-        FidelityMetric::Mismatch { threshold_frac: 0.10 }
+        FidelityMetric::Mismatch {
+            threshold_frac: 0.10,
+        }
     }
 
     fn build_module(&self) -> Module {
-        build_kernel(
-            "tex_synth",
-            MAX_SAMPLE,
-            MAX_OUT,
-            &[],
-            |d, io, _| {
-                let sw = param(d, io, 0);
-                let sh = param(d, io, 1);
-                let ow = param(d, io, 2);
-                let oh = param(d, io, 3);
-                let inp = input_base(d, io);
-                let out = output_data_base(d, io);
-                let z = d.i64c(0);
-                let one = d.i64c(1);
+        build_kernel("tex_synth", MAX_SAMPLE, MAX_OUT, &[], |d, io, _| {
+            let sw = param(d, io, 0);
+            let sh = param(d, io, 1);
+            let ow = param(d, io, 2);
+            let oh = param(d, io, 3);
+            let inp = input_base(d, io);
+            let out = output_data_base(d, io);
+            let z = d.i64c(0);
+            let one = d.i64c(1);
 
-                // Seed row 0 and column 0 by tiling the sample.
-                d.for_range(z, ow, |d, x| {
-                    let xm = d.srem(x, sw);
-                    let v = load_u8(d, inp, xm);
-                    store_u8(d, out, x, v);
-                });
-                d.for_range(z, oh, |d, y| {
-                    let ym = d.srem(y, sh);
-                    let si = d.mul(ym, sw);
-                    let v = load_u8(d, inp, si);
-                    let oi = d.mul(y, ow);
+            // Seed row 0 and column 0 by tiling the sample.
+            d.for_range(z, ow, |d, x| {
+                let xm = d.srem(x, sw);
+                let v = load_u8(d, inp, xm);
+                store_u8(d, out, x, v);
+            });
+            d.for_range(z, oh, |d, y| {
+                let ym = d.srem(y, sh);
+                let si = d.mul(ym, sw);
+                let v = load_u8(d, inp, si);
+                let oi = d.mul(y, ow);
+                store_u8(d, out, oi, v);
+            });
+
+            // Synthesize the interior in raster order.
+            d.for_range(one, oh, |d, y| {
+                let one = d.i64c(1);
+                d.for_range(one, ow, |d, x| {
+                    let oi = {
+                        let r = d.mul(y, ow);
+                        d.add(r, x)
+                    };
+                    // Causal neighbourhood of the output pixel.
+                    let one = d.i64c(1);
+                    let left_i = d.sub(oi, one);
+                    let up_i = d.sub(oi, ow);
+                    let upl_i = d.sub(up_i, one);
+                    let n_left = load_u8(d, out, left_i);
+                    let n_up = load_u8(d, out, up_i);
+                    let n_upl = load_u8(d, out, upl_i);
+
+                    let best_pos = d.declare_var(Type::I64);
+                    let best_dist = d.declare_var(Type::I64);
+                    let zz = d.i64c(0);
+                    d.set(best_pos, zz);
+                    let big = d.i64c(1 << 40);
+                    d.set(best_dist, big);
+                    // Search sample positions with full causal context.
+                    d.for_range(one, sh, |d, sy| {
+                        let one = d.i64c(1);
+                        d.for_range(one, sw, |d, sx| {
+                            let si = {
+                                let r = d.mul(sy, sw);
+                                d.add(r, sx)
+                            };
+                            let one = d.i64c(1);
+                            let s_left = {
+                                let i = d.sub(si, one);
+                                load_u8(d, inp, i)
+                            };
+                            let s_up = {
+                                let i = d.sub(si, sw);
+                                load_u8(d, inp, i)
+                            };
+                            let s_upl = {
+                                let i0 = d.sub(si, sw);
+                                let i = d.sub(i0, one);
+                                load_u8(d, inp, i)
+                            };
+                            let d1 = sqdiff(d, n_left, s_left);
+                            let d2 = sqdiff(d, n_up, s_up);
+                            let d3 = sqdiff(d, n_upl, s_upl);
+                            let s12 = d.add(d1, d2);
+                            let dist = d.add(s12, d3);
+                            let bd = d.get(best_dist);
+                            let better = d.icmp(IntCC::Slt, dist, bd);
+                            let bp = d.get(best_pos);
+                            let np = d.select(better, si, bp);
+                            let ndist = d.select(better, dist, bd);
+                            d.set(best_pos, np);
+                            d.set(best_dist, ndist);
+                        });
+                    });
+                    let bp = d.get(best_pos);
+                    let v = load_u8(d, inp, bp);
                     store_u8(d, out, oi, v);
                 });
-
-                // Synthesize the interior in raster order.
-                d.for_range(one, oh, |d, y| {
-                    let one = d.i64c(1);
-                    d.for_range(one, ow, |d, x| {
-                        let oi = {
-                            let r = d.mul(y, ow);
-                            d.add(r, x)
-                        };
-                        // Causal neighbourhood of the output pixel.
-                        let one = d.i64c(1);
-                        let left_i = d.sub(oi, one);
-                        let up_i = d.sub(oi, ow);
-                        let upl_i = d.sub(up_i, one);
-                        let n_left = load_u8(d, out, left_i);
-                        let n_up = load_u8(d, out, up_i);
-                        let n_upl = load_u8(d, out, upl_i);
-
-                        let best_pos = d.declare_var(Type::I64);
-                        let best_dist = d.declare_var(Type::I64);
-                        let zz = d.i64c(0);
-                        d.set(best_pos, zz);
-                        let big = d.i64c(1 << 40);
-                        d.set(best_dist, big);
-                        // Search sample positions with full causal context.
-                        d.for_range(one, sh, |d, sy| {
-                            let one = d.i64c(1);
-                            d.for_range(one, sw, |d, sx| {
-                                let si = {
-                                    let r = d.mul(sy, sw);
-                                    d.add(r, sx)
-                                };
-                                let one = d.i64c(1);
-                                let s_left = {
-                                    let i = d.sub(si, one);
-                                    load_u8(d, inp, i)
-                                };
-                                let s_up = {
-                                    let i = d.sub(si, sw);
-                                    load_u8(d, inp, i)
-                                };
-                                let s_upl = {
-                                    let i0 = d.sub(si, sw);
-                                    let i = d.sub(i0, one);
-                                    load_u8(d, inp, i)
-                                };
-                                let d1 = sqdiff(d, n_left, s_left);
-                                let d2 = sqdiff(d, n_up, s_up);
-                                let d3 = sqdiff(d, n_upl, s_upl);
-                                let s12 = d.add(d1, d2);
-                                let dist = d.add(s12, d3);
-                                let bd = d.get(best_dist);
-                                let better = d.icmp(IntCC::Slt, dist, bd);
-                                let bp = d.get(best_pos);
-                                let np = d.select(better, si, bp);
-                                let ndist = d.select(better, dist, bd);
-                                d.set(best_pos, np);
-                                d.set(best_dist, ndist);
-                            });
-                        });
-                        let bp = d.get(best_pos);
-                        let v = load_u8(d, inp, bp);
-                        store_u8(d, out, oi, v);
-                    });
-                });
-                let n = d.mul(ow, oh);
-                set_output_len(d, io, n);
-                let r = d.i64c(0);
-                d.ret(Some(r));
-            },
-        )
+            });
+            let n = d.mul(ow, oh);
+            set_output_len(d, io, n);
+            let r = d.i64c(0);
+            d.ret(Some(r));
+        })
     }
 
     fn input(&self, set: InputSet) -> WorkloadInput {
@@ -177,10 +173,7 @@ mod tests {
         // Every synthesized pixel must come from the sample image.
         let sample = gray_image(12, 12, 702).pixels;
         for (i, px) in out.iter().enumerate() {
-            assert!(
-                sample.contains(px),
-                "pixel {i} value {px} not from sample"
-            );
+            assert!(sample.contains(px), "pixel {i} value {px} not from sample");
         }
     }
 

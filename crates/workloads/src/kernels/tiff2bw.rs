@@ -7,8 +7,8 @@
 //! the paper protects against).
 
 use crate::common::{
-    build_kernel, clamp, imax, imin, input_base, load_u8, output_data_base, param,
-    set_output_len, store_u8,
+    build_kernel, clamp, imax, imin, input_base, load_u8, output_data_base, param, set_output_len,
+    store_u8,
 };
 use crate::fidelity::psnr_u8;
 use crate::inputs::rgb_image;
@@ -35,76 +35,70 @@ impl Workload for Tiff2Bw {
     }
 
     fn build_module(&self) -> Module {
-        build_kernel(
-            "tiff2bw",
-            MAX_PIXELS * 3,
-            MAX_PIXELS,
-            &[],
-            |d, io, _| {
-                let w = param(d, io, 0);
-                let h = param(d, io, 1);
-                let n = d.mul(w, h);
-                let inp = input_base(d, io);
-                let out = output_data_base(d, io);
+        build_kernel("tiff2bw", MAX_PIXELS * 3, MAX_PIXELS, &[], |d, io, _| {
+            let w = param(d, io, 0);
+            let h = param(d, io, 1);
+            let n = d.mul(w, h);
+            let inp = input_base(d, io);
+            let out = output_data_base(d, io);
 
-                // Pass 1: weighted gray + min/max reduction.
-                let minv = d.declare_var(softft_ir::Type::I64);
-                let maxv = d.declare_var(softft_ir::Type::I64);
-                let init_min = d.i64c(255);
-                let init_max = d.i64c(0);
-                d.set(minv, init_min);
-                d.set(maxv, init_max);
-                let z = d.i64c(0);
-                d.for_range(z, n, |d, i| {
-                    let three = d.i64c(3);
-                    let base3 = d.mul(i, three);
-                    let r = load_u8(d, inp, base3);
-                    let one = d.i64c(1);
-                    let gi = d.add(base3, one);
-                    let g = load_u8(d, inp, gi);
-                    let two = d.i64c(2);
-                    let bi = d.add(base3, two);
-                    let b = load_u8(d, inp, bi);
-                    // gray = (77 r + 151 g + 28 b) >> 8
-                    let wr = d.i64c(77);
-                    let wg = d.i64c(151);
-                    let wb = d.i64c(28);
-                    let tr = d.mul(r, wr);
-                    let tg = d.mul(g, wg);
-                    let tb = d.mul(b, wb);
-                    let s1 = d.add(tr, tg);
-                    let s2 = d.add(s1, tb);
-                    let eight = d.i64c(8);
-                    let gray = d.ashr(s2, eight);
-                    store_u8(d, out, i, gray);
-                    let cur_min = d.get(minv);
-                    let nm = imin(d, cur_min, gray);
-                    d.set(minv, nm);
-                    let cur_max = d.get(maxv);
-                    let nx = imax(d, cur_max, gray);
-                    d.set(maxv, nx);
-                });
-
-                // Pass 2: contrast stretch using the reduction results.
-                let lo = d.get(minv);
-                let hi = d.get(maxv);
-                let span = d.sub(hi, lo);
+            // Pass 1: weighted gray + min/max reduction.
+            let minv = d.declare_var(softft_ir::Type::I64);
+            let maxv = d.declare_var(softft_ir::Type::I64);
+            let init_min = d.i64c(255);
+            let init_max = d.i64c(0);
+            d.set(minv, init_min);
+            d.set(maxv, init_max);
+            let z = d.i64c(0);
+            d.for_range(z, n, |d, i| {
+                let three = d.i64c(3);
+                let base3 = d.mul(i, three);
+                let r = load_u8(d, inp, base3);
                 let one = d.i64c(1);
-                let span = imax(d, span, one);
-                d.for_range(z, n, |d, i| {
-                    let g = load_u8(d, out, i);
-                    let shifted = d.sub(g, lo);
-                    let c255 = d.i64c(255);
-                    let num = d.mul(shifted, c255);
-                    let v = d.sdiv(num, span);
-                    let v = clamp(d, v, 0, 255);
-                    store_u8(d, out, i, v);
-                });
-                set_output_len(d, io, n);
-                let r = d.i64c(0);
-                d.ret(Some(r));
-            },
-        )
+                let gi = d.add(base3, one);
+                let g = load_u8(d, inp, gi);
+                let two = d.i64c(2);
+                let bi = d.add(base3, two);
+                let b = load_u8(d, inp, bi);
+                // gray = (77 r + 151 g + 28 b) >> 8
+                let wr = d.i64c(77);
+                let wg = d.i64c(151);
+                let wb = d.i64c(28);
+                let tr = d.mul(r, wr);
+                let tg = d.mul(g, wg);
+                let tb = d.mul(b, wb);
+                let s1 = d.add(tr, tg);
+                let s2 = d.add(s1, tb);
+                let eight = d.i64c(8);
+                let gray = d.ashr(s2, eight);
+                store_u8(d, out, i, gray);
+                let cur_min = d.get(minv);
+                let nm = imin(d, cur_min, gray);
+                d.set(minv, nm);
+                let cur_max = d.get(maxv);
+                let nx = imax(d, cur_max, gray);
+                d.set(maxv, nx);
+            });
+
+            // Pass 2: contrast stretch using the reduction results.
+            let lo = d.get(minv);
+            let hi = d.get(maxv);
+            let span = d.sub(hi, lo);
+            let one = d.i64c(1);
+            let span = imax(d, span, one);
+            d.for_range(z, n, |d, i| {
+                let g = load_u8(d, out, i);
+                let shifted = d.sub(g, lo);
+                let c255 = d.i64c(255);
+                let num = d.mul(shifted, c255);
+                let v = d.sdiv(num, span);
+                let v = clamp(d, v, 0, 255);
+                store_u8(d, out, i, v);
+            });
+            set_output_len(d, io, n);
+            let r = d.i64c(0);
+            d.ret(Some(r));
+        })
     }
 
     fn input(&self, set: InputSet) -> WorkloadInput {

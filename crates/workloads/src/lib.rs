@@ -191,8 +191,19 @@ mod tests {
         assert_eq!(all.len(), 13);
         let names: Vec<_> = all.iter().map(|w| w.name()).collect();
         for expect in [
-            "jpegenc", "jpegdec", "tiff2bw", "segm", "tex_synth", "g721enc", "g721dec",
-            "mp3enc", "mp3dec", "h264enc", "h264dec", "kmeans", "svm",
+            "jpegenc",
+            "jpegdec",
+            "tiff2bw",
+            "segm",
+            "tex_synth",
+            "g721enc",
+            "g721dec",
+            "mp3enc",
+            "mp3dec",
+            "h264enc",
+            "h264dec",
+            "kmeans",
+            "svm",
         ] {
             assert!(names.contains(&expect), "missing {expect}");
         }
@@ -208,9 +219,18 @@ mod tests {
     fn metric_acceptability() {
         assert!(FidelityMetric::Psnr { threshold_db: 30.0 }.acceptable(45.0));
         assert!(!FidelityMetric::Psnr { threshold_db: 30.0 }.acceptable(20.0));
-        assert!(FidelityMetric::Mismatch { threshold_frac: 0.1 }.acceptable(0.05));
-        assert!(!FidelityMetric::Mismatch { threshold_frac: 0.1 }.acceptable(0.2));
-        assert!(FidelityMetric::ClassError { threshold_frac: 0.1 }.acceptable(0.0));
+        assert!(FidelityMetric::Mismatch {
+            threshold_frac: 0.1
+        }
+        .acceptable(0.05));
+        assert!(!FidelityMetric::Mismatch {
+            threshold_frac: 0.1
+        }
+        .acceptable(0.2));
+        assert!(FidelityMetric::ClassError {
+            threshold_frac: 0.1
+        }
+        .acceptable(0.0));
         assert!(FidelityMetric::SegmentalSnr { threshold_db: 80.0 }.acceptable(100.0));
     }
 

@@ -97,7 +97,9 @@ pub fn golden_output(w: &dyn Workload, module: &Module, set: InputSet) -> Vec<u8
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::common::{build_kernel, input_base, load_u8, output_data_base, set_output_len, store_u8};
+    use crate::common::{
+        build_kernel, input_base, load_u8, output_data_base, set_output_len, store_u8,
+    };
 
     fn echo_module() -> Module {
         // Copies `params[0]` input bytes to the output.
@@ -149,7 +151,10 @@ mod tests {
         let out_g = m.global_by_name("output").unwrap().addr;
         vm.mem.write_bytes(out_g, &u64::MAX.to_le_bytes());
         let out = read_output(&vm, &m);
-        assert_eq!(out.len() as u64, m.global_by_name("output").unwrap().size - 8);
+        assert_eq!(
+            out.len() as u64,
+            m.global_by_name("output").unwrap().size - 8
+        );
     }
 
     #[test]

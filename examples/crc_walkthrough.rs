@@ -22,7 +22,9 @@ fn crc_module() -> Module {
     let g = m.add_global_init(
         "crc_table",
         64 * 8,
-        (0..64u64).flat_map(|i| (i * 2654435761 % 251).to_le_bytes()).collect(),
+        (0..64u64)
+            .flat_map(|i| (i * 2654435761 % 251).to_le_bytes())
+            .collect(),
     );
     let table = m.global(g).addr as i64;
     let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
@@ -82,7 +84,12 @@ fn main() {
     let profile = ProfileDb::from_profiler(&profiler, &ClassifyConfig::default());
 
     println!("== Fig. 4: after state-variable duplication (Dup only) ==");
-    let (dup, s1) = transform(&module, &ProfileDb::default(), Technique::DupOnly, &TransformConfig::default());
+    let (dup, s1) = transform(
+        &module,
+        &ProfileDb::default(),
+        Technique::DupOnly,
+        &TransformConfig::default(),
+    );
     println!("{}", print_function(dup.function(FuncId::new(0))));
     println!(
         "cloned {} instructions, inserted {} duplication checks\n",
@@ -90,7 +97,12 @@ fn main() {
     );
 
     println!("== Fig. 5 + optimizations: duplication plus expected-value checks ==");
-    let (dv, s2) = transform(&module, &profile, Technique::DupVal, &TransformConfig::default());
+    let (dv, s2) = transform(
+        &module,
+        &profile,
+        Technique::DupVal,
+        &TransformConfig::default(),
+    );
     println!("{}", print_function(dv.function(FuncId::new(0))));
     println!(
         "value checks: {} single / {} pair / {} range; opt1 suppressed {}, opt2 cuts {}",

@@ -82,14 +82,20 @@ fn main() {
         for seed in 0..3 {
             trials += 1;
             let plan = Some(FaultPlan::register(at, seed));
-            let orig = Vm::new(&module, VmConfig::default())
-                .run(main, &[], &mut NoopObserver, plan);
-            let prot = Vm::new(&protected, VmConfig::default())
-                .run(main, &[], &mut NoopObserver, plan);
+            let orig =
+                Vm::new(&module, VmConfig::default()).run(main, &[], &mut NoopObserver, plan);
+            let prot =
+                Vm::new(&protected, VmConfig::default()).run(main, &[], &mut NoopObserver, plan);
             if orig.completed() && orig.return_bits() != golden.return_bits() {
                 silent += 1;
             }
-            if matches!(prot.end, RunEnd::Trap { kind: TrapKind::SwDetect(_), .. }) {
+            if matches!(
+                prot.end,
+                RunEnd::Trap {
+                    kind: TrapKind::SwDetect(_),
+                    ..
+                }
+            ) {
                 detected += 1;
             }
         }

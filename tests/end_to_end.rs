@@ -77,7 +77,13 @@ fn fidelity_metrics_score_own_golden_as_acceptable() {
         let name = w.name();
         let module = w.build_module();
         let input = w.input(InputSet::Test);
-        let (r, out) = run_workload(&module, &input, VmConfig::default(), &mut NoopObserver, None);
+        let (r, out) = run_workload(
+            &module,
+            &input,
+            VmConfig::default(),
+            &mut NoopObserver,
+            None,
+        );
         assert!(r.completed(), "{name}");
         assert!(
             w.acceptable(&out, &out),

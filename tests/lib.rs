@@ -21,7 +21,9 @@ pub fn random_module(seed: u64) -> Module {
     let outer: i64 = rng.gen_range(2..8);
     let inner: i64 = rng.gen_range(2..10);
     // Pre-draw the random structure so the closure is deterministic.
-    let body_ops: Vec<u8> = (0..rng.gen_range(2..7)).map(|_| rng.gen_range(0u8..8)).collect();
+    let body_ops: Vec<u8> = (0..rng.gen_range(2..7))
+        .map(|_| rng.gen_range(0u8..8))
+        .collect();
     let with_branch = rng.gen_bool(0.6);
     let init_vals: Vec<i64> = (0..elems).map(|_| rng.gen_range(-100..100)).collect();
 

@@ -12,13 +12,7 @@ use softft_workloads::{workload_by_name, InputSet, Workload};
 
 fn profile_on(w: &dyn Workload, module: &softft_ir::Module, set: InputSet) -> Profiler {
     let mut prof = Profiler::default();
-    let (r, _) = run_workload(
-        module,
-        &w.input(set),
-        VmConfig::default(),
-        &mut prof,
-        None,
-    );
+    let (r, _) = run_workload(module, &w.input(set), VmConfig::default(), &mut prof, None);
     assert!(r.completed());
     prof
 }

@@ -10,6 +10,7 @@ fn small() -> ReproConfig {
         seed: 3,
         benchmarks: vec!["tiff2bw".into(), "kmeans".into()],
         threads: 2,
+        ..ReproConfig::default()
     }
 }
 
@@ -18,8 +19,19 @@ fn tables_render() {
     let cfg = small();
     let t1 = run_exhibit(Exhibit::Table1, &cfg);
     for name in [
-        "jpegenc", "jpegdec", "tiff2bw", "segm", "tex_synth", "g721enc", "g721dec", "mp3enc",
-        "mp3dec", "h264enc", "h264dec", "kmeans", "svm",
+        "jpegenc",
+        "jpegdec",
+        "tiff2bw",
+        "segm",
+        "tex_synth",
+        "g721enc",
+        "g721dec",
+        "mp3enc",
+        "mp3dec",
+        "h264enc",
+        "h264dec",
+        "kmeans",
+        "svm",
     ] {
         assert!(t1.contains(name), "table1 missing {name}:\n{t1}");
     }
@@ -67,6 +79,7 @@ fn extension_exhibits_render() {
         seed: 3,
         benchmarks: vec!["tiff2bw".into()],
         threads: 1,
+        ..ReproConfig::default()
     };
     let cfc = run_exhibit(Exhibit::Cfc, &cfg);
     assert!(cfc.contains("cfcss"), "{cfc}");
@@ -74,7 +87,10 @@ fn extension_exhibits_render() {
     let rec = run_exhibit(Exhibit::Recovery, &cfg);
     assert!(rec.contains("rollback insts"), "{rec}");
     let abl = run_exhibit(Exhibit::Ablate, &cfg);
-    assert!(abl.contains("opt1+opt2") && abl.contains("neither"), "{abl}");
+    assert!(
+        abl.contains("opt1+opt2") && abl.contains("neither"),
+        "{abl}"
+    );
 }
 
 #[test]

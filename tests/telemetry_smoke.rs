@@ -1,0 +1,135 @@
+//! Cross-crate telemetry integration: the `repro` orchestration writes
+//! well-formed trial JSONL / manifests / metrics, report output is
+//! byte-stable, and tracing never changes campaign results.
+
+use softft_bench::orchestrate::run_exhibit;
+use softft_bench::{Exhibit, ReproConfig};
+use softft_telemetry::{RunManifest, TrialEvent, TRIAL_SCHEMA_VERSION};
+use std::path::PathBuf;
+
+fn small() -> ReproConfig {
+    ReproConfig {
+        trials: 12,
+        seed: 3,
+        benchmarks: vec!["tiff2bw".into()],
+        threads: 2,
+        ..ReproConfig::default()
+    }
+}
+
+/// A scratch directory under the target-adjacent temp area, removed on
+/// drop so repeated test runs start clean.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("softft-telemetry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn latency_exhibit_renders_without_telemetry() {
+    let cfg = small();
+    let out = run_exhibit(Exhibit::Latency, &cfg);
+    assert!(out.contains("Detection latency"), "{out}");
+    assert!(out.contains("sw-p50"), "{out}");
+    assert!(out.contains("tiff2bw"), "{out}");
+    // All four techniques appear.
+    for label in ["Original", "Dup only", "Dup + val chks", "Full duplication"] {
+        assert!(out.contains(label), "missing {label}:\n{out}");
+    }
+}
+
+#[test]
+fn campaign_reports_are_byte_stable() {
+    // Golden-stability: identical config twice → identical bytes, for a
+    // per-outcome report and the latency exhibit.
+    let cfg = small();
+    for ex in [Exhibit::Fig11, Exhibit::Detect, Exhibit::Latency] {
+        let a = run_exhibit(ex, &cfg);
+        let b = run_exhibit(ex, &cfg);
+        assert_eq!(a, b, "{ex:?} output must be byte-stable");
+    }
+}
+
+#[test]
+fn telemetry_dir_gets_manifest_and_trials_per_technique() {
+    let scratch = ScratchDir::new("fig11");
+    let cfg = ReproConfig {
+        telemetry: Some(scratch.0.clone()),
+        ..small()
+    };
+    // Fig. 11 runs Original, DupOnly, DupVal (and FullDup for its
+    // comparator line), exercising the acceptance matrix.
+    let out = run_exhibit(Exhibit::Fig11, &cfg);
+    assert!(out.contains("tiff2bw"), "{out}");
+
+    for tech in ["original", "dup-only", "dup-val"] {
+        let file = |suffix: &str| scratch.0.join(format!("tiff2bw.{tech}.{suffix}"));
+
+        let manifest_path = file("manifest.json");
+        let manifest = std::fs::read_to_string(&manifest_path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", manifest_path.display()));
+        let m = RunManifest::from_json(&manifest).expect("manifest parses");
+        assert_eq!(m.schema_version, TRIAL_SCHEMA_VERSION);
+        assert_eq!(m.benchmark, "tiff2bw");
+        assert_eq!(m.trials, 12);
+        assert_eq!(m.master_seed, 3);
+        assert_eq!(m.fault_kind, "register");
+        assert!(m.golden_dyn_insts > 0);
+
+        let jsonl_path = file("trials.jsonl");
+        let jsonl = std::fs::read_to_string(&jsonl_path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", jsonl_path.display()));
+        let events: Vec<TrialEvent> = jsonl
+            .lines()
+            .map(|l| TrialEvent::from_jsonl(l).expect("event parses"))
+            .collect();
+        assert_eq!(events.len(), 12, "{tech}: one event per trial");
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.trial, i as u32);
+            assert!(e.at_dyn < m.golden_dyn_insts);
+            assert!(e.dyn_insts > 0);
+            // Detection metadata is internally consistent.
+            assert_eq!(e.detected_by.is_some(), e.outcome.starts_with("swdetect."));
+            if e.outcome.starts_with("swdetect.") || e.outcome == "hwdetect" {
+                assert!(e.detect_latency.is_some(), "{tech} trial {i}: {e:?}");
+            }
+        }
+
+        let metrics_path = file("metrics.json");
+        let metrics = std::fs::read_to_string(&metrics_path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", metrics_path.display()));
+        assert!(
+            metrics.starts_with('{') && metrics.ends_with('}'),
+            "{metrics}"
+        );
+        assert!(metrics.contains("vm.dyn_insts"), "{metrics}");
+        assert!(metrics.contains("\"outcome."), "{metrics}");
+    }
+}
+
+#[test]
+fn telemetry_does_not_change_report_output() {
+    // The NoopObserver fast path and the traced path classify every
+    // trial identically: the rendered exhibit is byte-identical with
+    // and without --telemetry.
+    let scratch = ScratchDir::new("equiv");
+    let plain_cfg = small();
+    let traced_cfg = ReproConfig {
+        telemetry: Some(scratch.0.clone()),
+        ..small()
+    };
+    let plain = run_exhibit(Exhibit::Detect, &plain_cfg);
+    let traced = run_exhibit(Exhibit::Detect, &traced_cfg);
+    assert_eq!(plain, traced);
+}
