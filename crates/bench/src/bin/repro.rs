@@ -3,10 +3,10 @@
 //!
 //! ```text
 //! repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c]
-//!                 [--telemetry DIR] [-v|--verbose] [-q|--quiet]
+//!                 [--telemetry DIR] [--html PATH] [-v|--verbose] [-q|--quiet]
 //!
 //! exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13
-//!           detect latency falsepos crossval all
+//!           detect latency falsepos crossval coverage all
 //! ```
 
 use softft_bench::{Exhibit, ReproConfig};
@@ -16,8 +16,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     // Usage goes out at every verbosity level.
     Logger::default().error(
-        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [-v|--verbose] [-q|--quiet]\n\
-         exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13 detect latency falsepos crossval ablate cfc recovery all",
+        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [--html PATH] [-v|--verbose] [-q|--quiet]\n\
+         exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13 detect latency falsepos crossval ablate cfc recovery coverage all",
     );
     ExitCode::FAILURE
 }
@@ -69,6 +69,9 @@ fn main() -> ExitCode {
             }
             "--telemetry" => {
                 cfg.telemetry = Some(value.into());
+            }
+            "--html" => {
+                cfg.html = Some(value.into());
             }
             _ => return usage(),
         }

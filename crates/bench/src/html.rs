@@ -1,0 +1,242 @@
+//! Self-contained HTML heatmap for per-fault-site coverage maps.
+//!
+//! One single file, no external assets, scripts, or stylesheets beyond
+//! an inline `<style>` block — it must open from a CI artifact or an
+//! `file://` URL with no network. Per benchmark × technique it renders a
+//! site × bit-band grid; each cell is coloured by the USDC rate of that
+//! `(site, band)` bucket, so residual-corruption hot spots and the sites
+//! a technique closes stand out at a glance.
+
+use softft::Technique;
+use softft_campaign::coverage::{CoverageMap, SiteReport};
+use std::path::Path;
+
+const BANDS: [&str; 3] = ["lo", "hi", "full"];
+
+/// Minimal HTML escaping for text nodes and attribute values.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// White→red background for a USDC rate in `[0, 1]`.
+fn cell_color(usdc_rate: f64) -> String {
+    let level = (255.0 - usdc_rate.clamp(0.0, 1.0) * 255.0).round() as u8;
+    format!("#ff{level:02x}{level:02x}")
+}
+
+/// CSS class for a protection label (colour chip in the site column).
+fn prot_class(label: &str) -> &'static str {
+    match label {
+        "duplicated" => "p-dup",
+        "value-checked" => "p-val",
+        "control-flow" => "p-cfc",
+        _ => "p-none",
+    }
+}
+
+/// One site row key: everything identifying a site except the band.
+fn site_key(s: &SiteReport) -> (u64, Option<u64>, &str, &str) {
+    (s.func_id, s.inst, s.op.as_str(), s.protection.as_str())
+}
+
+fn grid(out: &mut String, bench: &str, tech: Technique, cov: &CoverageMap) {
+    out.push_str(&format!(
+        "<h2>{} &mdash; {}</h2>\n<p class=\"meta\">{} trials, {} injected, {} trigger-unreached, {} gap sites</p>\n",
+        esc(bench),
+        esc(tech.label()),
+        cov.trials,
+        cov.injected,
+        cov.trigger_unreached,
+        cov.gap_site_count(),
+    ));
+    // Unique site rows in the map's deterministic order (sites are
+    // sorted by function, site kind, band — dedup keeps first).
+    let mut keys: Vec<(u64, Option<u64>, &str, &str)> = Vec::new();
+    for s in &cov.sites {
+        let k = site_key(s);
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    out.push_str(
+        "<table>\n<tr><th>site</th><th>op</th><th>protection</th>\
+         <th>lo</th><th>hi</th><th>full</th></tr>\n",
+    );
+    for (func_id, inst, op, protection) in keys {
+        let site_label = match inst {
+            Some(i) => format!("f{func_id}/i{i}"),
+            None => format!("f{func_id}/{op}"),
+        };
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td><span class=\"chip {}\">{}</span></td>",
+            esc(&site_label),
+            esc(op),
+            prot_class(protection),
+            esc(protection),
+        ));
+        for band in BANDS {
+            let cell = cov
+                .sites
+                .iter()
+                .find(|s| site_key(s) == (func_id, inst, op, protection) && s.band == band);
+            match cell {
+                Some(s) => out.push_str(&format!(
+                    "<td class=\"c\" style=\"background:{}\" \
+                     title=\"{} trials: {} usdc, {} detected\">{:.0}%</td>",
+                    cell_color(s.usdc_rate),
+                    s.trials,
+                    s.unacceptable_sdc,
+                    s.hw_detect + s.sw_detect,
+                    s.usdc_rate * 100.0,
+                )),
+                None => out.push_str("<td class=\"c empty\"></td>"),
+            }
+        }
+        out.push_str("</tr>\n");
+    }
+    out.push_str("</table>\n");
+}
+
+/// Renders the full heatmap document for the given coverage maps.
+pub fn render_heatmap(rows: &[(String, Vec<(Technique, CoverageMap)>)]) -> String {
+    let mut out = String::from(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>soft-ft coverage heatmap</title>\n<style>\n\
+         body{font:14px/1.4 system-ui,sans-serif;margin:2em;color:#222}\n\
+         h1{font-size:1.4em}h2{font-size:1.1em;margin:1.2em 0 0.2em}\n\
+         .meta{color:#666;margin:0 0 0.4em;font-size:0.9em}\n\
+         table{border-collapse:collapse;margin-bottom:1em}\n\
+         th,td{border:1px solid #ccc;padding:2px 8px;text-align:left;font-size:0.85em}\n\
+         td.c{text-align:right;min-width:3em}td.empty{background:#f4f4f4}\n\
+         .chip{padding:0 6px;border-radius:8px;font-size:0.85em}\n\
+         .p-dup{background:#cdeccd}.p-val{background:#cfe2f8}\n\
+         .p-none{background:#fbd9b5}.p-cfc{background:#e4d5f2}\n\
+         </style>\n</head>\n<body>\n\
+         <h1>Per-fault-site coverage heatmap</h1>\n\
+         <p class=\"meta\">Cells are (site &times; flipped-bit band) buckets coloured by the\n\
+         fraction of injections that ended as unacceptable SDCs (white = 0%, red = 100%).</p>\n",
+    );
+    for (bench, by_t) in rows {
+        for (t, cov) in by_t {
+            grid(&mut out, bench, *t, cov);
+        }
+    }
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+/// Writes the heatmap to `path` as one self-contained file.
+pub fn write_heatmap(
+    path: &Path,
+    rows: &[(String, Vec<(Technique, CoverageMap)>)],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, render_heatmap(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_map() -> CoverageMap {
+        CoverageMap {
+            schema_version: 1,
+            benchmark: "demo".to_string(),
+            technique: Technique::DupVal.label().to_string(),
+            trials: 20,
+            injected: 18,
+            trigger_unreached: 2,
+            sites: vec![
+                SiteReport {
+                    func: "main".to_string(),
+                    func_id: 0,
+                    inst: Some(3),
+                    op: "mul".to_string(),
+                    protection: "unprotected".to_string(),
+                    band: "lo".to_string(),
+                    trials: 9,
+                    masked: 6,
+                    acceptable_sdc: 0,
+                    unacceptable_sdc: 3,
+                    hw_detect: 0,
+                    sw_detect: 0,
+                    failure: 0,
+                    usdc_rate: 3.0 / 9.0,
+                    detect_rate: 0.0,
+                    covered_by: None,
+                    checks: Vec::new(),
+                    latency_p50: None,
+                    latency_p90: None,
+                    latency_p99: None,
+                },
+                SiteReport {
+                    func: "main".to_string(),
+                    func_id: 0,
+                    inst: Some(3),
+                    op: "mul".to_string(),
+                    protection: "unprotected".to_string(),
+                    band: "hi".to_string(),
+                    trials: 9,
+                    masked: 9,
+                    acceptable_sdc: 0,
+                    unacceptable_sdc: 0,
+                    hw_detect: 0,
+                    sw_detect: 0,
+                    failure: 0,
+                    usdc_rate: 0.0,
+                    detect_rate: 0.0,
+                    covered_by: None,
+                    checks: Vec::new(),
+                    latency_p50: None,
+                    latency_p90: None,
+                    latency_p99: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn heatmap_is_single_self_contained_document() {
+        let rows = vec![("demo".to_string(), vec![(Technique::DupVal, tiny_map())])];
+        let html = render_heatmap(&rows);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        // No external references of any kind.
+        for banned in ["http://", "https://", "<script", "<link", "src="] {
+            assert!(!html.contains(banned), "found {banned}");
+        }
+        // Both bands of the one site render; the gap cell is tinted.
+        assert!(html.contains("f0/i3"));
+        assert!(html.contains(&cell_color(3.0 / 9.0)));
+        assert!(html.contains("demo"));
+        // Deterministic.
+        assert_eq!(html, render_heatmap(&rows));
+    }
+
+    #[test]
+    fn colors_span_white_to_red() {
+        assert_eq!(cell_color(0.0), "#ffffff");
+        assert_eq!(cell_color(1.0), "#ff0000");
+        assert_eq!(cell_color(0.5), "#ff8080");
+    }
+
+    #[test]
+    fn escaping_covers_html_metacharacters() {
+        assert_eq!(esc("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&#39;");
+    }
+}

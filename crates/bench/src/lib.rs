@@ -14,6 +14,7 @@
 //! This crate deliberately contains only orchestration; all measurement
 //! logic lives in `softft-campaign`.
 
+pub mod html;
 pub mod orchestrate;
 
 pub use orchestrate::{Exhibit, ReproConfig};

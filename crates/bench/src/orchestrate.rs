@@ -3,8 +3,10 @@
 
 use softft::Technique;
 use softft_campaign::campaign::{
-    run_campaign, run_campaign_traced, CampaignConfig, CampaignResult, CampaignTelemetry,
+    run_campaign, run_campaign_attributed, run_campaign_recorded, CampaignConfig, CampaignResult,
+    CampaignTelemetry,
 };
+use softft_campaign::coverage::{build_coverage, CoverageMap};
 use softft_campaign::crossval::cross_validate;
 use softft_campaign::falsepos::measure_false_positives;
 use softft_campaign::perf::all_overheads;
@@ -53,6 +55,8 @@ pub enum Exhibit {
     Cfc,
     /// Recovery-cost model (Section IV-D economics).
     Recovery,
+    /// Per-fault-site coverage maps and the protection-gap report.
+    Coverage,
     /// Everything, in paper order.
     All,
 }
@@ -77,6 +81,7 @@ impl Exhibit {
             "ablate" => Exhibit::Ablate,
             "cfc" => Exhibit::Cfc,
             "recovery" => Exhibit::Recovery,
+            "coverage" => Exhibit::Coverage,
             "all" => Exhibit::All,
             _ => return None,
         })
@@ -102,6 +107,10 @@ pub struct ReproConfig {
     /// into this directory. `None` runs campaigns untraced (the
     /// zero-cost default).
     pub telemetry: Option<PathBuf>,
+    /// When set, `repro coverage` additionally writes a self-contained
+    /// HTML heatmap (site × bit-band grids coloured by USDC rate) to
+    /// this path. Ignored by other exhibits.
+    pub html: Option<PathBuf>,
 }
 
 impl Default for ReproConfig {
@@ -113,6 +122,7 @@ impl Default for ReproConfig {
             threads: 0,
             verbosity: Verbosity::default(),
             telemetry: None,
+            html: None,
         }
     }
 }
@@ -155,6 +165,7 @@ pub fn run_exhibit(ex: Exhibit, cfg: &ReproConfig) -> String {
         Exhibit::Ablate => ablate(cfg),
         Exhibit::Cfc => cfc(cfg),
         Exhibit::Recovery => recovery(cfg),
+        Exhibit::Coverage => coverage(cfg),
         Exhibit::All => {
             let mut out = String::new();
             for ex in [
@@ -174,6 +185,7 @@ pub fn run_exhibit(ex: Exhibit, cfg: &ReproConfig) -> String {
                 Exhibit::Ablate,
                 Exhibit::Cfc,
                 Exhibit::Recovery,
+                Exhibit::Coverage,
             ] {
                 out.push_str(&run_exhibit(ex, cfg));
                 out.push('\n');
@@ -223,9 +235,19 @@ fn campaign_run(
         None => run_campaign(&*p.workload, p.module(t), ccfg),
         Some(dir) => {
             let start = Instant::now();
-            let (result, telemetry) = run_campaign_traced(&*p.workload, p.module(t), ccfg);
+            let (result, telemetry) =
+                run_campaign_attributed(&*p.workload, p.module(t), ccfg, Some(p.protection(t)));
             let wall_ms = start.elapsed().as_millis() as u64;
-            if let Err(e) = write_telemetry(dir, name, t, ccfg, &result, &telemetry, wall_ms) {
+            let cov = build_coverage(
+                name,
+                t,
+                p.module(t),
+                p.protection(t),
+                &result,
+                &telemetry.records,
+            );
+            if let Err(e) = write_telemetry(dir, name, t, ccfg, &result, &telemetry, &cov, wall_ms)
+            {
                 // Telemetry is a side channel: report the failure, keep the run.
                 log.error(format!(
                     "[repro] failed to write telemetry for {name}.{}: {e}",
@@ -237,11 +259,18 @@ fn campaign_run(
     };
     if log.is_verbose() {
         log.debug(report::render_outcome_counts(&result));
+        log.debug(format!(
+            "  {:<24} {:>6}",
+            "trigger-unreached", result.trigger_unreached
+        ));
     }
     result
 }
 
-/// Writes the three telemetry artifacts for one campaign into `dir`.
+/// Writes the four telemetry artifacts for one campaign into `dir`:
+/// trial JSONL, run manifest, aggregated metrics, and the per-fault-site
+/// coverage map.
+#[allow(clippy::too_many_arguments)]
 fn write_telemetry(
     dir: &Path,
     bench: &str,
@@ -249,6 +278,7 @@ fn write_telemetry(
     ccfg: &CampaignConfig,
     result: &CampaignResult,
     telemetry: &CampaignTelemetry,
+    cov: &CoverageMap,
     wall_ms: u64,
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
@@ -282,7 +312,95 @@ fn write_telemetry(
         dir.join(format!("{stem}.metrics.json")),
         telemetry.metrics.to_json(),
     )?;
+
+    std::fs::write(
+        dir.join(format!("{stem}.coverage.json")),
+        cov.to_json().map_err(io_err)?,
+    )?;
     Ok(())
+}
+
+/// Runs one campaign keeping per-trial records and builds its coverage
+/// map; with `--telemetry` the full attributed artifact set is written
+/// too.
+fn coverage_run(
+    cfg: &ReproConfig,
+    ccfg: &CampaignConfig,
+    p: &PreparedBenchmark,
+    t: Technique,
+) -> CoverageMap {
+    let log = Logger::new(cfg.verbosity);
+    let name = p.workload.name();
+    match &cfg.telemetry {
+        None => {
+            log.debug(format!(
+                "[repro] coverage: {name} x {} ({} trials)",
+                t.label(),
+                ccfg.trials
+            ));
+            let (result, records) = run_campaign_recorded(&*p.workload, p.module(t), ccfg);
+            build_coverage(name, t, p.module(t), p.protection(t), &result, &records)
+        }
+        Some(dir) => {
+            log.debug(format!(
+                "[repro] coverage (traced): {name} x {} ({} trials)",
+                t.label(),
+                ccfg.trials
+            ));
+            let start = Instant::now();
+            let (result, telemetry) =
+                run_campaign_attributed(&*p.workload, p.module(t), ccfg, Some(p.protection(t)));
+            let wall_ms = start.elapsed().as_millis() as u64;
+            let cov = build_coverage(
+                name,
+                t,
+                p.module(t),
+                p.protection(t),
+                &result,
+                &telemetry.records,
+            );
+            if let Err(e) = write_telemetry(dir, name, t, ccfg, &result, &telemetry, &cov, wall_ms)
+            {
+                log.error(format!(
+                    "[repro] failed to write telemetry for {name}.{}: {e}",
+                    tech_slug(t)
+                ));
+            }
+            cov
+        }
+    }
+}
+
+/// The `coverage` exhibit: protection-gap report over the two selective
+/// techniques, optional JSON artifacts via `--telemetry`, optional HTML
+/// heatmap via `--html`.
+fn coverage(cfg: &ReproConfig) -> String {
+    let ccfg = cfg.campaign_config();
+    let log = Logger::new(cfg.verbosity);
+    let rows: Vec<(String, Vec<(Technique, CoverageMap)>)> = cfg
+        .selected()
+        .iter()
+        .map(|p| {
+            let by_t: Vec<(Technique, CoverageMap)> = [Technique::DupOnly, Technique::DupVal]
+                .into_iter()
+                .map(|t| (t, coverage_run(cfg, &ccfg, p, t)))
+                .collect();
+            (p.workload.name().to_string(), by_t)
+        })
+        .collect();
+    if let Some(path) = &cfg.html {
+        match crate::html::write_heatmap(path, &rows) {
+            Ok(()) => log.info(format!(
+                "[repro] coverage heatmap written to {}",
+                path.display()
+            )),
+            Err(e) => log.error(format!(
+                "[repro] failed to write coverage heatmap {}: {e}",
+                path.display()
+            )),
+        }
+    }
+    report::render_coverage(&rows, 10)
 }
 
 fn fig1(cfg: &ReproConfig) -> String {

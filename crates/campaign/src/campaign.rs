@@ -1,9 +1,11 @@
 //! The statistical fault-injection loop.
 
+use crate::coverage::{fault_site, site_op_label, site_protection_label};
 use crate::outcome::{classify_trial, is_large_change, ClassifyParams, Outcome, TrialRecord};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use softft::ProtectionMap;
 use softft_ir::{CheckKind, Module};
 use softft_telemetry::{
     check_kind_label, CheckCounter, CheckKindCounts, Histogram, MetricsRegistry, TraceObserver,
@@ -68,6 +70,12 @@ pub struct CampaignResult {
     pub sw_latency: Histogram,
     /// Detection latency over hardware-detected trials.
     pub hw_latency: Histogram,
+    /// Trials whose trigger was never reached (the faulted run ended
+    /// before `at_dyn`, so nothing was injected). These fold into
+    /// [`Outcome::Masked`] — the hardware state the flip would have hit
+    /// was dead — but are counted explicitly so coverage denominators
+    /// stay honest.
+    pub trigger_unreached: u32,
 }
 
 impl CampaignResult {
@@ -148,6 +156,9 @@ pub struct CampaignTelemetry {
     /// (`checks.fired.*`), outcome counts (`outcome.*`), run lengths
     /// (`vm.dyn_insts`), and detection latencies (`latency.*`).
     pub metrics: MetricsRegistry,
+    /// Per-trial classification records, in plan order — the raw input
+    /// of [`crate::coverage::build_coverage`].
+    pub records: Vec<TrialRecord>,
 }
 
 /// Shared campaign core: golden run, deterministic plan derivation, and
@@ -223,6 +234,9 @@ fn campaign_core<O: Observer + Send>(
     };
     for (_, rec, _) in &per_trial {
         *result.counts.entry(rec.outcome).or_insert(0) += 1;
+        if rec.injection.is_none() {
+            result.trigger_unreached += 1;
+        }
         if rec.outcome == Outcome::UnacceptableSdc {
             match rec.injection {
                 Some(inj) if is_large_change(&inj, &cfg.classify) => result.usdc_large += 1,
@@ -281,6 +295,21 @@ pub fn run_campaign_counted(
     (result, checks)
 }
 
+/// Like [`run_campaign`], but also returns the per-trial
+/// [`TrialRecord`]s (in plan order) so callers can build a
+/// [`crate::coverage::CoverageMap`] without paying for full tracing.
+pub fn run_campaign_recorded(
+    workload: &dyn Workload,
+    module: &Module,
+    cfg: &CampaignConfig,
+) -> (CampaignResult, Vec<TrialRecord>) {
+    let (result, per_trial) = campaign_core(workload, module, cfg, || NoopObserver);
+    (
+        result,
+        per_trial.into_iter().map(|(_, rec, _)| rec).collect(),
+    )
+}
+
 /// Like [`run_campaign`], but traces every trial with a
 /// [`TraceObserver`] and additionally returns per-trial events and
 /// aggregated metrics. Trial outcomes are identical to the untraced
@@ -290,10 +319,24 @@ pub fn run_campaign_traced(
     module: &Module,
     cfg: &CampaignConfig,
 ) -> (CampaignResult, CampaignTelemetry) {
+    run_campaign_attributed(workload, module, cfg, None)
+}
+
+/// [`run_campaign_traced`] with fault-site attribution: every injected
+/// trial's event names the victim's function, defining static
+/// instruction, opcode, and bit band, and — when the transform's
+/// [`ProtectionMap`] is supplied — the site's protection class.
+pub fn run_campaign_attributed(
+    workload: &dyn Workload,
+    module: &Module,
+    cfg: &CampaignConfig,
+    protection: Option<&ProtectionMap>,
+) -> (CampaignResult, CampaignTelemetry) {
     let (result, per_trial) = campaign_core(workload, module, cfg, TraceObserver::new);
 
     let mut telemetry = CampaignTelemetry::default();
     for (i, (plan, rec, obs)) in per_trial.iter().enumerate() {
+        let site = rec.injection.as_ref().map(fault_site);
         telemetry.events.push(TrialEvent {
             trial: i as u32,
             at_dyn: plan.at_dyn,
@@ -311,6 +354,17 @@ pub fn run_campaign_traced(
             detect_latency: rec.detect_latency,
             dyn_insts: rec.dyn_insts,
             fidelity: rec.fidelity,
+            victim_func: site.map(|s| s.func.index() as u64),
+            victim_inst: site.and_then(|s| match s.kind {
+                crate::coverage::SiteKind::Inst(inst) => Some(inst.index() as u64),
+                _ => None,
+            }),
+            victim_op: site.map(|s| site_op_label(module, &s)),
+            bit_band: site.map(|s| s.band.label().to_string()),
+            protection: match (protection, site) {
+                (Some(map), Some(s)) => Some(site_protection_label(map, &s).to_string()),
+                _ => None,
+            },
         });
 
         telemetry.checks.merge(&obs.checks);
@@ -338,6 +392,11 @@ pub fn run_campaign_traced(
         .metrics
         .gauge("campaign.golden_dyn_insts")
         .set(result.golden_dyn_insts as f64);
+    telemetry
+        .metrics
+        .counter("campaign.trials_trigger_unreached")
+        .add(result.trigger_unreached as u64);
+    telemetry.records = per_trial.into_iter().map(|(_, rec, _)| rec).collect();
     (result, telemetry)
 }
 
@@ -436,6 +495,82 @@ mod tests {
             .filter_map(|e| e.detect_latency)
             .collect();
         assert_eq!(sw_lat.len() as u64, traced.sw_latency.count());
+    }
+
+    #[test]
+    fn attribution_and_trigger_unreached_agree() {
+        let p = prepare(workload_by_name("tiff2bw").unwrap());
+        let t = Technique::DupVal;
+        let cfg = small_cfg(40);
+        let (result, telemetry) =
+            run_campaign_attributed(&*p.workload, p.module(t), &cfg, Some(p.protection(t)));
+
+        // The counter, the result field, and the per-event flags all
+        // report the same number of never-injected trials.
+        let unreached = telemetry.events.iter().filter(|e| !e.injected).count() as u32;
+        assert_eq!(result.trigger_unreached, unreached);
+        assert_eq!(
+            telemetry
+                .metrics
+                .clone()
+                .counter("campaign.trials_trigger_unreached")
+                .get(),
+            unreached as u64
+        );
+
+        // Attribution is present exactly on injected trials, and the
+        // raw records align with the events in plan order.
+        assert_eq!(telemetry.records.len(), telemetry.events.len());
+        for (e, rec) in telemetry.events.iter().zip(&telemetry.records) {
+            assert_eq!(e.injected, rec.injection.is_some());
+            assert_eq!(e.victim_func.is_some(), e.injected);
+            assert_eq!(e.victim_op.is_some(), e.injected);
+            assert_eq!(e.bit_band.is_some(), e.injected);
+            assert_eq!(e.protection.is_some(), e.injected);
+        }
+        assert!(
+            telemetry.events.iter().any(|e| e.injected),
+            "campaign must inject at least once for this test to mean anything"
+        );
+    }
+
+    #[test]
+    fn branch_faults_detected_by_cfcss_and_bucketed_separately() {
+        use crate::coverage::build_coverage;
+
+        let p = prepare(workload_by_name("tiff2bw").unwrap());
+        let t = Technique::DupVal;
+        let mut signed = p.module(t).clone();
+        softft::cfcss::insert_cfc_signatures(&mut signed);
+        let mut cfg = small_cfg(60);
+        cfg.fault_kind = FaultKind::BranchTarget;
+        let (result, records) = run_campaign_recorded(&*p.workload, &signed, &cfg);
+
+        // Wild branches land on blocks with a foreign signature: the
+        // entry check must catch at least some of them.
+        assert!(
+            result.swdetect_kind_frac(CheckKind::CfcSignature) > 0.0,
+            "CFCSS never fired on branch-target faults: {:?}",
+            result.counts
+        );
+
+        // Coverage buckets every branch fault under the per-function
+        // branch pseudo-site, never a register site.
+        let cov = build_coverage("tiff2bw", t, &signed, p.protection(t), &result, &records);
+        assert!(cov.branch_sites().count() > 0, "no branch sites aggregated");
+        assert_eq!(cov.branch_sites().count(), cov.sites.len());
+        for s in &cov.sites {
+            assert_eq!(s.op, "branch");
+            assert_eq!(s.protection, "control-flow");
+            assert_eq!(s.band, "full");
+            assert!(s.inst.is_none());
+        }
+        let injected: u64 = cov.sites.iter().map(|s| s.trials).sum();
+        assert_eq!(injected, cov.injected);
+        assert_eq!(
+            cov.injected,
+            (result.trials - result.trigger_unreached) as u64
+        );
     }
 
     #[test]

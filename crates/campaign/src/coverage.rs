@@ -1,0 +1,504 @@
+//! Per-fault-site coverage maps, USDC attribution, and the
+//! protection-gap report.
+//!
+//! A campaign's aggregate outcome rates (Fig. 11) say *how much*
+//! protection a technique buys, not *where* the residual unacceptable
+//! SDCs come from. This module joins each trial's [`InjectionRecord`] —
+//! which names the victim slot's defining static instruction — with the
+//! transform's [`ProtectionMap`] to aggregate outcomes per **fault
+//! site**: `(function, defining instruction, bit band)`. Ranking the
+//! *unprotected* sites by their USDC contribution yields the
+//! protection-gap report: the exact sites "Dup + val chks" still leaves
+//! open, and the sites it closes relative to "Dup only".
+//!
+//! Branch-target corruptions have no victim slot; they are bucketed
+//! under a separate `branch` pseudo-site per function so control-flow
+//! faults can never be misattributed to register sites. Register faults
+//! whose victim is a parameter slot land in a per-function `param`
+//! bucket.
+
+use crate::campaign::CampaignResult;
+use crate::outcome::{Outcome, TrialRecord};
+use serde::{Deserialize, Serialize};
+use softft::{ProtClass, ProtectionMap, Technique};
+use softft_ir::{FuncId, InstId, Module, Type};
+use softft_telemetry::{check_kind_label, Histogram};
+use softft_vm::InjectionRecord;
+use std::collections::HashMap;
+
+/// Schema stamp written into every [`CoverageMap`]; bump on any
+/// backwards-incompatible change.
+pub const COVERAGE_SCHEMA_VERSION: u32 = 1;
+
+/// Which half of the victim value's type width the flipped bit fell in.
+///
+/// The paper's "large vs small value change" split (Fig. 2) is mostly a
+/// bit-position effect; banding sites by flipped-bit half makes that
+/// visible per site without exploding the map to per-bit granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BitBand {
+    /// Bit position below half the type width.
+    Lo,
+    /// Bit position at or above half the type width.
+    Hi,
+    /// Whole-width bucket: 1-bit types and faults with no bit position
+    /// (branch-target corruptions).
+    Full,
+}
+
+impl BitBand {
+    /// All bands in rendering order.
+    pub const ALL: [BitBand; 3] = [BitBand::Lo, BitBand::Hi, BitBand::Full];
+
+    /// The band a register flip of `bit` in a value of type `ty` falls in.
+    pub fn of(ty: Type, bit: u32) -> BitBand {
+        let w = ty.bits();
+        if w <= 1 {
+            BitBand::Full
+        } else if bit < w / 2 {
+            BitBand::Lo
+        } else {
+            BitBand::Hi
+        }
+    }
+
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BitBand::Lo => "lo",
+            BitBand::Hi => "hi",
+            BitBand::Full => "full",
+        }
+    }
+}
+
+/// What kind of static site a fault is attributed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SiteKind {
+    /// The victim slot is the result of a static instruction.
+    Inst(InstId),
+    /// The victim slot is a function parameter (no defining instruction).
+    Param,
+    /// A corrupted branch target (no victim slot at all).
+    Branch,
+}
+
+/// The static fault site of one injection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FaultSite {
+    /// Function whose frame was targeted.
+    pub func: FuncId,
+    /// Site kind (instruction result / parameter slot / branch target).
+    pub kind: SiteKind,
+    /// Bit band of the flip (always [`BitBand::Full`] for branches).
+    pub band: BitBand,
+}
+
+/// Derives the static fault site of an injection record.
+pub fn fault_site(rec: &InjectionRecord) -> FaultSite {
+    match rec.register_fault() {
+        Some(r) => FaultSite {
+            func: rec.func,
+            kind: match r.def_inst {
+                Some(i) => SiteKind::Inst(i),
+                None => SiteKind::Param,
+            },
+            band: BitBand::of(r.ty, r.bit),
+        },
+        None => FaultSite {
+            func: rec.func,
+            kind: SiteKind::Branch,
+            band: BitBand::Full,
+        },
+    }
+}
+
+/// Opcode label for a site: the defining instruction's mnemonic, or the
+/// `param` / `branch` pseudo-opcodes.
+pub fn site_op_label(module: &Module, site: &FaultSite) -> String {
+    match site.kind {
+        SiteKind::Inst(i) => module.function(site.func).inst(i).op.mnemonic().to_string(),
+        SiteKind::Param => "param".to_string(),
+        SiteKind::Branch => "branch".to_string(),
+    }
+}
+
+/// Protection-class label for a site. Instruction sites read the
+/// transform's [`ProtectionMap`]; parameter slots are never protected by
+/// the paper's scheme, and branch targets are a control-flow concern
+/// (CFCSS territory), not a value-protection one.
+pub fn site_protection_label(protection: &ProtectionMap, site: &FaultSite) -> &'static str {
+    match site.kind {
+        SiteKind::Inst(i) => protection.class_of(site.func, i).label(),
+        SiteKind::Param => ProtClass::Unprotected.label(),
+        SiteKind::Branch => "control-flow",
+    }
+}
+
+/// Detection counts for one check kind at one site.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckCover {
+    /// Check-kind label (see [`softft_telemetry::check_kind_label`]).
+    pub check: String,
+    /// Trials at this site the kind detected.
+    pub count: u64,
+}
+
+/// Aggregated outcomes for one `(function, site, bit band)` cell.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SiteReport {
+    /// Function name.
+    pub func: String,
+    /// Function id (index into the module's function table).
+    pub func_id: u64,
+    /// Defining static instruction id, for instruction sites.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub inst: Option<u64>,
+    /// Opcode mnemonic, or `param` / `branch` for pseudo-sites.
+    pub op: String,
+    /// Protection class label (`duplicated` / `value-checked` /
+    /// `unprotected` / `control-flow`).
+    pub protection: String,
+    /// Bit band label (`lo` / `hi` / `full`).
+    pub band: String,
+    /// Injected trials attributed to this cell.
+    pub trials: u64,
+    /// Masked outcomes.
+    pub masked: u64,
+    /// Acceptable SDCs.
+    pub acceptable_sdc: u64,
+    /// Unacceptable SDCs.
+    pub unacceptable_sdc: u64,
+    /// Hardware detections.
+    pub hw_detect: u64,
+    /// Software detections (all check kinds).
+    pub sw_detect: u64,
+    /// Failures.
+    pub failure: u64,
+    /// USDC fraction of this cell's trials.
+    pub usdc_rate: f64,
+    /// Detected fraction (hardware + software) of this cell's trials.
+    pub detect_rate: f64,
+    /// Label of the check kind detecting most trials here, when any
+    /// software check fired.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub covered_by: Option<String>,
+    /// Per-check-kind detection counts (non-zero kinds only, in
+    /// [`Outcome::CANONICAL`] order).
+    pub checks: Vec<CheckCover>,
+    /// Median detection latency (dynamic instructions), over detected
+    /// trials.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub latency_p50: Option<u64>,
+    /// 90th-percentile detection latency.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub latency_p90: Option<u64>,
+    /// 99th-percentile detection latency.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub latency_p99: Option<u64>,
+}
+
+/// One ranked entry of the protection-gap report: an unprotected site
+/// (bands folded together) with its USDC contribution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GapSite {
+    /// Function name.
+    pub func: String,
+    /// Function id.
+    pub func_id: u64,
+    /// Defining static instruction id, for instruction sites.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub inst: Option<u64>,
+    /// Opcode mnemonic (or pseudo-opcode).
+    pub op: String,
+    /// Injected trials attributed to the site (all bands).
+    pub trials: u64,
+    /// USDC trials at the site.
+    pub usdc: u64,
+    /// USDC fraction of the site's trials.
+    pub usdc_rate: f64,
+    /// Dominant detecting check kind at the site, when any fired.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub covered_by: Option<String>,
+}
+
+/// The full coverage map for one (benchmark, technique) campaign:
+/// per-site outcome distributions plus honest denominators.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoverageMap {
+    /// Schema stamp ([`COVERAGE_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Technique label (matches [`Technique::label`]).
+    pub technique: String,
+    /// Total trials in the campaign.
+    pub trials: u64,
+    /// Trials that actually injected (attributed to a site below).
+    pub injected: u64,
+    /// Trials whose trigger was never reached (nothing injected; these
+    /// classify as Masked but are excluded from per-site denominators).
+    pub trigger_unreached: u64,
+    /// Per `(function, site, band)` aggregates, in deterministic site
+    /// order.
+    pub sites: Vec<SiteReport>,
+}
+
+impl CoverageMap {
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a serialized coverage map.
+    pub fn from_json(s: &str) -> serde_json::Result<CoverageMap> {
+        serde_json::from_str(s)
+    }
+
+    /// The protection-gap report: unprotected sites (bands folded) that
+    /// contributed at least one USDC, ranked by USDC count, then USDC
+    /// rate, then site id. `top_n == 0` means all.
+    pub fn gap_sites(&self, top_n: usize) -> Vec<GapSite> {
+        // Fold bands: key by (func_id, inst, op) over unprotected sites.
+        let mut folded: HashMap<(u64, Option<u64>), GapSite> = HashMap::new();
+        let mut checks: HashMap<(u64, Option<u64>), HashMap<String, u64>> = HashMap::new();
+        for s in &self.sites {
+            if s.protection != ProtClass::Unprotected.label() {
+                continue;
+            }
+            let key = (s.func_id, s.inst);
+            let e = folded.entry(key).or_insert_with(|| GapSite {
+                func: s.func.clone(),
+                func_id: s.func_id,
+                inst: s.inst,
+                op: s.op.clone(),
+                trials: 0,
+                usdc: 0,
+                usdc_rate: 0.0,
+                covered_by: None,
+            });
+            e.trials += s.trials;
+            e.usdc += s.unacceptable_sdc;
+            let ck = checks.entry(key).or_default();
+            for c in &s.checks {
+                *ck.entry(c.check.clone()).or_insert(0) += c.count;
+            }
+        }
+        let mut gaps: Vec<GapSite> = folded
+            .into_iter()
+            .filter(|(_, g)| g.usdc > 0)
+            .map(|(key, mut g)| {
+                g.usdc_rate = g.usdc as f64 / g.trials.max(1) as f64;
+                g.covered_by = checks
+                    .get(&key)
+                    .and_then(|ck| dominant_check(ck.iter().map(|(k, &v)| (k.clone(), v))));
+                g
+            })
+            .collect();
+        gaps.sort_by(|a, b| {
+            b.usdc
+                .cmp(&a.usdc)
+                .then(
+                    b.usdc_rate
+                        .partial_cmp(&a.usdc_rate)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(a.func_id.cmp(&b.func_id))
+                .then(a.inst.cmp(&b.inst))
+        });
+        if top_n > 0 {
+            gaps.truncate(top_n);
+        }
+        gaps
+    }
+
+    /// Number of distinct unprotected sites (bands folded) with at least
+    /// one USDC — the headline "gap count" the techniques are compared on.
+    pub fn gap_site_count(&self) -> usize {
+        self.gap_sites(0).len()
+    }
+
+    /// Sites attributed to branch-target corruptions (the separate
+    /// control-flow bucket).
+    pub fn branch_sites(&self) -> impl Iterator<Item = &SiteReport> + '_ {
+        self.sites.iter().filter(|s| s.op == "branch")
+    }
+}
+
+/// The label of the check kind with the highest count (ties broken by
+/// label order for determinism); `None` when no check fired.
+fn dominant_check(counts: impl Iterator<Item = (String, u64)>) -> Option<String> {
+    let mut all: Vec<(String, u64)> = counts.filter(|(_, n)| *n > 0).collect();
+    all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.into_iter().next().map(|(k, _)| k)
+}
+
+#[derive(Default)]
+struct SiteAcc {
+    trials: u64,
+    outcomes: HashMap<Outcome, u64>,
+    latencies: Histogram,
+}
+
+/// Aggregates a campaign's per-trial records into a [`CoverageMap`].
+///
+/// `module` is the module the campaign ran (the transformed variant) —
+/// injection records name its functions and instructions; `protection`
+/// is the map [`softft::transform_protected`] produced alongside it.
+pub fn build_coverage(
+    benchmark: &str,
+    technique: Technique,
+    module: &Module,
+    protection: &ProtectionMap,
+    result: &CampaignResult,
+    records: &[TrialRecord],
+) -> CoverageMap {
+    let mut cells: HashMap<FaultSite, SiteAcc> = HashMap::new();
+    let mut injected = 0u64;
+    for rec in records {
+        let Some(inj) = rec.injection.as_ref() else {
+            continue;
+        };
+        injected += 1;
+        let site = fault_site(inj);
+        let acc = cells.entry(site).or_default();
+        acc.trials += 1;
+        *acc.outcomes.entry(rec.outcome).or_insert(0) += 1;
+        if let Some(lat) = rec.detect_latency {
+            acc.latencies.record(lat);
+        }
+    }
+
+    let mut keys: Vec<FaultSite> = cells.keys().copied().collect();
+    keys.sort();
+    let sites = keys
+        .into_iter()
+        .map(|site| {
+            let acc = &cells[&site];
+            let count = |o: Outcome| acc.outcomes.get(&o).copied().unwrap_or(0);
+            let sw_detect: u64 = acc
+                .outcomes
+                .iter()
+                .filter(|(o, _)| matches!(o, Outcome::SwDetect(_)))
+                .map(|(_, n)| *n)
+                .sum();
+            let hw_detect = count(Outcome::HwDetect);
+            let usdc = count(Outcome::UnacceptableSdc);
+            // Per-kind detection counts in canonical order.
+            let checks: Vec<CheckCover> = Outcome::CANONICAL
+                .iter()
+                .filter_map(|o| match o {
+                    Outcome::SwDetect(k) => {
+                        let n = count(*o);
+                        (n > 0).then(|| CheckCover {
+                            check: check_kind_label(*k).to_string(),
+                            count: n,
+                        })
+                    }
+                    _ => None,
+                })
+                .collect();
+            let covered_by = dominant_check(checks.iter().map(|c| (c.check.clone(), c.count)));
+            let q = |f: f64| (acc.latencies.count() > 0).then(|| acc.latencies.quantile(f));
+            SiteReport {
+                func: module.function(site.func).name.clone(),
+                func_id: site.func.index() as u64,
+                inst: match site.kind {
+                    SiteKind::Inst(i) => Some(i.index() as u64),
+                    _ => None,
+                },
+                op: site_op_label(module, &site),
+                protection: site_protection_label(protection, &site).to_string(),
+                band: site.band.label().to_string(),
+                trials: acc.trials,
+                masked: count(Outcome::Masked),
+                acceptable_sdc: count(Outcome::AcceptableSdc),
+                unacceptable_sdc: usdc,
+                hw_detect,
+                sw_detect,
+                failure: count(Outcome::Failure),
+                usdc_rate: usdc as f64 / acc.trials.max(1) as f64,
+                detect_rate: (hw_detect + sw_detect) as f64 / acc.trials.max(1) as f64,
+                covered_by,
+                checks,
+                latency_p50: q(0.50),
+                latency_p90: q(0.90),
+                latency_p99: q(0.99),
+            }
+        })
+        .collect();
+
+    CoverageMap {
+        schema_version: COVERAGE_SCHEMA_VERSION,
+        benchmark: benchmark.to_string(),
+        technique: technique.label().to_string(),
+        trials: result.trials as u64,
+        injected,
+        trigger_unreached: result.trigger_unreached as u64,
+        sites,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_ir::{BlockId, ValueId};
+
+    #[test]
+    fn bit_bands_split_type_width() {
+        assert_eq!(BitBand::of(Type::I64, 0), BitBand::Lo);
+        assert_eq!(BitBand::of(Type::I64, 31), BitBand::Lo);
+        assert_eq!(BitBand::of(Type::I64, 32), BitBand::Hi);
+        assert_eq!(BitBand::of(Type::I64, 63), BitBand::Hi);
+        assert_eq!(BitBand::of(Type::I8, 3), BitBand::Lo);
+        assert_eq!(BitBand::of(Type::I8, 4), BitBand::Hi);
+        assert_eq!(BitBand::of(Type::I1, 0), BitBand::Full);
+    }
+
+    #[test]
+    fn branch_faults_bucket_separately() {
+        let br = InjectionRecord::branch(10, FuncId::new(2), BlockId::new(0), BlockId::new(3));
+        let site = fault_site(&br);
+        assert_eq!(site.kind, SiteKind::Branch);
+        assert_eq!(site.band, BitBand::Full);
+        let reg = InjectionRecord::register(
+            10,
+            FuncId::new(2),
+            ValueId::new(1),
+            Type::I64,
+            5,
+            0,
+            32,
+            Some(InstId::new(7)),
+        );
+        let rsite = fault_site(&reg);
+        assert_eq!(rsite.kind, SiteKind::Inst(InstId::new(7)));
+        assert_ne!(site, rsite, "branch and register sites must not merge");
+        let param = InjectionRecord::register(
+            10,
+            FuncId::new(2),
+            ValueId::new(0),
+            Type::I64,
+            5,
+            0,
+            32,
+            None,
+        );
+        assert_eq!(fault_site(&param).kind, SiteKind::Param);
+    }
+
+    #[test]
+    fn dominant_check_is_deterministic() {
+        let counts = vec![
+            ("value-range".to_string(), 3),
+            ("dup-mismatch".to_string(), 5),
+            ("value-single".to_string(), 5),
+        ];
+        // Tie between dup-mismatch and value-single: label order wins.
+        assert_eq!(
+            dominant_check(counts.into_iter()),
+            Some("dup-mismatch".to_string())
+        );
+        assert_eq!(dominant_check(std::iter::empty()), None);
+    }
+}

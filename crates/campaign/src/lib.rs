@@ -12,6 +12,8 @@
 //!   transform under each technique;
 //! * [`campaign`] — the injection loop (randomized in time and space,
 //!   seeded, parallelized across threads);
+//! * [`coverage`] — per-fault-site coverage maps, USDC attribution, and
+//!   the protection-gap report;
 //! * [`perf`] — fault-free timing runs for the performance-overhead
 //!   figure;
 //! * [`falsepos`] — value-check failures with no fault injected;
@@ -20,6 +22,7 @@
 //! * [`report`] — text renderers for each figure/table.
 
 pub mod campaign;
+pub mod coverage;
 pub mod crossval;
 pub mod falsepos;
 pub mod outcome;
@@ -30,8 +33,9 @@ pub mod report;
 pub mod stats;
 
 pub use campaign::{
-    run_campaign, run_campaign_counted, run_campaign_traced, CampaignConfig, CampaignResult,
-    CampaignTelemetry,
+    run_campaign, run_campaign_attributed, run_campaign_counted, run_campaign_recorded,
+    run_campaign_traced, CampaignConfig, CampaignResult, CampaignTelemetry,
 };
+pub use coverage::{build_coverage, BitBand, CoverageMap, GapSite, SiteReport};
 pub use outcome::{Outcome, TrialRecord};
 pub use prep::{prepare, PreparedBenchmark};

@@ -203,15 +203,16 @@ mod tests {
         RunResult {
             end,
             dyn_insts: 100,
-            injection: Some(InjectionRecord {
-                at_dyn: inj_at,
-                func: FuncId::new(0),
-                value: ValueId::new(0),
-                ty: Type::I64,
-                bit: 3,
-                old_bits: 1,
-                new_bits: 9,
-            }),
+            injection: Some(InjectionRecord::register(
+                inj_at,
+                FuncId::new(0),
+                ValueId::new(0),
+                Type::I64,
+                3,
+                1,
+                9,
+                None,
+            )),
             check_failures: 0,
         }
     }
@@ -359,15 +360,16 @@ mod tests {
     #[test]
     fn large_change_detection() {
         let p = ClassifyParams::default();
-        let rec = InjectionRecord {
-            at_dyn: 0,
-            func: FuncId::new(0),
-            value: ValueId::new(0),
-            ty: Type::I64,
-            bit: 40,
-            old_bits: 1,
-            new_bits: (1i64 + (1 << 40)) as u64,
-        };
+        let rec = InjectionRecord::register(
+            0,
+            FuncId::new(0),
+            ValueId::new(0),
+            Type::I64,
+            40,
+            1,
+            (1i64 + (1 << 40)) as u64,
+            None,
+        );
         assert!(is_large_change(&rec, &p));
         let small = InjectionRecord {
             bit: 0,

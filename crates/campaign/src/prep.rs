@@ -1,7 +1,7 @@
 //! Benchmark preparation: profile on the train input, transform under
 //! every technique.
 
-use softft::{transform, StaticStats, Technique, TransformConfig};
+use softft::{transform_protected, ProtectionMap, StaticStats, Technique, TransformConfig};
 use softft_ir::Module;
 use softft_profile::{ClassifyConfig, ProfileDb, Profiler};
 use softft_vm::interp::VmConfig;
@@ -20,6 +20,9 @@ pub struct PreparedBenchmark {
     pub modules: HashMap<Technique, Module>,
     /// Static statistics per technique (Fig. 10).
     pub static_stats: HashMap<Technique, StaticStats>,
+    /// Protection maps per technique — which sites of each transformed
+    /// module are duplicated / value-checked (coverage attribution).
+    pub protection: HashMap<Technique, ProtectionMap>,
 }
 
 impl PreparedBenchmark {
@@ -30,6 +33,15 @@ impl PreparedBenchmark {
     /// Panics if the technique was not prepared (all four always are).
     pub fn module(&self, t: Technique) -> &Module {
         &self.modules[&t]
+    }
+
+    /// The protection map for one technique (empty for `Original`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the technique was not prepared (all four always are).
+    pub fn protection(&self, t: Technique) -> &ProtectionMap {
+        &self.protection[&t]
     }
 }
 
@@ -55,16 +67,19 @@ pub fn prepare_with_inputs(
 
     let mut modules = HashMap::new();
     let mut static_stats = HashMap::new();
+    let mut protection = HashMap::new();
     for t in Technique::ALL {
-        let (m, s) = transform(&module, &profile, t, config);
+        let (m, s, p) = transform_protected(&module, &profile, t, config);
         modules.insert(t, m);
         static_stats.insert(t, s);
+        protection.insert(t, p);
     }
     PreparedBenchmark {
         workload,
         profile,
         modules,
         static_stats,
+        protection,
     }
 }
 
@@ -155,6 +170,9 @@ mod tests {
         assert!(dv.insts_after > dv.insts_before);
         assert!(dv.value_checks() > 0);
         assert!(p.profile.num_amenable() > 0);
+        assert!(p.protection(Technique::Original).is_empty());
+        assert!(!p.protection(Technique::DupOnly).is_empty());
+        assert!(!p.protection(Technique::DupVal).is_empty());
     }
 
     #[test]

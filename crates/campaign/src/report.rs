@@ -6,6 +6,7 @@
 //! in the text.
 
 use crate::campaign::CampaignResult;
+use crate::coverage::CoverageMap;
 use crate::stats::worst_case_margin_95;
 use softft::{StaticStats, Technique};
 use softft_ir::CheckKind;
@@ -412,6 +413,78 @@ pub fn render_outcome_counts(r: &CampaignResult) -> String {
     out
 }
 
+/// The protection-gap exhibit: per benchmark × technique, the top-N
+/// unprotected fault sites ranked by USDC contribution (bands folded),
+/// then the gap-count shrinkage between consecutive techniques — the
+/// per-site substantiation of the paper's USDC 1.8% → 1.2% step from
+/// "Dup only" to "Dup + val chks".
+pub fn render_coverage(rows: &[(String, Vec<(Technique, CoverageMap)>)], top_n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Protection-gap report: unprotected sites ranked by USDC contribution\n\
+         (site = function + defining static instruction of the victim slot)"
+    );
+    for (name, by_t) in rows {
+        for (t, cov) in by_t {
+            let gaps = cov.gap_sites(top_n);
+            let _ = writeln!(
+                out,
+                "\n{:<10} {:<17} gap-sites {:>4}   injected {:>6}   trigger-unreached {:>4}",
+                name,
+                t.label(),
+                cov.gap_site_count(),
+                cov.injected,
+                cov.trigger_unreached
+            );
+            if gaps.is_empty() {
+                let _ = writeln!(out, "  (no unprotected site produced an unacceptable SDC)");
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>6} {:<8} {:>6} {:>6} {:>10}  covered-by",
+                "func", "site", "op", "trials", "usdc", "usdc-rate"
+            );
+            for g in gaps {
+                let site = g
+                    .inst
+                    .map(|i| format!("i{i}"))
+                    .unwrap_or_else(|| "-".to_string());
+                let _ = writeln!(
+                    out,
+                    "  {:<14} {:>6} {:<8} {:>6} {:>6} {:>10}  {}",
+                    g.func,
+                    site,
+                    g.op,
+                    g.trials,
+                    g.usdc,
+                    pct(g.usdc_rate),
+                    g.covered_by.as_deref().unwrap_or("-")
+                );
+            }
+        }
+        // Gap-count shrinkage across the technique ladder.
+        let counts: Vec<(&Technique, usize)> = by_t
+            .iter()
+            .map(|(t, cov)| (t, cov.gap_site_count()))
+            .collect();
+        if counts.len() > 1 {
+            let ladder: Vec<String> = counts
+                .iter()
+                .map(|(t, n)| format!("{} {}", t.label(), n))
+                .collect();
+            let _ = writeln!(
+                out,
+                "\n{:<10} gap-site ladder: {}",
+                name,
+                ladder.join(" -> ")
+            );
+        }
+    }
+    out
+}
+
 /// SWDetect attribution: how much detection each mechanism contributes
 /// under `Dup + val chks`.
 pub fn render_detection_split(rows: &[(String, CampaignResult)]) -> String {
@@ -530,6 +603,76 @@ mod tests {
         assert!(t.contains("-"), "{t}");
         // DupVal has 3 recorded latencies.
         assert!(t.contains("Dup + val chks"), "{t}");
+    }
+
+    #[test]
+    fn coverage_report_ranks_gaps_and_renders_ladder() {
+        use crate::coverage::{CheckCover, SiteReport};
+        let site = |inst: Option<u64>, op: &str, protection: &str, usdc: u64| SiteReport {
+            func: "main".to_string(),
+            func_id: 0,
+            inst,
+            op: op.to_string(),
+            protection: protection.to_string(),
+            band: "lo".to_string(),
+            trials: 10,
+            masked: 10 - usdc,
+            acceptable_sdc: 0,
+            unacceptable_sdc: usdc,
+            hw_detect: 0,
+            sw_detect: 0,
+            failure: 0,
+            usdc_rate: usdc as f64 / 10.0,
+            detect_rate: 0.0,
+            covered_by: None,
+            checks: vec![CheckCover {
+                check: "dup-mismatch".to_string(),
+                count: 0,
+            }],
+            latency_p50: None,
+            latency_p90: None,
+            latency_p99: None,
+        };
+        let cov = |t: Technique, gaps: Vec<SiteReport>| CoverageMap {
+            schema_version: 1,
+            benchmark: "demo".to_string(),
+            technique: t.label().to_string(),
+            trials: 100,
+            injected: 95,
+            trigger_unreached: 5,
+            sites: gaps,
+        };
+        let dup = cov(
+            Technique::DupOnly,
+            vec![
+                site(Some(7), "mul", "unprotected", 3),
+                site(Some(9), "add", "unprotected", 1),
+                site(Some(2), "shl", "duplicated", 4),
+            ],
+        );
+        let dv = cov(
+            Technique::DupVal,
+            vec![
+                site(Some(7), "mul", "unprotected", 2),
+                site(Some(9), "add", "value-checked", 1),
+            ],
+        );
+        let rows = vec![(
+            "demo".to_string(),
+            vec![(Technique::DupOnly, dup), (Technique::DupVal, dv)],
+        )];
+        let t = render_coverage(&rows, 5);
+        // Gap counts exclude protected sites even when they have USDCs.
+        assert!(t.contains("gap-sites    2"), "{t}");
+        assert!(t.contains("gap-sites    1"), "{t}");
+        assert!(
+            t.contains("gap-site ladder: Dup only 2 -> Dup + val chks 1"),
+            "{t}"
+        );
+        // The duplicated site with the highest USDC must not be listed.
+        assert!(!t.contains("shl"), "{t}");
+        // Deterministic: byte-identical on re-render.
+        assert_eq!(t, render_coverage(&rows, 5));
     }
 
     #[test]

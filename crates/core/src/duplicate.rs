@@ -1,6 +1,7 @@
 //! Producer-chain duplication for state variables (Section III-B, Fig. 7)
 //! and Optimization 2 (Fig. 9).
 
+use crate::protection::{ProtClass, ProtectionMap};
 use crate::state_vars::find_state_vars;
 use crate::value_checks::insert_check_after;
 use softft_ir::builder::InstBuilder;
@@ -39,12 +40,16 @@ pub struct DupStats {
 ///
 /// `already_checked` records instructions that received an Opt-2 value
 /// check so the later value-check pass does not insert a second one.
+/// `protection` records the class of every site the pass guards:
+/// [`ProtClass::Duplicated`] for cloned producers and state phis,
+/// [`ProtClass::ValueChecked`] for Opt-2 substitutions.
 pub fn duplicate_state_vars(
     func: &mut Function,
     fid: FuncId,
     profile: &ProfileDb,
     opt2: bool,
     already_checked: &mut HashSet<InstId>,
+    protection: &mut ProtectionMap,
 ) -> DupStats {
     let mut stats = DupStats::default();
     let state_vars = find_state_vars(func);
@@ -66,6 +71,10 @@ pub fn duplicate_state_vars(
         };
         shadow.insert(sv.value, sp_val);
         shadow_phis.push((sv.phi, sp_inst));
+        protection.record(fid, sv.phi, ProtClass::Duplicated);
+        // The shadow phi itself is part of the duplicated sphere: a flip
+        // in either copy trips the edge comparison.
+        protection.record(fid, sp_inst, ProtClass::Duplicated);
         stats.cloned += 1;
         stats.added_insts += 1;
     }
@@ -86,6 +95,7 @@ pub fn duplicate_state_vars(
                 profile,
                 opt2,
                 already_checked,
+                protection,
                 &mut shadow,
                 &mut stats,
             );
@@ -171,6 +181,7 @@ fn shadow_value(
     profile: &ProfileDb,
     opt2: bool,
     already_checked: &mut HashSet<InstId>,
+    protection: &mut ProtectionMap,
     shadow: &mut HashMap<ValueId, ValueId>,
     stats: &mut DupStats,
 ) -> ValueId {
@@ -219,6 +230,7 @@ fn shadow_value(
                 let added = insert_check_after(func, def, spec);
                 if added > 0 {
                     already_checked.insert(def);
+                    protection.record(fid, def, ProtClass::ValueChecked);
                     stats.opt2_terminations += 1;
                     stats.added_insts += added;
                     shadow.insert(v, v);
@@ -235,7 +247,17 @@ fn shadow_value(
     let mut ops = Vec::new();
     op.operands(&mut ops);
     for o in ops {
-        let s = shadow_value(func, fid, o, profile, opt2, already_checked, shadow, stats);
+        let s = shadow_value(
+            func,
+            fid,
+            o,
+            profile,
+            opt2,
+            already_checked,
+            protection,
+            shadow,
+            stats,
+        );
         operand_shadows.insert(o, s);
     }
     cloned_op.for_each_operand_mut(|o| {
@@ -247,6 +269,10 @@ fn shadow_value(
     let clone = func.insert_inst_after(cloned_op, Some(ty), def);
     let clone_val = func.inst(clone).result.expect("clone has result");
     shadow.insert(v, clone_val);
+    protection.record(fid, def, ProtClass::Duplicated);
+    // Record the clone too: faults can land in the shadow copy's slot,
+    // and its defining instruction is the clone, not `def`.
+    protection.record(fid, clone, ProtClass::Duplicated);
     stats.cloned += 1;
     stats.added_insts += 1;
     clone_val
@@ -289,8 +315,21 @@ mod tests {
     fn dup_transform(m: &mut Module, opt2: bool, profile: &ProfileDb) -> DupStats {
         let fid = m.function_by_name("main").unwrap();
         let mut already = HashSet::new();
-        let stats = duplicate_state_vars(m.function_mut(fid), fid, profile, opt2, &mut already);
+        let mut prot = ProtectionMap::new();
+        let stats = duplicate_state_vars(
+            m.function_mut(fid),
+            fid,
+            profile,
+            opt2,
+            &mut already,
+            &mut prot,
+        );
         verify_function(m.function(fid)).unwrap();
+        assert_eq!(
+            prot.count(ProtClass::Duplicated) + prot.count(ProtClass::ValueChecked),
+            prot.len(),
+            "duplication records only duplicated/value-checked sites"
+        );
         stats
     }
 

@@ -8,10 +8,11 @@
 //! Measured there at 57% average runtime overhead with 1.4% residual
 //! USDCs — selective duplication plus value checks beats it on both axes.
 
+use crate::protection::{ProtClass, ProtectionMap};
 use softft_ir::builder::InstBuilder;
 use softft_ir::dom::DomTree;
 use softft_ir::inst::{CheckKind, FloatCC, IntCC, Op};
-use softft_ir::{Function, InstId, Type, ValueId};
+use softft_ir::{FuncId, Function, InstId, Type, ValueId};
 use std::collections::HashMap;
 
 /// Counters from the full-duplication pass.
@@ -28,7 +29,15 @@ pub struct FullDupStats {
 }
 
 /// Applies SWIFT-style full duplication to `func`.
-pub fn full_duplicate(func: &mut Function) -> FullDupStats {
+///
+/// `protection` records every duplicated site — both the original
+/// instruction and its shadow clone, since an injected fault can land in
+/// either copy's result slot.
+pub fn full_duplicate(
+    func: &mut Function,
+    fid: FuncId,
+    protection: &mut ProtectionMap,
+) -> FullDupStats {
     let mut stats = FullDupStats::default();
     let dom = DomTree::compute(func);
     let rpo: Vec<_> = dom.reverse_postorder().to_vec();
@@ -59,6 +68,8 @@ pub fn full_duplicate(func: &mut Function) -> FullDupStats {
             };
             shadow.insert(r, spv);
             phi_pairs.push((p, sp));
+            protection.record(fid, p, ProtClass::Duplicated);
+            protection.record(fid, sp, ProtClass::Duplicated);
             stats.cloned += 1;
             stats.added_insts += 1;
         }
@@ -82,6 +93,8 @@ pub fn full_duplicate(func: &mut Function) -> FullDupStats {
             let clone = func.insert_inst_after(op, Some(ty), i);
             let cv = func.inst(clone).result.expect("clone result");
             shadow.insert(r, cv);
+            protection.record(fid, i, ProtClass::Duplicated);
+            protection.record(fid, clone, ProtClass::Duplicated);
             stats.cloned += 1;
             stats.added_insts += 1;
         }
@@ -222,11 +235,15 @@ mod tests {
             .return_bits();
 
         let mut m = work_module();
-        let stats = full_duplicate(m.function_mut(fid));
+        let mut prot = ProtectionMap::new();
+        let stats = full_duplicate(m.function_mut(fid), fid, &mut prot);
         verify_function(m.function(fid)).unwrap();
         assert!(stats.cloned > 0);
         assert!(stats.store_guards > 0);
         assert!(stats.branch_guards > 0);
+        // Originals and their clones are both recorded as duplicated.
+        assert_eq!(prot.len(), 2 * stats.cloned);
+        assert_eq!(prot.count(ProtClass::Duplicated), prot.len());
         let got = Vm::new(&m, VmConfig::default())
             .run(fid, &[], &mut NoopObserver, None)
             .return_bits();
@@ -237,7 +254,7 @@ mod tests {
     fn full_duplication_detects_most_compute_faults() {
         let mut m = work_module();
         let fid = m.function_by_name("main").unwrap();
-        full_duplicate(m.function_mut(fid));
+        full_duplicate(m.function_mut(fid), fid, &mut ProtectionMap::new());
         let mut detected = 0;
         let mut trials = 0;
         for at in (5..500).step_by(9) {
@@ -271,7 +288,7 @@ mod tests {
         let mut m = work_module();
         let fid = m.function_by_name("main").unwrap();
         let before = m.function(fid).static_inst_count();
-        let stats = full_duplicate(m.function_mut(fid));
+        let stats = full_duplicate(m.function_mut(fid), fid, &mut ProtectionMap::new());
         let after = m.function(fid).static_inst_count();
         assert_eq!(after, before + stats.added_insts);
         // Most instructions in this kernel are duplicable.
@@ -298,7 +315,7 @@ mod tests {
                 .count()
         };
         let before = count_loads(m.function(fid));
-        full_duplicate(m.function_mut(fid));
+        full_duplicate(m.function_mut(fid), fid, &mut ProtectionMap::new());
         assert_eq!(count_loads(m.function(fid)), before);
         verify_function(m.function(fid)).unwrap();
     }

@@ -57,7 +57,9 @@ pub mod cfcss;
 pub mod duplicate;
 pub mod fulldup;
 pub mod pipeline;
+pub mod protection;
 pub mod state_vars;
 pub mod value_checks;
 
-pub use pipeline::{transform, StaticStats, Technique, TransformConfig};
+pub use pipeline::{transform, transform_protected, StaticStats, Technique, TransformConfig};
+pub use protection::{ProtClass, ProtectionMap};

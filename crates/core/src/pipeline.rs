@@ -2,6 +2,7 @@
 
 use crate::duplicate::{duplicate_state_vars, DupStats};
 use crate::fulldup::{full_duplicate, FullDupStats};
+use crate::protection::ProtectionMap;
 use crate::value_checks::{insert_value_checks, ValueCheckStats};
 use serde::{Deserialize, Serialize};
 use softft_ir::{FuncId, Module};
@@ -155,11 +156,28 @@ pub fn transform(
     technique: Technique,
     config: &TransformConfig,
 ) -> (Module, StaticStats) {
+    let (out, stats, _) = transform_protected(module, profile, technique, config);
+    (out, stats)
+}
+
+/// Like [`transform`], but additionally returns the [`ProtectionMap`]
+/// describing which static instructions of the *transformed* module each
+/// pass guarded — the join key for per-fault-site coverage attribution.
+/// Both copies of a duplicated computation are recorded (a fault can
+/// land in the original's or the shadow clone's result slot). For
+/// `Original` the map is empty.
+pub fn transform_protected(
+    module: &Module,
+    profile: &ProfileDb,
+    technique: Technique,
+    config: &TransformConfig,
+) -> (Module, StaticStats, ProtectionMap) {
     let mut out = module.clone();
     let mut stats = StaticStats {
         insts_before: module.static_inst_count(),
         ..StaticStats::default()
     };
+    let mut protection = ProtectionMap::new();
     // State variables are a property of the program, not the technique;
     // report them for every configuration (Fig. 10 plots them even for
     // value-check-only analyses).
@@ -175,7 +193,7 @@ pub fn transform(
                 let fid = FuncId::new(idx);
                 let mut already = HashSet::new();
                 let f = out.function_mut(fid);
-                let d = duplicate_state_vars(f, fid, profile, false, &mut already);
+                let d = duplicate_state_vars(f, fid, profile, false, &mut already, &mut protection);
                 stats.absorb_dup(d);
             }
         }
@@ -184,11 +202,25 @@ pub fn transform(
                 let fid = FuncId::new(idx);
                 let mut already = HashSet::new();
                 let f = out.function_mut(fid);
-                let d = duplicate_state_vars(f, fid, profile, config.opt2, &mut already);
+                let d = duplicate_state_vars(
+                    f,
+                    fid,
+                    profile,
+                    config.opt2,
+                    &mut already,
+                    &mut protection,
+                );
                 stats.absorb_dup(d);
                 // Opt-2 checks count toward the value-check census.
                 let f = out.function_mut(fid);
-                let c = insert_value_checks(f, fid, profile, config.opt1, &mut already);
+                let c = insert_value_checks(
+                    f,
+                    fid,
+                    profile,
+                    config.opt1,
+                    &mut already,
+                    &mut protection,
+                );
                 stats.absorb_checks(c);
                 // Checks inserted during duplication (Opt 2) are value
                 // checks too; recount them from the instruction stream to
@@ -200,13 +232,13 @@ pub fn transform(
             for idx in 0..out.functions().len() {
                 let fid = FuncId::new(idx);
                 let f = out.function_mut(fid);
-                let d = full_duplicate(f);
+                let d = full_duplicate(f, fid, &mut protection);
                 stats.absorb_fulldup(d);
             }
         }
     }
     stats.insts_after = out.static_inst_count();
-    (out, stats)
+    (out, stats, protection)
 }
 
 /// Recounts value-check sites from the instruction stream (exact census
@@ -234,6 +266,7 @@ fn recount_value_checks(module: &Module, stats: &mut StaticStats) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protection::ProtClass;
     use softft_ir::dsl::FunctionDsl;
     use softft_ir::verify::verify_module;
     use softft_ir::Type;
@@ -359,6 +392,49 @@ mod tests {
             ov(c_dup),
             ov(c_full)
         );
+    }
+
+    #[test]
+    fn protection_map_tracks_technique() {
+        let m = bench_module();
+        let profile = profile_of(&m);
+        let cfg = TransformConfig::default();
+
+        let (_, _, p_orig) = transform_protected(&m, &profile, Technique::Original, &cfg);
+        assert!(p_orig.is_empty(), "Original protects nothing");
+
+        let (_, _, p_dup) = transform_protected(&m, &profile, Technique::DupOnly, &cfg);
+        assert!(p_dup.count(ProtClass::Duplicated) > 0);
+        assert_eq!(
+            p_dup.count(ProtClass::ValueChecked),
+            0,
+            "Dup-only inserts no value checks"
+        );
+
+        let (_, _, p_dv) = transform_protected(&m, &profile, Technique::DupVal, &cfg);
+        assert!(p_dv.count(ProtClass::ValueChecked) > 0, "{p_dv:?}");
+        assert!(p_dv.count(ProtClass::Duplicated) > 0);
+
+        let (full_m, _, p_full) = transform_protected(&m, &profile, Technique::FullDup, &cfg);
+        assert!(
+            p_full.count(ProtClass::Duplicated) > p_dup.count(ProtClass::Duplicated),
+            "full duplication covers strictly more sites"
+        );
+        // Sites name instructions of the transformed module — clones
+        // included, so some ids lie beyond the original stream.
+        let fid = m.function_by_name("main").unwrap();
+        let orig_count = m.function(fid).static_inst_count();
+        let full_count = full_m.function(fid).static_inst_count();
+        let mut saw_clone = false;
+        for ((f, i), _) in p_full.sites() {
+            assert_eq!(f, fid);
+            assert!(
+                i.index() < full_count,
+                "site {i:?} beyond transformed stream"
+            );
+            saw_clone |= i.index() >= orig_count;
+        }
+        assert!(saw_clone, "shadow clones must be recorded as protected");
     }
 
     #[test]

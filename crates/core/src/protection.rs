@@ -1,0 +1,126 @@
+//! Protection-class metadata exported by the transformation passes.
+//!
+//! The paper's selective scheme leaves most static instructions
+//! unprotected on purpose; the coverage subsystem (PR: softft-coverage)
+//! needs to know, per static instruction, *which* mechanism — if any —
+//! guards its result so residual unacceptable SDCs can be attributed to
+//! genuinely unprotected sites rather than to protection that failed.
+//! The passes in [`crate::duplicate`] and [`crate::value_checks`] record
+//! into a [`ProtectionMap`] as they transform; full duplication derives
+//! its map from the duplicability predicate alone.
+
+use serde::{Deserialize, Serialize};
+use softft_ir::{FuncId, InstId};
+use std::collections::HashMap;
+
+/// How the result of a static instruction is protected.
+///
+/// Ordered by strength: duplication subsumes a value check on the same
+/// site (the shadow chain re-computes the value; the check only tests
+/// membership in the profiled set), so [`ProtectionMap::record`] keeps
+/// the strongest class seen.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ProtClass {
+    /// No mechanism guards this instruction's result (the paper's
+    /// "everything else" partition).
+    #[default]
+    Unprotected,
+    /// An expected-value check (single / pair / range) guards the result.
+    ValueChecked,
+    /// The producer chain is duplicated and compared.
+    Duplicated,
+}
+
+impl ProtClass {
+    /// Stable lowercase label used in reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtClass::Unprotected => "unprotected",
+            ProtClass::ValueChecked => "value-checked",
+            ProtClass::Duplicated => "duplicated",
+        }
+    }
+}
+
+/// Per-site protection classes for one transformed module.
+///
+/// Keys are `(function, static instruction)` of the *original* module —
+/// instruction ids are stable across the transformation (arenas are
+/// append-only), so the map joins directly against the VM's injection
+/// records, which name the defining instruction of the victim slot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProtectionMap {
+    by_site: HashMap<(FuncId, InstId), ProtClass>,
+}
+
+impl ProtectionMap {
+    /// An empty map (every site unprotected) — the `Original` technique.
+    pub fn new() -> Self {
+        ProtectionMap::default()
+    }
+
+    /// Records `class` for a site, keeping the strongest class when the
+    /// site was already recorded (duplication wins over a value check).
+    pub fn record(&mut self, func: FuncId, inst: InstId, class: ProtClass) {
+        let slot = self.by_site.entry((func, inst)).or_default();
+        if class > *slot {
+            *slot = class;
+        }
+    }
+
+    /// The protection class of a site; unrecorded sites are unprotected.
+    pub fn class_of(&self, func: FuncId, inst: InstId) -> ProtClass {
+        self.by_site.get(&(func, inst)).copied().unwrap_or_default()
+    }
+
+    /// Number of sites with a non-default class recorded.
+    pub fn len(&self) -> usize {
+        self.by_site.len()
+    }
+
+    /// True when no site carries protection.
+    pub fn is_empty(&self) -> bool {
+        self.by_site.is_empty()
+    }
+
+    /// Number of sites recorded with exactly `class`.
+    pub fn count(&self, class: ProtClass) -> usize {
+        self.by_site.values().filter(|&&c| c == class).count()
+    }
+
+    /// All recorded sites, unsorted.
+    pub fn sites(&self) -> impl Iterator<Item = ((FuncId, InstId), ProtClass)> + '_ {
+        self.by_site.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strongest_class_wins() {
+        let mut m = ProtectionMap::new();
+        let (f, i) = (FuncId::new(0), InstId::new(4));
+        assert_eq!(m.class_of(f, i), ProtClass::Unprotected);
+        m.record(f, i, ProtClass::ValueChecked);
+        assert_eq!(m.class_of(f, i), ProtClass::ValueChecked);
+        m.record(f, i, ProtClass::Duplicated);
+        assert_eq!(m.class_of(f, i), ProtClass::Duplicated);
+        // A weaker class cannot downgrade.
+        m.record(f, i, ProtClass::ValueChecked);
+        assert_eq!(m.class_of(f, i), ProtClass::Duplicated);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.count(ProtClass::Duplicated), 1);
+        assert_eq!(m.count(ProtClass::ValueChecked), 0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ProtClass::Unprotected.label(), "unprotected");
+        assert_eq!(ProtClass::ValueChecked.label(), "value-checked");
+        assert_eq!(ProtClass::Duplicated.label(), "duplicated");
+    }
+}

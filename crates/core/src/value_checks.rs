@@ -1,5 +1,6 @@
 //! Expected-value check insertion (Fig. 6) and Optimization 1 (Fig. 8).
 
+use crate::protection::{ProtClass, ProtectionMap};
 use softft_ir::inst::{BinOp, CheckKind, FloatCC, IntCC, Op};
 use softft_ir::{FuncId, Function, InstId, Type};
 use softft_profile::{CheckSpec, InstKey, ProfileDb};
@@ -344,12 +345,15 @@ pub fn opt1_survivors(func: &Function, amenable: &HashSet<InstId>) -> HashSet<In
 /// `already_checked` carries instructions whose check was inserted
 /// earlier by Optimization 2 during duplication; they are skipped here
 /// (but still participate in Opt 1 suppression, since their checks exist).
+/// Every instruction that ends up guarded is recorded in `protection` as
+/// [`ProtClass::ValueChecked`].
 pub fn insert_value_checks(
     func: &mut Function,
     fid: FuncId,
     profile: &ProfileDb,
     opt1: bool,
     already_checked: &mut HashSet<InstId>,
+    protection: &mut ProtectionMap,
 ) -> ValueCheckStats {
     let mut stats = ValueCheckStats::default();
 
@@ -391,6 +395,7 @@ pub fn insert_value_checks(
             _ => unreachable!("value checks only"),
         }
         already_checked.insert(i);
+        protection.record(fid, i, ProtClass::ValueChecked);
     }
     stats
 }
@@ -442,8 +447,14 @@ mod tests {
         let fid = m.function_by_name("main").unwrap();
         let f = m.function_mut(fid);
         let mut already = HashSet::new();
-        let stats = insert_value_checks(f, fid, &profile, true, &mut already);
+        let mut prot = ProtectionMap::new();
+        let stats = insert_value_checks(f, fid, &profile, true, &mut already, &mut prot);
         assert!(stats.total_checks() > 0, "{stats:?}");
+        assert_eq!(
+            prot.count(ProtClass::ValueChecked),
+            stats.total_checks(),
+            "each inserted check records its site"
+        );
         verify_function(f).unwrap();
         // Fault-free semantics unchanged.
         let main = m.function_by_name("main").unwrap();
@@ -480,16 +491,25 @@ mod tests {
 
         let mut no_opt = m.clone();
         let mut already = HashSet::new();
-        let s_no =
-            insert_value_checks(no_opt.function_mut(fid), fid, &profile, false, &mut already);
+        let mut prot = ProtectionMap::new();
+        let s_no = insert_value_checks(
+            no_opt.function_mut(fid),
+            fid,
+            &profile,
+            false,
+            &mut already,
+            &mut prot,
+        );
         let mut with_opt = m.clone();
         let mut already2 = HashSet::new();
+        let mut prot2 = ProtectionMap::new();
         let s_yes = insert_value_checks(
             with_opt.function_mut(fid),
             fid,
             &profile,
             true,
             &mut already2,
+            &mut prot2,
         );
         assert!(
             s_yes.total_checks() < s_no.total_checks(),
@@ -507,7 +527,15 @@ mod tests {
         let profile = profile_of(&m.clone());
         let fid = m.function_by_name("main").unwrap();
         let mut already = HashSet::new();
-        insert_value_checks(m.function_mut(fid), fid, &profile, true, &mut already);
+        let mut prot = ProtectionMap::new();
+        insert_value_checks(
+            m.function_mut(fid),
+            fid,
+            &profile,
+            true,
+            &mut already,
+            &mut prot,
+        );
         verify_function(m.function(fid)).unwrap();
 
         let mut detected = 0;

@@ -30,6 +30,9 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// Callable signatures by function index: parameter types and return.
+type CalleeSigs = HashMap<usize, (Vec<Type>, Option<Type>)>;
+
 struct Checker<'f> {
     func: &'f Function,
     errors: Vec<String>,
@@ -54,7 +57,7 @@ impl<'f> Checker<'f> {
         }
     }
 
-    fn run(&mut self, callee_sigs: Option<&HashMap<usize, (Vec<Type>, Option<Type>)>>) {
+    fn run(&mut self, callee_sigs: Option<&CalleeSigs>) {
         let func = self.func;
 
         // Every block terminated; phis form a prefix; inst.block backlinks.

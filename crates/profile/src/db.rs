@@ -89,8 +89,9 @@ impl ProfileDb {
     ///
     /// Returns the underlying parse error for malformed input.
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        let (pairs, counts): (Vec<(InstKey, CheckSpec)>, Vec<(InstKey, u64)>) =
-            serde_json::from_str(s)?;
+        type CheckPairs = Vec<(InstKey, CheckSpec)>;
+        type CountPairs = Vec<(InstKey, u64)>;
+        let (pairs, counts): (CheckPairs, CountPairs) = serde_json::from_str(s)?;
         Ok(ProfileDb {
             checks: pairs.into_iter().collect(),
             counts: counts.into_iter().collect(),

@@ -44,6 +44,25 @@ pub struct TrialEvent {
     /// output differed.
     #[serde(skip_serializing_if = "Option::is_none", default)]
     pub fidelity: Option<f64>,
+    /// Victim function id, for injected trials in attributed campaigns.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub victim_func: Option<u64>,
+    /// Defining static instruction id of the victim slot, for injected
+    /// register faults whose victim is an instruction result.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub victim_inst: Option<u64>,
+    /// Opcode mnemonic of the defining instruction, or the `param` /
+    /// `branch` pseudo-opcodes.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub victim_op: Option<String>,
+    /// Bit band of the flip (`lo` / `hi` / `full`).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub bit_band: Option<String>,
+    /// Protection class of the victim site (`duplicated` /
+    /// `value-checked` / `unprotected` / `control-flow`), when the
+    /// campaign was given the transform's protection map.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub protection: Option<String>,
 }
 
 impl TrialEvent {
@@ -111,6 +130,11 @@ mod tests {
             detect_latency: Some(42),
             dyn_insts: 99999,
             fidelity: None,
+            victim_func: Some(0),
+            victim_inst: Some(12),
+            victim_op: Some("add".to_string()),
+            bit_band: Some("lo".to_string()),
+            protection: Some("duplicated".to_string()),
         }
     }
 
@@ -129,6 +153,11 @@ mod tests {
             detected_by: None,
             detect_latency: None,
             fidelity: None,
+            victim_func: None,
+            victim_inst: None,
+            victim_op: None,
+            bit_band: None,
+            protection: None,
             outcome: "masked".to_string(),
             ..event()
         };
@@ -136,7 +165,16 @@ mod tests {
         assert!(!line.contains("detected_by"), "{line}");
         assert!(!line.contains("detect_latency"), "{line}");
         assert!(!line.contains("fidelity"), "{line}");
+        assert!(!line.contains("victim_"), "{line}");
+        assert!(!line.contains("protection"), "{line}");
         assert_eq!(TrialEvent::from_jsonl(&line).unwrap(), e);
+
+        // Pre-attribution lines (schema v1 without the victim fields)
+        // still parse: the new fields default to absent.
+        let old = r#"{"trial":1,"at_dyn":5,"fault_seed":9,"injected":false,"outcome":"masked","dyn_insts":100}"#;
+        let parsed = TrialEvent::from_jsonl(old).unwrap();
+        assert_eq!(parsed.victim_op, None);
+        assert_eq!(parsed.protection, None);
     }
 
     #[test]

@@ -224,8 +224,9 @@ pub enum Metric {
     Counter(Counter),
     /// A [`Gauge`].
     Gauge(Gauge),
-    /// A [`Histogram`].
-    Histogram(Histogram),
+    /// A [`Histogram`] (boxed: its bucket array dwarfs the scalar
+    /// variants).
+    Histogram(Box<Histogram>),
 }
 
 /// A named collection of metrics with deterministic (sorted) iteration
@@ -282,7 +283,7 @@ impl MetricsRegistry {
         let m = self
             .metrics
             .entry(name.to_string())
-            .or_insert(Metric::Histogram(Histogram::default()));
+            .or_insert(Metric::Histogram(Box::default()));
         match m {
             Metric::Histogram(h) => h,
             other => panic!("metric {name:?} is not a histogram: {other:?}"),

@@ -11,7 +11,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use softft_ir::{FuncId, Type, ValueId};
+use softft_ir::{BlockId, FuncId, InstId, Type, ValueId};
 
 /// What kind of hardware state a fault corrupts.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,36 +61,152 @@ impl FaultPlan {
 }
 
 /// What an injection actually did (for post-hoc analysis, e.g. the paper's
-/// "large vs small value change" split in Fig. 2).
+/// "large vs small value change" split in Fig. 2 and per-site coverage
+/// attribution).
 ///
-/// For [`FaultKind::BranchTarget`] injections the register fields are
-/// repurposed: `old_bits`/`new_bits` hold the intended and corrupted
-/// block indices, and `value`/`ty`/`bit` are unused.
+/// The record stays flat for serde stability, but the register fields
+/// (`value`/`ty`/`bit`/`old_bits`/`new_bits`) are only meaningful when
+/// `kind` is [`FaultKind::Register`]; for [`FaultKind::BranchTarget`]
+/// injections `old_bits`/`new_bits` carry the intended and corrupted
+/// block indices. Use the typed views [`InjectionRecord::register_fault`]
+/// and [`InjectionRecord::branch_fault`] instead of reading the raw
+/// fields so the payloads cannot be misattributed.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct InjectionRecord {
     /// Dynamic instruction index of the injection.
     pub at_dyn: u64,
     /// Function whose frame was targeted.
     pub func: FuncId,
+    /// What the fault corrupted (register bits or a branch target).
+    /// Defaults to `Register` when absent so pre-existing serialized
+    /// records still parse.
+    #[serde(default)]
+    pub kind: FaultKind,
+    /// Victim SSA value slot (register faults only).
+    pub value: ValueId,
+    /// The value's type (register faults only).
+    pub ty: Type,
+    /// Flipped bit position within the type's width (register faults
+    /// only).
+    pub bit: u32,
+    /// Canonical bits before the flip (register faults; the intended
+    /// successor block index for branch faults).
+    pub old_bits: u64,
+    /// Canonical bits after the flip (register faults; the corrupted
+    /// landing block index for branch faults).
+    pub new_bits: u64,
+    /// Static instruction defining the victim slot, for register faults
+    /// whose victim is an instruction result (`None` for parameter slots
+    /// and branch faults). This is the fault *site* coverage maps
+    /// aggregate on.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub def_inst: Option<InstId>,
+}
+
+/// Typed view of a register bit-flip injection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegisterFault {
     /// Victim SSA value slot.
     pub value: ValueId,
     /// The value's type.
     pub ty: Type,
-    /// Flipped bit position (within the type's width).
+    /// Flipped bit position.
     pub bit: u32,
     /// Canonical bits before the flip.
     pub old_bits: u64,
     /// Canonical bits after the flip.
     pub new_bits: u64,
+    /// Static instruction defining the victim slot, when it is an
+    /// instruction result.
+    pub def_inst: Option<InstId>,
+}
+
+/// Typed view of a branch-target corruption.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchFault {
+    /// The successor the branch should have taken.
+    pub intended: BlockId,
+    /// The random block it landed on instead.
+    pub landed: BlockId,
 }
 
 impl InjectionRecord {
+    /// Builds a register bit-flip record.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register(
+        at_dyn: u64,
+        func: FuncId,
+        value: ValueId,
+        ty: Type,
+        bit: u32,
+        old_bits: u64,
+        new_bits: u64,
+        def_inst: Option<InstId>,
+    ) -> Self {
+        InjectionRecord {
+            at_dyn,
+            func,
+            kind: FaultKind::Register,
+            value,
+            ty,
+            bit,
+            old_bits,
+            new_bits,
+            def_inst,
+        }
+    }
+
+    /// Builds a branch-target corruption record.
+    pub fn branch(at_dyn: u64, func: FuncId, intended: BlockId, landed: BlockId) -> Self {
+        InjectionRecord {
+            at_dyn,
+            func,
+            kind: FaultKind::BranchTarget,
+            value: ValueId::new(0),
+            ty: Type::I64,
+            bit: 0,
+            old_bits: intended.index() as u64,
+            new_bits: landed.index() as u64,
+            def_inst: None,
+        }
+    }
+
+    /// The register payload, when this records a register bit flip.
+    pub fn register_fault(&self) -> Option<RegisterFault> {
+        match self.kind {
+            FaultKind::Register => Some(RegisterFault {
+                value: self.value,
+                ty: self.ty,
+                bit: self.bit,
+                old_bits: self.old_bits,
+                new_bits: self.new_bits,
+                def_inst: self.def_inst,
+            }),
+            FaultKind::BranchTarget => None,
+        }
+    }
+
+    /// The branch payload, when this records a corrupted branch target.
+    pub fn branch_fault(&self) -> Option<BranchFault> {
+        match self.kind {
+            FaultKind::BranchTarget => Some(BranchFault {
+                intended: BlockId::new(self.old_bits as usize),
+                landed: BlockId::new(self.new_bits as usize),
+            }),
+            FaultKind::Register => None,
+        }
+    }
+
     /// Relative magnitude of the value change caused by the flip, used to
     /// split unacceptable SDCs into "large" and "small" value changes
     /// (Fig. 2). For integers this is `|new - old| / (|old| + 1)`; for
     /// floats the analogous expression on the decoded values (NaN/inf
-    /// results count as infinitely large).
+    /// results count as infinitely large). Branch-target corruptions have
+    /// no victim value, so their change magnitude is 0.
     pub fn relative_change(&self) -> f64 {
+        if self.kind == FaultKind::BranchTarget {
+            return 0.0;
+        }
         if self.ty.is_float() {
             let old = f64::from_bits(self.old_bits);
             let new = f64::from_bits(self.new_bits);
@@ -192,15 +308,16 @@ mod tests {
 
     #[test]
     fn relative_change_magnitudes() {
-        let rec = InjectionRecord {
-            at_dyn: 0,
-            func: FuncId::new(0),
-            value: ValueId::new(0),
-            ty: Type::I32,
-            bit: 30,
-            old_bits: 1,
-            new_bits: (1i64 + (1 << 30)) as u64,
-        };
+        let rec = InjectionRecord::register(
+            0,
+            FuncId::new(0),
+            ValueId::new(0),
+            Type::I32,
+            30,
+            1,
+            (1i64 + (1 << 30)) as u64,
+            None,
+        );
         assert!(rec.relative_change() > 1e8);
 
         let small = InjectionRecord {
@@ -218,5 +335,70 @@ mod tests {
             ..rec
         };
         assert_eq!(f.relative_change(), f64::INFINITY);
+    }
+
+    #[test]
+    fn typed_views_match_kind() {
+        let reg = InjectionRecord::register(
+            5,
+            FuncId::new(1),
+            ValueId::new(3),
+            Type::I32,
+            7,
+            10,
+            138,
+            Some(InstId::new(9)),
+        );
+        let rf = reg.register_fault().expect("register view");
+        assert_eq!(rf.value, ValueId::new(3));
+        assert_eq!(rf.def_inst, Some(InstId::new(9)));
+        assert!(reg.branch_fault().is_none());
+
+        let br = InjectionRecord::branch(8, FuncId::new(0), BlockId::new(2), BlockId::new(5));
+        let bf = br.branch_fault().expect("branch view");
+        assert_eq!(bf.intended, BlockId::new(2));
+        assert_eq!(bf.landed, BlockId::new(5));
+        assert!(br.register_fault().is_none());
+        assert_eq!(br.relative_change(), 0.0);
+    }
+
+    #[test]
+    fn serde_accepts_pre_branch_kind_records() {
+        // Round trip first: the current schema is self-consistent.
+        let rec = InjectionRecord::register(
+            5,
+            FuncId::new(1),
+            ValueId::new(3),
+            Type::I32,
+            7,
+            10,
+            138,
+            Some(InstId::new(9)),
+        );
+        let json = serde_json::to_string(&rec).unwrap();
+        assert_eq!(serde_json::from_str::<InjectionRecord>(&json).unwrap(), rec);
+        let br = InjectionRecord::branch(9, FuncId::new(0), BlockId::new(2), BlockId::new(5));
+        let json = serde_json::to_string(&br).unwrap();
+        assert_eq!(serde_json::from_str::<InjectionRecord>(&json).unwrap(), br);
+
+        // Records written before `kind`/`def_inst` existed carry neither
+        // field; both must default (Register kind, no def site).
+        let old = InjectionRecord::register(
+            5,
+            FuncId::new(1),
+            ValueId::new(3),
+            Type::I32,
+            7,
+            10,
+            138,
+            None,
+        );
+        let json = serde_json::to_string(&old).unwrap();
+        assert!(!json.contains("def_inst"), "{json}");
+        let legacy = json.replace("\"kind\":\"Register\",", "");
+        assert_ne!(legacy, json, "kind field must have been present");
+        let parsed: InjectionRecord = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed, old);
+        assert_eq!(parsed.kind, FaultKind::Register);
     }
 }

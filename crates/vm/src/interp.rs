@@ -138,15 +138,16 @@ impl ExecState {
             let old = frame.slots[victim].expect("candidate is defined");
             let new = flip_bit(old, ty, bit);
             frame.slots[victim] = Some(new);
-            let rec = InjectionRecord {
-                at_dyn: plan.at_dyn,
-                func: frame.func,
-                value: vid,
+            let rec = InjectionRecord::register(
+                plan.at_dyn,
+                frame.func,
+                vid,
                 ty,
                 bit,
-                old_bits: old,
-                new_bits: new,
-            };
+                old,
+                new,
+                func.def_inst(vid),
+            );
             obs.on_inject(&rec);
             self.injection = Some(rec);
         }
@@ -387,15 +388,7 @@ impl<'m> Vm<'m> {
                 block = BlockId::new(victim);
                 frame.lenient = true;
                 state.control_corrupted = true;
-                let rec = InjectionRecord {
-                    at_dyn: plan.at_dyn,
-                    func: fid,
-                    value: ValueId::new(0),
-                    ty: Type::I64,
-                    bit: 0,
-                    old_bits: intended.index() as u64,
-                    new_bits: victim as u64,
-                };
+                let rec = InjectionRecord::branch(plan.at_dyn, fid, intended, BlockId::new(victim));
                 obs.on_inject(&rec);
                 state.injection = Some(rec);
             }

@@ -107,22 +107,19 @@ impl CoreConfig {
     pub fn port(&self, op: &Op) -> Port {
         match op {
             Op::Load { .. } | Op::Store { .. } => Port::Memory,
-            Op::Bin { op, .. }
-                if matches!(
-                    op,
+            Op::Bin {
+                op:
                     BinOp::Mul
-                        | BinOp::SDiv
-                        | BinOp::SRem
-                        | BinOp::UDiv
-                        | BinOp::URem
-                        | BinOp::FAdd
-                        | BinOp::FSub
-                        | BinOp::FMul
-                        | BinOp::FDiv
-                ) =>
-            {
-                Port::MulFp
-            }
+                    | BinOp::SDiv
+                    | BinOp::SRem
+                    | BinOp::UDiv
+                    | BinOp::URem
+                    | BinOp::FAdd
+                    | BinOp::FSub
+                    | BinOp::FMul
+                    | BinOp::FDiv,
+                ..
+            } => Port::MulFp,
             Op::Un { .. } | Op::Fcmp { .. } => Port::MulFp,
             _ => Port::Simple,
         }

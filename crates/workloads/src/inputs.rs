@@ -110,8 +110,8 @@ pub fn clustered_points(n: usize, d: usize, k: usize, seed: u64) -> (Vec<i32>, V
     for i in 0..n {
         let c = i % k;
         labels.push(c as u8);
-        for j in 0..d {
-            let v = centers[c][j] + rng.gen_range(-8.0..8.0);
+        for &center in &centers[c] {
+            let v = center + rng.gen_range(-8.0..8.0);
             feats.push((v * 100.0) as i32);
         }
     }

@@ -1,0 +1,120 @@
+//! Cross-crate coverage integration: the `repro coverage` exhibit is
+//! byte-stable, `--telemetry` adds a parseable per-technique
+//! `coverage.json`, and `--html` writes a single self-contained heatmap
+//! without perturbing the rendered report.
+
+use softft_bench::orchestrate::run_exhibit;
+use softft_bench::{Exhibit, ReproConfig};
+use softft_campaign::CoverageMap;
+use std::path::PathBuf;
+
+fn small() -> ReproConfig {
+    ReproConfig {
+        trials: 12,
+        seed: 3,
+        benchmarks: vec!["tiff2bw".into()],
+        threads: 2,
+        ..ReproConfig::default()
+    }
+}
+
+/// A scratch directory under the temp area, removed on drop so repeated
+/// test runs start clean.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("softft-coverage-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn coverage_exhibit_renders_and_is_byte_stable() {
+    let cfg = small();
+    let a = run_exhibit(Exhibit::Coverage, &cfg);
+    assert!(a.contains("Protection-gap report"), "{a}");
+    assert!(a.contains("tiff2bw"), "{a}");
+    assert!(a.contains("gap-site ladder"), "{a}");
+    // Both protected techniques appear in the ladder.
+    assert!(a.contains("Dup only"), "{a}");
+    assert!(a.contains("Dup + val chks"), "{a}");
+    let b = run_exhibit(Exhibit::Coverage, &cfg);
+    assert_eq!(a, b, "coverage output must be byte-stable");
+
+    // Thread count must not leak into the report.
+    let c = run_exhibit(
+        Exhibit::Coverage,
+        &ReproConfig {
+            threads: 4,
+            ..small()
+        },
+    );
+    assert_eq!(a, c, "coverage output must be thread-count agnostic");
+}
+
+#[test]
+fn telemetry_dir_gets_coverage_json_that_round_trips() {
+    let scratch = ScratchDir::new("json");
+    let cfg = ReproConfig {
+        telemetry: Some(scratch.0.clone()),
+        ..small()
+    };
+    let plain = run_exhibit(Exhibit::Coverage, &small());
+    let traced = run_exhibit(Exhibit::Coverage, &cfg);
+    assert_eq!(plain, traced, "--telemetry must not change the report");
+
+    for tech in ["dup-only", "dup-val"] {
+        let path = scratch.0.join(format!("tiff2bw.{tech}.coverage.json"));
+        let json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", path.display()));
+        let cov = CoverageMap::from_json(&json).expect("coverage.json parses");
+        assert_eq!(cov.benchmark, "tiff2bw");
+        assert_eq!(cov.trials, 12);
+        assert_eq!(cov.injected + cov.trigger_unreached, cov.trials);
+        let site_trials: u64 = cov.sites.iter().map(|s| s.trials).sum();
+        assert_eq!(site_trials, cov.injected, "{tech}: sites cover injections");
+
+        // Serde round trip is lossless.
+        let again = CoverageMap::from_json(&cov.to_json().expect("re-serializes"))
+            .expect("round-trip parses");
+        assert_eq!(again, cov);
+    }
+}
+
+#[test]
+fn html_heatmap_is_single_self_contained_file() {
+    let scratch = ScratchDir::new("html");
+    std::fs::create_dir_all(&scratch.0).unwrap();
+    let html_path = scratch.0.join("heatmap.html");
+    let cfg = ReproConfig {
+        html: Some(html_path.clone()),
+        ..small()
+    };
+    let with_html = run_exhibit(Exhibit::Coverage, &cfg);
+    assert_eq!(
+        with_html,
+        run_exhibit(Exhibit::Coverage, &small()),
+        "--html must not change the report"
+    );
+
+    let html = std::fs::read_to_string(&html_path).expect("heatmap written");
+    assert!(
+        html.starts_with("<!DOCTYPE html>"),
+        "{}",
+        &html[..60.min(html.len())]
+    );
+    assert!(html.contains("tiff2bw"));
+    // Self-contained: no external fetches, scripts, or stylesheets.
+    for banned in ["http://", "https://", "<script", "<link", "src="] {
+        assert!(!html.contains(banned), "heatmap must not contain {banned}");
+    }
+}
