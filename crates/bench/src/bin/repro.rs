@@ -3,10 +3,11 @@
 //!
 //! ```text
 //! repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c]
-//!                 [--telemetry DIR] [--html PATH] [-v|--verbose] [-q|--quiet]
+//!                 [--telemetry DIR] [--html PATH] [--snapshot-interval K]
+//!                 [--bench-out PATH] [-v|--verbose] [-q|--quiet]
 //!
 //! exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13
-//!           detect latency falsepos crossval coverage all
+//!           detect latency falsepos crossval coverage perfbench all
 //! ```
 
 use softft_bench::{Exhibit, ReproConfig};
@@ -16,8 +17,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     // Usage goes out at every verbosity level.
     Logger::default().error(
-        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [--html PATH] [-v|--verbose] [-q|--quiet]\n\
-         exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13 detect latency falsepos crossval ablate cfc recovery coverage all",
+        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [--html PATH] [--snapshot-interval K] [--bench-out PATH] [-v|--verbose] [-q|--quiet]\n\
+         exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13 detect latency falsepos crossval ablate cfc recovery coverage perfbench all",
     );
     ExitCode::FAILURE
 }
@@ -72,6 +73,13 @@ fn main() -> ExitCode {
             }
             "--html" => {
                 cfg.html = Some(value.into());
+            }
+            "--snapshot-interval" => match value.parse() {
+                Ok(v) => cfg.snapshot_interval = v,
+                Err(_) => return usage(),
+            },
+            "--bench-out" => {
+                cfg.bench_out = Some(value.into());
             }
             _ => return usage(),
         }

@@ -3,8 +3,8 @@
 
 use softft::Technique;
 use softft_campaign::campaign::{
-    run_campaign, run_campaign_attributed, run_campaign_recorded, CampaignConfig, CampaignResult,
-    CampaignTelemetry,
+    run_campaign, run_campaign_attributed, run_campaign_recorded, run_campaign_with_stats,
+    CampaignConfig, CampaignResult, CampaignTelemetry,
 };
 use softft_campaign::coverage::{build_coverage, CoverageMap};
 use softft_campaign::crossval::cross_validate;
@@ -12,6 +12,7 @@ use softft_campaign::falsepos::measure_false_positives;
 use softft_campaign::perf::all_overheads;
 use softft_campaign::prep::{prepare, PreparedBenchmark};
 use softft_campaign::report;
+use softft_campaign::snapshot::SnapshotStats;
 use softft_telemetry::{Logger, RunManifest, Verbosity, TRIAL_SCHEMA_VERSION};
 use softft_vm::fault::FaultKind;
 use softft_workloads::{all_workloads, InputSet};
@@ -57,6 +58,10 @@ pub enum Exhibit {
     Recovery,
     /// Per-fault-site coverage maps and the protection-gap report.
     Coverage,
+    /// Campaign performance bench: direct vs snapshot-resume wall clock,
+    /// with a bitwise-equivalence check and a `BENCH_campaign.json`
+    /// artifact. Not part of `all` (timing-noisy; run explicitly).
+    PerfBench,
     /// Everything, in paper order.
     All,
 }
@@ -82,6 +87,7 @@ impl Exhibit {
             "cfc" => Exhibit::Cfc,
             "recovery" => Exhibit::Recovery,
             "coverage" => Exhibit::Coverage,
+            "perfbench" => Exhibit::PerfBench,
             "all" => Exhibit::All,
             _ => return None,
         })
@@ -111,6 +117,15 @@ pub struct ReproConfig {
     /// HTML heatmap (site × bit-band grids coloured by USDC rate) to
     /// this path. Ignored by other exhibits.
     pub html: Option<PathBuf>,
+    /// Golden-run checkpoint spacing in dynamic instructions for
+    /// campaigns (`--snapshot-interval`). `0` disables snapshots. For
+    /// `repro perfbench`, `0` means auto (golden length / 32); other
+    /// exhibits take the value as-is. Results are bitwise identical
+    /// either way.
+    pub snapshot_interval: u64,
+    /// Where `repro perfbench` writes its JSON artifact
+    /// (`--bench-out`; default `BENCH_campaign.json`).
+    pub bench_out: Option<PathBuf>,
 }
 
 impl Default for ReproConfig {
@@ -123,6 +138,8 @@ impl Default for ReproConfig {
             verbosity: Verbosity::default(),
             telemetry: None,
             html: None,
+            snapshot_interval: 0,
+            bench_out: None,
         }
     }
 }
@@ -133,6 +150,7 @@ impl ReproConfig {
             trials: self.trials,
             seed: self.seed,
             threads: self.threads,
+            snapshot_interval: self.snapshot_interval,
             ..CampaignConfig::default()
         }
     }
@@ -166,6 +184,7 @@ pub fn run_exhibit(ex: Exhibit, cfg: &ReproConfig) -> String {
         Exhibit::Cfc => cfc(cfg),
         Exhibit::Recovery => recovery(cfg),
         Exhibit::Coverage => coverage(cfg),
+        Exhibit::PerfBench => perfbench(cfg),
         Exhibit::All => {
             let mut out = String::new();
             for ex in [
@@ -401,6 +420,166 @@ fn coverage(cfg: &ReproConfig) -> String {
         }
     }
     report::render_coverage(&rows, 10)
+}
+
+/// One timed campaign leg of the perf bench.
+struct BenchLeg {
+    wall_ms: f64,
+    result: CampaignResult,
+    stats: SnapshotStats,
+}
+
+fn bench_leg(p: &PreparedBenchmark, t: Technique, ccfg: &CampaignConfig) -> BenchLeg {
+    let start = Instant::now();
+    let (result, stats) = run_campaign_with_stats(&*p.workload, p.module(t), ccfg);
+    BenchLeg {
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        result,
+        stats,
+    }
+}
+
+/// Throughput helpers tolerant of sub-millisecond legs.
+fn per_sec(count: u64, wall_ms: f64) -> f64 {
+    count as f64 / (wall_ms / 1e3).max(1e-9)
+}
+
+/// The `perfbench` exhibit: for each selected benchmark, runs the same
+/// campaign twice — snapshots off, then snapshots on — and reports the
+/// wall-clock speedup, throughput, checkpoint memory, and whether the
+/// two results were bitwise identical. Writes `BENCH_campaign.json`
+/// (`--bench-out`) with the same numbers so CI can track regressions
+/// and fail on divergence.
+///
+/// Defaults to the `jpegenc` benchmark (mid-size golden run, ~527K
+/// dynamic instructions) when no `--benchmarks` filter is given; the
+/// default campaign is DupVal register faults, matching the paper's
+/// headline configuration.
+fn perfbench(cfg: &ReproConfig) -> String {
+    let log = Logger::new(cfg.verbosity);
+    let t = Technique::DupVal;
+    let selected: Vec<PreparedBenchmark> = if cfg.benchmarks.is_empty() {
+        vec![prepare(
+            softft_workloads::workload_by_name("jpegenc").expect("jpegenc registered"),
+        )]
+    } else {
+        cfg.selected()
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Campaign perf bench: direct vs snapshot-resume ({} trials, {} x register faults)\n\
+         {:<10} {:>12} {:>10} {:>10} {:>10} {:>7} {:>9} {:>5} {:>8} {:>6}",
+        cfg.trials,
+        t.label(),
+        "benchmark",
+        "golden",
+        "direct ms",
+        "snap ms",
+        "interval",
+        "ckpts",
+        "ckpt KiB",
+        "conv",
+        "speedup",
+        "equal"
+    );
+
+    let mut entries: Vec<String> = Vec::new();
+    let mut all_equivalent = true;
+    for p in &selected {
+        let name = p.workload.name();
+        log.debug(format!("[repro] perfbench: {name} direct leg"));
+        let mut ccfg = cfg.campaign_config();
+        ccfg.snapshot_interval = 0;
+        let direct = bench_leg(p, t, &ccfg);
+        // Auto interval: ~32 checkpoints across the golden run keeps the
+        // expected resumed prefix (interval/2) small next to the expected
+        // skipped prefix (golden/2) while bounding checkpoint memory.
+        ccfg.snapshot_interval = if cfg.snapshot_interval > 0 {
+            cfg.snapshot_interval
+        } else {
+            (direct.result.golden_dyn_insts / 32).max(1)
+        };
+        log.debug(format!(
+            "[repro] perfbench: {name} snapshot leg (interval {})",
+            ccfg.snapshot_interval
+        ));
+        let snap = bench_leg(p, t, &ccfg);
+        let equivalent = direct.result == snap.result;
+        all_equivalent &= equivalent;
+        let speedup = direct.wall_ms / snap.wall_ms.max(1e-9);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>10.1} {:>10.1} {:>10} {:>7} {:>9} {:>5} {:>7.2}x {:>6}",
+            name,
+            direct.result.golden_dyn_insts,
+            direct.wall_ms,
+            snap.wall_ms,
+            snap.stats.interval,
+            snap.stats.checkpoints,
+            snap.stats.checkpoint_bytes / 1024,
+            snap.stats.converged_trials,
+            speedup,
+            if equivalent { "yes" } else { "NO" }
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"golden_dyn_insts\": {},\n",
+                "      \"direct\": {{ \"wall_ms\": {:.3}, \"trials_per_sec\": {:.1}, \"dyn_insts_per_sec\": {:.0} }},\n",
+                "      \"snapshot\": {{ \"wall_ms\": {:.3}, \"trials_per_sec\": {:.1}, \"dyn_insts_per_sec\": {:.0}, \"interval\": {}, \"checkpoints\": {}, \"checkpoint_bytes\": {}, \"resumed_trials\": {}, \"fresh_trials\": {}, \"converged_trials\": {}, \"prefix_insts_skipped\": {}, \"suffix_insts_skipped\": {} }},\n",
+                "      \"speedup\": {:.3},\n",
+                "      \"equivalent\": {}\n",
+                "    }}"
+            ),
+            name,
+            direct.result.golden_dyn_insts,
+            direct.wall_ms,
+            per_sec(cfg.trials as u64, direct.wall_ms),
+            per_sec(direct.stats.insts_executed, direct.wall_ms),
+            snap.wall_ms,
+            per_sec(cfg.trials as u64, snap.wall_ms),
+            per_sec(snap.stats.insts_executed, snap.wall_ms),
+            snap.stats.interval,
+            snap.stats.checkpoints,
+            snap.stats.checkpoint_bytes,
+            snap.stats.resumed_trials,
+            snap.stats.fresh_trials,
+            snap.stats.converged_trials,
+            snap.stats.prefix_insts_skipped,
+            snap.stats.suffix_insts_skipped,
+            speedup,
+            equivalent
+        ));
+    }
+    let _ = writeln!(
+        out,
+        "(snapshot path must be bitwise equivalent; 'NO' in the last column is a bug)"
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"softft.bench.campaign.v1\",\n  \"trials\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"technique\": \"{}\",\n  \"benchmarks\": [\n{}\n  ],\n  \"all_equivalent\": {}\n}}\n",
+        cfg.trials,
+        cfg.seed,
+        cfg.threads,
+        tech_slug(t),
+        entries.join(",\n"),
+        all_equivalent
+    );
+    let path = cfg
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_campaign.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => log.info(format!("[repro] perf bench written to {}", path.display())),
+        Err(e) => log.error(format!(
+            "[repro] failed to write perf bench {}: {e}",
+            path.display()
+        )),
+    }
+    out
 }
 
 fn fig1(cfg: &ReproConfig) -> String {

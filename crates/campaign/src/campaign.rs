@@ -2,6 +2,7 @@
 
 use crate::coverage::{fault_site, site_op_label, site_protection_label};
 use crate::outcome::{classify_trial, is_large_change, ClassifyParams, Outcome, TrialRecord};
+use crate::snapshot::{CheckpointStore, SnapshotStats};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -12,10 +13,12 @@ use softft_telemetry::{
     TrialEvent,
 };
 use softft_vm::fault::{FaultKind, FaultPlan};
-use softft_vm::interp::{NoopObserver, Observer, VmConfig};
-use softft_workloads::runner::run_workload;
+use softft_vm::interp::{NoopObserver, SuffixObserver, VmConfig};
+use softft_vm::{ConvergeOutcome, RunResult};
+use softft_workloads::runner::WorkloadImage;
 use softft_workloads::{InputSet, Workload};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Campaign parameters.
 #[derive(Clone, Debug)]
@@ -36,6 +39,13 @@ pub struct CampaignConfig {
     /// What the injected faults corrupt (register bits by default; branch
     /// targets for the control-flow-checking extension).
     pub fault_kind: FaultKind,
+    /// Golden-run checkpoint spacing in dynamic instructions; trials
+    /// resume from the greatest checkpoint at or below their trigger
+    /// instead of re-executing the fault-free prefix. `0` disables
+    /// snapshots (every trial runs from instruction 0). Results are
+    /// bitwise identical either way; the knob only trades checkpoint
+    /// memory for campaign wall-clock.
+    pub snapshot_interval: u64,
 }
 
 impl Default for CampaignConfig {
@@ -48,6 +58,7 @@ impl Default for CampaignConfig {
             classify: ClassifyParams::default(),
             input: InputSet::Test,
             fault_kind: FaultKind::Register,
+            snapshot_interval: 0,
         }
     }
 }
@@ -166,12 +177,27 @@ pub struct CampaignTelemetry {
 /// the [`NoopObserver`] path ([`run_campaign`]) monomorphizes to the
 /// untraced loop while [`run_campaign_traced`] gets a full trace per
 /// trial. Returns per-trial `(plan, record, observer)` in plan order.
-fn campaign_core<O: Observer + Send>(
+///
+/// With `cfg.snapshot_interval > 0`, the golden run doubles as a
+/// recording run feeding a [`CheckpointStore`] shared across worker
+/// threads, and trials resume from the greatest checkpoint at or below
+/// their trigger. Past the trigger, each trial watches for *state
+/// convergence* with the remaining golden checkpoints and exits early
+/// with the golden result once its state provably rejoins the golden
+/// run's (see [`softft_vm::Vm::resume_converging`]). Trials are
+/// *visited* in trigger order for checkpoint locality, but results stay
+/// keyed by plan index, so output is bit-identical to the direct path
+/// regardless of interval or thread count.
+fn campaign_core<O: SuffixObserver + Send + Sync>(
     workload: &dyn Workload,
     module: &Module,
     cfg: &CampaignConfig,
     make_obs: impl Fn() -> O + Sync,
-) -> (CampaignResult, Vec<(FaultPlan, TrialRecord, O)>) {
+) -> (
+    CampaignResult,
+    Vec<(FaultPlan, TrialRecord, O)>,
+    SnapshotStats,
+) {
     // Steady-state model: checks that fire with no fault on this input
     // (profile drift between train and test) have exhausted their one
     // recovery and are suppressed — see the paper's false-positive
@@ -180,7 +206,20 @@ fn campaign_core<O: Observer + Send>(
     crate::prep::neutralize_false_positives(&mut module, workload, cfg.input);
     let module = &module;
     let input = workload.input(cfg.input);
-    let (golden_result, golden_out) = run_workload(module, &input, cfg.vm, &mut NoopObserver, None);
+    // Build the pristine globals+input image once; every trial clones it.
+    let image = WorkloadImage::new(module, &input, cfg.vm);
+    let (store, golden_result, golden_out) = if cfg.snapshot_interval > 0 {
+        // The recording run *is* the golden run. It carries a real trial
+        // observer so each checkpoint captures the observer state a
+        // from-scratch trial would have accumulated over the prefix
+        // (prefix-deterministic: the prefix is fault-free and observers
+        // never perturb execution).
+        let (store, r, out) = CheckpointStore::record(&image, make_obs(), cfg.snapshot_interval);
+        (Some(store), r, out)
+    } else {
+        let (r, out) = image.run(&mut NoopObserver, None);
+        (None, r, out)
+    };
     assert!(
         golden_result.completed(),
         "fault-free run of {} must complete: {:?}",
@@ -199,8 +238,28 @@ fn campaign_core<O: Observer + Send>(
         })
         .collect();
 
+    // Visit order: by trigger when resuming (neighboring trials share a
+    // checkpoint, keeping its memory image hot), plan order otherwise.
+    let order: Vec<usize> = {
+        let mut idx: Vec<usize> = (0..plans.len()).collect();
+        if store.is_some() {
+            idx.sort_by_key(|&i| (plans[i].at_dyn, i));
+        }
+        idx
+    };
+
+    // Convergence candidates: every checkpoint is a potential early-exit
+    // boundary once a trial's state matches the golden run's.
+    let candidates: Vec<&softft_vm::Snapshot> =
+        store.as_ref().map(|s| s.candidates()).unwrap_or_default();
+
     let records: Mutex<Vec<(usize, TrialRecord, O)>> = Mutex::new(Vec::with_capacity(plans.len()));
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let resumed = AtomicU64::new(0);
+    let converged = AtomicU64::new(0);
+    let prefix_skipped = AtomicU64::new(0);
+    let suffix_skipped = AtomicU64::new(0);
+    let insts_executed = AtomicU64::new(0);
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism()
             .map(|p| p.get())
@@ -210,19 +269,100 @@ fn campaign_core<O: Observer + Send>(
     };
 
     std::thread::scope(|scope| {
+        let (records, next, image, plans, order, golden_out) =
+            (&records, &next, &image, &plans, &order, &golden_out);
+        let (resumed, converged, prefix_skipped, suffix_skipped) =
+            (&resumed, &converged, &prefix_skipped, &suffix_skipped);
+        let (insts_executed, make_obs, store, candidates, golden_result) = (
+            &insts_executed,
+            &make_obs,
+            &store,
+            &candidates,
+            &golden_result,
+        );
         for _ in 0..threads.min(plans.len().max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= plans.len() {
-                    break;
+            scope.spawn(move || {
+                // One VM per worker: trials overwrite its memory image
+                // in place instead of re-allocating ~1 MiB per trial.
+                let mut tvm = image.trial_vm();
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= order.len() {
+                        break;
+                    }
+                    let i = order[k];
+                    let plan = plans[i];
+                    let (obs, result, out) = if let Some(s) = store.as_ref() {
+                        let cp = s.best_for(plan.at_dyn);
+                        let (mut obs, start) = match cp {
+                            Some(cp) => {
+                                resumed.fetch_add(1, Ordering::Relaxed);
+                                prefix_skipped.fetch_add(cp.snap.dyn_count(), Ordering::Relaxed);
+                                (cp.obs.clone(), cp.snap.dyn_count())
+                            }
+                            None => (make_obs(), 0),
+                        };
+                        let outcome = match cp {
+                            Some(cp) => {
+                                tvm.resume_converging(&cp.snap, &mut obs, Some(plan), candidates)
+                            }
+                            None => tvm.run_converging(&mut obs, Some(plan), candidates),
+                        };
+                        match outcome {
+                            ConvergeOutcome::Done(r) => {
+                                insts_executed.fetch_add(r.dyn_insts - start, Ordering::Relaxed);
+                                let out = tvm.output();
+                                (obs, r, out)
+                            }
+                            ConvergeOutcome::Converged {
+                                at,
+                                executed,
+                                injection,
+                            } => {
+                                // State equals the golden checkpoint at
+                                // `at`, so the rest of the run is the
+                                // golden suffix: take the golden result
+                                // and fast-forward the observer over it.
+                                converged.fetch_add(1, Ordering::Relaxed);
+                                suffix_skipped
+                                    .fetch_add(golden_result.dyn_insts - at, Ordering::Relaxed);
+                                insts_executed.fetch_add(executed, Ordering::Relaxed);
+                                let cp_at =
+                                    s.at_boundary(at).expect("converged at a known checkpoint");
+                                obs.fast_forward(&cp_at.obs, s.golden_obs());
+                                let r = RunResult {
+                                    end: golden_result.end,
+                                    dyn_insts: golden_result.dyn_insts,
+                                    injection,
+                                    check_failures: golden_result.check_failures,
+                                };
+                                (obs, r, golden_out.clone())
+                            }
+                        }
+                    } else {
+                        let mut obs = make_obs();
+                        let (r, out) = tvm.run(&mut obs, Some(plan));
+                        insts_executed.fetch_add(r.dyn_insts, Ordering::Relaxed);
+                        (obs, r, out)
+                    };
+                    let rec = classify_trial(workload, golden_out, &result, &out, &cfg.classify);
+                    records.lock().push((i, rec, obs));
                 }
-                let mut obs = make_obs();
-                let (result, out) = run_workload(module, &input, cfg.vm, &mut obs, Some(plans[i]));
-                let rec = classify_trial(workload, &golden_out, &result, &out, &cfg.classify);
-                records.lock().push((i, rec, obs));
             });
         }
     });
+
+    let stats = SnapshotStats {
+        interval: cfg.snapshot_interval,
+        checkpoints: store.as_ref().map_or(0, |s| s.len() as u64),
+        checkpoint_bytes: store.as_ref().map_or(0, |s| s.total_bytes() as u64),
+        resumed_trials: resumed.load(Ordering::Relaxed),
+        fresh_trials: plans.len() as u64 - resumed.load(Ordering::Relaxed),
+        converged_trials: converged.load(Ordering::Relaxed),
+        prefix_insts_skipped: prefix_skipped.load(Ordering::Relaxed),
+        suffix_insts_skipped: suffix_skipped.load(Ordering::Relaxed),
+        insts_executed: insts_executed.load(Ordering::Relaxed),
+    };
 
     let mut per_trial = records.into_inner();
     per_trial.sort_by_key(|(i, _, _)| *i);
@@ -257,6 +397,7 @@ fn campaign_core<O: Observer + Send>(
             .into_iter()
             .map(|(i, rec, obs)| (plans[i], rec, obs))
             .collect(),
+        stats,
     )
 }
 
@@ -279,6 +420,19 @@ pub fn run_campaign(
     campaign_core(workload, module, cfg, || NoopObserver).0
 }
 
+/// Like [`run_campaign`], but also returns the [`SnapshotStats`]
+/// describing how much prefix work the checkpoint engine skipped (all
+/// zero when `cfg.snapshot_interval == 0`). The `CampaignResult` itself
+/// is bitwise identical to [`run_campaign`] for the same config.
+pub fn run_campaign_with_stats(
+    workload: &dyn Workload,
+    module: &Module,
+    cfg: &CampaignConfig,
+) -> (CampaignResult, SnapshotStats) {
+    let (result, _, stats) = campaign_core(workload, module, cfg, || NoopObserver);
+    (result, stats)
+}
+
 /// Like [`run_campaign`], but counts which [`CheckKind`]s fired across
 /// all trials. Cheaper than [`run_campaign_traced`]: the per-trial
 /// observer only does work when a check fails.
@@ -287,7 +441,7 @@ pub fn run_campaign_counted(
     module: &Module,
     cfg: &CampaignConfig,
 ) -> (CampaignResult, CheckKindCounts) {
-    let (result, per_trial) = campaign_core(workload, module, cfg, CheckCounter::default);
+    let (result, per_trial, _) = campaign_core(workload, module, cfg, CheckCounter::default);
     let mut checks = CheckKindCounts::new();
     for (_, _, obs) in &per_trial {
         checks.merge(&obs.counts);
@@ -303,7 +457,7 @@ pub fn run_campaign_recorded(
     module: &Module,
     cfg: &CampaignConfig,
 ) -> (CampaignResult, Vec<TrialRecord>) {
-    let (result, per_trial) = campaign_core(workload, module, cfg, || NoopObserver);
+    let (result, per_trial, _) = campaign_core(workload, module, cfg, || NoopObserver);
     (
         result,
         per_trial.into_iter().map(|(_, rec, _)| rec).collect(),
@@ -332,7 +486,7 @@ pub fn run_campaign_attributed(
     cfg: &CampaignConfig,
     protection: Option<&ProtectionMap>,
 ) -> (CampaignResult, CampaignTelemetry) {
-    let (result, per_trial) = campaign_core(workload, module, cfg, TraceObserver::new);
+    let (result, per_trial, _) = campaign_core(workload, module, cfg, TraceObserver::new);
 
     let mut telemetry = CampaignTelemetry::default();
     for (i, (plan, rec, obs)) in per_trial.iter().enumerate() {
@@ -571,6 +725,39 @@ mod tests {
             cov.injected,
             (result.trials - result.trigger_unreached) as u64
         );
+    }
+
+    #[test]
+    fn snapshot_campaign_is_bitwise_identical_to_direct() {
+        let p = prepare(workload_by_name("tiff2bw").unwrap());
+        let t = Technique::DupVal;
+        let direct = run_campaign(&*p.workload, p.module(t), &small_cfg(50));
+        for interval in [500, 2000] {
+            let mut cfg = small_cfg(50);
+            cfg.snapshot_interval = interval;
+            let (snap, stats) = run_campaign_with_stats(&*p.workload, p.module(t), &cfg);
+            assert_eq!(direct, snap, "interval {interval} diverged from direct");
+            assert_eq!(stats.interval, interval);
+            assert!(stats.checkpoints > 0);
+            assert!(stats.checkpoint_bytes > 0);
+            assert!(stats.resumed_trials > 0, "no trial ever resumed");
+            assert_eq!(stats.resumed_trials + stats.fresh_trials, 50);
+            assert!(stats.prefix_insts_skipped >= stats.resumed_trials * interval);
+        }
+    }
+
+    #[test]
+    fn snapshot_stats_are_zero_when_disabled() {
+        let p = prepare(workload_by_name("kmeans").unwrap());
+        let (result, stats) =
+            run_campaign_with_stats(&*p.workload, p.module(Technique::Original), &small_cfg(20));
+        assert_eq!(result.trials, 20);
+        assert_eq!(stats.interval, 0);
+        assert_eq!(stats.checkpoints, 0);
+        assert_eq!(stats.resumed_trials, 0);
+        assert_eq!(stats.fresh_trials, 20);
+        assert_eq!(stats.prefix_insts_skipped, 0);
+        assert!(stats.insts_executed > 0);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   transform under each technique;
 //! * [`campaign`] — the injection loop (randomized in time and space,
 //!   seeded, parallelized across threads);
+//! * [`snapshot`] — golden-run checkpointing so trials resume from the
+//!   greatest checkpoint below their trigger instead of re-executing the
+//!   fault-free prefix (bitwise-identical results, large speedup);
 //! * [`coverage`] — per-fault-site coverage maps, USDC attribution, and
 //!   the protection-gap report;
 //! * [`perf`] — fault-free timing runs for the performance-overhead
@@ -30,12 +33,15 @@ pub mod perf;
 pub mod prep;
 pub mod recovery;
 pub mod report;
+pub mod snapshot;
 pub mod stats;
 
 pub use campaign::{
     run_campaign, run_campaign_attributed, run_campaign_counted, run_campaign_recorded,
-    run_campaign_traced, CampaignConfig, CampaignResult, CampaignTelemetry,
+    run_campaign_traced, run_campaign_with_stats, CampaignConfig, CampaignResult,
+    CampaignTelemetry,
 };
 pub use coverage::{build_coverage, BitBand, CoverageMap, GapSite, SiteReport};
 pub use outcome::{Outcome, TrialRecord};
 pub use prep::{prepare, PreparedBenchmark};
+pub use snapshot::{Checkpoint, CheckpointStore, SnapshotStats};

@@ -1,0 +1,197 @@
+//! Golden-run checkpointing for snapshot-accelerated campaigns.
+//!
+//! Every trial in a campaign re-executes the fault-free prefix of the
+//! program up to its trigger `at_dyn` — on average half of
+//! `golden_dyn_insts` of pure redundancy, which dominates campaign
+//! wall-clock (the observation behind DETOx-style campaign acceleration).
+//! A [`CheckpointStore`] records VM [`Snapshot`]s every K dynamic
+//! instructions during the golden run, *together with a clone of the
+//! trial observer at each boundary*, so a trial can resume from the
+//! greatest checkpoint at or below its trigger with bitwise-identical
+//! results: the architectural state comes from the snapshot, and the
+//! observer state is exactly what a from-scratch run would have
+//! accumulated over the skipped prefix.
+
+use softft_vm::interp::Observer;
+use softft_vm::{RunResult, Snapshot};
+use softft_workloads::runner::WorkloadImage;
+
+/// One golden-run checkpoint: the VM snapshot plus the observer state at
+/// the same boundary (cloned per resumed trial).
+#[derive(Clone, Debug)]
+pub struct Checkpoint<O> {
+    /// Architectural state at the boundary.
+    pub snap: Snapshot,
+    /// Observer state at the boundary (prefix-deterministic: identical to
+    /// what any trial's observer would hold at this point, because the
+    /// prefix is fault-free and observers never perturb execution).
+    pub obs: O,
+}
+
+/// Checkpoints from one golden recording run, ordered by boundary.
+///
+/// Shared read-only across campaign worker threads (via `Arc`); each
+/// trial looks up [`CheckpointStore::best_for`] its trigger and clones
+/// the observer.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore<O> {
+    interval: u64,
+    checkpoints: Vec<Checkpoint<O>>,
+    /// Observer state at golden completion — the `end` argument of
+    /// [`softft_vm::SuffixObserver::fast_forward`] when a converged
+    /// trial absorbs the skipped golden suffix.
+    golden_obs: O,
+}
+
+impl<O: Observer + Clone> CheckpointStore<O> {
+    /// Runs the golden (fault-free) pass over `image`, capturing a
+    /// checkpoint every `interval` dynamic instructions. Returns the
+    /// store plus the golden run result and output bytes, so campaigns
+    /// need no separate golden run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn record(
+        image: &WorkloadImage<'_>,
+        mut obs: O,
+        interval: u64,
+    ) -> (Self, RunResult, Vec<u8>) {
+        assert!(interval > 0, "snapshot interval must be positive");
+        let mut checkpoints: Vec<Checkpoint<O>> = Vec::new();
+        let (result, out) = image.run_recording(&mut obs, interval, |snap, o| {
+            checkpoints.push(Checkpoint {
+                snap,
+                obs: o.clone(),
+            });
+        });
+        (
+            CheckpointStore {
+                interval,
+                checkpoints,
+                golden_obs: obs,
+            },
+            result,
+            out,
+        )
+    }
+
+    /// The greatest checkpoint whose boundary is at or below `at_dyn`
+    /// (the trial's trigger), or `None` if the trigger falls before the
+    /// first checkpoint — the trial then runs from instruction 0.
+    pub fn best_for(&self, at_dyn: u64) -> Option<&Checkpoint<O>> {
+        let idx = self
+            .checkpoints
+            .partition_point(|c| c.snap.dyn_count() <= at_dyn);
+        idx.checked_sub(1).map(|i| &self.checkpoints[i])
+    }
+
+    /// The checkpoint whose boundary is exactly `boundary`, if any
+    /// (where a converged trial stopped).
+    pub fn at_boundary(&self, boundary: u64) -> Option<&Checkpoint<O>> {
+        self.checkpoints
+            .binary_search_by_key(&boundary, |c| c.snap.dyn_count())
+            .ok()
+            .map(|i| &self.checkpoints[i])
+    }
+
+    /// All checkpoint snapshots in boundary order — the convergence
+    /// candidate list for [`softft_vm::Vm::resume_converging`].
+    pub fn candidates(&self) -> Vec<&Snapshot> {
+        self.checkpoints.iter().map(|c| &c.snap).collect()
+    }
+
+    /// Observer state at golden completion.
+    pub fn golden_obs(&self) -> &O {
+        &self.golden_obs
+    }
+
+    /// The recording interval in dynamic instructions.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of checkpoints captured.
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// True when the golden run was shorter than one interval.
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+
+    /// Total heap footprint of all captured snapshots, in bytes — the
+    /// memory side of the memory-vs-speed tradeoff.
+    pub fn total_bytes(&self) -> usize {
+        self.checkpoints.iter().map(|c| c.snap.size_bytes()).sum()
+    }
+}
+
+/// How much work the snapshot engine did (and saved) in one campaign.
+/// All-zero when snapshots were disabled (`snapshot_interval == 0`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Configured checkpoint spacing (0 = snapshots off).
+    pub interval: u64,
+    /// Checkpoints captured during the golden run.
+    pub checkpoints: u64,
+    /// Total bytes held by the checkpoint store (peak, since the store
+    /// lives for the whole campaign).
+    pub checkpoint_bytes: u64,
+    /// Trials that resumed from a checkpoint.
+    pub resumed_trials: u64,
+    /// Trials that ran from instruction 0 (trigger before the first
+    /// checkpoint, or snapshots disabled).
+    pub fresh_trials: u64,
+    /// Trials that exited early because their state converged with a
+    /// golden checkpoint (the suffix was taken from the golden run).
+    pub converged_trials: u64,
+    /// Dynamic instructions *not* re-executed thanks to resume (sum of
+    /// resumed checkpoints' boundaries).
+    pub prefix_insts_skipped: u64,
+    /// Dynamic instructions *not* executed thanks to convergence
+    /// early-exit (sum of `golden_dyn_insts - converged_at`).
+    pub suffix_insts_skipped: u64,
+    /// Dynamic instructions actually executed across all trials
+    /// (post-resume); the VM-throughput numerator for perf benches.
+    pub insts_executed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::prepare;
+    use softft::Technique;
+    use softft_vm::interp::{NoopObserver, VmConfig};
+    use softft_workloads::{workload_by_name, InputSet};
+
+    #[test]
+    fn record_and_best_for_pick_greatest_checkpoint_at_or_below() {
+        let p = prepare(workload_by_name("tiff2bw").unwrap());
+        let module = p.module(Technique::Original);
+        let input = p.workload.input(InputSet::Test);
+        let image = WorkloadImage::new(module, &input, VmConfig::default());
+        let (store, golden, out) = CheckpointStore::record(&image, NoopObserver, 1000);
+
+        // The recording run *is* the golden run.
+        assert!(golden.completed());
+        assert!(!out.is_empty());
+        assert_eq!(store.interval(), 1000);
+        assert!(!store.is_empty());
+        assert_eq!(store.len() as u64, (golden.dyn_insts - 1) / 1000);
+        // Every checkpoint carries at least the full memory image.
+        assert!(store.total_bytes() >= store.len() * image.module().memory_end() as usize);
+
+        // Lookup semantics: greatest boundary <= trigger.
+        assert!(store.best_for(0).is_none());
+        assert!(store.best_for(999).is_none());
+        assert_eq!(store.best_for(1000).unwrap().snap.dyn_count(), 1000);
+        assert_eq!(store.best_for(1999).unwrap().snap.dyn_count(), 1000);
+        assert_eq!(store.best_for(2000).unwrap().snap.dyn_count(), 2000);
+        assert_eq!(
+            store.best_for(u64::MAX).unwrap().snap.dyn_count(),
+            store.len() as u64 * 1000
+        );
+    }
+}

@@ -20,7 +20,7 @@ use softft_ir::function::Function;
 use softft_ir::inst::{CheckKind, Op};
 use softft_ir::{BlockId, FuncId, InstId};
 use softft_vm::fault::InjectionRecord;
-use softft_vm::Observer;
+use softft_vm::{Observer, SuffixObserver};
 use std::collections::BTreeMap;
 
 /// All [`CheckKind`] variants in canonical order (the order used for
@@ -99,6 +99,19 @@ impl CheckKindCounts {
             *a += b;
         }
     }
+
+    /// Adds the per-kind delta `boundary..end` (golden-suffix
+    /// fast-forward; see [`SuffixObserver`]).
+    pub fn merge_delta(&mut self, boundary: &CheckKindCounts, end: &CheckKindCounts) {
+        for ((a, b), e) in self
+            .counts
+            .iter_mut()
+            .zip(boundary.counts.iter())
+            .zip(end.counts.iter())
+        {
+            *a += e - b;
+        }
+    }
 }
 
 /// An observer that only attributes check firings to their
@@ -115,6 +128,12 @@ impl Observer for CheckCounter {
         if let Op::Check { kind, .. } = f.inst(inst).op {
             self.counts.inc(kind);
         }
+    }
+}
+
+impl SuffixObserver for CheckCounter {
+    fn fast_forward(&mut self, boundary: &Self, end: &Self) {
+        self.counts.merge_delta(&boundary.counts, &end.counts);
     }
 }
 
@@ -214,6 +233,24 @@ impl Observer for TraceObserver {
     }
 }
 
+impl SuffixObserver for TraceObserver {
+    fn fast_forward(&mut self, boundary: &Self, end: &Self) {
+        self.dyn_count = end.dyn_count;
+        for (op, total) in &end.opcodes {
+            let before = boundary.opcodes.get(op).copied().unwrap_or(0);
+            *self.opcodes.entry(op).or_insert(0) += total - before;
+        }
+        self.checks.merge_delta(&boundary.checks, &end.checks);
+        // The injection point is the trial's own (the golden run has
+        // none). A first detection in the golden suffix only counts if
+        // neither the trial nor the shared golden prefix saw one.
+        if self.first_detect.is_none() && boundary.first_detect.is_none() {
+            self.first_detect = end.first_detect;
+            self.first_detect_kind = end.first_detect_kind;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,7 +289,56 @@ mod tests {
         assert_eq!(a.get(CheckKind::CfcSignature), 1);
         assert_eq!(a.total(), 5);
         let in_order: Vec<u64> = a.iter().map(|(_, n)| n).collect();
-        assert_eq!(in_order, vec![2, 0, 0, 1, 0, 0, 1]);
+        assert_eq!(in_order, vec![2, 0, 0, 2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn fast_forward_adds_suffix_deltas_only() {
+        // Golden observer at the convergence boundary and at completion.
+        let mut boundary = TraceObserver::new();
+        boundary.dyn_count = 100;
+        boundary.opcodes.insert("add", 60);
+        boundary.checks.inc(CheckKind::DupMismatch);
+        let mut end = boundary.clone();
+        end.dyn_count = 250;
+        *end.opcodes.get_mut("add").unwrap() += 90;
+        end.opcodes.insert("term", 40);
+        end.checks.inc(CheckKind::DupMismatch);
+        end.first_detect = Some(180);
+        end.first_detect_kind = Some(CheckKind::DupMismatch);
+
+        // The trial resumed late, executed its own instructions, and
+        // converged at the boundary.
+        let mut trial = TraceObserver::new();
+        trial.dyn_count = 100;
+        trial.opcodes.insert("add", 55);
+        trial.opcodes.insert("mul", 5);
+        trial.inject_at = Some(90);
+        trial.fast_forward(&boundary, &end);
+
+        assert_eq!(trial.dyn_count, 250);
+        assert_eq!(trial.opcodes["add"], 55 + 90);
+        assert_eq!(trial.opcodes["mul"], 5);
+        assert_eq!(trial.opcodes["term"], 40);
+        // Suffix check delta is end - boundary, not end's total.
+        assert_eq!(trial.checks.get(CheckKind::DupMismatch), 1);
+        // inject_at stays the trial's own; the golden-suffix detection
+        // counts because neither trial nor shared prefix saw one.
+        assert_eq!(trial.inject_at, Some(90));
+        assert_eq!(trial.first_detect, Some(180));
+
+        // But a detection in the shared prefix (present in `boundary`)
+        // would already be in the trial's state — don't overwrite.
+        let mut prefix_detected = TraceObserver::new();
+        prefix_detected.first_detect = Some(40);
+        prefix_detected.first_detect_kind = Some(CheckKind::ValueRange);
+        let mut b2 = boundary.clone();
+        b2.first_detect = Some(40);
+        b2.first_detect_kind = Some(CheckKind::ValueRange);
+        let mut t2 = prefix_detected.clone();
+        t2.fast_forward(&b2, &end);
+        assert_eq!(t2.first_detect, Some(40));
+        assert_eq!(t2.first_detect_kind, Some(CheckKind::ValueRange));
     }
 
     #[test]

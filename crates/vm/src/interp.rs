@@ -1,4 +1,11 @@
 //! The IR interpreter (functional model).
+//!
+//! The interpreter is an explicit frame-stack machine rather than a
+//! recursive evaluator: the complete architectural state at any dynamic
+//! instruction boundary is `(Memory, Vec<Frame>, dyn_count)`, which makes
+//! it cheap to capture as a [`Snapshot`] during a golden run and resume
+//! later — injection campaigns use this to skip re-executing the shared
+//! fault-free prefix of every trial (DETOx-style campaign acceleration).
 
 use crate::fault::{flip_bit, FaultInjector, FaultKind, FaultPlan, InjectionRecord};
 use crate::memory::Memory;
@@ -86,6 +93,27 @@ pub struct NoopObserver;
 
 impl Observer for NoopObserver {}
 
+/// Observers usable with the convergence early-exit
+/// ([`Vm::resume_converging`]): when a trial halts at a golden
+/// checkpoint, its observer must absorb the events of the skipped golden
+/// suffix. `boundary` is the golden observer's state at the convergence
+/// point, `end` its state at golden completion; after the call, `self`
+/// must equal what a full (non-exiting) run of the trial would have
+/// produced. For counter-style observers that is `self += end - boundary`
+/// per counter.
+pub trait SuffixObserver: Observer + Clone {
+    /// Folds the golden suffix `boundary..end` into this observer.
+    fn fast_forward(&mut self, boundary: &Self, end: &Self);
+}
+
+impl SuffixObserver for NoopObserver {
+    fn fast_forward(&mut self, _: &Self, _: &Self) {}
+}
+
+/// One activation record. Cloning a frame (for snapshots) copies the slot
+/// array; everything else is indices. Equality is bitwise over the whole
+/// record — the convergence check relies on it.
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct Frame {
     func: FuncId,
     /// One slot per SSA value; `Some` once defined. Constants are never
@@ -95,6 +123,239 @@ struct Frame {
     /// flow: SSA liveness no longer holds, so reads of never-written
     /// slots yield stale zeros instead of asserting.
     lenient: bool,
+    /// Current block.
+    block: BlockId,
+    /// Index of the next instruction in `block` (`insts.len()` means the
+    /// terminator is next).
+    ip: usize,
+    /// When this frame is suspended below an active callee: the call
+    /// instruction awaiting the callee's return value.
+    call_inst: Option<InstId>,
+}
+
+/// A resumable checkpoint of the full architectural state — linear memory,
+/// the frame stack, and the dynamic-instruction / check-failure counters —
+/// captured at a dynamic-instruction boundary (*before* the instruction at
+/// [`Snapshot::dyn_count`] executes).
+///
+/// Produced by [`Vm::run_recording`]; consumed by [`Vm::resume_from`].
+/// Because execution is deterministic, resuming a snapshot and running a
+/// fresh run from instruction 0 are bitwise equivalent for any fault plan
+/// whose trigger is at or after the snapshot point.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    dyn_count: u64,
+    check_failures: u64,
+    mem: Memory,
+    /// Bottom-to-top; the last frame is the executing one.
+    stack: Vec<Frame>,
+}
+
+impl Snapshot {
+    /// The dynamic-instruction boundary this snapshot was captured at.
+    pub fn dyn_count(&self) -> u64 {
+        self.dyn_count
+    }
+
+    /// The captured memory image.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Approximate heap footprint in bytes (memory image + slot arrays);
+    /// used for checkpoint-budget reporting.
+    pub fn size_bytes(&self) -> usize {
+        self.mem.len()
+            + self
+                .stack
+                .iter()
+                .map(|f| f.slots.len() * std::mem::size_of::<Option<u64>>())
+                .sum::<usize>()
+    }
+}
+
+/// Boundary hook threaded through the machine loop. `NoSink` compiles to
+/// nothing; `EveryK` captures snapshots during golden recording runs;
+/// `ConvergeSink` compares trial state against golden checkpoints.
+/// Returning `true` halts the machine at this boundary (before the
+/// instruction at the current `dyn_count` executes).
+trait Sink<O: Observer> {
+    fn at_boundary(
+        &mut self,
+        mem: &Memory,
+        cur: &Frame,
+        below: &[Frame],
+        state: &ExecState,
+        obs: &O,
+    ) -> bool;
+}
+
+struct NoSink;
+
+impl<O: Observer> Sink<O> for NoSink {
+    #[inline(always)]
+    fn at_boundary(&mut self, _: &Memory, _: &Frame, _: &[Frame], _: &ExecState, _: &O) -> bool {
+        false
+    }
+}
+
+/// Captures a [`Snapshot`] whenever `dyn_count` is a positive multiple of
+/// `interval`. Each boundary is visited exactly once, so each multiple
+/// yields exactly one checkpoint.
+struct EveryK<'a, F> {
+    interval: u64,
+    f: &'a mut F,
+}
+
+impl<O: Observer, F: FnMut(Snapshot, &O)> Sink<O> for EveryK<'_, F> {
+    fn at_boundary(
+        &mut self,
+        mem: &Memory,
+        cur: &Frame,
+        below: &[Frame],
+        state: &ExecState,
+        obs: &O,
+    ) -> bool {
+        if state.dyn_count != 0 && state.dyn_count.is_multiple_of(self.interval) {
+            let mut stack = below.to_vec();
+            stack.push(cur.clone());
+            (self.f)(
+                Snapshot {
+                    dyn_count: state.dyn_count,
+                    check_failures: state.check_failures,
+                    mem: mem.clone(),
+                    stack,
+                },
+                obs,
+            );
+        }
+        false
+    }
+}
+
+/// Detects *state convergence*: once a trial's full architectural state
+/// (memory, frame stack, check-failure count) equals the golden
+/// checkpoint at the same boundary — with the fault consumed and control
+/// flow intact — the remainder of the run is, by determinism, exactly
+/// the golden suffix, so execution can stop and the final result be
+/// taken from the golden run. Masked faults (dead-state hits, values
+/// overwritten before use) converge within a checkpoint interval or two,
+/// turning most trials' cost from `golden - at_dyn` into ~one interval.
+struct ConvergeSink<'a> {
+    /// Golden checkpoints, sorted by boundary; candidates for matching.
+    candidates: &'a [&'a Snapshot],
+    /// Next candidate not yet behind the execution point.
+    idx: usize,
+    /// Set once state matched a candidate (the halt boundary).
+    converged_at: Option<u64>,
+}
+
+impl<'a> ConvergeSink<'a> {
+    fn new(candidates: &'a [&'a Snapshot]) -> Self {
+        ConvergeSink {
+            candidates,
+            idx: 0,
+            converged_at: None,
+        }
+    }
+}
+
+impl<O: Observer> Sink<O> for ConvergeSink<'_> {
+    fn at_boundary(
+        &mut self,
+        mem: &Memory,
+        cur: &Frame,
+        below: &[Frame],
+        state: &ExecState,
+        _obs: &O,
+    ) -> bool {
+        while self
+            .candidates
+            .get(self.idx)
+            .is_some_and(|c| c.dyn_count < state.dyn_count)
+        {
+            self.idx += 1;
+        }
+        let Some(cand) = self.candidates.get(self.idx) else {
+            return false;
+        };
+        if cand.dyn_count != state.dyn_count {
+            return false;
+        }
+        self.idx += 1;
+        // The fault must be fully resolved (injected or proven dead) and
+        // control flow uncorrupted, or the suffix is not golden-determined.
+        if state.fault.is_some() || state.branch_fault_armed.is_some() || state.control_corrupted {
+            return false;
+        }
+        // Cheapest comparisons first; the memory image last.
+        if state.check_failures != cand.check_failures
+            || below.len() + 1 != cand.stack.len()
+            || *cur != cand.stack[cand.stack.len() - 1]
+            || below != &cand.stack[..below.len()]
+            || *mem != cand.mem
+        {
+            return false;
+        }
+        self.converged_at = Some(state.dyn_count);
+        true
+    }
+}
+
+/// How the machine loop ended: an ordinary top-level return, or a halt
+/// requested by the boundary sink (state convergence).
+enum MachineEnd {
+    Ret(Option<u64>),
+    Halted,
+}
+
+/// Outcome of a converging run ([`Vm::resume_converging`] /
+/// [`Vm::run_converging`]).
+#[derive(Clone, Debug)]
+pub enum ConvergeOutcome {
+    /// The run ended on its own (completed or trapped); nothing skipped.
+    Done(RunResult),
+    /// The trial's state matched the golden checkpoint at boundary `at`:
+    /// the rest of the run is exactly the golden suffix. The caller
+    /// substitutes the golden run's final result (and fast-forwards the
+    /// observer over the suffix via [`SuffixObserver`]).
+    Converged {
+        /// The checkpoint boundary where state converged.
+        at: u64,
+        /// Dynamic instructions this call actually executed.
+        executed: u64,
+        /// The trial's own injection record (the golden run has none).
+        injection: Option<InjectionRecord>,
+    },
+}
+
+fn finish_converging(
+    machine: Result<MachineEnd, TrapKind>,
+    state: ExecState,
+    start: u64,
+) -> ConvergeOutcome {
+    match machine {
+        Ok(MachineEnd::Halted) => ConvergeOutcome::Converged {
+            at: state.dyn_count,
+            executed: state.dyn_count - start,
+            injection: state.injection,
+        },
+        Ok(MachineEnd::Ret(ret)) => ConvergeOutcome::Done(RunResult {
+            end: RunEnd::Completed { ret },
+            dyn_insts: state.dyn_count,
+            injection: state.injection,
+            check_failures: state.check_failures,
+        }),
+        Err(kind) => ConvergeOutcome::Done(RunResult {
+            end: RunEnd::Trap {
+                kind,
+                at_dyn: state.dyn_count,
+            },
+            dyn_insts: state.dyn_count,
+            injection: state.injection,
+            check_failures: state.check_failures,
+        }),
+    }
 }
 
 struct ExecState {
@@ -112,6 +373,17 @@ struct ExecState {
 }
 
 impl ExecState {
+    fn new(fault: Option<FaultPlan>) -> Self {
+        ExecState {
+            dyn_count: 0,
+            fault: fault.map(|p| (p, FaultInjector::new(&p))),
+            injection: None,
+            check_failures: 0,
+            branch_fault_armed: None,
+            control_corrupted: false,
+        }
+    }
+
     /// If the fault trigger is reached, flip a bit in a random defined
     /// slot of `frame`.
     fn maybe_inject<O: Observer>(&mut self, frame: &mut Frame, func: &Function, obs: &mut O) {
@@ -178,6 +450,17 @@ impl<'m> Vm<'m> {
         }
     }
 
+    /// Creates a VM over a prebuilt memory image (e.g. a pristine
+    /// globals+input image cloned once per trial, instead of re-running
+    /// [`Memory::for_module`] initializer copying inside every trial).
+    pub fn with_memory(module: &'m Module, config: VmConfig, mem: Memory) -> Self {
+        Vm {
+            module,
+            mem,
+            config,
+        }
+    }
+
     /// The module being executed.
     pub fn module(&self) -> &Module {
         self.module
@@ -200,16 +483,71 @@ impl<'m> Vm<'m> {
         obs: &mut O,
         fault: Option<FaultPlan>,
     ) -> RunResult {
-        let mut state = ExecState {
-            dyn_count: 0,
-            fault: fault.map(|p| (p, FaultInjector::new(&p))),
-            injection: None,
-            check_failures: 0,
-            branch_fault_armed: None,
-            control_corrupted: false,
-        };
-        let end = match self.exec_function(entry, args, obs, &mut state, 0) {
-            Ok(ret) => RunEnd::Completed { ret },
+        self.run_inner(entry, args, obs, fault, &mut NoSink)
+    }
+
+    /// Runs `entry` fault-free while capturing a [`Snapshot`] every
+    /// `interval` dynamic instructions. `on_checkpoint` receives each
+    /// snapshot together with the observer's state *at the capture
+    /// boundary* — campaigns clone it so resumed trials start with
+    /// prefix-identical observer state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn run_recording<O: Observer>(
+        &mut self,
+        entry: FuncId,
+        args: &[u64],
+        obs: &mut O,
+        interval: u64,
+        mut on_checkpoint: impl FnMut(Snapshot, &O),
+    ) -> RunResult {
+        assert!(interval > 0, "snapshot interval must be positive");
+        self.run_inner(
+            entry,
+            args,
+            obs,
+            None,
+            &mut EveryK {
+                interval,
+                f: &mut on_checkpoint,
+            },
+        )
+    }
+
+    /// Resumes execution from `snap`, replacing this VM's memory with the
+    /// snapshot image. The result is bitwise identical to a fresh
+    /// [`Vm::run`] with the same `fault`, provided the snapshot was taken
+    /// from a fault-free run of the same entry/args and
+    /// `fault.at_dyn >= snap.dyn_count()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault trigger predates the snapshot boundary.
+    pub fn resume_from<O: Observer>(
+        &mut self,
+        snap: &Snapshot,
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+    ) -> RunResult {
+        if let Some(plan) = &fault {
+            assert!(
+                plan.at_dyn >= snap.dyn_count,
+                "fault trigger {} predates snapshot boundary {}",
+                plan.at_dyn,
+                snap.dyn_count
+            );
+        }
+        let mut state = ExecState::new(fault);
+        state.dyn_count = snap.dyn_count;
+        state.check_failures = snap.check_failures;
+        self.mem.clone_from(&snap.mem);
+        let mut stack = snap.stack.clone();
+        let mut cur = stack.pop().expect("snapshot has at least one frame");
+        let end = match self.exec_machine(&mut cur, &mut stack, &mut state, obs, &mut NoSink) {
+            Ok(MachineEnd::Ret(ret)) => RunEnd::Completed { ret },
+            Ok(MachineEnd::Halted) => unreachable!("NoSink never halts"),
             Err(kind) => RunEnd::Trap {
                 kind,
                 at_dyn: state.dyn_count,
@@ -223,14 +561,108 @@ impl<'m> Vm<'m> {
         }
     }
 
-    fn exec_function<O: Observer>(
+    /// Like [`Vm::resume_from`], but additionally watches for *state
+    /// convergence* against `candidates` — golden checkpoints from the
+    /// same recording run that produced `snap`, sorted by boundary. If
+    /// the trial's full architectural state ever equals a candidate's
+    /// (fault consumed, control flow intact), the rest of the run is
+    /// exactly the golden suffix, so execution halts and
+    /// [`ConvergeOutcome::Converged`] reports the boundary; the caller
+    /// substitutes the golden run's final result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault trigger predates the snapshot boundary.
+    pub fn resume_converging<O: Observer>(
         &mut self,
-        fid: FuncId,
+        snap: &Snapshot,
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+        candidates: &[&Snapshot],
+    ) -> ConvergeOutcome {
+        if let Some(plan) = &fault {
+            assert!(
+                plan.at_dyn >= snap.dyn_count,
+                "fault trigger {} predates snapshot boundary {}",
+                plan.at_dyn,
+                snap.dyn_count
+            );
+        }
+        let mut state = ExecState::new(fault);
+        state.dyn_count = snap.dyn_count;
+        state.check_failures = snap.check_failures;
+        self.mem.clone_from(&snap.mem);
+        let mut stack = snap.stack.clone();
+        let mut cur = stack.pop().expect("snapshot has at least one frame");
+        let mut sink = ConvergeSink::new(candidates);
+        let machine = self.exec_machine(&mut cur, &mut stack, &mut state, obs, &mut sink);
+        finish_converging(machine, state, snap.dyn_count)
+    }
+
+    /// Like [`Vm::run`] (from instruction 0), but with the same
+    /// convergence early-exit as [`Vm::resume_converging`] — for trials
+    /// whose trigger falls before the first checkpoint.
+    pub fn run_converging<O: Observer>(
+        &mut self,
+        entry: FuncId,
         args: &[u64],
         obs: &mut O,
-        state: &mut ExecState,
+        fault: Option<FaultPlan>,
+        candidates: &[&Snapshot],
+    ) -> ConvergeOutcome {
+        let mut state = ExecState::new(fault);
+        let mut stack: Vec<Frame> = Vec::new();
+        let machine = match self.new_frame(entry, args, 0, obs) {
+            Err(kind) => Err(kind),
+            Ok(mut cur) => {
+                let mut sink = ConvergeSink::new(candidates);
+                self.exec_machine(&mut cur, &mut stack, &mut state, obs, &mut sink)
+            }
+        };
+        finish_converging(machine, state, 0)
+    }
+
+    fn run_inner<O: Observer, S: Sink<O>>(
+        &mut self,
+        entry: FuncId,
+        args: &[u64],
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+        sink: &mut S,
+    ) -> RunResult {
+        let mut state = ExecState::new(fault);
+        let mut stack: Vec<Frame> = Vec::new();
+        let end = match self.new_frame(entry, args, 0, obs) {
+            Err(kind) => RunEnd::Trap {
+                kind,
+                at_dyn: state.dyn_count,
+            },
+            Ok(mut cur) => match self.exec_machine(&mut cur, &mut stack, &mut state, obs, sink) {
+                Ok(MachineEnd::Ret(ret)) => RunEnd::Completed { ret },
+                Ok(MachineEnd::Halted) => unreachable!("run sinks never halt"),
+                Err(kind) => RunEnd::Trap {
+                    kind,
+                    at_dyn: state.dyn_count,
+                },
+            },
+        };
+        RunResult {
+            end,
+            dyn_insts: state.dyn_count,
+            injection: state.injection,
+            check_failures: state.check_failures,
+        }
+    }
+
+    /// Builds the activation record for `fid`, canonicalizing arguments
+    /// into parameter slots. `depth` is the number of frames below it.
+    fn new_frame<O: Observer>(
+        &self,
+        fid: FuncId,
+        args: &[u64],
         depth: u32,
-    ) -> Result<Option<u64>, TrapKind> {
+        obs: &mut O,
+    ) -> Result<Frame, TrapKind> {
         if depth >= self.config.max_call_depth {
             return Err(TrapKind::CallDepth);
         }
@@ -245,6 +677,9 @@ impl<'m> Vm<'m> {
             func: fid,
             slots: vec![None; func.num_values()],
             lenient: false,
+            block: func.entry(),
+            ip: 0,
+            call_inst: None,
         };
         for (i, &a) in args.iter().enumerate() {
             let p = func.param(i);
@@ -257,159 +692,135 @@ impl<'m> Vm<'m> {
             frame.slots[p.index()] = Some(canon);
         }
         obs.on_enter(fid, func);
+        let insts = &func.block(frame.block).insts;
+        frame.ip = insts
+            .iter()
+            .position(|&i| !func.inst(i).op.is_phi())
+            .unwrap_or(insts.len());
+        Ok(frame)
+    }
 
-        let mut block = func.entry();
-        let mut prev_block: Option<BlockId> = None;
-
-        'blocks: loop {
-            // Phis: parallel-copy semantics (read all, then write all).
-            if let Some(prev) = prev_block {
-                let mut writes: Vec<(usize, u64)> = Vec::new();
-                for &i in &func.block(block).insts {
+    /// The machine loop. `cur` is the executing frame, `stack` the
+    /// suspended frames below it (callers). Each dynamic-instruction
+    /// boundary runs, in order: boundary sink (may halt) → fault trigger →
+    /// watchdog → count → observer → execute.
+    fn exec_machine<O: Observer, S: Sink<O>>(
+        &mut self,
+        cur: &mut Frame,
+        stack: &mut Vec<Frame>,
+        state: &mut ExecState,
+        obs: &mut O,
+        sink: &mut S,
+    ) -> Result<MachineEnd, TrapKind> {
+        let module = self.module;
+        'frames: loop {
+            let fid = cur.func;
+            let func = module.function(fid);
+            loop {
+                let insts: &[InstId] = &func.block(cur.block).insts;
+                while cur.ip < insts.len() {
+                    let i = insts[cur.ip];
                     let inst = func.inst(i);
-                    let Op::Phi { incomings } = &inst.op else {
-                        break;
-                    };
-                    let incoming = incomings.iter().find(|(p, _)| *p == prev);
-                    let Some((_, v)) = incoming else {
-                        // Only reachable after a branch-target fault: the
-                        // edge does not exist in the CFG, so the phi's
-                        // "register" keeps its stale value.
-                        assert!(
-                            frame.lenient,
-                            "phi {i} in {block} of {} lacks incoming for {prev}",
-                            func.name
-                        );
-                        continue;
-                    };
-                    let bits = self.value_bits(func, &frame, *v);
-                    let r = inst.result.expect("phi has result");
-                    obs.on_phi(fid, func, i, *v);
-                    writes.push((r.index(), bits));
-                }
-                for (slot, bits) in writes {
-                    frame.slots[slot] = Some(bits);
-                }
-            }
+                    debug_assert!(!inst.dead, "dead instruction linked");
+                    if sink.at_boundary(&self.mem, cur, stack, state, obs) {
+                        return Ok(MachineEnd::Halted);
+                    }
+                    state.maybe_inject(cur, func, obs);
+                    if state.dyn_count >= self.config.max_dyn_insts {
+                        return Err(TrapKind::Watchdog);
+                    }
+                    state.dyn_count += 1;
+                    obs.on_exec(fid, func, i);
+                    cur.ip += 1;
 
-            // Non-phi instructions.
-            let insts = &func.block(block).insts;
-            let first_non_phi = insts
-                .iter()
-                .position(|&i| !func.inst(i).op.is_phi())
-                .unwrap_or(insts.len());
-            for &i in &insts[first_non_phi..] {
-                let inst = func.inst(i);
-                debug_assert!(!inst.dead, "dead instruction linked");
-                state.maybe_inject(&mut frame, func, obs);
+                    match &inst.op {
+                        Op::Call { func: callee, args } => {
+                            let argv: Vec<u64> =
+                                args.iter().map(|&a| value_bits(func, cur, a)).collect();
+                            let callee_frame =
+                                self.new_frame(*callee, &argv, stack.len() as u32 + 1, obs)?;
+                            cur.call_inst = Some(i);
+                            stack.push(std::mem::replace(cur, callee_frame));
+                            continue 'frames;
+                        }
+                        Op::Store { addr, value } => {
+                            let a = value_bits(func, cur, *addr) as i64;
+                            let v = value_bits(func, cur, *value);
+                            let ty = func.value_type(*value);
+                            self.mem.store(a, ty, v)?;
+                        }
+                        Op::Check { cond, kind } => {
+                            let c = value_bits(func, cur, *cond);
+                            if c & 1 == 0 {
+                                obs.on_check_fail(fid, func, i);
+                                if self.config.checks_count_only {
+                                    state.check_failures += 1;
+                                } else {
+                                    return Err(TrapKind::SwDetect(*kind));
+                                }
+                            }
+                        }
+                        op => {
+                            let r = inst.result.expect("pure op has a result");
+                            let ty = func.value_type(r);
+                            let bits = self.eval_pure(func, cur, op, ty)?;
+                            cur.slots[r.index()] = Some(bits);
+                            obs.on_result(fid, func, i, ty, bits);
+                        }
+                    }
+                }
+
+                // Terminator boundary.
+                if sink.at_boundary(&self.mem, cur, stack, state, obs) {
+                    return Ok(MachineEnd::Halted);
+                }
+                state.maybe_inject(cur, func, obs);
                 if state.dyn_count >= self.config.max_dyn_insts {
                     return Err(TrapKind::Watchdog);
                 }
                 state.dyn_count += 1;
-                obs.on_exec(fid, func, i);
-
-                match &inst.op {
-                    Op::Call { func: callee, args } => {
-                        let argv: Vec<u64> = args
-                            .iter()
-                            .map(|&a| self.value_bits(func, &frame, a))
-                            .collect();
-                        let ret = self.exec_function(*callee, &argv, obs, state, depth + 1)?;
+                obs.on_term(fid, func, cur.block);
+                let term = func
+                    .block(cur.block)
+                    .term
+                    .as_ref()
+                    .expect("verified function has terminators");
+                match term {
+                    Term::Br(t) => take_edge(fid, func, cur, *t, state, obs),
+                    Term::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
+                        let c = value_bits(func, cur, *cond);
+                        let t = if c & 1 == 1 { *then_bb } else { *else_bb };
+                        take_edge(fid, func, cur, t, state, obs);
+                    }
+                    Term::Ret(v) => {
+                        let ret = v.map(|v| value_bits(func, cur, v));
+                        obs.on_exit(fid);
+                        let Some(caller) = stack.pop() else {
+                            return Ok(MachineEnd::Ret(ret));
+                        };
+                        *cur = caller;
+                        let caller_func = module.function(cur.func);
+                        let i = cur.call_inst.take().expect("returning to a call site");
+                        let inst = caller_func.inst(i);
                         if let Some(r) = inst.result {
                             let bits = ret.expect("verified call returns a value");
-                            frame.slots[r.index()] = Some(bits);
-                            obs.on_result(fid, func, i, func.value_type(r), bits);
+                            cur.slots[r.index()] = Some(bits);
+                            obs.on_result(
+                                cur.func,
+                                caller_func,
+                                i,
+                                caller_func.value_type(r),
+                                bits,
+                            );
                         }
-                    }
-                    Op::Store { addr, value } => {
-                        let a = self.value_bits(func, &frame, *addr) as i64;
-                        let v = self.value_bits(func, &frame, *value);
-                        let ty = func.value_type(*value);
-                        self.mem.store(a, ty, v)?;
-                    }
-                    Op::Check { cond, kind } => {
-                        let c = self.value_bits(func, &frame, *cond);
-                        if c & 1 == 0 {
-                            obs.on_check_fail(fid, func, i);
-                            if self.config.checks_count_only {
-                                state.check_failures += 1;
-                            } else {
-                                return Err(TrapKind::SwDetect(*kind));
-                            }
-                        }
-                    }
-                    op => {
-                        let r = inst.result.expect("pure op has a result");
-                        let ty = func.value_type(r);
-                        let bits = self.eval_pure(func, &frame, op, ty)?;
-                        frame.slots[r.index()] = Some(bits);
-                        obs.on_result(fid, func, i, ty, bits);
+                        continue 'frames;
                     }
                 }
             }
-
-            // Terminator.
-            state.maybe_inject(&mut frame, func, obs);
-            if state.dyn_count >= self.config.max_dyn_insts {
-                return Err(TrapKind::Watchdog);
-            }
-            state.dyn_count += 1;
-            obs.on_term(fid, func, block);
-            let term = func
-                .block(block)
-                .term
-                .as_ref()
-                .expect("verified function has terminators");
-            match term {
-                Term::Br(t) => {
-                    prev_block = Some(block);
-                    block = *t;
-                }
-                Term::CondBr {
-                    cond,
-                    then_bb,
-                    else_bb,
-                } => {
-                    let c = self.value_bits(func, &frame, *cond);
-                    prev_block = Some(block);
-                    block = if c & 1 == 1 { *then_bb } else { *else_bb };
-                }
-                Term::Ret(v) => {
-                    let ret = v.map(|v| self.value_bits(func, &frame, v));
-                    obs.on_exit(fid);
-                    return Ok(ret);
-                }
-            }
-            // A pending branch-target fault corrupts this transfer: the
-            // branch lands on a random block of the function instead.
-            if let Some((plan, mut inj)) = state.branch_fault_armed.take() {
-                let victim = inj.choose_block(func.num_blocks());
-                let intended = block;
-                block = BlockId::new(victim);
-                frame.lenient = true;
-                state.control_corrupted = true;
-                let rec = InjectionRecord::branch(plan.at_dyn, fid, intended, BlockId::new(victim));
-                obs.on_inject(&rec);
-                state.injection = Some(rec);
-            }
-            continue 'blocks;
-        }
-    }
-
-    #[inline]
-    fn value_bits(&self, func: &Function, frame: &Frame, v: ValueId) -> u64 {
-        match func.value(v).kind {
-            ValueKind::Const(c) => c.bits(),
-            _ => match frame.slots[v.index()] {
-                Some(bits) => bits,
-                // Reads of never-written slots are only legal after a
-                // branch-target fault tore up SSA liveness; the register
-                // then holds unspecified (modelled as zero) garbage.
-                None => {
-                    assert!(frame.lenient, "SSA: use before def");
-                    0
-                }
-            },
         }
     }
 
@@ -420,7 +831,7 @@ impl<'m> Vm<'m> {
         op: &Op,
         result_ty: Type,
     ) -> Result<u64, TrapKind> {
-        let val = |v: ValueId| self.value_bits(func, frame, v);
+        let val = |v: ValueId| value_bits(func, frame, v);
         let ity = |v: ValueId| func.value_type(v);
         Ok(match op {
             Op::Bin { op, lhs, rhs } => {
@@ -582,6 +993,80 @@ impl<'m> Vm<'m> {
                 unreachable!("handled by the main loop")
             }
         })
+    }
+}
+
+/// Transfers `cur` to `target`: applies a pending branch-target fault,
+/// runs the target block's phis with parallel-copy semantics (read all,
+/// then write all), and positions `ip` at the first non-phi instruction.
+fn take_edge<O: Observer>(
+    fid: FuncId,
+    func: &Function,
+    cur: &mut Frame,
+    mut target: BlockId,
+    state: &mut ExecState,
+    obs: &mut O,
+) {
+    let prev = cur.block;
+    // A pending branch-target fault corrupts this transfer: the branch
+    // lands on a random block of the function instead.
+    if let Some((plan, mut inj)) = state.branch_fault_armed.take() {
+        let victim = inj.choose_block(func.num_blocks());
+        let intended = target;
+        target = BlockId::new(victim);
+        cur.lenient = true;
+        state.control_corrupted = true;
+        let rec = InjectionRecord::branch(plan.at_dyn, fid, intended, BlockId::new(victim));
+        obs.on_inject(&rec);
+        state.injection = Some(rec);
+    }
+    let insts = &func.block(target).insts;
+    let mut first_non_phi = insts.len();
+    let mut writes: Vec<(usize, u64)> = Vec::new();
+    for (idx, &i) in insts.iter().enumerate() {
+        let inst = func.inst(i);
+        let Op::Phi { incomings } = &inst.op else {
+            first_non_phi = idx;
+            break;
+        };
+        let incoming = incomings.iter().find(|(p, _)| *p == prev);
+        let Some((_, v)) = incoming else {
+            // Only reachable after a branch-target fault: the edge does
+            // not exist in the CFG, so the phi's "register" keeps its
+            // stale value.
+            assert!(
+                cur.lenient,
+                "phi {i} in {target} of {} lacks incoming for {prev}",
+                func.name
+            );
+            continue;
+        };
+        let bits = value_bits(func, cur, *v);
+        let r = inst.result.expect("phi has result");
+        obs.on_phi(fid, func, i, *v);
+        writes.push((r.index(), bits));
+    }
+    for (slot, bits) in writes {
+        cur.slots[slot] = Some(bits);
+    }
+    cur.block = target;
+    cur.ip = first_non_phi;
+}
+
+#[inline]
+fn value_bits(func: &Function, frame: &Frame, v: ValueId) -> u64 {
+    match func.value(v).kind {
+        ValueKind::Const(c) => c.bits(),
+        _ => match frame.slots[v.index()] {
+            Some(bits) => bits,
+            // Reads of never-written slots are only legal after a
+            // branch-target fault tore up SSA liveness; the register
+            // then holds unspecified (modelled as zero) garbage.
+            None => {
+                assert!(frame.lenient, "SSA: use before def");
+                0
+            }
+        },
     }
 }
 
@@ -919,5 +1404,142 @@ mod tests {
         let vm = Vm::new(&m, VmConfig::default());
         assert!(vm.mem.load(GLOBAL_BASE as i64 - 1, Type::I8).is_err());
         assert!(vm.mem.load(GLOBAL_BASE as i64, Type::I8).is_ok());
+    }
+
+    /// A kernel with calls, loops and memory traffic — exercises every
+    /// snapshot-relevant state component (frame stack, slots, memory).
+    fn snapshot_kernel() -> Module {
+        let mut m = Module::new("m");
+        let g = m.add_global("data", 128);
+        let base = m.global(g).addr as i64;
+        let step = FunctionDsl::build("step", &[Type::I64, Type::I64], Some(Type::I64), |d| {
+            let a = d.param(0);
+            let i = d.param(1);
+            let sq = d.mul(i, i);
+            let r = d.add(a, sq);
+            d.ret(Some(r));
+        });
+        let step_id = m.add_function(step);
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let b = d.i64c(base);
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(16));
+            d.for_range(s, e, |d, i| {
+                let a = d.get(acc);
+                let a2 = d.call(step_id, &[a, i], Some(Type::I64)).unwrap();
+                d.set(acc, a2);
+                d.store_elem(b, i, a2);
+            });
+            let acc2 = d.declare_var(Type::I64);
+            d.set(acc2, z);
+            d.for_range(s, e, |d, i| {
+                let v = d.load_elem(Type::I64, b, i);
+                let a = d.get(acc2);
+                let a2 = d.add(a, v);
+                d.set(acc2, a2);
+            });
+            let a = d.get(acc2);
+            d.ret(Some(a));
+        });
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn recording_run_matches_plain_run_and_spaces_checkpoints() {
+        let m = snapshot_kernel();
+        let main = m.function_by_name("main").unwrap();
+        let plain = Vm::new(&m, VmConfig::default()).run(main, &[], &mut NoopObserver, None);
+
+        let mut snaps: Vec<Snapshot> = Vec::new();
+        let rec = Vm::new(&m, VmConfig::default()).run_recording(
+            main,
+            &[],
+            &mut NoopObserver,
+            25,
+            |s, _| snaps.push(s),
+        );
+        assert_eq!(plain, rec, "recording must not perturb execution");
+        assert!(!snaps.is_empty());
+        assert_eq!(snaps.len() as u64, (rec.dyn_insts - 1) / 25);
+        for (k, s) in snaps.iter().enumerate() {
+            assert_eq!(s.dyn_count(), (k as u64 + 1) * 25);
+            assert!(s.size_bytes() > s.memory().len());
+        }
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_completes_identically() {
+        let m = snapshot_kernel();
+        let main = m.function_by_name("main").unwrap();
+        let mut snaps: Vec<Snapshot> = Vec::new();
+        let direct = Vm::new(&m, VmConfig::default()).run_recording(
+            main,
+            &[],
+            &mut NoopObserver,
+            10,
+            |s, _| snaps.push(s),
+        );
+        for s in &snaps {
+            let mut vm = Vm::new(&m, VmConfig::default());
+            let resumed = vm.resume_from(s, &mut NoopObserver, None);
+            assert_eq!(direct, resumed, "resume at {} diverged", s.dyn_count());
+        }
+    }
+
+    #[test]
+    fn resume_with_fault_matches_direct_injection() {
+        let m = snapshot_kernel();
+        let main = m.function_by_name("main").unwrap();
+        let mut snaps: Vec<Snapshot> = Vec::new();
+        let golden = Vm::new(&m, VmConfig::default()).run_recording(
+            main,
+            &[],
+            &mut NoopObserver,
+            20,
+            |s, _| snaps.push(s),
+        );
+        let n = golden.dyn_insts;
+        for seed in 0..10u64 {
+            for plan in [
+                FaultPlan::register(n * (seed + 1) / 11, seed),
+                FaultPlan::branch_target(n * (seed + 1) / 11, seed),
+            ] {
+                let direct =
+                    Vm::new(&m, VmConfig::default()).run(main, &[], &mut NoopObserver, Some(plan));
+                // Greatest checkpoint at or before the trigger, as the
+                // campaign scheduler picks it.
+                let best = snaps.iter().rfind(|s| s.dyn_count() <= plan.at_dyn);
+                let Some(best) = best else { continue };
+                let resumed = Vm::new(&m, VmConfig::default()).resume_from(
+                    best,
+                    &mut NoopObserver,
+                    Some(plan),
+                );
+                assert_eq!(
+                    direct, resumed,
+                    "divergence at seed {seed} kind {:?}",
+                    plan.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "predates snapshot")]
+    fn resume_rejects_pre_snapshot_trigger() {
+        let m = snapshot_kernel();
+        let main = m.function_by_name("main").unwrap();
+        let mut snaps: Vec<Snapshot> = Vec::new();
+        Vm::new(&m, VmConfig::default())
+            .run_recording(main, &[], &mut NoopObserver, 30, |s, _| snaps.push(s));
+        let s = snaps.last().unwrap();
+        Vm::new(&m, VmConfig::default()).resume_from(
+            s,
+            &mut NoopObserver,
+            Some(FaultPlan::register(s.dyn_count() - 1, 0)),
+        );
     }
 }

@@ -52,7 +52,7 @@ pub mod outcome;
 pub mod timing;
 
 pub use fault::{FaultPlan, InjectionRecord};
-pub use interp::{NoopObserver, Observer, Vm, VmConfig};
+pub use interp::{ConvergeOutcome, NoopObserver, Observer, Snapshot, SuffixObserver, Vm, VmConfig};
 pub use memory::Memory;
 pub use outcome::{RunEnd, RunResult, TrapKind};
 pub use timing::{CoreConfig, TimingModel};

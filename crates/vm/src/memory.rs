@@ -9,9 +9,34 @@ use softft_ir::Type;
 /// Addresses below [`GLOBAL_BASE`] are a guard region: accessing them traps
 /// — the analogue of a page fault on a null/corrupted base pointer, which
 /// the paper counts as a hardware-detectable symptom.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Memory {
     bytes: Vec<u8>,
+}
+
+// Byte-wise equality: the convergence early-exit compares a trial's
+// memory against a golden checkpoint image.
+impl PartialEq for Memory {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for Memory {}
+
+impl Clone for Memory {
+    fn clone(&self) -> Self {
+        Memory {
+            bytes: self.bytes.clone(),
+        }
+    }
+
+    // Campaign trials restore a ~1 MiB image thousands of times;
+    // delegating to `Vec::clone_from` reuses the destination allocation
+    // instead of re-faulting fresh pages per trial.
+    fn clone_from(&mut self, source: &Self) {
+        self.bytes.clone_from(&source.bytes);
+    }
 }
 
 impl Memory {
@@ -25,6 +50,12 @@ impl Memory {
             bytes[at..at + g.init.len()].copy_from_slice(&g.init);
         }
         Memory { bytes }
+    }
+
+    /// A zero-capacity placeholder, for VMs whose real image arrives via
+    /// [`crate::interp::Vm::resume_from`].
+    pub fn empty() -> Self {
+        Memory { bytes: Vec::new() }
     }
 
     /// Total addressable size in bytes.

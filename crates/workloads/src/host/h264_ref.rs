@@ -272,7 +272,7 @@ mod tests {
         // A flat frame should decode to nearly the same flat frame — DC
         // prediction must chain identically in both directions.
         let px = vec![77u8; 16 * 16];
-        let stream = encode(&[px.clone()], 16, 16);
+        let stream = encode(std::slice::from_ref(&px), 16, 16);
         let (dec, _, _) = decode(&stream);
         for &v in &dec[0] {
             assert!((v as i32 - 77).abs() <= 2, "{v}");

@@ -4,16 +4,16 @@
 use crate::{InputSet, Workload, WorkloadInput};
 use softft_ir::Module;
 use softft_vm::interp::{Observer, Vm, VmConfig};
-use softft_vm::{FaultPlan, RunResult};
+use softft_vm::{ConvergeOutcome, FaultPlan, Memory, RunResult, Snapshot};
 
-/// Writes a [`WorkloadInput`] into a VM's memory (the `params` and
+/// Writes a [`WorkloadInput`] into a memory image (the `params` and
 /// `input` globals).
 ///
 /// # Panics
 ///
 /// Panics if the module lacks the conventional globals or the payload
 /// exceeds their size.
-pub fn write_input(vm: &mut Vm<'_>, module: &Module, input: &WorkloadInput) {
+pub fn write_input_mem(mem: &mut Memory, module: &Module, input: &WorkloadInput) {
     let params = module
         .global_by_name("params")
         .expect("kernel module has a `params` global");
@@ -25,7 +25,7 @@ pub fn write_input(vm: &mut Vm<'_>, module: &Module, input: &WorkloadInput) {
     for p in &input.params {
         bytes.extend_from_slice(&p.to_le_bytes());
     }
-    vm.mem.write_bytes(params.addr, &bytes);
+    mem.write_bytes(params.addr, &bytes);
     let inp = module
         .global_by_name("input")
         .expect("kernel module has an `input` global");
@@ -33,21 +33,195 @@ pub fn write_input(vm: &mut Vm<'_>, module: &Module, input: &WorkloadInput) {
         input.data.len() as u64 <= inp.size,
         "input payload larger than the input global"
     );
-    vm.mem.write_bytes(inp.addr, &input.data);
+    mem.write_bytes(inp.addr, &input.data);
 }
 
-/// Reads the `output` global: a length word followed by payload bytes.
-/// The length is clamped to the region size, so even a corrupted length
-/// word yields a well-defined (if garbage) result.
-pub fn read_output(vm: &Vm<'_>, module: &Module) -> Vec<u8> {
+/// Writes a [`WorkloadInput`] into a VM's memory.
+///
+/// # Panics
+///
+/// Panics if the module lacks the conventional globals or the payload
+/// exceeds their size.
+pub fn write_input(vm: &mut Vm<'_>, module: &Module, input: &WorkloadInput) {
+    write_input_mem(&mut vm.mem, module, input);
+}
+
+/// Reads the `output` global from a memory image: a length word followed
+/// by payload bytes. The length is clamped to the region size, so even a
+/// corrupted length word yields a well-defined (if garbage) result.
+pub fn read_output_mem(mem: &Memory, module: &Module) -> Vec<u8> {
     let out = module
         .global_by_name("output")
         .expect("kernel module has an `output` global");
-    let len_bytes = vm.mem.read_bytes(out.addr, 8);
+    let len_bytes = mem.read_bytes(out.addr, 8);
     let len = u64::from_le_bytes(len_bytes.try_into().expect("8 bytes"));
     let cap = out.size.saturating_sub(8);
     let len = len.min(cap) as usize;
-    vm.mem.read_bytes(out.addr + 8, len).to_vec()
+    mem.read_bytes(out.addr + 8, len).to_vec()
+}
+
+/// Reads the `output` global from a VM's memory.
+pub fn read_output(vm: &Vm<'_>, module: &Module) -> Vec<u8> {
+    read_output_mem(&vm.mem, module)
+}
+
+/// A prepared workload execution image: the module's pristine memory with
+/// the input already written, built once and cloned per run.
+///
+/// Campaigns run thousands of trials against the same module+input pair;
+/// rebuilding the memory image (global-initializer copying plus input
+/// setup) inside every trial is pure overhead. `WorkloadImage` hoists that
+/// work out of the trial loop, and is also the anchor for the
+/// snapshot/resume fast path ([`WorkloadImage::run_recording`] /
+/// [`WorkloadImage::resume`]).
+pub struct WorkloadImage<'m> {
+    module: &'m Module,
+    main: softft_ir::FuncId,
+    config: VmConfig,
+    mem: Memory,
+}
+
+impl<'m> WorkloadImage<'m> {
+    /// Builds the pristine globals+input image for `module`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module lacks a `main` function or the conventional
+    /// I/O globals.
+    pub fn new(module: &'m Module, input: &WorkloadInput, config: VmConfig) -> Self {
+        let main = module
+            .function_by_name("main")
+            .expect("kernel module has a `main` function");
+        let mut mem = Memory::for_module(module, config.mem_slack);
+        write_input_mem(&mut mem, module, input);
+        WorkloadImage {
+            module,
+            main,
+            config,
+            mem,
+        }
+    }
+
+    /// The module this image was built for.
+    pub fn module(&self) -> &'m Module {
+        self.module
+    }
+
+    /// Runs one trial from instruction 0 on a clone of the pristine
+    /// image; returns the run result and the output bytes.
+    pub fn run<O: Observer>(&self, obs: &mut O, fault: Option<FaultPlan>) -> (RunResult, Vec<u8>) {
+        let mut vm = Vm::with_memory(self.module, self.config, self.mem.clone());
+        let result = vm.run(self.main, &[], obs, fault);
+        let out = read_output(&vm, self.module);
+        (result, out)
+    }
+
+    /// Runs fault-free from instruction 0, capturing a checkpoint every
+    /// `interval` dynamic instructions (see [`Vm::run_recording`]).
+    pub fn run_recording<O: Observer>(
+        &self,
+        obs: &mut O,
+        interval: u64,
+        on_checkpoint: impl FnMut(Snapshot, &O),
+    ) -> (RunResult, Vec<u8>) {
+        let mut vm = Vm::with_memory(self.module, self.config, self.mem.clone());
+        let result = vm.run_recording(self.main, &[], obs, interval, on_checkpoint);
+        let out = read_output(&vm, self.module);
+        (result, out)
+    }
+
+    /// Resumes one trial from `snap` instead of re-running the prefix
+    /// (see [`Vm::resume_from`]); returns the run result and the output
+    /// bytes.
+    pub fn resume<O: Observer>(
+        &self,
+        snap: &Snapshot,
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+    ) -> (RunResult, Vec<u8>) {
+        let mut vm = Vm::with_memory(self.module, self.config, Memory::empty());
+        let result = vm.resume_from(snap, obs, fault);
+        let out = read_output(&vm, self.module);
+        (result, out)
+    }
+
+    /// A reusable trial executor over this image: one per worker thread.
+    pub fn trial_vm(&self) -> TrialVm<'_, 'm> {
+        TrialVm {
+            image: self,
+            vm: Vm::with_memory(self.module, self.config, Memory::empty()),
+        }
+    }
+}
+
+/// Runs trials on one [`Vm`] whose memory allocation is recycled between
+/// runs. [`WorkloadImage::run`] / [`WorkloadImage::resume`] allocate (and
+/// page-fault) a fresh ~1 MiB image per trial; at campaign scale that
+/// fixed cost rivals the trials' own execution time, so workers hold one
+/// `TrialVm` for their whole trial stream. Results are bitwise identical
+/// to the one-shot paths: each trial starts by overwriting the full
+/// memory image from the pristine copy or the snapshot.
+pub struct TrialVm<'a, 'm> {
+    image: &'a WorkloadImage<'m>,
+    vm: Vm<'m>,
+}
+
+impl TrialVm<'_, '_> {
+    /// Runs one trial from instruction 0 (see [`WorkloadImage::run`]).
+    pub fn run<O: Observer>(
+        &mut self,
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+    ) -> (RunResult, Vec<u8>) {
+        self.vm.mem.clone_from(&self.image.mem);
+        let result = self.vm.run(self.image.main, &[], obs, fault);
+        let out = read_output(&self.vm, self.image.module);
+        (result, out)
+    }
+
+    /// Resumes one trial from `snap` (see [`WorkloadImage::resume`]).
+    pub fn resume<O: Observer>(
+        &mut self,
+        snap: &Snapshot,
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+    ) -> (RunResult, Vec<u8>) {
+        let result = self.vm.resume_from(snap, obs, fault);
+        let out = read_output(&self.vm, self.image.module);
+        (result, out)
+    }
+
+    /// Runs one trial from instruction 0 with convergence early-exit
+    /// against the golden checkpoints (see [`Vm::run_converging`]).
+    pub fn run_converging<O: Observer>(
+        &mut self,
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+        candidates: &[&Snapshot],
+    ) -> ConvergeOutcome {
+        self.vm.mem.clone_from(&self.image.mem);
+        self.vm
+            .run_converging(self.image.main, &[], obs, fault, candidates)
+    }
+
+    /// Resumes one trial from `snap` with convergence early-exit (see
+    /// [`Vm::resume_converging`]).
+    pub fn resume_converging<O: Observer>(
+        &mut self,
+        snap: &Snapshot,
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+        candidates: &[&Snapshot],
+    ) -> ConvergeOutcome {
+        self.vm.resume_converging(snap, obs, fault, candidates)
+    }
+
+    /// The `output` global of the last run — only meaningful after a
+    /// [`ConvergeOutcome::Done`] run (converged runs take the golden
+    /// output instead).
+    pub fn output(&self) -> Vec<u8> {
+        read_output(&self.vm, self.image.module)
+    }
 }
 
 /// Runs `module` (which must contain `main`) on the given input with an
@@ -60,14 +234,7 @@ pub fn run_workload<O: Observer>(
     obs: &mut O,
     fault: Option<FaultPlan>,
 ) -> (RunResult, Vec<u8>) {
-    let main = module
-        .function_by_name("main")
-        .expect("kernel module has a `main` function");
-    let mut vm = Vm::new(module, config);
-    write_input(&mut vm, module, input);
-    let result = vm.run(main, &[], obs, fault);
-    let out = read_output(&vm, module);
-    (result, out)
+    WorkloadImage::new(module, input, config).run(obs, fault)
 }
 
 /// Convenience: build, load the given input set, run fault-free, and
@@ -167,5 +334,33 @@ mod tests {
             data: vec![0; 10_000],
         };
         write_input(&mut vm, &m, &input);
+    }
+
+    #[test]
+    fn image_runs_are_isolated_and_resumable() {
+        let m = echo_module();
+        let input = WorkloadInput {
+            params: vec![3],
+            data: vec![1, 2, 3],
+        };
+        let image = WorkloadImage::new(&m, &input, VmConfig::default());
+        let mut obs = softft_vm::interp::NoopObserver;
+
+        // Two runs on the same image must not contaminate each other.
+        let (r1, out1) = image.run(&mut obs, None);
+        let (r2, out2) = image.run(&mut obs, None);
+        assert!(r1.completed());
+        assert_eq!((&r1, &out1), (&r2, &out2));
+        assert_eq!(out1, vec![1, 2, 3]);
+
+        // Recording + resuming reproduces the direct run bit-for-bit.
+        let mut snaps = Vec::new();
+        let (rec, rec_out) = image.run_recording(&mut obs, 7, |s, _| snaps.push(s));
+        assert_eq!((&rec, &rec_out), (&r1, &out1));
+        assert!(!snaps.is_empty());
+        for s in &snaps {
+            let (res, res_out) = image.resume(s, &mut obs, None);
+            assert_eq!((&res, &res_out), (&r1, &out1), "at {}", s.dyn_count());
+        }
     }
 }

@@ -1,0 +1,117 @@
+//! Snapshot-accelerated campaigns must be *bitwise* equivalent to direct
+//! ones: same `CampaignResult`, same per-trial records and events, same
+//! telemetry artifacts (trial JSONL, metrics JSON, coverage JSON) — for
+//! register and branch-target faults, at 1 and 3 worker threads, across
+//! checkpoint intervals. The snapshot engine is a pure perf optimization;
+//! any observable divergence is a bug.
+
+use softft::Technique;
+use softft_campaign::campaign::{
+    run_campaign_attributed, run_campaign_with_stats, CampaignConfig, CampaignTelemetry,
+};
+use softft_campaign::coverage::build_coverage;
+use softft_campaign::prep::prepare;
+use softft_vm::fault::FaultKind;
+use softft_workloads::workload_by_name;
+
+fn cfg(threads: usize, kind: FaultKind, interval: u64) -> CampaignConfig {
+    CampaignConfig {
+        trials: 40,
+        seed: 11,
+        threads,
+        fault_kind: kind,
+        snapshot_interval: interval,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn snapshot_results_match_direct_across_kinds_threads_and_intervals() {
+    let p = prepare(workload_by_name("tiff2bw").unwrap());
+    let t = Technique::DupVal;
+    for kind in [FaultKind::Register, FaultKind::BranchTarget] {
+        let (direct, dstats) = run_campaign_with_stats(&*p.workload, p.module(t), &cfg(1, kind, 0));
+        assert_eq!(dstats.resumed_trials, 0);
+        assert_eq!(dstats.checkpoints, 0);
+        for threads in [1, 3] {
+            for interval in [700, 5000] {
+                let (snap, stats) = run_campaign_with_stats(
+                    &*p.workload,
+                    p.module(t),
+                    &cfg(threads, kind, interval),
+                );
+                assert_eq!(
+                    direct, snap,
+                    "{kind:?} diverged at {threads} threads, interval {interval}"
+                );
+                assert!(
+                    stats.resumed_trials > 0,
+                    "{kind:?} interval {interval}: no trial resumed"
+                );
+                assert_eq!(stats.resumed_trials + stats.fresh_trials, 40);
+                assert!(stats.prefix_insts_skipped >= stats.resumed_trials * interval);
+                // Masked register-fault trials re-join the golden state
+                // within a few intervals, so convergence early-exit must
+                // fire (and still produce the bitwise-equal result
+                // asserted above). Branch-target trials mark control flow
+                // corrupted, which the convergence guard refuses.
+                if kind == FaultKind::Register {
+                    assert!(
+                        stats.converged_trials > 0,
+                        "{kind:?} interval {interval}: no trial converged"
+                    );
+                    assert!(stats.suffix_insts_skipped > 0);
+                }
+            }
+        }
+    }
+}
+
+/// Serializes telemetry exactly as `repro --telemetry` writes it, so the
+/// comparison covers the bytes that reach disk.
+fn artifact_bytes(tel: &CampaignTelemetry) -> (String, String) {
+    let mut jsonl = String::new();
+    for e in &tel.events {
+        jsonl.push_str(&e.to_jsonl().expect("event serializes"));
+        jsonl.push('\n');
+    }
+    (jsonl, tel.metrics.to_json())
+}
+
+#[test]
+fn snapshot_telemetry_artifacts_are_byte_identical() {
+    let p = prepare(workload_by_name("tiff2bw").unwrap());
+    let t = Technique::DupVal;
+    let (dres, dtel) = run_campaign_attributed(
+        &*p.workload,
+        p.module(t),
+        &cfg(2, FaultKind::Register, 0),
+        Some(p.protection(t)),
+    );
+    let (sres, stel) = run_campaign_attributed(
+        &*p.workload,
+        p.module(t),
+        &cfg(2, FaultKind::Register, 1500),
+        Some(p.protection(t)),
+    );
+    assert_eq!(dres, sres);
+    assert_eq!(dtel.events, stel.events);
+    assert_eq!(dtel.records, stel.records);
+    assert_eq!(dtel.checks, stel.checks);
+
+    let (d_jsonl, d_metrics) = artifact_bytes(&dtel);
+    let (s_jsonl, s_metrics) = artifact_bytes(&stel);
+    assert_eq!(d_jsonl, s_jsonl, "trial JSONL diverged");
+    assert_eq!(d_metrics, s_metrics, "metrics JSON diverged");
+
+    let cov = |res, records| {
+        build_coverage("tiff2bw", t, p.module(t), p.protection(t), res, records)
+            .to_json()
+            .expect("coverage serializes")
+    };
+    assert_eq!(
+        cov(&dres, &dtel.records),
+        cov(&sres, &stel.records),
+        "coverage JSON diverged"
+    );
+}
