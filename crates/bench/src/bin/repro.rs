@@ -7,7 +7,8 @@
 //!                 [--bench-out PATH] [-v|--verbose] [-q|--quiet]
 //!
 //! exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13
-//!           detect latency falsepos crossval coverage perfbench all
+//!           detect latency falsepos crossval coverage perfbench
+//!           interpbench all
 //! ```
 
 use softft_bench::{Exhibit, ReproConfig};
@@ -18,7 +19,7 @@ fn usage() -> ExitCode {
     // Usage goes out at every verbosity level.
     Logger::default().error(
         "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [--html PATH] [--snapshot-interval K] [--bench-out PATH] [-v|--verbose] [-q|--quiet]\n\
-         exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13 detect latency falsepos crossval ablate cfc recovery coverage perfbench all",
+         exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13 detect latency falsepos crossval ablate cfc recovery coverage perfbench interpbench all",
     );
     ExitCode::FAILURE
 }

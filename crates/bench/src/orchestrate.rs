@@ -62,6 +62,11 @@ pub enum Exhibit {
     /// with a bitwise-equivalence check and a `BENCH_campaign.json`
     /// artifact. Not part of `all` (timing-noisy; run explicitly).
     PerfBench,
+    /// Interpreter throughput bench: tree-walking reference vs the
+    /// pre-decoded engine on golden (fault-free) runs, with a bitwise
+    /// result/output equivalence check and a `BENCH_interp.json`
+    /// artifact. Not part of `all` (timing-noisy; run explicitly).
+    InterpBench,
     /// Everything, in paper order.
     All,
 }
@@ -88,6 +93,7 @@ impl Exhibit {
             "recovery" => Exhibit::Recovery,
             "coverage" => Exhibit::Coverage,
             "perfbench" => Exhibit::PerfBench,
+            "interpbench" => Exhibit::InterpBench,
             "all" => Exhibit::All,
             _ => return None,
         })
@@ -185,6 +191,7 @@ pub fn run_exhibit(ex: Exhibit, cfg: &ReproConfig) -> String {
         Exhibit::Recovery => recovery(cfg),
         Exhibit::Coverage => coverage(cfg),
         Exhibit::PerfBench => perfbench(cfg),
+        Exhibit::InterpBench => interpbench(cfg),
         Exhibit::All => {
             let mut out = String::new();
             for ex in [
@@ -576,6 +583,157 @@ fn perfbench(cfg: &ReproConfig) -> String {
         Ok(()) => log.info(format!("[repro] perf bench written to {}", path.display())),
         Err(e) => log.error(format!(
             "[repro] failed to write perf bench {}: {e}",
+            path.display()
+        )),
+    }
+    out
+}
+
+/// Default benchmark set for `repro interpbench`: a cross-section of
+/// golden-run lengths (no `--benchmarks` filter given).
+const INTERP_BENCH_SET: [&str; 8] = [
+    "jpegenc",
+    "jpegdec",
+    "tiff2bw",
+    "segm",
+    "tex_synth",
+    "g721enc",
+    "mp3enc",
+    "kmeans",
+];
+
+/// The `interpbench` exhibit: for each selected benchmark, runs the
+/// fault-free golden run under the tree-walking reference interpreter
+/// (`VmConfig::reference_interp`) and under the pre-decoded flat
+/// bytecode engine, and reports interpreter throughput (dynamic
+/// instructions per second), the decoded-over-tree speedup, and whether
+/// the two engines produced bitwise-identical results and output bytes.
+/// Each leg is run `reps` times and the best wall time is kept, so the
+/// numbers measure the engines rather than scheduler noise. Writes
+/// `BENCH_interp.json` (`--bench-out`) so CI can fail on divergence and
+/// track throughput regressions.
+fn interpbench(cfg: &ReproConfig) -> String {
+    use softft_vm::interp::{NoopObserver, VmConfig};
+    use softft_vm::outcome::RunResult;
+    use softft_workloads::runner::WorkloadImage;
+    use softft_workloads::workload_by_name;
+
+    let log = Logger::new(cfg.verbosity);
+    let names: Vec<String> = if cfg.benchmarks.is_empty() {
+        INTERP_BENCH_SET.iter().map(|s| s.to_string()).collect()
+    } else {
+        cfg.benchmarks.clone()
+    };
+    let reps = 5;
+
+    // Best-of-`reps` golden run; the image (and its decode) is built
+    // outside the timed region — decode happens once per module, not
+    // per run, which is exactly the cost model campaigns see.
+    let leg = |image: &WorkloadImage<'_>| -> (f64, RunResult, Vec<u8>) {
+        let mut best = f64::INFINITY;
+        let mut kept = None;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let (r, out) = image.run(&mut NoopObserver, None);
+            let wall = start.elapsed().as_secs_f64() * 1e3;
+            if wall < best {
+                best = wall;
+            }
+            if let Some((prev_r, prev_out)) = &kept {
+                assert_eq!((prev_r, prev_out), (&r, &out), "engine is nondeterministic");
+            } else {
+                kept = Some((r, out));
+            }
+        }
+        let (r, out) = kept.expect("at least one rep");
+        (best, r, out)
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Interpreter bench: tree-walking reference vs pre-decoded engine (golden runs, best of {reps})\n\
+         {:<10} {:>12} {:>10} {:>10} {:>14} {:>14} {:>8} {:>6}",
+        "benchmark", "golden", "tree ms", "dec ms", "tree insts/s", "dec insts/s", "speedup", "equal"
+    );
+    let mut entries: Vec<String> = Vec::new();
+    let mut all_equivalent = true;
+    for name in &names {
+        let Some(w) = workload_by_name(name) else {
+            log.error(format!("[repro] interpbench: unknown benchmark {name}"));
+            continue;
+        };
+        let module = w.build_module();
+        let input = w.input(InputSet::Test);
+        log.debug(format!("[repro] interpbench: {name} tree leg"));
+        let tree_cfg = VmConfig {
+            reference_interp: true,
+            ..VmConfig::default()
+        };
+        let (tree_ms, tree_r, tree_out) = leg(&WorkloadImage::new(&module, &input, tree_cfg));
+        log.debug(format!("[repro] interpbench: {name} decoded leg"));
+        let (dec_ms, dec_r, dec_out) =
+            leg(&WorkloadImage::new(&module, &input, VmConfig::default()));
+        let equivalent = tree_r == dec_r && tree_out == dec_out;
+        all_equivalent &= equivalent;
+        let insts = tree_r.dyn_insts;
+        let speedup = tree_ms / dec_ms.max(1e-9);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>10.2} {:>10.2} {:>14.0} {:>14.0} {:>7.2}x {:>6}",
+            name,
+            insts,
+            tree_ms,
+            dec_ms,
+            per_sec(insts, tree_ms),
+            per_sec(insts, dec_ms),
+            speedup,
+            if equivalent { "yes" } else { "NO" }
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"golden_dyn_insts\": {},\n",
+                "      \"tree\": {{ \"wall_ms\": {:.3}, \"dyn_insts_per_sec\": {:.0} }},\n",
+                "      \"decoded\": {{ \"wall_ms\": {:.3}, \"dyn_insts_per_sec\": {:.0} }},\n",
+                "      \"speedup\": {:.3},\n",
+                "      \"equivalent\": {}\n",
+                "    }}"
+            ),
+            name,
+            insts,
+            tree_ms,
+            per_sec(insts, tree_ms),
+            dec_ms,
+            per_sec(insts, dec_ms),
+            speedup,
+            equivalent
+        ));
+    }
+    let _ = writeln!(
+        out,
+        "(the decoded engine must be bitwise equivalent; 'NO' in the last column is a bug)"
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"softft.bench.interp.v1\",\n  \"seed\": {},\n  \"reps\": {},\n  \"benchmarks\": [\n{}\n  ],\n  \"all_equivalent\": {}\n}}\n",
+        cfg.seed,
+        reps,
+        entries.join(",\n"),
+        all_equivalent
+    );
+    let path = cfg
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_interp.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => log.info(format!(
+            "[repro] interp bench written to {}",
+            path.display()
+        )),
+        Err(e) => log.error(format!(
+            "[repro] failed to write interp bench {}: {e}",
             path.display()
         )),
     }

@@ -153,6 +153,7 @@ fn chain_size(
     v: ValueId,
     shadow: &HashMap<ValueId, ValueId>,
     visited: &mut HashSet<ValueId>,
+    ops: &mut Vec<ValueId>,
 ) -> usize {
     if shadow.contains_key(&v) || !visited.insert(v) {
         return 0;
@@ -165,10 +166,17 @@ fn chain_size(
     if !op.is_duplicable() {
         return 0;
     }
+    // `ops` is one buffer shared by the whole recursion: each level
+    // appends its operands, walks its own range, and truncates back.
     let mut size = 1;
-    for o in op.operand_vec() {
-        size += chain_size(func, o, shadow, visited);
+    let start = ops.len();
+    op.operands(ops);
+    let end = ops.len();
+    for idx in start..end {
+        let o = ops[idx];
+        size += chain_size(func, o, shadow, visited, ops);
     }
+    ops.truncate(start);
     size
 }
 
@@ -225,7 +233,7 @@ fn shadow_value(
                 shadow.insert(v, v);
                 return v;
             }
-            let remaining = chain_size(func, v, shadow, &mut HashSet::new());
+            let remaining = chain_size(func, v, shadow, &mut HashSet::new(), &mut Vec::new());
             if remaining >= spec.static_cost() {
                 let added = insert_check_after(func, def, spec);
                 if added > 0 {

@@ -336,6 +336,9 @@ pub fn licm(func: &mut Function) -> usize {
     }
     let preds = func.compute_preds();
     let mut hoisted = 0;
+    // Operand scratch, reused across every candidate scan (the scan
+    // repeats per hoist round; a fresh Vec per instruction dominated it).
+    let mut ops: Vec<ValueId> = Vec::new();
 
     // Innermost-first (deeper loops first) so invariants bubble outward
     // across fixpoint rounds.
@@ -377,11 +380,9 @@ pub fn licm(func: &mut Function) -> usize {
                             continue;
                         }
                     }
-                    let invariant = inst
-                        .op
-                        .operand_vec()
-                        .iter()
-                        .all(|v| !defined_in.contains(v));
+                    ops.clear();
+                    inst.op.operands(&mut ops);
+                    let invariant = ops.iter().all(|v| !defined_in.contains(v));
                     if invariant {
                         candidate = Some(i);
                         break 'outer;

@@ -1,0 +1,1413 @@
+//! Pre-decoded flat bytecode for the interpreter.
+//!
+//! [`DecodedModule::decode`] lowers every [`Function`] once into a
+//! [`DecodedFunc`]: a dense array of fixed-size decoded instructions with
+//! operands pre-resolved to frame-slot indices, constants inlined into a
+//! per-function immediate pool, result types precomputed, phi-copy
+//! schedules materialized per CFG edge, and branch targets as flat code
+//! indices. The decoded image is immutable after construction, so one
+//! `Arc<DecodedModule>` is shared read-only across campaign workers and
+//! snapshot-resumed trials.
+//!
+//! The decoded engine ([`Vm::run`] and friends dispatch to it unless
+//! [`crate::interp::VmConfig::reference_interp`] is set) executes over
+//! flat `u64` slot frames instead of `Vec<Option<u64>>`. Two invariants
+//! keep it *bitwise identical* to the tree-walking reference path:
+//!
+//! * **Decode is semantics-preserving.** Operand resolution, constant
+//!   inlining and phi-schedule materialization never reorder, duplicate
+//!   or elide work: each dynamic instruction boundary runs the same
+//!   sequence (sink → fault trigger → watchdog → count → observer →
+//!   execute), phis stay parallel copies executed inside the edge (not
+//!   counted as dynamic instructions), and terminators are counted —
+//!   exactly as in the reference machine loop.
+//! * **Fault sites are keyed identically.** A per-frame defined-bitmask
+//!   mirrors the reference frame's `Some`/`None` slot states, so the
+//!   injector enumerates the same candidate list in the same (ascending
+//!   value-index) order and consumes its seeded RNG identically; the
+//!   garbage-read semantics after a branch-target fault fall out of the
+//!   flat representation (never-written slots read as zero).
+//!
+//! Snapshots remain in the reference [`Frame`] representation: decoded
+//! frames convert to/from it at checkpoint-capture, resume and
+//! convergence-comparison boundaries (all of which are rare relative to
+//! instruction execution), which keeps [`Snapshot`] layout, sizes, and
+//! the campaign checkpoint store byte-compatible across both engines.
+
+use crate::fault::{flip_bit, FaultKind, FaultPlan, InjectionRecord};
+use crate::interp::{
+    finish_converging, ConvergeOutcome, ExecState, Frame, MachineEnd, Observer, Snapshot, Vm,
+};
+use crate::memory::Memory;
+use crate::outcome::{RunEnd, RunResult, TrapKind};
+use softft_ir::function::{Function, ValueKind};
+use softft_ir::inst::{BinOp, CastKind, CheckKind, FloatCC, IntCC, Op, Term, UnOp};
+use softft_ir::{BlockId, FuncId, InstId, Module, Type, ValueId};
+
+/// Slot index meaning "no result".
+const SLOT_NONE: u32 = u32::MAX;
+
+/// A pre-resolved operand: an index into the frame's slot array. Value
+/// operands map to their SSA slot; constants map into the immediate pool
+/// appended after the value slots, so reads never branch on operand kind.
+type Operand = u32;
+
+/// One decoded (non-phi) instruction. Fixed size, stored contiguously in
+/// [`DecodedFunc::code`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DInst {
+    pub(crate) kind: DKind,
+    /// The original instruction id (observer callbacks are keyed by it).
+    pub(crate) inst: InstId,
+    /// Result slot, or [`SLOT_NONE`].
+    pub(crate) result: u32,
+    /// Result type (placeholder `I64` for resultless instructions).
+    pub(crate) ty: Type,
+}
+
+/// Decoded opcode + operands. Types that the reference evaluator looks up
+/// per execution (`func.value_type`) are precomputed here.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum DKind {
+    /// Float binary op (FAdd/FSub/FMul/FDiv).
+    BinF {
+        op: BinOp,
+        a: Operand,
+        b: Operand,
+    },
+    /// Integer binary op; `ty` is the operand type.
+    BinI {
+        op: BinOp,
+        ty: Type,
+        a: Operand,
+        b: Operand,
+    },
+    Un {
+        op: UnOp,
+        a: Operand,
+    },
+    /// Integer compare; `ty` is the operand type.
+    Icmp {
+        pred: IntCC,
+        ty: Type,
+        a: Operand,
+        b: Operand,
+    },
+    Fcmp {
+        pred: FloatCC,
+        a: Operand,
+        b: Operand,
+    },
+    /// Cast; `src` is the source type (result type is on the [`DInst`]).
+    Cast {
+        kind: CastKind,
+        src: Type,
+        a: Operand,
+    },
+    Select {
+        c: Operand,
+        t: Operand,
+        f: Operand,
+    },
+    Load {
+        addr: Operand,
+    },
+    /// Store; `vty` is the stored value's type.
+    Store {
+        addr: Operand,
+        val: Operand,
+        vty: Type,
+    },
+    /// Call; arguments live in [`DecodedFunc::call_args`].
+    Call {
+        callee: FuncId,
+        args_start: u32,
+        args_len: u32,
+    },
+    Check {
+        cond: Operand,
+        kind: CheckKind,
+    },
+}
+
+/// Decoded terminator with branch targets as edge indices.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum DTerm {
+    Br {
+        edge: u32,
+    },
+    CondBr {
+        cond: Operand,
+        then_edge: u32,
+        else_edge: u32,
+    },
+    Ret(Option<Operand>),
+    /// The block has no terminator; reaching it is the same verifier-bug
+    /// panic the reference path raises.
+    Missing,
+}
+
+/// One decoded basic block: a contiguous range of [`DecodedFunc::code`]
+/// (phis excluded — they run on edges) plus its phi table and terminator.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DBlock {
+    /// First decoded instruction in `code`.
+    pub(crate) start: u32,
+    /// One past the last decoded instruction (`pc == end` ⇒ terminator).
+    pub(crate) end: u32,
+    /// This block's phis in [`DecodedFunc::phis`].
+    pub(crate) phi_start: u32,
+    pub(crate) phi_end: u32,
+    pub(crate) term: DTerm,
+}
+
+impl DBlock {
+    /// Number of phis (== index of the first non-phi in the reference
+    /// block's instruction list, used to map `pc` ↔ `Frame::ip`).
+    #[inline]
+    pub(crate) fn phi_count(&self) -> u32 {
+        self.phi_end - self.phi_start
+    }
+}
+
+/// A materialized phi copy on a CFG edge.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DCopy {
+    pub(crate) dst: u32,
+    pub(crate) src: Operand,
+    /// Original phi instruction (for `Observer::on_phi`).
+    pub(crate) phi: InstId,
+    /// The incoming value selected on this edge (for `Observer::on_phi`).
+    pub(crate) incoming: ValueId,
+}
+
+/// One CFG edge with its phi-copy schedule resolved at decode time.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DEdge {
+    /// Target block index.
+    pub(crate) target: u32,
+    /// `code` index of the target's first instruction.
+    pub(crate) entry_pc: u32,
+    /// Copy schedule in [`DecodedFunc::copies`] (block phi order).
+    pub(crate) copies_start: u32,
+    pub(crate) copies_end: u32,
+    /// False when some target phi lacks an incoming for this edge (only
+    /// possible in unverified IR): the edge then takes the generic
+    /// transfer path, which reproduces the reference assertion.
+    pub(crate) complete: bool,
+}
+
+/// A phi with all its incomings — used for generic (non-materialized)
+/// transfers after a branch-target fault lands on an arbitrary block.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DPhi {
+    pub(crate) dst: u32,
+    pub(crate) phi: InstId,
+    /// Range in [`DecodedFunc::phi_incomings`].
+    pub(crate) inc_start: u32,
+    pub(crate) inc_end: u32,
+}
+
+/// One function lowered to flat bytecode.
+#[derive(Debug)]
+pub(crate) struct DecodedFunc {
+    /// Number of SSA value slots (the immediate pool sits after them).
+    pub(crate) num_values: u32,
+    /// Parameter slots and types, in order.
+    pub(crate) params: Vec<(u32, Type)>,
+    /// Constant bits, indexed by `operand - num_values`.
+    pub(crate) consts: Vec<u64>,
+    pub(crate) code: Vec<DInst>,
+    pub(crate) blocks: Vec<DBlock>,
+    pub(crate) edges: Vec<DEdge>,
+    pub(crate) copies: Vec<DCopy>,
+    pub(crate) phis: Vec<DPhi>,
+    /// `(pred block index, src operand, src value)` tuples.
+    pub(crate) phi_incomings: Vec<(u32, Operand, ValueId)>,
+    /// Argument operands for all calls, ranged by [`DKind::Call`].
+    pub(crate) call_args: Vec<Operand>,
+    /// Entry block index and its first code index.
+    pub(crate) entry: u32,
+    pub(crate) entry_pc: u32,
+}
+
+/// A module's functions lowered once, shared read-only by every VM
+/// executing that module (campaign workers, resumed trials, profilers).
+#[derive(Debug)]
+pub struct DecodedModule {
+    pub(crate) funcs: Vec<DecodedFunc>,
+}
+
+impl DecodedModule {
+    /// Lowers every function of `module`. Decode is pure and
+    /// deterministic; the result is only valid for that exact module.
+    pub fn decode(module: &Module) -> DecodedModule {
+        DecodedModule {
+            funcs: module.functions().iter().map(decode_func).collect(),
+        }
+    }
+}
+
+fn decode_func(func: &Function) -> DecodedFunc {
+    let num_values = func.num_values();
+    // Operand resolution: value slot for SSA values, immediate-pool slot
+    // (after the value region) for constants.
+    let mut consts: Vec<u64> = Vec::new();
+    let mut operand_map: Vec<u32> = Vec::with_capacity(num_values);
+    for v in 0..num_values {
+        let vid = ValueId::new(v);
+        match func.value(vid).kind {
+            ValueKind::Const(c) => {
+                operand_map.push((num_values + consts.len()) as u32);
+                consts.push(c.bits());
+            }
+            _ => operand_map.push(v as u32),
+        }
+    }
+    let resolve = |v: ValueId| -> Operand { operand_map[v.index()] };
+
+    let params: Vec<(u32, Type)> = (0..func.params.len())
+        .map(|i| {
+            let p = func.param(i);
+            (p.index() as u32, func.value_type(p))
+        })
+        .collect();
+
+    let mut code: Vec<DInst> = Vec::new();
+    let mut blocks: Vec<DBlock> = Vec::with_capacity(func.num_blocks());
+    let mut phis: Vec<DPhi> = Vec::new();
+    let mut phi_incomings: Vec<(u32, Operand, ValueId)> = Vec::new();
+    let mut call_args: Vec<Operand> = Vec::new();
+
+    for b in func.block_ids() {
+        let start = code.len() as u32;
+        let phi_start = phis.len() as u32;
+        let mut in_phi_prefix = true;
+        for &i in &func.block(b).insts {
+            let inst = func.inst(i);
+            if let Op::Phi { incomings } = &inst.op {
+                assert!(
+                    in_phi_prefix,
+                    "phi {i} after non-phi instructions in {b} of {}",
+                    func.name
+                );
+                let inc_start = phi_incomings.len() as u32;
+                for &(pred, v) in incomings {
+                    phi_incomings.push((pred.index() as u32, resolve(v), v));
+                }
+                let r = inst.result.expect("phi has result");
+                phis.push(DPhi {
+                    dst: r.index() as u32,
+                    phi: i,
+                    inc_start,
+                    inc_end: phi_incomings.len() as u32,
+                });
+                continue;
+            }
+            in_phi_prefix = false;
+            let (result, ty) = match inst.result {
+                Some(r) => (r.index() as u32, func.value_type(r)),
+                None => (SLOT_NONE, Type::I64),
+            };
+            let kind = match &inst.op {
+                Op::Bin { op, lhs, rhs } => {
+                    if op.is_float() {
+                        DKind::BinF {
+                            op: *op,
+                            a: resolve(*lhs),
+                            b: resolve(*rhs),
+                        }
+                    } else {
+                        DKind::BinI {
+                            op: *op,
+                            ty: func.value_type(*lhs),
+                            a: resolve(*lhs),
+                            b: resolve(*rhs),
+                        }
+                    }
+                }
+                Op::Un { op, arg } => DKind::Un {
+                    op: *op,
+                    a: resolve(*arg),
+                },
+                Op::Icmp { pred, lhs, rhs } => DKind::Icmp {
+                    pred: *pred,
+                    ty: func.value_type(*lhs),
+                    a: resolve(*lhs),
+                    b: resolve(*rhs),
+                },
+                Op::Fcmp { pred, lhs, rhs } => DKind::Fcmp {
+                    pred: *pred,
+                    a: resolve(*lhs),
+                    b: resolve(*rhs),
+                },
+                Op::Cast { kind, arg } => DKind::Cast {
+                    kind: *kind,
+                    src: func.value_type(*arg),
+                    a: resolve(*arg),
+                },
+                Op::Select {
+                    cond,
+                    on_true,
+                    on_false,
+                } => DKind::Select {
+                    c: resolve(*cond),
+                    t: resolve(*on_true),
+                    f: resolve(*on_false),
+                },
+                Op::Load { addr } => DKind::Load {
+                    addr: resolve(*addr),
+                },
+                Op::Store { addr, value } => DKind::Store {
+                    addr: resolve(*addr),
+                    val: resolve(*value),
+                    vty: func.value_type(*value),
+                },
+                Op::Call { func: callee, args } => {
+                    let args_start = call_args.len() as u32;
+                    call_args.extend(args.iter().map(|&a| resolve(a)));
+                    DKind::Call {
+                        callee: *callee,
+                        args_start,
+                        args_len: args.len() as u32,
+                    }
+                }
+                Op::Check { cond, kind } => DKind::Check {
+                    cond: resolve(*cond),
+                    kind: *kind,
+                },
+                Op::Phi { .. } => unreachable!("handled above"),
+            };
+            code.push(DInst {
+                kind,
+                inst: i,
+                result,
+                ty,
+            });
+        }
+        blocks.push(DBlock {
+            start,
+            end: code.len() as u32,
+            phi_start,
+            phi_end: phis.len() as u32,
+            term: DTerm::Missing,
+        });
+    }
+
+    // Second pass: terminators and per-edge phi-copy schedules (target
+    // block starts are known now).
+    let mut edges: Vec<DEdge> = Vec::new();
+    let mut copies: Vec<DCopy> = Vec::new();
+    // `make_edge` borrows `blocks` immutably, so the terminators are
+    // collected first and patched into the blocks once it goes out of
+    // scope.
+    let terms: Vec<DTerm> = {
+        let mut make_edge = |from: BlockId, to: BlockId| -> u32 {
+            let tgt = &blocks[to.index()];
+            let copies_start = copies.len() as u32;
+            let mut complete = true;
+            for p in &phis[tgt.phi_start as usize..tgt.phi_end as usize] {
+                let inc = phi_incomings[p.inc_start as usize..p.inc_end as usize]
+                    .iter()
+                    .find(|(pb, _, _)| *pb == from.index() as u32);
+                match inc {
+                    Some(&(_, src, vid)) => copies.push(DCopy {
+                        dst: p.dst,
+                        src,
+                        phi: p.phi,
+                        incoming: vid,
+                    }),
+                    None => complete = false,
+                }
+            }
+            edges.push(DEdge {
+                target: to.index() as u32,
+                entry_pc: tgt.start,
+                copies_start,
+                copies_end: copies.len() as u32,
+                complete,
+            });
+            (edges.len() - 1) as u32
+        };
+        func.block_ids()
+            .map(|b| match &func.block(b).term {
+                None => DTerm::Missing,
+                Some(Term::Br(t)) => DTerm::Br {
+                    edge: make_edge(b, *t),
+                },
+                Some(Term::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                }) => DTerm::CondBr {
+                    cond: resolve(*cond),
+                    then_edge: make_edge(b, *then_bb),
+                    else_edge: make_edge(b, *else_bb),
+                },
+                Some(Term::Ret(v)) => DTerm::Ret(v.map(resolve)),
+            })
+            .collect()
+    };
+    for (blk, term) in blocks.iter_mut().zip(terms) {
+        blk.term = term;
+    }
+
+    let entry = func.entry().index();
+    let entry_pc = blocks[entry].start;
+    DecodedFunc {
+        num_values: num_values as u32,
+        params,
+        consts,
+        code,
+        blocks,
+        edges,
+        copies,
+        phis,
+        phi_incomings,
+        call_args,
+        entry: entry as u32,
+        entry_pc,
+    }
+}
+
+/// A flat activation record: `slots` holds one `u64` per SSA value
+/// followed by the function's immediate pool; `defined` mirrors the
+/// reference frame's `Some`/`None` slot states (value region only).
+#[derive(Debug)]
+pub(crate) struct DFrame {
+    pub(crate) func: FuncId,
+    pub(crate) num_values: u32,
+    pub(crate) slots: Vec<u64>,
+    pub(crate) defined: Vec<u64>,
+    pub(crate) lenient: bool,
+    pub(crate) block: u32,
+    pub(crate) pc: u32,
+    pub(crate) call_inst: Option<InstId>,
+    /// Derived from `call_inst` (caller-side result slot/type), cached so
+    /// returns don't re-query the IR.
+    pub(crate) ret_slot: u32,
+    pub(crate) ret_ty: Type,
+}
+
+impl Default for DFrame {
+    fn default() -> Self {
+        DFrame {
+            func: FuncId::new(0),
+            num_values: 0,
+            slots: Vec::new(),
+            defined: Vec::new(),
+            lenient: false,
+            block: 0,
+            pc: 0,
+            call_inst: None,
+            ret_slot: SLOT_NONE,
+            ret_ty: Type::I64,
+        }
+    }
+}
+
+impl DFrame {
+    #[inline(always)]
+    fn read(&self, o: Operand) -> u64 {
+        debug_assert!(
+            o >= self.num_values || self.lenient || self.defined_bit(o as usize),
+            "SSA: use before def"
+        );
+        self.slots[o as usize]
+    }
+
+    #[inline(always)]
+    fn write(&mut self, slot: u32, bits: u64) {
+        self.slots[slot as usize] = bits;
+        self.defined[(slot >> 6) as usize] |= 1u64 << (slot & 63);
+    }
+
+    #[inline]
+    fn defined_bit(&self, i: usize) -> bool {
+        (self.defined[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// Converts to the reference/snapshot representation.
+    pub(crate) fn to_frame(&self, df: &DecodedFunc) -> Frame {
+        let n = df.num_values as usize;
+        let mut slots: Vec<Option<u64>> = vec![None; n];
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if self.defined_bit(i) {
+                *slot = Some(self.slots[i]);
+            }
+        }
+        let b = &df.blocks[self.block as usize];
+        Frame {
+            func: self.func,
+            slots,
+            lenient: self.lenient,
+            block: BlockId::new(self.block as usize),
+            ip: (b.phi_count() + (self.pc - b.start)) as usize,
+            call_inst: self.call_inst,
+        }
+    }
+
+    /// Bitwise state equality against a reference frame — the decoded
+    /// side of the convergence comparison.
+    pub(crate) fn matches(&self, df: &DecodedFunc, frame: &Frame) -> bool {
+        if self.func != frame.func
+            || self.lenient != frame.lenient
+            || self.call_inst != frame.call_inst
+            || frame.block.index() != self.block as usize
+        {
+            return false;
+        }
+        let b = &df.blocks[self.block as usize];
+        if frame.ip != (b.phi_count() + (self.pc - b.start)) as usize {
+            return false;
+        }
+        let n = df.num_values as usize;
+        if frame.slots.len() != n {
+            return false;
+        }
+        for (i, s) in frame.slots.iter().enumerate() {
+            match *s {
+                Some(bits) => {
+                    if !self.defined_bit(i) || self.slots[i] != bits {
+                        return false;
+                    }
+                }
+                None => {
+                    if self.defined_bit(i) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Reusable per-VM buffers: call-argument scratch, phi parallel-copy
+/// scratch, and a frame arena recycled across calls and trials.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    call_args: Vec<u64>,
+    phi_writes: Vec<(u32, u64)>,
+    free_frames: Vec<DFrame>,
+}
+
+impl Scratch {
+    /// Returns a frame initialized for `fid`: value slots zeroed,
+    /// immediates copied in, defined mask cleared.
+    fn alloc(&mut self, df: &DecodedFunc, fid: FuncId) -> DFrame {
+        let mut fr = self.free_frames.pop().unwrap_or_default();
+        let n = df.num_values as usize;
+        fr.func = fid;
+        fr.num_values = df.num_values;
+        fr.slots.clear();
+        fr.slots.resize(n, 0);
+        fr.slots.extend_from_slice(&df.consts);
+        fr.defined.clear();
+        fr.defined.resize(n.div_ceil(64), 0);
+        fr.lenient = false;
+        fr.block = df.entry;
+        fr.pc = df.entry_pc;
+        fr.call_inst = None;
+        fr.ret_slot = SLOT_NONE;
+        fr.ret_ty = Type::I64;
+        fr
+    }
+
+    fn recycle(&mut self, cur: DFrame, stack: Vec<DFrame>) {
+        self.free_frames.push(cur);
+        self.free_frames.extend(stack);
+    }
+}
+
+/// Boundary hook for the decoded machine loop — mirrors the reference
+/// `Sink` contract (return `true` to halt before the instruction at the
+/// current `dyn_count` executes).
+pub(crate) trait DSink<O: Observer> {
+    fn at_boundary(
+        &mut self,
+        mem: &Memory,
+        cur: &DFrame,
+        below: &[DFrame],
+        state: &ExecState,
+        obs: &O,
+        dm: &DecodedModule,
+    ) -> bool;
+}
+
+pub(crate) struct DNoSink;
+
+impl<O: Observer> DSink<O> for DNoSink {
+    #[inline(always)]
+    fn at_boundary(
+        &mut self,
+        _: &Memory,
+        _: &DFrame,
+        _: &[DFrame],
+        _: &ExecState,
+        _: &O,
+        _: &DecodedModule,
+    ) -> bool {
+        false
+    }
+}
+
+/// Snapshot capture at every positive multiple of `interval`; produces
+/// reference-representation [`Snapshot`]s identical to the tree-walker's.
+pub(crate) struct DEveryK<'a, F> {
+    pub(crate) interval: u64,
+    pub(crate) f: &'a mut F,
+}
+
+impl<O: Observer, F: FnMut(Snapshot, &O)> DSink<O> for DEveryK<'_, F> {
+    fn at_boundary(
+        &mut self,
+        mem: &Memory,
+        cur: &DFrame,
+        below: &[DFrame],
+        state: &ExecState,
+        obs: &O,
+        dm: &DecodedModule,
+    ) -> bool {
+        if state.dyn_count != 0 && state.dyn_count.is_multiple_of(self.interval) {
+            let mut stack: Vec<Frame> = below
+                .iter()
+                .map(|f| f.to_frame(&dm.funcs[f.func.index()]))
+                .collect();
+            stack.push(cur.to_frame(&dm.funcs[cur.func.index()]));
+            (self.f)(
+                Snapshot {
+                    dyn_count: state.dyn_count,
+                    check_failures: state.check_failures,
+                    mem: mem.clone(),
+                    stack,
+                },
+                obs,
+            );
+        }
+        false
+    }
+}
+
+/// Convergence detection against golden checkpoints — the decoded
+/// counterpart of the reference `ConvergeSink`, comparing flat frames
+/// against checkpoint frames without materializing a conversion.
+pub(crate) struct DConvergeSink<'a> {
+    candidates: &'a [&'a Snapshot],
+    idx: usize,
+}
+
+impl<'a> DConvergeSink<'a> {
+    pub(crate) fn new(candidates: &'a [&'a Snapshot]) -> Self {
+        DConvergeSink { candidates, idx: 0 }
+    }
+}
+
+impl<O: Observer> DSink<O> for DConvergeSink<'_> {
+    fn at_boundary(
+        &mut self,
+        mem: &Memory,
+        cur: &DFrame,
+        below: &[DFrame],
+        state: &ExecState,
+        _obs: &O,
+        dm: &DecodedModule,
+    ) -> bool {
+        while self
+            .candidates
+            .get(self.idx)
+            .is_some_and(|c| c.dyn_count < state.dyn_count)
+        {
+            self.idx += 1;
+        }
+        let Some(cand) = self.candidates.get(self.idx) else {
+            return false;
+        };
+        if cand.dyn_count != state.dyn_count {
+            return false;
+        }
+        self.idx += 1;
+        if state.fault.is_some() || state.branch_fault_armed.is_some() || state.control_corrupted {
+            return false;
+        }
+        if state.check_failures != cand.check_failures || below.len() + 1 != cand.stack.len() {
+            return false;
+        }
+        let top = &cand.stack[cand.stack.len() - 1];
+        if !cur.matches(&dm.funcs[cur.func.index()], top) {
+            return false;
+        }
+        for (fr, cf) in below.iter().zip(&cand.stack[..below.len()]) {
+            if !fr.matches(&dm.funcs[fr.func.index()], cf) {
+                return false;
+            }
+        }
+        if *mem != cand.mem {
+            return false;
+        }
+        true
+    }
+}
+
+/// Register-fault injection into a flat frame: candidate enumeration
+/// (ascending defined value indices) and RNG consumption are identical to
+/// the reference `ExecState::maybe_inject`.
+#[cold]
+fn inject<O: Observer>(state: &mut ExecState, frame: &mut DFrame, func: &Function, obs: &mut O) {
+    let (plan, mut inj) = state.fault.take().expect("fault present");
+    if plan.kind == FaultKind::BranchTarget {
+        state.branch_fault_armed = Some((plan, inj));
+        return;
+    }
+    let mut candidates: Vec<usize> = Vec::new();
+    for (w, &word) in frame.defined.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            candidates.push(w * 64 + bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+    if let Some(victim) = inj.choose(&candidates) {
+        let vid = ValueId::new(victim);
+        let ty = func.value_type(vid);
+        let bit = inj.choose_bit(ty);
+        let old = frame.slots[victim];
+        let new = flip_bit(old, ty, bit);
+        frame.slots[victim] = new;
+        let rec = InjectionRecord::register(
+            plan.at_dyn,
+            frame.func,
+            vid,
+            ty,
+            bit,
+            old,
+            new,
+            func.def_inst(vid),
+        );
+        obs.on_inject(&rec);
+        state.injection = Some(rec);
+    }
+    // If no slot was defined yet the fault hit dead state: masked.
+}
+
+/// Fast edge transfer over a materialized copy schedule (parallel-copy
+/// semantics: all reads before all writes, via the reusable buffer).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn take_edge<O: Observer>(
+    fid: FuncId,
+    func: &Function,
+    df: &DecodedFunc,
+    cur: &mut DFrame,
+    edge: u32,
+    state: &mut ExecState,
+    obs: &mut O,
+    scratch: &mut Vec<(u32, u64)>,
+) {
+    if state.branch_fault_armed.is_some() {
+        take_edge_corrupt(fid, func, df, cur, edge, state, obs, scratch);
+        return;
+    }
+    let e = &df.edges[edge as usize];
+    if !e.complete {
+        transfer_generic(fid, func, df, cur, e.target, obs, scratch);
+        return;
+    }
+    scratch.clear();
+    for c in &df.copies[e.copies_start as usize..e.copies_end as usize] {
+        let bits = cur.read(c.src);
+        obs.on_phi(fid, func, c.phi, c.incoming);
+        scratch.push((c.dst, bits));
+    }
+    for &(slot, bits) in scratch.iter() {
+        cur.write(slot, bits);
+    }
+    cur.block = e.target;
+    cur.pc = e.entry_pc;
+}
+
+/// A pending branch-target fault corrupts this transfer: the branch lands
+/// on a random block of the function instead.
+#[cold]
+#[allow(clippy::too_many_arguments)]
+fn take_edge_corrupt<O: Observer>(
+    fid: FuncId,
+    func: &Function,
+    df: &DecodedFunc,
+    cur: &mut DFrame,
+    edge: u32,
+    state: &mut ExecState,
+    obs: &mut O,
+    scratch: &mut Vec<(u32, u64)>,
+) {
+    let (plan, mut inj) = state.branch_fault_armed.take().expect("fault armed");
+    let victim = inj.choose_block(func.num_blocks());
+    let intended = BlockId::new(df.edges[edge as usize].target as usize);
+    cur.lenient = true;
+    state.control_corrupted = true;
+    let rec = InjectionRecord::branch(plan.at_dyn, fid, intended, BlockId::new(victim));
+    obs.on_inject(&rec);
+    state.injection = Some(rec);
+    transfer_generic(fid, func, df, cur, victim as u32, obs, scratch);
+}
+
+/// Generic transfer to an arbitrary block: looks incomings up by
+/// predecessor like the reference `take_edge`, tolerating missing edges
+/// only after control-flow corruption (same assertion otherwise).
+fn transfer_generic<O: Observer>(
+    fid: FuncId,
+    func: &Function,
+    df: &DecodedFunc,
+    cur: &mut DFrame,
+    target: u32,
+    obs: &mut O,
+    scratch: &mut Vec<(u32, u64)>,
+) {
+    let prev = cur.block;
+    let blk = &df.blocks[target as usize];
+    scratch.clear();
+    for p in &df.phis[blk.phi_start as usize..blk.phi_end as usize] {
+        let inc = df.phi_incomings[p.inc_start as usize..p.inc_end as usize]
+            .iter()
+            .find(|(pb, _, _)| *pb == prev);
+        let Some(&(_, src, vid)) = inc else {
+            // Only reachable after a branch-target fault: the edge does
+            // not exist in the CFG, so the phi's "register" keeps its
+            // stale value.
+            assert!(
+                cur.lenient,
+                "phi {} in {} of {} lacks incoming for {}",
+                p.phi,
+                BlockId::new(target as usize),
+                func.name,
+                BlockId::new(prev as usize)
+            );
+            continue;
+        };
+        let bits = cur.read(src);
+        obs.on_phi(fid, func, p.phi, vid);
+        scratch.push((p.dst, bits));
+    }
+    for &(slot, bits) in scratch.iter() {
+        cur.write(slot, bits);
+    }
+    cur.block = target;
+    cur.pc = blk.start;
+}
+
+impl<'m> Vm<'m> {
+    /// Builds a flat activation record for `fid` (decoded counterpart of
+    /// `Vm::new_frame`): same depth check, arity assertion, argument
+    /// canonicalization and `on_enter` ordering.
+    fn new_dframe<O: Observer>(
+        &mut self,
+        fid: FuncId,
+        args: &[u64],
+        depth: u32,
+        obs: &mut O,
+    ) -> Result<DFrame, TrapKind> {
+        if depth >= self.config.max_call_depth {
+            return Err(TrapKind::CallDepth);
+        }
+        let func = self.module.function(fid);
+        assert_eq!(
+            args.len(),
+            func.params.len(),
+            "arity mismatch calling {}",
+            func.name
+        );
+        let df = &self.decoded.funcs[fid.index()];
+        let mut frame = self.scratch.alloc(df, fid);
+        for (&a, &(slot, ty)) in args.iter().zip(&df.params) {
+            let canon = if ty.is_float() {
+                a
+            } else {
+                ty.sign_extend(a) as u64
+            };
+            frame.write(slot, canon);
+        }
+        obs.on_enter(fid, func);
+        Ok(frame)
+    }
+
+    /// Rebuilds the flat frame stack from a snapshot's reference frames;
+    /// returns `(current, below)`.
+    fn thaw(&mut self, snap: &Snapshot) -> (DFrame, Vec<DFrame>) {
+        let mut stack: Vec<DFrame> = Vec::with_capacity(snap.stack.len());
+        for frame in &snap.stack {
+            let df = &self.decoded.funcs[frame.func.index()];
+            let mut fr = self.scratch.alloc(df, frame.func);
+            for (i, s) in frame.slots.iter().enumerate() {
+                if let Some(bits) = *s {
+                    fr.write(i as u32, bits);
+                }
+            }
+            fr.lenient = frame.lenient;
+            fr.block = frame.block.index() as u32;
+            let b = &df.blocks[fr.block as usize];
+            fr.pc = b.start + (frame.ip as u32 - b.phi_count());
+            fr.call_inst = frame.call_inst;
+            if let Some(ci) = frame.call_inst {
+                let func = self.module.function(frame.func);
+                if let Some(r) = func.inst(ci).result {
+                    fr.ret_slot = r.index() as u32;
+                    fr.ret_ty = func.value_type(r);
+                }
+            }
+            stack.push(fr);
+        }
+        let cur = stack.pop().expect("snapshot has at least one frame");
+        (cur, stack)
+    }
+
+    pub(crate) fn run_decoded<O: Observer, S: DSink<O>>(
+        &mut self,
+        entry: FuncId,
+        args: &[u64],
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+        sink: &mut S,
+    ) -> RunResult {
+        let mut state = ExecState::new(fault);
+        let end = match self.new_dframe(entry, args, 0, obs) {
+            Err(kind) => RunEnd::Trap {
+                kind,
+                at_dyn: state.dyn_count,
+            },
+            Ok(mut cur) => {
+                let mut stack: Vec<DFrame> = Vec::new();
+                let end = match self.exec_decoded(&mut cur, &mut stack, &mut state, obs, sink) {
+                    Ok(MachineEnd::Ret(ret)) => RunEnd::Completed { ret },
+                    Ok(MachineEnd::Halted) => unreachable!("run sinks never halt"),
+                    Err(kind) => RunEnd::Trap {
+                        kind,
+                        at_dyn: state.dyn_count,
+                    },
+                };
+                self.scratch.recycle(cur, stack);
+                end
+            }
+        };
+        RunResult {
+            end,
+            dyn_insts: state.dyn_count,
+            injection: state.injection,
+            check_failures: state.check_failures,
+        }
+    }
+
+    pub(crate) fn resume_decoded<O: Observer>(
+        &mut self,
+        snap: &Snapshot,
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+    ) -> RunResult {
+        let mut state = ExecState::new(fault);
+        state.dyn_count = snap.dyn_count;
+        state.check_failures = snap.check_failures;
+        self.mem.clone_from(&snap.mem);
+        let (mut cur, mut stack) = self.thaw(snap);
+        let end = match self.exec_decoded(&mut cur, &mut stack, &mut state, obs, &mut DNoSink) {
+            Ok(MachineEnd::Ret(ret)) => RunEnd::Completed { ret },
+            Ok(MachineEnd::Halted) => unreachable!("DNoSink never halts"),
+            Err(kind) => RunEnd::Trap {
+                kind,
+                at_dyn: state.dyn_count,
+            },
+        };
+        self.scratch.recycle(cur, stack);
+        RunResult {
+            end,
+            dyn_insts: state.dyn_count,
+            injection: state.injection,
+            check_failures: state.check_failures,
+        }
+    }
+
+    pub(crate) fn resume_converging_decoded<O: Observer>(
+        &mut self,
+        snap: &Snapshot,
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+        candidates: &[&Snapshot],
+    ) -> ConvergeOutcome {
+        let mut state = ExecState::new(fault);
+        state.dyn_count = snap.dyn_count;
+        state.check_failures = snap.check_failures;
+        self.mem.clone_from(&snap.mem);
+        let (mut cur, mut stack) = self.thaw(snap);
+        let mut sink = DConvergeSink::new(candidates);
+        let machine = self.exec_decoded(&mut cur, &mut stack, &mut state, obs, &mut sink);
+        self.scratch.recycle(cur, stack);
+        finish_converging(machine, state, snap.dyn_count)
+    }
+
+    pub(crate) fn run_converging_decoded<O: Observer>(
+        &mut self,
+        entry: FuncId,
+        args: &[u64],
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+        candidates: &[&Snapshot],
+    ) -> ConvergeOutcome {
+        let mut state = ExecState::new(fault);
+        let machine = match self.new_dframe(entry, args, 0, obs) {
+            Err(kind) => Err(kind),
+            Ok(mut cur) => {
+                let mut stack: Vec<DFrame> = Vec::new();
+                let mut sink = DConvergeSink::new(candidates);
+                let machine = self.exec_decoded(&mut cur, &mut stack, &mut state, obs, &mut sink);
+                self.scratch.recycle(cur, stack);
+                machine
+            }
+        };
+        finish_converging(machine, state, 0)
+    }
+
+    /// The decoded machine loop. Boundary order matches the reference
+    /// loop exactly: sink (may halt) → fault trigger → watchdog → count →
+    /// observer → execute.
+    fn exec_decoded<O: Observer, S: DSink<O>>(
+        &mut self,
+        cur: &mut DFrame,
+        stack: &mut Vec<DFrame>,
+        state: &mut ExecState,
+        obs: &mut O,
+        sink: &mut S,
+    ) -> Result<MachineEnd, TrapKind> {
+        let Vm {
+            module,
+            mem,
+            config,
+            decoded,
+            scratch,
+        } = self;
+        let module: &Module = module;
+        let dm: &DecodedModule = decoded;
+        let max_dyn = config.max_dyn_insts;
+        let max_depth = config.max_call_depth;
+        let checks_count_only = config.checks_count_only;
+        // The trigger boundary, hoisted out of the per-instruction Option
+        // matching; `u64::MAX` once the fault is consumed (or absent).
+        let mut trigger = match &state.fault {
+            Some((plan, _)) => plan.at_dyn,
+            None => u64::MAX,
+        };
+
+        'frames: loop {
+            let fid = cur.func;
+            let func = module.function(fid);
+            let df = &dm.funcs[fid.index()];
+            loop {
+                let blk = df.blocks[cur.block as usize];
+                while cur.pc < blk.end {
+                    if sink.at_boundary(mem, cur, stack, state, obs, dm) {
+                        return Ok(MachineEnd::Halted);
+                    }
+                    if state.dyn_count == trigger {
+                        inject(state, cur, func, obs);
+                        trigger = u64::MAX;
+                    }
+                    if state.dyn_count >= max_dyn {
+                        return Err(TrapKind::Watchdog);
+                    }
+                    state.dyn_count += 1;
+                    let d = df.code[cur.pc as usize];
+                    obs.on_exec(fid, func, d.inst);
+                    cur.pc += 1;
+
+                    match d.kind {
+                        DKind::BinI { op, ty, a, b } => {
+                            let av = cur.read(a) as i64;
+                            let bv = cur.read(b) as i64;
+                            let mask = if ty.bits() == 64 {
+                                u64::MAX
+                            } else {
+                                (1u64 << ty.bits()) - 1
+                            };
+                            let ua = (av as u64) & mask;
+                            let ub = (bv as u64) & mask;
+                            let r: i64 = match op {
+                                BinOp::Add => av.wrapping_add(bv),
+                                BinOp::Sub => av.wrapping_sub(bv),
+                                BinOp::Mul => av.wrapping_mul(bv),
+                                BinOp::SDiv => {
+                                    if bv == 0 {
+                                        return Err(TrapKind::DivByZero);
+                                    }
+                                    av.wrapping_div(bv)
+                                }
+                                BinOp::SRem => {
+                                    if bv == 0 {
+                                        return Err(TrapKind::DivByZero);
+                                    }
+                                    av.wrapping_rem(bv)
+                                }
+                                BinOp::UDiv => {
+                                    if ub == 0 {
+                                        return Err(TrapKind::DivByZero);
+                                    }
+                                    (ua / ub) as i64
+                                }
+                                BinOp::URem => {
+                                    if ub == 0 {
+                                        return Err(TrapKind::DivByZero);
+                                    }
+                                    (ua % ub) as i64
+                                }
+                                BinOp::And => av & bv,
+                                BinOp::Or => av | bv,
+                                BinOp::Xor => av ^ bv,
+                                BinOp::Shl => {
+                                    let amt = (bv as u64) % ty.bits() as u64;
+                                    av.wrapping_shl(amt as u32)
+                                }
+                                BinOp::LShr => {
+                                    let amt = (bv as u64) % ty.bits() as u64;
+                                    (ua >> amt) as i64
+                                }
+                                BinOp::AShr => {
+                                    let amt = (bv as u64) % ty.bits() as u64;
+                                    av.wrapping_shr(amt as u32)
+                                }
+                                _ => unreachable!("int op"),
+                            };
+                            let bits = ty.canon(r) as u64;
+                            cur.write(d.result, bits);
+                            obs.on_result(fid, func, d.inst, d.ty, bits);
+                        }
+                        DKind::BinF { op, a, b } => {
+                            let av = f64::from_bits(cur.read(a));
+                            let bv = f64::from_bits(cur.read(b));
+                            let r = match op {
+                                BinOp::FAdd => av + bv,
+                                BinOp::FSub => av - bv,
+                                BinOp::FMul => av * bv,
+                                BinOp::FDiv => av / bv,
+                                _ => unreachable!("float op"),
+                            };
+                            let bits = r.to_bits();
+                            cur.write(d.result, bits);
+                            obs.on_result(fid, func, d.inst, d.ty, bits);
+                        }
+                        DKind::Un { op, a } => {
+                            let av = f64::from_bits(cur.read(a));
+                            let r = match op {
+                                UnOp::FSqrt => av.sqrt(),
+                                UnOp::FAbs => av.abs(),
+                                UnOp::FFloor => av.floor(),
+                                UnOp::FNeg => -av,
+                            };
+                            let bits = r.to_bits();
+                            cur.write(d.result, bits);
+                            obs.on_result(fid, func, d.inst, d.ty, bits);
+                        }
+                        DKind::Icmp { pred, ty, a, b } => {
+                            let av = cur.read(a) as i64;
+                            let bv = cur.read(b) as i64;
+                            let mask = if ty.bits() == 64 {
+                                u64::MAX
+                            } else {
+                                (1u64 << ty.bits()) - 1
+                            };
+                            let (ua, ub) = ((av as u64) & mask, (bv as u64) & mask);
+                            let r = match pred {
+                                IntCC::Eq => av == bv,
+                                IntCC::Ne => av != bv,
+                                IntCC::Slt => av < bv,
+                                IntCC::Sle => av <= bv,
+                                IntCC::Sgt => av > bv,
+                                IntCC::Sge => av >= bv,
+                                IntCC::Ult => ua < ub,
+                                IntCC::Ule => ua <= ub,
+                                IntCC::Ugt => ua > ub,
+                                IntCC::Uge => ua >= ub,
+                            };
+                            let bits = r as u64;
+                            cur.write(d.result, bits);
+                            obs.on_result(fid, func, d.inst, d.ty, bits);
+                        }
+                        DKind::Fcmp { pred, a, b } => {
+                            let av = f64::from_bits(cur.read(a));
+                            let bv = f64::from_bits(cur.read(b));
+                            let r = match pred {
+                                FloatCC::Eq => av == bv,
+                                FloatCC::Ne => av != bv,
+                                FloatCC::Lt => av < bv,
+                                FloatCC::Le => av <= bv,
+                                FloatCC::Gt => av > bv,
+                                FloatCC::Ge => av >= bv,
+                            };
+                            let bits = r as u64;
+                            cur.write(d.result, bits);
+                            obs.on_result(fid, func, d.inst, d.ty, bits);
+                        }
+                        DKind::Cast { kind, src, a } => {
+                            let av = cur.read(a);
+                            let bits = match kind {
+                                CastKind::Trunc => d.ty.sign_extend(av) as u64,
+                                CastKind::SExt => av, // canonical form is already extended
+                                CastKind::ZExt => {
+                                    let mask = if src.bits() == 64 {
+                                        u64::MAX
+                                    } else {
+                                        (1u64 << src.bits()) - 1
+                                    };
+                                    av & mask
+                                }
+                                CastKind::FpToSi => {
+                                    let f = f64::from_bits(av);
+                                    d.ty.canon(f as i64) as u64 // saturating in Rust
+                                }
+                                CastKind::SiToFp => ((av as i64) as f64).to_bits(),
+                            };
+                            cur.write(d.result, bits);
+                            obs.on_result(fid, func, d.inst, d.ty, bits);
+                        }
+                        DKind::Select { c, t, f } => {
+                            let bits = if cur.read(c) & 1 == 1 {
+                                cur.read(t)
+                            } else {
+                                cur.read(f)
+                            };
+                            cur.write(d.result, bits);
+                            obs.on_result(fid, func, d.inst, d.ty, bits);
+                        }
+                        DKind::Load { addr } => {
+                            let a = cur.read(addr) as i64;
+                            let bits = mem.load(a, d.ty)?;
+                            cur.write(d.result, bits);
+                            obs.on_result(fid, func, d.inst, d.ty, bits);
+                        }
+                        DKind::Store { addr, val, vty } => {
+                            let a = cur.read(addr) as i64;
+                            let v = cur.read(val);
+                            mem.store(a, vty, v)?;
+                        }
+                        DKind::Check { cond, kind } => {
+                            let c = cur.read(cond);
+                            if c & 1 == 0 {
+                                obs.on_check_fail(fid, func, d.inst);
+                                if checks_count_only {
+                                    state.check_failures += 1;
+                                } else {
+                                    return Err(TrapKind::SwDetect(kind));
+                                }
+                            }
+                        }
+                        DKind::Call {
+                            callee,
+                            args_start,
+                            args_len,
+                        } => {
+                            scratch.call_args.clear();
+                            for &a in
+                                &df.call_args[args_start as usize..(args_start + args_len) as usize]
+                            {
+                                scratch.call_args.push(cur.read(a));
+                            }
+                            let depth = stack.len() as u32 + 1;
+                            if depth >= max_depth {
+                                return Err(TrapKind::CallDepth);
+                            }
+                            let cfunc = module.function(callee);
+                            let dfc = &dm.funcs[callee.index()];
+                            assert_eq!(
+                                scratch.call_args.len(),
+                                dfc.params.len(),
+                                "arity mismatch calling {}",
+                                cfunc.name
+                            );
+                            let mut callee_frame = scratch.free_frames.pop().unwrap_or_default();
+                            {
+                                let n = dfc.num_values as usize;
+                                callee_frame.func = callee;
+                                callee_frame.num_values = dfc.num_values;
+                                callee_frame.slots.clear();
+                                callee_frame.slots.resize(n, 0);
+                                callee_frame.slots.extend_from_slice(&dfc.consts);
+                                callee_frame.defined.clear();
+                                callee_frame.defined.resize(n.div_ceil(64), 0);
+                                callee_frame.lenient = false;
+                                callee_frame.block = dfc.entry;
+                                callee_frame.pc = dfc.entry_pc;
+                                callee_frame.call_inst = None;
+                                callee_frame.ret_slot = SLOT_NONE;
+                                callee_frame.ret_ty = Type::I64;
+                            }
+                            for (&a, &(slot, ty)) in scratch.call_args.iter().zip(&dfc.params) {
+                                let canon = if ty.is_float() {
+                                    a
+                                } else {
+                                    ty.sign_extend(a) as u64
+                                };
+                                callee_frame.write(slot, canon);
+                            }
+                            obs.on_enter(callee, cfunc);
+                            cur.call_inst = Some(d.inst);
+                            cur.ret_slot = d.result;
+                            cur.ret_ty = d.ty;
+                            stack.push(std::mem::replace(cur, callee_frame));
+                            continue 'frames;
+                        }
+                    }
+                }
+
+                // Terminator boundary.
+                if sink.at_boundary(mem, cur, stack, state, obs, dm) {
+                    return Ok(MachineEnd::Halted);
+                }
+                if state.dyn_count == trigger {
+                    inject(state, cur, func, obs);
+                    trigger = u64::MAX;
+                }
+                if state.dyn_count >= max_dyn {
+                    return Err(TrapKind::Watchdog);
+                }
+                state.dyn_count += 1;
+                obs.on_term(fid, func, BlockId::new(cur.block as usize));
+                match blk.term {
+                    DTerm::Br { edge } => {
+                        take_edge(
+                            fid,
+                            func,
+                            df,
+                            cur,
+                            edge,
+                            state,
+                            obs,
+                            &mut scratch.phi_writes,
+                        );
+                    }
+                    DTerm::CondBr {
+                        cond,
+                        then_edge,
+                        else_edge,
+                    } => {
+                        let c = cur.read(cond);
+                        let e = if c & 1 == 1 { then_edge } else { else_edge };
+                        take_edge(fid, func, df, cur, e, state, obs, &mut scratch.phi_writes);
+                    }
+                    DTerm::Ret(v) => {
+                        let ret = v.map(|o| cur.read(o));
+                        obs.on_exit(fid);
+                        let Some(caller) = stack.pop() else {
+                            return Ok(MachineEnd::Ret(ret));
+                        };
+                        scratch.free_frames.push(std::mem::replace(cur, caller));
+                        let caller_func = module.function(cur.func);
+                        let i = cur.call_inst.take().expect("returning to a call site");
+                        let rs = cur.ret_slot;
+                        if rs != SLOT_NONE {
+                            let bits = ret.expect("verified call returns a value");
+                            cur.write(rs, bits);
+                            obs.on_result(cur.func, caller_func, i, cur.ret_ty, bits);
+                        }
+                        continue 'frames;
+                    }
+                    DTerm::Missing => panic!("verified function has terminators"),
+                }
+            }
+        }
+    }
+}

@@ -7,12 +7,14 @@
 //! later — injection campaigns use this to skip re-executing the shared
 //! fault-free prefix of every trial (DETOx-style campaign acceleration).
 
+use crate::decode::{DEveryK, DNoSink, DecodedModule, Scratch};
 use crate::fault::{flip_bit, FaultInjector, FaultKind, FaultPlan, InjectionRecord};
 use crate::memory::Memory;
 use crate::outcome::{RunEnd, RunResult, TrapKind};
 use softft_ir::function::{Function, ValueKind};
 use softft_ir::inst::{BinOp, CastKind, FloatCC, IntCC, Op, Term, UnOp};
 use softft_ir::{BlockId, FuncId, InstId, Module, Type, ValueId};
+use std::sync::Arc;
 
 /// Interpreter configuration.
 #[derive(Clone, Copy, Debug)]
@@ -29,6 +31,12 @@ pub struct VmConfig {
     /// system that continues after recovering. Used for the paper's
     /// false-positive measurement (checks firing with no fault present).
     pub checks_count_only: bool,
+    /// When true, executes with the original tree-walking interpreter
+    /// instead of the pre-decoded flat bytecode engine. The two are
+    /// bitwise equivalent (`tests/decoded_equiv.rs` gates this); the
+    /// reference path exists for differential testing and as the "before"
+    /// leg of the interpreter throughput bench.
+    pub reference_interp: bool,
 }
 
 impl Default for VmConfig {
@@ -38,6 +46,7 @@ impl Default for VmConfig {
             max_dyn_insts: 400_000_000,
             max_call_depth: 64,
             checks_count_only: false,
+            reference_interp: false,
         }
     }
 }
@@ -114,23 +123,23 @@ impl SuffixObserver for NoopObserver {
 /// array; everything else is indices. Equality is bitwise over the whole
 /// record — the convergence check relies on it.
 #[derive(Clone, Debug, PartialEq, Eq)]
-struct Frame {
-    func: FuncId,
+pub(crate) struct Frame {
+    pub(crate) func: FuncId,
     /// One slot per SSA value; `Some` once defined. Constants are never
     /// materialized here (they are immediates, not register state).
-    slots: Vec<Option<u64>>,
+    pub(crate) slots: Vec<Option<u64>>,
     /// Set once a branch-target fault corrupted this frame's control
     /// flow: SSA liveness no longer holds, so reads of never-written
     /// slots yield stale zeros instead of asserting.
-    lenient: bool,
+    pub(crate) lenient: bool,
     /// Current block.
-    block: BlockId,
+    pub(crate) block: BlockId,
     /// Index of the next instruction in `block` (`insts.len()` means the
     /// terminator is next).
-    ip: usize,
+    pub(crate) ip: usize,
     /// When this frame is suspended below an active callee: the call
     /// instruction awaiting the callee's return value.
-    call_inst: Option<InstId>,
+    pub(crate) call_inst: Option<InstId>,
 }
 
 /// A resumable checkpoint of the full architectural state — linear memory,
@@ -144,11 +153,11 @@ struct Frame {
 /// whose trigger is at or after the snapshot point.
 #[derive(Clone, Debug)]
 pub struct Snapshot {
-    dyn_count: u64,
-    check_failures: u64,
-    mem: Memory,
+    pub(crate) dyn_count: u64,
+    pub(crate) check_failures: u64,
+    pub(crate) mem: Memory,
     /// Bottom-to-top; the last frame is the executing one.
-    stack: Vec<Frame>,
+    pub(crate) stack: Vec<Frame>,
 }
 
 impl Snapshot {
@@ -304,7 +313,7 @@ impl<O: Observer> Sink<O> for ConvergeSink<'_> {
 
 /// How the machine loop ended: an ordinary top-level return, or a halt
 /// requested by the boundary sink (state convergence).
-enum MachineEnd {
+pub(crate) enum MachineEnd {
     Ret(Option<u64>),
     Halted,
 }
@@ -329,7 +338,7 @@ pub enum ConvergeOutcome {
     },
 }
 
-fn finish_converging(
+pub(crate) fn finish_converging(
     machine: Result<MachineEnd, TrapKind>,
     state: ExecState,
     start: u64,
@@ -358,22 +367,22 @@ fn finish_converging(
     }
 }
 
-struct ExecState {
-    dyn_count: u64,
-    fault: Option<(FaultPlan, FaultInjector)>,
-    injection: Option<InjectionRecord>,
-    check_failures: u64,
+pub(crate) struct ExecState {
+    pub(crate) dyn_count: u64,
+    pub(crate) fault: Option<(FaultPlan, FaultInjector)>,
+    pub(crate) injection: Option<InjectionRecord>,
+    pub(crate) check_failures: u64,
     /// Set when a branch-target fault is due: the next executed branch
     /// jumps to a random block of its function.
-    branch_fault_armed: Option<(FaultPlan, FaultInjector)>,
+    pub(crate) branch_fault_armed: Option<(FaultPlan, FaultInjector)>,
     /// Set once control flow was corrupted: reads of never-written SSA
     /// slots then yield stale zeros instead of asserting (a wrongly
     /// reached block sees whatever garbage the registers hold).
-    control_corrupted: bool,
+    pub(crate) control_corrupted: bool,
 }
 
 impl ExecState {
-    fn new(fault: Option<FaultPlan>) -> Self {
+    pub(crate) fn new(fault: Option<FaultPlan>) -> Self {
         ExecState {
             dyn_count: 0,
             fault: fault.map(|p| (p, FaultInjector::new(&p))),
@@ -434,10 +443,16 @@ impl ExecState {
 /// harnesses can write inputs before and read outputs after; use
 /// [`Vm::reset_memory`] between independent runs.
 pub struct Vm<'m> {
-    module: &'m Module,
+    pub(crate) module: &'m Module,
     /// Linear memory (public: harnesses preload inputs / read outputs).
     pub mem: Memory,
-    config: VmConfig,
+    pub(crate) config: VmConfig,
+    /// The module lowered to flat bytecode — decoded once, shared
+    /// read-only (campaign workers pass one `Arc` to every trial VM via
+    /// [`Vm::with_decoded`]).
+    pub(crate) decoded: Arc<DecodedModule>,
+    /// Reusable frame arena and call/phi scratch buffers.
+    pub(crate) scratch: Scratch,
 }
 
 impl<'m> Vm<'m> {
@@ -447,6 +462,8 @@ impl<'m> Vm<'m> {
             mem: Memory::for_module(module, config.mem_slack),
             module,
             config,
+            decoded: Arc::new(DecodedModule::decode(module)),
+            scratch: Scratch::default(),
         }
     }
 
@@ -455,9 +472,32 @@ impl<'m> Vm<'m> {
     /// [`Memory::for_module`] initializer copying inside every trial).
     pub fn with_memory(module: &'m Module, config: VmConfig, mem: Memory) -> Self {
         Vm {
+            decoded: Arc::new(DecodedModule::decode(module)),
             module,
             mem,
             config,
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// Like [`Vm::with_memory`], but reusing an already-decoded module
+    /// image instead of decoding again — the campaign path, where one
+    /// decode is amortized over thousands of trial VMs.
+    ///
+    /// `decoded` must come from [`DecodedModule::decode`] of this exact
+    /// `module`.
+    pub fn with_decoded(
+        module: &'m Module,
+        config: VmConfig,
+        mem: Memory,
+        decoded: Arc<DecodedModule>,
+    ) -> Self {
+        Vm {
+            module,
+            mem,
+            config,
+            decoded,
+            scratch: Scratch::default(),
         }
     }
 
@@ -483,7 +523,11 @@ impl<'m> Vm<'m> {
         obs: &mut O,
         fault: Option<FaultPlan>,
     ) -> RunResult {
-        self.run_inner(entry, args, obs, fault, &mut NoSink)
+        if self.config.reference_interp {
+            self.run_inner(entry, args, obs, fault, &mut NoSink)
+        } else {
+            self.run_decoded(entry, args, obs, fault, &mut DNoSink)
+        }
     }
 
     /// Runs `entry` fault-free while capturing a [`Snapshot`] every
@@ -504,16 +548,29 @@ impl<'m> Vm<'m> {
         mut on_checkpoint: impl FnMut(Snapshot, &O),
     ) -> RunResult {
         assert!(interval > 0, "snapshot interval must be positive");
-        self.run_inner(
-            entry,
-            args,
-            obs,
-            None,
-            &mut EveryK {
-                interval,
-                f: &mut on_checkpoint,
-            },
-        )
+        if self.config.reference_interp {
+            self.run_inner(
+                entry,
+                args,
+                obs,
+                None,
+                &mut EveryK {
+                    interval,
+                    f: &mut on_checkpoint,
+                },
+            )
+        } else {
+            self.run_decoded(
+                entry,
+                args,
+                obs,
+                None,
+                &mut DEveryK {
+                    interval,
+                    f: &mut on_checkpoint,
+                },
+            )
+        }
     }
 
     /// Resumes execution from `snap`, replacing this VM's memory with the
@@ -538,6 +595,9 @@ impl<'m> Vm<'m> {
                 plan.at_dyn,
                 snap.dyn_count
             );
+        }
+        if !self.config.reference_interp {
+            return self.resume_decoded(snap, obs, fault);
         }
         let mut state = ExecState::new(fault);
         state.dyn_count = snap.dyn_count;
@@ -588,6 +648,9 @@ impl<'m> Vm<'m> {
                 snap.dyn_count
             );
         }
+        if !self.config.reference_interp {
+            return self.resume_converging_decoded(snap, obs, fault, candidates);
+        }
         let mut state = ExecState::new(fault);
         state.dyn_count = snap.dyn_count;
         state.check_failures = snap.check_failures;
@@ -610,6 +673,9 @@ impl<'m> Vm<'m> {
         fault: Option<FaultPlan>,
         candidates: &[&Snapshot],
     ) -> ConvergeOutcome {
+        if !self.config.reference_interp {
+            return self.run_converging_decoded(entry, args, obs, fault, candidates);
+        }
         let mut state = ExecState::new(fault);
         let mut stack: Vec<Frame> = Vec::new();
         let machine = match self.new_frame(entry, args, 0, obs) {

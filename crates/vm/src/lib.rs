@@ -14,6 +14,13 @@
 //!   model used for fault-coverage runs;
 //! * [`fault`] — single-bit-flip injection into a live SSA value slot of
 //!   the active frame (the analogue of the paper's register-file flips);
+//! * [`decode`] — a pre-decoded flat bytecode image ([`DecodedModule`]):
+//!   each function is lowered once into a dense instruction stream with
+//!   pre-resolved operand slots and materialized phi-copy schedules, then
+//!   shared read-only across every campaign trial. The interpreter
+//!   executes the decoded stream by default; the tree-walking reference
+//!   path remains selectable via `VmConfig::reference_interp` and the two
+//!   are bitwise equivalent;
 //! * [`timing`] — a two-issue out-of-order timing model (issue width,
 //!   ROB, per-op latencies; Table II scaled), corresponding to the paper's
 //!   *out-of-order* model used for performance-overhead runs. Independent
@@ -45,12 +52,14 @@
 //! assert_eq!(result.return_bits(), Some(45));
 //! ```
 
+pub mod decode;
 pub mod fault;
 pub mod interp;
 pub mod memory;
 pub mod outcome;
 pub mod timing;
 
+pub use decode::DecodedModule;
 pub use fault::{FaultPlan, InjectionRecord};
 pub use interp::{ConvergeOutcome, NoopObserver, Observer, Snapshot, SuffixObserver, Vm, VmConfig};
 pub use memory::Memory;

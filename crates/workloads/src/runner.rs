@@ -4,7 +4,8 @@
 use crate::{InputSet, Workload, WorkloadInput};
 use softft_ir::Module;
 use softft_vm::interp::{Observer, Vm, VmConfig};
-use softft_vm::{ConvergeOutcome, FaultPlan, Memory, RunResult, Snapshot};
+use softft_vm::{ConvergeOutcome, DecodedModule, FaultPlan, Memory, RunResult, Snapshot};
+use std::sync::Arc;
 
 /// Writes a [`WorkloadInput`] into a memory image (the `params` and
 /// `input` globals).
@@ -79,10 +80,14 @@ pub struct WorkloadImage<'m> {
     main: softft_ir::FuncId,
     config: VmConfig,
     mem: Memory,
+    /// The module's flat bytecode, decoded once per image and shared by
+    /// every VM constructed from it (all campaign workers and trials).
+    decoded: Arc<DecodedModule>,
 }
 
 impl<'m> WorkloadImage<'m> {
-    /// Builds the pristine globals+input image for `module`.
+    /// Builds the pristine globals+input image for `module`, decoding the
+    /// module to flat bytecode once.
     ///
     /// # Panics
     ///
@@ -99,6 +104,7 @@ impl<'m> WorkloadImage<'m> {
             main,
             config,
             mem,
+            decoded: Arc::new(DecodedModule::decode(module)),
         }
     }
 
@@ -110,7 +116,7 @@ impl<'m> WorkloadImage<'m> {
     /// Runs one trial from instruction 0 on a clone of the pristine
     /// image; returns the run result and the output bytes.
     pub fn run<O: Observer>(&self, obs: &mut O, fault: Option<FaultPlan>) -> (RunResult, Vec<u8>) {
-        let mut vm = Vm::with_memory(self.module, self.config, self.mem.clone());
+        let mut vm = self.vm(self.mem.clone());
         let result = vm.run(self.main, &[], obs, fault);
         let out = read_output(&vm, self.module);
         (result, out)
@@ -124,7 +130,7 @@ impl<'m> WorkloadImage<'m> {
         interval: u64,
         on_checkpoint: impl FnMut(Snapshot, &O),
     ) -> (RunResult, Vec<u8>) {
-        let mut vm = Vm::with_memory(self.module, self.config, self.mem.clone());
+        let mut vm = self.vm(self.mem.clone());
         let result = vm.run_recording(self.main, &[], obs, interval, on_checkpoint);
         let out = read_output(&vm, self.module);
         (result, out)
@@ -139,7 +145,7 @@ impl<'m> WorkloadImage<'m> {
         obs: &mut O,
         fault: Option<FaultPlan>,
     ) -> (RunResult, Vec<u8>) {
-        let mut vm = Vm::with_memory(self.module, self.config, Memory::empty());
+        let mut vm = self.vm(Memory::empty());
         let result = vm.resume_from(snap, obs, fault);
         let out = read_output(&vm, self.module);
         (result, out)
@@ -149,8 +155,13 @@ impl<'m> WorkloadImage<'m> {
     pub fn trial_vm(&self) -> TrialVm<'_, 'm> {
         TrialVm {
             image: self,
-            vm: Vm::with_memory(self.module, self.config, Memory::empty()),
+            vm: self.vm(Memory::empty()),
         }
+    }
+
+    /// A VM over `mem` sharing this image's decoded bytecode.
+    fn vm(&self, mem: Memory) -> Vm<'m> {
+        Vm::with_decoded(self.module, self.config, mem, Arc::clone(&self.decoded))
     }
 }
 

@@ -1,0 +1,187 @@
+//! The decoded flat-bytecode engine is a pure perf optimization over the
+//! tree-walking reference interpreter: every observable — return values,
+//! `dyn_insts`, check failures, trap kinds, injection records, output
+//! bytes, campaign results — must match bitwise. This differential suite
+//! fuzzes randomized DSL kernels (plain and protected) and runs the real
+//! benchmark modules under both engines, across fault kinds, snapshot
+//! intervals, and thread counts. The reference path is selected with
+//! `VmConfig::reference_interp`.
+
+use soft_ft_tests::random_module;
+use softft::{transform, Technique, TransformConfig};
+use softft_campaign::campaign::{run_campaign_with_stats, CampaignConfig};
+use softft_campaign::prep::prepare;
+use softft_profile::{ClassifyConfig, ProfileDb, Profiler};
+use softft_vm::fault::FaultKind;
+use softft_vm::interp::{NoopObserver, Snapshot, Vm, VmConfig};
+use softft_vm::FaultPlan;
+use softft_workloads::runner::WorkloadImage;
+use softft_workloads::{workload_by_name, InputSet};
+
+fn reference() -> VmConfig {
+    VmConfig {
+        reference_interp: true,
+        ..VmConfig::default()
+    }
+}
+
+/// Fault-free plus register and branch-target flips at triggers spanning
+/// early, mid-run, and beyond-program-end (the last must stay unarmed on
+/// both engines).
+fn plans() -> Vec<Option<FaultPlan>> {
+    let mut plans = vec![None];
+    for at in [1, 40, 700, 250_000] {
+        for fseed in [0, 9] {
+            plans.push(Some(FaultPlan::register(at, fseed)));
+            plans.push(Some(FaultPlan::branch_target(at, fseed)));
+        }
+    }
+    plans
+}
+
+#[test]
+fn random_kernels_agree_bitwise_across_engines() {
+    for seed in 0..24u64 {
+        let m = random_module(seed);
+        let main = m.function_by_name("main").expect("main exists");
+        for plan in plans() {
+            let dec = Vm::new(&m, VmConfig::default()).run(main, &[], &mut NoopObserver, plan);
+            let tree = Vm::new(&m, reference()).run(main, &[], &mut NoopObserver, plan);
+            assert_eq!(dec, tree, "seed {seed}, plan {plan:?}");
+        }
+    }
+}
+
+#[test]
+fn protected_kernels_agree_bitwise_under_faults() {
+    // Protected modules exercise the decoded Check/duplicate paths and
+    // the detected-trap plumbing.
+    for seed in [3u64, 11, 17] {
+        let m = random_module(seed);
+        let main = m.function_by_name("main").expect("main exists");
+        let mut prof = Profiler::default();
+        Vm::new(&m, VmConfig::default()).run(main, &[], &mut prof, None);
+        let db = ProfileDb::from_profiler(&prof, &ClassifyConfig::default());
+        for t in [Technique::DupVal, Technique::FullDup] {
+            let (tm, _) = transform(&m, &db, t, &TransformConfig::default());
+            let main = tm.function_by_name("main").expect("main exists");
+            for plan in plans() {
+                let dec = Vm::new(&tm, VmConfig::default()).run(main, &[], &mut NoopObserver, plan);
+                let tree = Vm::new(&tm, reference()).run(main, &[], &mut NoopObserver, plan);
+                assert_eq!(dec, tree, "seed {seed}, technique {t}, plan {plan:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshots_recorded_on_either_engine_resume_bitwise_on_either() {
+    for seed in [2u64, 9, 21] {
+        let m = random_module(seed);
+        let main = m.function_by_name("main").expect("main exists");
+        let golden = Vm::new(&m, VmConfig::default()).run(main, &[], &mut NoopObserver, None);
+        let interval = (golden.dyn_insts / 4).max(1);
+
+        let record = |cfg: VmConfig| {
+            let mut snaps: Vec<Snapshot> = Vec::new();
+            let r =
+                Vm::new(&m, cfg)
+                    .run_recording(main, &[], &mut NoopObserver, interval, |s, _| snaps.push(s));
+            (r, snaps)
+        };
+        let (rd, dec_snaps) = record(VmConfig::default());
+        let (rt, tree_snaps) = record(reference());
+        assert_eq!(rd, rt, "seed {seed}: recording results diverged");
+        assert_eq!(golden, rd, "seed {seed}: recording changed the run");
+        assert_eq!(
+            dec_snaps.len(),
+            tree_snaps.len(),
+            "seed {seed}: checkpoint counts diverged"
+        );
+        assert!(!dec_snaps.is_empty(), "seed {seed}: no checkpoint captured");
+
+        for (i, (ds, ts)) in dec_snaps.iter().zip(&tree_snaps).enumerate() {
+            assert_eq!(
+                ds.dyn_count(),
+                ts.dyn_count(),
+                "seed {seed}, checkpoint {i}"
+            );
+            // Resume from every checkpoint on both engines, from
+            // snapshots recorded by either engine — all four pairings
+            // must agree, faulted and fault-free.
+            let mut resume_plans = vec![None];
+            for delta in [1, 37] {
+                let at = ds.dyn_count() + delta;
+                resume_plans.push(Some(FaultPlan::register(at, seed ^ i as u64)));
+                resume_plans.push(Some(FaultPlan::branch_target(at, i as u64)));
+            }
+            for plan in resume_plans {
+                let base =
+                    Vm::new(&m, VmConfig::default()).resume_from(ds, &mut NoopObserver, plan);
+                for (snap, cfg, label) in [
+                    (ts, VmConfig::default(), "decoded engine, tree snapshot"),
+                    (ds, reference(), "tree engine, decoded snapshot"),
+                    (ts, reference(), "tree engine, tree snapshot"),
+                ] {
+                    let r = Vm::new(&m, cfg).resume_from(snap, &mut NoopObserver, plan);
+                    assert_eq!(
+                        base, r,
+                        "seed {seed}, checkpoint {i}, plan {plan:?}: {label} diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn benchmark_golden_runs_agree_bitwise() {
+    for name in ["tiff2bw", "kmeans", "g721enc"] {
+        let w = workload_by_name(name).expect("workload exists");
+        let m = w.build_module();
+        let input = w.input(InputSet::Test);
+        let (rd, out_d) =
+            WorkloadImage::new(&m, &input, VmConfig::default()).run(&mut NoopObserver, None);
+        let (rt, out_t) = WorkloadImage::new(&m, &input, reference()).run(&mut NoopObserver, None);
+        assert_eq!(rd, rt, "{name}: golden results diverged");
+        assert_eq!(out_d, out_t, "{name}: output bytes diverged");
+    }
+}
+
+fn cfg(threads: usize, kind: FaultKind, interval: u64, reference_interp: bool) -> CampaignConfig {
+    CampaignConfig {
+        trials: 30,
+        seed: 23,
+        threads,
+        fault_kind: kind,
+        snapshot_interval: interval,
+        vm: VmConfig {
+            reference_interp,
+            ..VmConfig::default()
+        },
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn campaigns_agree_bitwise_across_engines_threads_and_intervals() {
+    let p = prepare(workload_by_name("tiff2bw").unwrap());
+    let t = Technique::DupVal;
+    for kind in [FaultKind::Register, FaultKind::BranchTarget] {
+        let (golden, _) =
+            run_campaign_with_stats(&*p.workload, p.module(t), &cfg(1, kind, 0, true));
+        for threads in [1, 3] {
+            for interval in [0, 1500] {
+                let (dec, _) = run_campaign_with_stats(
+                    &*p.workload,
+                    p.module(t),
+                    &cfg(threads, kind, interval, false),
+                );
+                assert_eq!(
+                    golden, dec,
+                    "{kind:?} diverged at {threads} threads, interval {interval}"
+                );
+            }
+        }
+    }
+}
