@@ -4,23 +4,31 @@
 //! ```text
 //! repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c]
 //!                 [--telemetry DIR] [--html PATH] [--snapshot-interval K]
-//!                 [--bench-out PATH] [-v|--verbose] [-q|--quiet]
+//!                 [--bench-out PATH] [--progress text|jsonl] [-v|--verbose] [-q|--quiet]
 //!
 //! exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13
-//!           detect latency falsepos crossval coverage perfbench
-//!           interpbench all
+//!           detect latency falsepos crossval ablate cfc recovery
+//!           coverage perfbench interpbench profile all
 //! ```
+//!
+//! The `exhibits:` list above is checked against
+//! [`softft_bench::EXHIBITS`] by a test (the runtime usage string is
+//! *derived* from that table), so neither can silently drift when an
+//! exhibit is added.
 
 use softft_bench::{Exhibit, ReproConfig};
-use softft_telemetry::{Logger, Verbosity};
+use softft_telemetry::{set_progress_sink, JsonlSink, Logger, TextSink, Verbosity};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
-    // Usage goes out at every verbosity level.
-    Logger::default().error(
-        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [--html PATH] [--snapshot-interval K] [--bench-out PATH] [-v|--verbose] [-q|--quiet]\n\
-         exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13 detect latency falsepos crossval ablate cfc recovery coverage perfbench interpbench all",
-    );
+    // Usage goes out at every verbosity level. The exhibit list is
+    // derived from the same table `Exhibit::parse` reads.
+    Logger::default().error(format!(
+        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [--html PATH] [--snapshot-interval K] [--bench-out PATH] [--progress text|jsonl] [-v|--verbose] [-q|--quiet]\n\
+         exhibits: {}",
+        Exhibit::names_joined(),
+    ));
     ExitCode::FAILURE
 }
 
@@ -82,6 +90,15 @@ fn main() -> ExitCode {
             "--bench-out" => {
                 cfg.bench_out = Some(value.into());
             }
+            // Stream per-campaign progress (trials done/total,
+            // trials/sec, outcome mix, ETA) to stderr while exhibits
+            // run. Pure observation: results are identical with or
+            // without a sink.
+            "--progress" => match value.as_str() {
+                "text" => set_progress_sink(Some(Arc::new(TextSink))),
+                "jsonl" => set_progress_sink(Some(Arc::new(JsonlSink))),
+                _ => return usage(),
+            },
             _ => return usage(),
         }
         i += 2;

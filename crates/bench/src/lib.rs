@@ -17,4 +17,4 @@
 pub mod html;
 pub mod orchestrate;
 
-pub use orchestrate::{Exhibit, ReproConfig};
+pub use orchestrate::{Exhibit, ReproConfig, EXHIBITS};

@@ -67,36 +67,58 @@ pub enum Exhibit {
     /// result/output equivalence check and a `BENCH_interp.json`
     /// artifact. Not part of `all` (timing-noisy; run explicitly).
     InterpBench,
+    /// Execution profiler: per-opcode/digram heat with estimated
+    /// fused-dispatch savings, campaign phase-time attribution
+    /// (including the watchdog-spin share), and a profiling-on/off
+    /// bitwise-equivalence check. Writes `BENCH_profile.json` plus a
+    /// flamegraph-compatible `.folded` sibling. Not part of `all`
+    /// (timing-noisy; run explicitly).
+    Profile,
     /// Everything, in paper order.
     All,
 }
 
+/// Every exhibit subcommand name, paired with its variant — the single
+/// source for [`Exhibit::parse`], the `repro` usage string, and the
+/// `repro` doc comment (a test fails if any of them drift).
+pub const EXHIBITS: [(&str, Exhibit); 21] = [
+    ("table1", Exhibit::Table1),
+    ("table2", Exhibit::Table2),
+    ("fig1", Exhibit::Fig1),
+    ("fig2", Exhibit::Fig2),
+    ("fig6", Exhibit::Fig6),
+    ("fig10", Exhibit::Fig10),
+    ("fig11", Exhibit::Fig11),
+    ("fig12", Exhibit::Fig12),
+    ("fig13", Exhibit::Fig13),
+    ("detect", Exhibit::Detect),
+    ("latency", Exhibit::Latency),
+    ("falsepos", Exhibit::FalsePos),
+    ("crossval", Exhibit::CrossVal),
+    ("ablate", Exhibit::Ablate),
+    ("cfc", Exhibit::Cfc),
+    ("recovery", Exhibit::Recovery),
+    ("coverage", Exhibit::Coverage),
+    ("perfbench", Exhibit::PerfBench),
+    ("interpbench", Exhibit::InterpBench),
+    ("profile", Exhibit::Profile),
+    ("all", Exhibit::All),
+];
+
 impl Exhibit {
-    /// Parses a subcommand name.
+    /// Parses a subcommand name (see [`EXHIBITS`]).
     pub fn parse(s: &str) -> Option<Exhibit> {
-        Some(match s {
-            "table1" => Exhibit::Table1,
-            "table2" => Exhibit::Table2,
-            "fig1" => Exhibit::Fig1,
-            "fig2" => Exhibit::Fig2,
-            "fig6" => Exhibit::Fig6,
-            "fig10" => Exhibit::Fig10,
-            "fig11" => Exhibit::Fig11,
-            "fig12" => Exhibit::Fig12,
-            "fig13" => Exhibit::Fig13,
-            "detect" => Exhibit::Detect,
-            "latency" => Exhibit::Latency,
-            "falsepos" => Exhibit::FalsePos,
-            "crossval" => Exhibit::CrossVal,
-            "ablate" => Exhibit::Ablate,
-            "cfc" => Exhibit::Cfc,
-            "recovery" => Exhibit::Recovery,
-            "coverage" => Exhibit::Coverage,
-            "perfbench" => Exhibit::PerfBench,
-            "interpbench" => Exhibit::InterpBench,
-            "all" => Exhibit::All,
-            _ => return None,
-        })
+        EXHIBITS.iter().find(|(n, _)| *n == s).map(|&(_, e)| e)
+    }
+
+    /// All subcommand names, space-separated — the `exhibits:` line of
+    /// the usage string.
+    pub fn names_joined() -> String {
+        EXHIBITS
+            .iter()
+            .map(|&(n, _)| n)
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 }
 
@@ -192,6 +214,7 @@ pub fn run_exhibit(ex: Exhibit, cfg: &ReproConfig) -> String {
         Exhibit::Coverage => coverage(cfg),
         Exhibit::PerfBench => perfbench(cfg),
         Exhibit::InterpBench => interpbench(cfg),
+        Exhibit::Profile => profile(cfg),
         Exhibit::All => {
             let mut out = String::new();
             for ex in [
@@ -740,6 +763,287 @@ fn interpbench(cfg: &ReproConfig) -> String {
     out
 }
 
+/// Default benchmark set for `repro profile`: one short campaign
+/// (tiff2bw) plus segm, whose corrupted runs frequently spin to the
+/// watchdog bound — the case the phase-time table is about.
+const PROFILE_BENCH_SET: [&str; 2] = ["tiff2bw", "segm"];
+
+/// The `profile` exhibit. Three measurements per selected benchmark
+/// (DupVal, matching the paper's headline configuration):
+///
+/// 1. a fault-free golden run with [`VmConfig::profiling`] on — exact
+///    per-opcode and opcode-digram counts plus sampled wall-time
+///    attribution, ranked by estimated fused-dispatch savings (the
+///    input for a superinstruction tier);
+/// 2. the hard invariant, checked: the same golden run and a full
+///    campaign with profiling *off* must be bitwise identical to the
+///    profiling-on runs (`all_equivalent` in the JSON; CI greps it);
+/// 3. a snapshot-resume campaign under phase-time attribution
+///    ([`run_campaign_profiled`]) — where wall-clock goes per phase and
+///    per outcome, including the watchdog-spin share.
+///
+/// Writes `BENCH_profile.json` (`--bench-out`) plus a
+/// flamegraph-compatible folded-stack `.folded` sibling.
+fn profile(cfg: &ReproConfig) -> String {
+    use softft_campaign::campaign::run_campaign_profiled;
+    use softft_vm::interp::{NoopObserver, Vm, VmConfig};
+    use softft_workloads::runner::{read_output, write_input};
+    use softft_workloads::workload_by_name;
+
+    let log = Logger::new(cfg.verbosity);
+    let t = Technique::DupVal;
+    let names: Vec<String> = if cfg.benchmarks.is_empty() {
+        PROFILE_BENCH_SET.iter().map(|s| s.to_string()).collect()
+    } else {
+        cfg.benchmarks.clone()
+    };
+
+    let mut out = String::new();
+    let mut entries: Vec<String> = Vec::new();
+    let mut folded = String::new();
+    let mut all_equivalent = true;
+
+    for name in &names {
+        let Some(w) = workload_by_name(name) else {
+            log.error(format!("[repro] profile: unknown benchmark {name}"));
+            continue;
+        };
+        let p = prepare(w);
+        let module = p.module(t);
+        let input = p.workload.input(InputSet::Test);
+        let main = module.function_by_name("main").expect("kernel has main");
+
+        // Golden run, profiling on: opcode/digram heat + sampled time.
+        log.debug(format!("[repro] profile: {name} golden profiled run"));
+        let prof_cfg = VmConfig {
+            profiling: true,
+            ..VmConfig::default()
+        };
+        let mut vm = Vm::new(module, prof_cfg);
+        write_input(&mut vm, module, &input);
+        let r_on = vm.run(main, &[], &mut NoopObserver, None);
+        let out_on = read_output(&vm, module);
+        let vmp = vm.take_profiler().expect("profiling was enabled");
+
+        // The invariant's golden leg: profiling off, same run.
+        let mut vm = Vm::new(module, VmConfig::default());
+        write_input(&mut vm, module, &input);
+        let r_off = vm.run(main, &[], &mut NoopObserver, None);
+        let out_off = read_output(&vm, module);
+        let golden_equiv = r_on == r_off && out_on == out_off;
+        all_equivalent &= golden_equiv;
+
+        // The invariant's campaign leg: profiling on vs off.
+        log.debug(format!("[repro] profile: {name} campaign equivalence legs"));
+        let ccfg = cfg.campaign_config();
+        let plain = run_campaign(&*p.workload, module, &ccfg);
+        let mut on_cfg = ccfg.clone();
+        on_cfg.vm.profiling = true;
+        let on = run_campaign(&*p.workload, module, &on_cfg);
+        let campaign_equiv = plain == on;
+        all_equivalent &= campaign_equiv;
+
+        // Phase-time attribution on the snapshot-resume configuration
+        // real campaigns use (auto interval: perfbench's golden/32).
+        let mut phcfg = ccfg.clone();
+        phcfg.snapshot_interval = if cfg.snapshot_interval > 0 {
+            cfg.snapshot_interval
+        } else {
+            (plain.golden_dyn_insts / 32).max(1)
+        };
+        log.debug(format!(
+            "[repro] profile: {name} phased campaign (interval {})",
+            phcfg.snapshot_interval
+        ));
+        let (phased_result, phase) = run_campaign_profiled(&*p.workload, module, &phcfg);
+        all_equivalent &= phased_result == plain;
+
+        // --- Human-readable report. ---
+        let dispatches = vmp.counts().total();
+        let _ = writeln!(
+            out,
+            "== {name} ({}) ==\ngolden: {} dyn insts | profiling on/off bitwise equal: {} | campaign equal: {}",
+            t.label(),
+            r_on.dyn_insts,
+            if golden_equiv { "yes" } else { "NO" },
+            if campaign_equiv { "yes" } else { "NO" },
+        );
+        let top = vmp.hot_digrams(8);
+        let _ = writeln!(
+            out,
+            "hot digrams (top {} of {} dispatches; savings = dispatches removed if fused):",
+            top.len(),
+            dispatches
+        );
+        for d in &top {
+            let _ = writeln!(
+                out,
+                "  {:>6} -> {:<6} {:>12}  {:>6.2}% of dispatches",
+                d.first.label(),
+                d.second.label(),
+                d.count,
+                d.est_dispatch_savings * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "campaign phases ({} trials, interval {}):",
+            phcfg.trials, phcfg.snapshot_interval
+        );
+        for (pname, ns) in phase.phases() {
+            let _ = writeln!(out, "  {:<18} {:>10.2} ms", pname, ns as f64 / 1e6);
+        }
+        let _ = writeln!(
+            out,
+            "watchdog spin: {} trials, {:.1}% of live execution time\n",
+            phase.watchdog_trials(),
+            phase.watchdog_spin_share() * 100.0
+        );
+
+        // --- JSON entry. ---
+        let digrams_json = top
+            .iter()
+            .map(|d| {
+                format!(
+                    "        {{ \"first\": \"{}\", \"second\": \"{}\", \"count\": {}, \"est_dispatch_savings\": {:.6} }}",
+                    d.first.label(),
+                    d.second.label(),
+                    d.count,
+                    d.est_dispatch_savings
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let opcodes_json = vmp
+            .counts()
+            .iter_nonzero()
+            .map(|(op, n)| format!("        {{ \"op\": \"{op}\", \"count\": {n} }}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let sampled_json = vmp
+            .sampled_times()
+            .map(|(c, s)| {
+                format!(
+                    "        {{ \"op\": \"{}\", \"ns\": {}, \"samples\": {} }}",
+                    c.label(),
+                    s.ns,
+                    s.samples
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let phases_json = phase
+            .phases()
+            .iter()
+            .map(|(pname, ns)| format!("\"{pname}_ns\": {ns}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let outcomes_json = phase
+            .per_outcome
+            .iter()
+            .filter(|r| r.trials > 0)
+            .map(|r| {
+                format!(
+                    "          {{ \"outcome\": \"{}\", \"trials\": {}, \"exec_ns\": {}, \"dyn_insts\": {}, \"watchdog_trials\": {}, \"watchdog_spin_ns\": {} }}",
+                    r.outcome.label(),
+                    r.trials,
+                    r.exec_ns,
+                    r.dyn_insts,
+                    r.watchdog_trials,
+                    r.watchdog_spin_ns
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"golden_dyn_insts\": {},\n",
+                "      \"golden_equivalent\": {},\n",
+                "      \"campaign_equivalent\": {},\n",
+                "      \"dispatches\": {},\n",
+                "      \"hot_digrams\": [\n{}\n      ],\n",
+                "      \"opcodes\": [\n{}\n      ],\n",
+                "      \"sampled_ns\": [\n{}\n      ],\n",
+                "      \"campaign\": {{\n",
+                "        \"trials\": {},\n",
+                "        \"snapshot_interval\": {},\n",
+                "        \"phases\": {{ {} }},\n",
+                "        \"outcomes\": [\n{}\n        ],\n",
+                "        \"watchdog_trials\": {},\n",
+                "        \"watchdog_spin_ns\": {},\n",
+                "        \"watchdog_spin_share\": {:.6}\n",
+                "      }}\n",
+                "    }}"
+            ),
+            name,
+            r_on.dyn_insts,
+            golden_equiv,
+            campaign_equiv,
+            dispatches,
+            digrams_json,
+            opcodes_json,
+            sampled_json,
+            phcfg.trials,
+            phcfg.snapshot_interval,
+            phases_json,
+            outcomes_json,
+            phase.watchdog_trials(),
+            phase.watchdog_spin_ns(),
+            phase.watchdog_spin_share()
+        ));
+
+        // --- Folded stacks (flamegraph.pl / inferno compatible). ---
+        for (c, s) in vmp.sampled_times() {
+            let _ = writeln!(folded, "{name};vm;{} {}", c.label(), s.ns);
+        }
+        for (pname, ns) in phase.phases() {
+            let _ = writeln!(folded, "{name};campaign;{pname} {ns}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "(profiling must never perturb results; 'NO' above is a bug)"
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"softft.bench.profile.v1\",\n  \"trials\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"technique\": \"{}\",\n  \"benchmarks\": [\n{}\n  ],\n  \"all_equivalent\": {}\n}}\n",
+        cfg.trials,
+        cfg.seed,
+        cfg.threads,
+        tech_slug(t),
+        entries.join(",\n"),
+        all_equivalent
+    );
+    let path = cfg
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_profile.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => log.info(format!(
+            "[repro] profile bench written to {}",
+            path.display()
+        )),
+        Err(e) => log.error(format!(
+            "[repro] failed to write profile bench {}: {e}",
+            path.display()
+        )),
+    }
+    let folded_path = path.with_extension("folded");
+    match std::fs::write(&folded_path, folded) {
+        Ok(()) => log.info(format!(
+            "[repro] folded stacks written to {}",
+            folded_path.display()
+        )),
+        Err(e) => log.error(format!(
+            "[repro] failed to write folded stacks {}: {e}",
+            folded_path.display()
+        )),
+    }
+    out
+}
+
 fn fig1(cfg: &ReproConfig) -> String {
     use softft_vm::interp::{NoopObserver, VmConfig};
     use softft_vm::FaultPlan;
@@ -1158,8 +1462,42 @@ mod tests {
     fn exhibit_parsing() {
         assert_eq!(Exhibit::parse("fig11"), Some(Exhibit::Fig11));
         assert_eq!(Exhibit::parse("table1"), Some(Exhibit::Table1));
+        assert_eq!(Exhibit::parse("profile"), Some(Exhibit::Profile));
         assert_eq!(Exhibit::parse("all"), Some(Exhibit::All));
         assert_eq!(Exhibit::parse("fig99"), None);
+    }
+
+    #[test]
+    fn exhibit_names_are_single_sourced() {
+        // Every name in the table parses back to its paired variant,
+        // and names are unique.
+        let mut names: Vec<&str> = Vec::new();
+        for (n, e) in EXHIBITS {
+            assert_eq!(Exhibit::parse(n), Some(e), "{n}");
+            names.push(n);
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EXHIBITS.len(), "duplicate exhibit names");
+
+        // The usage helper covers the whole table.
+        let joined = Exhibit::names_joined();
+        for (n, _) in EXHIBITS {
+            assert!(joined.split(' ').any(|s| s == n), "{n} missing from usage");
+        }
+
+        // The `repro` binary's doc comment must list every exhibit —
+        // this is the drift guard that previously failed silently when
+        // new exhibits were added. Tokenize the source so substrings
+        // ("all" inside "falsepos") can't mask a missing name.
+        let src = include_str!("bin/repro.rs");
+        for (n, _) in EXHIBITS {
+            assert!(
+                src.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                    .any(|tok| tok == n),
+                "exhibit `{n}` missing from crates/bench/src/bin/repro.rs"
+            );
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::coverage::{fault_site, site_op_label, site_protection_label};
 use crate::outcome::{classify_trial, is_large_change, ClassifyParams, Outcome, TrialRecord};
+use crate::profile::{CampaignProfile, PhaseAccum};
 use crate::snapshot::{CheckpointStore, SnapshotStats};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -9,12 +10,12 @@ use rand::{Rng, SeedableRng};
 use softft::ProtectionMap;
 use softft_ir::{CheckKind, Module};
 use softft_telemetry::{
-    check_kind_label, CheckCounter, CheckKindCounts, Histogram, MetricsRegistry, TraceObserver,
-    TrialEvent,
+    check_kind_label, CheckCounter, CheckKindCounts, Histogram, MetricsRegistry, ProgressTracker,
+    Stopwatch, TraceObserver, TrialEvent,
 };
 use softft_vm::fault::{FaultKind, FaultPlan};
 use softft_vm::interp::{NoopObserver, SuffixObserver, VmConfig};
-use softft_vm::{ConvergeOutcome, RunResult};
+use softft_vm::{ConvergeOutcome, RunEnd, RunResult, TrapKind};
 use softft_workloads::runner::WorkloadImage;
 use softft_workloads::{InputSet, Workload};
 use std::collections::HashMap;
@@ -198,6 +199,29 @@ fn campaign_core<O: SuffixObserver + Send + Sync>(
     Vec<(FaultPlan, TrialRecord, O)>,
     SnapshotStats,
 ) {
+    campaign_core_phased(workload, module, cfg, make_obs, None)
+}
+
+/// [`campaign_core`] plus optional phase-time attribution. When `phases`
+/// is `Some`, wall-time stopwatches bracket each campaign phase and
+/// accumulate into the shared [`PhaseAccum`]; when `None` (every
+/// pre-existing entry point), no clock is ever read. Timing is
+/// write-only — the campaign never branches on a timer value — so both
+/// modes produce bitwise-identical results. If a progress sink is
+/// installed (see [`softft_telemetry::set_progress_sink`]), trial
+/// completions additionally stream to it; progress is equally
+/// write-only.
+fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
+    workload: &dyn Workload,
+    module: &Module,
+    cfg: &CampaignConfig,
+    make_obs: impl Fn() -> O + Sync,
+    phases: Option<&PhaseAccum>,
+) -> (
+    CampaignResult,
+    Vec<(FaultPlan, TrialRecord, O)>,
+    SnapshotStats,
+) {
     // Steady-state model: checks that fire with no fault on this input
     // (profile drift between train and test) have exhausted their one
     // recovery and are suppressed — see the paper's false-positive
@@ -207,19 +231,37 @@ fn campaign_core<O: SuffixObserver + Send + Sync>(
     let module = &module;
     let input = workload.input(cfg.input);
     // Build the pristine globals+input image once; every trial clones it.
+    let sw = phases.map(|_| Stopwatch::start());
     let image = WorkloadImage::new(module, &input, cfg.vm);
+    if let (Some(ph), Some(sw)) = (phases, sw) {
+        ph.decode_ns.fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
+    }
+    let sw = phases.map(|_| Stopwatch::start());
     let (store, golden_result, golden_out) = if cfg.snapshot_interval > 0 {
         // The recording run *is* the golden run. It carries a real trial
         // observer so each checkpoint captures the observer state a
         // from-scratch trial would have accumulated over the prefix
         // (prefix-deterministic: the prefix is fault-free and observers
         // never perturb execution).
-        let (store, r, out) = CheckpointStore::record(&image, make_obs(), cfg.snapshot_interval);
+        let (store, r, out, capture_ns) =
+            CheckpointStore::record_timed(&image, make_obs(), cfg.snapshot_interval);
+        if let Some(ph) = phases {
+            ph.checkpoint_record_ns
+                .fetch_add(capture_ns, Ordering::Relaxed);
+        }
         (Some(store), r, out)
     } else {
         let (r, out) = image.run(&mut NoopObserver, None);
         (None, r, out)
     };
+    if let (Some(ph), Some(sw)) = (phases, sw) {
+        // Campaign-side capture time is reported separately; keep the
+        // golden figure to the run itself.
+        let ns = sw
+            .elapsed_ns()
+            .saturating_sub(ph.checkpoint_record_ns.load(Ordering::Relaxed));
+        ph.golden_ns.fetch_add(ns, Ordering::Relaxed);
+    }
     assert!(
         golden_result.completed(),
         "fault-free run of {} must complete: {:?}",
@@ -268,6 +310,16 @@ fn campaign_core<O: SuffixObserver + Send + Sync>(
         cfg.threads
     };
 
+    // Stream trial completions when a progress sink is installed
+    // (repro `--progress`). Like phase timing, this is write-only
+    // observation: nothing the campaign computes ever reads it.
+    let progress = ProgressTracker::for_registered(
+        workload.name(),
+        plans.len() as u64,
+        Outcome::CANONICAL.iter().map(|o| o.label()).collect(),
+    );
+    let tracker = progress.as_ref();
+
     std::thread::scope(|scope| {
         let (records, next, image, plans, order, golden_out) =
             (&records, &next, &image, &plans, &order, &golden_out);
@@ -292,7 +344,11 @@ fn campaign_core<O: SuffixObserver + Send + Sync>(
                     }
                     let i = order[k];
                     let plan = plans[i];
+                    // Live-execution time of this trial; attributed per
+                    // outcome after classification (profiled runs only).
+                    let mut trial_exec_ns = 0u64;
                     let (obs, result, out) = if let Some(s) = store.as_ref() {
+                        let sw = phases.map(|_| Stopwatch::start());
                         let cp = s.best_for(plan.at_dyn);
                         let (mut obs, start) = match cp {
                             Some(cp) => {
@@ -302,12 +358,19 @@ fn campaign_core<O: SuffixObserver + Send + Sync>(
                             }
                             None => (make_obs(), 0),
                         };
+                        if let (Some(ph), Some(sw)) = (phases, sw) {
+                            ph.resume_ns.fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
+                        }
+                        let sw = phases.map(|_| Stopwatch::start());
                         let outcome = match cp {
                             Some(cp) => {
                                 tvm.resume_converging(&cp.snap, &mut obs, Some(plan), candidates)
                             }
                             None => tvm.run_converging(&mut obs, Some(plan), candidates),
                         };
+                        if let Some(sw) = sw {
+                            trial_exec_ns = sw.elapsed_ns();
+                        }
                         match outcome {
                             ConvergeOutcome::Done(r) => {
                                 insts_executed.fetch_add(r.dyn_insts - start, Ordering::Relaxed);
@@ -327,6 +390,7 @@ fn campaign_core<O: SuffixObserver + Send + Sync>(
                                 suffix_skipped
                                     .fetch_add(golden_result.dyn_insts - at, Ordering::Relaxed);
                                 insts_executed.fetch_add(executed, Ordering::Relaxed);
+                                let sw = phases.map(|_| Stopwatch::start());
                                 let cp_at =
                                     s.at_boundary(at).expect("converged at a known checkpoint");
                                 obs.fast_forward(&cp_at.obs, s.golden_obs());
@@ -336,21 +400,64 @@ fn campaign_core<O: SuffixObserver + Send + Sync>(
                                     injection,
                                     check_failures: golden_result.check_failures,
                                 };
-                                (obs, r, golden_out.clone())
+                                let out = golden_out.clone();
+                                if let (Some(ph), Some(sw)) = (phases, sw) {
+                                    ph.fastforward_ns
+                                        .fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
+                                }
+                                (obs, r, out)
                             }
                         }
                     } else {
                         let mut obs = make_obs();
+                        let sw = phases.map(|_| Stopwatch::start());
                         let (r, out) = tvm.run(&mut obs, Some(plan));
+                        if let Some(sw) = sw {
+                            trial_exec_ns = sw.elapsed_ns();
+                        }
                         insts_executed.fetch_add(r.dyn_insts, Ordering::Relaxed);
                         (obs, r, out)
                     };
+                    // Watchdog traps mark trials that spun to the
+                    // dynamic-instruction bound — the expensive kind.
+                    let watchdog = matches!(
+                        result.end,
+                        RunEnd::Trap {
+                            kind: TrapKind::Watchdog,
+                            ..
+                        }
+                    );
                     let rec = classify_trial(workload, golden_out, &result, &out, &cfg.classify);
+                    if phases.is_some() || tracker.is_some() {
+                        let idx = Outcome::CANONICAL
+                            .iter()
+                            .position(|o| *o == rec.outcome)
+                            .expect("every outcome is canonical");
+                        if let Some(ph) = phases {
+                            ph.exec_ns.fetch_add(trial_exec_ns, Ordering::Relaxed);
+                            let oa = &ph.per_outcome[idx];
+                            oa.trials.fetch_add(1, Ordering::Relaxed);
+                            oa.exec_ns.fetch_add(trial_exec_ns, Ordering::Relaxed);
+                            oa.dyn_insts.fetch_add(rec.dyn_insts, Ordering::Relaxed);
+                            if watchdog {
+                                oa.watchdog_trials.fetch_add(1, Ordering::Relaxed);
+                                oa.watchdog_spin_ns
+                                    .fetch_add(trial_exec_ns, Ordering::Relaxed);
+                            }
+                        }
+                        if let Some(t) = tracker {
+                            t.trial_done(idx);
+                        }
+                    }
                     records.lock().push((i, rec, obs));
                 }
             });
         }
     });
+
+    if let Some(t) = &progress {
+        t.finish();
+    }
 
     let stats = SnapshotStats {
         interval: cfg.snapshot_interval,
@@ -418,6 +525,24 @@ pub fn run_campaign(
     cfg: &CampaignConfig,
 ) -> CampaignResult {
     campaign_core(workload, module, cfg, || NoopObserver).0
+}
+
+/// Like [`run_campaign`], but additionally attributes campaign
+/// wall-clock to phases — decode, golden run, checkpoint record, resume
+/// bookkeeping, live trial execution, convergence fast-forward — with
+/// per-outcome execution totals (watchdog-spin time included). The
+/// `CampaignResult` is bitwise identical to [`run_campaign`] for the
+/// same config: timing is write-only (see DESIGN.md, "Observability
+/// invariants"); only the nanosecond values in the returned
+/// [`CampaignProfile`] vary run to run.
+pub fn run_campaign_profiled(
+    workload: &dyn Workload,
+    module: &Module,
+    cfg: &CampaignConfig,
+) -> (CampaignResult, CampaignProfile) {
+    let accum = PhaseAccum::new();
+    let (result, _, _) = campaign_core_phased(workload, module, cfg, || NoopObserver, Some(&accum));
+    (result, accum.snapshot())
 }
 
 /// Like [`run_campaign`], but also returns the [`SnapshotStats`]
@@ -523,8 +648,8 @@ pub fn run_campaign_attributed(
 
         telemetry.checks.merge(&obs.checks);
         let m = &mut telemetry.metrics;
-        for (op, n) in &obs.opcodes {
-            m.counter(&format!("vm.ops.{op}")).add(*n);
+        for (op, n) in obs.opcodes.iter_nonzero() {
+            m.counter(&format!("vm.ops.{op}")).add(n);
         }
         for (kind, n) in obs.checks.iter() {
             if n > 0 {
@@ -636,7 +761,12 @@ mod tests {
             assert_eq!(e.detected_by.is_some(), e.outcome.starts_with("swdetect."));
         }
         // The trace saw real work: opcode counters and run lengths exist.
-        assert!(telemetry.metrics.get("vm.ops.term").is_some());
+        // Terminators are split by class since the observer started
+        // consuming the VM's shared OpCounts bins (br/condbr/ret, not a
+        // lumped "term").
+        assert!(telemetry.metrics.get("vm.ops.condbr").is_some());
+        assert!(telemetry.metrics.get("vm.ops.ret").is_some());
+        assert!(telemetry.metrics.get("vm.ops.term").is_none());
         assert_eq!(
             telemetry.metrics.clone().histogram("vm.dyn_insts").count(),
             30
@@ -725,6 +855,48 @@ mod tests {
             cov.injected,
             (result.trials - result.trigger_unreached) as u64
         );
+    }
+
+    #[test]
+    fn profiled_campaign_is_bitwise_identical_and_attributes_time() {
+        let p = prepare(workload_by_name("tiff2bw").unwrap());
+        let t = Technique::DupVal;
+        let plain = run_campaign(&*p.workload, p.module(t), &small_cfg(40));
+        let (profiled, prof) = run_campaign_profiled(&*p.workload, p.module(t), &small_cfg(40));
+        assert_eq!(plain, profiled, "phase timing perturbed campaign results");
+
+        // The timers saw the campaign happen.
+        assert!(prof.decode_ns > 0, "decode phase untimed");
+        assert!(prof.golden_ns > 0, "golden phase untimed");
+        assert!(prof.exec_ns > 0, "exec phase untimed");
+        // No snapshots in this config: those phases stay zero.
+        assert_eq!(prof.checkpoint_record_ns, 0);
+        assert_eq!(prof.resume_ns, 0);
+        assert_eq!(prof.fastforward_ns, 0);
+        // Per-outcome rows cover the canonical order and account for
+        // every trial and all of exec time.
+        assert_eq!(prof.per_outcome.len(), Outcome::CANONICAL.len());
+        for (row, o) in prof.per_outcome.iter().zip(Outcome::CANONICAL) {
+            assert_eq!(row.outcome, o);
+            assert_eq!(
+                row.trials as u32,
+                plain.counts.get(&o).copied().unwrap_or(0)
+            );
+            assert!(row.watchdog_trials <= row.trials);
+            assert!(row.watchdog_spin_ns <= row.exec_ns);
+        }
+        let row_exec: u64 = prof.per_outcome.iter().map(|r| r.exec_ns).sum();
+        assert_eq!(row_exec, prof.exec_ns);
+        assert!(prof.watchdog_spin_share() <= 1.0);
+
+        // With snapshotting on, the snapshot-only phases light up and
+        // results still match bit for bit.
+        let mut cfg = small_cfg(40);
+        cfg.snapshot_interval = 1000;
+        let (snap, sprof) = run_campaign_profiled(&*p.workload, p.module(t), &cfg);
+        assert_eq!(plain, snap);
+        assert!(sprof.checkpoint_record_ns > 0, "checkpoint capture untimed");
+        assert!(sprof.resume_ns > 0, "resume bookkeeping untimed");
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`snapshot`] — golden-run checkpointing so trials resume from the
 //!   greatest checkpoint below their trigger instead of re-executing the
 //!   fault-free prefix (bitwise-identical results, large speedup);
+//! * [`profile`] — campaign phase-time attribution (decode / golden /
+//!   checkpoint record / resume / exec / fast-forward, with per-outcome
+//!   and watchdog-spin totals), kept off the determinism path;
 //! * [`coverage`] — per-fault-site coverage maps, USDC attribution, and
 //!   the protection-gap report;
 //! * [`perf`] — fault-free timing runs for the performance-overhead
@@ -31,17 +34,19 @@ pub mod falsepos;
 pub mod outcome;
 pub mod perf;
 pub mod prep;
+pub mod profile;
 pub mod recovery;
 pub mod report;
 pub mod snapshot;
 pub mod stats;
 
 pub use campaign::{
-    run_campaign, run_campaign_attributed, run_campaign_counted, run_campaign_recorded,
-    run_campaign_traced, run_campaign_with_stats, CampaignConfig, CampaignResult,
-    CampaignTelemetry,
+    run_campaign, run_campaign_attributed, run_campaign_counted, run_campaign_profiled,
+    run_campaign_recorded, run_campaign_traced, run_campaign_with_stats, CampaignConfig,
+    CampaignResult, CampaignTelemetry,
 };
 pub use coverage::{build_coverage, BitBand, CoverageMap, GapSite, SiteReport};
 pub use outcome::{Outcome, TrialRecord};
 pub use prep::{prepare, PreparedBenchmark};
+pub use profile::{CampaignProfile, OutcomePhase};
 pub use snapshot::{Checkpoint, CheckpointStore, SnapshotStats};

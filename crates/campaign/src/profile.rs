@@ -1,0 +1,208 @@
+//! Campaign phase-time attribution.
+//!
+//! Answers *where campaign wall-clock goes*: decoding the module,
+//! running the golden pass, recording checkpoints, resuming trials,
+//! executing them, and fast-forwarding converged suffixes — with
+//! per-outcome execution totals so a report can state, e.g., how much
+//! of segm's campaign time is burned spinning watchdog-corrupted runs
+//! to their 8× dynamic-instruction bound.
+//!
+//! Attribution boundaries (documented, not hidden): the snapshot memory
+//! image is materialized inline by the VM recording loop, so its cost
+//! lands in `golden_ns`; `checkpoint_record_ns` covers the campaign-side
+//! capture (observer clone + store push). Likewise the in-VM memory
+//! restore when resuming is part of `exec_ns`; `resume_ns` covers the
+//! checkpoint lookup and observer clone.
+//!
+//! All timers are wall-clock only: they are accumulated beside the
+//! campaign and never read by it, so profiled and unprofiled campaigns
+//! produce bitwise-identical results (see DESIGN.md, "Observability
+//! invariants").
+
+use crate::outcome::Outcome;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const N_OUTCOMES: usize = Outcome::CANONICAL.len();
+
+/// Lock-free phase accumulator shared across campaign worker threads.
+#[derive(Debug, Default)]
+pub(crate) struct PhaseAccum {
+    pub decode_ns: AtomicU64,
+    pub golden_ns: AtomicU64,
+    pub checkpoint_record_ns: AtomicU64,
+    pub resume_ns: AtomicU64,
+    pub exec_ns: AtomicU64,
+    pub fastforward_ns: AtomicU64,
+    pub per_outcome: [OutcomeAccum; N_OUTCOMES],
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct OutcomeAccum {
+    pub trials: AtomicU64,
+    pub exec_ns: AtomicU64,
+    pub dyn_insts: AtomicU64,
+    pub watchdog_trials: AtomicU64,
+    pub watchdog_spin_ns: AtomicU64,
+}
+
+impl PhaseAccum {
+    pub fn new() -> Self {
+        PhaseAccum::default()
+    }
+
+    /// Freezes the accumulated atomics into a plain [`CampaignProfile`].
+    pub fn snapshot(&self) -> CampaignProfile {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        CampaignProfile {
+            decode_ns: ld(&self.decode_ns),
+            golden_ns: ld(&self.golden_ns),
+            checkpoint_record_ns: ld(&self.checkpoint_record_ns),
+            resume_ns: ld(&self.resume_ns),
+            exec_ns: ld(&self.exec_ns),
+            fastforward_ns: ld(&self.fastforward_ns),
+            per_outcome: Outcome::CANONICAL
+                .iter()
+                .zip(&self.per_outcome)
+                .map(|(o, a)| OutcomePhase {
+                    outcome: *o,
+                    trials: ld(&a.trials),
+                    exec_ns: ld(&a.exec_ns),
+                    dyn_insts: ld(&a.dyn_insts),
+                    watchdog_trials: ld(&a.watchdog_trials),
+                    watchdog_spin_ns: ld(&a.watchdog_spin_ns),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Wall-time breakdown of one campaign, by phase and by outcome class.
+/// Produced by [`crate::run_campaign_profiled`]; purely observational
+/// (nanosecond values vary run to run, everything else is
+/// deterministic).
+#[derive(Clone, Debug, Default)]
+pub struct CampaignProfile {
+    /// Building the [`WorkloadImage`](softft_workloads::runner::WorkloadImage)
+    /// (globals + input layout + flat bytecode decode).
+    pub decode_ns: u64,
+    /// The fault-free golden run (when snapshotting, includes the in-VM
+    /// snapshot materialization — see the module docs).
+    pub golden_ns: u64,
+    /// Campaign-side checkpoint capture during the golden recording run.
+    pub checkpoint_record_ns: u64,
+    /// Per-trial resume bookkeeping: checkpoint lookup + observer clone.
+    pub resume_ns: u64,
+    /// Live trial execution (fault injection through run end), summed
+    /// across all workers — on a multi-threaded campaign this exceeds
+    /// campaign wall-clock.
+    pub exec_ns: u64,
+    /// Convergence fast-forward: absorbing the skipped golden suffix
+    /// into the trial observer and synthesizing the golden result.
+    pub fastforward_ns: u64,
+    /// Per-outcome execution totals, parallel to [`Outcome::CANONICAL`].
+    pub per_outcome: Vec<OutcomePhase>,
+}
+
+/// Execution time and volume attributed to one outcome class.
+#[derive(Clone, Copy, Debug)]
+pub struct OutcomePhase {
+    /// Which outcome class this row aggregates.
+    pub outcome: Outcome,
+    /// Trials that classified into this outcome.
+    pub trials: u64,
+    /// Live execution nanoseconds across those trials.
+    pub exec_ns: u64,
+    /// Dynamic instructions reported by those trials.
+    pub dyn_insts: u64,
+    /// Trials in this outcome that ended in a watchdog trap (ran to the
+    /// dynamic-instruction bound without terminating).
+    pub watchdog_trials: u64,
+    /// Execution nanoseconds of those watchdog-bound trials — the
+    /// "watchdog spin" cost.
+    pub watchdog_spin_ns: u64,
+}
+
+impl CampaignProfile {
+    /// Sum of all phase timers (worker-thread execution time is summed,
+    /// so this is CPU-time-like, not wall-clock).
+    pub fn total_ns(&self) -> u64 {
+        self.decode_ns
+            + self.golden_ns
+            + self.checkpoint_record_ns
+            + self.resume_ns
+            + self.exec_ns
+            + self.fastforward_ns
+    }
+
+    /// Total watchdog-spin nanoseconds across all outcomes.
+    pub fn watchdog_spin_ns(&self) -> u64 {
+        self.per_outcome.iter().map(|o| o.watchdog_spin_ns).sum()
+    }
+
+    /// Total watchdog-bound trials.
+    pub fn watchdog_trials(&self) -> u64 {
+        self.per_outcome.iter().map(|o| o.watchdog_trials).sum()
+    }
+
+    /// Fraction of live trial execution time spent spinning
+    /// watchdog-bound runs (0 when nothing executed).
+    pub fn watchdog_spin_share(&self) -> f64 {
+        if self.exec_ns == 0 {
+            0.0
+        } else {
+            self.watchdog_spin_ns() as f64 / self.exec_ns as f64
+        }
+    }
+
+    /// Phase rows as `(name, ns)` in fixed order, for reports and
+    /// folded-stack output.
+    pub fn phases(&self) -> [(&'static str, u64); 6] {
+        [
+            ("decode", self.decode_ns),
+            ("golden", self.golden_ns),
+            ("checkpoint_record", self.checkpoint_record_ns),
+            ("resume", self.resume_ns),
+            ("exec", self.exec_ns),
+            ("fastforward", self.fastforward_ns),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_freezes_accumulated_values() {
+        let acc = PhaseAccum::new();
+        acc.decode_ns.store(10, Ordering::Relaxed);
+        acc.exec_ns.store(100, Ordering::Relaxed);
+        acc.per_outcome[0].trials.store(5, Ordering::Relaxed);
+        acc.per_outcome[0].exec_ns.store(60, Ordering::Relaxed);
+        acc.per_outcome[11]
+            .watchdog_trials
+            .store(2, Ordering::Relaxed);
+        acc.per_outcome[11]
+            .watchdog_spin_ns
+            .store(40, Ordering::Relaxed);
+        let p = acc.snapshot();
+        assert_eq!(p.decode_ns, 10);
+        assert_eq!(p.exec_ns, 100);
+        assert_eq!(p.per_outcome.len(), Outcome::CANONICAL.len());
+        assert_eq!(p.per_outcome[0].outcome, Outcome::Masked);
+        assert_eq!(p.per_outcome[0].trials, 5);
+        assert_eq!(p.watchdog_trials(), 2);
+        assert_eq!(p.watchdog_spin_ns(), 40);
+        assert!((p.watchdog_spin_share() - 0.4).abs() < 1e-12);
+        assert_eq!(p.total_ns(), 110);
+        assert_eq!(p.phases()[0], ("decode", 10));
+        assert_eq!(p.phases()[4], ("exec", 100));
+    }
+
+    #[test]
+    fn empty_profile_has_zero_share() {
+        let p = CampaignProfile::default();
+        assert_eq!(p.watchdog_spin_share(), 0.0);
+        assert_eq!(p.total_ns(), 0);
+    }
+}

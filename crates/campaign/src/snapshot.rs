@@ -52,18 +52,36 @@ impl<O: Observer + Clone> CheckpointStore<O> {
     /// # Panics
     ///
     /// Panics if `interval` is zero.
-    pub fn record(
+    pub fn record(image: &WorkloadImage<'_>, obs: O, interval: u64) -> (Self, RunResult, Vec<u8>) {
+        let (store, result, out, _) = Self::record_timed(image, obs, interval);
+        (store, result, out)
+    }
+
+    /// Like [`CheckpointStore::record`], but additionally reports the
+    /// nanoseconds spent on campaign-side checkpoint capture (observer
+    /// clone + store push). The snapshot memory image itself is
+    /// materialized inline by the VM recording loop, so its cost is
+    /// part of the golden run, not of this figure — see
+    /// `softft_campaign::CampaignProfile` for the attribution map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn record_timed(
         image: &WorkloadImage<'_>,
         mut obs: O,
         interval: u64,
-    ) -> (Self, RunResult, Vec<u8>) {
+    ) -> (Self, RunResult, Vec<u8>, u64) {
         assert!(interval > 0, "snapshot interval must be positive");
         let mut checkpoints: Vec<Checkpoint<O>> = Vec::new();
+        let mut capture_ns = 0u64;
         let (result, out) = image.run_recording(&mut obs, interval, |snap, o| {
+            let sw = std::time::Instant::now();
             checkpoints.push(Checkpoint {
                 snap,
                 obs: o.clone(),
             });
+            capture_ns += sw.elapsed().as_nanos() as u64;
         });
         (
             CheckpointStore {
@@ -73,6 +91,7 @@ impl<O: Observer + Clone> CheckpointStore<O> {
             },
             result,
             out,
+            capture_ns,
         )
     }
 

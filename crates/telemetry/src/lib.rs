@@ -7,7 +7,7 @@
 //! mechanism caught *which* fault and *how fast* — the per-detector
 //! cost/benefit attribution needed to configure software detectors.
 //!
-//! Four pieces:
+//! Six pieces:
 //!
 //! * [`metrics`] — a dependency-free metrics core: counters, gauges, and
 //!   log-bucketed histograms collected in a [`MetricsRegistry`] that
@@ -19,6 +19,11 @@
 //!   between the fault-plan injection point and the first failing check;
 //! * [`events`] — the per-trial JSONL event schema ([`TrialEvent`]) and
 //!   the per-campaign [`RunManifest`], both serde round-trippable;
+//! * [`spans`] — lightweight monotonic wall-time spans ([`SpanSet`])
+//!   feeding the metrics registry; used for campaign phase attribution;
+//! * [`progress`] — streaming campaign progress: a [`ProgressSink`]
+//!   (human text or machine JSONL on stderr) fed throttled trial-level
+//!   updates by a [`ProgressTracker`];
 //! * [`log`] — minimal leveled stderr logging for the `repro` binary
 //!   (`-v` / `-q`).
 //!
@@ -29,9 +34,16 @@
 pub mod events;
 pub mod log;
 pub mod metrics;
+pub mod progress;
+pub mod spans;
 pub mod trace;
 
 pub use events::{RunManifest, TrialEvent, TRIAL_SCHEMA_VERSION};
 pub use log::{Logger, Verbosity};
 pub use metrics::{Counter, Gauge, Histogram, Metric, MetricsRegistry};
+pub use progress::{
+    progress_sink, set_progress_sink, JsonlSink, ProgressSink, ProgressTracker, ProgressUpdate,
+    TextSink,
+};
+pub use spans::{SpanSet, Stopwatch};
 pub use trace::{check_kind_label, CheckCounter, CheckKindCounts, TraceObserver, CHECK_KINDS};

@@ -563,4 +563,61 @@ mod tests {
         reg.gauge("x").set(1.0);
         reg.counter("x");
     }
+
+    // Edge-case locks for the paths `spans` now feeds: an empty
+    // histogram, a single sample, the quantile extremes, and merging
+    // with empties must all keep their current behavior.
+
+    #[test]
+    fn single_sample_histogram_stats() {
+        let mut h = Histogram::new();
+        h.record(77);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 77);
+        assert_eq!(h.min(), 77);
+        assert_eq!(h.max(), 77);
+        assert_eq!(h.mean(), 77.0);
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(h.quantile(q), 77, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_are_exact_min_and_max() {
+        let mut h = Histogram::new();
+        for v in [3u64, 900, 12, 45_000, 0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 45_000);
+    }
+
+    #[test]
+    fn merge_involving_empty_histograms() {
+        // empty <- empty stays empty.
+        let mut e = Histogram::new();
+        e.merge(&Histogram::new());
+        assert_eq!(e, Histogram::new());
+        assert_eq!(e.count(), 0);
+
+        // populated <- empty is a no-op.
+        let mut pop = Histogram::new();
+        for v in [5u64, 10, 1000] {
+            pop.record(v);
+        }
+        let before = pop.clone();
+        pop.merge(&Histogram::new());
+        assert_eq!(pop, before);
+        assert_eq!(pop.min(), 5);
+        assert_eq!(pop.max(), 1000);
+
+        // empty <- populated equals the populated one.
+        let mut fresh = Histogram::new();
+        fresh.merge(&pop);
+        assert_eq!(fresh, pop);
+        assert_eq!(fresh.min(), 5);
+        assert_eq!(fresh.quantile(1.0), 1000);
+    }
 }

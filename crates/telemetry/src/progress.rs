@@ -1,0 +1,343 @@
+//! Streaming campaign progress.
+//!
+//! A campaign that runs thousands of trials across worker threads is
+//! silent until it returns. This module gives it a heartbeat: the
+//! campaign driver feeds per-trial completions into a
+//! [`ProgressTracker`], which throttles them into periodic
+//! [`ProgressUpdate`] snapshots and hands those to a [`ProgressSink`]
+//! — human text on stderr ([`TextSink`]) or machine-readable JSONL
+//! ([`JsonlSink`]), selected by `repro --progress text|jsonl`.
+//!
+//! Progress is pure observation: it reads atomic counters the campaign
+//! already maintains and never feeds anything back, so enabling a sink
+//! cannot perturb campaign results (see DESIGN.md, "Observability
+//! invariants"). The sink registry is process-global so the campaign
+//! crate does not need a config plumbing change for every caller.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Minimum milliseconds between emitted updates (final update always
+/// emits).
+const EMIT_INTERVAL_MS: u64 = 250;
+
+/// One snapshot of campaign progress, as handed to a [`ProgressSink`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProgressUpdate {
+    /// What is running, e.g. `"segm/dup-val"`.
+    pub label: String,
+    /// Trials completed so far.
+    pub done: u64,
+    /// Total trials planned.
+    pub total: u64,
+    /// Wall seconds since the tracker was created.
+    pub elapsed_secs: f64,
+    /// Completion rate (0 until the first trial lands).
+    pub trials_per_sec: f64,
+    /// Estimated seconds remaining (0 when done or rate unknown).
+    pub eta_secs: f64,
+    /// Nonzero outcome counts, in the caller's canonical outcome order.
+    pub outcomes: Vec<(&'static str, u64)>,
+    /// True only for the final update.
+    pub finished: bool,
+}
+
+impl ProgressUpdate {
+    /// Renders a one-line human-readable form.
+    pub fn to_text(&self) -> String {
+        let pct = if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.done as f64 / self.total as f64
+        };
+        let mix = self
+            .outcomes
+            .iter()
+            .map(|(k, v)| format!("{k} {v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let tail = if self.finished {
+            format!("done in {:.1}s", self.elapsed_secs)
+        } else {
+            format!("ETA {:.0}s", self.eta_secs)
+        };
+        format!(
+            "[{}] {}/{} trials ({:.1}%) | {:.1} trials/s | {} | {}",
+            self.label, self.done, self.total, pct, self.trials_per_sec, tail, mix
+        )
+    }
+
+    /// Renders a single JSONL record (hand-rolled: the schema is flat
+    /// and fixed, and labels contain no characters needing escapes
+    /// beyond `"` and `\`, which we escape anyway).
+    pub fn to_jsonl(&self) -> String {
+        let mix = self
+            .outcomes
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", escape_json(k), v))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            concat!(
+                "{{\"type\":\"progress\",\"label\":\"{}\",\"done\":{},\"total\":{},",
+                "\"elapsed_secs\":{:.3},\"trials_per_sec\":{:.3},\"eta_secs\":{:.3},",
+                "\"outcomes\":{{{}}},\"finished\":{}}}"
+            ),
+            escape_json(&self.label),
+            self.done,
+            self.total,
+            self.elapsed_secs,
+            self.trials_per_sec,
+            self.eta_secs,
+            mix,
+            self.finished
+        )
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Receives throttled progress snapshots. Implementations must be
+/// cheap and must not panic: they run on campaign worker threads.
+pub trait ProgressSink: Send + Sync {
+    /// Consumes one snapshot.
+    fn emit(&self, update: &ProgressUpdate);
+}
+
+/// Human-readable one-line-per-update sink writing to stderr.
+#[derive(Debug, Default)]
+pub struct TextSink;
+
+impl ProgressSink for TextSink {
+    fn emit(&self, update: &ProgressUpdate) {
+        eprintln!("{}", update.to_text());
+    }
+}
+
+/// Machine-readable JSONL sink writing to stderr (stdout stays clean
+/// for exhibit output).
+#[derive(Debug, Default)]
+pub struct JsonlSink;
+
+impl ProgressSink for JsonlSink {
+    fn emit(&self, update: &ProgressUpdate) {
+        eprintln!("{}", update.to_jsonl());
+    }
+}
+
+static SINK: RwLock<Option<Arc<dyn ProgressSink>>> = RwLock::new(None);
+
+/// Installs (or clears, with `None`) the process-global progress sink.
+pub fn set_progress_sink(sink: Option<Arc<dyn ProgressSink>>) {
+    *SINK.write().expect("progress sink lock poisoned") = sink;
+}
+
+/// The currently installed progress sink, if any.
+pub fn progress_sink() -> Option<Arc<dyn ProgressSink>> {
+    SINK.read().expect("progress sink lock poisoned").clone()
+}
+
+/// Per-campaign progress state: lock-free counters bumped by worker
+/// threads, throttled emission to a [`ProgressSink`].
+pub struct ProgressTracker {
+    sink: Arc<dyn ProgressSink>,
+    label: String,
+    total: u64,
+    start: Instant,
+    done: AtomicU64,
+    outcome_labels: Vec<&'static str>,
+    outcome_counts: Vec<AtomicU64>,
+    last_emit: Mutex<Instant>,
+}
+
+impl ProgressTracker {
+    /// A tracker reporting to `sink`. `outcome_labels` fixes the
+    /// index space used by [`ProgressTracker::trial_done`] (the
+    /// campaign passes its canonical outcome order).
+    pub fn new(
+        sink: Arc<dyn ProgressSink>,
+        label: impl Into<String>,
+        total: u64,
+        outcome_labels: Vec<&'static str>,
+    ) -> Self {
+        let start = Instant::now();
+        let outcome_counts = outcome_labels.iter().map(|_| AtomicU64::new(0)).collect();
+        ProgressTracker {
+            sink,
+            label: label.into(),
+            total,
+            start,
+            done: AtomicU64::new(0),
+            outcome_labels,
+            outcome_counts,
+            last_emit: Mutex::new(start),
+        }
+    }
+
+    /// A tracker bound to the global sink, or `None` when no sink is
+    /// installed (the common case — zero overhead for the campaign).
+    pub fn for_registered(
+        label: impl Into<String>,
+        total: u64,
+        outcome_labels: Vec<&'static str>,
+    ) -> Option<Self> {
+        progress_sink().map(|sink| ProgressTracker::new(sink, label, total, outcome_labels))
+    }
+
+    /// Records one completed trial with the given outcome index and
+    /// emits a throttled update. Safe to call from any worker thread.
+    pub fn trial_done(&self, outcome_index: usize) {
+        if let Some(c) = self.outcome_counts.get(outcome_index) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        // Throttle: only the thread that wins the try_lock may emit,
+        // and only if the interval has passed. Contended or too-soon
+        // updates are dropped — the final update in finish() always
+        // lands.
+        if let Ok(mut last) = self.last_emit.try_lock() {
+            let now = Instant::now();
+            if now.duration_since(*last).as_millis() as u64 >= EMIT_INTERVAL_MS {
+                *last = now;
+                drop(last);
+                self.sink.emit(&self.snapshot(done, false));
+            }
+        }
+    }
+
+    /// Emits the final update (always, regardless of throttle).
+    pub fn finish(&self) {
+        let done = self.done.load(Ordering::Relaxed);
+        self.sink.emit(&self.snapshot(done, true));
+    }
+
+    fn snapshot(&self, done: u64, finished: bool) -> ProgressUpdate {
+        let elapsed_secs = self.start.elapsed().as_secs_f64();
+        let trials_per_sec = if elapsed_secs > 0.0 {
+            done as f64 / elapsed_secs
+        } else {
+            0.0
+        };
+        let eta_secs = if finished || trials_per_sec <= 0.0 {
+            0.0
+        } else {
+            (self.total.saturating_sub(done)) as f64 / trials_per_sec
+        };
+        let outcomes = self
+            .outcome_labels
+            .iter()
+            .zip(&self.outcome_counts)
+            .filter_map(|(label, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then_some((*label, n))
+            })
+            .collect();
+        ProgressUpdate {
+            label: self.label.clone(),
+            done,
+            total: self.total,
+            elapsed_secs,
+            trials_per_sec,
+            eta_secs,
+            outcomes,
+            finished,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct RecordingSink {
+        updates: Mutex<Vec<ProgressUpdate>>,
+    }
+
+    impl ProgressSink for RecordingSink {
+        fn emit(&self, update: &ProgressUpdate) {
+            self.updates.lock().unwrap().push(update.clone());
+        }
+    }
+
+    #[test]
+    fn tracker_counts_outcomes_and_finishes() {
+        let sink = Arc::new(RecordingSink::default());
+        let t = ProgressTracker::new(sink.clone(), "bench/tech", 4, vec!["masked", "failure"]);
+        t.trial_done(0);
+        t.trial_done(1);
+        t.trial_done(0);
+        t.trial_done(0);
+        t.finish();
+        let updates = sink.updates.lock().unwrap();
+        let last = updates.last().expect("finish always emits");
+        assert!(last.finished);
+        assert_eq!(last.done, 4);
+        assert_eq!(last.total, 4);
+        assert_eq!(last.outcomes, vec![("masked", 3), ("failure", 1)]);
+        assert_eq!(last.label, "bench/tech");
+    }
+
+    #[test]
+    fn out_of_range_outcome_index_is_ignored() {
+        let sink = Arc::new(RecordingSink::default());
+        let t = ProgressTracker::new(sink.clone(), "b", 1, vec!["masked"]);
+        t.trial_done(99);
+        t.finish();
+        let updates = sink.updates.lock().unwrap();
+        let last = updates.last().unwrap();
+        assert_eq!(last.done, 1);
+        assert!(last.outcomes.is_empty());
+    }
+
+    #[test]
+    fn jsonl_shape_and_escaping() {
+        let u = ProgressUpdate {
+            label: "a\"b".to_string(),
+            done: 2,
+            total: 10,
+            elapsed_secs: 1.0,
+            trials_per_sec: 2.0,
+            eta_secs: 4.0,
+            outcomes: vec![("masked", 2)],
+            finished: false,
+        };
+        let line = u.to_jsonl();
+        assert!(line.starts_with("{\"type\":\"progress\""));
+        assert!(line.contains("\"label\":\"a\\\"b\""));
+        assert!(line.contains("\"done\":2"));
+        assert!(line.contains("\"outcomes\":{\"masked\":2}"));
+        assert!(line.ends_with("\"finished\":false}"));
+        let text = u.to_text();
+        assert!(text.contains("2/10 trials"));
+        assert!(text.contains("masked 2"));
+    }
+
+    #[test]
+    fn global_sink_registry_set_get_clear() {
+        // Only this test touches the process-global sink.
+        let sink = Arc::new(RecordingSink::default());
+        set_progress_sink(Some(sink.clone()));
+        let t = ProgressTracker::for_registered("x", 1, vec!["masked"]).expect("sink installed");
+        t.trial_done(0);
+        t.finish();
+        set_progress_sink(None);
+        assert!(progress_sink().is_none());
+        assert!(!sink.updates.lock().unwrap().is_empty());
+    }
+}

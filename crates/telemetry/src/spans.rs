@@ -1,0 +1,159 @@
+//! Lightweight monotonic span timers feeding the [`MetricsRegistry`].
+//!
+//! A *span* is a named wall-time measurement: [`Stopwatch`] reads the
+//! monotonic clock, [`SpanSet`] accumulates the resulting durations as
+//! nanosecond [`Histogram`]s keyed by span name. Spans measure the
+//! harness, never the experiment: campaign phase attribution and bench
+//! reports read them, but no timing value ever feeds back into
+//! execution, fault placement, or outcome classification (see
+//! DESIGN.md, "Observability invariants").
+
+use crate::metrics::{Histogram, MetricsRegistry};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A monotonic stopwatch over [`Instant`].
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    mark: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            mark: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the last mark (start or previous lap), without
+    /// resetting.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.mark.elapsed().as_nanos() as u64
+    }
+
+    /// Nanoseconds since the last mark, resetting the mark — successive
+    /// laps partition wall time into consecutive spans.
+    pub fn lap_ns(&mut self) -> u64 {
+        let now = Instant::now();
+        let ns = now.duration_since(self.mark).as_nanos() as u64;
+        self.mark = now;
+        ns
+    }
+}
+
+/// Named span accumulators: one nanosecond [`Histogram`] per span name,
+/// deterministically ordered. Count/sum/quantiles come free from the
+/// histogram; [`SpanSet::flush_to`] lands them in a [`MetricsRegistry`]
+/// under `span.<name>`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanSet {
+    spans: BTreeMap<String, Histogram>,
+}
+
+impl SpanSet {
+    /// An empty span set.
+    pub fn new() -> Self {
+        SpanSet::default()
+    }
+
+    /// Records one `ns`-long occurrence of span `name`.
+    pub fn record_ns(&mut self, name: &str, ns: u64) {
+        self.spans.entry(name.to_string()).or_default().record(ns);
+    }
+
+    /// Times `f` and records its duration under `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let sw = Stopwatch::start();
+        let out = f();
+        self.record_ns(name, sw.elapsed_ns());
+        out
+    }
+
+    /// The histogram for `name`, if any occurrence was recorded.
+    pub fn get(&self, name: &str) -> Option<&Histogram> {
+        self.spans.get(name)
+    }
+
+    /// Total nanoseconds recorded under `name` (0 if absent).
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.spans.get(name).map_or(0, |h| h.sum())
+    }
+
+    /// Iterates `(name, histogram)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.spans.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Folds another span set in (histograms accumulate).
+    pub fn merge(&mut self, other: &SpanSet) {
+        for (name, h) in &other.spans {
+            self.spans.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Writes every span into `m` as a histogram named `span.<name>`.
+    pub fn flush_to(&self, m: &mut MetricsRegistry) {
+        for (name, h) in &self.spans {
+            m.histogram(&format!("span.{name}")).merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_laps_partition_time() {
+        let mut sw = Stopwatch::start();
+        let a = sw.lap_ns();
+        let b = sw.lap_ns();
+        // Monotonic clock: laps are non-negative (u64 by construction)
+        // and elapsed after two laps only covers the time since the
+        // second one.
+        let _ = (a, b);
+        assert!(sw.elapsed_ns() < u64::MAX);
+    }
+
+    #[test]
+    fn spanset_records_and_totals() {
+        let mut s = SpanSet::new();
+        assert!(s.is_empty());
+        s.record_ns("decode", 100);
+        s.record_ns("decode", 50);
+        s.record_ns("golden", 7);
+        assert_eq!(s.total_ns("decode"), 150);
+        assert_eq!(s.get("decode").unwrap().count(), 2);
+        assert_eq!(s.total_ns("absent"), 0);
+        let names: Vec<&str> = s.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["decode", "golden"]);
+
+        let out = s.time("timed", || 42);
+        assert_eq!(out, 42);
+        assert_eq!(s.get("timed").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn merge_accumulates_and_flush_lands_in_registry() {
+        let mut a = SpanSet::new();
+        a.record_ns("x", 10);
+        let mut b = SpanSet::new();
+        b.record_ns("x", 20);
+        b.record_ns("y", 5);
+        a.merge(&b);
+        assert_eq!(a.total_ns("x"), 30);
+        assert_eq!(a.total_ns("y"), 5);
+
+        let mut m = MetricsRegistry::new();
+        a.flush_to(&mut m);
+        assert_eq!(m.histogram("span.x").sum(), 30);
+        assert_eq!(m.histogram("span.x").count(), 2);
+        assert_eq!(m.histogram("span.y").count(), 1);
+    }
+}

@@ -20,8 +20,7 @@ use softft_ir::function::Function;
 use softft_ir::inst::{CheckKind, Op};
 use softft_ir::{BlockId, FuncId, InstId};
 use softft_vm::fault::InjectionRecord;
-use softft_vm::{Observer, SuffixObserver};
-use std::collections::BTreeMap;
+use softft_vm::{Observer, OpClass, OpCounts, SuffixObserver};
 
 /// All [`CheckKind`] variants in canonical order (the order used for
 /// reports, JSON, and [`CheckKindCounts`] indexing).
@@ -147,9 +146,12 @@ impl SuffixObserver for CheckCounter {
 pub struct TraceObserver {
     /// Mirror of the VM's dynamic instruction count.
     dyn_count: u64,
-    /// Dynamic instruction counts by opcode mnemonic (terminators under
-    /// `"term"`).
-    pub opcodes: BTreeMap<&'static str, u64>,
+    /// Dynamic instruction counts by opcode class (terminators split as
+    /// `br`/`condbr`/`ret`). This is the *same* dense tally
+    /// ([`OpCounts`]) the VM profiler keeps, so the observer-side and
+    /// VM-side opcode counts agree by construction instead of by
+    /// parallel bookkeeping.
+    pub opcodes: OpCounts,
     /// Check firings by kind.
     pub checks: CheckKindCounts,
     /// Dynamic index of the fault injection, if one occurred.
@@ -208,12 +210,17 @@ impl Observer for TraceObserver {
     fn on_exec(&mut self, _func: FuncId, f: &Function, inst: InstId) {
         // The VM increments before calling us; mirror that ordering.
         self.dyn_count += 1;
-        *self.opcodes.entry(f.inst(inst).op.mnemonic()).or_insert(0) += 1;
+        self.opcodes.record(OpClass::of_op(&f.inst(inst).op));
     }
 
-    fn on_term(&mut self, _func: FuncId, _f: &Function, _block: BlockId) {
+    fn on_term(&mut self, _func: FuncId, f: &Function, block: BlockId) {
         self.dyn_count += 1;
-        *self.opcodes.entry("term").or_insert(0) += 1;
+        let term = f
+            .block(block)
+            .term
+            .as_ref()
+            .expect("verified function has terminators");
+        self.opcodes.record(OpClass::of_term(term));
     }
 
     fn on_check_fail(&mut self, _func: FuncId, f: &Function, inst: InstId) {
@@ -236,10 +243,7 @@ impl Observer for TraceObserver {
 impl SuffixObserver for TraceObserver {
     fn fast_forward(&mut self, boundary: &Self, end: &Self) {
         self.dyn_count = end.dyn_count;
-        for (op, total) in &end.opcodes {
-            let before = boundary.opcodes.get(op).copied().unwrap_or(0);
-            *self.opcodes.entry(op).or_insert(0) += total - before;
-        }
+        self.opcodes.merge_delta(&boundary.opcodes, &end.opcodes);
         self.checks.merge_delta(&boundary.checks, &end.checks);
         // The injection point is the trial's own (the golden run has
         // none). A first detection in the golden suffix only counts if
@@ -294,15 +298,24 @@ mod tests {
 
     #[test]
     fn fast_forward_adds_suffix_deltas_only() {
+        let add = OpClass::from_label("add").unwrap();
+        let mul = OpClass::from_label("mul").unwrap();
+        let br = OpClass::from_label("br").unwrap();
+        let bump = |c: &mut OpCounts, class, n| {
+            for _ in 0..n {
+                c.record(class);
+            }
+        };
+
         // Golden observer at the convergence boundary and at completion.
         let mut boundary = TraceObserver::new();
         boundary.dyn_count = 100;
-        boundary.opcodes.insert("add", 60);
+        bump(&mut boundary.opcodes, add, 60);
         boundary.checks.inc(CheckKind::DupMismatch);
         let mut end = boundary.clone();
         end.dyn_count = 250;
-        *end.opcodes.get_mut("add").unwrap() += 90;
-        end.opcodes.insert("term", 40);
+        bump(&mut end.opcodes, add, 90);
+        bump(&mut end.opcodes, br, 40);
         end.checks.inc(CheckKind::DupMismatch);
         end.first_detect = Some(180);
         end.first_detect_kind = Some(CheckKind::DupMismatch);
@@ -311,15 +324,15 @@ mod tests {
         // converged at the boundary.
         let mut trial = TraceObserver::new();
         trial.dyn_count = 100;
-        trial.opcodes.insert("add", 55);
-        trial.opcodes.insert("mul", 5);
+        bump(&mut trial.opcodes, add, 55);
+        bump(&mut trial.opcodes, mul, 5);
         trial.inject_at = Some(90);
         trial.fast_forward(&boundary, &end);
 
         assert_eq!(trial.dyn_count, 250);
-        assert_eq!(trial.opcodes["add"], 55 + 90);
-        assert_eq!(trial.opcodes["mul"], 5);
-        assert_eq!(trial.opcodes["term"], 40);
+        assert_eq!(trial.opcodes.get(add), 55 + 90);
+        assert_eq!(trial.opcodes.get(mul), 5);
+        assert_eq!(trial.opcodes.get(br), 40);
         // Suffix check delta is end - boundary, not end's total.
         assert_eq!(trial.checks.get(CheckKind::DupMismatch), 1);
         // inject_at stays the trial's own; the golden-suffix detection

@@ -40,6 +40,7 @@ use crate::interp::{
 };
 use crate::memory::Memory;
 use crate::outcome::{RunEnd, RunResult, TrapKind};
+use crate::profile::OpClass;
 use softft_ir::function::{Function, ValueKind};
 use softft_ir::inst::{BinOp, CastKind, CheckKind, FloatCC, IntCC, Op, Term, UnOp};
 use softft_ir::{BlockId, FuncId, InstId, Module, Type, ValueId};
@@ -1081,6 +1082,7 @@ impl<'m> Vm<'m> {
             config,
             decoded,
             scratch,
+            profiler,
         } = self;
         let module: &Module = module;
         let dm: &DecodedModule = decoded;
@@ -1114,6 +1116,9 @@ impl<'m> Vm<'m> {
                     state.dyn_count += 1;
                     let d = df.code[cur.pc as usize];
                     obs.on_exec(fid, func, d.inst);
+                    if let Some(p) = profiler.as_deref_mut() {
+                        p.record(OpClass::of_dkind(&d.kind));
+                    }
                     cur.pc += 1;
 
                     match d.kind {
@@ -1366,6 +1371,9 @@ impl<'m> Vm<'m> {
                 }
                 state.dyn_count += 1;
                 obs.on_term(fid, func, BlockId::new(cur.block as usize));
+                if let Some(p) = profiler.as_deref_mut() {
+                    p.record(OpClass::of_dterm(&blk.term));
+                }
                 match blk.term {
                     DTerm::Br { edge } => {
                         take_edge(

@@ -11,6 +11,7 @@ use crate::decode::{DEveryK, DNoSink, DecodedModule, Scratch};
 use crate::fault::{flip_bit, FaultInjector, FaultKind, FaultPlan, InjectionRecord};
 use crate::memory::Memory;
 use crate::outcome::{RunEnd, RunResult, TrapKind};
+use crate::profile::{OpClass, VmProfiler};
 use softft_ir::function::{Function, ValueKind};
 use softft_ir::inst::{BinOp, CastKind, FloatCC, IntCC, Op, Term, UnOp};
 use softft_ir::{BlockId, FuncId, InstId, Module, Type, ValueId};
@@ -37,6 +38,13 @@ pub struct VmConfig {
     /// reference path exists for differential testing and as the "before"
     /// leg of the interpreter throughput bench.
     pub reference_interp: bool,
+    /// When true, the VM carries a [`VmProfiler`] that tallies per-opcode
+    /// and opcode-digram execution counts plus sampled wall-time. Purely
+    /// observational: run results, injections, and observer streams are
+    /// bitwise identical with profiling on or off
+    /// (`tests/profile_equiv.rs` gates this). Off by default — the hot
+    /// path then pays one predictable branch per boundary.
+    pub profiling: bool,
 }
 
 impl Default for VmConfig {
@@ -47,6 +55,7 @@ impl Default for VmConfig {
             max_call_depth: 64,
             checks_count_only: false,
             reference_interp: false,
+            profiling: false,
         }
     }
 }
@@ -453,6 +462,15 @@ pub struct Vm<'m> {
     pub(crate) decoded: Arc<DecodedModule>,
     /// Reusable frame arena and call/phi scratch buffers.
     pub(crate) scratch: Scratch,
+    /// Execution profiler, present iff [`VmConfig::profiling`] is set.
+    /// Boxed so the disabled case costs one pointer; accumulates across
+    /// runs of this VM.
+    pub(crate) profiler: Option<Box<VmProfiler>>,
+}
+
+/// The profiler for `config`: allocated only when profiling is enabled.
+fn profiler_for(config: VmConfig) -> Option<Box<VmProfiler>> {
+    config.profiling.then(|| Box::new(VmProfiler::new()))
 }
 
 impl<'m> Vm<'m> {
@@ -464,6 +482,7 @@ impl<'m> Vm<'m> {
             config,
             decoded: Arc::new(DecodedModule::decode(module)),
             scratch: Scratch::default(),
+            profiler: profiler_for(config),
         }
     }
 
@@ -477,6 +496,7 @@ impl<'m> Vm<'m> {
             mem,
             config,
             scratch: Scratch::default(),
+            profiler: profiler_for(config),
         }
     }
 
@@ -498,12 +518,32 @@ impl<'m> Vm<'m> {
             config,
             decoded,
             scratch: Scratch::default(),
+            profiler: profiler_for(config),
         }
     }
 
     /// The module being executed.
     pub fn module(&self) -> &Module {
         self.module
+    }
+
+    /// The execution profiler, if [`VmConfig::profiling`] is enabled.
+    /// Counters accumulate across every run of this VM.
+    pub fn profiler(&self) -> Option<&VmProfiler> {
+        self.profiler.as_deref()
+    }
+
+    /// Takes the profiler out of the VM (subsequent runs are unprofiled).
+    pub fn take_profiler(&mut self) -> Option<Box<VmProfiler>> {
+        self.profiler.take()
+    }
+
+    /// Marks a run boundary for the profiler (digram chains and the
+    /// sampling clock must not span runs).
+    fn begin_profiled_run(&mut self) {
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.begin_run();
+        }
     }
 
     /// Reinitializes memory from the module's global initializers.
@@ -523,6 +563,7 @@ impl<'m> Vm<'m> {
         obs: &mut O,
         fault: Option<FaultPlan>,
     ) -> RunResult {
+        self.begin_profiled_run();
         if self.config.reference_interp {
             self.run_inner(entry, args, obs, fault, &mut NoSink)
         } else {
@@ -548,6 +589,7 @@ impl<'m> Vm<'m> {
         mut on_checkpoint: impl FnMut(Snapshot, &O),
     ) -> RunResult {
         assert!(interval > 0, "snapshot interval must be positive");
+        self.begin_profiled_run();
         if self.config.reference_interp {
             self.run_inner(
                 entry,
@@ -596,6 +638,7 @@ impl<'m> Vm<'m> {
                 snap.dyn_count
             );
         }
+        self.begin_profiled_run();
         if !self.config.reference_interp {
             return self.resume_decoded(snap, obs, fault);
         }
@@ -648,6 +691,7 @@ impl<'m> Vm<'m> {
                 snap.dyn_count
             );
         }
+        self.begin_profiled_run();
         if !self.config.reference_interp {
             return self.resume_converging_decoded(snap, obs, fault, candidates);
         }
@@ -673,6 +717,7 @@ impl<'m> Vm<'m> {
         fault: Option<FaultPlan>,
         candidates: &[&Snapshot],
     ) -> ConvergeOutcome {
+        self.begin_profiled_run();
         if !self.config.reference_interp {
             return self.run_converging_decoded(entry, args, obs, fault, candidates);
         }
@@ -797,6 +842,9 @@ impl<'m> Vm<'m> {
                     }
                     state.dyn_count += 1;
                     obs.on_exec(fid, func, i);
+                    if let Some(p) = self.profiler.as_deref_mut() {
+                        p.record(OpClass::of_op(&inst.op));
+                    }
                     cur.ip += 1;
 
                     match &inst.op {
@@ -851,6 +899,9 @@ impl<'m> Vm<'m> {
                     .term
                     .as_ref()
                     .expect("verified function has terminators");
+                if let Some(p) = self.profiler.as_deref_mut() {
+                    p.record(OpClass::of_term(term));
+                }
                 match term {
                     Term::Br(t) => take_edge(fid, func, cur, *t, state, obs),
                     Term::CondBr {

@@ -6,7 +6,7 @@
 //! paper (*Harnessing Soft Computations for Low-budget Fault Tolerance*,
 //! MICRO 2014).
 //!
-//! Three pieces:
+//! Five pieces:
 //!
 //! * [`interp`] — a functional interpreter with bounds-checked linear
 //!   memory, trap symptoms (out-of-bounds, divide-by-zero, watchdog) and a
@@ -21,6 +21,10 @@
 //!   executes the decoded stream by default; the tree-walking reference
 //!   path remains selectable via `VmConfig::reference_interp` and the two
 //!   are bitwise equivalent;
+//! * [`profile`] — an opt-in execution profiler ([`VmConfig::profiling`]):
+//!   exact per-opcode and opcode-digram counters plus sampled wall-time
+//!   attribution, kept strictly off the determinism path — results are
+//!   bitwise identical with profiling on or off;
 //! * [`timing`] — a two-issue out-of-order timing model (issue width,
 //!   ROB, per-op latencies; Table II scaled), corresponding to the paper's
 //!   *out-of-order* model used for performance-overhead runs. Independent
@@ -57,6 +61,7 @@ pub mod fault;
 pub mod interp;
 pub mod memory;
 pub mod outcome;
+pub mod profile;
 pub mod timing;
 
 pub use decode::DecodedModule;
@@ -64,4 +69,5 @@ pub use fault::{FaultPlan, InjectionRecord};
 pub use interp::{ConvergeOutcome, NoopObserver, Observer, Snapshot, SuffixObserver, Vm, VmConfig};
 pub use memory::Memory;
 pub use outcome::{RunEnd, RunResult, TrapKind};
+pub use profile::{Digrams, HotDigram, OpClass, OpCounts, SampledTime, VmProfiler};
 pub use timing::{CoreConfig, TimingModel};

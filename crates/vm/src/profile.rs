@@ -1,0 +1,599 @@
+//! Execution profiling: per-opcode and opcode-digram dynamic counters
+//! plus sampled wall-time attribution.
+//!
+//! The profiler lives *beside* the determinism path, never on it: it
+//! observes the instruction stream (which is deterministic) and the wall
+//! clock (which is not), but nothing it measures ever feeds back into
+//! execution, fault injection, or campaign classification. Counts are
+//! exact and reproducible; times are sampled and advisory.
+//!
+//! Two consumers drive the design:
+//!
+//! * the **superinstruction tier** needs to know which opcode *pairs*
+//!   dominate dynamic dispatch — [`VmProfiler::hot_digrams`] ranks
+//!   digrams by estimated fused-dispatch savings;
+//! * **observers** ([`softft-telemetry`]'s `TraceObserver`) need the same
+//!   per-opcode tally the profiler keeps — [`OpCounts`] is the shared
+//!   dense counter array, so the two can never disagree.
+//!
+//! Wall-time attribution is *sampled*, not instrumented: timestamping
+//! every instruction would cost more than the instruction. Every
+//! [`SAMPLE_STRIDE`] dynamic instructions the profiler reads the
+//! monotonic clock once and attributes the elapsed interval to the
+//! opcode class executing at the sample point — the standard sampling-
+//! profiler estimator (unbiased as long as stride ≪ run length).
+
+use crate::decode::{DKind, DTerm};
+use softft_ir::inst::{BinOp, CastKind, Op, Term, UnOp};
+use std::time::Instant;
+
+/// Number of distinct opcode classes (all [`Op`] shapes, including the
+/// never-dynamically-executed `phi`, plus the three terminators).
+pub const NUM_OP_CLASSES: usize = 37;
+
+/// Labels for every opcode class, indexed by [`OpClass::index`]. The
+/// non-terminator labels match [`Op::mnemonic`], so metric keys like
+/// `vm.ops.add` are stable across the profiler and the trace observer.
+pub const OP_CLASS_LABELS: [&str; NUM_OP_CLASSES] = [
+    "add", "sub", "mul", "sdiv", "srem", "udiv", "urem", "and", "or", "xor", "shl", "lshr", "ashr",
+    "fadd", "fsub", "fmul", "fdiv", "fsqrt", "fabs", "ffloor", "fneg", "icmp", "fcmp", "trunc",
+    "zext", "sext", "fptosi", "sitofp", "select", "load", "store", "call", "check", "phi", "br",
+    "condbr", "ret",
+];
+
+/// Dynamic instructions between wall-clock samples. Large enough that the
+/// two `Instant::now` reads per sample are noise (< 0.01% of boundary
+/// work), small enough that a multi-million-instruction run collects
+/// thousands of samples.
+pub const SAMPLE_STRIDE: u32 = 8192;
+
+/// A dense opcode-class id: one per [`Op`] shape (binary/unary ops and
+/// casts split per opcode, like [`Op::mnemonic`]) plus the three
+/// terminator kinds (`br`, `condbr`, `ret`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OpClass(u8);
+
+const BIN_BASE: u8 = 0; // 17 binary opcodes
+const UN_BASE: u8 = 17; // 4 unary opcodes
+const ICMP: u8 = 21;
+const FCMP: u8 = 22;
+const CAST_BASE: u8 = 23; // 5 cast kinds
+const SELECT: u8 = 28;
+const LOAD: u8 = 29;
+const STORE: u8 = 30;
+const CALL: u8 = 31;
+const CHECK: u8 = 32;
+const PHI: u8 = 33;
+const BR: u8 = 34;
+const CONDBR: u8 = 35;
+const RET: u8 = 36;
+
+fn bin_offset(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::SDiv => 3,
+        BinOp::SRem => 4,
+        BinOp::UDiv => 5,
+        BinOp::URem => 6,
+        BinOp::And => 7,
+        BinOp::Or => 8,
+        BinOp::Xor => 9,
+        BinOp::Shl => 10,
+        BinOp::LShr => 11,
+        BinOp::AShr => 12,
+        BinOp::FAdd => 13,
+        BinOp::FSub => 14,
+        BinOp::FMul => 15,
+        BinOp::FDiv => 16,
+    }
+}
+
+fn un_offset(op: UnOp) -> u8 {
+    match op {
+        UnOp::FSqrt => 0,
+        UnOp::FAbs => 1,
+        UnOp::FFloor => 2,
+        UnOp::FNeg => 3,
+    }
+}
+
+fn cast_offset(kind: CastKind) -> u8 {
+    match kind {
+        CastKind::Trunc => 0,
+        CastKind::ZExt => 1,
+        CastKind::SExt => 2,
+        CastKind::FpToSi => 3,
+        CastKind::SiToFp => 4,
+    }
+}
+
+impl OpClass {
+    /// The `br` terminator class.
+    pub const BR: OpClass = OpClass(BR);
+    /// The `condbr` terminator class.
+    pub const CONDBR: OpClass = OpClass(CONDBR);
+    /// The `ret` terminator class.
+    pub const RET: OpClass = OpClass(RET);
+
+    /// The class of a non-terminator instruction.
+    pub fn of_op(op: &Op) -> OpClass {
+        OpClass(match op {
+            Op::Bin { op, .. } => BIN_BASE + bin_offset(*op),
+            Op::Un { op, .. } => UN_BASE + un_offset(*op),
+            Op::Icmp { .. } => ICMP,
+            Op::Fcmp { .. } => FCMP,
+            Op::Cast { kind, .. } => CAST_BASE + cast_offset(*kind),
+            Op::Select { .. } => SELECT,
+            Op::Load { .. } => LOAD,
+            Op::Store { .. } => STORE,
+            Op::Call { .. } => CALL,
+            Op::Check { .. } => CHECK,
+            Op::Phi { .. } => PHI,
+        })
+    }
+
+    /// The class of a terminator.
+    pub fn of_term(term: &Term) -> OpClass {
+        OpClass(match term {
+            Term::Br(_) => BR,
+            Term::CondBr { .. } => CONDBR,
+            Term::Ret(_) => RET,
+        })
+    }
+
+    /// The class of a decoded instruction.
+    pub(crate) fn of_dkind(kind: &DKind) -> OpClass {
+        OpClass(match kind {
+            DKind::BinF { op, .. } | DKind::BinI { op, .. } => BIN_BASE + bin_offset(*op),
+            DKind::Un { op, .. } => UN_BASE + un_offset(*op),
+            DKind::Icmp { .. } => ICMP,
+            DKind::Fcmp { .. } => FCMP,
+            DKind::Cast { kind, .. } => CAST_BASE + cast_offset(*kind),
+            DKind::Select { .. } => SELECT,
+            DKind::Load { .. } => LOAD,
+            DKind::Store { .. } => STORE,
+            DKind::Call { .. } => CALL,
+            DKind::Check { .. } => CHECK,
+        })
+    }
+
+    /// The class of a decoded terminator.
+    pub(crate) fn of_dterm(term: &DTerm) -> OpClass {
+        OpClass(match term {
+            DTerm::Br { .. } => BR,
+            DTerm::CondBr { .. } => CONDBR,
+            DTerm::Ret(_) | DTerm::Missing => RET,
+        })
+    }
+
+    /// Dense index in `0..NUM_OP_CLASSES`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The class for a dense index, if in range.
+    pub fn from_index(i: usize) -> Option<OpClass> {
+        (i < NUM_OP_CLASSES).then_some(OpClass(i as u8))
+    }
+
+    /// The class with the given label, if any.
+    pub fn from_label(label: &str) -> Option<OpClass> {
+        OP_CLASS_LABELS
+            .iter()
+            .position(|&l| l == label)
+            .map(|i| OpClass(i as u8))
+    }
+
+    /// Human/metric label (`add`, `icmp`, `condbr`, …), matching
+    /// [`Op::mnemonic`] for non-terminators.
+    pub fn label(self) -> &'static str {
+        OP_CLASS_LABELS[self.index()]
+    }
+
+    /// True for the three terminator classes.
+    pub fn is_terminator(self) -> bool {
+        self.0 >= BR
+    }
+}
+
+/// Dense per-opcode-class execution counts — the single opcode tally
+/// shared by the VM profiler and observer-side tracing, so the two can
+/// never drift apart.
+///
+/// Counts are exact (every dynamic instruction and terminator increments
+/// exactly one class) and deterministic for a given run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpCounts {
+    counts: [u64; NUM_OP_CLASSES],
+}
+
+impl Default for OpCounts {
+    fn default() -> Self {
+        OpCounts {
+            counts: [0; NUM_OP_CLASSES],
+        }
+    }
+}
+
+impl OpCounts {
+    /// All-zero counts.
+    pub fn new() -> Self {
+        OpCounts::default()
+    }
+
+    /// Increments the count for `class`.
+    #[inline]
+    pub fn record(&mut self, class: OpClass) {
+        self.counts[class.index()] += 1;
+    }
+
+    /// The count for `class`.
+    pub fn get(&self, class: OpClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Sum over all classes (== dynamic instructions + terminators).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(class, count)` in dense-index order, including zeros.
+    pub fn iter(&self) -> impl Iterator<Item = (OpClass, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (OpClass(i as u8), n))
+    }
+
+    /// Iterates `(label, count)` for classes with a nonzero count, in
+    /// dense-index order (deterministic).
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.iter()
+            .filter(|&(_, n)| n > 0)
+            .map(|(c, n)| (c.label(), n))
+    }
+
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &OpCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Adds the per-class deltas `end − boundary` into `self` — the
+    /// counter form of replaying a golden suffix (see
+    /// [`crate::interp::SuffixObserver`]).
+    pub fn merge_delta(&mut self, boundary: &OpCounts, end: &OpCounts) {
+        for (i, a) in self.counts.iter_mut().enumerate() {
+            *a += end.counts[i] - boundary.counts[i];
+        }
+    }
+}
+
+/// A hot opcode pair from the digram matrix, ranked by how many dispatch
+/// cycles a fused superinstruction would save.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HotDigram {
+    /// First opcode of the pair.
+    pub first: OpClass,
+    /// Second opcode of the pair.
+    pub second: OpClass,
+    /// Dynamic occurrences of the pair (adjacent in execution order).
+    pub count: u64,
+    /// Estimated fraction of all dynamic dispatches a fused
+    /// `first+second` superinstruction eliminates: each occurrence
+    /// replaces two dispatches with one, so this is `count / total`.
+    pub est_dispatch_savings: f64,
+}
+
+/// The opcode-digram matrix: `counts[a][b]` is how many times class `b`
+/// executed immediately after class `a` (across the whole run, including
+/// across block and call boundaries — that is the dispatch sequence a
+/// threaded/fused interpreter sees).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Digrams {
+    counts: Box<[u64]>,
+}
+
+impl Default for Digrams {
+    fn default() -> Self {
+        Digrams {
+            counts: vec![0; NUM_OP_CLASSES * NUM_OP_CLASSES].into_boxed_slice(),
+        }
+    }
+}
+
+impl Digrams {
+    /// All-zero matrix.
+    pub fn new() -> Self {
+        Digrams::default()
+    }
+
+    /// Increments the `(prev, cur)` pair count.
+    #[inline]
+    pub fn record(&mut self, prev: OpClass, cur: OpClass) {
+        self.counts[prev.index() * NUM_OP_CLASSES + cur.index()] += 1;
+    }
+
+    /// The count for a pair.
+    pub fn get(&self, first: OpClass, second: OpClass) -> u64 {
+        self.counts[first.index() * NUM_OP_CLASSES + second.index()]
+    }
+
+    /// Sum over all pairs.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &Digrams) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// The `n` most frequent pairs, descending by count (ties broken by
+    /// dense pair index, so the ranking is deterministic).
+    /// `total_dispatches` scales the savings estimate — pass the run's
+    /// [`OpCounts::total`].
+    pub fn top(&self, n: usize, total_dispatches: u64) -> Vec<HotDigram> {
+        let mut pairs: Vec<(usize, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs
+            .into_iter()
+            .take(n)
+            .map(|(i, count)| HotDigram {
+                first: OpClass((i / NUM_OP_CLASSES) as u8),
+                second: OpClass((i % NUM_OP_CLASSES) as u8),
+                count,
+                est_dispatch_savings: if total_dispatches == 0 {
+                    0.0
+                } else {
+                    count as f64 / total_dispatches as f64
+                },
+            })
+            .collect()
+    }
+}
+
+/// Sampled wall-time attributed to one opcode class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SampledTime {
+    /// Nanoseconds of sampled intervals attributed to this class.
+    pub ns: u64,
+    /// Number of clock samples that landed on this class.
+    pub samples: u64,
+}
+
+/// The execution profiler attached to a [`crate::Vm`] when
+/// [`crate::VmConfig::profiling`] is set.
+///
+/// Both engines (tree-walking reference and pre-decoded flat bytecode)
+/// feed it one [`VmProfiler::record`] per dynamic instruction boundary,
+/// immediately after the observer hook — so its exact counts equal the
+/// observer-visible instruction stream by construction.
+#[derive(Clone, Debug)]
+pub struct VmProfiler {
+    counts: OpCounts,
+    digrams: Digrams,
+    prev: Option<OpClass>,
+    until_sample: u32,
+    last_sample: Option<Instant>,
+    sampled: [SampledTime; NUM_OP_CLASSES],
+}
+
+impl Default for VmProfiler {
+    fn default() -> Self {
+        VmProfiler::new()
+    }
+}
+
+impl VmProfiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        VmProfiler {
+            counts: OpCounts::new(),
+            digrams: Digrams::new(),
+            prev: None,
+            until_sample: SAMPLE_STRIDE,
+            last_sample: None,
+            sampled: [SampledTime::default(); NUM_OP_CLASSES],
+        }
+    }
+
+    /// Marks the start of a fresh run: the digram chain and the sampling
+    /// clock do not span runs (counts accumulate across runs — callers
+    /// wanting per-run counts take a fresh profiler).
+    pub fn begin_run(&mut self) {
+        self.prev = None;
+        self.last_sample = None;
+    }
+
+    /// Records one executed instruction or terminator of class `class`.
+    #[inline]
+    pub fn record(&mut self, class: OpClass) {
+        self.counts.record(class);
+        if let Some(p) = self.prev {
+            self.digrams.record(p, class);
+        }
+        self.prev = Some(class);
+        self.until_sample -= 1;
+        if self.until_sample == 0 {
+            self.until_sample = SAMPLE_STRIDE;
+            self.sample(class);
+        }
+    }
+
+    /// Cold path: one clock read per [`SAMPLE_STRIDE`] instructions.
+    fn sample(&mut self, class: OpClass) {
+        let now = Instant::now();
+        let slot = &mut self.sampled[class.index()];
+        if let Some(last) = self.last_sample {
+            slot.ns += now.duration_since(last).as_nanos() as u64;
+        }
+        slot.samples += 1;
+        self.last_sample = Some(now);
+    }
+
+    /// Exact per-opcode-class execution counts.
+    pub fn counts(&self) -> &OpCounts {
+        &self.counts
+    }
+
+    /// The exact digram matrix.
+    pub fn digrams(&self) -> &Digrams {
+        &self.digrams
+    }
+
+    /// Sampled wall-time per class, `(class, time)` for classes with at
+    /// least one sample, in dense-index order.
+    pub fn sampled_times(&self) -> impl Iterator<Item = (OpClass, SampledTime)> + '_ {
+        self.sampled
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.samples > 0)
+            .map(|(i, &t)| (OpClass(i as u8), t))
+    }
+
+    /// The hot-sequence report: top `n` digrams ranked by estimated
+    /// fused-dispatch savings (the input for a superinstruction tier).
+    pub fn hot_digrams(&self, n: usize) -> Vec<HotDigram> {
+        self.digrams.top(n, self.counts.total())
+    }
+
+    /// Folds another profiler's exact counters and sampled times into
+    /// this one (aggregation across runs or threads).
+    pub fn merge(&mut self, other: &VmProfiler) {
+        self.counts.merge(&other.counts);
+        self.digrams.merge(&other.digrams);
+        for (a, b) in self.sampled.iter_mut().zip(other.sampled.iter()) {
+            a.ns += b.ns;
+            a.samples += b.samples;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_ir::inst::IntCC;
+    use softft_ir::ValueId;
+
+    fn add_op() -> Op {
+        Op::Bin {
+            op: BinOp::Add,
+            lhs: ValueId::new(0),
+            rhs: ValueId::new(1),
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_and_cover_all_classes() {
+        let mut seen = std::collections::BTreeSet::new();
+        for l in OP_CLASS_LABELS {
+            assert!(seen.insert(l), "duplicate label {l}");
+        }
+        assert_eq!(seen.len(), NUM_OP_CLASSES);
+        for (i, label) in OP_CLASS_LABELS.iter().enumerate() {
+            let c = OpClass::from_index(i).unwrap();
+            assert_eq!(c.index(), i);
+            assert_eq!(c.label(), *label);
+        }
+        assert!(OpClass::from_index(NUM_OP_CLASSES).is_none());
+    }
+
+    #[test]
+    fn op_classes_match_mnemonics() {
+        // Non-terminator classes share labels with Op::mnemonic, keeping
+        // vm.ops.* metric keys stable.
+        let op = add_op();
+        assert_eq!(OpClass::of_op(&op).label(), op.mnemonic());
+        let icmp = Op::Icmp {
+            pred: IntCC::Eq,
+            lhs: ValueId::new(0),
+            rhs: ValueId::new(1),
+        };
+        assert_eq!(OpClass::of_op(&icmp).label(), icmp.mnemonic());
+        assert_eq!(OpClass::of_term(&Term::Ret(None)).label(), "ret");
+        assert!(OpClass::RET.is_terminator());
+        assert!(!OpClass::of_op(&op).is_terminator());
+    }
+
+    #[test]
+    fn counts_record_merge_and_delta() {
+        let a = OpClass::of_op(&add_op());
+        let mut x = OpCounts::new();
+        x.record(a);
+        x.record(a);
+        x.record(OpClass::BR);
+        assert_eq!(x.get(a), 2);
+        assert_eq!(x.total(), 3);
+        let labels: Vec<_> = x.iter_nonzero().collect();
+        assert_eq!(labels, vec![("add", 2), ("br", 1)]);
+
+        let mut y = OpCounts::new();
+        y.record(a);
+        y.merge(&x);
+        assert_eq!(y.get(a), 3);
+
+        // delta: end - boundary added onto an existing tally.
+        let mut boundary = OpCounts::new();
+        boundary.record(a);
+        let mut end = boundary;
+        end.record(a);
+        end.record(OpClass::RET);
+        let mut trial = OpCounts::new();
+        trial.record(OpClass::BR);
+        trial.merge_delta(&boundary, &end);
+        assert_eq!(trial.get(a), 1);
+        assert_eq!(trial.get(OpClass::RET), 1);
+        assert_eq!(trial.get(OpClass::BR), 1);
+    }
+
+    #[test]
+    fn digrams_count_adjacent_pairs() {
+        let a = OpClass::of_op(&add_op());
+        let mut p = VmProfiler::new();
+        p.begin_run();
+        for _ in 0..3 {
+            p.record(a);
+        }
+        p.record(OpClass::BR);
+        assert_eq!(p.counts().get(a), 3);
+        assert_eq!(p.digrams().get(a, a), 2);
+        assert_eq!(p.digrams().get(a, OpClass::BR), 1);
+        // begin_run severs the chain: no digram across runs.
+        p.begin_run();
+        p.record(a);
+        assert_eq!(p.digrams().get(OpClass::BR, a), 0);
+
+        let hot = p.hot_digrams(10);
+        assert_eq!(hot[0].first, a);
+        assert_eq!(hot[0].second, a);
+        assert_eq!(hot[0].count, 2);
+        let expected = 2.0 / p.counts().total() as f64;
+        assert!((hot[0].est_dispatch_savings - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_aggregates_profilers() {
+        let a = OpClass::of_op(&add_op());
+        let mut p = VmProfiler::new();
+        p.record(a);
+        p.record(a);
+        let mut q = VmProfiler::new();
+        q.record(a);
+        q.merge(&p);
+        assert_eq!(q.counts().get(a), 3);
+        assert_eq!(q.digrams().get(a, a), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! The profiling hard invariant, end to end: timing and counting stay
+//! off the determinism path. With `VmConfig::profiling` on or off —
+//! and with campaign phase attribution on or off — campaign results,
+//! per-trial injection records, JSONL trial events, aggregated
+//! metrics, and coverage maps are bitwise identical. Also locks the
+//! satellite dedupe: the telemetry `TraceObserver` consumes the VM's
+//! shared `OpCounts` bins, so its tallies equal the VM profiler's for
+//! the same run.
+
+use softft::Technique;
+use softft_bench::orchestrate::run_exhibit;
+use softft_bench::{Exhibit, ReproConfig};
+use softft_campaign::campaign::{
+    run_campaign, run_campaign_attributed, run_campaign_profiled, CampaignConfig,
+};
+use softft_campaign::coverage::build_coverage;
+use softft_campaign::prep::prepare;
+use softft_telemetry::TraceObserver;
+use softft_vm::interp::{NoopObserver, Vm, VmConfig};
+use softft_workloads::runner::{read_output, write_input};
+use softft_workloads::{workload_by_name, InputSet};
+use std::path::PathBuf;
+
+fn small_cfg(profiling: bool) -> CampaignConfig {
+    CampaignConfig {
+        trials: 25,
+        seed: 11,
+        threads: 2,
+        vm: VmConfig {
+            profiling,
+            ..VmConfig::default()
+        },
+        ..CampaignConfig::default()
+    }
+}
+
+/// A scratch directory under the temp area, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("softft-profile-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn golden_run_is_bitwise_identical_with_profiling_on_or_off() {
+    let p = prepare(workload_by_name("tiff2bw").unwrap());
+    let module = p.module(Technique::DupVal);
+    let input = p.workload.input(InputSet::Test);
+    let main = module.function_by_name("main").unwrap();
+
+    let run = |profiling: bool| {
+        let mut vm = Vm::new(
+            module,
+            VmConfig {
+                profiling,
+                ..VmConfig::default()
+            },
+        );
+        write_input(&mut vm, module, &input);
+        let r = vm.run(main, &[], &mut NoopObserver, None);
+        let out = read_output(&vm, module);
+        (r, out, vm.take_profiler())
+    };
+
+    let (r_on, out_on, prof) = run(true);
+    let (r_off, out_off, no_prof) = run(false);
+    assert_eq!(r_on, r_off, "profiling changed the run result");
+    assert_eq!(out_on, out_off, "profiling changed the output bytes");
+    assert!(no_prof.is_none(), "profiler allocated with profiling off");
+
+    // The profiler saw every dispatch: one count per dynamic
+    // instruction, and one digram per adjacent pair.
+    let prof = prof.expect("profiler present with profiling on");
+    assert_eq!(prof.counts().total(), r_on.dyn_insts);
+    assert_eq!(prof.digrams().total(), r_on.dyn_insts - 1);
+    let top = prof.hot_digrams(5);
+    assert!(!top.is_empty());
+    for w in top.windows(2) {
+        assert!(w[0].count >= w[1].count, "hot digrams not sorted");
+    }
+}
+
+#[test]
+fn campaign_outputs_are_bitwise_identical_with_profiling_on_or_off() {
+    let p = prepare(workload_by_name("tiff2bw").unwrap());
+    let t = Technique::DupVal;
+    let module = p.module(t);
+
+    let (res_off, tel_off) = run_campaign_attributed(
+        &*p.workload,
+        module,
+        &small_cfg(false),
+        Some(p.protection(t)),
+    );
+    let (res_on, tel_on) = run_campaign_attributed(
+        &*p.workload,
+        module,
+        &small_cfg(true),
+        Some(p.protection(t)),
+    );
+
+    // Campaign results, injection records, and trial events (the JSONL
+    // payload — TrialEvent equality is field equality, which is what
+    // serialization writes) are identical.
+    assert_eq!(res_off, res_on, "profiling changed campaign results");
+    assert_eq!(
+        tel_off.records, tel_on.records,
+        "injection records diverged"
+    );
+    assert_eq!(tel_off.events, tel_on.events, "trial events diverged");
+
+    // Aggregated metrics serialize to identical bytes (to_json is
+    // byte-stable by construction).
+    assert_eq!(
+        tel_off.metrics.to_json(),
+        tel_on.metrics.to_json(),
+        "metrics bytes diverged"
+    );
+
+    // Coverage maps built from the records agree structurally.
+    let cov_off = build_coverage(
+        "tiff2bw",
+        t,
+        module,
+        p.protection(t),
+        &res_off,
+        &tel_off.records,
+    );
+    let cov_on = build_coverage(
+        "tiff2bw",
+        t,
+        module,
+        p.protection(t),
+        &res_on,
+        &tel_on.records,
+    );
+    assert_eq!(
+        format!("{cov_off:?}"),
+        format!("{cov_on:?}"),
+        "coverage diverged"
+    );
+}
+
+#[test]
+fn phase_attribution_never_perturbs_results() {
+    // run_campaign_profiled reads wall clocks around every phase; the
+    // result must still be bitwise identical to the untimed loop, with
+    // snapshots off and on.
+    let p = prepare(workload_by_name("tiff2bw").unwrap());
+    let module = p.module(Technique::DupVal);
+    let plain = run_campaign(&*p.workload, module, &small_cfg(false));
+
+    let (timed, prof) = run_campaign_profiled(&*p.workload, module, &small_cfg(false));
+    assert_eq!(plain, timed);
+    assert!(prof.exec_ns > 0);
+
+    let mut snap_cfg = small_cfg(false);
+    snap_cfg.snapshot_interval = 1000;
+    let (timed_snap, prof_snap) = run_campaign_profiled(&*p.workload, module, &snap_cfg);
+    assert_eq!(plain, timed_snap);
+    assert!(prof_snap.checkpoint_record_ns > 0);
+}
+
+#[test]
+fn trace_observer_and_vm_profiler_agree_on_opcode_counts() {
+    // Satellite dedupe: both counters share the VM's OpClass bins, so a
+    // traced golden run tallies exactly what the profiler tallies.
+    let p = prepare(workload_by_name("tiff2bw").unwrap());
+    let module = p.module(Technique::DupVal);
+    let input = p.workload.input(InputSet::Test);
+    let main = module.function_by_name("main").unwrap();
+
+    let mut vm = Vm::new(
+        module,
+        VmConfig {
+            profiling: true,
+            ..VmConfig::default()
+        },
+    );
+    write_input(&mut vm, module, &input);
+    let mut obs = TraceObserver::new();
+    let r = vm.run(main, &[], &mut obs, None);
+    let prof = vm.take_profiler().expect("profiler present");
+
+    assert_eq!(
+        obs.opcodes,
+        *prof.counts(),
+        "TraceObserver and VmProfiler counted different opcode mixes"
+    );
+    assert_eq!(obs.opcodes.total(), r.dyn_insts);
+}
+
+#[test]
+fn profile_exhibit_writes_artifacts_and_passes_equivalence() {
+    let scratch = ScratchDir::new("exhibit");
+    let bench_out = scratch.0.join("BENCH_profile.json");
+    let cfg = ReproConfig {
+        trials: 10,
+        seed: 3,
+        benchmarks: vec!["tiff2bw".into()],
+        threads: 2,
+        bench_out: Some(bench_out.clone()),
+        ..ReproConfig::default()
+    };
+    let out = run_exhibit(Exhibit::Profile, &cfg);
+    assert!(out.contains("hot digrams"), "{out}");
+    assert!(out.contains("campaign phases"), "{out}");
+    assert!(out.contains("watchdog spin"), "{out}");
+
+    let json = std::fs::read_to_string(&bench_out).expect("BENCH_profile.json written");
+    assert!(
+        json.contains("\"schema\": \"softft.bench.profile.v1\""),
+        "{json}"
+    );
+    assert!(json.contains("\"all_equivalent\": true"), "{json}");
+    assert!(json.contains("\"hot_digrams\""), "{json}");
+    assert!(json.contains("\"watchdog_spin_share\""), "{json}");
+
+    let folded =
+        std::fs::read_to_string(bench_out.with_extension("folded")).expect("folded stacks written");
+    assert!(
+        folded.lines().any(|l| l.starts_with("tiff2bw;vm;")),
+        "{folded}"
+    );
+    assert!(
+        folded.lines().any(|l| l.starts_with("tiff2bw;campaign;")),
+        "{folded}"
+    );
+    // Folded-stack format: `stack;frames here COUNT` per line.
+    for line in folded.lines() {
+        let (stack, n) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(!stack.is_empty());
+        assert!(n.parse::<u64>().is_ok(), "{line}");
+    }
+}
