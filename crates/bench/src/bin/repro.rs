@@ -5,10 +5,12 @@
 //! repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c]
 //!                 [--telemetry DIR] [--html PATH] [--snapshot-interval K]
 //!                 [--bench-out PATH] [--progress text|jsonl] [-v|--verbose] [-q|--quiet]
+//!                 [--store DIR] [--resume DIR] [--trial-cap N] [--verify]
+//!                 [--format text|jsonl] [--follow] [DIR]
 //!
 //! exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13
 //!           detect latency falsepos crossval ablate cfc recovery
-//!           coverage perfbench interpbench profile all
+//!           coverage perfbench interpbench profile campaign watch all
 //! ```
 //!
 //! The `exhibits:` list above is checked against
@@ -25,7 +27,7 @@ fn usage() -> ExitCode {
     // Usage goes out at every verbosity level. The exhibit list is
     // derived from the same table `Exhibit::parse` reads.
     Logger::default().error(format!(
-        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [--html PATH] [--snapshot-interval K] [--bench-out PATH] [--progress text|jsonl] [-v|--verbose] [-q|--quiet]\n\
+        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [--html PATH] [--snapshot-interval K] [--bench-out PATH] [--progress text|jsonl] [--store DIR] [--resume DIR] [--trial-cap N] [--verify] [--format text|jsonl] [--follow] [-v|--verbose] [-q|--quiet] [DIR]\n\
          exhibits: {}",
         Exhibit::names_joined(),
     ));
@@ -56,7 +58,27 @@ fn main() -> ExitCode {
                 i += 1;
                 continue;
             }
+            // Re-run buffered campaigns against a completed store and
+            // print the replay-equivalence verdict (CI greps it).
+            "--verify" => {
+                cfg.verify = true;
+                i += 1;
+                continue;
+            }
+            // Keep `watch` tailing a live store until it completes.
+            "--follow" => {
+                cfg.follow = true;
+                i += 1;
+                continue;
+            }
             _ => {}
+        }
+        // A bare (non-flag) argument is a run-store directory, so
+        // `repro watch runs/segm` reads naturally.
+        if !flag.starts_with('-') {
+            cfg.store = Some(flag.into());
+            i += 1;
+            continue;
         }
         let Some(value) = args.get(i + 1) else {
             return usage();
@@ -90,13 +112,32 @@ fn main() -> ExitCode {
             "--bench-out" => {
                 cfg.bench_out = Some(value.into());
             }
+            // Run-store surfaces: `campaign --store DIR` creates (or
+            // continues) a persistent store, `--resume DIR` requires
+            // one to exist, `--trial-cap N` bounds how many trials
+            // this invocation appends (interrupt simulation), and
+            // `watch --format` picks the status rendering.
+            "--store" => {
+                cfg.store = Some(value.into());
+            }
+            "--resume" => {
+                cfg.resume = Some(value.into());
+            }
+            "--trial-cap" => match value.parse() {
+                Ok(v) => cfg.trial_cap = Some(v),
+                Err(_) => return usage(),
+            },
+            "--format" => match value.as_str() {
+                "text" | "jsonl" => cfg.watch_format = value.clone(),
+                _ => return usage(),
+            },
             // Stream per-campaign progress (trials done/total,
             // trials/sec, outcome mix, ETA) to stderr while exhibits
             // run. Pure observation: results are identical with or
             // without a sink.
             "--progress" => match value.as_str() {
-                "text" => set_progress_sink(Some(Arc::new(TextSink))),
-                "jsonl" => set_progress_sink(Some(Arc::new(JsonlSink))),
+                "text" => set_progress_sink(Some(Arc::new(TextSink::new()))),
+                "jsonl" => set_progress_sink(Some(Arc::new(JsonlSink::new()))),
                 _ => return usage(),
             },
             _ => return usage(),

@@ -1,11 +1,15 @@
-//! Self-contained HTML heatmap for per-fault-site coverage maps.
+//! Self-contained HTML pages: the coverage heatmap and the campaign
+//! observatory (`repro watch --html`) status page.
 //!
-//! One single file, no external assets, scripts, or stylesheets beyond
-//! an inline `<style>` block — it must open from a CI artifact or an
-//! `file://` URL with no network. Per benchmark × technique it renders a
-//! site × bit-band grid; each cell is coloured by the USDC rate of that
-//! `(site, band)` bucket, so residual-corruption hot spots and the sites
-//! a technique closes stand out at a glance.
+//! One single file each, no external assets, scripts, or stylesheets
+//! beyond an inline `<style>` block — they must open from a CI artifact
+//! or an `file://` URL with no network. Per benchmark × technique the
+//! heatmap renders a site × bit-band grid; each cell is coloured by the
+//! USDC rate of that `(site, band)` bucket, so residual-corruption hot
+//! spots and the sites a technique closes stand out at a glance. The
+//! watch page prepends a per-shard progress table (done/total,
+//! throughput, outcome mix, watchdog-spin share) and reuses the same
+//! grids for the coverage folded so far.
 
 use softft::Technique;
 use softft_campaign::coverage::{CoverageMap, SiteReport};
@@ -141,12 +145,108 @@ pub fn write_heatmap(
     path: &Path,
     rows: &[(String, Vec<(Technique, CoverageMap)>)],
 ) -> std::io::Result<()> {
+    write_page(path, render_heatmap(rows))
+}
+
+/// One per-shard status row of the `repro watch --html` page.
+pub struct WatchRow {
+    /// Shard label (`"segm/dup-val"`).
+    pub label: String,
+    /// Trials persisted so far.
+    pub done: u64,
+    /// Planned trials.
+    pub total: u64,
+    /// Observed appending throughput, trials per second.
+    pub rate: f64,
+    /// True once every planned trial is present.
+    pub complete: bool,
+    /// Fraction of live execution time spent in watchdog-spin trials.
+    pub watchdog_share: f64,
+    /// Nonzero outcome counts in canonical order.
+    pub outcomes: Vec<(String, u64)>,
+}
+
+/// Renders the observatory page: a progress table over every shard,
+/// then the per-shard coverage grids folded from the trials persisted
+/// so far. Self-contained like the heatmap (same constraints).
+pub fn render_watch(
+    store: &str,
+    rows: &[WatchRow],
+    grids: &[(String, Vec<(Technique, CoverageMap)>)],
+) -> String {
+    let mut out = String::from(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>soft-ft campaign observatory</title>\n<style>\n\
+         body{font:14px/1.4 system-ui,sans-serif;margin:2em;color:#222}\n\
+         h1{font-size:1.4em}h2{font-size:1.1em;margin:1.2em 0 0.2em}\n\
+         .meta{color:#666;margin:0 0 0.4em;font-size:0.9em}\n\
+         table{border-collapse:collapse;margin-bottom:1em}\n\
+         th,td{border:1px solid #ccc;padding:2px 8px;text-align:left;font-size:0.85em}\n\
+         td.c{text-align:right;min-width:3em}td.empty{background:#f4f4f4}\n\
+         td.n{text-align:right}\n\
+         .chip{padding:0 6px;border-radius:8px;font-size:0.85em}\n\
+         .p-dup{background:#cdeccd}.p-val{background:#cfe2f8}\n\
+         .p-none{background:#fbd9b5}.p-cfc{background:#e4d5f2}\n\
+         .done{background:#cdeccd}.running{background:#fdf3cd}\n\
+         </style>\n</head>\n<body>\n\
+         <h1>Campaign observatory</h1>\n",
+    );
+    out.push_str(&format!(
+        "<p class=\"meta\">run store: {}</p>\n",
+        esc(store)
+    ));
+    out.push_str(
+        "<table>\n<tr><th>shard</th><th>done</th><th>total</th>\
+         <th>trials/s</th><th>watchdog-spin</th><th>status</th><th>outcomes</th></tr>\n",
+    );
+    for r in rows {
+        let mix = r
+            .outcomes
+            .iter()
+            .map(|(label, n)| format!("{} {}", esc(label), n))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "<tr><td>{}</td><td class=\"n\">{}</td><td class=\"n\">{}</td>\
+             <td class=\"n\">{:.1}</td><td class=\"n\">{:.1}%</td>\
+             <td><span class=\"chip {}\">{}</span></td><td>{}</td></tr>\n",
+            esc(&r.label),
+            r.done,
+            r.total,
+            r.rate,
+            r.watchdog_share * 100.0,
+            if r.complete { "done" } else { "running" },
+            if r.complete { "complete" } else { "running" },
+            mix,
+        ));
+    }
+    out.push_str("</table>\n");
+    for (bench, by_t) in grids {
+        for (t, cov) in by_t {
+            grid(&mut out, bench, *t, cov);
+        }
+    }
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+/// Writes the observatory page to `path` as one self-contained file.
+pub fn write_watch(
+    path: &Path,
+    store: &str,
+    rows: &[WatchRow],
+    grids: &[(String, Vec<(Technique, CoverageMap)>)],
+) -> std::io::Result<()> {
+    write_page(path, render_watch(store, rows, grids))
+}
+
+fn write_page(path: &Path, html: String) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
         }
     }
-    std::fs::write(path, render_heatmap(rows))
+    std::fs::write(path, html)
 }
 
 #[cfg(test)]
@@ -226,6 +326,34 @@ mod tests {
         assert!(html.contains("demo"));
         // Deterministic.
         assert_eq!(html, render_heatmap(&rows));
+    }
+
+    #[test]
+    fn watch_page_is_single_self_contained_document() {
+        let rows = vec![WatchRow {
+            label: "demo/dup-val".to_string(),
+            done: 120,
+            total: 200,
+            rate: 45.3,
+            complete: false,
+            watchdog_share: 0.123,
+            outcomes: vec![
+                ("masked".to_string(), 80),
+                ("swdetect.dup-mismatch".to_string(), 40),
+            ],
+        }];
+        let grids = vec![("demo".to_string(), vec![(Technique::DupVal, tiny_map())])];
+        let html = render_watch("runs/demo", &rows, &grids);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</html>\n"));
+        for banned in ["http://", "https://", "<script", "<link", "src="] {
+            assert!(!html.contains(banned), "found {banned}");
+        }
+        // Status table and the reused coverage grid both render.
+        assert!(html.contains("demo/dup-val"));
+        assert!(html.contains("running"));
+        assert!(html.contains("f0/i3"));
+        assert_eq!(html, render_watch("runs/demo", &rows, &grids));
     }
 
     #[test]

@@ -6,16 +6,24 @@ use softft_campaign::campaign::{
     run_campaign, run_campaign_attributed, run_campaign_recorded, run_campaign_with_stats,
     CampaignConfig, CampaignResult, CampaignTelemetry,
 };
-use softft_campaign::coverage::{build_coverage, CoverageMap};
+use softft_campaign::coverage::{build_coverage, CoverageAccum, CoverageMap};
 use softft_campaign::crossval::cross_validate;
 use softft_campaign::falsepos::measure_false_positives;
+use softft_campaign::live::{
+    campaign_config_from_manifest, fault_kind_label, record_from_json, replay,
+    run_campaign_to_store, store_manifest,
+};
+use softft_campaign::outcome::Outcome;
 use softft_campaign::perf::all_overheads;
 use softft_campaign::prep::{prepare, PreparedBenchmark};
 use softft_campaign::report;
 use softft_campaign::snapshot::SnapshotStats;
-use softft_telemetry::{Logger, RunManifest, Verbosity, TRIAL_SCHEMA_VERSION};
-use softft_vm::fault::FaultKind;
-use softft_workloads::{all_workloads, InputSet};
+use softft_telemetry::{
+    Logger, RunManifest, RunStore, ShardMeta, ShardTail, StoreManifest, Verbosity,
+    TRIAL_SCHEMA_VERSION,
+};
+use softft_workloads::{all_workloads, workload_by_name, InputSet};
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -74,6 +82,21 @@ pub enum Exhibit {
     /// flamegraph-compatible `.folded` sibling. Not part of `all`
     /// (timing-noisy; run explicitly).
     Profile,
+    /// Persistent streaming campaign over an append-only run store:
+    /// `--store DIR` creates (or continues) one, `--resume DIR`
+    /// continues one using the config recorded in its manifest,
+    /// `--trial-cap N` bounds this invocation's appends (interrupt
+    /// simulation / budgeting), and `--verify` re-runs the buffered
+    /// campaigns and prints the replay-equivalence verdict. Not part
+    /// of `all` (stateful; run explicitly).
+    Campaign,
+    /// Campaign observatory: renders a run store's live (or archived)
+    /// status — per-shard progress, throughput, ETA, outcome mix,
+    /// watchdog-spin share, top protection gaps — as text or JSONL
+    /// (`--format`), optionally following a live store (`--follow`)
+    /// and writing a self-contained HTML page (`--html`). Not part of
+    /// `all`.
+    Watch,
     /// Everything, in paper order.
     All,
 }
@@ -81,7 +104,7 @@ pub enum Exhibit {
 /// Every exhibit subcommand name, paired with its variant — the single
 /// source for [`Exhibit::parse`], the `repro` usage string, and the
 /// `repro` doc comment (a test fails if any of them drift).
-pub const EXHIBITS: [(&str, Exhibit); 21] = [
+pub const EXHIBITS: [(&str, Exhibit); 23] = [
     ("table1", Exhibit::Table1),
     ("table2", Exhibit::Table2),
     ("fig1", Exhibit::Fig1),
@@ -102,6 +125,8 @@ pub const EXHIBITS: [(&str, Exhibit); 21] = [
     ("perfbench", Exhibit::PerfBench),
     ("interpbench", Exhibit::InterpBench),
     ("profile", Exhibit::Profile),
+    ("campaign", Exhibit::Campaign),
+    ("watch", Exhibit::Watch),
     ("all", Exhibit::All),
 ];
 
@@ -154,6 +179,27 @@ pub struct ReproConfig {
     /// Where `repro perfbench` writes its JSON artifact
     /// (`--bench-out`; default `BENCH_campaign.json`).
     pub bench_out: Option<PathBuf>,
+    /// Run-store directory for `repro campaign --store` (create or
+    /// continue) and `repro watch` (a bare `DIR` argument also lands
+    /// here).
+    pub store: Option<PathBuf>,
+    /// Run-store directory for `repro campaign --resume`: must exist;
+    /// the campaign config comes from its manifest, not the command
+    /// line.
+    pub resume: Option<PathBuf>,
+    /// Upper bound on trials this `repro campaign` invocation appends
+    /// across all shards (`--trial-cap`); `None` runs to completion.
+    pub trial_cap: Option<u32>,
+    /// `repro watch --follow`: keep tailing a live store, printing a
+    /// status frame to stderr each poll, until every shard completes.
+    pub follow: bool,
+    /// `repro campaign --verify`: after running/resuming, replay the
+    /// store and compare against fresh buffered campaigns, printing a
+    /// `replay_equivalent: true|false` verdict line (CI greps it).
+    pub verify: bool,
+    /// `repro watch --format`: `"text"` (human) or `"jsonl"` (one
+    /// object per shard per frame).
+    pub watch_format: String,
 }
 
 impl Default for ReproConfig {
@@ -168,6 +214,12 @@ impl Default for ReproConfig {
             html: None,
             snapshot_interval: 0,
             bench_out: None,
+            store: None,
+            resume: None,
+            trial_cap: None,
+            follow: false,
+            verify: false,
+            watch_format: "text".to_string(),
         }
     }
 }
@@ -215,6 +267,8 @@ pub fn run_exhibit(ex: Exhibit, cfg: &ReproConfig) -> String {
         Exhibit::PerfBench => perfbench(cfg),
         Exhibit::InterpBench => interpbench(cfg),
         Exhibit::Profile => profile(cfg),
+        Exhibit::Campaign => campaign(cfg),
+        Exhibit::Watch => watch(cfg),
         Exhibit::All => {
             let mut out = String::new();
             for ex in [
@@ -246,19 +300,7 @@ pub fn run_exhibit(ex: Exhibit, cfg: &ReproConfig) -> String {
 
 /// File-name slug for a technique (lower-case, no spaces).
 fn tech_slug(t: Technique) -> &'static str {
-    match t {
-        Technique::Original => "original",
-        Technique::DupOnly => "dup-only",
-        Technique::DupVal => "dup-val",
-        Technique::FullDup => "full-dup",
-    }
-}
-
-fn fault_kind_label(k: FaultKind) -> &'static str {
-    match k {
-        FaultKind::Register => "register",
-        FaultKind::BranchTarget => "branch-target",
-    }
+    t.slug()
 }
 
 /// Runs one campaign through the configured observability: a progress
@@ -1454,6 +1496,543 @@ fn crossval(cfg: &ReproConfig) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Run store: persistent streaming campaigns and the live observatory.
+// ---------------------------------------------------------------------------
+
+/// The technique store campaigns run under: DupVal register faults,
+/// the paper's headline configuration.
+const STORE_TECHNIQUE: Technique = Technique::DupVal;
+
+/// The `campaign` exhibit: runs (or resumes) streaming campaigns over a
+/// persistent run store — one shard per selected benchmark, each trial
+/// appended as it completes. `--trial-cap N` bounds how many trials
+/// this invocation appends across all shards (the interrupt half of
+/// interrupt/resume); `--verify` replays the store and compares against
+/// fresh buffered campaigns, printing a `replay_equivalent:` verdict.
+fn campaign(cfg: &ReproConfig) -> String {
+    let log = Logger::new(cfg.verbosity);
+    let t = STORE_TECHNIQUE;
+    let mut out = String::new();
+
+    let (store, ccfg, plan) = if let Some(dir) = &cfg.resume {
+        // Resume: the manifest is the config; the command line's
+        // trials/seed are ignored so a resumed campaign cannot fork.
+        let store = match RunStore::open(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                return format!("campaign: cannot open run store {}: {e}\n", dir.display());
+            }
+        };
+        let manifest = store.manifest();
+        let ccfg = match campaign_config_from_manifest(&manifest) {
+            Ok(c) => c,
+            Err(e) => return format!("campaign: {}: {e}\n", dir.display()),
+        };
+        let plan: Vec<PreparedBenchmark> = manifest
+            .shards
+            .iter()
+            .filter_map(|s| workload_by_name(&s.benchmark))
+            .map(prepare)
+            .collect();
+        if plan.is_empty() {
+            return format!("campaign: {} records no shards to resume\n", dir.display());
+        }
+        let _ = writeln!(
+            out,
+            "Resuming run store {} (seed {:#x}, {} trials/shard, {} faults)",
+            dir.display(),
+            ccfg.seed,
+            ccfg.trials,
+            fault_kind_label(ccfg.fault_kind)
+        );
+        (store, ccfg, plan)
+    } else if let Some(dir) = &cfg.store {
+        let ccfg = cfg.campaign_config();
+        match RunStore::create(dir, store_manifest(&ccfg)) {
+            Ok(store) => {
+                let _ = writeln!(
+                    out,
+                    "Created run store {} (seed {:#x}, {} trials/shard, {} faults)",
+                    dir.display(),
+                    ccfg.seed,
+                    ccfg.trials,
+                    fault_kind_label(ccfg.fault_kind)
+                );
+                (store, ccfg, cfg.selected())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                // Continuing an existing store: adopt its recorded
+                // config so a re-invocation cannot fork the plan
+                // (plan hashes would refuse the append anyway).
+                let store = match RunStore::open(dir) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        return format!("campaign: cannot open run store {}: {e}\n", dir.display());
+                    }
+                };
+                let ccfg = match campaign_config_from_manifest(&store.manifest()) {
+                    Ok(c) => c,
+                    Err(e) => return format!("campaign: {}: {e}\n", dir.display()),
+                };
+                let _ = writeln!(
+                    out,
+                    "Continuing run store {} (seed {:#x}, {} trials/shard, {} faults)",
+                    dir.display(),
+                    ccfg.seed,
+                    ccfg.trials,
+                    fault_kind_label(ccfg.fault_kind)
+                );
+                (store, ccfg, cfg.selected())
+            }
+            Err(e) => {
+                return format!("campaign: cannot create run store {}: {e}\n", dir.display());
+            }
+        }
+    } else {
+        return "campaign: pass --store DIR to start a persistent campaign \
+                or --resume DIR to continue one\n"
+            .to_string();
+    };
+
+    let mut budget = cfg.trial_cap;
+    for p in &plan {
+        let label = format!("{}/{}", p.workload.name(), t.slug());
+        if budget == Some(0) {
+            let _ = writeln!(out, "{label:<28} skipped (trial cap exhausted)");
+            continue;
+        }
+        log.debug(format!("[repro] campaign shard: {label}"));
+        match run_campaign_to_store(&store, p, t, &ccfg, budget) {
+            Ok(stats) => {
+                if let Some(b) = &mut budget {
+                    *b -= stats.executed.min(*b);
+                }
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>5}/{:<5} trials ({} new this run){}",
+                    stats.label,
+                    stats.already_done + stats.executed,
+                    stats.total,
+                    stats.executed,
+                    if stats.complete { "" } else { "  [incomplete]" }
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{label}: ERROR: {e}");
+            }
+        }
+    }
+    log.info(format!(
+        "[repro] run store at {} (watch it with `repro watch {}`)",
+        store.dir().display(),
+        store.dir().display()
+    ));
+
+    if cfg.verify {
+        out.push_str(&verify_store(&store, &plan, &ccfg));
+    }
+    out
+}
+
+/// Serializes an event stream the way `--telemetry` does, for the
+/// byte-level half of the replay-equivalence check.
+fn jsonl_events(events: &[softft_telemetry::TrialEvent]) -> serde_json::Result<String> {
+    let mut s = String::new();
+    for e in events {
+        s.push_str(&e.to_jsonl()?);
+        s.push('\n');
+    }
+    Ok(s)
+}
+
+/// Replays the store and re-runs each *complete* shard's buffered
+/// campaign, comparing results, per-trial records, attributed events
+/// (structurally and as serialized JSONL bytes), aggregated metrics
+/// (serialized form), and coverage maps. The closing
+/// `replay_equivalent:` line is the CI gate.
+fn verify_store(store: &RunStore, plan: &[PreparedBenchmark], ccfg: &CampaignConfig) -> String {
+    let mut out = String::new();
+    let shards = match replay(store.dir()) {
+        Ok(s) => s,
+        Err(e) => return format!("replay: ERROR: {e}\nreplay_equivalent: false\n"),
+    };
+    let mut all = true;
+    let mut compared = 0usize;
+    for shard in &shards {
+        if !shard.complete {
+            let _ = writeln!(out, "replay {:<24} skipped (incomplete shard)", shard.label);
+            continue;
+        }
+        let Some(p) = plan.iter().find(|p| p.workload.name() == shard.benchmark) else {
+            let _ = writeln!(
+                out,
+                "replay {:<24} skipped (benchmark missing)",
+                shard.label
+            );
+            continue;
+        };
+        let t = shard.technique;
+        let (result, telemetry) =
+            run_campaign_attributed(&*p.workload, p.module(t), ccfg, Some(p.protection(t)));
+        let cov = build_coverage(
+            &shard.benchmark,
+            t,
+            p.module(t),
+            p.protection(t),
+            &result,
+            &telemetry.records,
+        );
+        let mut same = shard.result == result
+            && shard.telemetry.events == telemetry.events
+            && shard.telemetry.records == telemetry.records
+            && shard.telemetry.metrics.to_json() == telemetry.metrics.to_json()
+            && shard.coverage == cov;
+        if let (Ok(a), Ok(b)) = (
+            jsonl_events(&shard.telemetry.events),
+            jsonl_events(&telemetry.events),
+        ) {
+            same &= a == b;
+        }
+        all &= same;
+        compared += 1;
+        let _ = writeln!(
+            out,
+            "replay {:<24} {}",
+            shard.label,
+            if same {
+                "identical to buffered run"
+            } else {
+                "DIVERGED from buffered run"
+            }
+        );
+    }
+    if compared == 0 {
+        all = false;
+        let _ = writeln!(out, "replay: no complete shards to verify");
+    }
+    let _ = writeln!(out, "replay_equivalent: {all}");
+    out
+}
+
+/// Incremental observatory state for one shard: a tail positioned past
+/// the frames already folded, plus the streaming aggregates.
+struct WatchShard {
+    meta: ShardMeta,
+    tail: ShardTail,
+    seen: HashSet<u32>,
+    outcomes: [u64; Outcome::CANONICAL.len()],
+    cov: CoverageAccum,
+    trigger_unreached: u64,
+    exec_ns: u64,
+    watchdog_ns: u64,
+    watchdog_trials: u64,
+    last_t_ms: u64,
+}
+
+impl WatchShard {
+    fn new(meta: ShardMeta, tail: ShardTail) -> WatchShard {
+        WatchShard {
+            meta,
+            tail,
+            seen: HashSet::new(),
+            outcomes: [0; Outcome::CANONICAL.len()],
+            cov: CoverageAccum::new(),
+            trigger_unreached: 0,
+            exec_ns: 0,
+            watchdog_ns: 0,
+            watchdog_trials: 0,
+            last_t_ms: 0,
+        }
+    }
+
+    /// Folds one persisted trial in, ignoring duplicates (a resumed run
+    /// racing a crash) and out-of-plan indices.
+    fn fold(&mut self, st: &softft_telemetry::StoredTrial, trials: u32) {
+        if st.trial >= trials || self.seen.contains(&st.trial) {
+            return;
+        }
+        let Some(rec) = record_from_json(&st.record) else {
+            return;
+        };
+        self.seen.insert(st.trial);
+        self.last_t_ms = self.last_t_ms.max(st.t_ms);
+        self.exec_ns += st.exec_ns;
+        if st.watchdog {
+            self.watchdog_trials += 1;
+            self.watchdog_ns += st.exec_ns;
+        }
+        if rec.injection.is_none() {
+            self.trigger_unreached += 1;
+        }
+        if let Some(idx) = Outcome::CANONICAL.iter().position(|o| *o == rec.outcome) {
+            self.outcomes[idx] += 1;
+        }
+        self.cov.add(&rec);
+    }
+
+    fn done(&self) -> u64 {
+        self.seen.len() as u64
+    }
+
+    /// Observed appending throughput: trials over the shard's recorded
+    /// wall time (prior runs' cumulative total from the manifest, plus
+    /// the live run's latest trial timestamp).
+    fn rate(&self) -> f64 {
+        let wall_ms = if self.meta.complete {
+            self.meta.wall_ms
+        } else {
+            self.meta.wall_ms + self.last_t_ms
+        };
+        self.done() as f64 / (wall_ms.max(1) as f64 / 1e3)
+    }
+
+    fn watchdog_share(&self) -> f64 {
+        self.watchdog_ns as f64 / self.exec_ns.max(1) as f64
+    }
+
+    /// Nonzero outcome counts in canonical order.
+    fn outcome_mix(&self) -> Vec<(String, u64)> {
+        Outcome::CANONICAL
+            .iter()
+            .zip(self.outcomes.iter())
+            .filter(|(_, n)| **n > 0)
+            .map(|(o, n)| (o.label().to_string(), *n))
+            .collect()
+    }
+}
+
+/// Prepares (and caches) the benchmark a shard needs for coverage
+/// attribution, then snapshots the shard's streaming accumulator into a
+/// [`CoverageMap`]. Returns `None` for shards naming unknown benchmarks
+/// or techniques (a foreign store).
+fn shard_coverage(
+    prepared: &mut HashMap<String, PreparedBenchmark>,
+    s: &WatchShard,
+) -> Option<(Technique, CoverageMap)> {
+    let t = Technique::from_slug(&s.meta.technique)?;
+    if !prepared.contains_key(&s.meta.benchmark) {
+        let w = workload_by_name(&s.meta.benchmark)?;
+        prepared.insert(s.meta.benchmark.clone(), prepare(w));
+    }
+    let p = &prepared[&s.meta.benchmark];
+    Some((
+        t,
+        s.cov.build(
+            &s.meta.benchmark,
+            t,
+            p.module(t),
+            p.protection(t),
+            s.done(),
+            s.trigger_unreached,
+        ),
+    ))
+}
+
+/// Minimal JSON string escaping for the watch JSONL frames.
+fn json_esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders one status frame over every shard, as human text or JSONL
+/// (one parseable object per shard per frame).
+fn render_watch_frame(
+    cfg: &ReproConfig,
+    manifest: &StoreManifest,
+    prepared: &mut HashMap<String, PreparedBenchmark>,
+    shards: &[WatchShard],
+) -> String {
+    let mut out = String::new();
+    let jsonl = cfg.watch_format == "jsonl";
+    if !jsonl {
+        let _ = writeln!(
+            out,
+            "Campaign observatory: seed {:#x}, {} trials/shard, {} faults, {} shard(s)",
+            manifest.seed,
+            manifest.trials,
+            manifest.fault_kind,
+            shards.len()
+        );
+    }
+    for s in shards {
+        let done = s.done();
+        let total = manifest.trials as u64;
+        let rate = s.rate();
+        let eta_s = if done >= total || rate <= 0.0 {
+            0.0
+        } else {
+            (total - done) as f64 / rate
+        };
+        let complete = done >= total;
+        let gaps = shard_coverage(prepared, s)
+            .map(|(_, cov)| cov.gap_sites(10))
+            .unwrap_or_default();
+        if jsonl {
+            let mix = s
+                .outcome_mix()
+                .into_iter()
+                .map(|(label, n)| format!("\"{}\": {n}", json_esc(&label)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let gap_objs = gaps
+                .iter()
+                .map(|g| {
+                    format!(
+                        "{{\"func\": \"{}\", \"inst\": {}, \"op\": \"{}\", \"trials\": {}, \"usdc\": {}, \"usdc_rate\": {:.4}}}",
+                        json_esc(&g.func),
+                        g.inst.map_or("null".to_string(), |i| i.to_string()),
+                        json_esc(&g.op),
+                        g.trials,
+                        g.usdc,
+                        g.usdc_rate
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                out,
+                "{{\"shard\": \"{}\", \"benchmark\": \"{}\", \"technique\": \"{}\", \
+                 \"done\": {done}, \"total\": {total}, \"complete\": {complete}, \
+                 \"trials_per_sec\": {rate:.2}, \"eta_s\": {eta_s:.1}, \
+                 \"watchdog_trials\": {}, \"watchdog_spin_share\": {:.4}, \
+                 \"outcomes\": {{{mix}}}, \"gaps\": [{gap_objs}]}}",
+                json_esc(&s.meta.label),
+                json_esc(&s.meta.benchmark),
+                json_esc(&s.meta.technique),
+                s.watchdog_trials,
+                s.watchdog_share(),
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>5}/{:<5} {:>8.1}/s  eta {:>6.1}s  {}",
+                s.meta.label,
+                done,
+                total,
+                rate,
+                eta_s,
+                if complete { "complete" } else { "running" }
+            );
+            let mix = s
+                .outcome_mix()
+                .into_iter()
+                .map(|(label, n)| format!("{label} {n}"))
+                .collect::<Vec<_>>()
+                .join("  ");
+            if !mix.is_empty() {
+                let _ = writeln!(out, "  outcomes: {mix}");
+            }
+            if s.exec_ns > 0 {
+                let _ = writeln!(
+                    out,
+                    "  watchdog-spin: {:.1}% of exec time ({} trial(s))",
+                    s.watchdog_share() * 100.0,
+                    s.watchdog_trials
+                );
+            }
+            if !gaps.is_empty() {
+                let top = gaps
+                    .iter()
+                    .map(|g| {
+                        format!(
+                            "{} {} ({} usdc / {} trials)",
+                            g.func,
+                            match g.inst {
+                                Some(i) => format!("i{i} {}", g.op),
+                                None => g.op.clone(),
+                            },
+                            g.usdc,
+                            g.trials
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" | ");
+                let _ = writeln!(out, "  top gaps: {top}");
+            }
+        }
+    }
+    out
+}
+
+/// The `watch` exhibit: renders a run store's status — live or archived
+/// — from its manifest and shard tails. Without `--follow` it prints
+/// one frame and exits; with `--follow` it re-polls twice a second,
+/// printing frames to stderr, and returns the final frame once every
+/// shard completes. `--html PATH` additionally writes a self-contained
+/// observatory page (status table + coverage-so-far grids).
+fn watch(cfg: &ReproConfig) -> String {
+    let Some(dir) = cfg.store.as_ref().or(cfg.resume.as_ref()) else {
+        return "watch: pass a run-store DIR (e.g. `repro watch runs/demo`)\n".to_string();
+    };
+    let log = Logger::new(cfg.verbosity);
+    let mut prepared: HashMap<String, PreparedBenchmark> = HashMap::new();
+    let mut shards: Vec<WatchShard> = Vec::new();
+    loop {
+        let store = match RunStore::open(dir) {
+            Ok(s) => s,
+            Err(e) => return format!("watch: cannot open run store {}: {e}\n", dir.display()),
+        };
+        // Re-read the manifest each poll: a live campaign upserts shard
+        // entries before executing them, so new shards appear here.
+        let manifest = store.manifest();
+        for meta in &manifest.shards {
+            match shards.iter_mut().find(|s| s.meta.label == meta.label) {
+                Some(s) => s.meta = meta.clone(),
+                None => shards.push(WatchShard::new(
+                    meta.clone(),
+                    ShardTail::new(store.shard_path(&meta.file)),
+                )),
+            }
+        }
+        for s in &mut shards {
+            // The tail consumes only complete frames; a mid-write frame
+            // stays pending until the writer finishes it.
+            for st in s.tail.poll().unwrap_or_default() {
+                s.fold(&st, manifest.trials);
+            }
+        }
+        let frame = render_watch_frame(cfg, &manifest, &mut prepared, &shards);
+        let all_done =
+            !shards.is_empty() && shards.iter().all(|s| s.done() >= manifest.trials as u64);
+        if !cfg.follow || all_done {
+            if let Some(path) = &cfg.html {
+                let rows: Vec<crate::html::WatchRow> = shards
+                    .iter()
+                    .map(|s| crate::html::WatchRow {
+                        label: s.meta.label.clone(),
+                        done: s.done(),
+                        total: manifest.trials as u64,
+                        rate: s.rate(),
+                        complete: s.done() >= manifest.trials as u64,
+                        watchdog_share: s.watchdog_share(),
+                        outcomes: s.outcome_mix(),
+                    })
+                    .collect();
+                let grids: Vec<(String, Vec<(Technique, CoverageMap)>)> = shards
+                    .iter()
+                    .filter_map(|s| {
+                        shard_coverage(&mut prepared, s)
+                            .map(|tc| (s.meta.benchmark.clone(), vec![tc]))
+                    })
+                    .collect();
+                match crate::html::write_watch(path, &dir.display().to_string(), &rows, &grids) {
+                    Ok(()) => log.info(format!(
+                        "[repro] observatory page written to {}",
+                        path.display()
+                    )),
+                    Err(e) => log.error(format!(
+                        "[repro] failed to write observatory page {}: {e}",
+                        path.display()
+                    )),
+                }
+            }
+            return frame;
+        }
+        eprint!("{frame}");
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1513,6 +2092,61 @@ mod tests {
         assert!(t2.contains("issue width"));
         let f10 = run_exhibit(Exhibit::Fig10, &cfg);
         assert!(f10.contains("state vars"));
+    }
+
+    #[test]
+    fn campaign_store_watch_and_verify_round_trip() {
+        let dir = std::env::temp_dir().join(format!("softft_orch_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Start a persistent campaign, interrupted after 5 trials.
+        let cfg = ReproConfig {
+            trials: 12,
+            benchmarks: vec!["tiff2bw".into()],
+            threads: 2,
+            store: Some(dir.clone()),
+            trial_cap: Some(5),
+            ..ReproConfig::default()
+        };
+        let out = run_exhibit(Exhibit::Campaign, &cfg);
+        assert!(out.contains("Created run store"), "{out}");
+        assert!(out.contains("(5 new this run)"), "{out}");
+        assert!(out.contains("[incomplete]"), "{out}");
+
+        // Resume finishes exactly the remaining trials; --verify proves
+        // the replayed store matches a fresh buffered campaign.
+        let cfg2 = ReproConfig {
+            resume: Some(dir.clone()),
+            verify: true,
+            ..ReproConfig::default()
+        };
+        let out2 = run_exhibit(Exhibit::Campaign, &cfg2);
+        assert!(out2.contains("Resuming run store"), "{out2}");
+        assert!(out2.contains("(7 new this run)"), "{out2}");
+        assert!(out2.contains("replay_equivalent: true"), "{out2}");
+
+        // Archived watch renders in text, JSONL, and HTML.
+        let html = dir.join("watch.html");
+        let wcfg = ReproConfig {
+            store: Some(dir.clone()),
+            html: Some(html.clone()),
+            ..ReproConfig::default()
+        };
+        let text = run_exhibit(Exhibit::Watch, &wcfg);
+        assert!(text.contains("tiff2bw/dup-val"), "{text}");
+        assert!(text.contains("complete"), "{text}");
+        let jcfg = ReproConfig {
+            store: Some(dir.clone()),
+            watch_format: "jsonl".into(),
+            ..ReproConfig::default()
+        };
+        let jsonl = run_exhibit(Exhibit::Watch, &jcfg);
+        assert!(jsonl.contains("\"done\": 12"), "{jsonl}");
+        assert!(jsonl.contains("\"complete\": true"), "{jsonl}");
+        let page = std::fs::read_to_string(&html).expect("watch --html page");
+        assert!(page.contains("tiff2bw/dup-val"), "missing shard row");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

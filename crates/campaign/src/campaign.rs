@@ -95,6 +95,31 @@ impl CampaignResult {
         self.counts.get(&o).copied().unwrap_or(0)
     }
 
+    /// Folds one classified trial into the aggregate. This is the
+    /// single accumulation path shared by the buffered campaign loop
+    /// and the run-store replay ([`crate::live::replay`]), which is
+    /// what makes the two provably identical: there is no second
+    /// implementation to drift.
+    pub(crate) fn fold_record(&mut self, rec: &TrialRecord, classify: &ClassifyParams) {
+        *self.counts.entry(rec.outcome).or_insert(0) += 1;
+        if rec.injection.is_none() {
+            self.trigger_unreached += 1;
+        }
+        if rec.outcome == Outcome::UnacceptableSdc {
+            match rec.injection {
+                Some(inj) if is_large_change(&inj, classify) => self.usdc_large += 1,
+                _ => self.usdc_small += 1,
+            }
+        }
+        if let Some(lat) = rec.detect_latency {
+            match rec.outcome {
+                Outcome::SwDetect(_) => self.sw_latency.record(lat),
+                Outcome::HwDetect => self.hw_latency.record(lat),
+                _ => {}
+            }
+        }
+    }
+
     /// Fraction of trials in the given outcome.
     pub fn frac(&self, o: Outcome) -> f64 {
         self.count(o) as f64 / self.trials.max(1) as f64
@@ -173,6 +198,68 @@ pub struct CampaignTelemetry {
     pub records: Vec<TrialRecord>,
 }
 
+/// Wall-clock observations about one completed trial, handed to a
+/// streaming [`TrialSink`] alongside the classified record.
+#[derive(Clone, Copy, Debug)]
+pub struct TrialTiming {
+    /// True when the trial ended in a watchdog trap (ran to the
+    /// dynamic-instruction bound).
+    pub watchdog: bool,
+    /// Live execution nanoseconds of the trial (0 when no sink or
+    /// profiler requested timing).
+    pub exec_ns: u64,
+}
+
+/// Per-completion callback for streaming campaigns: receives the plan
+/// index, plan, classified record, trial observer, and timing as each
+/// trial finishes (worker-thread order, not plan order). Write-only
+/// like every observation hook: the campaign never reads anything back
+/// from the sink, so streamed and unstreamed runs are bitwise
+/// identical.
+pub(crate) type TrialSink<'a, O> =
+    Option<&'a (dyn Fn(usize, &FaultPlan, &TrialRecord, &O, &TrialTiming) + Sync)>;
+
+/// Derives the full fault-plan list for a config and golden
+/// instruction count. Deterministic and thread-count agnostic — the
+/// foundation of exact interrupt/resume: a resumed campaign re-derives
+/// the identical plans and executes only the missing indices.
+pub(crate) fn derive_plans(cfg: &CampaignConfig, golden_dyn_insts: u64) -> Vec<FaultPlan> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.trials)
+        .map(|_| FaultPlan {
+            at_dyn: rng.gen_range(0..golden_dyn_insts.max(1)),
+            seed: rng.gen(),
+            kind: cfg.fault_kind,
+        })
+        .collect()
+}
+
+/// Dynamic instruction count of the fault-free run, prepared exactly
+/// the way [`campaign_core_phased`] prepares it (false-positive
+/// neutralization included), so plan derivation agrees byte for byte.
+///
+/// # Panics
+///
+/// Panics if the fault-free run does not complete.
+pub(crate) fn golden_dyn_insts(
+    workload: &dyn Workload,
+    module: &Module,
+    cfg: &CampaignConfig,
+) -> u64 {
+    let mut module = module.clone();
+    crate::prep::neutralize_false_positives(&mut module, workload, cfg.input);
+    let input = workload.input(cfg.input);
+    let image = WorkloadImage::new(&module, &input, cfg.vm);
+    let (r, _) = image.run(&mut NoopObserver, None);
+    assert!(
+        r.completed(),
+        "fault-free run of {} must complete: {:?}",
+        workload.name(),
+        r.end
+    );
+    r.dyn_insts
+}
+
 /// Shared campaign core: golden run, deterministic plan derivation, and
 /// the threaded trial loop. Generic over the per-trial [`Observer`] so
 /// the [`NoopObserver`] path ([`run_campaign`]) monomorphizes to the
@@ -199,7 +286,7 @@ fn campaign_core<O: SuffixObserver + Send + Sync>(
     Vec<(FaultPlan, TrialRecord, O)>,
     SnapshotStats,
 ) {
-    campaign_core_phased(workload, module, cfg, make_obs, None)
+    campaign_core_phased(workload, module, cfg, make_obs, None, None, None)
 }
 
 /// [`campaign_core`] plus optional phase-time attribution. When `phases`
@@ -211,12 +298,20 @@ fn campaign_core<O: SuffixObserver + Send + Sync>(
 /// installed (see [`softft_telemetry::set_progress_sink`]), trial
 /// completions additionally stream to it; progress is equally
 /// write-only.
-fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
+///
+/// `subset`, when given, restricts execution to those plan *indices*
+/// (the full plan list is still derived, so index *i* means the same
+/// fault regardless of which subset runs — the resume path depends on
+/// this). `sink` streams each completion as it happens; see
+/// [`TrialSink`].
+pub(crate) fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
     workload: &dyn Workload,
     module: &Module,
     cfg: &CampaignConfig,
     make_obs: impl Fn() -> O + Sync,
     phases: Option<&PhaseAccum>,
+    subset: Option<&[usize]>,
+    sink: TrialSink<O>,
 ) -> (
     CampaignResult,
     Vec<(FaultPlan, TrialRecord, O)>,
@@ -271,19 +366,21 @@ fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
     let n = golden_result.dyn_insts;
 
     // Pre-derive all fault plans (deterministic, thread-count agnostic).
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let plans: Vec<FaultPlan> = (0..cfg.trials)
-        .map(|_| FaultPlan {
-            at_dyn: rng.gen_range(0..n.max(1)),
-            seed: rng.gen(),
-            kind: cfg.fault_kind,
-        })
-        .collect();
+    let plans: Vec<FaultPlan> = derive_plans(cfg, n);
 
     // Visit order: by trigger when resuming (neighboring trials share a
     // checkpoint, keeping its memory image hot), plan order otherwise.
+    // A subset (resumed campaign) filters the order, never the plans —
+    // plan index i always names the same fault.
     let order: Vec<usize> = {
-        let mut idx: Vec<usize> = (0..plans.len()).collect();
+        let mut idx: Vec<usize> = match subset {
+            Some(subset) => subset
+                .iter()
+                .copied()
+                .filter(|&i| i < plans.len())
+                .collect(),
+            None => (0..plans.len()).collect(),
+        };
         if store.is_some() {
             idx.sort_by_key(|&i| (plans[i].at_dyn, i));
         }
@@ -295,7 +392,7 @@ fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
     let candidates: Vec<&softft_vm::Snapshot> =
         store.as_ref().map(|s| s.candidates()).unwrap_or_default();
 
-    let records: Mutex<Vec<(usize, TrialRecord, O)>> = Mutex::new(Vec::with_capacity(plans.len()));
+    let records: Mutex<Vec<(usize, TrialRecord, O)>> = Mutex::new(Vec::with_capacity(order.len()));
     let next = AtomicUsize::new(0);
     let resumed = AtomicU64::new(0);
     let converged = AtomicU64::new(0);
@@ -315,10 +412,15 @@ fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
     // observation: nothing the campaign computes ever reads it.
     let progress = ProgressTracker::for_registered(
         workload.name(),
-        plans.len() as u64,
+        order.len() as u64,
         Outcome::CANONICAL.iter().map(|o| o.label()).collect(),
     );
     let tracker = progress.as_ref();
+
+    // Trial-exec stopwatches run for the profiler and for streaming
+    // sinks (the run store persists per-trial exec time); both are
+    // write-only, so timing on/off cannot change results.
+    let time_exec = phases.is_some() || sink.is_some();
 
     std::thread::scope(|scope| {
         let (records, next, image, plans, order, golden_out) =
@@ -361,7 +463,7 @@ fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
                         if let (Some(ph), Some(sw)) = (phases, sw) {
                             ph.resume_ns.fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
                         }
-                        let sw = phases.map(|_| Stopwatch::start());
+                        let sw = time_exec.then(Stopwatch::start);
                         let outcome = match cp {
                             Some(cp) => {
                                 tvm.resume_converging(&cp.snap, &mut obs, Some(plan), candidates)
@@ -410,7 +512,7 @@ fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
                         }
                     } else {
                         let mut obs = make_obs();
-                        let sw = phases.map(|_| Stopwatch::start());
+                        let sw = time_exec.then(Stopwatch::start);
                         let (r, out) = tvm.run(&mut obs, Some(plan));
                         if let Some(sw) = sw {
                             trial_exec_ns = sw.elapsed_ns();
@@ -449,6 +551,18 @@ fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
                             t.trial_done(idx);
                         }
                     }
+                    if let Some(sink) = sink {
+                        sink(
+                            i,
+                            &plan,
+                            &rec,
+                            &obs,
+                            &TrialTiming {
+                                watchdog,
+                                exec_ns: trial_exec_ns,
+                            },
+                        );
+                    }
                     records.lock().push((i, rec, obs));
                 }
             });
@@ -464,7 +578,7 @@ fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
         checkpoints: store.as_ref().map_or(0, |s| s.len() as u64),
         checkpoint_bytes: store.as_ref().map_or(0, |s| s.total_bytes() as u64),
         resumed_trials: resumed.load(Ordering::Relaxed),
-        fresh_trials: plans.len() as u64 - resumed.load(Ordering::Relaxed),
+        fresh_trials: order.len() as u64 - resumed.load(Ordering::Relaxed),
         converged_trials: converged.load(Ordering::Relaxed),
         prefix_insts_skipped: prefix_skipped.load(Ordering::Relaxed),
         suffix_insts_skipped: suffix_skipped.load(Ordering::Relaxed),
@@ -475,28 +589,14 @@ fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
     per_trial.sort_by_key(|(i, _, _)| *i);
 
     let mut result = CampaignResult {
-        trials: cfg.trials,
+        // Equal to cfg.trials for full runs; a subset run reports only
+        // what it executed.
+        trials: per_trial.len() as u32,
         golden_dyn_insts: n,
         ..CampaignResult::default()
     };
     for (_, rec, _) in &per_trial {
-        *result.counts.entry(rec.outcome).or_insert(0) += 1;
-        if rec.injection.is_none() {
-            result.trigger_unreached += 1;
-        }
-        if rec.outcome == Outcome::UnacceptableSdc {
-            match rec.injection {
-                Some(inj) if is_large_change(&inj, &cfg.classify) => result.usdc_large += 1,
-                _ => result.usdc_small += 1,
-            }
-        }
-        if let Some(lat) = rec.detect_latency {
-            match rec.outcome {
-                Outcome::SwDetect(_) => result.sw_latency.record(lat),
-                Outcome::HwDetect => result.hw_latency.record(lat),
-                _ => {}
-            }
-        }
+        result.fold_record(rec, &cfg.classify);
     }
     (
         result,
@@ -541,7 +641,15 @@ pub fn run_campaign_profiled(
     cfg: &CampaignConfig,
 ) -> (CampaignResult, CampaignProfile) {
     let accum = PhaseAccum::new();
-    let (result, _, _) = campaign_core_phased(workload, module, cfg, || NoopObserver, Some(&accum));
+    let (result, _, _) = campaign_core_phased(
+        workload,
+        module,
+        cfg,
+        || NoopObserver,
+        Some(&accum),
+        None,
+        None,
+    );
     (result, accum.snapshot())
 }
 
@@ -615,68 +723,109 @@ pub fn run_campaign_attributed(
 
     let mut telemetry = CampaignTelemetry::default();
     for (i, (plan, rec, obs)) in per_trial.iter().enumerate() {
-        let site = rec.injection.as_ref().map(fault_site);
-        telemetry.events.push(TrialEvent {
-            trial: i as u32,
-            at_dyn: plan.at_dyn,
-            fault_seed: plan.seed,
-            injected: rec.injection.is_some(),
-            bit: match (cfg.fault_kind, rec.injection) {
-                (FaultKind::Register, Some(inj)) => Some(inj.bit),
-                _ => None,
-            },
-            outcome: rec.outcome.label().to_string(),
-            detected_by: match rec.outcome {
-                Outcome::SwDetect(k) => Some(check_kind_label(k).to_string()),
-                _ => None,
-            },
-            detect_latency: rec.detect_latency,
-            dyn_insts: rec.dyn_insts,
-            fidelity: rec.fidelity,
-            victim_func: site.map(|s| s.func.index() as u64),
-            victim_inst: site.and_then(|s| match s.kind {
-                crate::coverage::SiteKind::Inst(inst) => Some(inst.index() as u64),
-                _ => None,
-            }),
-            victim_op: site.map(|s| site_op_label(module, &s)),
-            bit_band: site.map(|s| s.band.label().to_string()),
-            protection: match (protection, site) {
-                (Some(map), Some(s)) => Some(site_protection_label(map, &s).to_string()),
-                _ => None,
-            },
-        });
-
+        telemetry.events.push(build_trial_event(
+            i as u32,
+            plan,
+            rec,
+            cfg.fault_kind,
+            module,
+            protection,
+        ));
         telemetry.checks.merge(&obs.checks);
-        let m = &mut telemetry.metrics;
-        for (op, n) in obs.opcodes.iter_nonzero() {
-            m.counter(&format!("vm.ops.{op}")).add(n);
-        }
-        for (kind, n) in obs.checks.iter() {
-            if n > 0 {
-                m.counter(&format!("checks.fired.{}", check_kind_label(kind)))
-                    .add(n);
-            }
-        }
-        m.counter(&format!("outcome.{}", rec.outcome.label())).inc();
-        m.histogram("vm.dyn_insts").record(rec.dyn_insts);
-        if let Some(lat) = rec.detect_latency {
-            let name = match rec.outcome {
-                Outcome::SwDetect(_) => "latency.swdetect",
-                _ => "latency.hwdetect",
-            };
-            m.histogram(name).record(lat);
-        }
+        fold_trial_metrics(
+            &mut telemetry.metrics,
+            rec,
+            obs.opcodes.iter_nonzero(),
+            &obs.checks,
+        );
     }
-    telemetry
-        .metrics
-        .gauge("campaign.golden_dyn_insts")
-        .set(result.golden_dyn_insts as f64);
-    telemetry
-        .metrics
-        .counter("campaign.trials_trigger_unreached")
-        .add(result.trigger_unreached as u64);
+    finalize_campaign_metrics(&mut telemetry.metrics, &result);
     telemetry.records = per_trial.into_iter().map(|(_, rec, _)| rec).collect();
     (result, telemetry)
+}
+
+/// Builds the attributed [`TrialEvent`] for one classified trial. One
+/// code path serves the buffered campaign ([`run_campaign_attributed`])
+/// and the run-store replay ([`crate::live::replay`]): replay rebuilds
+/// events from persisted records through this same function, so the
+/// two event streams cannot drift.
+pub(crate) fn build_trial_event(
+    trial: u32,
+    plan: &FaultPlan,
+    rec: &TrialRecord,
+    fault_kind: FaultKind,
+    module: &Module,
+    protection: Option<&ProtectionMap>,
+) -> TrialEvent {
+    let site = rec.injection.as_ref().map(fault_site);
+    TrialEvent {
+        trial,
+        at_dyn: plan.at_dyn,
+        fault_seed: plan.seed,
+        injected: rec.injection.is_some(),
+        bit: match (fault_kind, rec.injection) {
+            (FaultKind::Register, Some(inj)) => Some(inj.bit),
+            _ => None,
+        },
+        outcome: rec.outcome.label().to_string(),
+        detected_by: match rec.outcome {
+            Outcome::SwDetect(k) => Some(check_kind_label(k).to_string()),
+            _ => None,
+        },
+        detect_latency: rec.detect_latency,
+        dyn_insts: rec.dyn_insts,
+        fidelity: rec.fidelity,
+        victim_func: site.map(|s| s.func.index() as u64),
+        victim_inst: site.and_then(|s| match s.kind {
+            crate::coverage::SiteKind::Inst(inst) => Some(inst.index() as u64),
+            _ => None,
+        }),
+        victim_op: site.map(|s| site_op_label(module, &s)),
+        bit_band: site.map(|s| s.band.label().to_string()),
+        protection: match (protection, site) {
+            (Some(map), Some(s)) => Some(site_protection_label(map, &s).to_string()),
+            _ => None,
+        },
+    }
+}
+
+/// Folds one trial's trace into the aggregated metrics registry.
+/// Shared by the buffered path (iterating live observers) and replay
+/// (iterating persisted `(label, count)` pairs); the registry is
+/// BTreeMap-backed, so fold order cannot change its serialized form.
+pub(crate) fn fold_trial_metrics<'a>(
+    m: &mut MetricsRegistry,
+    rec: &TrialRecord,
+    ops: impl Iterator<Item = (&'a str, u64)>,
+    checks: &CheckKindCounts,
+) {
+    for (op, n) in ops {
+        m.counter(&format!("vm.ops.{op}")).add(n);
+    }
+    for (kind, n) in checks.iter() {
+        if n > 0 {
+            m.counter(&format!("checks.fired.{}", check_kind_label(kind)))
+                .add(n);
+        }
+    }
+    m.counter(&format!("outcome.{}", rec.outcome.label())).inc();
+    m.histogram("vm.dyn_insts").record(rec.dyn_insts);
+    if let Some(lat) = rec.detect_latency {
+        let name = match rec.outcome {
+            Outcome::SwDetect(_) => "latency.swdetect",
+            _ => "latency.hwdetect",
+        };
+        m.histogram(name).record(lat);
+    }
+}
+
+/// Campaign-level metrics recorded once per campaign, after the
+/// per-trial fold.
+pub(crate) fn finalize_campaign_metrics(m: &mut MetricsRegistry, result: &CampaignResult) {
+    m.gauge("campaign.golden_dyn_insts")
+        .set(result.golden_dyn_insts as f64);
+    m.counter("campaign.trials_trigger_unreached")
+        .add(result.trigger_unreached as u64);
 }
 
 #[cfg(test)]

@@ -340,28 +340,33 @@ struct SiteAcc {
     latencies: Histogram,
 }
 
-/// Aggregates a campaign's per-trial records into a [`CoverageMap`].
-///
-/// `module` is the module the campaign ran (the transformed variant) —
-/// injection records name its functions and instructions; `protection`
-/// is the map [`softft::transform_protected`] produced alongside it.
-pub fn build_coverage(
-    benchmark: &str,
-    technique: Technique,
-    module: &Module,
-    protection: &ProtectionMap,
-    result: &CampaignResult,
-    records: &[TrialRecord],
-) -> CoverageMap {
-    let mut cells: HashMap<FaultSite, SiteAcc> = HashMap::new();
-    let mut injected = 0u64;
-    for rec in records {
+/// Streaming accumulator behind [`build_coverage`]: trials fold in one
+/// at a time, so the live campaign observatory can aggregate coverage
+/// online as shard events arrive. [`CoverageAccum::build`] snapshots
+/// exactly the map the buffered path produces — both paths are this
+/// accumulator, fed in different orders, and the per-site aggregates
+/// are order-insensitive (counts and log-bucketed histograms).
+#[derive(Default)]
+pub struct CoverageAccum {
+    cells: HashMap<FaultSite, SiteAcc>,
+    injected: u64,
+}
+
+impl CoverageAccum {
+    /// An empty accumulator.
+    pub fn new() -> CoverageAccum {
+        CoverageAccum::default()
+    }
+
+    /// Folds one classified trial in. Trials whose trigger never fired
+    /// carry no injection record and contribute nothing per-site.
+    pub fn add(&mut self, rec: &TrialRecord) {
         let Some(inj) = rec.injection.as_ref() else {
-            continue;
+            return;
         };
-        injected += 1;
+        self.injected += 1;
         let site = fault_site(inj);
-        let acc = cells.entry(site).or_default();
+        let acc = self.cells.entry(site).or_default();
         acc.trials += 1;
         *acc.outcomes.entry(rec.outcome).or_insert(0) += 1;
         if let Some(lat) = rec.detect_latency {
@@ -369,12 +374,48 @@ pub fn build_coverage(
         }
     }
 
-    let mut keys: Vec<FaultSite> = cells.keys().copied().collect();
-    keys.sort();
-    let sites = keys
-        .into_iter()
-        .map(|site| {
-            let acc = &cells[&site];
+    /// Trials folded so far that actually injected.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Snapshots the accumulated cells into a [`CoverageMap`] with the
+    /// campaign-level denominators supplied by the caller.
+    pub fn build(
+        &self,
+        benchmark: &str,
+        technique: Technique,
+        module: &Module,
+        protection: &ProtectionMap,
+        trials: u64,
+        trigger_unreached: u64,
+    ) -> CoverageMap {
+        let mut keys: Vec<FaultSite> = self.cells.keys().copied().collect();
+        keys.sort();
+        let sites = keys
+            .into_iter()
+            .map(|site| self.site_report(site, module, protection))
+            .collect();
+
+        CoverageMap {
+            schema_version: COVERAGE_SCHEMA_VERSION,
+            benchmark: benchmark.to_string(),
+            technique: technique.label().to_string(),
+            trials,
+            injected: self.injected,
+            trigger_unreached,
+            sites,
+        }
+    }
+
+    fn site_report(
+        &self,
+        site: FaultSite,
+        module: &Module,
+        protection: &ProtectionMap,
+    ) -> SiteReport {
+        {
+            let acc = &self.cells[&site];
             let count = |o: Outcome| acc.outcomes.get(&o).copied().unwrap_or(0);
             let sw_detect: u64 = acc
                 .outcomes
@@ -425,18 +466,35 @@ pub fn build_coverage(
                 latency_p90: q(0.90),
                 latency_p99: q(0.99),
             }
-        })
-        .collect();
-
-    CoverageMap {
-        schema_version: COVERAGE_SCHEMA_VERSION,
-        benchmark: benchmark.to_string(),
-        technique: technique.label().to_string(),
-        trials: result.trials as u64,
-        injected,
-        trigger_unreached: result.trigger_unreached as u64,
-        sites,
+        }
     }
+}
+
+/// Aggregates a campaign's per-trial records into a [`CoverageMap`].
+///
+/// `module` is the module the campaign ran (the transformed variant) —
+/// injection records name its functions and instructions; `protection`
+/// is the map [`softft::transform_protected`] produced alongside it.
+pub fn build_coverage(
+    benchmark: &str,
+    technique: Technique,
+    module: &Module,
+    protection: &ProtectionMap,
+    result: &CampaignResult,
+    records: &[TrialRecord],
+) -> CoverageMap {
+    let mut accum = CoverageAccum::new();
+    for rec in records {
+        accum.add(rec);
+    }
+    accum.build(
+        benchmark,
+        technique,
+        module,
+        protection,
+        result.trials as u64,
+        result.trigger_unreached as u64,
+    )
 }
 
 #[cfg(test)]

@@ -20,6 +20,10 @@
 //!   and watchdog-spin totals), kept off the determinism path;
 //! * [`coverage`] — per-fault-site coverage maps, USDC attribution, and
 //!   the protection-gap report;
+//! * [`live`] — streaming campaigns over the append-only run store:
+//!   trials persist as they complete, interrupted campaigns resume
+//!   exactly, and [`live::replay`] folds a store back into the same
+//!   aggregates the buffered path produces;
 //! * [`perf`] — fault-free timing runs for the performance-overhead
 //!   figure;
 //! * [`falsepos`] — value-check failures with no fault injected;
@@ -31,6 +35,7 @@ pub mod campaign;
 pub mod coverage;
 pub mod crossval;
 pub mod falsepos;
+pub mod live;
 pub mod outcome;
 pub mod perf;
 pub mod prep;
@@ -45,7 +50,12 @@ pub use campaign::{
     run_campaign_recorded, run_campaign_traced, run_campaign_with_stats, CampaignConfig,
     CampaignResult, CampaignTelemetry,
 };
-pub use coverage::{build_coverage, BitBand, CoverageMap, GapSite, SiteReport};
+pub use coverage::{build_coverage, BitBand, CoverageAccum, CoverageMap, GapSite, SiteReport};
+pub use live::{
+    campaign_config_from_manifest, fault_kind_from_label, fault_kind_label, plan_hash,
+    record_from_json, record_to_json, replay, run_campaign_to_store, store_manifest, ReplayedShard,
+    StreamStats,
+};
 pub use outcome::{Outcome, TrialRecord};
 pub use prep::{prepare, PreparedBenchmark};
 pub use profile::{CampaignProfile, OutcomePhase};

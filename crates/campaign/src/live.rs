@@ -1,0 +1,727 @@
+//! Streaming campaigns over the run store, and their exact replay.
+//!
+//! Three pieces close the interrupt/resume loop:
+//!
+//! * [`run_campaign_to_store`] executes a campaign with a streaming
+//!   [`TrialSink`](crate::campaign::TrialSink) that appends each trial
+//!   to a [`RunStore`] shard as it completes — losing power mid-run
+//!   costs at most the trial that was mid-write;
+//! * [`replay`] folds a store back into the exact
+//!   ([`CampaignResult`], [`CampaignTelemetry`],
+//!   [`CoverageMap`](crate::coverage::CoverageMap)) triple the buffered
+//!   path produces, because both paths share one accumulation code path
+//!   ([`CampaignResult::fold_record`],
+//!   [`build_trial_event`](crate::campaign::build_trial_event),
+//!   [`fold_trial_metrics`](crate::campaign::fold_trial_metrics),
+//!   [`CoverageAccum`]) — there is no second implementation to drift;
+//! * [`plan_hash`] fingerprints everything the fault plan derives from
+//!   (seed, trials, fault kind, classification window, golden
+//!   instruction count), so a resume refuses to append trials from a
+//!   different universe into an existing shard.
+//!
+//! Trial identity is the *plan index*: [`derive_plans`] is
+//! deterministic and thread-count agnostic, and a subset run filters
+//! execution order, never the plans — so plan index *i* names the same
+//! fault in the original run, the resumed run, and the replay.
+//! Deliberately **excluded** from the hash: `snapshot_interval` and
+//! `threads`. Results are proven bitwise identical across both knobs
+//! (see the snapshot equivalence tests), so resuming a campaign with a
+//! different checkpoint spacing or core count is legal and exact.
+
+use crate::campaign::{
+    build_trial_event, campaign_core_phased, derive_plans, finalize_campaign_metrics,
+    fold_trial_metrics, golden_dyn_insts, CampaignConfig, CampaignResult, CampaignTelemetry,
+    TrialTiming,
+};
+use crate::coverage::{CoverageAccum, CoverageMap};
+use crate::outcome::{ClassifyParams, Outcome, TrialRecord};
+use crate::prep::{prepare, PreparedBenchmark};
+use softft::Technique;
+use softft_ir::{FuncId, InstId, Type, ValueId};
+use softft_telemetry::{
+    check_kind_from_label, check_kind_label, shard_file_name, CheckKindCounts, JsonValue, RunStore,
+    ShardMeta, StoreManifest, StoredTrial, TraceObserver, RUNSTORE_SCHEMA_VERSION,
+};
+use softft_vm::fault::{FaultKind, FaultPlan, InjectionRecord};
+use softft_workloads::workload_by_name;
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Stable manifest slug for a fault kind (round-trips through
+/// [`fault_kind_from_label`]).
+pub fn fault_kind_label(k: FaultKind) -> &'static str {
+    match k {
+        FaultKind::Register => "register",
+        FaultKind::BranchTarget => "branch-target",
+    }
+}
+
+/// Parses a [`fault_kind_label`].
+pub fn fault_kind_from_label(s: &str) -> Option<FaultKind> {
+    [FaultKind::Register, FaultKind::BranchTarget]
+        .into_iter()
+        .find(|k| fault_kind_label(*k) == s)
+}
+
+/// Stable record slug for a value type.
+fn type_label(t: Type) -> &'static str {
+    match t {
+        Type::I1 => "i1",
+        Type::I8 => "i8",
+        Type::I16 => "i16",
+        Type::I32 => "i32",
+        Type::I64 => "i64",
+        Type::F64 => "f64",
+    }
+}
+
+/// Parses a [`type_label`].
+fn type_from_label(s: &str) -> Option<Type> {
+    [
+        Type::I1,
+        Type::I8,
+        Type::I16,
+        Type::I32,
+        Type::I64,
+        Type::F64,
+    ]
+    .into_iter()
+    .find(|t| type_label(*t) == s)
+}
+
+/// Parses an [`Outcome::label`].
+fn outcome_from_label(s: &str) -> Option<Outcome> {
+    Outcome::CANONICAL.into_iter().find(|o| o.label() == s)
+}
+
+fn injection_to_json(inj: &InjectionRecord) -> JsonValue {
+    let mut fields = vec![
+        ("at_dyn".to_string(), JsonValue::num(inj.at_dyn)),
+        ("func".to_string(), JsonValue::num(inj.func.index() as u64)),
+        (
+            "kind".to_string(),
+            JsonValue::str(fault_kind_label(inj.kind)),
+        ),
+        (
+            "value".to_string(),
+            JsonValue::num(inj.value.index() as u64),
+        ),
+        ("ty".to_string(), JsonValue::str(type_label(inj.ty))),
+        ("bit".to_string(), JsonValue::num(inj.bit as u64)),
+        ("old_bits".to_string(), JsonValue::num(inj.old_bits)),
+        ("new_bits".to_string(), JsonValue::num(inj.new_bits)),
+    ];
+    if let Some(inst) = inj.def_inst {
+        fields.push(("def_inst".to_string(), JsonValue::num(inst.index() as u64)));
+    }
+    JsonValue::Object(fields)
+}
+
+fn injection_from_json(v: &JsonValue) -> Option<InjectionRecord> {
+    Some(InjectionRecord {
+        at_dyn: v.get("at_dyn")?.as_u64()?,
+        func: FuncId::new(v.get("func")?.as_u64()? as usize),
+        kind: fault_kind_from_label(v.get("kind")?.as_str()?)?,
+        value: ValueId::new(v.get("value")?.as_u64()? as usize),
+        ty: type_from_label(v.get("ty")?.as_str()?)?,
+        bit: v.get("bit")?.as_u64()? as u32,
+        old_bits: v.get("old_bits")?.as_u64()?,
+        new_bits: v.get("new_bits")?.as_u64()?,
+        def_inst: match v.get("def_inst") {
+            Some(i) => Some(InstId::new(i.as_u64()? as usize)),
+            None => None,
+        },
+    })
+}
+
+/// Serializes a classified trial record for a shard frame. Fidelity is
+/// stored as raw IEEE-754 bits (`f64::to_bits`) so the round trip is
+/// lossless — replay must rebuild *bitwise* identical aggregates, and a
+/// decimal rendering would quantize the classification input.
+pub fn record_to_json(rec: &TrialRecord) -> JsonValue {
+    let mut fields = vec![("outcome".to_string(), JsonValue::str(rec.outcome.label()))];
+    if let Some(f) = rec.fidelity {
+        fields.push(("fidelity_bits".to_string(), JsonValue::num(f.to_bits())));
+    }
+    if let Some(inj) = &rec.injection {
+        fields.push(("injection".to_string(), injection_to_json(inj)));
+    }
+    if let Some(lat) = rec.detect_latency {
+        fields.push(("detect_latency".to_string(), JsonValue::num(lat)));
+    }
+    fields.push(("dyn_insts".to_string(), JsonValue::num(rec.dyn_insts)));
+    JsonValue::Object(fields)
+}
+
+/// Parses a [`record_to_json`] value.
+pub fn record_from_json(v: &JsonValue) -> Option<TrialRecord> {
+    Some(TrialRecord {
+        outcome: outcome_from_label(v.get("outcome")?.as_str()?)?,
+        fidelity: match v.get("fidelity_bits") {
+            Some(bits) => Some(f64::from_bits(bits.as_u64()?)),
+            None => None,
+        },
+        injection: match v.get("injection") {
+            Some(inj) => Some(injection_from_json(inj)?),
+            None => None,
+        },
+        detect_latency: match v.get("detect_latency") {
+            Some(lat) => Some(lat.as_u64()?),
+            None => None,
+        },
+        dyn_insts: v.get("dyn_insts")?.as_u64()?,
+    })
+}
+
+/// FNV-1a over the plan-determining inputs. Not cryptographic — it
+/// guards against *accidental* config mixups (resuming with a different
+/// seed or trial count), not adversaries.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of everything that determines a shard's fault plans and
+/// their classification: benchmark, technique, fault kind, seed, trial
+/// count, classification parameters, and the golden-run dynamic
+/// instruction count the triggers derive from. `snapshot_interval` and
+/// `threads` are deliberately excluded — results are bitwise identical
+/// across both, so resuming with different values is exact.
+pub fn plan_hash(
+    benchmark: &str,
+    technique: Technique,
+    cfg: &CampaignConfig,
+    golden_dyn_insts: u64,
+) -> u64 {
+    let key = format!(
+        "v1|{}|{}|{}|seed={}|trials={}|hw={}|lct={:016x}|golden={}",
+        benchmark,
+        technique.slug(),
+        fault_kind_label(cfg.fault_kind),
+        cfg.seed,
+        cfg.trials,
+        cfg.classify.hw_latency_window,
+        cfg.classify.large_change_threshold.to_bits(),
+        golden_dyn_insts,
+    );
+    fnv1a(key.as_bytes())
+}
+
+/// A fresh (shard-less) manifest capturing this config; the campaign
+/// VM config and input set are not persisted — replays reconstruct the
+/// campaign-default `VmConfig` and test input, which is the only
+/// combination the `repro` campaign path ever runs.
+pub fn store_manifest(cfg: &CampaignConfig) -> StoreManifest {
+    StoreManifest {
+        schema_version: RUNSTORE_SCHEMA_VERSION,
+        seed: cfg.seed,
+        trials: cfg.trials,
+        fault_kind: fault_kind_label(cfg.fault_kind).to_string(),
+        snapshot_interval: cfg.snapshot_interval,
+        threads: cfg.threads,
+        hw_latency_window: cfg.classify.hw_latency_window,
+        large_change_threshold: cfg.classify.large_change_threshold,
+        shards: Vec::new(),
+    }
+}
+
+/// Reconstructs the campaign config a manifest was written from, so a
+/// resume ignores the command line and continues the *recorded* run.
+pub fn campaign_config_from_manifest(m: &StoreManifest) -> io::Result<CampaignConfig> {
+    Ok(CampaignConfig {
+        trials: m.trials,
+        seed: m.seed,
+        threads: m.threads,
+        classify: ClassifyParams {
+            hw_latency_window: m.hw_latency_window,
+            large_change_threshold: m.large_change_threshold,
+        },
+        fault_kind: fault_kind_from_label(&m.fault_kind)
+            .ok_or_else(|| io_invalid(format!("unknown fault kind {:?}", m.fault_kind)))?,
+        snapshot_interval: m.snapshot_interval,
+        ..CampaignConfig::default()
+    })
+}
+
+fn io_invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// What one [`run_campaign_to_store`] call did to its shard.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamStats {
+    /// Shard label (`"segm/dup-val"`).
+    pub label: String,
+    /// Planned trials for the shard.
+    pub total: u32,
+    /// Trials already persisted before this call (resume skips them).
+    pub already_done: u32,
+    /// Trials this call executed and appended.
+    pub executed: u32,
+    /// True when the shard now holds every planned trial.
+    pub complete: bool,
+}
+
+/// Runs (or resumes) one campaign shard, streaming each completed trial
+/// into the store. Trials already persisted are skipped *exactly*: the
+/// plan list is re-derived deterministically and only missing plan
+/// indices execute, so an interrupted-and-resumed campaign is the same
+/// set of trials as an uninterrupted one. `trial_cap` bounds how many
+/// missing trials this call executes (the interrupt half of the
+/// interrupt/resume tests; also a budgeting knob for incremental runs).
+///
+/// The shard's manifest entry is upserted *before* execution so a
+/// concurrent `repro watch` sees the planned totals immediately, and
+/// updated with progress after.
+pub fn run_campaign_to_store(
+    store: &RunStore,
+    p: &PreparedBenchmark,
+    technique: Technique,
+    cfg: &CampaignConfig,
+    trial_cap: Option<u32>,
+) -> io::Result<StreamStats> {
+    let bench = p.workload.name().to_string();
+    let label = format!("{}/{}", bench, technique.slug());
+    let file = shard_file_name(&label);
+    let module = p.module(technique);
+    let golden = golden_dyn_insts(&*p.workload, module, cfg);
+    let hash = plan_hash(&bench, technique, cfg, golden);
+    if let Some(meta) = store.manifest().shard(&label) {
+        if meta.plan_hash != hash {
+            return Err(io_invalid(format!(
+                "{label}: plan hash mismatch (store {:016x}, config {:016x}); \
+                 refusing to mix fault plans in one shard",
+                meta.plan_hash, hash
+            )));
+        }
+    }
+
+    // The shard file is authoritative for which trials completed; the
+    // duplicate-tolerant read also covers a crash that appended a trial
+    // but died before the manifest update.
+    let mut done: Vec<u32> = store
+        .read_shard(&file)?
+        .iter()
+        .map(|t| t.trial)
+        .filter(|&t| t < cfg.trials)
+        .collect();
+    done.sort_unstable();
+    done.dedup();
+    let already_done = done.len() as u32;
+    let missing: Vec<usize> = (0..cfg.trials as usize)
+        .filter(|i| done.binary_search(&(*i as u32)).is_err())
+        .take(trial_cap.map_or(usize::MAX, |c| c as usize))
+        .collect();
+
+    store.update_manifest(|m| match m.shards.iter_mut().find(|s| s.label == label) {
+        Some(s) => {
+            s.completed = already_done;
+            s.complete = already_done >= cfg.trials;
+        }
+        None => m.shards.push(ShardMeta {
+            label: label.clone(),
+            benchmark: bench.clone(),
+            technique: technique.slug().to_string(),
+            file: file.clone(),
+            plan_hash: hash,
+            golden_dyn_insts: golden,
+            completed: already_done,
+            complete: already_done >= cfg.trials,
+            wall_ms: 0,
+        }),
+    })?;
+
+    if missing.is_empty() {
+        return Ok(StreamStats {
+            label,
+            total: cfg.trials,
+            already_done,
+            executed: 0,
+            complete: already_done >= cfg.trials,
+        });
+    }
+
+    let writer = store.shard_writer(&file)?;
+    let start = Instant::now();
+    // The sink runs on worker threads and cannot return an error
+    // through the campaign core (observation is write-only); the first
+    // append failure is parked here and surfaced after the run.
+    let sink_err: Mutex<Option<io::Error>> = Mutex::new(None);
+    let sink =
+        |i: usize, _plan: &FaultPlan, rec: &TrialRecord, obs: &TraceObserver, t: &TrialTiming| {
+            let stored = StoredTrial {
+                seq: 0, // assigned by the writer
+                trial: i as u32,
+                t_ms: start.elapsed().as_millis() as u64,
+                watchdog: t.watchdog,
+                exec_ns: t.exec_ns,
+                ops: obs
+                    .opcodes
+                    .iter_nonzero()
+                    .map(|(op, n)| (op.to_string(), n))
+                    .collect(),
+                checks: obs
+                    .checks
+                    .iter()
+                    .filter(|(_, n)| *n > 0)
+                    .map(|(k, n)| (check_kind_label(k).to_string(), n))
+                    .collect(),
+                record: record_to_json(rec),
+            };
+            if let Err(e) = writer.append(stored) {
+                let mut slot = sink_err.lock().expect("sink error slot");
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+            }
+        };
+
+    let (result, _, _) = campaign_core_phased(
+        &*p.workload,
+        module,
+        cfg,
+        TraceObserver::new,
+        None,
+        Some(&missing),
+        Some(&sink),
+    );
+    if let Some(e) = sink_err.into_inner().expect("sink error slot") {
+        return Err(e);
+    }
+
+    let executed = result.trials;
+    let completed = already_done + executed;
+    let wall = start.elapsed().as_millis() as u64;
+    store.update_manifest(|m| {
+        if let Some(s) = m.shards.iter_mut().find(|s| s.label == label) {
+            s.completed = completed;
+            s.complete = completed >= cfg.trials;
+            s.wall_ms += wall;
+        }
+    })?;
+    Ok(StreamStats {
+        label,
+        total: cfg.trials,
+        already_done,
+        executed,
+        complete: completed >= cfg.trials,
+    })
+}
+
+/// One shard folded back out of a store: the same aggregate triple the
+/// buffered campaign produces.
+pub struct ReplayedShard {
+    /// Shard label (`"segm/dup-val"`).
+    pub label: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Technique the shard ran under.
+    pub technique: Technique,
+    /// True when every planned trial is present.
+    pub complete: bool,
+    /// Campaign aggregate, identical to the buffered run's when the
+    /// shard is complete.
+    pub result: CampaignResult,
+    /// Per-trial events, check totals, and aggregated metrics,
+    /// rebuilt through the same attribution path as the buffered run.
+    pub telemetry: CampaignTelemetry,
+    /// Per-site coverage map.
+    pub coverage: CoverageMap,
+}
+
+/// Deduplicates stored trials (lowest `seq` wins per plan index, so a
+/// resumed run racing a crash cannot double-count) and drops indices
+/// past the planned trial count.
+fn dedup_trials(mut stored: Vec<StoredTrial>, trials: u32) -> Vec<StoredTrial> {
+    stored.retain(|t| t.trial < trials);
+    stored.sort_by_key(|t| (t.trial, t.seq));
+    stored.dedup_by_key(|t| t.trial);
+    stored
+}
+
+/// Folds a run store back into per-shard campaign aggregates —
+/// [`CampaignResult`], attributed [`CampaignTelemetry`], and
+/// [`CoverageMap`] — bitwise identical to what the buffered
+/// [`run_campaign_attributed`](crate::campaign::run_campaign_attributed)
+/// and [`build_coverage`](crate::coverage::build_coverage) path produces
+/// for the same config, because every accumulation step is the same
+/// shared function. Incomplete shards replay what they hold (the
+/// aggregates cover the persisted subset).
+pub fn replay(dir: &Path) -> io::Result<Vec<ReplayedShard>> {
+    let store = RunStore::open(dir)?;
+    let manifest = store.manifest();
+    let cfg = campaign_config_from_manifest(&manifest)?;
+    let mut shards = Vec::new();
+    for meta in &manifest.shards {
+        let technique = Technique::from_slug(&meta.technique)
+            .ok_or_else(|| io_invalid(format!("{}: unknown technique", meta.label)))?;
+        let workload = workload_by_name(&meta.benchmark)
+            .ok_or_else(|| io_invalid(format!("{}: unknown benchmark", meta.label)))?;
+        let p = prepare(workload);
+        let module = p.module(technique);
+        let protection = p.protection(technique);
+        let hash = plan_hash(&meta.benchmark, technique, &cfg, meta.golden_dyn_insts);
+        if hash != meta.plan_hash {
+            return Err(io_invalid(format!(
+                "{}: manifest plan hash {:016x} does not match re-derived {:016x}",
+                meta.label, meta.plan_hash, hash
+            )));
+        }
+        let stored = dedup_trials(store.read_shard(&meta.file)?, manifest.trials);
+        let plans = derive_plans(&cfg, meta.golden_dyn_insts);
+
+        let mut result = CampaignResult {
+            trials: stored.len() as u32,
+            golden_dyn_insts: meta.golden_dyn_insts,
+            ..CampaignResult::default()
+        };
+        let mut telemetry = CampaignTelemetry::default();
+        let mut cov = CoverageAccum::new();
+        for st in &stored {
+            let rec = record_from_json(&st.record).ok_or_else(|| {
+                io_invalid(format!(
+                    "{}: malformed record in trial {}",
+                    meta.label, st.trial
+                ))
+            })?;
+            result.fold_record(&rec, &cfg.classify);
+            telemetry.events.push(build_trial_event(
+                st.trial,
+                &plans[st.trial as usize],
+                &rec,
+                cfg.fault_kind,
+                module,
+                Some(protection),
+            ));
+            let mut checks = CheckKindCounts::new();
+            for (k, n) in &st.checks {
+                let kind = check_kind_from_label(k).ok_or_else(|| {
+                    io_invalid(format!("{}: unknown check kind {k:?}", meta.label))
+                })?;
+                checks.add(kind, *n);
+            }
+            telemetry.checks.merge(&checks);
+            fold_trial_metrics(
+                &mut telemetry.metrics,
+                &rec,
+                st.ops.iter().map(|(op, n)| (op.as_str(), *n)),
+                &checks,
+            );
+            cov.add(&rec);
+            telemetry.records.push(rec);
+        }
+        finalize_campaign_metrics(&mut telemetry.metrics, &result);
+        let coverage = cov.build(
+            &meta.benchmark,
+            technique,
+            module,
+            protection,
+            result.trials as u64,
+            result.trigger_unreached as u64,
+        );
+        shards.push(ReplayedShard {
+            label: meta.label.clone(),
+            benchmark: meta.benchmark.clone(),
+            technique,
+            complete: stored.len() as u32 >= manifest.trials,
+            result,
+            telemetry,
+            coverage,
+        });
+    }
+    Ok(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign_attributed;
+    use crate::coverage::build_coverage;
+    use std::path::PathBuf;
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("softft_live_{}_{}", std::process::id(), tag));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_cfg(trials: u32) -> CampaignConfig {
+        CampaignConfig {
+            trials,
+            seed: 7,
+            threads: 2,
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for k in [FaultKind::Register, FaultKind::BranchTarget] {
+            assert_eq!(fault_kind_from_label(fault_kind_label(k)), Some(k));
+        }
+        for t in [
+            Type::I1,
+            Type::I8,
+            Type::I16,
+            Type::I32,
+            Type::I64,
+            Type::F64,
+        ] {
+            assert_eq!(type_from_label(type_label(t)), Some(t));
+        }
+        for o in Outcome::CANONICAL {
+            assert_eq!(outcome_from_label(o.label()), Some(o));
+        }
+    }
+
+    #[test]
+    fn record_round_trips_losslessly() {
+        let rec = TrialRecord {
+            outcome: Outcome::UnacceptableSdc,
+            // An irrational-ish fidelity exercises the to_bits path: a
+            // decimal rendering would not round-trip bitwise.
+            fidelity: Some(0.1 + 0.2),
+            injection: Some(InjectionRecord {
+                at_dyn: u64::MAX - 3,
+                func: FuncId::new(2),
+                kind: FaultKind::Register,
+                value: ValueId::new(17),
+                ty: Type::F64,
+                bit: 63,
+                old_bits: u64::MAX,
+                new_bits: 0x7FF0_0000_0000_0001,
+                def_inst: Some(InstId::new(41)),
+            }),
+            detect_latency: Some(12),
+            dyn_insts: 99_999,
+        };
+        let back = record_from_json(&record_to_json(&rec)).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(
+            back.fidelity.unwrap().to_bits(),
+            rec.fidelity.unwrap().to_bits()
+        );
+
+        // Absent options stay absent (branch faults, unreached triggers).
+        let bare = TrialRecord {
+            outcome: Outcome::Masked,
+            fidelity: None,
+            injection: None,
+            detect_latency: None,
+            dyn_insts: 5,
+        };
+        assert_eq!(record_from_json(&record_to_json(&bare)).unwrap(), bare);
+        let json = record_to_json(&bare).to_json();
+        assert!(!json.contains("injection") && !json.contains("fidelity_bits"));
+    }
+
+    #[test]
+    fn plan_hash_tracks_plan_inputs_only() {
+        let cfg = small_cfg(40);
+        let base = plan_hash("segm", Technique::DupVal, &cfg, 1000);
+        assert_eq!(base, plan_hash("segm", Technique::DupVal, &cfg, 1000));
+        assert_ne!(base, plan_hash("segm", Technique::DupVal, &cfg, 1001));
+        assert_ne!(base, plan_hash("kmeans", Technique::DupVal, &cfg, 1000));
+        assert_ne!(base, plan_hash("segm", Technique::DupOnly, &cfg, 1000));
+        let mut seeded = cfg.clone();
+        seeded.seed = 8;
+        assert_ne!(base, plan_hash("segm", Technique::DupVal, &seeded, 1000));
+        // Snapshot interval and threads do not affect the plan.
+        let mut knobs = cfg.clone();
+        knobs.snapshot_interval = 512;
+        knobs.threads = 9;
+        assert_eq!(base, plan_hash("segm", Technique::DupVal, &knobs, 1000));
+    }
+
+    #[test]
+    fn streamed_store_replays_to_buffered_aggregates() {
+        let dir = temp_store_dir("equiv");
+        let cfg = small_cfg(25);
+        let store = RunStore::create(&dir, store_manifest(&cfg)).unwrap();
+        let p = prepare(workload_by_name("tiff2bw").unwrap());
+        let stats = run_campaign_to_store(&store, &p, Technique::DupVal, &cfg, None).unwrap();
+        assert_eq!(stats.executed, 25);
+        assert!(stats.complete);
+
+        let (buf_result, buf_tel) = run_campaign_attributed(
+            &*p.workload,
+            p.module(Technique::DupVal),
+            &cfg,
+            Some(p.protection(Technique::DupVal)),
+        );
+        let buf_cov = build_coverage(
+            "tiff2bw",
+            Technique::DupVal,
+            p.module(Technique::DupVal),
+            p.protection(Technique::DupVal),
+            &buf_result,
+            &buf_tel.records,
+        );
+
+        let shards = replay(&dir).unwrap();
+        assert_eq!(shards.len(), 1);
+        let shard = &shards[0];
+        assert!(shard.complete);
+        assert_eq!(shard.result, buf_result);
+        assert_eq!(shard.telemetry.events, buf_tel.events);
+        assert_eq!(shard.telemetry.records, buf_tel.records);
+        assert_eq!(shard.telemetry.metrics.to_json(), buf_tel.metrics.to_json());
+        assert_eq!(shard.coverage, buf_cov);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trial_cap_interrupts_and_resume_completes_exactly() {
+        let dir = temp_store_dir("resume");
+        let cfg = small_cfg(20);
+        let store = RunStore::create(&dir, store_manifest(&cfg)).unwrap();
+        let p = prepare(workload_by_name("tiff2bw").unwrap());
+        let first = run_campaign_to_store(&store, &p, Technique::DupOnly, &cfg, Some(8)).unwrap();
+        assert_eq!((first.already_done, first.executed), (0, 8));
+        assert!(!first.complete);
+        drop(store);
+
+        // Reopen (as `repro campaign --resume` does) and finish.
+        let store = RunStore::open(&dir).unwrap();
+        let cfg = campaign_config_from_manifest(&store.manifest()).unwrap();
+        let second = run_campaign_to_store(&store, &p, Technique::DupOnly, &cfg, None).unwrap();
+        assert_eq!((second.already_done, second.executed), (8, 12));
+        assert!(second.complete);
+
+        // A third run is a no-op.
+        let third = run_campaign_to_store(&store, &p, Technique::DupOnly, &cfg, None).unwrap();
+        assert_eq!(third.executed, 0);
+        assert!(third.complete);
+
+        let shards = replay(&dir).unwrap();
+        let (result, _) = run_campaign_attributed(
+            &*p.workload,
+            p.module(Technique::DupOnly),
+            &cfg,
+            Some(p.protection(Technique::DupOnly)),
+        );
+        assert_eq!(shards[0].result, result);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_with_wrong_seed_is_refused() {
+        let dir = temp_store_dir("hash");
+        let cfg = small_cfg(10);
+        let store = RunStore::create(&dir, store_manifest(&cfg)).unwrap();
+        let p = prepare(workload_by_name("tiff2bw").unwrap());
+        run_campaign_to_store(&store, &p, Technique::Original, &cfg, Some(2)).unwrap();
+        let mut wrong = cfg.clone();
+        wrong.seed ^= 1;
+        let err = run_campaign_to_store(&store, &p, Technique::Original, &wrong, None)
+            .expect_err("mismatched plans must not mix");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

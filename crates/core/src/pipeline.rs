@@ -43,6 +43,22 @@ impl Technique {
             Technique::FullDup => "Full duplication",
         }
     }
+
+    /// Stable lower-case file/manifest slug (round-trips through
+    /// [`Technique::from_slug`]).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Technique::Original => "original",
+            Technique::DupOnly => "dup-only",
+            Technique::DupVal => "dup-val",
+            Technique::FullDup => "full-dup",
+        }
+    }
+
+    /// Parses a [`Technique::slug`].
+    pub fn from_slug(s: &str) -> Option<Technique> {
+        Technique::ALL.into_iter().find(|t| t.slug() == s)
+    }
 }
 
 impl fmt::Display for Technique {
@@ -267,6 +283,18 @@ fn recount_value_checks(module: &Module, stats: &mut StaticStats) {
 mod tests {
     use super::*;
     use crate::protection::ProtClass;
+
+    #[test]
+    fn technique_slugs_round_trip_and_are_unique() {
+        let mut slugs: Vec<&str> = Technique::ALL.iter().map(|t| t.slug()).collect();
+        for t in Technique::ALL {
+            assert_eq!(Technique::from_slug(t.slug()), Some(t));
+        }
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), Technique::ALL.len(), "duplicate slugs");
+        assert_eq!(Technique::from_slug("bogus"), None);
+    }
     use softft_ir::dsl::FunctionDsl;
     use softft_ir::verify::verify_module;
     use softft_ir::Type;

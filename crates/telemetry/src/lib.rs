@@ -7,7 +7,7 @@
 //! mechanism caught *which* fault and *how fast* — the per-detector
 //! cost/benefit attribution needed to configure software detectors.
 //!
-//! Six pieces:
+//! Seven pieces:
 //!
 //! * [`metrics`] — a dependency-free metrics core: counters, gauges, and
 //!   log-bucketed histograms collected in a [`MetricsRegistry`] that
@@ -21,6 +21,10 @@
 //!   the per-campaign [`RunManifest`], both serde round-trippable;
 //! * [`spans`] — lightweight monotonic wall-time spans ([`SpanSet`])
 //!   feeding the metrics registry; used for campaign phase attribution;
+//! * [`runstore`] — append-only, crash-safe run persistence: a
+//!   manifest plus length-prefixed JSONL shard files with monotonic
+//!   per-trial sequence numbers and torn-tail recovery, the substrate
+//!   for interrupt/resume campaigns and the live observatory;
 //! * [`progress`] — streaming campaign progress: a [`ProgressSink`]
 //!   (human text or machine JSONL on stderr) fed throttled trial-level
 //!   updates by a [`ProgressTracker`];
@@ -32,18 +36,28 @@
 //! pre-telemetry loop, so the disabled path stays zero-cost.
 
 pub mod events;
+pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod progress;
+pub mod runstore;
 pub mod spans;
 pub mod trace;
 
 pub use events::{RunManifest, TrialEvent, TRIAL_SCHEMA_VERSION};
+pub use json::JsonValue;
 pub use log::{Logger, Verbosity};
 pub use metrics::{Counter, Gauge, Histogram, Metric, MetricsRegistry};
 pub use progress::{
     progress_sink, set_progress_sink, JsonlSink, ProgressSink, ProgressTracker, ProgressUpdate,
     TextSink,
 };
+pub use runstore::{
+    shard_file_name, RunStore, ShardMeta, ShardTail, ShardWriter, StoreManifest, StoredTrial,
+    RUNSTORE_SCHEMA_VERSION,
+};
 pub use spans::{SpanSet, Stopwatch};
-pub use trace::{check_kind_label, CheckCounter, CheckKindCounts, TraceObserver, CHECK_KINDS};
+pub use trace::{
+    check_kind_from_label, check_kind_label, CheckCounter, CheckKindCounts, TraceObserver,
+    CHECK_KINDS,
+};

@@ -14,7 +14,8 @@
 //! invariants"). The sink registry is process-global so the campaign
 //! crate does not need a config plumbing change for every caller.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -119,24 +120,80 @@ pub trait ProgressSink: Send + Sync {
     fn emit(&self, update: &ProgressUpdate);
 }
 
-/// Human-readable one-line-per-update sink writing to stderr.
-#[derive(Debug, Default)]
-pub struct TextSink;
+/// Serializes one rendered line to a shared writer as a *single*
+/// `write_all` under a lock, so concurrent trackers (interleaved
+/// labels) can never shear a line. Both stock sinks are this plus a
+/// renderer.
+fn emit_line(out: &Mutex<Box<dyn Write + Send>>, mut line: String) {
+    line.push('\n');
+    // A poisoned lock just means another emitter panicked mid-write;
+    // progress output is best-effort, keep going.
+    let mut out = out.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = out.write_all(line.as_bytes());
+    let _ = out.flush();
+}
 
-impl ProgressSink for TextSink {
-    fn emit(&self, update: &ProgressUpdate) {
-        eprintln!("{}", update.to_text());
+/// Human-readable one-line-per-update sink (stderr by default).
+pub struct TextSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl Default for TextSink {
+    fn default() -> Self {
+        TextSink::new()
     }
 }
 
-/// Machine-readable JSONL sink writing to stderr (stdout stays clean
-/// for exhibit output).
-#[derive(Debug, Default)]
-pub struct JsonlSink;
+impl TextSink {
+    /// A sink writing to stderr.
+    pub fn new() -> Self {
+        TextSink::with_writer(Box::new(std::io::stderr()))
+    }
+
+    /// A sink writing to an arbitrary writer (tests, files).
+    pub fn with_writer(out: Box<dyn Write + Send>) -> Self {
+        TextSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl ProgressSink for TextSink {
+    fn emit(&self, update: &ProgressUpdate) {
+        emit_line(&self.out, update.to_text());
+    }
+}
+
+/// Machine-readable JSONL sink (stderr by default; stdout stays clean
+/// for exhibit output). Each update is exactly one parseable JSON
+/// object per line, even under interleaved labels.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl Default for JsonlSink {
+    fn default() -> Self {
+        JsonlSink::new()
+    }
+}
+
+impl JsonlSink {
+    /// A sink writing to stderr.
+    pub fn new() -> Self {
+        JsonlSink::with_writer(Box::new(std::io::stderr()))
+    }
+
+    /// A sink writing to an arbitrary writer (tests, files).
+    pub fn with_writer(out: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+}
 
 impl ProgressSink for JsonlSink {
     fn emit(&self, update: &ProgressUpdate) {
-        eprintln!("{}", update.to_jsonl());
+        emit_line(&self.out, update.to_jsonl());
     }
 }
 
@@ -163,6 +220,7 @@ pub struct ProgressTracker {
     outcome_labels: Vec<&'static str>,
     outcome_counts: Vec<AtomicU64>,
     last_emit: Mutex<Instant>,
+    finished: AtomicBool,
 }
 
 impl ProgressTracker {
@@ -186,6 +244,7 @@ impl ProgressTracker {
             outcome_labels,
             outcome_counts,
             last_emit: Mutex::new(start),
+            finished: AtomicBool::new(false),
         }
     }
 
@@ -206,10 +265,16 @@ impl ProgressTracker {
             c.fetch_add(1, Ordering::Relaxed);
         }
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        // The trial that completes the run emits unconditionally —
+        // the final (done == total) update must never be swallowed by
+        // the throttle window.
+        if self.total > 0 && done >= self.total {
+            self.emit_final(done);
+            return;
+        }
         // Throttle: only the thread that wins the try_lock may emit,
         // and only if the interval has passed. Contended or too-soon
-        // updates are dropped — the final update in finish() always
-        // lands.
+        // updates are dropped — the final update always lands.
         if let Ok(mut last) = self.last_emit.try_lock() {
             let now = Instant::now();
             if now.duration_since(*last).as_millis() as u64 >= EMIT_INTERVAL_MS {
@@ -220,10 +285,18 @@ impl ProgressTracker {
         }
     }
 
-    /// Emits the final update (always, regardless of throttle).
+    /// Emits the final update (always, regardless of throttle). A
+    /// no-op when the completing [`ProgressTracker::trial_done`] call
+    /// already emitted it — the finished line appears exactly once.
     pub fn finish(&self) {
         let done = self.done.load(Ordering::Relaxed);
-        self.sink.emit(&self.snapshot(done, true));
+        self.emit_final(done);
+    }
+
+    fn emit_final(&self, done: u64) {
+        if !self.finished.swap(true, Ordering::SeqCst) {
+            self.sink.emit(&self.snapshot(done, true));
+        }
     }
 
     fn snapshot(&self, done: u64, finished: bool) -> ProgressUpdate {
@@ -303,6 +376,86 @@ mod tests {
         let last = updates.last().unwrap();
         assert_eq!(last.done, 1);
         assert!(last.outcomes.is_empty());
+    }
+
+    #[test]
+    fn final_update_emits_inside_throttle_window() {
+        let sink = Arc::new(RecordingSink::default());
+        // All trials complete well inside EMIT_INTERVAL_MS, so every
+        // intermediate update is throttled — but the (done == total)
+        // update must land even without finish().
+        let t = ProgressTracker::new(sink.clone(), "b", 3, vec!["masked"]);
+        t.trial_done(0);
+        t.trial_done(0);
+        t.trial_done(0);
+        let updates = sink.updates.lock().unwrap();
+        let last = updates.last().expect("completing trial must emit");
+        assert_eq!(last.done, 3);
+        assert!(last.finished);
+    }
+
+    #[test]
+    fn finished_update_emits_exactly_once() {
+        let sink = Arc::new(RecordingSink::default());
+        let t = ProgressTracker::new(sink.clone(), "b", 2, vec!["masked"]);
+        t.trial_done(0);
+        t.trial_done(0);
+        t.finish();
+        t.finish();
+        let updates = sink.updates.lock().unwrap();
+        assert_eq!(updates.iter().filter(|u| u.finished).count(), 1);
+    }
+
+    /// `Write` handle into a shared buffer, for capturing sink output.
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_stays_line_parseable_under_interleaved_labels() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink: Arc<dyn ProgressSink> =
+            Arc::new(JsonlSink::with_writer(Box::new(SharedBuf(buf.clone()))));
+        let trackers: Vec<_> = (0..4)
+            .map(|i| {
+                Arc::new(ProgressTracker::new(
+                    sink.clone(),
+                    format!("bench-{i}/dup-val"),
+                    50,
+                    vec!["masked", "failure"],
+                ))
+            })
+            .collect();
+        let handles: Vec<_> = trackers
+            .into_iter()
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for n in 0..50 {
+                        t.trial_done(n % 2);
+                    }
+                    t.finish();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let bytes = buf.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).expect("utf8 output");
+        let lines: Vec<_> = text.lines().collect();
+        assert!(lines.len() >= 4, "each tracker emits at least its final");
+        for line in lines {
+            let v = crate::json::JsonValue::parse(line).expect("every line is one JSON object");
+            assert_eq!(v.get("type").and_then(|t| t.as_str()), Some("progress"));
+        }
     }
 
     #[test]

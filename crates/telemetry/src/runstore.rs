@@ -1,0 +1,665 @@
+//! Append-only, crash-safe campaign run store.
+//!
+//! A campaign that streams trial completions to disk instead of
+//! buffering them in memory can be interrupted at any point and lose
+//! at most the trial that was mid-write. This module is the storage
+//! substrate: one directory per run holding a `manifest.json` (seed,
+//! config, per-shard progress) plus one append-only *shard* file per
+//! campaign (benchmark × technique), each a sequence of
+//! length-prefixed JSONL frames.
+//!
+//! Framing is `"{:08x} {json}\n"` — eight lowercase hex digits of the
+//! JSON byte length, a space, the JSON object, a newline. The length
+//! prefix makes torn tails detectable without trusting newline
+//! placement: a reader stops at the first frame whose header is
+//! malformed, whose body is shorter than declared, or whose body fails
+//! to parse, and a writer reopening the shard truncates that invalid
+//! tail before appending. Frames carry a monotonic per-shard `seq`
+//! assigned under the writer lock, so replays can detect duplicates
+//! from a resumed run racing a crash.
+//!
+//! The manifest is rewritten atomically (temp file + rename) so a
+//! crash mid-update leaves the previous manifest intact; shard files
+//! are the source of truth for *which* trials completed, the manifest
+//! only caches progress for cheap status queries.
+//!
+//! Serialization is the crate's hand-rolled [`crate::json`] (like the
+//! metrics registry): the store must read its own bytes back
+//! losslessly — full-range `u64` seeds included — without leaning on
+//! an external serializer. This crate knows nothing about campaign
+//! types (the dependency points the other way), so the per-trial
+//! payload is an opaque [`JsonValue`]; `softft-campaign::live` gives
+//! it a typed schema.
+
+use crate::json::JsonValue;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Bumped when the store layout or frame schema changes shape.
+pub const RUNSTORE_SCHEMA_VERSION: u32 = 1;
+
+/// One completed trial as persisted in a shard file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredTrial {
+    /// Monotonic per-shard sequence number (assigned by the writer).
+    pub seq: u64,
+    /// Fault-plan index within the campaign (0-based).
+    pub trial: u32,
+    /// Milliseconds since the appending run started (observational).
+    pub t_ms: u64,
+    /// True when the trial ended in a watchdog trap (spin to the
+    /// dynamic-instruction bound).
+    pub watchdog: bool,
+    /// Live execution nanoseconds for this trial (observational).
+    pub exec_ns: u64,
+    /// Nonzero per-opcode dynamic counts, canonical opcode order.
+    pub ops: Vec<(String, u64)>,
+    /// Per-check-kind firing counts, canonical kind order (zeros
+    /// omitted).
+    pub checks: Vec<(String, u64)>,
+    /// The campaign-typed trial record (opaque at this layer;
+    /// `softft-campaign::live` defines the schema).
+    pub record: JsonValue,
+}
+
+fn pairs_to_json(pairs: &[(String, u64)]) -> JsonValue {
+    JsonValue::Array(
+        pairs
+            .iter()
+            .map(|(k, n)| JsonValue::Array(vec![JsonValue::str(k.clone()), JsonValue::num(*n)]))
+            .collect(),
+    )
+}
+
+fn pairs_from_json(v: &JsonValue) -> Option<Vec<(String, u64)>> {
+    v.as_array()?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array()?;
+            match pair {
+                [k, n] => Some((k.as_str()?.to_string(), n.as_u64()?)),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+impl StoredTrial {
+    /// Compact single-line JSON for one frame body.
+    pub fn to_json(&self) -> String {
+        JsonValue::Object(vec![
+            ("seq".to_string(), JsonValue::num(self.seq)),
+            ("trial".to_string(), JsonValue::num(self.trial)),
+            ("t_ms".to_string(), JsonValue::num(self.t_ms)),
+            ("watchdog".to_string(), JsonValue::Bool(self.watchdog)),
+            ("exec_ns".to_string(), JsonValue::num(self.exec_ns)),
+            ("ops".to_string(), pairs_to_json(&self.ops)),
+            ("checks".to_string(), pairs_to_json(&self.checks)),
+            ("record".to_string(), self.record.clone()),
+        ])
+        .to_json()
+    }
+
+    /// Parses one frame body.
+    pub fn from_json(text: &str) -> Option<StoredTrial> {
+        let v = JsonValue::parse(text).ok()?;
+        Some(StoredTrial {
+            seq: v.get("seq")?.as_u64()?,
+            trial: v.get("trial")?.as_u64()? as u32,
+            t_ms: v.get("t_ms")?.as_u64()?,
+            watchdog: v.get("watchdog")?.as_bool()?,
+            exec_ns: v.get("exec_ns")?.as_u64()?,
+            ops: pairs_from_json(v.get("ops")?)?,
+            checks: pairs_from_json(v.get("checks")?)?,
+            record: v.get("record")?.clone(),
+        })
+    }
+}
+
+/// Per-shard (benchmark × technique) progress entry in the manifest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardMeta {
+    /// Display label, e.g. `"segm/dup-val"`.
+    pub label: String,
+    /// Benchmark name (`"segm"`).
+    pub benchmark: String,
+    /// Technique slug (`"dup-val"`).
+    pub technique: String,
+    /// Shard file name within the store directory.
+    pub file: String,
+    /// Hash of the derived fault plan (config + golden instruction
+    /// count); a resume refuses to append if it does not match.
+    pub plan_hash: u64,
+    /// Golden-run dynamic instruction count the plan derives from.
+    pub golden_dyn_insts: u64,
+    /// Trials completed (cached; the shard file is authoritative).
+    pub completed: u32,
+    /// True once every planned trial is present.
+    pub complete: bool,
+    /// Cumulative wall milliseconds spent appending to this shard
+    /// across runs.
+    pub wall_ms: u64,
+}
+
+impl ShardMeta {
+    fn to_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("label".to_string(), JsonValue::str(self.label.clone())),
+            (
+                "benchmark".to_string(),
+                JsonValue::str(self.benchmark.clone()),
+            ),
+            (
+                "technique".to_string(),
+                JsonValue::str(self.technique.clone()),
+            ),
+            ("file".to_string(), JsonValue::str(self.file.clone())),
+            ("plan_hash".to_string(), JsonValue::num(self.plan_hash)),
+            (
+                "golden_dyn_insts".to_string(),
+                JsonValue::num(self.golden_dyn_insts),
+            ),
+            ("completed".to_string(), JsonValue::num(self.completed)),
+            ("complete".to_string(), JsonValue::Bool(self.complete)),
+            ("wall_ms".to_string(), JsonValue::num(self.wall_ms)),
+        ])
+    }
+
+    fn from_value(v: &JsonValue) -> Option<ShardMeta> {
+        Some(ShardMeta {
+            label: v.get("label")?.as_str()?.to_string(),
+            benchmark: v.get("benchmark")?.as_str()?.to_string(),
+            technique: v.get("technique")?.as_str()?.to_string(),
+            file: v.get("file")?.as_str()?.to_string(),
+            plan_hash: v.get("plan_hash")?.as_u64()?,
+            golden_dyn_insts: v.get("golden_dyn_insts")?.as_u64()?,
+            completed: v.get("completed")?.as_u64()? as u32,
+            complete: v.get("complete")?.as_bool()?,
+            wall_ms: v.get("wall_ms")?.as_u64()?,
+        })
+    }
+}
+
+/// The run-level manifest: everything needed to re-derive the fault
+/// plan and resume exactly, plus cached per-shard progress.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoreManifest {
+    /// [`RUNSTORE_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// Campaign RNG seed.
+    pub seed: u64,
+    /// Planned trials per shard.
+    pub trials: u32,
+    /// Fault-kind slug (`"register"` / `"branch-target"`).
+    pub fault_kind: String,
+    /// Checkpoint snapshot interval (0 = disabled).
+    pub snapshot_interval: u64,
+    /// Worker threads the campaign was launched with (informational;
+    /// results are thread-count-invariant).
+    pub threads: usize,
+    /// Outcome-classification window: HW-detect latency bound.
+    pub hw_latency_window: u64,
+    /// Outcome-classification threshold for large-change USDC.
+    pub large_change_threshold: f64,
+    /// One entry per campaign shard, in creation order.
+    pub shards: Vec<ShardMeta>,
+}
+
+impl StoreManifest {
+    /// The shard entry with the given label, if present.
+    pub fn shard(&self, label: &str) -> Option<&ShardMeta> {
+        self.shards.iter().find(|s| s.label == label)
+    }
+
+    /// Serializes the manifest (compact; the file is small and tooling
+    /// reads it with a JSON parser, not eyes-first).
+    pub fn to_json(&self) -> String {
+        JsonValue::Object(vec![
+            (
+                "schema_version".to_string(),
+                JsonValue::num(self.schema_version),
+            ),
+            ("seed".to_string(), JsonValue::num(self.seed)),
+            ("trials".to_string(), JsonValue::num(self.trials)),
+            (
+                "fault_kind".to_string(),
+                JsonValue::str(self.fault_kind.clone()),
+            ),
+            (
+                "snapshot_interval".to_string(),
+                JsonValue::num(self.snapshot_interval),
+            ),
+            ("threads".to_string(), JsonValue::num(self.threads)),
+            (
+                "hw_latency_window".to_string(),
+                JsonValue::num(self.hw_latency_window),
+            ),
+            (
+                "large_change_threshold".to_string(),
+                JsonValue::num(self.large_change_threshold),
+            ),
+            (
+                "shards".to_string(),
+                JsonValue::Array(self.shards.iter().map(ShardMeta::to_value).collect()),
+            ),
+        ])
+        .to_json()
+    }
+
+    /// Parses a manifest.
+    pub fn from_json(text: &str) -> Option<StoreManifest> {
+        let v = JsonValue::parse(text).ok()?;
+        Some(StoreManifest {
+            schema_version: v.get("schema_version")?.as_u64()? as u32,
+            seed: v.get("seed")?.as_u64()?,
+            trials: v.get("trials")?.as_u64()? as u32,
+            fault_kind: v.get("fault_kind")?.as_str()?.to_string(),
+            snapshot_interval: v.get("snapshot_interval")?.as_u64()?,
+            threads: v.get("threads")?.as_u64()? as usize,
+            hw_latency_window: v.get("hw_latency_window")?.as_u64()?,
+            large_change_threshold: v.get("large_change_threshold")?.as_f64()?,
+            shards: v
+                .get("shards")?
+                .as_array()?
+                .iter()
+                .map(ShardMeta::from_value)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
+/// Shard file name for a campaign label (`"segm/dup-val"` →
+/// `"segm.dup-val.shard.jsonl"`).
+pub fn shard_file_name(label: &str) -> String {
+    format!("{}.shard.jsonl", label.replace('/', "."))
+}
+
+/// Encodes one frame: 8 hex digits of JSON byte length, space, JSON,
+/// newline.
+fn encode_frame(json: &str) -> String {
+    format!("{:08x} {}\n", json.len(), json)
+}
+
+/// Decodes the valid frame prefix of `bytes`. Returns the decoded
+/// trials and the byte length of the valid prefix; scanning stops at
+/// the first malformed, short, or unparseable frame (torn tail).
+fn decode_frames(bytes: &[u8]) -> (Vec<StoredTrial>, usize) {
+    let mut trials = Vec::new();
+    let mut off = 0;
+    while off < bytes.len() {
+        let rest = &bytes[off..];
+        if rest.len() < 10 || rest[8] != b' ' {
+            break;
+        }
+        let Ok(hex) = std::str::from_utf8(&rest[..8]) else {
+            break;
+        };
+        let Ok(len) = usize::from_str_radix(hex, 16) else {
+            break;
+        };
+        let Some(end) = 9usize.checked_add(len) else {
+            break;
+        };
+        if rest.len() < end + 1 || rest[end] != b'\n' {
+            break;
+        }
+        let Ok(body) = std::str::from_utf8(&rest[9..end]) else {
+            break;
+        };
+        let Some(trial) = StoredTrial::from_json(body) else {
+            break;
+        };
+        trials.push(trial);
+        off += end + 1;
+    }
+    (trials, off)
+}
+
+fn io_invalid(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A run-store directory: manifest plus shard files.
+pub struct RunStore {
+    dir: PathBuf,
+    manifest: Mutex<StoreManifest>,
+}
+
+impl RunStore {
+    /// Creates the directory (if needed) and writes a fresh manifest.
+    /// Fails if a manifest already exists — use [`RunStore::open`] to
+    /// resume.
+    pub fn create(dir: &Path, manifest: StoreManifest) -> std::io::Result<RunStore> {
+        std::fs::create_dir_all(dir)?;
+        if dir.join("manifest.json").exists() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("{} already holds a run store", dir.display()),
+            ));
+        }
+        let store = RunStore {
+            dir: dir.to_path_buf(),
+            manifest: Mutex::new(manifest),
+        };
+        store.write_manifest()?;
+        Ok(store)
+    }
+
+    /// Opens an existing store, reading its manifest.
+    pub fn open(dir: &Path) -> std::io::Result<RunStore> {
+        let text = std::fs::read_to_string(dir.join("manifest.json"))?;
+        let manifest = StoreManifest::from_json(&text)
+            .ok_or_else(|| io_invalid(format!("{}: malformed manifest.json", dir.display())))?;
+        if manifest.schema_version != RUNSTORE_SCHEMA_VERSION {
+            return Err(io_invalid(format!(
+                "run store schema v{} (this build reads v{})",
+                manifest.schema_version, RUNSTORE_SCHEMA_VERSION
+            )));
+        }
+        Ok(RunStore {
+            dir: dir.to_path_buf(),
+            manifest: Mutex::new(manifest),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// A snapshot of the current manifest.
+    pub fn manifest(&self) -> StoreManifest {
+        self.manifest.lock().expect("manifest lock").clone()
+    }
+
+    /// Mutates the manifest under the lock and atomically rewrites
+    /// `manifest.json` (temp file + rename).
+    pub fn update_manifest(
+        &self,
+        f: impl FnOnce(&mut StoreManifest),
+    ) -> std::io::Result<StoreManifest> {
+        {
+            let mut m = self.manifest.lock().expect("manifest lock");
+            f(&mut m);
+        }
+        self.write_manifest()?;
+        Ok(self.manifest())
+    }
+
+    fn write_manifest(&self) -> std::io::Result<()> {
+        let json = self.manifest.lock().expect("manifest lock").to_json();
+        let tmp = self.dir.join("manifest.json.tmp");
+        std::fs::write(&tmp, json.as_bytes())?;
+        std::fs::rename(&tmp, self.dir.join("manifest.json"))
+    }
+
+    /// Absolute path of a shard file within the store.
+    pub fn shard_path(&self, file: &str) -> PathBuf {
+        self.dir.join(file)
+    }
+
+    /// Reads every valid frame of a shard, silently dropping a torn
+    /// tail. A missing shard file reads as empty (the campaign
+    /// crashed before its first append).
+    pub fn read_shard(&self, file: &str) -> std::io::Result<Vec<StoredTrial>> {
+        let path = self.shard_path(file);
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        let bytes = std::fs::read(path)?;
+        Ok(decode_frames(&bytes).0)
+    }
+
+    /// Opens a shard for appending, recovering from a torn tail by
+    /// truncating it. The writer's `seq` continues from the highest
+    /// persisted value.
+    pub fn shard_writer(&self, file: &str) -> std::io::Result<ShardWriter> {
+        let path = self.shard_path(file);
+        let mut f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        let (trials, valid) = decode_frames(&bytes);
+        if valid < bytes.len() {
+            f.set_len(valid as u64)?;
+        }
+        f.seek(SeekFrom::Start(valid as u64))?;
+        let next_seq = trials.iter().map(|t| t.seq + 1).max().unwrap_or(0);
+        Ok(ShardWriter {
+            inner: Mutex::new(WriterInner { file: f, next_seq }),
+        })
+    }
+}
+
+struct WriterInner {
+    file: File,
+    next_seq: u64,
+}
+
+/// Append handle for one shard file. Thread-safe: campaign workers
+/// share one writer; each append is a single flushed write under the
+/// lock, so frames never interleave.
+pub struct ShardWriter {
+    inner: Mutex<WriterInner>,
+}
+
+impl ShardWriter {
+    /// Appends one trial, assigning and returning its `seq`.
+    pub fn append(&self, mut trial: StoredTrial) -> std::io::Result<u64> {
+        let mut inner = self.inner.lock().expect("shard writer lock");
+        trial.seq = inner.next_seq;
+        inner
+            .file
+            .write_all(encode_frame(&trial.to_json()).as_bytes())?;
+        inner.file.flush()?;
+        inner.next_seq += 1;
+        Ok(trial.seq)
+    }
+}
+
+/// Incremental reader for tailing a live shard: each
+/// [`ShardTail::poll`] returns the frames completed since the last
+/// poll, never consuming a partial frame.
+pub struct ShardTail {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl ShardTail {
+    /// A tail positioned at the start of `path` (which may not exist
+    /// yet).
+    pub fn new(path: PathBuf) -> ShardTail {
+        ShardTail { path, offset: 0 }
+    }
+
+    /// Reads any newly completed frames. A still-torn tail stays
+    /// unconsumed until the writer finishes it.
+    pub fn poll(&mut self) -> std::io::Result<Vec<StoredTrial>> {
+        if !self.path.exists() {
+            return Ok(Vec::new());
+        }
+        let mut f = File::open(&self.path)?;
+        f.seek(SeekFrom::Start(self.offset))?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        let (trials, valid) = decode_frames(&bytes);
+        self.offset += valid as u64;
+        Ok(trials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("softft_runstore_{}_{}", std::process::id(), tag));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn manifest() -> StoreManifest {
+        StoreManifest {
+            schema_version: RUNSTORE_SCHEMA_VERSION,
+            seed: 0x5EED,
+            trials: 10,
+            fault_kind: "register".to_string(),
+            snapshot_interval: 0,
+            threads: 1,
+            hw_latency_window: 1000,
+            large_change_threshold: 4.0,
+            shards: Vec::new(),
+        }
+    }
+
+    fn trial(n: u32) -> StoredTrial {
+        StoredTrial {
+            seq: 0,
+            trial: n,
+            t_ms: 5,
+            watchdog: n % 2 == 0,
+            exec_ns: 1000 + n as u64,
+            ops: vec![("alu".to_string(), 12), ("load".to_string(), 3)],
+            checks: vec![("dup-mismatch".to_string(), 1)],
+            record: JsonValue::Object(vec![
+                ("outcome".to_string(), JsonValue::str("masked")),
+                ("seed".to_string(), JsonValue::num(u64::MAX - n as u64)),
+            ]),
+        }
+    }
+
+    #[test]
+    fn trial_json_round_trips() {
+        let t = trial(3);
+        let back = StoredTrial::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(
+            back.record.get("seed").unwrap().as_u64(),
+            Some(u64::MAX - 3)
+        );
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let a = trial(0);
+        let framed = encode_frame(&a.to_json());
+        let two = format!("{framed}{framed}");
+        let (decoded, consumed) = decode_frames(two.as_bytes());
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0], a);
+        assert_eq!(consumed, two.len());
+    }
+
+    #[test]
+    fn torn_tail_stops_decode_and_writer_truncates() {
+        let dir = temp_store_dir("torn");
+        let store = RunStore::create(&dir, manifest()).unwrap();
+        let file = shard_file_name("segm/dup-val");
+        let w = store.shard_writer(&file).unwrap();
+        w.append(trial(0)).unwrap();
+        w.append(trial(1)).unwrap();
+        drop(w);
+        // Simulate a crash mid-append: a frame header with a length
+        // that promises more bytes than exist.
+        let path = store.shard_path(&file);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"000000ff {\"seq\":9,\"truncat").unwrap();
+        drop(f);
+        let before = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(store.read_shard(&file).unwrap().len(), 2);
+        // Reopening the writer truncates the torn tail and continues
+        // the sequence.
+        let w = store.shard_writer(&file).unwrap();
+        assert!(std::fs::metadata(&path).unwrap().len() < before);
+        let seq = w.append(trial(2)).unwrap();
+        assert_eq!(seq, 2);
+        let trials = store.read_shard(&file).unwrap();
+        assert_eq!(
+            trials.iter().map(|t| t.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn seq_is_monotonic_across_reopen() {
+        let dir = temp_store_dir("seq");
+        let store = RunStore::create(&dir, manifest()).unwrap();
+        let file = shard_file_name("b/t");
+        let w = store.shard_writer(&file).unwrap();
+        assert_eq!(w.append(trial(0)).unwrap(), 0);
+        assert_eq!(w.append(trial(1)).unwrap(), 1);
+        drop(w);
+        let w = store.shard_writer(&file).unwrap();
+        assert_eq!(w.append(trial(2)).unwrap(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_polls_only_complete_frames() {
+        let dir = temp_store_dir("tail");
+        let store = RunStore::create(&dir, manifest()).unwrap();
+        let file = shard_file_name("b/t");
+        let w = store.shard_writer(&file).unwrap();
+        let mut tail = ShardTail::new(store.shard_path(&file));
+        assert!(tail.poll().unwrap().is_empty());
+        w.append(trial(0)).unwrap();
+        w.append(trial(1)).unwrap();
+        assert_eq!(tail.poll().unwrap().len(), 2);
+        // A torn frame stays unconsumed until completed.
+        let framed = encode_frame(&trial(2).to_json());
+        let (head, rest) = framed.as_bytes().split_at(12);
+        let path = store.shard_path(&file);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(head).unwrap();
+        drop(f);
+        assert!(tail.poll().unwrap().is_empty());
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(rest).unwrap();
+        drop(f);
+        let got = tail.poll().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].trial, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_create_open_update_round_trips() {
+        let dir = temp_store_dir("manifest");
+        let store = RunStore::create(&dir, manifest()).unwrap();
+        assert!(
+            RunStore::create(&dir, manifest()).is_err(),
+            "create refuses to clobber an existing store"
+        );
+        store
+            .update_manifest(|m| {
+                m.shards.push(ShardMeta {
+                    label: "segm/dup-val".to_string(),
+                    benchmark: "segm".to_string(),
+                    technique: "dup-val".to_string(),
+                    file: shard_file_name("segm/dup-val"),
+                    plan_hash: u64::MAX - 7,
+                    golden_dyn_insts: 99,
+                    completed: 4,
+                    complete: false,
+                    wall_ms: 17,
+                });
+            })
+            .unwrap();
+        let reopened = RunStore::open(&dir).unwrap();
+        let m = reopened.manifest();
+        assert_eq!(m, store.manifest());
+        let shard = m.shard("segm/dup-val").unwrap();
+        assert_eq!(shard.completed, 4);
+        assert_eq!(shard.plan_hash, u64::MAX - 7, "u64 hashes survive JSON");
+        assert!(m.shard("nope").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -60,6 +60,14 @@ pub fn check_kind_label(kind: CheckKind) -> &'static str {
     }
 }
 
+/// Inverse of [`check_kind_label`], for rebuilding counts from persisted
+/// label/count pairs (run-store replay).
+pub fn check_kind_from_label(label: &str) -> Option<CheckKind> {
+    CHECK_KINDS
+        .into_iter()
+        .find(|&k| check_kind_label(k) == label)
+}
+
 /// Per-[`CheckKind`] firing counts.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CheckKindCounts {
@@ -75,6 +83,12 @@ impl CheckKindCounts {
     /// Adds one firing of `kind`.
     pub fn inc(&mut self, kind: CheckKind) {
         self.counts[kind_index(kind)] += 1;
+    }
+
+    /// Adds `n` firings of `kind` (rebuilding counts from persisted
+    /// pairs).
+    pub fn add(&mut self, kind: CheckKind, n: u64) {
+        self.counts[kind_index(kind)] += n;
     }
 
     /// Firings of `kind`.
@@ -264,6 +278,18 @@ mod tests {
         for (i, &k) in CHECK_KINDS.iter().enumerate() {
             assert_eq!(kind_index(k), i);
         }
+    }
+
+    #[test]
+    fn labels_round_trip_and_add_accumulates() {
+        for k in CHECK_KINDS {
+            assert_eq!(check_kind_from_label(check_kind_label(k)), Some(k));
+        }
+        assert_eq!(check_kind_from_label("bogus"), None);
+        let mut c = CheckKindCounts::new();
+        c.add(CheckKind::ValuePair, 7);
+        c.inc(CheckKind::ValuePair);
+        assert_eq!(c.get(CheckKind::ValuePair), 8);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Streamed run-store campaigns must be *bitwise* equivalent to buffered
+//! ones: replaying a store — whether written in one pass or interrupted
+//! and resumed — produces the same `CampaignResult`, per-trial records,
+//! attributed events, metrics JSON, and coverage map as
+//! `run_campaign_attributed` over the same config. Persistence is pure
+//! plumbing; any observable divergence is a bug.
+
+use softft::Technique;
+use softft_campaign::campaign::{run_campaign_attributed, CampaignConfig};
+use softft_campaign::coverage::build_coverage;
+use softft_campaign::live::{replay, run_campaign_to_store, store_manifest};
+use softft_campaign::prep::{prepare, PreparedBenchmark};
+use softft_telemetry::{RunStore, TrialEvent};
+use softft_workloads::workload_by_name;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const TECH: Technique = Technique::DupVal;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("softft_rs_equiv_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(trials: u32, threads: usize, interval: u64) -> CampaignConfig {
+    CampaignConfig {
+        trials,
+        seed: 11,
+        threads,
+        snapshot_interval: interval,
+        ..CampaignConfig::default()
+    }
+}
+
+fn jsonl(events: &[TrialEvent]) -> Option<String> {
+    let mut s = String::new();
+    for e in events {
+        s.push_str(&e.to_jsonl().ok()?);
+        s.push('\n');
+    }
+    Some(s)
+}
+
+/// Replays `dir`'s single shard and asserts every aggregate matches a
+/// fresh buffered campaign under the same config — structurally always,
+/// and byte-for-byte where the serializer is available.
+fn assert_matches_buffered(dir: &Path, p: &PreparedBenchmark, ccfg: &CampaignConfig, ctx: &str) {
+    let shards = replay(dir).expect("replay");
+    assert_eq!(shards.len(), 1, "{ctx}: shard count");
+    let shard = &shards[0];
+    assert!(shard.complete, "{ctx}: shard incomplete");
+    let t = shard.technique;
+    let (res, tel) =
+        run_campaign_attributed(&*p.workload, p.module(t), ccfg, Some(p.protection(t)));
+    assert_eq!(shard.result, res, "{ctx}: result diverged");
+    assert_eq!(shard.telemetry.events, tel.events, "{ctx}: events diverged");
+    assert_eq!(
+        shard.telemetry.records, tel.records,
+        "{ctx}: records diverged"
+    );
+    assert_eq!(shard.telemetry.checks, tel.checks, "{ctx}: checks diverged");
+    assert_eq!(
+        shard.telemetry.metrics.to_json(),
+        tel.metrics.to_json(),
+        "{ctx}: metrics diverged"
+    );
+    let cov = build_coverage(
+        &shard.benchmark,
+        t,
+        p.module(t),
+        p.protection(t),
+        &res,
+        &tel.records,
+    );
+    assert_eq!(shard.coverage, cov, "{ctx}: coverage diverged");
+    if let (Some(a), Some(b)) = (jsonl(&shard.telemetry.events), jsonl(&tel.events)) {
+        assert_eq!(a, b, "{ctx}: event JSONL bytes diverged");
+    }
+    if let (Ok(a), Ok(b)) = (shard.coverage.to_json(), cov.to_json()) {
+        assert_eq!(a, b, "{ctx}: coverage JSON bytes diverged");
+    }
+}
+
+#[test]
+fn streamed_store_matches_buffered_across_threads_and_intervals() {
+    let p = prepare(workload_by_name("tiff2bw").unwrap());
+    for threads in [1, 3] {
+        for interval in [0, 1500] {
+            let ccfg = cfg(25, threads, interval);
+            let dir = temp_store(&format!("one_pass_{threads}_{interval}"));
+            let store = RunStore::create(&dir, store_manifest(&ccfg)).unwrap();
+            let stats = run_campaign_to_store(&store, &p, TECH, &ccfg, None).unwrap();
+            assert_eq!(stats.executed, 25);
+            assert!(stats.complete);
+            assert_matches_buffered(&dir, &p, &ccfg, &format!("t{threads} i{interval}"));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn interrupted_then_resumed_store_is_bitwise_identical() {
+    let p = prepare(workload_by_name("tiff2bw").unwrap());
+    let ccfg = cfg(30, 2, 1000);
+    let dir = temp_store("resume");
+    let store = RunStore::create(&dir, store_manifest(&ccfg)).unwrap();
+
+    // "Crash" after 11 trials: the cap stands in for a kill signal —
+    // every persisted frame is one the real writer had flushed.
+    let first = run_campaign_to_store(&store, &p, TECH, &ccfg, Some(11)).unwrap();
+    assert_eq!(first.executed, 11);
+    assert!(!first.complete);
+
+    // Resume from a freshly opened store: finishes exactly the rest.
+    let store = RunStore::open(&dir).unwrap();
+    let second = run_campaign_to_store(&store, &p, TECH, &ccfg, None).unwrap();
+    assert_eq!(second.already_done, 11);
+    assert_eq!(second.executed, 19);
+    assert!(second.complete);
+
+    // A third invocation finds nothing left to do.
+    let third = run_campaign_to_store(&store, &p, TECH, &ccfg, None).unwrap();
+    assert_eq!(third.executed, 0);
+    assert!(third.complete);
+
+    assert_matches_buffered(&dir, &p, &ccfg, "interrupt+resume");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_is_truncated_and_rewritten_on_resume() {
+    let p = prepare(workload_by_name("tiff2bw").unwrap());
+    let ccfg = cfg(20, 2, 0);
+    let dir = temp_store("torn");
+    let store = RunStore::create(&dir, store_manifest(&ccfg)).unwrap();
+    run_campaign_to_store(&store, &p, TECH, &ccfg, Some(8)).unwrap();
+
+    // Simulate a crash mid-append: a frame header with no payload or
+    // newline. The next writer must truncate it before appending.
+    let shard = dir.join(format!("tiff2bw.{}.shard.jsonl", TECH.slug()));
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&shard)
+        .unwrap();
+    f.write_all(b"000000ff {\"seq\"").unwrap();
+    drop(f);
+
+    let store = RunStore::open(&dir).unwrap();
+    let resumed = run_campaign_to_store(&store, &p, TECH, &ccfg, None).unwrap();
+    assert_eq!(resumed.already_done, 8);
+    assert_eq!(resumed.executed, 12);
+    assert_matches_buffered(&dir, &p, &ccfg, "torn tail");
+    let _ = std::fs::remove_dir_all(&dir);
+}
