@@ -4,7 +4,8 @@
 //! ```text
 //! repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c]
 //!                 [--telemetry DIR] [--html PATH] [--snapshot-interval K]
-//!                 [--bench-out PATH] [--progress text|jsonl] [-v|--verbose] [-q|--quiet]
+//!                 [--bench-out PATH] [--engine tree,decoded,fused]
+//!                 [--progress text|jsonl] [-v|--verbose] [-q|--quiet]
 //!                 [--store DIR] [--resume DIR] [--trial-cap N] [--verify]
 //!                 [--format text|jsonl] [--follow] [DIR]
 //!
@@ -27,7 +28,7 @@ fn usage() -> ExitCode {
     // Usage goes out at every verbosity level. The exhibit list is
     // derived from the same table `Exhibit::parse` reads.
     Logger::default().error(format!(
-        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [--html PATH] [--snapshot-interval K] [--bench-out PATH] [--progress text|jsonl] [--store DIR] [--resume DIR] [--trial-cap N] [--verify] [--format text|jsonl] [--follow] [-v|--verbose] [-q|--quiet] [DIR]\n\
+        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [--html PATH] [--snapshot-interval K] [--bench-out PATH] [--engine tree,decoded,fused] [--progress text|jsonl] [--store DIR] [--resume DIR] [--trial-cap N] [--verify] [--format text|jsonl] [--follow] [-v|--verbose] [-q|--quiet] [DIR]\n\
          exhibits: {}",
         Exhibit::names_joined(),
     ));
@@ -111,6 +112,11 @@ fn main() -> ExitCode {
             },
             "--bench-out" => {
                 cfg.bench_out = Some(value.into());
+            }
+            // Execution tiers for `interpbench` (comma-separated
+            // labels; default compares all three).
+            "--engine" => {
+                cfg.engines = value.split(',').map(str::to_string).collect();
             }
             // Run-store surfaces: `campaign --store DIR` creates (or
             // continues) a persistent store, `--resume DIR` requires

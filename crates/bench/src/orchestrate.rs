@@ -200,6 +200,9 @@ pub struct ReproConfig {
     /// `repro watch --format`: `"text"` (human) or `"jsonl"` (one
     /// object per shard per frame).
     pub watch_format: String,
+    /// `repro interpbench --engine`: execution tiers to compare, by
+    /// label (`tree`, `decoded`, `fused`). Empty = all three.
+    pub engines: Vec<String>,
 }
 
 impl Default for ReproConfig {
@@ -220,6 +223,7 @@ impl Default for ReproConfig {
             follow: false,
             verify: false,
             watch_format: "text".to_string(),
+            engines: Vec::new(),
         }
     }
 }
@@ -668,19 +672,21 @@ const INTERP_BENCH_SET: [&str; 8] = [
 ];
 
 /// The `interpbench` exhibit: for each selected benchmark, runs the
-/// fault-free golden run under the tree-walking reference interpreter
-/// (`VmConfig::reference_interp`) and under the pre-decoded flat
-/// bytecode engine, and reports interpreter throughput (dynamic
-/// instructions per second), the decoded-over-tree speedup, and whether
-/// the two engines produced bitwise-identical results and output bytes.
-/// Each leg is run `reps` times and the best wall time is kept, so the
-/// numbers measure the engines rather than scheduler noise. Writes
-/// `BENCH_interp.json` (`--bench-out`) so CI can fail on divergence and
-/// track throughput regressions.
+/// fault-free golden run under every selected execution tier
+/// (`--engine tree,decoded,fused`; default all three) and reports
+/// interpreter throughput (dynamic instructions per second), the
+/// decoded-over-tree and fused-over-decoded speedups, the fusion hit
+/// rate (fraction of dynamic instructions retired via
+/// superinstructions), and whether all engines produced
+/// bitwise-identical results and output bytes. Each leg is run `reps`
+/// times and the best wall time is kept, so the numbers measure the
+/// engines rather than scheduler noise. Writes `BENCH_interp.json`
+/// (`--bench-out`, schema v2) so CI can fail on divergence and track
+/// throughput regressions.
 fn interpbench(cfg: &ReproConfig) -> String {
-    use softft_vm::interp::{NoopObserver, VmConfig};
+    use softft_vm::interp::{Engine, NoopObserver, Vm, VmConfig};
     use softft_vm::outcome::RunResult;
-    use softft_workloads::runner::WorkloadImage;
+    use softft_workloads::runner::{read_output, write_input, WorkloadImage};
     use softft_workloads::workload_by_name;
 
     let log = Logger::new(cfg.verbosity);
@@ -690,10 +696,28 @@ fn interpbench(cfg: &ReproConfig) -> String {
         cfg.benchmarks.clone()
     };
     let reps = 5;
+    let engines: Vec<Engine> = if cfg.engines.is_empty() {
+        vec![Engine::Tree, Engine::Decoded, Engine::Fused]
+    } else {
+        let mut v = Vec::new();
+        for s in &cfg.engines {
+            match Engine::parse(s) {
+                Some(e) if !v.contains(&e) => v.push(e),
+                Some(_) => {}
+                None => log.error(format!(
+                    "[repro] interpbench: unknown engine {s} (expected tree, decoded, fused)"
+                )),
+            }
+        }
+        v
+    };
+    if engines.is_empty() {
+        return "interpbench: no valid engines selected\n".to_string();
+    }
 
-    // Best-of-`reps` golden run; the image (and its decode) is built
-    // outside the timed region — decode happens once per module, not
-    // per run, which is exactly the cost model campaigns see.
+    // Best-of-`reps` golden run; the image (and its decode + fusion) is
+    // built outside the timed region — decode happens once per module,
+    // not per run, which is exactly the cost model campaigns see.
     let leg = |image: &WorkloadImage<'_>| -> (f64, RunResult, Vec<u8>) {
         let mut best = f64::INFINITY;
         let mut kept = None;
@@ -715,12 +739,29 @@ fn interpbench(cfg: &ReproConfig) -> String {
     };
 
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Interpreter bench: tree-walking reference vs pre-decoded engine (golden runs, best of {reps})\n\
-         {:<10} {:>12} {:>10} {:>10} {:>14} {:>14} {:>8} {:>6}",
-        "benchmark", "golden", "tree ms", "dec ms", "tree insts/s", "dec insts/s", "speedup", "equal"
+    let mut header = format!(
+        "Interpreter bench: {} (golden runs, best of {reps})\n{:<10} {:>12}",
+        engines
+            .iter()
+            .map(|e| e.label())
+            .collect::<Vec<_>>()
+            .join(" vs "),
+        "benchmark",
+        "golden"
     );
+    for e in &engines {
+        header.push_str(&format!(
+            " {:>9} {:>13}",
+            format!("{} ms", e.label()),
+            "insts/s"
+        ));
+    }
+    header.push_str(&format!(
+        " {:>7} {:>7} {:>6} {:>6}",
+        "dec-x", "fus-x", "hit%", "equal"
+    ));
+    let _ = writeln!(out, "{header}");
+
     let mut entries: Vec<String> = Vec::new();
     let mut all_equivalent = true;
     for name in &names {
@@ -730,61 +771,148 @@ fn interpbench(cfg: &ReproConfig) -> String {
         };
         let module = w.build_module();
         let input = w.input(InputSet::Test);
-        log.debug(format!("[repro] interpbench: {name} tree leg"));
-        let tree_cfg = VmConfig {
-            reference_interp: true,
-            ..VmConfig::default()
-        };
-        let (tree_ms, tree_r, tree_out) = leg(&WorkloadImage::new(&module, &input, tree_cfg));
-        log.debug(format!("[repro] interpbench: {name} decoded leg"));
-        let (dec_ms, dec_r, dec_out) =
-            leg(&WorkloadImage::new(&module, &input, VmConfig::default()));
-        let equivalent = tree_r == dec_r && tree_out == dec_out;
+
+        // One leg per selected engine, identical golden run.
+        let mut legs: Vec<(Engine, f64, RunResult, Vec<u8>)> = Vec::new();
+        for &e in &engines {
+            log.debug(format!("[repro] interpbench: {name} {} leg", e.label()));
+            let vm_cfg = VmConfig {
+                engine: e,
+                ..VmConfig::default()
+            };
+            let (ms, r, bytes) = leg(&WorkloadImage::new(&module, &input, vm_cfg));
+            legs.push((e, ms, r, bytes));
+        }
+        let equivalent = legs
+            .iter()
+            .all(|(_, _, r, b)| *r == legs[0].2 && *b == legs[0].3);
         all_equivalent &= equivalent;
-        let insts = tree_r.dyn_insts;
-        let speedup = tree_ms / dec_ms.max(1e-9);
+        let insts = legs[0].2.dyn_insts;
+        let ms_of = |e: Engine| legs.iter().find(|l| l.0 == e).map(|l| l.1);
+        let speedup = match (ms_of(Engine::Tree), ms_of(Engine::Decoded)) {
+            (Some(t), Some(d)) => Some(t / d.max(1e-9)),
+            _ => None,
+        };
+        let fused_speedup = match (ms_of(Engine::Decoded), ms_of(Engine::Fused)) {
+            (Some(d), Some(f)) => Some(d / f.max(1e-9)),
+            _ => None,
+        };
+
+        // Fusion hit rate: one extra profiled fused run, untimed. The
+        // fused-pair tally is kept off the timed legs so the numbers
+        // measure the engine, not the bookkeeping.
+        let fusion = engines.contains(&Engine::Fused).then(|| {
+            log.debug(format!("[repro] interpbench: {name} fusion stats run"));
+            let prof_cfg = VmConfig {
+                engine: Engine::Fused,
+                profiling: true,
+                ..VmConfig::default()
+            };
+            let main = module.function_by_name("main").expect("kernel has main");
+            let mut vm = Vm::new(&module, prof_cfg);
+            write_input(&mut vm, &module, &input);
+            let r = vm.run(main, &[], &mut NoopObserver, None);
+            let bytes = read_output(&vm, &module);
+            let vmp = vm.take_profiler().expect("profiling was enabled");
+            let fused_ok = legs
+                .iter()
+                .find(|l| l.0 == Engine::Fused)
+                .map(|l| l.2 == r && l.3 == bytes)
+                .unwrap_or(true);
+            let total = vmp.counts().total();
+            let retired = 2 * vmp.fused_pairs().total();
+            let pairs = vmp.fused_pairs().top(8, total);
+            (fused_ok, total, retired, pairs)
+        });
+        if let Some((fused_ok, _, _, _)) = &fusion {
+            all_equivalent &= fused_ok;
+        }
+        let hit_rate = fusion
+            .as_ref()
+            .map(|(_, total, retired, _)| *retired as f64 / (*total).max(1) as f64);
+
+        let mut row = format!("{:<10} {:>12}", name, insts);
+        for (_, ms, r, _) in &legs {
+            let _ = r;
+            row.push_str(&format!(" {:>9.2} {:>13.0}", ms, per_sec(insts, *ms)));
+        }
+        let fmt_x = |s: Option<f64>| s.map_or("-".to_string(), |v| format!("{v:.2}x"));
         let _ = writeln!(
             out,
-            "{:<10} {:>12} {:>10.2} {:>10.2} {:>14.0} {:>14.0} {:>7.2}x {:>6}",
-            name,
-            insts,
-            tree_ms,
-            dec_ms,
-            per_sec(insts, tree_ms),
-            per_sec(insts, dec_ms),
-            speedup,
+            "{row} {:>7} {:>7} {:>6} {:>6}",
+            fmt_x(speedup),
+            fmt_x(fused_speedup),
+            hit_rate.map_or("-".to_string(), |h| format!("{:.1}", h * 100.0)),
             if equivalent { "yes" } else { "NO" }
         );
-        entries.push(format!(
-            concat!(
-                "    {{\n",
-                "      \"name\": \"{}\",\n",
-                "      \"golden_dyn_insts\": {},\n",
-                "      \"tree\": {{ \"wall_ms\": {:.3}, \"dyn_insts_per_sec\": {:.0} }},\n",
-                "      \"decoded\": {{ \"wall_ms\": {:.3}, \"dyn_insts_per_sec\": {:.0} }},\n",
-                "      \"speedup\": {:.3},\n",
-                "      \"equivalent\": {}\n",
-                "    }}"
-            ),
-            name,
-            insts,
-            tree_ms,
-            per_sec(insts, tree_ms),
-            dec_ms,
-            per_sec(insts, dec_ms),
-            speedup,
-            equivalent
-        ));
+
+        // JSON entry: v1 fields (`tree`/`decoded`/`speedup`) keep their
+        // exact shape; `fused`, `fused_speedup` and `fusion` are the v2
+        // additions.
+        let mut entry = format!(
+            "    {{\n      \"name\": \"{}\",\n      \"golden_dyn_insts\": {},\n",
+            name, insts
+        );
+        for (e, ms, _, _) in &legs {
+            entry.push_str(&format!(
+                "      \"{}\": {{ \"wall_ms\": {:.3}, \"dyn_insts_per_sec\": {:.0} }},\n",
+                e.label(),
+                ms,
+                per_sec(insts, *ms)
+            ));
+        }
+        if let Some(s) = speedup {
+            entry.push_str(&format!("      \"speedup\": {s:.3},\n"));
+        }
+        if let Some(s) = fused_speedup {
+            entry.push_str(&format!("      \"fused_speedup\": {s:.3},\n"));
+        }
+        if let Some((_, total, retired, pairs)) = &fusion {
+            let pairs_json = pairs
+                .iter()
+                .map(|d| {
+                    format!(
+                        "          {{ \"first\": \"{}\", \"second\": \"{}\", \"count\": {}, \"retired_frac\": {:.6} }}",
+                        d.first.label(),
+                        d.second.label(),
+                        d.count,
+                        (2 * d.count) as f64 / (*total).max(1) as f64
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n");
+            entry.push_str(&format!(
+                concat!(
+                    "      \"fusion\": {{\n",
+                    "        \"dyn_insts\": {},\n",
+                    "        \"retired_fused\": {},\n",
+                    "        \"retired_frac\": {:.6},\n",
+                    "        \"pairs\": [\n{}\n        ]\n",
+                    "      }},\n"
+                ),
+                total,
+                retired,
+                *retired as f64 / (*total).max(1) as f64,
+                pairs_json
+            ));
+        }
+        entry.push_str(&format!("      \"equivalent\": {equivalent}\n    }}"));
+        entries.push(entry);
     }
     let _ = writeln!(
         out,
-        "(the decoded engine must be bitwise equivalent; 'NO' in the last column is a bug)"
+        "(every engine must be bitwise equivalent; 'NO' in the last column is a bug)"
     );
 
     let json = format!(
-        "{{\n  \"schema\": \"softft.bench.interp.v1\",\n  \"seed\": {},\n  \"reps\": {},\n  \"benchmarks\": [\n{}\n  ],\n  \"all_equivalent\": {}\n}}\n",
+        "{{\n  \"schema\": \"softft.bench.interp.v2\",\n  \"seed\": {},\n  \"reps\": {},\n  \"engines\": [{}],\n  \"benchmarks\": [\n{}\n  ],\n  \"all_equivalent\": {}\n}}\n",
         cfg.seed,
         reps,
+        engines
+            .iter()
+            .map(|e| format!("\"{}\"", e.label()))
+            .collect::<Vec<_>>()
+            .join(", "),
         entries.join(",\n"),
         all_equivalent
     );
@@ -927,6 +1055,22 @@ fn profile(cfg: &ReproConfig) -> String {
                 d.est_dispatch_savings * 100.0
             );
         }
+        let fusible = vmp.fusible_digrams(8);
+        let _ = writeln!(
+            out,
+            "fusible digrams (top {}; intra-block fall-through pairs a superinstruction can fuse):",
+            fusible.len()
+        );
+        for d in &fusible {
+            let _ = writeln!(
+                out,
+                "  {:>6} -> {:<6} {:>12}  {:>6.2}% of dispatches",
+                d.first.label(),
+                d.second.label(),
+                d.count,
+                d.est_dispatch_savings * 100.0
+            );
+        }
         let _ = writeln!(
             out,
             "campaign phases ({} trials, interval {}):",
@@ -944,6 +1088,19 @@ fn profile(cfg: &ReproConfig) -> String {
 
         // --- JSON entry. ---
         let digrams_json = top
+            .iter()
+            .map(|d| {
+                format!(
+                    "        {{ \"first\": \"{}\", \"second\": \"{}\", \"count\": {}, \"est_dispatch_savings\": {:.6} }}",
+                    d.first.label(),
+                    d.second.label(),
+                    d.count,
+                    d.est_dispatch_savings
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let fusible_json = fusible
             .iter()
             .map(|d| {
                 format!(
@@ -1006,6 +1163,7 @@ fn profile(cfg: &ReproConfig) -> String {
                 "      \"campaign_equivalent\": {},\n",
                 "      \"dispatches\": {},\n",
                 "      \"hot_digrams\": [\n{}\n      ],\n",
+                "      \"fusible_digrams\": [\n{}\n      ],\n",
                 "      \"opcodes\": [\n{}\n      ],\n",
                 "      \"sampled_ns\": [\n{}\n      ],\n",
                 "      \"campaign\": {{\n",
@@ -1025,6 +1183,7 @@ fn profile(cfg: &ReproConfig) -> String {
             campaign_equiv,
             dispatches,
             digrams_json,
+            fusible_json,
             opcodes_json,
             sampled_json,
             phcfg.trials,

@@ -46,7 +46,7 @@ use softft_ir::inst::{BinOp, CastKind, CheckKind, FloatCC, IntCC, Op, Term, UnOp
 use softft_ir::{BlockId, FuncId, InstId, Module, Type, ValueId};
 
 /// Slot index meaning "no result".
-const SLOT_NONE: u32 = u32::MAX;
+pub(crate) const SLOT_NONE: u32 = u32::MAX;
 
 /// A pre-resolved operand: an index into the frame's slot array. Value
 /// operands map to their SSA slot; constants map into the immediate pool
@@ -237,15 +237,20 @@ pub(crate) struct DecodedFunc {
 #[derive(Debug)]
 pub struct DecodedModule {
     pub(crate) funcs: Vec<DecodedFunc>,
+    /// The superinstruction (fused) image of each function, built over
+    /// the decoded stream by [`crate::fuse::fuse_func`]. Fusion is a pure
+    /// view: it never changes `funcs`, so both the decoded and the fused
+    /// engine share one `Arc<DecodedModule>`.
+    pub(crate) fused: Vec<crate::fuse::FusedFunc>,
 }
 
 impl DecodedModule {
     /// Lowers every function of `module`. Decode is pure and
     /// deterministic; the result is only valid for that exact module.
     pub fn decode(module: &Module) -> DecodedModule {
-        DecodedModule {
-            funcs: module.functions().iter().map(decode_func).collect(),
-        }
+        let funcs: Vec<DecodedFunc> = module.functions().iter().map(decode_func).collect();
+        let fused = funcs.iter().map(crate::fuse::fuse_func).collect();
+        DecodedModule { funcs, fused }
     }
 }
 
@@ -509,7 +514,7 @@ impl Default for DFrame {
 
 impl DFrame {
     #[inline(always)]
-    fn read(&self, o: Operand) -> u64 {
+    pub(crate) fn read(&self, o: Operand) -> u64 {
         debug_assert!(
             o >= self.num_values || self.lenient || self.defined_bit(o as usize),
             "SSA: use before def"
@@ -518,7 +523,7 @@ impl DFrame {
     }
 
     #[inline(always)]
-    fn write(&mut self, slot: u32, bits: u64) {
+    pub(crate) fn write(&mut self, slot: u32, bits: u64) {
         self.slots[slot as usize] = bits;
         self.defined[(slot >> 6) as usize] |= 1u64 << (slot & 63);
     }
@@ -588,15 +593,15 @@ impl DFrame {
 /// scratch, and a frame arena recycled across calls and trials.
 #[derive(Debug, Default)]
 pub(crate) struct Scratch {
-    call_args: Vec<u64>,
-    phi_writes: Vec<(u32, u64)>,
-    free_frames: Vec<DFrame>,
+    pub(crate) call_args: Vec<u64>,
+    pub(crate) phi_writes: Vec<(u32, u64)>,
+    pub(crate) free_frames: Vec<DFrame>,
 }
 
 impl Scratch {
     /// Returns a frame initialized for `fid`: value slots zeroed,
     /// immediates copied in, defined mask cleared.
-    fn alloc(&mut self, df: &DecodedFunc, fid: FuncId) -> DFrame {
+    pub(crate) fn alloc(&mut self, df: &DecodedFunc, fid: FuncId) -> DFrame {
         let mut fr = self.free_frames.pop().unwrap_or_default();
         let n = df.num_values as usize;
         fr.func = fid;
@@ -615,7 +620,7 @@ impl Scratch {
         fr
     }
 
-    fn recycle(&mut self, cur: DFrame, stack: Vec<DFrame>) {
+    pub(crate) fn recycle(&mut self, cur: DFrame, stack: Vec<DFrame>) {
         self.free_frames.push(cur);
         self.free_frames.extend(stack);
     }
@@ -625,6 +630,12 @@ impl Scratch {
 /// `Sink` contract (return `true` to halt before the instruction at the
 /// current `dyn_count` executes).
 pub(crate) trait DSink<O: Observer> {
+    /// `true` when `at_boundary` can never halt, snapshot, or otherwise
+    /// observe frame state. A passive sink lets the fused machine elide
+    /// bookkeeping whose only consumers are snapshots and fault-site
+    /// selection (see `DFrame::defined`) on fault-free runs.
+    const PASSIVE: bool = false;
+
     fn at_boundary(
         &mut self,
         mem: &Memory,
@@ -639,6 +650,8 @@ pub(crate) trait DSink<O: Observer> {
 pub(crate) struct DNoSink;
 
 impl<O: Observer> DSink<O> for DNoSink {
+    const PASSIVE: bool = true;
+
     #[inline(always)]
     fn at_boundary(
         &mut self,
@@ -754,7 +767,12 @@ impl<O: Observer> DSink<O> for DConvergeSink<'_> {
 /// (ascending defined value indices) and RNG consumption are identical to
 /// the reference `ExecState::maybe_inject`.
 #[cold]
-fn inject<O: Observer>(state: &mut ExecState, frame: &mut DFrame, func: &Function, obs: &mut O) {
+pub(crate) fn inject<O: Observer>(
+    state: &mut ExecState,
+    frame: &mut DFrame,
+    func: &Function,
+    obs: &mut O,
+) {
     let (plan, mut inj) = state.fault.take().expect("fault present");
     if plan.kind == FaultKind::BranchTarget {
         state.branch_fault_armed = Some((plan, inj));
@@ -795,7 +813,7 @@ fn inject<O: Observer>(state: &mut ExecState, frame: &mut DFrame, func: &Functio
 /// semantics: all reads before all writes, via the reusable buffer).
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn take_edge<O: Observer>(
+pub(crate) fn take_edge<O: Observer>(
     fid: FuncId,
     func: &Function,
     df: &DecodedFunc,
@@ -900,7 +918,7 @@ impl<'m> Vm<'m> {
     /// Builds a flat activation record for `fid` (decoded counterpart of
     /// `Vm::new_frame`): same depth check, arity assertion, argument
     /// canonicalization and `on_enter` ordering.
-    fn new_dframe<O: Observer>(
+    pub(crate) fn new_dframe<O: Observer>(
         &mut self,
         fid: FuncId,
         args: &[u64],
@@ -933,7 +951,7 @@ impl<'m> Vm<'m> {
 
     /// Rebuilds the flat frame stack from a snapshot's reference frames;
     /// returns `(current, below)`.
-    fn thaw(&mut self, snap: &Snapshot) -> (DFrame, Vec<DFrame>) {
+    pub(crate) fn thaw(&mut self, snap: &Snapshot) -> (DFrame, Vec<DFrame>) {
         let mut stack: Vec<DFrame> = Vec::with_capacity(snap.stack.len());
         for frame in &snap.stack {
             let df = &self.decoded.funcs[frame.func.index()];

@@ -1,0 +1,1891 @@
+//! The superinstruction (fused) execution tier.
+//!
+//! [`fuse_func`] builds a third engine image above [`DecodedFunc`]: a
+//! per-block scan pairs hot adjacent instructions into single fused
+//! [`FInst`]s, selected statically from a fusion table seeded by the
+//! digram classes `VmProfiler::hot_digrams` reports on the paper's
+//! benchmarks (the `icmp+check` signature of the value-duplication
+//! transforms, ALU chains like `mul+add`/`sub+icmp`, `load+sext` pixel
+//! reads, `icmp+select` clamps, and the `icmp+condbr` loop back-edge
+//! test, which fuses into the terminator). Everything else lowers to a
+//! *specialized single*: opcode, predicate and width pre-resolved into a
+//! dense `u8` tag at fuse time, so the machine loop is one flat `match`
+//! over [`FTag`] — the closest safe Rust gets to computed-goto — with no
+//! nested per-operand re-resolution.
+//!
+//! **Fusion legality.** A pair may fuse only when its two instructions
+//! retire back-to-back in the same block by fall-through: both
+//! constituents come from one block's `code` range (never across a CFG
+//! edge, where phi copies run, and never across a `call`, where the next
+//! dispatch happens in the callee). `Digrams::fusible_top` is the
+//! profiler-side view of exactly this rule.
+//!
+//! **Fault-site identity.** Fusion halves *dispatch*, not architecture:
+//! a fused pair still reports both constituent dynamic-instruction
+//! boundaries — each half runs the full boundary sequence (sink → fault
+//! trigger → watchdog → count → observer → profiler) before it executes,
+//! and the second half re-reads its operands *after* its boundary, so an
+//! injection landing between the halves corrupts exactly the state the
+//! decoded engine would see. Snapshots can therefore land mid-pair; the
+//! fused loop realigns on resume by retiring the orphaned second half
+//! through an unfused path. Results, traps, injection records, observer
+//! streams, snapshots and profiles are bitwise identical to the decoded
+//! and tree tiers (`tests/decoded_equiv.rs` gates this).
+
+use crate::decode::{
+    inject, take_edge, DFrame, DInst, DKind, DNoSink, DSink, DTerm, DecodedFunc, DecodedModule,
+    SLOT_NONE,
+};
+use crate::fault::FaultPlan;
+use crate::interp::{
+    finish_converging, ConvergeOutcome, ExecState, MachineEnd, Observer, Snapshot, Vm,
+};
+use crate::memory::Memory;
+use crate::outcome::{RunEnd, RunResult, TrapKind};
+use crate::profile::OpClass;
+use softft_ir::function::Function;
+use softft_ir::inst::{BinOp, CastKind, FloatCC, IntCC, UnOp};
+use softft_ir::{BlockId, FuncId, InstId, Module, Type};
+
+/// Dense superinstruction tag. Single tags carry the opcode/predicate/
+/// width pre-resolved (`x`/`y`/`ty` on the [`FInst`]); pair tags retire
+/// two constituent instructions under one dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum FTag {
+    // --- specialized singles -------------------------------------------
+    /// 64-bit `add` (canonical form is identity — no masking).
+    Add64,
+    /// 64-bit `sub`.
+    Sub64,
+    /// 64-bit `mul`.
+    Mul64,
+    /// 64-bit `and`.
+    And64,
+    /// 64-bit `or`.
+    Or64,
+    /// 64-bit `xor`.
+    Xor64,
+    /// Narrow (< 64-bit) add/sub/mul/and/or/xor; `x` = ALU code, `ty` =
+    /// operand type (canonicalization).
+    AluN,
+    /// shl/lshr/ashr; `x` = shift code, `y` = `64 - bits`, `ty` = type.
+    Shift,
+    /// sdiv/srem/udiv/urem; `x` = code, `y` = `64 - bits`, `ty` = type.
+    DivRem,
+    /// fadd/fsub/fmul/fdiv; `x` = code.
+    FBin,
+    /// fsqrt/fabs/ffloor/fneg; `x` = code.
+    FUn,
+    /// Integer compare; `x` = predicate code, `y` = `64 - bits`.
+    Icmp,
+    /// Float compare; `x` = predicate code.
+    Fcmp,
+    /// trunc; result type on the constituent `DInst`.
+    Trunc,
+    /// sext (canonical form is already extended: a copy).
+    SExt,
+    /// zext; `x` = `64 - source bits`.
+    ZExt,
+    /// fptosi; result type on the constituent `DInst`.
+    FpToSi,
+    /// sitofp.
+    SiToFp,
+    /// select; operands `a`(cond)/`b`(true)/`c`(false).
+    Select,
+    /// load; `a` = address, type on the constituent `DInst`.
+    Load,
+    /// store; `a` = address, `b` = value, `ty` = stored type.
+    Store,
+    /// check; `a` = condition (kind read cold off the `DInst` on fail).
+    Check,
+    /// call; `a` = args_start, `b` = args_len, `c` = callee index.
+    Call,
+    // --- fused pairs (two constituent boundaries, one dispatch) --------
+    /// `icmp` + `check`: the value-duplication compare-and-check
+    /// signature. `x`/`y` as [`FTag::Icmp`], `a`/`b` → `r1`; `c` = check
+    /// condition (re-read after the second boundary).
+    PIcmpCheck,
+    /// ALU + ALU (any integer width): `x`/`y` = ALU codes, `a`,`b` →
+    /// `r1` (canon via `ty`), `c`,`d` → `r2` (canon via `ty2`).
+    PAluAlu,
+    /// ALU + `icmp`: `x` = ALU code (canon via `ty`), `y` = predicate,
+    /// `z` = the compare's `64 - bits`.
+    PAluIcmp,
+    /// ALU + `load`: `a`,`b` → `r1` (canon via `ty`); `c` = address →
+    /// `r2` (`ty2` = loaded type).
+    PAluLoad,
+    /// `load` + `sext`: `a` = address → `r1`; `c` = cast source → `r2`
+    /// (sign-extension of a canonical value is a copy).
+    PLoadSExt,
+    /// `sext` + ALU: `a` → `r1` (copy); `y` = ALU code, `c`,`d` → `r2`
+    /// (canon via `ty2`).
+    PSExtAlu,
+    /// `icmp` + `select` on the compare's own result: `x`/`y` as
+    /// [`FTag::Icmp`], `a`,`b` → `r1`; `c`/`d` = true/false values →
+    /// `r2`. The select condition is `r1`, re-read after the second
+    /// boundary.
+    PIcmpSelect,
+    /// `select` + ALU on the select's own result: `a`(cond)/`b`(true)/
+    /// `c`(false) → `r1`; `x` = ALU code, `d` = the ALU's other operand,
+    /// `z` = which side `r1` feeds (0 = lhs, 1 = rhs), canon via `ty2`.
+    /// The select result is re-read through `r1` after the boundary.
+    PSelectAlu,
+    /// `load` + ALU: `a` = address → `r1` (`ty` = loaded type); `x` =
+    /// ALU code, `c`,`d` → `r2` (canon via `ty2`).
+    PLoadAlu,
+    /// ALU + `store`: `a`,`b` → `r1` (canon via `ty`); `c` = address,
+    /// `d` = stored value, `ty2` = stored type.
+    PAluStore,
+    /// `store` + ALU: `a` = address, `b` = value, `ty` = stored type;
+    /// `x` = ALU code, `c`,`d` → `r2` (canon via `ty2`).
+    PStoreAlu,
+    /// Float binop + float binop: `x`/`y` = fbin codes, `a`,`b` → `r1`,
+    /// `c`,`d` → `r2`.
+    PFBinFBin,
+    /// Float binop + ALU: `x` = fbin code, `a`,`b` → `r1`; `y` = ALU
+    /// code, `c`,`d` → `r2` (canon via `ty2`).
+    PFBinAlu,
+    /// `load` + float binop: `a` = address → `r1` (`ty` = loaded type);
+    /// `y` = fbin code, `c`,`d` → `r2`.
+    PLoadFBin,
+}
+
+/// One superinstruction: a fixed-size cell of the fused stream.
+///
+/// Everything the machine loop needs — observer identity, result types,
+/// profiler classes, canonicalization shifts — is embedded in the cell,
+/// so the hot path never touches the decoded stream (the one exception
+/// is the cold `check`-failure arm, which re-reads the constituent
+/// `DInst` for its `CheckKind`). The cell carries no decoded pc: the
+/// machine loop maintains `cur.pc` as the running first-constituent
+/// index, which block-contiguous cell coverage makes exact.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FInst {
+    pub(crate) tag: FTag,
+    /// First per-tag immediate (ALU/shift/predicate code, zext shift).
+    pub(crate) x: u8,
+    /// Second per-tag immediate (`64 - bits` shift, second code).
+    pub(crate) y: u8,
+    /// First-half canon shift (`64 - bits`) for integer-op pairs, or the
+    /// operand-side flag for `PSelectAlu`.
+    pub(crate) z: u8,
+    /// Second-half canon shift for integer-op pairs (`PAluIcmp`: the
+    /// compare's width shift).
+    pub(crate) w: u8,
+    /// The first constituent's operand/result type (for binops the two
+    /// coincide; for `store` this is the stored value type).
+    pub(crate) ty: Type,
+    /// The second constituent's result type (pairs only; for `PAluLoad`
+    /// it is the loaded type).
+    pub(crate) ty2: Type,
+    /// Profiler classes of the constituents.
+    pub(crate) cls1: OpClass,
+    pub(crate) cls2: OpClass,
+    pub(crate) a: u32,
+    pub(crate) b: u32,
+    pub(crate) c: u32,
+    pub(crate) d: u32,
+    /// First constituent's result slot (or [`SLOT_NONE`]).
+    pub(crate) r1: u32,
+    /// Second constituent's result slot (pairs only).
+    pub(crate) r2: u32,
+    /// Observer ids of the constituents.
+    pub(crate) inst1: InstId,
+    pub(crate) inst2: InstId,
+}
+
+/// A fused `icmp` + `condbr` terminator: the block's trailing compare
+/// retires together with the branch, with both boundaries intact. The
+/// compare is excluded from the block's [`FInst`] range.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FTermFuse {
+    /// Predicate code and `64 - bits` of the compare.
+    pub(crate) pred: u8,
+    pub(crate) sh: u8,
+    /// The compare's observer id, result type and profiler class.
+    pub(crate) inst: InstId,
+    pub(crate) rty: Type,
+    pub(crate) cls: OpClass,
+    pub(crate) a: u32,
+    pub(crate) b: u32,
+    /// The compare's result slot.
+    pub(crate) r: u32,
+    /// The branch condition slot (usually `r`, but not required —
+    /// re-read after the terminator boundary).
+    pub(crate) cond: u32,
+    pub(crate) then_edge: u32,
+    pub(crate) else_edge: u32,
+}
+
+/// One block's range of the fused stream.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FBlock {
+    pub(crate) start: u32,
+    pub(crate) end: u32,
+    pub(crate) term_fuse: Option<FTermFuse>,
+}
+
+/// One function's superinstruction image, built over (and executed
+/// against) its [`DecodedFunc`].
+#[derive(Debug)]
+pub(crate) struct FusedFunc {
+    pub(crate) fcode: Vec<FInst>,
+    pub(crate) fblocks: Vec<FBlock>,
+    /// Decoded pc → fused index. Both halves of a pair map to the same
+    /// cell; a terminator-fused compare maps to its block's `end` (it
+    /// has no [`FInst`]).
+    pub(crate) fmap: Vec<u32>,
+}
+
+// Per-tag immediate codes. The ALU/shift/divrem split mirrors how the
+// decoded match factors `BinOp`; predicates keep `IntCC`/`FloatCC`
+// declaration order.
+fn alu_code(op: BinOp) -> Option<u8> {
+    match op {
+        BinOp::Add => Some(0),
+        BinOp::Sub => Some(1),
+        BinOp::Mul => Some(2),
+        BinOp::And => Some(3),
+        BinOp::Or => Some(4),
+        BinOp::Xor => Some(5),
+        _ => None,
+    }
+}
+
+fn shift_code(op: BinOp) -> Option<u8> {
+    match op {
+        BinOp::Shl => Some(0),
+        BinOp::LShr => Some(1),
+        BinOp::AShr => Some(2),
+        _ => None,
+    }
+}
+
+fn divrem_code(op: BinOp) -> Option<u8> {
+    match op {
+        BinOp::SDiv => Some(0),
+        BinOp::SRem => Some(1),
+        BinOp::UDiv => Some(2),
+        BinOp::URem => Some(3),
+        _ => None,
+    }
+}
+
+fn fbin_code(op: BinOp) -> u8 {
+    match op {
+        BinOp::FAdd => 0,
+        BinOp::FSub => 1,
+        BinOp::FMul => 2,
+        BinOp::FDiv => 3,
+        _ => unreachable!("float op"),
+    }
+}
+
+fn un_code(op: UnOp) -> u8 {
+    match op {
+        UnOp::FSqrt => 0,
+        UnOp::FAbs => 1,
+        UnOp::FFloor => 2,
+        UnOp::FNeg => 3,
+    }
+}
+
+fn pred_code(p: IntCC) -> u8 {
+    match p {
+        IntCC::Eq => 0,
+        IntCC::Ne => 1,
+        IntCC::Slt => 2,
+        IntCC::Sle => 3,
+        IntCC::Sgt => 4,
+        IntCC::Sge => 5,
+        IntCC::Ult => 6,
+        IntCC::Ule => 7,
+        IntCC::Ugt => 8,
+        IntCC::Uge => 9,
+    }
+}
+
+fn fpred_code(p: FloatCC) -> u8 {
+    match p {
+        FloatCC::Eq => 0,
+        FloatCC::Ne => 1,
+        FloatCC::Lt => 2,
+        FloatCC::Le => 3,
+        FloatCC::Gt => 4,
+        FloatCC::Ge => 5,
+    }
+}
+
+/// `64 - bits`, so `u64::MAX >> sh` is the type's value mask.
+fn sh_of(ty: Type) -> u8 {
+    (64 - ty.bits()) as u8
+}
+
+#[inline(always)]
+fn alu64(code: u8, a: i64, b: i64) -> i64 {
+    match code {
+        0 => a.wrapping_add(b),
+        1 => a.wrapping_sub(b),
+        2 => a.wrapping_mul(b),
+        3 => a & b,
+        4 => a | b,
+        _ => a ^ b,
+    }
+}
+
+/// The fusible integer-op code space: `alu_code` plus the three shifts
+/// (6 = shl, 7 = lshr, 8 = ashr). Div/rem stay out of pairs — their
+/// trap path doesn't earn a superinstruction.
+fn int_code(op: BinOp) -> Option<u8> {
+    match op {
+        BinOp::Shl => Some(6),
+        BinOp::LShr => Some(7),
+        BinOp::AShr => Some(8),
+        _ => alu_code(op),
+    }
+}
+
+/// Executes one fusible integer op on canonical values; `sh` is the
+/// type's `64 - bits` shift. The caller canonicalizes the result through
+/// [`canon_sh`] with the same `sh`.
+#[inline(always)]
+fn int_op(code: u8, sh: u8, a: i64, b: i64) -> i64 {
+    if code < 6 {
+        alu64(code, a, b)
+    } else {
+        let amt = (b as u64) % (64 - sh as u64);
+        match code {
+            6 => a.wrapping_shl(amt as u32),
+            7 => (((a as u64) & (u64::MAX >> sh)) >> amt) as i64,
+            _ => a.wrapping_shr(amt as u32),
+        }
+    }
+}
+
+/// Branch-free canonicalization by arithmetic shift pair — equivalent to
+/// `Type::canon` for every integer width except `I1` (which the fusion
+/// table excludes from integer-op pairs).
+#[inline(always)]
+fn canon_sh(sh: u8, v: i64) -> i64 {
+    (v << sh) >> sh
+}
+
+#[inline(always)]
+fn fbin(code: u8, a: f64, b: f64) -> f64 {
+    match code {
+        0 => a + b,
+        1 => a - b,
+        2 => a * b,
+        _ => a / b,
+    }
+}
+
+/// Integer compare on canonical (sign-extended) values; unsigned
+/// predicates mask to the operand width exactly as the decoded engine
+/// does.
+#[inline(always)]
+fn icmp(pred: u8, sh: u8, av: i64, bv: i64) -> bool {
+    match pred {
+        0 => av == bv,
+        1 => av != bv,
+        2 => av < bv,
+        3 => av <= bv,
+        4 => av > bv,
+        5 => av >= bv,
+        p => {
+            let mask = u64::MAX >> sh;
+            let (ua, ub) = ((av as u64) & mask, (bv as u64) & mask);
+            match p {
+                6 => ua < ub,
+                7 => ua <= ub,
+                8 => ua > ub,
+                _ => ua >= ub,
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn fcmp(pred: u8, av: f64, bv: f64) -> bool {
+    match pred {
+        0 => av == bv,
+        1 => av != bv,
+        2 => av < bv,
+        3 => av <= bv,
+        4 => av > bv,
+        _ => av >= bv,
+    }
+}
+
+fn fi(tag: FTag, di: &DInst) -> FInst {
+    let cls = OpClass::of_dkind(&di.kind);
+    FInst {
+        tag,
+        x: 0,
+        y: 0,
+        z: 0,
+        w: 0,
+        ty: di.ty,
+        ty2: di.ty,
+        cls1: cls,
+        cls2: cls,
+        a: 0,
+        b: 0,
+        c: 0,
+        d: 0,
+        r1: di.result,
+        r2: SLOT_NONE,
+        inst1: di.inst,
+        inst2: di.inst,
+    }
+}
+
+/// Lowers one decoded instruction to a specialized single.
+fn single(di: &DInst) -> FInst {
+    let mut f = fi(FTag::Check, di);
+    match di.kind {
+        DKind::BinI { op, ty, a, b } => {
+            f.a = a;
+            f.b = b;
+            f.ty = ty;
+            if let Some(code) = alu_code(op) {
+                if ty == Type::I64 {
+                    f.tag = [
+                        FTag::Add64,
+                        FTag::Sub64,
+                        FTag::Mul64,
+                        FTag::And64,
+                        FTag::Or64,
+                        FTag::Xor64,
+                    ][code as usize];
+                } else {
+                    f.tag = FTag::AluN;
+                    f.x = code;
+                }
+            } else if let Some(code) = shift_code(op) {
+                f.tag = FTag::Shift;
+                f.x = code;
+                f.y = sh_of(ty);
+            } else {
+                f.tag = FTag::DivRem;
+                f.x = divrem_code(op).expect("integer binop");
+                f.y = sh_of(ty);
+            }
+        }
+        DKind::BinF { op, a, b } => {
+            f.tag = FTag::FBin;
+            f.x = fbin_code(op);
+            f.a = a;
+            f.b = b;
+        }
+        DKind::Un { op, a } => {
+            f.tag = FTag::FUn;
+            f.x = un_code(op);
+            f.a = a;
+        }
+        DKind::Icmp { pred, ty, a, b } => {
+            f.tag = FTag::Icmp;
+            f.x = pred_code(pred);
+            f.y = sh_of(ty);
+            f.a = a;
+            f.b = b;
+        }
+        DKind::Fcmp { pred, a, b } => {
+            f.tag = FTag::Fcmp;
+            f.x = fpred_code(pred);
+            f.a = a;
+            f.b = b;
+        }
+        DKind::Cast { kind, src, a } => {
+            f.a = a;
+            f.tag = match kind {
+                CastKind::Trunc => FTag::Trunc,
+                CastKind::SExt => FTag::SExt,
+                CastKind::ZExt => {
+                    f.x = sh_of(src);
+                    FTag::ZExt
+                }
+                CastKind::FpToSi => FTag::FpToSi,
+                CastKind::SiToFp => FTag::SiToFp,
+            };
+        }
+        DKind::Select { c, t, f: fv } => {
+            f.tag = FTag::Select;
+            f.a = c;
+            f.b = t;
+            f.c = fv;
+        }
+        DKind::Load { addr } => {
+            f.tag = FTag::Load;
+            f.a = addr;
+        }
+        DKind::Store { addr, val, vty } => {
+            f.tag = FTag::Store;
+            f.a = addr;
+            f.b = val;
+            f.ty = vty;
+        }
+        DKind::Check { cond, .. } => {
+            f.tag = FTag::Check;
+            f.a = cond;
+        }
+        DKind::Call {
+            callee,
+            args_start,
+            args_len,
+        } => {
+            f.tag = FTag::Call;
+            f.a = args_start;
+            f.b = args_len;
+            f.c = callee.index() as u32;
+        }
+    }
+    f
+}
+
+/// The fusion table: lowers two adjacent same-block instructions to one
+/// superinstruction when they match a hot pattern. Seeded from the
+/// `fusible_digrams` ranking on the paper's benchmarks: `icmp→check`
+/// (duplication checks; up to 14% of dispatches on `segm`), ALU chains
+/// (`add→add`, `sub→icmp`, `mul→add`), `add→load` address arithmetic,
+/// `load→sext` narrow reads, `sext→and`, and `icmp→select`.
+fn try_fuse_pair(d1: &DInst, d2: &DInst) -> Option<FInst> {
+    let mut f = fi(FTag::Check, d1);
+    f.r2 = d2.result;
+    f.ty2 = d2.ty;
+    f.cls2 = OpClass::of_dkind(&d2.kind);
+    f.inst2 = d2.inst;
+    match (d1.kind, d2.kind) {
+        (DKind::Icmp { pred, ty, a, b }, DKind::Check { cond, .. }) => {
+            f.tag = FTag::PIcmpCheck;
+            f.x = pred_code(pred);
+            f.y = sh_of(ty);
+            f.a = a;
+            f.b = b;
+            f.c = cond;
+            Some(f)
+        }
+        (
+            DKind::BinI {
+                op: op1,
+                ty: ty1,
+                a,
+                b,
+            },
+            DKind::BinI {
+                op: op2,
+                ty: ty2,
+                a: c,
+                b: d,
+            },
+        ) if ty1 != Type::I1 && ty2 != Type::I1 => {
+            f.tag = FTag::PAluAlu;
+            f.x = int_code(op1)?;
+            f.y = int_code(op2)?;
+            f.z = sh_of(ty1);
+            f.w = sh_of(ty2);
+            f.a = a;
+            f.b = b;
+            f.c = c;
+            f.d = d;
+            Some(f)
+        }
+        (
+            DKind::BinI {
+                op, ty: ty1, a, b, ..
+            },
+            DKind::Icmp {
+                pred,
+                ty,
+                a: c,
+                b: d,
+            },
+        ) if ty1 != Type::I1 => {
+            f.tag = FTag::PAluIcmp;
+            f.x = int_code(op)?;
+            f.y = pred_code(pred);
+            f.z = sh_of(ty1);
+            f.w = sh_of(ty);
+            f.a = a;
+            f.b = b;
+            f.c = c;
+            f.d = d;
+            Some(f)
+        }
+        (DKind::BinI { op, ty, a, b }, DKind::Load { addr }) if ty != Type::I1 => {
+            f.tag = FTag::PAluLoad;
+            f.x = int_code(op)?;
+            f.z = sh_of(ty);
+            f.a = a;
+            f.b = b;
+            f.c = addr;
+            Some(f)
+        }
+        (DKind::BinI { op, ty, a, b }, DKind::Store { addr, val, vty }) if ty != Type::I1 => {
+            f.tag = FTag::PAluStore;
+            f.x = int_code(op)?;
+            f.z = sh_of(ty);
+            f.ty2 = vty;
+            f.a = a;
+            f.b = b;
+            f.c = addr;
+            f.d = val;
+            Some(f)
+        }
+        (
+            DKind::Store { addr, val, vty },
+            DKind::BinI {
+                op, ty, a: c, b: d, ..
+            },
+        ) if ty != Type::I1 => {
+            f.tag = FTag::PStoreAlu;
+            f.x = int_code(op)?;
+            f.w = sh_of(ty);
+            f.ty = vty;
+            f.a = addr;
+            f.b = val;
+            f.c = c;
+            f.d = d;
+            Some(f)
+        }
+        (
+            DKind::Load { addr },
+            DKind::BinI {
+                op, ty, a: c, b: d, ..
+            },
+        ) if ty != Type::I1 => {
+            f.tag = FTag::PLoadAlu;
+            f.x = int_code(op)?;
+            f.w = sh_of(ty);
+            f.a = addr;
+            f.c = c;
+            f.d = d;
+            Some(f)
+        }
+        (DKind::Load { addr }, DKind::BinF { op, a: c, b: d }) => {
+            f.tag = FTag::PLoadFBin;
+            f.y = fbin_code(op);
+            f.a = addr;
+            f.c = c;
+            f.d = d;
+            Some(f)
+        }
+        (
+            DKind::BinF { op: op1, a, b },
+            DKind::BinF {
+                op: op2,
+                a: c,
+                b: d,
+            },
+        ) => {
+            f.tag = FTag::PFBinFBin;
+            f.x = fbin_code(op1);
+            f.y = fbin_code(op2);
+            f.a = a;
+            f.b = b;
+            f.c = c;
+            f.d = d;
+            Some(f)
+        }
+        (
+            DKind::BinF { op: op1, a, b },
+            DKind::BinI {
+                op: op2,
+                ty,
+                a: c,
+                b: d,
+            },
+        ) if ty != Type::I1 => {
+            f.tag = FTag::PFBinAlu;
+            f.x = fbin_code(op1);
+            f.y = int_code(op2)?;
+            f.w = sh_of(ty);
+            f.a = a;
+            f.b = b;
+            f.c = c;
+            f.d = d;
+            Some(f)
+        }
+        (
+            DKind::Load { addr },
+            DKind::Cast {
+                kind: CastKind::SExt,
+                a: src,
+                ..
+            },
+        ) => {
+            f.tag = FTag::PLoadSExt;
+            f.a = addr;
+            f.c = src;
+            Some(f)
+        }
+        (
+            DKind::Cast {
+                kind: CastKind::SExt,
+                a,
+                ..
+            },
+            DKind::BinI {
+                op, ty, a: c, b: d, ..
+            },
+        ) if ty != Type::I1 => {
+            f.tag = FTag::PSExtAlu;
+            f.y = int_code(op)?;
+            f.w = sh_of(ty);
+            f.a = a;
+            f.c = c;
+            f.d = d;
+            Some(f)
+        }
+        (DKind::Icmp { pred, ty, a, b }, DKind::Select { c, t, f: fv }) if c == d1.result => {
+            // The select's condition is the compare's own result, so the
+            // pair re-reads it through `r1` after the second boundary.
+            f.tag = FTag::PIcmpSelect;
+            f.x = pred_code(pred);
+            f.y = sh_of(ty);
+            f.a = a;
+            f.b = b;
+            f.c = t;
+            f.d = fv;
+            Some(f)
+        }
+        (
+            DKind::Select { c, t, f: fv },
+            DKind::BinI {
+                op,
+                ty,
+                a: sa,
+                b: sb,
+            },
+        ) if (sa == d1.result || sb == d1.result) && ty != Type::I1 => {
+            // The ALU consumes the select's own result through `r1`,
+            // re-read after the second boundary; the other operand sits
+            // in `d`.
+            f.tag = FTag::PSelectAlu;
+            f.x = int_code(op)?;
+            f.z = (sb == d1.result) as u8;
+            f.w = sh_of(ty);
+            f.a = c;
+            f.b = t;
+            f.c = fv;
+            f.d = if sa == d1.result { sb } else { sa };
+            Some(f)
+        }
+        _ => None,
+    }
+}
+
+/// Builds one function's superinstruction image: per block, reserve a
+/// trailing `icmp` for terminator fusion when the block ends in a
+/// `condbr`, then greedily pair the remaining fall-through range against
+/// the fusion table (left to right, no overlaps).
+pub(crate) fn fuse_func(df: &DecodedFunc) -> FusedFunc {
+    let mut fcode: Vec<FInst> = Vec::with_capacity(df.code.len());
+    let mut fblocks: Vec<FBlock> = Vec::with_capacity(df.blocks.len());
+    let mut fmap: Vec<u32> = vec![0; df.code.len()];
+    for blk in &df.blocks {
+        let fstart = fcode.len() as u32;
+        let term_fuse = match blk.term {
+            DTerm::CondBr {
+                cond,
+                then_edge,
+                else_edge,
+            } if blk.end > blk.start => {
+                let di = &df.code[(blk.end - 1) as usize];
+                match di.kind {
+                    DKind::Icmp { pred, ty, a, b } => Some(FTermFuse {
+                        pred: pred_code(pred),
+                        sh: sh_of(ty),
+                        inst: di.inst,
+                        rty: di.ty,
+                        cls: OpClass::of_dkind(&di.kind),
+                        a,
+                        b,
+                        r: di.result,
+                        cond,
+                        then_edge,
+                        else_edge,
+                    }),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        let scan_end = if term_fuse.is_some() {
+            blk.end - 1
+        } else {
+            blk.end
+        };
+        let mut pc = blk.start;
+        while pc < scan_end {
+            if pc + 1 < scan_end {
+                if let Some(p) = try_fuse_pair(&df.code[pc as usize], &df.code[(pc + 1) as usize]) {
+                    fmap[pc as usize] = fcode.len() as u32;
+                    fmap[(pc + 1) as usize] = fcode.len() as u32;
+                    fcode.push(p);
+                    pc += 2;
+                    continue;
+                }
+            }
+            fmap[pc as usize] = fcode.len() as u32;
+            fcode.push(single(&df.code[pc as usize]));
+            pc += 1;
+        }
+        let fend = fcode.len() as u32;
+        if term_fuse.is_some() {
+            // The reserved compare has no cell; pointing it one past the
+            // block's range makes mid-block resume take the fused-term
+            // path directly.
+            fmap[(blk.end - 1) as usize] = fend;
+        }
+        fblocks.push(FBlock {
+            start: fstart,
+            end: fend,
+            term_fuse,
+        });
+    }
+    FusedFunc {
+        fcode,
+        fblocks,
+        fmap,
+    }
+}
+
+/// Executes one decoded instruction outside the fused stream — the
+/// realignment path when a snapshot resume lands on the second half of a
+/// pair. The caller has already run the boundary sequence and advanced
+/// `cur.pc` past `di`. `Call` is unreachable: calls never fuse.
+#[cold]
+#[allow(clippy::too_many_arguments)]
+fn exec_unfused<O: Observer>(
+    di: &DInst,
+    fid: FuncId,
+    func: &Function,
+    cur: &mut DFrame,
+    mem: &mut Memory,
+    state: &mut ExecState,
+    obs: &mut O,
+    checks_count_only: bool,
+) -> Result<(), TrapKind> {
+    match di.kind {
+        DKind::BinI { op, ty, a, b } => {
+            let av = cur.read(a) as i64;
+            let bv = cur.read(b) as i64;
+            let r: i64 = if let Some(code) = alu_code(op) {
+                alu64(code, av, bv)
+            } else if let Some(code) = shift_code(op) {
+                let amt = (bv as u64) % ty.bits() as u64;
+                match code {
+                    0 => av.wrapping_shl(amt as u32),
+                    1 => (((av as u64) & (u64::MAX >> sh_of(ty))) >> amt) as i64,
+                    _ => av.wrapping_shr(amt as u32),
+                }
+            } else {
+                let mask = u64::MAX >> sh_of(ty);
+                let (ua, ub) = ((av as u64) & mask, (bv as u64) & mask);
+                match divrem_code(op).expect("integer binop") {
+                    0 | 1 if bv == 0 => return Err(TrapKind::DivByZero),
+                    2 | 3 if ub == 0 => return Err(TrapKind::DivByZero),
+                    0 => av.wrapping_div(bv),
+                    1 => av.wrapping_rem(bv),
+                    2 => (ua / ub) as i64,
+                    _ => (ua % ub) as i64,
+                }
+            };
+            let bits = ty.canon(r) as u64;
+            cur.write(di.result, bits);
+            obs.on_result(fid, func, di.inst, di.ty, bits);
+        }
+        DKind::BinF { op, a, b } => {
+            let av = f64::from_bits(cur.read(a));
+            let bv = f64::from_bits(cur.read(b));
+            let bits = match op {
+                BinOp::FAdd => av + bv,
+                BinOp::FSub => av - bv,
+                BinOp::FMul => av * bv,
+                BinOp::FDiv => av / bv,
+                _ => unreachable!("float op"),
+            }
+            .to_bits();
+            cur.write(di.result, bits);
+            obs.on_result(fid, func, di.inst, di.ty, bits);
+        }
+        DKind::Un { op, a } => {
+            let av = f64::from_bits(cur.read(a));
+            let bits = match op {
+                UnOp::FSqrt => av.sqrt(),
+                UnOp::FAbs => av.abs(),
+                UnOp::FFloor => av.floor(),
+                UnOp::FNeg => -av,
+            }
+            .to_bits();
+            cur.write(di.result, bits);
+            obs.on_result(fid, func, di.inst, di.ty, bits);
+        }
+        DKind::Icmp { pred, ty, a, b } => {
+            let av = cur.read(a) as i64;
+            let bv = cur.read(b) as i64;
+            let bits = icmp(pred_code(pred), sh_of(ty), av, bv) as u64;
+            cur.write(di.result, bits);
+            obs.on_result(fid, func, di.inst, di.ty, bits);
+        }
+        DKind::Fcmp { pred, a, b } => {
+            let av = f64::from_bits(cur.read(a));
+            let bv = f64::from_bits(cur.read(b));
+            let bits = fcmp(fpred_code(pred), av, bv) as u64;
+            cur.write(di.result, bits);
+            obs.on_result(fid, func, di.inst, di.ty, bits);
+        }
+        DKind::Cast { kind, src, a } => {
+            let av = cur.read(a);
+            let bits = match kind {
+                CastKind::Trunc => di.ty.sign_extend(av) as u64,
+                CastKind::SExt => av,
+                CastKind::ZExt => av & (u64::MAX >> sh_of(src)),
+                CastKind::FpToSi => di.ty.canon(f64::from_bits(av) as i64) as u64,
+                CastKind::SiToFp => ((av as i64) as f64).to_bits(),
+            };
+            cur.write(di.result, bits);
+            obs.on_result(fid, func, di.inst, di.ty, bits);
+        }
+        DKind::Select { c, t, f } => {
+            let bits = if cur.read(c) & 1 == 1 {
+                cur.read(t)
+            } else {
+                cur.read(f)
+            };
+            cur.write(di.result, bits);
+            obs.on_result(fid, func, di.inst, di.ty, bits);
+        }
+        DKind::Load { addr } => {
+            let a = cur.read(addr) as i64;
+            let bits = mem.load(a, di.ty)?;
+            cur.write(di.result, bits);
+            obs.on_result(fid, func, di.inst, di.ty, bits);
+        }
+        DKind::Store { addr, val, vty } => {
+            let a = cur.read(addr) as i64;
+            let v = cur.read(val);
+            mem.store(a, vty, v)?;
+        }
+        DKind::Check { cond, kind } => {
+            let c = cur.read(cond);
+            if c & 1 == 0 {
+                obs.on_check_fail(fid, func, di.inst);
+                if checks_count_only {
+                    state.check_failures += 1;
+                } else {
+                    return Err(TrapKind::SwDetect(kind));
+                }
+            }
+        }
+        DKind::Call { .. } => unreachable!("calls never fuse"),
+    }
+    Ok(())
+}
+
+impl<'m> Vm<'m> {
+    pub(crate) fn run_fused<O: Observer, S: DSink<O>>(
+        &mut self,
+        entry: FuncId,
+        args: &[u64],
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+        sink: &mut S,
+    ) -> RunResult {
+        let mut state = ExecState::new(fault);
+        let end = match self.new_dframe(entry, args, 0, obs) {
+            Err(kind) => RunEnd::Trap {
+                kind,
+                at_dyn: state.dyn_count,
+            },
+            Ok(mut cur) => {
+                let mut stack: Vec<DFrame> = Vec::new();
+                let end = match self.exec_fused(&mut cur, &mut stack, &mut state, obs, sink) {
+                    Ok(MachineEnd::Ret(ret)) => RunEnd::Completed { ret },
+                    Ok(MachineEnd::Halted) => unreachable!("run sinks never halt"),
+                    Err(kind) => RunEnd::Trap {
+                        kind,
+                        at_dyn: state.dyn_count,
+                    },
+                };
+                self.scratch.recycle(cur, stack);
+                end
+            }
+        };
+        RunResult {
+            end,
+            dyn_insts: state.dyn_count,
+            injection: state.injection,
+            check_failures: state.check_failures,
+        }
+    }
+
+    pub(crate) fn resume_fused<O: Observer>(
+        &mut self,
+        snap: &Snapshot,
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+    ) -> RunResult {
+        let mut state = ExecState::new(fault);
+        state.dyn_count = snap.dyn_count;
+        state.check_failures = snap.check_failures;
+        self.mem.clone_from(&snap.mem);
+        let (mut cur, mut stack) = self.thaw(snap);
+        let end = match self.exec_fused(&mut cur, &mut stack, &mut state, obs, &mut DNoSink) {
+            Ok(MachineEnd::Ret(ret)) => RunEnd::Completed { ret },
+            Ok(MachineEnd::Halted) => unreachable!("DNoSink never halts"),
+            Err(kind) => RunEnd::Trap {
+                kind,
+                at_dyn: state.dyn_count,
+            },
+        };
+        self.scratch.recycle(cur, stack);
+        RunResult {
+            end,
+            dyn_insts: state.dyn_count,
+            injection: state.injection,
+            check_failures: state.check_failures,
+        }
+    }
+
+    pub(crate) fn resume_converging_fused<O: Observer>(
+        &mut self,
+        snap: &Snapshot,
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+        candidates: &[&Snapshot],
+    ) -> ConvergeOutcome {
+        let mut state = ExecState::new(fault);
+        state.dyn_count = snap.dyn_count;
+        state.check_failures = snap.check_failures;
+        self.mem.clone_from(&snap.mem);
+        let (mut cur, mut stack) = self.thaw(snap);
+        let mut sink = crate::decode::DConvergeSink::new(candidates);
+        let machine = self.exec_fused(&mut cur, &mut stack, &mut state, obs, &mut sink);
+        self.scratch.recycle(cur, stack);
+        finish_converging(machine, state, snap.dyn_count)
+    }
+
+    pub(crate) fn run_converging_fused<O: Observer>(
+        &mut self,
+        entry: FuncId,
+        args: &[u64],
+        obs: &mut O,
+        fault: Option<FaultPlan>,
+        candidates: &[&Snapshot],
+    ) -> ConvergeOutcome {
+        let mut state = ExecState::new(fault);
+        let machine = match self.new_dframe(entry, args, 0, obs) {
+            Err(kind) => Err(kind),
+            Ok(mut cur) => {
+                let mut stack: Vec<DFrame> = Vec::new();
+                let mut sink = crate::decode::DConvergeSink::new(candidates);
+                let machine = self.exec_fused(&mut cur, &mut stack, &mut state, obs, &mut sink);
+                self.scratch.recycle(cur, stack);
+                machine
+            }
+        };
+        finish_converging(machine, state, 0)
+    }
+
+    /// The fused machine loop. Per constituent, the boundary sequence is
+    /// the decoded loop's verbatim (sink → fault trigger → watchdog →
+    /// count → observer → profiler), and the second constituent of a pair
+    /// reads its operands only after its own boundary, so injections
+    /// landing between the halves behave identically to the decoded
+    /// engine.
+    fn exec_fused<O: Observer, S: DSink<O>>(
+        &mut self,
+        cur: &mut DFrame,
+        stack: &mut Vec<DFrame>,
+        state: &mut ExecState,
+        obs: &mut O,
+        sink: &mut S,
+    ) -> Result<MachineEnd, TrapKind> {
+        // Monomorphize the machine on profiler presence: the unprofiled
+        // loop (every timed interpbench leg, most campaigns) carries no
+        // per-constituent `Option` checks at all.
+        if self.profiler.is_some() {
+            self.exec_fused_inner::<true, O, S>(cur, stack, state, obs, sink)
+        } else {
+            self.exec_fused_inner::<false, O, S>(cur, stack, state, obs, sink)
+        }
+    }
+
+    fn exec_fused_inner<const PROF: bool, O: Observer, S: DSink<O>>(
+        &mut self,
+        cur: &mut DFrame,
+        stack: &mut Vec<DFrame>,
+        state: &mut ExecState,
+        obs: &mut O,
+        sink: &mut S,
+    ) -> Result<MachineEnd, TrapKind> {
+        let Vm {
+            module,
+            mem,
+            config,
+            decoded,
+            scratch,
+            profiler,
+        } = self;
+        let module: &Module = module;
+        let dm: &DecodedModule = decoded;
+        let max_dyn = config.max_dyn_insts;
+        let max_depth = config.max_call_depth;
+        let checks_count_only = config.checks_count_only;
+        // With a passive sink and no fault plan, nothing in this run can
+        // ever consume the per-frame defined bitmap (no snapshot, no
+        // convergence compare, no fault-site walk), so result writes can
+        // skip its read-modify-write. Debug builds keep the exact path so
+        // `DFrame::read`'s definedness asserts still bite in tests.
+        let fast_write = S::PASSIVE && !cfg!(debug_assertions) && state.fault.is_none();
+        let mut trigger = match &state.fault {
+            Some((plan, _)) => plan.at_dyn,
+            None => u64::MAX,
+        };
+        // Single hot-path compare: the boundary tests `dyn_count`
+        // against the nearer of the injection trigger and the watchdog
+        // and only disambiguates on the (rare) hit.
+        let mut watermark = trigger.min(max_dyn);
+
+        'frames: loop {
+            let fid = cur.func;
+            let func = module.function(fid);
+            let df = &dm.funcs[fid.index()];
+            let ff = &dm.fused[fid.index()];
+
+            // One full dynamic-instruction boundary. Expanded per
+            // constituent — a fused pair runs it twice.
+            macro_rules! boundary {
+                () => {
+                    if sink.at_boundary(mem, cur, stack, state, obs, dm) {
+                        return Ok(MachineEnd::Halted);
+                    }
+                    if state.dyn_count >= watermark {
+                        if state.dyn_count == trigger {
+                            inject(state, cur, func, obs);
+                        }
+                        if state.dyn_count >= max_dyn {
+                            return Err(TrapKind::Watchdog);
+                        }
+                        if state.dyn_count >= trigger {
+                            trigger = u64::MAX;
+                        }
+                        watermark = trigger.min(max_dyn);
+                    }
+                    state.dyn_count += 1;
+                };
+            }
+            // Second-constituent boundary of a pair: full boundary, then
+            // observer/profiler attribution off the embedded identity.
+            macro_rules! pair_boundary {
+                ($f:expr) => {{
+                    boundary!();
+                    obs.on_exec(fid, func, $f.inst2);
+                    if PROF {
+                        if let Some(p) = profiler.as_deref_mut() {
+                            p.record($f.cls2);
+                        }
+                    }
+                    cur.pc += 1;
+                }};
+            }
+            macro_rules! pair_retired {
+                ($f:expr) => {
+                    if PROF {
+                        if let Some(p) = profiler.as_deref_mut() {
+                            p.record_fused($f.cls1, $f.cls2);
+                        }
+                    }
+                };
+            }
+            // Result write: the fast path stores the slot without the
+            // defined-bitmap update (see `fast_write` above).
+            macro_rules! setr {
+                ($slot:expr, $bits:expr) => {
+                    if fast_write {
+                        cur.slots[$slot as usize] = $bits;
+                    } else {
+                        cur.write($slot, $bits);
+                    }
+                };
+            }
+            // Check failure: cold — the `CheckKind` is read back off the
+            // constituent `DInst` only here, never on the hot path.
+            macro_rules! check_failed {
+                ($inst:expr) => {
+                    obs.on_check_fail(fid, func, $inst);
+                    if checks_count_only {
+                        state.check_failures += 1;
+                    } else {
+                        let DKind::Check { kind, .. } = df.code[(cur.pc - 1) as usize].kind else {
+                            unreachable!("check constituent");
+                        };
+                        return Err(TrapKind::SwDetect(kind));
+                    }
+                };
+            }
+
+            'blocks: loop {
+                let blk = df.blocks[cur.block as usize];
+                let fb = ff.fblocks[cur.block as usize];
+                let mut fpc = if cur.pc == blk.start {
+                    fb.start
+                } else if cur.pc >= blk.end {
+                    fb.end
+                } else {
+                    ff.fmap[cur.pc as usize]
+                };
+                if fpc < fb.end && cur.pc > blk.start && ff.fmap[(cur.pc - 1) as usize] == fpc {
+                    // A snapshot resume landed on the second half of a
+                    // pair (the preceding decoded index maps to the same
+                    // cell): retire that one constituent unfused.
+                    boundary!();
+                    let di = df.code[cur.pc as usize];
+                    obs.on_exec(fid, func, di.inst);
+                    if PROF {
+                        if let Some(p) = profiler.as_deref_mut() {
+                            p.record(OpClass::of_dkind(&di.kind));
+                        }
+                    }
+                    cur.pc += 1;
+                    exec_unfused(&di, fid, func, cur, mem, state, obs, checks_count_only)?;
+                    fpc += 1;
+                }
+
+                // The machine loop proper: one slice iteration per cell,
+                // no per-instruction bounds checks, no decoded-stream
+                // reads — the cell is self-contained.
+                for f in &ff.fcode[fpc as usize..fb.end as usize] {
+                    boundary!();
+                    obs.on_exec(fid, func, f.inst1);
+                    if PROF {
+                        if let Some(p) = profiler.as_deref_mut() {
+                            p.record(f.cls1);
+                        }
+                    }
+                    cur.pc += 1;
+
+                    match f.tag {
+                        FTag::Add64 => {
+                            let bits =
+                                (cur.read(f.a) as i64).wrapping_add(cur.read(f.b) as i64) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::Sub64 => {
+                            let bits =
+                                (cur.read(f.a) as i64).wrapping_sub(cur.read(f.b) as i64) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::Mul64 => {
+                            let bits =
+                                (cur.read(f.a) as i64).wrapping_mul(cur.read(f.b) as i64) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::And64 => {
+                            let bits = cur.read(f.a) & cur.read(f.b);
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::Or64 => {
+                            let bits = cur.read(f.a) | cur.read(f.b);
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::Xor64 => {
+                            let bits = cur.read(f.a) ^ cur.read(f.b);
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::AluN => {
+                            let r = alu64(f.x, cur.read(f.a) as i64, cur.read(f.b) as i64);
+                            let bits = f.ty.canon(r) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::Shift => {
+                            let av = cur.read(f.a) as i64;
+                            let bv = cur.read(f.b) as i64;
+                            let amt = (bv as u64) % f.ty.bits() as u64;
+                            let r = match f.x {
+                                0 => av.wrapping_shl(amt as u32),
+                                1 => (((av as u64) & (u64::MAX >> f.y)) >> amt) as i64,
+                                _ => av.wrapping_shr(amt as u32),
+                            };
+                            let bits = f.ty.canon(r) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::DivRem => {
+                            let av = cur.read(f.a) as i64;
+                            let bv = cur.read(f.b) as i64;
+                            let mask = u64::MAX >> f.y;
+                            let (ua, ub) = ((av as u64) & mask, (bv as u64) & mask);
+                            let r = match f.x {
+                                0 | 1 if bv == 0 => return Err(TrapKind::DivByZero),
+                                2 | 3 if ub == 0 => return Err(TrapKind::DivByZero),
+                                0 => av.wrapping_div(bv),
+                                1 => av.wrapping_rem(bv),
+                                2 => (ua / ub) as i64,
+                                _ => (ua % ub) as i64,
+                            };
+                            let bits = f.ty.canon(r) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::FBin => {
+                            let av = f64::from_bits(cur.read(f.a));
+                            let bv = f64::from_bits(cur.read(f.b));
+                            let bits = match f.x {
+                                0 => av + bv,
+                                1 => av - bv,
+                                2 => av * bv,
+                                _ => av / bv,
+                            }
+                            .to_bits();
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::FUn => {
+                            let av = f64::from_bits(cur.read(f.a));
+                            let bits = match f.x {
+                                0 => av.sqrt(),
+                                1 => av.abs(),
+                                2 => av.floor(),
+                                _ => -av,
+                            }
+                            .to_bits();
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::Icmp => {
+                            let bits =
+                                icmp(f.x, f.y, cur.read(f.a) as i64, cur.read(f.b) as i64) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::Fcmp => {
+                            let bits = fcmp(
+                                f.x,
+                                f64::from_bits(cur.read(f.a)),
+                                f64::from_bits(cur.read(f.b)),
+                            ) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::Trunc => {
+                            let bits = f.ty.sign_extend(cur.read(f.a)) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::SExt => {
+                            let bits = cur.read(f.a);
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::ZExt => {
+                            let bits = cur.read(f.a) & (u64::MAX >> f.x);
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::FpToSi => {
+                            let bits = f.ty.canon(f64::from_bits(cur.read(f.a)) as i64) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::SiToFp => {
+                            let bits = ((cur.read(f.a) as i64) as f64).to_bits();
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::Select => {
+                            let bits = if cur.read(f.a) & 1 == 1 {
+                                cur.read(f.b)
+                            } else {
+                                cur.read(f.c)
+                            };
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::Load => {
+                            let a = cur.read(f.a) as i64;
+                            let bits = mem.load(a, f.ty)?;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                        }
+                        FTag::Store => {
+                            let a = cur.read(f.a) as i64;
+                            let v = cur.read(f.b);
+                            mem.store(a, f.ty, v)?;
+                        }
+                        FTag::Check => {
+                            if cur.read(f.a) & 1 == 0 {
+                                check_failed!(f.inst1);
+                            }
+                        }
+                        FTag::Call => {
+                            scratch.call_args.clear();
+                            for &a in &df.call_args[f.a as usize..(f.a + f.b) as usize] {
+                                scratch.call_args.push(cur.read(a));
+                            }
+                            let depth = stack.len() as u32 + 1;
+                            if depth >= max_depth {
+                                return Err(TrapKind::CallDepth);
+                            }
+                            let callee = FuncId::new(f.c as usize);
+                            let cfunc = module.function(callee);
+                            let dfc = &dm.funcs[f.c as usize];
+                            assert_eq!(
+                                scratch.call_args.len(),
+                                dfc.params.len(),
+                                "arity mismatch calling {}",
+                                cfunc.name
+                            );
+                            let mut callee_frame = scratch.free_frames.pop().unwrap_or_default();
+                            {
+                                let n = dfc.num_values as usize;
+                                callee_frame.func = callee;
+                                callee_frame.num_values = dfc.num_values;
+                                callee_frame.slots.clear();
+                                callee_frame.slots.resize(n, 0);
+                                callee_frame.slots.extend_from_slice(&dfc.consts);
+                                callee_frame.defined.clear();
+                                callee_frame.defined.resize(n.div_ceil(64), 0);
+                                callee_frame.lenient = false;
+                                callee_frame.block = dfc.entry;
+                                callee_frame.pc = dfc.entry_pc;
+                                callee_frame.call_inst = None;
+                                callee_frame.ret_slot = SLOT_NONE;
+                                callee_frame.ret_ty = Type::I64;
+                            }
+                            for (&a, &(slot, ty)) in scratch.call_args.iter().zip(&dfc.params) {
+                                let canon = if ty.is_float() {
+                                    a
+                                } else {
+                                    ty.sign_extend(a) as u64
+                                };
+                                callee_frame.write(slot, canon);
+                            }
+                            obs.on_enter(callee, cfunc);
+                            cur.call_inst = Some(f.inst1);
+                            cur.ret_slot = f.r1;
+                            cur.ret_ty = f.ty;
+                            stack.push(std::mem::replace(cur, callee_frame));
+                            continue 'frames;
+                        }
+
+                        FTag::PIcmpCheck => {
+                            let bits =
+                                icmp(f.x, f.y, cur.read(f.a) as i64, cur.read(f.b) as i64) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                            pair_boundary!(f);
+                            // Re-read after the boundary: an injection
+                            // between the halves must be visible.
+                            if cur.read(f.c) & 1 == 0 {
+                                check_failed!(f.inst2);
+                            }
+                            pair_retired!(f);
+                        }
+                        FTag::PAluAlu => {
+                            let r = int_op(f.x, f.z, cur.read(f.a) as i64, cur.read(f.b) as i64);
+                            let bits = canon_sh(f.z, r) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                            pair_boundary!(f);
+                            let r = int_op(f.y, f.w, cur.read(f.c) as i64, cur.read(f.d) as i64);
+                            let bits = canon_sh(f.w, r) as u64;
+                            setr!(f.r2, bits);
+                            obs.on_result(fid, func, f.inst2, f.ty2, bits);
+                            pair_retired!(f);
+                        }
+                        FTag::PAluIcmp => {
+                            let r = int_op(f.x, f.z, cur.read(f.a) as i64, cur.read(f.b) as i64);
+                            let bits = canon_sh(f.z, r) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                            pair_boundary!(f);
+                            let bits =
+                                icmp(f.y, f.w, cur.read(f.c) as i64, cur.read(f.d) as i64) as u64;
+                            setr!(f.r2, bits);
+                            obs.on_result(fid, func, f.inst2, f.ty2, bits);
+                            pair_retired!(f);
+                        }
+                        FTag::PAluLoad => {
+                            let r = int_op(f.x, f.z, cur.read(f.a) as i64, cur.read(f.b) as i64);
+                            let bits = canon_sh(f.z, r) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                            pair_boundary!(f);
+                            let a = cur.read(f.c) as i64;
+                            let bits = mem.load(a, f.ty2)?;
+                            setr!(f.r2, bits);
+                            obs.on_result(fid, func, f.inst2, f.ty2, bits);
+                            pair_retired!(f);
+                        }
+                        FTag::PLoadSExt => {
+                            let a = cur.read(f.a) as i64;
+                            let bits = mem.load(a, f.ty)?;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                            pair_boundary!(f);
+                            let bits = cur.read(f.c);
+                            setr!(f.r2, bits);
+                            obs.on_result(fid, func, f.inst2, f.ty2, bits);
+                            pair_retired!(f);
+                        }
+                        FTag::PSExtAlu => {
+                            let bits = cur.read(f.a);
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                            pair_boundary!(f);
+                            let r = int_op(f.y, f.w, cur.read(f.c) as i64, cur.read(f.d) as i64);
+                            let bits = canon_sh(f.w, r) as u64;
+                            setr!(f.r2, bits);
+                            obs.on_result(fid, func, f.inst2, f.ty2, bits);
+                            pair_retired!(f);
+                        }
+                        FTag::PIcmpSelect => {
+                            let bits =
+                                icmp(f.x, f.y, cur.read(f.a) as i64, cur.read(f.b) as i64) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                            pair_boundary!(f);
+                            // The condition is the compare's result slot,
+                            // re-read after the boundary.
+                            let bits = if cur.read(f.r1) & 1 == 1 {
+                                cur.read(f.c)
+                            } else {
+                                cur.read(f.d)
+                            };
+                            setr!(f.r2, bits);
+                            obs.on_result(fid, func, f.inst2, f.ty2, bits);
+                            pair_retired!(f);
+                        }
+                        FTag::PSelectAlu => {
+                            let bits = if cur.read(f.a) & 1 == 1 {
+                                cur.read(f.b)
+                            } else {
+                                cur.read(f.c)
+                            };
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                            pair_boundary!(f);
+                            // The select result flows in through `r1`,
+                            // re-read after the boundary.
+                            let (av, bv) = if f.z == 0 {
+                                (cur.read(f.r1) as i64, cur.read(f.d) as i64)
+                            } else {
+                                (cur.read(f.d) as i64, cur.read(f.r1) as i64)
+                            };
+                            let bits = canon_sh(f.w, int_op(f.x, f.w, av, bv)) as u64;
+                            setr!(f.r2, bits);
+                            obs.on_result(fid, func, f.inst2, f.ty2, bits);
+                            pair_retired!(f);
+                        }
+                        FTag::PLoadAlu => {
+                            let a = cur.read(f.a) as i64;
+                            let bits = mem.load(a, f.ty)?;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                            pair_boundary!(f);
+                            let r = int_op(f.x, f.w, cur.read(f.c) as i64, cur.read(f.d) as i64);
+                            let bits = canon_sh(f.w, r) as u64;
+                            setr!(f.r2, bits);
+                            obs.on_result(fid, func, f.inst2, f.ty2, bits);
+                            pair_retired!(f);
+                        }
+                        FTag::PAluStore => {
+                            let r = int_op(f.x, f.z, cur.read(f.a) as i64, cur.read(f.b) as i64);
+                            let bits = canon_sh(f.z, r) as u64;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                            pair_boundary!(f);
+                            let a = cur.read(f.c) as i64;
+                            let v = cur.read(f.d);
+                            mem.store(a, f.ty2, v)?;
+                            pair_retired!(f);
+                        }
+                        FTag::PStoreAlu => {
+                            let a = cur.read(f.a) as i64;
+                            let v = cur.read(f.b);
+                            mem.store(a, f.ty, v)?;
+                            pair_boundary!(f);
+                            let r = int_op(f.x, f.w, cur.read(f.c) as i64, cur.read(f.d) as i64);
+                            let bits = canon_sh(f.w, r) as u64;
+                            setr!(f.r2, bits);
+                            obs.on_result(fid, func, f.inst2, f.ty2, bits);
+                            pair_retired!(f);
+                        }
+                        FTag::PFBinFBin => {
+                            let av = f64::from_bits(cur.read(f.a));
+                            let bv = f64::from_bits(cur.read(f.b));
+                            let bits = fbin(f.x, av, bv).to_bits();
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                            pair_boundary!(f);
+                            let cv = f64::from_bits(cur.read(f.c));
+                            let dv = f64::from_bits(cur.read(f.d));
+                            let bits = fbin(f.y, cv, dv).to_bits();
+                            setr!(f.r2, bits);
+                            obs.on_result(fid, func, f.inst2, f.ty2, bits);
+                            pair_retired!(f);
+                        }
+                        FTag::PFBinAlu => {
+                            let av = f64::from_bits(cur.read(f.a));
+                            let bv = f64::from_bits(cur.read(f.b));
+                            let bits = fbin(f.x, av, bv).to_bits();
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                            pair_boundary!(f);
+                            let r = int_op(f.y, f.w, cur.read(f.c) as i64, cur.read(f.d) as i64);
+                            let bits = canon_sh(f.w, r) as u64;
+                            setr!(f.r2, bits);
+                            obs.on_result(fid, func, f.inst2, f.ty2, bits);
+                            pair_retired!(f);
+                        }
+                        FTag::PLoadFBin => {
+                            let a = cur.read(f.a) as i64;
+                            let bits = mem.load(a, f.ty)?;
+                            setr!(f.r1, bits);
+                            obs.on_result(fid, func, f.inst1, f.ty, bits);
+                            pair_boundary!(f);
+                            let cv = f64::from_bits(cur.read(f.c));
+                            let dv = f64::from_bits(cur.read(f.d));
+                            let bits = fbin(f.y, cv, dv).to_bits();
+                            setr!(f.r2, bits);
+                            obs.on_result(fid, func, f.inst2, f.ty2, bits);
+                            pair_retired!(f);
+                        }
+                    }
+                }
+
+                // Fused icmp+condbr terminator: compare boundary, then
+                // terminator boundary, each in full.
+                if let Some(tf) = fb.term_fuse {
+                    if cur.pc == blk.end - 1 {
+                        boundary!();
+                        obs.on_exec(fid, func, tf.inst);
+                        if PROF {
+                            if let Some(p) = profiler.as_deref_mut() {
+                                p.record(tf.cls);
+                            }
+                        }
+                        cur.pc = blk.end;
+                        let bits =
+                            icmp(tf.pred, tf.sh, cur.read(tf.a) as i64, cur.read(tf.b) as i64)
+                                as u64;
+                        setr!(tf.r, bits);
+                        obs.on_result(fid, func, tf.inst, tf.rty, bits);
+
+                        boundary!();
+                        obs.on_term(fid, func, BlockId::new(cur.block as usize));
+                        if PROF {
+                            if let Some(p) = profiler.as_deref_mut() {
+                                p.record(OpClass::of_dterm(&blk.term));
+                                p.record_fused(tf.cls, OpClass::CONDBR);
+                            }
+                        }
+                        // Re-read the condition after the boundary.
+                        let e = if cur.read(tf.cond) & 1 == 1 {
+                            tf.then_edge
+                        } else {
+                            tf.else_edge
+                        };
+                        take_edge(fid, func, df, cur, e, state, obs, &mut scratch.phi_writes);
+                        continue 'blocks;
+                    }
+                }
+
+                // Plain terminator boundary (also reached when a resume
+                // lands exactly on a fused terminator's branch half).
+                if sink.at_boundary(mem, cur, stack, state, obs, dm) {
+                    return Ok(MachineEnd::Halted);
+                }
+                if state.dyn_count >= watermark {
+                    if state.dyn_count == trigger {
+                        inject(state, cur, func, obs);
+                    }
+                    if state.dyn_count >= max_dyn {
+                        return Err(TrapKind::Watchdog);
+                    }
+                    if state.dyn_count >= trigger {
+                        trigger = u64::MAX;
+                    }
+                    watermark = trigger.min(max_dyn);
+                }
+                state.dyn_count += 1;
+                obs.on_term(fid, func, BlockId::new(cur.block as usize));
+                if PROF {
+                    if let Some(p) = profiler.as_deref_mut() {
+                        p.record(OpClass::of_dterm(&blk.term));
+                    }
+                }
+                match blk.term {
+                    DTerm::Br { edge } => {
+                        take_edge(
+                            fid,
+                            func,
+                            df,
+                            cur,
+                            edge,
+                            state,
+                            obs,
+                            &mut scratch.phi_writes,
+                        );
+                    }
+                    DTerm::CondBr {
+                        cond,
+                        then_edge,
+                        else_edge,
+                    } => {
+                        let c = cur.read(cond);
+                        let e = if c & 1 == 1 { then_edge } else { else_edge };
+                        take_edge(fid, func, df, cur, e, state, obs, &mut scratch.phi_writes);
+                    }
+                    DTerm::Ret(v) => {
+                        let ret = v.map(|o| cur.read(o));
+                        obs.on_exit(fid);
+                        let Some(caller) = stack.pop() else {
+                            return Ok(MachineEnd::Ret(ret));
+                        };
+                        scratch.free_frames.push(std::mem::replace(cur, caller));
+                        let caller_func = module.function(cur.func);
+                        let i = cur.call_inst.take().expect("returning to a call site");
+                        let rs = cur.ret_slot;
+                        if rs != SLOT_NONE {
+                            let bits = ret.expect("verified call returns a value");
+                            setr!(rs, bits);
+                            obs.on_result(cur.func, caller_func, i, cur.ret_ty, bits);
+                        }
+                        continue 'frames;
+                    }
+                    DTerm::Missing => panic!("verified function has terminators"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_ir::inst::CheckKind;
+
+    /// Every cell's constituents stay inside its block and map back
+    /// through `fmap`; pairs are adjacent; a terminator-fused compare is
+    /// excluded from the cell range.
+    fn check_image(df: &DecodedFunc, ff: &FusedFunc) {
+        assert_eq!(ff.fmap.len(), df.code.len());
+        assert_eq!(ff.fblocks.len(), df.blocks.len());
+        for (blk, fb) in df.blocks.iter().zip(&ff.fblocks) {
+            let scan_end = if fb.term_fuse.is_some() {
+                assert!(matches!(blk.term, DTerm::CondBr { .. }));
+                assert!(matches!(
+                    df.code[(blk.end - 1) as usize].kind,
+                    DKind::Icmp { .. }
+                ));
+                assert_eq!(ff.fmap[(blk.end - 1) as usize], fb.end);
+                blk.end - 1
+            } else {
+                blk.end
+            };
+            let mut pc = blk.start;
+            for fidx in fb.start..fb.end {
+                let f = &ff.fcode[fidx as usize];
+                let n = if is_pair(f.tag) { 2 } else { 1 };
+                for k in 0..n {
+                    assert_eq!(ff.fmap[(pc + k) as usize], fidx);
+                }
+                pc += n;
+                assert!(pc <= scan_end, "fusion never crosses the block boundary");
+            }
+            assert_eq!(pc, scan_end, "every decoded instruction has a cell");
+        }
+    }
+
+    fn is_pair(tag: FTag) -> bool {
+        matches!(
+            tag,
+            FTag::PIcmpCheck
+                | FTag::PAluAlu
+                | FTag::PAluIcmp
+                | FTag::PAluLoad
+                | FTag::PLoadSExt
+                | FTag::PSExtAlu
+                | FTag::PIcmpSelect
+                | FTag::PSelectAlu
+                | FTag::PLoadAlu
+                | FTag::PAluStore
+                | FTag::PStoreAlu
+                | FTag::PFBinFBin
+                | FTag::PFBinAlu
+                | FTag::PLoadFBin
+        )
+    }
+
+    #[test]
+    fn fused_images_are_wellformed_for_looping_kernels() {
+        use softft_ir::dsl::FunctionDsl;
+        let mut m = softft_ir::Module::new("loops");
+        let f = FunctionDsl::build("main", &[], Some(Type::I64), |d| {
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(10));
+            d.for_range(s, e, |d, i| {
+                let a = d.get(acc);
+                let p = d.mul(a, i);
+                let q = d.add(p, i);
+                let zero = d.i64c(0);
+                let neg = d.icmp(IntCC::Slt, q, zero);
+                let fixed = d.sub(zero, q);
+                let v = d.select(neg, fixed, q);
+                d.set(acc, v);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        m.add_function(f);
+        softft_ir::verify::verify_module(&m).expect("verified module");
+        let dm = DecodedModule::decode(&m);
+        assert_eq!(dm.funcs.len(), dm.fused.len());
+        for (df, ff) in dm.funcs.iter().zip(&dm.fused) {
+            check_image(df, ff);
+        }
+        // The loop back-edge test fuses into its conditional branch.
+        assert!(dm
+            .fused
+            .iter()
+            .any(|ff| ff.fblocks.iter().any(|fb| fb.term_fuse.is_some())));
+    }
+
+    #[test]
+    fn fusion_table_matches_expected_pairs() {
+        // A straight-line stream: the add+add chain and the duplication
+        // icmp+check signature each fuse to one cell.
+        use softft_ir::dsl::FunctionDsl;
+        let mut m = softft_ir::Module::new("fusion_pairs");
+        let f = FunctionDsl::build("pairs", &[Type::I64, Type::I64], Some(Type::I64), |d| {
+            let a = d.param(0);
+            let b = d.param(1);
+            let s = d.add(a, b); // add + add → PAluAlu
+            let t = d.add(s, b);
+            let c = d.icmp(IntCC::Eq, s, t); // icmp + check → PIcmpCheck
+            d.check(c, CheckKind::DupMismatch);
+            d.ret(Some(t));
+        });
+        let fid = m.add_function(f);
+        softft_ir::verify::verify_module(&m).expect("verified module");
+        let dm = DecodedModule::decode(&m);
+        let ff = &dm.fused[fid.index()];
+        check_image(&dm.funcs[fid.index()], ff);
+        let tags: Vec<FTag> = ff.fcode.iter().map(|f| f.tag).collect();
+        assert_eq!(tags, vec![FTag::PAluAlu, FTag::PIcmpCheck]);
+    }
+}

@@ -17,6 +17,50 @@ use softft_ir::inst::{BinOp, CastKind, FloatCC, IntCC, Op, Term, UnOp};
 use softft_ir::{BlockId, FuncId, InstId, Module, Type, ValueId};
 use std::sync::Arc;
 
+/// Which execution engine a [`Vm`] dispatches to. All three are bitwise
+/// equivalent — same results, traps, injection records, observer streams,
+/// snapshots and profiles (`tests/decoded_equiv.rs` gates this) — and
+/// differ only in throughput:
+///
+/// * [`Engine::Tree`] — the original tree-walking reference interpreter
+///   (the semantic oracle; slowest).
+/// * [`Engine::Decoded`] — pre-decoded flat bytecode (operands resolved
+///   to frame slots once, per-instruction dispatch).
+/// * [`Engine::Fused`] — superinstruction fusion over the decoded
+///   stream: hot intra-block instruction pairs retire under a single
+///   dense-tag dispatch (see `crate::fuse`). The default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Tree-walking reference interpreter.
+    Tree,
+    /// Pre-decoded flat bytecode engine.
+    Decoded,
+    /// Superinstruction-fused engine over the decoded stream.
+    #[default]
+    Fused,
+}
+
+impl Engine {
+    /// Stable lower-case name (CLI flags, bench JSON columns).
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Tree => "tree",
+            Engine::Decoded => "decoded",
+            Engine::Fused => "fused",
+        }
+    }
+
+    /// Parses a [`Engine::label`] string.
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "tree" => Some(Engine::Tree),
+            "decoded" => Some(Engine::Decoded),
+            "fused" => Some(Engine::Fused),
+            _ => None,
+        }
+    }
+}
+
 /// Interpreter configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct VmConfig {
@@ -33,11 +77,14 @@ pub struct VmConfig {
     /// false-positive measurement (checks firing with no fault present).
     pub checks_count_only: bool,
     /// When true, executes with the original tree-walking interpreter
-    /// instead of the pre-decoded flat bytecode engine. The two are
-    /// bitwise equivalent (`tests/decoded_equiv.rs` gates this); the
-    /// reference path exists for differential testing and as the "before"
-    /// leg of the interpreter throughput bench.
+    /// regardless of [`VmConfig::engine`]. Kept as a boolean shorthand
+    /// for the differential tests and the "before" leg of the
+    /// interpreter throughput bench; equivalent to `engine:
+    /// Engine::Tree`.
     pub reference_interp: bool,
+    /// Which execution tier to dispatch to (overridden by
+    /// [`VmConfig::reference_interp`]; see [`VmConfig::effective_engine`]).
+    pub engine: Engine,
     /// When true, the VM carries a [`VmProfiler`] that tallies per-opcode
     /// and opcode-digram execution counts plus sampled wall-time. Purely
     /// observational: run results, injections, and observer streams are
@@ -55,7 +102,21 @@ impl Default for VmConfig {
             max_call_depth: 64,
             checks_count_only: false,
             reference_interp: false,
+            engine: Engine::default(),
             profiling: false,
+        }
+    }
+}
+
+impl VmConfig {
+    /// The engine this configuration actually dispatches to:
+    /// [`VmConfig::reference_interp`] forces [`Engine::Tree`], otherwise
+    /// [`VmConfig::engine`] decides.
+    pub fn effective_engine(&self) -> Engine {
+        if self.reference_interp {
+            Engine::Tree
+        } else {
+            self.engine
         }
     }
 }
@@ -564,10 +625,10 @@ impl<'m> Vm<'m> {
         fault: Option<FaultPlan>,
     ) -> RunResult {
         self.begin_profiled_run();
-        if self.config.reference_interp {
-            self.run_inner(entry, args, obs, fault, &mut NoSink)
-        } else {
-            self.run_decoded(entry, args, obs, fault, &mut DNoSink)
+        match self.config.effective_engine() {
+            Engine::Tree => self.run_inner(entry, args, obs, fault, &mut NoSink),
+            Engine::Decoded => self.run_decoded(entry, args, obs, fault, &mut DNoSink),
+            Engine::Fused => self.run_fused(entry, args, obs, fault, &mut DNoSink),
         }
     }
 
@@ -590,8 +651,8 @@ impl<'m> Vm<'m> {
     ) -> RunResult {
         assert!(interval > 0, "snapshot interval must be positive");
         self.begin_profiled_run();
-        if self.config.reference_interp {
-            self.run_inner(
+        match self.config.effective_engine() {
+            Engine::Tree => self.run_inner(
                 entry,
                 args,
                 obs,
@@ -600,9 +661,8 @@ impl<'m> Vm<'m> {
                     interval,
                     f: &mut on_checkpoint,
                 },
-            )
-        } else {
-            self.run_decoded(
+            ),
+            Engine::Decoded => self.run_decoded(
                 entry,
                 args,
                 obs,
@@ -611,7 +671,17 @@ impl<'m> Vm<'m> {
                     interval,
                     f: &mut on_checkpoint,
                 },
-            )
+            ),
+            Engine::Fused => self.run_fused(
+                entry,
+                args,
+                obs,
+                None,
+                &mut DEveryK {
+                    interval,
+                    f: &mut on_checkpoint,
+                },
+            ),
         }
     }
 
@@ -639,8 +709,10 @@ impl<'m> Vm<'m> {
             );
         }
         self.begin_profiled_run();
-        if !self.config.reference_interp {
-            return self.resume_decoded(snap, obs, fault);
+        match self.config.effective_engine() {
+            Engine::Tree => {}
+            Engine::Decoded => return self.resume_decoded(snap, obs, fault),
+            Engine::Fused => return self.resume_fused(snap, obs, fault),
         }
         let mut state = ExecState::new(fault);
         state.dyn_count = snap.dyn_count;
@@ -692,8 +764,10 @@ impl<'m> Vm<'m> {
             );
         }
         self.begin_profiled_run();
-        if !self.config.reference_interp {
-            return self.resume_converging_decoded(snap, obs, fault, candidates);
+        match self.config.effective_engine() {
+            Engine::Tree => {}
+            Engine::Decoded => return self.resume_converging_decoded(snap, obs, fault, candidates),
+            Engine::Fused => return self.resume_converging_fused(snap, obs, fault, candidates),
         }
         let mut state = ExecState::new(fault);
         state.dyn_count = snap.dyn_count;
@@ -718,8 +792,12 @@ impl<'m> Vm<'m> {
         candidates: &[&Snapshot],
     ) -> ConvergeOutcome {
         self.begin_profiled_run();
-        if !self.config.reference_interp {
-            return self.run_converging_decoded(entry, args, obs, fault, candidates);
+        match self.config.effective_engine() {
+            Engine::Tree => {}
+            Engine::Decoded => {
+                return self.run_converging_decoded(entry, args, obs, fault, candidates)
+            }
+            Engine::Fused => return self.run_converging_fused(entry, args, obs, fault, candidates),
         }
         let mut state = ExecState::new(fault);
         let mut stack: Vec<Frame> = Vec::new();

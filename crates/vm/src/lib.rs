@@ -21,6 +21,14 @@
 //!   executes the decoded stream by default; the tree-walking reference
 //!   path remains selectable via `VmConfig::reference_interp` and the two
 //!   are bitwise equivalent;
+//! * `fuse` — the superinstruction tier above [`decode`]: hot
+//!   intra-block opcode pairs (the `icmp+check` duplication signature,
+//!   ALU chains, `load+sext`, the `icmp+condbr` back-edge test) fuse into
+//!   single dispatches selected statically from a table seeded by the
+//!   profiler's digram ranking. Fault-site keying, injection records and
+//!   snapshot boundaries are identical to the decoded tier — a fused pair
+//!   still reports both constituent dyn-inst boundaries — so all three
+//!   engines ([`interp::Engine`]) are bitwise interchangeable mid-run;
 //! * [`profile`] — an opt-in execution profiler ([`VmConfig::profiling`]):
 //!   exact per-opcode and opcode-digram counters plus sampled wall-time
 //!   attribution, kept strictly off the determinism path — results are
@@ -58,6 +66,7 @@
 
 pub mod decode;
 pub mod fault;
+pub(crate) mod fuse;
 pub mod interp;
 pub mod memory;
 pub mod outcome;
@@ -66,7 +75,9 @@ pub mod timing;
 
 pub use decode::DecodedModule;
 pub use fault::{FaultPlan, InjectionRecord};
-pub use interp::{ConvergeOutcome, NoopObserver, Observer, Snapshot, SuffixObserver, Vm, VmConfig};
+pub use interp::{
+    ConvergeOutcome, Engine, NoopObserver, Observer, Snapshot, SuffixObserver, Vm, VmConfig,
+};
 pub use memory::Memory;
 pub use outcome::{RunEnd, RunResult, TrapKind};
 pub use profile::{Digrams, HotDigram, OpClass, OpCounts, SampledTime, VmProfiler};

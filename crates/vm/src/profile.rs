@@ -197,6 +197,20 @@ impl OpClass {
     pub fn is_terminator(self) -> bool {
         self.0 >= BR
     }
+
+    /// True when a digram led by this class is guaranteed to be an
+    /// intra-block fall-through pair — the only shape a superinstruction
+    /// can legally fuse. The digram matrix records the *dispatch*
+    /// sequence, so a pair led by a `call` straddles a frame boundary
+    /// (the second opcode runs in the callee) and a pair led by a
+    /// terminator straddles a CFG edge (phi copies run between the two);
+    /// neither can retire under one fused dispatch. Every other lead
+    /// class falls through to the next instruction of the same block
+    /// (`icmp` → `condbr`, where the second is this block's *own*
+    /// terminator, included).
+    pub fn can_lead_fusion(self) -> bool {
+        self.0 != CALL && !self.is_terminator()
+    }
 }
 
 /// Dense per-opcode-class execution counts — the single opcode tally
@@ -293,6 +307,15 @@ pub struct HotDigram {
 /// executed immediately after class `a` (across the whole run, including
 /// across block and call boundaries — that is the dispatch sequence a
 /// threaded/fused interpreter sees).
+///
+/// Note that pairs counted across a block or call boundary are *illegal
+/// fusion candidates*: a pair led by a terminator crosses a CFG edge
+/// (phi copies run in between) and a pair led by a `call` crosses a
+/// frame boundary, so a superinstruction can never retire them in one
+/// dispatch. [`Digrams::fusible_top`] restricts the ranking to the
+/// intra-block fall-through pairs a fusion table may actually use (see
+/// [`OpClass::can_lead_fusion`]); [`Digrams::top`] keeps the unfiltered
+/// dispatch-sequence view.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Digrams {
     counts: Box<[u64]>,
@@ -340,11 +363,31 @@ impl Digrams {
     /// `total_dispatches` scales the savings estimate — pass the run's
     /// [`OpCounts::total`].
     pub fn top(&self, n: usize, total_dispatches: u64) -> Vec<HotDigram> {
+        self.top_filtered(n, total_dispatches, |_| true)
+    }
+
+    /// Like [`Digrams::top`], but restricted to pairs a superinstruction
+    /// could legally fuse: intra-block fall-through pairs, i.e. pairs
+    /// whose lead class is neither a `call` nor a terminator
+    /// ([`OpClass::can_lead_fusion`]). Pairs this view drops relative to
+    /// `top` are dispatch-adjacent only across a CFG edge or frame
+    /// boundary, where their `est_dispatch_savings` could never be
+    /// realized.
+    pub fn fusible_top(&self, n: usize, total_dispatches: u64) -> Vec<HotDigram> {
+        self.top_filtered(n, total_dispatches, OpClass::can_lead_fusion)
+    }
+
+    fn top_filtered(
+        &self,
+        n: usize,
+        total_dispatches: u64,
+        lead_ok: impl Fn(OpClass) -> bool,
+    ) -> Vec<HotDigram> {
         let mut pairs: Vec<(usize, u64)> = self
             .counts
             .iter()
             .enumerate()
-            .filter(|&(_, &c)| c > 0)
+            .filter(|&(i, &c)| c > 0 && lead_ok(OpClass((i / NUM_OP_CLASSES) as u8)))
             .map(|(i, &c)| (i, c))
             .collect();
         pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -385,6 +428,10 @@ pub struct SampledTime {
 pub struct VmProfiler {
     counts: OpCounts,
     digrams: Digrams,
+    /// Pairs the fused engine retired under a single superinstruction
+    /// dispatch, keyed by constituent classes. Always zero on the tree
+    /// and decoded engines; purely observational on the fused one.
+    fused: Digrams,
     prev: Option<OpClass>,
     until_sample: u32,
     last_sample: Option<Instant>,
@@ -403,6 +450,7 @@ impl VmProfiler {
         VmProfiler {
             counts: OpCounts::new(),
             digrams: Digrams::new(),
+            fused: Digrams::new(),
             prev: None,
             until_sample: SAMPLE_STRIDE,
             last_sample: None,
@@ -454,6 +502,24 @@ impl VmProfiler {
         &self.digrams
     }
 
+    /// Records one instruction pair retired by the fused engine under a
+    /// single superinstruction dispatch. Does not touch the digram
+    /// chain: the pair's constituents still go through
+    /// [`VmProfiler::record`] individually, so `counts`/`digrams` stay
+    /// engine-independent.
+    #[inline]
+    pub(crate) fn record_fused(&mut self, first: OpClass, second: OpClass) {
+        self.fused.record(first, second);
+    }
+
+    /// Pairs retired via superinstructions by the fused engine, keyed by
+    /// constituent classes. `2 * fused_pairs().total()` is the number of
+    /// dynamic instructions (out of [`OpCounts::total`]) that retired
+    /// under a fused dispatch.
+    pub fn fused_pairs(&self) -> &Digrams {
+        &self.fused
+    }
+
     /// Sampled wall-time per class, `(class, time)` for classes with at
     /// least one sample, in dense-index order.
     pub fn sampled_times(&self) -> impl Iterator<Item = (OpClass, SampledTime)> + '_ {
@@ -470,11 +536,19 @@ impl VmProfiler {
         self.digrams.top(n, self.counts.total())
     }
 
+    /// Like [`VmProfiler::hot_digrams`], but restricted to legally
+    /// fusible (intra-block fall-through) pairs — the ranking a fusion
+    /// table should be seeded from. See [`Digrams::fusible_top`].
+    pub fn fusible_digrams(&self, n: usize) -> Vec<HotDigram> {
+        self.digrams.fusible_top(n, self.counts.total())
+    }
+
     /// Folds another profiler's exact counters and sampled times into
     /// this one (aggregation across runs or threads).
     pub fn merge(&mut self, other: &VmProfiler) {
         self.counts.merge(&other.counts);
         self.digrams.merge(&other.digrams);
+        self.fused.merge(&other.fused);
         for (a, b) in self.sampled.iter_mut().zip(other.sampled.iter()) {
             a.ns += b.ns;
             a.samples += b.samples;
@@ -582,6 +656,71 @@ mod tests {
         assert_eq!(hot[0].count, 2);
         let expected = 2.0 / p.counts().total() as f64;
         assert!((hot[0].est_dispatch_savings - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fusible_digrams_drop_boundary_led_pairs() {
+        let a = OpClass::of_op(&add_op());
+        let icmp = OpClass::from_label("icmp").unwrap();
+        let check = OpClass::from_label("check").unwrap();
+        let call = OpClass::from_label("call").unwrap();
+        assert!(a.can_lead_fusion() && icmp.can_lead_fusion());
+        assert!(!call.can_lead_fusion());
+        assert!(!OpClass::BR.can_lead_fusion() && !OpClass::CONDBR.can_lead_fusion());
+
+        // Dispatch stream: icmp check condbr icmp check call add — the
+        // condbr→icmp pair crosses a CFG edge and the call→add pair a
+        // frame boundary; both are dispatch-adjacent but unfusible.
+        let mut p = VmProfiler::new();
+        p.begin_run();
+        for c in [icmp, check, OpClass::CONDBR, icmp, check, call, a] {
+            p.record(c);
+        }
+        let hot = p.hot_digrams(usize::MAX);
+        let fusible = p.fusible_digrams(usize::MAX);
+        let pairs = |v: &[HotDigram]| -> Vec<(OpClass, OpClass)> {
+            v.iter().map(|h| (h.first, h.second)).collect()
+        };
+        assert!(pairs(&hot).contains(&(OpClass::CONDBR, icmp)));
+        assert!(pairs(&hot).contains(&(call, a)));
+        assert!(!pairs(&fusible).contains(&(OpClass::CONDBR, icmp)));
+        assert!(!pairs(&fusible).contains(&(call, a)));
+        // What survives is exactly the fall-through pairs, same ranking
+        // metric as `hot_digrams` (icmp→check counted twice leads).
+        assert_eq!(fusible[0].first, icmp);
+        assert_eq!(fusible[0].second, check);
+        assert_eq!(fusible[0].count, 2);
+        // icmp→condbr (a block's own terminator) stays fusible.
+        p.record(icmp);
+        p.record(OpClass::CONDBR);
+        assert!(pairs(&p.fusible_digrams(usize::MAX)).contains(&(icmp, OpClass::CONDBR)));
+        // Every fusible pair appears in the unfiltered view with the
+        // same count.
+        for h in p.fusible_digrams(usize::MAX) {
+            assert_eq!(p.digrams().get(h.first, h.second), h.count);
+        }
+    }
+
+    #[test]
+    fn fused_pair_tally_is_separate_and_merges() {
+        let a = OpClass::of_op(&add_op());
+        let icmp = OpClass::from_label("icmp").unwrap();
+        let check = OpClass::from_label("check").unwrap();
+        let mut p = VmProfiler::new();
+        p.record(icmp);
+        p.record(check);
+        p.record_fused(icmp, check);
+        // The fused tally never feeds the digram chain or counts.
+        assert_eq!(p.counts().total(), 2);
+        assert_eq!(p.digrams().get(icmp, check), 1);
+        assert_eq!(p.fused_pairs().get(icmp, check), 1);
+        assert_eq!(p.fused_pairs().total(), 1);
+        let mut q = VmProfiler::new();
+        q.record_fused(icmp, check);
+        q.record_fused(a, a);
+        q.merge(&p);
+        assert_eq!(q.fused_pairs().get(icmp, check), 2);
+        assert_eq!(q.fused_pairs().get(a, a), 1);
     }
 
     #[test]

@@ -1,11 +1,13 @@
-//! The decoded flat-bytecode engine is a pure perf optimization over the
-//! tree-walking reference interpreter: every observable — return values,
+//! The decoded flat-bytecode engine and the fused superinstruction
+//! engine above it are pure perf optimizations over the tree-walking
+//! reference interpreter: every observable — return values,
 //! `dyn_insts`, check failures, trap kinds, injection records, output
-//! bytes, campaign results — must match bitwise. This differential suite
-//! fuzzes randomized DSL kernels (plain and protected) and runs the real
-//! benchmark modules under both engines, across fault kinds, snapshot
-//! intervals, and thread counts. The reference path is selected with
-//! `VmConfig::reference_interp`.
+//! bytes, campaign results — must match bitwise across all three tiers.
+//! This differential suite fuzzes randomized DSL kernels (plain and
+//! protected) and runs the real benchmark modules under every engine,
+//! across fault kinds, snapshot intervals, and thread counts. The
+//! reference path is selected with `VmConfig::reference_interp`; the
+//! perf tiers with `VmConfig::engine`.
 
 use soft_ft_tests::random_module;
 use softft::{transform, Technique, TransformConfig};
@@ -13,7 +15,7 @@ use softft_campaign::campaign::{run_campaign_with_stats, CampaignConfig};
 use softft_campaign::prep::prepare;
 use softft_profile::{ClassifyConfig, ProfileDb, Profiler};
 use softft_vm::fault::FaultKind;
-use softft_vm::interp::{NoopObserver, Snapshot, Vm, VmConfig};
+use softft_vm::interp::{Engine, NoopObserver, Snapshot, Vm, VmConfig};
 use softft_vm::FaultPlan;
 use softft_workloads::runner::WorkloadImage;
 use softft_workloads::{workload_by_name, InputSet};
@@ -24,6 +26,16 @@ fn reference() -> VmConfig {
         ..VmConfig::default()
     }
 }
+
+fn with_engine(engine: Engine) -> VmConfig {
+    VmConfig {
+        engine,
+        ..VmConfig::default()
+    }
+}
+
+/// Both perf tiers, each compared against the tree-walking oracle.
+const PERF_ENGINES: [Engine; 2] = [Engine::Decoded, Engine::Fused];
 
 /// Fault-free plus register and branch-target flips at triggers spanning
 /// early, mid-run, and beyond-program-end (the last must stay unarmed on
@@ -45,9 +57,11 @@ fn random_kernels_agree_bitwise_across_engines() {
         let m = random_module(seed);
         let main = m.function_by_name("main").expect("main exists");
         for plan in plans() {
-            let dec = Vm::new(&m, VmConfig::default()).run(main, &[], &mut NoopObserver, plan);
             let tree = Vm::new(&m, reference()).run(main, &[], &mut NoopObserver, plan);
-            assert_eq!(dec, tree, "seed {seed}, plan {plan:?}");
+            for engine in PERF_ENGINES {
+                let r = Vm::new(&m, with_engine(engine)).run(main, &[], &mut NoopObserver, plan);
+                assert_eq!(r, tree, "seed {seed}, engine {engine:?}, plan {plan:?}");
+            }
         }
     }
 }
@@ -66,9 +80,15 @@ fn protected_kernels_agree_bitwise_under_faults() {
             let (tm, _) = transform(&m, &db, t, &TransformConfig::default());
             let main = tm.function_by_name("main").expect("main exists");
             for plan in plans() {
-                let dec = Vm::new(&tm, VmConfig::default()).run(main, &[], &mut NoopObserver, plan);
                 let tree = Vm::new(&tm, reference()).run(main, &[], &mut NoopObserver, plan);
-                assert_eq!(dec, tree, "seed {seed}, technique {t}, plan {plan:?}");
+                for engine in PERF_ENGINES {
+                    let r =
+                        Vm::new(&tm, with_engine(engine)).run(main, &[], &mut NoopObserver, plan);
+                    assert_eq!(
+                        r, tree,
+                        "seed {seed}, engine {engine:?}, technique {t}, plan {plan:?}"
+                    );
+                }
             }
         }
     }
@@ -89,26 +109,45 @@ fn snapshots_recorded_on_either_engine_resume_bitwise_on_either() {
                     .run_recording(main, &[], &mut NoopObserver, interval, |s, _| snaps.push(s));
             (r, snaps)
         };
-        let (rd, dec_snaps) = record(VmConfig::default());
+        let (rd, dec_snaps) = record(with_engine(Engine::Decoded));
+        let (rf, fused_snaps) = record(with_engine(Engine::Fused));
         let (rt, tree_snaps) = record(reference());
         assert_eq!(rd, rt, "seed {seed}: recording results diverged");
+        assert_eq!(rf, rt, "seed {seed}: fused recording diverged");
         assert_eq!(golden, rd, "seed {seed}: recording changed the run");
         assert_eq!(
             dec_snaps.len(),
             tree_snaps.len(),
             "seed {seed}: checkpoint counts diverged"
         );
+        assert_eq!(
+            fused_snaps.len(),
+            tree_snaps.len(),
+            "seed {seed}: fused checkpoint counts diverged"
+        );
         assert!(!dec_snaps.is_empty(), "seed {seed}: no checkpoint captured");
 
-        for (i, (ds, ts)) in dec_snaps.iter().zip(&tree_snaps).enumerate() {
+        for (i, ((ds, fs), ts)) in dec_snaps
+            .iter()
+            .zip(&fused_snaps)
+            .zip(&tree_snaps)
+            .enumerate()
+        {
             assert_eq!(
                 ds.dyn_count(),
                 ts.dyn_count(),
                 "seed {seed}, checkpoint {i}"
             );
-            // Resume from every checkpoint on both engines, from
-            // snapshots recorded by either engine — all four pairings
-            // must agree, faulted and fault-free.
+            assert_eq!(
+                fs.dyn_count(),
+                ts.dyn_count(),
+                "seed {seed}, checkpoint {i} (fused)"
+            );
+            // Resume from every checkpoint on every engine, from
+            // snapshots recorded by any engine — all nine pairings must
+            // agree, faulted and fault-free. In particular a snapshot
+            // taken mid-pair by the fused engine must thaw cleanly on
+            // the other tiers and vice versa.
             let mut resume_plans = vec![None];
             for delta in [1, 37] {
                 let at = ds.dyn_count() + delta;
@@ -116,18 +155,25 @@ fn snapshots_recorded_on_either_engine_resume_bitwise_on_either() {
                 resume_plans.push(Some(FaultPlan::branch_target(at, i as u64)));
             }
             for plan in resume_plans {
-                let base =
-                    Vm::new(&m, VmConfig::default()).resume_from(ds, &mut NoopObserver, plan);
-                for (snap, cfg, label) in [
-                    (ts, VmConfig::default(), "decoded engine, tree snapshot"),
-                    (ds, reference(), "tree engine, decoded snapshot"),
-                    (ts, reference(), "tree engine, tree snapshot"),
-                ] {
-                    let r = Vm::new(&m, cfg).resume_from(snap, &mut NoopObserver, plan);
-                    assert_eq!(
-                        base, r,
-                        "seed {seed}, checkpoint {i}, plan {plan:?}: {label} diverged"
-                    );
+                let base = Vm::new(&m, with_engine(Engine::Decoded)).resume_from(
+                    ds,
+                    &mut NoopObserver,
+                    plan,
+                );
+                for snap in [ds, fs, ts] {
+                    for cfg in [
+                        with_engine(Engine::Decoded),
+                        with_engine(Engine::Fused),
+                        reference(),
+                    ] {
+                        let eng = cfg.effective_engine();
+                        let r = Vm::new(&m, cfg).resume_from(snap, &mut NoopObserver, plan);
+                        assert_eq!(
+                            base, r,
+                            "seed {seed}, checkpoint {i}, plan {plan:?}: \
+                             {eng:?} engine diverged"
+                        );
+                    }
                 }
             }
         }
@@ -140,25 +186,24 @@ fn benchmark_golden_runs_agree_bitwise() {
         let w = workload_by_name(name).expect("workload exists");
         let m = w.build_module();
         let input = w.input(InputSet::Test);
-        let (rd, out_d) =
-            WorkloadImage::new(&m, &input, VmConfig::default()).run(&mut NoopObserver, None);
         let (rt, out_t) = WorkloadImage::new(&m, &input, reference()).run(&mut NoopObserver, None);
-        assert_eq!(rd, rt, "{name}: golden results diverged");
-        assert_eq!(out_d, out_t, "{name}: output bytes diverged");
+        for engine in PERF_ENGINES {
+            let (r, out) =
+                WorkloadImage::new(&m, &input, with_engine(engine)).run(&mut NoopObserver, None);
+            assert_eq!(r, rt, "{name}: golden results diverged on {engine:?}");
+            assert_eq!(out, out_t, "{name}: output bytes diverged on {engine:?}");
+        }
     }
 }
 
-fn cfg(threads: usize, kind: FaultKind, interval: u64, reference_interp: bool) -> CampaignConfig {
+fn cfg(threads: usize, kind: FaultKind, interval: u64, vm: VmConfig) -> CampaignConfig {
     CampaignConfig {
         trials: 30,
         seed: 23,
         threads,
         fault_kind: kind,
         snapshot_interval: interval,
-        vm: VmConfig {
-            reference_interp,
-            ..VmConfig::default()
-        },
+        vm,
         ..CampaignConfig::default()
     }
 }
@@ -169,18 +214,21 @@ fn campaigns_agree_bitwise_across_engines_threads_and_intervals() {
     let t = Technique::DupVal;
     for kind in [FaultKind::Register, FaultKind::BranchTarget] {
         let (golden, _) =
-            run_campaign_with_stats(&*p.workload, p.module(t), &cfg(1, kind, 0, true));
-        for threads in [1, 3] {
-            for interval in [0, 1500] {
-                let (dec, _) = run_campaign_with_stats(
-                    &*p.workload,
-                    p.module(t),
-                    &cfg(threads, kind, interval, false),
-                );
-                assert_eq!(
-                    golden, dec,
-                    "{kind:?} diverged at {threads} threads, interval {interval}"
-                );
+            run_campaign_with_stats(&*p.workload, p.module(t), &cfg(1, kind, 0, reference()));
+        for engine in PERF_ENGINES {
+            for threads in [1, 3] {
+                for interval in [0, 1500] {
+                    let (r, _) = run_campaign_with_stats(
+                        &*p.workload,
+                        p.module(t),
+                        &cfg(threads, kind, interval, with_engine(engine)),
+                    );
+                    assert_eq!(
+                        golden, r,
+                        "{kind:?} diverged on {engine:?} at {threads} threads, \
+                         interval {interval}"
+                    );
+                }
             }
         }
     }

@@ -16,7 +16,7 @@ use softft_campaign::campaign::{
 use softft_campaign::coverage::build_coverage;
 use softft_campaign::prep::prepare;
 use softft_telemetry::TraceObserver;
-use softft_vm::interp::{NoopObserver, Vm, VmConfig};
+use softft_vm::interp::{Engine, NoopObserver, Vm, VmConfig};
 use softft_workloads::runner::{read_output, write_input};
 use softft_workloads::{workload_by_name, InputSet};
 use std::path::PathBuf;
@@ -59,11 +59,12 @@ fn golden_run_is_bitwise_identical_with_profiling_on_or_off() {
     let input = p.workload.input(InputSet::Test);
     let main = module.function_by_name("main").unwrap();
 
-    let run = |profiling: bool| {
+    let run = |profiling: bool, engine: Engine| {
         let mut vm = Vm::new(
             module,
             VmConfig {
                 profiling,
+                engine,
                 ..VmConfig::default()
             },
         );
@@ -73,8 +74,8 @@ fn golden_run_is_bitwise_identical_with_profiling_on_or_off() {
         (r, out, vm.take_profiler())
     };
 
-    let (r_on, out_on, prof) = run(true);
-    let (r_off, out_off, no_prof) = run(false);
+    let (r_on, out_on, prof) = run(true, Engine::Fused);
+    let (r_off, out_off, no_prof) = run(false, Engine::Fused);
     assert_eq!(r_on, r_off, "profiling changed the run result");
     assert_eq!(out_on, out_off, "profiling changed the output bytes");
     assert!(no_prof.is_none(), "profiler allocated with profiling off");
@@ -89,6 +90,34 @@ fn golden_run_is_bitwise_identical_with_profiling_on_or_off() {
     for w in top.windows(2) {
         assert!(w[0].count >= w[1].count, "hot digrams not sorted");
     }
+
+    // Profiles are an engine-independent view of the dynamic stream:
+    // the decoded tier tallies the identical opcode and digram
+    // histograms. Only the fusion-hit stats are engine-specific — a
+    // fused run retires pairs, a decoded run never does.
+    let (r_dec, out_dec, dprof) = run(true, Engine::Decoded);
+    assert_eq!(r_dec, r_on, "engines diverged under profiling");
+    assert_eq!(out_dec, out_on, "output bytes diverged under profiling");
+    let dprof = dprof.expect("profiler present with profiling on");
+    assert_eq!(
+        format!("{:?}", prof.counts()),
+        format!("{:?}", dprof.counts()),
+        "opcode histograms diverged across engines"
+    );
+    assert_eq!(
+        prof.digrams().total(),
+        dprof.digrams().total(),
+        "digram totals diverged across engines"
+    );
+    assert!(
+        prof.fused_pairs().total() > 0,
+        "fused run retired no superinstruction pairs"
+    );
+    assert_eq!(
+        dprof.fused_pairs().total(),
+        0,
+        "decoded run retired fused pairs"
+    );
 }
 
 #[test]

@@ -2,8 +2,10 @@
 //! ones: same `CampaignResult`, same per-trial records and events, same
 //! telemetry artifacts (trial JSONL, metrics JSON, coverage JSON) — for
 //! register and branch-target faults, at 1 and 3 worker threads, across
-//! checkpoint intervals. The snapshot engine is a pure perf optimization;
-//! any observable divergence is a bug.
+//! checkpoint intervals — and on both the decoded and the fused
+//! execution tiers, including cross-tier (snapshots taken under one
+//! engine drive resumes under the other). The snapshot engine is a pure
+//! perf optimization; any observable divergence is a bug.
 
 use softft::Technique;
 use softft_campaign::campaign::{
@@ -12,15 +14,20 @@ use softft_campaign::campaign::{
 use softft_campaign::coverage::build_coverage;
 use softft_campaign::prep::prepare;
 use softft_vm::fault::FaultKind;
+use softft_vm::interp::{Engine, VmConfig};
 use softft_workloads::workload_by_name;
 
-fn cfg(threads: usize, kind: FaultKind, interval: u64) -> CampaignConfig {
+fn cfg(threads: usize, kind: FaultKind, interval: u64, engine: Engine) -> CampaignConfig {
     CampaignConfig {
         trials: 40,
         seed: 11,
         threads,
         fault_kind: kind,
         snapshot_interval: interval,
+        vm: VmConfig {
+            engine,
+            ..VmConfig::default()
+        },
         ..CampaignConfig::default()
     }
 }
@@ -30,23 +37,26 @@ fn snapshot_results_match_direct_across_kinds_threads_and_intervals() {
     let p = prepare(workload_by_name("tiff2bw").unwrap());
     let t = Technique::DupVal;
     for kind in [FaultKind::Register, FaultKind::BranchTarget] {
-        let (direct, dstats) = run_campaign_with_stats(&*p.workload, p.module(t), &cfg(1, kind, 0));
+        let (direct, dstats) =
+            run_campaign_with_stats(&*p.workload, p.module(t), &cfg(1, kind, 0, Engine::Decoded));
         assert_eq!(dstats.resumed_trials, 0);
         assert_eq!(dstats.checkpoints, 0);
-        for threads in [1, 3] {
+        for engine in [Engine::Decoded, Engine::Fused] {
             for interval in [700, 5000] {
+                let threads = 3;
                 let (snap, stats) = run_campaign_with_stats(
                     &*p.workload,
                     p.module(t),
-                    &cfg(threads, kind, interval),
+                    &cfg(threads, kind, interval, engine),
                 );
                 assert_eq!(
                     direct, snap,
-                    "{kind:?} diverged at {threads} threads, interval {interval}"
+                    "{kind:?} diverged on {engine:?} at {threads} threads, \
+                     interval {interval}"
                 );
                 assert!(
                     stats.resumed_trials > 0,
-                    "{kind:?} interval {interval}: no trial resumed"
+                    "{kind:?} {engine:?} interval {interval}: no trial resumed"
                 );
                 assert_eq!(stats.resumed_trials + stats.fresh_trials, 40);
                 assert!(stats.prefix_insts_skipped >= stats.resumed_trials * interval);
@@ -58,7 +68,7 @@ fn snapshot_results_match_direct_across_kinds_threads_and_intervals() {
                 if kind == FaultKind::Register {
                     assert!(
                         stats.converged_trials > 0,
-                        "{kind:?} interval {interval}: no trial converged"
+                        "{kind:?} {engine:?} interval {interval}: no trial converged"
                     );
                     assert!(stats.suffix_insts_skipped > 0);
                 }
@@ -85,13 +95,13 @@ fn snapshot_telemetry_artifacts_are_byte_identical() {
     let (dres, dtel) = run_campaign_attributed(
         &*p.workload,
         p.module(t),
-        &cfg(2, FaultKind::Register, 0),
+        &cfg(2, FaultKind::Register, 0, Engine::Decoded),
         Some(p.protection(t)),
     );
     let (sres, stel) = run_campaign_attributed(
         &*p.workload,
         p.module(t),
-        &cfg(2, FaultKind::Register, 1500),
+        &cfg(2, FaultKind::Register, 1500, Engine::Fused),
         Some(p.protection(t)),
     );
     assert_eq!(dres, sres);
