@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c]
-//!                 [--telemetry DIR] [--html PATH] [--snapshot-interval K]
+//!                 [--telemetry DIR] [--html PATH] [--snapshot-interval K|auto]
+//!                 [--no-spin-proof] [--no-prune]
 //!                 [--bench-out PATH] [--engine tree,decoded,fused]
 //!                 [--progress text|jsonl] [-v|--verbose] [-q|--quiet]
 //!                 [--store DIR] [--resume DIR] [--trial-cap N] [--verify]
@@ -28,7 +29,7 @@ fn usage() -> ExitCode {
     // Usage goes out at every verbosity level. The exhibit list is
     // derived from the same table `Exhibit::parse` reads.
     Logger::default().error(format!(
-        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [--html PATH] [--snapshot-interval K] [--bench-out PATH] [--engine tree,decoded,fused] [--progress text|jsonl] [--store DIR] [--resume DIR] [--trial-cap N] [--verify] [--format text|jsonl] [--follow] [-v|--verbose] [-q|--quiet] [DIR]\n\
+        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [--html PATH] [--snapshot-interval K|auto] [--no-spin-proof] [--no-prune] [--bench-out PATH] [--engine tree,decoded,fused] [--progress text|jsonl] [--store DIR] [--resume DIR] [--trial-cap N] [--verify] [--format text|jsonl] [--follow] [-v|--verbose] [-q|--quiet] [DIR]\n\
          exhibits: {}",
         Exhibit::names_joined(),
     ));
@@ -72,6 +73,18 @@ fn main() -> ExitCode {
                 i += 1;
                 continue;
             }
+            // Scheduling-optimization escape hatches (results are
+            // bitwise identical either way; CI smoke-tests both).
+            "--no-spin-proof" => {
+                cfg.spin_proof = false;
+                i += 1;
+                continue;
+            }
+            "--no-prune" => {
+                cfg.prune = false;
+                i += 1;
+                continue;
+            }
             _ => {}
         }
         // A bare (non-flag) argument is a run-store directory, so
@@ -106,9 +119,14 @@ fn main() -> ExitCode {
             "--html" => {
                 cfg.html = Some(value.into());
             }
-            "--snapshot-interval" => match value.parse() {
-                Ok(v) => cfg.snapshot_interval = v,
-                Err(_) => return usage(),
+            // `auto` derives the interval from observed convergence
+            // latencies (CampaignConfig::SNAPSHOT_AUTO).
+            "--snapshot-interval" => match value.as_str() {
+                "auto" => cfg.snapshot_interval = u64::MAX,
+                _ => match value.parse() {
+                    Ok(v) => cfg.snapshot_interval = v,
+                    Err(_) => return usage(),
+                },
             },
             "--bench-out" => {
                 cfg.bench_out = Some(value.into());

@@ -171,11 +171,21 @@ pub struct ReproConfig {
     /// this path. Ignored by other exhibits.
     pub html: Option<PathBuf>,
     /// Golden-run checkpoint spacing in dynamic instructions for
-    /// campaigns (`--snapshot-interval`). `0` disables snapshots. For
-    /// `repro perfbench`, `0` means auto (golden length / 32); other
-    /// exhibits take the value as-is. Results are bitwise identical
-    /// either way.
+    /// campaigns (`--snapshot-interval N|auto`). `0` disables snapshots;
+    /// `auto` ([`CampaignConfig::SNAPSHOT_AUTO`]) derives the interval
+    /// from observed convergence latencies. For `repro perfbench` and
+    /// `repro profile`, `0` also means auto; other exhibits take the
+    /// value as-is. Results are bitwise identical regardless.
     pub snapshot_interval: u64,
+    /// Divergence-bounded execution (`--no-spin-proof` clears): prove
+    /// infinite loops at convergence boundaries and synthesize the
+    /// watchdog record instead of spinning to the bound. Results are
+    /// bitwise identical either way.
+    pub spin_proof: bool,
+    /// Static fault-space pruning (`--no-prune` clears): skip trials
+    /// whose resolved flip is provably dead or masked, synthesizing the
+    /// golden record. Results are bitwise identical either way.
+    pub prune: bool,
     /// Where `repro perfbench` writes its JSON artifact
     /// (`--bench-out`; default `BENCH_campaign.json`).
     pub bench_out: Option<PathBuf>,
@@ -216,6 +226,8 @@ impl Default for ReproConfig {
             telemetry: None,
             html: None,
             snapshot_interval: 0,
+            spin_proof: true,
+            prune: true,
             bench_out: None,
             store: None,
             resume: None,
@@ -235,6 +247,8 @@ impl ReproConfig {
             seed: self.seed,
             threads: self.threads,
             snapshot_interval: self.snapshot_interval,
+            spin_proof: self.spin_proof,
+            prune: self.prune,
             ..CampaignConfig::default()
         }
     }
@@ -521,11 +535,14 @@ fn per_sec(count: u64, wall_ms: f64) -> f64 {
 }
 
 /// The `perfbench` exhibit: for each selected benchmark, runs the same
-/// campaign twice — snapshots off, then snapshots on — and reports the
-/// wall-clock speedup, throughput, checkpoint memory, and whether the
-/// two results were bitwise identical. Writes `BENCH_campaign.json`
-/// (`--bench-out`) with the same numbers so CI can track regressions
-/// and fail on divergence.
+/// campaign twice — scheduling optimizations off (direct), then
+/// snapshots + spin proof + static pruning on — and reports the
+/// wall-clock speedup, the chosen (adaptive) checkpoint interval and
+/// byte footprint, the per-path trial breakdown (executed /
+/// converged-early / spin-proved / statically-pruned with wall time per
+/// path), and whether the two results were bitwise identical. Writes
+/// `BENCH_campaign.json` (`--bench-out`, schema v2) so CI can track
+/// regressions, fail on divergence, and enforce the speedup floor.
 ///
 /// Defaults to the `jpegenc` benchmark (mid-size golden run, ~527K
 /// dynamic instructions) when no `--benchmarks` filter is given; the
@@ -545,67 +562,79 @@ fn perfbench(cfg: &ReproConfig) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "Campaign perf bench: direct vs snapshot-resume ({} trials, {} x register faults)\n\
-         {:<10} {:>12} {:>10} {:>10} {:>10} {:>7} {:>9} {:>5} {:>8} {:>6}",
+        "Campaign perf bench: direct vs outcome-aware scheduling ({} trials, {} x register faults)\n\
+         {:<10} {:>12} {:>10} {:>10} {:>9} {:>9} {:>5} {:>5} {:>6} {:>8} {:>6}",
         cfg.trials,
         t.label(),
         "benchmark",
         "golden",
         "direct ms",
-        "snap ms",
+        "sched ms",
         "interval",
-        "ckpts",
         "ckpt KiB",
         "conv",
+        "spin",
+        "pruned",
         "speedup",
         "equal"
     );
 
     let mut entries: Vec<String> = Vec::new();
     let mut all_equivalent = true;
+    let mut min_speedup = f64::INFINITY;
     for p in &selected {
         let name = p.workload.name();
         log.debug(format!("[repro] perfbench: {name} direct leg"));
         let mut ccfg = cfg.campaign_config();
+        // The direct leg is the honest baseline: no snapshots, no spin
+        // proof, no pruning.
         ccfg.snapshot_interval = 0;
+        ccfg.spin_proof = false;
+        ccfg.prune = false;
         let direct = bench_leg(p, t, &ccfg);
-        // Auto interval: ~32 checkpoints across the golden run keeps the
-        // expected resumed prefix (interval/2) small next to the expected
-        // skipped prefix (golden/2) while bounding checkpoint memory.
+        // Scheduled leg: adaptive interval unless one was pinned on the
+        // command line, spin proof and pruning as configured (on unless
+        // --no-spin-proof / --no-prune).
         ccfg.snapshot_interval = if cfg.snapshot_interval > 0 {
             cfg.snapshot_interval
         } else {
-            (direct.result.golden_dyn_insts / 32).max(1)
+            CampaignConfig::SNAPSHOT_AUTO
         };
-        log.debug(format!(
-            "[repro] perfbench: {name} snapshot leg (interval {})",
-            ccfg.snapshot_interval
-        ));
+        ccfg.spin_proof = cfg.spin_proof;
+        ccfg.prune = cfg.prune;
+        log.debug(format!("[repro] perfbench: {name} scheduled leg"));
         let snap = bench_leg(p, t, &ccfg);
         let equivalent = direct.result == snap.result;
         all_equivalent &= equivalent;
         let speedup = direct.wall_ms / snap.wall_ms.max(1e-9);
+        min_speedup = min_speedup.min(speedup);
+        let s = &snap.stats;
+        let executed_trials =
+            cfg.trials as u64 - s.converged_trials - s.spin_proved_trials - s.pruned_trials;
         let _ = writeln!(
             out,
-            "{:<10} {:>12} {:>10.1} {:>10.1} {:>10} {:>7} {:>9} {:>5} {:>7.2}x {:>6}",
+            "{:<10} {:>12} {:>10.1} {:>10.1} {:>9} {:>9} {:>5} {:>5} {:>6} {:>6.2}x {:>6}",
             name,
             direct.result.golden_dyn_insts,
             direct.wall_ms,
             snap.wall_ms,
-            snap.stats.interval,
-            snap.stats.checkpoints,
-            snap.stats.checkpoint_bytes / 1024,
-            snap.stats.converged_trials,
+            s.interval,
+            s.checkpoint_bytes / 1024,
+            s.converged_trials,
+            s.spin_proved_trials,
+            s.pruned_trials,
             speedup,
             if equivalent { "yes" } else { "NO" }
         );
+        let ms = |ns: u64| ns as f64 / 1e6;
         entries.push(format!(
             concat!(
                 "    {{\n",
                 "      \"name\": \"{}\",\n",
                 "      \"golden_dyn_insts\": {},\n",
                 "      \"direct\": {{ \"wall_ms\": {:.3}, \"trials_per_sec\": {:.1}, \"dyn_insts_per_sec\": {:.0} }},\n",
-                "      \"snapshot\": {{ \"wall_ms\": {:.3}, \"trials_per_sec\": {:.1}, \"dyn_insts_per_sec\": {:.0}, \"interval\": {}, \"checkpoints\": {}, \"checkpoint_bytes\": {}, \"resumed_trials\": {}, \"fresh_trials\": {}, \"converged_trials\": {}, \"prefix_insts_skipped\": {}, \"suffix_insts_skipped\": {} }},\n",
+                "      \"scheduled\": {{ \"wall_ms\": {:.3}, \"trials_per_sec\": {:.1}, \"dyn_insts_per_sec\": {:.0}, \"interval\": {}, \"adaptive\": {}, \"calibration_trials\": {}, \"conv_latency_p50\": {}, \"checkpoints\": {}, \"checkpoint_bytes\": {}, \"resumed_trials\": {}, \"fresh_trials\": {}, \"prefix_insts_skipped\": {}, \"suffix_insts_skipped\": {}, \"spin_insts_skipped\": {}, \"pruned_insts_skipped\": {} }},\n",
+                "      \"paths\": {{ \"executed\": {{ \"trials\": {}, \"wall_ms\": {:.3} }}, \"converged\": {{ \"trials\": {}, \"wall_ms\": {:.3} }}, \"spin_proved\": {{ \"trials\": {}, \"wall_ms\": {:.3} }}, \"pruned\": {{ \"trials\": {}, \"wall_ms\": {:.3} }} }},\n",
                 "      \"speedup\": {:.3},\n",
                 "      \"equivalent\": {}\n",
                 "    }}"
@@ -617,31 +646,50 @@ fn perfbench(cfg: &ReproConfig) -> String {
             per_sec(direct.stats.insts_executed, direct.wall_ms),
             snap.wall_ms,
             per_sec(cfg.trials as u64, snap.wall_ms),
-            per_sec(snap.stats.insts_executed, snap.wall_ms),
-            snap.stats.interval,
-            snap.stats.checkpoints,
-            snap.stats.checkpoint_bytes,
-            snap.stats.resumed_trials,
-            snap.stats.fresh_trials,
-            snap.stats.converged_trials,
-            snap.stats.prefix_insts_skipped,
-            snap.stats.suffix_insts_skipped,
+            per_sec(s.insts_executed, snap.wall_ms),
+            s.interval,
+            s.adaptive,
+            s.calibration_trials,
+            s.conv_latency_p50,
+            s.checkpoints,
+            s.checkpoint_bytes,
+            s.resumed_trials,
+            s.fresh_trials,
+            s.prefix_insts_skipped,
+            s.suffix_insts_skipped,
+            s.spin_insts_skipped,
+            s.pruned_insts_skipped,
+            executed_trials,
+            ms(s.exec_ns_executed),
+            s.converged_trials,
+            ms(s.exec_ns_converged),
+            s.spin_proved_trials,
+            ms(s.exec_ns_spin),
+            s.pruned_trials,
+            ms(s.exec_ns_pruned),
             speedup,
             equivalent
         ));
     }
+    let floor_ok = min_speedup >= 1.0;
     let _ = writeln!(
         out,
-        "(snapshot path must be bitwise equivalent; 'NO' in the last column is a bug)"
+        "(scheduled path must be bitwise equivalent; 'NO' in the last column is a bug)\n\
+         min_speedup: {:.2}x  floor_ok: {}",
+        min_speedup, floor_ok
     );
 
     let json = format!(
-        "{{\n  \"schema\": \"softft.bench.campaign.v1\",\n  \"trials\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"technique\": \"{}\",\n  \"benchmarks\": [\n{}\n  ],\n  \"all_equivalent\": {}\n}}\n",
+        "{{\n  \"schema\": \"softft.bench.campaign.v2\",\n  \"trials\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"technique\": \"{}\",\n  \"spin_proof\": {},\n  \"prune\": {},\n  \"benchmarks\": [\n{}\n  ],\n  \"min_speedup\": {:.3},\n  \"floor_ok\": {},\n  \"all_equivalent\": {}\n}}\n",
         cfg.trials,
         cfg.seed,
         cfg.threads,
         tech_slug(t),
+        cfg.spin_proof,
+        cfg.prune,
         entries.join(",\n"),
+        min_speedup,
+        floor_ok,
         all_equivalent
     );
     let path = cfg
@@ -1013,19 +1061,16 @@ fn profile(cfg: &ReproConfig) -> String {
         let campaign_equiv = plain == on;
         all_equivalent &= campaign_equiv;
 
-        // Phase-time attribution on the snapshot-resume configuration
-        // real campaigns use (auto interval: perfbench's golden/32).
+        // Phase-time attribution on the scheduling configuration real
+        // campaigns use (adaptive interval unless pinned).
         let mut phcfg = ccfg.clone();
         phcfg.snapshot_interval = if cfg.snapshot_interval > 0 {
             cfg.snapshot_interval
         } else {
-            (plain.golden_dyn_insts / 32).max(1)
+            CampaignConfig::SNAPSHOT_AUTO
         };
-        log.debug(format!(
-            "[repro] profile: {name} phased campaign (interval {})",
-            phcfg.snapshot_interval
-        ));
-        let (phased_result, phase) = run_campaign_profiled(&*p.workload, module, &phcfg);
+        log.debug(format!("[repro] profile: {name} phased campaign"));
+        let (phased_result, phase, phstats) = run_campaign_profiled(&*p.workload, module, &phcfg);
         all_equivalent &= phased_result == plain;
 
         // --- Human-readable report. ---
@@ -1073,17 +1118,22 @@ fn profile(cfg: &ReproConfig) -> String {
         }
         let _ = writeln!(
             out,
-            "campaign phases ({} trials, interval {}):",
-            phcfg.trials, phcfg.snapshot_interval
+            "campaign phases ({} trials, interval {}{}):",
+            phcfg.trials,
+            phstats.interval,
+            if phstats.adaptive { " adaptive" } else { "" }
         );
         for (pname, ns) in phase.phases() {
             let _ = writeln!(out, "  {:<18} {:>10.2} ms", pname, ns as f64 / 1e6);
         }
         let _ = writeln!(
             out,
-            "watchdog spin: {} trials, {:.1}% of live execution time\n",
+            "watchdog spin: {} trials, {:.1}% of live execution time \
+             (spin-proved: {}, pruned: {})\n",
             phase.watchdog_trials(),
-            phase.watchdog_spin_share() * 100.0
+            phase.watchdog_spin_share() * 100.0,
+            phstats.spin_proved_trials,
+            phstats.pruned_trials
         );
 
         // --- JSON entry. ---
@@ -1169,6 +1219,9 @@ fn profile(cfg: &ReproConfig) -> String {
                 "      \"campaign\": {{\n",
                 "        \"trials\": {},\n",
                 "        \"snapshot_interval\": {},\n",
+                "        \"adaptive\": {},\n",
+                "        \"spin_proved_trials\": {},\n",
+                "        \"pruned_trials\": {},\n",
                 "        \"phases\": {{ {} }},\n",
                 "        \"outcomes\": [\n{}\n        ],\n",
                 "        \"watchdog_trials\": {},\n",
@@ -1187,7 +1240,10 @@ fn profile(cfg: &ReproConfig) -> String {
             opcodes_json,
             sampled_json,
             phcfg.trials,
-            phcfg.snapshot_interval,
+            phstats.interval,
+            phstats.adaptive,
+            phstats.spin_proved_trials,
+            phstats.pruned_trials,
             phases_json,
             outcomes_json,
             phase.watchdog_trials(),

@@ -13,9 +13,9 @@ use softft_telemetry::{
     check_kind_label, CheckCounter, CheckKindCounts, Histogram, MetricsRegistry, ProgressTracker,
     Stopwatch, TraceObserver, TrialEvent,
 };
-use softft_vm::fault::{FaultKind, FaultPlan};
+use softft_vm::fault::{FaultKind, FaultPlan, InjectionRecord};
 use softft_vm::interp::{NoopObserver, SuffixObserver, VmConfig};
-use softft_vm::{ConvergeOutcome, RunEnd, RunResult, TrapKind};
+use softft_vm::{ConvergeOutcome, ModuleLiveness, Resolution, RunEnd, RunResult, TrapKind};
 use softft_workloads::runner::WorkloadImage;
 use softft_workloads::{InputSet, Workload};
 use std::collections::HashMap;
@@ -43,10 +43,37 @@ pub struct CampaignConfig {
     /// Golden-run checkpoint spacing in dynamic instructions; trials
     /// resume from the greatest checkpoint at or below their trigger
     /// instead of re-executing the fault-free prefix. `0` disables
-    /// snapshots (every trial runs from instruction 0). Results are
-    /// bitwise identical either way; the knob only trades checkpoint
-    /// memory for campaign wall-clock.
+    /// snapshots (every trial runs from instruction 0);
+    /// [`CampaignConfig::SNAPSHOT_AUTO`] derives the interval from
+    /// observed convergence latencies. Results are bitwise identical
+    /// either way; the knob only trades checkpoint memory for campaign
+    /// wall-clock.
     pub snapshot_interval: u64,
+    /// Divergence-bounded execution: when a diverged trial's full
+    /// boundary state exactly recurs with the fault consumed, the trial
+    /// provably loops forever and its watchdog record is synthesized
+    /// immediately instead of executing to the bound (see
+    /// [`softft_vm::Vm::resume_converging`]). Classification is
+    /// bitwise-unchanged; the proof only removes dead spinning. Requires
+    /// snapshots (the proof piggybacks on convergence boundaries).
+    pub spin_proof: bool,
+    /// DETOx-style static fault-space pruning: register-fault trials
+    /// whose resolved victim bit is provably dead (overwritten before
+    /// read) or masked (above every reader's truncation width) skip
+    /// execution entirely — the golden record is synthesized with the
+    /// exact injection the trial would have performed. Requires snapshots
+    /// and [`FaultKind::Register`]; bitwise-unchanged results.
+    pub prune: bool,
+}
+
+impl CampaignConfig {
+    /// Sentinel for [`CampaignConfig::snapshot_interval`]: choose the
+    /// checkpoint spacing adaptively. The campaign records at a
+    /// provisional `golden_dyn_insts / 32`, measures convergence
+    /// latencies over the first few trials, and re-records at half the
+    /// median latency (clamped to a 256 MiB checkpoint budget), so
+    /// convergence checks land where trials actually re-join.
+    pub const SNAPSHOT_AUTO: u64 = u64::MAX;
 }
 
 impl Default for CampaignConfig {
@@ -60,6 +87,8 @@ impl Default for CampaignConfig {
             input: InputSet::Test,
             fault_kind: FaultKind::Register,
             snapshot_interval: 0,
+            spin_proof: true,
+            prune: true,
         }
     }
 }
@@ -331,32 +360,39 @@ pub(crate) fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
     if let (Some(ph), Some(sw)) = (phases, sw) {
         ph.decode_ns.fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
     }
-    let sw = phases.map(|_| Stopwatch::start());
-    let (store, golden_result, golden_out) = if cfg.snapshot_interval > 0 {
-        // The recording run *is* the golden run. It carries a real trial
-        // observer so each checkpoint captures the observer state a
-        // from-scratch trial would have accumulated over the prefix
-        // (prefix-deterministic: the prefix is fault-free and observers
-        // never perturb execution).
-        let (store, r, out, capture_ns) =
-            CheckpointStore::record_timed(&image, make_obs(), cfg.snapshot_interval);
-        if let Some(ph) = phases {
+    let auto = cfg.snapshot_interval == CampaignConfig::SNAPSHOT_AUTO;
+    // Folds one golden-side stage's wall time into the golden phase,
+    // reporting campaign-side checkpoint capture separately.
+    let golden_stage = |sw: Option<Stopwatch>, capture_ns: u64| {
+        if let (Some(ph), Some(sw)) = (phases, sw) {
             ph.checkpoint_record_ns
                 .fetch_add(capture_ns, Ordering::Relaxed);
+            ph.golden_ns.fetch_add(
+                sw.elapsed_ns().saturating_sub(capture_ns),
+                Ordering::Relaxed,
+            );
         }
+    };
+
+    // Stage 1: the golden run. With a fixed interval the recording run
+    // *is* the golden run, carrying a real trial observer so each
+    // checkpoint captures the observer state a from-scratch trial would
+    // have accumulated over the prefix (prefix-deterministic: the prefix
+    // is fault-free and observers never perturb execution).
+    // SNAPSHOT_AUTO first needs the golden length to place the
+    // provisional grid — and the fault plans, so trigger resolution can
+    // piggyback on the recording run — so it starts with a plain run.
+    let sw = phases.map(|_| Stopwatch::start());
+    let (mut store, golden_result, golden_out) = if cfg.snapshot_interval > 0 && !auto {
+        let (store, r, out, capture_ns) =
+            CheckpointStore::record_timed(&image, make_obs(), cfg.snapshot_interval);
+        golden_stage(sw, capture_ns);
         (Some(store), r, out)
     } else {
         let (r, out) = image.run(&mut NoopObserver, None);
+        golden_stage(sw, 0);
         (None, r, out)
     };
-    if let (Some(ph), Some(sw)) = (phases, sw) {
-        // Campaign-side capture time is reported separately; keep the
-        // golden figure to the run itself.
-        let ns = sw
-            .elapsed_ns()
-            .saturating_sub(ph.checkpoint_record_ns.load(Ordering::Relaxed));
-        ph.golden_ns.fetch_add(ns, Ordering::Relaxed);
-    }
     assert!(
         golden_result.completed(),
         "fault-free run of {} must complete: {:?}",
@@ -367,6 +403,68 @@ pub(crate) fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
 
     // Pre-derive all fault plans (deterministic, thread-count agnostic).
     let plans: Vec<FaultPlan> = derive_plans(cfg, n);
+
+    // Static fault-space pruning resolves each plan's victim against the
+    // golden state at its trigger boundary; the resolving pass wants the
+    // triggers sorted (ties keep plan order — both resolve at the same
+    // boundary with their own seeds, so the tiebreak is cosmetic).
+    let want_prune =
+        cfg.prune && cfg.fault_kind == FaultKind::Register && cfg.snapshot_interval > 0;
+    let trig_order: Vec<usize> = {
+        let mut idx: Vec<usize> = (0..plans.len()).collect();
+        idx.sort_by_key(|&i| (plans[i].at_dyn, i));
+        idx
+    };
+    let triggers: Vec<FaultPlan> = if want_prune {
+        trig_order.iter().map(|&i| plans[i]).collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut resolutions: Vec<Resolution> = Vec::new();
+    if auto {
+        // Stage 1b (SNAPSHOT_AUTO): record on the provisional grid,
+        // resolving triggers along the way. The recording run replays
+        // the golden run bit for bit.
+        let provisional = (n / 32).max(1);
+        let sw = phases.map(|_| Stopwatch::start());
+        let (s, r, _out, res, capture_ns) =
+            CheckpointStore::record_resolving(&image, make_obs(), provisional, &triggers);
+        golden_stage(sw, capture_ns);
+        assert_eq!(r, golden_result, "recording run must replay the golden run");
+        store = Some(s);
+        resolutions = res;
+    } else if want_prune {
+        // Fixed interval: snapshots were recorded before the plans
+        // existed, so resolution takes a dedicated pass (interval 0 =
+        // resolve only, no checkpoint capture).
+        let sw = phases.map(|_| Stopwatch::start());
+        let (r, _out, res) =
+            image.run_recording_resolving(&mut NoopObserver, 0, &triggers, |_, _| {});
+        golden_stage(sw, 0);
+        debug_assert_eq!(r, golden_result);
+        resolutions = res;
+    }
+
+    // Pruning decisions. A trial whose resolved flip is provably dead or
+    // masked — or that injects nothing at all — executes the golden run
+    // bit for bit, so its record is synthesized without running it:
+    // `pruned[i]` of `Some(inj)` means "synthesize golden with injection
+    // `inj`", `None` means run normally.
+    let mut pruned: Vec<Option<Option<InjectionRecord>>> = vec![None; plans.len()];
+    if want_prune && !resolutions.is_empty() {
+        let liveness = ModuleLiveness::compute(module);
+        for (k, &i) in trig_order.iter().enumerate() {
+            match resolutions[k] {
+                Resolution::NoCandidates => pruned[i] = Some(None),
+                Resolution::Register { rec, block, ip } => {
+                    if liveness.dead_or_masked(module, rec.func, block, ip, rec.value, rec.bit) {
+                        pruned[i] = Some(Some(rec));
+                    }
+                }
+            }
+        }
+    }
 
     // Visit order: by trigger when resuming (neighboring trials share a
     // checkpoint, keeping its memory image hot), plan order otherwise.
@@ -387,18 +485,35 @@ pub(crate) fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
         idx
     };
 
-    // Convergence candidates: every checkpoint is a potential early-exit
-    // boundary once a trial's state matches the golden run's.
-    let candidates: Vec<&softft_vm::Snapshot> =
-        store.as_ref().map(|s| s.candidates()).unwrap_or_default();
+    // Per-path trial tallies, shared across workers and across the
+    // calibration / main execution slices.
+    #[derive(Default)]
+    struct Counters {
+        resumed: AtomicU64,
+        converged: AtomicU64,
+        prefix_skipped: AtomicU64,
+        suffix_skipped: AtomicU64,
+        insts_executed: AtomicU64,
+        spin_proved: AtomicU64,
+        spin_skipped: AtomicU64,
+        pruned: AtomicU64,
+        pruned_skipped: AtomicU64,
+        ns_executed: AtomicU64,
+        ns_converged: AtomicU64,
+        ns_spin: AtomicU64,
+        ns_pruned: AtomicU64,
+    }
+    /// Which scheduling path produced a trial's record.
+    #[derive(Clone, Copy)]
+    enum TrialPath {
+        Executed,
+        Converged,
+        SpinProved,
+        Pruned,
+    }
+    let counters = Counters::default();
 
     let records: Mutex<Vec<(usize, TrialRecord, O)>> = Mutex::new(Vec::with_capacity(order.len()));
-    let next = AtomicUsize::new(0);
-    let resumed = AtomicU64::new(0);
-    let converged = AtomicU64::new(0);
-    let prefix_skipped = AtomicU64::new(0);
-    let suffix_skipped = AtomicU64::new(0);
-    let insts_executed = AtomicU64::new(0);
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism()
             .map(|p| p.get())
@@ -417,172 +532,341 @@ pub(crate) fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
     );
     let tracker = progress.as_ref();
 
-    // Trial-exec stopwatches run for the profiler and for streaming
-    // sinks (the run store persists per-trial exec time); both are
-    // write-only, so timing on/off cannot change results.
-    let time_exec = phases.is_some() || sink.is_some();
-
-    std::thread::scope(|scope| {
-        let (records, next, image, plans, order, golden_out) =
-            (&records, &next, &image, &plans, &order, &golden_out);
-        let (resumed, converged, prefix_skipped, suffix_skipped) =
-            (&resumed, &converged, &prefix_skipped, &suffix_skipped);
-        let (insts_executed, make_obs, store, candidates, golden_result) = (
-            &insts_executed,
-            &make_obs,
-            &store,
-            &candidates,
-            &golden_result,
-        );
-        for _ in 0..threads.min(plans.len().max(1)) {
-            scope.spawn(move || {
-                // One VM per worker: trials overwrite its memory image
-                // in place instead of re-allocating ~1 MiB per trial.
-                let mut tvm = image.trial_vm();
-                loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= order.len() {
-                        break;
-                    }
-                    let i = order[k];
-                    let plan = plans[i];
-                    // Live-execution time of this trial; attributed per
-                    // outcome after classification (profiled runs only).
-                    let mut trial_exec_ns = 0u64;
-                    let (obs, result, out) = if let Some(s) = store.as_ref() {
-                        let sw = phases.map(|_| Stopwatch::start());
-                        let cp = s.best_for(plan.at_dyn);
-                        let (mut obs, start) = match cp {
-                            Some(cp) => {
-                                resumed.fetch_add(1, Ordering::Relaxed);
-                                prefix_skipped.fetch_add(cp.snap.dyn_count(), Ordering::Relaxed);
-                                (cp.obs.clone(), cp.snap.dyn_count())
+    let mut calibration_trials = 0u64;
+    let mut conv_p50 = 0u64;
+    {
+        // One slice of the trial loop. The adaptive path calls this twice
+        // (calibration under the provisional store, remainder under the
+        // re-recorded one); everything else calls it once. `latencies`,
+        // when given, collects convergence latencies (trigger → boundary)
+        // for interval calibration.
+        let run_slice = |order_slice: &[usize],
+                         store: Option<&CheckpointStore<O>>,
+                         candidates: &[&softft_vm::Snapshot],
+                         latencies: Option<&Mutex<Vec<u64>>>| {
+            // Spin detection is site-locked (boundaries are graded
+            // against the anchor's instruction site, not sampled on a
+            // grid), so the grid only paces anchor management: first
+            // capture two spans after the fault resolves, Brent window
+            // doubling in span units. Capping it keeps re-anchoring
+            // responsive when the adaptive checkpoint interval grows
+            // large; any positive grid yields bit-identical results.
+            let spin_grid = match store {
+                Some(s) if cfg.spin_proof => s.interval().clamp(1, 256),
+                _ => 0,
+            };
+            // Trial-exec stopwatches run for the profiler, for streaming
+            // sinks (the run store persists per-trial exec time), and for
+            // the per-path wall-time breakdown whenever snapshots are on;
+            // all write-only, so timing on/off cannot change results.
+            let time_exec = phases.is_some() || sink.is_some() || store.is_some();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let (records, next, image, plans, golden_out) =
+                    (&records, &next, &image, &plans, &golden_out);
+                let (counters, make_obs, golden_result, pruned) =
+                    (&counters, &make_obs, &golden_result, &pruned);
+                for _ in 0..threads.min(order_slice.len().max(1)) {
+                    scope.spawn(move || {
+                        // One VM per worker: trials overwrite its memory
+                        // image in place instead of re-allocating ~1 MiB
+                        // per trial.
+                        let mut tvm = image.trial_vm();
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= order_slice.len() {
+                                break;
                             }
-                            None => (make_obs(), 0),
-                        };
-                        if let (Some(ph), Some(sw)) = (phases, sw) {
-                            ph.resume_ns.fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
-                        }
-                        let sw = time_exec.then(Stopwatch::start);
-                        let outcome = match cp {
-                            Some(cp) => {
-                                tvm.resume_converging(&cp.snap, &mut obs, Some(plan), candidates)
-                            }
-                            None => tvm.run_converging(&mut obs, Some(plan), candidates),
-                        };
-                        if let Some(sw) = sw {
-                            trial_exec_ns = sw.elapsed_ns();
-                        }
-                        match outcome {
-                            ConvergeOutcome::Done(r) => {
-                                insts_executed.fetch_add(r.dyn_insts - start, Ordering::Relaxed);
-                                let out = tvm.output();
-                                (obs, r, out)
-                            }
-                            ConvergeOutcome::Converged {
-                                at,
-                                executed,
-                                injection,
-                            } => {
-                                // State equals the golden checkpoint at
-                                // `at`, so the rest of the run is the
-                                // golden suffix: take the golden result
-                                // and fast-forward the observer over it.
-                                converged.fetch_add(1, Ordering::Relaxed);
-                                suffix_skipped
-                                    .fetch_add(golden_result.dyn_insts - at, Ordering::Relaxed);
-                                insts_executed.fetch_add(executed, Ordering::Relaxed);
-                                let sw = phases.map(|_| Stopwatch::start());
-                                let cp_at =
-                                    s.at_boundary(at).expect("converged at a known checkpoint");
-                                obs.fast_forward(&cp_at.obs, s.golden_obs());
-                                let r = RunResult {
-                                    end: golden_result.end,
-                                    dyn_insts: golden_result.dyn_insts,
-                                    injection,
-                                    check_failures: golden_result.check_failures,
-                                };
-                                let out = golden_out.clone();
-                                if let (Some(ph), Some(sw)) = (phases, sw) {
-                                    ph.fastforward_ns
-                                        .fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
+                            let i = order_slice[k];
+                            let plan = plans[i];
+                            // Live-execution time of this trial;
+                            // attributed per path / per outcome after
+                            // classification.
+                            let mut trial_exec_ns = 0u64;
+                            let mut path = TrialPath::Executed;
+                            let (obs, result, out) = if let Some(s) = store {
+                                if let Some(inj) = pruned[i] {
+                                    // Statically pruned: the resolved flip
+                                    // is provably invisible, so the trial
+                                    // executes the golden run bit for bit
+                                    // and its record is synthesized. The
+                                    // observer is the golden-final state
+                                    // plus the injection hook (which
+                                    // commutes with every other event).
+                                    path = TrialPath::Pruned;
+                                    let sw = time_exec.then(Stopwatch::start);
+                                    counters.pruned.fetch_add(1, Ordering::Relaxed);
+                                    counters
+                                        .pruned_skipped
+                                        .fetch_add(golden_result.dyn_insts, Ordering::Relaxed);
+                                    let mut obs = s.golden_obs().clone();
+                                    if let Some(rec) = inj {
+                                        obs.on_inject(&rec);
+                                    }
+                                    let r = RunResult {
+                                        end: golden_result.end,
+                                        dyn_insts: golden_result.dyn_insts,
+                                        injection: inj,
+                                        check_failures: golden_result.check_failures,
+                                    };
+                                    let out = golden_out.clone();
+                                    if let Some(sw) = sw {
+                                        trial_exec_ns = sw.elapsed_ns();
+                                    }
+                                    (obs, r, out)
+                                } else {
+                                    let sw = phases.map(|_| Stopwatch::start());
+                                    let cp = s.best_for(plan.at_dyn);
+                                    let (mut obs, start) = match cp {
+                                        Some(cp) => {
+                                            counters.resumed.fetch_add(1, Ordering::Relaxed);
+                                            counters
+                                                .prefix_skipped
+                                                .fetch_add(cp.snap.dyn_count(), Ordering::Relaxed);
+                                            (cp.obs.clone(), cp.snap.dyn_count())
+                                        }
+                                        None => (make_obs(), 0),
+                                    };
+                                    if let (Some(ph), Some(sw)) = (phases, sw) {
+                                        ph.resume_ns.fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
+                                    }
+                                    let sw = time_exec.then(Stopwatch::start);
+                                    let outcome = match cp {
+                                        Some(cp) => tvm.resume_converging(
+                                            &cp.snap,
+                                            &mut obs,
+                                            Some(plan),
+                                            candidates,
+                                            spin_grid,
+                                        ),
+                                        None => tvm.run_converging(
+                                            &mut obs,
+                                            Some(plan),
+                                            candidates,
+                                            spin_grid,
+                                        ),
+                                    };
+                                    if let Some(sw) = sw {
+                                        trial_exec_ns = sw.elapsed_ns();
+                                    }
+                                    match outcome {
+                                        ConvergeOutcome::Done(r) => {
+                                            counters
+                                                .insts_executed
+                                                .fetch_add(r.dyn_insts - start, Ordering::Relaxed);
+                                            let out = tvm.output();
+                                            (obs, r, out)
+                                        }
+                                        ConvergeOutcome::Converged {
+                                            at,
+                                            executed,
+                                            injection,
+                                        } => {
+                                            // State equals the golden
+                                            // checkpoint at `at`, so the
+                                            // rest of the run is the
+                                            // golden suffix: take the
+                                            // golden result and
+                                            // fast-forward the observer.
+                                            path = TrialPath::Converged;
+                                            counters.converged.fetch_add(1, Ordering::Relaxed);
+                                            counters.suffix_skipped.fetch_add(
+                                                golden_result.dyn_insts - at,
+                                                Ordering::Relaxed,
+                                            );
+                                            counters
+                                                .insts_executed
+                                                .fetch_add(executed, Ordering::Relaxed);
+                                            if let Some(l) = latencies {
+                                                l.lock().push(at - plan.at_dyn);
+                                            }
+                                            let sw = phases.map(|_| Stopwatch::start());
+                                            let cp_at = s
+                                                .at_boundary(at)
+                                                .expect("converged at a known checkpoint");
+                                            obs.fast_forward(&cp_at.obs, s.golden_obs());
+                                            let r = RunResult {
+                                                end: golden_result.end,
+                                                dyn_insts: golden_result.dyn_insts,
+                                                injection,
+                                                check_failures: golden_result.check_failures,
+                                            };
+                                            let out = golden_out.clone();
+                                            if let (Some(ph), Some(sw)) = (phases, sw) {
+                                                ph.fastforward_ns
+                                                    .fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
+                                            }
+                                            (obs, r, out)
+                                        }
+                                        ConvergeOutcome::SpinProven { result, executed } => {
+                                            // The boundary state recurred
+                                            // with the fault consumed: the
+                                            // trial provably spins to the
+                                            // watchdog bound. The record
+                                            // was synthesized at the proof
+                                            // point; memory at the halt
+                                            // boundary is cycle-congruent
+                                            // with memory at the bound, so
+                                            // the output read is exact.
+                                            path = TrialPath::SpinProved;
+                                            counters.spin_proved.fetch_add(1, Ordering::Relaxed);
+                                            counters
+                                                .insts_executed
+                                                .fetch_add(executed, Ordering::Relaxed);
+                                            counters.spin_skipped.fetch_add(
+                                                result.dyn_insts - start - executed,
+                                                Ordering::Relaxed,
+                                            );
+                                            let out = tvm.output();
+                                            (obs, result, out)
+                                        }
+                                    }
                                 }
+                            } else {
+                                let mut obs = make_obs();
+                                let sw = time_exec.then(Stopwatch::start);
+                                let (r, out) = tvm.run(&mut obs, Some(plan));
+                                if let Some(sw) = sw {
+                                    trial_exec_ns = sw.elapsed_ns();
+                                }
+                                counters
+                                    .insts_executed
+                                    .fetch_add(r.dyn_insts, Ordering::Relaxed);
                                 (obs, r, out)
+                            };
+                            match path {
+                                TrialPath::Executed => &counters.ns_executed,
+                                TrialPath::Converged => &counters.ns_converged,
+                                TrialPath::SpinProved => &counters.ns_spin,
+                                TrialPath::Pruned => &counters.ns_pruned,
                             }
-                        }
-                    } else {
-                        let mut obs = make_obs();
-                        let sw = time_exec.then(Stopwatch::start);
-                        let (r, out) = tvm.run(&mut obs, Some(plan));
-                        if let Some(sw) = sw {
-                            trial_exec_ns = sw.elapsed_ns();
-                        }
-                        insts_executed.fetch_add(r.dyn_insts, Ordering::Relaxed);
-                        (obs, r, out)
-                    };
-                    // Watchdog traps mark trials that spun to the
-                    // dynamic-instruction bound — the expensive kind.
-                    let watchdog = matches!(
-                        result.end,
-                        RunEnd::Trap {
-                            kind: TrapKind::Watchdog,
-                            ..
-                        }
-                    );
-                    let rec = classify_trial(workload, golden_out, &result, &out, &cfg.classify);
-                    if phases.is_some() || tracker.is_some() {
-                        let idx = Outcome::CANONICAL
-                            .iter()
-                            .position(|o| *o == rec.outcome)
-                            .expect("every outcome is canonical");
-                        if let Some(ph) = phases {
-                            ph.exec_ns.fetch_add(trial_exec_ns, Ordering::Relaxed);
-                            let oa = &ph.per_outcome[idx];
-                            oa.trials.fetch_add(1, Ordering::Relaxed);
-                            oa.exec_ns.fetch_add(trial_exec_ns, Ordering::Relaxed);
-                            oa.dyn_insts.fetch_add(rec.dyn_insts, Ordering::Relaxed);
-                            if watchdog {
-                                oa.watchdog_trials.fetch_add(1, Ordering::Relaxed);
-                                oa.watchdog_spin_ns
-                                    .fetch_add(trial_exec_ns, Ordering::Relaxed);
+                            .fetch_add(trial_exec_ns, Ordering::Relaxed);
+                            // Watchdog traps mark trials that spun to the
+                            // dynamic-instruction bound — the expensive
+                            // kind (unless the spin proof caught them).
+                            let watchdog = matches!(
+                                result.end,
+                                RunEnd::Trap {
+                                    kind: TrapKind::Watchdog,
+                                    ..
+                                }
+                            );
+                            let rec =
+                                classify_trial(workload, golden_out, &result, &out, &cfg.classify);
+                            if phases.is_some() || tracker.is_some() {
+                                let idx = Outcome::CANONICAL
+                                    .iter()
+                                    .position(|o| *o == rec.outcome)
+                                    .expect("every outcome is canonical");
+                                if let Some(ph) = phases {
+                                    ph.exec_ns.fetch_add(trial_exec_ns, Ordering::Relaxed);
+                                    let oa = &ph.per_outcome[idx];
+                                    oa.trials.fetch_add(1, Ordering::Relaxed);
+                                    oa.exec_ns.fetch_add(trial_exec_ns, Ordering::Relaxed);
+                                    oa.dyn_insts.fetch_add(rec.dyn_insts, Ordering::Relaxed);
+                                    if watchdog {
+                                        oa.watchdog_trials.fetch_add(1, Ordering::Relaxed);
+                                        oa.watchdog_spin_ns
+                                            .fetch_add(trial_exec_ns, Ordering::Relaxed);
+                                    }
+                                }
+                                if let Some(t) = tracker {
+                                    t.trial_done(idx);
+                                }
                             }
+                            if let Some(sink) = sink {
+                                sink(
+                                    i,
+                                    &plan,
+                                    &rec,
+                                    &obs,
+                                    &TrialTiming {
+                                        watchdog,
+                                        exec_ns: trial_exec_ns,
+                                    },
+                                );
+                            }
+                            records.lock().push((i, rec, obs));
                         }
-                        if let Some(t) = tracker {
-                            t.trial_done(idx);
-                        }
-                    }
-                    if let Some(sink) = sink {
-                        sink(
-                            i,
-                            &plan,
-                            &rec,
-                            &obs,
-                            &TrialTiming {
-                                watchdog,
-                                exec_ns: trial_exec_ns,
-                            },
-                        );
-                    }
-                    records.lock().push((i, rec, obs));
+                    });
                 }
             });
+        };
+
+        if auto {
+            // Stage 2 (SNAPSHOT_AUTO): run the first trials under the
+            // provisional grid, collecting convergence latencies; then
+            // re-record at half the median latency — convergence checks
+            // land about where trials actually re-join — clamped to a
+            // 256 MiB checkpoint budget and at most one check per 8
+            // golden intervals. Calibration trials are ordinary trials
+            // (bit-identical results); only their wall-clock differs.
+            let cal = order.len().min(32);
+            let lat = Mutex::new(Vec::new());
+            {
+                let s0 = store.as_ref().expect("auto recording built a store");
+                let cands0 = s0.candidates();
+                run_slice(&order[..cal], Some(s0), &cands0, Some(&lat));
+            }
+            calibration_trials = cal as u64;
+            let mut lats = lat.into_inner();
+            lats.sort_unstable();
+            if !lats.is_empty() {
+                conv_p50 = lats[lats.len() / 2];
+                let s0 = store.as_ref().expect("auto recording built a store");
+                let per_ck = (s0.total_bytes() as u64 / s0.len().max(1) as u64).max(1);
+                let max_cks = ((256u64 << 20) / per_ck).clamp(8, 256);
+                let lo = (n / max_cks).max(1);
+                let hi = (n / 8).max(1);
+                let chosen = (conv_p50 / 2).clamp(lo.min(hi), hi).max(1);
+                if chosen != s0.interval() {
+                    let sw = phases.map(|_| Stopwatch::start());
+                    let (s1, r1, _out1, capture_ns) =
+                        CheckpointStore::record_timed(&image, make_obs(), chosen);
+                    golden_stage(sw, capture_ns);
+                    assert_eq!(r1, golden_result, "re-recording must replay the golden run");
+                    store = Some(s1);
+                }
+            }
+            let s = store.as_ref().expect("auto recording built a store");
+            let cands = s.candidates();
+            run_slice(&order[cal..], Some(s), &cands, None);
+        } else {
+            // Convergence candidates: every checkpoint is a potential
+            // early-exit boundary once a trial's state matches the
+            // golden run's.
+            let s = store.as_ref();
+            let cands: Vec<&softft_vm::Snapshot> = s.map(|s| s.candidates()).unwrap_or_default();
+            run_slice(&order, s, &cands, None);
         }
-    });
+    }
 
     if let Some(t) = &progress {
         t.finish();
     }
 
+    let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
     let stats = SnapshotStats {
-        interval: cfg.snapshot_interval,
+        interval: store.as_ref().map_or(0, |s| s.interval()),
         checkpoints: store.as_ref().map_or(0, |s| s.len() as u64),
         checkpoint_bytes: store.as_ref().map_or(0, |s| s.total_bytes() as u64),
-        resumed_trials: resumed.load(Ordering::Relaxed),
-        fresh_trials: order.len() as u64 - resumed.load(Ordering::Relaxed),
-        converged_trials: converged.load(Ordering::Relaxed),
-        prefix_insts_skipped: prefix_skipped.load(Ordering::Relaxed),
-        suffix_insts_skipped: suffix_skipped.load(Ordering::Relaxed),
-        insts_executed: insts_executed.load(Ordering::Relaxed),
+        resumed_trials: load(&counters.resumed),
+        fresh_trials: order.len() as u64 - load(&counters.resumed) - load(&counters.pruned),
+        converged_trials: load(&counters.converged),
+        prefix_insts_skipped: load(&counters.prefix_skipped),
+        suffix_insts_skipped: load(&counters.suffix_skipped),
+        insts_executed: load(&counters.insts_executed),
+        spin_proved_trials: load(&counters.spin_proved),
+        spin_insts_skipped: load(&counters.spin_skipped),
+        pruned_trials: load(&counters.pruned),
+        pruned_insts_skipped: load(&counters.pruned_skipped),
+        adaptive: auto,
+        calibration_trials,
+        conv_latency_p50: conv_p50,
+        exec_ns_executed: load(&counters.ns_executed),
+        exec_ns_converged: load(&counters.ns_converged),
+        exec_ns_spin: load(&counters.ns_spin),
+        exec_ns_pruned: load(&counters.ns_pruned),
     };
 
     let mut per_trial = records.into_inner();
@@ -634,14 +918,16 @@ pub fn run_campaign(
 /// `CampaignResult` is bitwise identical to [`run_campaign`] for the
 /// same config: timing is write-only (see DESIGN.md, "Observability
 /// invariants"); only the nanosecond values in the returned
-/// [`CampaignProfile`] vary run to run.
+/// [`CampaignProfile`] vary run to run. The [`SnapshotStats`] report
+/// what the scheduling optimizations did (including the chosen interval
+/// under [`CampaignConfig::SNAPSHOT_AUTO`]).
 pub fn run_campaign_profiled(
     workload: &dyn Workload,
     module: &Module,
     cfg: &CampaignConfig,
-) -> (CampaignResult, CampaignProfile) {
+) -> (CampaignResult, CampaignProfile, SnapshotStats) {
     let accum = PhaseAccum::new();
-    let (result, _, _) = campaign_core_phased(
+    let (result, _, stats) = campaign_core_phased(
         workload,
         module,
         cfg,
@@ -650,7 +936,7 @@ pub fn run_campaign_profiled(
         None,
         None,
     );
-    (result, accum.snapshot())
+    (result, accum.snapshot(), stats)
 }
 
 /// Like [`run_campaign`], but also returns the [`SnapshotStats`]
@@ -1011,7 +1297,7 @@ mod tests {
         let p = prepare(workload_by_name("tiff2bw").unwrap());
         let t = Technique::DupVal;
         let plain = run_campaign(&*p.workload, p.module(t), &small_cfg(40));
-        let (profiled, prof) = run_campaign_profiled(&*p.workload, p.module(t), &small_cfg(40));
+        let (profiled, prof, _) = run_campaign_profiled(&*p.workload, p.module(t), &small_cfg(40));
         assert_eq!(plain, profiled, "phase timing perturbed campaign results");
 
         // The timers saw the campaign happen.
@@ -1042,7 +1328,7 @@ mod tests {
         // results still match bit for bit.
         let mut cfg = small_cfg(40);
         cfg.snapshot_interval = 1000;
-        let (snap, sprof) = run_campaign_profiled(&*p.workload, p.module(t), &cfg);
+        let (snap, sprof, _) = run_campaign_profiled(&*p.workload, p.module(t), &cfg);
         assert_eq!(plain, snap);
         assert!(sprof.checkpoint_record_ns > 0, "checkpoint capture untimed");
         assert!(sprof.resume_ns > 0, "resume bookkeeping untimed");
@@ -1062,7 +1348,10 @@ mod tests {
             assert!(stats.checkpoints > 0);
             assert!(stats.checkpoint_bytes > 0);
             assert!(stats.resumed_trials > 0, "no trial ever resumed");
-            assert_eq!(stats.resumed_trials + stats.fresh_trials, 50);
+            assert_eq!(
+                stats.resumed_trials + stats.fresh_trials + stats.pruned_trials,
+                50
+            );
             assert!(stats.prefix_insts_skipped >= stats.resumed_trials * interval);
         }
     }

@@ -190,9 +190,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// Fingerprint of everything that determines a shard's fault plans and
 /// their classification: benchmark, technique, fault kind, seed, trial
 /// count, classification parameters, and the golden-run dynamic
-/// instruction count the triggers derive from. `snapshot_interval` and
-/// `threads` are deliberately excluded — results are bitwise identical
-/// across both, so resuming with different values is exact.
+/// instruction count the triggers derive from. `snapshot_interval`,
+/// `threads`, `spin_proof`, and `prune` are deliberately excluded —
+/// results are bitwise identical across all four scheduling knobs, so
+/// resuming with different values is exact.
 pub fn plan_hash(
     benchmark: &str,
     technique: Technique,
@@ -632,10 +633,14 @@ mod tests {
         let mut seeded = cfg.clone();
         seeded.seed = 8;
         assert_ne!(base, plan_hash("segm", Technique::DupVal, &seeded, 1000));
-        // Snapshot interval and threads do not affect the plan.
+        // Scheduling knobs do not affect the plan: snapshot interval,
+        // threads, spin proof, and static pruning are all proven
+        // result-invariant, so resuming across any of them is legal.
         let mut knobs = cfg.clone();
         knobs.snapshot_interval = 512;
         knobs.threads = 9;
+        knobs.spin_proof = !knobs.spin_proof;
+        knobs.prune = !knobs.prune;
         assert_eq!(base, plan_hash("segm", Technique::DupVal, &knobs, 1000));
     }
 

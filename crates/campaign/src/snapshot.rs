@@ -13,7 +13,7 @@
 //! accumulated over the skipped prefix.
 
 use softft_vm::interp::Observer;
-use softft_vm::{RunResult, Snapshot};
+use softft_vm::{FaultPlan, Resolution, RunResult, Snapshot};
 use softft_workloads::runner::WorkloadImage;
 
 /// One golden-run checkpoint: the VM snapshot plus the observer state at
@@ -91,6 +91,42 @@ impl<O: Observer + Clone> CheckpointStore<O> {
             },
             result,
             out,
+            capture_ns,
+        )
+    }
+
+    /// Like [`CheckpointStore::record_timed`], but also resolves each
+    /// register fault plan in `triggers` (sorted by trigger) against the
+    /// golden state at its boundary — the input to static fault-space
+    /// pruning. An `interval` of zero records *no* checkpoints and only
+    /// resolves (used when snapshots were already recorded at a different
+    /// interval).
+    pub fn record_resolving(
+        image: &WorkloadImage<'_>,
+        mut obs: O,
+        interval: u64,
+        triggers: &[FaultPlan],
+    ) -> (Self, RunResult, Vec<u8>, Vec<Resolution>, u64) {
+        let mut checkpoints: Vec<Checkpoint<O>> = Vec::new();
+        let mut capture_ns = 0u64;
+        let (result, out, resolutions) =
+            image.run_recording_resolving(&mut obs, interval, triggers, |snap, o| {
+                let sw = std::time::Instant::now();
+                checkpoints.push(Checkpoint {
+                    snap,
+                    obs: o.clone(),
+                });
+                capture_ns += sw.elapsed().as_nanos() as u64;
+            });
+        (
+            CheckpointStore {
+                interval,
+                checkpoints,
+                golden_obs: obs,
+            },
+            result,
+            out,
+            resolutions,
             capture_ns,
         )
     }
@@ -175,6 +211,37 @@ pub struct SnapshotStats {
     /// Dynamic instructions actually executed across all trials
     /// (post-resume); the VM-throughput numerator for perf benches.
     pub insts_executed: u64,
+    /// Trials halted by the spin proof: a diverged trial's full boundary
+    /// state recurred, proving an infinite loop, and the watchdog record
+    /// was synthesized without running to the bound.
+    pub spin_proved_trials: u64,
+    /// Dynamic instructions *not* executed thanks to spin proofs (sum of
+    /// `max_dyn_insts - halt boundary` across proved trials).
+    pub spin_insts_skipped: u64,
+    /// Trials skipped entirely by static fault-space pruning (dead or
+    /// masked victim bit): the golden record was synthesized.
+    pub pruned_trials: u64,
+    /// Dynamic instructions *not* executed thanks to pruning (golden
+    /// `dyn_insts` per pruned trial, minus nothing — the whole trial).
+    pub pruned_insts_skipped: u64,
+    /// True when the interval was chosen adaptively from observed
+    /// convergence latencies (`CampaignConfig::SNAPSHOT_AUTO`);
+    /// `interval` then holds the chosen value.
+    pub adaptive: bool,
+    /// Trials used to calibrate the adaptive interval (they ran under the
+    /// provisional interval; results are identical either way).
+    pub calibration_trials: u64,
+    /// Median observed convergence latency (trigger → converged boundary)
+    /// among calibration trials, in dynamic instructions; 0 when unknown.
+    pub conv_latency_p50: u64,
+    /// Wall time of trials that ran to completion (no early exit).
+    pub exec_ns_executed: u64,
+    /// Wall time of trials that exited early via convergence.
+    pub exec_ns_converged: u64,
+    /// Wall time of trials halted by the spin proof.
+    pub exec_ns_spin: u64,
+    /// Wall time spent synthesizing statically-pruned trials.
+    pub exec_ns_pruned: u64,
 }
 
 #[cfg(test)]

@@ -267,6 +267,16 @@ impl SuffixObserver for TraceObserver {
             self.first_detect_kind = end.first_detect_kind;
         }
     }
+
+    fn fold_cycles(&mut self, anchor: &Self, detect: &Self, cycles: u64) {
+        // A proven spin cycle contains zero check firings (a counting
+        // check would break the state recurrence; a trapping check would
+        // end the run), so only the execution counters scale — checks and
+        // first-detect are untouched by construction.
+        self.dyn_count += (detect.dyn_count - anchor.dyn_count) * cycles;
+        self.opcodes
+            .merge_cycles(&anchor.opcodes, &detect.opcodes, cycles);
+    }
 }
 
 #[cfg(test)]

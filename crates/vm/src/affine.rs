@@ -1,0 +1,312 @@
+//! Static soundness check for *affine* spin proofs.
+//!
+//! Exact state recurrence ([`crate::interp::SpinCore`]) misses the most
+//! common real spin: a corrupted loop *bound* (e.g. a trip-count register
+//! hit by a high-bit flip) leaves the loop body re-executing on a fixed
+//! point — memory and every non-counter slot recur each iteration — while
+//! the induction counters march linearly toward a bound they will never
+//! reach before the watchdog. The full state then never recurs, but it
+//! recurs *modulo an affine shift* of a few top-frame slots.
+//!
+//! The dynamic side (the drift candidate in `SpinCore`) establishes that
+//! between three boundaries `t`, `t+p`, `t+2p` the machine state was
+//! identical except for a small set of top-frame slots that advanced by
+//! exactly `delta` then `2*delta`. That alone does not prove a spin: a
+//! terminating countdown looks identical until it crosses its exit bound.
+//! This module supplies the missing static argument over the (transformed)
+//! IR of the spinning function:
+//!
+//! 1. **Closed counter chains.** Every drifting value is defined by a
+//!    phi or an add/sub-with-constant whose inputs are themselves drifting
+//!    values with the *same* per-period delta (or constants, for phi
+//!    inits). The chain's step constants all move in the delta's
+//!    direction, so counter values evolve monotonically between the
+//!    extrapolated endpoints.
+//! 2. **No escapes.** Drifting values are consumed only by their own
+//!    chain and by integer comparisons. A drifting value feeding a store,
+//!    load address, call, select, cast, or any other computation could
+//!    leak the (extrapolated, hence unknowable) counter into observable
+//!    state — any such use rejects the proof.
+//! 3. **Non-crossing comparisons.** Each comparison either relates two
+//!    drifting values with equal deltas (shift-invariant: duplicated
+//!    counter chains under DupOnly/DupVal/FullDup compare dup against
+//!    original) or a drifting value against a *loop-invariant* bound — an
+//!    IR constant, a function parameter, or an entry-block definition,
+//!    whose slot cannot change while the frame is live. For the bound
+//!    case the counter's whole extrapolated range over `periods + 2`
+//!    periods must stay strictly on the observed side of the bound: a
+//!    countdown that *will* reach its exit value fails exactly this
+//!    margin and keeps executing (sound fallback).
+//!
+//! Together with the dynamic evidence this proves every future period
+//! repeats the observed branch decisions, so memory, outputs, the
+//! check-failure counter, and the trap (watchdog at the bound) are all
+//! bitwise equal to a full run's — only the final values of the counter
+//! slots themselves differ, and frames are unobservable in results,
+//! records, and telemetry.
+
+use softft_ir::function::{Function, ValueKind};
+use softft_ir::inst::{BinOp, IntCC, Op, Term};
+use softft_ir::types::{Const, Type};
+use softft_ir::ValueId;
+
+/// Maximum drifting slots a candidate may carry; matches the compare-side
+/// cap so candidates and validation agree on "a few counters".
+pub(crate) const MAX_DRIFT_SLOTS: usize = 8;
+
+/// Integer hull `[lo, hi]` in `i128` (no wrap at i64 width by checks).
+#[derive(Clone, Copy)]
+struct Hull {
+    lo: i128,
+    hi: i128,
+}
+
+impl Hull {
+    fn include(&mut self, v: i128) {
+        self.lo = self.lo.min(v);
+        self.hi = self.hi.max(v);
+    }
+}
+
+/// Per-period delta of value `v`, if it is in the drift set.
+fn delta_of(drifts: &[(usize, i64)], v: ValueId) -> Option<i64> {
+    drifts
+        .iter()
+        .find(|&&(i, _)| i == v.index())
+        .map(|&(_, d)| d)
+}
+
+/// Signed value of an interned integer constant, if `v` is one.
+fn const_int(func: &Function, v: ValueId) -> Option<i64> {
+    match func.value(v).kind {
+        ValueKind::Const(Const::Int(c, _)) => Some(c),
+        _ => None,
+    }
+}
+
+/// A loop-invariant comparison bound: an IR constant, a parameter, or an
+/// entry-block definition. Slots of such values are written at most once,
+/// before the loop is entered, so their anchor value holds for the whole
+/// extrapolation. Returns the bound's signed value.
+fn invariant_bound(func: &Function, slots: &[Option<u64>], v: ValueId) -> Option<i128> {
+    match func.value(v).kind {
+        ValueKind::Const(Const::Int(c, _)) => Some(c as i128),
+        ValueKind::Const(_) => None,
+        ValueKind::Param(_) => slots.get(v.index())?.map(|b| b as i64 as i128),
+        ValueKind::Inst(i) => {
+            let inst = func.inst(i);
+            if inst.dead || inst.block != func.entry() {
+                return None;
+            }
+            slots.get(v.index())?.map(|b| b as i64 as i128)
+        }
+    }
+}
+
+/// True when `pred`'s outcome is the same for every first operand in
+/// `range` against the fixed second operand `b`.
+fn stable_outcome(pred: IntCC, range: Hull, b: i128) -> bool {
+    let (lo, hi) = (range.lo, range.hi);
+    match pred {
+        IntCC::Eq | IntCC::Ne => b < lo || b > hi,
+        IntCC::Slt => hi < b || lo >= b,
+        IntCC::Sle => hi <= b || lo > b,
+        IntCC::Sgt => lo > b || hi <= b,
+        IntCC::Sge => lo >= b || hi < b,
+        // Unsigned orders agree with signed ones on the non-negative
+        // half; drifting counters with negative excursions are rejected.
+        IntCC::Ult => lo >= 0 && b >= 0 && (hi < b || lo >= b),
+        IntCC::Ule => lo >= 0 && b >= 0 && (hi <= b || lo > b),
+        IntCC::Ugt => lo >= 0 && b >= 0 && (lo > b || hi <= b),
+        IntCC::Uge => lo >= 0 && b >= 0 && (lo >= b || hi < b),
+    }
+}
+
+/// Validates an affine drift candidate against the function's IR.
+///
+/// `slots` is the anchor top frame's slot array (one per SSA value),
+/// `drifts` the observed `(value index, per-period delta)` set, and
+/// `periods` the number of whole periods the proof extrapolates over
+/// (the caller passes `cycles + 2` for margin). Returns `true` only if
+/// the drift set is a closed, escape-free counter chain whose every
+/// comparison is provably stable for that long.
+pub(crate) fn affine_spin_sound(
+    func: &Function,
+    slots: &[Option<u64>],
+    drifts: &[(usize, i64)],
+    periods: u64,
+) -> bool {
+    if drifts.is_empty() || drifts.len() > MAX_DRIFT_SLOTS || periods == 0 {
+        return false;
+    }
+    let dir = drifts[0].1.signum();
+    if dir == 0 {
+        return false;
+    }
+    let periods = periods as i128;
+
+    // Hull of every value any drifting slot can take during the
+    // extrapolation: anchor values, extrapolated endpoints, and constant
+    // phi inits (should an init edge ever re-execute). Chain steps all
+    // share the delta direction, so evolution between those endpoints is
+    // monotone; one extra step of slack absorbs chain intermediates.
+    let mut hull = Hull {
+        lo: i128::MAX,
+        hi: i128::MIN,
+    };
+    let mut max_step = 0i128;
+
+    for &(idx, delta) in drifts {
+        if delta == 0 || delta.signum() != dir || idx >= func.num_values() {
+            return false;
+        }
+        let v = ValueId::new(idx);
+        // Only full-width integer counters: narrower types could wrap
+        // inside the extrapolated range, breaking linearity.
+        if func.value(v).ty != Type::I64 {
+            return false;
+        }
+        let Some(Some(bits)) = slots.get(idx) else {
+            return false;
+        };
+        let v0 = *bits as i64 as i128;
+        hull.include(v0);
+        hull.include(v0 + delta as i128 * periods);
+
+        // The defining instruction must be a chain member.
+        let Some(def) = func.def_inst(v) else {
+            return false; // params/consts cannot drift
+        };
+        let inst = func.inst(def);
+        if inst.dead {
+            return false;
+        }
+        match &inst.op {
+            Op::Bin {
+                op: op @ (BinOp::Add | BinOp::Sub),
+                lhs,
+                rhs,
+            } => {
+                // v = u ± c with u in the set at the same delta and the
+                // step moving in the drift direction.
+                let (u, c) = match (delta_of(drifts, *lhs), const_int(func, *rhs)) {
+                    (Some(du), Some(c)) => (du, if *op == BinOp::Sub { -c } else { c }),
+                    _ => match (const_int(func, *lhs), delta_of(drifts, *rhs)) {
+                        (Some(c), Some(du)) if *op == BinOp::Add => (du, c),
+                        _ => return false,
+                    },
+                };
+                if u != delta || (c != 0 && (c as i128).signum() != dir as i128) {
+                    return false;
+                }
+                max_step = max_step.max((c as i128).abs());
+            }
+            Op::Phi { incomings } => {
+                for &(_, arg) in incomings {
+                    match delta_of(drifts, arg) {
+                        Some(da) if da == delta => {}
+                        Some(_) => return false,
+                        None => match const_int(func, arg) {
+                            Some(c) => hull.include(c as i128),
+                            None => return false,
+                        },
+                    }
+                }
+            }
+            _ => return false,
+        }
+    }
+    hull.lo -= max_step;
+    hull.hi += max_step;
+    if hull.lo < i64::MIN as i128 || hull.hi > i64::MAX as i128 {
+        return false; // extrapolation would wrap at machine width
+    }
+
+    // Scan every live use of every drifting value: only its own chain
+    // and provably stable comparisons may consume it.
+    let mut operands = Vec::new();
+    for b in func.block_ids() {
+        let block = func.block(b);
+        for &i in &block.insts {
+            let inst = func.inst(i);
+            if inst.dead {
+                continue;
+            }
+            operands.clear();
+            inst.op.operands(&mut operands);
+            if !operands.iter().any(|&o| delta_of(drifts, o).is_some()) {
+                continue;
+            }
+            match &inst.op {
+                Op::Bin {
+                    op: BinOp::Add | BinOp::Sub,
+                    ..
+                } => {
+                    // Chain step: its result must itself be in the set
+                    // (the def-side rules above then constrain it fully).
+                    match inst.result {
+                        Some(r) if delta_of(drifts, r).is_some() => {}
+                        _ => return false,
+                    }
+                }
+                Op::Phi { .. } => match inst.result {
+                    Some(r) if delta_of(drifts, r).is_some() => {}
+                    _ => return false,
+                },
+                Op::Icmp { pred, lhs, rhs } => {
+                    match (delta_of(drifts, *lhs), delta_of(drifts, *rhs)) {
+                        // Both drifting: outcome is shift-invariant only
+                        // when the deltas cancel (dup vs original chain).
+                        // Unsigned orders additionally need the hull to
+                        // stay non-negative (a shared shift across zero
+                        // reorders operands in the unsigned domain).
+                        (Some(dl), Some(dr)) => {
+                            let unsigned =
+                                matches!(pred, IntCC::Ult | IntCC::Ule | IntCC::Ugt | IntCC::Uge);
+                            if dl != dr || (unsigned && hull.lo < 0) {
+                                return false;
+                            }
+                        }
+                        (Some(_), None) => match invariant_bound(func, slots, *rhs) {
+                            Some(b) if stable_outcome(*pred, hull, b) => {}
+                            _ => return false,
+                        },
+                        (None, Some(_)) => {
+                            // Mirror: bound on the left. Swap by flipping
+                            // the predicate's direction.
+                            let flipped = match pred {
+                                IntCC::Eq => IntCC::Eq,
+                                IntCC::Ne => IntCC::Ne,
+                                IntCC::Slt => IntCC::Sgt,
+                                IntCC::Sle => IntCC::Sge,
+                                IntCC::Sgt => IntCC::Slt,
+                                IntCC::Sge => IntCC::Sle,
+                                IntCC::Ult => IntCC::Ugt,
+                                IntCC::Ule => IntCC::Uge,
+                                IntCC::Ugt => IntCC::Ult,
+                                IntCC::Uge => IntCC::Ule,
+                            };
+                            match invariant_bound(func, slots, *lhs) {
+                                Some(b) if stable_outcome(flipped, hull, b) => {}
+                                _ => return false,
+                            }
+                        }
+                        (None, None) => unreachable!("operand scan said drifting"),
+                    }
+                }
+                // Stores, loads, calls, selects, casts, checks, float
+                // ops, other arithmetic: the counter escapes — reject.
+                _ => return false,
+            }
+        }
+        // Terminator uses: a drifting value feeding a branch condition
+        // or a return escapes (conditions are I1 icmp results, never the
+        // I64 counters themselves, but reject defensively).
+        match block.term.as_ref() {
+            Some(Term::CondBr { cond, .. }) if delta_of(drifts, *cond).is_some() => return false,
+            Some(Term::Ret(Some(v))) if delta_of(drifts, *v).is_some() => return false,
+            _ => {}
+        }
+    }
+    true
+}

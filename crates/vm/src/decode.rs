@@ -36,7 +36,8 @@
 
 use crate::fault::{flip_bit, FaultKind, FaultPlan, InjectionRecord};
 use crate::interp::{
-    finish_converging, ConvergeOutcome, ExecState, Frame, MachineEnd, Observer, Snapshot, Vm,
+    finish_converging, resolve_frame, spin_core, ConvergeOutcome, ExecState, Frame, MachineEnd,
+    Observer, Resolution, Snapshot, SpinCmp, SpinCore, SuffixObserver, Vm,
 };
 use crate::memory::Memory;
 use crate::outcome::{RunEnd, RunResult, TrapKind};
@@ -587,6 +588,66 @@ impl DFrame {
         }
         true
     }
+
+    /// Decoded counterpart of [`crate::interp::frame_drift`]: grades this
+    /// frame against a reference anchor frame without materializing a
+    /// conversion. Mismatches carry a differing slot index as the next
+    /// O(1) witness when the mismatch was in the slots. Lenient frames
+    /// never drift.
+    pub(crate) fn drift(&self, df: &DecodedFunc, frame: &Frame, witness: Option<usize>) -> SpinCmp {
+        if frame.block.index() != self.block as usize
+            || self.func != frame.func
+            || self.lenient != frame.lenient
+            || self.call_inst != frame.call_inst
+        {
+            return SpinCmp::Mismatch(None);
+        }
+        let b = &df.blocks[self.block as usize];
+        if frame.ip != (b.phi_count() + (self.pc - b.start)) as usize {
+            return SpinCmp::Mismatch(None);
+        }
+        let n = df.num_values as usize;
+        if frame.slots.len() != n {
+            return SpinCmp::Mismatch(None);
+        }
+        // O(1) witness: a slot that differed last time usually still does.
+        if let Some(w) = witness {
+            let differs = match frame.slots.get(w) {
+                Some(&Some(bits)) => !self.defined_bit(w) || self.slots[w] != bits,
+                Some(&None) => self.defined_bit(w),
+                None => false,
+            };
+            if differs {
+                return SpinCmp::Mismatch(Some(w));
+            }
+        }
+        let mut diffs = Vec::new();
+        for (i, s) in frame.slots.iter().enumerate() {
+            match *s {
+                Some(bits) => {
+                    if !self.defined_bit(i) {
+                        return SpinCmp::Mismatch(Some(i));
+                    }
+                    if self.slots[i] != bits {
+                        if self.lenient || diffs.len() == crate::affine::MAX_DRIFT_SLOTS {
+                            return SpinCmp::Mismatch(Some(i));
+                        }
+                        diffs.push((i, bits, self.slots[i]));
+                    }
+                }
+                None => {
+                    if self.defined_bit(i) {
+                        return SpinCmp::Mismatch(Some(i));
+                    }
+                }
+            }
+        }
+        if diffs.is_empty() {
+            SpinCmp::Equal
+        } else {
+            SpinCmp::Drift(diffs)
+        }
+    }
 }
 
 /// Reusable per-VM buffers: call-argument scratch, phi parallel-copy
@@ -705,26 +766,40 @@ impl<O: Observer, F: FnMut(Snapshot, &O)> DSink<O> for DEveryK<'_, F> {
 
 /// Convergence detection against golden checkpoints — the decoded
 /// counterpart of the reference `ConvergeSink`, comparing flat frames
-/// against checkpoint frames without materializing a conversion.
-pub(crate) struct DConvergeSink<'a> {
+/// against checkpoint frames without materializing a conversion. Carries
+/// the same optional spin-proof core (anchors stored in reference
+/// representation via `DFrame::to_frame`, compared via `DFrame::matches`
+/// so no conversion happens on the compare path).
+pub(crate) struct DConvergeSink<'a, O> {
     candidates: &'a [&'a Snapshot],
+    /// The executing (transformed) IR module — consulted by the affine
+    /// drift validator (the analysis is IR-level; slot indices in decoded
+    /// frames are the same `ValueId` indices).
+    module: &'a Module,
     idx: usize,
+    pub(crate) spin: Option<SpinCore<O>>,
 }
 
-impl<'a> DConvergeSink<'a> {
-    pub(crate) fn new(candidates: &'a [&'a Snapshot]) -> Self {
-        DConvergeSink { candidates, idx: 0 }
+impl<'a, O> DConvergeSink<'a, O> {
+    pub(crate) fn new(
+        candidates: &'a [&'a Snapshot],
+        module: &'a Module,
+        spin: Option<SpinCore<O>>,
+    ) -> Self {
+        DConvergeSink {
+            candidates,
+            module,
+            idx: 0,
+            spin,
+        }
     }
-}
 
-impl<O: Observer> DSink<O> for DConvergeSink<'_> {
-    fn at_boundary(
+    fn converges(
         &mut self,
         mem: &Memory,
         cur: &DFrame,
         below: &[DFrame],
         state: &ExecState,
-        _obs: &O,
         dm: &DecodedModule,
     ) -> bool {
         while self
@@ -760,6 +835,131 @@ impl<O: Observer> DSink<O> for DConvergeSink<'_> {
             return false;
         }
         true
+    }
+}
+
+impl<O: SuffixObserver> DSink<O> for DConvergeSink<'_, O> {
+    fn at_boundary(
+        &mut self,
+        mem: &Memory,
+        cur: &DFrame,
+        below: &[DFrame],
+        state: &ExecState,
+        obs: &O,
+        dm: &DecodedModule,
+    ) -> bool {
+        if let Some(spin) = &self.spin {
+            if spin.halt_at() != u64::MAX {
+                return state.dyn_count >= spin.halt_at();
+            }
+        }
+        if self.converges(mem, cur, below, state, dm) {
+            return true;
+        }
+        if let Some(spin) = &mut self.spin {
+            let module = self.module;
+            return spin.on_boundary(
+                state,
+                obs,
+                |a, witness| {
+                    let anchor = a.stack();
+                    if below.len() + 1 != anchor.len() {
+                        return SpinCmp::Mismatch(None);
+                    }
+                    cur.drift(
+                        &dm.funcs[cur.func.index()],
+                        &anchor[anchor.len() - 1],
+                        witness,
+                    )
+                },
+                |a| {
+                    let anchor = a.stack();
+                    below
+                        .iter()
+                        .zip(&anchor[..below.len()])
+                        .all(|(fr, af)| fr.matches(&dm.funcs[fr.func.index()], af))
+                        && *mem == *a.mem()
+                },
+                || {
+                    let mut stack: Vec<Frame> = below
+                        .iter()
+                        .map(|f| f.to_frame(&dm.funcs[f.func.index()]))
+                        .collect();
+                    stack.push(cur.to_frame(&dm.funcs[cur.func.index()]));
+                    (mem.clone(), stack)
+                },
+                |top, deltas, periods| {
+                    crate::affine::affine_spin_sound(
+                        &module.functions()[top.func.index()],
+                        &top.slots,
+                        deltas,
+                        periods,
+                    )
+                },
+            );
+        }
+        false
+    }
+}
+
+/// [`DEveryK`] plus trigger resolution — the decoded counterpart of the
+/// reference `RecordResolve` sink: snapshots at interval boundaries
+/// (`interval == 0` captures none) and one `Resolution` per pending
+/// trigger whose `at_dyn` matches the boundary. Resolution converts the
+/// top frame to reference representation and reuses the tree resolver, so
+/// the victim enumeration is identical by construction.
+pub(crate) struct DRecordResolve<'a, F> {
+    pub(crate) interval: u64,
+    pub(crate) f: &'a mut F,
+    pub(crate) module: &'a Module,
+    /// Register fault plans sorted ascending by `at_dyn`.
+    pub(crate) triggers: &'a [FaultPlan],
+    pub(crate) next: usize,
+    /// Resolutions, parallel to `triggers[..next]`.
+    pub(crate) out: &'a mut Vec<Resolution>,
+}
+
+impl<O: Observer, F: FnMut(Snapshot, &O)> DSink<O> for DRecordResolve<'_, F> {
+    fn at_boundary(
+        &mut self,
+        mem: &Memory,
+        cur: &DFrame,
+        below: &[DFrame],
+        state: &ExecState,
+        obs: &O,
+        dm: &DecodedModule,
+    ) -> bool {
+        while self
+            .triggers
+            .get(self.next)
+            .is_some_and(|p| p.at_dyn == state.dyn_count)
+        {
+            let func = self.module.function(cur.func);
+            let frame = cur.to_frame(&dm.funcs[cur.func.index()]);
+            self.out
+                .push(resolve_frame(&frame, func, &self.triggers[self.next]));
+            self.next += 1;
+        }
+        if self.interval != 0
+            && state.dyn_count != 0
+            && state.dyn_count.is_multiple_of(self.interval)
+        {
+            let mut stack: Vec<Frame> = below
+                .iter()
+                .map(|f| f.to_frame(&dm.funcs[f.func.index()]))
+                .collect();
+            stack.push(cur.to_frame(&dm.funcs[cur.func.index()]));
+            (self.f)(
+                Snapshot {
+                    dyn_count: state.dyn_count,
+                    check_failures: state.check_failures,
+                    mem: mem.clone(),
+                    stack,
+                },
+                obs,
+            );
+        }
+        false
     }
 }
 
@@ -1043,44 +1243,55 @@ impl<'m> Vm<'m> {
         }
     }
 
-    pub(crate) fn resume_converging_decoded<O: Observer>(
+    pub(crate) fn resume_converging_decoded<O: SuffixObserver>(
         &mut self,
         snap: &Snapshot,
         obs: &mut O,
         fault: Option<FaultPlan>,
         candidates: &[&Snapshot],
+        spin_grid: u64,
     ) -> ConvergeOutcome {
+        let max_dyn = self.config.max_dyn_insts;
         let mut state = ExecState::new(fault);
         state.dyn_count = snap.dyn_count;
         state.check_failures = snap.check_failures;
         self.mem.clone_from(&snap.mem);
         let (mut cur, mut stack) = self.thaw(snap);
-        let mut sink = DConvergeSink::new(candidates);
+        let mut sink = DConvergeSink::new(candidates, self.module, spin_core(spin_grid, max_dyn));
         let machine = self.exec_decoded(&mut cur, &mut stack, &mut state, obs, &mut sink);
         self.scratch.recycle(cur, stack);
-        finish_converging(machine, state, snap.dyn_count)
+        finish_converging(
+            machine,
+            state,
+            snap.dyn_count,
+            sink.spin.take(),
+            obs,
+            max_dyn,
+        )
     }
 
-    pub(crate) fn run_converging_decoded<O: Observer>(
+    pub(crate) fn run_converging_decoded<O: SuffixObserver>(
         &mut self,
         entry: FuncId,
         args: &[u64],
         obs: &mut O,
         fault: Option<FaultPlan>,
         candidates: &[&Snapshot],
+        spin_grid: u64,
     ) -> ConvergeOutcome {
+        let max_dyn = self.config.max_dyn_insts;
         let mut state = ExecState::new(fault);
+        let mut sink = DConvergeSink::new(candidates, self.module, spin_core(spin_grid, max_dyn));
         let machine = match self.new_dframe(entry, args, 0, obs) {
             Err(kind) => Err(kind),
             Ok(mut cur) => {
                 let mut stack: Vec<DFrame> = Vec::new();
-                let mut sink = DConvergeSink::new(candidates);
                 let machine = self.exec_decoded(&mut cur, &mut stack, &mut state, obs, &mut sink);
                 self.scratch.recycle(cur, stack);
                 machine
             }
         };
-        finish_converging(machine, state, 0)
+        finish_converging(machine, state, 0, sink.spin.take(), obs, max_dyn)
     }
 
     /// The decoded machine loop. Boundary order matches the reference

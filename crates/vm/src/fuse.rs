@@ -38,7 +38,8 @@ use crate::decode::{
 };
 use crate::fault::FaultPlan;
 use crate::interp::{
-    finish_converging, ConvergeOutcome, ExecState, MachineEnd, Observer, Snapshot, Vm,
+    finish_converging, ConvergeOutcome, ExecState, MachineEnd, Observer, Snapshot, SuffixObserver,
+    Vm,
 };
 use crate::memory::Memory;
 use crate::outcome::{RunEnd, RunResult, TrapKind};
@@ -1050,44 +1051,63 @@ impl<'m> Vm<'m> {
         }
     }
 
-    pub(crate) fn resume_converging_fused<O: Observer>(
+    pub(crate) fn resume_converging_fused<O: SuffixObserver>(
         &mut self,
         snap: &Snapshot,
         obs: &mut O,
         fault: Option<FaultPlan>,
         candidates: &[&Snapshot],
+        spin_grid: u64,
     ) -> ConvergeOutcome {
+        let max_dyn = self.config.max_dyn_insts;
         let mut state = ExecState::new(fault);
         state.dyn_count = snap.dyn_count;
         state.check_failures = snap.check_failures;
         self.mem.clone_from(&snap.mem);
         let (mut cur, mut stack) = self.thaw(snap);
-        let mut sink = crate::decode::DConvergeSink::new(candidates);
+        let mut sink = crate::decode::DConvergeSink::new(
+            candidates,
+            self.module,
+            crate::interp::spin_core(spin_grid, max_dyn),
+        );
         let machine = self.exec_fused(&mut cur, &mut stack, &mut state, obs, &mut sink);
         self.scratch.recycle(cur, stack);
-        finish_converging(machine, state, snap.dyn_count)
+        finish_converging(
+            machine,
+            state,
+            snap.dyn_count,
+            sink.spin.take(),
+            obs,
+            max_dyn,
+        )
     }
 
-    pub(crate) fn run_converging_fused<O: Observer>(
+    pub(crate) fn run_converging_fused<O: SuffixObserver>(
         &mut self,
         entry: FuncId,
         args: &[u64],
         obs: &mut O,
         fault: Option<FaultPlan>,
         candidates: &[&Snapshot],
+        spin_grid: u64,
     ) -> ConvergeOutcome {
+        let max_dyn = self.config.max_dyn_insts;
         let mut state = ExecState::new(fault);
+        let mut sink = crate::decode::DConvergeSink::new(
+            candidates,
+            self.module,
+            crate::interp::spin_core(spin_grid, max_dyn),
+        );
         let machine = match self.new_dframe(entry, args, 0, obs) {
             Err(kind) => Err(kind),
             Ok(mut cur) => {
                 let mut stack: Vec<DFrame> = Vec::new();
-                let mut sink = crate::decode::DConvergeSink::new(candidates);
                 let machine = self.exec_fused(&mut cur, &mut stack, &mut state, obs, &mut sink);
                 self.scratch.recycle(cur, stack);
                 machine
             }
         };
-        finish_converging(machine, state, 0)
+        finish_converging(machine, state, 0, sink.spin.take(), obs, max_dyn)
     }
 
     /// The fused machine loop. Per constituent, the boundary sequence is

@@ -183,6 +183,25 @@ impl Observer for NoopObserver {}
 pub trait SuffixObserver: Observer + Clone {
     /// Folds the golden suffix `boundary..end` into this observer.
     fn fast_forward(&mut self, boundary: &Self, end: &Self);
+
+    /// Folds `cycles` repetitions of the event window between `anchor`
+    /// and `detect` into this observer. Called when the spin proof
+    /// ([`Vm::resume_converging`] with a spin grid) shortcut a provably
+    /// infinite loop: the machine executed the window once (anchor →
+    /// detect) plus the sub-period remainder live, and this call absorbs
+    /// the `cycles` full periods that were skipped. After it, `self`
+    /// must equal what executing those periods would have produced.
+    ///
+    /// The default is a no-op, which is correct for any observer whose
+    /// state provably cannot change inside a proven cycle: the proof
+    /// requires the check-failure counter to recur, so a cycle contains
+    /// zero check firings and zero injections (the fault is consumed
+    /// before anchoring). Observers that count executed instructions
+    /// (e.g. a tracer) must override and scale their per-event counters
+    /// by `cycles`.
+    fn fold_cycles(&mut self, anchor: &Self, detect: &Self, cycles: u64) {
+        let _ = (anchor, detect, cycles);
+    }
 }
 
 impl SuffixObserver for NoopObserver {
@@ -312,6 +331,449 @@ impl<O: Observer, F: FnMut(Snapshot, &O)> Sink<O> for EveryK<'_, F> {
     }
 }
 
+/// A reference snapshot of the full architectural state taken at a grid
+/// boundary by [`SpinCore`]: if the machine's state ever *exactly* equals
+/// the anchor again at a later boundary, execution is provably periodic.
+pub(crate) struct SpinAnchor<O> {
+    dyn_count: u64,
+    check_failures: u64,
+    mem: Memory,
+    /// Bottom-to-top, reference [`Frame`]s (engine-portable; decoded
+    /// frames compare against these via `DFrame::matches`).
+    stack: Vec<Frame>,
+    obs: O,
+}
+
+/// Grade of the current *top frame* against a [`SpinAnchor`]'s. Deep
+/// state (suspended frames, the memory image) is deliberately excluded:
+/// this runs at every instruction boundary once a site match occurs, so
+/// it must stay cheap — the sink's separate `deep_eq` closure checks the
+/// rest only when the grade makes the cost worthwhile.
+pub(crate) enum SpinCmp {
+    /// Top frame bitwise equal to the anchor's (shape and every slot).
+    Equal,
+    /// Same shape, but up to [`crate::affine::MAX_DRIFT_SLOTS`] defined
+    /// slots differ: `(value index, anchor bits, current bits)`,
+    /// ascending by index.
+    Drift(Vec<(usize, u64, u64)>),
+    /// Different frame, or too many slot diffs. The payload, when
+    /// present, is a differing slot index the core caches as an O(1)
+    /// *witness*: while the machine keeps passing the anchor's site with
+    /// unrelated data in flight (an inner loop re-visiting the anchor
+    /// instruction), that one slot almost always still differs and the
+    /// full slot scan is skipped.
+    Mismatch(Option<usize>),
+}
+
+/// An affine-recurrence candidate awaiting confirmation. Two
+/// *proportional* observations of the same drift signature fixed a
+/// period and per-slot per-period deltas; at `confirm_at` — exactly one
+/// period past the formation boundary, where the deep state matched the
+/// anchor — the same slots must sit at exactly `expect` with the deep
+/// state matching again. Then [`crate::affine::affine_spin_sound`]
+/// decides whether extrapolating the drift to the watchdog bound is
+/// sound.
+struct DriftCand<O> {
+    period: u64,
+    confirm_at: u64,
+    /// Expected anchor→confirm slot deltas at the confirm boundary.
+    expect: Vec<(usize, i64)>,
+    /// Per-period deltas — the static validator's drift set.
+    per_period: Vec<(usize, i64)>,
+    /// Observer at the formation boundary — one period before
+    /// `confirm_at`, so (formation, confirm) span exactly one period for
+    /// [`SuffixObserver::fold_cycles`].
+    obs: O,
+}
+
+/// One drift-signature track: the most recent observation of a given
+/// set of drifting top-frame slots at the anchor's site.
+struct SigTrack {
+    /// Differing slot indices, ascending — the signature key.
+    sig: Vec<usize>,
+    /// Distance (dyn insts) from the anchor at the last observation.
+    dist: u64,
+    /// Anchor→observation slot deltas at that distance.
+    deltas: Vec<i64>,
+    /// A candidate from this signature already failed (non-linear
+    /// confirm, deep-state mismatch, or an unsound counter chain): stop
+    /// trying until the next re-anchor.
+    burned: bool,
+}
+
+/// Concurrent drift signatures tracked per anchor. Distinct signatures
+/// arise from e.g. pre- vs post-fixpoint sweeps; a tiny FIFO suffices.
+const MAX_SIG_TRACKS: usize = 4;
+
+/// Evidence that execution is in a provable infinite loop: the full
+/// state recurred, so the run can only end in the watchdog trap.
+pub(crate) struct SpinProof<O> {
+    /// Whole periods between the halt boundary and the watchdog bound.
+    pub(crate) cycles: u64,
+    /// Observer state at the anchor boundary (cycle start).
+    pub(crate) anchor_obs: O,
+    /// Observer state one period later (cycle end).
+    pub(crate) detect_obs: O,
+}
+
+/// Divergence-bounded execution: detects that a diverged trial's full
+/// architectural state (memory, frame stack, check-failure counter)
+/// *exactly recurs* at two dynamic-instruction boundaries with the fault
+/// consumed. Execution is a pure function of that state — `dyn_count`
+/// only feeds the watchdog and the (already consumed) fault trigger, and
+/// observers are write-only — so recurrence proves the machine loops
+/// forever and can only end in [`TrapKind::Watchdog`] at the
+/// dynamic-instruction bound. The machine then executes only the
+/// sub-period remainder `(max_dyn - detect) % period` live (which lands
+/// it on a state bitwise equal to the state at `max_dyn`) and halts;
+/// the skipped whole periods are folded into the observer via
+/// [`SuffixObserver::fold_cycles`].
+///
+/// Detection is *site-locked*, not grid-sampled: once an anchor exists,
+/// every instruction boundary is graded against it, with an O(1)
+/// early-out (block/ip compare, then the cached witness slot) making the
+/// per-instruction cost a couple of compares. A full recurrence is
+/// therefore caught at its first return to the anchor's site — latency
+/// is one loop period, independent of the checkpoint interval — and
+/// affine drifts are caught from proportional observations at period
+/// multiples. The grid only paces anchor management: the first capture
+/// waits two grid spans after the fault resolves (most trials converge
+/// first), and Brent-style re-capture doubles a window measured in grid
+/// spans, so any period is hunted from some anchor within a constant
+/// factor of its length using a single stored snapshot.
+pub(crate) struct SpinCore<O> {
+    /// Anchor-cadence unit (the checkpoint interval). Detection itself
+    /// is site-locked and independent of this.
+    grid: u64,
+    /// The watchdog bound the proof projects to.
+    max_dyn: u64,
+    /// First boundary eligible for anchor capture, two grid spans after
+    /// the fault resolves (`u64::MAX` = not yet scheduled).
+    first_eligible: u64,
+    /// Brent window in grid spans: the anchor is re-captured once it is
+    /// `window * grid` boundaries old, then the window doubles.
+    window: u64,
+    anchor: Option<SpinAnchor<O>>,
+    /// Cached differing-slot index for O(1) rejection at the anchor site.
+    witness: Option<usize>,
+    /// Drift-signature observations against the current anchor.
+    sigs: Vec<SigTrack>,
+    /// Pending affine-drift candidate awaiting its confirm boundary.
+    drift: Option<DriftCand<O>>,
+    /// Once proven: the boundary to halt at (`u64::MAX` = no proof yet).
+    halt_at: u64,
+    proof: Option<SpinProof<O>>,
+}
+
+impl<O: SuffixObserver> SpinCore<O> {
+    pub(crate) fn new(grid: u64, max_dyn: u64) -> Self {
+        debug_assert!(grid > 0);
+        SpinCore {
+            grid,
+            max_dyn,
+            first_eligible: u64::MAX,
+            window: 1,
+            anchor: None,
+            witness: None,
+            sigs: Vec::new(),
+            drift: None,
+            halt_at: u64::MAX,
+            proof: None,
+        }
+    }
+
+    /// The halt boundary once a spin is proven (`u64::MAX` before).
+    /// Sinks consult this first and stop comparing candidates after a
+    /// proof: a convergence match after recurrence is impossible (it
+    /// would imply the golden — terminating — suffix, contradicting the
+    /// proven non-termination).
+    #[inline]
+    pub(crate) fn halt_at(&self) -> u64 {
+        self.halt_at
+    }
+
+    /// Takes the proof out (the wrapper folds it into the observer).
+    pub(crate) fn take_proof(&mut self) -> Option<SpinProof<O>> {
+        self.proof.take()
+    }
+
+    /// Runs the recurrence check at an instruction boundary. `grade`
+    /// grades the current *top frame* against the anchor's (equal,
+    /// affinely drifted, or neither — its second argument is the cached
+    /// witness slot for O(1) rejection); `deep_eq` checks the suspended
+    /// frames and the memory image, and is only invoked when the grade
+    /// warrants it; `capture` clones the current state into reference
+    /// form; `affine_ok` runs the static counter-chain soundness check
+    /// ([`crate::affine::affine_spin_sound`]) for a confirmed linear
+    /// drift. Returns `true` to halt the machine at this boundary.
+    pub(crate) fn on_boundary(
+        &mut self,
+        state: &ExecState,
+        obs: &O,
+        grade: impl FnOnce(&SpinAnchor<O>, Option<usize>) -> SpinCmp,
+        deep_eq: impl FnOnce(&SpinAnchor<O>) -> bool,
+        capture: impl FnOnce() -> (Memory, Vec<Frame>),
+        affine_ok: impl FnOnce(&Frame, &[(usize, i64)], u64) -> bool,
+    ) -> bool {
+        if self.halt_at != u64::MAX {
+            return state.dyn_count >= self.halt_at;
+        }
+        // Until the fault is resolved the state still carries the pending
+        // injection; recurrence before that proves nothing (the flip
+        // would break the cycle). A *corrupted* control flow is fine —
+        // wild branches are exactly how spins arise.
+        if state.fault.is_some() || state.branch_fault_armed.is_some() {
+            return false;
+        }
+        if state.dyn_count == 0 {
+            return false;
+        }
+        if self.anchor.is_none() {
+            if self.first_eligible == u64::MAX {
+                self.first_eligible = state.dyn_count.saturating_add(2 * self.grid);
+            } else if state.dyn_count >= self.first_eligible {
+                self.capture_anchor(state, obs, capture);
+            }
+            return false;
+        }
+        if let Some(cand) = &self.drift {
+            // Candidate pending: stay silent until its confirm boundary.
+            if state.dyn_count < cand.confirm_at {
+                return false;
+            }
+            debug_assert_eq!(state.dyn_count, cand.confirm_at);
+            let cand = self.drift.take().expect("drift candidate present");
+            let a = self.anchor.as_ref().expect("anchor held during candidacy");
+            let confirmed = a.check_failures == state.check_failures
+                && matches!(grade(a, None), SpinCmp::Drift(d) if drift_matches(&cand.expect, &d))
+                && deep_eq(a);
+            if confirmed {
+                // Linear drift held over one more period with the rest of
+                // the state recurring. Extrapolating it to the watchdog
+                // bound is sound only if the IR says the drifted slots
+                // are closed counter chains whose comparisons cannot
+                // cross their bounds in `cycles + 2` periods.
+                let remaining = self.max_dyn - state.dyn_count;
+                let cycles = remaining / cand.period;
+                let rem = remaining % cand.period;
+                let top = a.stack.last().expect("anchor has a frame");
+                if affine_ok(top, &cand.per_period, cycles + 2) {
+                    self.proof = Some(SpinProof {
+                        cycles,
+                        anchor_obs: cand.obs,
+                        detect_obs: obs.clone(),
+                    });
+                    self.halt_at = state.dyn_count + rem;
+                    return rem == 0;
+                }
+            }
+            // Failed candidate: keep the anchor — it can still catch an
+            // exact recurrence or a different signature — but burn this
+            // signature until the next re-anchor so a cyclic shape cannot
+            // keep buying confirms.
+            self.burn(&cand.expect);
+            return false;
+        }
+        let verdict = {
+            let a = self.anchor.as_ref().expect("anchored");
+            if a.check_failures == state.check_failures {
+                grade(a, self.witness)
+            } else {
+                SpinCmp::Mismatch(None)
+            }
+        };
+        match verdict {
+            SpinCmp::Equal => {
+                if deep_eq(self.anchor.as_ref().expect("anchored")) {
+                    // Full-state recurrence: the boundary distance itself
+                    // is a valid period.
+                    let a = self.anchor.take().expect("anchored");
+                    return self.prove(state.dyn_count - a.dyn_count, state, a.obs, obs);
+                }
+            }
+            SpinCmp::Drift(diffs) => {
+                self.observe(state, obs, &diffs, deep_eq);
+                if self.drift.is_some() {
+                    // Candidate formed: hold the anchor (past its Brent
+                    // window if need be) until it confirms or dies.
+                    return false;
+                }
+            }
+            SpinCmp::Mismatch(w) => {
+                if w.is_some() {
+                    self.witness = w;
+                }
+            }
+        }
+        let age = state.dyn_count - self.anchor.as_ref().expect("anchored").dyn_count;
+        if age >= self.window.saturating_mul(self.grid) {
+            self.capture_anchor(state, obs, capture);
+            self.window = self.window.saturating_mul(2);
+        }
+        false
+    }
+
+    /// Handles a drift observation at the anchor's site: tracks the last
+    /// `(distance, deltas)` per slot signature. Two observations whose
+    /// deltas are *proportional through the anchor* — `deltas/dist` equal
+    /// as exact rationals, the trace of a linear counter chain sampled at
+    /// two period multiples — plus a deep-state match form a candidate
+    /// with period `dist - prev.dist`. Wrapping or cyclic shapes (an
+    /// inner loop's counter phases) fail proportionality and merely
+    /// refresh the track.
+    fn observe(
+        &mut self,
+        state: &ExecState,
+        obs: &O,
+        diffs: &[(usize, u64, u64)],
+        deep_eq: impl FnOnce(&SpinAnchor<O>) -> bool,
+    ) {
+        let a = self.anchor.as_ref().expect("anchored");
+        let dist = state.dyn_count - a.dyn_count;
+        let deltas: Vec<i64> = diffs
+            .iter()
+            .map(|&(_, av, cv)| (cv as i64).wrapping_sub(av as i64))
+            .collect();
+        let Some(track) = self.sigs.iter_mut().find(|t| {
+            t.sig.len() == diffs.len() && t.sig.iter().zip(diffs).all(|(&s, &(i, _, _))| s == i)
+        }) else {
+            if self.sigs.len() == MAX_SIG_TRACKS {
+                self.sigs.remove(0);
+            }
+            self.sigs.push(SigTrack {
+                sig: diffs.iter().map(|&(i, _, _)| i).collect(),
+                dist,
+                deltas,
+                burned: false,
+            });
+            return;
+        };
+        if track.burned {
+            return;
+        }
+        let linear =
+            track.dist < dist
+                && track.deltas.len() == deltas.len()
+                && track.deltas.iter().zip(&deltas).all(|(&p, &c)| {
+                    (p as i128) * (dist as i128) == (c as i128) * (track.dist as i128)
+                });
+        if !linear {
+            track.dist = dist;
+            track.deltas = deltas;
+            return;
+        }
+        let period = dist - track.dist;
+        let per: Vec<i64> = deltas
+            .iter()
+            .zip(&track.deltas)
+            .map(|(&c, &p)| c.wrapping_sub(p))
+            .collect();
+        let confirm_at = state.dyn_count + period;
+        if confirm_at >= self.max_dyn || per.contains(&0) {
+            track.burned = true;
+            return;
+        }
+        // A candidate is only as good as the rest of the state: the
+        // suspended frames and memory must match the anchor here. At a
+        // spin's fixpoint they do; pre-fixpoint sweeps fail and burn the
+        // track for this anchor (the next re-anchor retries).
+        if !deep_eq(a) {
+            track.burned = true;
+            return;
+        }
+        let expect: Vec<(usize, i64)> = diffs
+            .iter()
+            .enumerate()
+            .map(|(j, &(i, _, _))| (i, deltas[j].wrapping_add(per[j])))
+            .collect();
+        let per_period: Vec<(usize, i64)> = diffs
+            .iter()
+            .zip(per)
+            .map(|(&(i, _, _), d)| (i, d))
+            .collect();
+        self.drift = Some(DriftCand {
+            period,
+            confirm_at,
+            expect,
+            per_period,
+            obs: obs.clone(),
+        });
+    }
+
+    /// Marks the signature matching `expect`'s slot set as burned.
+    fn burn(&mut self, expect: &[(usize, i64)]) {
+        if let Some(t) = self.sigs.iter_mut().find(|t| {
+            t.sig.len() == expect.len() && t.sig.iter().zip(expect).all(|(&s, &(i, _))| s == i)
+        }) {
+            t.burned = true;
+        }
+    }
+
+    /// Completes a recurrence proof with the given period at the current
+    /// boundary: execute the sub-period remainder live (state at
+    /// `dyn + rem` equals state at `max_dyn` by mod-period alignment, so
+    /// memory/output at the halt are exact), skip the whole cycles.
+    fn prove(&mut self, period: u64, state: &ExecState, anchor_obs: O, obs: &O) -> bool {
+        let remaining = self.max_dyn - state.dyn_count;
+        let cycles = remaining / period;
+        let rem = remaining % period;
+        self.proof = Some(SpinProof {
+            cycles,
+            anchor_obs,
+            detect_obs: obs.clone(),
+        });
+        self.halt_at = state.dyn_count + rem;
+        rem == 0
+    }
+
+    fn capture_anchor(
+        &mut self,
+        state: &ExecState,
+        obs: &O,
+        capture: impl FnOnce() -> (Memory, Vec<Frame>),
+    ) {
+        let (mem, stack) = capture();
+        self.anchor = Some(SpinAnchor {
+            dyn_count: state.dyn_count,
+            check_failures: state.check_failures,
+            mem,
+            stack,
+            obs: obs.clone(),
+        });
+        self.witness = None;
+        self.sigs.clear();
+    }
+}
+
+/// True when the confirm boundary's observed diffs sit at exactly the
+/// candidate's expected anchor-relative deltas, slot for slot.
+fn drift_matches(expect: &[(usize, i64)], diffs: &[(usize, u64, u64)]) -> bool {
+    expect.len() == diffs.len()
+        && expect
+            .iter()
+            .zip(diffs)
+            .all(|(&(i, d), &(j, av, cv))| i == j && (cv as i64).wrapping_sub(av as i64) == d)
+}
+
+impl<O> SpinAnchor<O> {
+    /// Anchor frames, bottom-to-top (for engine-specific comparison).
+    pub(crate) fn stack(&self) -> &[Frame] {
+        &self.stack
+    }
+
+    /// Anchor memory image.
+    pub(crate) fn mem(&self) -> &Memory {
+        &self.mem
+    }
+}
+
+/// The spin core for a converging run: `grid == 0` disables the proof
+/// entirely (the escape hatch; behavior is then bit-for-bit the plain
+/// convergence engine).
+pub(crate) fn spin_core<O: SuffixObserver>(grid: u64, max_dyn: u64) -> Option<SpinCore<O>> {
+    (grid > 0).then(|| SpinCore::new(grid, max_dyn))
+}
+
 /// Detects *state convergence*: once a trial's full architectural state
 /// (memory, frame stack, check-failure count) equals the golden
 /// checkpoint at the same boundary — with the fault consumed and control
@@ -320,34 +782,38 @@ impl<O: Observer, F: FnMut(Snapshot, &O)> Sink<O> for EveryK<'_, F> {
 /// taken from the golden run. Masked faults (dead-state hits, values
 /// overwritten before use) converge within a checkpoint interval or two,
 /// turning most trials' cost from `golden - at_dyn` into ~one interval.
-struct ConvergeSink<'a> {
+///
+/// Carries an optional [`SpinCore`] that additionally watches for state
+/// *recurrence* — a trial that provably loops forever halts after a few
+/// boundary periods instead of spinning to the watchdog bound.
+struct ConvergeSink<'a, O> {
     /// Golden checkpoints, sorted by boundary; candidates for matching.
     candidates: &'a [&'a Snapshot],
+    /// The executing (transformed) module — consulted by the affine
+    /// drift validator when a linear recurrence needs its static check.
+    module: &'a Module,
     /// Next candidate not yet behind the execution point.
     idx: usize,
     /// Set once state matched a candidate (the halt boundary).
     converged_at: Option<u64>,
+    /// Spin (infinite-loop) proof engine, when enabled.
+    spin: Option<SpinCore<O>>,
 }
 
-impl<'a> ConvergeSink<'a> {
-    fn new(candidates: &'a [&'a Snapshot]) -> Self {
+impl<'a, O> ConvergeSink<'a, O> {
+    fn new(candidates: &'a [&'a Snapshot], module: &'a Module, spin: Option<SpinCore<O>>) -> Self {
         ConvergeSink {
             candidates,
+            module,
             idx: 0,
             converged_at: None,
+            spin,
         }
     }
-}
 
-impl<O: Observer> Sink<O> for ConvergeSink<'_> {
-    fn at_boundary(
-        &mut self,
-        mem: &Memory,
-        cur: &Frame,
-        below: &[Frame],
-        state: &ExecState,
-        _obs: &O,
-    ) -> bool {
+    /// The convergence comparison, exactly as the spin-free engine runs
+    /// it (candidate cursor advance included).
+    fn converges(&mut self, mem: &Memory, cur: &Frame, below: &[Frame], state: &ExecState) -> bool {
         while self
             .candidates
             .get(self.idx)
@@ -376,8 +842,101 @@ impl<O: Observer> Sink<O> for ConvergeSink<'_> {
         {
             return false;
         }
-        self.converged_at = Some(state.dyn_count);
         true
+    }
+}
+
+impl<O: SuffixObserver> Sink<O> for ConvergeSink<'_, O> {
+    fn at_boundary(
+        &mut self,
+        mem: &Memory,
+        cur: &Frame,
+        below: &[Frame],
+        state: &ExecState,
+        obs: &O,
+    ) -> bool {
+        if let Some(spin) = &self.spin {
+            if spin.halt_at() != u64::MAX {
+                return state.dyn_count >= spin.halt_at();
+            }
+        }
+        if self.converges(mem, cur, below, state) {
+            self.converged_at = Some(state.dyn_count);
+            return true;
+        }
+        if let Some(spin) = &mut self.spin {
+            let module = self.module;
+            return spin.on_boundary(
+                state,
+                obs,
+                |a, witness| {
+                    let anchor = a.stack();
+                    if below.len() + 1 != anchor.len() {
+                        return SpinCmp::Mismatch(None);
+                    }
+                    frame_drift(cur, &anchor[anchor.len() - 1], witness)
+                },
+                |a| {
+                    let anchor = a.stack();
+                    below == &anchor[..below.len()] && *mem == *a.mem()
+                },
+                || {
+                    let mut stack = below.to_vec();
+                    stack.push(cur.clone());
+                    (mem.clone(), stack)
+                },
+                |top, deltas, periods| {
+                    crate::affine::affine_spin_sound(
+                        &module.functions()[top.func.index()],
+                        &top.slots,
+                        deltas,
+                        periods,
+                    )
+                },
+            );
+        }
+        false
+    }
+}
+
+/// Grades the current top frame against the anchor's: [`SpinCmp::Mismatch`]
+/// when the frames differ in shape (function, position, leniency,
+/// definedness) or in more than [`crate::affine::MAX_DRIFT_SLOTS`] slots
+/// — carrying a differing slot index as the next witness when the
+/// mismatch was in the slots. Lenient frames never drift: a corrupted
+/// control flow voids the SSA assumptions the affine validator rests on.
+pub(crate) fn frame_drift(cur: &Frame, anchor: &Frame, witness: Option<usize>) -> SpinCmp {
+    if cur.block != anchor.block
+        || cur.ip != anchor.ip
+        || cur.func != anchor.func
+        || cur.lenient != anchor.lenient
+        || cur.call_inst != anchor.call_inst
+        || cur.slots.len() != anchor.slots.len()
+    {
+        return SpinCmp::Mismatch(None);
+    }
+    // O(1) witness: a slot that differed last time usually still does.
+    if let Some(w) = witness {
+        if cur.slots.get(w) != anchor.slots.get(w) {
+            return SpinCmp::Mismatch(Some(w));
+        }
+    }
+    let mut diffs = Vec::new();
+    for (i, (c, a)) in cur.slots.iter().zip(&anchor.slots).enumerate() {
+        if c != a {
+            let (&Some(av), &Some(cv)) = (a, c) else {
+                return SpinCmp::Mismatch(Some(i));
+            };
+            if cur.lenient || diffs.len() == crate::affine::MAX_DRIFT_SLOTS {
+                return SpinCmp::Mismatch(Some(i));
+            }
+            diffs.push((i, av, cv));
+        }
+    }
+    if diffs.is_empty() {
+        SpinCmp::Equal
+    } else {
+        SpinCmp::Drift(diffs)
     }
 }
 
@@ -406,13 +965,52 @@ pub enum ConvergeOutcome {
         /// The trial's own injection record (the golden run has none).
         injection: Option<InjectionRecord>,
     },
+    /// The trial's state *recurred* at two boundaries with the fault
+    /// consumed: by determinism it loops forever and can only end in the
+    /// watchdog trap. `result` is bitwise identical to what running to
+    /// the dynamic-instruction bound would have produced (trap at the
+    /// bound, golden-equal memory at the halt boundary); the observer has
+    /// already absorbed the skipped periods via
+    /// [`SuffixObserver::fold_cycles`].
+    SpinProven {
+        /// The synthesized watchdog result (identical to the un-proved
+        /// engine's).
+        result: RunResult,
+        /// Dynamic instructions this call actually executed.
+        executed: u64,
+    },
 }
 
-pub(crate) fn finish_converging(
+pub(crate) fn finish_converging<O: SuffixObserver>(
     machine: Result<MachineEnd, TrapKind>,
     state: ExecState,
     start: u64,
+    spin: Option<SpinCore<O>>,
+    obs: &mut O,
+    max_dyn: u64,
 ) -> ConvergeOutcome {
+    if matches!(machine, Ok(MachineEnd::Halted)) {
+        if let Some(proof) = spin.and_then(|mut s| s.take_proof()) {
+            // The machine halted at the spin boundary: fold the skipped
+            // whole periods into the observer and synthesize the exact
+            // watchdog result. The live remainder already positioned the
+            // observer (and memory) at the state of the final partial
+            // period, so counters land bitwise on the unproved values.
+            obs.fold_cycles(&proof.anchor_obs, &proof.detect_obs, proof.cycles);
+            return ConvergeOutcome::SpinProven {
+                result: RunResult {
+                    end: RunEnd::Trap {
+                        kind: TrapKind::Watchdog,
+                        at_dyn: max_dyn,
+                    },
+                    dyn_insts: max_dyn,
+                    injection: state.injection,
+                    check_failures: state.check_failures,
+                },
+                executed: state.dyn_count - start,
+            };
+        }
+    }
     match machine {
         Ok(MachineEnd::Halted) => ConvergeOutcome::Converged {
             at: state.dyn_count,
@@ -434,6 +1032,125 @@ pub(crate) fn finish_converging(
             injection: state.injection,
             check_failures: state.check_failures,
         }),
+    }
+}
+
+/// What a register fault plan would do at its trigger, resolved
+/// statically against the golden run (see
+/// [`Vm::run_recording_resolving`]). Because a trial replays the golden
+/// prefix bit-for-bit up to the trigger, the victim/bit choice observed
+/// during the recording run is exactly the choice the trial would make —
+/// campaigns use this to decide *before executing* whether the flip is
+/// provably dead or masked and skip the trial entirely.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Resolution {
+    /// No slot was defined at the trigger (or the trigger lies past the
+    /// end of the run): the plan injects nothing and the trial is the
+    /// golden run.
+    NoCandidates,
+    /// The exact injection the trial would perform.
+    Register {
+        /// The injection record, bitwise identical to the one the trial
+        /// would produce.
+        rec: InjectionRecord,
+        /// Block of the program point the flip lands at.
+        block: BlockId,
+        /// Instruction index within `block` (phi prefix included) of the
+        /// next instruction to execute — liveness queries start here.
+        ip: usize,
+    },
+}
+
+/// Resolves one register fault plan against the machine state at its
+/// trigger boundary: re-runs the injector's victim/bit choice over the
+/// same candidate enumeration [`ExecState::maybe_inject`] uses, without
+/// mutating anything.
+pub(crate) fn resolve_frame(frame: &Frame, func: &Function, plan: &FaultPlan) -> Resolution {
+    debug_assert_eq!(plan.kind, FaultKind::Register);
+    let mut inj = FaultInjector::new(plan);
+    let candidates: Vec<usize> = frame
+        .slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.map(|_| i))
+        .collect();
+    match inj.choose(&candidates) {
+        None => Resolution::NoCandidates,
+        Some(victim) => {
+            let vid = ValueId::new(victim);
+            let ty = func.value_type(vid);
+            let bit = inj.choose_bit(ty);
+            let old = frame.slots[victim].expect("candidate is defined");
+            let new = flip_bit(old, ty, bit);
+            Resolution::Register {
+                rec: InjectionRecord::register(
+                    plan.at_dyn,
+                    frame.func,
+                    vid,
+                    ty,
+                    bit,
+                    old,
+                    new,
+                    func.def_inst(vid),
+                ),
+                block: frame.block,
+                ip: frame.ip,
+            }
+        }
+    }
+}
+
+/// [`EveryK`] plus trigger resolution: captures snapshots at interval
+/// boundaries (`interval == 0` captures none) and, at each boundary whose
+/// `dyn_count` matches the next pending trigger, resolves that plan's
+/// injection against the live frame.
+struct RecordResolve<'a, F> {
+    interval: u64,
+    f: &'a mut F,
+    module: &'a Module,
+    /// Register fault plans sorted ascending by `at_dyn`.
+    triggers: &'a [FaultPlan],
+    next: usize,
+    /// Resolutions, parallel to `triggers[..next]`.
+    out: &'a mut Vec<Resolution>,
+}
+
+impl<O: Observer, F: FnMut(Snapshot, &O)> Sink<O> for RecordResolve<'_, F> {
+    fn at_boundary(
+        &mut self,
+        mem: &Memory,
+        cur: &Frame,
+        below: &[Frame],
+        state: &ExecState,
+        obs: &O,
+    ) -> bool {
+        while self
+            .triggers
+            .get(self.next)
+            .is_some_and(|p| p.at_dyn == state.dyn_count)
+        {
+            let func = self.module.function(cur.func);
+            self.out
+                .push(resolve_frame(cur, func, &self.triggers[self.next]));
+            self.next += 1;
+        }
+        if self.interval != 0
+            && state.dyn_count != 0
+            && state.dyn_count.is_multiple_of(self.interval)
+        {
+            let mut stack = below.to_vec();
+            stack.push(cur.clone());
+            (self.f)(
+                Snapshot {
+                    dyn_count: state.dyn_count,
+                    check_failures: state.check_failures,
+                    mem: mem.clone(),
+                    stack,
+                },
+                obs,
+            );
+        }
+        false
     }
 }
 
@@ -685,6 +1402,81 @@ impl<'m> Vm<'m> {
         }
     }
 
+    /// Like [`Vm::run_recording`], but additionally resolves each register
+    /// fault plan in `triggers` (sorted ascending by `at_dyn`) against the
+    /// live machine state at its trigger boundary, returning one
+    /// [`Resolution`] per plan. An `interval` of zero skips checkpoint
+    /// capture entirely and only resolves — used when the campaign's
+    /// snapshots were already recorded but pruning still needs the
+    /// victim/bit choices.
+    ///
+    /// Because trials replay the golden prefix bit-for-bit up to their
+    /// trigger, each returned injection record is exactly the record the
+    /// corresponding trial would produce. Triggers at or past the end of
+    /// the run resolve to [`Resolution::NoCandidates`] (the trial never
+    /// reaches them and injects nothing).
+    pub fn run_recording_resolving<O: Observer>(
+        &mut self,
+        entry: FuncId,
+        args: &[u64],
+        obs: &mut O,
+        interval: u64,
+        triggers: &[FaultPlan],
+        mut on_checkpoint: impl FnMut(Snapshot, &O),
+    ) -> (RunResult, Vec<Resolution>) {
+        debug_assert!(triggers.windows(2).all(|w| w[0].at_dyn <= w[1].at_dyn));
+        debug_assert!(triggers.iter().all(|p| p.kind == FaultKind::Register));
+        self.begin_profiled_run();
+        let module = self.module;
+        let mut out: Vec<Resolution> = Vec::with_capacity(triggers.len());
+        let result = match self.config.effective_engine() {
+            Engine::Tree => self.run_inner(
+                entry,
+                args,
+                obs,
+                None,
+                &mut RecordResolve {
+                    interval,
+                    f: &mut on_checkpoint,
+                    module,
+                    triggers,
+                    next: 0,
+                    out: &mut out,
+                },
+            ),
+            Engine::Decoded => self.run_decoded(
+                entry,
+                args,
+                obs,
+                None,
+                &mut crate::decode::DRecordResolve {
+                    interval,
+                    f: &mut on_checkpoint,
+                    module,
+                    triggers,
+                    next: 0,
+                    out: &mut out,
+                },
+            ),
+            Engine::Fused => self.run_fused(
+                entry,
+                args,
+                obs,
+                None,
+                &mut crate::decode::DRecordResolve {
+                    interval,
+                    f: &mut on_checkpoint,
+                    module,
+                    triggers,
+                    next: 0,
+                    out: &mut out,
+                },
+            ),
+        };
+        out.resize(triggers.len(), Resolution::NoCandidates);
+        (result, out)
+    }
+
     /// Resumes execution from `snap`, replacing this VM's memory with the
     /// snapshot image. The result is bitwise identical to a fresh
     /// [`Vm::run`] with the same `fault`, provided the snapshot was taken
@@ -745,15 +1537,24 @@ impl<'m> Vm<'m> {
     /// [`ConvergeOutcome::Converged`] reports the boundary; the caller
     /// substitutes the golden run's final result.
     ///
+    /// `spin_grid`, when positive, additionally arms the spin proof: the
+    /// trial's state is compared against a windowed anchor at every
+    /// multiple of `spin_grid` (normally the checkpoint interval), and a
+    /// full-state recurrence halts the run with
+    /// [`ConvergeOutcome::SpinProven`] — the synthesized watchdog result
+    /// is bitwise identical to running to the bound. `0` disables the
+    /// proof (bit-for-bit the plain convergence engine).
+    ///
     /// # Panics
     ///
     /// Panics if the fault trigger predates the snapshot boundary.
-    pub fn resume_converging<O: Observer>(
+    pub fn resume_converging<O: SuffixObserver>(
         &mut self,
         snap: &Snapshot,
         obs: &mut O,
         fault: Option<FaultPlan>,
         candidates: &[&Snapshot],
+        spin_grid: u64,
     ) -> ConvergeOutcome {
         if let Some(plan) = &fault {
             assert!(
@@ -766,49 +1567,64 @@ impl<'m> Vm<'m> {
         self.begin_profiled_run();
         match self.config.effective_engine() {
             Engine::Tree => {}
-            Engine::Decoded => return self.resume_converging_decoded(snap, obs, fault, candidates),
-            Engine::Fused => return self.resume_converging_fused(snap, obs, fault, candidates),
+            Engine::Decoded => {
+                return self.resume_converging_decoded(snap, obs, fault, candidates, spin_grid)
+            }
+            Engine::Fused => {
+                return self.resume_converging_fused(snap, obs, fault, candidates, spin_grid)
+            }
         }
+        let max_dyn = self.config.max_dyn_insts;
         let mut state = ExecState::new(fault);
         state.dyn_count = snap.dyn_count;
         state.check_failures = snap.check_failures;
         self.mem.clone_from(&snap.mem);
         let mut stack = snap.stack.clone();
         let mut cur = stack.pop().expect("snapshot has at least one frame");
-        let mut sink = ConvergeSink::new(candidates);
+        let mut sink = ConvergeSink::new(candidates, self.module, spin_core(spin_grid, max_dyn));
         let machine = self.exec_machine(&mut cur, &mut stack, &mut state, obs, &mut sink);
-        finish_converging(machine, state, snap.dyn_count)
+        finish_converging(
+            machine,
+            state,
+            snap.dyn_count,
+            sink.spin.take(),
+            obs,
+            max_dyn,
+        )
     }
 
     /// Like [`Vm::run`] (from instruction 0), but with the same
-    /// convergence early-exit as [`Vm::resume_converging`] — for trials
-    /// whose trigger falls before the first checkpoint.
-    pub fn run_converging<O: Observer>(
+    /// convergence early-exit (and optional spin proof, see
+    /// [`Vm::resume_converging`]) — for trials whose trigger falls
+    /// before the first checkpoint.
+    pub fn run_converging<O: SuffixObserver>(
         &mut self,
         entry: FuncId,
         args: &[u64],
         obs: &mut O,
         fault: Option<FaultPlan>,
         candidates: &[&Snapshot],
+        spin_grid: u64,
     ) -> ConvergeOutcome {
         self.begin_profiled_run();
         match self.config.effective_engine() {
             Engine::Tree => {}
             Engine::Decoded => {
-                return self.run_converging_decoded(entry, args, obs, fault, candidates)
+                return self.run_converging_decoded(entry, args, obs, fault, candidates, spin_grid)
             }
-            Engine::Fused => return self.run_converging_fused(entry, args, obs, fault, candidates),
+            Engine::Fused => {
+                return self.run_converging_fused(entry, args, obs, fault, candidates, spin_grid)
+            }
         }
+        let max_dyn = self.config.max_dyn_insts;
         let mut state = ExecState::new(fault);
         let mut stack: Vec<Frame> = Vec::new();
+        let mut sink = ConvergeSink::new(candidates, self.module, spin_core(spin_grid, max_dyn));
         let machine = match self.new_frame(entry, args, 0, obs) {
             Err(kind) => Err(kind),
-            Ok(mut cur) => {
-                let mut sink = ConvergeSink::new(candidates);
-                self.exec_machine(&mut cur, &mut stack, &mut state, obs, &mut sink)
-            }
+            Ok(mut cur) => self.exec_machine(&mut cur, &mut stack, &mut state, obs, &mut sink),
         };
-        finish_converging(machine, state, 0)
+        finish_converging(machine, state, 0, sink.spin.take(), obs, max_dyn)
     }
 
     fn run_inner<O: Observer, S: Sink<O>>(

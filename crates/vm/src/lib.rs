@@ -64,10 +64,12 @@
 //! assert_eq!(result.return_bits(), Some(45));
 //! ```
 
+pub(crate) mod affine;
 pub mod decode;
 pub mod fault;
 pub(crate) mod fuse;
 pub mod interp;
+pub mod liveness;
 pub mod memory;
 pub mod outcome;
 pub mod profile;
@@ -76,8 +78,10 @@ pub mod timing;
 pub use decode::DecodedModule;
 pub use fault::{FaultPlan, InjectionRecord};
 pub use interp::{
-    ConvergeOutcome, Engine, NoopObserver, Observer, Snapshot, SuffixObserver, Vm, VmConfig,
+    ConvergeOutcome, Engine, NoopObserver, Observer, Resolution, Snapshot, SuffixObserver, Vm,
+    VmConfig,
 };
+pub use liveness::ModuleLiveness;
 pub use memory::Memory;
 pub use outcome::{RunEnd, RunResult, TrapKind};
 pub use profile::{Digrams, HotDigram, OpClass, OpCounts, SampledTime, VmProfiler};

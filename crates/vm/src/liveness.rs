@@ -1,0 +1,347 @@
+//! Static def-use/liveness index for fault-space pruning (DETOx-style).
+//!
+//! Built once per module from the IR alone, this index answers one
+//! question about a resolved register fault: *can the flipped bit ever be
+//! observed?* Two sound "no" cases are recognized:
+//!
+//! * **dead** — on every path from the injection point the victim slot is
+//!   redefined (its SSA value's defining instruction re-executes) before
+//!   any instruction reads it;
+//! * **masked** — every read of the victim narrows it below the flipped
+//!   bit: the only width-sensitive reader in the IR is `Trunc`, which
+//!   reads bits `[0, result_width)` of the canonical (sign-extended)
+//!   representation, and [`crate::fault::flip_bit`] on bit `b` only
+//!   changes stored bits at positions `>= b`. All other readers are
+//!   treated as full-width.
+//!
+//! Either way the trial's execution is bit-for-bit the golden run, so a
+//! campaign may skip it and synthesize the golden record (the injection
+//! record itself is still produced — see `interp::Resolution`). The
+//! analysis is conservative: a `false` answer never mis-prunes, it only
+//! runs the trial for real.
+
+use softft_ir::inst::{CastKind, Op, Term};
+use softft_ir::{BlockId, FuncId, Function, Module, ValueId};
+
+/// Per-function liveness facts.
+struct FuncLiveness {
+    /// Bitset words per block row.
+    words: usize,
+    /// `live_out[b * words ..][..words]`: values live at the end of block
+    /// `b` — including values flowing into successor phis along any
+    /// outgoing edge.
+    live_out: Vec<u64>,
+    /// Maximum number of low bits any reader of the value observes: 64
+    /// for ordinary uses, the result width for `Trunc` uses, 0 when the
+    /// value is never read.
+    read_width: Vec<u32>,
+}
+
+/// Module-wide liveness index; see the module docs.
+pub struct ModuleLiveness {
+    funcs: Vec<FuncLiveness>,
+}
+
+#[inline]
+fn set_bit(row: &mut [u64], v: ValueId) {
+    row[v.index() / 64] |= 1 << (v.index() % 64);
+}
+
+#[inline]
+fn get_bit(row: &[u64], v: ValueId) -> bool {
+    row[v.index() / 64] & (1 << (v.index() % 64)) != 0
+}
+
+/// `dst |= src`, returning whether `dst` changed.
+fn or_into(dst: &mut [u64], src: &[u64]) -> bool {
+    let mut changed = false;
+    for (d, s) in dst.iter_mut().zip(src) {
+        let n = *d | *s;
+        changed |= n != *d;
+        *d = n;
+    }
+    changed
+}
+
+fn compute_func(func: &Function) -> FuncLiveness {
+    let nv = func.num_values();
+    let nb = func.num_blocks();
+    let words = nv.div_ceil(64).max(1);
+    let row = |sets: &[u64], b: usize| sets[b * words..(b + 1) * words].to_vec();
+
+    // Per-block upward-exposed uses / defs. Phi results are defined at
+    // block entry (the edge transfer writes them), so they are pre-seeded
+    // as defined and their operands are charged to the incoming edge, not
+    // to this block.
+    let mut ue_use = vec![0u64; nb * words];
+    let mut def = vec![0u64; nb * words];
+    let mut phidef = vec![0u64; nb * words];
+    let mut read_width = vec![0u32; nv];
+    let mut ops: Vec<ValueId> = Vec::new();
+    for b in func.block_ids() {
+        let bi = b.index();
+        let data = func.block(b);
+        let mut defined = vec![0u64; words];
+        for &iid in &data.insts {
+            let inst = func.inst(iid);
+            if inst.op.is_phi() {
+                if let Some(r) = inst.result {
+                    set_bit(&mut defined, r);
+                    set_bit(&mut def[bi * words..(bi + 1) * words], r);
+                    set_bit(&mut phidef[bi * words..(bi + 1) * words], r);
+                }
+                // Incoming phi operands are uses on the predecessor edge;
+                // width-wise they flow whole into the phi slot.
+                ops.clear();
+                inst.op.operands(&mut ops);
+                for &v in &ops {
+                    read_width[v.index()] = read_width[v.index()].max(64);
+                }
+                continue;
+            }
+            ops.clear();
+            inst.op.operands(&mut ops);
+            let width = match &inst.op {
+                Op::Cast {
+                    kind: CastKind::Trunc,
+                    ..
+                } => func
+                    .value_type(inst.result.expect("trunc produces a result"))
+                    .bits(),
+                _ => 64,
+            };
+            for &v in &ops {
+                read_width[v.index()] = read_width[v.index()].max(width);
+                if !get_bit(&defined, v) {
+                    set_bit(&mut ue_use[bi * words..(bi + 1) * words], v);
+                }
+            }
+            if let Some(r) = inst.result {
+                set_bit(&mut defined, r);
+                set_bit(&mut def[bi * words..(bi + 1) * words], r);
+            }
+        }
+        if let Some(term) = &data.term {
+            let tv = match term {
+                Term::CondBr { cond, .. } => Some(*cond),
+                Term::Ret(v) => *v,
+                Term::Br(_) => None,
+            };
+            if let Some(v) = tv {
+                read_width[v.index()] = read_width[v.index()].max(64);
+                if !get_bit(&defined, v) {
+                    set_bit(&mut ue_use[bi * words..(bi + 1) * words], v);
+                }
+            }
+        }
+    }
+
+    // Backward fixpoint:
+    //   live_in[S]  = ue_use[S] | (live_out[S] & !def[S])
+    //   live_out[B] = U_S ((live_in[S] & !phidef[S]) | incomings on B->S)
+    let mut live_in = vec![0u64; nb * words];
+    let mut live_out = vec![0u64; nb * words];
+    let mut edge_use: Vec<u64> = vec![0u64; words];
+    loop {
+        let mut changed = false;
+        for b in func.block_ids().collect::<Vec<_>>().into_iter().rev() {
+            let bi = b.index();
+            if let Some(term) = &func.block(b).term {
+                for s in term.successors() {
+                    let si = s.index();
+                    edge_use.iter_mut().for_each(|w| *w = 0);
+                    for &iid in &func.block(s).insts {
+                        let inst = func.inst(iid);
+                        if !inst.op.is_phi() {
+                            break;
+                        }
+                        if let Op::Phi { incomings } = &inst.op {
+                            for &(pred, v) in incomings {
+                                if pred == b {
+                                    set_bit(&mut edge_use, v);
+                                }
+                            }
+                        }
+                    }
+                    let mut flow = row(&live_in, si);
+                    for (f, p) in flow.iter_mut().zip(&phidef[si * words..(si + 1) * words]) {
+                        *f &= !*p;
+                    }
+                    or_into(&mut flow, &edge_use);
+                    changed |= or_into(&mut live_out[bi * words..(bi + 1) * words], &flow);
+                }
+            }
+            let mut inn = row(&live_out, bi);
+            for (i, d) in inn.iter_mut().zip(&def[bi * words..(bi + 1) * words]) {
+                *i &= !*d;
+            }
+            or_into(&mut inn, &ue_use[bi * words..(bi + 1) * words]);
+            changed |= or_into(&mut live_in[bi * words..(bi + 1) * words], &inn);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    FuncLiveness {
+        words,
+        live_out,
+        read_width,
+    }
+}
+
+impl ModuleLiveness {
+    /// Builds the index for every function of `module`. Pure static
+    /// analysis — nothing is executed.
+    pub fn compute(module: &Module) -> ModuleLiveness {
+        ModuleLiveness {
+            funcs: module.functions().iter().map(compute_func).collect(),
+        }
+    }
+
+    /// `true` when flipping `bit` of value `v`'s slot immediately before
+    /// the instruction at `(block, ip)` of function `fid` provably cannot
+    /// be observed by any execution: the bit is above every reader's
+    /// width, or the slot is redefined before any read on every path.
+    ///
+    /// `ip` indexes `block`'s instruction list (phi prefix included) and
+    /// must point at or past the first non-phi instruction, matching
+    /// `Frame::ip` at a dynamic-instruction boundary; `ip == insts.len()`
+    /// means the terminator executes next.
+    pub fn dead_or_masked(
+        &self,
+        module: &Module,
+        fid: FuncId,
+        block: BlockId,
+        ip: usize,
+        v: ValueId,
+        bit: u32,
+    ) -> bool {
+        let fl = &self.funcs[fid.index()];
+        if bit >= fl.read_width[v.index()] {
+            return true;
+        }
+        let func = module.function(fid);
+        let data = func.block(block);
+        let mut ops: Vec<ValueId> = Vec::new();
+        for &iid in data.insts.iter().skip(ip) {
+            let inst = func.inst(iid);
+            ops.clear();
+            inst.op.operands(&mut ops);
+            if ops.contains(&v) {
+                return false;
+            }
+            if inst.result == Some(v) {
+                return true;
+            }
+        }
+        if let Some(term) = &data.term {
+            match term {
+                Term::CondBr { cond, .. } if *cond == v => return false,
+                Term::Ret(Some(r)) if *r == v => return false,
+                _ => {}
+            }
+        }
+        let bi = block.index();
+        !get_bit(&fl.live_out[bi * fl.words..(bi + 1) * fl.words], v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_ir::dsl::FunctionDsl;
+    use softft_ir::Type;
+
+    fn module_with(build: impl FnOnce(&mut FunctionDsl)) -> (Module, FuncId) {
+        let mut m = Module::new("liveness-test");
+        let f = FunctionDsl::build("main", &[Type::I64], Some(Type::I64), build);
+        let id = m.add_function(f);
+        (m, id)
+    }
+
+    #[test]
+    fn straight_line_dead_and_live() {
+        // v = p + 1; w = p + 2; ret w  -- v is never read: every bit dead.
+        let mut captured = None;
+        let (m, fid) = module_with(|d| {
+            let p = d.param(0);
+            let one = d.i64c(1);
+            let two = d.i64c(2);
+            let v = d.add(p, one);
+            let w = d.add(p, two);
+            captured = Some((v, w));
+            d.ret(Some(w));
+        });
+        let (v, w) = captured.unwrap();
+        let lv = ModuleLiveness::compute(&m);
+        let func = m.function(fid);
+        let entry = func.entry();
+        // At ip 0 (before anything ran) the analysis still sees v's
+        // definition ahead; ask at the end of the block instead.
+        let end = func.block(entry).insts.len();
+        assert!(lv.dead_or_masked(&m, fid, entry, end, v, 0));
+        assert!(!lv.dead_or_masked(&m, fid, entry, end, w, 0));
+    }
+
+    #[test]
+    fn trunc_masks_high_bits() {
+        // w = trunc8(v); ret sext(w) -- bits 8..64 of v are masked, bits
+        // 0..8 are not.
+        let mut captured = None;
+        let (m, fid) = module_with(|d| {
+            let p = d.param(0);
+            let one = d.i64c(1);
+            let v = d.add(p, one);
+            let w = d.trunc(v, Type::I8);
+            let x = d.sext(w, Type::I64);
+            captured = Some(v);
+            d.ret(Some(x));
+        });
+        let v = captured.unwrap();
+        let lv = ModuleLiveness::compute(&m);
+        let func = m.function(fid);
+        let entry = func.entry();
+        // Query right after v's definition (param0+1 is inst index 0, so
+        // the flip lands before inst 1, the trunc).
+        let ip = 1;
+        assert!(lv.dead_or_masked(&m, fid, entry, ip, v, 8));
+        assert!(lv.dead_or_masked(&m, fid, entry, ip, v, 63));
+        assert!(!lv.dead_or_masked(&m, fid, entry, ip, v, 0));
+        assert!(!lv.dead_or_masked(&m, fid, entry, ip, v, 7));
+    }
+
+    #[test]
+    fn loop_carried_value_stays_live() {
+        // acc accumulates across a loop: the loop-body redefinition reads
+        // the previous value, so it is live at every boundary inside.
+        let mut captured = None;
+        let (m, fid) = module_with(|d| {
+            let acc = d.declare_var(Type::I64);
+            let z = d.i64c(0);
+            d.set(acc, z);
+            let (s, e) = (d.i64c(0), d.i64c(8));
+            d.for_range(s, e, |d, i| {
+                let a = d.get(acc);
+                let a2 = d.add(a, i);
+                captured = Some(a2);
+                d.set(acc, a2);
+            });
+            let a = d.get(acc);
+            d.ret(Some(a));
+        });
+        let a2 = captured.unwrap();
+        let lv = ModuleLiveness::compute(&m);
+        let func = m.function(fid);
+        let body = func.def_inst(a2).map(|i| func.inst(i).block).unwrap();
+        // Immediately after its definition inside the loop body the value
+        // flows into the next iteration's phi: live.
+        let defpos = func
+            .block(body)
+            .insts
+            .iter()
+            .position(|&i| func.inst(i).result == Some(a2))
+            .unwrap();
+        assert!(!lv.dead_or_masked(&m, fid, body, defpos + 1, a2, 0));
+    }
+}

@@ -285,6 +285,15 @@ impl OpCounts {
             *a += end.counts[i] - boundary.counts[i];
         }
     }
+
+    /// Adds the per-class deltas `(detect − anchor) × cycles` into `self`
+    /// — the counter form of replaying a proven spin cycle `cycles` more
+    /// times (see `SuffixObserver::fold_cycles`).
+    pub fn merge_cycles(&mut self, anchor: &OpCounts, detect: &OpCounts, cycles: u64) {
+        for (i, a) in self.counts.iter_mut().enumerate() {
+            *a += (detect.counts[i] - anchor.counts[i]) * cycles;
+        }
+    }
 }
 
 /// A hot opcode pair from the digram matrix, ranked by how many dispatch

@@ -3,8 +3,10 @@
 
 use crate::{InputSet, Workload, WorkloadInput};
 use softft_ir::Module;
-use softft_vm::interp::{Observer, Vm, VmConfig};
-use softft_vm::{ConvergeOutcome, DecodedModule, FaultPlan, Memory, RunResult, Snapshot};
+use softft_vm::interp::{Observer, SuffixObserver, Vm, VmConfig};
+use softft_vm::{
+    ConvergeOutcome, DecodedModule, FaultPlan, Memory, Resolution, RunResult, Snapshot,
+};
 use std::sync::Arc;
 
 /// Writes a [`WorkloadInput`] into a memory image (the `params` and
@@ -136,6 +138,25 @@ impl<'m> WorkloadImage<'m> {
         (result, out)
     }
 
+    /// Like [`WorkloadImage::run_recording`], but also resolves each
+    /// register fault plan in `triggers` (sorted by trigger) against the
+    /// live golden state, returning one [`Resolution`] per plan (see
+    /// [`Vm::run_recording_resolving`]). `interval == 0` skips snapshot
+    /// capture and only resolves.
+    pub fn run_recording_resolving<O: Observer>(
+        &self,
+        obs: &mut O,
+        interval: u64,
+        triggers: &[FaultPlan],
+        on_checkpoint: impl FnMut(Snapshot, &O),
+    ) -> (RunResult, Vec<u8>, Vec<Resolution>) {
+        let mut vm = self.vm(self.mem.clone());
+        let (result, resolutions) =
+            vm.run_recording_resolving(self.main, &[], obs, interval, triggers, on_checkpoint);
+        let out = read_output(&vm, self.module);
+        (result, out, resolutions)
+    }
+
     /// Resumes one trial from `snap` instead of re-running the prefix
     /// (see [`Vm::resume_from`]); returns the run result and the output
     /// bytes.
@@ -204,27 +225,32 @@ impl TrialVm<'_, '_> {
 
     /// Runs one trial from instruction 0 with convergence early-exit
     /// against the golden checkpoints (see [`Vm::run_converging`]).
-    pub fn run_converging<O: Observer>(
+    /// `spin_grid > 0` arms the spin proof on that boundary grid.
+    pub fn run_converging<O: SuffixObserver>(
         &mut self,
         obs: &mut O,
         fault: Option<FaultPlan>,
         candidates: &[&Snapshot],
+        spin_grid: u64,
     ) -> ConvergeOutcome {
         self.vm.mem.clone_from(&self.image.mem);
         self.vm
-            .run_converging(self.image.main, &[], obs, fault, candidates)
+            .run_converging(self.image.main, &[], obs, fault, candidates, spin_grid)
     }
 
     /// Resumes one trial from `snap` with convergence early-exit (see
-    /// [`Vm::resume_converging`]).
-    pub fn resume_converging<O: Observer>(
+    /// [`Vm::resume_converging`]). `spin_grid > 0` arms the spin proof on
+    /// that boundary grid.
+    pub fn resume_converging<O: SuffixObserver>(
         &mut self,
         snap: &Snapshot,
         obs: &mut O,
         fault: Option<FaultPlan>,
         candidates: &[&Snapshot],
+        spin_grid: u64,
     ) -> ConvergeOutcome {
-        self.vm.resume_converging(snap, obs, fault, candidates)
+        self.vm
+            .resume_converging(snap, obs, fault, candidates, spin_grid)
     }
 
     /// The `output` global of the last run — only meaningful after a

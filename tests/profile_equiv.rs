@@ -190,13 +190,13 @@ fn phase_attribution_never_perturbs_results() {
     let module = p.module(Technique::DupVal);
     let plain = run_campaign(&*p.workload, module, &small_cfg(false));
 
-    let (timed, prof) = run_campaign_profiled(&*p.workload, module, &small_cfg(false));
+    let (timed, prof, _) = run_campaign_profiled(&*p.workload, module, &small_cfg(false));
     assert_eq!(plain, timed);
     assert!(prof.exec_ns > 0);
 
     let mut snap_cfg = small_cfg(false);
     snap_cfg.snapshot_interval = 1000;
-    let (timed_snap, prof_snap) = run_campaign_profiled(&*p.workload, module, &snap_cfg);
+    let (timed_snap, prof_snap, _) = run_campaign_profiled(&*p.workload, module, &snap_cfg);
     assert_eq!(plain, timed_snap);
     assert!(prof_snap.checkpoint_record_ns > 0);
 }

@@ -129,6 +129,39 @@ fn interrupted_then_resumed_store_is_bitwise_identical() {
 }
 
 #[test]
+fn pruned_store_replays_identical_to_unpruned_buffered_campaign() {
+    let p = prepare(workload_by_name("tiff2bw").unwrap());
+
+    // Written with both outcome-aware schedulers on (most register-fault
+    // trials are then pruned or spin-proved, never executed)…
+    let mut write_cfg = cfg(30, 2, 1000);
+    write_cfg.spin_proof = true;
+    write_cfg.prune = true;
+    let dir = temp_store("pruned");
+    let store = RunStore::create(&dir, store_manifest(&write_cfg)).unwrap();
+
+    // …interrupted mid-stream so the resume boundary lands among
+    // synthesized (pruned) trial frames…
+    let first = run_campaign_to_store(&store, &p, TECH, &write_cfg, Some(9)).unwrap();
+    assert_eq!(first.executed, 9);
+    assert!(!first.complete);
+    let store = RunStore::open(&dir).unwrap();
+    let second = run_campaign_to_store(&store, &p, TECH, &write_cfg, None).unwrap();
+    assert_eq!(second.already_done, 9);
+    assert_eq!(second.executed, 21);
+    assert!(second.complete);
+
+    // …must replay byte-identical to a buffered campaign with both
+    // optimizations off: persistence and scheduling are each invisible,
+    // so their composition must be too.
+    let mut read_cfg = write_cfg.clone();
+    read_cfg.spin_proof = false;
+    read_cfg.prune = false;
+    assert_matches_buffered(&dir, &p, &read_cfg, "pruned store vs unpruned buffered");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn torn_tail_is_truncated_and_rewritten_on_resume() {
     let p = prepare(workload_by_name("tiff2bw").unwrap());
     let ccfg = cfg(20, 2, 0);

@@ -43,34 +43,51 @@ fn snapshot_results_match_direct_across_kinds_threads_and_intervals() {
         assert_eq!(dstats.checkpoints, 0);
         for engine in [Engine::Decoded, Engine::Fused] {
             for interval in [700, 5000] {
-                let threads = 3;
-                let (snap, stats) = run_campaign_with_stats(
-                    &*p.workload,
-                    p.module(t),
-                    &cfg(threads, kind, interval, engine),
-                );
-                assert_eq!(
-                    direct, snap,
-                    "{kind:?} diverged on {engine:?} at {threads} threads, \
-                     interval {interval}"
-                );
-                assert!(
-                    stats.resumed_trials > 0,
-                    "{kind:?} {engine:?} interval {interval}: no trial resumed"
-                );
-                assert_eq!(stats.resumed_trials + stats.fresh_trials, 40);
-                assert!(stats.prefix_insts_skipped >= stats.resumed_trials * interval);
-                // Masked register-fault trials re-join the golden state
-                // within a few intervals, so convergence early-exit must
-                // fire (and still produce the bitwise-equal result
-                // asserted above). Branch-target trials mark control flow
-                // corrupted, which the convergence guard refuses.
-                if kind == FaultKind::Register {
-                    assert!(
-                        stats.converged_trials > 0,
-                        "{kind:?} {engine:?} interval {interval}: no trial converged"
+                for prune in [false, true] {
+                    let threads = 3;
+                    let mut c = cfg(threads, kind, interval, engine);
+                    c.prune = prune;
+                    let (snap, stats) = run_campaign_with_stats(&*p.workload, p.module(t), &c);
+                    assert_eq!(
+                        direct, snap,
+                        "{kind:?} diverged on {engine:?} at {threads} threads, \
+                         interval {interval}, prune {prune}"
                     );
-                    assert!(stats.suffix_insts_skipped > 0);
+                    assert!(
+                        stats.resumed_trials > 0,
+                        "{kind:?} {engine:?} interval {interval}: no trial resumed"
+                    );
+                    assert_eq!(
+                        stats.resumed_trials + stats.fresh_trials + stats.pruned_trials,
+                        40
+                    );
+                    assert!(stats.prefix_insts_skipped >= stats.resumed_trials * interval);
+                    // Register faults prune when enabled (dead/masked
+                    // victims are common); branch-target faults never do.
+                    if kind == FaultKind::Register && prune {
+                        assert!(
+                            stats.pruned_trials > 0,
+                            "{kind:?} {engine:?} interval {interval}: nothing pruned"
+                        );
+                        assert!(stats.pruned_insts_skipped > 0);
+                    } else {
+                        assert_eq!(stats.pruned_trials, 0);
+                    }
+                    // Masked register-fault trials re-join the golden
+                    // state within a few intervals, so convergence
+                    // early-exit must fire (and still produce the
+                    // bitwise-equal result asserted above) — checked with
+                    // pruning off, since pruning removes exactly those
+                    // trials first. Branch-target trials mark control
+                    // flow corrupted, which the convergence guard
+                    // refuses.
+                    if kind == FaultKind::Register && !prune {
+                        assert!(
+                            stats.converged_trials > 0,
+                            "{kind:?} {engine:?} interval {interval}: no trial converged"
+                        );
+                        assert!(stats.suffix_insts_skipped > 0);
+                    }
                 }
             }
         }

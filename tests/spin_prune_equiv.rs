@@ -1,0 +1,409 @@
+//! The two outcome-aware trial schedulers — divergence-bounded spin
+//! proofs and static fault-space pruning — must be *bitwise* invisible:
+//! a campaign run with them on produces the same `CampaignResult`,
+//! per-trial records, events, metrics JSON, and coverage JSON as one
+//! run with them off, across all three execution tiers and all four
+//! protection techniques. They are pure scheduling optimizations; any
+//! observable divergence is a bug.
+//!
+//! The workloads here are crafted so the interesting paths actually
+//! fire: a period-1 spin latch, a period-8 latch whose cycle straddles
+//! checkpoint boundaries (coprime intervals), a sweep loop whose
+//! corrupted trip count spins with linearly drifting counters (the
+//! affine proof shape — exact recurrence never fires), a countdown loop
+//! that always terminates (must never be spin-proved), and a kernel
+//! stuffed with dead and truncation-masked victims (must be pruned).
+
+use softft::Technique;
+use softft_campaign::campaign::{
+    run_campaign_attributed, run_campaign_with_stats, CampaignConfig, CampaignTelemetry,
+};
+use softft_campaign::coverage::build_coverage;
+use softft_campaign::prep::prepare;
+use softft_ir::{IntCC, Module, Type};
+use softft_vm::fault::FaultKind;
+use softft_vm::interp::{Engine, VmConfig};
+use softft_workloads::common::{
+    build_kernel, input_base, load_u8, output_data_base, param, set_output_len, store_u8,
+};
+use softft_workloads::{Category, FidelityMetric, InputSet, Workload, WorkloadInput};
+
+const LEN: u64 = 64;
+
+/// Which loop the crafted kernel ends with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Shape {
+    /// `while (latch != 0) {}` — any flip of the latch spins with a
+    /// constant (period-1) boundary state.
+    Period1,
+    /// Same latch, but the body advances `t = (t + 1) & 7`, so the
+    /// spinning state recurs with period 8 — with a checkpoint grid
+    /// coprime to 8 the cycle straddles boundaries.
+    Period8,
+    /// Trailing sweep loop `for (i = 0; i < sweeps; i++) {}` with the
+    /// trip count in a dedicated param. A high-bit flip on the loaded
+    /// bound leaves the empty body re-executing on a fixed point while
+    /// the induction counters drift linearly — the exact-recurrence
+    /// proof can never fire (the state never repeats), only the affine
+    /// drift proof can.
+    Affine,
+    /// `while (x != 0) { x = x - 1 }` with `x` loaded as 0 — a flipped
+    /// `x` counts down monotonically, so the state never recurs: small
+    /// flips exit the loop, large ones hit the watchdog by actually
+    /// running to the bound. Neither may be spin-proved.
+    Countdown,
+    /// No trailing loop; instead every iteration computes a value that
+    /// is never used (dead victim) and one whose high bits are shifted
+    /// out before the store (masked victim) — prime pruning targets.
+    DeadMask,
+}
+
+impl Shape {
+    fn name(self) -> &'static str {
+        match self {
+            Shape::Period1 => "spin_p1",
+            Shape::Period8 => "spin_p8",
+            Shape::Affine => "spin_affine",
+            Shape::Countdown => "countdown",
+            Shape::DeadMask => "deadmask",
+        }
+    }
+}
+
+/// Crafted test workload; see [`Shape`].
+#[derive(Clone, Copy, Debug)]
+struct Crafted(Shape);
+
+impl Workload for Crafted {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn category(&self) -> Category {
+        Category::Image
+    }
+
+    fn metric(&self) -> FidelityMetric {
+        FidelityMetric::Mismatch {
+            threshold_frac: 0.1,
+        }
+    }
+
+    fn build_module(&self) -> Module {
+        let shape = self.0;
+        build_kernel(self.name(), LEN, LEN, &[], move |d, io, _| {
+            let n = param(d, io, 0);
+            // The sweep bound must be loaded in the entry block: the
+            // affine validator only accepts comparison bounds whose slot
+            // is provably loop-invariant (entry-block definitions).
+            let sweeps = (shape == Shape::Affine).then(|| param(d, io, 1));
+            let inp = input_base(d, io);
+            let out = output_data_base(d, io);
+
+            // The latch: input byte 0 is always 0 on the golden run, so
+            // the trailing loops below never iterate unless a fault
+            // makes the latch (or a value feeding it) nonzero. Loaded
+            // *before* the busy loop so its slot stays live across it,
+            // giving the injection sampler a long window to hit.
+            let zero = d.i64c(0);
+            let latch = d.declare_var(Type::I64);
+            let l0 = load_u8(d, inp, zero);
+            d.set(latch, l0);
+
+            // Busy loop: spreads the campaign's trigger points and
+            // carries enough live state to make trials interesting.
+            let acc = d.declare_var(Type::I64);
+            d.set(acc, zero);
+            d.for_range(zero, n, |d, i| {
+                let v = load_u8(d, inp, i);
+                if shape == Shape::DeadMask {
+                    // Dead victim: a wide product no later instruction
+                    // reads. Flips to it cannot reach the output.
+                    let k = d.i64c(0x9e37_79b9);
+                    let _dead = d.mul(v, k);
+                    // Masked victim: only bits 0..8 of `wide` survive
+                    // the shift-out below, so flips to bits 8.. are
+                    // architecturally masked.
+                    let c3 = d.i64c(3);
+                    let wide = d.mul(v, c3);
+                    let c56 = d.i64c(56);
+                    let hi = d.shl(wide, c56);
+                    let lo = d.ashr(hi, c56);
+                    let c7 = d.i64c(7);
+                    let g = d.and_(lo, c7);
+                    store_u8(d, out, i, g);
+                } else {
+                    let c3 = d.i64c(3);
+                    let t = d.mul(v, c3);
+                    let a = d.get(acc);
+                    let s = d.add(a, t);
+                    d.set(acc, s);
+                    let c255 = d.i64c(255);
+                    let g = d.and_(t, c255);
+                    store_u8(d, out, i, g);
+                }
+            });
+
+            match shape {
+                Shape::Period1 => {
+                    d.while_(
+                        |d| {
+                            let x = d.get(latch);
+                            let z = d.i64c(0);
+                            d.icmp(IntCC::Ne, x, z)
+                        },
+                        |_d| {},
+                    );
+                }
+                Shape::Period8 => {
+                    let t = d.declare_var(Type::I64);
+                    d.set(t, zero);
+                    d.while_(
+                        |d| {
+                            let x = d.get(latch);
+                            let z = d.i64c(0);
+                            d.icmp(IntCC::Ne, x, z)
+                        },
+                        |d| {
+                            let cur = d.get(t);
+                            let one = d.i64c(1);
+                            let inc = d.add(cur, one);
+                            let seven = d.i64c(7);
+                            let wrapped = d.and_(inc, seven);
+                            d.set(t, wrapped);
+                        },
+                    );
+                }
+                Shape::Affine => {
+                    let sw = sweeps.expect("loaded for Affine");
+                    d.for_range(zero, sw, |_d, _i| {});
+                }
+                Shape::Countdown => {
+                    d.while_(
+                        |d| {
+                            let x = d.get(latch);
+                            let z = d.i64c(0);
+                            d.icmp(IntCC::Ne, x, z)
+                        },
+                        |d| {
+                            let x = d.get(latch);
+                            let one = d.i64c(1);
+                            let dec = d.sub(x, one);
+                            d.set(latch, dec);
+                        },
+                    );
+                }
+                Shape::DeadMask => {}
+            }
+
+            set_output_len(d, io, n);
+            let r = d.i64c(0);
+            d.ret(Some(r));
+        })
+    }
+
+    fn input(&self, set: InputSet) -> WorkloadInput {
+        let salt = match set {
+            InputSet::Train => 5u8,
+            InputSet::Test => 11u8,
+        };
+        let mut data: Vec<u8> = (0..LEN as usize)
+            .map(|i| (i as u8).wrapping_mul(salt).wrapping_add(1))
+            .collect();
+        data[0] = 0; // the latch byte — must be zero fault-free
+        WorkloadInput {
+            // Param 1 is the sweep-loop trip count (Affine shape only;
+            // the other shapes never read it).
+            params: vec![LEN as i64, 8],
+            data,
+        }
+    }
+
+    fn fidelity(&self, golden: &[u8], candidate: &[u8]) -> f64 {
+        if golden.len() != candidate.len() {
+            return 1.0;
+        }
+        if golden.is_empty() {
+            return 0.0;
+        }
+        let diff = golden.iter().zip(candidate).filter(|(a, b)| a != b).count();
+        diff as f64 / golden.len() as f64
+    }
+}
+
+fn cfg(
+    trials: u32,
+    interval: u64,
+    engine: Engine,
+    spin_proof: bool,
+    prune: bool,
+) -> CampaignConfig {
+    CampaignConfig {
+        trials,
+        seed: 23,
+        threads: 2,
+        fault_kind: FaultKind::Register,
+        snapshot_interval: interval,
+        spin_proof,
+        prune,
+        vm: VmConfig {
+            engine,
+            // Small watchdog so un-proved spins stay cheap; comfortably
+            // above every golden run (~2k dynamic insts, ~6k FullDup).
+            max_dyn_insts: 40_000,
+            ..VmConfig::default()
+        },
+        ..CampaignConfig::default()
+    }
+}
+
+/// Serializes telemetry exactly as `repro --telemetry` writes it. A
+/// serialization error is folded into the comparison text instead of
+/// panicking so the structural assertions still run on builds whose
+/// serde stubs cannot serialize (the bytes then compare error-to-error).
+fn artifact_bytes(tel: &CampaignTelemetry) -> (String, String) {
+    let mut jsonl = String::new();
+    for e in &tel.events {
+        match e.to_jsonl() {
+            Ok(s) => jsonl.push_str(&s),
+            Err(err) => jsonl.push_str(&format!("<unserializable: {err:?}>")),
+        }
+        jsonl.push('\n');
+    }
+    (jsonl, tel.metrics.to_json())
+}
+
+/// Runs one campaign with the scheduling optimizations off and one with
+/// them on, asserting byte-identical artifacts; returns the optimized
+/// leg's stats for path assertions.
+fn assert_invisible(
+    shape: Shape,
+    t: Technique,
+    trials: u32,
+    interval: u64,
+    engine: Engine,
+) -> softft_campaign::snapshot::SnapshotStats {
+    let p = prepare(Box::new(Crafted(shape)));
+    let (base, btel) = run_campaign_attributed(
+        &*p.workload,
+        p.module(t),
+        &cfg(trials, interval, engine, false, false),
+        Some(p.protection(t)),
+    );
+    let opt_cfg = cfg(trials, interval, engine, true, true);
+    let (opt, otel) =
+        run_campaign_attributed(&*p.workload, p.module(t), &opt_cfg, Some(p.protection(t)));
+    let ctx = format!("{shape:?} {t:?} interval {interval} {engine:?}");
+    assert_eq!(base, opt, "{ctx}: CampaignResult diverged");
+    assert_eq!(btel.records, otel.records, "{ctx}: records diverged");
+    assert_eq!(btel.events, otel.events, "{ctx}: events diverged");
+    assert_eq!(btel.checks, otel.checks, "{ctx}: check counts diverged");
+    let (bl, bm) = artifact_bytes(&btel);
+    let (ol, om) = artifact_bytes(&otel);
+    assert_eq!(bl, ol, "{ctx}: trial JSONL diverged");
+    assert_eq!(bm, om, "{ctx}: metrics JSON diverged");
+    let cov = |res, records| match build_coverage(
+        shape.name(),
+        t,
+        p.module(t),
+        p.protection(t),
+        res,
+        records,
+    )
+    .to_json()
+    {
+        Ok(s) => s,
+        Err(err) => format!("<unserializable: {err:?}>"),
+    };
+    assert_eq!(
+        cov(&base, &btel.records),
+        cov(&opt, &otel.records),
+        "{ctx}: coverage JSON diverged"
+    );
+
+    let (_, stats) = run_campaign_with_stats(&*p.workload, p.module(t), &opt_cfg);
+    stats
+}
+
+#[test]
+fn period1_spin_is_proved_and_invisible_across_tiers() {
+    for engine in [Engine::Tree, Engine::Decoded, Engine::Fused] {
+        let stats = assert_invisible(Shape::Period1, Technique::DupVal, 60, 7, engine);
+        assert!(
+            stats.spin_proved_trials > 0,
+            "{engine:?}: no period-1 spin proved"
+        );
+        assert!(stats.spin_insts_skipped > 0);
+    }
+}
+
+#[test]
+fn period8_spin_straddling_checkpoint_boundaries_is_proved() {
+    // 7 and 13 are both coprime to the loop's period-8 state cycle, so
+    // every checkpoint boundary lands at a different phase of the loop
+    // and the recurrence is only visible across multiple grid crossings.
+    for interval in [7, 13] {
+        let stats = assert_invisible(
+            Shape::Period8,
+            Technique::DupVal,
+            60,
+            interval,
+            Engine::Fused,
+        );
+        assert!(
+            stats.spin_proved_trials > 0,
+            "interval {interval}: no period-8 spin proved"
+        );
+    }
+}
+
+#[test]
+fn corrupted_trip_count_spin_is_affine_proved_across_tiers() {
+    // High-bit flips on the sweep bound make the empty loop outlast the
+    // watchdog with its counters drifting linearly — the state never
+    // exactly recurs, so only the affine drift proof can classify these
+    // trials early. It must do so bitwise-invisibly in every tier.
+    for engine in [Engine::Tree, Engine::Decoded, Engine::Fused] {
+        let stats = assert_invisible(Shape::Affine, Technique::DupVal, 60, 7, engine);
+        assert!(
+            stats.spin_proved_trials > 0,
+            "{engine:?}: no affine trip-count spin proved"
+        );
+        assert!(stats.spin_insts_skipped > 0);
+    }
+}
+
+#[test]
+fn terminating_countdown_is_never_spin_proved() {
+    for engine in [Engine::Tree, Engine::Decoded, Engine::Fused] {
+        let stats = assert_invisible(Shape::Countdown, Technique::DupVal, 60, 7, engine);
+        assert_eq!(
+            stats.spin_proved_trials, 0,
+            "{engine:?}: monotonic countdown misclassified as a spin"
+        );
+        assert_eq!(stats.spin_insts_skipped, 0);
+    }
+}
+
+#[test]
+fn dead_and_masked_victims_prune_across_techniques() {
+    for t in [Technique::DupOnly, Technique::DupVal, Technique::FullDup] {
+        let stats = assert_invisible(Shape::DeadMask, t, 60, 13, Engine::Fused);
+        assert!(stats.pruned_trials > 0, "{t:?}: nothing pruned");
+        assert!(stats.pruned_insts_skipped > 0);
+    }
+}
+
+#[test]
+fn spin_kernels_equivalent_under_every_technique() {
+    for t in Technique::ALL {
+        let stats = assert_invisible(Shape::Period1, t, 150, 13, Engine::Decoded);
+        // Under full duplication every latch flip is detected and
+        // repaired before the loop can spin, so only the partial
+        // protections are expected to still produce provable spins —
+        // but the bitwise-equivalence assertions above hold regardless.
+        if t != Technique::FullDup {
+            assert!(stats.spin_proved_trials > 0, "{t:?}: no spin proved");
+        }
+    }
+}
