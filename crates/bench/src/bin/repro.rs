@@ -8,11 +8,17 @@
 //!                 [--bench-out PATH] [--engine tree,decoded,fused]
 //!                 [--progress text|jsonl] [-v|--verbose] [-q|--quiet]
 //!                 [--store DIR] [--resume DIR] [--trial-cap N] [--verify]
-//!                 [--format text|jsonl] [--follow] [DIR]
+//!                 [--format text|jsonl] [--follow] [--floor F]
+//!                 [--workers N] [--worker-threads K] [--processes]
+//!                 [--serve ADDR] [--connect ADDR] [--heartbeat-ms MS]
+//!                 [--fail-after W:N] [DIR]
+//! repro fleet worker --store DIR --label BENCH/TECH --worker-id N
+//!                    [--worker-threads K] [--fail-after N]
 //!
 //! exhibits: table1 table2 fig1 fig2 fig6 fig10 fig11 fig12 fig13
 //!           detect latency falsepos crossval ablate cfc recovery
-//!           coverage perfbench interpbench profile campaign watch all
+//!           coverage perfbench interpbench profile campaign watch
+//!           fleet fleetbench all
 //! ```
 //!
 //! The `exhibits:` list above is checked against
@@ -29,7 +35,8 @@ fn usage() -> ExitCode {
     // Usage goes out at every verbosity level. The exhibit list is
     // derived from the same table `Exhibit::parse` reads.
     Logger::default().error(format!(
-        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [--html PATH] [--snapshot-interval K|auto] [--no-spin-proof] [--no-prune] [--bench-out PATH] [--engine tree,decoded,fused] [--progress text|jsonl] [--store DIR] [--resume DIR] [--trial-cap N] [--verify] [--format text|jsonl] [--follow] [-v|--verbose] [-q|--quiet] [DIR]\n\
+        "usage: repro <exhibit> [--trials N] [--seed S] [--threads T] [--benchmarks a,b,c] [--telemetry DIR] [--html PATH] [--snapshot-interval K|auto] [--no-spin-proof] [--no-prune] [--bench-out PATH] [--engine tree,decoded,fused] [--progress text|jsonl] [--store DIR] [--resume DIR] [--trial-cap N] [--verify] [--format text|jsonl] [--follow] [--floor F] [--workers N] [--worker-threads K] [--processes] [--serve ADDR] [--connect ADDR] [--heartbeat-ms MS] [--fail-after W:N] [-v|--verbose] [-q|--quiet] [DIR]\n\
+         \x20      repro fleet worker --store DIR --label BENCH/TECH --worker-id N [--worker-threads K] [--fail-after N]\n\
          exhibits: {}",
         Exhibit::names_joined(),
     ));
@@ -46,6 +53,12 @@ fn main() -> ExitCode {
     };
     let mut cfg = ReproConfig::default();
     let mut i = 1;
+    // `repro fleet worker ...` is the internal child-process entry
+    // point of a process-mode fleet; the bare `worker` word selects it.
+    if exhibit == Exhibit::Fleet && args.get(1).map(String::as_str) == Some("worker") {
+        cfg.fleet_worker = true;
+        i = 2;
+    }
     while i < args.len() {
         let flag = &args[i];
         // Level flags take no value.
@@ -82,6 +95,13 @@ fn main() -> ExitCode {
             }
             "--no-prune" => {
                 cfg.prune = false;
+                i += 1;
+                continue;
+            }
+            // Spawn `repro fleet worker` OS processes instead of
+            // in-process pools.
+            "--processes" => {
+                cfg.processes = true;
                 i += 1;
                 continue;
             }
@@ -155,6 +175,55 @@ fn main() -> ExitCode {
                 "text" | "jsonl" => cfg.watch_format = value.clone(),
                 _ => return usage(),
             },
+            // `perfbench` speedup floor (CI passes a strict one; the
+            // default 1.0 only asserts scheduling never loses).
+            "--floor" => match value.parse() {
+                Ok(v) => cfg.floor = v,
+                Err(_) => return usage(),
+            },
+            // Fleet topology and liveness.
+            "--workers" => match value.parse() {
+                Ok(v) => cfg.workers = v,
+                Err(_) => return usage(),
+            },
+            "--worker-threads" => match value.parse() {
+                Ok(v) => cfg.worker_threads = v,
+                Err(_) => return usage(),
+            },
+            "--heartbeat-ms" => match value.parse() {
+                Ok(v) => cfg.heartbeat_ms = v,
+                Err(_) => return usage(),
+            },
+            // Observatory socket: the fleet serves it (`--serve`), a
+            // remote watch renders it (`--connect`).
+            "--serve" => {
+                cfg.serve = Some(value.clone());
+            }
+            "--connect" => {
+                cfg.connect = Some(value.clone());
+            }
+            // Worker-process identity (internal `fleet worker` mode).
+            "--label" => {
+                cfg.label = Some(value.clone());
+            }
+            "--worker-id" => match value.parse() {
+                Ok(v) => cfg.worker_id = v,
+                Err(_) => return usage(),
+            },
+            // Reclaim-path test knob: `W:N[,W:N..]` on the coordinator
+            // (worker W dies after N trials), bare `N` on a worker.
+            "--fail-after" => {
+                for part in value.split(',') {
+                    let parsed = match part.split_once(':') {
+                        Some((w, n)) => w.parse().ok().zip(n.parse().ok()),
+                        None => part.parse().ok().map(|n| (0usize, n)),
+                    };
+                    match parsed {
+                        Some(pair) => cfg.fail_after.push(pair),
+                        None => return usage(),
+                    }
+                }
+            }
             // Stream per-campaign progress (trials done/total,
             // trials/sec, outcome mix, ETA) to stderr while exhibits
             // run. Pure observation: results are identical with or
@@ -171,11 +240,16 @@ fn main() -> ExitCode {
     let log = Logger::new(cfg.verbosity);
     let started = std::time::Instant::now();
     print!("{}", softft_bench::orchestrate::run_exhibit(exhibit, &cfg));
-    log.info(format!(
-        "[repro: {} trials/benchmark, seed {}, {:.1}s]",
-        cfg.trials,
-        cfg.seed,
-        started.elapsed().as_secs_f64()
-    ));
+    // Worker processes skip the trailer: their trials/seed come from
+    // the store manifest, not these defaults, and fleet stderr is
+    // noisy enough.
+    if !cfg.fleet_worker {
+        log.info(format!(
+            "[repro: {} trials/benchmark, seed {}, {:.1}s]",
+            cfg.trials,
+            cfg.seed,
+            started.elapsed().as_secs_f64()
+        ));
+    }
     ExitCode::SUCCESS
 }

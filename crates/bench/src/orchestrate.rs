@@ -18,8 +18,10 @@ use softft_campaign::perf::all_overheads;
 use softft_campaign::prep::{prepare, PreparedBenchmark};
 use softft_campaign::report;
 use softft_campaign::snapshot::SnapshotStats;
+use softft_fleet::{run_fleet_campaign, run_worker, FleetConfig, WorkerOpts};
+use softft_telemetry::wire::FrameDecoder;
 use softft_telemetry::{
-    Logger, RunManifest, RunStore, ShardMeta, ShardTail, StoreManifest, Verbosity,
+    JsonValue, Logger, RunManifest, RunStore, ShardMeta, ShardTail, StoreManifest, Verbosity,
     TRIAL_SCHEMA_VERSION,
 };
 use softft_workloads::{all_workloads, workload_by_name, InputSet};
@@ -94,9 +96,26 @@ pub enum Exhibit {
     /// status — per-shard progress, throughput, ETA, outcome mix,
     /// watchdog-spin share, top protection gaps — as text or JSONL
     /// (`--format`), optionally following a live store (`--follow`)
-    /// and writing a self-contained HTML page (`--html`). Not part of
-    /// `all`.
+    /// and writing a self-contained HTML page (`--html`). With
+    /// `--connect ADDR` it renders a fleet coordinator's observatory
+    /// socket instead of store files. Not part of `all`.
     Watch,
+    /// Fleet campaign: splits each shard's fault plan across a
+    /// work-stealing pool of workers (`--workers N`, in-process by
+    /// default; `--processes` spawns `repro fleet worker` children)
+    /// appending to one shared run store — results bitwise identical
+    /// to the single-process `campaign` exhibit. `--serve ADDR`
+    /// exposes the live observatory socket for `watch --connect`;
+    /// `--verify` replays the store afterwards. `repro fleet worker`
+    /// (internal) is the child-process entry point. Not part of `all`.
+    Fleet,
+    /// Fleet scaling bench: runs the same fleet campaign at 1/2/4
+    /// workers, reports trials/s and scaling efficiency with steal and
+    /// reclaim counts, checks bitwise equivalence against the buffered
+    /// single-process campaign, and writes `BENCH_fleet.json`
+    /// (`--bench-out`) with host-adaptive scaling floors. Not part of
+    /// `all` (timing-noisy; run explicitly).
+    FleetBench,
     /// Everything, in paper order.
     All,
 }
@@ -104,7 +123,7 @@ pub enum Exhibit {
 /// Every exhibit subcommand name, paired with its variant — the single
 /// source for [`Exhibit::parse`], the `repro` usage string, and the
 /// `repro` doc comment (a test fails if any of them drift).
-pub const EXHIBITS: [(&str, Exhibit); 23] = [
+pub const EXHIBITS: [(&str, Exhibit); 25] = [
     ("table1", Exhibit::Table1),
     ("table2", Exhibit::Table2),
     ("fig1", Exhibit::Fig1),
@@ -127,6 +146,8 @@ pub const EXHIBITS: [(&str, Exhibit); 23] = [
     ("profile", Exhibit::Profile),
     ("campaign", Exhibit::Campaign),
     ("watch", Exhibit::Watch),
+    ("fleet", Exhibit::Fleet),
+    ("fleetbench", Exhibit::FleetBench),
     ("all", Exhibit::All),
 ];
 
@@ -213,6 +234,40 @@ pub struct ReproConfig {
     /// `repro interpbench --engine`: execution tiers to compare, by
     /// label (`tree`, `decoded`, `fused`). Empty = all three.
     pub engines: Vec<String>,
+    /// `repro perfbench --floor`: minimum acceptable `min_speedup`;
+    /// `floor_ok` in the report and JSON artifact reflects it. The
+    /// default 1.0 only asserts "scheduling never loses"; CI passes a
+    /// stricter value.
+    pub floor: f64,
+    /// `repro fleet --workers`: worker count (pools or processes).
+    pub workers: usize,
+    /// `repro fleet --worker-threads`: threads inside each worker's
+    /// shard engine.
+    pub worker_threads: usize,
+    /// `repro fleet --processes`: spawn `repro fleet worker` OS
+    /// processes instead of in-process pools.
+    pub processes: bool,
+    /// `repro fleet --serve`: bind the live observatory socket on this
+    /// address (e.g. `127.0.0.1:7070`) for `watch --connect`.
+    pub serve: Option<String>,
+    /// `repro watch --connect`: render a fleet coordinator's
+    /// observatory socket instead of reading store files.
+    pub connect: Option<String>,
+    /// `repro fleet --heartbeat-ms`: process-mode liveness interval
+    /// (a worker silent for three intervals is reclaimed).
+    pub heartbeat_ms: u64,
+    /// `repro fleet --fail-after W:N[,W:N..]` (coordinator) or
+    /// `--fail-after N` (worker, stored as worker 0): make worker `W`
+    /// exit abruptly after `N` trials — the reclaim-path test knob.
+    pub fail_after: Vec<(usize, u64)>,
+    /// True when invoked as `repro fleet worker` (internal child-
+    /// process mode; serves assignments over stdio).
+    pub fleet_worker: bool,
+    /// `repro fleet worker --label`: the shard this worker serves.
+    pub label: Option<String>,
+    /// `repro fleet worker --worker-id`: the worker's index (selects
+    /// its append-only store file).
+    pub worker_id: usize,
 }
 
 impl Default for ReproConfig {
@@ -236,6 +291,17 @@ impl Default for ReproConfig {
             verify: false,
             watch_format: "text".to_string(),
             engines: Vec::new(),
+            floor: 1.0,
+            workers: 2,
+            worker_threads: 1,
+            processes: false,
+            serve: None,
+            connect: None,
+            heartbeat_ms: 1000,
+            fail_after: Vec::new(),
+            fleet_worker: false,
+            label: None,
+            worker_id: 0,
         }
     }
 }
@@ -287,6 +353,8 @@ pub fn run_exhibit(ex: Exhibit, cfg: &ReproConfig) -> String {
         Exhibit::Profile => profile(cfg),
         Exhibit::Campaign => campaign(cfg),
         Exhibit::Watch => watch(cfg),
+        Exhibit::Fleet => fleet(cfg),
+        Exhibit::FleetBench => fleetbench(cfg),
         Exhibit::All => {
             let mut out = String::new();
             for ex in [
@@ -671,16 +739,16 @@ fn perfbench(cfg: &ReproConfig) -> String {
             equivalent
         ));
     }
-    let floor_ok = min_speedup >= 1.0;
+    let floor_ok = min_speedup >= cfg.floor;
     let _ = writeln!(
         out,
         "(scheduled path must be bitwise equivalent; 'NO' in the last column is a bug)\n\
-         min_speedup: {:.2}x  floor_ok: {}",
-        min_speedup, floor_ok
+         min_speedup: {:.2}x  floor: {:.2}x  floor_ok: {}",
+        min_speedup, cfg.floor, floor_ok
     );
 
     let json = format!(
-        "{{\n  \"schema\": \"softft.bench.campaign.v2\",\n  \"trials\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"technique\": \"{}\",\n  \"spin_proof\": {},\n  \"prune\": {},\n  \"benchmarks\": [\n{}\n  ],\n  \"min_speedup\": {:.3},\n  \"floor_ok\": {},\n  \"all_equivalent\": {}\n}}\n",
+        "{{\n  \"schema\": \"softft.bench.campaign.v2\",\n  \"trials\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \"technique\": \"{}\",\n  \"spin_proof\": {},\n  \"prune\": {},\n  \"benchmarks\": [\n{}\n  ],\n  \"min_speedup\": {:.3},\n  \"floor\": {:.3},\n  \"floor_ok\": {},\n  \"all_equivalent\": {}\n}}\n",
         cfg.trials,
         cfg.seed,
         cfg.threads,
@@ -689,6 +757,7 @@ fn perfbench(cfg: &ReproConfig) -> String {
         cfg.prune,
         entries.join(",\n"),
         min_speedup,
+        cfg.floor,
         floor_ok,
         all_equivalent
     );
@@ -1719,30 +1788,33 @@ fn crossval(cfg: &ReproConfig) -> String {
 /// the paper's headline configuration.
 const STORE_TECHNIQUE: Technique = Technique::DupVal;
 
-/// The `campaign` exhibit: runs (or resumes) streaming campaigns over a
-/// persistent run store — one shard per selected benchmark, each trial
-/// appended as it completes. `--trial-cap N` bounds how many trials
-/// this invocation appends across all shards (the interrupt half of
-/// interrupt/resume); `--verify` replays the store and compares against
-/// fresh buffered campaigns, printing a `replay_equivalent:` verdict.
-fn campaign(cfg: &ReproConfig) -> String {
-    let log = Logger::new(cfg.verbosity);
-    let t = STORE_TECHNIQUE;
-    let mut out = String::new();
-
-    let (store, ccfg, plan) = if let Some(dir) = &cfg.resume {
+/// Opens (or creates) the run store for the `campaign` and `fleet`
+/// exhibits, with identical `--store` / `--resume` semantics: resume
+/// adopts the manifest's config and shard list; continuing an existing
+/// `--store` also adopts its config so a re-invocation cannot fork the
+/// plan. Returns the store, the effective campaign config, the
+/// benchmark plan, and the header line already written to `out`.
+fn store_session(
+    cfg: &ReproConfig,
+    exhibit: &str,
+    out: &mut String,
+) -> Result<(RunStore, CampaignConfig, Vec<PreparedBenchmark>), String> {
+    if let Some(dir) = &cfg.resume {
         // Resume: the manifest is the config; the command line's
         // trials/seed are ignored so a resumed campaign cannot fork.
         let store = match RunStore::open(dir) {
             Ok(s) => s,
             Err(e) => {
-                return format!("campaign: cannot open run store {}: {e}\n", dir.display());
+                return Err(format!(
+                    "{exhibit}: cannot open run store {}: {e}\n",
+                    dir.display()
+                ));
             }
         };
         let manifest = store.manifest();
         let ccfg = match campaign_config_from_manifest(&manifest) {
             Ok(c) => c,
-            Err(e) => return format!("campaign: {}: {e}\n", dir.display()),
+            Err(e) => return Err(format!("{exhibit}: {}: {e}\n", dir.display())),
         };
         let plan: Vec<PreparedBenchmark> = manifest
             .shards
@@ -1751,7 +1823,10 @@ fn campaign(cfg: &ReproConfig) -> String {
             .map(prepare)
             .collect();
         if plan.is_empty() {
-            return format!("campaign: {} records no shards to resume\n", dir.display());
+            return Err(format!(
+                "{exhibit}: {} records no shards to resume\n",
+                dir.display()
+            ));
         }
         let _ = writeln!(
             out,
@@ -1761,7 +1836,7 @@ fn campaign(cfg: &ReproConfig) -> String {
             ccfg.trials,
             fault_kind_label(ccfg.fault_kind)
         );
-        (store, ccfg, plan)
+        Ok((store, ccfg, plan))
     } else if let Some(dir) = &cfg.store {
         let ccfg = cfg.campaign_config();
         match RunStore::create(dir, store_manifest(&ccfg)) {
@@ -1774,7 +1849,7 @@ fn campaign(cfg: &ReproConfig) -> String {
                     ccfg.trials,
                     fault_kind_label(ccfg.fault_kind)
                 );
-                (store, ccfg, cfg.selected())
+                Ok((store, ccfg, cfg.selected()))
             }
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                 // Continuing an existing store: adopt its recorded
@@ -1783,12 +1858,15 @@ fn campaign(cfg: &ReproConfig) -> String {
                 let store = match RunStore::open(dir) {
                     Ok(s) => s,
                     Err(e) => {
-                        return format!("campaign: cannot open run store {}: {e}\n", dir.display());
+                        return Err(format!(
+                            "{exhibit}: cannot open run store {}: {e}\n",
+                            dir.display()
+                        ));
                     }
                 };
                 let ccfg = match campaign_config_from_manifest(&store.manifest()) {
                     Ok(c) => c,
-                    Err(e) => return format!("campaign: {}: {e}\n", dir.display()),
+                    Err(e) => return Err(format!("{exhibit}: {}: {e}\n", dir.display())),
                 };
                 let _ = writeln!(
                     out,
@@ -1798,16 +1876,34 @@ fn campaign(cfg: &ReproConfig) -> String {
                     ccfg.trials,
                     fault_kind_label(ccfg.fault_kind)
                 );
-                (store, ccfg, cfg.selected())
+                Ok((store, ccfg, cfg.selected()))
             }
-            Err(e) => {
-                return format!("campaign: cannot create run store {}: {e}\n", dir.display());
-            }
+            Err(e) => Err(format!(
+                "{exhibit}: cannot create run store {}: {e}\n",
+                dir.display()
+            )),
         }
     } else {
-        return "campaign: pass --store DIR to start a persistent campaign \
-                or --resume DIR to continue one\n"
-            .to_string();
+        Err(format!(
+            "{exhibit}: pass --store DIR to start a persistent campaign \
+             or --resume DIR to continue one\n"
+        ))
+    }
+}
+
+/// The `campaign` exhibit: runs (or resumes) streaming campaigns over a
+/// persistent run store — one shard per selected benchmark, each trial
+/// appended as it completes. `--trial-cap N` bounds how many trials
+/// this invocation appends across all shards (the interrupt half of
+/// interrupt/resume); `--verify` replays the store and compares against
+/// fresh buffered campaigns, printing a `replay_equivalent:` verdict.
+fn campaign(cfg: &ReproConfig) -> String {
+    let log = Logger::new(cfg.verbosity);
+    let t = STORE_TECHNIQUE;
+    let mut out = String::new();
+    let (store, ccfg, plan) = match store_session(cfg, "campaign", &mut out) {
+        Ok(v) => v,
+        Err(e) => return e,
     };
 
     let mut budget = cfg.trial_cap;
@@ -1848,6 +1944,463 @@ fn campaign(cfg: &ReproConfig) -> String {
         out.push_str(&verify_store(&store, &plan, &ccfg));
     }
     out
+}
+
+/// The `fleet` exhibit: runs (or resumes) each shard's campaign across
+/// a work-stealing fleet of workers appending to one shared run store.
+/// In-process pools by default; `--processes` spawns `repro fleet
+/// worker` children driven over stdio wire frames. Results are bitwise
+/// identical to the single-process `campaign` exhibit for any worker
+/// count, steal interleaving, or killed-and-reclaimed worker —
+/// `--verify` proves it on the spot.
+fn fleet(cfg: &ReproConfig) -> String {
+    if cfg.fleet_worker {
+        return fleet_worker(cfg);
+    }
+    let log = Logger::new(cfg.verbosity);
+    let t = STORE_TECHNIQUE;
+    let mut out = String::new();
+    let (store, ccfg, plan) = match store_session(cfg, "fleet", &mut out) {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+
+    for p in &plan {
+        let label = format!("{}/{}", p.workload.name(), t.slug());
+        // One observatory listener per shard run (the listener is owned
+        // by the fleet for its duration; the address frees on drop, so
+        // sequential shards can re-bind it).
+        let observatory =
+            cfg.serve
+                .as_ref()
+                .and_then(|addr| match std::net::TcpListener::bind(addr) {
+                    Ok(l) => {
+                        if let Ok(a) = l.local_addr() {
+                            log.info(format!(
+                            "[repro] observatory for {label} on {a} (repro watch --connect {a})"
+                        ));
+                        }
+                        Some(l)
+                    }
+                    Err(e) => {
+                        log.error(format!("[repro] cannot bind observatory {addr}: {e}"));
+                        None
+                    }
+                });
+        log.debug(format!(
+            "[repro] fleet shard: {label} ({} worker(s), {})",
+            cfg.workers.max(1),
+            if cfg.processes { "processes" } else { "pools" }
+        ));
+        let fc = FleetConfig {
+            workers: cfg.workers.max(1),
+            worker_threads: cfg.worker_threads.max(1),
+            processes: cfg.processes,
+            observatory,
+            heartbeat_ms: cfg.heartbeat_ms.max(1),
+            fail_after: cfg.fail_after.clone(),
+        };
+        match run_fleet_campaign(&store, p, t, &ccfg, fc) {
+            Ok(r) => {
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>5}/{:<5} trials ({} new, {} execution(s), {} steal(s), \
+                     {} reclaim(s), {} worker(s)){}",
+                    r.label,
+                    r.distinct_done,
+                    r.total,
+                    r.distinct_done.saturating_sub(r.already_done),
+                    r.executed,
+                    r.steals,
+                    r.reclaims,
+                    r.workers,
+                    if r.complete { "" } else { "  [incomplete]" }
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{label}: ERROR: {e}");
+            }
+        }
+    }
+    log.info(format!(
+        "[repro] run store at {} (watch it with `repro watch {}`)",
+        store.dir().display(),
+        store.dir().display()
+    ));
+
+    if cfg.verify {
+        out.push_str(&verify_store(&store, &plan, &ccfg));
+    }
+    out
+}
+
+/// `repro fleet worker` (internal): the child-process half of a
+/// process-mode fleet. Serves stdin assignments until told to exit;
+/// stdout is the control channel, so this prints nothing on success
+/// and exits nonzero (via stderr) on error.
+fn fleet_worker(cfg: &ReproConfig) -> String {
+    let Some(store) = cfg.store.clone() else {
+        eprintln!("fleet worker: --store DIR required");
+        std::process::exit(2);
+    };
+    let Some(label) = cfg.label.clone() else {
+        eprintln!("fleet worker: --label BENCH/TECH required");
+        std::process::exit(2);
+    };
+    let opts = WorkerOpts {
+        store,
+        label,
+        worker_id: cfg.worker_id,
+        worker_threads: cfg.worker_threads.max(1),
+        fail_after: cfg.fail_after.first().map(|&(_, n)| n),
+    };
+    match run_worker(&opts) {
+        Ok(()) => String::new(),
+        Err(e) => {
+            eprintln!("fleet worker {}: {e}", opts.worker_id);
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Default benchmark set for `repro fleetbench`: the same golden-run
+/// cross-section `interpbench` uses.
+const FLEET_BENCH_SET: [&str; 8] = INTERP_BENCH_SET;
+
+/// Host-adaptive scaling floor for `w` workers: the paper-grade floors
+/// (1.7x at 2 workers, 3x at 4) only apply when the host actually has
+/// that many CPUs; below that, workers time-slice one core and the
+/// floor only asserts that fleet overhead stays bounded (>= 0.5x, i.e.
+/// no worse than half the single-worker rate).
+fn fleet_floor(host_cpus: usize, w: usize) -> f64 {
+    if host_cpus >= w {
+        match w {
+            2 => 1.7,
+            4 => 3.0,
+            _ => 0.0,
+        }
+    } else if host_cpus >= 2 {
+        1.7
+    } else {
+        0.5
+    }
+}
+
+/// The `fleetbench` exhibit: runs the same campaign at 1/2/4 in-process
+/// workers (fresh store each), reports trials/s, speedup over one
+/// worker, scaling efficiency, and steal/reclaim counts, and proves
+/// each store replays bitwise-identically to the buffered
+/// single-process campaign. Writes `BENCH_fleet.json` (`--bench-out`)
+/// with host-adaptive floors so CI can gate equivalence everywhere and
+/// scaling where the host can express it.
+fn fleetbench(cfg: &ReproConfig) -> String {
+    let log = Logger::new(cfg.verbosity);
+    let t = STORE_TECHNIQUE;
+    let names: Vec<String> = if cfg.benchmarks.is_empty() {
+        FLEET_BENCH_SET.iter().map(|s| s.to_string()).collect()
+    } else {
+        cfg.benchmarks.clone()
+    };
+    let ccfg = cfg.campaign_config();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let worker_counts = [1usize, 2, 4];
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fleet scaling bench: {} trials, {} x register faults, {} host cpu(s), {} thread(s)/worker\n\
+         {:<10} {:>7} {:>10} {:>10} {:>8} {:>6} {:>7} {:>8} {:>6}",
+        ccfg.trials,
+        t.label(),
+        host_cpus,
+        cfg.worker_threads.max(1),
+        "benchmark",
+        "workers",
+        "wall ms",
+        "trials/s",
+        "speedup",
+        "eff",
+        "steals",
+        "reclaims",
+        "equal"
+    );
+
+    let mut entries: Vec<String> = Vec::new();
+    let mut all_equivalent = true;
+    let mut passing = 0usize;
+    let mut total_steals = 0u64;
+    let mut total_reclaims = 0u64;
+    for name in &names {
+        let Some(w) = workload_by_name(name) else {
+            let _ = writeln!(out, "{name:<10} unknown benchmark, skipped");
+            continue;
+        };
+        let p = prepare(w);
+        // The buffered single-process campaign is the equivalence
+        // reference for every worker count.
+        log.debug(format!("[repro] fleetbench: {name} reference leg"));
+        let (ref_result, ref_telemetry) =
+            run_campaign_attributed(&*p.workload, p.module(t), &ccfg, Some(p.protection(t)));
+
+        let mut walls: Vec<f64> = Vec::new();
+        let mut rows: Vec<String> = Vec::new();
+        let mut bench_equiv = true;
+        for (k, &workers) in worker_counts.iter().enumerate() {
+            let dir = std::env::temp_dir().join(format!(
+                "softft_fleetbench_{}_{name}_{workers}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            log.debug(format!("[repro] fleetbench: {name} x{workers} workers"));
+            let run = (|| -> std::io::Result<(softft_fleet::FleetReport, f64, bool)> {
+                let store = RunStore::create(&dir, store_manifest(&ccfg))?;
+                let started = Instant::now();
+                let report = run_fleet_campaign(
+                    &store,
+                    &p,
+                    t,
+                    &ccfg,
+                    FleetConfig {
+                        workers,
+                        worker_threads: cfg.worker_threads.max(1),
+                        processes: false,
+                        observatory: None,
+                        heartbeat_ms: cfg.heartbeat_ms.max(1),
+                        fail_after: Vec::new(),
+                    },
+                )?;
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                let shards = replay(store.dir())?;
+                let equivalent = shards.iter().any(|s| {
+                    s.complete
+                        && s.result == ref_result
+                        && s.telemetry.records == ref_telemetry.records
+                        && s.telemetry.metrics.to_json() == ref_telemetry.metrics.to_json()
+                });
+                Ok((report, wall_ms, equivalent))
+            })();
+            let _ = std::fs::remove_dir_all(&dir);
+            let (report, wall_ms, equivalent) = match run {
+                Ok(v) => v,
+                Err(e) => {
+                    let _ = writeln!(out, "{name:<10} {workers:>7} ERROR: {e}");
+                    bench_equiv = false;
+                    continue;
+                }
+            };
+            walls.push(wall_ms);
+            bench_equiv &= equivalent;
+            all_equivalent &= equivalent;
+            total_steals += report.steals;
+            total_reclaims += report.reclaims;
+            let speedup = walls[0] / wall_ms.max(1e-9);
+            let _ = writeln!(
+                out,
+                "{:<10} {:>7} {:>10.1} {:>10.1} {:>7.2}x {:>6.2} {:>7} {:>8} {:>6}",
+                if k == 0 { name.as_str() } else { "" },
+                workers,
+                wall_ms,
+                per_sec(ccfg.trials as u64, wall_ms),
+                speedup,
+                speedup / workers as f64,
+                report.steals,
+                report.reclaims,
+                if equivalent { "yes" } else { "NO" }
+            );
+            rows.push(format!(
+                "        {{ \"workers\": {workers}, \"wall_ms\": {:.3}, \"trials_per_sec\": {:.1}, \
+                 \"speedup\": {:.3}, \"efficiency\": {:.3}, \"steals\": {}, \"reclaims\": {}, \
+                 \"equivalent\": {} }}",
+                wall_ms,
+                per_sec(ccfg.trials as u64, wall_ms),
+                speedup,
+                speedup / workers as f64,
+                report.steals,
+                report.reclaims,
+                equivalent
+            ));
+        }
+        let speedup_at = |w: usize| -> f64 {
+            worker_counts
+                .iter()
+                .position(|&x| x == w)
+                .and_then(|i| walls.first().zip(walls.get(i)))
+                .map_or(0.0, |(w1, wn)| w1 / wn.max(1e-9))
+        };
+        let (s2, s4) = (speedup_at(2), speedup_at(4));
+        let floor_ok = walls.len() == worker_counts.len()
+            && s2 >= fleet_floor(host_cpus, 2)
+            && s4 >= fleet_floor(host_cpus, 4);
+        passing += usize::from(floor_ok);
+        entries.push(format!(
+            "    {{\n      \"name\": \"{name}\",\n      \"runs\": [\n{}\n      ],\n      \
+             \"speedup_2\": {s2:.3},\n      \"speedup_4\": {s4:.3},\n      \
+             \"floor_ok\": {floor_ok},\n      \"equivalent\": {bench_equiv}\n    }}",
+            rows.join(",\n")
+        ));
+    }
+
+    // The scaling gate passes when >= 3/4 of benchmarks (6 of the
+    // default 8) clear their host-adaptive floors; equivalence must
+    // hold everywhere, always.
+    let required = entries.len().max(1).div_ceil(4) * 3;
+    let scaling_ok = passing >= required;
+    let _ = writeln!(
+        out,
+        "(every store must replay bitwise-identically; 'NO' in the last column is a bug)\n\
+         floors (host-adaptive): {:.2}x @ 2 workers, {:.2}x @ 4 workers\n\
+         scaling_ok: {scaling_ok} ({passing}/{} benchmarks passing, {required} required)  \
+         all_equivalent: {all_equivalent}",
+        fleet_floor(host_cpus, 2),
+        fleet_floor(host_cpus, 4),
+        entries.len()
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"softft.bench.fleet.v1\",\n  \"trials\": {},\n  \"seed\": {},\n  \
+         \"technique\": \"{}\",\n  \"worker_threads\": {},\n  \"host_cpus\": {host_cpus},\n  \
+         \"floors\": {{ \"2\": {:.3}, \"4\": {:.3} }},\n  \"benchmarks\": [\n{}\n  ],\n  \
+         \"passing\": {passing},\n  \"required\": {required},\n  \"scaling_ok\": {scaling_ok},\n  \
+         \"steals_total\": {total_steals},\n  \"reclaims_total\": {total_reclaims},\n  \
+         \"all_equivalent\": {all_equivalent}\n}}\n",
+        ccfg.trials,
+        ccfg.seed,
+        tech_slug(t),
+        cfg.worker_threads.max(1),
+        fleet_floor(host_cpus, 2),
+        fleet_floor(host_cpus, 4),
+        entries.join(",\n")
+    );
+    let path = cfg
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_fleet.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => log.info(format!("[repro] fleet bench written to {}", path.display())),
+        Err(e) => log.error(format!(
+            "[repro] failed to write fleet bench {}: {e}",
+            path.display()
+        )),
+    }
+    out
+}
+
+/// Renders one fleet observatory frame (already-parsed JSON from the
+/// socket) as human text. JSONL mode passes the body through verbatim.
+fn render_fleet_frame(v: &JsonValue) -> String {
+    let mut out = String::new();
+    let s = |k: &str| v.get(k).and_then(|x| x.as_str()).unwrap_or("?").to_string();
+    let n = |k: &str| v.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "Fleet observatory: {} {}/{} trials, {:.1}s elapsed, {} steal(s), {} reclaim(s)",
+        s("label"),
+        n("done"),
+        n("total"),
+        n("elapsed_ms") as f64 / 1e3,
+        n("steals"),
+        n("reclaims")
+    );
+    for w in v.get("workers").and_then(|x| x.as_array()).unwrap_or(&[]) {
+        let alive = w.get("alive").and_then(|a| a.as_bool()).unwrap_or(true);
+        let rate = match w.get("rate") {
+            Some(JsonValue::Number(raw)) => raw.clone(),
+            _ => "0".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  worker {} {:>8} executed  {:>8}/s  {}",
+            w.get("worker").and_then(|x| x.as_u64()).unwrap_or(0),
+            w.get("executed").and_then(|x| x.as_u64()).unwrap_or(0),
+            rate,
+            if alive { "alive" } else { "DEAD" }
+        );
+    }
+    let mix: Vec<String> = v
+        .get("outcomes")
+        .and_then(|x| x.as_array())
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|o| {
+            Some(format!(
+                "{} {}",
+                o.get("outcome")?.as_str()?,
+                o.get("trials")?.as_u64()?
+            ))
+        })
+        .collect();
+    if !mix.is_empty() {
+        let _ = writeln!(out, "  outcomes: {}", mix.join("  "));
+    }
+    let gaps: Vec<String> = v
+        .get("gaps")
+        .and_then(|x| x.as_array())
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|g| {
+            Some(format!(
+                "{} {} ({} usdc / {} trials)",
+                g.get("func")?.as_str()?,
+                g.get("op")?.as_str()?,
+                g.get("usdc")?.as_u64()?,
+                g.get("trials")?.as_u64()?
+            ))
+        })
+        .collect();
+    if !gaps.is_empty() {
+        let _ = writeln!(out, "  top gaps: {}", gaps.join(" | "));
+    }
+    out
+}
+
+/// `repro watch --connect ADDR`: renders a fleet coordinator's
+/// observatory socket. One frame and exit by default; `--follow` keeps
+/// rendering (to stderr) until the coordinator closes the stream, then
+/// returns the final frame.
+fn watch_connect(cfg: &ReproConfig, addr: &str) -> String {
+    use std::io::Read as _;
+    let mut stream = match std::net::TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => return format!("watch: cannot connect to {addr}: {e}\n"),
+    };
+    let jsonl = cfg.watch_format == "jsonl";
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 4096];
+    let mut last = String::new();
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) => {
+                if last.is_empty() {
+                    return format!("watch: read from {addr}: {e}\n");
+                }
+                break;
+            }
+        };
+        dec.push(&buf[..n]);
+        loop {
+            let body = match dec.next_frame() {
+                Ok(Some(body)) => body,
+                Ok(None) => break,
+                Err(e) => return format!("watch: bad frame from {addr}: {e}\n"),
+            };
+            let frame = if jsonl {
+                format!("{body}\n")
+            } else {
+                match JsonValue::parse(&body) {
+                    Ok(v) => render_fleet_frame(&v),
+                    Err(e) => return format!("watch: bad frame JSON from {addr}: {e}\n"),
+                }
+            };
+            if !cfg.follow {
+                return frame;
+            }
+            eprint!("{frame}");
+            last = frame;
+        }
+    }
+    last
 }
 
 /// Serializes an event stream the way `--telemetry` does, for the
@@ -1930,11 +2483,12 @@ fn verify_store(store: &RunStore, plan: &[PreparedBenchmark], ccfg: &CampaignCon
     out
 }
 
-/// Incremental observatory state for one shard: a tail positioned past
-/// the frames already folded, plus the streaming aggregates.
+/// Incremental observatory state for one shard: one tail per shard
+/// file (primary plus fleet worker files), each positioned past the
+/// frames already folded, plus the streaming aggregates.
 struct WatchShard {
     meta: ShardMeta,
-    tail: ShardTail,
+    tails: Vec<(String, ShardTail)>,
     seen: HashSet<u32>,
     outcomes: [u64; Outcome::CANONICAL.len()],
     cov: CoverageAccum,
@@ -1946,10 +2500,10 @@ struct WatchShard {
 }
 
 impl WatchShard {
-    fn new(meta: ShardMeta, tail: ShardTail) -> WatchShard {
+    fn new(meta: ShardMeta) -> WatchShard {
         WatchShard {
             meta,
-            tail,
+            tails: Vec::new(),
             seen: HashSet::new(),
             outcomes: [0; Outcome::CANONICAL.len()],
             cov: CoverageAccum::new(),
@@ -1961,8 +2515,22 @@ impl WatchShard {
         }
     }
 
+    /// Tracks a tail for every file the shard lists. Fleet worker
+    /// files can appear on a store mid-watch (the coordinator upserts
+    /// them before dispatching), so this re-syncs every poll.
+    fn sync_tails(&mut self, store: &RunStore) {
+        let listed = std::iter::once(&self.meta.file).chain(self.meta.worker_files.iter());
+        for f in listed {
+            if !self.tails.iter().any(|(name, _)| name == f) {
+                self.tails
+                    .push((f.clone(), ShardTail::new(store.shard_path(f))));
+            }
+        }
+    }
+
     /// Folds one persisted trial in, ignoring duplicates (a resumed run
-    /// racing a crash) and out-of-plan indices.
+    /// racing a crash, or a fleet steal/reclaim overlap) and
+    /// out-of-plan indices.
     fn fold(&mut self, st: &softft_telemetry::StoredTrial, trials: u32) {
         if st.trial >= trials || self.seen.contains(&st.trial) {
             return;
@@ -2176,8 +2744,13 @@ fn render_watch_frame(
 /// shard completes. `--html PATH` additionally writes a self-contained
 /// observatory page (status table + coverage-so-far grids).
 fn watch(cfg: &ReproConfig) -> String {
+    if let Some(addr) = &cfg.connect {
+        return watch_connect(cfg, addr);
+    }
     let Some(dir) = cfg.store.as_ref().or(cfg.resume.as_ref()) else {
-        return "watch: pass a run-store DIR (e.g. `repro watch runs/demo`)\n".to_string();
+        return "watch: pass a run-store DIR (e.g. `repro watch runs/demo`) \
+                or --connect ADDR for a live fleet\n"
+            .to_string();
     };
     let log = Logger::new(cfg.verbosity);
     let mut prepared: HashMap<String, PreparedBenchmark> = HashMap::new();
@@ -2193,17 +2766,19 @@ fn watch(cfg: &ReproConfig) -> String {
         for meta in &manifest.shards {
             match shards.iter_mut().find(|s| s.meta.label == meta.label) {
                 Some(s) => s.meta = meta.clone(),
-                None => shards.push(WatchShard::new(
-                    meta.clone(),
-                    ShardTail::new(store.shard_path(&meta.file)),
-                )),
+                None => shards.push(WatchShard::new(meta.clone())),
             }
         }
         for s in &mut shards {
-            // The tail consumes only complete frames; a mid-write frame
-            // stays pending until the writer finishes it.
-            for st in s.tail.poll().unwrap_or_default() {
-                s.fold(&st, manifest.trials);
+            // Tails consume only complete frames; a mid-write frame
+            // stays pending until its writer finishes it.
+            s.sync_tails(&store);
+            let mut batch = Vec::new();
+            for (_, tail) in &mut s.tails {
+                batch.extend(tail.poll().unwrap_or_default());
+            }
+            for st in &batch {
+                s.fold(st, manifest.trials);
             }
         }
         let frame = render_watch_frame(cfg, &manifest, &mut prepared, &shards);

@@ -16,7 +16,7 @@ use softft_telemetry::{
 use softft_vm::fault::{FaultKind, FaultPlan, InjectionRecord};
 use softft_vm::interp::{NoopObserver, SuffixObserver, VmConfig};
 use softft_vm::{ConvergeOutcome, ModuleLiveness, Resolution, RunEnd, RunResult, TrapKind};
-use softft_workloads::runner::WorkloadImage;
+use softft_workloads::runner::{TrialVm, WorkloadImage};
 use softft_workloads::{InputSet, Workload};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -248,6 +248,267 @@ pub struct TrialTiming {
 pub(crate) type TrialSink<'a, O> =
     Option<&'a (dyn Fn(usize, &FaultPlan, &TrialRecord, &O, &TrialTiming) + Sync)>;
 
+/// Per-path trial tallies, shared across worker threads and across the
+/// calibration / main execution slices of one campaign (or one fleet
+/// shard engine, which reports them per worker).
+#[derive(Default)]
+pub(crate) struct PathCounters {
+    pub(crate) resumed: AtomicU64,
+    pub(crate) converged: AtomicU64,
+    pub(crate) prefix_skipped: AtomicU64,
+    pub(crate) suffix_skipped: AtomicU64,
+    pub(crate) insts_executed: AtomicU64,
+    pub(crate) spin_proved: AtomicU64,
+    pub(crate) spin_skipped: AtomicU64,
+    pub(crate) pruned: AtomicU64,
+    pub(crate) pruned_skipped: AtomicU64,
+    pub(crate) ns_executed: AtomicU64,
+    pub(crate) ns_converged: AtomicU64,
+    pub(crate) ns_spin: AtomicU64,
+    pub(crate) ns_pruned: AtomicU64,
+}
+
+/// Which scheduling path produced a trial's record.
+#[derive(Clone, Copy)]
+enum TrialPath {
+    Executed,
+    Converged,
+    SpinProved,
+    Pruned,
+}
+
+/// Everything one trial execution borrows from a prepared campaign:
+/// the plans, prune decisions, golden baseline, checkpoint store, and
+/// observation hooks. [`TrialCtx::run_trial`] is the single per-trial
+/// implementation behind both the buffered campaign loop
+/// ([`campaign_core_phased`]) and the fleet shard engine
+/// ([`crate::engine::ShardEngine`]); sharing the body — not a copy of
+/// it — is what makes fleet results bitwise-identical to single-process
+/// campaigns by construction.
+pub(crate) struct TrialCtx<'a, O> {
+    pub(crate) workload: &'a dyn Workload,
+    pub(crate) cfg: &'a CampaignConfig,
+    pub(crate) image: &'a WorkloadImage<'a>,
+    pub(crate) plans: &'a [FaultPlan],
+    pub(crate) pruned: &'a [Option<Option<InjectionRecord>>],
+    pub(crate) golden_result: &'a RunResult,
+    pub(crate) golden_out: &'a Vec<u8>,
+    pub(crate) store: Option<&'a CheckpointStore<O>>,
+    pub(crate) candidates: &'a [&'a softft_vm::Snapshot],
+    pub(crate) spin_grid: u64,
+    pub(crate) time_exec: bool,
+    pub(crate) counters: &'a PathCounters,
+    pub(crate) phases: Option<&'a PhaseAccum>,
+    pub(crate) tracker: Option<&'a ProgressTracker>,
+    pub(crate) make_obs: &'a (dyn Fn() -> O + Sync),
+    pub(crate) sink: TrialSink<'a, O>,
+    pub(crate) latencies: Option<&'a Mutex<Vec<u64>>>,
+}
+
+impl<O: SuffixObserver> TrialCtx<'_, O> {
+    /// Executes plan index `i` on the worker's VM and returns the
+    /// classified record plus the trial observer. Pure in the plan
+    /// index: visit order, thread assignment, and duplicate executions
+    /// cannot change the record (only the write-only timing/progress
+    /// observations), which is what makes fleet steal races and
+    /// dead-worker re-dispatch idempotent.
+    pub(crate) fn run_trial(&self, tvm: &mut TrialVm<'_, '_>, i: usize) -> (TrialRecord, O) {
+        let (workload, cfg, plans, pruned) = (self.workload, self.cfg, self.plans, self.pruned);
+        let (golden_result, golden_out) = (self.golden_result, self.golden_out);
+        let (store, candidates, spin_grid, time_exec) =
+            (self.store, self.candidates, self.spin_grid, self.time_exec);
+        let (counters, phases, tracker) = (self.counters, self.phases, self.tracker);
+        let (make_obs, sink, latencies) = (self.make_obs, self.sink, self.latencies);
+        let plan = plans[i];
+        // Live-execution time of this trial; attributed per path / per
+        // outcome after classification.
+        let mut trial_exec_ns = 0u64;
+        let mut path = TrialPath::Executed;
+        let (obs, result, out) = if let Some(s) = store {
+            if let Some(inj) = pruned[i] {
+                // Statically pruned: the resolved flip is provably
+                // invisible, so the trial executes the golden run bit
+                // for bit and its record is synthesized. The observer
+                // is the golden-final state plus the injection hook
+                // (which commutes with every other event).
+                path = TrialPath::Pruned;
+                let sw = time_exec.then(Stopwatch::start);
+                counters.pruned.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .pruned_skipped
+                    .fetch_add(golden_result.dyn_insts, Ordering::Relaxed);
+                let mut obs = s.golden_obs().clone();
+                if let Some(rec) = inj {
+                    obs.on_inject(&rec);
+                }
+                let r = RunResult {
+                    end: golden_result.end,
+                    dyn_insts: golden_result.dyn_insts,
+                    injection: inj,
+                    check_failures: golden_result.check_failures,
+                };
+                let out = golden_out.clone();
+                if let Some(sw) = sw {
+                    trial_exec_ns = sw.elapsed_ns();
+                }
+                (obs, r, out)
+            } else {
+                let sw = phases.map(|_| Stopwatch::start());
+                let cp = s.best_for(plan.at_dyn);
+                let (mut obs, start) = match cp {
+                    Some(cp) => {
+                        counters.resumed.fetch_add(1, Ordering::Relaxed);
+                        counters
+                            .prefix_skipped
+                            .fetch_add(cp.snap.dyn_count(), Ordering::Relaxed);
+                        (cp.obs.clone(), cp.snap.dyn_count())
+                    }
+                    None => (make_obs(), 0),
+                };
+                if let (Some(ph), Some(sw)) = (phases, sw) {
+                    ph.resume_ns.fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
+                }
+                let sw = time_exec.then(Stopwatch::start);
+                let outcome = match cp {
+                    Some(cp) => {
+                        tvm.resume_converging(&cp.snap, &mut obs, Some(plan), candidates, spin_grid)
+                    }
+                    None => tvm.run_converging(&mut obs, Some(plan), candidates, spin_grid),
+                };
+                if let Some(sw) = sw {
+                    trial_exec_ns = sw.elapsed_ns();
+                }
+                match outcome {
+                    ConvergeOutcome::Done(r) => {
+                        counters
+                            .insts_executed
+                            .fetch_add(r.dyn_insts - start, Ordering::Relaxed);
+                        let out = tvm.output();
+                        (obs, r, out)
+                    }
+                    ConvergeOutcome::Converged {
+                        at,
+                        executed,
+                        injection,
+                    } => {
+                        // State equals the golden checkpoint at `at`, so
+                        // the rest of the run is the golden suffix: take
+                        // the golden result and fast-forward the
+                        // observer.
+                        path = TrialPath::Converged;
+                        counters.converged.fetch_add(1, Ordering::Relaxed);
+                        counters
+                            .suffix_skipped
+                            .fetch_add(golden_result.dyn_insts - at, Ordering::Relaxed);
+                        counters
+                            .insts_executed
+                            .fetch_add(executed, Ordering::Relaxed);
+                        if let Some(l) = latencies {
+                            l.lock().push(at - plan.at_dyn);
+                        }
+                        let sw = phases.map(|_| Stopwatch::start());
+                        let cp_at = s.at_boundary(at).expect("converged at a known checkpoint");
+                        obs.fast_forward(&cp_at.obs, s.golden_obs());
+                        let r = RunResult {
+                            end: golden_result.end,
+                            dyn_insts: golden_result.dyn_insts,
+                            injection,
+                            check_failures: golden_result.check_failures,
+                        };
+                        let out = golden_out.clone();
+                        if let (Some(ph), Some(sw)) = (phases, sw) {
+                            ph.fastforward_ns
+                                .fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
+                        }
+                        (obs, r, out)
+                    }
+                    ConvergeOutcome::SpinProven { result, executed } => {
+                        // The boundary state recurred with the fault
+                        // consumed: the trial provably spins to the
+                        // watchdog bound. The record was synthesized at
+                        // the proof point; memory at the halt boundary
+                        // is cycle-congruent with memory at the bound,
+                        // so the output read is exact.
+                        path = TrialPath::SpinProved;
+                        counters.spin_proved.fetch_add(1, Ordering::Relaxed);
+                        counters
+                            .insts_executed
+                            .fetch_add(executed, Ordering::Relaxed);
+                        counters
+                            .spin_skipped
+                            .fetch_add(result.dyn_insts - start - executed, Ordering::Relaxed);
+                        let out = tvm.output();
+                        (obs, result, out)
+                    }
+                }
+            }
+        } else {
+            let mut obs = make_obs();
+            let sw = time_exec.then(Stopwatch::start);
+            let (r, out) = tvm.run(&mut obs, Some(plan));
+            if let Some(sw) = sw {
+                trial_exec_ns = sw.elapsed_ns();
+            }
+            counters
+                .insts_executed
+                .fetch_add(r.dyn_insts, Ordering::Relaxed);
+            (obs, r, out)
+        };
+        match path {
+            TrialPath::Executed => &counters.ns_executed,
+            TrialPath::Converged => &counters.ns_converged,
+            TrialPath::SpinProved => &counters.ns_spin,
+            TrialPath::Pruned => &counters.ns_pruned,
+        }
+        .fetch_add(trial_exec_ns, Ordering::Relaxed);
+        // Watchdog traps mark trials that spun to the dynamic-
+        // instruction bound — the expensive kind (unless the spin proof
+        // caught them).
+        let watchdog = matches!(
+            result.end,
+            RunEnd::Trap {
+                kind: TrapKind::Watchdog,
+                ..
+            }
+        );
+        let rec = classify_trial(workload, golden_out, &result, &out, &cfg.classify);
+        if phases.is_some() || tracker.is_some() {
+            let idx = Outcome::CANONICAL
+                .iter()
+                .position(|o| *o == rec.outcome)
+                .expect("every outcome is canonical");
+            if let Some(ph) = phases {
+                ph.exec_ns.fetch_add(trial_exec_ns, Ordering::Relaxed);
+                let oa = &ph.per_outcome[idx];
+                oa.trials.fetch_add(1, Ordering::Relaxed);
+                oa.exec_ns.fetch_add(trial_exec_ns, Ordering::Relaxed);
+                oa.dyn_insts.fetch_add(rec.dyn_insts, Ordering::Relaxed);
+                if watchdog {
+                    oa.watchdog_trials.fetch_add(1, Ordering::Relaxed);
+                    oa.watchdog_spin_ns
+                        .fetch_add(trial_exec_ns, Ordering::Relaxed);
+                }
+            }
+            if let Some(t) = tracker {
+                t.trial_done(idx);
+            }
+        }
+        if let Some(sink) = sink {
+            sink(
+                i,
+                &plan,
+                &rec,
+                &obs,
+                &TrialTiming {
+                    watchdog,
+                    exec_ns: trial_exec_ns,
+                },
+            );
+        }
+        (rec, obs)
+    }
+}
+
 /// Derives the full fault-plan list for a config and golden
 /// instruction count. Deterministic and thread-count agnostic — the
 /// foundation of exact interrupt/resume: a resumed campaign re-derives
@@ -270,11 +531,7 @@ pub(crate) fn derive_plans(cfg: &CampaignConfig, golden_dyn_insts: u64) -> Vec<F
 /// # Panics
 ///
 /// Panics if the fault-free run does not complete.
-pub(crate) fn golden_dyn_insts(
-    workload: &dyn Workload,
-    module: &Module,
-    cfg: &CampaignConfig,
-) -> u64 {
+pub fn golden_dyn_insts(workload: &dyn Workload, module: &Module, cfg: &CampaignConfig) -> u64 {
     let mut module = module.clone();
     crate::prep::neutralize_false_positives(&mut module, workload, cfg.input);
     let input = workload.input(cfg.input);
@@ -485,33 +742,7 @@ pub(crate) fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
         idx
     };
 
-    // Per-path trial tallies, shared across workers and across the
-    // calibration / main execution slices.
-    #[derive(Default)]
-    struct Counters {
-        resumed: AtomicU64,
-        converged: AtomicU64,
-        prefix_skipped: AtomicU64,
-        suffix_skipped: AtomicU64,
-        insts_executed: AtomicU64,
-        spin_proved: AtomicU64,
-        spin_skipped: AtomicU64,
-        pruned: AtomicU64,
-        pruned_skipped: AtomicU64,
-        ns_executed: AtomicU64,
-        ns_converged: AtomicU64,
-        ns_spin: AtomicU64,
-        ns_pruned: AtomicU64,
-    }
-    /// Which scheduling path produced a trial's record.
-    #[derive(Clone, Copy)]
-    enum TrialPath {
-        Executed,
-        Converged,
-        SpinProved,
-        Pruned,
-    }
-    let counters = Counters::default();
+    let counters = PathCounters::default();
 
     let records: Mutex<Vec<(usize, TrialRecord, O)>> = Mutex::new(Vec::with_capacity(order.len()));
     let threads = if cfg.threads == 0 {
@@ -560,232 +791,41 @@ pub(crate) fn campaign_core_phased<O: SuffixObserver + Send + Sync>(
             // the per-path wall-time breakdown whenever snapshots are on;
             // all write-only, so timing on/off cannot change results.
             let time_exec = phases.is_some() || sink.is_some() || store.is_some();
+            let ctx = TrialCtx {
+                workload,
+                cfg,
+                image: &image,
+                plans: &plans,
+                pruned: &pruned,
+                golden_result: &golden_result,
+                golden_out: &golden_out,
+                store,
+                candidates,
+                spin_grid,
+                time_exec,
+                counters: &counters,
+                phases,
+                tracker,
+                make_obs: &make_obs,
+                sink,
+                latencies,
+            };
             let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
-                let (records, next, image, plans, golden_out) =
-                    (&records, &next, &image, &plans, &golden_out);
-                let (counters, make_obs, golden_result, pruned) =
-                    (&counters, &make_obs, &golden_result, &pruned);
+                let (records, next, ctx) = (&records, &next, &ctx);
                 for _ in 0..threads.min(order_slice.len().max(1)) {
                     scope.spawn(move || {
                         // One VM per worker: trials overwrite its memory
                         // image in place instead of re-allocating ~1 MiB
                         // per trial.
-                        let mut tvm = image.trial_vm();
+                        let mut tvm = ctx.image.trial_vm();
                         loop {
                             let k = next.fetch_add(1, Ordering::Relaxed);
                             if k >= order_slice.len() {
                                 break;
                             }
                             let i = order_slice[k];
-                            let plan = plans[i];
-                            // Live-execution time of this trial;
-                            // attributed per path / per outcome after
-                            // classification.
-                            let mut trial_exec_ns = 0u64;
-                            let mut path = TrialPath::Executed;
-                            let (obs, result, out) = if let Some(s) = store {
-                                if let Some(inj) = pruned[i] {
-                                    // Statically pruned: the resolved flip
-                                    // is provably invisible, so the trial
-                                    // executes the golden run bit for bit
-                                    // and its record is synthesized. The
-                                    // observer is the golden-final state
-                                    // plus the injection hook (which
-                                    // commutes with every other event).
-                                    path = TrialPath::Pruned;
-                                    let sw = time_exec.then(Stopwatch::start);
-                                    counters.pruned.fetch_add(1, Ordering::Relaxed);
-                                    counters
-                                        .pruned_skipped
-                                        .fetch_add(golden_result.dyn_insts, Ordering::Relaxed);
-                                    let mut obs = s.golden_obs().clone();
-                                    if let Some(rec) = inj {
-                                        obs.on_inject(&rec);
-                                    }
-                                    let r = RunResult {
-                                        end: golden_result.end,
-                                        dyn_insts: golden_result.dyn_insts,
-                                        injection: inj,
-                                        check_failures: golden_result.check_failures,
-                                    };
-                                    let out = golden_out.clone();
-                                    if let Some(sw) = sw {
-                                        trial_exec_ns = sw.elapsed_ns();
-                                    }
-                                    (obs, r, out)
-                                } else {
-                                    let sw = phases.map(|_| Stopwatch::start());
-                                    let cp = s.best_for(plan.at_dyn);
-                                    let (mut obs, start) = match cp {
-                                        Some(cp) => {
-                                            counters.resumed.fetch_add(1, Ordering::Relaxed);
-                                            counters
-                                                .prefix_skipped
-                                                .fetch_add(cp.snap.dyn_count(), Ordering::Relaxed);
-                                            (cp.obs.clone(), cp.snap.dyn_count())
-                                        }
-                                        None => (make_obs(), 0),
-                                    };
-                                    if let (Some(ph), Some(sw)) = (phases, sw) {
-                                        ph.resume_ns.fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
-                                    }
-                                    let sw = time_exec.then(Stopwatch::start);
-                                    let outcome = match cp {
-                                        Some(cp) => tvm.resume_converging(
-                                            &cp.snap,
-                                            &mut obs,
-                                            Some(plan),
-                                            candidates,
-                                            spin_grid,
-                                        ),
-                                        None => tvm.run_converging(
-                                            &mut obs,
-                                            Some(plan),
-                                            candidates,
-                                            spin_grid,
-                                        ),
-                                    };
-                                    if let Some(sw) = sw {
-                                        trial_exec_ns = sw.elapsed_ns();
-                                    }
-                                    match outcome {
-                                        ConvergeOutcome::Done(r) => {
-                                            counters
-                                                .insts_executed
-                                                .fetch_add(r.dyn_insts - start, Ordering::Relaxed);
-                                            let out = tvm.output();
-                                            (obs, r, out)
-                                        }
-                                        ConvergeOutcome::Converged {
-                                            at,
-                                            executed,
-                                            injection,
-                                        } => {
-                                            // State equals the golden
-                                            // checkpoint at `at`, so the
-                                            // rest of the run is the
-                                            // golden suffix: take the
-                                            // golden result and
-                                            // fast-forward the observer.
-                                            path = TrialPath::Converged;
-                                            counters.converged.fetch_add(1, Ordering::Relaxed);
-                                            counters.suffix_skipped.fetch_add(
-                                                golden_result.dyn_insts - at,
-                                                Ordering::Relaxed,
-                                            );
-                                            counters
-                                                .insts_executed
-                                                .fetch_add(executed, Ordering::Relaxed);
-                                            if let Some(l) = latencies {
-                                                l.lock().push(at - plan.at_dyn);
-                                            }
-                                            let sw = phases.map(|_| Stopwatch::start());
-                                            let cp_at = s
-                                                .at_boundary(at)
-                                                .expect("converged at a known checkpoint");
-                                            obs.fast_forward(&cp_at.obs, s.golden_obs());
-                                            let r = RunResult {
-                                                end: golden_result.end,
-                                                dyn_insts: golden_result.dyn_insts,
-                                                injection,
-                                                check_failures: golden_result.check_failures,
-                                            };
-                                            let out = golden_out.clone();
-                                            if let (Some(ph), Some(sw)) = (phases, sw) {
-                                                ph.fastforward_ns
-                                                    .fetch_add(sw.elapsed_ns(), Ordering::Relaxed);
-                                            }
-                                            (obs, r, out)
-                                        }
-                                        ConvergeOutcome::SpinProven { result, executed } => {
-                                            // The boundary state recurred
-                                            // with the fault consumed: the
-                                            // trial provably spins to the
-                                            // watchdog bound. The record
-                                            // was synthesized at the proof
-                                            // point; memory at the halt
-                                            // boundary is cycle-congruent
-                                            // with memory at the bound, so
-                                            // the output read is exact.
-                                            path = TrialPath::SpinProved;
-                                            counters.spin_proved.fetch_add(1, Ordering::Relaxed);
-                                            counters
-                                                .insts_executed
-                                                .fetch_add(executed, Ordering::Relaxed);
-                                            counters.spin_skipped.fetch_add(
-                                                result.dyn_insts - start - executed,
-                                                Ordering::Relaxed,
-                                            );
-                                            let out = tvm.output();
-                                            (obs, result, out)
-                                        }
-                                    }
-                                }
-                            } else {
-                                let mut obs = make_obs();
-                                let sw = time_exec.then(Stopwatch::start);
-                                let (r, out) = tvm.run(&mut obs, Some(plan));
-                                if let Some(sw) = sw {
-                                    trial_exec_ns = sw.elapsed_ns();
-                                }
-                                counters
-                                    .insts_executed
-                                    .fetch_add(r.dyn_insts, Ordering::Relaxed);
-                                (obs, r, out)
-                            };
-                            match path {
-                                TrialPath::Executed => &counters.ns_executed,
-                                TrialPath::Converged => &counters.ns_converged,
-                                TrialPath::SpinProved => &counters.ns_spin,
-                                TrialPath::Pruned => &counters.ns_pruned,
-                            }
-                            .fetch_add(trial_exec_ns, Ordering::Relaxed);
-                            // Watchdog traps mark trials that spun to the
-                            // dynamic-instruction bound — the expensive
-                            // kind (unless the spin proof caught them).
-                            let watchdog = matches!(
-                                result.end,
-                                RunEnd::Trap {
-                                    kind: TrapKind::Watchdog,
-                                    ..
-                                }
-                            );
-                            let rec =
-                                classify_trial(workload, golden_out, &result, &out, &cfg.classify);
-                            if phases.is_some() || tracker.is_some() {
-                                let idx = Outcome::CANONICAL
-                                    .iter()
-                                    .position(|o| *o == rec.outcome)
-                                    .expect("every outcome is canonical");
-                                if let Some(ph) = phases {
-                                    ph.exec_ns.fetch_add(trial_exec_ns, Ordering::Relaxed);
-                                    let oa = &ph.per_outcome[idx];
-                                    oa.trials.fetch_add(1, Ordering::Relaxed);
-                                    oa.exec_ns.fetch_add(trial_exec_ns, Ordering::Relaxed);
-                                    oa.dyn_insts.fetch_add(rec.dyn_insts, Ordering::Relaxed);
-                                    if watchdog {
-                                        oa.watchdog_trials.fetch_add(1, Ordering::Relaxed);
-                                        oa.watchdog_spin_ns
-                                            .fetch_add(trial_exec_ns, Ordering::Relaxed);
-                                    }
-                                }
-                                if let Some(t) = tracker {
-                                    t.trial_done(idx);
-                                }
-                            }
-                            if let Some(sink) = sink {
-                                sink(
-                                    i,
-                                    &plan,
-                                    &rec,
-                                    &obs,
-                                    &TrialTiming {
-                                        watchdog,
-                                        exec_ns: trial_exec_ns,
-                                    },
-                                );
-                            }
+                            let (rec, obs) = ctx.run_trial(&mut tvm, i);
                             records.lock().push((i, rec, obs));
                         }
                     });

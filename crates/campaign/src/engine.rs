@@ -1,0 +1,445 @@
+//! The shard execution engine: a prepared campaign that executes
+//! externally-chosen plan indices.
+//!
+//! [`campaign_core_phased`](crate::campaign) owns the whole trial loop
+//! of one campaign: it derives the plans, visits every index, and folds
+//! the records. A fleet worker needs the same preparation (golden run,
+//! checkpoint store, prune table) but *not* the loop — its indices
+//! arrive from a coordinator as shard ranges that can shrink while it
+//! runs (work stealing) or be re-dispatched wholesale (dead-worker
+//! reclaim). [`ShardEngine`] is that split: `prepare` pays the
+//! campaign-preparation cost once, `run_range` executes whatever an
+//! [`IndexSource`] hands it, through the *same*
+//! [`TrialCtx::run_trial`](crate::campaign) body the single-process
+//! campaign uses — bitwise equivalence by construction, not by test
+//! alone.
+//!
+//! Determinism contract: trial *i* derives its fault from `cfg.seed`
+//! and *i* alone, and `run_trial` is pure in the index, so any
+//! partition of `0..trials` across engines — including overlapping
+//! partitions from steal races or reclaimed ranges — yields records
+//! that fold identically after per-trial dedup.
+//!
+//! One deliberate divergence: under
+//! [`CampaignConfig::SNAPSHOT_AUTO`] the engine pins the provisional
+//! `golden / 32` checkpoint grid instead of re-recording at the
+//! calibrated interval, because calibration is a whole-campaign
+//! measurement a shard cannot see. The interval is result-invariant
+//! (only wall-clock changes), so fleet results still match the
+//! single-process campaign bit for bit.
+
+use crate::campaign::{derive_plans, CampaignConfig, PathCounters, TrialCtx, TrialTiming};
+use crate::outcome::TrialRecord;
+use crate::snapshot::CheckpointStore;
+use softft_ir::Module;
+use softft_telemetry::TraceObserver;
+use softft_vm::fault::{FaultKind, FaultPlan, InjectionRecord};
+use softft_vm::interp::NoopObserver;
+use softft_vm::{ModuleLiveness, Resolution, RunResult};
+use softft_workloads::runner::WorkloadImage;
+use softft_workloads::Workload;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Hands out plan indices to engine workers. Implementations decide
+/// the schedule (a fixed range, a shrinkable stolen-from range, a
+/// queue of reclaimed ranges); the engine only promises to execute
+/// every index it receives exactly once per receipt.
+pub trait IndexSource: Sync {
+    /// The next plan index to execute, or `None` when this source is
+    /// (currently) drained. Engines stop on `None`.
+    fn next(&self) -> Option<usize>;
+}
+
+/// A contiguous, concurrently-consumable plan-index range `[pos, hi)`
+/// whose upper bound can shrink while workers drain it — the steal
+/// primitive: a coordinator halves a victim's range by storing a new
+/// `hi`, and the cut-off suffix becomes a fresh range for the thief.
+///
+/// The consume/shrink race is deliberately benign: a consumer may take
+/// an index at or past a just-lowered `hi`, so the same trial can run
+/// on both sides of a steal. Trials are pure in their index, and every
+/// downstream fold dedups by trial, so the overlap costs duplicate
+/// work, never a different result.
+#[derive(Debug)]
+pub struct SharedRange {
+    pos: AtomicUsize,
+    hi: AtomicUsize,
+}
+
+impl SharedRange {
+    /// A range covering `[lo, hi)`.
+    pub fn new(lo: usize, hi: usize) -> SharedRange {
+        SharedRange {
+            pos: AtomicUsize::new(lo),
+            hi: AtomicUsize::new(hi),
+        }
+    }
+
+    /// Current consume position (next index that would be handed out).
+    pub fn pos(&self) -> usize {
+        self.pos.load(Ordering::Relaxed).min(self.hi())
+    }
+
+    /// Current exclusive upper bound.
+    pub fn hi(&self) -> usize {
+        self.hi.load(Ordering::Relaxed)
+    }
+
+    /// Indices not yet handed out.
+    pub fn remaining(&self) -> usize {
+        self.hi().saturating_sub(self.pos.load(Ordering::Relaxed))
+    }
+
+    /// Shrinks the upper bound to `new_hi` (no-op if already lower)
+    /// and returns the previous bound. The caller owns `[new_hi, old)`
+    /// afterwards — modulo the benign overlap documented on the type.
+    pub fn shrink_to(&self, new_hi: usize) -> usize {
+        self.hi.fetch_min(new_hi, Ordering::Relaxed)
+    }
+}
+
+impl IndexSource for SharedRange {
+    fn next(&self) -> Option<usize> {
+        let k = self.pos.fetch_add(1, Ordering::Relaxed);
+        (k < self.hi()).then_some(k)
+    }
+}
+
+/// Per-completion callback for shard execution: same shape as the
+/// campaign's internal sink, public so fleet workers can persist each
+/// trial to their run-store file as it finishes.
+pub type ShardSink<'a> =
+    &'a (dyn Fn(usize, &FaultPlan, &TrialRecord, &TraceObserver, &TrialTiming) + Sync);
+
+/// Cumulative scheduling-path tallies of one engine (all `run_range`
+/// calls so far) — the fleet's per-worker progress payload.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Trials that resumed from a checkpoint.
+    pub resumed: u64,
+    /// Trials that exited early by converging with the golden run.
+    pub converged: u64,
+    /// Trials halted by the spin proof.
+    pub spin_proved: u64,
+    /// Trials skipped entirely by static pruning.
+    pub pruned: u64,
+    /// Dynamic instructions actually executed.
+    pub insts_executed: u64,
+}
+
+/// Clones `module` and applies the same false-positive neutralization
+/// the campaign core applies, returning the module a [`ShardEngine`]
+/// must be prepared against. Split from `prepare` so the caller owns
+/// the module the engine borrows (the image keeps references into it).
+pub fn neutralized_module(
+    workload: &dyn Workload,
+    module: &Module,
+    cfg: &CampaignConfig,
+) -> Module {
+    let mut module = module.clone();
+    crate::prep::neutralize_false_positives(&mut module, workload, cfg.input);
+    module
+}
+
+/// A campaign prepared once, executable in externally-scheduled
+/// index ranges. See the module docs for the determinism contract.
+pub struct ShardEngine<'m> {
+    workload: &'m dyn Workload,
+    cfg: CampaignConfig,
+    image: WorkloadImage<'m>,
+    plans: Vec<FaultPlan>,
+    pruned: Vec<Option<Option<InjectionRecord>>>,
+    store: Option<CheckpointStore<TraceObserver>>,
+    golden_result: RunResult,
+    golden_out: Vec<u8>,
+    counters: PathCounters,
+    executed: AtomicU64,
+}
+
+impl<'m> ShardEngine<'m> {
+    /// Prepares the engine: golden run, checkpoint recording, plan
+    /// derivation, trigger resolution, and prune decisions — the same
+    /// stages (in the same order) as the campaign core. `module` must
+    /// come from [`neutralized_module`]; passing a raw technique module
+    /// would silently derive different plans than `run_campaign`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault-free run does not complete.
+    pub fn prepare(
+        workload: &'m dyn Workload,
+        module: &'m Module,
+        cfg: &CampaignConfig,
+    ) -> ShardEngine<'m> {
+        let cfg = cfg.clone();
+        let input = workload.input(cfg.input);
+        let image = WorkloadImage::new(module, &input, cfg.vm);
+        let auto = cfg.snapshot_interval == CampaignConfig::SNAPSHOT_AUTO;
+
+        // Golden run. Fixed interval: the recording run is the golden
+        // run. Auto: plain run first for the golden length, then record
+        // on the pinned provisional grid (resolving triggers in the
+        // same pass).
+        let (mut store, golden_result, golden_out) = if cfg.snapshot_interval > 0 && !auto {
+            let (store, r, out, _capture_ns) =
+                CheckpointStore::record_timed(&image, TraceObserver::new(), cfg.snapshot_interval);
+            (Some(store), r, out)
+        } else {
+            let (r, out) = image.run(&mut NoopObserver, None);
+            (None, r, out)
+        };
+        assert!(
+            golden_result.completed(),
+            "fault-free run of {} must complete: {:?}",
+            workload.name(),
+            golden_result.end
+        );
+        let n = golden_result.dyn_insts;
+        let plans = derive_plans(&cfg, n);
+
+        let want_prune =
+            cfg.prune && cfg.fault_kind == FaultKind::Register && cfg.snapshot_interval > 0;
+        let trig_order: Vec<usize> = {
+            let mut idx: Vec<usize> = (0..plans.len()).collect();
+            idx.sort_by_key(|&i| (plans[i].at_dyn, i));
+            idx
+        };
+        let triggers: Vec<FaultPlan> = if want_prune {
+            trig_order.iter().map(|&i| plans[i]).collect()
+        } else {
+            Vec::new()
+        };
+
+        let mut resolutions: Vec<Resolution> = Vec::new();
+        if auto {
+            let provisional = (n / 32).max(1);
+            let (s, r, _out, res, _capture_ns) = CheckpointStore::record_resolving(
+                &image,
+                TraceObserver::new(),
+                provisional,
+                &triggers,
+            );
+            assert_eq!(r, golden_result, "recording run must replay the golden run");
+            store = Some(s);
+            resolutions = res;
+        } else if want_prune {
+            let (r, _out, res) =
+                image.run_recording_resolving(&mut NoopObserver, 0, &triggers, |_, _| {});
+            debug_assert_eq!(r, golden_result);
+            resolutions = res;
+        }
+
+        let mut pruned: Vec<Option<Option<InjectionRecord>>> = vec![None; plans.len()];
+        if want_prune && !resolutions.is_empty() {
+            let liveness = ModuleLiveness::compute(module);
+            for (k, &i) in trig_order.iter().enumerate() {
+                match resolutions[k] {
+                    Resolution::NoCandidates => pruned[i] = Some(None),
+                    Resolution::Register { rec, block, ip } => {
+                        if liveness.dead_or_masked(module, rec.func, block, ip, rec.value, rec.bit)
+                        {
+                            pruned[i] = Some(Some(rec));
+                        }
+                    }
+                }
+            }
+        }
+
+        ShardEngine {
+            workload,
+            cfg,
+            image,
+            plans,
+            pruned,
+            store,
+            golden_result,
+            golden_out,
+            counters: PathCounters::default(),
+            executed: AtomicU64::new(0),
+        }
+    }
+
+    /// Total plan count (`cfg.trials`).
+    pub fn plan_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The derived fault plans, indexed by trial.
+    pub fn plans(&self) -> &[FaultPlan] {
+        &self.plans
+    }
+
+    /// Dynamic instruction count of the fault-free run (the plan-hash
+    /// ingredient shared with the run-store manifest).
+    pub fn golden_dyn_insts(&self) -> u64 {
+        self.golden_result.dyn_insts
+    }
+
+    /// Trials executed across all `run_range` calls (duplicates from
+    /// overlapping ranges count each execution).
+    pub fn trials_executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative scheduling-path tallies.
+    pub fn stats(&self) -> ShardStats {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ShardStats {
+            resumed: load(&self.counters.resumed),
+            converged: load(&self.counters.converged),
+            spin_proved: load(&self.counters.spin_proved),
+            pruned: load(&self.counters.pruned),
+            insts_executed: load(&self.counters.insts_executed),
+        }
+    }
+
+    /// Executes every index `source` yields, on `threads` workers,
+    /// streaming each completion to `sink`. Returns the number of
+    /// trials executed by this call. Indices at or beyond the plan
+    /// count are skipped (a coordinator speaking a newer plan is a
+    /// protocol error surfaced elsewhere; the engine just stays safe).
+    pub fn run_range(&self, source: &dyn IndexSource, threads: usize, sink: ShardSink<'_>) -> u64 {
+        let candidates = self
+            .store
+            .as_ref()
+            .map(|s| s.candidates())
+            .unwrap_or_default();
+        let spin_grid = match &self.store {
+            Some(s) if self.cfg.spin_proof => s.interval().clamp(1, 256),
+            _ => 0,
+        };
+        let make_obs = TraceObserver::new;
+        let ctx = TrialCtx {
+            workload: self.workload,
+            cfg: &self.cfg,
+            image: &self.image,
+            plans: &self.plans,
+            pruned: &self.pruned,
+            golden_result: &self.golden_result,
+            golden_out: &self.golden_out,
+            store: self.store.as_ref(),
+            candidates: &candidates,
+            spin_grid,
+            time_exec: true,
+            counters: &self.counters,
+            phases: None,
+            tracker: None,
+            make_obs: &make_obs,
+            sink: Some(sink),
+            latencies: None,
+        };
+        let done = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.max(1) {
+                let (ctx, done, source) = (&ctx, &done, source);
+                scope.spawn(move || {
+                    let mut tvm = ctx.image.trial_vm();
+                    while let Some(i) = source.next() {
+                        if i >= ctx.plans.len() {
+                            continue;
+                        }
+                        let _ = ctx.run_trial(&mut tvm, i);
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let n = done.load(Ordering::Relaxed);
+        self.executed.fetch_add(n, Ordering::Relaxed);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign_attributed, CampaignConfig};
+    use crate::prep::prepare;
+    use parking_lot::Mutex;
+    use softft::Technique;
+    use softft_workloads::workload_by_name;
+
+    fn collect_records(
+        engine: &ShardEngine<'_>,
+        source: &dyn IndexSource,
+        threads: usize,
+    ) -> Vec<(usize, TrialRecord)> {
+        let got: Mutex<Vec<(usize, TrialRecord)>> = Mutex::new(Vec::new());
+        let sink =
+            |i: usize, _p: &FaultPlan, rec: &TrialRecord, _o: &TraceObserver, _t: &TrialTiming| {
+                got.lock().push((i, rec.clone()));
+            };
+        engine.run_range(source, threads, &sink);
+        let mut v = got.into_inner();
+        v.sort_by_key(|(i, _)| *i);
+        v
+    }
+
+    #[test]
+    fn shared_range_drains_and_shrinks() {
+        let r = SharedRange::new(3, 11);
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.next(), Some(3));
+        let old = r.shrink_to(6);
+        assert_eq!(old, 11);
+        let mut rest = Vec::new();
+        while let Some(i) = r.next() {
+            rest.push(i);
+        }
+        assert_eq!(rest, vec![4, 5]);
+        assert_eq!(r.remaining(), 0);
+        // Shrinking never raises the bound.
+        r.shrink_to(100);
+        assert_eq!(r.hi(), 6);
+    }
+
+    #[test]
+    fn engine_matches_campaign_core_across_schedules() {
+        // The same 24 trials, once through run_campaign_attributed and
+        // once through the shard engine split across two disjoint
+        // ranges with different thread counts — records must be
+        // bitwise-identical.
+        let p = prepare(workload_by_name("tiff2bw").unwrap());
+        let cfg = CampaignConfig {
+            trials: 24,
+            seed: 42,
+            threads: 2,
+            snapshot_interval: CampaignConfig::SNAPSHOT_AUTO,
+            ..CampaignConfig::default()
+        };
+        let (_, telemetry) =
+            run_campaign_attributed(&*p.workload, p.module(Technique::DupVal), &cfg, None);
+
+        let module = neutralized_module(&*p.workload, p.module(Technique::DupVal), &cfg);
+        let engine = ShardEngine::prepare(&*p.workload, &module, &cfg);
+        assert_eq!(engine.plan_count(), 24);
+        let mut got = collect_records(&engine, &SharedRange::new(0, 9), 1);
+        got.extend(collect_records(&engine, &SharedRange::new(9, 24), 2));
+        got.sort_by_key(|(i, _)| *i);
+
+        assert_eq!(got.len(), telemetry.records.len());
+        for (i, rec) in &got {
+            assert_eq!(rec, &telemetry.records[*i], "trial {i} diverged");
+        }
+        assert_eq!(engine.trials_executed(), 24);
+    }
+
+    #[test]
+    fn duplicate_execution_is_idempotent() {
+        // Re-running a range (the reclaim path after a worker death)
+        // must reproduce records bit for bit.
+        let p = prepare(workload_by_name("kmeans").unwrap());
+        let cfg = CampaignConfig {
+            trials: 10,
+            seed: 9,
+            threads: 1,
+            snapshot_interval: CampaignConfig::SNAPSHOT_AUTO,
+            ..CampaignConfig::default()
+        };
+        let module = neutralized_module(&*p.workload, p.module(Technique::DupOnly), &cfg);
+        let engine = ShardEngine::prepare(&*p.workload, &module, &cfg);
+        let a = collect_records(&engine, &SharedRange::new(0, 10), 2);
+        let b = collect_records(&engine, &SharedRange::new(0, 10), 1);
+        assert_eq!(a, b);
+    }
+}

@@ -12,6 +12,10 @@
 //!   transform under each technique;
 //! * [`campaign`] — the injection loop (randomized in time and space,
 //!   seeded, parallelized across threads);
+//! * [`engine`] — the same loop split for fleet execution: a
+//!   [`ShardEngine`] prepared once per worker executes plan-index
+//!   ranges handed out (and stolen back) by a coordinator, through the
+//!   identical per-trial body;
 //! * [`snapshot`] — golden-run checkpointing so trials resume from the
 //!   greatest checkpoint below their trigger instead of re-executing the
 //!   fault-free prefix (bitwise-identical results, large speedup);
@@ -34,6 +38,7 @@
 pub mod campaign;
 pub mod coverage;
 pub mod crossval;
+pub mod engine;
 pub mod falsepos;
 pub mod live;
 pub mod outcome;
@@ -46,15 +51,18 @@ pub mod snapshot;
 pub mod stats;
 
 pub use campaign::{
-    run_campaign, run_campaign_attributed, run_campaign_counted, run_campaign_profiled,
-    run_campaign_recorded, run_campaign_traced, run_campaign_with_stats, CampaignConfig,
-    CampaignResult, CampaignTelemetry,
+    golden_dyn_insts, run_campaign, run_campaign_attributed, run_campaign_counted,
+    run_campaign_profiled, run_campaign_recorded, run_campaign_traced, run_campaign_with_stats,
+    CampaignConfig, CampaignResult, CampaignTelemetry, TrialTiming,
 };
 pub use coverage::{build_coverage, BitBand, CoverageAccum, CoverageMap, GapSite, SiteReport};
+pub use engine::{
+    neutralized_module, IndexSource, ShardEngine, ShardSink, ShardStats, SharedRange,
+};
 pub use live::{
     campaign_config_from_manifest, fault_kind_from_label, fault_kind_label, plan_hash,
-    record_from_json, record_to_json, replay, run_campaign_to_store, store_manifest, ReplayedShard,
-    StreamStats,
+    record_from_json, record_to_json, replay, run_campaign_to_store, store_manifest, stored_trial,
+    ReplayedShard, StreamStats,
 };
 pub use outcome::{Outcome, TrialRecord};
 pub use prep::{prepare, PreparedBenchmark};

@@ -254,6 +254,40 @@ fn io_invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+/// Builds the persisted form of one completed trial from the streaming
+/// sink's arguments. One builder shared by [`run_campaign_to_store`]
+/// and the fleet worker's per-worker shard files, so the two cannot
+/// drift: a fleet store and a single-process store hold byte-identical
+/// records for the same trial (only the observational `t_ms`/`seq`
+/// differ, and those never fold into results).
+pub fn stored_trial(
+    i: usize,
+    rec: &TrialRecord,
+    obs: &TraceObserver,
+    t: &TrialTiming,
+    t_ms: u64,
+) -> StoredTrial {
+    StoredTrial {
+        seq: 0, // assigned by the writer
+        trial: i as u32,
+        t_ms,
+        watchdog: t.watchdog,
+        exec_ns: t.exec_ns,
+        ops: obs
+            .opcodes
+            .iter_nonzero()
+            .map(|(op, n)| (op.to_string(), n))
+            .collect(),
+        checks: obs
+            .checks
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(k, n)| (check_kind_label(k).to_string(), n))
+            .collect(),
+        record: record_to_json(rec),
+    }
+}
+
 /// What one [`run_campaign_to_store`] call did to its shard.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StreamStats {
@@ -303,11 +337,16 @@ pub fn run_campaign_to_store(
         }
     }
 
-    // The shard file is authoritative for which trials completed; the
+    // The shard files are authoritative for which trials completed; the
     // duplicate-tolerant read also covers a crash that appended a trial
-    // but died before the manifest update.
-    let mut done: Vec<u32> = store
-        .read_shard(&file)?
+    // but died before the manifest update. A shard previously written
+    // by a fleet (per-worker files) resumes exactly: every worker file
+    // counts toward `done`.
+    let stored = match store.manifest().shard(&label) {
+        Some(meta) => store.read_shard_files(meta)?,
+        None => store.read_shard(&file)?,
+    };
+    let mut done: Vec<u32> = stored
         .iter()
         .map(|t| t.trial)
         .filter(|&t| t < cfg.trials)
@@ -335,6 +374,7 @@ pub fn run_campaign_to_store(
             completed: already_done,
             complete: already_done >= cfg.trials,
             wall_ms: 0,
+            worker_files: Vec::new(),
         }),
     })?;
 
@@ -356,25 +396,7 @@ pub fn run_campaign_to_store(
     let sink_err: Mutex<Option<io::Error>> = Mutex::new(None);
     let sink =
         |i: usize, _plan: &FaultPlan, rec: &TrialRecord, obs: &TraceObserver, t: &TrialTiming| {
-            let stored = StoredTrial {
-                seq: 0, // assigned by the writer
-                trial: i as u32,
-                t_ms: start.elapsed().as_millis() as u64,
-                watchdog: t.watchdog,
-                exec_ns: t.exec_ns,
-                ops: obs
-                    .opcodes
-                    .iter_nonzero()
-                    .map(|(op, n)| (op.to_string(), n))
-                    .collect(),
-                checks: obs
-                    .checks
-                    .iter()
-                    .filter(|(_, n)| *n > 0)
-                    .map(|(k, n)| (check_kind_label(k).to_string(), n))
-                    .collect(),
-                record: record_to_json(rec),
-            };
+            let stored = stored_trial(i, rec, obs, t, start.elapsed().as_millis() as u64);
             if let Err(e) = writer.append(stored) {
                 let mut slot = sink_err.lock().expect("sink error slot");
                 if slot.is_none() {
@@ -474,7 +496,7 @@ pub fn replay(dir: &Path) -> io::Result<Vec<ReplayedShard>> {
                 meta.label, meta.plan_hash, hash
             )));
         }
-        let stored = dedup_trials(store.read_shard(&meta.file)?, manifest.trials);
+        let stored = dedup_trials(store.read_shard_files(meta)?, manifest.trials);
         let plans = derive_plans(&cfg, meta.golden_dyn_insts);
 
         let mut result = CampaignResult {

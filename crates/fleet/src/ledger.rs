@@ -1,0 +1,336 @@
+//! The range ledger: who owns which slice of the fault plan.
+//!
+//! The coordinator splits the campaign's missing plan indices into
+//! contiguous ranges and hands them to workers as *assignments*. All
+//! scheduling is plan-index arithmetic over [`SharedRange`]s:
+//!
+//! * **dispatch** — pop a pending range, wrap it in an assignment;
+//! * **steal** — an idle worker takes the upper half of the largest
+//!   remaining active range (the victim's `hi` shrinks under the
+//!   ledger lock; process-mode victims additionally get a `trim`
+//!   message, but the arithmetic is already done);
+//! * **reclaim** — a dead worker's assignments return to pending in
+//!   full (`[lo, hi)`), so any trial it half-finished simply runs
+//!   again. Trials are pure in their index and every fold dedups by
+//!   trial, so re-execution is idempotent.
+//!
+//! Because trial *i* derives its fault from `cfg.seed` and *i* alone,
+//! no schedule the ledger can produce — any worker count, steal
+//! interleaving, or death/reclaim sequence — changes a single record.
+
+use softft_campaign::SharedRange;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A contiguous slice `[lo, hi)` of plan positions awaiting dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardRange {
+    /// Inclusive start.
+    pub lo: usize,
+    /// Exclusive end.
+    pub hi: usize,
+}
+
+/// A trim notification: assignment `id`'s upper bound shrank to `hi`
+/// (sent to the victim worker's handler when it is stolen from).
+#[derive(Clone, Copy, Debug)]
+pub struct Trim {
+    /// The shrunk assignment.
+    pub id: u64,
+    /// Its new exclusive upper bound.
+    pub hi: usize,
+}
+
+/// One dispatched range: the worker drains `range` while the
+/// coordinator may still shrink it (steal) or return it to pending
+/// (reclaim after death).
+pub struct Assignment {
+    /// Ledger-unique assignment id.
+    pub id: u64,
+    /// Worker the range was dispatched to.
+    pub worker: usize,
+    /// The live range; in-process workers consume it directly.
+    pub range: Arc<SharedRange>,
+    /// Original lower bound (reclaim returns `[lo, hi())` in full).
+    lo: usize,
+}
+
+struct ActiveEntry {
+    id: u64,
+    worker: usize,
+    range: Arc<SharedRange>,
+    lo: usize,
+    notify: Option<Sender<Trim>>,
+}
+
+#[derive(Default)]
+struct LedgerInner {
+    pending: Vec<ShardRange>,
+    active: Vec<ActiveEntry>,
+    next_id: u64,
+    /// Workers marked dead; their requests return `None` immediately.
+    dead: Vec<usize>,
+}
+
+/// The coordinator's scheduling state. All methods are safe to call
+/// from any worker-handler thread.
+pub struct RangeLedger {
+    inner: Mutex<LedgerInner>,
+    wake: Condvar,
+    steals: AtomicU64,
+    reclaims: AtomicU64,
+}
+
+impl RangeLedger {
+    /// A ledger over `positions` plan positions, pre-split into
+    /// `workers` contiguous ranges (the initial static partition; the
+    /// remainder spreads one extra position over the leading ranges).
+    pub fn new(positions: usize, workers: usize) -> RangeLedger {
+        let workers = workers.max(1);
+        let mut pending = Vec::new();
+        let base = positions / workers;
+        let extra = positions % workers;
+        let mut lo = 0usize;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            if len > 0 {
+                pending.push(ShardRange { lo, hi: lo + len });
+                lo += len;
+            }
+        }
+        RangeLedger {
+            inner: Mutex::new(LedgerInner {
+                pending,
+                ..LedgerInner::default()
+            }),
+            wake: Condvar::new(),
+            steals: AtomicU64::new(0),
+            reclaims: AtomicU64::new(0),
+        }
+    }
+
+    /// Ranges stolen so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Assignments reclaimed from dead workers so far.
+    pub fn reclaims(&self) -> u64 {
+        self.reclaims.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until a range is available for `worker` (from pending or
+    /// by stealing), returning `None` once the campaign is drained (no
+    /// pending, no active) or the worker was marked dead. `notify`,
+    /// when given, receives a [`Trim`] if this assignment is later
+    /// stolen from — process-mode handlers forward it to the worker as
+    /// a `trim` frame; in-process workers share the [`SharedRange`]
+    /// and need no channel.
+    pub fn request(&self, worker: usize, notify: Option<Sender<Trim>>) -> Option<Assignment> {
+        let mut inner = self.inner.lock().expect("ledger lock");
+        loop {
+            if inner.dead.contains(&worker) {
+                return None;
+            }
+            if let Some(r) = inner.pending.pop() {
+                return Some(self.dispatch(&mut inner, worker, r.lo, r.hi, notify));
+            }
+            // Steal half of the largest remaining active range.
+            let victim = inner
+                .active
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, a)| a.range.remaining())
+                .map(|(k, a)| (k, a.range.remaining()));
+            if let Some((k, rem)) = victim {
+                if rem >= 2 {
+                    let (mid, hi) = {
+                        let a = &inner.active[k];
+                        let pos = a.range.pos();
+                        let hi = a.range.hi();
+                        // Victim keeps the lower half, thief takes the
+                        // upper; the consume/shrink overlap is benign
+                        // (see SharedRange docs).
+                        (pos + (hi - pos) / 2, hi)
+                    };
+                    if mid < hi {
+                        let a = &inner.active[k];
+                        a.range.shrink_to(mid);
+                        if let Some(tx) = &a.notify {
+                            let _ = tx.send(Trim { id: a.id, hi: mid });
+                        }
+                        self.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(self.dispatch(&mut inner, worker, mid, hi, notify));
+                    }
+                }
+            }
+            if inner.active.is_empty() {
+                return None;
+            }
+            // Active ranges exist but none worth stealing: wait for a
+            // completion, reclaim, or death to change the picture. The
+            // timeout guards against a lost wakeup, not correctness.
+            inner = self
+                .wake
+                .wait_timeout(inner, Duration::from_millis(50))
+                .expect("ledger lock")
+                .0;
+        }
+    }
+
+    fn dispatch(
+        &self,
+        inner: &mut LedgerInner,
+        worker: usize,
+        lo: usize,
+        hi: usize,
+        notify: Option<Sender<Trim>>,
+    ) -> Assignment {
+        inner.next_id += 1;
+        let id = inner.next_id;
+        let range = Arc::new(SharedRange::new(lo, hi));
+        inner.active.push(ActiveEntry {
+            id,
+            worker,
+            range: range.clone(),
+            lo,
+            notify,
+        });
+        Assignment {
+            id,
+            worker,
+            range,
+            lo,
+        }
+    }
+
+    /// Marks an assignment finished (its range is drained).
+    pub fn complete(&self, id: u64) {
+        let mut inner = self.inner.lock().expect("ledger lock");
+        inner.active.retain(|a| a.id != id);
+        drop(inner);
+        self.wake.notify_all();
+    }
+
+    /// Reclaims every active assignment of a dead worker: each returns
+    /// to pending in full (`[lo, hi)` — conservatively including
+    /// whatever the worker may have already executed, because
+    /// re-execution is idempotent) and the worker is barred from
+    /// further requests. Returns the number of reclaimed assignments.
+    pub fn reclaim_worker(&self, worker: usize) -> usize {
+        let mut inner = self.inner.lock().expect("ledger lock");
+        if !inner.dead.contains(&worker) {
+            inner.dead.push(worker);
+        }
+        let mut reclaimed = Vec::new();
+        inner.active.retain(|a| {
+            if a.worker == worker {
+                let (lo, hi) = (a.lo, a.range.hi());
+                if lo < hi {
+                    reclaimed.push(ShardRange { lo, hi });
+                }
+                false
+            } else {
+                true
+            }
+        });
+        let n = reclaimed.len();
+        inner.pending.extend(reclaimed);
+        drop(inner);
+        self.reclaims.fetch_add(n as u64, Ordering::Relaxed);
+        self.wake.notify_all();
+        n
+    }
+
+    /// True when nothing is pending and nothing is active.
+    pub fn drained(&self) -> bool {
+        let inner = self.inner.lock().expect("ledger lock");
+        inner.pending.is_empty() && inner.active.is_empty()
+    }
+}
+
+/// Original lower bound of an assignment (exposed for reclaim tests).
+impl Assignment {
+    /// The assignment's original `[lo, hi)` lower bound.
+    pub fn lo(&self) -> usize {
+        self.lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softft_campaign::IndexSource;
+
+    #[test]
+    fn initial_split_is_contiguous_and_covers() {
+        let ledger = RangeLedger::new(10, 3);
+        let inner = ledger.inner.lock().unwrap();
+        let mut ranges = inner.pending.clone();
+        ranges.sort_by_key(|r| r.lo);
+        assert_eq!(
+            ranges,
+            vec![
+                ShardRange { lo: 0, hi: 4 },
+                ShardRange { lo: 4, hi: 7 },
+                ShardRange { lo: 7, hi: 10 },
+            ]
+        );
+    }
+
+    #[test]
+    fn steal_halves_largest_active_range() {
+        let ledger = RangeLedger::new(8, 1);
+        let a = ledger.request(0, None).expect("initial range");
+        assert_eq!((a.range.pos(), a.range.hi()), (0, 8));
+        let b = ledger.request(1, None).expect("stolen range");
+        assert_eq!(ledger.steals(), 1);
+        // Victim kept [0, 4), thief got [4, 8).
+        assert_eq!(a.range.hi(), 4);
+        assert_eq!((b.range.pos(), b.range.hi()), (4, 8));
+    }
+
+    #[test]
+    fn reclaim_returns_full_range_and_bars_worker() {
+        let ledger = RangeLedger::new(6, 2);
+        let a = ledger.request(0, None).unwrap();
+        let _b = ledger.request(1, None).unwrap();
+        // Worker 0 consumed part of its range, then died.
+        a.range.next();
+        a.range.next();
+        assert_eq!(ledger.reclaim_worker(0), 1);
+        assert_eq!(ledger.reclaims(), 1);
+        assert!(ledger.request(0, None).is_none(), "dead worker barred");
+        // The reclaimed range comes back in full, partial progress
+        // ignored (re-execution is idempotent).
+        let c = ledger.request(1, None).unwrap();
+        assert_eq!((c.range.pos(), c.range.hi()), (a.lo(), a.range.hi()));
+    }
+
+    #[test]
+    fn drains_to_none_for_all_workers() {
+        let ledger = RangeLedger::new(4, 2);
+        let a = ledger.request(0, None).unwrap();
+        let b = ledger.request(1, None).unwrap();
+        while a.range.next().is_some() {}
+        while b.range.next().is_some() {}
+        ledger.complete(a.id);
+        ledger.complete(b.id);
+        assert!(ledger.drained());
+        assert!(ledger.request(0, None).is_none());
+        assert!(ledger.request(1, None).is_none());
+    }
+
+    #[test]
+    fn trim_notification_reaches_victim() {
+        let ledger = RangeLedger::new(8, 1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let a = ledger.request(0, Some(tx)).unwrap();
+        let _b = ledger.request(1, None).unwrap();
+        let trim = rx.try_recv().expect("victim notified");
+        assert_eq!(trim.id, a.id);
+        assert_eq!(trim.hi, 4);
+    }
+}

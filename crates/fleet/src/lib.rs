@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # softft-fleet
+//!
+//! The fleet campaign coordinator: splits a deterministic fault plan
+//! into contiguous shard ranges and dispatches them to a work-stealing
+//! pool of workers — in-process thread pools or multiple OS processes
+//! spawned as `repro fleet worker` — with results **bitwise identical**
+//! to a single-process [`run_campaign`](softft_campaign::run_campaign).
+//!
+//! Three load-bearing invariants, in dependency order:
+//!
+//! 1. **Shard determinism.** Trial *i* derives its fault from
+//!    `cfg.seed` and *i* alone ([`softft_campaign`]'s plan derivation),
+//!    so any partition of plan indices across any executors produces
+//!    the same per-trial records.
+//! 2. **Steal arithmetic.** Work stealing is coordinator-side index
+//!    arithmetic on [`SharedRange`](softft_campaign::SharedRange)s
+//!    (victim's `hi` shrinks, thief takes the cut-off suffix); the
+//!    benign consume/shrink overlap re-executes at most one trial,
+//!    which is idempotent by invariant 1.
+//! 3. **Reclaim idempotence.** A dead worker's assignments return to
+//!    pending in full; every store fold dedups by trial index, so
+//!    partially-persisted work plus re-execution collapses to the
+//!    single-process byte stream.
+//!
+//! Workers append to per-worker shard files registered in the store
+//! manifest ([`ShardMeta::worker_files`](softft_telemetry::ShardMeta)),
+//! and the coordinator merges via the existing
+//! [`replay`](softft_campaign::replay) fold. A live observatory serves
+//! length-prefixed JSONL frames over a local socket
+//! ([`serve_observatory`]) for `repro watch --connect`.
+
+pub mod ledger;
+pub mod pool;
+pub mod proc;
+pub mod status;
+
+pub use ledger::{Assignment, RangeLedger, ShardRange, Trim};
+pub use pool::{run_fleet_campaign, FleetConfig, FleetReport};
+pub use proc::{run_worker, WorkerOpts};
+pub use status::{serve_observatory, FleetStatus, GapTailer, FRAME_INTERVAL_MS};

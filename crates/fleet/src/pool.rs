@@ -1,0 +1,346 @@
+//! Fleet campaign entry point and the in-process worker pool.
+
+use crate::ledger::RangeLedger;
+use crate::status::{FleetStatus, GapTailer, FRAME_INTERVAL_MS};
+use softft::Technique;
+use softft_campaign::prep::PreparedBenchmark;
+use softft_campaign::{
+    golden_dyn_insts, neutralized_module, plan_hash, stored_trial, CampaignConfig, IndexSource,
+    ShardEngine, SharedRange, TrialRecord, TrialTiming,
+};
+use softft_telemetry::{
+    shard_file_name, shard_file_name_worker, RunStore, ShardMeta, TraceObserver,
+};
+use softft_vm::fault::FaultPlan;
+use std::io;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Fleet execution parameters.
+pub struct FleetConfig {
+    /// Worker count (pools or processes).
+    pub workers: usize,
+    /// Threads per worker's shard engine.
+    pub worker_threads: usize,
+    /// Spawn OS worker processes (`repro fleet worker`) instead of
+    /// in-process pools.
+    pub processes: bool,
+    /// Observatory listener (bound by the caller so the address can be
+    /// printed before the run starts).
+    pub observatory: Option<TcpListener>,
+    /// Heartbeat interval for process-mode liveness; a worker silent
+    /// for 3 intervals is declared dead and its ranges reclaimed.
+    pub heartbeat_ms: u64,
+    /// Testing knob: `(worker, n)` makes that spawned worker process
+    /// exit abruptly after executing `n` trials (exercises the
+    /// reclaim path). Ignored in in-process mode.
+    pub fail_after: Vec<(usize, u64)>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            workers: 2,
+            worker_threads: 1,
+            processes: false,
+            observatory: None,
+            heartbeat_ms: 1000,
+            fail_after: Vec::new(),
+        }
+    }
+}
+
+/// What one fleet campaign did.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Shard label (`"bench/technique"`).
+    pub label: String,
+    /// Planned trials.
+    pub total: u32,
+    /// Trials already persisted before this run.
+    pub already_done: u32,
+    /// Trial executions across all workers (duplicates from steal
+    /// overlap or reclaim re-execution count each time).
+    pub executed: u64,
+    /// Distinct trials persisted after the run.
+    pub distinct_done: u32,
+    /// Ranges stolen.
+    pub steals: u64,
+    /// Assignments reclaimed from dead workers.
+    pub reclaims: u64,
+    /// Workers used.
+    pub workers: usize,
+    /// True when every planned trial is persisted.
+    pub complete: bool,
+}
+
+/// Everything both coordinator modes share: the shard identity, the
+/// missing-index map, and the manifest bookkeeping.
+pub(crate) struct ShardSetup {
+    pub label: String,
+    pub worker_files: Vec<String>,
+    pub missing: Vec<usize>,
+    pub already_done: u32,
+}
+
+pub(crate) fn io_invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Upserts the shard's manifest entry (registering one worker file per
+/// worker), validates the plan hash, and computes the missing plan
+/// indices from every existing shard file. The returned
+/// `missing` vector is the position→plan-index map every ledger range
+/// indexes into; process workers re-derive it from the same store
+/// snapshot (nothing appends between this scan and dispatch).
+pub(crate) fn setup_shard(
+    store: &RunStore,
+    p: &PreparedBenchmark,
+    technique: Technique,
+    cfg: &CampaignConfig,
+    workers: usize,
+) -> io::Result<ShardSetup> {
+    let bench = p.workload.name().to_string();
+    let label = format!("{}/{}", bench, technique.slug());
+    let file = shard_file_name(&label);
+    let golden = golden_dyn_insts(&*p.workload, p.module(technique), cfg);
+    let hash = plan_hash(&bench, technique, cfg, golden);
+    if let Some(meta) = store.manifest().shard(&label) {
+        if meta.plan_hash != hash {
+            return Err(io_invalid(format!(
+                "{label}: plan hash mismatch (store {:016x}, config {:016x})",
+                meta.plan_hash, hash
+            )));
+        }
+    }
+
+    let missing = missing_indices(store, &label, &file, cfg)?;
+    let already_done = cfg.trials - missing.len() as u32;
+
+    let worker_files: Vec<String> = (0..workers)
+        .map(|w| shard_file_name_worker(&label, w))
+        .collect();
+    let wf = worker_files.clone();
+    store.update_manifest(|m| match m.shards.iter_mut().find(|s| s.label == label) {
+        Some(s) => {
+            s.completed = already_done;
+            s.complete = already_done >= cfg.trials;
+            for f in &wf {
+                if !s.worker_files.contains(f) {
+                    s.worker_files.push(f.clone());
+                }
+            }
+        }
+        None => m.shards.push(ShardMeta {
+            label: label.clone(),
+            benchmark: bench.clone(),
+            technique: technique.slug().to_string(),
+            file: file.clone(),
+            plan_hash: hash,
+            golden_dyn_insts: golden,
+            completed: already_done,
+            complete: already_done >= cfg.trials,
+            wall_ms: 0,
+            worker_files: wf,
+        }),
+    })?;
+
+    Ok(ShardSetup {
+        label,
+        worker_files,
+        missing,
+        already_done,
+    })
+}
+
+/// The plan indices not yet persisted in any of the shard's files, in
+/// ascending order. Deterministic in the store's on-disk state, so a
+/// coordinator and its workers scanning the same quiescent store agree
+/// exactly.
+pub(crate) fn missing_indices(
+    store: &RunStore,
+    label: &str,
+    file: &str,
+    cfg: &CampaignConfig,
+) -> io::Result<Vec<usize>> {
+    let stored = match store.manifest().shard(label) {
+        Some(meta) => store.read_shard_files(meta)?,
+        None => store.read_shard(file)?,
+    };
+    let mut done: Vec<u32> = stored
+        .iter()
+        .map(|t| t.trial)
+        .filter(|&t| t < cfg.trials)
+        .collect();
+    done.sort_unstable();
+    done.dedup();
+    Ok((0..cfg.trials as usize)
+        .filter(|i| done.binary_search(&(*i as u32)).is_err())
+        .collect())
+}
+
+/// Counts distinct persisted trials and marks the shard's manifest
+/// entry accordingly; returns the distinct count.
+pub(crate) fn finish_shard(
+    store: &RunStore,
+    label: &str,
+    cfg: &CampaignConfig,
+    wall_ms: u64,
+) -> io::Result<u32> {
+    let meta = store
+        .manifest()
+        .shard(label)
+        .cloned()
+        .ok_or_else(|| io_invalid(format!("{label}: shard vanished from manifest")))?;
+    let mut done: Vec<u32> = store
+        .read_shard_files(&meta)?
+        .iter()
+        .map(|t| t.trial)
+        .filter(|&t| t < cfg.trials)
+        .collect();
+    done.sort_unstable();
+    done.dedup();
+    let distinct = done.len() as u32;
+    store.update_manifest(|m| {
+        if let Some(s) = m.shards.iter_mut().find(|s| s.label == label) {
+            s.completed = distinct;
+            s.complete = distinct >= cfg.trials;
+            s.wall_ms += wall_ms;
+        }
+    })?;
+    Ok(distinct)
+}
+
+/// An [`IndexSource`] that maps ledger positions through the missing
+/// list, so ranges stay contiguous in *position* space even when the
+/// missing plan indices are sparse (resumed fleet).
+pub(crate) struct MappedSource<'a> {
+    pub range: &'a SharedRange,
+    pub map: &'a [usize],
+}
+
+impl IndexSource for MappedSource<'_> {
+    fn next(&self) -> Option<usize> {
+        IndexSource::next(self.range).map(|k| self.map[k])
+    }
+}
+
+/// Runs (or resumes) one campaign shard across a fleet of workers.
+/// In-process mode shares one prepared [`ShardEngine`] across worker
+/// pools; process mode spawns `repro fleet worker` children (see
+/// [`crate::proc`]). Either way the store afterwards replays bitwise
+/// identically to a single-process campaign of the same config.
+pub fn run_fleet_campaign(
+    store: &RunStore,
+    p: &PreparedBenchmark,
+    technique: Technique,
+    cfg: &CampaignConfig,
+    fleet: FleetConfig,
+) -> io::Result<FleetReport> {
+    if fleet.processes {
+        crate::proc::run_process_fleet(store, p, technique, cfg, fleet)
+    } else {
+        run_inprocess_fleet(store, p, technique, cfg, fleet)
+    }
+}
+
+fn run_inprocess_fleet(
+    store: &RunStore,
+    p: &PreparedBenchmark,
+    technique: Technique,
+    cfg: &CampaignConfig,
+    fleet: FleetConfig,
+) -> io::Result<FleetReport> {
+    let workers = fleet.workers.max(1);
+    let setup = setup_shard(store, p, technique, cfg, workers)?;
+    let start = Instant::now();
+    let status = Arc::new(FleetStatus::new(&setup.label, cfg.trials as u64, workers));
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = fleet
+        .observatory
+        .map(|l| crate::status::serve_observatory(l, status.clone(), stop.clone()));
+
+    let ledger = RangeLedger::new(setup.missing.len(), workers);
+    let module = neutralized_module(&*p.workload, p.module(technique), cfg);
+    let engine = ShardEngine::prepare(&*p.workload, &module, cfg);
+    let sink_err: Mutex<Option<io::Error>> = Mutex::new(None);
+    let mut tailer = GapTailer::new(store, &meta_of(store, &setup.label)?, p, technique);
+
+    std::thread::scope(|scope| -> io::Result<()> {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let writer = store.shard_writer(&setup.worker_files[w])?;
+            let (engine, ledger, status, sink_err, missing) =
+                (&engine, &ledger, &status, &sink_err, &setup.missing[..]);
+            let threads = fleet.worker_threads.max(1);
+            handles.push(scope.spawn(move || {
+                let sink = |i: usize,
+                            _plan: &FaultPlan,
+                            rec: &TrialRecord,
+                            obs: &TraceObserver,
+                            t: &TrialTiming| {
+                    let st = stored_trial(i, rec, obs, t, start.elapsed().as_millis() as u64);
+                    if let Err(e) = writer.append(st) {
+                        let mut slot = sink_err.lock().expect("sink error slot");
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                    status.add_executed(w, 1);
+                };
+                while let Some(a) = ledger.request(w, None) {
+                    let source = MappedSource {
+                        range: &a.range,
+                        map: missing,
+                    };
+                    engine.run_range(&source, threads, &sink);
+                    ledger.complete(a.id);
+                    status.set_scheduling(ledger.steals(), ledger.reclaims());
+                }
+            }));
+        }
+        // The coordinator thread doubles as the observatory's store
+        // tailer while workers run.
+        while handles.iter().any(|h| !h.is_finished()) {
+            let _ = tailer.poll_into(&status);
+            std::thread::sleep(std::time::Duration::from_millis(FRAME_INTERVAL_MS.min(100)));
+        }
+        for h in handles {
+            h.join().expect("fleet worker panicked");
+        }
+        Ok(())
+    })?;
+
+    if let Some(e) = sink_err.into_inner().expect("sink error slot") {
+        return Err(e);
+    }
+    let _ = tailer.poll_into(&status);
+    status.set_scheduling(ledger.steals(), ledger.reclaims());
+    stop.store(true, Ordering::Relaxed);
+    if let Some(h) = server {
+        let _ = h.join();
+    }
+
+    let distinct = finish_shard(store, &setup.label, cfg, start.elapsed().as_millis() as u64)?;
+    Ok(FleetReport {
+        label: setup.label,
+        total: cfg.trials,
+        already_done: setup.already_done,
+        executed: engine.trials_executed(),
+        distinct_done: distinct,
+        steals: ledger.steals(),
+        reclaims: ledger.reclaims(),
+        workers,
+        complete: distinct >= cfg.trials,
+    })
+}
+
+pub(crate) fn meta_of(store: &RunStore, label: &str) -> io::Result<ShardMeta> {
+    store
+        .manifest()
+        .shard(label)
+        .cloned()
+        .ok_or_else(|| io_invalid(format!("{label}: no manifest entry")))
+}

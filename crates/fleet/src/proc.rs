@@ -1,0 +1,541 @@
+//! Process-mode fleet: OS worker processes under a coordinator.
+//!
+//! The coordinator spawns `repro fleet worker` children (the current
+//! executable re-invoked) and speaks a tiny control protocol over each
+//! child's stdio as wire frames ([`softft_telemetry::wire`]):
+//!
+//! * coordinator → worker: `plan` (the position→plan-index map, sent
+//!   once before any assignment — workers cannot re-derive it after
+//!   appends start changing the store), `assign` (a `[lo, hi)` range of
+//!   positions), `trim` (a steal shrank an active assignment's upper
+//!   bound), `exit`;
+//! * worker → coordinator: `hello` (startup), `progress` (cumulative
+//!   executed count, doubling as the heartbeat), `done` (an assignment
+//!   drained).
+//!
+//! A worker's *stdout is the control channel*; anything it wants to log
+//! goes to stderr. Liveness is heartbeat-based: a worker silent for
+//! three heartbeat intervals (or whose pipe reaches EOF) is declared
+//! dead, its process killed, and its assignments reclaimed in full —
+//! surviving workers absorb the load through the ordinary steal path.
+//! Trial purity plus fold-time dedup make the re-execution idempotent,
+//! so worker death never changes a single record (see crate docs).
+//!
+//! The coordinator's steal arithmetic runs on its *mirror* of each
+//! assignment (whose cursor does not advance with the remote worker),
+//! so a thief may re-execute trials the victim already finished; that
+//! overlap is wasted work, never wrong answers.
+
+use crate::ledger::{RangeLedger, Trim};
+use crate::pool::{
+    finish_shard, io_invalid, meta_of, setup_shard, FleetConfig, FleetReport, MappedSource,
+};
+use crate::status::{FleetStatus, GapTailer, FRAME_INTERVAL_MS};
+use softft::Technique;
+use softft_campaign::prep::{prepare, PreparedBenchmark};
+use softft_campaign::{
+    campaign_config_from_manifest, neutralized_module, plan_hash, stored_trial, CampaignConfig,
+    ShardEngine, SharedRange, TrialRecord, TrialTiming,
+};
+use softft_telemetry::wire::{write_frame, FrameDecoder};
+use softft_telemetry::{shard_file_name_worker, JsonValue, RunStore, TraceObserver};
+use softft_workloads::workload_by_name;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often a worker emits a `progress` heartbeat frame. Fixed and
+/// fast relative to any sane coordinator `heartbeat_ms`, so liveness
+/// never depends on trial duration.
+const WORKER_TICK_MS: u64 = 200;
+
+/// The worker process exits with this code when `--fail-after` fires
+/// (distinguishes an injected death from a real failure in tests).
+pub const FAIL_AFTER_EXIT: i32 = 3;
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> String {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+    .to_json()
+}
+
+fn send_locked(out: &Mutex<Box<dyn Write + Send>>, json: &str) -> io::Result<()> {
+    let mut out = out.lock().expect("control stream lock");
+    write_frame(&mut *out, json)?;
+    out.flush()
+}
+
+/// Events a worker's stdout reader forwards to its handler thread.
+enum WorkerEv {
+    Done { id: u64 },
+    Eof,
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+pub(crate) fn run_process_fleet(
+    store: &RunStore,
+    p: &PreparedBenchmark,
+    technique: Technique,
+    cfg: &CampaignConfig,
+    fleet: FleetConfig,
+) -> io::Result<FleetReport> {
+    let workers = fleet.workers.max(1);
+    let setup = setup_shard(store, p, technique, cfg, workers)?;
+    let start = Instant::now();
+    let status = Arc::new(FleetStatus::new(&setup.label, cfg.trials as u64, workers));
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = fleet
+        .observatory
+        .map(|l| crate::status::serve_observatory(l, status.clone(), stop.clone()));
+    let mut tailer = GapTailer::new(store, &meta_of(store, &setup.label)?, p, technique);
+
+    let ledger = Arc::new(RangeLedger::new(setup.missing.len(), workers));
+    let missing = Arc::new(setup.missing.clone());
+    let exe = std::env::current_exe()?;
+    let heartbeat = Duration::from_millis(fleet.heartbeat_ms.max(WORKER_TICK_MS));
+
+    let mut children: Vec<Child> = Vec::new();
+    let mut handlers = Vec::new();
+    let last_seen: Arc<Vec<Mutex<Instant>>> =
+        Arc::new((0..workers).map(|_| Mutex::new(Instant::now())).collect());
+
+    for w in 0..workers {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("fleet")
+            .arg("worker")
+            .arg("--store")
+            .arg(store.dir())
+            .arg("--label")
+            .arg(&setup.label)
+            .arg("--worker-id")
+            .arg(w.to_string())
+            .arg("--worker-threads")
+            .arg(fleet.worker_threads.max(1).to_string());
+        if let Some((_, n)) = fleet.fail_after.iter().find(|(fw, _)| *fw == w) {
+            cmd.arg("--fail-after").arg(n.to_string());
+        }
+        cmd.stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        let mut child = cmd.spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        children.push(child);
+
+        let (ev_tx, ev_rx) = mpsc::channel::<WorkerEv>();
+        spawn_reader(w, stdout, ev_tx, status.clone(), last_seen.clone());
+        let (ledger, status, missing) = (ledger.clone(), status.clone(), missing.clone());
+        handlers.push(std::thread::spawn(move || {
+            drive_worker(w, stdin, ev_rx, &ledger, &status, &missing);
+        }));
+    }
+
+    // Heartbeat monitor + store tailer while handlers run. A worker
+    // whose last frame is older than three heartbeats gets killed; the
+    // resulting EOF makes its handler reclaim and return.
+    let mut killed = vec![false; workers];
+    while handlers.iter().any(|h| !h.is_finished()) {
+        let _ = tailer.poll_into(&status);
+        status.set_scheduling(ledger.steals(), ledger.reclaims());
+        for (w, child) in children.iter_mut().enumerate() {
+            if killed[w] || handlers[w].is_finished() {
+                continue;
+            }
+            let seen = *last_seen[w].lock().expect("last_seen lock");
+            if seen.elapsed() > 3 * heartbeat {
+                eprintln!(
+                    "fleet: worker {w} silent for {:?}, killing and reclaiming",
+                    seen.elapsed()
+                );
+                let _ = child.kill();
+                killed[w] = true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(
+            FRAME_INTERVAL_MS.min(fleet.heartbeat_ms / 2).max(20),
+        ));
+    }
+    for h in handlers {
+        h.join().expect("fleet handler panicked");
+    }
+    // Reap every child; kill first so a worker wedged after `exit` (or
+    // one we already killed) cannot hang the coordinator.
+    for child in &mut children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+
+    let _ = tailer.poll_into(&status);
+    status.set_scheduling(ledger.steals(), ledger.reclaims());
+    stop.store(true, Ordering::Relaxed);
+    if let Some(h) = server {
+        let _ = h.join();
+    }
+
+    if !ledger.drained() {
+        return Err(io_invalid(format!(
+            "{}: every worker died with work pending; re-run to resume",
+            setup.label
+        )));
+    }
+    let distinct = finish_shard(store, &setup.label, cfg, start.elapsed().as_millis() as u64)?;
+    Ok(FleetReport {
+        label: setup.label,
+        total: cfg.trials,
+        already_done: setup.already_done,
+        executed: status.total_executed(),
+        distinct_done: distinct,
+        steals: ledger.steals(),
+        reclaims: ledger.reclaims(),
+        workers,
+        complete: distinct >= cfg.trials,
+    })
+}
+
+/// Reads a worker's stdout: updates liveness and progress in place,
+/// forwards `done`/EOF to the handler thread.
+fn spawn_reader(
+    w: usize,
+    mut stdout: impl Read + Send + 'static,
+    ev_tx: Sender<WorkerEv>,
+    status: Arc<FleetStatus>,
+    last_seen: Arc<Vec<Mutex<Instant>>>,
+) {
+    std::thread::spawn(move || {
+        let mut dec = FrameDecoder::new();
+        let mut buf = [0u8; 4096];
+        'read: loop {
+            let n = match stdout.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => n,
+            };
+            dec.push(&buf[..n]);
+            loop {
+                let body = match dec.next_frame() {
+                    Ok(Some(body)) => body,
+                    Ok(None) => break,
+                    // A worker emitting non-frames on the control
+                    // channel is as dead as one that closed it.
+                    Err(_) => break 'read,
+                };
+                let Ok(v) = JsonValue::parse(&body) else {
+                    break 'read;
+                };
+                *last_seen[w].lock().expect("last_seen lock") = Instant::now();
+                match v.get("type").and_then(|t| t.as_str()) {
+                    Some("progress") => {
+                        if let Some(n) = v.get("executed").and_then(|e| e.as_u64()) {
+                            status.set_executed(w, n);
+                        }
+                    }
+                    Some("done") => {
+                        let id = v.get("id").and_then(|i| i.as_u64()).unwrap_or(0);
+
+                        if ev_tx.send(WorkerEv::Done { id }).is_err() {
+                            break 'read;
+                        }
+                    }
+                    _ => {} // hello (and anything future) is liveness only
+                }
+            }
+        }
+        let _ = ev_tx.send(WorkerEv::Eof);
+    });
+}
+
+/// Owns one worker's stdin: sends the plan, then assignment after
+/// assignment, forwarding steal trims and completing ranges as `done`
+/// frames come back. Any send failure or EOF means the worker is dead:
+/// reclaim its ranges and return.
+fn drive_worker(
+    w: usize,
+    stdin: impl Write + Send + 'static,
+    ev_rx: Receiver<WorkerEv>,
+    ledger: &RangeLedger,
+    status: &FleetStatus,
+    missing: &[usize],
+) {
+    let out: Mutex<Box<dyn Write + Send>> = Mutex::new(Box::new(stdin));
+    let dead = || {
+        ledger.reclaim_worker(w);
+        status.mark_dead(w);
+        status.set_scheduling(ledger.steals(), ledger.reclaims());
+    };
+    let plan = obj(vec![
+        ("type", JsonValue::str("plan")),
+        (
+            "missing",
+            JsonValue::Array(missing.iter().map(|&i| JsonValue::num(i)).collect()),
+        ),
+    ]);
+    if send_locked(&out, &plan).is_err() {
+        return dead();
+    }
+    let (trim_tx, trim_rx) = mpsc::channel::<Trim>();
+    loop {
+        let Some(a) = ledger.request(w, Some(trim_tx.clone())) else {
+            let _ = send_locked(&out, &obj(vec![("type", JsonValue::str("exit"))]));
+            return;
+        };
+        let assign = obj(vec![
+            ("type", JsonValue::str("assign")),
+            ("id", JsonValue::num(a.id)),
+            ("lo", JsonValue::num(a.range.pos())),
+            ("hi", JsonValue::num(a.range.hi())),
+        ]);
+        if send_locked(&out, &assign).is_err() {
+            return dead();
+        }
+        // Wait for this assignment's `done`, forwarding trims meanwhile.
+        loop {
+            while let Ok(t) = trim_rx.try_recv() {
+                let trim = obj(vec![
+                    ("type", JsonValue::str("trim")),
+                    ("id", JsonValue::num(t.id)),
+                    ("hi", JsonValue::num(t.hi)),
+                ]);
+                if send_locked(&out, &trim).is_err() {
+                    return dead();
+                }
+            }
+            match ev_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(WorkerEv::Done { id, .. }) if id == a.id => {
+                    ledger.complete(id);
+                    status.set_scheduling(ledger.steals(), ledger.reclaims());
+                    break;
+                }
+                // A done for a range that was trimmed to empty before
+                // the worker saw the assign still completes it.
+                Ok(WorkerEv::Done { id, .. }) => ledger.complete(id),
+                Ok(WorkerEv::Eof) | Err(RecvTimeoutError::Disconnected) => {
+                    return dead();
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+/// Parsed arguments of `repro fleet worker`.
+#[derive(Debug, Clone)]
+pub struct WorkerOpts {
+    /// Run store directory (shared with the coordinator).
+    pub store: PathBuf,
+    /// Shard label `"bench/technique"` to serve.
+    pub label: String,
+    /// This worker's index (selects its append-only worker file).
+    pub worker_id: usize,
+    /// Threads for the worker's shard engine.
+    pub worker_threads: usize,
+    /// Testing knob: abruptly exit (code [`FAIL_AFTER_EXIT`]) after
+    /// executing this many trials.
+    pub fail_after: Option<u64>,
+}
+
+/// The `repro fleet worker` main loop: prepares its own [`ShardEngine`]
+/// from the shared store's manifest, then serves `assign` frames from
+/// stdin until `exit` (or coordinator EOF), appending each finished
+/// trial to its own worker shard file and heartbeating on stdout.
+///
+/// Stdout is the control channel; diagnostics go to stderr.
+pub fn run_worker(opts: &WorkerOpts) -> io::Result<()> {
+    let store = RunStore::open(&opts.store)?;
+    let manifest = store.manifest();
+    let cfg = campaign_config_from_manifest(&manifest)?;
+    let meta = manifest
+        .shard(&opts.label)
+        .cloned()
+        .ok_or_else(|| io_invalid(format!("{}: no manifest entry", opts.label)))?;
+    let technique = Technique::from_slug(&meta.technique)
+        .ok_or_else(|| io_invalid(format!("unknown technique {:?}", meta.technique)))?;
+    let workload = workload_by_name(&meta.benchmark)
+        .ok_or_else(|| io_invalid(format!("unknown benchmark {:?}", meta.benchmark)))?;
+    // Config-level hash check before the (expensive) golden run; the
+    // engine's own golden count is re-checked after.
+    let hash = plan_hash(&meta.benchmark, technique, &cfg, meta.golden_dyn_insts);
+    if hash != meta.plan_hash {
+        return Err(io_invalid(format!(
+            "{}: plan hash mismatch (store {:016x}, derived {:016x})",
+            opts.label, meta.plan_hash, hash
+        )));
+    }
+
+    // Hello + heartbeat start immediately — engine preparation (golden
+    // run, checkpoint recording) can take longer than the coordinator's
+    // liveness window.
+    let out: Arc<Mutex<Box<dyn Write + Send>>> = Arc::new(Mutex::new(Box::new(io::stdout())));
+    let executed = Arc::new(AtomicU64::new(0));
+    send_locked(
+        &out,
+        &obj(vec![
+            ("type", JsonValue::str("hello")),
+            ("worker", JsonValue::num(opts.worker_id)),
+        ]),
+    )?;
+    {
+        let (out, executed, w) = (out.clone(), executed.clone(), opts.worker_id);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(WORKER_TICK_MS));
+            let frame = obj(vec![
+                ("type", JsonValue::str("progress")),
+                ("worker", JsonValue::num(w)),
+                ("executed", JsonValue::num(executed.load(Ordering::Relaxed))),
+            ]);
+            if send_locked(&out, &frame).is_err() {
+                return; // coordinator gone; main loop will see EOF too
+            }
+        });
+    }
+
+    // Stdin reader: trims apply directly to the active ranges (they
+    // must take effect even mid-assignment, while the main thread is
+    // inside `run_range`); everything else queues for the main loop.
+    let active: Arc<Mutex<HashMap<u64, Arc<SharedRange>>>> = Arc::new(Mutex::new(HashMap::new()));
+    let (msg_tx, msg_rx) = mpsc::channel::<JsonValue>();
+    {
+        let active = active.clone();
+        std::thread::spawn(move || {
+            let mut dec = FrameDecoder::new();
+            let mut stdin = io::stdin();
+            let mut buf = [0u8; 4096];
+            loop {
+                let n = match stdin.read(&mut buf) {
+                    Ok(0) | Err(_) => return, // EOF → msg_rx disconnects
+                    Ok(n) => n,
+                };
+                dec.push(&buf[..n]);
+                loop {
+                    let body = match dec.next_frame() {
+                        Ok(Some(body)) => body,
+                        Ok(None) => break,
+                        Err(_) => return,
+                    };
+                    let Ok(v) = JsonValue::parse(&body) else {
+                        return;
+                    };
+                    if v.get("type").and_then(|t| t.as_str()) == Some("trim") {
+                        let id = v.get("id").and_then(|i| i.as_u64()).unwrap_or(0);
+                        let hi = v.get("hi").and_then(|h| h.as_u64()).unwrap_or(0) as usize;
+                        if let Some(range) = active.lock().expect("active ranges").get(&id) {
+                            range.shrink_to(hi);
+                        }
+                        // Trims for unknown ids raced a completed
+                        // assignment; the overlap is idempotent.
+                    } else if msg_tx.send(v).is_err() {
+                        return;
+                    }
+                }
+            }
+        });
+    }
+
+    let p = prepare(workload);
+    let module = neutralized_module(&*p.workload, p.module(technique), &cfg);
+    let engine = ShardEngine::prepare(&*p.workload, &module, &cfg);
+    if engine.golden_dyn_insts() != meta.golden_dyn_insts {
+        return Err(io_invalid(format!(
+            "{}: golden run diverged ({} dyn insts, store says {})",
+            opts.label,
+            engine.golden_dyn_insts(),
+            meta.golden_dyn_insts
+        )));
+    }
+    let writer = store.shard_writer(&shard_file_name_worker(&opts.label, opts.worker_id))?;
+    let start = Instant::now();
+    let sink_err: Mutex<Option<io::Error>> = Mutex::new(None);
+    let sink = |i: usize,
+                _plan: &softft_vm::fault::FaultPlan,
+                rec: &TrialRecord,
+                obs: &TraceObserver,
+                t: &TrialTiming| {
+        let st = stored_trial(i, rec, obs, t, start.elapsed().as_millis() as u64);
+        if let Err(e) = writer.append(st) {
+            let mut slot = sink_err.lock().expect("sink error slot");
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+        let n = executed.fetch_add(1, Ordering::Relaxed) + 1;
+        if opts.fail_after.is_some_and(|cap| n >= cap) {
+            // Injected abrupt death: no exit frame, no flush — the
+            // coordinator must notice via EOF/heartbeat and reclaim.
+            std::process::exit(FAIL_AFTER_EXIT);
+        }
+    };
+
+    let mut map: Option<Vec<usize>> = None;
+    while let Ok(v) = msg_rx.recv() {
+        match v.get("type").and_then(|t| t.as_str()) {
+            Some("plan") => {
+                map = Some(
+                    v.get("missing")
+                        .and_then(|m| m.as_array())
+                        .map(|a| {
+                            a.iter()
+                                .filter_map(|x| x.as_u64())
+                                .map(|x| x as usize)
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                );
+            }
+            Some("assign") => {
+                let map = map
+                    .as_deref()
+                    .ok_or_else(|| io_invalid("assign before plan"))?;
+                let id = v.get("id").and_then(|i| i.as_u64()).unwrap_or(0);
+                let lo = v.get("lo").and_then(|l| l.as_u64()).unwrap_or(0) as usize;
+                let hi = v.get("hi").and_then(|h| h.as_u64()).unwrap_or(0) as usize;
+                let range = Arc::new(SharedRange::new(lo, hi));
+                active
+                    .lock()
+                    .expect("active ranges")
+                    .insert(id, range.clone());
+                let source = MappedSource { range: &range, map };
+                let n = engine.run_range(&source, opts.worker_threads.max(1), &sink);
+                active.lock().expect("active ranges").remove(&id);
+                if let Some(e) = sink_err.lock().expect("sink error slot").take() {
+                    return Err(e);
+                }
+                // `done` plus an up-to-date progress frame, so the
+                // coordinator's executed tally doesn't trail the
+                // periodic ticker by up to one tick.
+                send_locked(
+                    &out,
+                    &obj(vec![
+                        ("type", JsonValue::str("done")),
+                        ("id", JsonValue::num(id)),
+                        ("executed", JsonValue::num(n)),
+                    ]),
+                )?;
+                send_locked(
+                    &out,
+                    &obj(vec![
+                        ("type", JsonValue::str("progress")),
+                        ("worker", JsonValue::num(opts.worker_id)),
+                        ("executed", JsonValue::num(executed.load(Ordering::Relaxed))),
+                    ]),
+                )?;
+            }
+            Some("exit") => break,
+            _ => {}
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,316 @@
+//! Live fleet status and the observatory socket.
+//!
+//! The coordinator keeps one [`FleetStatus`] updated from worker
+//! progress (and from tailing the run store for outcome/coverage
+//! data); [`serve_observatory`] streams it to any number of `repro
+//! watch --connect` clients as length-prefixed JSONL frames
+//! ([`softft_telemetry::wire`]), so a remote watch needs no access to
+//! the store's files. Status is observational: nothing the fleet
+//! computes ever reads it back, so serving (or not) cannot change
+//! campaign results.
+
+use softft_campaign::prep::PreparedBenchmark;
+use softft_campaign::{record_from_json, CoverageAccum};
+use softft_telemetry::wire::write_frame;
+use softft_telemetry::{JsonValue, RunStore, ShardMeta, ShardTail};
+use std::collections::HashSet;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How often observatory clients receive a fresh frame.
+pub const FRAME_INTERVAL_MS: u64 = 500;
+
+struct WorkerState {
+    executed: u64,
+    alive: bool,
+}
+
+struct StatusInner {
+    workers: Vec<WorkerState>,
+    steals: u64,
+    reclaims: u64,
+    /// Distinct trials persisted (from the store tailer; exact).
+    done: u64,
+    outcomes: Vec<(String, u64)>,
+    gaps: JsonValue,
+}
+
+/// Shared live state of one fleet campaign.
+pub struct FleetStatus {
+    label: String,
+    total: u64,
+    start: Instant,
+    inner: Mutex<StatusInner>,
+}
+
+impl FleetStatus {
+    /// A fresh status for `workers` workers over `total` trials.
+    pub fn new(label: &str, total: u64, workers: usize) -> FleetStatus {
+        FleetStatus {
+            label: label.to_string(),
+            total,
+            start: Instant::now(),
+            inner: Mutex::new(StatusInner {
+                workers: (0..workers)
+                    .map(|_| WorkerState {
+                        executed: 0,
+                        alive: true,
+                    })
+                    .collect(),
+                steals: 0,
+                reclaims: 0,
+                done: 0,
+                outcomes: Vec::new(),
+                gaps: JsonValue::Array(Vec::new()),
+            }),
+        }
+    }
+
+    /// Records `n` more executed trials for a worker.
+    pub fn add_executed(&self, worker: usize, n: u64) {
+        let mut inner = self.inner.lock().expect("status lock");
+        if let Some(w) = inner.workers.get_mut(worker) {
+            w.executed += n;
+        }
+    }
+
+    /// Sets a worker's cumulative executed count (process-mode progress
+    /// frames carry totals, not deltas).
+    pub fn set_executed(&self, worker: usize, total: u64) {
+        let mut inner = self.inner.lock().expect("status lock");
+        if let Some(w) = inner.workers.get_mut(worker) {
+            w.executed = w.executed.max(total);
+        }
+    }
+
+    /// Sum of per-worker executed counts (duplicates included).
+    pub fn total_executed(&self) -> u64 {
+        let inner = self.inner.lock().expect("status lock");
+        inner.workers.iter().map(|w| w.executed).sum()
+    }
+
+    /// Marks a worker dead (EOF or heartbeat timeout).
+    pub fn mark_dead(&self, worker: usize) {
+        let mut inner = self.inner.lock().expect("status lock");
+        if let Some(w) = inner.workers.get_mut(worker) {
+            w.alive = false;
+        }
+    }
+
+    /// Updates the steal/reclaim tallies (from the ledger).
+    pub fn set_scheduling(&self, steals: u64, reclaims: u64) {
+        let mut inner = self.inner.lock().expect("status lock");
+        inner.steals = steals;
+        inner.reclaims = reclaims;
+    }
+
+    /// Updates the store-derived view: distinct trials done, outcome
+    /// mix, and the current protection-gap ranking.
+    pub fn set_observed(&self, done: u64, outcomes: Vec<(String, u64)>, gaps: JsonValue) {
+        let mut inner = self.inner.lock().expect("status lock");
+        inner.done = done;
+        inner.outcomes = outcomes;
+        inner.gaps = gaps;
+    }
+
+    /// Renders one observatory frame.
+    pub fn frame(&self) -> JsonValue {
+        let inner = self.inner.lock().expect("status lock");
+        let elapsed_ms = self.start.elapsed().as_millis() as u64;
+        let secs = (elapsed_ms as f64 / 1000.0).max(1e-9);
+        let workers: Vec<JsonValue> = inner
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(w, ws)| {
+                JsonValue::Object(vec![
+                    ("worker".to_string(), JsonValue::num(w)),
+                    ("executed".to_string(), JsonValue::num(ws.executed)),
+                    (
+                        "rate".to_string(),
+                        JsonValue::num(format!("{:.3}", ws.executed as f64 / secs)),
+                    ),
+                    ("alive".to_string(), JsonValue::Bool(ws.alive)),
+                ])
+            })
+            .collect();
+        let outcomes: Vec<JsonValue> = inner
+            .outcomes
+            .iter()
+            .map(|(label, n)| {
+                JsonValue::Object(vec![
+                    ("outcome".to_string(), JsonValue::str(label.clone())),
+                    ("trials".to_string(), JsonValue::num(*n)),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("type".to_string(), JsonValue::str("fleet")),
+            ("label".to_string(), JsonValue::str(self.label.clone())),
+            ("total".to_string(), JsonValue::num(self.total)),
+            ("done".to_string(), JsonValue::num(inner.done)),
+            ("elapsed_ms".to_string(), JsonValue::num(elapsed_ms)),
+            ("steals".to_string(), JsonValue::num(inner.steals)),
+            ("reclaims".to_string(), JsonValue::num(inner.reclaims)),
+            ("workers".to_string(), JsonValue::Array(workers)),
+            ("outcomes".to_string(), JsonValue::Array(outcomes)),
+            ("gaps".to_string(), inner.gaps.clone()),
+        ])
+    }
+}
+
+/// Serves observatory frames on `listener` until `stop` is set: every
+/// client connection gets the current frame immediately and then a
+/// fresh one each [`FRAME_INTERVAL_MS`]. Returns the join handle of
+/// the accept thread; client threads are detached (they exit on write
+/// error or stop).
+pub fn serve_observatory(
+    listener: TcpListener,
+    status: Arc<FleetStatus>,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    listener
+        .set_nonblocking(true)
+        .expect("observatory listener nonblocking");
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let status = status.clone();
+                    let stop = stop.clone();
+                    std::thread::spawn(move || serve_client(stream, &status, &stop));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                }
+                Err(_) => break,
+            }
+        }
+    })
+}
+
+fn serve_client(
+    mut stream: std::net::TcpStream,
+    status: &FleetStatus,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    loop {
+        write_frame(&mut stream, &status.frame().to_json())?;
+        stream.flush()?;
+        if stop.load(Ordering::Relaxed) {
+            // One final frame after stop so clients see the end state.
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(FRAME_INTERVAL_MS));
+    }
+}
+
+/// The local address an observatory listener should bind when the
+/// user asks for `--serve` without an explicit address.
+pub fn default_serve_addr() -> SocketAddr {
+    "127.0.0.1:0".parse().expect("static addr parses")
+}
+
+/// Incrementally folds a fleet shard's store files (primary plus all
+/// worker files) into the observed view: distinct-trial count, outcome
+/// mix, and protection-gap ranking. Duplicate-safe via a seen-set, so
+/// steal overlaps and reclaimed re-executions count once.
+pub struct GapTailer<'p> {
+    p: &'p PreparedBenchmark,
+    technique: softft::Technique,
+    tails: Vec<ShardTail>,
+    seen: HashSet<u32>,
+    cov: CoverageAccum,
+    outcomes: Vec<(String, u64)>,
+    trigger_unreached: u64,
+}
+
+impl<'p> GapTailer<'p> {
+    /// Tails every file of `meta` in `store`.
+    pub fn new(
+        store: &RunStore,
+        meta: &ShardMeta,
+        p: &'p PreparedBenchmark,
+        technique: softft::Technique,
+    ) -> GapTailer<'p> {
+        let mut files = vec![meta.file.clone()];
+        files.extend(meta.worker_files.iter().cloned());
+        GapTailer {
+            p,
+            technique,
+            tails: files
+                .into_iter()
+                .map(|f| ShardTail::new(store.shard_path(&f)))
+                .collect(),
+            seen: HashSet::new(),
+            cov: CoverageAccum::new(),
+            outcomes: Vec::new(),
+            trigger_unreached: 0,
+        }
+    }
+
+    /// Polls every tail and publishes the refreshed view to `status`.
+    pub fn poll_into(&mut self, status: &FleetStatus) -> io::Result<()> {
+        for tail in &mut self.tails {
+            for st in tail.poll()? {
+                if !self.seen.insert(st.trial) {
+                    continue;
+                }
+                let Some(rec) = record_from_json(&st.record) else {
+                    continue;
+                };
+                if rec.injection.is_none() {
+                    self.trigger_unreached += 1;
+                }
+                let label = rec.outcome.label();
+                match self.outcomes.iter_mut().find(|(l, _)| l == label) {
+                    Some((_, n)) => *n += 1,
+                    None => self.outcomes.push((label.to_string(), 1)),
+                }
+                self.cov.add(&rec);
+            }
+        }
+        let map = self.cov.build(
+            self.p.workload.name(),
+            self.technique,
+            self.p.module(self.technique),
+            self.p.protection(self.technique),
+            self.seen.len() as u64,
+            self.trigger_unreached,
+        );
+        let gaps: Vec<JsonValue> = map
+            .gap_sites(5)
+            .into_iter()
+            .map(|g| {
+                let mut fields = vec![
+                    ("func".to_string(), JsonValue::str(g.func)),
+                    ("op".to_string(), JsonValue::str(g.op)),
+                    ("trials".to_string(), JsonValue::num(g.trials)),
+                    ("usdc".to_string(), JsonValue::num(g.usdc)),
+                    (
+                        "usdc_rate".to_string(),
+                        JsonValue::num(format!("{:.4}", g.usdc_rate)),
+                    ),
+                ];
+                if let Some(inst) = g.inst {
+                    fields.insert(1, ("inst".to_string(), JsonValue::num(inst)));
+                }
+                JsonValue::Object(fields)
+            })
+            .collect();
+        status.set_observed(
+            self.seen.len() as u64,
+            self.outcomes.clone(),
+            JsonValue::Array(gaps),
+        );
+        Ok(())
+    }
+
+    /// Distinct trials observed so far.
+    pub fn distinct_done(&self) -> u64 {
+        self.seen.len() as u64
+    }
+}

@@ -7,7 +7,7 @@
 //! mechanism caught *which* fault and *how fast* — the per-detector
 //! cost/benefit attribution needed to configure software detectors.
 //!
-//! Seven pieces:
+//! Eight pieces:
 //!
 //! * [`metrics`] — a dependency-free metrics core: counters, gauges, and
 //!   log-bucketed histograms collected in a [`MetricsRegistry`] that
@@ -25,6 +25,9 @@
 //!   manifest plus length-prefixed JSONL shard files with monotonic
 //!   per-trial sequence numbers and torn-tail recovery, the substrate
 //!   for interrupt/resume campaigns and the live observatory;
+//! * [`wire`] — the length-prefixed JSONL frame codec shared by the
+//!   run store's shard files and the fleet's coordinator/worker and
+//!   observatory sockets (torn-tail vs protocol-error semantics);
 //! * [`progress`] — streaming campaign progress: a [`ProgressSink`]
 //!   (human text or machine JSONL on stderr) fed throttled trial-level
 //!   updates by a [`ProgressTracker`];
@@ -43,6 +46,7 @@ pub mod progress;
 pub mod runstore;
 pub mod spans;
 pub mod trace;
+pub mod wire;
 
 pub use events::{RunManifest, TrialEvent, TRIAL_SCHEMA_VERSION};
 pub use json::JsonValue;
@@ -53,8 +57,8 @@ pub use progress::{
     TextSink,
 };
 pub use runstore::{
-    shard_file_name, RunStore, ShardMeta, ShardTail, ShardWriter, StoreManifest, StoredTrial,
-    RUNSTORE_SCHEMA_VERSION,
+    shard_file_name, shard_file_name_worker, RunStore, ShardMeta, ShardTail, ShardWriter,
+    StoreManifest, StoredTrial, RUNSTORE_SCHEMA_VERSION,
 };
 pub use spans::{SpanSet, Stopwatch};
 pub use trace::{

@@ -13,15 +13,32 @@
 //! cannot perturb campaign results (see DESIGN.md, "Observability
 //! invariants"). The sink registry is process-global so the campaign
 //! crate does not need a config plumbing change for every caller.
+//!
+//! Observation must also not perturb *throughput*: the stock sinks
+//! hand rendered lines to a dedicated writer thread over a bounded
+//! queue, and when that queue is full — a wedged pipe, a slow terminal
+//! — the line is dropped and counted ([`ProgressSink::dropped`])
+//! instead of stalling the trial loop. Progress output is lossy by
+//! design (it is already throttled); campaign results never are.
 
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Minimum milliseconds between emitted updates (final update always
 /// emits).
 const EMIT_INTERVAL_MS: u64 = 250;
+
+/// Rendered lines queued to a sink's writer thread before emitters
+/// start dropping (a wedged consumer costs bounded memory, zero
+/// stalls).
+const SINK_QUEUE_LINES: usize = 256;
+
+/// How long [`ProgressSink::flush`] waits for the writer thread to
+/// drain before giving up (a wedged writer never drains).
+const FLUSH_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// One snapshot of campaign progress, as handed to a [`ProgressSink`].
 #[derive(Clone, Debug, PartialEq)]
@@ -114,28 +131,108 @@ fn escape_json(s: &str) -> String {
 }
 
 /// Receives throttled progress snapshots. Implementations must be
-/// cheap and must not panic: they run on campaign worker threads.
+/// cheap, must not panic, and must never block: they run on campaign
+/// worker threads, and a stalled sink would throttle the trial loop it
+/// observes.
 pub trait ProgressSink: Send + Sync {
     /// Consumes one snapshot.
     fn emit(&self, update: &ProgressUpdate);
+
+    /// Best-effort wait for queued output to reach the underlying
+    /// writer (bounded internally; a wedged writer cannot hang the
+    /// caller). Default: nothing to drain.
+    fn flush(&self) {}
+
+    /// Updates discarded because the sink could not keep up (a wedged
+    /// or slow writer). Default: a sink that never drops.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
-/// Serializes one rendered line to a shared writer as a *single*
-/// `write_all` under a lock, so concurrent trackers (interleaved
-/// labels) can never shear a line. Both stock sinks are this plus a
-/// renderer.
-fn emit_line(out: &Mutex<Box<dyn Write + Send>>, mut line: String) {
-    line.push('\n');
-    // A poisoned lock just means another emitter panicked mid-write;
-    // progress output is best-effort, keep going.
-    let mut out = out.lock().unwrap_or_else(|e| e.into_inner());
-    let _ = out.write_all(line.as_bytes());
-    let _ = out.flush();
+enum WriterMsg {
+    Line(String),
+    Flush(SyncSender<()>),
+}
+
+/// The non-blocking core of both stock sinks: rendered lines go over a
+/// bounded channel to a dedicated writer thread, which performs each
+/// line as a single `write_all` + flush so concurrent trackers
+/// (interleaved labels) can never shear a line. `try_send` on a full
+/// queue drops the line and bumps the counter — the emitting trial
+/// loop never waits on the writer.
+struct AsyncLineWriter {
+    tx: SyncSender<WriterMsg>,
+    dropped: AtomicU64,
+}
+
+impl AsyncLineWriter {
+    fn new(mut out: Box<dyn Write + Send>) -> AsyncLineWriter {
+        let (tx, rx) = mpsc::sync_channel::<WriterMsg>(SINK_QUEUE_LINES);
+        // The thread exits when every sender is gone (sink dropped).
+        // It is deliberately not joined anywhere: a writer wedged in
+        // `write_all` would otherwise hang the dropper.
+        let _ = std::thread::Builder::new()
+            .name("progress-sink-writer".to_string())
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        WriterMsg::Line(line) => {
+                            let _ = out.write_all(line.as_bytes());
+                            let _ = out.flush();
+                        }
+                        WriterMsg::Flush(ack) => {
+                            let _ = out.flush();
+                            let _ = ack.send(());
+                        }
+                    }
+                }
+            });
+        AsyncLineWriter {
+            tx,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn emit(&self, mut line: String) {
+        line.push('\n');
+        if let Err(TrySendError::Full(_)) = self.tx.try_send(WriterMsg::Line(line)) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Queues a flush marker and waits (bounded) for the writer thread
+    /// to acknowledge it — everything queued before the call has then
+    /// reached the writer. Returns `false` on timeout (wedged writer).
+    fn flush(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let (ack_tx, ack_rx) = mpsc::sync_channel(1);
+        // The queue may be transiently full of lines; retry the marker
+        // until the deadline rather than blocking on `send`.
+        loop {
+            match self.tx.try_send(WriterMsg::Flush(ack_tx.clone())) {
+                Ok(()) => break,
+                Err(TrySendError::Disconnected(_)) => return true,
+                Err(TrySendError::Full(_)) => {
+                    if Instant::now() >= deadline {
+                        return false;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        ack_rx.recv_timeout(remaining).is_ok()
+    }
 }
 
 /// Human-readable one-line-per-update sink (stderr by default).
 pub struct TextSink {
-    out: Mutex<Box<dyn Write + Send>>,
+    w: AsyncLineWriter,
 }
 
 impl Default for TextSink {
@@ -153,14 +250,22 @@ impl TextSink {
     /// A sink writing to an arbitrary writer (tests, files).
     pub fn with_writer(out: Box<dyn Write + Send>) -> Self {
         TextSink {
-            out: Mutex::new(out),
+            w: AsyncLineWriter::new(out),
         }
     }
 }
 
 impl ProgressSink for TextSink {
     fn emit(&self, update: &ProgressUpdate) {
-        emit_line(&self.out, update.to_text());
+        self.w.emit(update.to_text());
+    }
+
+    fn flush(&self) {
+        self.w.flush(FLUSH_TIMEOUT);
+    }
+
+    fn dropped(&self) -> u64 {
+        self.w.dropped()
     }
 }
 
@@ -168,7 +273,7 @@ impl ProgressSink for TextSink {
 /// for exhibit output). Each update is exactly one parseable JSON
 /// object per line, even under interleaved labels.
 pub struct JsonlSink {
-    out: Mutex<Box<dyn Write + Send>>,
+    w: AsyncLineWriter,
 }
 
 impl Default for JsonlSink {
@@ -186,14 +291,22 @@ impl JsonlSink {
     /// A sink writing to an arbitrary writer (tests, files).
     pub fn with_writer(out: Box<dyn Write + Send>) -> Self {
         JsonlSink {
-            out: Mutex::new(out),
+            w: AsyncLineWriter::new(out),
         }
     }
 }
 
 impl ProgressSink for JsonlSink {
     fn emit(&self, update: &ProgressUpdate) {
-        emit_line(&self.out, update.to_jsonl());
+        self.w.emit(update.to_jsonl());
+    }
+
+    fn flush(&self) {
+        self.w.flush(FLUSH_TIMEOUT);
+    }
+
+    fn dropped(&self) -> u64 {
+        self.w.dropped()
     }
 }
 
@@ -296,6 +409,9 @@ impl ProgressTracker {
     fn emit_final(&self, done: u64) {
         if !self.finished.swap(true, Ordering::SeqCst) {
             self.sink.emit(&self.snapshot(done, true));
+            // The finished line is the one update worth waiting
+            // (boundedly) for: the process may exit right after.
+            self.sink.flush();
         }
     }
 
@@ -422,7 +538,7 @@ mod tests {
     #[test]
     fn jsonl_sink_stays_line_parseable_under_interleaved_labels() {
         let buf = Arc::new(Mutex::new(Vec::new()));
-        let sink: Arc<dyn ProgressSink> =
+        let sink: Arc<JsonlSink> =
             Arc::new(JsonlSink::with_writer(Box::new(SharedBuf(buf.clone()))));
         let trackers: Vec<_> = (0..4)
             .map(|i| {
@@ -448,6 +564,9 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        // Emission is asynchronous; drain the writer thread before
+        // inspecting the buffer.
+        sink.flush();
         let bytes = buf.lock().unwrap().clone();
         let text = String::from_utf8(bytes).expect("utf8 output");
         let lines: Vec<_> = text.lines().collect();
@@ -479,6 +598,71 @@ mod tests {
         let text = u.to_text();
         assert!(text.contains("2/10 trials"));
         assert!(text.contains("masked 2"));
+    }
+
+    /// `Write` handle that blocks while the test holds the gate — a
+    /// wedged consumer (full pipe, hung terminal).
+    struct WedgedWriter {
+        gate: Arc<Mutex<()>>,
+        out: Arc<Mutex<Vec<u8>>>,
+    }
+
+    impl Write for WedgedWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let _blocked = self.gate.lock().unwrap();
+            self.out.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn wedged_sink_drops_with_counter_instead_of_stalling() {
+        let gate = Arc::new(Mutex::new(()));
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let sink = JsonlSink::with_writer(Box::new(WedgedWriter {
+            gate: gate.clone(),
+            out: out.clone(),
+        }));
+        // Wedge the writer for the whole emission burst.
+        let hold = gate.lock().unwrap();
+        let update = ProgressUpdate {
+            label: "b/t".to_string(),
+            done: 1,
+            total: 100,
+            elapsed_secs: 0.1,
+            trials_per_sec: 10.0,
+            eta_secs: 9.9,
+            outcomes: vec![("masked", 1)],
+            finished: false,
+        };
+        // 10k emits against a writer that cannot make progress. The
+        // regression being guarded: `emit` used to perform the write
+        // inline under a lock, so a wedged writer stalled the trial
+        // loop indefinitely. Reaching the asserts at all — instead of
+        // hanging until the test harness times out — is the proof;
+        // everything past the bounded queue must land in `dropped`.
+        let emits: u64 = 10_000;
+        for _ in 0..emits {
+            sink.emit(&update);
+        }
+        let dropped = sink.dropped();
+        assert!(
+            dropped >= emits - SINK_QUEUE_LINES as u64 - 1,
+            "expected ~{} drops, got {dropped}",
+            emits - SINK_QUEUE_LINES as u64
+        );
+        assert!(dropped < emits, "the queue should absorb some lines");
+        // A flush against a wedged writer must give up, not hang.
+        assert!(!sink.w.flush(Duration::from_millis(50)));
+        // Unwedge: queued (non-dropped) lines drain and flush succeeds.
+        drop(hold);
+        assert!(sink.w.flush(FLUSH_TIMEOUT));
+        let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+        let lines = text.lines().count() as u64;
+        assert_eq!(lines + dropped, emits, "every emit is written or counted");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! it a typed schema.
 
 use crate::json::JsonValue;
+use crate::wire::{self, FrameStep};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -141,11 +142,17 @@ pub struct ShardMeta {
     /// Cumulative wall milliseconds spent appending to this shard
     /// across runs.
     pub wall_ms: u64,
+    /// Additional per-worker shard files holding ranges of this
+    /// shard's trials (fleet campaigns give each worker its own
+    /// append-only file so no two processes share a write cursor).
+    /// Empty for single-writer stores; readers fold `file` plus all
+    /// of these and dedup by trial index.
+    pub worker_files: Vec<String>,
 }
 
 impl ShardMeta {
     fn to_value(&self) -> JsonValue {
-        JsonValue::Object(vec![
+        let mut value = JsonValue::Object(vec![
             ("label".to_string(), JsonValue::str(self.label.clone())),
             (
                 "benchmark".to_string(),
@@ -164,10 +171,36 @@ impl ShardMeta {
             ("completed".to_string(), JsonValue::num(self.completed)),
             ("complete".to_string(), JsonValue::Bool(self.complete)),
             ("wall_ms".to_string(), JsonValue::num(self.wall_ms)),
-        ])
+        ]);
+        // Serialized only when present so single-writer stores keep
+        // their pre-fleet manifest bytes (and older readers that
+        // ignore unknown keys stay compatible either way).
+        if !self.worker_files.is_empty() {
+            if let JsonValue::Object(fields) = &mut value {
+                fields.push((
+                    "worker_files".to_string(),
+                    JsonValue::Array(
+                        self.worker_files
+                            .iter()
+                            .map(|f| JsonValue::str(f.clone()))
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+        value
     }
 
     fn from_value(v: &JsonValue) -> Option<ShardMeta> {
+        // Missing in pre-fleet manifests: default to no worker files.
+        let worker_files = match v.get("worker_files") {
+            Some(list) => list
+                .as_array()?
+                .iter()
+                .map(|f| Some(f.as_str()?.to_string()))
+                .collect::<Option<Vec<_>>>()?,
+            None => Vec::new(),
+        };
         Some(ShardMeta {
             label: v.get("label")?.as_str()?.to_string(),
             benchmark: v.get("benchmark")?.as_str()?.to_string(),
@@ -178,6 +211,7 @@ impl ShardMeta {
             completed: v.get("completed")?.as_u64()? as u32,
             complete: v.get("complete")?.as_bool()?,
             wall_ms: v.get("wall_ms")?.as_u64()?,
+            worker_files,
         })
     }
 }
@@ -276,10 +310,11 @@ pub fn shard_file_name(label: &str) -> String {
     format!("{}.shard.jsonl", label.replace('/', "."))
 }
 
-/// Encodes one frame: 8 hex digits of JSON byte length, space, JSON,
-/// newline.
-fn encode_frame(json: &str) -> String {
-    format!("{:08x} {}\n", json.len(), json)
+/// Per-worker shard file name for a campaign label (`"segm/dup-val"`,
+/// worker 2 → `"segm.dup-val.w2.shard.jsonl"`). Fleet workers each
+/// append to their own file; [`ShardMeta::worker_files`] lists them.
+pub fn shard_file_name_worker(label: &str, worker: usize) -> String {
+    format!("{}.w{}.shard.jsonl", label.replace('/', "."), worker)
 }
 
 /// Decodes the valid frame prefix of `bytes`. Returns the decoded
@@ -289,30 +324,17 @@ fn decode_frames(bytes: &[u8]) -> (Vec<StoredTrial>, usize) {
     let mut trials = Vec::new();
     let mut off = 0;
     while off < bytes.len() {
-        let rest = &bytes[off..];
-        if rest.len() < 10 || rest[8] != b' ' {
-            break;
+        match wire::scan_frame(&bytes[off..]) {
+            FrameStep::Frame { body, len } => {
+                let Some(trial) = StoredTrial::from_json(body) else {
+                    break;
+                };
+                trials.push(trial);
+                off += len;
+            }
+            // Both stop conditions mark a torn tail on disk.
+            FrameStep::Incomplete | FrameStep::Malformed => break,
         }
-        let Ok(hex) = std::str::from_utf8(&rest[..8]) else {
-            break;
-        };
-        let Ok(len) = usize::from_str_radix(hex, 16) else {
-            break;
-        };
-        let Some(end) = 9usize.checked_add(len) else {
-            break;
-        };
-        if rest.len() < end + 1 || rest[end] != b'\n' {
-            break;
-        }
-        let Ok(body) = std::str::from_utf8(&rest[9..end]) else {
-            break;
-        };
-        let Some(trial) = StoredTrial::from_json(body) else {
-            break;
-        };
-        trials.push(trial);
-        off += end + 1;
     }
     (trials, off)
 }
@@ -412,6 +434,21 @@ impl RunStore {
         Ok(decode_frames(&bytes).0)
     }
 
+    /// Reads and concatenates every file belonging to a shard — the
+    /// primary `file` plus any fleet `worker_files` — each with its
+    /// own torn tail dropped. Trials are returned in file order,
+    /// un-deduplicated: ranges reclaimed from dead workers are
+    /// re-executed by others, so the same trial index may appear in
+    /// several files (with bitwise-identical records; trial *i* is a
+    /// pure function of the plan). Callers dedup by trial index.
+    pub fn read_shard_files(&self, meta: &ShardMeta) -> std::io::Result<Vec<StoredTrial>> {
+        let mut trials = self.read_shard(&meta.file)?;
+        for f in &meta.worker_files {
+            trials.extend(self.read_shard(f)?);
+        }
+        Ok(trials)
+    }
+
     /// Opens a shard for appending, recovering from a torn tail by
     /// truncating it. The writer's `seq` continues from the highest
     /// persisted value.
@@ -456,7 +493,7 @@ impl ShardWriter {
         trial.seq = inner.next_seq;
         inner
             .file
-            .write_all(encode_frame(&trial.to_json()).as_bytes())?;
+            .write_all(wire::encode_frame(&trial.to_json()).as_bytes())?;
         inner.file.flush()?;
         inner.next_seq += 1;
         Ok(trial.seq)
@@ -497,6 +534,7 @@ impl ShardTail {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::encode_frame;
 
     fn temp_store_dir(tag: &str) -> PathBuf {
         let dir =
@@ -524,7 +562,7 @@ mod tests {
             seq: 0,
             trial: n,
             t_ms: 5,
-            watchdog: n % 2 == 0,
+            watchdog: n.is_multiple_of(2),
             exec_ns: 1000 + n as u64,
             ops: vec![("alu".to_string(), 12), ("load".to_string(), 3)],
             checks: vec![("dup-mismatch".to_string(), 1)],
@@ -650,6 +688,7 @@ mod tests {
                     completed: 4,
                     complete: false,
                     wall_ms: 17,
+                    worker_files: Vec::new(),
                 });
             })
             .unwrap();
@@ -660,6 +699,80 @@ mod tests {
         assert_eq!(shard.completed, 4);
         assert_eq!(shard.plan_hash, u64::MAX - 7, "u64 hashes survive JSON");
         assert!(m.shard("nope").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn worker_files_round_trip_and_stay_absent_when_empty() {
+        let mut meta = ShardMeta {
+            label: "segm/dup-val".to_string(),
+            benchmark: "segm".to_string(),
+            technique: "dup-val".to_string(),
+            file: shard_file_name("segm/dup-val"),
+            plan_hash: 1,
+            golden_dyn_insts: 2,
+            completed: 0,
+            complete: false,
+            wall_ms: 0,
+            worker_files: Vec::new(),
+        };
+        // Pre-fleet manifest bytes: no worker_files key at all.
+        let v = meta.to_value();
+        assert!(v.get("worker_files").is_none());
+        assert_eq!(ShardMeta::from_value(&v).unwrap(), meta);
+
+        meta.worker_files = vec![
+            shard_file_name_worker("segm/dup-val", 0),
+            shard_file_name_worker("segm/dup-val", 1),
+        ];
+        let v = meta.to_value();
+        let back = ShardMeta::from_value(&v).unwrap();
+        assert_eq!(back, meta);
+        assert_eq!(back.worker_files[1], "segm.dup-val.w1.shard.jsonl");
+    }
+
+    #[test]
+    fn read_shard_files_concatenates_primary_and_worker_files() {
+        let dir = temp_store_dir("merged");
+        let store = RunStore::create(&dir, manifest()).unwrap();
+        let meta = ShardMeta {
+            label: "b/t".to_string(),
+            benchmark: "b".to_string(),
+            technique: "t".to_string(),
+            file: shard_file_name("b/t"),
+            plan_hash: 0,
+            golden_dyn_insts: 0,
+            completed: 0,
+            complete: false,
+            wall_ms: 0,
+            worker_files: vec![
+                shard_file_name_worker("b/t", 0),
+                shard_file_name_worker("b/t", 1),
+            ],
+        };
+        // Primary file holds trial 0; worker 0 holds 1-2 (and a torn
+        // tail); worker 1's file never got created (worker died before
+        // its first append) and must read as empty.
+        store
+            .shard_writer(&meta.file)
+            .unwrap()
+            .append(trial(0))
+            .unwrap();
+        let w0 = store.shard_writer(&meta.worker_files[0]).unwrap();
+        w0.append(trial(1)).unwrap();
+        w0.append(trial(2)).unwrap();
+        drop(w0);
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(store.shard_path(&meta.worker_files[0]))
+            .unwrap();
+        f.write_all(b"000000aa {\"torn").unwrap();
+        drop(f);
+        let trials = store.read_shard_files(&meta).unwrap();
+        assert_eq!(
+            trials.iter().map(|t| t.trial).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

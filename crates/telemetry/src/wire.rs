@@ -1,0 +1,193 @@
+//! Length-prefixed JSONL framing: `"{:08x} {json}\n"`.
+//!
+//! One codec shared by every frame-shaped byte stream in the
+//! workspace — the run store's shard files ([`crate::runstore`]) and
+//! the fleet's coordinator/worker and observatory sockets — so both
+//! ends agree on torn-frame detection. A frame is eight lowercase hex
+//! digits of the JSON byte length, a space, the JSON text, and a
+//! newline. The length prefix makes a partial write detectable without
+//! trusting newline placement.
+//!
+//! A reader distinguishes two stop conditions:
+//!
+//! * [`FrameStep::Incomplete`] — the bytes end mid-frame. On disk this
+//!   is a torn tail a writer may truncate; on a socket it just means
+//!   "read more".
+//! * [`FrameStep::Malformed`] — the bytes at the cursor are not this
+//!   codec's framing at all. On disk it is treated like a torn tail
+//!   (the store stops trusting the file there); on a socket it is a
+//!   peer protocol error.
+
+/// Encodes one frame: 8 hex digits of JSON byte length, space, JSON,
+/// newline.
+pub fn encode_frame(json: &str) -> String {
+    format!("{:08x} {}\n", json.len(), json)
+}
+
+/// One step of frame scanning (see module docs for the distinction
+/// between the two non-frame outcomes).
+pub enum FrameStep<'a> {
+    /// A complete frame: the body text plus the total encoded length
+    /// (header + body + newline) to advance the cursor by.
+    Frame {
+        /// The JSON body (without header or trailing newline).
+        body: &'a str,
+        /// Total encoded byte length of this frame.
+        len: usize,
+    },
+    /// The bytes end mid-frame; more input may complete it.
+    Incomplete,
+    /// The bytes at the cursor are not valid framing.
+    Malformed,
+}
+
+/// Scans one frame from the front of `bytes`.
+pub fn scan_frame(bytes: &[u8]) -> FrameStep<'_> {
+    if bytes.len() < 10 {
+        return FrameStep::Incomplete;
+    }
+    if bytes[8] != b' ' {
+        return FrameStep::Malformed;
+    }
+    let Ok(hex) = std::str::from_utf8(&bytes[..8]) else {
+        return FrameStep::Malformed;
+    };
+    let Ok(len) = usize::from_str_radix(hex, 16) else {
+        return FrameStep::Malformed;
+    };
+    let Some(end) = 9usize.checked_add(len) else {
+        return FrameStep::Malformed;
+    };
+    if bytes.len() < end + 1 {
+        return FrameStep::Incomplete;
+    }
+    if bytes[end] != b'\n' {
+        return FrameStep::Malformed;
+    }
+    match std::str::from_utf8(&bytes[9..end]) {
+        Ok(body) => FrameStep::Frame { body, len: end + 1 },
+        Err(_) => FrameStep::Malformed,
+    }
+}
+
+/// Incremental frame decoder for a byte stream (socket reads land in
+/// arbitrary chunk sizes). Push bytes in, pop complete frame bodies
+/// out; a malformed header is an error because a live peer — unlike a
+/// crashed writer's file tail — has no business emitting one.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    off: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact consumed prefix before growing, so a long-lived
+        // connection doesn't accrete every frame it ever relayed.
+        if self.off > 0 && self.off >= self.buf.len() / 2 {
+            self.buf.drain(..self.off);
+            self.off = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame body, `Ok(None)` when more bytes
+    /// are needed, or `InvalidData` on a malformed header.
+    pub fn next_frame(&mut self) -> std::io::Result<Option<String>> {
+        match scan_frame(&self.buf[self.off..]) {
+            FrameStep::Frame { body, len } => {
+                let body = body.to_string();
+                self.off += len;
+                Ok(Some(body))
+            }
+            FrameStep::Incomplete => Ok(None),
+            FrameStep::Malformed => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "malformed wire frame",
+            )),
+        }
+    }
+}
+
+/// Writes one frame to a stream (no flush; callers batch or flush per
+/// their latency needs).
+pub fn write_frame(w: &mut impl std::io::Write, json: &str) -> std::io::Result<()> {
+    w.write_all(encode_frame(json).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let framed = encode_frame("{\"a\": 1}");
+        match scan_frame(framed.as_bytes()) {
+            FrameStep::Frame { body, len } => {
+                assert_eq!(body, "{\"a\": 1}");
+                assert_eq!(len, framed.len());
+            }
+            _ => panic!("expected a complete frame"),
+        }
+    }
+
+    #[test]
+    fn incomplete_and_malformed_are_distinguished() {
+        let framed = encode_frame("{}");
+        assert!(matches!(
+            scan_frame(&framed.as_bytes()[..5]),
+            FrameStep::Incomplete
+        ));
+        assert!(matches!(
+            scan_frame(&framed.as_bytes()[..framed.len() - 1]),
+            FrameStep::Incomplete
+        ));
+        assert!(matches!(
+            scan_frame(b"nothexdig {}\n"),
+            FrameStep::Malformed
+        ));
+        assert!(matches!(scan_frame(b"00000002-{}\n"), FrameStep::Malformed));
+    }
+
+    #[test]
+    fn decoder_reassembles_split_frames() {
+        let mut dec = FrameDecoder::new();
+        let stream = format!(
+            "{}{}",
+            encode_frame("{\"x\": 1}"),
+            encode_frame("{\"y\": 2}")
+        );
+        let (head, tail) = stream.as_bytes().split_at(stream.len() / 2);
+        dec.push(head);
+        let first = dec.next_frame().unwrap();
+        dec.push(tail);
+        let mut got: Vec<String> = first.into_iter().collect();
+        while let Some(body) = dec.next_frame().unwrap() {
+            got.push(body);
+        }
+        assert_eq!(got, vec!["{\"x\": 1}", "{\"y\": 2}"]);
+    }
+
+    #[test]
+    fn decoder_rejects_garbage() {
+        let mut dec = FrameDecoder::new();
+        dec.push(b"garbage garbage garbage");
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_prefix() {
+        let mut dec = FrameDecoder::new();
+        for i in 0..1000 {
+            dec.push(encode_frame(&format!("{{\"i\": {i}}}")).as_bytes());
+            assert!(dec.next_frame().unwrap().is_some());
+        }
+        assert!(dec.buf.len() < 4096, "consumed frames were not compacted");
+    }
+}

@@ -1,0 +1,270 @@
+//! Fleet campaigns must be *bitwise* equivalent to single-process
+//! ones: any worker count, thread count, steal interleaving, torn
+//! tail, or killed-and-reclaimed worker produces a store whose replay
+//! matches `run_campaign_attributed` over the same config — results,
+//! per-trial records, attributed events, metrics JSON, and coverage.
+//! Distribution is pure scheduling; any observable divergence is a bug.
+
+use softft::Technique;
+use softft_campaign::campaign::{run_campaign_attributed, CampaignConfig};
+use softft_campaign::coverage::build_coverage;
+use softft_campaign::live::{
+    plan_hash, replay, run_campaign_to_store, store_manifest, stored_trial,
+};
+use softft_campaign::prep::{prepare, PreparedBenchmark};
+use softft_campaign::{golden_dyn_insts, neutralized_module, ShardEngine, SharedRange};
+use softft_fleet::{run_fleet_campaign, FleetConfig};
+use softft_telemetry::{shard_file_name, shard_file_name_worker, RunStore, ShardMeta};
+use softft_vm::fault::FaultPlan;
+use softft_workloads::workload_by_name;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const TECH: Technique = Technique::DupVal;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("softft_fleet_equiv_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(trials: u32, threads: usize, interval: u64) -> CampaignConfig {
+    CampaignConfig {
+        trials,
+        seed: 11,
+        threads,
+        snapshot_interval: interval,
+        ..CampaignConfig::default()
+    }
+}
+
+fn fleet(workers: usize, worker_threads: usize) -> FleetConfig {
+    FleetConfig {
+        workers,
+        worker_threads,
+        ..FleetConfig::default()
+    }
+}
+
+/// Replays `dir`'s single shard (primary file plus all worker files)
+/// and asserts every aggregate matches a fresh buffered campaign under
+/// the same config.
+fn assert_matches_buffered(dir: &Path, p: &PreparedBenchmark, ccfg: &CampaignConfig, ctx: &str) {
+    let shards = replay(dir).expect("replay");
+    assert_eq!(shards.len(), 1, "{ctx}: shard count");
+    let shard = &shards[0];
+    assert!(shard.complete, "{ctx}: shard incomplete");
+    let t = shard.technique;
+    let (res, tel) =
+        run_campaign_attributed(&*p.workload, p.module(t), ccfg, Some(p.protection(t)));
+    assert_eq!(shard.result, res, "{ctx}: result diverged");
+    assert_eq!(shard.telemetry.events, tel.events, "{ctx}: events diverged");
+    assert_eq!(
+        shard.telemetry.records, tel.records,
+        "{ctx}: records diverged"
+    );
+    assert_eq!(shard.telemetry.checks, tel.checks, "{ctx}: checks diverged");
+    assert_eq!(
+        shard.telemetry.metrics.to_json(),
+        tel.metrics.to_json(),
+        "{ctx}: metrics diverged"
+    );
+    let cov = build_coverage(
+        &shard.benchmark,
+        t,
+        p.module(t),
+        p.protection(t),
+        &res,
+        &tel.records,
+    );
+    assert_eq!(shard.coverage, cov, "{ctx}: coverage diverged");
+}
+
+#[test]
+fn fleet_matches_buffered_across_worker_and_thread_counts() {
+    let p = prepare(workload_by_name("tiff2bw").unwrap());
+    for (workers, threads) in [(1, 1), (2, 1), (3, 2)] {
+        let ccfg = cfg(24, 1, 1000);
+        let dir = temp_store(&format!("pool_{workers}_{threads}"));
+        let store = RunStore::create(&dir, store_manifest(&ccfg)).unwrap();
+        let report = run_fleet_campaign(&store, &p, TECH, &ccfg, fleet(workers, threads)).unwrap();
+        assert!(report.complete, "w{workers} t{threads}: incomplete");
+        assert_eq!(report.distinct_done, 24);
+        assert_eq!(report.workers, workers);
+        assert_matches_buffered(&dir, &p, &ccfg, &format!("w{workers} t{threads}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn fleet_resumes_partial_single_process_store() {
+    let p = prepare(workload_by_name("tiff2bw").unwrap());
+    let ccfg = cfg(30, 2, 1000);
+    let dir = temp_store("resume");
+    let store = RunStore::create(&dir, store_manifest(&ccfg)).unwrap();
+
+    // A single-process campaign is interrupted after 11 trials…
+    let first = run_campaign_to_store(&store, &p, TECH, &ccfg, Some(11)).unwrap();
+    assert_eq!(first.executed, 11);
+    assert!(!first.complete);
+
+    // …and a fleet finishes exactly the remainder.
+    let store = RunStore::open(&dir).unwrap();
+    let report = run_fleet_campaign(&store, &p, TECH, &ccfg, fleet(2, 1)).unwrap();
+    assert_eq!(report.already_done, 11);
+    assert!(report.complete);
+    assert_eq!(report.distinct_done, 30);
+
+    // A second fleet invocation finds nothing left to do.
+    let again = run_fleet_campaign(&store, &p, TECH, &ccfg, fleet(2, 1)).unwrap();
+    assert_eq!(again.executed, 0);
+    assert!(again.complete);
+
+    assert_matches_buffered(&dir, &p, &ccfg, "single-process interrupt + fleet resume");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The runstore concurrent-writer stress test: N threads append
+/// disjoint shard ranges to their own worker files, each "killed"
+/// mid-campaign (a prefix of its range persisted, then a torn
+/// half-frame appended to simulate dying mid-write). Reopening must
+/// truncate each torn tail independently, and a fleet resume over the
+/// now-sparse missing set must fold bitwise-identically to a buffered
+/// campaign.
+#[test]
+fn concurrent_writers_with_torn_tails_fold_bitwise() {
+    let p = prepare(workload_by_name("tiff2bw").unwrap());
+    let ccfg = cfg(30, 1, 1000);
+    let dir = temp_store("stress");
+    let store = RunStore::create(&dir, store_manifest(&ccfg)).unwrap();
+
+    // Register the shard with three worker files, exactly as a fleet
+    // coordinator would.
+    let bench = p.workload.name().to_string();
+    let label = format!("{}/{}", bench, TECH.slug());
+    let golden = golden_dyn_insts(&*p.workload, p.module(TECH), &ccfg);
+    let worker_files: Vec<String> = (0..3).map(|w| shard_file_name_worker(&label, w)).collect();
+    let wf = worker_files.clone();
+    store
+        .update_manifest(|m| {
+            m.shards.push(ShardMeta {
+                label: label.clone(),
+                benchmark: bench.clone(),
+                technique: TECH.slug().to_string(),
+                file: shard_file_name(&label),
+                plan_hash: plan_hash(&bench, TECH, &ccfg, golden),
+                golden_dyn_insts: golden,
+                completed: 0,
+                complete: false,
+                wall_ms: 0,
+                worker_files: wf,
+            });
+        })
+        .unwrap();
+
+    // Three concurrent writers over disjoint ranges, each persisting
+    // only a prefix of its share before "dying".
+    let module = neutralized_module(&*p.workload, p.module(TECH), &ccfg);
+    let engine = ShardEngine::prepare(&*p.workload, &module, &ccfg);
+    let prefixes: [(usize, usize); 3] = [(0, 6), (10, 14), (20, 27)];
+    std::thread::scope(|scope| {
+        for (w, (lo, hi)) in prefixes.iter().enumerate() {
+            let writer = store.shard_writer(&worker_files[w]).unwrap();
+            let engine = &engine;
+            let range = SharedRange::new(*lo, *hi);
+            scope.spawn(move || {
+                let sink = |i: usize,
+                            _plan: &FaultPlan,
+                            rec: &softft_campaign::TrialRecord,
+                            obs: &softft_telemetry::TraceObserver,
+                            t: &softft_campaign::TrialTiming| {
+                    writer.append(stored_trial(i, rec, obs, t, 0)).unwrap();
+                };
+                engine.run_range(&range, 1, &sink);
+            });
+        }
+    });
+
+    // Each worker died mid-append: a frame header with a partial
+    // payload and no terminating newline.
+    for f in &worker_files {
+        let mut h = std::fs::OpenOptions::new()
+            .append(true)
+            .open(store.shard_path(f))
+            .unwrap();
+        h.write_all(b"000000ff {\"trial\"").unwrap();
+    }
+
+    // Reopen and resume as a fleet: every torn tail is truncated
+    // per-file, the missing set is the sparse complement of the three
+    // prefixes, and the fold is bitwise identical to buffered.
+    let store = RunStore::open(&dir).unwrap();
+    let report = run_fleet_campaign(&store, &p, TECH, &ccfg, fleet(2, 1)).unwrap();
+    assert_eq!(report.already_done, 6 + 4 + 7, "torn tails not dropped");
+    assert!(report.complete);
+    assert_eq!(report.distinct_done, 30);
+    assert_matches_buffered(&dir, &p, &ccfg, "concurrent writers + torn tails");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Locates the `repro` binary next to the test executable
+/// (`target/<profile>/repro`); absent when only the test target was
+/// built, in which case process-mode coverage is skipped.
+fn repro_bin() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let profile_dir = exe.parent()?.parent()?;
+    let cand = profile_dir.join(format!("repro{}", std::env::consts::EXE_SUFFIX));
+    cand.is_file().then_some(cand)
+}
+
+/// Process-mode fleet with a worker killed mid-campaign: worker 1
+/// exits abruptly after 3 trials, the coordinator reclaims its ranges,
+/// and the surviving worker finishes them — store still bitwise
+/// identical to buffered.
+#[test]
+fn process_fleet_with_killed_worker_matches_buffered() {
+    let Some(repro) = repro_bin() else {
+        eprintln!("skipping: repro binary not built");
+        return;
+    };
+    let p = prepare(workload_by_name("tiff2bw").unwrap());
+    let ccfg = cfg(30, 1, 1000);
+    let dir = temp_store("procfleet");
+    let out = std::process::Command::new(&repro)
+        .args([
+            "fleet",
+            "--store",
+            dir.to_str().unwrap(),
+            "--benchmarks",
+            "tiff2bw",
+            "--trials",
+            "30",
+            "--seed",
+            "11",
+            "--threads",
+            "1",
+            "--snapshot-interval",
+            "1000",
+            "--workers",
+            "2",
+            "--processes",
+            "--fail-after",
+            "1:3",
+            "--heartbeat-ms",
+            "300",
+        ])
+        .output()
+        .expect("spawn repro fleet");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "repro fleet failed\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(
+        stdout.contains("reclaim(s)") && !stdout.contains(" 0 reclaim(s)"),
+        "killed worker was not reclaimed\nstdout: {stdout}"
+    );
+    assert_matches_buffered(&dir, &p, &ccfg, "process fleet + killed worker");
+    let _ = std::fs::remove_dir_all(&dir);
+}
